@@ -1,0 +1,109 @@
+// Experiment F5-attest (Fig 5, Section II.A).
+//
+// Claim reproduced: the transitive root of trust — TPM -> hypervisor ->
+// guest (vTPM) -> containers — is cheap enough to run per launch. Measures
+// (wall clock) the cost of each link: component measurement+extension as a
+// function of image size, quote generation/verification, vTPM creation and
+// certificate verification, and full attested launch as a function of
+// chain depth.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+#include "tpm/attestation.h"
+#include "tpm/trust_chain.h"
+#include "tpm/vtpm.h"
+
+using namespace hc;
+
+namespace {
+
+void BM_MeasureAndExtend(benchmark::State& state) {
+  Rng rng(1);
+  tpm::Tpm device("hw", rng);
+  Bytes image = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    device.extend(10, crypto::sha256(image));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MeasureAndExtend)->Arg(4096)->Arg(65536)->Arg(1048576)->Arg(4194304);
+
+void BM_QuoteGeneration(benchmark::State& state) {
+  Rng rng(2);
+  tpm::Tpm device("hw", rng);
+  device.extend(0, crypto::sha256(std::string_view("bios")));
+  Bytes nonce = rng.bytes(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.quote({0, 2, 4, 10}, nonce));
+  }
+}
+BENCHMARK(BM_QuoteGeneration);
+
+void BM_QuoteVerification(benchmark::State& state) {
+  Rng rng(3);
+  tpm::Tpm device("hw", rng);
+  tpm::Quote quote = device.quote({0, 2, 4, 10}, rng.bytes(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpm::Tpm::verify_quote_signature(quote, device.endorsement_key()));
+  }
+}
+BENCHMARK(BM_QuoteVerification);
+
+void BM_VtpmCreateAndCertify(benchmark::State& state) {
+  Rng rng(4);
+  tpm::Tpm hw("hw", rng);
+  crypto::KeyPair anchor = crypto::generate_keypair(rng);
+  tpm::VTpmManager manager(hw, anchor.priv, Rng(5));
+  int counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.create("vm-" + std::to_string(counter++)));
+  }
+}
+BENCHMARK(BM_VtpmCreateAndCertify);
+
+// Full attested launch: measured boot of `depth` components + challenge +
+// quote + verification against golden values.
+void BM_AttestedLaunch(benchmark::State& state) {
+  Rng rng(6);
+  auto depth = static_cast<std::size_t>(state.range(0));
+
+  std::vector<tpm::Component> stack;
+  for (std::size_t i = 0; i < depth; ++i) {
+    stack.push_back(tpm::Component{"component-" + std::to_string(i),
+                                   rng.bytes(16384),
+                                   static_cast<std::uint32_t>(i % 8)});
+  }
+  tpm::AttestationService service{Rng(7)};
+  for (const auto& c : stack) {
+    service.approve_component(c.name, crypto::sha256(c.content));
+  }
+
+  std::vector<std::uint32_t> pcrs;
+  for (std::uint32_t p = 0; p < 8; ++p) pcrs.push_back(p);
+
+  int counter = 0;
+  for (auto _ : state) {
+    tpm::Tpm device("hw-" + std::to_string(counter++), rng);
+    service.register_tpm(device.id(), device.endorsement_key());
+    tpm::MeasurementLog log = tpm::measured_launch(device, stack);
+    Bytes nonce = service.challenge();
+    tpm::Quote quote = device.quote(pcrs, nonce);
+    auto verdict = service.verify(quote, log);
+    if (!verdict.trusted) state.SkipWithError("attestation unexpectedly failed");
+  }
+  state.counters["chain_depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_AttestedLaunch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== F5-attest: transitive trust chain costs (Fig 5) ==\n");
+  std::printf("paper-shape check: measurement cost scales with image size (hash\n"
+              "bound); quote/verify are O(1); attested launch grows linearly with\n"
+              "chain depth and stays in the millisecond range.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Experiment F6-chain (Fig 6, Section IV.B.1).
+//
+// Claim reproduced: blockchain-based provenance/consent/malware/privacy
+// networks provide auditable commitment at costs that scale with peer
+// count. Sweeps peers 4..16 over a LAN-linked consensus group and reports
+// simulated commit latency and throughput for a mixed contract workload,
+// plus auditor-view query costs and chain validation time (wall clock).
+#include <chrono>
+#include <cstdio>
+
+#include "blockchain/auditor.h"
+#include "blockchain/contracts.h"
+#include "blockchain/ledger.h"
+#include "net/network.h"
+
+using namespace hc;
+
+namespace {
+
+constexpr int kTransactions = 1000;
+
+struct RunStats {
+  double mean_commit_latency_us = 0;
+  double throughput_tx_per_s = 0;  // in simulated time
+  double audit_query_ms = 0;       // wall clock
+  double validate_chain_ms = 0;    // wall clock
+};
+
+RunStats run(std::size_t peers, std::size_t batch) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(20));
+  blockchain::LedgerConfig config;
+  for (std::size_t i = 0; i < peers; ++i) {
+    config.peers.push_back("peer-" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < peers; ++i) {
+    for (std::size_t j = i + 1; j < peers; ++j) {
+      network.set_link(config.peers[i], config.peers[j], net::LinkProfile::lan());
+    }
+  }
+  config.max_block_transactions = batch;
+  blockchain::PermissionedLedger ledger(config, clock, nullptr, &network);
+  (void)blockchain::register_hcls_contracts(ledger);
+
+  SimTime start = clock->now();
+  SimTime total_commit = 0;
+  std::size_t commits = 0;
+  for (int i = 0; i < kTransactions; ++i) {
+    std::string ref = "ref-" + std::to_string(i);
+    switch (i % 4) {
+      case 0:
+        (void)ledger.submit("provenance",
+                            {{"action", "record_event"}, {"record_ref", ref},
+                             {"event", "received"}, {"data_hash", "h"}},
+                            "ingestion");
+        break;
+      case 1:
+        (void)ledger.submit("consent",
+                            {{"action", "grant"}, {"patient", "p" + std::to_string(i)},
+                             {"group", "study"}},
+                            "provider");
+        break;
+      case 2:
+        (void)ledger.submit("malware",
+                            {{"action", "report"}, {"record_ref", ref},
+                             {"verdict", i % 20 == 2 ? "infected" : "clean"},
+                             {"sender", "clinic-" + std::to_string(i % 5)}},
+                            "protection");
+        break;
+      default:
+        (void)ledger.submit("privacy",
+                            {{"action", "record_degree"}, {"record_ref", ref},
+                             {"score", "0.99"}, {"k", "5"}},
+                            "verifier");
+    }
+    if (ledger.pending_count() >= batch) {
+      auto receipt = ledger.commit_block();
+      if (receipt.is_ok()) {
+        total_commit += receipt->commit_latency;
+        ++commits;
+      }
+    }
+  }
+  while (ledger.pending_count() > 0) {
+    auto receipt = ledger.commit_block();
+    if (!receipt.is_ok()) break;
+    total_commit += receipt->commit_latency;
+    ++commits;
+  }
+
+  RunStats stats;
+  stats.mean_commit_latency_us =
+      commits ? static_cast<double>(total_commit) / static_cast<double>(commits) : 0;
+  double elapsed_s = static_cast<double>(clock->now() - start) / kSecond;
+  stats.throughput_tx_per_s = elapsed_s > 0 ? kTransactions / elapsed_s : 0;
+
+  blockchain::AuditorView auditor(ledger);
+  auto wall0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) {
+    (void)auditor.record_lifecycle("ref-" + std::to_string(i * 4));
+  }
+  auto wall1 = std::chrono::steady_clock::now();
+  stats.audit_query_ms =
+      std::chrono::duration<double, std::milli>(wall1 - wall0).count() / 50.0;
+
+  wall0 = std::chrono::steady_clock::now();
+  if (!ledger.validate_chain().is_ok()) std::printf("!! chain validation failed\n");
+  wall1 = std::chrono::steady_clock::now();
+  stats.validate_chain_ms =
+      std::chrono::duration<double, std::milli>(wall1 - wall0).count();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== F6-chain: permissioned-ledger consensus scaling (Fig 6) ==\n");
+  std::printf("workload: %d mixed txns (provenance/consent/malware/privacy)\n\n",
+              kTransactions);
+  std::printf("%6s %6s %18s %16s %14s %16s\n", "peers", "batch", "commit-latency",
+              "throughput", "audit-query", "validate-chain");
+  for (std::size_t peers : {4, 8, 12, 16}) {
+    for (std::size_t batch : {16, 64}) {
+      RunStats s = run(peers, batch);
+      std::printf("%6zu %6zu %16.0fus %13.0ftx/s %12.3fms %14.1fms\n", peers, batch,
+                  s.mean_commit_latency_us, s.throughput_tx_per_s, s.audit_query_ms,
+                  s.validate_chain_ms);
+    }
+  }
+  std::printf("\npaper-shape check: commit latency grows with peer count (broadcast\n"
+              "rounds) and larger batches amortize consensus for higher throughput;\n"
+              "auditor queries stay in the low-millisecond range.\n");
+  return 0;
+}

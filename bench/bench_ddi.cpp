@@ -1,0 +1,82 @@
+// Experiment F9-ddi (Section V.A, Tiresias [40]).
+//
+// Reproduces the similarity-based drug-drug-interaction prediction result:
+// pair features from multiple drug-similarity sources feed a logistic
+// head; evaluated against ground-truth interacting group pairs. Sweeps
+// the number of similarity sources (feature ablation) and the training
+// fraction, reporting AUC/AUPR against a random baseline.
+#include <chrono>
+#include <cstdio>
+
+#include "analytics/ddi.h"
+#include "analytics/metrics.h"
+
+using namespace hc;
+using namespace hc::analytics;
+
+namespace {
+
+struct Eval {
+  double auc = 0, aupr = 0;
+  double train_s = 0;
+};
+
+Eval evaluate(const DdiWorkload& workload, std::size_t sources) {
+  std::vector<Matrix> sims(workload.similarities.begin(),
+                           workload.similarities.begin() +
+                               static_cast<std::ptrdiff_t>(sources));
+  DdiPredictor predictor(std::move(sims));
+  auto t0 = std::chrono::steady_clock::now();
+  predictor.train(workload.train_positives, workload.train_negatives, DdiConfig{});
+  auto t1 = std::chrono::steady_clock::now();
+
+  std::vector<double> scores;
+  scores.reserve(workload.test_pairs.size());
+  for (const auto& pair : workload.test_pairs) {
+    scores.push_back(predictor.predict(pair));
+  }
+  Eval eval;
+  eval.auc = auc_roc(scores, workload.test_labels);
+  eval.aupr = auc_pr(scores, workload.test_labels);
+  eval.train_s = std::chrono::duration<double>(t1 - t0).count();
+  return eval;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== F9-ddi: similarity-based DDI prediction (Tiresias, V.A) ==\n");
+
+  Rng rng(140);
+  DdiWorkload workload = make_ddi_workload(80, 6, rng);
+  std::printf("workload: 80 drugs, 6 latent groups, %zu train / %zu test pairs\n\n",
+              workload.train_positives.size() + workload.train_negatives.size(),
+              workload.test_pairs.size());
+
+  std::printf("%-34s %8s %8s %10s\n", "configuration", "AUC", "AUPR", "train");
+  for (std::size_t sources = 1; sources <= workload.similarities.size(); ++sources) {
+    Eval eval = evaluate(workload, sources);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu similarity source%s", sources,
+                  sources == 1 ? "" : "s");
+    std::printf("%-34s %8.3f %8.3f %9.2fs\n", label, eval.auc, eval.aupr,
+                eval.train_s);
+  }
+
+  // Random baseline.
+  {
+    Rng noise(141);
+    std::vector<double> random_scores;
+    for (std::size_t i = 0; i < workload.test_pairs.size(); ++i) {
+      random_scores.push_back(noise.uniform());
+    }
+    std::printf("%-34s %8.3f %8.3f %10s\n", "random scores (baseline)",
+                auc_roc(random_scores, workload.test_labels),
+                auc_pr(random_scores, workload.test_labels), "-");
+  }
+
+  std::printf("\npaper-shape check: similarity features put AUC far above the\n"
+              "random baseline; additional sources do not hurt (and typically\n"
+              "help the cleaner-feature configurations).\n");
+  return 0;
+}

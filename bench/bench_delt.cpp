@@ -1,0 +1,92 @@
+// Experiment F10-delt (Figs 10-11, Section V.B).
+//
+// Reproduces the DELT drug-effect signal detection result on synthetic EMR
+// data with planted HbA1c-lowering drugs and a comorbidity confounder:
+//   - DELT vs the marginal-correlation prior art (AUC, precision@N, RMSE
+//     of effect sizes),
+//   - ablations matching the paper's contributions: no patient baseline
+//     (alpha_i), no time drift (t_ij) — Figs 10 and 11 respectively,
+//   - scaling of recovery quality with cohort size.
+#include <chrono>
+#include <cstdio>
+
+#include "analytics/delt.h"
+
+using namespace hc;
+using namespace hc::analytics;
+
+namespace {
+
+void print_row(const char* label, const RecoveryMetrics& m, double seconds) {
+  std::printf("%-36s %8.3f %8.3f %8.3f %9.2fs\n", label, m.auc, m.precision_at_n,
+              m.effect_rmse, seconds);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== F10-delt: drug effects on laboratory tests (Figs 10-11) ==\n");
+
+  EmrConfig config;
+  config.patients = 3000;
+  config.drugs = 150;
+  config.planted_drugs = 10;
+  config.confounded_drugs = 8;
+  Rng rng(60);
+  EmrDataset dataset = make_emr_dataset(config, rng);
+  std::printf("workload: %zu patients x %d HbA1c measurements, %zu drugs,\n"
+              "%zu planted lowering drugs, %zu comorbidity-confounded drugs\n\n",
+              config.patients, config.measurements_per_patient, config.drugs,
+              config.planted_drugs, config.confounded_drugs);
+
+  std::printf("%-36s %8s %8s %8s %10s\n", "method", "AUC", "P@N", "RMSE", "fit-time");
+
+  auto timed_fit = [&](const DeltConfig& delt_config) {
+    auto t0 = std::chrono::steady_clock::now();
+    DeltModel model = fit_delt(dataset, delt_config);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::pair<DeltModel, double>(std::move(model),
+                                        std::chrono::duration<double>(t1 - t0).count());
+  };
+
+  auto [full, full_time] = timed_fit(DeltConfig{});
+  print_row("DELT (baseline + drift)", score_recovery(full.drug_effects, dataset),
+            full_time);
+
+  DeltConfig no_drift;
+  no_drift.model_drift = false;
+  auto [nd, nd_time] = timed_fit(no_drift);
+  print_row("DELT w/o time drift (Fig 11 abl.)",
+            score_recovery(nd.drug_effects, dataset), nd_time);
+
+  DeltConfig no_baseline;
+  no_baseline.model_baseline = false;
+  no_baseline.model_drift = false;
+  auto [nb, nb_time] = timed_fit(no_baseline);
+  print_row("DELT w/o baselines (Fig 10 abl.)",
+            score_recovery(nb.drug_effects, dataset), nb_time);
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto marginal = marginal_correlation_effects(dataset);
+  auto t1 = std::chrono::steady_clock::now();
+  print_row("marginal correlation (prior art)", score_recovery(marginal, dataset),
+            std::chrono::duration<double>(t1 - t0).count());
+
+  // --- cohort-size scaling ------------------------------------------------
+  std::printf("\n-- recovery vs cohort size (DELT full model) --\n");
+  std::printf("%10s %8s %8s %8s\n", "patients", "AUC", "P@N", "RMSE");
+  for (std::size_t patients : {250, 500, 1000, 2000, 4000}) {
+    EmrConfig sweep = config;
+    sweep.patients = patients;
+    Rng sweep_rng(61);
+    EmrDataset sweep_data = make_emr_dataset(sweep, sweep_rng);
+    DeltModel model = fit_delt(sweep_data, DeltConfig{});
+    auto metrics = score_recovery(model.drug_effects, sweep_data);
+    std::printf("%10zu %8.3f %8.3f %8.3f\n", patients, metrics.auc,
+                metrics.precision_at_n, metrics.effect_rmse);
+  }
+
+  std::printf("\npaper-shape check: DELT > ablations > marginal correlation on AUC;\n"
+              "effect-size RMSE shrinks and AUC rises with cohort size.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Experiment C-intercloud (Section II.C).
+//
+// Claim reproduced: "transfer of trusted analytic workloads (packaged in
+// containers) across different cloud instances ... This allows the
+// computation to be transferred to data instead of otherwise, thereby
+// making it very efficient and secured."
+//
+// Sweeps container size for the attested transfer (network + verification
+// + measured launch + remote attestation), compares with the alternative
+// of moving the *data* to the computation, and verifies tampered images
+// are always rejected.
+#include <cstdio>
+
+#include "platform/instance.h"
+#include "platform/intercloud.h"
+
+using namespace hc;
+using namespace hc::platform;
+
+int main() {
+  std::printf("== C-intercloud: trusted container transfer (II.C) ==\n\n");
+
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(95));
+  InstanceConfig a;
+  a.name = "data-cloud";
+  a.seed = 1;
+  InstanceConfig b;
+  b.name = "analytics-cloud";
+  b.seed = 2;
+  HealthCloudInstance source(a, clock, network);
+  HealthCloudInstance destination(b, clock, network);
+  network.set_link("data-cloud", "analytics-cloud", net::LinkProfile::intercloud());
+  destination.images().approve_key(source.platform_signing_keys().pub);
+
+  Rng rng(96);
+  IntercloudGateway gateway(source, destination);
+
+  std::printf("-- attested transfer latency vs container size --\n");
+  std::printf("%12s %14s %16s %14s\n", "size", "transfer", "attestation", "total");
+  for (std::size_t size : {std::size_t(64) << 10, std::size_t(512) << 10,
+                           std::size_t(4) << 20}) {
+    std::string version = "v" + std::to_string(size);
+    Bytes container = rng.bytes(size);
+    auto manifest = tpm::sign_image("model", version, container, {},
+                                    source.platform_signing_keys());
+    if (!source.images().register_image(manifest, container).is_ok()) continue;
+
+    auto receipt = gateway.transfer_and_launch("model", version);
+    if (!receipt.is_ok()) {
+      std::printf("%12zu transfer failed: %s\n", size,
+                  receipt.status().to_string().c_str());
+      continue;
+    }
+    std::printf("%11zuK %14s %16s %14s\n", size >> 10,
+                format_duration(receipt->transfer_latency).c_str(),
+                format_duration(receipt->attestation_latency).c_str(),
+                format_duration(receipt->transfer_latency +
+                                receipt->attestation_latency)
+                    .c_str());
+  }
+
+  // --- compute-to-data vs data-to-compute -------------------------------
+  std::printf("\n-- move the model (4MB) vs move the data --\n");
+  for (std::size_t dataset_mb : {16, 64, 256}) {
+    auto data_move = network.estimate("data-cloud", "analytics-cloud",
+                                      dataset_mb << 20);
+    auto model_move = network.estimate("data-cloud", "analytics-cloud", 4 << 20);
+    if (data_move.is_ok() && model_move.is_ok()) {
+      std::printf("dataset %4zuMB: ship data %10s  vs ship container %10s (%.0fx)\n",
+                  dataset_mb, format_duration(*data_move).c_str(),
+                  format_duration(*model_move).c_str(),
+                  static_cast<double>(*data_move) / static_cast<double>(*model_move));
+    }
+  }
+
+  // --- tamper rejection -----------------------------------------------------
+  std::printf("\n-- tamper injection (20 transfers, all must be rejected) --\n");
+  Bytes container = rng.bytes(256 << 10);
+  auto manifest = tpm::sign_image("model", "tamper-test", container, {},
+                                  source.platform_signing_keys());
+  (void)source.images().register_image(manifest, container);
+  int rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    gateway.tamper_next_transfer();
+    if (!gateway.transfer_and_launch("model", "tamper-test").is_ok()) ++rejected;
+  }
+  std::printf("tampered transfers rejected: %d/20\n", rejected);
+
+  std::printf("\npaper-shape check: shipping the container beats shipping the data\n"
+              "by the dataset/model size ratio; attestation adds bounded overhead;\n"
+              "tamper rejection is 20/20.\n");
+  return rejected == 20 ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Experiment C-privacy (Section IV.C).
+//
+// Reproduces the anonymization machinery's behaviour:
+//   - k-anonymity (Mondrian) cost and utility vs k on 10k patient rows:
+//     runtime, average equivalence-class size, l-diversity of the result,
+//   - de-identification throughput (records/s),
+//   - anonymization-verification service: acceptance of properly
+//     de-identified records vs rejection of raw/sloppy ones.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "privacy/deid.h"
+#include "privacy/kanonymity.h"
+#include "privacy/verification.h"
+
+using namespace hc;
+using namespace hc::privacy;
+
+namespace {
+
+std::vector<FieldMap> make_rows(std::size_t n, Rng& rng) {
+  std::vector<FieldMap> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back(FieldMap{
+        {"age", std::to_string(rng.uniform_int(18, 95))},
+        {"zip", std::to_string(rng.uniform_int(10000, 99999))},
+        {"diagnosis", "dx-" + std::to_string(rng.uniform_int(0, 12))},
+    });
+  }
+  return rows;
+}
+
+FieldMap raw_record(Rng& rng, std::size_t i) {
+  return FieldMap{
+      {"patient_id", "patient-" + std::to_string(i)},
+      {"name", "Pat Doe"},
+      {"ssn", "123-45-6789"},
+      {"age", std::to_string(rng.uniform_int(18, 95))},
+      {"zip", std::to_string(rng.uniform_int(10000, 99999))},
+      {"gender", rng.bernoulli(0.5) ? "female" : "male"},
+      {"birth_date", "1970-01-01"},
+      {"diagnosis", "dx"},
+  };
+}
+
+void BM_Deidentify(benchmark::State& state) {
+  Rng rng(70);
+  Pseudonymizer pseudonymizer(rng.bytes(32));
+  auto schema = FieldSchema::standard_patient();
+  auto record = raw_record(rng, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deidentify(record, schema, pseudonymizer));
+  }
+}
+BENCHMARK(BM_Deidentify);
+
+void BM_KAnonymize(benchmark::State& state) {
+  Rng rng(71);
+  auto rows = make_rows(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k_anonymize(rows, {"age", "zip"}, 10));
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_KAnonymize)->Arg(1000)->Arg(5000)->Arg(10000);
+
+void BM_VerificationService(benchmark::State& state) {
+  Rng rng(72);
+  Pseudonymizer pseudonymizer(rng.bytes(32));
+  auto schema = FieldSchema::standard_patient();
+  AnonymizationVerificationService service(schema, 0.99, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto record = deidentify(raw_record(rng, i++), schema, pseudonymizer);
+    benchmark::DoNotOptimize(service.verify(record->fields, {"age", "zip", "gender"}));
+  }
+}
+BENCHMARK(BM_VerificationService);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== C-privacy: anonymization cost and utility (IV.C) ==\n\n");
+
+  // --- k sweep table (utility/privacy trade-off) ------------------------
+  Rng rng(73);
+  auto rows = make_rows(10000, rng);
+  std::printf("-- Mondrian k-anonymity on 10000 rows (age, zip QIs) --\n");
+  std::printf("%6s %14s %16s %12s %12s\n", "k", "suppressed", "avg-class-size",
+              "l-diversity", "k-holds");
+  for (std::size_t k : {2, 5, 10, 25, 50}) {
+    auto result = k_anonymize(rows, {"age", "zip"}, k);
+    if (!result.is_ok()) {
+      std::printf("k=%zu failed: %s\n", k, result.status().to_string().c_str());
+      continue;
+    }
+    std::printf("%6zu %14zu %16.1f %12zu %12s\n", k, result->suppressed,
+                average_class_size(result->records, {"age", "zip"}),
+                l_diversity(result->records, {"age", "zip"}, "diagnosis"),
+                is_k_anonymous(result->records, {"age", "zip"}, k) ? "yes" : "NO");
+  }
+
+  // --- verification service acceptance matrix ----------------------------
+  // Record-level scoring (min_k = 1): the holistic crowd-size criterion is
+  // exercised separately by the k-anonymity sweep above, since random
+  // 5-digit zips rarely repeat in a 500-record probe population.
+  std::printf("\n-- anonymization verification service (record-level) --\n");
+  Pseudonymizer pseudonymizer(rng.bytes(32));
+  auto schema = FieldSchema::standard_patient();
+  AnonymizationVerificationService service(schema, 0.99, 1);
+  int deid_accepted = 0, raw_accepted = 0, sloppy_accepted = 0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    auto raw = raw_record(rng, static_cast<std::size_t>(i));
+    auto deid = deidentify(raw, schema, pseudonymizer)->fields;
+    if (service.verify(deid, {"age", "zip", "gender"}).acceptable) ++deid_accepted;
+    if (service.verify(raw, {"age", "zip", "gender"}).acceptable) ++raw_accepted;
+    auto sloppy = deid;
+    sloppy["ssn"] = "123-45-6789";
+    if (service.verify(sloppy, {"age", "zip", "gender"}).acceptable) ++sloppy_accepted;
+  }
+  std::printf("%-36s %5.1f%%\n", "de-identified records accepted",
+              100.0 * deid_accepted / trials);
+  std::printf("%-36s %5.1f%%\n", "raw records accepted (want 0)",
+              100.0 * raw_accepted / trials);
+  std::printf("%-36s %5.1f%%\n", "records w/ surviving SSN accepted (want 0)",
+              100.0 * sloppy_accepted / trials);
+
+  std::printf("\npaper-shape check: larger k -> larger classes (less utility);\n"
+              "raw/sloppy records are rejected, clean de-identified ones accepted.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

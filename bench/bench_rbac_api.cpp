@@ -1,0 +1,110 @@
+// Experiment F8-rbac (Fig 8, Section II.B).
+//
+// Measures the per-call overhead of the compliance machinery on the API
+// path: RBAC permission checks as the tenant/org/group population grows,
+// and the full gateway pipeline (authenticate -> RBAC -> meter -> route)
+// per request — the cost of "weaving" security into every call.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "platform/gateway.h"
+#include "platform/instance.h"
+
+using namespace hc;
+using namespace hc::platform;
+
+namespace {
+
+struct World {
+  ClockPtr clock = make_clock();
+  std::unique_ptr<net::SimNetwork> network;
+  std::unique_ptr<HealthCloudInstance> cloud;
+  std::unique_ptr<ApiGateway> gateway;
+  rbac::TenantInfo tenant;
+  std::string user;
+};
+
+World make_world(std::size_t users, std::size_t groups, std::size_t grants) {
+  World world;
+  world.network = std::make_unique<net::SimNetwork>(world.clock, Rng(90));
+  InstanceConfig config;
+  config.name = "cloud";
+  world.cloud = std::make_unique<HealthCloudInstance>(config, world.clock, *world.network);
+
+  auto& rbac = world.cloud->rbac();
+  world.tenant = rbac.register_tenant("bench-tenant").value();
+  for (std::size_t u = 0; u < users; ++u) {
+    auto id = rbac.add_user(world.tenant.id, "user-" + std::to_string(u)).value();
+    if (u == 0) world.user = id;
+    (void)rbac.assign_role(id, world.tenant.default_env, rbac::Role::kAnalyst);
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    (void)rbac.add_group(world.tenant.id, "group-" + std::to_string(g));
+  }
+  for (std::size_t g = 0; g < grants; ++g) {
+    (void)rbac.grant_permission(world.tenant.id, rbac::Role::kAnalyst,
+                                "resource-" + std::to_string(g) + "/",
+                                rbac::Permission::kRead);
+  }
+  (void)rbac.grant_permission(world.tenant.id, rbac::Role::kAnalyst, "kb/",
+                              rbac::Permission::kRead);
+
+  world.gateway = std::make_unique<ApiGateway>(*world.cloud);
+  world.gateway->route("kb/", [](const std::string&, const ApiRequest&) {
+    return Result<ApiResponse>(ApiResponse{});
+  });
+  return world;
+}
+
+void BM_RbacCheck(benchmark::State& state) {
+  World world = make_world(static_cast<std::size_t>(state.range(0)), 50,
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.cloud->rbac().check_access(
+        world.user, world.tenant.default_env, world.tenant.id, "kb/drugbank",
+        rbac::Permission::kRead));
+  }
+  state.counters["users"] = static_cast<double>(state.range(0));
+  state.counters["grants"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_RbacCheck)->Args({100, 10})->Args({1000, 10})->Args({10000, 10})
+    ->Args({1000, 100})->Args({1000, 1000});
+
+void BM_GatewayFullPipeline(benchmark::State& state) {
+  World world = make_world(1000, 50, 100);
+  ApiRequest request;
+  request.user_id = world.user;
+  request.environment = world.tenant.default_env;
+  request.scope = world.tenant.id;
+  request.resource = "kb/drugbank/drug-1";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.gateway->handle(request));
+  }
+}
+BENCHMARK(BM_GatewayFullPipeline);
+
+void BM_GatewayDeniedRequest(benchmark::State& state) {
+  World world = make_world(1000, 50, 100);
+  ApiRequest request;
+  request.user_id = world.user;
+  request.environment = world.tenant.default_env;
+  request.scope = world.tenant.id;
+  request.resource = "phi/identified/rec-1";  // never granted
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.gateway->handle(request));
+  }
+}
+BENCHMARK(BM_GatewayDeniedRequest);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== F8-rbac: RBAC + API-management overhead (Fig 8 / II.B) ==\n");
+  std::printf("paper-shape check: permission checks stay microsecond-scale and\n"
+              "grow with grant count, not user count; full gateway pipeline adds\n"
+              "bounded overhead over the bare check.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

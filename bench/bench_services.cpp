@@ -1,0 +1,105 @@
+// Experiment C-services (Section III).
+//
+// Claim reproduced: "we maintain information on the different services to
+// allow users to pick the best ones. This information includes response
+// times and availability of the services."
+//
+// Five simulated text-extraction providers with drifting latency and
+// availability. Compares (a) static choice of the initially-best provider
+// against (b) adaptive selection via the registry's learned stats,
+// re-polled every 50 calls. Reports mean latency and failure rate, plus
+// knowledge-base cache effectiveness.
+#include <cstdio>
+
+#include "services/knowledge.h"
+#include "services/registry.h"
+
+using namespace hc;
+using namespace hc::services;
+
+int main() {
+  std::printf("== C-services: adaptive external-service selection (III) ==\n\n");
+
+  auto clock = make_clock();
+  ServiceRegistry registry(clock, Rng(97));
+
+  const char* names[5] = {"ibm/text", "ms/text", "amazon/text", "google/text",
+                          "other/text"};
+  for (int i = 0; i < 5; ++i) {
+    ServiceProfile profile;
+    profile.name = names[i];
+    profile.category = Category::kTextExtraction;
+    profile.mean_latency = (20 + 15 * i) * kMillisecond;  // ibm fastest initially
+    profile.availability = 0.99;
+    profile.accuracy = 0.85 + 0.02 * i;
+    registry.register_service(profile);
+  }
+
+  constexpr int kCalls = 10000;
+  constexpr int kDriftAt = 3000;  // the initially-fastest provider degrades
+
+  auto run = [&](bool adaptive) {
+    // Fresh registry per run so learned state is independent.
+    ServiceRegistry reg(clock, Rng(98));
+    for (int i = 0; i < 5; ++i) {
+      ServiceProfile profile;
+      profile.name = names[i];
+      profile.category = Category::kTextExtraction;
+      profile.mean_latency = (20 + 15 * i) * kMillisecond;
+      profile.availability = 0.99;
+      profile.accuracy = 0.85 + 0.02 * i;
+      reg.register_service(profile);
+    }
+
+    std::string choice = reg.best_service(Category::kTextExtraction).value();
+    SimTime total_latency = 0;
+    int failures = 0;
+    for (int call = 0; call < kCalls; ++call) {
+      if (call == kDriftAt) {
+        auto profile = reg.mutable_profile(names[0]);
+        (*profile)->mean_latency = 400 * kMillisecond;
+        (*profile)->availability = 0.6;
+      }
+      if (adaptive && call % 50 == 0) {
+        choice = reg.best_service(Category::kTextExtraction).value();
+      }
+      SimTime before = clock->now();
+      auto result = reg.invoke(choice, to_bytes("abstract"));
+      total_latency += clock->now() - before;
+      if (!result.is_ok()) ++failures;
+    }
+    return std::pair<double, double>(
+        static_cast<double>(total_latency) / kCalls / kMillisecond,
+        100.0 * failures / kCalls);
+  };
+
+  auto [static_latency, static_failures] = run(false);
+  auto [adaptive_latency, adaptive_failures] = run(true);
+
+  std::printf("%-36s %14s %12s\n", "strategy", "mean latency", "failure %");
+  std::printf("%-36s %12.1fms %11.2f%%\n", "static (initial best, never re-picked)",
+              static_latency, static_failures);
+  std::printf("%-36s %12.1fms %11.2f%%\n", "adaptive (registry stats, re-picked)",
+              adaptive_latency, adaptive_failures);
+
+  // --- knowledge base caching ------------------------------------------
+  std::printf("\n-- knowledge-base cache effectiveness (Zipf reads) --\n");
+  KnowledgeHub hub(clock);
+  Rng kb_rng(99);
+  install_standard_knowledge_bases(hub, kb_rng, 400);
+  ZipfSampler zipf(400, 1.0);
+  SimTime kb_start = clock->now();
+  for (int i = 0; i < 5000; ++i) {
+    (void)hub.query("drugbank", "drug-" + std::to_string(zipf.sample(kb_rng)));
+  }
+  SimTime kb_elapsed = clock->now() - kb_start;
+  auto stats = hub.cache_stats("drugbank").value();
+  std::printf("5000 drugbank lookups: hit ratio %.1f%%, mean latency %s\n",
+              100 * stats.hit_ratio(),
+              format_duration(kb_elapsed / 5000).c_str());
+
+  std::printf("\npaper-shape check: adaptive selection recovers after the provider\n"
+              "drift (lower latency + failures than static); KB cache hit ratio is\n"
+              "high under skewed access.\n");
+  return adaptive_latency < static_latency ? 0 : 1;
+}

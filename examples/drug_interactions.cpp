@@ -1,0 +1,75 @@
+// Drug-drug interaction prediction, Tiresias-style (paper Section V.A):
+// knowledge bases provide multiple drug-similarity views; pair features
+// against known interactions feed a logistic model; PubMed-style abstracts
+// are mined for supporting co-occurrence facts.
+//
+// Build & run:  cmake --build build && ./build/examples/drug_interactions
+#include <algorithm>
+#include <cstdio>
+
+#include "analytics/ddi.h"
+#include "analytics/metrics.h"
+#include "services/knowledge.h"
+
+using namespace hc;
+using namespace hc::analytics;
+
+int main() {
+  std::printf("=== Drug-drug interaction prediction (Tiresias, V.A) ===\n\n");
+
+  // 1. Synthetic stand-ins for the structure/target/side-effect similarity
+  //    views Tiresias draws from DrugBank/PubChem/SIDER.
+  Rng rng(7);
+  DdiWorkload workload = make_ddi_workload(60, 5, rng);
+  std::printf("drug universe: 60 drugs, %zu known interactions for training\n",
+              workload.train_positives.size());
+
+  // 2. Train the pair-similarity model.
+  DdiPredictor predictor(workload.similarities);
+  predictor.train(workload.train_positives, workload.train_negatives, DdiConfig{});
+  std::printf("learned feature weights (structure/targets/side-effects + bias):");
+  for (double w : predictor.weights()) std::printf(" %+.2f", w);
+  std::printf("\n\n");
+
+  // 3. Score the held-out pairs and show the strongest predictions.
+  struct Scored {
+    DrugPair pair;
+    double probability;
+    bool truly_interacts;
+  };
+  std::vector<Scored> scored;
+  std::vector<double> all_scores;
+  for (std::size_t i = 0; i < workload.test_pairs.size(); ++i) {
+    double p = predictor.predict(workload.test_pairs[i]);
+    scored.push_back({workload.test_pairs[i], p, workload.test_labels[i]});
+    all_scores.push_back(p);
+  }
+  std::printf("test-set AUC: %.3f  AUPR: %.3f\n\n",
+              auc_roc(all_scores, workload.test_labels),
+              auc_pr(all_scores, workload.test_labels));
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.probability > b.probability; });
+  std::printf("top predicted interactions:\n");
+  for (int r = 0; r < 8 && r < static_cast<int>(scored.size()); ++r) {
+    const auto& s = scored[static_cast<std::size_t>(r)];
+    std::printf("  drug-%zu x drug-%zu  p=%.2f  (%s)\n", s.pair.first, s.pair.second,
+                s.probability, s.truly_interacts ? "true interaction" : "false alarm");
+  }
+
+  // 4. Literature support: mine PubMed-style abstracts for co-occurrence
+  //    facts about the flagged drugs (paper Section III text analysis).
+  std::map<std::string, std::string> abstracts{
+      {"pmid-101", "Coadministration of warfarin and amiodarone increases INR."},
+      {"pmid-102", "No interaction between metformin and lisinopril was observed."},
+      {"pmid-103", "Warfarin dosing under amiodarone therapy requires monitoring."},
+  };
+  auto facts = services::extract_facts(abstracts, {"warfarin", "metformin"},
+                                       {"amiodarone", "lisinopril"});
+  std::printf("\nliterature co-occurrence facts extracted: %zu\n", facts.size());
+  for (const auto& fact : facts) {
+    std::printf("  %s <-> %s  (%s)\n", fact.drug.c_str(), fact.disease.c_str(),
+                fact.paper_id.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Drug repositioning end-to-end (paper Section V.A):
+// build drug/disease similarity matrices from (synthetic) knowledge bases,
+// run Joint Matrix Factorization, and rank novel drug-disease candidates —
+// the Alzheimer's/Lupus workflow of the paper on synthetic ground truth.
+//
+// Build & run:  cmake --build build && ./build/examples/drug_repositioning
+#include <algorithm>
+#include <cstdio>
+
+#include "analytics/jmf.h"
+#include "analytics/metrics.h"
+#include "analytics/mf.h"
+#include "analytics/similarity.h"
+#include "common/rng.h"
+
+using namespace hc;
+using namespace hc::analytics;
+
+int main() {
+  std::printf("=== Drug repositioning with JMF (Section V.A) ===\n\n");
+
+  // 1. Synthetic stand-ins for PubChem/DrugBank/SIDER drug profiles and
+  //    phenotype/ontology/gene disease profiles, with known ground truth.
+  WorkloadConfig config;
+  config.drugs = 120;
+  config.diseases = 80;
+  config.latent_rank = 6;
+  Rng rng(42);
+  DrugDiseaseWorkload workload = make_drug_disease_workload(config, rng);
+  std::printf("knowledge bases: %zu drug similarity sources, %zu disease sources\n",
+              workload.drug_similarities.size(), workload.disease_similarities.size());
+  std::printf("known associations: %zu held out for validation\n\n",
+              workload.held_out.size());
+
+  // 2. Run JMF integrating every source.
+  JmfConfig jmf_config;
+  jmf_config.rank = 8;
+  jmf_config.epochs = 100;
+  JmfResult result = joint_matrix_factorization(workload.observed,
+                                                workload.drug_similarities,
+                                                workload.disease_similarities,
+                                                jmf_config, rng);
+  std::printf("JMF converged: objective %.1f -> %.1f over %zu epochs\n",
+              result.objective_history.front(), result.objective_history.back(),
+              result.objective_history.size());
+
+  std::printf("learned source importance (chemical/target/side-effect):");
+  for (double w : result.drug_source_weights) std::printf(" %.3f", w);
+  std::printf("\n\n");
+
+  // 3. Rank unobserved drug-disease pairs by predicted score — these are
+  //    the repositioning hypotheses.
+  struct Candidate {
+    std::size_t drug, disease;
+    double score;
+    bool actually_true;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < config.drugs; ++i) {
+    for (std::size_t j = 0; j < config.diseases; ++j) {
+      if (workload.observed(i, j) == 0.0) {
+        candidates.push_back(
+            {i, j, result.scores(i, j), workload.truth(i, j) == 1.0});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+
+  std::printf("top 15 repositioning hypotheses (checked against ground truth):\n");
+  std::printf("%6s %10s %10s %8s %s\n", "rank", "drug", "disease", "score",
+              "verified?");
+  int verified = 0;
+  for (int r = 0; r < 15; ++r) {
+    const auto& c = candidates[static_cast<std::size_t>(r)];
+    verified += c.actually_true ? 1 : 0;
+    std::printf("%6d %10zu %10zu %8.3f %s\n", r + 1, c.drug, c.disease, c.score,
+                c.actually_true ? "yes (held-out true association)" : "no");
+  }
+  std::printf("\n%d/15 top hypotheses are held-out true associations — the\n"
+              "\"verified in clinical trials\" analogue on synthetic truth.\n\n",
+              verified);
+
+  // 4. By-product groupings (paper claim 3).
+  std::printf("drug group sizes (factor-argmax clusters):");
+  std::vector<int> sizes(jmf_config.rank, 0);
+  for (auto g : result.drug_groups) sizes[g]++;
+  for (int s : sizes) std::printf(" %d", s);
+  std::printf("\n\n");
+
+  // 5. The paper's other matrix-factorization use case (Section III):
+  //    "predicting diseases caused by genes ... our system can use
+  //    techniques such as matrix factorization to compute additional
+  //    associations between genes and diseases" — same machinery applied
+  //    to a DisGeNet-shaped gene-disease matrix.
+  WorkloadConfig gene_config;
+  gene_config.drugs = 150;   // rows: genes
+  gene_config.diseases = 60; // cols: diseases
+  gene_config.latent_rank = 5;
+  gene_config.drug_source_noise = {0.1};
+  gene_config.disease_source_noise = {0.1};
+  Rng gene_rng(43);
+  DrugDiseaseWorkload genes = make_drug_disease_workload(gene_config, gene_rng);
+
+  MfConfig mf_config;
+  mf_config.rank = 6;
+  mf_config.epochs = 250;
+  Matrix mask(genes.observed.rows(), genes.observed.cols(), 1.0);
+  MfModel gene_model = factorize(genes.observed, mask, mf_config, gene_rng);
+  double gene_auc = evaluate_held_out_auc(gene_model.scores(), genes, gene_rng);
+  std::printf("gene-disease association completion (DisGeNet-shaped, plain MF):\n");
+  std::printf("  %zu genes x %zu diseases, %zu held-out associations, AUC %.3f\n",
+              gene_config.drugs, gene_config.diseases, genes.held_out.size(),
+              gene_auc);
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "analytics/ddi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace hc::analytics {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+DdiPredictor::DdiPredictor(std::vector<Matrix> similarities)
+    : similarities_(std::move(similarities)) {
+  if (similarities_.empty()) {
+    throw std::invalid_argument("DdiPredictor needs at least one similarity source");
+  }
+  weights_.assign(similarities_.size() + 1, 0.0);  // + bias
+}
+
+std::vector<double> DdiPredictor::pair_features(const DrugPair& pair) const {
+  std::vector<double> features(similarities_.size(), 0.0);
+  for (std::size_t s = 0; s < similarities_.size(); ++s) {
+    const Matrix& sim = similarities_[s];
+    double best = 0.0;
+    for (const auto& [k, l] : known_positives_) {
+      // Skip self-matching when the candidate IS a known pair (training).
+      if ((k == pair.first && l == pair.second) ||
+          (k == pair.second && l == pair.first)) {
+        continue;
+      }
+      double direct = std::min(sim(pair.first, k), sim(pair.second, l));
+      double crossed = std::min(sim(pair.first, l), sim(pair.second, k));
+      best = std::max(best, std::max(direct, crossed));
+    }
+    features[s] = best;
+  }
+  return features;
+}
+
+void DdiPredictor::train(const std::vector<DrugPair>& positive_pairs,
+                         const std::vector<DrugPair>& negative_pairs,
+                         const DdiConfig& config) {
+  known_positives_ = positive_pairs;
+
+  struct Example {
+    std::vector<double> features;
+    double label;
+  };
+  std::vector<Example> examples;
+  examples.reserve(positive_pairs.size() + negative_pairs.size());
+  for (const auto& pair : positive_pairs) {
+    examples.push_back(Example{pair_features(pair), 1.0});
+  }
+  for (const auto& pair : negative_pairs) {
+    examples.push_back(Example{pair_features(pair), 0.0});
+  }
+  if (examples.empty()) throw std::invalid_argument("DdiPredictor::train: no examples");
+
+  std::size_t n_features = similarities_.size();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<double> gradient(n_features + 1, 0.0);
+    for (const auto& example : examples) {
+      double z = weights_[n_features];  // bias
+      for (std::size_t f = 0; f < n_features; ++f) {
+        z += weights_[f] * example.features[f];
+      }
+      double error = sigmoid(z) - example.label;
+      for (std::size_t f = 0; f < n_features; ++f) {
+        gradient[f] += error * example.features[f];
+      }
+      gradient[n_features] += error;
+    }
+    double scale = config.learning_rate / static_cast<double>(examples.size());
+    for (std::size_t f = 0; f <= n_features; ++f) {
+      weights_[f] -= scale * gradient[f] + config.regularization * weights_[f];
+    }
+  }
+}
+
+double DdiPredictor::predict(const DrugPair& pair) const {
+  auto features = pair_features(pair);
+  double z = weights_.back();
+  for (std::size_t f = 0; f < features.size(); ++f) z += weights_[f] * features[f];
+  return sigmoid(z);
+}
+
+DdiWorkload make_ddi_workload(std::size_t drugs, std::size_t groups, Rng& rng) {
+  if (groups < 4) throw std::invalid_argument("make_ddi_workload: need >= 4 groups");
+  DdiWorkload workload;
+
+  // Latent group per drug; similarity = high within group, noise across.
+  std::vector<std::size_t> group_of(drugs);
+  for (std::size_t d = 0; d < drugs; ++d) {
+    group_of[d] = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(groups) - 1));
+  }
+  auto make_similarity = [&](double noise) {
+    Matrix sim(drugs, drugs);
+    for (std::size_t i = 0; i < drugs; ++i) {
+      sim(i, i) = 1.0;
+      for (std::size_t j = i + 1; j < drugs; ++j) {
+        double base = group_of[i] == group_of[j] ? 0.8 : 0.1;
+        double v = std::clamp(base + rng.normal(0.0, noise), 0.0, 1.0);
+        sim(i, j) = v;
+        sim(j, i) = v;
+      }
+    }
+    return sim;
+  };
+  workload.similarities.push_back(make_similarity(0.05));  // "structure"
+  workload.similarities.push_back(make_similarity(0.15));  // "targets"
+  workload.similarities.push_back(make_similarity(0.30));  // "side effects"
+
+  // Ground truth: group pairs (0,1) and (2,3) interact.
+  auto interacts = [&](std::size_t a, std::size_t b) {
+    auto ga = group_of[a], gb = group_of[b];
+    if (ga > gb) std::swap(ga, gb);
+    return (ga == 0 && gb == 1) || (ga == 2 && gb == 3);
+  };
+
+  std::vector<DrugPair> positives, negatives;
+  for (std::size_t a = 0; a < drugs; ++a) {
+    for (std::size_t b = a + 1; b < drugs; ++b) {
+      (interacts(a, b) ? positives : negatives).emplace_back(a, b);
+    }
+  }
+  rng.shuffle(positives);
+  rng.shuffle(negatives);
+
+  // 60/40 train/test on positives; balanced negatives.
+  std::size_t train_pos = positives.size() * 6 / 10;
+  workload.train_positives.assign(positives.begin(),
+                                  positives.begin() + static_cast<std::ptrdiff_t>(train_pos));
+  std::size_t train_neg = std::min(negatives.size(), workload.train_positives.size() * 2);
+  workload.train_negatives.assign(negatives.begin(),
+                                  negatives.begin() + static_cast<std::ptrdiff_t>(train_neg));
+
+  for (std::size_t i = train_pos; i < positives.size(); ++i) {
+    workload.test_pairs.push_back(positives[i]);
+    workload.test_labels.push_back(true);
+  }
+  std::size_t test_neg = std::min(negatives.size() - train_neg,
+                                  positives.size() - train_pos);
+  for (std::size_t i = train_neg; i < train_neg + test_neg; ++i) {
+    workload.test_pairs.push_back(negatives[i]);
+    workload.test_labels.push_back(false);
+  }
+  return workload;
+}
+
+}  // namespace hc::analytics

@@ -1,0 +1,198 @@
+#include "analytics/delt.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "analytics/metrics.h"
+
+namespace hc::analytics {
+
+DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
+  std::size_t n_patients = dataset.patients.size();
+  std::size_t n_drugs = dataset.drug_count;
+  if (n_patients == 0 || n_drugs == 0) {
+    throw std::invalid_argument("fit_delt: empty dataset");
+  }
+
+  DeltModel model;
+  model.drug_effects.assign(n_drugs, 0.0);
+  model.patient_baselines.assign(n_patients, 0.0);
+  model.patient_drifts.assign(n_patients, 0.0);
+
+  // Flattened measurement table + per-drug exposure index.
+  struct Row {
+    std::size_t patient;
+    double time;
+    double value;
+    const std::vector<std::uint32_t>* exposures;
+  };
+  std::vector<Row> rows;
+  for (std::size_t p = 0; p < n_patients; ++p) {
+    for (const auto& m : dataset.patients[p].measurements) {
+      rows.push_back(Row{p, m.time, m.value, &m.exposures});
+    }
+  }
+  if (rows.empty()) throw std::invalid_argument("fit_delt: no measurements");
+
+  std::vector<std::vector<std::size_t>> rows_of_drug(n_drugs);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::uint32_t d : *rows[r].exposures) rows_of_drug[d].push_back(r);
+  }
+
+  // drug_sum[r] = sum_d beta_d x_rd, maintained incrementally.
+  std::vector<double> drug_sum(rows.size(), 0.0);
+
+  // Initialize baselines at per-patient means (or a global mean).
+  double global_mean =
+      std::accumulate(rows.begin(), rows.end(), 0.0,
+                      [](double acc, const Row& r) { return acc + r.value; }) /
+      static_cast<double>(rows.size());
+  for (std::size_t p = 0; p < n_patients; ++p) {
+    model.patient_baselines[p] = global_mean;
+  }
+
+  for (int iteration = 0; iteration < config.iterations; ++iteration) {
+    // --- per-patient (alpha_i, gamma_i) given beta ----------------------
+    if (config.model_baseline || config.model_drift) {
+      std::size_t row_index = 0;
+      for (std::size_t p = 0; p < n_patients; ++p) {
+        const auto& measurements = dataset.patients[p].measurements;
+        std::size_t count = measurements.size();
+        double sy = 0, st = 0, stt = 0, sty = 0;
+        for (std::size_t j = 0; j < count; ++j) {
+          const Row& row = rows[row_index + j];
+          double target = row.value - drug_sum[row_index + j];
+          sy += target;
+          st += row.time;
+          stt += row.time * row.time;
+          sty += row.time * target;
+        }
+        double n = static_cast<double>(count);
+        if (config.model_baseline && config.model_drift) {
+          double det = n * stt - st * st;
+          if (std::abs(det) > 1e-12) {
+            model.patient_baselines[p] = (stt * sy - st * sty) / det;
+            model.patient_drifts[p] = (n * sty - st * sy) / det;
+          } else {
+            model.patient_baselines[p] = sy / n;
+            model.patient_drifts[p] = 0.0;
+          }
+        } else if (config.model_baseline) {
+          model.patient_baselines[p] = sy / n;
+          model.patient_drifts[p] = 0.0;
+        } else if (config.model_drift) {
+          model.patient_baselines[p] = global_mean;
+          if (stt > 1e-12) {
+            model.patient_drifts[p] = (sty - global_mean * st) / stt;
+          }
+        }
+        row_index += count;
+      }
+    } else {
+      for (std::size_t p = 0; p < n_patients; ++p) {
+        model.patient_baselines[p] = global_mean;
+        model.patient_drifts[p] = 0.0;
+      }
+    }
+
+    // --- coordinate descent on beta given (alpha, gamma) ----------------
+    for (std::size_t d = 0; d < n_drugs; ++d) {
+      const auto& drug_rows = rows_of_drug[d];
+      if (drug_rows.empty()) continue;
+      double numerator = 0.0;
+      for (std::size_t r : drug_rows) {
+        const Row& row = rows[r];
+        double other = drug_sum[r] - model.drug_effects[d];
+        double residual = row.value - model.patient_baselines[row.patient] -
+                          model.patient_drifts[row.patient] * row.time - other;
+        numerator += residual;
+      }
+      double new_beta =
+          numerator / (static_cast<double>(drug_rows.size()) + config.ridge);
+      double delta = new_beta - model.drug_effects[d];
+      if (delta != 0.0) {
+        for (std::size_t r : drug_rows) drug_sum[r] += delta;
+        model.drug_effects[d] = new_beta;
+      }
+    }
+
+    // --- objective -------------------------------------------------------
+    double sse = 0.0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const Row& row = rows[r];
+      double predicted = model.patient_baselines[row.patient] +
+                         model.patient_drifts[row.patient] * row.time + drug_sum[r];
+      double e = row.value - predicted;
+      sse += e * e;
+    }
+    model.objective_history.push_back(sse);
+  }
+  return model;
+}
+
+std::vector<double> marginal_correlation_effects(const EmrDataset& dataset) {
+  std::size_t n_drugs = dataset.drug_count;
+  std::vector<double> exposed_sum(n_drugs, 0.0);
+  std::vector<std::size_t> exposed_count(n_drugs, 0);
+  double total_sum = 0.0;
+  std::size_t total_count = 0;
+
+  for (const auto& patient : dataset.patients) {
+    for (const auto& m : patient.measurements) {
+      total_sum += m.value;
+      ++total_count;
+      for (std::uint32_t d : m.exposures) {
+        exposed_sum[d] += m.value;
+        ++exposed_count[d];
+      }
+    }
+  }
+  if (total_count == 0) return std::vector<double>(n_drugs, 0.0);
+
+  std::vector<double> effects(n_drugs, 0.0);
+  for (std::size_t d = 0; d < n_drugs; ++d) {
+    if (exposed_count[d] == 0) continue;
+    double exposed_mean = exposed_sum[d] / static_cast<double>(exposed_count[d]);
+    double unexposed_sum = total_sum - exposed_sum[d];
+    std::size_t unexposed_count = total_count - exposed_count[d];
+    double unexposed_mean = unexposed_count > 0
+                                ? unexposed_sum / static_cast<double>(unexposed_count)
+                                : exposed_mean;
+    effects[d] = exposed_mean - unexposed_mean;
+  }
+  return effects;
+}
+
+RecoveryMetrics score_recovery(const std::vector<double>& estimated_effects,
+                               const EmrDataset& dataset) {
+  if (estimated_effects.size() != dataset.drug_count) {
+    throw std::invalid_argument("score_recovery: effect vector size mismatch");
+  }
+  RecoveryMetrics metrics;
+
+  // Lowering drugs should have the most negative estimates: rank by -beta.
+  std::vector<double> scores(estimated_effects.size());
+  std::vector<bool> labels(estimated_effects.size());
+  std::size_t planted = 0;
+  for (std::size_t d = 0; d < estimated_effects.size(); ++d) {
+    scores[d] = -estimated_effects[d];
+    labels[d] = dataset.is_planted[d];
+    planted += dataset.is_planted[d] ? 1 : 0;
+  }
+  metrics.auc = auc_roc(scores, labels);
+  metrics.precision_at_n = precision_at_k(scores, labels, planted);
+
+  if (planted > 0) {
+    double sum = 0.0;
+    for (std::size_t d = 0; d < estimated_effects.size(); ++d) {
+      if (!dataset.is_planted[d]) continue;
+      double e = estimated_effects[d] - dataset.true_effects[d];
+      sum += e * e;
+    }
+    metrics.effect_rmse = std::sqrt(sum / static_cast<double>(planted));
+  }
+  return metrics;
+}
+
+}  // namespace hc::analytics

@@ -1,0 +1,65 @@
+// DELT — Drug Effects on Laboratory Tests (Section V.B, Figs 10-11;
+// Ghalwash, Li, Zhang & Hu, CIKM 2017 [46]).
+//
+// Extended Self-Controlled Case Series model over longitudinal lab values:
+//
+//   y_ij = alpha_i + gamma_i * t_ij + sum_d beta_d * x_ijd + eps
+//
+//   alpha_i  patient-specific baseline ("since there is a range of standard
+//            values ... the value alpha_i is patient-specific and learned
+//            from the data")
+//   gamma_i  patient-specific time drift absorbing aging/comorbidity
+//            confounders (Fig 11)
+//   beta_d   the global effect of drug d on the lab value — the signal of
+//            interest; strongly negative beta on HbA1c = repositioning
+//            candidate for blood-sugar control
+//
+// Fit by alternating ridge least squares: coordinate descent on beta given
+// (alpha, gamma), closed-form per-patient 2-parameter regression given
+// beta. The paper's contributions map to config flags so the ablation
+// bench can switch them off: model_baseline=false collapses alpha_i to a
+// global mean; model_drift=false forces gamma_i = 0.
+//
+// The comparator marginal_correlation_effects() is the prior-art approach:
+// per-drug mean difference between exposed and unexposed measurements,
+// pooled across patients — exactly what co-medication and comorbidity
+// confounders defeat.
+#pragma once
+
+#include <vector>
+
+#include "analytics/emr.h"
+
+namespace hc::analytics {
+
+struct DeltConfig {
+  int iterations = 25;
+  double ridge = 1.0;
+  bool model_baseline = true;  // ablation: per-patient alpha_i
+  bool model_drift = true;     // ablation: per-patient gamma_i
+};
+
+struct DeltModel {
+  std::vector<double> drug_effects;        // beta per drug
+  std::vector<double> patient_baselines;   // alpha per patient
+  std::vector<double> patient_drifts;      // gamma per patient
+  std::vector<double> objective_history;   // SSE per iteration
+};
+
+DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config);
+
+/// Prior-art baseline: per-drug (mean exposed value - mean unexposed value)
+/// with no per-patient modeling.
+std::vector<double> marginal_correlation_effects(const EmrDataset& dataset);
+
+struct RecoveryMetrics {
+  double auc = 0.0;            // ranking -beta against planted ground truth
+  double precision_at_n = 0.0; // n = number of planted drugs
+  double effect_rmse = 0.0;    // beta vs true effect over planted drugs
+};
+
+/// Scores how well estimated effects recover the planted lowering drugs.
+RecoveryMetrics score_recovery(const std::vector<double>& estimated_effects,
+                               const EmrDataset& dataset);
+
+}  // namespace hc::analytics

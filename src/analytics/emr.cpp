@@ -1,0 +1,97 @@
+#include "analytics/emr.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hc::analytics {
+
+EmrDataset make_emr_dataset(const EmrConfig& config, Rng& rng) {
+  EmrDataset dataset;
+  dataset.drug_count = config.drugs;
+  dataset.true_effects.assign(config.drugs, 0.0);
+  dataset.is_planted.assign(config.drugs, false);
+  dataset.is_confounded.assign(config.drugs, false);
+
+  // Plant the effective drugs first, then mark a disjoint confounded set.
+  std::vector<std::uint32_t> drug_ids(config.drugs);
+  for (std::uint32_t d = 0; d < config.drugs; ++d) drug_ids[d] = d;
+  rng.shuffle(drug_ids);
+
+  for (std::size_t i = 0; i < config.planted_drugs && i < drug_ids.size(); ++i) {
+    std::uint32_t d = drug_ids[i];
+    dataset.is_planted[d] = true;
+    dataset.true_effects[d] = config.effect_mean + rng.normal(0.0, config.effect_sd);
+  }
+  for (std::size_t i = config.planted_drugs;
+       i < config.planted_drugs + config.confounded_drugs && i < drug_ids.size(); ++i) {
+    dataset.is_confounded[drug_ids[i]] = true;
+  }
+
+  std::vector<std::uint32_t> confounded_pool;
+  for (std::uint32_t d = 0; d < config.drugs; ++d) {
+    if (dataset.is_confounded[d]) confounded_pool.push_back(d);
+  }
+
+  dataset.patients.reserve(config.patients);
+  for (std::size_t p = 0; p < config.patients; ++p) {
+    EmrPatient patient;
+    patient.pseudonym = "pseu-emr-" + std::to_string(p);
+    patient.comorbid = rng.bernoulli(config.comorbidity_probability);
+    patient.true_baseline =
+        rng.normal(config.baseline_mean, config.baseline_sd) +
+        (patient.comorbid ? config.comorbidity_baseline_shift : 0.0);
+    patient.true_drift = rng.normal(config.drift_mean, config.drift_sd);
+
+    // Medication list: random drugs. HEALTHY (non-comorbid, lower-baseline)
+    // patients preferentially take the confounded set — so those innocent
+    // drugs' exposed measurements skew low and marginal correlation
+    // mistakes them for HbA1c-lowering drugs. Patient-specific baselines
+    // absorb the skew, which is exactly DELT's contribution.
+    std::set<std::uint32_t> med_list;
+    std::size_t meds = 1 + static_cast<std::size_t>(rng.uniform_int(
+                               0, static_cast<std::int64_t>(
+                                      config.medications_per_patient * 2 - 1)));
+    meds = std::min(meds, config.drugs);  // can't exceed the formulary
+    while (med_list.size() < meds) {
+      if (!patient.comorbid && !confounded_pool.empty() && rng.bernoulli(0.5)) {
+        med_list.insert(confounded_pool[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(confounded_pool.size()) - 1))]);
+      } else {
+        med_list.insert(static_cast<std::uint32_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(config.drugs) - 1)));
+      }
+    }
+
+    // Each prescription starts at some visit and persists afterwards —
+    // exposure therefore correlates with time, which is exactly why the
+    // paper adds the t_ij drift term (Fig 11): aging raises HbA1c over the
+    // same late visits where exposure concentrates, masking true lowering
+    // effects unless drift is modeled.
+    std::map<std::uint32_t, int> start_of;
+    for (std::uint32_t d : med_list) {
+      start_of[d] =
+          static_cast<int>(rng.uniform_int(0, config.measurements_per_patient - 1));
+    }
+
+    for (int j = 0; j < config.measurements_per_patient; ++j) {
+      EmrMeasurement m;
+      m.time = static_cast<double>(j) + rng.uniform(0.0, 0.3);
+      double effect_sum = 0.0;
+      for (std::uint32_t d : med_list) {
+        if (j >= start_of[d] && rng.bernoulli(config.exposure_probability)) {
+          m.exposures.push_back(d);
+          effect_sum += dataset.true_effects[d];
+        }
+      }
+      std::sort(m.exposures.begin(), m.exposures.end());
+      m.value = patient.true_baseline + patient.true_drift * m.time + effect_sum +
+                rng.normal(0.0, config.noise_sd);
+      patient.measurements.push_back(std::move(m));
+    }
+    dataset.patients.push_back(std::move(patient));
+  }
+  return dataset;
+}
+
+}  // namespace hc::analytics

@@ -1,0 +1,71 @@
+// Synthetic EMR generator for DELT (Section V.B).
+//
+// DESIGN.md substitution: the paper evaluates DELT on Explorys/Truven
+// MarketScan EMR data we cannot ship. This generator produces longitudinal
+// HbA1c series with exactly the structure DELT models:
+//   - patient-specific baselines alpha_i ("extremely diverse HbA1c level
+//     profiles ... because of their age, gender, and ethnicity"),
+//   - per-patient time drift gamma_i ("aging and comorbidities", Fig 11),
+//   - joint exposure to multiple co-medications,
+//   - a small set of *planted* drugs with real HbA1c-lowering effects, and
+//   - a comorbidity confounder: comorbid patients run higher baselines,
+//     while a set of innocent drugs is taken preferentially by the
+//     *healthy* (low-baseline) population — so those drugs' exposed
+//     measurements skew low and marginal correlation reports them as
+//     false-positive "lowering" signals. Patient-specific baselines absorb
+//     the skew, which is DELT's contribution.
+// Ground truth is retained so recovery can be scored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hc::analytics {
+
+struct EmrConfig {
+  std::size_t patients = 2000;
+  std::size_t drugs = 150;
+  std::size_t planted_drugs = 10;      // true HbA1c-lowering drugs
+  double effect_mean = -0.6;           // mean planted effect (HbA1c %)
+  double effect_sd = 0.2;
+  int measurements_per_patient = 8;
+  std::size_t medications_per_patient = 4;  // average med-list size
+  double exposure_probability = 0.75;  // med active at a given measurement
+  double baseline_mean = 6.0;
+  double baseline_sd = 0.8;
+  double drift_mean = 0.08;            // HbA1c/interval from aging
+  double drift_sd = 0.05;
+  double noise_sd = 0.25;
+  double comorbidity_probability = 0.4;
+  double comorbidity_baseline_shift = 1.2;
+  std::size_t confounded_drugs = 8;    // innocent drugs tied to comorbidity
+};
+
+struct EmrMeasurement {
+  double time = 0.0;                      // intervals since first visit
+  double value = 0.0;                     // HbA1c %
+  std::vector<std::uint32_t> exposures;   // drug ids active at this visit
+};
+
+struct EmrPatient {
+  std::string pseudonym;
+  bool comorbid = false;
+  double true_baseline = 0.0;
+  double true_drift = 0.0;
+  std::vector<EmrMeasurement> measurements;
+};
+
+struct EmrDataset {
+  std::vector<EmrPatient> patients;
+  std::size_t drug_count = 0;
+  std::vector<double> true_effects;  // per drug; 0 for inert drugs
+  std::vector<bool> is_planted;      // per drug
+  std::vector<bool> is_confounded;   // per drug (innocent but comorbidity-linked)
+};
+
+EmrDataset make_emr_dataset(const EmrConfig& config, Rng& rng);
+
+}  // namespace hc::analytics

@@ -1,0 +1,286 @@
+#include "analytics/jmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analytics/metrics.h"
+
+namespace hc::analytics {
+
+namespace {
+
+void project_nonnegative(Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double* row = m.row(i);
+    for (std::size_t k = 0; k < m.cols(); ++k) row[k] = std::max(0.0, row[k]);
+  }
+}
+
+/// Normalized squared fit error ||S - F F'||_F^2 / n^2 for the weight update.
+double similarity_fit_error(const Matrix& similarity, const Matrix& factor) {
+  Matrix approx = factor.multiply_transposed(factor);
+  double d = similarity.frobenius_distance(approx);
+  double n = static_cast<double>(similarity.rows());
+  return (d * d) / (n * n);
+}
+
+/// alpha_i ∝ exp(-err_i / gamma), normalized to a simplex.
+std::vector<double> entropy_weights(const std::vector<double>& errors, double gamma) {
+  std::vector<double> weights(errors.size());
+  double min_err = *std::min_element(errors.begin(), errors.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    weights[i] = std::exp(-(errors[i] - min_err) / gamma);
+    sum += weights[i];
+  }
+  for (auto& w : weights) w /= sum;
+  return weights;
+}
+
+/// Gradient contribution of  alpha * ||S - F F'||^2  wrt F:  4 alpha (S - FF')F.
+/// Returned as the *ascent* direction on the objective's negative, i.e. the
+/// step to ADD for gradient descent.
+Matrix similarity_gradient(const Matrix& similarity, const Matrix& factor,
+                           double weight) {
+  Matrix diff = similarity;  // S - FF'
+  diff.add_scaled(factor.multiply_transposed(factor), -1.0);
+  Matrix grad = diff.multiply(factor);
+  grad.scale(4.0 * weight);
+  return grad;
+}
+
+std::vector<std::size_t> group_assignments(const Matrix& factor) {
+  std::vector<std::size_t> groups(factor.rows());
+  for (std::size_t i = 0; i < factor.rows(); ++i) {
+    const double* row = factor.row(i);
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < factor.cols(); ++k) {
+      if (row[k] > row[best]) best = k;
+    }
+    groups[i] = best;
+  }
+  return groups;
+}
+
+}  // namespace
+
+JmfResult joint_matrix_factorization(const Matrix& associations,
+                                     const std::vector<Matrix>& drug_similarities,
+                                     const std::vector<Matrix>& disease_similarities,
+                                     const JmfConfig& config, Rng& rng) {
+  if (drug_similarities.empty() || disease_similarities.empty()) {
+    throw std::invalid_argument("JMF needs at least one similarity source per side");
+  }
+  std::size_t n_drugs = associations.rows();
+  std::size_t n_diseases = associations.cols();
+  for (const auto& d : drug_similarities) {
+    if (d.rows() != n_drugs || d.cols() != n_drugs) {
+      throw std::invalid_argument("drug similarity matrix shape mismatch");
+    }
+  }
+  for (const auto& s : disease_similarities) {
+    if (s.rows() != n_diseases || s.cols() != n_diseases) {
+      throw std::invalid_argument("disease similarity matrix shape mismatch");
+    }
+  }
+
+  Matrix u = Matrix::random(n_drugs, config.rank, rng, 0.0, 0.1);
+  Matrix v = Matrix::random(n_diseases, config.rank, rng, 0.0, 0.1);
+
+  JmfResult result;
+  result.drug_source_weights.assign(drug_similarities.size(),
+                                    1.0 / static_cast<double>(drug_similarities.size()));
+  result.disease_source_weights.assign(
+      disease_similarities.size(), 1.0 / static_cast<double>(disease_similarities.size()));
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // --- update source weights from current fit errors -----------------
+    std::vector<double> drug_errors(drug_similarities.size());
+    for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+      drug_errors[i] = similarity_fit_error(drug_similarities[i], u);
+    }
+    result.drug_source_weights =
+        entropy_weights(drug_errors, config.weight_temperature * 0.01);
+
+    std::vector<double> disease_errors(disease_similarities.size());
+    for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+      disease_errors[j] = similarity_fit_error(disease_similarities[j], v);
+    }
+    result.disease_source_weights =
+        entropy_weights(disease_errors, config.weight_temperature * 0.01);
+
+    // --- objective ------------------------------------------------------
+    Matrix residual = associations;  // R - UV'
+    residual.add_scaled(u.multiply_transposed(v), -1.0);
+    double objective = std::pow(residual.frobenius_norm(), 2);
+    for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+      objective += config.similarity_weight * result.drug_source_weights[i] *
+                   drug_errors[i] * static_cast<double>(n_drugs) *
+                   static_cast<double>(n_drugs);
+    }
+    for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+      objective += config.similarity_weight * result.disease_source_weights[j] *
+                   disease_errors[j] * static_cast<double>(n_diseases) *
+                   static_cast<double>(n_diseases);
+    }
+    objective += config.regularization *
+                 (std::pow(u.frobenius_norm(), 2) + std::pow(v.frobenius_norm(), 2));
+    result.objective_history.push_back(objective);
+
+    // --- gradient step on U ---------------------------------------------
+    Matrix grad_u = residual.multiply(v);  // 2x folded into learning rate
+    for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+      grad_u.add_scaled(
+          similarity_gradient(drug_similarities[i], u,
+                              config.similarity_weight * result.drug_source_weights[i]),
+          1.0);
+    }
+    grad_u.add_scaled(u, -config.regularization);
+    u.add_scaled(grad_u, config.learning_rate);
+    project_nonnegative(u);
+
+    // --- gradient step on V ---------------------------------------------
+    Matrix residual2 = associations;
+    residual2.add_scaled(u.multiply_transposed(v), -1.0);
+    Matrix grad_v = residual2.transpose().multiply(u);
+    for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+      grad_v.add_scaled(
+          similarity_gradient(disease_similarities[j], v,
+                              config.similarity_weight *
+                                  result.disease_source_weights[j]),
+          1.0);
+    }
+    grad_v.add_scaled(v, -config.regularization);
+    v.add_scaled(grad_v, config.learning_rate);
+    project_nonnegative(v);
+  }
+
+  result.scores = u.multiply_transposed(v);
+  result.drug_groups = group_assignments(u);
+  result.disease_groups = group_assignments(v);
+  return result;
+}
+
+DrugDiseaseWorkload make_drug_disease_workload(const WorkloadConfig& config, Rng& rng) {
+  DrugDiseaseWorkload workload;
+  workload.drug_source_noise = config.drug_source_noise;
+  workload.disease_source_noise = config.disease_source_noise;
+
+  // Latent factors with block structure (groups of drugs/diseases).
+  Matrix drug_latent(config.drugs, config.latent_rank);
+  for (std::size_t i = 0; i < config.drugs; ++i) {
+    std::size_t group = i % config.latent_rank;
+    for (std::size_t k = 0; k < config.latent_rank; ++k) {
+      drug_latent(i, k) = (k == group ? 0.9 : 0.05) + rng.uniform(0.0, 0.1);
+    }
+  }
+  Matrix disease_latent(config.diseases, config.latent_rank);
+  for (std::size_t j = 0; j < config.diseases; ++j) {
+    std::size_t group = j % config.latent_rank;
+    for (std::size_t k = 0; k < config.latent_rank; ++k) {
+      disease_latent(j, k) = (k == group ? 0.9 : 0.05) + rng.uniform(0.0, 0.1);
+    }
+  }
+
+  // Ground-truth associations: high latent affinity -> association, with the
+  // threshold picked to hit the requested density approximately.
+  Matrix affinity = drug_latent.multiply_transposed(disease_latent);
+  std::vector<double> values;
+  values.reserve(config.drugs * config.diseases);
+  for (std::size_t i = 0; i < config.drugs; ++i) {
+    for (std::size_t j = 0; j < config.diseases; ++j) values.push_back(affinity(i, j));
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::size_t target = static_cast<std::size_t>(
+      config.association_density * static_cast<double>(values.size()));
+  double threshold = sorted[std::min(target, sorted.size() - 1)];
+
+  workload.truth = Matrix(config.drugs, config.diseases);
+  for (std::size_t i = 0; i < config.drugs; ++i) {
+    for (std::size_t j = 0; j < config.diseases; ++j) {
+      workload.truth(i, j) = affinity(i, j) >= threshold ? 1.0 : 0.0;
+    }
+  }
+
+  // Hold out a fraction of positives for evaluation.
+  workload.observed = workload.truth;
+  std::vector<std::pair<std::size_t, std::size_t>> positives;
+  for (std::size_t i = 0; i < config.drugs; ++i) {
+    for (std::size_t j = 0; j < config.diseases; ++j) {
+      if (workload.truth(i, j) == 1.0) positives.emplace_back(i, j);
+    }
+  }
+  rng.shuffle(positives);
+  std::size_t held = static_cast<std::size_t>(config.held_out_fraction *
+                                              static_cast<double>(positives.size()));
+  for (std::size_t h = 0; h < held; ++h) {
+    workload.held_out.push_back(positives[h]);
+    workload.observed(positives[h].first, positives[h].second) = 0.0;
+  }
+
+  // Similarity sources: noisy views of the latent similarity, noisier per
+  // source. Clamped to [0,1], symmetrized, unit diagonal.
+  auto make_noisy_similarity = [&rng](const Matrix& latent, double noise) {
+    Matrix base = latent.multiply_transposed(latent);
+    // Normalize to [0,1] by the max.
+    double max_value = 0.0;
+    for (std::size_t i = 0; i < base.rows(); ++i) {
+      for (std::size_t j = 0; j < base.cols(); ++j) {
+        max_value = std::max(max_value, base(i, j));
+      }
+    }
+    Matrix sim(base.rows(), base.cols());
+    for (std::size_t i = 0; i < base.rows(); ++i) {
+      for (std::size_t j = i; j < base.cols(); ++j) {
+        double v = base(i, j) / max_value + rng.normal(0.0, noise);
+        v = std::clamp(v, 0.0, 1.0);
+        sim(i, j) = v;
+        sim(j, i) = v;
+      }
+      sim(i, i) = 1.0;
+    }
+    return sim;
+  };
+
+  for (double noise : config.drug_source_noise) {
+    workload.drug_similarities.push_back(make_noisy_similarity(drug_latent, noise));
+  }
+  for (double noise : config.disease_source_noise) {
+    workload.disease_similarities.push_back(
+        make_noisy_similarity(disease_latent, noise));
+  }
+  return workload;
+}
+
+double evaluate_held_out_auc(const Matrix& scores, const DrugDiseaseWorkload& workload,
+                             Rng& rng) {
+  if (workload.held_out.empty()) {
+    throw std::invalid_argument("workload has no held-out positives");
+  }
+  std::vector<double> score_list;
+  std::vector<bool> labels;
+  for (const auto& [i, j] : workload.held_out) {
+    score_list.push_back(scores(i, j));
+    labels.push_back(true);
+  }
+  // Equal number of sampled true negatives.
+  std::size_t need = workload.held_out.size();
+  std::size_t guard = 0;
+  while (need > 0 && guard < 100000) {
+    ++guard;
+    auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(workload.truth.rows()) - 1));
+    auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(workload.truth.cols()) - 1));
+    if (workload.truth(i, j) == 0.0) {
+      score_list.push_back(scores(i, j));
+      labels.push_back(false);
+      --need;
+    }
+  }
+  return auc_roc(score_list, labels);
+}
+
+}  // namespace hc::analytics

@@ -1,0 +1,89 @@
+// Joint Matrix Factorization for drug repositioning (Section V.A, Fig 9;
+// Zhang, Wang & Hu, AMIA 2014 [38]).
+//
+// JMF integrates the known drug-disease association matrix R with multiple
+// drug similarity sources (chemical structure, target protein, side
+// effects) and multiple disease similarity sources (phenotype, ontology,
+// disease genes):
+//
+//   min_{U,V >= 0}  ||R - U V'||_F^2
+//                 + mu * sum_i alpha_i ||D_i - U U'||_F^2
+//                 + mu * sum_j beta_j  ||S_j - V V'||_F^2
+//                 + lambda (||U||^2 + ||V||^2)
+//
+// solved by projected gradient descent on U and V, with the source
+// importance weights alpha/beta given the closed-form entropy-regularized
+// update  alpha_i ∝ exp(-fit_error_i / gamma)  — the paper's claim (2):
+// "JMF can determine interpretable importance of different information
+// sources during the prediction". Claim (3)'s drug/disease groups fall out
+// of the factors: entity e belongs to group argmax_k U(e, k).
+//
+// The synthetic workload generator plants ground-truth latent structure and
+// per-source noise so benchmarks can verify that (a) JMF beats single-
+// source MF and GBA on held-out associations and (b) cleaner sources earn
+// higher weights.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analytics/matrix.h"
+#include "common/rng.h"
+
+namespace hc::analytics {
+
+struct JmfConfig {
+  std::size_t rank = 15;
+  double learning_rate = 0.02;
+  double regularization = 0.05;     // lambda
+  double similarity_weight = 0.25;  // mu
+  double weight_temperature = 1.0;  // gamma in the alpha/beta update
+  int epochs = 150;
+};
+
+struct JmfResult {
+  Matrix scores;                            // completed associations U V^T
+  std::vector<double> drug_source_weights;  // alpha, sums to 1
+  std::vector<double> disease_source_weights;  // beta, sums to 1
+  std::vector<std::size_t> drug_groups;     // argmax factor per drug
+  std::vector<std::size_t> disease_groups;
+  std::vector<double> objective_history;    // per-epoch objective value
+};
+
+/// Runs JMF. `drug_similarities` and `disease_similarities` must be square
+/// matrices matching R's rows/cols respectively; at least one of each.
+JmfResult joint_matrix_factorization(const Matrix& associations,
+                                     const std::vector<Matrix>& drug_similarities,
+                                     const std::vector<Matrix>& disease_similarities,
+                                     const JmfConfig& config, Rng& rng);
+
+/// Synthetic drug-disease benchmark data with known ground truth.
+struct DrugDiseaseWorkload {
+  Matrix truth;     // full binary association matrix
+  Matrix observed;  // training matrix: held-out positives zeroed
+  std::vector<Matrix> drug_similarities;     // noisy views of latent sim
+  std::vector<Matrix> disease_similarities;
+  std::vector<double> drug_source_noise;     // noise sd per source (ascending)
+  std::vector<double> disease_source_noise;
+  std::vector<std::pair<std::size_t, std::size_t>> held_out;  // positive cells
+};
+
+struct WorkloadConfig {
+  std::size_t drugs = 150;
+  std::size_t diseases = 100;
+  std::size_t latent_rank = 8;
+  double held_out_fraction = 0.2;
+  std::vector<double> drug_source_noise = {0.05, 0.15, 0.40};
+  std::vector<double> disease_source_noise = {0.05, 0.15, 0.40};
+  double association_density = 0.08;  // approximate fraction of positives
+};
+
+DrugDiseaseWorkload make_drug_disease_workload(const WorkloadConfig& config, Rng& rng);
+
+/// Scores the held-out positives of `workload` against an equal number of
+/// sampled true-negative cells; returns AUC-ROC of `scores` on that set.
+double evaluate_held_out_auc(const Matrix& scores, const DrugDiseaseWorkload& workload,
+                             Rng& rng);
+
+}  // namespace hc::analytics

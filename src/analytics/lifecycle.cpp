@@ -1,0 +1,161 @@
+#include "analytics/lifecycle.h"
+
+namespace hc::analytics {
+
+std::string_view model_stage_name(ModelStage stage) {
+  switch (stage) {
+    case ModelStage::kDataCleaning: return "data-cleaning";
+    case ModelStage::kGeneration: return "generation";
+    case ModelStage::kTesting: return "testing";
+    case ModelStage::kDeployed: return "deployed";
+    case ModelStage::kRetired: return "retired";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool legal_transition(ModelStage from, ModelStage to) {
+  switch (from) {
+    case ModelStage::kDataCleaning: return to == ModelStage::kGeneration;
+    case ModelStage::kGeneration: return to == ModelStage::kTesting;
+    case ModelStage::kTesting:
+      return to == ModelStage::kDeployed || to == ModelStage::kGeneration;
+    case ModelStage::kDeployed: return to == ModelStage::kRetired;
+    case ModelStage::kRetired: return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(LogPtr log) : log_(std::move(log)) {}
+
+Result<std::uint32_t> ModelRegistry::create(const std::string& name, Bytes artifact) {
+  if (models_.contains(name)) {
+    return Status(StatusCode::kAlreadyExists,
+                  "model exists, use update(): " + name);
+  }
+  ModelVersion v;
+  v.name = name;
+  v.version = 1;
+  v.artifact = std::move(artifact);
+  models_[name].push_back(std::move(v));
+  if (log_) log_->audit("model-registry", "model_created", name + " v1");
+  return 1u;
+}
+
+Result<std::uint32_t> ModelRegistry::update(const std::string& name, Bytes artifact) {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status(StatusCode::kNotFound, "no model named " + name);
+  }
+  ModelVersion v;
+  v.name = name;
+  v.version = static_cast<std::uint32_t>(it->second.size()) + 1;
+  v.artifact = std::move(artifact);
+  v.stage = ModelStage::kGeneration;  // update path: cleaning already done
+  it->second.push_back(std::move(v));
+  std::uint32_t version = it->second.back().version;
+  if (log_) {
+    log_->audit("model-registry", "model_updated",
+                name + " v" + std::to_string(version));
+  }
+  return version;
+}
+
+ModelVersion* ModelRegistry::find(const std::string& name, std::uint32_t version) {
+  auto it = models_.find(name);
+  if (it == models_.end() || version == 0 || version > it->second.size()) return nullptr;
+  return &it->second[version - 1];
+}
+
+const ModelVersion* ModelRegistry::find(const std::string& name,
+                                        std::uint32_t version) const {
+  auto it = models_.find(name);
+  if (it == models_.end() || version == 0 || version > it->second.size()) return nullptr;
+  return &it->second[version - 1];
+}
+
+Status ModelRegistry::advance(const std::string& name, std::uint32_t version,
+                              ModelStage to) {
+  ModelVersion* model = find(name, version);
+  if (!model) return Status(StatusCode::kNotFound, "no such model version");
+  if (!legal_transition(model->stage, to)) {
+    return Status(StatusCode::kFailedPrecondition,
+                  std::string("illegal stage transition ") +
+                      std::string(model_stage_name(model->stage)) + " -> " +
+                      std::string(model_stage_name(to)));
+  }
+  if (to == ModelStage::kDeployed && !model->approved) {
+    return Status(StatusCode::kPermissionDenied,
+                  "deployment requires compliance approval");
+  }
+  if (to == ModelStage::kDeployed) {
+    // Retire any previously deployed version of this model.
+    for (auto& other : models_[name]) {
+      if (other.version != version && other.stage == ModelStage::kDeployed) {
+        other.stage = ModelStage::kRetired;
+      }
+    }
+  }
+  model->stage = to;
+  if (log_) {
+    log_->audit("model-registry", "stage_advanced",
+                name + " v" + std::to_string(version) + " -> " +
+                    std::string(model_stage_name(to)));
+  }
+  return Status::ok();
+}
+
+Status ModelRegistry::record_metric(const std::string& name, std::uint32_t version,
+                                    const std::string& metric, double value) {
+  ModelVersion* model = find(name, version);
+  if (!model) return Status(StatusCode::kNotFound, "no such model version");
+  if (model->stage != ModelStage::kTesting) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "metrics are recorded during testing");
+  }
+  model->metrics[metric] = value;
+  return Status::ok();
+}
+
+Status ModelRegistry::approve(const std::string& name, std::uint32_t version,
+                              const std::string& approver) {
+  ModelVersion* model = find(name, version);
+  if (!model) return Status(StatusCode::kNotFound, "no such model version");
+  if (model->stage != ModelStage::kTesting) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "approval happens at the testing stage");
+  }
+  model->approved = true;
+  model->approver = approver;
+  if (log_) {
+    log_->audit("model-registry", "model_approved",
+                name + " v" + std::to_string(version) + " by " + approver);
+  }
+  return Status::ok();
+}
+
+Result<ModelVersion> ModelRegistry::get(const std::string& name,
+                                        std::uint32_t version) const {
+  const ModelVersion* model = find(name, version);
+  if (!model) return Status(StatusCode::kNotFound, "no such model version");
+  return *model;
+}
+
+Result<ModelVersion> ModelRegistry::deployed(const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) return Status(StatusCode::kNotFound, "no model named " + name);
+  for (const auto& version : it->second) {
+    if (version.stage == ModelStage::kDeployed) return version;
+  }
+  return Status(StatusCode::kNotFound, "no deployed version of " + name);
+}
+
+std::uint32_t ModelRegistry::latest_version(const std::string& name) const {
+  auto it = models_.find(name);
+  return it == models_.end() ? 0 : static_cast<std::uint32_t>(it->second.size());
+}
+
+}  // namespace hc::analytics

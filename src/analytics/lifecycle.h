@@ -1,0 +1,84 @@
+// Analytics model lifecycle management (Section III.A).
+//
+// "The Analytics platform supports various lifecycle stages of analytics
+// models, namely i) data cleaning, ii) initial model generation iii) model
+// testing iv) model deployment and v) model update."
+//
+// ModelRegistry stores versioned model artifacts and enforces the legal
+// stage machine:
+//
+//   DataCleaning -> Generation -> Testing -> Deployed
+//                        ^            |
+//                        +--- update--+   (new version restarts at Generation)
+//
+// Deployment is gated: a version must be explicitly approved (the
+// compliance sign-off) before Testing -> Deployed is allowed, matching the
+// platform's change-management posture. Only approved+deployed models are
+// eligible for push to enhanced clients (Section II.C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "common/status.h"
+
+namespace hc::analytics {
+
+enum class ModelStage { kDataCleaning, kGeneration, kTesting, kDeployed, kRetired };
+
+std::string_view model_stage_name(ModelStage stage);
+
+struct ModelVersion {
+  std::string name;
+  std::uint32_t version = 1;
+  Bytes artifact;
+  ModelStage stage = ModelStage::kDataCleaning;
+  bool approved = false;
+  std::string approver;
+  std::map<std::string, double> metrics;  // recorded during Testing
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(LogPtr log = nullptr);
+
+  /// Registers version 1 of a model at the DataCleaning stage.
+  Result<std::uint32_t> create(const std::string& name, Bytes artifact);
+
+  /// Starts a new version (model update path); it restarts at Generation
+  /// with the new artifact. kNotFound if the model was never created.
+  Result<std::uint32_t> update(const std::string& name, Bytes artifact);
+
+  /// Advances a version along the stage machine. Illegal jumps are
+  /// kFailedPrecondition; Testing -> Deployed additionally requires prior
+  /// approval. Deploying a version retires any previously deployed one.
+  Status advance(const std::string& name, std::uint32_t version, ModelStage to);
+
+  /// Records an evaluation metric (only meaningful during Testing).
+  Status record_metric(const std::string& name, std::uint32_t version,
+                       const std::string& metric, double value);
+
+  /// Compliance sign-off required before deployment.
+  Status approve(const std::string& name, std::uint32_t version,
+                 const std::string& approver);
+
+  Result<ModelVersion> get(const std::string& name, std::uint32_t version) const;
+
+  /// The currently deployed version of a model, if any.
+  Result<ModelVersion> deployed(const std::string& name) const;
+
+  std::uint32_t latest_version(const std::string& name) const;
+
+ private:
+  ModelVersion* find(const std::string& name, std::uint32_t version);
+  const ModelVersion* find(const std::string& name, std::uint32_t version) const;
+
+  LogPtr log_;
+  std::map<std::string, std::vector<ModelVersion>> models_;
+};
+
+}  // namespace hc::analytics

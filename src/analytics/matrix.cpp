@@ -1,0 +1,93 @@
+#include "analytics/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hc::analytics {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                      double hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.row(k);
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::multiply_transposed(const Matrix& other) const {
+  if (cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::multiply_transposed: shape mismatch");
+  }
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = row(i);
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* brow = other.row(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) sum += arow[k] * brow[k];
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::add_scaled(const Matrix& other, double factor) {
+  if (!same_shape(other)) throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::scale(double factor) {
+  for (auto& v : data_) v *= factor;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  if (!same_shape(other)) {
+    throw std::invalid_argument("Matrix::frobenius_distance: shape mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace hc::analytics

@@ -1,0 +1,53 @@
+// Dense row-major matrix — the numeric substrate for the bioinformatics
+// applications (Section V): JMF, matrix-factorization baselines, DELT.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hc::analytics {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+  /// Entries uniform in [lo, hi) — factor initialization.
+  static Matrix random(std::size_t rows, std::size_t cols, Rng& rng, double lo = 0.0,
+                       double hi = 1.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw row access for hot loops.
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& other) const;        // this * other
+  Matrix multiply_transposed(const Matrix& other) const;  // this * other^T
+
+  Matrix& add_scaled(const Matrix& other, double factor);  // this += factor*other
+  Matrix& scale(double factor);
+
+  double frobenius_norm() const;
+  /// ||this - other||_F; dimensions must match.
+  double frobenius_distance(const Matrix& other) const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hc::analytics

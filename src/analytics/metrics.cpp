@@ -1,0 +1,127 @@
+#include "analytics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hc::analytics {
+
+namespace {
+
+std::vector<std::size_t> rank_descending(const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+/// Average ranks (1-based) with ties shared.
+std::vector<double> fractional_ranks(const std::vector<double>& values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double auc_roc(const std::vector<double>& scores, const std::vector<bool>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("auc_roc: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (bool label : labels) positives += label ? 1 : 0;
+  std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-sum (Mann-Whitney) with tie correction via fractional ranks.
+  auto ranks = fractional_ranks(scores);
+  double positive_rank_sum = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i]) positive_rank_sum += ranks[i];
+  }
+  double u = positive_rank_sum -
+             static_cast<double>(positives) * (static_cast<double>(positives) + 1) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double auc_pr(const std::vector<double>& scores, const std::vector<bool>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("auc_pr: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (bool label : labels) positives += label ? 1 : 0;
+  if (positives == 0) return 0.0;
+
+  auto order = rank_descending(scores);
+  double area = 0.0;
+  double prev_recall = 0.0;
+  std::size_t tp = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]]) {
+      ++tp;
+      double recall = static_cast<double>(tp) / static_cast<double>(positives);
+      double precision = static_cast<double>(tp) / static_cast<double>(i + 1);
+      area += (recall - prev_recall) * precision;
+      prev_recall = recall;
+    }
+  }
+  return area;
+}
+
+double precision_at_k(const std::vector<double>& scores, const std::vector<bool>& labels,
+                      std::size_t k) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("precision_at_k: size mismatch");
+  }
+  k = std::min(k, scores.size());
+  if (k == 0) return 0.0;
+  auto order = rank_descending(scores);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) hits += labels[order[i]] ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double rmse(const std::vector<double>& predicted, const std::vector<double>& actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument("rmse: size mismatch or empty");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    double d = predicted[i] - actual[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(predicted.size()));
+}
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    throw std::invalid_argument("spearman: need equal sizes >= 2");
+  }
+  auto ra = fractional_ranks(a);
+  auto rb = fractional_ranks(b);
+  double mean = (static_cast<double>(a.size()) + 1.0) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double da = ra[i] - mean, db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace hc::analytics

@@ -1,0 +1,26 @@
+// Evaluation metrics for the bioinformatics experiments: AUC-ROC, AUPR,
+// precision@k, RMSE, Spearman rank correlation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hc::analytics {
+
+/// Area under the ROC curve via the rank-sum formulation. Requires at
+/// least one positive and one negative label; returns 0.5 otherwise.
+double auc_roc(const std::vector<double>& scores, const std::vector<bool>& labels);
+
+/// Area under the precision-recall curve (step interpolation).
+double auc_pr(const std::vector<double>& scores, const std::vector<bool>& labels);
+
+/// Fraction of positives among the k highest-scoring items.
+double precision_at_k(const std::vector<double>& scores, const std::vector<bool>& labels,
+                      std::size_t k);
+
+double rmse(const std::vector<double>& predicted, const std::vector<double>& actual);
+
+/// Spearman rank correlation of two equal-length score vectors.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace hc::analytics

@@ -1,0 +1,82 @@
+#include "analytics/mf.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hc::analytics {
+
+double MfModel::predict(std::size_t row, std::size_t col) const {
+  const double* ur = u.row(row);
+  const double* vr = v.row(col);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < u.cols(); ++k) sum += ur[k] * vr[k];
+  return sum;
+}
+
+MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& config,
+                  Rng& rng) {
+  if (!observed.same_shape(mask)) {
+    throw std::invalid_argument("factorize: observed/mask shape mismatch");
+  }
+  std::size_t rows = observed.rows();
+  std::size_t cols = observed.cols();
+
+  MfModel model;
+  model.u = Matrix::random(rows, config.rank, rng, 0.0, 0.1);
+  model.v = Matrix::random(cols, config.rank, rng, 0.0, 0.1);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Residual on observed cells.
+    Matrix residual(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (mask(i, j) != 0.0) residual(i, j) = observed(i, j) - model.predict(i, j);
+      }
+    }
+    // Gradient step: U += lr*(E V - reg U); V += lr*(E^T U - reg V).
+    Matrix grad_u = residual.multiply(model.v);
+    grad_u.add_scaled(model.u, -config.regularization);
+    Matrix grad_v = residual.transpose().multiply(model.u);
+    grad_v.add_scaled(model.v, -config.regularization);
+
+    model.u.add_scaled(grad_u, config.learning_rate);
+    model.v.add_scaled(grad_v, config.learning_rate);
+
+    // Non-negativity projection keeps factors interpretable.
+    for (std::size_t i = 0; i < rows; ++i) {
+      double* row = model.u.row(i);
+      for (std::size_t k = 0; k < config.rank; ++k) row[k] = std::max(0.0, row[k]);
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+      double* row = model.v.row(j);
+      for (std::size_t k = 0; k < config.rank; ++k) row[k] = std::max(0.0, row[k]);
+    }
+  }
+  return model;
+}
+
+Matrix guilt_by_association(const Matrix& associations, const Matrix& entity_similarity) {
+  if (entity_similarity.rows() != associations.rows() ||
+      entity_similarity.rows() != entity_similarity.cols()) {
+    throw std::invalid_argument("guilt_by_association: shape mismatch");
+  }
+  std::size_t n = associations.rows();
+  std::size_t m = associations.cols();
+  Matrix scores(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total_sim = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != i) total_sim += entity_similarity(i, k);
+    }
+    if (total_sim == 0.0) continue;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      double w = entity_similarity(i, k) / total_sim;
+      if (w == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) scores(i, j) += w * associations(k, j);
+    }
+  }
+  return scores;
+}
+
+}  // namespace hc::analytics

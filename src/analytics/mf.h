@@ -1,0 +1,44 @@
+// Matrix factorization and the Guilt-by-Association baseline (Section V.A).
+//
+// "We have used collaborative filtering techniques such as matrix
+// factorization [39] for inferring drug and disease similarities." Plain MF
+// is also the single-source baseline the JMF experiments compare against,
+// alongside the GBA approach [33] the paper cites as prior art.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/matrix.h"
+#include "common/rng.h"
+
+namespace hc::analytics {
+
+struct MfConfig {
+  std::size_t rank = 10;
+  double learning_rate = 0.05;
+  double regularization = 0.02;
+  int epochs = 200;
+};
+
+struct MfModel {
+  Matrix u;  // rows x rank
+  Matrix v;  // cols x rank
+
+  double predict(std::size_t row, std::size_t col) const;
+  /// Full completed matrix U V^T.
+  Matrix scores() const { return u.multiply_transposed(v); }
+};
+
+/// Factorizes `observed` over cells where mask(r,c) != 0 using full-batch
+/// gradient descent with non-negativity projection. Throws on shape
+/// mismatch.
+MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& config,
+                  Rng& rng);
+
+/// Guilt by Association [33]: score(i, j) = sum_k sim(i, k) * R(k, j)
+/// normalized by total similarity — a drug inherits the diseases of the
+/// drugs it resembles.
+Matrix guilt_by_association(const Matrix& associations, const Matrix& entity_similarity);
+
+}  // namespace hc::analytics

@@ -1,0 +1,60 @@
+#include "analytics/similarity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hc::analytics {
+
+double tanimoto(const Fingerprint& a, const Fingerprint& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("tanimoto: size mismatch");
+  std::size_t intersection = 0, uni = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bool ai = a[i] != 0, bi = b[i] != 0;
+    intersection += (ai && bi) ? 1 : 0;
+    uni += (ai || bi) ? 1 : 0;
+  }
+  if (uni == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("cosine: size mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+Matrix similarity_matrix(const std::vector<Fingerprint>& fingerprints) {
+  std::size_t n = fingerprints.size();
+  Matrix sim(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = tanimoto(fingerprints[i], fingerprints[j]);
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return sim;
+}
+
+Matrix cosine_similarity_matrix(const std::vector<std::vector<double>>& profiles) {
+  std::size_t n = profiles.size();
+  Matrix sim(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = cosine(profiles[i], profiles[j]);
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return sim;
+}
+
+}  // namespace hc::analytics

@@ -1,0 +1,33 @@
+// Entity similarity computation (Section V.A).
+//
+// "The techniques that we use for calculations like drug repositioning
+// include determining quantitative similarities of entities such as drugs
+// and diseases. Drug similarities can be calculated by multiple methods
+// such as similarity in chemical structure [PubChem fingerprints], drug
+// targets [DrugBank], and side effects [SIDER]." Structure/target/
+// side-effect profiles are binary fingerprints here — Tanimoto applies to
+// all three; real-valued profiles (phenotype vectors) use cosine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/matrix.h"
+
+namespace hc::analytics {
+
+using Fingerprint = std::vector<std::uint8_t>;  // 0/1 per feature bit
+
+/// Tanimoto (Jaccard on bits): |a & b| / |a | b|. 1.0 when both empty.
+double tanimoto(const Fingerprint& a, const Fingerprint& b);
+
+/// Cosine similarity of real vectors; 0 when either is all-zero.
+double cosine(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Pairwise Tanimoto similarity matrix (symmetric, unit diagonal).
+Matrix similarity_matrix(const std::vector<Fingerprint>& fingerprints);
+
+/// Pairwise cosine similarity matrix for real profiles.
+Matrix cosine_similarity_matrix(const std::vector<std::vector<double>>& profiles);
+
+}  // namespace hc::analytics

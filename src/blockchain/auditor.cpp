@@ -1,0 +1,63 @@
+#include "blockchain/auditor.h"
+
+namespace hc::blockchain {
+
+namespace {
+std::string arg_or(const Transaction& tx, const std::string& key) {
+  auto it = tx.args.find(key);
+  return it == tx.args.end() ? std::string() : it->second;
+}
+}  // namespace
+
+RecordLifecycle AuditorView::record_lifecycle(const std::string& record_ref) const {
+  RecordLifecycle lifecycle;
+  lifecycle.record_ref = record_ref;
+  auto txs = ledger_->find_transactions([&](const Transaction& tx) {
+    return tx.contract == "provenance" && arg_or(tx, "record_ref") == record_ref;
+  });
+  for (const auto& tx : txs) {
+    lifecycle.events.push_back(arg_or(tx, "event"));
+    lifecycle.last_hash = arg_or(tx, "data_hash");
+  }
+  return lifecycle;
+}
+
+std::vector<std::string> AuditorView::consent_history(const std::string& patient) const {
+  std::vector<std::string> history;
+  auto txs = ledger_->find_transactions([&](const Transaction& tx) {
+    return tx.contract == "consent" && arg_or(tx, "patient") == patient;
+  });
+  history.reserve(txs.size());
+  for (const auto& tx : txs) {
+    history.push_back(arg_or(tx, "action") + ":" + arg_or(tx, "group"));
+  }
+  return history;
+}
+
+std::vector<std::string> AuditorView::risky_senders(std::uint64_t threshold) const {
+  std::map<std::string, std::uint64_t> counts;
+  auto txs = ledger_->find_transactions([](const Transaction& tx) {
+    return tx.contract == "malware";
+  });
+  for (const auto& tx : txs) {
+    if (arg_or(tx, "verdict") == "infected") counts[arg_or(tx, "sender")]++;
+  }
+  std::vector<std::string> risky;
+  for (const auto& [sender, count] : counts) {
+    if (count >= threshold) risky.push_back(sender);
+  }
+  return risky;
+}
+
+std::vector<Transaction> AuditorView::activity_of(const std::string& submitter) const {
+  return ledger_->find_transactions(
+      [&](const Transaction& tx) { return tx.submitter == submitter; });
+}
+
+std::size_t AuditorView::total_transactions() const {
+  std::size_t n = 0;
+  for (const auto& block : ledger_->chain()) n += block.transactions.size();
+  return n;
+}
+
+}  // namespace hc::blockchain

@@ -1,0 +1,49 @@
+// Auditor view (Section IV.E).
+//
+// "Hyperledger has an auditor view that allows an auditor to get access to
+// the ledgers and search for use and processing of data, system integrity
+// and user provenance." AuditorView is a read-only lens over a
+// PermissionedLedger providing the queries regulators and forensic teams
+// run: full record lifecycles, consent histories, risky senders, and chain
+// integrity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blockchain/ledger.h"
+
+namespace hc::blockchain {
+
+struct RecordLifecycle {
+  std::string record_ref;
+  std::vector<std::string> events;  // chronological event names
+  std::string last_hash;
+};
+
+class AuditorView {
+ public:
+  explicit AuditorView(const PermissionedLedger& ledger) : ledger_(&ledger) {}
+
+  /// All provenance events for one record, oldest first.
+  RecordLifecycle record_lifecycle(const std::string& record_ref) const;
+
+  /// Chronological consent actions ("grant"/"revoke") for a patient.
+  std::vector<std::string> consent_history(const std::string& patient) const;
+
+  /// Senders whose infected-record count reaches the threshold.
+  std::vector<std::string> risky_senders(std::uint64_t threshold) const;
+
+  /// All transactions a given submitter ever committed (user provenance).
+  std::vector<Transaction> activity_of(const std::string& submitter) const;
+
+  /// Chain integrity — delegates to the ledger's full validation.
+  Status verify_integrity() const { return ledger_->validate_chain(); }
+
+  std::size_t total_transactions() const;
+
+ private:
+  const PermissionedLedger* ledger_;
+};
+
+}  // namespace hc::blockchain

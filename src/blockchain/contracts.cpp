@@ -1,0 +1,196 @@
+#include "blockchain/contracts.h"
+
+#include <cstdlib>
+#include <set>
+
+namespace hc::blockchain {
+
+namespace {
+
+std::string arg_or(const Transaction& tx, const std::string& key) {
+  auto it = tx.args.find(key);
+  return it == tx.args.end() ? std::string() : it->second;
+}
+
+Status require_args(const Transaction& tx, std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    if (arg_or(tx, key).empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    std::string(tx.contract) + ": missing arg '" + key + "'");
+    }
+  }
+  return Status::ok();
+}
+
+std::string state_or(const WorldState& state, const std::string& ns,
+                     const std::string& key) {
+  auto it = state.find(ns);
+  if (it == state.end()) return {};
+  auto kv = it->second.find(key);
+  return kv == it->second.end() ? std::string() : kv->second;
+}
+
+const std::set<std::string> kProvenanceEvents = {"received", "retrieved", "anonymized",
+                                                 "exported", "deleted"};
+
+}  // namespace
+
+// ----------------------------------------------------------- provenance
+
+Status ProvenanceContract::validate(const Transaction& tx, const WorldState& state) const {
+  if (arg_or(tx, "action") != "record_event") {
+    return Status(StatusCode::kInvalidArgument, "provenance: unknown action");
+  }
+  if (Status s = require_args(tx, {"record_ref", "event", "data_hash"}); !s.is_ok()) {
+    return s;
+  }
+  if (!kProvenanceEvents.contains(arg_or(tx, "event"))) {
+    return Status(StatusCode::kInvalidArgument,
+                  "provenance: unknown event " + arg_or(tx, "event"));
+  }
+  // A deleted record's lifecycle is closed.
+  if (state_or(state, "provenance", arg_or(tx, "record_ref") + "/last_event") ==
+      "deleted") {
+    return Status(StatusCode::kFailedPrecondition,
+                  "provenance: record already deleted");
+  }
+  return Status::ok();
+}
+
+void ProvenanceContract::apply(const Transaction& tx, WorldState& state) const {
+  auto& ns = state["provenance"];
+  std::string ref = arg_or(tx, "record_ref");
+  ns[ref + "/last_event"] = arg_or(tx, "event");
+  ns[ref + "/last_hash"] = arg_or(tx, "data_hash");
+  auto& count = ns[ref + "/events"];
+  count = std::to_string(std::atoll(count.c_str()) + 1);
+}
+
+// -------------------------------------------------------------- consent
+
+Status ConsentContract::validate(const Transaction& tx, const WorldState& state) const {
+  std::string action = arg_or(tx, "action");
+  if (action != "grant" && action != "revoke") {
+    return Status(StatusCode::kInvalidArgument, "consent: unknown action " + action);
+  }
+  if (Status s = require_args(tx, {"patient", "group"}); !s.is_ok()) return s;
+  std::string key = arg_or(tx, "patient") + "|" + arg_or(tx, "group");
+  std::string current = state_or(state, "consent", key);
+  if (action == "revoke" && current != "granted") {
+    return Status(StatusCode::kFailedPrecondition,
+                  "consent: cannot revoke what was never granted");
+  }
+  if (action == "grant" && current == "granted") {
+    return Status(StatusCode::kAlreadyExists, "consent: already granted");
+  }
+  return Status::ok();
+}
+
+void ConsentContract::apply(const Transaction& tx, WorldState& state) const {
+  std::string key = arg_or(tx, "patient") + "|" + arg_or(tx, "group");
+  state["consent"][key] = arg_or(tx, "action") == "grant" ? "granted" : "revoked";
+}
+
+bool ConsentContract::has_consent(const PermissionedLedger& ledger,
+                                  const std::string& patient, const std::string& group) {
+  auto value = ledger.state_value("consent", patient + "|" + group);
+  return value.is_ok() && *value == "granted";
+}
+
+// -------------------------------------------------------------- malware
+
+Status MalwareContract::validate(const Transaction& tx, const WorldState&) const {
+  if (arg_or(tx, "action") != "report") {
+    return Status(StatusCode::kInvalidArgument, "malware: unknown action");
+  }
+  if (Status s = require_args(tx, {"record_ref", "verdict", "sender"}); !s.is_ok()) {
+    return s;
+  }
+  std::string verdict = arg_or(tx, "verdict");
+  if (verdict != "clean" && verdict != "infected") {
+    return Status(StatusCode::kInvalidArgument, "malware: unknown verdict " + verdict);
+  }
+  return Status::ok();
+}
+
+void MalwareContract::apply(const Transaction& tx, WorldState& state) const {
+  auto& ns = state["malware"];
+  ns[arg_or(tx, "record_ref") + "/verdict"] = arg_or(tx, "verdict");
+  if (arg_or(tx, "verdict") == "infected") {
+    auto& count = ns["sender/" + arg_or(tx, "sender") + "/infected"];
+    count = std::to_string(std::atoll(count.c_str()) + 1);
+  }
+}
+
+std::uint64_t MalwareContract::infected_count(const PermissionedLedger& ledger,
+                                              const std::string& sender) {
+  auto value = ledger.state_value("malware", "sender/" + sender + "/infected");
+  return value.is_ok() ? static_cast<std::uint64_t>(std::atoll(value->c_str())) : 0;
+}
+
+// -------------------------------------------------------------- privacy
+
+Status PrivacyContract::validate(const Transaction& tx, const WorldState&) const {
+  if (arg_or(tx, "action") != "record_degree") {
+    return Status(StatusCode::kInvalidArgument, "privacy: unknown action");
+  }
+  if (Status s = require_args(tx, {"record_ref", "score", "k"}); !s.is_ok()) return s;
+  char* end = nullptr;
+  double score = std::strtod(arg_or(tx, "score").c_str(), &end);
+  if (*end != '\0' || score < 0.0 || score > 1.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "privacy: score must be in [0,1], got " + arg_or(tx, "score"));
+  }
+  return Status::ok();
+}
+
+void PrivacyContract::apply(const Transaction& tx, WorldState& state) const {
+  auto& ns = state["privacy"];
+  std::string ref = arg_or(tx, "record_ref");
+  ns[ref + "/score"] = arg_or(tx, "score");
+  ns[ref + "/k"] = arg_or(tx, "k");
+}
+
+// ------------------------------------------------------------- identity
+
+Status IdentityContract::validate(const Transaction& tx, const WorldState& state) const {
+  std::string action = arg_or(tx, "action");
+  if (action != "register" && action != "rotate") {
+    return Status(StatusCode::kInvalidArgument, "identity: unknown action " + action);
+  }
+  if (Status s = require_args(tx, {"did", "key_fingerprint"}); !s.is_ok()) return s;
+  std::string existing = state_or(state, "identity", arg_or(tx, "did"));
+  if (action == "register" && !existing.empty()) {
+    return Status(StatusCode::kAlreadyExists, "identity: DID already registered");
+  }
+  if (action == "rotate" && existing.empty()) {
+    return Status(StatusCode::kNotFound, "identity: DID not registered");
+  }
+  return Status::ok();
+}
+
+void IdentityContract::apply(const Transaction& tx, WorldState& state) const {
+  state["identity"][arg_or(tx, "did")] = arg_or(tx, "key_fingerprint");
+}
+
+Status register_hcls_contracts(PermissionedLedger& ledger) {
+  if (Status s = ledger.register_contract(std::make_unique<ProvenanceContract>());
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = ledger.register_contract(std::make_unique<ConsentContract>());
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = ledger.register_contract(std::make_unique<MalwareContract>());
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = ledger.register_contract(std::make_unique<PrivacyContract>());
+      !s.is_ok()) {
+    return s;
+  }
+  return ledger.register_contract(std::make_unique<IdentityContract>());
+}
+
+}  // namespace hc::blockchain

@@ -1,0 +1,82 @@
+// Smart contracts for the HCLS blockchain networks (Section IV.B.1).
+//
+// The paper describes several ledger uses — data provenance, consent
+// management, the malware-management network, the privacy network, and
+// blockchain-based identity. Each is chaincode here; they can run on one
+// shared ledger or separate PermissionedLedger instances ("It is a design
+// decision").
+//
+// Transaction args all include an "action" plus the parameters below.
+#pragma once
+
+#include <memory>
+
+#include "blockchain/ledger.h"
+
+namespace hc::blockchain {
+
+/// Data provenance: every lifecycle event of an HCLS record.
+///   action=record_event, record_ref, event, data_hash, meta?
+///   event in {received, retrieved, anonymized, exported, deleted}
+/// State: "<record_ref>/last_event" and "<record_ref>/events" (count).
+class ProvenanceContract : public SmartContract {
+ public:
+  std::string_view name() const override { return "provenance"; }
+  Status validate(const Transaction& tx, const WorldState& state) const override;
+  void apply(const Transaction& tx, WorldState& state) const override;
+};
+
+/// Consent provenance (GDPR/HIPAA): patients grant/revoke per study group.
+///   action=grant|revoke, patient, group
+/// State: "<patient>|<group>" -> "granted" | "revoked".
+class ConsentContract : public SmartContract {
+ public:
+  std::string_view name() const override { return "consent"; }
+  Status validate(const Transaction& tx, const WorldState& state) const override;
+  void apply(const Transaction& tx, WorldState& state) const override;
+
+  /// Convenience query against a ledger's state.
+  static bool has_consent(const PermissionedLedger& ledger, const std::string& patient,
+                          const std::string& group);
+};
+
+/// Malware-management network: records scan verdicts and accumulates
+/// per-sender risk ("determine risky senders or risky records").
+///   action=report, record_ref, verdict in {clean, infected}, sender
+/// State: "<record_ref>/verdict"; "sender/<sender>/infected" (count).
+class MalwareContract : public SmartContract {
+ public:
+  std::string_view name() const override { return "malware"; }
+  Status validate(const Transaction& tx, const WorldState& state) const override;
+  void apply(const Transaction& tx, WorldState& state) const override;
+
+  static std::uint64_t infected_count(const PermissionedLedger& ledger,
+                                      const std::string& sender);
+};
+
+/// Privacy network: records the verified privacy degree of each record.
+///   action=record_degree, record_ref, score in [0,1], k
+/// State: "<record_ref>/score", "<record_ref>/k".
+class PrivacyContract : public SmartContract {
+ public:
+  std::string_view name() const override { return "privacy"; }
+  Status validate(const Transaction& tx, const WorldState& state) const override;
+  void apply(const Transaction& tx, WorldState& state) const override;
+};
+
+/// Self-sovereign identity: DIDs bound to key fingerprints, rotatable only
+/// by an already-registered identity (identity-mixer is out of scope; the
+/// registry semantics are what the platform consumes).
+///   action=register|rotate, did, key_fingerprint
+/// State: "<did>" -> key_fingerprint.
+class IdentityContract : public SmartContract {
+ public:
+  std::string_view name() const override { return "identity"; }
+  Status validate(const Transaction& tx, const WorldState& state) const override;
+  void apply(const Transaction& tx, WorldState& state) const override;
+};
+
+/// Registers all five HCLS contracts on a ledger.
+Status register_hcls_contracts(PermissionedLedger& ledger);
+
+}  // namespace hc::blockchain

@@ -1,0 +1,238 @@
+#include "blockchain/ledger.h"
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace hc::blockchain {
+
+Bytes Transaction::serialize() const {
+  crypto::Sha256 h;
+  h.update(id);
+  h.update(std::string_view("|"));
+  h.update(contract);
+  h.update(std::string_view("|"));
+  for (const auto& [key, value] : args) {
+    h.update(key);
+    h.update(std::string_view("="));
+    h.update(value);
+    h.update(std::string_view(";"));
+  }
+  h.update(submitter);
+  std::uint8_t ts[8];
+  for (int i = 0; i < 8; ++i) {
+    ts[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(timestamp) >> (56 - 8 * i));
+  }
+  h.update(ts, 8);
+  return h.finalize();
+}
+
+Bytes Block::compute_hash() const {
+  crypto::Sha256 h;
+  std::uint8_t header[16];
+  for (int i = 0; i < 8; ++i) {
+    header[i] = static_cast<std::uint8_t>(index >> (56 - 8 * i));
+    header[8 + i] =
+        static_cast<std::uint8_t>(static_cast<std::uint64_t>(timestamp) >> (56 - 8 * i));
+  }
+  h.update(header, 16);
+  h.update(previous_hash);
+  h.update(merkle_root);
+  return h.finalize();
+}
+
+namespace {
+
+Bytes merkle_root_of(const std::vector<Transaction>& transactions) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(transactions.size());
+  for (const auto& tx : transactions) leaves.push_back(tx.serialize());
+  return crypto::MerkleTree(leaves).root();
+}
+
+// Consensus message sizes (bytes) for the latency model: a transaction
+// proposal, an endorsement/vote, a block announcement.
+constexpr std::size_t kProposalBytes = 512;
+constexpr std::size_t kVoteBytes = 96;
+
+}  // namespace
+
+PermissionedLedger::PermissionedLedger(LedgerConfig config, ClockPtr clock, LogPtr log,
+                                       net::SimNetwork* network)
+    : config_(std::move(config)),
+      clock_(std::move(clock)),
+      log_(std::move(log)),
+      network_(network) {
+  if (config_.peers.empty()) {
+    throw std::invalid_argument("PermissionedLedger: at least one peer required");
+  }
+  if (config_.endorsement_quorum == 0) {
+    config_.endorsement_quorum = config_.peers.size() / 2 + 1;
+  }
+  // Genesis block anchors the chain.
+  Block genesis;
+  genesis.index = 0;
+  genesis.previous_hash = Bytes(crypto::kSha256DigestSize, 0);
+  genesis.merkle_root = merkle_root_of({});
+  genesis.timestamp = clock_->now();
+  genesis.hash = genesis.compute_hash();
+  chain_.push_back(std::move(genesis));
+}
+
+Status PermissionedLedger::register_contract(std::unique_ptr<SmartContract> contract) {
+  std::string name(contract->name());
+  if (contracts_.contains(name)) {
+    return Status(StatusCode::kAlreadyExists, "contract already registered: " + name);
+  }
+  contracts_.emplace(std::move(name), std::move(contract));
+  return Status::ok();
+}
+
+const SmartContract* PermissionedLedger::find_contract(const std::string& name) const {
+  auto it = contracts_.find(name);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+void PermissionedLedger::charge_broadcast(std::size_t message_bytes) {
+  if (!network_) return;
+  const std::string& leader = config_.peers.front();
+  for (std::size_t i = 1; i < config_.peers.size(); ++i) {
+    (void)network_->send(leader, config_.peers[i], message_bytes);
+  }
+}
+
+Result<std::string> PermissionedLedger::submit(const std::string& contract,
+                                               std::map<std::string, std::string> args,
+                                               const std::string& submitter) {
+  const SmartContract* chaincode = find_contract(contract);
+  if (!chaincode) {
+    return Status(StatusCode::kNotFound, "no such contract: " + contract);
+  }
+
+  Transaction tx;
+  tx.id = "tx-" + ids_.next_uuid();
+  tx.contract = contract;
+  tx.args = std::move(args);
+  tx.submitter = submitter;
+  tx.timestamp = clock_->now();
+
+  // Endorsement: leader broadcasts the proposal; every peer validates
+  // against the current state (replicas are identical in-process, so one
+  // validation decides, but the message costs are still charged per peer).
+  charge_broadcast(kProposalBytes);
+  Status verdict = chaincode->validate(tx, state_);
+  charge_broadcast(kVoteBytes);  // endorsement responses
+
+  std::size_t endorsements = verdict.is_ok() ? config_.peers.size() : 0;
+  if (endorsements < config_.endorsement_quorum) {
+    if (log_) log_->warn("blockchain", "endorsement_failed", tx.id + " " + verdict.to_string());
+    return verdict.is_ok()
+               ? Status(StatusCode::kFailedPrecondition, "endorsement quorum not met")
+               : verdict;
+  }
+
+  std::string id = tx.id;
+  pending_.push_back(std::move(tx));
+  return id;
+}
+
+Result<CommitReceipt> PermissionedLedger::commit_block() {
+  if (pending_.empty()) {
+    return Status(StatusCode::kFailedPrecondition, "no pending transactions");
+  }
+  SimTime start = clock_->now();
+
+  std::size_t take = std::min(pending_.size(), config_.max_block_transactions);
+  std::vector<Transaction> batch(pending_.begin(),
+                                 pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
+
+  Block block;
+  block.index = chain_.size();
+  block.previous_hash = chain_.back().hash;
+  block.merkle_root = merkle_root_of(batch);
+  block.timestamp = clock_->now();
+  block.transactions = std::move(batch);
+  block.hash = block.compute_hash();
+
+  // Commit vote: propose block, collect votes, announce commit.
+  charge_broadcast(kProposalBytes + block.transactions.size() * 256);
+  charge_broadcast(kVoteBytes);
+  charge_broadcast(kVoteBytes);
+
+  for (const auto& tx : block.transactions) {
+    find_contract(tx.contract)->apply(tx, state_);
+  }
+  CommitReceipt receipt{block.index, block.transactions.size(), clock_->now() - start};
+  chain_.push_back(std::move(block));
+  if (log_) {
+    log_->audit("blockchain", "block_committed",
+                "index=" + std::to_string(receipt.block_index) +
+                    " txs=" + std::to_string(receipt.transaction_count));
+  }
+  return receipt;
+}
+
+Result<std::string> PermissionedLedger::submit_and_commit(
+    const std::string& contract, std::map<std::string, std::string> args,
+    const std::string& submitter) {
+  auto id = submit(contract, std::move(args), submitter);
+  if (!id.is_ok()) return id;
+  auto receipt = commit_block();
+  if (!receipt.is_ok()) return receipt.status();
+  return id;
+}
+
+Result<std::string> PermissionedLedger::state_value(const std::string& contract,
+                                                    const std::string& key) const {
+  auto ns = state_.find(contract);
+  if (ns == state_.end()) {
+    return Status(StatusCode::kNotFound, "empty contract namespace: " + contract);
+  }
+  auto it = ns->second.find(key);
+  if (it == ns->second.end()) {
+    return Status(StatusCode::kNotFound, "no state for key: " + key);
+  }
+  return it->second;
+}
+
+std::vector<Transaction> PermissionedLedger::find_transactions(
+    const std::function<bool(const Transaction&)>& predicate) const {
+  std::vector<Transaction> out;
+  for (const auto& block : chain_) {
+    for (const auto& tx : block.transactions) {
+      if (predicate(tx)) out.push_back(tx);
+    }
+  }
+  return out;
+}
+
+Status PermissionedLedger::validate_chain() const {
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    const Block& block = chain_[i];
+    if (block.index != i) {
+      return Status(StatusCode::kIntegrityError,
+                    "block " + std::to_string(i) + " has wrong index");
+    }
+    if (!constant_time_equal(block.hash, block.compute_hash())) {
+      return Status(StatusCode::kIntegrityError,
+                    "block " + std::to_string(i) + " hash mismatch");
+    }
+    if (!constant_time_equal(block.merkle_root, merkle_root_of(block.transactions))) {
+      return Status(StatusCode::kIntegrityError,
+                    "block " + std::to_string(i) + " merkle root mismatch");
+    }
+    if (i > 0 && !constant_time_equal(block.previous_hash, chain_[i - 1].hash)) {
+      return Status(StatusCode::kIntegrityError,
+                    "block " + std::to_string(i) + " breaks the hash chain");
+    }
+  }
+  return Status::ok();
+}
+
+void PermissionedLedger::tamper_for_test(std::size_t block_index, std::size_t tx_index,
+                                         const std::string& key,
+                                         const std::string& value) {
+  chain_.at(block_index).transactions.at(tx_index).args[key] = value;
+}
+
+}  // namespace hc::blockchain

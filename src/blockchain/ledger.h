@@ -1,0 +1,146 @@
+// Permissioned blockchain ledger (Section IV, Fig 6).
+//
+// A Hyperledger-style permissioned network: named peers (sender, receiver,
+// healthcare provider, data-protection service, audit service...), smart
+// contracts that validate and apply transactions against a world state, an
+// endorsement quorum, and hash-chained blocks with per-block Merkle roots.
+//
+// Per the paper, PHI itself is NEVER stored on the ledger — transactions
+// carry a "handle/reference" to the encrypted record, the hash of the data,
+// event information and metadata; the record body stays in the centralized
+// encrypted store (separation of duties).
+//
+// The network is simulated in-process: every peer validates every
+// transaction (endorsement) and every block (commit vote); message costs
+// are charged on a SimNetwork when one is supplied, so the consensus
+// benchmarks can sweep peer count against commit latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/id.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace hc::blockchain {
+
+/// World state: contract name -> key -> value. Rebuilt deterministically by
+/// replaying the chain; contracts read and write only their own namespace.
+using WorldState = std::map<std::string, std::map<std::string, std::string>>;
+
+struct Transaction {
+  std::string id;
+  std::string contract;                         // target contract name
+  std::map<std::string, std::string> args;      // action + parameters
+  std::string submitter;                        // peer/org identity
+  SimTime timestamp = 0;
+
+  /// Canonical serialization used for Merkle leaves and chain hashing.
+  Bytes serialize() const;
+};
+
+struct Block {
+  std::uint64_t index = 0;
+  Bytes previous_hash;
+  Bytes merkle_root;
+  SimTime timestamp = 0;
+  std::vector<Transaction> transactions;
+  Bytes hash;  // over (index, previous_hash, merkle_root, timestamp)
+
+  Bytes compute_hash() const;
+};
+
+/// Chaincode interface. Contracts must be deterministic: validate() may
+/// reject, apply() must succeed on anything validate() accepted.
+class SmartContract {
+ public:
+  virtual ~SmartContract() = default;
+  virtual std::string_view name() const = 0;
+  virtual Status validate(const Transaction& tx, const WorldState& state) const = 0;
+  virtual void apply(const Transaction& tx, WorldState& state) const = 0;
+};
+
+struct LedgerConfig {
+  std::vector<std::string> peers;       // at least 1; first peer leads
+  std::size_t endorsement_quorum = 0;   // 0 = majority
+  std::size_t max_block_transactions = 64;
+};
+
+struct CommitReceipt {
+  std::uint64_t block_index = 0;
+  std::size_t transaction_count = 0;
+  SimTime commit_latency = 0;
+};
+
+class PermissionedLedger {
+ public:
+  /// `network` may be null (no latency model); when present, each peer name
+  /// must be a SimNetwork endpoint and consensus messages are charged.
+  PermissionedLedger(LedgerConfig config, ClockPtr clock, LogPtr log = nullptr,
+                     net::SimNetwork* network = nullptr);
+
+  /// Registers chaincode. Names must be unique.
+  Status register_contract(std::unique_ptr<SmartContract> contract);
+
+  /// Endorsement phase: every peer validates against its state replica; the
+  /// transaction enters the pending pool when the quorum endorses.
+  /// Validation failures return the contract's status verbatim.
+  Result<std::string> submit(const std::string& contract,
+                             std::map<std::string, std::string> args,
+                             const std::string& submitter);
+
+  /// Ordering/commit phase: drains (up to max_block_transactions of) the
+  /// pool into a block, runs the commit vote, appends, applies to state.
+  /// kFailedPrecondition when the pool is empty.
+  Result<CommitReceipt> commit_block();
+
+  /// Submit + immediate commit — the common path for provenance events.
+  Result<std::string> submit_and_commit(const std::string& contract,
+                                        std::map<std::string, std::string> args,
+                                        const std::string& submitter);
+
+  // --- queries ----------------------------------------------------------
+  const std::vector<Block>& chain() const { return chain_; }
+  const WorldState& state() const { return state_; }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t peer_count() const { return config_.peers.size(); }
+
+  /// Value in a contract namespace, or kNotFound.
+  Result<std::string> state_value(const std::string& contract,
+                                  const std::string& key) const;
+
+  /// Transactions matching a predicate, oldest first (audit queries).
+  std::vector<Transaction> find_transactions(
+      const std::function<bool(const Transaction&)>& predicate) const;
+
+  /// Full-chain integrity check: hash links, block hashes, Merkle roots.
+  Status validate_chain() const;
+
+  /// Testing hook: corrupt a committed transaction in place.
+  void tamper_for_test(std::size_t block_index, std::size_t tx_index,
+                       const std::string& key, const std::string& value);
+
+ private:
+  const SmartContract* find_contract(const std::string& name) const;
+  void charge_broadcast(std::size_t message_bytes);
+
+  LedgerConfig config_;
+  ClockPtr clock_;
+  LogPtr log_;
+  net::SimNetwork* network_;
+  IdGenerator ids_;
+  std::map<std::string, std::unique_ptr<SmartContract>> contracts_;
+  std::vector<Transaction> pending_;
+  std::vector<Block> chain_;
+  WorldState state_;
+};
+
+}  // namespace hc::blockchain

@@ -1,0 +1,127 @@
+#include "cache/cache.h"
+
+namespace hc::cache {
+
+Cache::Cache(std::size_t capacity, EvictionPolicy policy, ClockPtr clock)
+    : capacity_(capacity), policy_(policy), clock_(std::move(clock)) {}
+
+bool Cache::expired(const CacheEntry& entry) const {
+  return entry.expires_at != 0 && clock_->now() >= entry.expires_at;
+}
+
+void Cache::unlink(const std::string& key, Node& node) {
+  (void)key;
+  if (policy_ == EvictionPolicy::kLfu) {
+    by_frequency_.erase(node.freq_it);
+  } else {
+    order_.erase(node.order_it);
+  }
+}
+
+void Cache::touch(const std::string& key, Node& node) {
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+      order_.erase(node.order_it);
+      node.order_it = order_.insert(order_.end(), key);
+      break;
+    case EvictionPolicy::kLfu:
+      by_frequency_.erase(node.freq_it);
+      ++node.frequency;
+      node.freq_it = by_frequency_.emplace(node.frequency, key);
+      break;
+    case EvictionPolicy::kFifo:
+      break;  // insertion order only
+  }
+}
+
+void Cache::evict_one() {
+  if (policy_ == EvictionPolicy::kLfu) {
+    auto victim = by_frequency_.begin();
+    entries_.erase(victim->second);
+    by_frequency_.erase(victim);
+  } else {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  ++stats_.evictions;
+}
+
+void Cache::put(const std::string& key, Bytes value, SimTime ttl,
+                std::optional<std::uint64_t> version) {
+  if (capacity_ == 0) return;
+
+  SimTime expires_at = ttl == 0 ? 0 : clock_->now() + ttl;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Node& node = it->second;
+    std::uint64_t next_version = version.value_or(node.entry.version + 1);
+    node.entry = CacheEntry{std::move(value), next_version, expires_at};
+    touch(key, node);
+    return;
+  }
+
+  if (entries_.size() >= capacity_) evict_one();
+
+  Node node;
+  node.entry = CacheEntry{std::move(value), version.value_or(1), expires_at};
+  if (policy_ == EvictionPolicy::kLfu) {
+    node.frequency = 1;
+    node.freq_it = by_frequency_.emplace(1, key);
+  } else {
+    node.order_it = order_.insert(order_.end(), key);
+  }
+  entries_.emplace(key, std::move(node));
+}
+
+std::optional<CacheEntry> Cache::get(const std::string& key,
+                                     std::optional<std::uint64_t> min_version) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  Node& node = it->second;
+  if (expired(node.entry)) {
+    unlink(key, node);
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (min_version && node.entry.version < *min_version) {
+    // Version-validation consistency: the cached copy is stale; drop it.
+    unlink(key, node);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  touch(key, node);
+  ++stats_.hits;
+  return node.entry;
+}
+
+bool Cache::contains(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && !expired(it->second.entry);
+}
+
+bool Cache::invalidate(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  unlink(key, it->second);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+void Cache::clear() {
+  entries_.clear();
+  order_.clear();
+  by_frequency_.clear();
+}
+
+}  // namespace hc::cache

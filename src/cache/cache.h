@@ -1,0 +1,102 @@
+// In-memory cache with pluggable eviction, TTL expiry, and versioning.
+//
+// Section III: "Caching is a critically important feature for improving
+// performance. Note that it takes place at multiple parts of the
+// architecture, both at the clients and servers. Caching works best for
+// data which do not change frequently. If the data are changing frequently,
+// cache consistency algorithms need to be applied..."
+//
+// Consistency support here:
+//   - entries carry a version; readers can demand a minimum version
+//     (version-validation consistency),
+//   - entries may carry a TTL after which they expire (bounded staleness),
+//   - explicit invalidation for write-through/invalidate protocols
+//     (used by the multi-level composition in multilevel.h).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace hc::cache {
+
+enum class EvictionPolicy { kLru, kLfu, kFifo };
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t expirations = 0;
+
+  double hit_ratio() const {
+    std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+struct CacheEntry {
+  Bytes value;
+  std::uint64_t version = 0;
+  SimTime expires_at = 0;  // 0 = never
+};
+
+class Cache {
+ public:
+  /// `capacity` is the max entry count; zero capacity caches nothing but
+  /// still counts misses (useful as a "caching disabled" baseline).
+  Cache(std::size_t capacity, EvictionPolicy policy, ClockPtr clock);
+
+  /// Inserts/overwrites. `ttl` of 0 means no expiry. Increments the entry
+  /// version unless `version` is supplied explicitly.
+  void put(const std::string& key, Bytes value, SimTime ttl = 0,
+           std::optional<std::uint64_t> version = std::nullopt);
+
+  /// Returns the entry if present, unexpired, and (when `min_version` is
+  /// given) at least that fresh. Stale-but-present entries are evicted and
+  /// counted as expirations/invalidations.
+  std::optional<CacheEntry> get(const std::string& key,
+                                std::optional<std::uint64_t> min_version = std::nullopt);
+
+  /// Presence check that does not disturb recency/frequency bookkeeping.
+  bool contains(const std::string& key) const;
+
+  /// Removes one key (consistency protocol hook).
+  bool invalidate(const std::string& key);
+
+  /// Drops everything.
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Node {
+    CacheEntry entry;
+    std::list<std::string>::iterator order_it;          // LRU/FIFO position
+    std::multimap<std::uint64_t, std::string>::iterator freq_it;  // LFU position
+    std::uint64_t frequency = 0;
+  };
+
+  void evict_one();
+  void touch(const std::string& key, Node& node);
+  void unlink(const std::string& key, Node& node);
+  bool expired(const CacheEntry& entry) const;
+
+  std::size_t capacity_;
+  EvictionPolicy policy_;
+  ClockPtr clock_;
+  std::map<std::string, Node> entries_;
+  std::list<std::string> order_;  // front = next eviction candidate (LRU/FIFO)
+  std::multimap<std::uint64_t, std::string> by_frequency_;  // LFU index
+  CacheStats stats_;
+};
+
+}  // namespace hc::cache

@@ -1,0 +1,41 @@
+#include "cache/multilevel.h"
+
+namespace hc::cache {
+
+CacheHierarchy::CacheHierarchy(std::vector<Tier> tiers, OriginFetch fetch_origin,
+                               ClockPtr clock)
+    : tiers_(std::move(tiers)),
+      fetch_origin_(std::move(fetch_origin)),
+      clock_(std::move(clock)) {}
+
+Result<LookupOutcome> CacheHierarchy::get(const std::string& key, SimTime ttl) {
+  SimTime start = clock_->now();
+
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    clock_->advance(tiers_[i].access_latency);
+    auto entry = tiers_[i].cache->get(key);
+    if (entry) {
+      // Populate the tiers above the hit so subsequent reads stop earlier.
+      for (std::size_t j = 0; j < i; ++j) {
+        tiers_[j].cache->put(key, entry->value, ttl, entry->version);
+      }
+      return LookupOutcome{entry->value, tiers_[i].name, clock_->now() - start};
+    }
+  }
+
+  auto fetched = fetch_origin_(key);
+  if (!fetched.is_ok()) return fetched.status();
+  for (auto& tier : tiers_) tier.cache->put(key, *fetched, ttl);
+  return LookupOutcome{*fetched, "origin", clock_->now() - start};
+}
+
+void CacheHierarchy::put_through(const std::string& key, const Bytes& value,
+                                 std::uint64_t version, SimTime ttl) {
+  for (auto& tier : tiers_) tier.cache->put(key, value, ttl, version);
+}
+
+void CacheHierarchy::invalidate(const std::string& key) {
+  for (auto& tier : tiers_) tier.cache->invalidate(key);
+}
+
+}  // namespace hc::cache

@@ -1,0 +1,64 @@
+// Multi-level cache composition (Fig 4).
+//
+// "Our system employs caching at multiple levels and not just at the client
+// level." A CacheHierarchy stacks tiers — e.g. client memory, cloud-server
+// cache, knowledge-base cache — in front of an origin fetch. Each tier has
+// an access latency charged on the shared SimClock; a get() probes tiers in
+// order, falls through to the origin on a full miss, and populates every
+// tier on the way back. Invalidation propagates to all tiers (the paper's
+// cache-consistency requirement for mutable data).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/status.h"
+
+namespace hc::cache {
+
+struct Tier {
+  std::string name;       // "client", "server", "kb-cache"
+  Cache* cache = nullptr;  // not owned
+  SimTime access_latency = 0;  // charged per probe of this tier
+};
+
+struct LookupOutcome {
+  Bytes value;
+  std::string served_by;  // tier name or "origin"
+  SimTime latency = 0;    // total time charged for this lookup
+};
+
+class CacheHierarchy {
+ public:
+  /// `fetch_origin` is charged its own time internally (e.g. via SimNetwork)
+  /// and returns the authoritative value.
+  using OriginFetch = std::function<Result<Bytes>(const std::string& key)>;
+
+  CacheHierarchy(std::vector<Tier> tiers, OriginFetch fetch_origin, ClockPtr clock);
+
+  /// Probes tiers top-down; on a hit at tier i, populates tiers 0..i-1.
+  /// On a full miss, fetches from the origin and populates all tiers.
+  /// `ttl` applies to entries written on the way back.
+  Result<LookupOutcome> get(const std::string& key, SimTime ttl = 0);
+
+  /// Writes through: updates the origin is the caller's job; this updates
+  /// every tier with the new value/version so readers see it immediately.
+  void put_through(const std::string& key, const Bytes& value,
+                   std::uint64_t version, SimTime ttl = 0);
+
+  /// Removes the key from every tier.
+  void invalidate(const std::string& key);
+
+  std::size_t tier_count() const { return tiers_.size(); }
+  const Tier& tier(std::size_t i) const { return tiers_.at(i); }
+
+ private:
+  std::vector<Tier> tiers_;
+  OriginFetch fetch_origin_;
+  ClockPtr clock_;
+};
+
+}  // namespace hc::cache

@@ -1,0 +1,55 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace hc {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("hex_decode: invalid hex digit");
+}
+}  // namespace
+
+std::string hex_encode(const Bytes& b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("hex_decode: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) << 4 | hex_value(hex[i + 1])));
+  }
+  return out;
+}
+
+bool constant_time_equal(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+void secure_wipe(Bytes& b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+}
+
+}  // namespace hc

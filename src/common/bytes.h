@@ -1,0 +1,37 @@
+// Byte-buffer helpers shared across the platform.
+//
+// All binary payloads (ciphertext, hashes, serialized resources, container
+// images) travel as `hc::Bytes`. Helpers here convert to/from strings and
+// hex, and provide constant-time comparison for authentication tags.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hc {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Copies a string's characters into a byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Reinterprets a byte buffer as a std::string (no encoding checks).
+std::string to_string(const Bytes& b);
+
+/// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string hex_encode(const Bytes& b);
+
+/// Inverse of hex_encode. Throws std::invalid_argument on bad input.
+Bytes hex_decode(std::string_view hex);
+
+/// Comparison that does not short-circuit on the first mismatching byte.
+/// Use for MAC/signature verification so timing does not leak the prefix.
+bool constant_time_equal(const Bytes& a, const Bytes& b);
+
+/// Overwrites the buffer with zeros, then clears it. Part of the paper's
+/// "secure deletion of data" requirement (Section IV.B.1).
+void secure_wipe(Bytes& b);
+
+}  // namespace hc

@@ -1,0 +1,31 @@
+#include "common/clock.h"
+
+#include <stdexcept>
+
+namespace hc {
+
+void SimClock::advance(SimTime delta) {
+  if (delta < 0) throw std::invalid_argument("SimClock::advance: negative delta");
+  now_ += delta;
+}
+
+void SimClock::advance_to(SimTime t) {
+  if (t < now_) throw std::invalid_argument("SimClock::advance_to: time moved backwards");
+  now_ = t;
+}
+
+ClockPtr make_clock(SimTime start) { return std::make_shared<SimClock>(start); }
+
+std::string format_duration(SimTime t) {
+  char buf[64];
+  if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(t) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace hc

@@ -1,0 +1,52 @@
+// Simulated clock.
+//
+// The platform is a discrete-event simulation of a multi-instance cloud, so
+// all components share a logical clock instead of reading wall time. This
+// keeps tests and benchmarks deterministic and lets the network substrate
+// charge latency by advancing time explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hc {
+
+/// Microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+/// Shared logical clock. Components hold a shared_ptr and read `now()`;
+/// only the simulation driver (network, schedulers, tests) advances it.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimTime now() const { return now_; }
+
+  /// Moves time forward. Negative deltas are a programming error.
+  void advance(SimTime delta);
+
+  /// Jumps to an absolute time >= now().
+  void advance_to(SimTime t);
+
+ private:
+  SimTime now_ = 0;
+};
+
+using ClockPtr = std::shared_ptr<SimClock>;
+
+/// Convenience: a fresh clock starting at t=0.
+ClockPtr make_clock(SimTime start = 0);
+
+/// Renders a SimTime as "1.234ms" / "2.5s" / "17us" for logs and benches.
+std::string format_duration(SimTime t);
+
+}  // namespace hc

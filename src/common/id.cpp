@@ -1,0 +1,21 @@
+#include "common/id.h"
+
+#include <cstdio>
+
+namespace hc {
+
+std::string IdGenerator::next_uuid() {
+  auto r = [this] { return static_cast<unsigned>(rng_.uniform_int(0, 0xffff)); };
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04x%04x-%04x-4%03x-%04x-%04x%04x%04x",
+                r(), r(), r(), r() & 0xfff, (r() & 0x3fff) | 0x8000, r(), r(), r());
+  return buf;
+}
+
+std::string IdGenerator::next_labeled(const std::string& label) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "-%06llu", static_cast<unsigned long long>(counter_++));
+  return label + buf;
+}
+
+}  // namespace hc

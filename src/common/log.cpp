@@ -1,0 +1,49 @@
+#include "common/log.h"
+
+namespace hc {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kAudit: return "AUDIT";
+  }
+  return "UNKNOWN";
+}
+
+void LogService::log(LogLevel level, std::string component, std::string event,
+                     std::string detail) {
+  if (scrubber_) detail = scrubber_(detail);
+  records_.push_back(LogRecord{clock_->now(), level, std::move(component),
+                               std::move(event), std::move(detail)});
+}
+
+std::vector<LogRecord> LogService::by_component(const std::string& component) const {
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.component == component) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<LogRecord> LogService::by_event(const std::string& event) const {
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.event == event) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t LogService::count(LogLevel level) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.level == level) ++n;
+  }
+  return n;
+}
+
+LogPtr make_log(ClockPtr clock) { return std::make_shared<LogService>(std::move(clock)); }
+
+}  // namespace hc

@@ -1,0 +1,88 @@
+// Logging and Monitoring service substrate (Fig 1, Section II.A).
+//
+// The paper requires "secure log and monitoring data for both infrastructure
+// services as well as for platform services", with the constraint that
+// "logged events cannot contain sensitive data" (Section IV.E). LogService
+// is an in-memory structured sink that every component writes to; the audit
+// subsystem and tests query it. A pluggable scrubber enforces the
+// no-sensitive-data rule at write time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hc {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError, kAudit };
+
+std::string_view log_level_name(LogLevel level);
+
+struct LogRecord {
+  SimTime time = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;  // e.g. "ingestion", "gateway", "attestation"
+  std::string event;      // short machine-matchable event name
+  std::string detail;     // free text, scrubbed
+};
+
+class LogService {
+ public:
+  explicit LogService(ClockPtr clock) : clock_(std::move(clock)) {}
+
+  /// Scrubber runs over `detail` before storage; replace to enforce
+  /// project-specific redaction (the privacy module installs one that
+  /// masks identifiers).
+  using Scrubber = std::function<std::string(const std::string&)>;
+  void set_scrubber(Scrubber scrubber) { scrubber_ = std::move(scrubber); }
+
+  void log(LogLevel level, std::string component, std::string event,
+           std::string detail = "");
+
+  void debug(std::string component, std::string event, std::string detail = "") {
+    log(LogLevel::kDebug, std::move(component), std::move(event), std::move(detail));
+  }
+  void info(std::string component, std::string event, std::string detail = "") {
+    log(LogLevel::kInfo, std::move(component), std::move(event), std::move(detail));
+  }
+  void warn(std::string component, std::string event, std::string detail = "") {
+    log(LogLevel::kWarn, std::move(component), std::move(event), std::move(detail));
+  }
+  void error(std::string component, std::string event, std::string detail = "") {
+    log(LogLevel::kError, std::move(component), std::move(event), std::move(detail));
+  }
+  /// Audit-grade events feed Section IV.E auditability.
+  void audit(std::string component, std::string event, std::string detail = "") {
+    log(LogLevel::kAudit, std::move(component), std::move(event), std::move(detail));
+  }
+
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  /// All records for one component (audit/forensics queries).
+  std::vector<LogRecord> by_component(const std::string& component) const;
+
+  /// All records whose event matches exactly.
+  std::vector<LogRecord> by_event(const std::string& event) const;
+
+  std::size_t count(LogLevel level) const;
+  void clear() { records_.clear(); }
+
+  /// Testing hook: corrupt a stored record (log-integrity tests).
+  void tamper_for_test(std::size_t index, std::string detail) {
+    records_.at(index).detail = std::move(detail);
+  }
+
+ private:
+  ClockPtr clock_;
+  Scrubber scrubber_;
+  std::vector<LogRecord> records_;
+};
+
+using LogPtr = std::shared_ptr<LogService>;
+
+LogPtr make_log(ClockPtr clock);
+
+}  // namespace hc

@@ -1,0 +1,67 @@
+// Deterministic random number generation for simulation and workloads.
+//
+// Every stochastic component (network jitter, synthetic EMR generator,
+// service availability, JMF initialization) draws from an explicitly
+// seeded Rng so whole-platform runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal with given mean/stddev.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with given mean (for inter-arrival times).
+  double exponential(double mean);
+
+  /// Random byte buffer of length n.
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf(s) sampler over {0, ..., n-1}; rank 0 is the most popular item.
+/// Used by the caching benchmarks (Fig 4) to model skewed key popularity.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hc

@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace hc {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kIntegrityError: return "INTEGRITY_ERROR";
+    case StatusCode::kComplianceViolation: return "COMPLIANCE_VIOLATION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hc

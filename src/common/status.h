@@ -1,0 +1,114 @@
+// Lightweight Status / Result types.
+//
+// The platform distinguishes programming errors (exceptions, per the C++
+// Core Guidelines) from *expected* operational failures — a bundle that
+// fails validation, a permission check that denies, a cache miss on a
+// remote fetch. Expected failures are returned as values so callers are
+// forced to look at them.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hc {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,
+  kUnauthenticated,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kUnavailable,
+  kDataLoss,
+  kIntegrityError,
+  kComplianceViolation,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "PERMISSION_DENIED", ...).
+std::string_view status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "PERMISSION_DENIED: user lacks role".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Thrown by Result::value() when the result holds an error.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::logic_error("Result accessed with error status: " + status.to_string()),
+        status_(status) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Either a value of T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      status_ = Status(StatusCode::kInternal, "Result constructed from OK status");
+    }
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!value_) throw BadResultAccess(status_);
+    return *value_;
+  }
+  T& value() & {
+    if (!value_) throw BadResultAccess(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!value_) throw BadResultAccess(status_);
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hc

@@ -1,0 +1,66 @@
+// AES-128 (FIPS 197) in CBC mode with PKCS#7 padding, from scratch,
+// plus an encrypt-then-MAC authenticated mode.
+//
+// This is the platform's shared-key cipher for data at rest (data lake)
+// and the payload cipher inside secure channels. Section IV.B.1: data is
+// "first encrypted with a well-established shared key (public key
+// encryption is too expensive...)"; bench_crypto reproduces that cost gap.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace hc::crypto {
+
+constexpr std::size_t kAesBlockSize = 16;
+constexpr std::size_t kAesKeySize = 16;
+
+/// AES-128 key schedule + single-block ECB primitives. Exposed mainly for
+/// tests against FIPS-197 vectors; application code should use the CBC or
+/// authenticated interfaces below.
+class Aes128 {
+ public:
+  explicit Aes128(const Bytes& key);  // throws std::invalid_argument on size
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  std::uint8_t round_keys_[176];
+};
+
+/// CBC encrypt with PKCS#7 padding. `iv` must be 16 bytes; output is
+/// iv || ciphertext so decryption is self-contained.
+Bytes aes_cbc_encrypt(const Bytes& key, const Bytes& plaintext, const Bytes& iv);
+
+/// Convenience overload drawing a random IV from `rng`.
+Bytes aes_cbc_encrypt(const Bytes& key, const Bytes& plaintext, Rng& rng);
+
+/// Inverse of aes_cbc_encrypt. Throws std::invalid_argument on malformed
+/// input (bad length / bad padding).
+Bytes aes_cbc_decrypt(const Bytes& key, const Bytes& iv_and_ciphertext);
+
+/// Encrypt-then-MAC envelope: AES-128-CBC under enc_key, HMAC-SHA256 of the
+/// ciphertext under mac_key. This is the paper's "AES CBC mode (encryption
+/// and integrity)" recommendation.
+struct AuthenticatedCiphertext {
+  Bytes ciphertext;  // iv || cbc ciphertext
+  Bytes tag;         // 32-byte HMAC over ciphertext
+};
+
+AuthenticatedCiphertext aes_encrypt_authenticated(const Bytes& enc_key,
+                                                  const Bytes& mac_key,
+                                                  const Bytes& plaintext, Rng& rng);
+
+/// Verifies the tag (constant time) then decrypts. Returns
+/// kIntegrityError status via exception-free Result-like optional: here we
+/// throw on misuse but return empty on tag failure — callers must check.
+struct DecryptOutcome {
+  bool authentic = false;
+  Bytes plaintext;
+};
+
+DecryptOutcome aes_decrypt_authenticated(const Bytes& enc_key, const Bytes& mac_key,
+                                         const AuthenticatedCiphertext& ct);
+
+}  // namespace hc::crypto

@@ -1,0 +1,220 @@
+#include "crypto/asymmetric.h"
+
+#include <stdexcept>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace hc::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 mulmod(u64 a, u64 b, u64 m) { return static_cast<u64>(u128(a) * b % m); }
+
+u64 powmod(u64 base, u64 exp, u64 m) {
+  u64 result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// A 62-bit modular exponentiation underestimates the cost of production
+// RSA-2048 by roughly three orders of magnitude (2048-bit squarings over
+// 32 limbs vs one native word). The RSA data-path operations below pad each
+// exponentiation with extra powmod work so the *relative* cost ordering the
+// paper relies on (asymmetric >> symmetric >> MAC) is preserved in
+// benchmarks. DESIGN.md documents this calibration; key generation and
+// correctness are unaffected.
+constexpr int kModexpWorkFactor = 192;
+
+u64 powmod_calibrated(u64 base, u64 exp, u64 m) {
+  u64 result = powmod(base, exp, m);
+  volatile u64 sink = result;
+  for (int i = 1; i < kModexpWorkFactor; ++i) {
+    sink = powmod(sink + static_cast<u64>(i), exp, m);
+  }
+  return result;
+}
+
+bool miller_rabin(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  int r = 0;
+  while (d % 2 == 0) {
+    d /= 2;
+    ++r;
+  }
+  // Deterministic witness set for n < 3.3e24.
+  for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    u64 x = powmod(a % n, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+u64 random_prime(Rng& rng) {
+  for (;;) {
+    u64 candidate = static_cast<u64>(rng.uniform_int(1u << 30, (1u << 31) - 1)) | 1;
+    if (miller_rabin(candidate)) return candidate;
+  }
+}
+
+// Extended Euclid: returns x with a*x ≡ 1 (mod m), or 0 if not invertible.
+u64 modinv(u64 a, u64 m) {
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(m), new_r = static_cast<std::int64_t>(a);
+  while (new_r != 0) {
+    std::int64_t q = r / new_r;
+    std::int64_t tmp = t - q * new_t;
+    t = new_t;
+    new_t = tmp;
+    tmp = r - q * new_r;
+    r = new_r;
+    new_r = tmp;
+  }
+  if (r > 1) return 0;
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<u64>(t);
+}
+
+void put_u64_be(Bytes& out, u64 v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+u64 get_u64_be(const Bytes& in, std::size_t off) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[off + i];
+  return v;
+}
+
+constexpr std::size_t kChunk = 4;  // plaintext bytes per exponentiation
+
+}  // namespace
+
+std::string PublicKey::fingerprint() const {
+  Bytes material;
+  put_u64_be(material, n);
+  put_u64_be(material, e);
+  return hex_encode(sha256(material)).substr(0, 16);
+}
+
+KeyPair generate_keypair(Rng& rng) {
+  for (;;) {
+    u64 p = random_prime(rng);
+    u64 q = random_prime(rng);
+    if (p == q) continue;
+    u64 n = p * q;
+    u64 phi = (p - 1) * (q - 1);
+    u64 e = 65537;
+    u64 d = modinv(e, phi);
+    if (d == 0) continue;
+    return KeyPair{PublicKey{n, e}, PrivateKey{n, d}};
+  }
+}
+
+Bytes rsa_encrypt(const PublicKey& pub, const Bytes& plaintext) {
+  if (pub.n == 0) throw std::invalid_argument("rsa_encrypt: empty key");
+  Bytes out;
+  out.reserve((plaintext.size() / kChunk + 2) * 8);
+  // Length prefix chunk so decryption can strip padding exactly.
+  put_u64_be(out, powmod_calibrated(static_cast<u64>(plaintext.size()) % pub.n, pub.e, pub.n));
+  // NOTE: raw (unpadded) RSA per-chunk; fine for a cost model, not for security.
+  for (std::size_t off = 0; off < plaintext.size(); off += kChunk) {
+    u64 m = 0;
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      m = (m << 8) | (off + i < plaintext.size() ? plaintext[off + i] : 0);
+    }
+    put_u64_be(out, powmod_calibrated(m, pub.e, pub.n));
+  }
+  return out;
+}
+
+Bytes rsa_decrypt(const PrivateKey& priv, const Bytes& ciphertext) {
+  if (ciphertext.size() < 8 || ciphertext.size() % 8 != 0) {
+    throw std::invalid_argument("rsa_decrypt: malformed ciphertext");
+  }
+  u64 len = powmod_calibrated(get_u64_be(ciphertext, 0), priv.d, priv.n);
+  u64 max_len = (ciphertext.size() / 8 - 1) * kChunk;
+  if (len > max_len) throw std::invalid_argument("rsa_decrypt: bad length prefix");
+  Bytes out;
+  out.reserve(len);
+  for (std::size_t off = 8; off < ciphertext.size(); off += 8) {
+    u64 m = powmod_calibrated(get_u64_be(ciphertext, off), priv.d, priv.n);
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      out.push_back(static_cast<std::uint8_t>(m >> (8 * (kChunk - 1 - i))));
+    }
+  }
+  if (len > out.size()) throw std::invalid_argument("rsa_decrypt: bad length prefix");
+  out.resize(len);
+  return out;
+}
+
+Bytes rsa_sign(const PrivateKey& priv, const Bytes& data) {
+  Bytes digest = sha256(data);
+  Bytes sig;
+  sig.reserve((digest.size() / kChunk) * 8);
+  for (std::size_t off = 0; off < digest.size(); off += kChunk) {
+    u64 m = 0;
+    for (std::size_t i = 0; i < kChunk; ++i) m = (m << 8) | digest[off + i];
+    put_u64_be(sig, powmod_calibrated(m % priv.n, priv.d, priv.n));
+  }
+  return sig;
+}
+
+bool rsa_verify(const PublicKey& pub, const Bytes& data, const Bytes& signature) {
+  Bytes digest = sha256(data);
+  if (signature.size() != (digest.size() / kChunk) * 8) return false;
+  for (std::size_t block = 0; block * 8 < signature.size(); ++block) {
+    u64 recovered = powmod_calibrated(get_u64_be(signature, block * 8), pub.e, pub.n);
+    u64 expected = 0;
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      expected = (expected << 8) | digest[block * kChunk + i];
+    }
+    if (recovered != expected % pub.n) return false;
+  }
+  return true;
+}
+
+Envelope envelope_seal(const PublicKey& pub, const Bytes& plaintext, Rng& rng) {
+  Bytes session_key = rng.bytes(kAesKeySize);
+  Envelope env;
+  env.wrapped_key = rsa_encrypt(pub, session_key);
+  env.body = aes_cbc_encrypt(session_key, plaintext, rng);
+  env.tag = hmac_sha256(session_key, env.body);
+  secure_wipe(session_key);
+  return env;
+}
+
+Bytes envelope_open(const PrivateKey& priv, const Envelope& env) {
+  Bytes session_key = rsa_decrypt(priv, env.wrapped_key);
+  if (!hmac_verify(session_key, env.body, env.tag)) {
+    secure_wipe(session_key);
+    throw std::invalid_argument("envelope_open: integrity tag mismatch");
+  }
+  Bytes plain = aes_cbc_decrypt(session_key, env.body);
+  secure_wipe(session_key);
+  return plain;
+}
+
+}  // namespace hc::crypto

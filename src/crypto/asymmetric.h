@@ -1,0 +1,74 @@
+// Toy-scale RSA: keypairs, block encryption, signatures, hybrid envelopes.
+//
+// The platform needs asymmetric primitives in several places — client
+// upload certificates issued at registration (Section II.B), image and
+// container signing (Section IV.B.2), attestation quotes — and the paper's
+// explicit claim that "public key encryption is too expensive to maintain
+// the scalability of the system" motivates measuring its cost against AES.
+//
+// SECURITY NOTE: this RSA uses 62-bit moduli so it fits native arithmetic
+// (__int128 mulmod). It is *functionally* RSA — keygen, trapdoor, correct
+// cost *ordering* vs symmetric crypto — but offers no real-world security.
+// DESIGN.md records this substitution; swapping in a big-int RSA would not
+// change any API here.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace hc::crypto {
+
+struct PublicKey {
+  std::uint64_t n = 0;  // modulus
+  std::uint64_t e = 0;  // public exponent
+
+  /// Stable fingerprint used by key-approval lists (image management).
+  std::string fingerprint() const;
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+struct PrivateKey {
+  std::uint64_t n = 0;
+  std::uint64_t d = 0;  // private exponent
+};
+
+struct KeyPair {
+  PublicKey pub;
+  PrivateKey priv;
+};
+
+/// Generates a fresh keypair from two random ~31-bit primes.
+KeyPair generate_keypair(Rng& rng);
+
+/// Raw RSA on 4-byte chunks (each chunk value < n). Output is a sequence of
+/// 8-byte big-endian blocks. Deliberately chunk-per-exponentiation so the
+/// cost scales with payload size like real hybrid-free RSA would.
+Bytes rsa_encrypt(const PublicKey& pub, const Bytes& plaintext);
+Bytes rsa_decrypt(const PrivateKey& priv, const Bytes& ciphertext);
+
+/// Signature over sha256(data): the 32-byte digest is chunked and each chunk
+/// exponentiated with the private key.
+Bytes rsa_sign(const PrivateKey& priv, const Bytes& data);
+bool rsa_verify(const PublicKey& pub, const Bytes& data, const Bytes& signature);
+
+/// Hybrid envelope (what production systems actually do): fresh AES key,
+/// AES-CBC body, RSA-wrapped key, HMAC integrity tag. The tag implements
+/// the paper's Section IV.B.1 recommendation — "we recommend using HMACs
+/// instead of digital signatures" for upload integrity — keyed by the
+/// session secret so only the sealer and the key holder can produce it.
+struct Envelope {
+  Bytes wrapped_key;  // rsa_encrypt of the AES key
+  Bytes body;         // aes_cbc iv||ciphertext
+  Bytes tag;          // hmac_sha256(session_key, body)
+};
+
+Envelope envelope_seal(const PublicKey& pub, const Bytes& plaintext, Rng& rng);
+
+/// Unwraps, verifies the HMAC tag (constant time), then decrypts. Throws
+/// std::invalid_argument on integrity failure or malformed input.
+Bytes envelope_open(const PrivateKey& priv, const Envelope& env);
+
+}  // namespace hc::crypto

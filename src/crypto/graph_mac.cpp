@@ -1,0 +1,126 @@
+#include "crypto/graph_mac.h"
+
+#include <algorithm>
+#include <set>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace hc::crypto {
+
+Status RecordGraph::add_node(const std::string& id, Bytes payload) {
+  if (payloads.contains(id)) {
+    return Status(StatusCode::kAlreadyExists, "node exists: " + id);
+  }
+  payloads.emplace(id, std::move(payload));
+  edges.emplace(id, std::vector<std::string>{});
+  return Status::ok();
+}
+
+Status RecordGraph::add_edge(const std::string& from, const std::string& to) {
+  if (!payloads.contains(from) || !payloads.contains(to)) {
+    return Status(StatusCode::kNotFound, "edge endpoint missing");
+  }
+  auto& successors = edges[from];
+  if (std::find(successors.begin(), successors.end(), to) != successors.end()) {
+    return Status(StatusCode::kAlreadyExists, "duplicate edge");
+  }
+  successors.push_back(to);
+  return Status::ok();
+}
+
+namespace {
+
+/// Tag(v) = HMAC(key, id || payload || sorted child tags).
+Bytes node_tag(const Bytes& key, const std::string& id, const Bytes& payload,
+               std::vector<Bytes> child_tags) {
+  std::sort(child_tags.begin(), child_tags.end());
+  Bytes material = to_bytes(id);
+  material.push_back(0);
+  material.insert(material.end(), payload.begin(), payload.end());
+  material.push_back(0);
+  for (const auto& tag : child_tags) {
+    material.insert(material.end(), tag.begin(), tag.end());
+  }
+  return hmac_sha256(key, material);
+}
+
+enum class VisitState { kUnvisited, kInProgress, kDone };
+
+/// Post-order tag computation; returns false on a cycle.
+bool compute(const Bytes& key, const RecordGraph& graph, const std::string& node,
+             std::map<std::string, VisitState>& state,
+             std::map<std::string, Bytes>& tags) {
+  auto state_it = state.find(node);
+  if (state_it != state.end()) {
+    if (state_it->second == VisitState::kInProgress) return false;  // cycle
+    return true;
+  }
+  state[node] = VisitState::kInProgress;
+
+  std::vector<Bytes> child_tags;
+  auto edges_it = graph.edges.find(node);
+  if (edges_it != graph.edges.end()) {
+    for (const auto& child : edges_it->second) {
+      if (!graph.payloads.contains(child)) return false;  // dangling edge
+      if (!compute(key, graph, child, state, tags)) return false;
+      child_tags.push_back(tags.at(child));
+    }
+  }
+  tags[node] = node_tag(key, node, graph.payloads.at(node), std::move(child_tags));
+  state[node] = VisitState::kDone;
+  return true;
+}
+
+}  // namespace
+
+Result<GraphTags> mac_graph(const Bytes& key, const RecordGraph& graph) {
+  GraphTags result;
+  std::map<std::string, VisitState> state;
+  for (const auto& [id, payload] : graph.payloads) {
+    if (!compute(key, graph, id, state, result.tags)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "graph has a cycle or dangling edge");
+    }
+  }
+  return result;
+}
+
+bool verify_subgraph(const Bytes& key, const RecordGraph& subgraph,
+                     const std::string& root, const Bytes& expected_root_tag) {
+  if (!subgraph.payloads.contains(root)) return false;
+  std::map<std::string, VisitState> state;
+  std::map<std::string, Bytes> tags;
+  if (!compute(key, subgraph, root, state, tags)) return false;
+  return constant_time_equal(tags.at(root), expected_root_tag);
+}
+
+Result<RecordGraph> extract_subgraph(const RecordGraph& graph, const std::string& root) {
+  if (!graph.payloads.contains(root)) {
+    return Status(StatusCode::kNotFound, "no node " + root);
+  }
+  RecordGraph out;
+  std::set<std::string> visited;
+  std::vector<std::string> stack{root};
+  while (!stack.empty()) {
+    std::string node = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    (void)out.add_node(node, graph.payloads.at(node));
+    auto edges_it = graph.edges.find(node);
+    if (edges_it != graph.edges.end()) {
+      for (const auto& child : edges_it->second) stack.push_back(child);
+    }
+  }
+  // Second pass: edges among included nodes.
+  for (const auto& node : visited) {
+    auto edges_it = graph.edges.find(node);
+    if (edges_it == graph.edges.end()) continue;
+    for (const auto& child : edges_it->second) {
+      (void)out.add_edge(node, child);
+    }
+  }
+  return out;
+}
+
+}  // namespace hc::crypto

@@ -1,0 +1,56 @@
+// HMAC-based integrity for graph-structured HCLS data (Section IV.B.1,
+// after Arshad-Kundu-Bertino-Ghafoor [30]).
+//
+// Health records are frequently graphs — care pathways, provenance DAGs,
+// ontology fragments. A GraphMac authenticates a directed acyclic graph
+// under a shared HMAC key such that:
+//   - each node carries a tag binding its id, payload, and the tags of its
+//     direct successors (bottom-up), so tampering with any descendant
+//     payload or edge invalidates every ancestor's tag;
+//   - a *subgraph* reachable from any node can be shared and verified on
+//     its own (need-to-know sharing of record parts), without the verifier
+//     seeing the rest of the graph;
+//   - verification is keyed: only holders of the shared key can validate,
+//     matching the paper's HMAC-over-signature recommendation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hc::crypto {
+
+/// A DAG of records: node id -> payload, plus forward edges.
+struct RecordGraph {
+  std::map<std::string, Bytes> payloads;
+  std::map<std::string, std::vector<std::string>> edges;  // id -> successors
+
+  Status add_node(const std::string& id, Bytes payload);
+  /// Both endpoints must exist; duplicate edges rejected.
+  Status add_edge(const std::string& from, const std::string& to);
+};
+
+/// Per-node authentication tags for a RecordGraph.
+struct GraphTags {
+  std::map<std::string, Bytes> tags;  // node id -> 32-byte tag
+};
+
+/// Computes tags for every node, bottom-up. kInvalidArgument if the graph
+/// has a cycle (tags are defined only for DAGs).
+Result<GraphTags> mac_graph(const Bytes& key, const RecordGraph& graph);
+
+/// Verifies that the subgraph reachable from `root` in `subgraph` is
+/// authentic under `key`, given the root's expected tag. The subgraph must
+/// contain every node reachable from the root (tags bind the full
+/// downstream closure), but nothing else is needed.
+bool verify_subgraph(const Bytes& key, const RecordGraph& subgraph,
+                     const std::string& root, const Bytes& expected_root_tag);
+
+/// Extracts the closure of `root` from `graph` — the shareable part.
+Result<RecordGraph> extract_subgraph(const RecordGraph& graph, const std::string& root);
+
+}  // namespace hc::crypto

@@ -1,0 +1,35 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace hc::crypto {
+
+Bytes hmac_sha256(const Bytes& key, const Bytes& data) {
+  constexpr std::size_t kBlockSize = 64;
+
+  Bytes k = key;
+  if (k.size() > kBlockSize) k = sha256(k);
+  k.resize(kBlockSize, 0);
+
+  Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  Bytes inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+bool hmac_verify(const Bytes& key, const Bytes& data, const Bytes& tag) {
+  return constant_time_equal(hmac_sha256(key, data), tag);
+}
+
+}  // namespace hc::crypto

@@ -1,0 +1,18 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// The paper recommends "using HMACs instead of digital signatures" for
+// integrity of ingested HCLS data (Section IV.B.1); bench_crypto
+// quantifies that recommendation.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace hc::crypto {
+
+/// HMAC-SHA256 of `data` under `key`. 32-byte tag.
+Bytes hmac_sha256(const Bytes& key, const Bytes& data);
+
+/// Constant-time verification of a previously computed tag.
+bool hmac_verify(const Bytes& key, const Bytes& data, const Bytes& tag);
+
+}  // namespace hc::crypto

@@ -1,0 +1,164 @@
+#include "crypto/kms.h"
+
+#include "crypto/aes.h"
+
+namespace hc::crypto {
+
+KeyManagementService::KeyManagementService(std::string tenant, Rng rng, LogPtr log)
+    : tenant_(std::move(tenant)), rng_(rng), log_(std::move(log)) {}
+
+void KeyManagementService::audit(const std::string& event,
+                                 const std::string& detail) const {
+  if (log_) log_->audit("kms:" + tenant_, event, detail);
+}
+
+KeyId KeyManagementService::create_symmetric_key(const Principal& owner) {
+  KeyId id = "key-" + ids_.next_uuid();
+  ManagedKey key;
+  key.kind = KeyKind::kSymmetric;
+  key.owner = owner;
+  key.authorized.insert(owner);
+  key.symmetric_versions.push_back(rng_.bytes(kAesKeySize));
+  keys_.emplace(id, std::move(key));
+  audit("key_created", id + " owner=" + owner);
+  return id;
+}
+
+KeyId KeyManagementService::create_keypair(const Principal& owner) {
+  KeyId id = "keypair-" + ids_.next_uuid();
+  ManagedKey key;
+  key.kind = KeyKind::kAsymmetric;
+  key.owner = owner;
+  key.authorized.insert(owner);
+  key.asymmetric_versions.push_back(generate_keypair(rng_));
+  keys_.emplace(id, std::move(key));
+  audit("keypair_created", id + " owner=" + owner);
+  return id;
+}
+
+const KeyManagementService::ManagedKey* KeyManagementService::find(const KeyId& id) const {
+  auto it = keys_.find(id);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+KeyManagementService::ManagedKey* KeyManagementService::find(const KeyId& id) {
+  auto it = keys_.find(id);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+Status KeyManagementService::authorize(const KeyId& id, const Principal& owner,
+                                       const Principal& principal) {
+  ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->owner != owner) {
+    return Status(StatusCode::kPermissionDenied, "only the key owner may authorize");
+  }
+  key->authorized.insert(principal);
+  audit("key_authorized", id + " principal=" + principal);
+  return Status::ok();
+}
+
+Result<Bytes> KeyManagementService::symmetric_key(const KeyId& id,
+                                                  const Principal& principal) const {
+  const ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
+  if (key->kind != KeyKind::kSymmetric) {
+    return Status(StatusCode::kInvalidArgument, "not a symmetric key: " + id);
+  }
+  if (!key->authorized.contains(principal)) {
+    audit("key_access_denied", id + " principal=" + principal);
+    return Status(StatusCode::kPermissionDenied, principal + " not authorized for " + id);
+  }
+  audit("key_access", id + " principal=" + principal);
+  return key->symmetric_versions.back();
+}
+
+Result<Bytes> KeyManagementService::symmetric_key_version(
+    const KeyId& id, const Principal& principal, std::uint32_t version) const {
+  const ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
+  if (key->kind != KeyKind::kSymmetric) {
+    return Status(StatusCode::kInvalidArgument, "not a symmetric key: " + id);
+  }
+  if (!key->authorized.contains(principal)) {
+    return Status(StatusCode::kPermissionDenied, principal + " not authorized for " + id);
+  }
+  if (version == 0 || version > key->symmetric_versions.size()) {
+    return Status(StatusCode::kNotFound, "no such key version");
+  }
+  return key->symmetric_versions[version - 1];
+}
+
+Result<PublicKey> KeyManagementService::public_key(const KeyId& id) const {
+  const ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
+  if (key->kind != KeyKind::kAsymmetric) {
+    return Status(StatusCode::kInvalidArgument, "not a keypair: " + id);
+  }
+  return key->asymmetric_versions.back().pub;
+}
+
+Result<PrivateKey> KeyManagementService::private_key(const KeyId& id,
+                                                     const Principal& principal) const {
+  const ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
+  if (key->kind != KeyKind::kAsymmetric) {
+    return Status(StatusCode::kInvalidArgument, "not a keypair: " + id);
+  }
+  if (!key->authorized.contains(principal)) {
+    audit("key_access_denied", id + " principal=" + principal);
+    return Status(StatusCode::kPermissionDenied, principal + " not authorized for " + id);
+  }
+  audit("key_access", id + " principal=" + principal);
+  return key->asymmetric_versions.back().priv;
+}
+
+Status KeyManagementService::rotate(const KeyId& id, const Principal& owner) {
+  ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
+  if (key->owner != owner) {
+    return Status(StatusCode::kPermissionDenied, "only the key owner may rotate");
+  }
+  if (key->kind == KeyKind::kSymmetric) {
+    key->symmetric_versions.push_back(rng_.bytes(kAesKeySize));
+  } else {
+    key->asymmetric_versions.push_back(generate_keypair(rng_));
+  }
+  audit("key_rotated", id);
+  return Status::ok();
+}
+
+Status KeyManagementService::destroy(const KeyId& id, const Principal& owner) {
+  ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->owner != owner) {
+    return Status(StatusCode::kPermissionDenied, "only the key owner may destroy");
+  }
+  for (auto& version : key->symmetric_versions) secure_wipe(version);
+  key->symmetric_versions.clear();
+  key->asymmetric_versions.clear();
+  key->destroyed = true;
+  audit("key_shredded", id);
+  return Status::ok();
+}
+
+Result<std::uint32_t> KeyManagementService::version(const KeyId& id) const {
+  const ManagedKey* key = find(id);
+  if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
+  if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
+  std::size_t n = key->kind == KeyKind::kSymmetric ? key->symmetric_versions.size()
+                                                   : key->asymmetric_versions.size();
+  return static_cast<std::uint32_t>(n);
+}
+
+bool KeyManagementService::is_destroyed(const KeyId& id) const {
+  const ManagedKey* key = find(id);
+  return key && key->destroyed;
+}
+
+}  // namespace hc::crypto

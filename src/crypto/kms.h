@@ -1,0 +1,99 @@
+// Key Management System (Section IV.B.1).
+//
+// "A key management system is a single-tenant isolated system that is
+// dedicated only to a single customer or single instance of the regulated
+// system." The KMS here:
+//   - generates symmetric keys and asymmetric keypairs (statically at
+//     registration or dynamically per data-flow),
+//   - enforces need-to-know access: only authorized principals can fetch
+//     key material, and every access is auditable,
+//   - supports rotation with retained prior versions for decryption,
+//   - supports *crypto-shredding*: destroying a key renders all data
+//     encrypted under it unrecoverable, which is how the platform
+//     implements GDPR right-to-forget ("encryption-based record deletion").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/id.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/asymmetric.h"
+
+namespace hc::crypto {
+
+using KeyId = std::string;
+using Principal = std::string;
+
+enum class KeyKind { kSymmetric, kAsymmetric };
+
+class KeyManagementService {
+ public:
+  /// `tenant` scopes the instance (single-tenant isolation); `log` may be
+  /// null for tests that do not care about auditing.
+  KeyManagementService(std::string tenant, Rng rng, LogPtr log = nullptr);
+
+  /// Creates a 16-byte symmetric key owned (and authorized) by `owner`.
+  KeyId create_symmetric_key(const Principal& owner);
+
+  /// Creates an RSA keypair; the public half is world-readable.
+  KeyId create_keypair(const Principal& owner);
+
+  /// Grants `principal` access to the key. Only the owner may grant.
+  Status authorize(const KeyId& id, const Principal& owner, const Principal& principal);
+
+  /// Fetches current symmetric material. kPermissionDenied unless authorized;
+  /// kDataLoss if the key has been shredded.
+  Result<Bytes> symmetric_key(const KeyId& id, const Principal& principal) const;
+
+  /// Fetches a specific prior version (for decrypting old ciphertexts).
+  Result<Bytes> symmetric_key_version(const KeyId& id, const Principal& principal,
+                                      std::uint32_t version) const;
+
+  /// Public keys are not secret.
+  Result<PublicKey> public_key(const KeyId& id) const;
+
+  Result<PrivateKey> private_key(const KeyId& id, const Principal& principal) const;
+
+  /// Generates fresh material; prior versions remain fetchable.
+  Status rotate(const KeyId& id, const Principal& owner);
+
+  /// Crypto-shred: wipes *all* versions. Irreversible.
+  Status destroy(const KeyId& id, const Principal& owner);
+
+  /// Current version number (1-based), or error.
+  Result<std::uint32_t> version(const KeyId& id) const;
+
+  bool is_destroyed(const KeyId& id) const;
+  std::string_view tenant() const { return tenant_; }
+  std::size_t key_count() const { return keys_.size(); }
+
+ private:
+  struct ManagedKey {
+    KeyKind kind;
+    Principal owner;
+    std::set<Principal> authorized;
+    std::vector<Bytes> symmetric_versions;   // kSymmetric
+    std::vector<KeyPair> asymmetric_versions;  // kAsymmetric
+    bool destroyed = false;
+  };
+
+  const ManagedKey* find(const KeyId& id) const;
+  ManagedKey* find(const KeyId& id);
+  void audit(const std::string& event, const std::string& detail) const;
+
+  std::string tenant_;
+  mutable Rng rng_;
+  LogPtr log_;
+  IdGenerator ids_;
+  std::map<KeyId, ManagedKey> keys_;
+};
+
+}  // namespace hc::crypto

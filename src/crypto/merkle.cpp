@@ -1,0 +1,73 @@
+#include "crypto/merkle.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace hc::crypto {
+
+Bytes MerkleTree::hash_leaf(const Bytes& data) {
+  Sha256 h;
+  std::uint8_t tag = 0x00;
+  h.update(&tag, 1);
+  h.update(data);
+  return h.finalize();
+}
+
+Bytes MerkleTree::hash_interior(const Bytes& left, const Bytes& right) {
+  Sha256 h;
+  std::uint8_t tag = 0x01;
+  h.update(&tag, 1);
+  h.update(left);
+  h.update(right);
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) : leaf_count_(leaves.size()) {
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  if (level.empty()) level.push_back(sha256(Bytes{}));
+  levels_.push_back(level);
+
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Bytes> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      if (i + 1 < prev.size()) {
+        next.push_back(hash_interior(prev[i], prev[i + 1]));
+      } else {
+        next.push_back(prev[i]);  // promote odd node
+      }
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) throw std::out_of_range("MerkleTree::prove: bad index");
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.push_back(ProofNode{level[sibling], sibling < pos});
+    }
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Bytes& leaf_data, const MerkleProof& proof,
+                        const Bytes& root) {
+  Bytes current = hash_leaf(leaf_data);
+  for (const auto& node : proof) {
+    current = node.sibling_on_left ? hash_interior(node.hash, current)
+                                   : hash_interior(current, node.hash);
+  }
+  return constant_time_equal(current, root);
+}
+
+}  // namespace hc::crypto

@@ -1,0 +1,52 @@
+// Merkle hash tree with inclusion proofs.
+//
+// Section IV.B.1 discusses Merkle hash techniques for proving authenticity
+// of shared HCLS data (and their leakage problem, addressed by the
+// redactable signatures built on top of this tree in redactable.h).
+// Also used by the blockchain module for per-block transaction roots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace hc::crypto {
+
+/// One step of an inclusion proof: sibling hash + which side it is on.
+struct ProofNode {
+  Bytes hash;
+  bool sibling_on_left = false;
+};
+
+using MerkleProof = std::vector<ProofNode>;
+
+class MerkleTree {
+ public:
+  /// Builds a tree over the leaves' hashes. Odd nodes are promoted
+  /// (Bitcoin-style duplication is deliberately avoided to keep proofs
+  /// unambiguous). Empty input yields the hash of the empty string as root.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  const Bytes& root() const { return levels_.back().front(); }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for leaf `index`. Throws std::out_of_range.
+  MerkleProof prove(std::size_t index) const;
+
+  /// Verifies that `leaf_data` is at some position under `root` given
+  /// `proof`. Static so verifiers need no tree.
+  static bool verify(const Bytes& leaf_data, const MerkleProof& proof,
+                     const Bytes& root);
+
+  /// Hash used for leaves (domain-separated from interior nodes to prevent
+  /// second-preimage splicing attacks).
+  static Bytes hash_leaf(const Bytes& data);
+  static Bytes hash_interior(const Bytes& left, const Bytes& right);
+
+ private:
+  std::size_t leaf_count_;
+  std::vector<std::vector<Bytes>> levels_;  // levels_[0] = leaf hashes
+};
+
+}  // namespace hc::crypto

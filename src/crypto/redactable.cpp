@@ -1,0 +1,80 @@
+#include "crypto/redactable.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace hc::crypto {
+
+namespace {
+
+Bytes commit(std::size_t index, const Bytes& salt, const Bytes& content) {
+  Sha256 h;
+  std::uint8_t idx[8];
+  for (int i = 0; i < 8; ++i) idx[i] = static_cast<std::uint8_t>(index >> (56 - 8 * i));
+  h.update(idx, 8);
+  h.update(salt);
+  h.update(content);
+  return h.finalize();
+}
+
+Bytes commitment_transcript(const RedactableDocument& doc) {
+  Sha256 h;
+  for (const auto& part : doc.parts) h.update(part.commitment);
+  return h.finalize();
+}
+
+}  // namespace
+
+RedactableDocument redactable_sign(const PrivateKey& key,
+                                   const std::vector<Bytes>& parts, Rng& rng) {
+  RedactableDocument doc;
+  doc.parts.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    RedactablePart p;
+    p.salt = rng.bytes(32);
+    p.content = parts[i];
+    p.commitment = commit(i, *p.salt, *p.content);
+    doc.parts.push_back(std::move(p));
+  }
+  doc.signature = rsa_sign(key, commitment_transcript(doc));
+  return doc;
+}
+
+void redact(RedactableDocument& doc, std::size_t index) {
+  if (index >= doc.parts.size()) {
+    throw std::out_of_range("redact: part index out of range");
+  }
+  doc.parts[index].content.reset();
+  doc.parts[index].salt.reset();
+}
+
+RedactableVerdict redactable_verify(const PublicKey& key,
+                                    const RedactableDocument& doc) {
+  if (!rsa_verify(key, commitment_transcript(doc), doc.signature)) {
+    return RedactableVerdict::kBadSignature;
+  }
+  for (std::size_t i = 0; i < doc.parts.size(); ++i) {
+    const auto& part = doc.parts[i];
+    if (part.content.has_value() != part.salt.has_value()) {
+      return RedactableVerdict::kBadCommitment;
+    }
+    if (part.content) {
+      Bytes expected = commit(i, *part.salt, *part.content);
+      if (!constant_time_equal(expected, part.commitment)) {
+        return RedactableVerdict::kBadCommitment;
+      }
+    }
+  }
+  return RedactableVerdict::kValid;
+}
+
+std::size_t intact_count(const RedactableDocument& doc) {
+  std::size_t n = 0;
+  for (const auto& part : doc.parts) {
+    if (part.content) ++n;
+  }
+  return n;
+}
+
+}  // namespace hc::crypto

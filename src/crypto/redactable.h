@@ -1,0 +1,63 @@
+// Leakage-free redactable signatures (after Kundu-Atallah-Bertino, refs
+// [27][28] in the paper).
+//
+// HCLS data "is shared in parts and not as a whole"; plain Merkle
+// hash/signature schemes leak information about redacted parts (e.g. their
+// position and hash, enabling dictionary confirmation). This scheme signs
+// per-part *salted commitments* so that:
+//   - a verifier of a redacted document learns nothing about the content of
+//     redacted parts (the commitment is hiding: H(salt || content) with a
+//     random 32-byte salt), and
+//   - a redacted document's signature still verifies without the signer's
+//     involvement, and
+//   - parts cannot be reordered, substituted, or un-redacted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/asymmetric.h"
+
+namespace hc::crypto {
+
+/// One part of a (possibly redacted) document.
+struct RedactablePart {
+  /// Present iff the part has not been redacted.
+  std::optional<Bytes> content;
+  /// Salt revealed for intact parts, absent for redacted ones.
+  std::optional<Bytes> salt;
+  /// Commitment H(index || salt || content). Always present; for intact
+  /// parts it is recomputable, carried for redacted ones.
+  Bytes commitment;
+};
+
+struct RedactableDocument {
+  std::vector<RedactablePart> parts;
+  Bytes signature;  // rsa signature over the ordered commitment list
+};
+
+/// Signs the ordered parts and returns a fully-intact document.
+RedactableDocument redactable_sign(const PrivateKey& key,
+                                   const std::vector<Bytes>& parts, Rng& rng);
+
+/// Removes the content+salt of `index` (repeatable; already-redacted is a
+/// no-op). The signature remains valid.
+void redact(RedactableDocument& doc, std::size_t index);
+
+enum class RedactableVerdict {
+  kValid,         // signature good, all intact parts consistent
+  kBadSignature,  // commitment list does not match signature
+  kBadCommitment, // some intact part's content does not match its commitment
+};
+
+RedactableVerdict redactable_verify(const PublicKey& key,
+                                    const RedactableDocument& doc);
+
+/// Number of parts still readable.
+std::size_t intact_count(const RedactableDocument& doc);
+
+}  // namespace hc::crypto

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used platform-wide: HMAC, Merkle trees, blockchain block hashes,
+// TPM PCR extension, image measurement, redactable-signature commitments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace hc::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const Bytes& data);
+  void update(std::string_view data);
+  void update(const std::uint8_t* data, std::size_t len);
+
+  /// Finalizes and returns the 32-byte digest. The hasher must not be
+  /// reused after finalize().
+  Bytes finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience.
+Bytes sha256(const Bytes& data);
+Bytes sha256(std::string_view data);
+
+/// sha256(a || b) — common pattern for tree/chain hashing.
+Bytes sha256_concat(const Bytes& a, const Bytes& b);
+
+}  // namespace hc::crypto

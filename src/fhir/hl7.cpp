@@ -1,0 +1,130 @@
+#include "fhir/hl7.h"
+
+#include <cstdlib>
+
+#include <vector>
+
+namespace hc::fhir {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+std::string field_or(const std::vector<std::string>& fields, std::size_t i) {
+  return i < fields.size() ? fields[i] : std::string();
+}
+
+std::string gender_from_hl7(const std::string& g) {
+  if (g == "M") return "male";
+  if (g == "F") return "female";
+  if (g == "O") return "other";
+  return g;
+}
+
+std::string gender_to_hl7(const std::string& g) {
+  if (g == "male") return "M";
+  if (g == "female") return "F";
+  if (g == "other") return "O";
+  return g;
+}
+
+}  // namespace
+
+Result<Bundle> hl7v2_to_bundle(const std::string& message,
+                               const std::string& bundle_id) {
+  Bundle bundle;
+  bundle.id = bundle_id;
+
+  // HL7v2 separates segments with '\r'; accept '\n' too for convenience.
+  std::vector<std::string> segments;
+  std::string current;
+  for (char c : message) {
+    if (c == '\r' || c == '\n') {
+      if (!current.empty()) segments.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) segments.push_back(std::move(current));
+
+  int obx_counter = 0;
+  for (const std::string& line : segments) {
+
+    auto fields = split(line, '|');
+    const std::string& segment = fields[0];
+    if (segment == "MSH") continue;  // framing only
+
+    if (segment == "PID") {
+      Patient p;
+      p.id = field_or(fields, 2);
+      p.name = field_or(fields, 3);
+      p.birth_date = field_or(fields, 4);
+      p.gender = gender_from_hl7(field_or(fields, 5));
+      p.address = field_or(fields, 6);
+      p.zip = field_or(fields, 7);
+      p.phone = field_or(fields, 8);
+      p.ssn = field_or(fields, 9);
+      p.age = std::atoi(field_or(fields, 10).c_str());
+      if (p.id.empty()) {
+        return Status(StatusCode::kInvalidArgument, "PID segment missing patient id");
+      }
+      bundle.resources.emplace_back(std::move(p));
+    } else if (segment == "OBX") {
+      Observation o;
+      o.id = bundle_id + "-obx-" + std::to_string(++obx_counter);
+      o.patient_id = field_or(fields, 2);
+      o.code = field_or(fields, 3);
+      o.value = std::strtod(field_or(fields, 4).c_str(), nullptr);
+      o.unit = field_or(fields, 5);
+      o.effective_date = field_or(fields, 6);
+      if (o.patient_id.empty() || o.code.empty()) {
+        return Status(StatusCode::kInvalidArgument, "OBX segment missing fields");
+      }
+      bundle.resources.emplace_back(std::move(o));
+    } else {
+      return Status(StatusCode::kInvalidArgument, "unknown HL7 segment: " + segment);
+    }
+  }
+  return bundle;
+}
+
+Result<std::string> bundle_to_hl7v2(const Bundle& bundle) {
+  std::string out = "MSH|^~\\&|healthcloud||" + bundle.id + "\r";
+  int pid_set = 0;
+  int obx_set = 0;
+
+  for (const auto& resource : bundle.resources) {
+    if (const auto* p = std::get_if<Patient>(&resource)) {
+      out += "PID|" + std::to_string(++pid_set) + "|" + p->id + "|" + p->name + "|" +
+             p->birth_date + "|" + gender_to_hl7(p->gender) + "|" + p->address + "|" +
+             p->zip + "|" + p->phone + "|" + p->ssn + "|" + std::to_string(p->age) +
+             "\r";
+    } else if (const auto* o = std::get_if<Observation>(&resource)) {
+      char value[32];
+      std::snprintf(value, sizeof(value), "%g", o->value);
+      out += "OBX|" + std::to_string(++obx_set) + "|" + o->patient_id + "|" + o->code +
+             "|" + value + "|" + o->unit + "|" + o->effective_date + "\r";
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    std::string("HL7v2 adapter cannot render ") +
+                        std::string(resource_type_name(resource)));
+    }
+  }
+  return out;
+}
+
+}  // namespace hc::fhir

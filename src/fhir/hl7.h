@@ -1,0 +1,30 @@
+// HL7 v2 pipe-delimited adapter (Section II.B).
+//
+// "the system can be easily extended to support any other format by writing
+// adapters that transform data from one exchange format to another, e.g.
+// from HL7 to FHIR and back." This adapter handles a pragmatic subset of
+// HL7v2: MSH (ignored beyond framing), PID (demographics) and OBX (lab
+// observations), the segments our ingestion workloads carry.
+//
+// Simplified segment grammar (fields are '|' separated):
+//   PID|<set>|<patient_id>|<name>|<birth_date YYYY-MM-DD>|<gender M/F/O>|
+//       <address>|<zip>|<phone>|<ssn>|<age>
+//   OBX|<set>|<patient_id>|<code>|<value>|<unit>|<date YYYY-MM-DD>
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "fhir/resources.h"
+
+namespace hc::fhir {
+
+/// Converts an HL7v2 message (segments separated by '\r' or '\n') into a
+/// FHIR Bundle. kInvalidArgument on unknown segments or missing fields.
+Result<Bundle> hl7v2_to_bundle(const std::string& message, const std::string& bundle_id);
+
+/// Inverse adapter: renders the bundle's Patients and Observations as HL7v2
+/// segments ("...and back"). Other resource types are kInvalidArgument.
+Result<std::string> bundle_to_hl7v2(const Bundle& bundle);
+
+}  // namespace hc::fhir

@@ -1,0 +1,279 @@
+#include "fhir/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace hc::fhir {
+
+namespace {
+const Json kNullJson;
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  if (!is_object()) return kNullJson;
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? kNullJson : it->second;
+}
+
+std::string Json::string_or(const std::string& key, std::string fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_number() ? v.as_number() : fallback;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    double d = v.as_number();
+    char buf[32];
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+    }
+    out += buf;
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out.push_back('[');
+    const auto& arr = v.as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out.push_back(',');
+      dump_value(arr[i], out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    const auto& obj = v.as_object();
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(key, out);
+      out.push_back(':');
+      dump_value(value, out);
+    }
+    out.push_back('}');
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value.is_ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters");
+    return value;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    return Status(StatusCode::kInvalidArgument,
+                  "json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.is_ok()) return s.status();
+        return Json(std::move(*s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Json(true);
+        }
+        return error("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Json(false);
+        }
+        return error("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Json(nullptr);
+        }
+        return error("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return error("bad escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return error("bad \\u escape");
+            }
+            // BMP-only, encoded as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default: return error("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Result<Json> parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected value");
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return error("bad number: " + num);
+    return Json(d);
+  }
+
+  Result<Json> parse_array() {
+    consume('[');
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    for (;;) {
+      skip_ws();
+      auto v = parse_value();
+      if (!v.is_ok()) return v;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return Json(std::move(arr));
+      if (!consume(',')) return error("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> parse_object() {
+    consume('{');
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.is_ok()) return key.status();
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      skip_ws();
+      auto v = parse_value();
+      if (!v.is_ok()) return v;
+      obj.emplace(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return Json(std::move(obj));
+      if (!consume(',')) return error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Result<Json> parse_json(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace hc::fhir

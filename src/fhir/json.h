@@ -1,0 +1,69 @@
+// Minimal JSON value model, parser and emitter.
+//
+// The ingestion format is a compact FHIR-like JSON (Section II.B adopts
+// FHIR as the exchange format). Only the JSON subset the resource model
+// needs is implemented: null, bool, number, string, array, object, with
+// standard escape handling for strings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hc::fhir {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}        // NOLINT
+  Json(bool b) : value_(b) {}                      // NOLINT
+  Json(double d) : value_(d) {}                    // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}    // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}      // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}     // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+  JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  /// Object field access; returns null Json for missing keys.
+  const Json& operator[](const std::string& key) const;
+
+  /// Convenience getters with defaults (for tolerant resource parsing).
+  std::string string_or(const std::string& key, std::string fallback) const;
+  double number_or(const std::string& key, double fallback) const;
+
+  std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+/// Parses a complete JSON document. kInvalidArgument with a position hint
+/// on malformed input (trailing garbage is an error).
+Result<Json> parse_json(std::string_view text);
+
+}  // namespace hc::fhir

@@ -1,0 +1,275 @@
+#include "fhir/resources.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace hc::fhir {
+
+std::string_view resource_type_name(const Resource& resource) {
+  struct Visitor {
+    std::string_view operator()(const Patient&) const { return "Patient"; }
+    std::string_view operator()(const Observation&) const { return "Observation"; }
+    std::string_view operator()(const MedicationRequest&) const {
+      return "MedicationRequest";
+    }
+    std::string_view operator()(const Condition&) const { return "Condition"; }
+  };
+  return std::visit(Visitor{}, resource);
+}
+
+Json to_json(const Patient& p) {
+  return Json(JsonObject{
+      {"resourceType", "Patient"},
+      {"id", p.id},
+      {"name", p.name},
+      {"ssn", p.ssn},
+      {"phone", p.phone},
+      {"email", p.email},
+      {"address", p.address},
+      {"birthDate", p.birth_date},
+      {"gender", p.gender},
+      {"zip", p.zip},
+      {"age", p.age},
+  });
+}
+
+Json to_json(const Observation& o) {
+  return Json(JsonObject{
+      {"resourceType", "Observation"},
+      {"id", o.id},
+      {"patientId", o.patient_id},
+      {"code", o.code},
+      {"value", o.value},
+      {"unit", o.unit},
+      {"effectiveDate", o.effective_date},
+  });
+}
+
+Json to_json(const MedicationRequest& m) {
+  return Json(JsonObject{
+      {"resourceType", "MedicationRequest"},
+      {"id", m.id},
+      {"patientId", m.patient_id},
+      {"drug", m.drug},
+      {"startDate", m.start_date},
+      {"daysSupply", m.days_supply},
+  });
+}
+
+Json to_json(const Condition& c) {
+  return Json(JsonObject{
+      {"resourceType", "Condition"},
+      {"id", c.id},
+      {"patientId", c.patient_id},
+      {"code", c.code},
+      {"onsetDate", c.onset_date},
+  });
+}
+
+Json to_json(const Bundle& bundle) {
+  JsonArray entries;
+  entries.reserve(bundle.resources.size());
+  for (const auto& resource : bundle.resources) {
+    entries.push_back(std::visit([](const auto& r) { return to_json(r); }, resource));
+  }
+  return Json(JsonObject{
+      {"resourceType", "Bundle"},
+      {"id", bundle.id},
+      {"entry", std::move(entries)},
+  });
+}
+
+Bytes serialize_bundle(const Bundle& bundle) { return to_bytes(to_json(bundle).dump()); }
+
+namespace {
+
+Patient patient_from_json(const Json& j) {
+  Patient p;
+  p.id = j.string_or("id", "");
+  p.name = j.string_or("name", "");
+  p.ssn = j.string_or("ssn", "");
+  p.phone = j.string_or("phone", "");
+  p.email = j.string_or("email", "");
+  p.address = j.string_or("address", "");
+  p.birth_date = j.string_or("birthDate", "");
+  p.gender = j.string_or("gender", "");
+  p.zip = j.string_or("zip", "");
+  p.age = static_cast<int>(j.number_or("age", 0));
+  return p;
+}
+
+Observation observation_from_json(const Json& j) {
+  Observation o;
+  o.id = j.string_or("id", "");
+  o.patient_id = j.string_or("patientId", "");
+  o.code = j.string_or("code", "");
+  o.value = j.number_or("value", 0.0);
+  o.unit = j.string_or("unit", "");
+  o.effective_date = j.string_or("effectiveDate", "");
+  return o;
+}
+
+MedicationRequest medication_from_json(const Json& j) {
+  MedicationRequest m;
+  m.id = j.string_or("id", "");
+  m.patient_id = j.string_or("patientId", "");
+  m.drug = j.string_or("drug", "");
+  m.start_date = j.string_or("startDate", "");
+  m.days_supply = static_cast<int>(j.number_or("daysSupply", 0));
+  return m;
+}
+
+Condition condition_from_json(const Json& j) {
+  Condition c;
+  c.id = j.string_or("id", "");
+  c.patient_id = j.string_or("patientId", "");
+  c.code = j.string_or("code", "");
+  c.onset_date = j.string_or("onsetDate", "");
+  return c;
+}
+
+bool valid_date(const std::string& s) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  for (std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  int month = (s[5] - '0') * 10 + (s[6] - '0');
+  int day = (s[8] - '0') * 10 + (s[9] - '0');
+  return month >= 1 && month <= 12 && day >= 1 && day <= 31;
+}
+
+}  // namespace
+
+Result<Bundle> parse_bundle(const Bytes& data) {
+  auto doc = parse_json(to_string(data));
+  if (!doc.is_ok()) return doc.status();
+  const Json& root = *doc;
+  if (root.string_or("resourceType", "") != "Bundle") {
+    return Status(StatusCode::kInvalidArgument, "top-level resource is not a Bundle");
+  }
+
+  Bundle bundle;
+  bundle.id = root.string_or("id", "");
+  const Json& entries = root["entry"];
+  if (!entries.is_array()) {
+    return Status(StatusCode::kInvalidArgument, "bundle has no entry array");
+  }
+  for (const Json& entry : entries.as_array()) {
+    std::string type = entry.string_or("resourceType", "");
+    if (type == "Patient") {
+      bundle.resources.emplace_back(patient_from_json(entry));
+    } else if (type == "Observation") {
+      bundle.resources.emplace_back(observation_from_json(entry));
+    } else if (type == "MedicationRequest") {
+      bundle.resources.emplace_back(medication_from_json(entry));
+    } else if (type == "Condition") {
+      bundle.resources.emplace_back(condition_from_json(entry));
+    } else {
+      return Status(StatusCode::kInvalidArgument, "unknown resourceType: " + type);
+    }
+  }
+  return bundle;
+}
+
+Status validate_bundle(const Bundle& bundle) {
+  if (bundle.id.empty()) {
+    return Status(StatusCode::kInvalidArgument, "bundle id missing");
+  }
+  if (bundle.resources.empty()) {
+    return Status(StatusCode::kInvalidArgument, "bundle is empty");
+  }
+
+  struct Validator {
+    Status operator()(const Patient& p) const {
+      if (p.id.empty()) return Status(StatusCode::kInvalidArgument, "patient id missing");
+      if (!p.birth_date.empty() && !valid_date(p.birth_date)) {
+        return Status(StatusCode::kInvalidArgument,
+                      "patient birthDate malformed: " + p.birth_date);
+      }
+      if (!p.gender.empty() && p.gender != "male" && p.gender != "female" &&
+          p.gender != "other") {
+        return Status(StatusCode::kInvalidArgument, "unknown gender: " + p.gender);
+      }
+      if (p.age < 0 || p.age > 130) {
+        return Status(StatusCode::kInvalidArgument, "implausible age");
+      }
+      return Status::ok();
+    }
+    Status operator()(const Observation& o) const {
+      if (o.id.empty()) return Status(StatusCode::kInvalidArgument, "observation id missing");
+      if (o.patient_id.empty()) {
+        return Status(StatusCode::kInvalidArgument, "observation has no patient reference");
+      }
+      if (o.code.empty()) {
+        return Status(StatusCode::kInvalidArgument, "observation has no code");
+      }
+      if (!std::isfinite(o.value)) {
+        return Status(StatusCode::kInvalidArgument, "observation value not finite");
+      }
+      if (!o.effective_date.empty() && !valid_date(o.effective_date)) {
+        return Status(StatusCode::kInvalidArgument, "observation date malformed");
+      }
+      return Status::ok();
+    }
+    Status operator()(const MedicationRequest& m) const {
+      if (m.id.empty()) {
+        return Status(StatusCode::kInvalidArgument, "medicationRequest id missing");
+      }
+      if (m.patient_id.empty()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "medicationRequest has no patient reference");
+      }
+      if (m.drug.empty()) {
+        return Status(StatusCode::kInvalidArgument, "medicationRequest has no drug");
+      }
+      if (m.days_supply < 0) {
+        return Status(StatusCode::kInvalidArgument, "negative daysSupply");
+      }
+      return Status::ok();
+    }
+    Status operator()(const Condition& c) const {
+      if (c.id.empty()) return Status(StatusCode::kInvalidArgument, "condition id missing");
+      if (c.patient_id.empty()) {
+        return Status(StatusCode::kInvalidArgument, "condition has no patient reference");
+      }
+      if (c.code.empty()) {
+        return Status(StatusCode::kInvalidArgument, "condition has no code");
+      }
+      return Status::ok();
+    }
+  };
+
+  for (const auto& resource : bundle.resources) {
+    if (Status s = std::visit(Validator{}, resource); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+privacy::FieldMap patient_fields(const Patient& p) {
+  return privacy::FieldMap{
+      {"patient_id", p.id}, {"name", p.name},           {"ssn", p.ssn},
+      {"phone", p.phone},   {"email", p.email},         {"address", p.address},
+      {"birth_date", p.birth_date}, {"gender", p.gender}, {"zip", p.zip},
+      {"age", std::to_string(p.age)},
+  };
+}
+
+Patient apply_deidentified_fields(const privacy::FieldMap& fields,
+                                  const std::string& pseudonym) {
+  Patient p;
+  p.id = pseudonym;
+  auto get = [&fields](const char* key) {
+    auto it = fields.find(key);
+    return it == fields.end() ? std::string() : it->second;
+  };
+  p.birth_date = "";  // removed; generalized birth year may live in fields
+  p.gender = get("gender");
+  p.zip = get("zip");
+  // Generalized age bands are strings like "30-34"; keep the lower bound as
+  // a representative numeric age for schema compatibility.
+  std::string age = get("age");
+  p.age = std::atoi(age.c_str());
+  return p;
+}
+
+}  // namespace hc::fhir

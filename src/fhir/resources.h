@@ -1,0 +1,101 @@
+// Compact FHIR-like resource model (Section II.B).
+//
+// "Our system adopts FHIR as the data ingestion format; this is not a
+// limitation of the system as the system can be easily extended to support
+// any other format by writing adapters" — the HL7v2 adapter in hl7.h is
+// that extension point. The resource set covers what the platform's
+// applications need: demographics (Patient), labs (Observation),
+// prescriptions (MedicationRequest) and diagnoses (Condition), shipped in
+// Bundles.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "fhir/json.h"
+#include "privacy/schema.h"
+
+namespace hc::fhir {
+
+struct Patient {
+  std::string id;
+  std::string name;
+  std::string ssn;
+  std::string phone;
+  std::string email;
+  std::string address;
+  std::string birth_date;  // YYYY-MM-DD
+  std::string gender;      // "male" | "female" | "other"
+  std::string zip;         // 5 digits
+  int age = 0;
+};
+
+struct Observation {
+  std::string id;
+  std::string patient_id;
+  std::string code;            // e.g. "hba1c", "glucose"
+  double value = 0.0;
+  std::string unit;            // e.g. "%"
+  std::string effective_date;  // YYYY-MM-DD
+};
+
+struct MedicationRequest {
+  std::string id;
+  std::string patient_id;
+  std::string drug;        // e.g. "metformin"
+  std::string start_date;  // YYYY-MM-DD
+  int days_supply = 0;
+};
+
+struct Condition {
+  std::string id;
+  std::string patient_id;
+  std::string code;        // e.g. "type-2-diabetes"
+  std::string onset_date;  // YYYY-MM-DD
+};
+
+using Resource = std::variant<Patient, Observation, MedicationRequest, Condition>;
+
+struct Bundle {
+  std::string id;
+  std::vector<Resource> resources;
+};
+
+/// Resource type tag used in the JSON encoding ("Patient", ...).
+std::string_view resource_type_name(const Resource& resource);
+
+// --- JSON serde -------------------------------------------------------
+Json to_json(const Patient& p);
+Json to_json(const Observation& o);
+Json to_json(const MedicationRequest& m);
+Json to_json(const Condition& c);
+Json to_json(const Bundle& bundle);
+
+/// Serializes a bundle for the wire/storage.
+Bytes serialize_bundle(const Bundle& bundle);
+
+/// Parses a bundle. kInvalidArgument on malformed JSON or unknown
+/// resourceType entries.
+Result<Bundle> parse_bundle(const Bytes& data);
+
+// --- validation -------------------------------------------------------
+/// Section II.B step "validation/curation of the data": structural checks
+/// (ids present, references resolvable within the bundle or non-empty,
+/// dates shaped YYYY-MM-DD, lab values finite, known genders).
+Status validate_bundle(const Bundle& bundle);
+
+// --- privacy bridge ----------------------------------------------------
+/// Flattens a Patient into the FieldMap shape the privacy module consumes.
+privacy::FieldMap patient_fields(const Patient& p);
+
+/// Applies de-identified fields back onto a Patient (identifiers blanked,
+/// quasi-identifiers replaced by their generalized strings — age moves into
+/// `birth_date`-free representation, so the result carries them in zip/
+/// gender and the pseudonym in `id`).
+Patient apply_deidentified_fields(const privacy::FieldMap& fields,
+                                  const std::string& pseudonym);
+
+}  // namespace hc::fhir

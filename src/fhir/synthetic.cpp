@@ -1,0 +1,142 @@
+#include "fhir/synthetic.h"
+
+#include <cstdio>
+
+namespace hc::fhir {
+
+namespace {
+
+const std::vector<std::string> kFirstNames = {
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "Wei", "Fatima", "Aisha", "Raj", "Elena"};
+
+const std::vector<std::string> kLastNames = {
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Chen", "Patel", "Nguyen", "Kim", "Singh", "Lopez", "Okafor", "Novak"};
+
+const std::vector<std::string> kStreets = {
+    "Oak St", "Maple Ave", "Cedar Rd", "Elm Dr", "Pine Ln", "Main St"};
+
+const std::vector<std::string> kDrugs = {
+    "metformin",    "insulin-glargine", "lisinopril",  "atorvastatin",
+    "amlodipine",   "metoprolol",       "omeprazole",  "gabapentin",
+    "sertraline",   "levothyroxine",    "albuterol",   "hydrochlorothiazide",
+    "prednisone",   "tramadol",         "warfarin",    "clopidogrel"};
+
+const std::vector<std::string> kConditions = {
+    "type-2-diabetes", "hypertension",       "hyperlipidemia", "asthma",
+    "depression",      "hypothyroidism",     "atrial-fibrillation",
+    "osteoarthritis",  "chronic-kidney-disease"};
+
+std::string two_digits(int v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%02d", v);
+  return buf;
+}
+
+std::string random_date(Rng& rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng.uniform_int(year_lo, year_hi));
+  int month = static_cast<int>(rng.uniform_int(1, 12));
+  int day = static_cast<int>(rng.uniform_int(1, 28));
+  return std::to_string(year) + "-" + two_digits(month) + "-" + two_digits(day);
+}
+
+std::string random_phone(Rng& rng) {
+  return "555-" + two_digits(static_cast<int>(rng.uniform_int(0, 99))) +
+         std::to_string(rng.uniform_int(10000, 99999));
+}
+
+std::string random_ssn(Rng& rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%03d-%02d-%04d",
+                static_cast<int>(rng.uniform_int(100, 899)),
+                static_cast<int>(rng.uniform_int(10, 99)),
+                static_cast<int>(rng.uniform_int(1000, 9999)));
+  return buf;
+}
+
+template <typename T>
+const T& pick(Rng& rng, const std::vector<T>& v) {
+  return v[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+}
+
+Patient make_patient(Rng& rng, std::size_t index) {
+  Patient p;
+  p.id = "patient-" + std::to_string(index);
+  p.name = pick(rng, kFirstNames) + " " + pick(rng, kLastNames);
+  p.ssn = random_ssn(rng);
+  p.phone = random_phone(rng);
+  p.age = static_cast<int>(rng.uniform_int(18, 95));
+  int birth_year = 2018 - p.age;
+  p.birth_date = std::to_string(birth_year) + "-" +
+                 two_digits(static_cast<int>(rng.uniform_int(1, 12))) + "-" +
+                 two_digits(static_cast<int>(rng.uniform_int(1, 28)));
+  p.gender = rng.bernoulli(0.5) ? "female" : "male";
+  p.zip = std::to_string(rng.uniform_int(10000, 99999));
+  p.address = std::to_string(rng.uniform_int(1, 999)) + " " + pick(rng, kStreets);
+  p.email = p.id + "@example.org";
+  return p;
+}
+
+}  // namespace
+
+const std::vector<std::string>& synthetic_drug_names() { return kDrugs; }
+const std::vector<std::string>& synthetic_condition_codes() { return kConditions; }
+
+std::vector<Bundle> make_synthetic_bundles(Rng& rng, const SyntheticOptions& options) {
+  std::vector<Bundle> bundles;
+  bundles.reserve(options.patient_count);
+
+  for (std::size_t i = 0; i < options.patient_count; ++i) {
+    Bundle bundle;
+    bundle.id = "bundle-" + std::to_string(options.first_patient_index + i);
+    Patient patient = make_patient(rng, options.first_patient_index + i);
+    std::string patient_id = patient.id;
+    bundle.resources.emplace_back(std::move(patient));
+
+    for (int obs = 0; obs < options.observations_per_patient; ++obs) {
+      Observation o;
+      o.id = bundle.id + "-obs-" + std::to_string(obs);
+      o.patient_id = patient_id;
+      o.code = "hba1c";
+      o.value = 5.0 + rng.uniform(0.0, 4.5);  // plausible HbA1c %
+      o.unit = "%";
+      o.effective_date = random_date(rng, 2014, 2017);
+      bundle.resources.emplace_back(std::move(o));
+    }
+
+    for (int med = 0; med < options.medications_per_patient; ++med) {
+      MedicationRequest m;
+      m.id = bundle.id + "-med-" + std::to_string(med);
+      m.patient_id = patient_id;
+      m.drug = pick(rng, kDrugs);
+      m.start_date = random_date(rng, 2013, 2016);
+      m.days_supply = static_cast<int>(rng.uniform_int(30, 180));
+      bundle.resources.emplace_back(std::move(m));
+    }
+
+    if (rng.bernoulli(options.condition_probability)) {
+      Condition c;
+      c.id = bundle.id + "-cond-0";
+      c.patient_id = patient_id;
+      c.code = pick(rng, kConditions);
+      c.onset_date = random_date(rng, 2010, 2016);
+      bundle.resources.emplace_back(std::move(c));
+    }
+
+    bundles.push_back(std::move(bundle));
+  }
+  return bundles;
+}
+
+Bundle make_synthetic_bundle(Rng& rng, const std::string& bundle_id,
+                             std::size_t patient_index) {
+  SyntheticOptions options;
+  options.patient_count = 1;
+  options.first_patient_index = patient_index;
+  Bundle bundle = make_synthetic_bundles(rng, options).front();
+  bundle.id = bundle_id;
+  return bundle;
+}
+
+}  // namespace hc::fhir

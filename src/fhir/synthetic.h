@@ -1,0 +1,41 @@
+// Synthetic PHI generator.
+//
+// DESIGN.md substitution: the paper's platform ingests real PHI from EMRs
+// and devices; we generate statistically plausible synthetic patients so
+// the identical code paths (validation, de-identification, k-anonymity,
+// ingestion, export) run on data with known properties and zero re-
+// identification risk.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fhir/resources.h"
+
+namespace hc::fhir {
+
+struct SyntheticOptions {
+  std::size_t patient_count = 100;
+  std::size_t first_patient_index = 0;  // ids start at patient-<this>
+  int observations_per_patient = 4;   // HbA1c series
+  int medications_per_patient = 2;
+  double condition_probability = 0.6;
+};
+
+/// One self-contained bundle per patient: Patient + Observations +
+/// MedicationRequests (+ maybe a Condition).
+std::vector<Bundle> make_synthetic_bundles(Rng& rng, const SyntheticOptions& options);
+
+/// A single well-formed bundle (quickstart/demo helper). `patient_index`
+/// controls the patient id so callers can generate distinct patients.
+Bundle make_synthetic_bundle(Rng& rng, const std::string& bundle_id,
+                             std::size_t patient_index = 0);
+
+/// Drug catalog the generator prescribes from; shared with the analytics
+/// module's workloads so names line up across experiments.
+const std::vector<std::string>& synthetic_drug_names();
+
+/// Diagnosis codes the generator uses.
+const std::vector<std::string>& synthetic_condition_codes();
+
+}  // namespace hc::fhir

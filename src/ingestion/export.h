@@ -1,0 +1,62 @@
+// The Export service (Section II.B).
+//
+// "i) Anonymized export, that anonymizes the data to protect privacy, and
+// ii) Full export where the re-identified consented data is provided to the
+// client. This is typically needed by Clinical Research Organizations
+// (CRO)..."
+//
+// Anonymized export pulls every record consented to a study group,
+// extracts patient rows, and k-anonymizes them before they leave.
+// Full export re-identifies through the ReidentificationMap — callers must
+// have passed RBAC/consent checks (enforced by the platform gateway), and
+// every export is recorded on the provenance ledger.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blockchain/ledger.h"
+#include "common/status.h"
+#include "privacy/deid.h"
+#include "privacy/kanonymity.h"
+#include "storage/data_lake.h"
+
+namespace hc::ingestion {
+
+struct AnonymizedExport {
+  std::vector<privacy::FieldMap> rows;  // k-anonymous patient rows
+  std::size_t suppressed = 0;
+  std::size_t record_count = 0;  // lake records that contributed
+};
+
+struct FullExportRecord {
+  std::string reference_id;
+  std::string patient_id;  // re-identified
+  Bytes bundle_bytes;      // the original (identified) bundle when retained,
+                           // otherwise the de-identified copy
+};
+
+class ExportService {
+ public:
+  ExportService(storage::DataLake& lake, storage::MetadataStore& metadata,
+                privacy::ReidentificationMap& reid_map,
+                blockchain::PermissionedLedger* ledger = nullptr);
+
+  /// k-anonymized demographic rows for a consent group.
+  Result<AnonymizedExport> export_anonymized(const std::string& consent_group,
+                                             std::size_t k);
+
+  /// Re-identified records for a consent group (CRO path).
+  Result<std::vector<FullExportRecord>> export_full(const std::string& consent_group,
+                                                    const std::string& requester);
+
+ private:
+  void record_export(const std::string& reference_id, const std::string& requester);
+
+  storage::DataLake* lake_;
+  storage::MetadataStore* metadata_;
+  privacy::ReidentificationMap* reid_map_;
+  blockchain::PermissionedLedger* ledger_;
+};
+
+}  // namespace hc::ingestion

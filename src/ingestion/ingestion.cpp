@@ -1,0 +1,319 @@
+#include "ingestion/ingestion.h"
+
+#include "crypto/sha256.h"
+
+namespace hc::ingestion {
+
+namespace {
+
+/// Serializes an Envelope for staging (wrapped key || body with a length
+/// prefix) so the staging area holds one opaque blob per upload.
+constexpr std::size_t kTagSize = 32;  // hmac-sha256
+
+Bytes pack_envelope(const crypto::Envelope& envelope) {
+  Bytes out;
+  out.reserve(8 + envelope.wrapped_key.size() + kTagSize + envelope.body.size());
+  std::uint64_t n = envelope.wrapped_key.size();
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+  out.insert(out.end(), envelope.wrapped_key.begin(), envelope.wrapped_key.end());
+  out.insert(out.end(), envelope.tag.begin(), envelope.tag.end());
+  out.insert(out.end(), envelope.body.begin(), envelope.body.end());
+  return out;
+}
+
+Result<crypto::Envelope> unpack_envelope(const Bytes& blob) {
+  if (blob.size() < 8) {
+    return Status(StatusCode::kInvalidArgument, "staged blob too short");
+  }
+  std::uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) n = (n << 8) | blob[static_cast<std::size_t>(i)];
+  if (n + kTagSize > blob.size() - 8) {
+    return Status(StatusCode::kInvalidArgument, "staged blob corrupt");
+  }
+  crypto::Envelope env;
+  auto wrapped_end = blob.begin() + 8 + static_cast<std::ptrdiff_t>(n);
+  env.wrapped_key.assign(blob.begin() + 8, wrapped_end);
+  env.tag.assign(wrapped_end, wrapped_end + kTagSize);
+  env.body.assign(wrapped_end + kTagSize, blob.end());
+  return env;
+}
+
+}  // namespace
+
+IngestionService::IngestionService(IngestionDeps deps, crypto::KeyId lake_key,
+                                   Bytes pseudonym_key, std::string principal)
+    : deps_(std::move(deps)),
+      lake_key_(std::move(lake_key)),
+      pseudonymizer_(std::move(pseudonym_key)),
+      principal_(std::move(principal)) {}
+
+Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
+                                               const std::string& uploader_user,
+                                               const std::string& consent_group,
+                                               const crypto::KeyId& client_key_id) {
+  if (consent_group.empty()) {
+    return Status(StatusCode::kInvalidArgument, "upload requires a consent group");
+  }
+  UploadReceipt receipt;
+  receipt.upload_id = "upload-" + ids_.next_uuid();
+
+  if (Status s = deps_.staging->put(receipt.upload_id, pack_envelope(envelope));
+      !s.is_ok()) {
+    return s;
+  }
+  deps_.queue->push(storage::IngestionMessage{receipt.upload_id, uploader_user,
+                                              consent_group, client_key_id});
+  receipt.status_url = deps_.tracker->track(receipt.upload_id);
+  if (deps_.log) {
+    deps_.log->info("ingestion", "upload_received",
+                    receipt.upload_id + " from " + uploader_user);
+  }
+  return receipt;
+}
+
+void IngestionService::charge(SimTime fixed, SimTime per_kb, std::size_t bytes) {
+  SimTime cost = fixed + per_kb * static_cast<SimTime>(bytes / 1024 + 1);
+  deps_.clock->advance(cost);
+}
+
+void IngestionService::fail(const std::string& upload_id, const std::string& reason,
+                            ProcessOutcome& outcome) {
+  deps_.tracker->set_failed(upload_id, reason);
+  (void)deps_.staging->remove(upload_id);
+  outcome.stored = false;
+  outcome.failure_reason = reason;
+  if (deps_.log) deps_.log->warn("ingestion", "upload_rejected", upload_id + ": " + reason);
+}
+
+void IngestionService::record_provenance(const std::string& record_ref,
+                                         const std::string& event,
+                                         const Bytes& data_hash) {
+  if (!deps_.ledger) return;
+  (void)deps_.ledger->submit_and_commit(
+      "provenance",
+      {{"action", "record_event"},
+       {"record_ref", record_ref},
+       {"event", event},
+       {"data_hash", hex_encode(data_hash)}},
+      "ingestion-service");
+}
+
+Result<ProcessOutcome> IngestionService::process_next() {
+  auto message = deps_.queue->pop();
+  if (!message) {
+    return Status(StatusCode::kFailedPrecondition, "ingestion queue is empty");
+  }
+
+  ProcessOutcome outcome;
+  outcome.upload_id = message->upload_id;
+
+  auto blob = deps_.staging->get(message->upload_id);
+  if (!blob.is_ok()) {
+    fail(message->upload_id, "staged blob missing: " + blob.status().to_string(), outcome);
+    return outcome;
+  }
+
+  // --- decrypt ---------------------------------------------------------
+  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kDecrypting);
+  charge(0, costs_.decrypt_per_kb, blob->size());
+  auto envelope = unpack_envelope(*blob);
+  if (!envelope.is_ok()) {
+    fail(message->upload_id, envelope.status().message(), outcome);
+    return outcome;
+  }
+  auto client_key = deps_.kms->private_key(message->key_id, principal_);
+  if (!client_key.is_ok()) {
+    fail(message->upload_id, "client key unavailable: " + client_key.status().to_string(),
+         outcome);
+    return outcome;
+  }
+  Bytes plaintext;
+  try {
+    plaintext = crypto::envelope_open(*client_key, *envelope);
+  } catch (const std::invalid_argument& e) {
+    fail(message->upload_id, std::string("decryption failed: ") + e.what(), outcome);
+    return outcome;
+  }
+
+  // --- validate --------------------------------------------------------
+  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kValidating);
+  charge(costs_.validate_fixed);
+  auto bundle = fhir::parse_bundle(plaintext);
+  if (!bundle.is_ok()) {
+    fail(message->upload_id, "parse error: " + bundle.status().message(), outcome);
+    return outcome;
+  }
+  if (Status s = fhir::validate_bundle(*bundle); !s.is_ok()) {
+    fail(message->upload_id, "validation error: " + s.message(), outcome);
+    return outcome;
+  }
+
+  // --- malware scan ------------------------------------------------------
+  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kScanning);
+  charge(0, costs_.scan_per_kb, plaintext.size());
+  auto scan = scanner_.scan(plaintext);
+  if (scan.infected) {
+    if (deps_.ledger) {
+      (void)deps_.ledger->submit_and_commit(
+          "malware",
+          {{"action", "report"},
+           {"record_ref", message->upload_id},
+           {"verdict", "infected"},
+           {"sender", message->uploader_user_id}},
+          "ingestion-service");
+    }
+    fail(message->upload_id, "malware detected: " + scan.signature_name, outcome);
+    return outcome;
+  }
+
+  // --- consent -----------------------------------------------------------
+  deps_.tracker->set_stage(message->upload_id,
+                           storage::IngestionStage::kVerifyingConsent);
+  charge(costs_.consent_fixed);
+  const fhir::Patient* patient = nullptr;
+  for (const auto& resource : bundle->resources) {
+    if (const auto* p = std::get_if<fhir::Patient>(&resource)) {
+      patient = p;
+      break;
+    }
+  }
+  if (!patient) {
+    fail(message->upload_id, "bundle carries no Patient resource", outcome);
+    return outcome;
+  }
+  if (deps_.ledger &&
+      !blockchain::ConsentContract::has_consent(*deps_.ledger, patient->id,
+                                                message->consent_group)) {
+    fail(message->upload_id,
+         "patient has not consented to group " + message->consent_group, outcome);
+    return outcome;
+  }
+
+  // --- de-identify + verify anonymization --------------------------------
+  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kDeIdentifying);
+  charge(costs_.deidentify_fixed);
+  auto deidentified =
+      privacy::deidentify(fhir::patient_fields(*patient), schema_, pseudonymizer_);
+  if (!deidentified.is_ok()) {
+    fail(message->upload_id, deidentified.status().message(), outcome);
+    return outcome;
+  }
+  auto degree = deps_.verifier->verify(deidentified->fields, {"age", "zip", "gender"});
+  if (!degree.acceptable) {
+    fail(message->upload_id, "anonymization insufficient: " + degree.reason, outcome);
+    return outcome;
+  }
+
+  // Rewrite the bundle: de-identified patient, pseudonymized references.
+  fhir::Bundle stored_bundle;
+  stored_bundle.id = bundle->id;
+  const std::string& pseudonym = deidentified->pseudonym;
+  for (auto& resource : bundle->resources) {
+    if (std::holds_alternative<fhir::Patient>(resource)) {
+      fhir::Patient deid_patient =
+          fhir::apply_deidentified_fields(deidentified->fields, pseudonym);
+      stored_bundle.resources.emplace_back(std::move(deid_patient));
+    } else if (auto* o = std::get_if<fhir::Observation>(&resource)) {
+      fhir::Observation obs = *o;
+      obs.patient_id = pseudonym;
+      stored_bundle.resources.emplace_back(std::move(obs));
+    } else if (auto* m = std::get_if<fhir::MedicationRequest>(&resource)) {
+      fhir::MedicationRequest med = *m;
+      med.patient_id = pseudonym;
+      stored_bundle.resources.emplace_back(std::move(med));
+    } else if (auto* c = std::get_if<fhir::Condition>(&resource)) {
+      fhir::Condition cond = *c;
+      cond.patient_id = pseudonym;
+      stored_bundle.resources.emplace_back(std::move(cond));
+    }
+  }
+
+  // --- store --------------------------------------------------------------
+  Bytes stored_bytes = fhir::serialize_bundle(stored_bundle);
+  charge(0, costs_.store_per_kb, stored_bytes.size());
+  Bytes content_hash = crypto::sha256(stored_bytes);
+  // Per-patient data key: created on first record, reused afterwards, and
+  // crypto-shredded when the patient exercises right-to-forget.
+  auto key_it = patient_keys_.find(pseudonym);
+  if (key_it == patient_keys_.end()) {
+    key_it = patient_keys_
+                 .emplace(pseudonym, deps_.kms->create_symmetric_key(principal_))
+                 .first;
+  }
+  auto reference = deps_.lake->put(stored_bytes, key_it->second);
+  if (!reference.is_ok()) {
+    fail(message->upload_id, "data lake error: " + reference.status().to_string(),
+         outcome);
+    return outcome;
+  }
+
+  // Section IV.B.1: the *original* (identified) bundle is also stored,
+  // encrypted under the same per-patient key — full export re-identifies
+  // from it, and crypto-shredding covers both copies.
+  auto original_reference = deps_.lake->put(plaintext, key_it->second);
+
+  storage::RecordMetadata metadata;
+  metadata.reference_id = *reference;
+  metadata.pseudonym = pseudonym;
+  metadata.consent_group = message->consent_group;
+  metadata.schema = "fhir-bundle";
+  metadata.privacy_level = "de-identified";
+  metadata.content_hash = content_hash;
+  if (original_reference.is_ok()) {
+    metadata.original_reference_id = *original_reference;
+    storage::RecordMetadata original_md;
+    original_md.reference_id = *original_reference;
+    original_md.pseudonym = pseudonym;
+    original_md.consent_group = "";  // originals are not query-exposed by group
+    original_md.schema = "fhir-bundle";
+    original_md.privacy_level = "identified";
+    original_md.content_hash = crypto::sha256(plaintext);
+    (void)deps_.metadata->put(original_md);
+  }
+  (void)deps_.metadata->put(metadata);
+  deps_.reid_map->record(pseudonym, patient->id);
+
+  record_provenance(*reference, "received", content_hash);
+  record_provenance(*reference, "anonymized", content_hash);
+  if (deps_.ledger) {
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.3f", degree.record_score);
+    (void)deps_.ledger->submit_and_commit(
+        "privacy",
+        {{"action", "record_degree"},
+         {"record_ref", *reference},
+         {"score", score},
+         {"k", std::to_string(degree.holistic_k)}},
+        "ingestion-service");
+  }
+
+  (void)deps_.staging->remove(message->upload_id);
+  deps_.tracker->set_stored(message->upload_id, *reference);
+  if (deps_.log) {
+    deps_.log->audit("ingestion", "upload_stored",
+                     message->upload_id + " -> " + *reference);
+  }
+  outcome.stored = true;
+  outcome.reference_id = *reference;
+  return outcome;
+}
+
+Result<crypto::KeyId> IngestionService::patient_key(const std::string& pseudonym) const {
+  auto it = patient_keys_.find(pseudonym);
+  if (it == patient_keys_.end()) {
+    return Status(StatusCode::kNotFound, "no data key for pseudonym " + pseudonym);
+  }
+  return it->second;
+}
+
+std::size_t IngestionService::process_all() {
+  std::size_t stored = 0;
+  for (;;) {
+    auto outcome = process_next();
+    if (!outcome.is_ok()) break;  // queue drained
+    if (outcome->stored) ++stored;
+  }
+  return stored;
+}
+
+}  // namespace hc::ingestion

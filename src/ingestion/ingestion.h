@@ -1,0 +1,135 @@
+// The Data Ingestion service (Sections II.B and IV.B.1).
+//
+// Asynchronous by design: upload() stages the client-encrypted blob,
+// enqueues a message, and returns a status URL immediately. The background
+// worker (process_next / process_all) then runs each upload through the
+// paper's pipeline:
+//
+//   decrypt (client key from the KMS)           -> kDecrypting
+//   validate/curate the FHIR bundle             -> kValidating
+//   malware filtration (+ malware ledger)       -> kScanning
+//   patient consent check (consent ledger)      -> kVerifyingConsent
+//   de-identify + anonymization verification
+//     (+ privacy ledger)                        -> kDeIdentifying
+//   encrypt & store in the data lake, metadata,
+//     re-identification map, provenance events  -> kStored
+//
+// Any failure marks the upload kFailed with the reason; rejected records
+// never reach the lake.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blockchain/contracts.h"
+#include "blockchain/ledger.h"
+#include "common/clock.h"
+#include "common/id.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "crypto/asymmetric.h"
+#include "crypto/kms.h"
+#include "fhir/resources.h"
+#include "ingestion/malware.h"
+#include "privacy/deid.h"
+#include "privacy/verification.h"
+#include "storage/data_lake.h"
+#include "storage/staging.h"
+#include "storage/status_tracker.h"
+
+namespace hc::ingestion {
+
+/// Everything the service needs, owned elsewhere (typically by the
+/// HealthCloudInstance in the platform module).
+struct IngestionDeps {
+  ClockPtr clock;
+  LogPtr log;                                      // may be null
+  crypto::KeyManagementService* kms = nullptr;
+  storage::StagingArea* staging = nullptr;
+  storage::MessageQueue* queue = nullptr;
+  storage::StatusTracker* tracker = nullptr;
+  storage::DataLake* lake = nullptr;
+  storage::MetadataStore* metadata = nullptr;
+  blockchain::PermissionedLedger* ledger = nullptr;  // may be null (no provenance)
+  privacy::AnonymizationVerificationService* verifier = nullptr;
+  privacy::ReidentificationMap* reid_map = nullptr;
+};
+
+/// Simulated processing cost per pipeline stage, charged on the shared
+/// clock so end-to-end ingestion throughput is measurable in sim time.
+/// Defaults approximate the measured wall costs of the corresponding
+/// crypto/parse/scan operations at 1KB-bundle scale.
+struct StageCosts {
+  SimTime decrypt_per_kb = 60;     // envelope unwrap + AES-CBC
+  SimTime validate_fixed = 200;    // parse + structural checks
+  SimTime scan_per_kb = 20;        // signature scan
+  SimTime consent_fixed = 300;     // ledger state lookup
+  SimTime deidentify_fixed = 150;  // field scrub + pseudonym + verification
+  SimTime store_per_kb = 40;       // re-encrypt + lake write + metadata
+};
+
+struct UploadReceipt {
+  std::string upload_id;
+  std::string status_url;
+};
+
+struct ProcessOutcome {
+  std::string upload_id;
+  bool stored = false;
+  std::string reference_id;    // when stored
+  std::string failure_reason;  // when rejected
+};
+
+class IngestionService {
+ public:
+  /// `lake_key` is the data-lake encryption key id; `pseudonym_key` drives
+  /// stable pseudonyms; `principal` is the identity the worker uses with
+  /// the KMS (must be authorized on lake_key and on client keys).
+  IngestionService(IngestionDeps deps, crypto::KeyId lake_key, Bytes pseudonym_key,
+                   std::string principal);
+
+  /// Client-facing entry: accepts an envelope sealed to the client's
+  /// platform-issued keypair (`client_key_id` in the KMS). Returns
+  /// immediately with a status URL (Section II.B).
+  Result<UploadReceipt> upload(const crypto::Envelope& envelope,
+                               const std::string& uploader_user,
+                               const std::string& consent_group,
+                               const crypto::KeyId& client_key_id);
+
+  /// Background worker: processes one queued upload end to end.
+  /// kFailedPrecondition when the queue is empty. A *rejected* upload is a
+  /// successful ProcessOutcome with stored=false — pipeline errors are data
+  /// verdicts, not service failures.
+  Result<ProcessOutcome> process_next();
+
+  /// Drains the queue; returns how many uploads were stored.
+  std::size_t process_all();
+
+  /// The per-patient data key (Section IV.B.1 "encryption-based record
+  /// deletion"): every pseudonym's records are encrypted under their own
+  /// KMS key, so destroying that one key crypto-shreds the patient's data
+  /// everywhere — including backups outside this process's reach.
+  Result<crypto::KeyId> patient_key(const std::string& pseudonym) const;
+
+  MalwareScanner& scanner() { return scanner_; }
+  StageCosts& stage_costs() { return costs_; }
+
+ private:
+  void charge(SimTime fixed, SimTime per_kb = 0, std::size_t bytes = 0);
+  void fail(const std::string& upload_id, const std::string& reason,
+            ProcessOutcome& outcome);
+  void record_provenance(const std::string& record_ref, const std::string& event,
+                         const Bytes& data_hash);
+
+  IngestionDeps deps_;
+  crypto::KeyId lake_key_;  // default key for non-patient objects
+  privacy::Pseudonymizer pseudonymizer_;
+  std::string principal_;
+  StageCosts costs_;
+  MalwareScanner scanner_;
+  std::map<std::string, crypto::KeyId> patient_keys_;  // pseudonym -> key
+  IdGenerator ids_;
+  privacy::FieldSchema schema_ = privacy::FieldSchema::standard_patient();
+};
+
+}  // namespace hc::ingestion

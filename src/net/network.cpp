@@ -1,0 +1,106 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace hc::net {
+
+LinkProfile LinkProfile::loopback() {
+  return LinkProfile{1, 0, 1e9, 0.0};
+}
+
+LinkProfile LinkProfile::lan() {
+  // 100us latency, 10 Gb/s ~= 1250 bytes/us
+  return LinkProfile{100, 20, 1250.0, 0.0};
+}
+
+LinkProfile LinkProfile::wan() {
+  // 40ms latency, 100 Mb/s ~= 12.5 bytes/us
+  return LinkProfile{40 * kMillisecond, 5 * kMillisecond, 12.5, 0.0};
+}
+
+LinkProfile LinkProfile::mobile() {
+  // 120ms latency, 10 Mb/s ~= 1.25 bytes/us, 0.5% loss
+  return LinkProfile{120 * kMillisecond, 30 * kMillisecond, 1.25, 0.005};
+}
+
+LinkProfile LinkProfile::intercloud() {
+  // 15ms latency, 1 Gb/s ~= 125 bytes/us
+  return LinkProfile{15 * kMillisecond, 2 * kMillisecond, 125.0, 0.0};
+}
+
+SimNetwork::SimNetwork(ClockPtr clock, Rng rng)
+    : clock_(std::move(clock)), rng_(rng) {}
+
+SimNetwork::LinkKey SimNetwork::key(const std::string& a, const std::string& b) {
+  return a < b ? LinkKey{a, b} : LinkKey{b, a};
+}
+
+void SimNetwork::set_link(const std::string& a, const std::string& b,
+                          LinkProfile profile) {
+  links_[key(a, b)] = profile;
+}
+
+bool SimNetwork::has_link(const std::string& a, const std::string& b) const {
+  return links_.contains(key(a, b));
+}
+
+const LinkProfile* SimNetwork::find_link(const std::string& a,
+                                         const std::string& b) const {
+  auto it = links_.find(key(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+SimTime SimNetwork::cost_for(const LinkProfile& link, std::size_t bytes,
+                             SimTime jitter) const {
+  SimTime transmission =
+      static_cast<SimTime>(static_cast<double>(bytes) / link.bandwidth_bytes_per_us);
+  return link.base_latency + jitter + transmission;
+}
+
+Result<SimTime> SimNetwork::send(const std::string& from, const std::string& to,
+                                 std::size_t bytes) {
+  const LinkProfile* link = find_link(from, to);
+  if (!link) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "no link configured between " + from + " and " + to);
+  }
+  SimTime jitter =
+      link->jitter > 0 ? static_cast<SimTime>(rng_.uniform_int(0, link->jitter)) : 0;
+  SimTime cost = cost_for(*link, bytes, jitter);
+  clock_->advance(cost);
+  stats_.busy_time += cost;
+  if (rng_.bernoulli(link->drop_probability)) {
+    ++stats_.drops;
+    return Status(StatusCode::kUnavailable,
+                  "message dropped on link " + from + " -> " + to);
+  }
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  return cost;
+}
+
+Result<SimTime> SimNetwork::send_with_retry(const std::string& from,
+                                            const std::string& to, std::size_t bytes,
+                                            int max_attempts) {
+  SimTime start = clock_->now();
+  Status last(StatusCode::kInvalidArgument, "max_attempts must be positive");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto sent = send(from, to, bytes);
+    if (sent.is_ok()) return clock_->now() - start;
+    last = sent.status();
+    if (last.code() != StatusCode::kUnavailable) return last;  // not retryable
+  }
+  return last;
+}
+
+Result<SimTime> SimNetwork::estimate(const std::string& from, const std::string& to,
+                                     std::size_t bytes) const {
+  const LinkProfile* link = find_link(from, to);
+  if (!link) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "no link configured between " + from + " and " + to);
+  }
+  return cost_for(*link, bytes, link->jitter / 2);
+}
+
+}  // namespace hc::net

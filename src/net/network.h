@@ -1,0 +1,95 @@
+// Simulated network substrate.
+//
+// The platform is evaluated as a discrete-event simulation (DESIGN.md):
+// every cross-machine interaction — client to cloud, intra-cloud service
+// hops, intercloud container transfer — charges latency and bandwidth on a
+// shared SimClock. This is what lets the caching and enhanced-client
+// benchmarks reproduce the paper's "orders of magnitude" remote-access gap
+// deterministically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hc::net {
+
+/// Latency/bandwidth/loss model of one (bidirectional) link.
+struct LinkProfile {
+  SimTime base_latency = 0;      // one-way propagation
+  SimTime jitter = 0;            // uniform [0, jitter] added per message
+  double bandwidth_bytes_per_us = 1e9;  // effectively infinite by default
+  double drop_probability = 0.0;
+
+  /// Same-machine / loopback: nanosecond-scale, modeled as 1us.
+  static LinkProfile loopback();
+  /// Intra-datacenter LAN: ~100us, 10 Gb/s.
+  static LinkProfile lan();
+  /// Client to cloud over WAN: ~40ms, 100 Mb/s.
+  static LinkProfile wan();
+  /// Mobile device on cellular: ~120ms, 10 Mb/s, small loss.
+  static LinkProfile mobile();
+  /// Cloud-to-cloud dedicated interconnect: ~15ms, 1 Gb/s.
+  static LinkProfile intercloud();
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;
+  SimTime busy_time = 0;  // total latency charged
+};
+
+/// Point-to-point message-cost simulator. Hosts are named endpoints; links
+/// must be configured before use (an unconfigured pair is a programming
+/// error, surfaced as kFailedPrecondition rather than a silent default).
+class SimNetwork {
+ public:
+  SimNetwork(ClockPtr clock, Rng rng);
+
+  /// Installs a symmetric link between two endpoints.
+  void set_link(const std::string& a, const std::string& b, LinkProfile profile);
+
+  bool has_link(const std::string& a, const std::string& b) const;
+
+  /// Charges the clock for moving `bytes` from `from` to `to` and returns
+  /// the latency charged. kUnavailable if the message was dropped (clock
+  /// still advances by the attempt latency), kFailedPrecondition if no
+  /// link is configured.
+  Result<SimTime> send(const std::string& from, const std::string& to,
+                       std::size_t bytes);
+
+  /// send() without advancing the clock — a pure cost query used by
+  /// planners (e.g. the service selector).
+  Result<SimTime> estimate(const std::string& from, const std::string& to,
+                           std::size_t bytes) const;
+
+  /// send() with up to `max_attempts` tries on kUnavailable drops (each
+  /// attempt charges its latency — retries are not free). The availability
+  /// countermeasure client paths use on lossy mobile links.
+  Result<SimTime> send_with_retry(const std::string& from, const std::string& to,
+                                  std::size_t bytes, int max_attempts = 3);
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  ClockPtr clock() const { return clock_; }
+
+ private:
+  using LinkKey = std::pair<std::string, std::string>;
+  static LinkKey key(const std::string& a, const std::string& b);
+
+  const LinkProfile* find_link(const std::string& a, const std::string& b) const;
+  SimTime cost_for(const LinkProfile& link, std::size_t bytes, SimTime jitter) const;
+
+  ClockPtr clock_;
+  mutable Rng rng_;
+  std::map<LinkKey, LinkProfile> links_;
+  NetworkStats stats_;
+};
+
+}  // namespace hc::net

@@ -1,0 +1,132 @@
+#include "platform/change_mgmt.h"
+
+#include "crypto/sha256.h"
+
+namespace hc::platform {
+
+std::string_view change_state_name(ChangeState state) {
+  switch (state) {
+    case ChangeState::kProposed: return "proposed";
+    case ChangeState::kEvaluated: return "evaluated";
+    case ChangeState::kApproved: return "approved";
+    case ChangeState::kApplied: return "applied";
+    case ChangeState::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+ChangeManagementService::ChangeManagementService(tpm::AttestationService& attestation,
+                                                 LogPtr log)
+    : attestation_(&attestation), log_(std::move(log)) {}
+
+std::uint64_t ChangeManagementService::propose(const std::string& component,
+                                               Bytes new_content,
+                                               const std::string& description,
+                                               bool replace_existing) {
+  ChangeRequest request;
+  request.id = next_id_++;
+  request.component = component;
+  request.new_content = std::move(new_content);
+  request.description = description;
+  request.replace_existing = replace_existing;
+  std::uint64_t id = request.id;
+  changes_.emplace(id, std::move(request));
+  if (log_) {
+    log_->audit("change-mgmt", "change_proposed",
+                "#" + std::to_string(id) + " " + component + ": " + description);
+  }
+  return id;
+}
+
+ChangeRequest* ChangeManagementService::find(std::uint64_t id) {
+  auto it = changes_.find(id);
+  return it == changes_.end() ? nullptr : &it->second;
+}
+
+Status ChangeManagementService::evaluate(std::uint64_t id, const std::string& evaluator) {
+  ChangeRequest* change = find(id);
+  if (!change) return Status(StatusCode::kNotFound, "no change request " + std::to_string(id));
+  if (change->state != ChangeState::kProposed) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "change is not in proposed state");
+  }
+  change->evaluator = evaluator;
+  change->state = ChangeState::kEvaluated;
+  if (log_) {
+    log_->audit("change-mgmt", "change_evaluated",
+                "#" + std::to_string(id) + " by " + evaluator);
+  }
+  return Status::ok();
+}
+
+Status ChangeManagementService::approve(std::uint64_t id, const std::string& approver) {
+  ChangeRequest* change = find(id);
+  if (!change) return Status(StatusCode::kNotFound, "no change request " + std::to_string(id));
+  if (change->state != ChangeState::kEvaluated) {
+    return Status(StatusCode::kFailedPrecondition, "change has not been evaluated");
+  }
+  if (approver == change->evaluator) {
+    return Status(StatusCode::kPermissionDenied,
+                  "approver must differ from evaluator (two-person rule)");
+  }
+  change->approver = approver;
+  change->state = ChangeState::kApproved;
+  if (log_) {
+    log_->audit("change-mgmt", "change_approved",
+                "#" + std::to_string(id) + " by " + approver);
+  }
+  return Status::ok();
+}
+
+Status ChangeManagementService::reject(std::uint64_t id, const std::string& reason) {
+  ChangeRequest* change = find(id);
+  if (!change) return Status(StatusCode::kNotFound, "no change request " + std::to_string(id));
+  if (change->state == ChangeState::kApplied) {
+    return Status(StatusCode::kFailedPrecondition, "applied changes cannot be rejected");
+  }
+  change->state = ChangeState::kRejected;
+  if (log_) {
+    log_->audit("change-mgmt", "change_rejected",
+                "#" + std::to_string(id) + ": " + reason);
+  }
+  return Status::ok();
+}
+
+Status ChangeManagementService::apply(std::uint64_t id) {
+  ChangeRequest* change = find(id);
+  if (!change) return Status(StatusCode::kNotFound, "no change request " + std::to_string(id));
+  if (change->state != ChangeState::kApproved) {
+    return Status(StatusCode::kFailedPrecondition, "change has not been approved");
+  }
+  if (change->replace_existing) {
+    attestation_->revoke_component(change->component);
+  }
+  attestation_->approve_component(change->component,
+                                  crypto::sha256(change->new_content));
+  change->state = ChangeState::kApplied;
+  if (log_) {
+    log_->audit("change-mgmt", "change_applied",
+                "#" + std::to_string(id) + " " + change->component);
+  }
+  return Status::ok();
+}
+
+Result<ChangeRequest> ChangeManagementService::get(std::uint64_t id) const {
+  auto it = changes_.find(id);
+  if (it == changes_.end()) {
+    return Status(StatusCode::kNotFound, "no change request " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::size_t ChangeManagementService::open_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, change] : changes_) {
+    if (change.state != ChangeState::kApplied && change.state != ChangeState::kRejected) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hc::platform

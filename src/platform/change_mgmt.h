@@ -1,0 +1,75 @@
+// Change Management service (Section II.B).
+//
+// "All authorized changes are first described, evaluated and finally
+// approved in the change management system; thereafter the CM service
+// accordingly updates the Attestation Service regarding the approved
+// changes and their new signatures."
+//
+// A change request names a component and its new content. It moves through
+// Proposed -> Evaluated -> Approved -> Applied; only Apply touches the
+// attestation golden set (and optionally revokes the prior measurement).
+// Compliance posture: nothing reaches the trusted base without the full
+// paper trail, and every step is an audit-log event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "tpm/attestation.h"
+
+namespace hc::platform {
+
+enum class ChangeState { kProposed, kEvaluated, kApproved, kApplied, kRejected };
+
+std::string_view change_state_name(ChangeState state);
+
+struct ChangeRequest {
+  std::uint64_t id = 0;
+  std::string component;    // e.g. "kernel", "model-container:v3"
+  Bytes new_content;        // what will be measured
+  std::string description;
+  std::string evaluator;    // filled at evaluation
+  std::string approver;     // filled at approval
+  ChangeState state = ChangeState::kProposed;
+  bool replace_existing = false;  // revoke the old golden value on apply
+};
+
+class ChangeManagementService {
+ public:
+  ChangeManagementService(tpm::AttestationService& attestation, LogPtr log = nullptr);
+
+  /// Describe: opens a change request, returns its id.
+  std::uint64_t propose(const std::string& component, Bytes new_content,
+                        const std::string& description, bool replace_existing = false);
+
+  /// Evaluate: records the reviewer. Only Proposed changes can be evaluated.
+  Status evaluate(std::uint64_t id, const std::string& evaluator);
+
+  /// Approve: requires prior evaluation and a different approver
+  /// (two-person rule).
+  Status approve(std::uint64_t id, const std::string& approver);
+
+  /// Reject at any pre-Applied stage.
+  Status reject(std::uint64_t id, const std::string& reason);
+
+  /// Apply: pushes the new measurement to the attestation service
+  /// (revoking the old one when replace_existing). Only Approved changes.
+  Status apply(std::uint64_t id);
+
+  Result<ChangeRequest> get(std::uint64_t id) const;
+  std::size_t open_count() const;
+
+ private:
+  ChangeRequest* find(std::uint64_t id);
+
+  tpm::AttestationService* attestation_;
+  LogPtr log_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, ChangeRequest> changes_;
+};
+
+}  // namespace hc::platform

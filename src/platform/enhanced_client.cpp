@@ -1,0 +1,215 @@
+#include "platform/enhanced_client.h"
+
+#include "crypto/sha256.h"
+#include "tpm/image.h"
+
+namespace hc::platform {
+
+EnhancedClient::EnhancedClient(EnhancedClientConfig config, HealthCloudInstance& cloud,
+                               std::string user_id)
+    : config_(std::move(config)),
+      cloud_(&cloud),
+      user_id_(std::move(user_id)),
+      rng_(config_.seed),
+      local_pseudonymizer_(Rng(config_.seed ^ 0x9e3779b9).bytes(32)) {
+  client_key_ = cloud_->issue_client_keypair(user_id_);
+  upload_key_ = cloud_->kms().public_key(client_key_).value();
+  // Registration pins the platform signing key — the trust anchor used to
+  // verify models pushed to this client (Section II.C).
+  pinned_platform_key_ = cloud_->platform_signing_keys().pub;
+  cache_ = std::make_unique<cache::Cache>(config_.cache_capacity,
+                                          cache::EvictionPolicy::kLru, cloud_->clock());
+}
+
+Result<ingestion::UploadReceipt> EnhancedClient::upload_bundle(
+    const fhir::Bundle& bundle, const std::string& consent_group) {
+  // Client-side encryption: the bundle never leaves the device in clear.
+  Bytes plaintext = fhir::serialize_bundle(bundle);
+  crypto::Envelope envelope = crypto::envelope_seal(upload_key_, plaintext, rng_);
+
+  if (!connected_) {
+    offline_queue_.push_back(QueuedUpload{std::move(envelope), consent_group});
+    ingestion::UploadReceipt receipt;
+    receipt.upload_id = "queued-offline";
+    return receipt;
+  }
+
+  auto sent = cloud_->network().send_with_retry(
+      config_.name, cloud_->name(),
+      envelope.body.size() + envelope.wrapped_key.size() + envelope.tag.size());
+  if (!sent.is_ok()) return sent.status();
+  return cloud_->ingestion().upload(envelope, user_id_, consent_group, client_key_);
+}
+
+Result<std::size_t> EnhancedClient::sync() {
+  if (!connected_) {
+    return Status(StatusCode::kUnavailable, "client is offline");
+  }
+  std::size_t flushed = 0;
+  while (!offline_queue_.empty()) {
+    QueuedUpload upload = std::move(offline_queue_.front());
+    offline_queue_.pop_front();
+    auto sent = cloud_->network().send_with_retry(
+        config_.name, cloud_->name(),
+        upload.envelope.body.size() + upload.envelope.wrapped_key.size() +
+            upload.envelope.tag.size());
+    if (!sent.is_ok()) return sent.status();
+    auto receipt = cloud_->ingestion().upload(upload.envelope, user_id_,
+                                              upload.consent_group, client_key_);
+    if (!receipt.is_ok()) return receipt.status();
+    ++flushed;
+  }
+  return flushed;
+}
+
+Result<fhir::Bundle> EnhancedClient::anonymize_locally(const fhir::Bundle& bundle) const {
+  fhir::Bundle out;
+  out.id = bundle.id;
+  std::string pseudonym;
+
+  for (const auto& resource : bundle.resources) {
+    if (const auto* patient = std::get_if<fhir::Patient>(&resource)) {
+      auto deidentified =
+          privacy::deidentify(fhir::patient_fields(*patient),
+                              privacy::FieldSchema::standard_patient(),
+                              local_pseudonymizer_);
+      if (!deidentified.is_ok()) return deidentified.status();
+      pseudonym = deidentified->pseudonym;
+      out.resources.emplace_back(
+          fhir::apply_deidentified_fields(deidentified->fields, pseudonym));
+    }
+  }
+  if (pseudonym.empty()) {
+    return Status(StatusCode::kInvalidArgument, "bundle carries no Patient resource");
+  }
+  for (const auto& resource : bundle.resources) {
+    if (std::holds_alternative<fhir::Patient>(resource)) continue;
+    std::visit(
+        [&](const auto& r) {
+          auto copy = r;
+          if constexpr (!std::is_same_v<std::decay_t<decltype(r)>, fhir::Patient>) {
+            copy.patient_id = pseudonym;
+            out.resources.emplace_back(std::move(copy));
+          }
+        },
+        resource);
+  }
+  return out;
+}
+
+Result<FetchOutcome> EnhancedClient::fetch_record(const std::string& reference_id) {
+  SimTime start = cloud_->clock()->now();
+  if (auto cached = cache_->get(reference_id)) {
+    cloud_->clock()->advance(10);  // local memory access
+    return FetchOutcome{cached->value, true, cloud_->clock()->now() - start};
+  }
+  if (!connected_) {
+    return Status(StatusCode::kUnavailable,
+                  "offline and record not cached: " + reference_id);
+  }
+
+  auto request = cloud_->network().send_with_retry(config_.name, cloud_->name(), 128);
+  if (!request.is_ok()) return request.status();
+  auto record = cloud_->lake().get(reference_id);
+  if (!record.is_ok()) return record.status();
+  auto response =
+      cloud_->network().send_with_retry(cloud_->name(), config_.name, record->size());
+  if (!response.is_ok()) return response.status();
+
+  cache_->put(reference_id, *record, config_.cache_ttl);
+  return FetchOutcome{std::move(*record), false, cloud_->clock()->now() - start};
+}
+
+Result<AnalysisOutcome> EnhancedClient::analyze(
+    const analytics::Fingerprint& query,
+    const std::vector<analytics::Fingerprint>& dataset, bool local) {
+  AnalysisOutcome outcome;
+  SimTime start = cloud_->clock()->now();
+
+  if (!local) {
+    if (!connected_) {
+      return Status(StatusCode::kUnavailable, "remote analysis requires connectivity");
+    }
+    // Ship the dataset + query to the cloud, compute there, return scores.
+    std::size_t payload = query.size();
+    for (const auto& item : dataset) payload += item.size();
+    auto up = cloud_->network().send(config_.name, cloud_->name(), payload);
+    if (!up.is_ok()) return up.status();
+  }
+
+  // Scoring cost charged wherever the computation runs.
+  cloud_->clock()->advance(static_cast<SimTime>(dataset.size()) *
+                           config_.per_item_compute_cost);
+  outcome.similarities.reserve(dataset.size());
+  for (const auto& item : dataset) {
+    outcome.similarities.push_back(analytics::tanimoto(query, item));
+  }
+
+  if (!local) {
+    auto down = cloud_->network().send(cloud_->name(), config_.name,
+                                       dataset.size() * sizeof(double));
+    if (!down.is_ok()) return down.status();
+    outcome.computed_at = cloud_->name();
+  } else {
+    outcome.computed_at = config_.name;
+  }
+  outcome.latency = cloud_->clock()->now() - start;
+  return outcome;
+}
+
+Result<std::uint32_t> EnhancedClient::pull_model(const std::string& name) {
+  if (!connected_) {
+    return Status(StatusCode::kUnavailable, "model pull requires connectivity");
+  }
+  // Only lifecycle-approved deployed versions may leave the cloud.
+  auto deployed = cloud_->models().deployed(name);
+  if (!deployed.is_ok()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "no approved deployed version of " + name + ": " +
+                      deployed.status().to_string());
+  }
+
+  // The cloud packages the model as a signed image for transport.
+  std::string version_label = "v" + std::to_string(deployed->version);
+  auto manifest = tpm::sign_image("model:" + name, version_label, deployed->artifact,
+                                  {}, cloud_->platform_signing_keys());
+  Bytes shipped = deployed->artifact;
+  if (tamper_next_model_) {
+    tamper_next_model_ = false;
+    if (!shipped.empty()) shipped[shipped.size() / 2] ^= 0x2;
+  }
+
+  auto sent = cloud_->network().send_with_retry(cloud_->name(), config_.name,
+                                                shipped.size() + 512);
+  if (!sent.is_ok()) return sent.status();
+
+  // Client-side verification against the pinned platform key.
+  if (!constant_time_equal(crypto::sha256(shipped), manifest.content_digest) ||
+      !crypto::rsa_verify(pinned_platform_key_, manifest.serialize_for_signing(),
+                          manifest.signature)) {
+    return Status(StatusCode::kIntegrityError,
+                  "model package failed client-side verification");
+  }
+
+  installed_models_[name] = InstalledModel{deployed->version, std::move(shipped)};
+  return deployed->version;
+}
+
+Result<std::uint32_t> EnhancedClient::installed_model_version(
+    const std::string& name) const {
+  auto it = installed_models_.find(name);
+  if (it == installed_models_.end()) {
+    return Status(StatusCode::kNotFound, "model not installed: " + name);
+  }
+  return it->second.version;
+}
+
+Result<Bytes> EnhancedClient::installed_model_artifact(const std::string& name) const {
+  auto it = installed_models_.find(name);
+  if (it == installed_models_.end()) {
+    return Status(StatusCode::kNotFound, "model not installed: " + name);
+  }
+  return it->second.artifact;
+}
+
+}  // namespace hc::platform

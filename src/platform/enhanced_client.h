@@ -1,0 +1,141 @@
+// Enhanced client (Sections I, III.A, Fig 4).
+//
+// "enhanced clients which offer additional functionality for client
+// machines ... features such as caching, data analytics, and encryption
+// ... Highly confidential data can be analyzed and encrypted or anonymized
+// at clients before being sent to servers. Clients can also perform
+// processing and analysis while disconnected from servers."
+//
+// The client is an SDK instance living at a network endpoint:
+//   - client-side cache in front of cloud record fetches,
+//   - client-side envelope encryption to the platform-issued keypair,
+//   - client-side anonymization (de-identification before upload),
+//   - local analytics (similarity scoring) that also works offline,
+//   - an offline upload queue flushed by sync() when connectivity returns.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/similarity.h"
+#include "cache/cache.h"
+#include "platform/instance.h"
+
+namespace hc::platform {
+
+struct EnhancedClientConfig {
+  std::string name = "client-1";          // network endpoint
+  std::uint64_t seed = 0xc11e;
+  std::size_t cache_capacity = 256;
+  SimTime cache_ttl = 0;
+  SimTime per_item_compute_cost = 2;      // us per dataset item scored
+};
+
+struct FetchOutcome {
+  Bytes data;
+  bool from_cache = false;
+  SimTime latency = 0;
+};
+
+struct AnalysisOutcome {
+  std::vector<double> similarities;  // query vs each dataset item
+  SimTime latency = 0;
+  std::string computed_at;  // client name or cloud name
+};
+
+class EnhancedClient {
+ public:
+  /// Registers the client with the cloud: a platform-issued keypair is
+  /// created in the cloud KMS (Section II.B registration).
+  EnhancedClient(EnhancedClientConfig config, HealthCloudInstance& cloud,
+                 std::string user_id);
+
+  const std::string& name() const { return config_.name; }
+  const crypto::KeyId& client_key() const { return client_key_; }
+
+  // --- connectivity -------------------------------------------------------
+  void set_connected(bool connected) { connected_ = connected; }
+  bool connected() const { return connected_; }
+
+  // --- upload path ----------------------------------------------------------
+  /// Encrypts the bundle client-side and uploads through the ingestion
+  /// service. Offline, the sealed upload is queued locally instead and the
+  /// returned status URL is empty.
+  Result<ingestion::UploadReceipt> upload_bundle(const fhir::Bundle& bundle,
+                                                 const std::string& consent_group);
+
+  /// Flushes queued offline uploads; returns how many were sent.
+  /// kUnavailable when still offline.
+  Result<std::size_t> sync();
+
+  std::size_t pending_uploads() const { return offline_queue_.size(); }
+
+  /// Client-side anonymization: de-identifies the bundle's Patient before
+  /// anything leaves the device (Section IV.C "The enhanced client can
+  /// anonymize the data it is sending to the system").
+  Result<fhir::Bundle> anonymize_locally(const fhir::Bundle& bundle) const;
+
+  // --- cached reads -----------------------------------------------------------
+  /// Fetches a de-identified record by reference id, through the local
+  /// cache. Cache hits work offline; misses need connectivity.
+  Result<FetchOutcome> fetch_record(const std::string& reference_id);
+
+  // --- local/remote analytics ---------------------------------------------
+  /// Scores `query` against `dataset`. Local execution charges per-item
+  /// compute on the client and works offline. Remote execution ships the
+  /// data to the cloud, computes there, and returns — requiring
+  /// connectivity and paying network costs (the Fig 4 trade-off).
+  Result<AnalysisOutcome> analyze(const analytics::Fingerprint& query,
+                                  const std::vector<analytics::Fingerprint>& dataset,
+                                  bool local);
+
+  // --- model push (Section II.C) -----------------------------------------
+  /// Pulls the currently *deployed* (lifecycle-approved) version of a model
+  /// from the cloud registry as a platform-signed package, verifies the
+  /// signature against the platform key pinned at registration, and
+  /// installs it for offline use. "Customized client services could also
+  /// take approved and compliant models and push them to enhanced clients."
+  /// kFailedPrecondition if no approved deployment exists; kIntegrityError
+  /// if the package fails verification; kUnavailable offline.
+  Result<std::uint32_t> pull_model(const std::string& name);
+
+  /// Installed version of a model (kNotFound if never pulled).
+  Result<std::uint32_t> installed_model_version(const std::string& name) const;
+
+  /// The installed artifact bytes (for local inference by app code).
+  Result<Bytes> installed_model_artifact(const std::string& name) const;
+
+  /// Testing hook: corrupt the next model package in flight.
+  void tamper_next_model_pull() { tamper_next_model_ = true; }
+
+  const cache::CacheStats& cache_stats() const { return cache_->stats(); }
+
+ private:
+  struct QueuedUpload {
+    crypto::Envelope envelope;
+    std::string consent_group;
+  };
+
+  struct InstalledModel {
+    std::uint32_t version = 0;
+    Bytes artifact;
+  };
+
+  EnhancedClientConfig config_;
+  HealthCloudInstance* cloud_;
+  std::string user_id_;
+  mutable Rng rng_;
+  crypto::KeyId client_key_;
+  crypto::PublicKey upload_key_;
+  std::unique_ptr<cache::Cache> cache_;
+  privacy::Pseudonymizer local_pseudonymizer_;
+  bool connected_ = true;
+  std::deque<QueuedUpload> offline_queue_;
+  crypto::PublicKey pinned_platform_key_;  // trust anchor for model pulls
+  std::map<std::string, InstalledModel> installed_models_;
+  bool tamper_next_model_ = false;
+};
+
+}  // namespace hc::platform

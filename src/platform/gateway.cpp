@@ -1,0 +1,71 @@
+#include "platform/gateway.h"
+
+namespace hc::platform {
+
+ApiGateway::ApiGateway(HealthCloudInstance& instance) : instance_(&instance) {}
+
+void ApiGateway::route(const std::string& resource_prefix, Handler handler) {
+  routes_[resource_prefix] = std::move(handler);
+}
+
+Result<std::string> ApiGateway::authenticate(const ApiRequest& request) {
+  if (request.token) {
+    return instance_->federated_auth().authenticate(*request.token);
+  }
+  if (request.user_id.empty()) {
+    return Status(StatusCode::kUnauthenticated, "no credentials supplied");
+  }
+  // Direct user ids must at least exist in the RBAC system.
+  auto tenant = instance_->rbac().user_tenant(request.user_id);
+  if (!tenant.is_ok()) {
+    return Status(StatusCode::kUnauthenticated, "unknown user " + request.user_id);
+  }
+  return request.user_id;
+}
+
+Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
+  ++stats_.requests;
+
+  auto user = authenticate(request);
+  if (!user.is_ok()) {
+    ++stats_.unauthenticated;
+    instance_->log()->warn("gateway", "unauthenticated", request.resource);
+    return user.status();
+  }
+
+  // Privacy management: RBAC decides.
+  Status access = instance_->rbac().check_access(*user, request.environment,
+                                                 request.scope, request.resource,
+                                                 request.permission);
+  if (!access.is_ok()) {
+    ++stats_.denied;
+    instance_->log()->warn("gateway", "denied", *user + " " + request.resource);
+    return access;
+  }
+
+  // Metering for billing (registration service, Section II.B).
+  auto tenant = instance_->rbac().user_tenant(*user);
+  if (tenant.is_ok()) (void)instance_->rbac().meter_call(*tenant);
+
+  // Longest-prefix route.
+  Handler* handler = nullptr;
+  std::size_t best_len = 0;
+  for (auto& [prefix, candidate] : routes_) {
+    if (request.resource.starts_with(prefix) && prefix.size() >= best_len) {
+      handler = &candidate;
+      best_len = prefix.size();
+    }
+  }
+  if (!handler) {
+    return Status(StatusCode::kNotFound, "no API route for " + request.resource);
+  }
+
+  auto response = (*handler)(*user, request);
+  if (response.is_ok()) {
+    ++stats_.served;
+    instance_->log()->info("gateway", "served", *user + " " + request.resource);
+  }
+  return response;
+}
+
+}  // namespace hc::platform

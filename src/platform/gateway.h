@@ -1,0 +1,70 @@
+// API and API Management (Section II.B).
+//
+// "The platform exposes secure APIs for all its capabilities. The API
+// management system first authenticates the user requesting the APIs, and
+// once successfully authenticated, it consults the Privacy Management
+// system and allows API access accordingly."
+//
+// Requests carry either a platform user id (already-authenticated internal
+// callers) or a federated identity token. The gateway authenticates,
+// consults RBAC (privacy management), meters the tenant (billing), and
+// dispatches to a registered handler. Handlers are the instance's actual
+// service entry points, bound at wiring time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "platform/instance.h"
+
+namespace hc::platform {
+
+struct ApiRequest {
+  std::string user_id;                         // empty when token is used
+  std::optional<rbac::IdentityToken> token;    // federated path
+  std::string environment;                     // env the caller acts in
+  std::string scope;                           // tenant / org / group id
+  std::string resource;                        // e.g. "datalake/records/ref-1"
+  rbac::Permission permission = rbac::Permission::kRead;
+  Bytes payload;
+};
+
+struct ApiResponse {
+  Bytes body;
+};
+
+struct GatewayStats {
+  std::uint64_t requests = 0;
+  std::uint64_t unauthenticated = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t served = 0;
+};
+
+class ApiGateway {
+ public:
+  explicit ApiGateway(HealthCloudInstance& instance);
+
+  using Handler = std::function<Result<ApiResponse>(const std::string& user_id,
+                                                    const ApiRequest& request)>;
+
+  /// Binds a handler to a resource prefix; the longest matching prefix
+  /// wins at dispatch time.
+  void route(const std::string& resource_prefix, Handler handler);
+
+  /// Full pipeline: authenticate -> RBAC -> meter -> dispatch.
+  Result<ApiResponse> handle(const ApiRequest& request);
+
+  const GatewayStats& stats() const { return stats_; }
+
+ private:
+  Result<std::string> authenticate(const ApiRequest& request);
+
+  HealthCloudInstance* instance_;
+  std::map<std::string, Handler> routes_;  // prefix -> handler
+  GatewayStats stats_;
+};
+
+}  // namespace hc::platform

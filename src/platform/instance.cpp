@@ -1,0 +1,155 @@
+#include "platform/instance.h"
+
+#include <cctype>
+
+namespace hc::platform {
+
+namespace {
+
+// Section IV.E: "such logged events cannot contain sensitive data". The
+// platform-wide scrubber masks SSN-shaped tokens (ddd-dd-dddd) and email
+// addresses before any detail string reaches the log store.
+std::string scrub_log_detail(const std::string& detail) {
+  std::string out = detail;
+  auto digit = [&](std::size_t i) {
+    return i < out.size() && std::isdigit(static_cast<unsigned char>(out[i]));
+  };
+  for (std::size_t i = 0; i + 10 < out.size() + 1; ++i) {
+    if (digit(i) && digit(i + 1) && digit(i + 2) && out[i + 3] == '-' &&
+        digit(i + 4) && digit(i + 5) && out[i + 6] == '-' && digit(i + 7) &&
+        digit(i + 8) && digit(i + 9) && digit(i + 10)) {
+      out.replace(i, 11, "[ssn]");
+    }
+  }
+  for (std::size_t at = out.find('@'); at != std::string::npos; at = out.find('@')) {
+    std::size_t start = at;
+    while (start > 0 && !std::isspace(static_cast<unsigned char>(out[start - 1]))) {
+      --start;
+    }
+    std::size_t end = at;
+    while (end < out.size() && !std::isspace(static_cast<unsigned char>(out[end]))) {
+      ++end;
+    }
+    out.replace(start, end - start, "[email]");
+  }
+  return out;
+}
+
+}  // namespace
+
+HealthCloudInstance::HealthCloudInstance(InstanceConfig config, ClockPtr clock,
+                                         net::SimNetwork& network)
+    : config_(std::move(config)), clock_(std::move(clock)), network_(&network) {
+  Rng rng(config_.seed);
+  log_ = make_log(clock_);
+  log_->set_scrubber(scrub_log_detail);
+
+  // --- trusted infrastructure: TPM-anchored measured boot ----------------
+  platform_keys_ = crypto::generate_keypair(rng);
+  // The hardware TPM's endorsement keypair doubles as the instance signing
+  // key so the vTPM manager can certify child vTPMs with it.
+  crypto::KeyPair tpm_keys = crypto::generate_keypair(rng);
+  tpm_ = std::make_unique<tpm::Tpm>(config_.name + "/tpm", tpm_keys);
+  vtpm_manager_ =
+      std::make_unique<tpm::VTpmManager>(*tpm_, tpm_keys.priv, rng.fork());
+  attestation_ = std::make_unique<tpm::AttestationService>(rng.fork(), log_);
+  images_ = std::make_unique<tpm::ImageManagementService>();
+  images_->approve_key(platform_keys_.pub);
+
+  auto stack = tpm::standard_vm_stack(
+      to_bytes(config_.name + "-bios-v1"), to_bytes(config_.name + "-kernel-v5"),
+      {to_bytes("libcrypto"), to_bytes("libfhir"), to_bytes("libanalytics")});
+  boot_log_ = tpm::measured_launch(*tpm_, stack);
+  attestation_->register_tpm(tpm_->id(), tpm_->endorsement_key());
+  for (const auto& component : stack) {
+    attestation_->approve_component(component.name, crypto::sha256(component.content));
+  }
+
+  // --- platform services ---------------------------------------------------
+  kms_ = std::make_unique<crypto::KeyManagementService>(config_.name, rng.fork(), log_);
+  rbac_ = std::make_unique<rbac::RbacSystem>(log_);
+  federated_auth_ = std::make_unique<rbac::FederatedAuthenticator>(clock_);
+
+  blockchain::LedgerConfig ledger_config;
+  for (std::size_t i = 0; i < config_.ledger_peers; ++i) {
+    ledger_config.peers.push_back(config_.name + "/peer-" + std::to_string(i));
+  }
+  ledger_ = std::make_unique<blockchain::PermissionedLedger>(ledger_config, clock_, log_);
+  Status contracts = blockchain::register_hcls_contracts(*ledger_);
+  if (!contracts.is_ok()) {
+    throw std::runtime_error("contract registration failed: " + contracts.to_string());
+  }
+
+  // --- storage + ingestion -------------------------------------------------
+  staging_ = std::make_unique<storage::StagingArea>();
+  queue_ = std::make_unique<storage::MessageQueue>();
+  tracker_ = std::make_unique<storage::StatusTracker>();
+  lake_ = std::make_unique<storage::DataLake>(*kms_, "platform", rng.fork());
+  metadata_ = std::make_unique<storage::MetadataStore>();
+  verifier_ = std::make_unique<privacy::AnonymizationVerificationService>(
+      privacy::FieldSchema::standard_patient(), config_.verifier_min_score,
+      config_.verifier_min_k);
+  reid_map_ = std::make_unique<privacy::ReidentificationMap>();
+  lake_key_ = kms_->create_symmetric_key("platform");
+
+  ingestion::IngestionDeps deps;
+  deps.clock = clock_;
+  deps.log = log_;
+  deps.kms = kms_.get();
+  deps.staging = staging_.get();
+  deps.queue = queue_.get();
+  deps.tracker = tracker_.get();
+  deps.lake = lake_.get();
+  deps.metadata = metadata_.get();
+  deps.ledger = ledger_.get();
+  deps.verifier = verifier_.get();
+  deps.reid_map = reid_map_.get();
+  ingestion_ = std::make_unique<ingestion::IngestionService>(
+      deps, lake_key_, rng.bytes(32), "platform");
+  export_ = std::make_unique<ingestion::ExportService>(*lake_, *metadata_, *reid_map_,
+                                                       ledger_.get());
+
+  // --- analytics + brokering ----------------------------------------------
+  models_ = std::make_unique<analytics::ModelRegistry>(log_);
+  services_ = std::make_unique<services::ServiceRegistry>(clock_, rng.fork());
+  knowledge_ = std::make_unique<services::KnowledgeHub>(clock_);
+
+  log_->info("platform", "instance_started", config_.name);
+}
+
+crypto::KeyId HealthCloudInstance::issue_client_keypair(const std::string& user_id) {
+  crypto::KeyId key_id = kms_->create_keypair(user_id);
+  // The ingestion worker must be able to unwrap client uploads.
+  (void)kms_->authorize(key_id, user_id, "platform");
+  log_->audit("platform", "client_keypair_issued", user_id + " -> " + key_id);
+  return key_id;
+}
+
+Result<std::size_t> HealthCloudInstance::forget_patient(const std::string& pseudonym) {
+  auto records = metadata_->by_pseudonym(pseudonym);
+  if (records.empty()) {
+    return Status(StatusCode::kNotFound, "no records for pseudonym " + pseudonym);
+  }
+  for (const auto& md : records) {
+    (void)ledger_->submit_and_commit(
+        "provenance",
+        {{"action", "record_event"},
+         {"record_ref", md.reference_id},
+         {"event", "deleted"},
+         {"data_hash", hex_encode(md.content_hash)}},
+        "platform");
+    (void)lake_->erase(md.reference_id);
+    (void)metadata_->erase(md.reference_id);
+  }
+  // Crypto-shred the patient's data key: even copies of the ciphertext
+  // outside the lake (backups, replicas) become unrecoverable.
+  if (auto key = ingestion_->patient_key(pseudonym); key.is_ok()) {
+    (void)kms_->destroy(*key, "platform");
+  }
+  reid_map_->forget(pseudonym);
+  log_->audit("platform", "patient_forgotten",
+              pseudonym + " records=" + std::to_string(records.size()));
+  return records.size();
+}
+
+}  // namespace hc::platform

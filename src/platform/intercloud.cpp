@@ -1,0 +1,89 @@
+#include "platform/intercloud.h"
+
+#include "crypto/sha256.h"
+#include "tpm/trust_chain.h"
+
+namespace hc::platform {
+
+IntercloudGateway::IntercloudGateway(HealthCloudInstance& source,
+                                     HealthCloudInstance& destination)
+    : source_(&source), destination_(&destination) {}
+
+Result<TransferReceipt> IntercloudGateway::transfer_and_launch(
+    const std::string& name, const std::string& version) {
+  // 1. Fetch the signed image at the source.
+  auto manifest = source_->images().manifest(name, version);
+  if (!manifest.is_ok()) return manifest.status();
+  auto content = source_->images().content(name, version);
+  if (!content.is_ok()) return content.status();
+
+  Bytes shipped = *content;
+  if (tamper_next_) {
+    tamper_next_ = false;
+    shipped[shipped.size() / 2] ^= 0x1;
+  }
+
+  // 2. Ship manifest + bytes over the intercloud link.
+  SimTime transfer_start = source_->clock()->now();
+  auto sent = source_->network().send(source_->name(), destination_->name(),
+                                      shipped.size() + 1024);
+  if (!sent.is_ok()) return sent.status();
+  SimTime transfer_latency = source_->clock()->now() - transfer_start;
+
+  // 3. Destination verifies signature + signer approval + digest.
+  if (Status s = destination_->images().verify_image(*manifest, shipped); !s.is_ok()) {
+    destination_->log()->error("intercloud", "transfer_rejected",
+                               name + "@" + version + ": " + s.to_string());
+    return s;
+  }
+
+  // 4. Attested launch: measure the container into a fresh vTPM and let the
+  //    destination's attestation service verify before the workload starts.
+  SimTime attest_start = destination_->clock()->now();
+  // Modeled compute: the container is hashed for measurement and once more
+  // for log replay (~200 MB/s), plus quote generation + verification.
+  SimTime hash_cost = static_cast<SimTime>(shipped.size() / 200);
+  destination_->clock()->advance(2 * hash_cost + 2 * kMillisecond);
+  std::string vtpm_id = destination_->name() + "/ctr-" + name + "@" + version;
+  tpm::VTpm& vtpm = destination_->vtpm_manager().create(vtpm_id);
+  if (Status s = destination_->attestation().register_vtpm(vtpm.certificate());
+      !s.is_ok() && s.code() != StatusCode::kAlreadyExists) {
+    // Re-registration of an existing vTPM id is fine; anything else is not.
+    if (!destination_->attestation().knows_tpm(vtpm_id)) return s;
+  }
+
+  // Golden value comes from the signed manifest, NOT the shipped bytes —
+  // measured launch then independently re-detects any in-flight tamper.
+  std::string component_name = "container:" + name + "@" + version;
+  destination_->attestation().approve_component(component_name,
+                                                manifest->content_digest);
+  std::vector<tpm::Component> workload{
+      {component_name, shipped, tpm::kWorkloadPcr}};
+  tpm::MeasurementLog log = tpm::measured_launch(vtpm, workload);
+
+  Bytes nonce = destination_->attestation().challenge();
+  tpm::Quote quote = vtpm.quote({tpm::kWorkloadPcr}, nonce);
+  auto verdict = destination_->attestation().verify(quote, log);
+  if (!verdict.trusted) {
+    return Status(StatusCode::kIntegrityError,
+                  "remote attestation failed: " + verdict.reason);
+  }
+  SimTime attestation_latency = destination_->clock()->now() - attest_start;
+
+  // Register the image at the destination for subsequent local launches.
+  Status registered = destination_->images().register_image(*manifest, shipped);
+  if (!registered.is_ok() && registered.code() != StatusCode::kAlreadyExists) {
+    return registered;
+  }
+
+  destination_->log()->audit("intercloud", "workload_attested_and_started",
+                             name + "@" + version + " on " + vtpm_id);
+  TransferReceipt receipt;
+  receipt.image = name + "@" + version;
+  receipt.transfer_latency = transfer_latency;
+  receipt.attestation_latency = attestation_latency;
+  receipt.vtpm_id = vtpm_id;
+  return receipt;
+}
+
+}  // namespace hc::platform

@@ -1,0 +1,55 @@
+// Intercloud Secure Gateway (Section II.C).
+//
+// "Our design of extending the root of trust to the level of containers
+// allows transfer of trusted analytic workloads (packaged in containers)
+// across different cloud instances ... This allows the computation to be
+// transferred to data instead of otherwise ... The intercloud secure
+// gateway facilitates transfer of these trusted analytics containers
+// between cloud platforms and also offers a service of Remote Attestation
+// for the platform to attest when the analytics workload is started."
+//
+// Transfer flow between two HealthCloudInstances:
+//   1. source looks up the signed container image,
+//   2. bytes cross the intercloud link (network-charged),
+//   3. destination verifies the manifest signature against its approved
+//      key list (signer must be trusted by the *destination*),
+//   4. destination launches the container in a vTPM-measured sandbox and
+//      runs remote attestation of the workload before it may start.
+// Any tamper or unapproved signer rejects the transfer.
+#pragma once
+
+#include <string>
+
+#include "platform/instance.h"
+
+namespace hc::platform {
+
+struct TransferReceipt {
+  std::string image;            // name@version
+  SimTime transfer_latency = 0; // network time for the image bytes
+  SimTime attestation_latency = 0;
+  std::string vtpm_id;          // sandbox identity at the destination
+};
+
+class IntercloudGateway {
+ public:
+  /// Both instances must be endpoints on the same SimNetwork with an
+  /// intercloud link configured between their names.
+  IntercloudGateway(HealthCloudInstance& source, HealthCloudInstance& destination);
+
+  /// Ships image name@version from source to destination and performs the
+  /// attested launch. On success the image is registered at the
+  /// destination and the receipt describes the costs.
+  Result<TransferReceipt> transfer_and_launch(const std::string& name,
+                                              const std::string& version);
+
+  /// Testing hook: corrupt the next image's bytes in flight.
+  void tamper_next_transfer() { tamper_next_ = true; }
+
+ private:
+  HealthCloudInstance* source_;
+  HealthCloudInstance* destination_;
+  bool tamper_next_ = false;
+};
+
+}  // namespace hc::platform

@@ -1,0 +1,98 @@
+#include "platform/log_anchor.h"
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace hc::platform {
+
+namespace {
+
+Bytes serialize_record(const LogRecord& record) {
+  crypto::Sha256 h;
+  std::uint8_t time_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    time_bytes[i] =
+        static_cast<std::uint8_t>(static_cast<std::uint64_t>(record.time) >> (56 - 8 * i));
+  }
+  h.update(time_bytes, 8);
+  h.update(log_level_name(record.level));
+  h.update(std::string_view("|"));
+  h.update(record.component);
+  h.update(std::string_view("|"));
+  h.update(record.event);
+  h.update(std::string_view("|"));
+  h.update(record.detail);
+  return h.finalize();
+}
+
+}  // namespace
+
+LogAnchorService::LogAnchorService(LogService& log,
+                                   blockchain::PermissionedLedger& ledger,
+                                   std::string instance_name)
+    : log_(&log), ledger_(&ledger), instance_name_(std::move(instance_name)) {}
+
+Bytes LogAnchorService::span_root(std::size_t begin, std::size_t end) const {
+  std::vector<Bytes> leaves;
+  leaves.reserve(end - begin);
+  const auto& records = log_->records();
+  for (std::size_t i = begin; i < end; ++i) {
+    leaves.push_back(serialize_record(records[i]));
+  }
+  return crypto::MerkleTree(leaves).root();
+}
+
+Result<LogCheckpoint> LogAnchorService::checkpoint() {
+  std::size_t total = log_->records().size();
+  if (total <= anchored_) {
+    return Status(StatusCode::kFailedPrecondition, "no new log records to anchor");
+  }
+
+  LogCheckpoint cp;
+  cp.begin = anchored_;
+  cp.end = total;
+  cp.root = span_root(cp.begin, cp.end);
+  cp.ledger_ref = "log:" + instance_name_ + "/ckpt-" +
+                  std::to_string(checkpoints_.size());
+
+  auto committed = ledger_->submit_and_commit(
+      "provenance",
+      {{"action", "record_event"},
+       {"record_ref", cp.ledger_ref},
+       {"event", "received"},
+       {"data_hash", hex_encode(cp.root)}},
+      "log-anchor");
+  if (!committed.is_ok()) return committed.status();
+
+  // NOTE: committing the checkpoint itself appends audit records to the
+  // log; they belong to the *next* span, which is why `end` was captured
+  // before the commit.
+  anchored_ = cp.end;
+  checkpoints_.push_back(cp);
+  return cp;
+}
+
+Status LogAnchorService::verify() const {
+  for (std::size_t k = 0; k < checkpoints_.size(); ++k) {
+    const LogCheckpoint& cp = checkpoints_[k];
+    if (cp.end > log_->records().size()) {
+      return Status(StatusCode::kIntegrityError,
+                    "log shrank below checkpoint " + std::to_string(k));
+    }
+    Bytes recomputed = span_root(cp.begin, cp.end);
+    if (!constant_time_equal(recomputed, cp.root)) {
+      return Status(StatusCode::kIntegrityError,
+                    "log span " + std::to_string(k) + " was modified");
+    }
+    // Cross-check the anchored root on the ledger.
+    auto on_ledger = ledger_->state_value("provenance", cp.ledger_ref + "/last_hash");
+    if (!on_ledger.is_ok() || *on_ledger != hex_encode(cp.root)) {
+      return Status(StatusCode::kIntegrityError,
+                    "ledger anchor missing or mismatched for span " +
+                        std::to_string(k));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace hc::platform

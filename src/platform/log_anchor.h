@@ -1,0 +1,58 @@
+// Tamper-evident audit logs (Section IV.E).
+//
+// "Log analytics systems are used for audit and forensic purposes. Use of
+// blockchain networks ... helps in audit management." Audit logs are only
+// forensically useful if they cannot be silently rewritten; the
+// LogAnchorService periodically seals the log by committing the Merkle
+// root of each new span of records to the provenance ledger. verify()
+// recomputes every span's root from the live log and compares against the
+// anchored values — any retroactive edit to an anchored record surfaces as
+// an integrity error, and the anchors themselves are protected by the
+// ledger's consensus + hash chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blockchain/ledger.h"
+#include "common/log.h"
+
+namespace hc::platform {
+
+struct LogCheckpoint {
+  std::size_t begin = 0;  // first record index covered (inclusive)
+  std::size_t end = 0;    // one past the last record covered
+  Bytes root;             // merkle root over the span
+  std::string ledger_ref; // provenance record_ref carrying the root
+};
+
+class LogAnchorService {
+ public:
+  /// `instance_name` namespaces the ledger refs so several instances can
+  /// share one ledger.
+  LogAnchorService(LogService& log, blockchain::PermissionedLedger& ledger,
+                   std::string instance_name);
+
+  /// Seals all not-yet-anchored records into a new checkpoint committed to
+  /// the ledger. kFailedPrecondition when there is nothing new to anchor.
+  Result<LogCheckpoint> checkpoint();
+
+  /// Recomputes every anchored span from the live log and compares against
+  /// both the local checkpoint list and the on-ledger roots.
+  Status verify() const;
+
+  const std::vector<LogCheckpoint>& checkpoints() const { return checkpoints_; }
+  std::size_t anchored_records() const { return anchored_; }
+
+ private:
+  Bytes span_root(std::size_t begin, std::size_t end) const;
+
+  LogService* log_;
+  blockchain::PermissionedLedger* ledger_;
+  std::string instance_name_;
+  std::vector<LogCheckpoint> checkpoints_;
+  std::size_t anchored_ = 0;
+};
+
+}  // namespace hc::platform

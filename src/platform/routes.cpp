@@ -1,0 +1,92 @@
+#include "platform/routes.h"
+
+#include "blockchain/auditor.h"
+
+namespace hc::platform {
+
+namespace {
+
+/// Tail of `resource` after `prefix`, e.g. ("kb/", "kb/drugbank/drug-1")
+/// -> "drugbank/drug-1".
+std::string tail_after(const std::string& resource, std::string_view prefix) {
+  return resource.substr(prefix.size());
+}
+
+}  // namespace
+
+void install_standard_routes(ApiGateway& gateway, HealthCloudInstance& instance) {
+  gateway.route("ingestion/status/",
+                [&instance](const std::string&, const ApiRequest& request) -> Result<ApiResponse> {
+                  std::string upload_id =
+                      tail_after(request.resource, "ingestion/status/");
+                  auto status = instance.status_tracker().status(upload_id);
+                  if (!status.is_ok()) return status.status();
+                  std::string body(storage::ingestion_stage_name(status->stage));
+                  if (!status->reference_id.empty()) body += " " + status->reference_id;
+                  if (!status->failure_reason.empty()) {
+                    body += " " + status->failure_reason;
+                  }
+                  return ApiResponse{to_bytes(body)};
+                });
+
+  gateway.route("datalake/records/",
+                [&instance](const std::string&, const ApiRequest& request) -> Result<ApiResponse> {
+                  std::string reference =
+                      tail_after(request.resource, "datalake/records/");
+                  auto record = instance.lake().get(reference);
+                  if (!record.is_ok()) return record.status();
+                  return ApiResponse{std::move(*record)};
+                });
+
+  gateway.route("export/anonymized/",
+                [&instance](const std::string&, const ApiRequest& request) -> Result<ApiResponse> {
+                  std::string spec = tail_after(request.resource, "export/anonymized/");
+                  std::size_t query = spec.find("?k=");
+                  std::size_t k = 5;
+                  std::string group = spec;
+                  if (query != std::string::npos) {
+                    k = static_cast<std::size_t>(
+                        std::atoll(spec.c_str() + query + 3));
+                    group = spec.substr(0, query);
+                  }
+                  auto result = instance.exporter().export_anonymized(group, k);
+                  if (!result.is_ok()) return result.status();
+                  return ApiResponse{to_bytes(
+                      "rows=" + std::to_string(result->rows.size()) +
+                      " suppressed=" + std::to_string(result->suppressed))};
+                });
+
+  gateway.route("kb/",
+                [&instance](const std::string&, const ApiRequest& request) -> Result<ApiResponse> {
+                  std::string spec = tail_after(request.resource, "kb/");
+                  std::size_t slash = spec.find('/');
+                  if (slash == std::string::npos) {
+                    return Status(StatusCode::kInvalidArgument,
+                                  "kb route needs kb/<base>/<key>");
+                  }
+                  auto lookup = instance.knowledge().query(spec.substr(0, slash),
+                                                           spec.substr(slash + 1));
+                  if (!lookup.is_ok()) return lookup.status();
+                  return ApiResponse{to_bytes(lookup->value)};
+                });
+
+  gateway.route("audit/lifecycle/",
+                [&instance](const std::string&, const ApiRequest& request) -> Result<ApiResponse> {
+                  std::string reference =
+                      tail_after(request.resource, "audit/lifecycle/");
+                  blockchain::AuditorView auditor(instance.ledger());
+                  auto lifecycle = auditor.record_lifecycle(reference);
+                  if (lifecycle.events.empty()) {
+                    return Status(StatusCode::kNotFound,
+                                  "no provenance for " + reference);
+                  }
+                  std::string body;
+                  for (const auto& event : lifecycle.events) {
+                    if (!body.empty()) body += ",";
+                    body += event;
+                  }
+                  return ApiResponse{to_bytes(body)};
+                });
+}
+
+}  // namespace hc::platform

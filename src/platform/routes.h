@@ -1,0 +1,24 @@
+// Standard API surface (Section II.B: "The platform exposes secure APIs
+// for all its capabilities").
+//
+// Binds the canonical resource tree to the instance's services:
+//
+//   ingestion/status/<upload-id>     GET   ingestion status URL lookup
+//   datalake/records/<reference-id>  GET   de-identified record fetch
+//   export/anonymized/<group>?k=<k>  GET   k-anonymous export rows (count)
+//   kb/<base>/<key>                  GET   knowledge-base lookup (cached)
+//   audit/lifecycle/<reference-id>   GET   provenance event list
+//
+// All routes ride the gateway pipeline, so they inherit authentication,
+// RBAC (privacy management) and tenant metering. Responses are compact
+// text payloads — the transport encoding is not what the paper evaluates.
+#pragma once
+
+#include "platform/gateway.h"
+
+namespace hc::platform {
+
+/// Installs the standard routes on a gateway bound to `instance`.
+void install_standard_routes(ApiGateway& gateway, HealthCloudInstance& instance);
+
+}  // namespace hc::platform

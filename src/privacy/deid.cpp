@@ -1,0 +1,118 @@
+#include "privacy/deid.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "crypto/hmac.h"
+
+namespace hc::privacy {
+
+FieldSchema FieldSchema::standard_patient() {
+  FieldSchema schema;
+  schema.classes = {
+      {"patient_id", FieldClass::kDirectIdentifier},
+      {"name", FieldClass::kDirectIdentifier},
+      {"ssn", FieldClass::kDirectIdentifier},
+      {"phone", FieldClass::kDirectIdentifier},
+      {"email", FieldClass::kDirectIdentifier},
+      {"address", FieldClass::kDirectIdentifier},
+      {"age", FieldClass::kQuasiIdentifier},
+      {"zip", FieldClass::kQuasiIdentifier},
+      {"gender", FieldClass::kQuasiIdentifier},
+      {"birth_date", FieldClass::kQuasiIdentifier},
+      {"diagnosis", FieldClass::kSensitive},
+      {"hba1c", FieldClass::kClinical},
+      {"medications", FieldClass::kClinical},
+  };
+  return schema;
+}
+
+Pseudonymizer::Pseudonymizer(Bytes key) : key_(std::move(key)) {}
+
+std::string Pseudonymizer::pseudonym_for(const std::string& patient_id) const {
+  Bytes tag = crypto::hmac_sha256(key_, to_bytes(patient_id));
+  return "pseu-" + hex_encode(tag).substr(0, 16);
+}
+
+void ReidentificationMap::record(const std::string& pseudonym,
+                                 const std::string& patient_id) {
+  map_[pseudonym] = patient_id;
+}
+
+Result<std::string> ReidentificationMap::identity(const std::string& pseudonym) const {
+  auto it = map_.find(pseudonym);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "no identity for " + pseudonym);
+  }
+  return it->second;
+}
+
+bool ReidentificationMap::forget(const std::string& pseudonym) {
+  return map_.erase(pseudonym) > 0;
+}
+
+namespace {
+
+bool is_all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool looks_like_date(const std::string& s) {
+  // YYYY-MM-DD
+  return s.size() == 10 && s[4] == '-' && s[7] == '-' &&
+         is_all_digits(s.substr(0, 4)) && is_all_digits(s.substr(5, 2)) &&
+         is_all_digits(s.substr(8, 2));
+}
+
+}  // namespace
+
+std::string generalize_quasi_identifier(const std::string& field,
+                                        const std::string& value) {
+  if (field == "age" && is_all_digits(value)) {
+    int age = std::atoi(value.c_str());
+    if (age > 89) return "90+";  // HIPAA Safe Harbor pooling
+    int lo = (age / 5) * 5;
+    return std::to_string(lo) + "-" + std::to_string(lo + 4);
+  }
+  if (field == "zip" && is_all_digits(value) && value.size() == 5) {
+    return value.substr(0, 3) + "**";
+  }
+  if (looks_like_date(value)) {
+    return value.substr(0, 4);  // year only
+  }
+  return value;
+}
+
+Result<DeidentifiedRecord> deidentify(const FieldMap& record, const FieldSchema& schema,
+                                      const Pseudonymizer& pseudonymizer,
+                                      const std::string& id_field) {
+  auto id_it = record.find(id_field);
+  if (id_it == record.end()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "record has no " + id_field + " to pseudonymize");
+  }
+
+  DeidentifiedRecord out;
+  out.pseudonym = pseudonymizer.pseudonym_for(id_it->second);
+  for (const auto& [field, value] : record) {
+    switch (schema.classify(field)) {
+      case FieldClass::kDirectIdentifier:
+        break;  // removed entirely
+      case FieldClass::kQuasiIdentifier:
+        out.fields[field] = generalize_quasi_identifier(field, value);
+        break;
+      case FieldClass::kSensitive:
+      case FieldClass::kClinical:
+        out.fields[field] = value;
+        break;
+    }
+  }
+  out.fields["pseudonym"] = out.pseudonym;
+  return out;
+}
+
+}  // namespace hc::privacy

@@ -1,0 +1,72 @@
+// De-identification and pseudonymization (Sections II.B and IV.C).
+//
+// The ingestion pipeline de-identifies every stored record: direct
+// identifiers are removed, quasi-identifiers generalized following the
+// HIPAA Safe Harbor rules the platform is compliant with (ages over 89
+// pooled, dates truncated to year, ZIP codes truncated to 3 digits), and
+// the patient identity replaced by a keyed pseudonym. The pseudonym-to-
+// identity mapping is held by a separate ReidentificationMap so the Export
+// service can do "full export" of re-identified consented data while the
+// data lake never stores identities.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "privacy/schema.h"
+
+namespace hc::privacy {
+
+struct DeidentifiedRecord {
+  FieldMap fields;        // identifiers removed / generalized
+  std::string pseudonym;  // stable keyed handle for the patient
+};
+
+/// Stable keyed pseudonyms: HMAC-SHA256(key, patient_id) truncated. The
+/// same patient always maps to the same pseudonym under one key, so
+/// longitudinal analytics (DELT needs per-patient series) still work on
+/// de-identified data.
+class Pseudonymizer {
+ public:
+  explicit Pseudonymizer(Bytes key);
+
+  std::string pseudonym_for(const std::string& patient_id) const;
+
+ private:
+  Bytes key_;
+};
+
+/// Two-way mapping guarded for the full-export path; kept separate from the
+/// data lake per the paper's separation-of-duties argument.
+class ReidentificationMap {
+ public:
+  void record(const std::string& pseudonym, const std::string& patient_id);
+  Result<std::string> identity(const std::string& pseudonym) const;
+  /// GDPR right-to-forget support: drop a patient's linkage.
+  bool forget(const std::string& pseudonym);
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+/// Safe-Harbor-style generalization of one quasi-identifier value. Exposed
+/// for tests; de-identify() applies it to every kQuasiIdentifier field.
+///   age: numeric, >89 becomes "90+"; otherwise 5-year bands "30-34"
+///   zip: first 3 digits + "**"
+///   date (YYYY-MM-DD): year only
+///   anything else: kept as-is
+std::string generalize_quasi_identifier(const std::string& field,
+                                        const std::string& value);
+
+/// Applies the schema: removes direct identifiers, generalizes quasi-
+/// identifiers, keeps sensitive/clinical fields, and pseudonymizes
+/// `id_field` (which must be present). kInvalidArgument if missing.
+Result<DeidentifiedRecord> deidentify(const FieldMap& record, const FieldSchema& schema,
+                                      const Pseudonymizer& pseudonymizer,
+                                      const std::string& id_field = "patient_id");
+
+}  // namespace hc::privacy

@@ -1,0 +1,188 @@
+#include "privacy/kanonymity.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace hc::privacy {
+
+namespace {
+
+std::string qi_signature(const FieldMap& record,
+                         const std::vector<std::string>& qi_fields) {
+  std::string sig;
+  for (const auto& field : qi_fields) {
+    auto it = record.find(field);
+    sig += (it == record.end() ? std::string("<absent>") : it->second);
+    sig += '\x1f';
+  }
+  return sig;
+}
+
+struct Partition {
+  std::vector<std::size_t> rows;
+};
+
+std::string format_range(double lo, double hi) {
+  auto fmt = [](double v) {
+    char buf[32];
+    if (v == static_cast<long long>(v)) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f", v);
+    }
+    return std::string(buf);
+  };
+  if (lo == hi) return fmt(lo);
+  return "[" + fmt(lo) + "-" + fmt(hi) + "]";
+}
+
+}  // namespace
+
+Result<KAnonymityResult> k_anonymize(const std::vector<FieldMap>& records,
+                                     const std::vector<std::string>& qi_fields,
+                                     std::size_t k) {
+  if (k == 0) return Status(StatusCode::kInvalidArgument, "k must be positive");
+
+  KAnonymityResult result;
+  if (records.size() < k) {
+    result.suppressed = records.size();
+    return result;
+  }
+
+  // Parse QI matrix up front.
+  std::vector<std::vector<double>> values(records.size(),
+                                          std::vector<double>(qi_fields.size()));
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    for (std::size_t f = 0; f < qi_fields.size(); ++f) {
+      auto it = records[r].find(qi_fields[f]);
+      if (it == records[r].end()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "record missing QI field " + qi_fields[f]);
+      }
+      char* end = nullptr;
+      double v = std::strtod(it->second.c_str(), &end);
+      if (end == it->second.c_str() || *end != '\0') {
+        return Status(StatusCode::kInvalidArgument,
+                      "non-numeric QI value in field " + qi_fields[f] + ": " +
+                          it->second);
+      }
+      values[r][f] = v;
+    }
+  }
+
+  // Global ranges for normalized-width dimension choice.
+  std::vector<double> global_lo(qi_fields.size(), std::numeric_limits<double>::max());
+  std::vector<double> global_hi(qi_fields.size(), std::numeric_limits<double>::lowest());
+  for (const auto& row : values) {
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      global_lo[f] = std::min(global_lo[f], row[f]);
+      global_hi[f] = std::max(global_hi[f], row[f]);
+    }
+  }
+
+  result.records = records;
+
+  // Iterative Mondrian with an explicit work stack.
+  std::vector<Partition> work;
+  Partition all;
+  all.rows.resize(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) all.rows[i] = i;
+  work.push_back(std::move(all));
+
+  while (!work.empty()) {
+    Partition part = std::move(work.back());
+    work.pop_back();
+
+    // Try dimensions in order of decreasing normalized width.
+    std::vector<std::pair<double, std::size_t>> dims;
+    for (std::size_t f = 0; f < qi_fields.size(); ++f) {
+      double lo = std::numeric_limits<double>::max();
+      double hi = std::numeric_limits<double>::lowest();
+      for (auto r : part.rows) {
+        lo = std::min(lo, values[r][f]);
+        hi = std::max(hi, values[r][f]);
+      }
+      double span = global_hi[f] > global_lo[f]
+                        ? (hi - lo) / (global_hi[f] - global_lo[f])
+                        : 0.0;
+      dims.emplace_back(span, f);
+    }
+    std::sort(dims.rbegin(), dims.rend());
+
+    bool split_done = false;
+    if (part.rows.size() >= 2 * k) {
+      for (const auto& [span, f] : dims) {
+        if (span <= 0.0) break;  // all remaining dims constant in partition
+        // Median split on dimension f.
+        std::vector<std::size_t> sorted = part.rows;
+        std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+          return values[a][f] < values[b][f];
+        });
+        double median = values[sorted[sorted.size() / 2]][f];
+        Partition left, right;
+        for (auto r : sorted) {
+          (values[r][f] < median ? left : right).rows.push_back(r);
+        }
+        if (left.rows.size() >= k && right.rows.size() >= k) {
+          work.push_back(std::move(left));
+          work.push_back(std::move(right));
+          split_done = true;
+          break;
+        }
+      }
+    }
+    if (split_done) continue;
+
+    // Finalize: generalize each QI to the partition's range.
+    for (std::size_t f = 0; f < qi_fields.size(); ++f) {
+      double lo = std::numeric_limits<double>::max();
+      double hi = std::numeric_limits<double>::lowest();
+      for (auto r : part.rows) {
+        lo = std::min(lo, values[r][f]);
+        hi = std::max(hi, values[r][f]);
+      }
+      std::string label = format_range(lo, hi);
+      for (auto r : part.rows) result.records[r][qi_fields[f]] = label;
+    }
+  }
+
+  return result;
+}
+
+bool is_k_anonymous(const std::vector<FieldMap>& records,
+                    const std::vector<std::string>& qi_fields, std::size_t k) {
+  std::map<std::string, std::size_t> classes;
+  for (const auto& record : records) classes[qi_signature(record, qi_fields)]++;
+  for (const auto& [sig, count] : classes) {
+    if (count < k) return false;
+  }
+  return true;
+}
+
+std::size_t l_diversity(const std::vector<FieldMap>& records,
+                        const std::vector<std::string>& qi_fields,
+                        const std::string& sensitive_field) {
+  if (records.empty()) return 0;
+  std::map<std::string, std::set<std::string>> classes;
+  for (const auto& record : records) {
+    auto it = record.find(sensitive_field);
+    std::string value = it == record.end() ? std::string("<absent>") : it->second;
+    classes[qi_signature(record, qi_fields)].insert(value);
+  }
+  std::size_t min_l = std::numeric_limits<std::size_t>::max();
+  for (const auto& [sig, distinct] : classes) min_l = std::min(min_l, distinct.size());
+  return min_l;
+}
+
+double average_class_size(const std::vector<FieldMap>& records,
+                          const std::vector<std::string>& qi_fields) {
+  if (records.empty()) return 0.0;
+  std::map<std::string, std::size_t> classes;
+  for (const auto& record : records) classes[qi_signature(record, qi_fields)]++;
+  return static_cast<double>(records.size()) / static_cast<double>(classes.size());
+}
+
+}  // namespace hc::privacy

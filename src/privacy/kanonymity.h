@@ -1,0 +1,51 @@
+// k-anonymity via Mondrian multidimensional partitioning, plus l-diversity.
+//
+// Section IV.C: the "degree of anonymization/privacy has two parts — one
+// independent of other data objects and another that is determined
+// holistically with respect to other data objects." The holistic part is
+// exactly what k-anonymity measures: a record is hidden in a crowd of at
+// least k records sharing its quasi-identifier signature. The Export
+// service's anonymized export runs records through k_anonymize() before
+// they leave the platform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "privacy/schema.h"
+
+namespace hc::privacy {
+
+struct KAnonymityResult {
+  std::vector<FieldMap> records;  // generalized; QI fields become "[lo-hi]"
+  std::size_t suppressed = 0;     // records dropped (input smaller than k)
+};
+
+/// Generalizes the numeric quasi-identifier fields of `records` until every
+/// equivalence class has at least k members (greedy Mondrian: split on the
+/// widest normalized dimension at the median while both halves keep >= k).
+/// Non-numeric values in a QI field are kInvalidArgument. If fewer than k
+/// records exist in total, all are suppressed.
+Result<KAnonymityResult> k_anonymize(const std::vector<FieldMap>& records,
+                                     const std::vector<std::string>& qi_fields,
+                                     std::size_t k);
+
+/// True iff every equivalence class over the (string-equality) QI signature
+/// has at least k members. Vacuously true for empty input.
+bool is_k_anonymous(const std::vector<FieldMap>& records,
+                    const std::vector<std::string>& qi_fields, std::size_t k);
+
+/// Minimum number of distinct `sensitive_field` values in any equivalence
+/// class (the "l" in l-diversity). Returns 0 for empty input.
+std::size_t l_diversity(const std::vector<FieldMap>& records,
+                        const std::vector<std::string>& qi_fields,
+                        const std::string& sensitive_field);
+
+/// Average equivalence-class size — a utility metric: smaller classes mean
+/// less generalization and more analytic value.
+double average_class_size(const std::vector<FieldMap>& records,
+                          const std::vector<std::string>& qi_fields);
+
+}  // namespace hc::privacy

@@ -1,0 +1,36 @@
+// Field classification for privacy processing.
+//
+// Privacy operations are format-agnostic: they work on flat FieldMap
+// records (the FHIR module converts resources to/from this shape). A
+// FieldSchema labels each field so de-identification and k-anonymity know
+// what to strip, generalize, or preserve.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace hc::privacy {
+
+enum class FieldClass {
+  kDirectIdentifier,  // name, ssn, phone, email, address -> removed
+  kQuasiIdentifier,   // age, zip, gender -> generalized
+  kSensitive,         // diagnosis, lab values -> kept, l-diversity target
+  kClinical,          // other clinical payload -> kept verbatim
+};
+
+using FieldMap = std::map<std::string, std::string>;
+
+struct FieldSchema {
+  std::map<std::string, FieldClass> classes;
+
+  FieldClass classify(const std::string& field) const {
+    auto it = classes.find(field);
+    return it == classes.end() ? FieldClass::kClinical : it->second;
+  }
+
+  /// The classification used by the synthetic patient generator and the
+  /// ingestion pipeline: standard demographic + clinical fields.
+  static FieldSchema standard_patient();
+};
+
+}  // namespace hc::privacy

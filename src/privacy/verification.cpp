@@ -1,0 +1,77 @@
+#include "privacy/verification.h"
+
+#include <cctype>
+
+#include "privacy/deid.h"
+
+namespace hc::privacy {
+
+namespace {
+
+std::string signature(const FieldMap& record, const std::vector<std::string>& qi_fields) {
+  std::string sig;
+  for (const auto& field : qi_fields) {
+    auto it = record.find(field);
+    sig += (it == record.end() ? std::string("<absent>") : it->second);
+    sig += '\x1f';
+  }
+  return sig;
+}
+
+/// A quasi-identifier value counts as generalized if re-generalizing it is
+/// a no-op (e.g. "30-34" stays "30-34" but a raw "33" would change).
+bool looks_generalized(const std::string& field, const std::string& value) {
+  return generalize_quasi_identifier(field, value) == value;
+}
+
+}  // namespace
+
+AnonymizationVerificationService::AnonymizationVerificationService(
+    const FieldSchema& schema, double min_record_score, std::size_t min_k)
+    : schema_(schema), min_record_score_(min_record_score), min_k_(min_k) {}
+
+double AnonymizationVerificationService::score_record(const FieldMap& record) const {
+  double penalty = 0.0;
+  for (const auto& [field, value] : record) {
+    if (value.empty()) continue;
+    switch (schema_.classify(field)) {
+      case FieldClass::kDirectIdentifier:
+        penalty += 0.5;  // a surviving direct identifier is disqualifying
+        break;
+      case FieldClass::kQuasiIdentifier:
+        if (!looks_generalized(field, value)) penalty += 0.2;
+        break;
+      case FieldClass::kSensitive:
+      case FieldClass::kClinical:
+        break;
+    }
+  }
+  return penalty >= 1.0 ? 0.0 : 1.0 - penalty;
+}
+
+PrivacyDegree AnonymizationVerificationService::verify(
+    const FieldMap& record, const std::vector<std::string>& qi_fields) {
+  PrivacyDegree degree;
+  degree.record_score = score_record(record);
+
+  std::string sig = signature(record, qi_fields);
+  std::size_t crowd = ++population_[sig];
+  ++population_total_;
+  degree.holistic_k = crowd;
+
+  if (degree.record_score < min_record_score_) {
+    degree.acceptable = false;
+    degree.reason = "record retains identifying material (score " +
+                    std::to_string(degree.record_score) + ")";
+    return degree;
+  }
+  if (population_total_ >= min_k_ && crowd < min_k_) {
+    degree.acceptable = false;
+    degree.reason = "equivalence class too small (k=" + std::to_string(crowd) + ")";
+    return degree;
+  }
+  degree.acceptable = true;
+  return degree;
+}
+
+}  // namespace hc::privacy

@@ -1,0 +1,61 @@
+// Anonymization Verification Service (Sections IV.B.1 and IV.C).
+//
+// "the ingestion service may use another service, 'anonymization
+// verification service', in order to verify how good the anonymization on
+// the incoming record is. If [it] determines that a claimed anonymized
+// record is not properly anonymized, then such a record is dropped, and a
+// response is sent back to the sender."
+//
+// Degree scoring follows the paper's two-part definition:
+//   record_score  — independent of other data: fraction of direct
+//                   identifiers removed and quasi-identifiers generalized.
+//   holistic_k    — with respect to a reference population: size of the
+//                   record's equivalence class among previously seen
+//                   records (k-anonymity style crowd size).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "privacy/schema.h"
+
+namespace hc::privacy {
+
+struct PrivacyDegree {
+  double record_score = 0.0;   // [0,1]; 1 = no identifying material remains
+  std::size_t holistic_k = 0;  // crowd size among the reference population
+  bool acceptable = false;     // meets the configured thresholds
+  std::string reason;          // populated when unacceptable
+};
+
+class AnonymizationVerificationService {
+ public:
+  /// `min_record_score` and `min_k` are the acceptance thresholds; records
+  /// scoring below either are to be dropped by the caller.
+  AnonymizationVerificationService(const FieldSchema& schema,
+                                   double min_record_score = 0.99,
+                                   std::size_t min_k = 2);
+
+  /// Scores a record claimed to be anonymized. Also admits it into the
+  /// reference population (so holistic scoring sharpens over time).
+  PrivacyDegree verify(const FieldMap& record,
+                       const std::vector<std::string>& qi_fields);
+
+  std::size_t population_size() const { return population_.size(); }
+
+ private:
+  /// 1.0 minus penalties for surviving direct identifiers and raw
+  /// (ungeneralized) quasi-identifier values.
+  double score_record(const FieldMap& record) const;
+
+  FieldSchema schema_;
+  double min_record_score_;
+  std::size_t min_k_;
+  std::map<std::string, std::size_t> population_;  // QI signature -> count
+  std::size_t population_total_ = 0;
+};
+
+}  // namespace hc::privacy

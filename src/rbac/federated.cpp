@@ -1,0 +1,80 @@
+#include "rbac/federated.h"
+
+#include "crypto/sha256.h"
+
+namespace hc::rbac {
+
+Bytes IdentityToken::serialize_for_signing() const {
+  crypto::Sha256 h;
+  h.update(issuer);
+  h.update(std::string_view("|"));
+  h.update(subject);
+  h.update(std::string_view("|"));
+  h.update(tenant);
+  std::uint8_t times[16];
+  for (int i = 0; i < 8; ++i) {
+    times[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(issued_at) >> (56 - 8 * i));
+    times[8 + i] =
+        static_cast<std::uint8_t>(static_cast<std::uint64_t>(expires_at) >> (56 - 8 * i));
+  }
+  h.update(times, 16);
+  return h.finalize();
+}
+
+IdentityProvider::IdentityProvider(std::string name, Rng& rng, ClockPtr clock,
+                                   SimTime token_lifetime)
+    : name_(std::move(name)),
+      keys_(crypto::generate_keypair(rng)),
+      clock_(std::move(clock)),
+      token_lifetime_(token_lifetime) {}
+
+IdentityToken IdentityProvider::issue(const std::string& subject,
+                                      const std::string& tenant) const {
+  IdentityToken token;
+  token.issuer = name_;
+  token.subject = subject;
+  token.tenant = tenant;
+  token.issued_at = clock_->now();
+  token.expires_at = token.issued_at + token_lifetime_;
+  token.signature = crypto::rsa_sign(keys_.priv, token.serialize_for_signing());
+  return token;
+}
+
+FederatedAuthenticator::FederatedAuthenticator(ClockPtr clock)
+    : clock_(std::move(clock)) {}
+
+void FederatedAuthenticator::approve_idp(const std::string& name,
+                                         const crypto::PublicKey& key) {
+  approved_idps_[name] = key;
+}
+
+void FederatedAuthenticator::revoke_idp(const std::string& name) {
+  approved_idps_.erase(name);
+}
+
+void FederatedAuthenticator::enroll(const std::string& issuer, const std::string& subject,
+                                    const std::string& platform_user_id) {
+  enrollments_[issuer + "|" + subject] = platform_user_id;
+}
+
+Result<std::string> FederatedAuthenticator::authenticate(
+    const IdentityToken& token) const {
+  auto idp = approved_idps_.find(token.issuer);
+  if (idp == approved_idps_.end()) {
+    return Status(StatusCode::kUnauthenticated, "IdP not approved: " + token.issuer);
+  }
+  if (!crypto::rsa_verify(idp->second, token.serialize_for_signing(), token.signature)) {
+    return Status(StatusCode::kUnauthenticated, "token signature invalid");
+  }
+  if (clock_->now() >= token.expires_at) {
+    return Status(StatusCode::kUnauthenticated, "token expired");
+  }
+  auto enrolled = enrollments_.find(token.issuer + "|" + token.subject);
+  if (enrolled == enrollments_.end()) {
+    return Status(StatusCode::kUnauthenticated,
+                  "subject not enrolled: " + token.subject);
+  }
+  return enrolled->second;
+}
+
+}  // namespace hc::rbac

@@ -1,0 +1,77 @@
+// Federated identity management (Section II.B).
+//
+// "the platform user's identity could be managed and authenticated by an
+// external (approved) system. Once users are authenticated, their roles and
+// access privileges are managed by the platform's RBAC system."
+//
+// An IdentityProvider issues signed, expiring tokens over (subject, tenant).
+// The FederatedAuthenticator keeps an approved-IdP key list, validates
+// token signatures and expiry, and maps the external subject to a platform
+// user id established at enrollment time.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/asymmetric.h"
+
+namespace hc::rbac {
+
+struct IdentityToken {
+  std::string issuer;    // IdP name
+  std::string subject;   // external identity, e.g. "jane@hospital.org"
+  std::string tenant;    // tenant the identity belongs to
+  SimTime issued_at = 0;
+  SimTime expires_at = 0;
+  Bytes signature;
+
+  Bytes serialize_for_signing() const;
+};
+
+/// An external identity provider (simulated): holds its own keypair and
+/// issues tokens with a configurable lifetime.
+class IdentityProvider {
+ public:
+  IdentityProvider(std::string name, Rng& rng, ClockPtr clock,
+                   SimTime token_lifetime = kHour);
+
+  const std::string& name() const { return name_; }
+  const crypto::PublicKey& public_key() const { return keys_.pub; }
+
+  IdentityToken issue(const std::string& subject, const std::string& tenant) const;
+
+ private:
+  std::string name_;
+  crypto::KeyPair keys_;
+  ClockPtr clock_;
+  SimTime token_lifetime_;
+};
+
+class FederatedAuthenticator {
+ public:
+  explicit FederatedAuthenticator(ClockPtr clock);
+
+  /// Approves an external IdP (pins its key).
+  void approve_idp(const std::string& name, const crypto::PublicKey& key);
+  void revoke_idp(const std::string& name);
+
+  /// Binds an external subject to a platform user id (enrollment).
+  void enroll(const std::string& issuer, const std::string& subject,
+              const std::string& platform_user_id);
+
+  /// Validates the token and returns the enrolled platform user id.
+  /// kUnauthenticated on any failure (unknown IdP, bad signature, expiry,
+  /// unenrolled subject).
+  Result<std::string> authenticate(const IdentityToken& token) const;
+
+ private:
+  ClockPtr clock_;
+  std::map<std::string, crypto::PublicKey> approved_idps_;
+  std::map<std::string, std::string> enrollments_;  // issuer|subject -> user id
+};
+
+}  // namespace hc::rbac

@@ -1,0 +1,225 @@
+#include "rbac/rbac.h"
+
+#include <algorithm>
+
+namespace hc::rbac {
+
+std::string_view permission_name(Permission p) {
+  switch (p) {
+    case Permission::kRead: return "read";
+    case Permission::kWrite: return "write";
+  }
+  return "unknown";
+}
+
+std::string_view role_name(Role r) {
+  switch (r) {
+    case Role::kTenantAdmin: return "tenant-admin";
+    case Role::kDeveloper: return "developer";
+    case Role::kAnalyst: return "analyst";
+    case Role::kClinician: return "clinician";
+    case Role::kAuditor: return "auditor";
+  }
+  return "unknown";
+}
+
+RbacSystem::RbacSystem(LogPtr log) : log_(std::move(log)) {}
+
+Result<TenantInfo> RbacSystem::register_tenant(const std::string& name) {
+  for (const auto& [id, info] : tenants_) {
+    if (info.name == name) {
+      return Status(StatusCode::kAlreadyExists, "tenant name taken: " + name);
+    }
+  }
+  TenantInfo info;
+  info.id = "tenant-" + ids_.next_uuid();
+  info.name = name;
+  tenants_.emplace(info.id, info);
+
+  // Registration service: default organization + default environment.
+  auto org = add_organization(info.id, "default");
+  auto env = add_environment(*org, "default");
+  auto& stored = tenants_.at(info.id);
+  stored.default_org = *org;
+  stored.default_env = *env;
+  if (log_) log_->audit("rbac", "tenant_registered", info.id + " name=" + name);
+  return stored;
+}
+
+Result<std::string> RbacSystem::add_organization(const std::string& tenant_id,
+                                                 const std::string& name) {
+  if (!tenants_.contains(tenant_id)) {
+    return Status(StatusCode::kNotFound, "no tenant " + tenant_id);
+  }
+  std::string id = "org-" + ids_.next_uuid();
+  orgs_.emplace(id, tenant_id);
+  if (log_) log_->audit("rbac", "org_created", id + " name=" + name);
+  return id;
+}
+
+Result<std::string> RbacSystem::add_environment(const std::string& org_id,
+                                                const std::string& name) {
+  if (!orgs_.contains(org_id)) {
+    return Status(StatusCode::kNotFound, "no organization " + org_id);
+  }
+  std::string id = "env-" + ids_.next_uuid();
+  environments_.emplace(id, org_id);
+  if (log_) log_->audit("rbac", "env_created", id + " name=" + name);
+  return id;
+}
+
+Result<std::string> RbacSystem::add_group(const std::string& tenant_id,
+                                          const std::string& name) {
+  if (!tenants_.contains(tenant_id)) {
+    return Status(StatusCode::kNotFound, "no tenant " + tenant_id);
+  }
+  std::string id = "group-" + ids_.next_uuid();
+  groups_.emplace(id, tenant_id);
+  if (log_) log_->audit("rbac", "group_created", id + " name=" + name);
+  return id;
+}
+
+Result<std::string> RbacSystem::add_user(const std::string& tenant_id,
+                                         const std::string& name) {
+  if (!tenants_.contains(tenant_id)) {
+    return Status(StatusCode::kNotFound, "no tenant " + tenant_id);
+  }
+  std::string id = "user-" + ids_.next_uuid();
+  users_.emplace(id, UserRecord{tenant_id, name, {}, {}});
+  if (log_) log_->audit("rbac", "user_created", id + " name=" + name);
+  return id;
+}
+
+Status RbacSystem::assign_role(const std::string& user_id, const std::string& env_id,
+                               Role role) {
+  auto user = users_.find(user_id);
+  if (user == users_.end()) return Status(StatusCode::kNotFound, "no user " + user_id);
+  if (!environments_.contains(env_id)) {
+    return Status(StatusCode::kNotFound, "no environment " + env_id);
+  }
+  user->second.env_roles[env_id].insert(role);
+  if (log_) {
+    log_->audit("rbac", "role_assigned",
+                user_id + " env=" + env_id + " role=" + std::string(role_name(role)));
+  }
+  return Status::ok();
+}
+
+Status RbacSystem::revoke_role(const std::string& user_id, const std::string& env_id,
+                               Role role) {
+  auto user = users_.find(user_id);
+  if (user == users_.end()) return Status(StatusCode::kNotFound, "no user " + user_id);
+  auto env_it = user->second.env_roles.find(env_id);
+  if (env_it == user->second.env_roles.end() || env_it->second.erase(role) == 0) {
+    return Status(StatusCode::kNotFound, "role not held");
+  }
+  if (log_) {
+    log_->audit("rbac", "role_revoked",
+                user_id + " env=" + env_id + " role=" + std::string(role_name(role)));
+  }
+  return Status::ok();
+}
+
+bool RbacSystem::has_role(const std::string& user_id, const std::string& env_id,
+                          Role role) const {
+  auto user = users_.find(user_id);
+  if (user == users_.end()) return false;
+  auto env_it = user->second.env_roles.find(env_id);
+  return env_it != user->second.env_roles.end() && env_it->second.contains(role);
+}
+
+Status RbacSystem::add_user_to_group(const std::string& user_id,
+                                     const std::string& group_id) {
+  auto user = users_.find(user_id);
+  if (user == users_.end()) return Status(StatusCode::kNotFound, "no user " + user_id);
+  auto group = groups_.find(group_id);
+  if (group == groups_.end()) return Status(StatusCode::kNotFound, "no group " + group_id);
+  if (user->second.tenant != group->second) {
+    return Status(StatusCode::kPermissionDenied,
+                  "user and group belong to different tenants");
+  }
+  user->second.groups.insert(group_id);
+  return Status::ok();
+}
+
+bool RbacSystem::is_group_member(const std::string& user_id,
+                                 const std::string& group_id) const {
+  auto user = users_.find(user_id);
+  return user != users_.end() && user->second.groups.contains(group_id);
+}
+
+Status RbacSystem::grant_permission(const std::string& scope_id, Role role,
+                                    const std::string& resource_prefix,
+                                    Permission permission) {
+  if (!tenants_.contains(scope_id) && !orgs_.contains(scope_id) &&
+      !groups_.contains(scope_id)) {
+    return Status(StatusCode::kNotFound, "scope must be a tenant, org or group");
+  }
+  policies_[scope_id].push_back(PolicyEntry{role, resource_prefix, permission});
+  return Status::ok();
+}
+
+Status RbacSystem::check_access(const std::string& user_id, const std::string& env_id,
+                                const std::string& scope_id, const std::string& resource,
+                                Permission permission) const {
+  auto user = users_.find(user_id);
+  if (user == users_.end()) {
+    return Status(StatusCode::kUnauthenticated, "unknown user " + user_id);
+  }
+  auto env_roles = user->second.env_roles.find(env_id);
+  if (env_roles == user->second.env_roles.end() || env_roles->second.empty()) {
+    return Status(StatusCode::kPermissionDenied,
+                  "user holds no roles in environment " + env_id);
+  }
+  // Group-scoped policies additionally require membership (PHI consent).
+  if (groups_.contains(scope_id) && !user->second.groups.contains(scope_id)) {
+    return Status(StatusCode::kPermissionDenied,
+                  "user is not a member of study group " + scope_id);
+  }
+
+  auto policy = policies_.find(scope_id);
+  if (policy != policies_.end()) {
+    for (const auto& entry : policy->second) {
+      if (entry.permission != permission) continue;
+      if (!env_roles->second.contains(entry.role)) continue;
+      if (resource.starts_with(entry.resource_prefix)) return Status::ok();
+    }
+  }
+  if (log_) {
+    log_->warn("rbac", "access_denied",
+               user_id + " " + std::string(permission_name(permission)) + " " + resource);
+  }
+  return Status(StatusCode::kPermissionDenied,
+                "no grant covers " + resource + " for user " + user_id);
+}
+
+Status RbacSystem::meter_call(const std::string& tenant_id) {
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return Status(StatusCode::kNotFound, "no tenant " + tenant_id);
+  ++it->second.metered_calls;
+  return Status::ok();
+}
+
+Result<std::uint64_t> RbacSystem::metered_calls(const std::string& tenant_id) const {
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return Status(StatusCode::kNotFound, "no tenant " + tenant_id);
+  return it->second.metered_calls;
+}
+
+Result<TenantInfo> RbacSystem::tenant(const std::string& tenant_id) const {
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return Status(StatusCode::kNotFound, "no tenant " + tenant_id);
+  return it->second;
+}
+
+Result<std::string> RbacSystem::user_tenant(const std::string& user_id) const {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) return Status(StatusCode::kNotFound, "no user " + user_id);
+  return it->second.tenant;
+}
+
+bool RbacSystem::environment_exists(const std::string& env_id) const {
+  return environments_.contains(env_id);
+}
+
+}  // namespace hc::rbac

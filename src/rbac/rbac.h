@@ -1,0 +1,123 @@
+// Role-based access control (Section II.B, "Privacy Management").
+//
+// The paper's model (motivated by Cloud Foundry's): a *Tenant* is the
+// namespace/account under which everything is grouped; *Organizations*
+// represent departments holding shareable resources; *Groups* represent
+// healthcare studies/programs to which PHI data is consented; *Environments*
+// are development/deployment targets; *Users* hold *Roles* per environment
+// within an organization; *Permissions* are read/write grants on resources
+// scoped to tenant, organization, or group.
+//
+// The Registration Service behaviour is included: registering a tenant
+// creates a default organization and a default environment, and tenants
+// carry metering counters for billing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "common/log.h"
+#include "common/status.h"
+
+namespace hc::rbac {
+
+enum class Permission { kRead, kWrite };
+
+std::string_view permission_name(Permission p);
+
+/// Platform roles. Role grants are per (user, environment).
+enum class Role {
+  kTenantAdmin,  // manage the tenant's RBAC itself
+  kDeveloper,    // deploy models/services to an environment
+  kAnalyst,      // run analytics over de-identified data
+  kClinician,    // access re-identified data for consented patients
+  kAuditor,      // read logs/ledgers, never PHI payloads
+};
+
+std::string_view role_name(Role r);
+
+struct TenantInfo {
+  std::string id;
+  std::string name;
+  std::string default_org;
+  std::string default_env;
+  std::uint64_t metered_calls = 0;  // registration service: metering/billing
+};
+
+class RbacSystem {
+ public:
+  explicit RbacSystem(LogPtr log = nullptr);
+
+  // --- registration service ------------------------------------------
+  /// Creates the tenant plus its default organization and environment.
+  Result<TenantInfo> register_tenant(const std::string& name);
+
+  Result<std::string> add_organization(const std::string& tenant_id,
+                                       const std::string& name);
+  Result<std::string> add_environment(const std::string& org_id, const std::string& name);
+  /// Groups model healthcare studies/programs consented to receive PHI.
+  Result<std::string> add_group(const std::string& tenant_id, const std::string& name);
+  Result<std::string> add_user(const std::string& tenant_id, const std::string& name);
+
+  // --- role & membership administration --------------------------------
+  /// "Users can have different roles in different environments."
+  Status assign_role(const std::string& user_id, const std::string& env_id, Role role);
+  Status revoke_role(const std::string& user_id, const std::string& env_id, Role role);
+  bool has_role(const std::string& user_id, const std::string& env_id, Role role) const;
+
+  Status add_user_to_group(const std::string& user_id, const std::string& group_id);
+  bool is_group_member(const std::string& user_id, const std::string& group_id) const;
+
+  // --- permission policy ----------------------------------------------
+  /// Grants `role` the permission on resources with the given prefix within
+  /// a scope (a tenant, organization, or group id).
+  Status grant_permission(const std::string& scope_id, Role role,
+                          const std::string& resource_prefix, Permission permission);
+
+  /// The central check: does `user`, acting in `env`, hold `permission` on
+  /// `resource` under scope `scope_id`? Grants are matched by longest
+  /// resource prefix; absence of any grant denies (default-deny).
+  Status check_access(const std::string& user_id, const std::string& env_id,
+                      const std::string& scope_id, const std::string& resource,
+                      Permission permission) const;
+
+  // --- metering (registration service) ---------------------------------
+  Status meter_call(const std::string& tenant_id);
+  Result<std::uint64_t> metered_calls(const std::string& tenant_id) const;
+
+  // --- lookups -----------------------------------------------------------
+  Result<TenantInfo> tenant(const std::string& tenant_id) const;
+  Result<std::string> user_tenant(const std::string& user_id) const;
+  bool environment_exists(const std::string& env_id) const;
+
+  std::size_t user_count() const { return users_.size(); }
+
+ private:
+  struct UserRecord {
+    std::string tenant;
+    std::string name;
+    std::map<std::string, std::set<Role>> env_roles;  // env -> roles
+    std::set<std::string> groups;
+  };
+
+  struct PolicyEntry {
+    Role role;
+    std::string resource_prefix;
+    Permission permission;
+  };
+
+  LogPtr log_;
+  IdGenerator ids_;
+  std::map<std::string, TenantInfo> tenants_;
+  std::map<std::string, std::string> orgs_;          // org id -> tenant id
+  std::map<std::string, std::string> environments_;  // env id -> org id
+  std::map<std::string, std::string> groups_;        // group id -> tenant id
+  std::map<std::string, UserRecord> users_;
+  std::map<std::string, std::vector<PolicyEntry>> policies_;  // scope -> grants
+};
+
+}  // namespace hc::rbac

@@ -1,0 +1,138 @@
+#include "services/knowledge.h"
+
+#include <cctype>
+
+namespace hc::services {
+
+KnowledgeHub::KnowledgeHub(ClockPtr clock) : clock_(std::move(clock)) {}
+
+void KnowledgeHub::add_knowledge_base(const KnowledgeBaseConfig& config,
+                                      std::map<std::string, std::string> dataset) {
+  Kb kb;
+  kb.config = config;
+  kb.remote = std::move(dataset);
+  kb.cache = std::make_unique<cache::Cache>(config.cache_capacity,
+                                            cache::EvictionPolicy::kLru, clock_);
+  kbs_[config.name] = std::move(kb);
+}
+
+bool KnowledgeHub::has_knowledge_base(const std::string& kb) const {
+  return kbs_.contains(kb);
+}
+
+KnowledgeHub::Kb* KnowledgeHub::find(const std::string& kb) {
+  auto it = kbs_.find(kb);
+  return it == kbs_.end() ? nullptr : &it->second;
+}
+
+const KnowledgeHub::Kb* KnowledgeHub::find(const std::string& kb) const {
+  auto it = kbs_.find(kb);
+  return it == kbs_.end() ? nullptr : &it->second;
+}
+
+Result<KbLookup> KnowledgeHub::query(const std::string& kb, const std::string& key) {
+  Kb* entry = find(kb);
+  if (!entry) return Status(StatusCode::kNotFound, "no knowledge base " + kb);
+
+  SimTime start = clock_->now();
+  if (auto cached = entry->cache->get(key)) {
+    clock_->advance(10);  // local lookup cost
+    return KbLookup{to_string(cached->value), true, clock_->now() - start};
+  }
+  return query_fresh(kb, key);
+}
+
+Result<KbLookup> KnowledgeHub::query_fresh(const std::string& kb,
+                                           const std::string& key) {
+  Kb* entry = find(kb);
+  if (!entry) return Status(StatusCode::kNotFound, "no knowledge base " + kb);
+
+  SimTime start = clock_->now();
+  clock_->advance(entry->config.fetch_latency);
+  auto remote = entry->remote.find(key);
+  if (remote == entry->remote.end()) {
+    return Status(StatusCode::kNotFound, kb + " has no entry for " + key);
+  }
+  entry->cache->put(key, to_bytes(remote->second), entry->config.cache_ttl);
+  return KbLookup{remote->second, false, clock_->now() - start};
+}
+
+Status KnowledgeHub::update_remote(const std::string& kb, const std::string& key,
+                                   const std::string& value) {
+  Kb* entry = find(kb);
+  if (!entry) return Status(StatusCode::kNotFound, "no knowledge base " + kb);
+  entry->remote[key] = value;
+  return Status::ok();
+}
+
+Status KnowledgeHub::invalidate(const std::string& kb, const std::string& key) {
+  Kb* entry = find(kb);
+  if (!entry) return Status(StatusCode::kNotFound, "no knowledge base " + kb);
+  entry->cache->invalidate(key);
+  return Status::ok();
+}
+
+Result<cache::CacheStats> KnowledgeHub::cache_stats(const std::string& kb) const {
+  const Kb* entry = find(kb);
+  if (!entry) return Status(StatusCode::kNotFound, "no knowledge base " + kb);
+  return entry->cache->stats();
+}
+
+namespace {
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+}  // namespace
+
+std::vector<ExtractedFact> extract_facts(
+    const std::map<std::string, std::string>& abstracts_by_paper_id,
+    const std::vector<std::string>& known_drugs,
+    const std::vector<std::string>& known_diseases) {
+  std::vector<ExtractedFact> facts;
+  for (const auto& [paper_id, abstract] : abstracts_by_paper_id) {
+    std::string text = to_lower(abstract);
+    for (const auto& drug : known_drugs) {
+      if (text.find(to_lower(drug)) == std::string::npos) continue;
+      for (const auto& disease : known_diseases) {
+        if (text.find(to_lower(disease)) == std::string::npos) continue;
+        facts.push_back(ExtractedFact{drug, disease, paper_id});
+      }
+    }
+  }
+  return facts;
+}
+
+void install_standard_knowledge_bases(KnowledgeHub& hub, Rng& rng,
+                                      std::size_t entries_per_kb) {
+  struct Spec {
+    const char* name;
+    const char* key_prefix;
+    const char* value_prefix;
+    SimTime latency;
+  };
+  const Spec specs[] = {
+      {"drugbank", "drug-", "targets:", 90 * kMillisecond},
+      {"sider", "drug-", "side-effects:", 70 * kMillisecond},
+      {"pubchem", "compound-", "structure:", 110 * kMillisecond},
+      {"disgenet", "gene-", "diseases:", 80 * kMillisecond},
+      {"dbpedia", "entity-", "abstract:", 60 * kMillisecond},
+      {"wikidata", "entity-", "claims:", 65 * kMillisecond},
+      {"wordnet", "word-", "synsets:", 40 * kMillisecond},
+  };
+  for (const auto& spec : specs) {
+    std::map<std::string, std::string> dataset;
+    for (std::size_t i = 0; i < entries_per_kb; ++i) {
+      dataset[spec.key_prefix + std::to_string(i)] =
+          spec.value_prefix + std::to_string(rng.uniform_int(0, 1 << 20));
+    }
+    KnowledgeBaseConfig config;
+    config.name = spec.name;
+    config.fetch_latency = spec.latency;
+    config.cache_capacity = entries_per_kb / 4;  // deliberate pressure
+    hub.add_knowledge_base(config, std::move(dataset));
+  }
+}
+
+}  // namespace hc::services

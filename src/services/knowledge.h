@@ -1,0 +1,104 @@
+// External knowledge bases with local caching (Section III).
+//
+// "we make use of data from external databases and knowledge bases ...
+// DBpedia, Wikidata, Yago ... DisGeNet, PubChem, DrugBank, SIDER ...
+// We cache data from these knowledge bases locally. That way, data can be
+// accessed and analyzed more quickly than if it needs to be fetched
+// remotely. For the most up-to-date data, the remote knowledge bases can
+// be directly queried."
+//
+// Each simulated KB is a keyed dataset behind a WAN-latency fetch; the hub
+// fronts every KB with a local cache. query() goes through the cache;
+// query_fresh() bypasses it (the "most up-to-date" path) and refreshes the
+// cached copy. A tiny PubMed-style fact extractor covers the paper's "we
+// perform text analysis on these papers to extract important scientific
+// facts".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hc::services {
+
+struct KnowledgeBaseConfig {
+  std::string name;                       // "drugbank", "dbpedia", ...
+  SimTime fetch_latency = 80 * kMillisecond;  // remote query cost
+  std::size_t cache_capacity = 1024;
+  SimTime cache_ttl = 0;  // 0 = entries never expire
+};
+
+struct KbLookup {
+  std::string value;
+  bool from_cache = false;
+  SimTime latency = 0;
+};
+
+class KnowledgeHub {
+ public:
+  KnowledgeHub(ClockPtr clock);
+
+  /// Creates a KB with the given dataset.
+  void add_knowledge_base(const KnowledgeBaseConfig& config,
+                          std::map<std::string, std::string> dataset);
+
+  bool has_knowledge_base(const std::string& kb) const;
+
+  /// Cached lookup: local hit costs ~nothing; miss pays the fetch latency
+  /// and populates the cache.
+  Result<KbLookup> query(const std::string& kb, const std::string& key);
+
+  /// Direct remote query (always pays latency); refreshes the cache entry.
+  Result<KbLookup> query_fresh(const std::string& kb, const std::string& key);
+
+  /// Updates the remote dataset (the KB "changed upstream"); the cached
+  /// copy becomes stale until invalidated, expired or refreshed — the
+  /// consistency trade-off the paper describes.
+  Status update_remote(const std::string& kb, const std::string& key,
+                       const std::string& value);
+
+  /// Drops the cached copy of one key.
+  Status invalidate(const std::string& kb, const std::string& key);
+
+  Result<cache::CacheStats> cache_stats(const std::string& kb) const;
+
+ private:
+  struct Kb {
+    KnowledgeBaseConfig config;
+    std::map<std::string, std::string> remote;
+    std::unique_ptr<cache::Cache> cache;
+  };
+
+  Kb* find(const std::string& kb);
+  const Kb* find(const std::string& kb) const;
+
+  ClockPtr clock_;
+  std::map<std::string, Kb> kbs_;
+};
+
+/// One extracted scientific fact: drug X is discussed with disease Y.
+struct ExtractedFact {
+  std::string drug;
+  std::string disease;
+  std::string paper_id;
+};
+
+/// Keyword co-occurrence extraction over PubMed-style abstracts: any known
+/// drug appearing in the same abstract as a known disease yields a fact.
+std::vector<ExtractedFact> extract_facts(
+    const std::map<std::string, std::string>& abstracts_by_paper_id,
+    const std::vector<std::string>& known_drugs,
+    const std::vector<std::string>& known_diseases);
+
+/// Builds the standard simulated KB set (drugbank/sider/pubchem/disgenet +
+/// general KBs) with synthetic entries, for examples and benches.
+void install_standard_knowledge_bases(KnowledgeHub& hub, Rng& rng,
+                                      std::size_t entries_per_kb = 500);
+
+}  // namespace hc::services

@@ -1,0 +1,172 @@
+#include "services/registry.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hc::services {
+
+namespace {
+constexpr double kEwmaAlpha = 0.2;
+}
+
+std::string_view category_name(Category c) {
+  switch (c) {
+    case Category::kTextExtraction: return "text-extraction";
+    case Category::kSpeechRecognition: return "speech-recognition";
+    case Category::kVisualRecognition: return "visual-recognition";
+    case Category::kLanguageUnderstanding: return "language-understanding";
+  }
+  return "unknown";
+}
+
+ServiceRegistry::ServiceRegistry(ClockPtr clock, Rng rng)
+    : clock_(std::move(clock)), rng_(rng) {}
+
+void ServiceRegistry::register_service(ServiceProfile profile) {
+  Entry entry;
+  entry.stats.observed_latency_us = static_cast<double>(profile.mean_latency);
+  entry.stats.observed_availability = profile.availability;
+  entry.profile = std::move(profile);
+  services_[entry.profile.name] = std::move(entry);
+}
+
+std::vector<std::string> ServiceRegistry::services_in(Category category) const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : services_) {
+    if (entry.profile.category == category) names.push_back(name);
+  }
+  return names;
+}
+
+Result<InvocationResult> ServiceRegistry::invoke(const std::string& service,
+                                                 const Bytes& request) {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Status(StatusCode::kNotFound, "no such service: " + service);
+  }
+  Entry& entry = it->second;
+
+  SimTime latency = entry.profile.mean_latency;
+  if (entry.profile.latency_jitter > 0) {
+    latency += rng_.uniform_int(0, entry.profile.latency_jitter);
+  }
+  clock_->advance(latency);
+
+  ++entry.stats.invocations;
+  bool available = rng_.bernoulli(entry.profile.availability);
+  entry.stats.observed_availability =
+      (1 - kEwmaAlpha) * entry.stats.observed_availability +
+      kEwmaAlpha * (available ? 1.0 : 0.0);
+  entry.stats.observed_latency_us = (1 - kEwmaAlpha) * entry.stats.observed_latency_us +
+                                    kEwmaAlpha * static_cast<double>(latency);
+
+  if (!available) {
+    ++entry.stats.failures;
+    return Status(StatusCode::kUnavailable, service + " failed to respond");
+  }
+
+  InvocationResult result;
+  result.latency = latency;
+  result.response = to_bytes("echo:" + to_string(request));
+  return result;
+}
+
+Result<double> ServiceRegistry::run_accuracy_test(const std::string& service,
+                                                  int probes) {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Status(StatusCode::kNotFound, "no such service: " + service);
+  }
+  if (probes <= 0) return Status(StatusCode::kInvalidArgument, "probes must be positive");
+
+  int correct = 0;
+  for (int i = 0; i < probes; ++i) {
+    // Each probe is an invocation with a known answer; unavailable counts
+    // as incorrect (the test measures usable accuracy).
+    auto response = invoke(service, to_bytes("probe-" + std::to_string(i)));
+    if (response.is_ok() && rng_.bernoulli(it->second.profile.accuracy)) ++correct;
+  }
+  double measured = static_cast<double>(correct) / static_cast<double>(probes);
+  it->second.stats.measured_accuracy = measured;
+  return measured;
+}
+
+Status ServiceRegistry::record_feedback(const std::string& service, int rating) {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Status(StatusCode::kNotFound, "no such service: " + service);
+  }
+  if (rating < 1 || rating > 5) {
+    return Status(StatusCode::kInvalidArgument, "rating must be in 1..5");
+  }
+  it->second.stats.feedback.push_back(rating);
+  return Status::ok();
+}
+
+Result<double> ServiceRegistry::average_feedback(const std::string& service) const {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Status(StatusCode::kNotFound, "no such service: " + service);
+  }
+  const auto& feedback = it->second.stats.feedback;
+  if (feedback.empty()) {
+    return Status(StatusCode::kNotFound, "no feedback recorded for " + service);
+  }
+  double sum = 0;
+  for (int rating : feedback) sum += rating;
+  return sum / static_cast<double>(feedback.size());
+}
+
+Result<ServiceStats> ServiceRegistry::stats(const std::string& service) const {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Status(StatusCode::kNotFound, "no such service: " + service);
+  }
+  return it->second.stats;
+}
+
+Result<std::string> ServiceRegistry::best_service(Category category,
+                                                  const SelectionCriteria& criteria) const {
+  // Normalize latency by the slowest candidate so weights are comparable.
+  double max_latency = 0.0;
+  for (const auto& [name, entry] : services_) {
+    if (entry.profile.category == category) {
+      max_latency = std::max(max_latency, entry.stats.observed_latency_us);
+    }
+  }
+
+  std::string best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& [name, entry] : services_) {
+    if (entry.profile.category != category) continue;
+    double latency_term = max_latency > 0
+                              ? 1.0 - entry.stats.observed_latency_us / max_latency
+                              : 1.0;
+    double accuracy_term = entry.stats.measured_accuracy >= 0
+                               ? entry.stats.measured_accuracy
+                               : entry.profile.accuracy;
+    double score = criteria.latency_weight * latency_term +
+                   criteria.availability_weight * entry.stats.observed_availability +
+                   criteria.accuracy_weight * accuracy_term;
+    if (score > best_score) {
+      best_score = score;
+      best = name;
+    }
+  }
+  if (best.empty()) {
+    return Status(StatusCode::kNotFound,
+                  std::string("no services in category ") +
+                      std::string(category_name(category)));
+  }
+  return best;
+}
+
+Result<ServiceProfile*> ServiceRegistry::mutable_profile(const std::string& service) {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Status(StatusCode::kNotFound, "no such service: " + service);
+  }
+  return &it->second.profile;
+}
+
+}  // namespace hc::services

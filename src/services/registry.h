@@ -1,0 +1,113 @@
+// External AI/analytics service registry (Section III).
+//
+// "there are many external Web services which can be used to provide
+// additional analytics ... The AI services from different providers offer
+// similar functionality but are not identical. We provide users with a
+// choice of services for similar functionality. In addition, we maintain
+// information on the different services to allow users to pick the best
+// ones. This information includes response times and availability ... For
+// some of the services (e.g. text extraction), we have standard tests
+// which we run to test the accuracy ... Users can also provide feedback."
+//
+// Each simulated service has a true latency distribution, availability and
+// accuracy (which may drift). The registry learns response time and
+// availability from observed invocations (EWMA), runs standard accuracy
+// tests, stores user feedback, and picks the best service per category.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hc::services {
+
+/// Functionality categories the platform brokers.
+enum class Category { kTextExtraction, kSpeechRecognition, kVisualRecognition,
+                      kLanguageUnderstanding };
+
+std::string_view category_name(Category c);
+
+/// Ground-truth behaviour of a simulated external service. Mutable so
+/// benches can drift latency/availability mid-run.
+struct ServiceProfile {
+  std::string name;       // "provider-a/nlu"
+  Category category = Category::kTextExtraction;
+  SimTime mean_latency = 50 * kMillisecond;
+  SimTime latency_jitter = 10 * kMillisecond;
+  double availability = 0.99;  // probability an invocation succeeds
+  double accuracy = 0.9;       // probability of a correct answer
+};
+
+/// What the registry has learned about a service.
+struct ServiceStats {
+  double observed_latency_us = 0.0;  // EWMA
+  double observed_availability = 1.0;  // EWMA of success indicator
+  std::uint64_t invocations = 0;
+  std::uint64_t failures = 0;
+  double measured_accuracy = -1.0;  // last standard-test result; -1 = never run
+  std::vector<int> feedback;        // user ratings 1..5
+};
+
+struct InvocationResult {
+  Bytes response;
+  SimTime latency = 0;
+};
+
+/// Selection criteria for ServiceRegistry::best_service().
+struct SelectionCriteria {
+  double latency_weight = 1.0;
+  double availability_weight = 1.0;
+  double accuracy_weight = 1.0;
+};
+
+class ServiceRegistry {
+ public:
+  ServiceRegistry(ClockPtr clock, Rng rng);
+
+  void register_service(ServiceProfile profile);
+  std::vector<std::string> services_in(Category category) const;
+
+  /// Invokes a service: charges simulated latency, may fail per
+  /// availability, updates learned stats. The response echoes the request
+  /// (payload content is out of scope — brokering is what's modeled).
+  Result<InvocationResult> invoke(const std::string& service, const Bytes& request);
+
+  /// Runs the standard accuracy test: n probe requests with known answers;
+  /// records the measured fraction correct.
+  Result<double> run_accuracy_test(const std::string& service, int probes = 50);
+
+  /// Stores a 1-5 user rating. The paper cautions that feedback "may not
+  /// be accurate" — it is surfaced but never used by best_service().
+  Status record_feedback(const std::string& service, int rating);
+  Result<double> average_feedback(const std::string& service) const;
+
+  Result<ServiceStats> stats(const std::string& service) const;
+
+  /// Picks the service in `category` minimizing normalized latency and
+  /// maximizing availability/accuracy per the weights. Services never
+  /// invoked rank by their defaults. kNotFound if the category is empty.
+  Result<std::string> best_service(
+      Category category, const SelectionCriteria& criteria = SelectionCriteria()) const;
+
+  /// Testing/bench hook: mutate the true profile (latency drift, outages).
+  Result<ServiceProfile*> mutable_profile(const std::string& service);
+
+ private:
+  struct Entry {
+    ServiceProfile profile;
+    ServiceStats stats;
+  };
+
+  ClockPtr clock_;
+  mutable Rng rng_;
+  std::map<std::string, Entry> services_;
+};
+
+}  // namespace hc::services

@@ -1,0 +1,172 @@
+#include "storage/data_lake.h"
+
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+
+namespace hc::storage {
+
+namespace {
+
+/// Objects are stored with encrypt-then-MAC (the paper's "AES CBC mode
+/// (encryption and integrity)"): the KMS key is split into independent
+/// encryption and MAC subkeys by domain-separated hashing.
+struct SubKeys {
+  Bytes enc;
+  Bytes mac;
+};
+
+SubKeys derive_subkeys(const Bytes& key) {
+  Bytes enc_full = crypto::sha256_concat(key, to_bytes("lake-enc"));
+  SubKeys out;
+  out.enc.assign(enc_full.begin(), enc_full.begin() + crypto::kAesKeySize);
+  out.mac = crypto::sha256_concat(key, to_bytes("lake-mac"));
+  return out;
+}
+
+}  // namespace
+
+Status MetadataStore::put(const RecordMetadata& metadata) {
+  if (metadata.reference_id.empty()) {
+    return Status(StatusCode::kInvalidArgument, "metadata needs a reference id");
+  }
+  records_[metadata.reference_id] = metadata;
+  return Status::ok();
+}
+
+Result<RecordMetadata> MetadataStore::get(const std::string& reference_id) const {
+  auto it = records_.find(reference_id);
+  if (it == records_.end()) {
+    return Status(StatusCode::kNotFound, "no metadata for " + reference_id);
+  }
+  return it->second;
+}
+
+Status MetadataStore::erase(const std::string& reference_id) {
+  if (records_.erase(reference_id) == 0) {
+    return Status(StatusCode::kNotFound, "no metadata for " + reference_id);
+  }
+  return Status::ok();
+}
+
+std::vector<RecordMetadata> MetadataStore::by_pseudonym(
+    const std::string& pseudonym) const {
+  std::vector<RecordMetadata> out;
+  for (const auto& [id, md] : records_) {
+    if (md.pseudonym == pseudonym) out.push_back(md);
+  }
+  return out;
+}
+
+std::vector<RecordMetadata> MetadataStore::by_group(const std::string& group) const {
+  std::vector<RecordMetadata> out;
+  for (const auto& [id, md] : records_) {
+    if (md.consent_group == group) out.push_back(md);
+  }
+  return out;
+}
+
+DataLake::DataLake(crypto::KeyManagementService& kms, std::string principal, Rng rng)
+    : kms_(&kms), principal_(std::move(principal)), rng_(rng) {}
+
+Result<std::string> DataLake::put(const Bytes& plaintext, const crypto::KeyId& key_id) {
+  auto key = kms_->symmetric_key(key_id, principal_);
+  if (!key.is_ok()) return key.status();
+  auto version = kms_->version(key_id);
+  if (!version.is_ok()) return version.status();
+
+  std::string ref = "ref-" + ids_.next_uuid();
+  StoredObject obj;
+  obj.key_id = key_id;
+  obj.key_version = *version;
+  SubKeys subkeys = derive_subkeys(*key);
+  auto sealed = crypto::aes_encrypt_authenticated(subkeys.enc, subkeys.mac,
+                                                  plaintext, rng_);
+  obj.ciphertext = std::move(sealed.ciphertext);
+  obj.tag = std::move(sealed.tag);
+  stored_bytes_ += obj.ciphertext.size();
+  objects_.emplace(ref, std::move(obj));
+  return ref;
+}
+
+Result<Bytes> DataLake::get(const std::string& reference_id) const {
+  auto it = objects_.find(reference_id);
+  if (it == objects_.end()) {
+    return Status(StatusCode::kNotFound, "no object " + reference_id);
+  }
+  // Fetch the key *version* the object was written under, so key rotation
+  // never strands previously stored records.
+  auto key = kms_->symmetric_key_version(it->second.key_id, principal_,
+                                         it->second.key_version);
+  if (!key.is_ok()) return key.status();
+  SubKeys subkeys = derive_subkeys(*key);
+  crypto::AuthenticatedCiphertext sealed;
+  sealed.ciphertext = it->second.ciphertext;
+  sealed.tag = it->second.tag;
+  auto opened = crypto::aes_decrypt_authenticated(subkeys.enc, subkeys.mac, sealed);
+  if (!opened.authentic) {
+    return Status(StatusCode::kIntegrityError,
+                  "stored object failed authentication: " + reference_id);
+  }
+  return opened.plaintext;
+}
+
+Status DataLake::erase(const std::string& reference_id) {
+  auto it = objects_.find(reference_id);
+  if (it == objects_.end()) {
+    return Status(StatusCode::kNotFound, "no object " + reference_id);
+  }
+  stored_bytes_ -= it->second.ciphertext.size();
+  secure_wipe(it->second.ciphertext);
+  objects_.erase(it);
+  return Status::ok();
+}
+
+bool DataLake::contains(const std::string& reference_id) const {
+  return objects_.contains(reference_id);
+}
+
+Result<DataLake::SealedObject> DataLake::export_object(
+    const std::string& reference_id) const {
+  auto it = objects_.find(reference_id);
+  if (it == objects_.end()) {
+    return Status(StatusCode::kNotFound, "no object " + reference_id);
+  }
+  SealedObject out;
+  out.key_id = it->second.key_id;
+  out.key_version = it->second.key_version;
+  out.ciphertext = it->second.ciphertext;
+  out.tag = it->second.tag;
+  return out;
+}
+
+Status DataLake::import_object(const std::string& reference_id, SealedObject object) {
+  if (objects_.contains(reference_id)) {
+    return Status(StatusCode::kAlreadyExists, "object exists: " + reference_id);
+  }
+  StoredObject stored;
+  stored.key_id = std::move(object.key_id);
+  stored.key_version = object.key_version;
+  stored.ciphertext = std::move(object.ciphertext);
+  stored.tag = std::move(object.tag);
+  stored_bytes_ += stored.ciphertext.size();
+  objects_.emplace(reference_id, std::move(stored));
+  return Status::ok();
+}
+
+std::vector<std::string> DataLake::references() const {
+  std::vector<std::string> out;
+  out.reserve(objects_.size());
+  for (const auto& [ref, obj] : objects_) out.push_back(ref);
+  return out;
+}
+
+Status DataLake::tamper_for_test(const std::string& reference_id) {
+  auto it = objects_.find(reference_id);
+  if (it == objects_.end()) {
+    return Status(StatusCode::kNotFound, "no object " + reference_id);
+  }
+  it->second.ciphertext[it->second.ciphertext.size() / 2] ^= 0x10;
+  return Status::ok();
+}
+
+}  // namespace hc::storage

@@ -1,0 +1,121 @@
+// Back-end storage: the Data Lake and metadata store (Section II.B).
+//
+// De-identified records land in the Data Lake "with a reference-id, and the
+// reference-id to identity mapping is stored in the metadata". The lake
+// stores only ciphertext — every object is encrypted at rest under a key
+// held in the KMS, so a storage breach without key access yields nothing
+// (Section IV.B.1). Both original and anonymized versions of an object may
+// be stored, each encrypted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/id.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/kms.h"
+
+namespace hc::storage {
+
+/// Metadata kept outside the encrypted payload. The identity mapping
+/// (reference id -> pseudonym/patient linkage) lives here, separate from
+/// the lake, so access to one does not imply access to the other.
+struct RecordMetadata {
+  std::string reference_id;
+  std::string pseudonym;        // de-identified patient handle
+  std::string consent_group;    // study/program the data is consented to
+  std::string schema;           // e.g. "fhir-bundle"
+  std::string privacy_level;    // "identified" | "de-identified" | "anonymized"
+  Bytes content_hash;           // sha256 of the plaintext (integrity metadata)
+  std::uint32_t key_version = 1;
+  /// Section IV.B.1: "Both the original and anonymized versions of data
+  /// objects are encrypted and stored." Lake reference of the encrypted
+  /// *original* (identified) bundle; empty if the original was not kept.
+  std::string original_reference_id;
+};
+
+class MetadataStore {
+ public:
+  Status put(const RecordMetadata& metadata);
+  Result<RecordMetadata> get(const std::string& reference_id) const;
+  Status erase(const std::string& reference_id);
+
+  /// All records for a pseudonym (supports GDPR per-patient deletion).
+  std::vector<RecordMetadata> by_pseudonym(const std::string& pseudonym) const;
+  /// All records consented to a group (export service).
+  std::vector<RecordMetadata> by_group(const std::string& group) const;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<std::string, RecordMetadata> records_;
+};
+
+/// Encrypted object store. Objects are written under a KMS key id; the lake
+/// itself never sees plaintext of records whose key it is not given — the
+/// caller provides the principal, and key fetches go through KMS access
+/// control.
+class DataLake {
+ public:
+  /// `principal` is the identity the lake acts as when touching the KMS.
+  DataLake(crypto::KeyManagementService& kms, std::string principal, Rng rng);
+
+  /// Encrypts and stores; returns the reference id.
+  Result<std::string> put(const Bytes& plaintext, const crypto::KeyId& key_id);
+
+  /// Fetches and decrypts. kDataLoss if the key was shredded (the
+  /// crypto-shredding deletion path), kNotFound for unknown ids.
+  Result<Bytes> get(const std::string& reference_id) const;
+
+  /// Removes the ciphertext itself (secure deletion of the blob).
+  Status erase(const std::string& reference_id);
+
+  bool contains(const std::string& reference_id) const;
+  std::size_t object_count() const { return objects_.size(); }
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+  /// Testing hook: corrupt a stored ciphertext (insider-tamper tests).
+  Status tamper_for_test(const std::string& reference_id);
+
+  // --- replication support (HA/DR service, Section II.B) -----------------
+  /// An object as it travels between replicas: ciphertext only — the
+  /// storage layer never decrypts to replicate.
+  struct SealedObject {
+    crypto::KeyId key_id;
+    std::uint32_t key_version = 1;
+    Bytes ciphertext;
+    Bytes tag;
+  };
+
+  Result<SealedObject> export_object(const std::string& reference_id) const;
+
+  /// Installs a sealed object under an explicit reference (idempotent:
+  /// re-import of an existing reference is kAlreadyExists).
+  Status import_object(const std::string& reference_id, SealedObject object);
+
+  /// All stored reference ids (anti-entropy enumeration).
+  std::vector<std::string> references() const;
+
+ private:
+  struct StoredObject {
+    crypto::KeyId key_id;
+    std::uint32_t key_version = 1;  // rotation-safe: decrypt with the
+                                    // version that encrypted the object
+    Bytes ciphertext;
+    Bytes tag;  // encrypt-then-MAC integrity tag
+  };
+
+  crypto::KeyManagementService* kms_;
+  std::string principal_;
+  mutable Rng rng_;
+  IdGenerator ids_;
+  std::map<std::string, StoredObject> objects_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace hc::storage

@@ -1,0 +1,114 @@
+#include "storage/replication.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace hc::storage {
+
+ReplicatedDataLake::ReplicatedDataLake(std::vector<DataLake*> replicas,
+                                       std::size_t write_quorum)
+    : replicas_(std::move(replicas)),
+      available_(replicas_.size(), true),
+      write_quorum_(write_quorum) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument("ReplicatedDataLake needs at least one replica");
+  }
+  if (write_quorum_ == 0) write_quorum_ = replicas_.size() / 2 + 1;
+  if (write_quorum_ > replicas_.size()) {
+    throw std::invalid_argument("write quorum exceeds replica count");
+  }
+}
+
+Result<std::string> ReplicatedDataLake::put(const Bytes& plaintext,
+                                            const crypto::KeyId& key_id) {
+  // Encrypt on the first live replica; fan the ciphertext out to the rest.
+  std::size_t primary = replicas_.size();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (available_[i]) {
+      primary = i;
+      break;
+    }
+  }
+  if (primary == replicas_.size()) {
+    return Status(StatusCode::kUnavailable, "no replica available");
+  }
+
+  auto reference = replicas_[primary]->put(plaintext, key_id);
+  if (!reference.is_ok()) return reference;
+  auto sealed = replicas_[primary]->export_object(*reference);
+  if (!sealed.is_ok()) return sealed.status();
+
+  std::size_t copies = 1;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == primary || !available_[i]) continue;
+    if (replicas_[i]->import_object(*reference, *sealed).is_ok()) ++copies;
+  }
+  if (copies < write_quorum_) {
+    // Roll back so a failed write leaves no partial copies behind.
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (available_[i]) (void)replicas_[i]->erase(*reference);
+    }
+    return Status(StatusCode::kUnavailable,
+                  "write quorum not met: " + std::to_string(copies) + "/" +
+                      std::to_string(write_quorum_));
+  }
+  return reference;
+}
+
+Result<Bytes> ReplicatedDataLake::get(const std::string& reference_id) const {
+  Status last(StatusCode::kNotFound, "no object " + reference_id);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!available_[i]) continue;
+    auto read = replicas_[i]->get(reference_id);
+    if (read.is_ok()) return read;
+    last = read.status();  // corrupted/missing here -> fail over
+  }
+  return last;
+}
+
+Status ReplicatedDataLake::erase(const std::string& reference_id) {
+  bool erased_any = false;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!available_[i]) continue;
+    if (replicas_[i]->erase(reference_id).is_ok()) erased_any = true;
+  }
+  return erased_any ? Status::ok()
+                    : Status(StatusCode::kNotFound, "no object " + reference_id);
+}
+
+std::size_t ReplicatedDataLake::repair() {
+  // Union of references across live replicas.
+  std::set<std::string> all_refs;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!available_[i]) continue;
+    for (auto& ref : replicas_[i]->references()) all_refs.insert(std::move(ref));
+  }
+
+  std::size_t installed = 0;
+  for (const auto& ref : all_refs) {
+    // Find a live holder.
+    Result<DataLake::SealedObject> sealed =
+        Status(StatusCode::kNotFound, "no holder");
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!available_[i]) continue;
+      sealed = replicas_[i]->export_object(ref);
+      if (sealed.is_ok()) break;
+    }
+    if (!sealed.is_ok()) continue;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!available_[i] || replicas_[i]->contains(ref)) continue;
+      if (replicas_[i]->import_object(ref, *sealed).is_ok()) ++installed;
+    }
+  }
+  return installed;
+}
+
+std::size_t ReplicatedDataLake::copies_of(const std::string& reference_id) const {
+  std::size_t copies = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (available_[i] && replicas_[i]->contains(reference_id)) ++copies;
+  }
+  return copies;
+}
+
+}  // namespace hc::storage

@@ -1,0 +1,62 @@
+// High availability / disaster recovery for the data lake (Section II.B:
+// "Platform services provide ... high availability and disaster recovery
+// service").
+//
+// A ReplicatedDataLake fronts N DataLake replicas:
+//   - writes go to every *available* replica and succeed when a write
+//     quorum (majority by default) holds the object;
+//   - reads fail over across replicas, skipping ones that are down or
+//     return corrupted (unauthenticated) objects;
+//   - repair() is ciphertext-level anti-entropy: recovered replicas are
+//     backfilled from their peers without the storage layer ever seeing
+//     plaintext.
+// Replica failure is modeled by availability flags (the simulation's
+// equivalent of a zone outage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/data_lake.h"
+
+namespace hc::storage {
+
+class ReplicatedDataLake {
+ public:
+  /// `replicas` are non-owning and must outlive this object.
+  /// `write_quorum` of 0 means majority.
+  explicit ReplicatedDataLake(std::vector<DataLake*> replicas,
+                              std::size_t write_quorum = 0);
+
+  /// Encrypt-once, replicate-ciphertext: the object is written on the
+  /// first available replica, then imported (sealed) into the others.
+  /// kUnavailable when fewer than `write_quorum` replicas hold the object.
+  Result<std::string> put(const Bytes& plaintext, const crypto::KeyId& key_id);
+
+  /// Reads from the first available replica holding an authentic copy.
+  Result<Bytes> get(const std::string& reference_id) const;
+
+  /// Removes the object from every available replica.
+  Status erase(const std::string& reference_id);
+
+  /// Anti-entropy: copy every object any replica holds to every available
+  /// replica missing it. Returns how many copies were installed.
+  std::size_t repair();
+
+  // --- failure injection ---------------------------------------------------
+  void fail_replica(std::size_t index) { available_.at(index) = false; }
+  void recover_replica(std::size_t index) { available_.at(index) = true; }
+  bool replica_available(std::size_t index) const { return available_.at(index); }
+  std::size_t replica_count() const { return replicas_.size(); }
+
+  /// How many available replicas hold the object (for tests/monitoring).
+  std::size_t copies_of(const std::string& reference_id) const;
+
+ private:
+  std::vector<DataLake*> replicas_;
+  std::vector<bool> available_;
+  std::size_t write_quorum_;
+};
+
+}  // namespace hc::storage

@@ -1,0 +1,42 @@
+#include "storage/staging.h"
+
+namespace hc::storage {
+
+Status StagingArea::put(const std::string& upload_id, Bytes encrypted_blob) {
+  if (blobs_.contains(upload_id)) {
+    return Status(StatusCode::kAlreadyExists, "upload id reused: " + upload_id);
+  }
+  blobs_.emplace(upload_id, std::move(encrypted_blob));
+  return Status::ok();
+}
+
+Result<Bytes> StagingArea::get(const std::string& upload_id) const {
+  auto it = blobs_.find(upload_id);
+  if (it == blobs_.end()) {
+    return Status(StatusCode::kNotFound, "no staged upload " + upload_id);
+  }
+  return it->second;
+}
+
+Status StagingArea::remove(const std::string& upload_id) {
+  auto it = blobs_.find(upload_id);
+  if (it == blobs_.end()) {
+    return Status(StatusCode::kNotFound, "no staged upload " + upload_id);
+  }
+  secure_wipe(it->second);
+  blobs_.erase(it);
+  return Status::ok();
+}
+
+void MessageQueue::push(IngestionMessage message) {
+  queue_.push_back(std::move(message));
+}
+
+std::optional<IngestionMessage> MessageQueue::pop() {
+  if (queue_.empty()) return std::nullopt;
+  IngestionMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+}  // namespace hc::storage

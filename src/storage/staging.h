@@ -1,0 +1,57 @@
+// Staging area and internal messaging (Section II.B).
+//
+// "Encrypted data ... is uploaded to a secure temporary storage area, and a
+// message is left in the platform's internal messaging system for the
+// background ingestion process to ingest the data." The staging area holds
+// opaque encrypted blobs keyed by upload id; the message queue is the FIFO
+// the background worker drains. Ingestion is asynchronous by design —
+// upload returns immediately with a status URL.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hc::storage {
+
+class StagingArea {
+ public:
+  /// Stores an encrypted upload; overwrites nothing (ids are unique).
+  Status put(const std::string& upload_id, Bytes encrypted_blob);
+
+  Result<Bytes> get(const std::string& upload_id) const;
+
+  /// Removes the blob once ingested (staging is temporary by contract).
+  Status remove(const std::string& upload_id);
+
+  std::size_t size() const { return blobs_.size(); }
+
+ private:
+  std::map<std::string, Bytes> blobs_;
+};
+
+/// Message dropped on the queue for each upload.
+struct IngestionMessage {
+  std::string upload_id;
+  std::string uploader_user_id;
+  std::string consent_group;
+  std::string key_id;  // KMS id of the client keypair that sealed the blob
+};
+
+class MessageQueue {
+ public:
+  void push(IngestionMessage message);
+  std::optional<IngestionMessage> pop();
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+
+ private:
+  std::deque<IngestionMessage> queue_;
+};
+
+}  // namespace hc::storage

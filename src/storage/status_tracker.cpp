@@ -1,0 +1,65 @@
+#include "storage/status_tracker.h"
+
+namespace hc::storage {
+
+namespace {
+constexpr std::string_view kUrlPrefix = "https://healthcloud/ingestion/status/";
+}
+
+std::string_view ingestion_stage_name(IngestionStage stage) {
+  switch (stage) {
+    case IngestionStage::kReceived: return "received";
+    case IngestionStage::kDecrypting: return "decrypting";
+    case IngestionStage::kValidating: return "validating";
+    case IngestionStage::kScanning: return "scanning";
+    case IngestionStage::kVerifyingConsent: return "verifying-consent";
+    case IngestionStage::kDeIdentifying: return "de-identifying";
+    case IngestionStage::kStored: return "stored";
+    case IngestionStage::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string StatusTracker::url_for(const std::string& upload_id) {
+  return std::string(kUrlPrefix) + upload_id;
+}
+
+std::string StatusTracker::id_from(const std::string& upload_id_or_url) {
+  if (upload_id_or_url.starts_with(kUrlPrefix)) {
+    return upload_id_or_url.substr(kUrlPrefix.size());
+  }
+  return upload_id_or_url;
+}
+
+std::string StatusTracker::track(const std::string& upload_id) {
+  statuses_.emplace(upload_id, IngestionStatus{});
+  return url_for(upload_id);
+}
+
+void StatusTracker::set_stage(const std::string& upload_id, IngestionStage stage) {
+  statuses_[upload_id].stage = stage;
+}
+
+void StatusTracker::set_stored(const std::string& upload_id,
+                               const std::string& reference_id) {
+  auto& status = statuses_[upload_id];
+  status.stage = IngestionStage::kStored;
+  status.reference_id = reference_id;
+}
+
+void StatusTracker::set_failed(const std::string& upload_id, const std::string& reason) {
+  auto& status = statuses_[upload_id];
+  status.stage = IngestionStage::kFailed;
+  status.failure_reason = reason;
+}
+
+Result<IngestionStatus> StatusTracker::status(
+    const std::string& upload_id_or_url) const {
+  auto it = statuses_.find(id_from(upload_id_or_url));
+  if (it == statuses_.end()) {
+    return Status(StatusCode::kNotFound, "unknown upload: " + upload_id_or_url);
+  }
+  return it->second;
+}
+
+}  // namespace hc::storage

@@ -1,0 +1,55 @@
+// Ingestion status tracking (Section II.B).
+//
+// "The platform returns a status URL to the uploading client, which can be
+// used to know the status of the data ingestion process as it goes through
+// its ingestion flow sequence." Each upload id maps to its current stage;
+// failures carry the reason so clients can see *why* a bundle was dropped
+// (malformed, malware, consent missing, anonymization insufficient...).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace hc::storage {
+
+enum class IngestionStage {
+  kReceived,       // staged, message queued
+  kDecrypting,
+  kValidating,
+  kScanning,       // malware filtration
+  kVerifyingConsent,
+  kDeIdentifying,
+  kStored,         // terminal success; reference id available
+  kFailed,         // terminal failure; reason available
+};
+
+std::string_view ingestion_stage_name(IngestionStage stage);
+
+struct IngestionStatus {
+  IngestionStage stage = IngestionStage::kReceived;
+  std::string reference_id;  // set when kStored
+  std::string failure_reason;  // set when kFailed
+};
+
+class StatusTracker {
+ public:
+  /// Returns the status URL for an upload (also registers it as kReceived).
+  std::string track(const std::string& upload_id);
+
+  void set_stage(const std::string& upload_id, IngestionStage stage);
+  void set_stored(const std::string& upload_id, const std::string& reference_id);
+  void set_failed(const std::string& upload_id, const std::string& reason);
+
+  /// Lookup by upload id or by the status URL returned from track().
+  Result<IngestionStatus> status(const std::string& upload_id_or_url) const;
+
+ private:
+  static std::string url_for(const std::string& upload_id);
+  static std::string id_from(const std::string& upload_id_or_url);
+
+  std::map<std::string, IngestionStatus> statuses_;
+};
+
+}  // namespace hc::storage

@@ -1,0 +1,109 @@
+#include "tpm/attestation.h"
+
+#include "crypto/sha256.h"
+
+namespace hc::tpm {
+
+AttestationService::AttestationService(Rng rng, LogPtr log)
+    : rng_(rng), log_(std::move(log)) {}
+
+void AttestationService::register_tpm(const std::string& tpm_id,
+                                      const crypto::PublicKey& ek) {
+  tpm_keys_[tpm_id] = ek;
+  if (log_) log_->audit("attestation", "tpm_registered", tpm_id);
+}
+
+Status AttestationService::register_vtpm(const VTpmCertificate& cert) {
+  auto parent = tpm_keys_.find(cert.parent_tpm_id);
+  if (parent == tpm_keys_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "vTPM parent not registered: " + cert.parent_tpm_id);
+  }
+  if (!VTpmManager::verify_certificate(cert, parent->second)) {
+    if (log_) log_->error("attestation", "vtpm_cert_rejected", cert.vtpm_id);
+    return Status(StatusCode::kIntegrityError,
+                  "vTPM certificate does not verify against parent TPM");
+  }
+  tpm_keys_[cert.vtpm_id] = cert.vtpm_key;
+  if (log_) log_->audit("attestation", "vtpm_registered", cert.vtpm_id);
+  return Status::ok();
+}
+
+bool AttestationService::knows_tpm(const std::string& tpm_id) const {
+  return tpm_keys_.contains(tpm_id);
+}
+
+void AttestationService::approve_component(const std::string& component,
+                                           const Bytes& digest) {
+  golden_[component].insert(hex_encode(digest));
+  if (log_) log_->audit("attestation", "component_approved", component);
+}
+
+void AttestationService::revoke_component(const std::string& component) {
+  golden_.erase(component);
+  if (log_) log_->audit("attestation", "component_revoked", component);
+}
+
+bool AttestationService::is_approved(const std::string& component,
+                                     const Bytes& digest) const {
+  auto it = golden_.find(component);
+  return it != golden_.end() && it->second.contains(hex_encode(digest));
+}
+
+Bytes AttestationService::challenge() {
+  Bytes nonce = rng_.bytes(16);
+  outstanding_nonces_.insert(hex_encode(nonce));
+  return nonce;
+}
+
+AttestationVerdict AttestationService::verify(const Quote& quote,
+                                              const MeasurementLog& log) {
+  auto fail = [this](std::string reason) {
+    if (log_) log_->warn("attestation", "attestation_failed", reason);
+    return AttestationVerdict{false, std::move(reason)};
+  };
+
+  // 1. known quoting key
+  auto key_it = tpm_keys_.find(quote.tpm_id);
+  if (key_it == tpm_keys_.end()) {
+    return fail("unknown TPM: " + quote.tpm_id);
+  }
+
+  // 2. signature
+  if (!Tpm::verify_quote_signature(quote, key_it->second)) {
+    return fail("quote signature invalid for " + quote.tpm_id);
+  }
+
+  // 3. single-use nonce
+  std::string nonce_hex = hex_encode(quote.nonce);
+  auto nonce_it = outstanding_nonces_.find(nonce_hex);
+  if (nonce_it == outstanding_nonces_.end()) {
+    return fail("nonce not issued or already consumed (replay?)");
+  }
+  outstanding_nonces_.erase(nonce_it);
+
+  // 4. log replay must reproduce the quoted PCRs
+  auto expected = replay_log(log);
+  for (std::size_t i = 0; i < quote.pcr_indices.size(); ++i) {
+    std::uint32_t pcr = quote.pcr_indices[i];
+    auto exp_it = expected.find(pcr);
+    Bytes expected_value = exp_it != expected.end()
+                               ? exp_it->second
+                               : Bytes(crypto::kSha256DigestSize, 0);
+    if (!constant_time_equal(expected_value, quote.pcr_values[i])) {
+      return fail("PCR " + std::to_string(pcr) + " does not match measurement log");
+    }
+  }
+
+  // 5. every component golden
+  for (const auto& event : log) {
+    if (!is_approved(event.component, event.digest)) {
+      return fail("component not approved: " + event.component);
+    }
+  }
+
+  if (log_) log_->audit("attestation", "attestation_ok", quote.tpm_id);
+  return AttestationVerdict{true, ""};
+}
+
+}  // namespace hc::tpm

@@ -1,0 +1,73 @@
+// Attestation Service (Fig 1, Sections II.A and II.C).
+//
+// The verifier side of the trust chain: it knows every registered TPM's
+// endorsement key, the vTPM certificate lineage, and the golden (approved)
+// measurement for every software component — updated by the Change
+// Management service when changes are approved. A host/VM/container proves
+// trustworthiness by returning a fresh-nonce quote plus its measurement
+// log; the service replays the log, compares the folded values to the
+// quoted PCRs, and checks every component against the golden set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "tpm/tpm.h"
+#include "tpm/trust_chain.h"
+#include "tpm/vtpm.h"
+
+namespace hc::tpm {
+
+struct AttestationVerdict {
+  bool trusted = false;
+  std::string reason;  // empty when trusted
+};
+
+class AttestationService {
+ public:
+  explicit AttestationService(Rng rng, LogPtr log = nullptr);
+
+  // --- registry -----------------------------------------------------
+  /// Registers a hardware TPM's endorsement key.
+  void register_tpm(const std::string& tpm_id, const crypto::PublicKey& ek);
+
+  /// Registers a vTPM after verifying its certificate chains to a known
+  /// hardware TPM. kIntegrityError if the chain does not verify.
+  Status register_vtpm(const VTpmCertificate& cert);
+
+  bool knows_tpm(const std::string& tpm_id) const;
+
+  // --- golden measurements (driven by change management) -------------
+  void approve_component(const std::string& component, const Bytes& digest);
+  void revoke_component(const std::string& component);
+  bool is_approved(const std::string& component, const Bytes& digest) const;
+
+  // --- challenge/response --------------------------------------------
+  /// Issues a fresh nonce; each nonce is single-use.
+  Bytes challenge();
+
+  /// Full verification of a quote + measurement log:
+  ///  1. quoting key is registered (directly or via vTPM certificate),
+  ///  2. signature valid,
+  ///  3. nonce was issued by us and not yet consumed,
+  ///  4. replaying the log reproduces the quoted PCR values,
+  ///  5. every logged component is on the golden list.
+  AttestationVerdict verify(const Quote& quote, const MeasurementLog& log);
+
+  std::size_t approved_component_count() const { return golden_.size(); }
+
+ private:
+  Rng rng_;
+  LogPtr log_;
+  std::map<std::string, crypto::PublicKey> tpm_keys_;  // id -> EK (hw and vTPM)
+  std::map<std::string, std::set<std::string>> golden_;  // component -> hex digests
+  std::set<std::string> outstanding_nonces_;             // hex-encoded
+};
+
+}  // namespace hc::tpm

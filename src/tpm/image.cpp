@@ -1,0 +1,97 @@
+#include "tpm/image.h"
+
+#include "crypto/sha256.h"
+
+namespace hc::tpm {
+
+Bytes ImageManifest::serialize_for_signing() const {
+  crypto::Sha256 h;
+  h.update(name);
+  h.update(std::string_view("|"));
+  h.update(version);
+  h.update(std::string_view("|"));
+  h.update(content_digest);
+  for (const auto& pkg : package_digests) h.update(pkg);
+  return h.finalize();
+}
+
+ImageManifest sign_image(const std::string& name, const std::string& version,
+                         const Bytes& content, const std::vector<Bytes>& packages,
+                         const crypto::KeyPair& signer) {
+  ImageManifest m;
+  m.name = name;
+  m.version = version;
+  m.content_digest = crypto::sha256(content);
+  m.package_digests.reserve(packages.size());
+  for (const auto& pkg : packages) m.package_digests.push_back(crypto::sha256(pkg));
+  m.signer_fingerprint = signer.pub.fingerprint();
+  m.signature = crypto::rsa_sign(signer.priv, m.serialize_for_signing());
+  return m;
+}
+
+void ImageManagementService::approve_key(const crypto::PublicKey& key) {
+  approved_keys_[key.fingerprint()] = key;
+}
+
+void ImageManagementService::revoke_key(const std::string& fingerprint) {
+  approved_keys_.erase(fingerprint);
+}
+
+bool ImageManagementService::is_approved(const std::string& fingerprint) const {
+  return approved_keys_.contains(fingerprint);
+}
+
+std::string ImageManagementService::image_key(const std::string& name,
+                                              const std::string& version) {
+  return name + "@" + version;
+}
+
+Status ImageManagementService::verify_image(const ImageManifest& manifest,
+                                            const Bytes& content) const {
+  if (!constant_time_equal(crypto::sha256(content), manifest.content_digest)) {
+    return Status(StatusCode::kIntegrityError,
+                  "image content does not match manifest digest");
+  }
+  auto key_it = approved_keys_.find(manifest.signer_fingerprint);
+  if (key_it == approved_keys_.end()) {
+    return Status(StatusCode::kPermissionDenied,
+                  "image signer is not on the approved key list: " +
+                      manifest.signer_fingerprint);
+  }
+  if (!crypto::rsa_verify(key_it->second, manifest.serialize_for_signing(),
+                          manifest.signature)) {
+    return Status(StatusCode::kIntegrityError, "image signature invalid");
+  }
+  return Status::ok();
+}
+
+Status ImageManagementService::register_image(const ImageManifest& manifest,
+                                              const Bytes& content) {
+  if (Status s = verify_image(manifest, content); !s.is_ok()) return s;
+  std::string key = image_key(manifest.name, manifest.version);
+  if (images_.contains(key)) {
+    return Status(StatusCode::kAlreadyExists, "image already registered: " + key);
+  }
+  images_.emplace(key, StoredImage{manifest, content});
+  return Status::ok();
+}
+
+Result<ImageManifest> ImageManagementService::manifest(const std::string& name,
+                                                       const std::string& version) const {
+  auto it = images_.find(image_key(name, version));
+  if (it == images_.end()) {
+    return Status(StatusCode::kNotFound, "no image " + image_key(name, version));
+  }
+  return it->second.manifest;
+}
+
+Result<Bytes> ImageManagementService::content(const std::string& name,
+                                              const std::string& version) const {
+  auto it = images_.find(image_key(name, version));
+  if (it == images_.end()) {
+    return Status(StatusCode::kNotFound, "no image " + image_key(name, version));
+  }
+  return it->second.content;
+}
+
+}  // namespace hc::tpm

@@ -1,0 +1,72 @@
+// Image Management Service (Fig 1, Section II.A).
+//
+// "The Image Management Service accepts only those VM images that are
+// signed by an approved list of keys managed by an attestation service."
+// Images (VM or container) are content-addressed, signed by their builder,
+// and admission checks both the signature and the signer's membership in
+// the approved-key list. Section IV.B.2's aggregate package signatures are
+// supported via per-package digests folded into the manifest.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/asymmetric.h"
+
+namespace hc::tpm {
+
+struct ImageManifest {
+  std::string name;
+  std::string version;
+  Bytes content_digest;               // sha256 of the image payload
+  std::vector<Bytes> package_digests; // per-package hashes (aggregate signing)
+  std::string signer_fingerprint;
+  Bytes signature;
+
+  Bytes serialize_for_signing() const;
+};
+
+/// Builder-side helper: hash, fill and sign a manifest.
+ImageManifest sign_image(const std::string& name, const std::string& version,
+                         const Bytes& content, const std::vector<Bytes>& packages,
+                         const crypto::KeyPair& signer);
+
+class ImageManagementService {
+ public:
+  /// Adds a key to the approved list (driven by the change-management
+  /// service in the full platform).
+  void approve_key(const crypto::PublicKey& key);
+
+  /// Removes a key; images it signed stop being admissible.
+  void revoke_key(const std::string& fingerprint);
+
+  bool is_approved(const std::string& fingerprint) const;
+
+  /// Admits an image: verifies digest, signature, and signer approval.
+  /// Stored images can then be fetched by (name, version).
+  Status register_image(const ImageManifest& manifest, const Bytes& content);
+
+  Result<ImageManifest> manifest(const std::string& name, const std::string& version) const;
+  Result<Bytes> content(const std::string& name, const std::string& version) const;
+
+  /// Re-checks an already-fetched image (e.g. after intercloud transfer).
+  Status verify_image(const ImageManifest& manifest, const Bytes& content) const;
+
+  std::size_t image_count() const { return images_.size(); }
+
+ private:
+  struct StoredImage {
+    ImageManifest manifest;
+    Bytes content;
+  };
+
+  static std::string image_key(const std::string& name, const std::string& version);
+
+  std::map<std::string, crypto::PublicKey> approved_keys_;  // by fingerprint
+  std::map<std::string, StoredImage> images_;
+};
+
+}  // namespace hc::tpm

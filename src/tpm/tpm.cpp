@@ -1,0 +1,62 @@
+#include "tpm/tpm.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace hc::tpm {
+
+Bytes Quote::serialize_for_signing() const {
+  crypto::Sha256 h;
+  h.update(tpm_id);
+  for (std::size_t i = 0; i < pcr_indices.size(); ++i) {
+    std::uint8_t idx[4];
+    for (int b = 0; b < 4; ++b) {
+      idx[b] = static_cast<std::uint8_t>(pcr_indices[i] >> (24 - 8 * b));
+    }
+    h.update(idx, 4);
+    h.update(pcr_values[i]);
+  }
+  h.update(nonce);
+  return h.finalize();
+}
+
+Tpm::Tpm(std::string id, Rng& rng) : id_(std::move(id)), keys_(crypto::generate_keypair(rng)) {
+  reset();
+}
+
+Tpm::Tpm(std::string id, crypto::KeyPair keys) : id_(std::move(id)), keys_(std::move(keys)) {
+  reset();
+}
+
+void Tpm::reset() {
+  for (auto& pcr : pcrs_) pcr = Bytes(crypto::kSha256DigestSize, 0);
+}
+
+void Tpm::extend(std::uint32_t pcr, const Bytes& measurement) {
+  if (pcr >= kPcrCount) throw std::out_of_range("Tpm::extend: bad PCR index");
+  pcrs_[pcr] = crypto::sha256_concat(pcrs_[pcr], measurement);
+}
+
+const Bytes& Tpm::pcr(std::uint32_t index) const {
+  if (index >= kPcrCount) throw std::out_of_range("Tpm::pcr: bad PCR index");
+  return pcrs_[index];
+}
+
+Quote Tpm::quote(const std::vector<std::uint32_t>& pcr_indices, const Bytes& nonce) const {
+  Quote q;
+  q.tpm_id = id_;
+  q.pcr_indices = pcr_indices;
+  q.pcr_values.reserve(pcr_indices.size());
+  for (auto idx : pcr_indices) q.pcr_values.push_back(pcr(idx));
+  q.nonce = nonce;
+  q.signature = crypto::rsa_sign(keys_.priv, q.serialize_for_signing());
+  return q;
+}
+
+bool Tpm::verify_quote_signature(const Quote& quote, const crypto::PublicKey& ek) {
+  if (quote.pcr_indices.size() != quote.pcr_values.size()) return false;
+  return crypto::rsa_verify(ek, quote.serialize_for_signing(), quote.signature);
+}
+
+}  // namespace hc::tpm

@@ -1,0 +1,76 @@
+// Software emulation of a Trusted Platform Module.
+//
+// Section II.A: "create a root of trust at the hardware level (using TPMs
+// and Attestation Service) for each server and then extend it, via a
+// transitive trust model, to the hypervisor" and onward to guests and
+// containers (Fig 5). The emulator implements the minimal TPM surface the
+// platform needs: PCR banks with the standard extend semantics
+// (pcr' = SHA256(pcr || measurement)), an endorsement keypair created at
+// "manufacture", and signed quotes binding PCR state to a verifier nonce.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/asymmetric.h"
+
+namespace hc::tpm {
+
+constexpr std::size_t kPcrCount = 24;
+
+/// A quote: signed snapshot of selected PCRs, bound to a fresh nonce so
+/// replayed quotes are rejected.
+struct Quote {
+  std::string tpm_id;
+  std::vector<std::uint32_t> pcr_indices;
+  std::vector<Bytes> pcr_values;
+  Bytes nonce;
+  Bytes signature;  // endorsement-key signature over the serialized quote
+
+  /// Canonical byte serialization covered by the signature.
+  Bytes serialize_for_signing() const;
+};
+
+class Tpm {
+ public:
+  /// `id` names the hardware unit; `rng` seeds the endorsement keypair.
+  Tpm(std::string id, Rng& rng);
+
+  /// Construction with an externally supplied endorsement keypair — used
+  /// when the platform owner must also hold the signing half (e.g. the
+  /// vTPM manager certifying child vTPMs with the hardware key).
+  Tpm(std::string id, crypto::KeyPair keys);
+
+  const std::string& id() const { return id_; }
+
+  /// Public endorsement key — registered with the attestation service.
+  const crypto::PublicKey& endorsement_key() const { return keys_.pub; }
+
+  /// pcr' = SHA256(pcr || measurement). Throws std::out_of_range on index.
+  void extend(std::uint32_t pcr, const Bytes& measurement);
+
+  const Bytes& pcr(std::uint32_t index) const;
+
+  /// Signs the selected PCRs and nonce with the endorsement key.
+  Quote quote(const std::vector<std::uint32_t>& pcr_indices, const Bytes& nonce) const;
+
+  /// Verifies a quote against a known endorsement public key. Checks the
+  /// signature only; comparing the PCR values against golden measurements
+  /// is the attestation service's job.
+  static bool verify_quote_signature(const Quote& quote, const crypto::PublicKey& ek);
+
+  /// Resets PCRs to zero (platform reboot). The endorsement key survives.
+  void reset();
+
+ private:
+  std::string id_;
+  crypto::KeyPair keys_;
+  std::array<Bytes, kPcrCount> pcrs_;
+};
+
+}  // namespace hc::tpm

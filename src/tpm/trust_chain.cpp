@@ -1,0 +1,29 @@
+#include "tpm/trust_chain.h"
+
+namespace hc::tpm {
+
+std::map<std::uint32_t, Bytes> replay_log(const MeasurementLog& log) {
+  std::map<std::uint32_t, Bytes> pcrs;
+  for (const auto& event : log) {
+    auto it = pcrs.find(event.pcr);
+    if (it == pcrs.end()) {
+      Bytes zero(crypto::kSha256DigestSize, 0);
+      it = pcrs.emplace(event.pcr, std::move(zero)).first;
+    }
+    it->second = crypto::sha256_concat(it->second, event.digest);
+  }
+  return pcrs;
+}
+
+std::vector<Component> standard_vm_stack(const Bytes& bios, const Bytes& kernel,
+                                         const std::vector<Bytes>& libraries) {
+  std::vector<Component> stack;
+  stack.push_back(Component{"crtm-bios", bios, kFirmwarePcr});
+  stack.push_back(Component{"kernel", kernel, kKernelPcr});
+  for (std::size_t i = 0; i < libraries.size(); ++i) {
+    stack.push_back(Component{"library-" + std::to_string(i), libraries[i], kLibraryPcr});
+  }
+  return stack;
+}
+
+}  // namespace hc::tpm

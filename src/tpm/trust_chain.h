@@ -1,0 +1,67 @@
+// Measured launch and the transitive trust chain (Section II.A, Fig 5).
+//
+// "the Core Root of Trust Measurement (CRTM) code runs in the VM's BIOS
+// ... the trusted kernel extends the root of trust transitively to
+// libraries and drivers" and, in this platform, to analytics containers.
+// Each loaded component is hashed, the hash is extended into a PCR, and an
+// IMA-style measurement log records the event so a verifier can replay it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace hc::tpm {
+
+/// One software component loaded during measured launch.
+struct Component {
+  std::string name;     // "crtm-bios", "kernel-5.10", "libssl", "model-ctr:v3"
+  Bytes content;        // what gets hashed
+  std::uint32_t pcr = 0;  // which register it extends
+};
+
+/// IMA-style measurement log entry.
+struct MeasurementEvent {
+  std::uint32_t pcr = 0;
+  std::string component;
+  Bytes digest;  // sha256(content)
+};
+
+using MeasurementLog = std::vector<MeasurementEvent>;
+
+/// Hashes each component, extends it into the given TPM (hardware Tpm or
+/// VTpm — anything with an `extend(pcr, digest)` member), and returns the
+/// measurement log. Call order defines the chain: CRTM first, then kernel,
+/// then drivers/libraries, then workload containers.
+template <typename TpmLike>
+MeasurementLog measured_launch(TpmLike& tpm, const std::vector<Component>& components) {
+  MeasurementLog log;
+  log.reserve(components.size());
+  for (const auto& c : components) {
+    MeasurementEvent event{c.pcr, c.name, crypto::sha256(c.content)};
+    tpm.extend(event.pcr, event.digest);
+    log.push_back(std::move(event));
+  }
+  return log;
+}
+
+/// Replays a measurement log into the PCR values it should produce:
+/// pcr' = SHA256(pcr || digest) folded from all-zero registers.
+std::map<std::uint32_t, Bytes> replay_log(const MeasurementLog& log);
+
+/// The standard boot stack of a health-cloud VM, used by tests, benches
+/// and the platform module. `workload` components (containers) extend
+/// PCR 10; firmware/OS layers extend PCRs 0-4.
+std::vector<Component> standard_vm_stack(const Bytes& bios, const Bytes& kernel,
+                                         const std::vector<Bytes>& libraries);
+
+constexpr std::uint32_t kFirmwarePcr = 0;
+constexpr std::uint32_t kKernelPcr = 2;
+constexpr std::uint32_t kLibraryPcr = 4;
+constexpr std::uint32_t kWorkloadPcr = 10;
+
+}  // namespace hc::tpm

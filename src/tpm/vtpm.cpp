@@ -1,0 +1,56 @@
+#include "tpm/vtpm.h"
+
+#include "crypto/sha256.h"
+
+namespace hc::tpm {
+
+Bytes VTpmCertificate::serialize_for_signing() const {
+  crypto::Sha256 h;
+  h.update(vtpm_id);
+  h.update(std::string_view("|"));
+  h.update(parent_tpm_id);
+  h.update(std::string_view("|"));
+  h.update(to_bytes(vtpm_key.fingerprint()));
+  return h.finalize();
+}
+
+VTpm::VTpm(std::string id, Rng& rng, VTpmCertificate certificate)
+    : tpm_(std::move(id), rng), certificate_(std::move(certificate)) {}
+
+VTpmManager::VTpmManager(const Tpm& hardware_tpm, const crypto::PrivateKey& hardware_priv,
+                         Rng rng)
+    : hardware_id_(hardware_tpm.id()), hardware_priv_(hardware_priv), rng_(rng) {}
+
+VTpm& VTpmManager::create(const std::string& vtpm_id) {
+  auto it = vtpms_.find(vtpm_id);
+  if (it != vtpms_.end()) return *it->second;
+
+  // Generate the vTPM (which creates its own key), then certify that key
+  // with the hardware endorsement key the manager guards.
+  auto vtpm = std::make_unique<VTpm>(vtpm_id, rng_, VTpmCertificate{});
+  VTpmCertificate cert;
+  cert.vtpm_id = vtpm_id;
+  cert.parent_tpm_id = hardware_id_;
+  cert.vtpm_key = vtpm->key();
+  cert.signature = crypto::rsa_sign(hardware_priv_, cert.serialize_for_signing());
+  vtpm->set_certificate(std::move(cert));
+
+  auto [pos, inserted] = vtpms_.emplace(vtpm_id, std::move(vtpm));
+  (void)inserted;
+  return *pos->second;
+}
+
+Result<VTpm*> VTpmManager::find(const std::string& vtpm_id) {
+  auto it = vtpms_.find(vtpm_id);
+  if (it == vtpms_.end()) {
+    return Status(StatusCode::kNotFound, "no vTPM named " + vtpm_id);
+  }
+  return it->second.get();
+}
+
+bool VTpmManager::verify_certificate(const VTpmCertificate& cert,
+                                     const crypto::PublicKey& hardware_ek) {
+  return crypto::rsa_verify(hardware_ek, cert.serialize_for_signing(), cert.signature);
+}
+
+}  // namespace hc::tpm

@@ -1,0 +1,85 @@
+// Virtual TPMs (Berger et al. [9]) and the per-VM vTPM manager (Fig 5).
+//
+// A vTPM gives each VM (and, through the vTPM manager container, each
+// analytics container) its own PCR bank and quoting key while anchoring its
+// identity in the hardware TPM: the hardware endorsement key signs a
+// certificate over each vTPM's public key, forming the transitive link in
+// the chain of trust.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "tpm/tpm.h"
+
+namespace hc::tpm {
+
+/// Certificate binding a vTPM's public key to its parent TPM.
+struct VTpmCertificate {
+  std::string vtpm_id;
+  std::string parent_tpm_id;
+  crypto::PublicKey vtpm_key;
+  Bytes signature;  // parent endorsement-key signature
+
+  Bytes serialize_for_signing() const;
+};
+
+/// A software TPM instance: same PCR/quote semantics as the hardware Tpm,
+/// plus a certificate proving its lineage.
+class VTpm {
+ public:
+  VTpm(std::string id, Rng& rng, VTpmCertificate certificate);
+
+  const std::string& id() const { return tpm_.id(); }
+  const crypto::PublicKey& key() const { return tpm_.endorsement_key(); }
+  const VTpmCertificate& certificate() const { return certificate_; }
+
+  void extend(std::uint32_t pcr, const Bytes& measurement) { tpm_.extend(pcr, measurement); }
+  const Bytes& pcr(std::uint32_t index) const { return tpm_.pcr(index); }
+  Quote quote(const std::vector<std::uint32_t>& pcrs, const Bytes& nonce) const {
+    return tpm_.quote(pcrs, nonce);
+  }
+
+  /// Installed by VTpmManager once the parent TPM has signed the key.
+  void set_certificate(VTpmCertificate certificate) {
+    certificate_ = std::move(certificate);
+  }
+
+ private:
+  Tpm tpm_;  // reuse the emulator; the certificate is what makes it "virtual"
+  VTpmCertificate certificate_;
+};
+
+/// Runs in a dedicated VM (Fig 5): creates vTPM instances for guest VMs and
+/// containers, certifying each with the hardware TPM's endorsement key.
+/// The hardware TPM's *private* key never leaves this manager — mirroring
+/// the server-side driver arrangement in the paper.
+class VTpmManager {
+ public:
+  /// The manager needs the hardware TPM's signing capability; we model that
+  /// as constructing the manager with the private key it guards.
+  VTpmManager(const Tpm& hardware_tpm, const crypto::PrivateKey& hardware_priv, Rng rng);
+
+  /// Creates (or returns existing) vTPM for a VM/container name.
+  VTpm& create(const std::string& vtpm_id);
+
+  Result<VTpm*> find(const std::string& vtpm_id);
+
+  /// Verifies a vTPM certificate chain against the hardware TPM's public key.
+  static bool verify_certificate(const VTpmCertificate& cert,
+                                 const crypto::PublicKey& hardware_ek);
+
+  std::size_t vtpm_count() const { return vtpms_.size(); }
+
+ private:
+  std::string hardware_id_;
+  crypto::PrivateKey hardware_priv_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<VTpm>> vtpms_;
+};
+
+}  // namespace hc::tpm

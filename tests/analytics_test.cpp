@@ -1,0 +1,520 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/ddi.h"
+#include "analytics/delt.h"
+#include "analytics/emr.h"
+#include "analytics/jmf.h"
+#include "analytics/lifecycle.h"
+#include "analytics/matrix.h"
+#include "analytics/metrics.h"
+#include "analytics/mf.h"
+#include "analytics/similarity.h"
+
+namespace hc::analytics {
+namespace {
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, BasicAccessAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyTransposedConsistent) {
+  Rng rng(80);
+  Matrix a = Matrix::random(4, 3, rng);
+  Matrix b = Matrix::random(5, 3, rng);
+  Matrix direct = a.multiply(b.transpose());
+  Matrix fused = a.multiply_transposed(b);
+  EXPECT_LT(direct.frobenius_distance(fused), 1e-12);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeUnit) {
+  Rng rng(81);
+  Matrix a = Matrix::random(4, 4, rng);
+  EXPECT_LT(a.multiply(Matrix::identity(4)).frobenius_distance(a), 1e-12);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+  Matrix c(4, 4);
+  EXPECT_THROW(a.add_scaled(c, 1.0), std::invalid_argument);
+  EXPECT_THROW(a.frobenius_distance(c), std::invalid_argument);
+}
+
+TEST(Matrix, NormAndScale) {
+  Matrix m(1, 2);
+  m(0, 0) = 3; m(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  m.scale(2.0);
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 10.0);
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(Metrics, AucPerfectAndInverted) {
+  std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<bool> labels{true, true, false, false};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 1.0);
+  std::vector<bool> inverted{false, false, true, true};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, inverted), 0.0);
+}
+
+TEST(Metrics, AucHandlesTies) {
+  std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  std::vector<bool> labels{true, false, true, false};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.5);
+}
+
+TEST(Metrics, AucDegenerateLabels) {
+  EXPECT_DOUBLE_EQ(auc_roc({1.0, 2.0}, {true, true}), 0.5);
+  EXPECT_DOUBLE_EQ(auc_roc({1.0, 2.0}, {false, false}), 0.5);
+}
+
+TEST(Metrics, AuprPerfect) {
+  std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<bool> labels{true, true, false, false};
+  EXPECT_DOUBLE_EQ(auc_pr(scores, labels), 1.0);
+  EXPECT_DOUBLE_EQ(auc_pr(scores, {false, false, false, false}), 0.0);
+}
+
+TEST(Metrics, PrecisionAtK) {
+  std::vector<double> scores{0.9, 0.8, 0.7, 0.1};
+  std::vector<bool> labels{true, false, true, false};
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 1), 1.0);
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 2), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 4), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 100), 0.5);  // clamped
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 0), 0.0);
+}
+
+TEST(Metrics, Rmse) {
+  EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_THROW(rmse({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Metrics, SpearmanMonotone) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{10, 20, 30, 40, 50};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+  std::vector<double> c{50, 40, 30, 20, 10};
+  EXPECT_NEAR(spearman(a, c), -1.0, 1e-12);
+}
+
+// ------------------------------------------------------------ similarity
+
+TEST(Similarity, TanimotoBasics) {
+  Fingerprint a{1, 1, 0, 0}, b{1, 0, 1, 0}, c{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(tanimoto(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(tanimoto(a, b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tanimoto({0, 0}, {0, 0}), 1.0);
+  EXPECT_THROW(tanimoto({1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(Similarity, CosineBasics) {
+  EXPECT_NEAR(cosine({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(cosine({1, 1}, {2, 2}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cosine({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(Similarity, MatrixSymmetricUnitDiagonal) {
+  std::vector<Fingerprint> fps{{1, 0, 1}, {1, 1, 0}, {0, 0, 1}};
+  Matrix sim = similarity_matrix(fps);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(sim(i, i), 1.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(sim(i, j), sim(j, i));
+  }
+}
+
+// ------------------------------------------------------------------- MF
+
+TEST(Mf, ReconstructsLowRankMatrix) {
+  Rng rng(82);
+  Matrix u_true = Matrix::random(20, 3, rng, 0.0, 1.0);
+  Matrix v_true = Matrix::random(15, 3, rng, 0.0, 1.0);
+  Matrix observed = u_true.multiply_transposed(v_true);
+  Matrix mask(20, 15, 1.0);
+
+  MfConfig config;
+  config.rank = 3;
+  config.epochs = 400;
+  MfModel model = factorize(observed, mask, config, rng);
+  EXPECT_LT(model.scores().frobenius_distance(observed) / observed.frobenius_norm(),
+            0.08);
+}
+
+TEST(Mf, MaskLimitsFitting) {
+  Rng rng(83);
+  Matrix observed(4, 4, 1.0);
+  Matrix mask(4, 4, 0.0);  // nothing observed: factors stay near init
+  MfConfig config;
+  config.epochs = 50;
+  MfModel model = factorize(observed, mask, config, rng);
+  EXPECT_LT(model.scores().frobenius_norm(), 1.0);
+}
+
+TEST(Mf, GuiltByAssociationPropagates) {
+  // Drug 0 and 1 are similar; drug 1 treats disease 0.
+  Matrix associations(3, 2);
+  associations(1, 0) = 1.0;
+  Matrix similarity = Matrix::identity(3);
+  similarity(0, 1) = similarity(1, 0) = 0.9;
+
+  Matrix scores = guilt_by_association(associations, similarity);
+  EXPECT_GT(scores(0, 0), 0.5);   // inherits via similarity
+  EXPECT_DOUBLE_EQ(scores(2, 0), 0.0);  // no similar neighbor treats it
+  EXPECT_THROW(guilt_by_association(associations, Matrix(2, 2)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ JMF
+
+class JmfFixture : public ::testing::Test {
+ protected:
+  JmfFixture() : rng_(84) {
+    WorkloadConfig config;
+    config.drugs = 60;
+    config.diseases = 40;
+    config.latent_rank = 5;
+    workload_ = make_drug_disease_workload(config, rng_);
+  }
+
+  JmfConfig jmf_config() {
+    JmfConfig config;
+    config.rank = 8;
+    config.epochs = 80;
+    return config;
+  }
+
+  Rng rng_;
+  DrugDiseaseWorkload workload_;
+};
+
+TEST_F(JmfFixture, WorkloadShapesAndHoldout) {
+  EXPECT_EQ(workload_.truth.rows(), 60u);
+  EXPECT_EQ(workload_.truth.cols(), 40u);
+  EXPECT_EQ(workload_.drug_similarities.size(), 3u);
+  EXPECT_EQ(workload_.disease_similarities.size(), 3u);
+  EXPECT_FALSE(workload_.held_out.empty());
+  // Held-out cells are zeroed in the training matrix but 1 in truth.
+  for (const auto& [i, j] : workload_.held_out) {
+    EXPECT_DOUBLE_EQ(workload_.observed(i, j), 0.0);
+    EXPECT_DOUBLE_EQ(workload_.truth(i, j), 1.0);
+  }
+}
+
+TEST_F(JmfFixture, ObjectiveDecreases) {
+  auto result = joint_matrix_factorization(workload_.observed,
+                                           workload_.drug_similarities,
+                                           workload_.disease_similarities,
+                                           jmf_config(), rng_);
+  ASSERT_GE(result.objective_history.size(), 2u);
+  EXPECT_LT(result.objective_history.back(), result.objective_history.front());
+}
+
+TEST_F(JmfFixture, RecoversHeldOutAssociations) {
+  auto result = joint_matrix_factorization(workload_.observed,
+                                           workload_.drug_similarities,
+                                           workload_.disease_similarities,
+                                           jmf_config(), rng_);
+  double auc = evaluate_held_out_auc(result.scores, workload_, rng_);
+  EXPECT_GT(auc, 0.80) << "JMF should rank held-out positives highly";
+}
+
+TEST_F(JmfFixture, BeatsGuiltByAssociationBaseline) {
+  auto result = joint_matrix_factorization(workload_.observed,
+                                           workload_.drug_similarities,
+                                           workload_.disease_similarities,
+                                           jmf_config(), rng_);
+  double jmf_auc = evaluate_held_out_auc(result.scores, workload_, rng_);
+
+  // GBA on the noisiest single drug source — the prior-art single-aspect
+  // approach the paper contrasts with.
+  Matrix gba = guilt_by_association(workload_.observed,
+                                    workload_.drug_similarities.back());
+  double gba_auc = evaluate_held_out_auc(gba, workload_, rng_);
+  EXPECT_GT(jmf_auc, gba_auc);
+}
+
+TEST_F(JmfFixture, CleanerSourcesEarnHigherWeights) {
+  auto result = joint_matrix_factorization(workload_.observed,
+                                           workload_.drug_similarities,
+                                           workload_.disease_similarities,
+                                           jmf_config(), rng_);
+  // Sources are ordered by ascending noise; the cleanest should outweigh
+  // the noisiest ("interpretable importance of different sources").
+  EXPECT_GT(result.drug_source_weights.front(), result.drug_source_weights.back());
+  double sum = 0.0;
+  for (double w : result.drug_source_weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(JmfFixture, ProducesGroupAssignments) {
+  auto result = joint_matrix_factorization(workload_.observed,
+                                           workload_.drug_similarities,
+                                           workload_.disease_similarities,
+                                           jmf_config(), rng_);
+  EXPECT_EQ(result.drug_groups.size(), 60u);
+  EXPECT_EQ(result.disease_groups.size(), 40u);
+  for (auto g : result.drug_groups) EXPECT_LT(g, jmf_config().rank);
+}
+
+TEST_F(JmfFixture, RejectsBadInputs) {
+  EXPECT_THROW(joint_matrix_factorization(workload_.observed, {},
+                                          workload_.disease_similarities,
+                                          jmf_config(), rng_),
+               std::invalid_argument);
+  std::vector<Matrix> wrong{Matrix(3, 3)};
+  EXPECT_THROW(joint_matrix_factorization(workload_.observed, wrong,
+                                          workload_.disease_similarities,
+                                          jmf_config(), rng_),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- DELT
+
+class DeltFixture : public ::testing::Test {
+ protected:
+  DeltFixture() : rng_(85) {
+    EmrConfig config;
+    config.patients = 800;
+    config.drugs = 60;
+    config.planted_drugs = 6;
+    // Make the confounding strong enough that marginal correlation cannot
+    // tie DELT even at this small cohort size: weaker true effects, more
+    // comorbidity-linked innocent drugs.
+    config.effect_mean = -0.4;
+    config.confounded_drugs = 10;
+    config.comorbidity_probability = 0.5;
+    dataset_ = make_emr_dataset(config, rng_);
+  }
+
+  Rng rng_;
+  EmrDataset dataset_;
+};
+
+TEST_F(DeltFixture, DatasetHasPlantedStructure) {
+  std::size_t planted = 0, confounded = 0;
+  for (std::size_t d = 0; d < dataset_.drug_count; ++d) {
+    planted += dataset_.is_planted[d] ? 1 : 0;
+    confounded += dataset_.is_confounded[d] ? 1 : 0;
+    if (dataset_.is_planted[d]) {
+      EXPECT_LT(dataset_.true_effects[d], 0.0);
+      EXPECT_FALSE(dataset_.is_confounded[d]);  // disjoint sets
+    }
+  }
+  EXPECT_EQ(planted, 6u);
+  EXPECT_EQ(confounded, 10u);
+  EXPECT_EQ(dataset_.patients.size(), 800u);
+}
+
+TEST_F(DeltFixture, ObjectiveDecreases) {
+  DeltModel model = fit_delt(dataset_, DeltConfig{});
+  ASSERT_GE(model.objective_history.size(), 2u);
+  EXPECT_LE(model.objective_history.back(), model.objective_history.front());
+}
+
+TEST_F(DeltFixture, RecoversPlantedDrugs) {
+  DeltModel model = fit_delt(dataset_, DeltConfig{});
+  auto metrics = score_recovery(model.drug_effects, dataset_);
+  EXPECT_GT(metrics.auc, 0.95) << "DELT should cleanly separate planted drugs";
+  EXPECT_GE(metrics.precision_at_n, 0.8);
+  EXPECT_LT(metrics.effect_rmse, 0.25);
+}
+
+TEST_F(DeltFixture, BeatsMarginalCorrelation) {
+  DeltModel model = fit_delt(dataset_, DeltConfig{});
+  auto delt_metrics = score_recovery(model.drug_effects, dataset_);
+  auto marginal = marginal_correlation_effects(dataset_);
+  auto marginal_metrics = score_recovery(marginal, dataset_);
+  EXPECT_GT(delt_metrics.auc, marginal_metrics.auc);
+}
+
+TEST_F(DeltFixture, BaselineAblationHurts) {
+  DeltConfig full;
+  DeltConfig no_baseline;
+  no_baseline.model_baseline = false;
+  no_baseline.model_drift = false;
+  auto full_metrics = score_recovery(fit_delt(dataset_, full).drug_effects, dataset_);
+  auto ablated_metrics =
+      score_recovery(fit_delt(dataset_, no_baseline).drug_effects, dataset_);
+  // The paper's contribution (2): baselines + drift absorb confounders.
+  EXPECT_GE(full_metrics.auc, ablated_metrics.auc);
+  EXPECT_LT(full_metrics.effect_rmse, ablated_metrics.effect_rmse + 1e-9);
+}
+
+TEST_F(DeltFixture, EstimatesBaselinesNearTruth) {
+  DeltModel model = fit_delt(dataset_, DeltConfig{});
+  double total_error = 0.0;
+  for (std::size_t p = 0; p < dataset_.patients.size(); ++p) {
+    total_error +=
+        std::abs(model.patient_baselines[p] - dataset_.patients[p].true_baseline);
+  }
+  EXPECT_LT(total_error / static_cast<double>(dataset_.patients.size()), 0.5);
+}
+
+TEST(Delt, RejectsEmptyDataset) {
+  EXPECT_THROW(fit_delt(EmrDataset{}, DeltConfig{}), std::invalid_argument);
+}
+
+TEST(Delt, ScoreRecoveryValidatesSize) {
+  Rng rng(86);
+  EmrConfig config;
+  config.patients = 10;
+  config.drugs = 5;
+  config.planted_drugs = 1;
+  config.confounded_drugs = 1;
+  auto dataset = make_emr_dataset(config, rng);
+  EXPECT_THROW(score_recovery(std::vector<double>(3), dataset), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ DDI
+
+TEST(Ddi, PredictsInteractionsAboveChance) {
+  Rng rng(87);
+  auto workload = make_ddi_workload(50, 5, rng);
+  DdiPredictor predictor(workload.similarities);
+  predictor.train(workload.train_positives, workload.train_negatives, DdiConfig{});
+
+  std::vector<double> scores;
+  scores.reserve(workload.test_pairs.size());
+  for (const auto& pair : workload.test_pairs) scores.push_back(predictor.predict(pair));
+  double auc = auc_roc(scores, workload.test_labels);
+  EXPECT_GT(auc, 0.85);
+}
+
+TEST(Ddi, FeaturesBoundedAndKeyedToKnownPairs) {
+  Rng rng(88);
+  auto workload = make_ddi_workload(30, 5, rng);
+  DdiPredictor predictor(workload.similarities);
+  predictor.train(workload.train_positives, workload.train_negatives, DdiConfig{});
+  for (const auto& pair : workload.test_pairs) {
+    for (double f : predictor.pair_features(pair)) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(Ddi, RejectsBadConstruction) {
+  EXPECT_THROW(DdiPredictor({}), std::invalid_argument);
+  Rng rng(89);
+  EXPECT_THROW(make_ddi_workload(10, 2, rng), std::invalid_argument);
+  DdiPredictor predictor({Matrix::identity(4)});
+  EXPECT_THROW(predictor.train({}, {}, DdiConfig{}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- lifecycle
+
+class LifecycleFixture : public ::testing::Test {
+ protected:
+  ModelRegistry registry_;
+};
+
+TEST_F(LifecycleFixture, FullLifecyclePath) {
+  auto v = registry_.create("jmf-alzheimers", to_bytes("artifact-v1"));
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*v, 1u);
+  EXPECT_EQ(registry_.get("jmf-alzheimers", 1).value().stage,
+            ModelStage::kDataCleaning);
+
+  ASSERT_TRUE(registry_.advance("jmf-alzheimers", 1, ModelStage::kGeneration).is_ok());
+  ASSERT_TRUE(registry_.advance("jmf-alzheimers", 1, ModelStage::kTesting).is_ok());
+  ASSERT_TRUE(registry_.record_metric("jmf-alzheimers", 1, "auc", 0.91).is_ok());
+  ASSERT_TRUE(registry_.approve("jmf-alzheimers", 1, "compliance-officer").is_ok());
+  ASSERT_TRUE(registry_.advance("jmf-alzheimers", 1, ModelStage::kDeployed).is_ok());
+
+  auto deployed = registry_.deployed("jmf-alzheimers");
+  ASSERT_TRUE(deployed.is_ok());
+  EXPECT_EQ(deployed->version, 1u);
+  EXPECT_DOUBLE_EQ(deployed->metrics.at("auc"), 0.91);
+}
+
+TEST_F(LifecycleFixture, DeploymentGatedOnApproval) {
+  ASSERT_TRUE(registry_.create("m", to_bytes("a")).is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kGeneration).is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kTesting).is_ok());
+  EXPECT_EQ(registry_.advance("m", 1, ModelStage::kDeployed).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(LifecycleFixture, IllegalTransitionsRejected) {
+  ASSERT_TRUE(registry_.create("m", to_bytes("a")).is_ok());
+  EXPECT_EQ(registry_.advance("m", 1, ModelStage::kDeployed).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry_.advance("m", 1, ModelStage::kTesting).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kGeneration).is_ok());
+  EXPECT_EQ(registry_.advance("m", 1, ModelStage::kDataCleaning).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LifecycleFixture, TestingCanLoopBackToGeneration) {
+  ASSERT_TRUE(registry_.create("m", to_bytes("a")).is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kGeneration).is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kTesting).is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kGeneration).is_ok());
+}
+
+TEST_F(LifecycleFixture, UpdateCreatesNewVersionAndRetiresOld) {
+  ASSERT_TRUE(registry_.create("m", to_bytes("v1")).is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kGeneration).is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kTesting).is_ok());
+  ASSERT_TRUE(registry_.approve("m", 1, "officer").is_ok());
+  ASSERT_TRUE(registry_.advance("m", 1, ModelStage::kDeployed).is_ok());
+
+  auto v2 = registry_.update("m", to_bytes("v2"));
+  ASSERT_TRUE(v2.is_ok());
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(registry_.get("m", 2).value().stage, ModelStage::kGeneration);
+  ASSERT_TRUE(registry_.advance("m", 2, ModelStage::kTesting).is_ok());
+  ASSERT_TRUE(registry_.approve("m", 2, "officer").is_ok());
+  ASSERT_TRUE(registry_.advance("m", 2, ModelStage::kDeployed).is_ok());
+
+  EXPECT_EQ(registry_.deployed("m").value().version, 2u);
+  EXPECT_EQ(registry_.get("m", 1).value().stage, ModelStage::kRetired);
+  EXPECT_EQ(registry_.latest_version("m"), 2u);
+}
+
+TEST_F(LifecycleFixture, MetricsOnlyDuringTesting) {
+  ASSERT_TRUE(registry_.create("m", to_bytes("a")).is_ok());
+  EXPECT_EQ(registry_.record_metric("m", 1, "auc", 0.5).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry_.approve("m", 1, "officer").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LifecycleFixture, UnknownModelsNotFound) {
+  EXPECT_EQ(registry_.update("ghost", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_.get("ghost", 1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_.deployed("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_.advance("ghost", 1, ModelStage::kGeneration).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry_.latest_version("ghost"), 0u);
+  ASSERT_TRUE(registry_.create("m", {}).is_ok());
+  EXPECT_EQ(registry_.create("m", {}).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry_.get("m", 7).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hc::analytics

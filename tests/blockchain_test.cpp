@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "blockchain/auditor.h"
+#include "blockchain/contracts.h"
+#include "blockchain/ledger.h"
+
+namespace hc::blockchain {
+namespace {
+
+class LedgerFixture : public ::testing::Test {
+ protected:
+  LedgerFixture() : clock_(make_clock()) {
+    LedgerConfig config;
+    config.peers = {"peer-provider", "peer-ingestion", "peer-protection", "peer-audit"};
+    ledger_ = std::make_unique<PermissionedLedger>(config, clock_);
+    EXPECT_TRUE(register_hcls_contracts(*ledger_).is_ok());
+  }
+
+  Result<std::string> provenance_event(const std::string& ref, const std::string& event) {
+    return ledger_->submit_and_commit(
+        "provenance",
+        {{"action", "record_event"}, {"record_ref", ref}, {"event", event},
+         {"data_hash", "deadbeef"}},
+        "peer-ingestion");
+  }
+
+  ClockPtr clock_;
+  std::unique_ptr<PermissionedLedger> ledger_;
+};
+
+// ----------------------------------------------------------------- chain
+
+TEST_F(LedgerFixture, GenesisBlockExists) {
+  ASSERT_EQ(ledger_->chain().size(), 1u);
+  EXPECT_EQ(ledger_->chain()[0].index, 0u);
+  EXPECT_TRUE(ledger_->validate_chain().is_ok());
+}
+
+TEST_F(LedgerFixture, SubmitAndCommitAppendsBlock) {
+  auto id = provenance_event("ref-1", "received");
+  ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+  EXPECT_EQ(ledger_->chain().size(), 2u);
+  EXPECT_EQ(ledger_->chain()[1].transactions.size(), 1u);
+  EXPECT_TRUE(ledger_->validate_chain().is_ok());
+}
+
+TEST_F(LedgerFixture, CommitWithEmptyPoolFails) {
+  EXPECT_EQ(ledger_->commit_block().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LedgerFixture, BatchingRespectsMaxBlockSize) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ledger_
+                    ->submit("provenance",
+                             {{"action", "record_event"},
+                              {"record_ref", "ref-" + std::to_string(i)},
+                              {"event", "received"},
+                              {"data_hash", "h"}},
+                             "peer-ingestion")
+                    .is_ok());
+  }
+  EXPECT_EQ(ledger_->pending_count(), 10u);
+  auto receipt = ledger_->commit_block();
+  ASSERT_TRUE(receipt.is_ok());
+  EXPECT_EQ(receipt->transaction_count, 10u);
+  EXPECT_EQ(ledger_->pending_count(), 0u);
+}
+
+TEST_F(LedgerFixture, UnknownContractRejected) {
+  auto r = ledger_->submit("lottery", {{"action", "win"}}, "peer-ingestion");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LedgerFixture, DuplicateContractRegistrationRejected) {
+  EXPECT_EQ(ledger_->register_contract(std::make_unique<ConsentContract>()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(LedgerFixture, TamperingDetectedByValidation) {
+  ASSERT_TRUE(provenance_event("ref-1", "received").is_ok());
+  ASSERT_TRUE(provenance_event("ref-2", "received").is_ok());
+  ASSERT_TRUE(ledger_->validate_chain().is_ok());
+
+  ledger_->tamper_for_test(1, 0, "record_ref", "ref-evil");
+  auto s = ledger_->validate_chain();
+  EXPECT_EQ(s.code(), StatusCode::kIntegrityError);
+  EXPECT_NE(s.message().find("merkle"), std::string::npos);
+}
+
+TEST(Ledger, RequiresPeers) {
+  auto clock = make_clock();
+  EXPECT_THROW(PermissionedLedger(LedgerConfig{}, clock), std::invalid_argument);
+}
+
+TEST(Ledger, ChargesNetworkWhenProvided) {
+  auto clock = make_clock();
+  net::SimNetwork net(clock, Rng(60));
+  std::vector<std::string> peers{"p0", "p1", "p2", "p3"};
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    for (std::size_t j = i + 1; j < peers.size(); ++j) {
+      net.set_link(peers[i], peers[j], net::LinkProfile::lan());
+    }
+  }
+  PermissionedLedger ledger(LedgerConfig{peers}, clock, nullptr, &net);
+  ASSERT_TRUE(register_hcls_contracts(ledger).is_ok());
+
+  SimTime before = clock->now();
+  ASSERT_TRUE(ledger
+                  .submit_and_commit("consent",
+                                     {{"action", "grant"},
+                                      {"patient", "pseu-1"},
+                                      {"group", "study-a"}},
+                                     "p0")
+                  .is_ok());
+  EXPECT_GT(clock->now(), before);
+  EXPECT_GT(net.stats().messages, 0u);
+}
+
+// ------------------------------------------------------------- contracts
+
+TEST_F(LedgerFixture, ProvenanceLifecycle) {
+  ASSERT_TRUE(provenance_event("ref-1", "received").is_ok());
+  ASSERT_TRUE(provenance_event("ref-1", "anonymized").is_ok());
+  ASSERT_TRUE(provenance_event("ref-1", "retrieved").is_ok());
+  EXPECT_EQ(ledger_->state_value("provenance", "ref-1/last_event").value(), "retrieved");
+  EXPECT_EQ(ledger_->state_value("provenance", "ref-1/events").value(), "3");
+}
+
+TEST_F(LedgerFixture, ProvenanceRejectsBadEvents) {
+  EXPECT_FALSE(provenance_event("ref-1", "teleported").is_ok());
+  auto r = ledger_->submit("provenance", {{"action", "record_event"}},
+                           "peer-ingestion");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LedgerFixture, ProvenanceClosesLifecycleAfterDeletion) {
+  ASSERT_TRUE(provenance_event("ref-1", "received").is_ok());
+  ASSERT_TRUE(provenance_event("ref-1", "deleted").is_ok());
+  auto r = provenance_event("ref-1", "retrieved");
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LedgerFixture, ConsentGrantRevokeCycle) {
+  EXPECT_FALSE(ConsentContract::has_consent(*ledger_, "pseu-1", "study-a"));
+  ASSERT_TRUE(ledger_
+                  ->submit_and_commit("consent",
+                                      {{"action", "grant"}, {"patient", "pseu-1"},
+                                       {"group", "study-a"}},
+                                      "peer-provider")
+                  .is_ok());
+  EXPECT_TRUE(ConsentContract::has_consent(*ledger_, "pseu-1", "study-a"));
+
+  ASSERT_TRUE(ledger_
+                  ->submit_and_commit("consent",
+                                      {{"action", "revoke"}, {"patient", "pseu-1"},
+                                       {"group", "study-a"}},
+                                      "peer-provider")
+                  .is_ok());
+  EXPECT_FALSE(ConsentContract::has_consent(*ledger_, "pseu-1", "study-a"));
+}
+
+TEST_F(LedgerFixture, ConsentGuardsIllegalTransitions) {
+  auto revoke_first = ledger_->submit(
+      "consent",
+      {{"action", "revoke"}, {"patient", "pseu-1"}, {"group", "study-a"}},
+      "peer-provider");
+  EXPECT_EQ(revoke_first.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(ledger_
+                  ->submit_and_commit("consent",
+                                      {{"action", "grant"}, {"patient", "pseu-1"},
+                                       {"group", "study-a"}},
+                                      "peer-provider")
+                  .is_ok());
+  auto double_grant = ledger_->submit(
+      "consent", {{"action", "grant"}, {"patient", "pseu-1"}, {"group", "study-a"}},
+      "peer-provider");
+  EXPECT_EQ(double_grant.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(LedgerFixture, MalwareTracksRiskySenders) {
+  auto report = [&](const std::string& ref, const std::string& verdict,
+                    const std::string& sender) {
+    return ledger_->submit_and_commit(
+        "malware",
+        {{"action", "report"}, {"record_ref", ref}, {"verdict", verdict},
+         {"sender", sender}},
+        "peer-protection");
+  };
+  ASSERT_TRUE(report("ref-1", "clean", "clinic-a").is_ok());
+  ASSERT_TRUE(report("ref-2", "infected", "botnet-b").is_ok());
+  ASSERT_TRUE(report("ref-3", "infected", "botnet-b").is_ok());
+
+  EXPECT_EQ(MalwareContract::infected_count(*ledger_, "botnet-b"), 2u);
+  EXPECT_EQ(MalwareContract::infected_count(*ledger_, "clinic-a"), 0u);
+  EXPECT_EQ(ledger_->state_value("malware", "ref-2/verdict").value(), "infected");
+  EXPECT_FALSE(report("ref-4", "suspicious", "x").is_ok());
+}
+
+TEST_F(LedgerFixture, PrivacyDegreeRecorded) {
+  ASSERT_TRUE(ledger_
+                  ->submit_and_commit("privacy",
+                                      {{"action", "record_degree"},
+                                       {"record_ref", "ref-1"},
+                                       {"score", "0.97"},
+                                       {"k", "12"}},
+                                      "peer-protection")
+                  .is_ok());
+  EXPECT_EQ(ledger_->state_value("privacy", "ref-1/score").value(), "0.97");
+  EXPECT_EQ(ledger_->state_value("privacy", "ref-1/k").value(), "12");
+
+  auto bad = ledger_->submit("privacy",
+                             {{"action", "record_degree"}, {"record_ref", "r"},
+                              {"score", "1.7"}, {"k", "2"}},
+                             "peer-protection");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LedgerFixture, IdentityRegisterAndRotate) {
+  ASSERT_TRUE(ledger_
+                  ->submit_and_commit("identity",
+                                      {{"action", "register"}, {"did", "did:hc:alice"},
+                                       {"key_fingerprint", "fp-1"}},
+                                      "peer-provider")
+                  .is_ok());
+  EXPECT_EQ(ledger_->state_value("identity", "did:hc:alice").value(), "fp-1");
+
+  // Re-register rejected; rotate succeeds; rotate of unknown DID rejected.
+  EXPECT_EQ(ledger_
+                ->submit("identity",
+                         {{"action", "register"}, {"did", "did:hc:alice"},
+                          {"key_fingerprint", "fp-2"}},
+                         "peer-provider")
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(ledger_
+                  ->submit_and_commit("identity",
+                                      {{"action", "rotate"}, {"did", "did:hc:alice"},
+                                       {"key_fingerprint", "fp-2"}},
+                                      "peer-provider")
+                  .is_ok());
+  EXPECT_EQ(ledger_->state_value("identity", "did:hc:alice").value(), "fp-2");
+  EXPECT_EQ(ledger_
+                ->submit("identity",
+                         {{"action", "rotate"}, {"did", "did:hc:bob"},
+                          {"key_fingerprint", "fp"}},
+                         "peer-provider")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LedgerFixture, StateValueNotFoundForUnknownKeys) {
+  EXPECT_EQ(ledger_->state_value("provenance", "ref-404/last_event").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ledger_->state_value("nothing", "x").status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- auditor
+
+TEST_F(LedgerFixture, AuditorSeesRecordLifecycle) {
+  ASSERT_TRUE(provenance_event("ref-1", "received").is_ok());
+  ASSERT_TRUE(provenance_event("ref-1", "anonymized").is_ok());
+  ASSERT_TRUE(provenance_event("ref-2", "received").is_ok());
+
+  AuditorView auditor(*ledger_);
+  auto lifecycle = auditor.record_lifecycle("ref-1");
+  EXPECT_EQ(lifecycle.events,
+            (std::vector<std::string>{"received", "anonymized"}));
+  EXPECT_EQ(lifecycle.last_hash, "deadbeef");
+  EXPECT_EQ(auditor.total_transactions(), 3u);
+  EXPECT_TRUE(auditor.verify_integrity().is_ok());
+}
+
+TEST_F(LedgerFixture, AuditorSeesConsentHistory) {
+  for (const char* action : {"grant", "revoke", "grant"}) {
+    ASSERT_TRUE(ledger_
+                    ->submit_and_commit("consent",
+                                        {{"action", action}, {"patient", "pseu-1"},
+                                         {"group", "study-a"}},
+                                        "peer-provider")
+                    .is_ok());
+  }
+  AuditorView auditor(*ledger_);
+  auto history = auditor.consent_history("pseu-1");
+  EXPECT_EQ(history, (std::vector<std::string>{"grant:study-a", "revoke:study-a",
+                                               "grant:study-a"}));
+}
+
+TEST_F(LedgerFixture, AuditorFlagsRiskySenders) {
+  auto report = [&](const std::string& ref, const std::string& sender) {
+    return ledger_->submit_and_commit(
+        "malware",
+        {{"action", "report"}, {"record_ref", ref}, {"verdict", "infected"},
+         {"sender", sender}},
+        "peer-protection");
+  };
+  ASSERT_TRUE(report("r1", "botnet").is_ok());
+  ASSERT_TRUE(report("r2", "botnet").is_ok());
+  ASSERT_TRUE(report("r3", "oops-clinic").is_ok());
+
+  AuditorView auditor(*ledger_);
+  EXPECT_EQ(auditor.risky_senders(2), std::vector<std::string>{"botnet"});
+  EXPECT_EQ(auditor.risky_senders(1).size(), 2u);
+}
+
+TEST_F(LedgerFixture, AuditorTracksUserActivity) {
+  ASSERT_TRUE(provenance_event("ref-1", "received").is_ok());
+  ASSERT_TRUE(ledger_
+                  ->submit_and_commit("consent",
+                                      {{"action", "grant"}, {"patient", "p"},
+                                       {"group", "g"}},
+                                      "peer-provider")
+                  .is_ok());
+  AuditorView auditor(*ledger_);
+  EXPECT_EQ(auditor.activity_of("peer-ingestion").size(), 1u);
+  EXPECT_EQ(auditor.activity_of("peer-provider").size(), 1u);
+  EXPECT_TRUE(auditor.activity_of("nobody").empty());
+}
+
+}  // namespace
+}  // namespace hc::blockchain

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "cache/multilevel.h"
+#include "common/rng.h"
+
+namespace hc::cache {
+namespace {
+
+class CacheFixture : public ::testing::Test {
+ protected:
+  CacheFixture() : clock_(make_clock()) {}
+
+  Cache make(std::size_t cap, EvictionPolicy policy) {
+    return Cache(cap, policy, clock_);
+  }
+
+  ClockPtr clock_;
+};
+
+TEST_F(CacheFixture, PutGetHit) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v"));
+  auto e = c.get("k");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(to_string(e->value), "v");
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST_F(CacheFixture, MissCounted) {
+  auto c = make(4, EvictionPolicy::kLru);
+  EXPECT_FALSE(c.get("absent").has_value());
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST_F(CacheFixture, NeverExceedsCapacity) {
+  auto c = make(8, EvictionPolicy::kLru);
+  for (int i = 0; i < 100; ++i) {
+    c.put("k" + std::to_string(i), to_bytes("v"));
+    EXPECT_LE(c.size(), 8u);
+  }
+  EXPECT_EQ(c.stats().evictions, 92u);
+}
+
+TEST_F(CacheFixture, LruEvictsLeastRecentlyUsed) {
+  auto c = make(2, EvictionPolicy::kLru);
+  c.put("a", to_bytes("1"));
+  c.put("b", to_bytes("2"));
+  ASSERT_TRUE(c.get("a").has_value());  // a now most recent
+  c.put("c", to_bytes("3"));            // evicts b
+  EXPECT_TRUE(c.contains("a"));
+  EXPECT_FALSE(c.contains("b"));
+  EXPECT_TRUE(c.contains("c"));
+}
+
+TEST_F(CacheFixture, FifoEvictsOldestInsertion) {
+  auto c = make(2, EvictionPolicy::kFifo);
+  c.put("a", to_bytes("1"));
+  c.put("b", to_bytes("2"));
+  ASSERT_TRUE(c.get("a").has_value());  // access does NOT protect under FIFO
+  c.put("c", to_bytes("3"));            // evicts a
+  EXPECT_FALSE(c.contains("a"));
+  EXPECT_TRUE(c.contains("b"));
+  EXPECT_TRUE(c.contains("c"));
+}
+
+TEST_F(CacheFixture, LfuEvictsLeastFrequentlyUsed) {
+  auto c = make(2, EvictionPolicy::kLfu);
+  c.put("hot", to_bytes("1"));
+  c.put("cold", to_bytes("2"));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(c.get("hot").has_value());
+  c.put("new", to_bytes("3"));  // evicts cold (freq 1) not hot (freq 6)
+  EXPECT_TRUE(c.contains("hot"));
+  EXPECT_FALSE(c.contains("cold"));
+  EXPECT_TRUE(c.contains("new"));
+}
+
+TEST_F(CacheFixture, ZeroCapacityCachesNothing) {
+  auto c = make(0, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v"));
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.get("k").has_value());
+}
+
+TEST_F(CacheFixture, TtlExpires) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v"), 10 * kMillisecond);
+  EXPECT_TRUE(c.get("k").has_value());
+  clock_->advance(11 * kMillisecond);
+  EXPECT_FALSE(c.get("k").has_value());
+  EXPECT_EQ(c.stats().expirations, 1u);
+  EXPECT_FALSE(c.contains("k"));
+}
+
+TEST_F(CacheFixture, NoTtlNeverExpires) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v"));
+  clock_->advance(365 * kDay);
+  EXPECT_TRUE(c.get("k").has_value());
+}
+
+TEST_F(CacheFixture, VersionsIncrementOnOverwrite) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v1"));
+  EXPECT_EQ(c.get("k")->version, 1u);
+  c.put("k", to_bytes("v2"));
+  EXPECT_EQ(c.get("k")->version, 2u);
+  EXPECT_EQ(to_string(c.get("k")->value), "v2");
+}
+
+TEST_F(CacheFixture, MinVersionDropsStaleEntry) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("old"), 0, 3);
+  EXPECT_FALSE(c.get("k", 5).has_value());  // demand >= v5; cached is v3
+  EXPECT_EQ(c.stats().invalidations, 1u);
+  EXPECT_FALSE(c.contains("k"));  // stale entry was dropped
+}
+
+TEST_F(CacheFixture, MinVersionAcceptsFreshEntry) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("new"), 0, 7);
+  EXPECT_TRUE(c.get("k", 5).has_value());
+}
+
+TEST_F(CacheFixture, InvalidateRemoves) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v"));
+  EXPECT_TRUE(c.invalidate("k"));
+  EXPECT_FALSE(c.invalidate("k"));
+  EXPECT_FALSE(c.contains("k"));
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST_F(CacheFixture, ClearEmptiesEverything) {
+  auto c = make(4, EvictionPolicy::kLfu);
+  c.put("a", to_bytes("1"));
+  c.put("b", to_bytes("2"));
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  c.put("c", to_bytes("3"));  // still usable after clear
+  EXPECT_TRUE(c.contains("c"));
+}
+
+TEST_F(CacheFixture, HitRatioComputed) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v"));
+  (void)c.get("k");
+  (void)c.get("k");
+  (void)c.get("absent");
+  EXPECT_NEAR(c.stats().hit_ratio(), 2.0 / 3.0, 1e-9);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().hit_ratio(), 0.0);
+}
+
+// Property: under any policy, hits + misses == number of get() calls, and
+// size never exceeds capacity, across a randomized workload.
+class CachePolicySweep : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(CachePolicySweep, InvariantsUnderRandomWorkload) {
+  auto clock = make_clock();
+  Cache c(16, GetParam(), clock);
+  Rng rng(99);
+  std::uint64_t gets = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "k" + std::to_string(rng.uniform_int(0, 60));
+    if (rng.bernoulli(0.4)) {
+      c.put(key, to_bytes("v"), rng.bernoulli(0.2) ? 5 * kMillisecond : 0);
+    } else {
+      (void)c.get(key);
+      ++gets;
+    }
+    if (rng.bernoulli(0.01)) clock->advance(3 * kMillisecond);
+    ASSERT_LE(c.size(), 16u);
+  }
+  EXPECT_EQ(c.stats().hits + c.stats().misses, gets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachePolicySweep,
+                         ::testing::Values(EvictionPolicy::kLru, EvictionPolicy::kLfu,
+                                           EvictionPolicy::kFifo));
+
+// ------------------------------------------------------------ hierarchy
+
+class HierarchyFixture : public ::testing::Test {
+ protected:
+  HierarchyFixture()
+      : clock_(make_clock()),
+        client_(4, EvictionPolicy::kLru, clock_),
+        server_(64, EvictionPolicy::kLru, clock_) {
+    hierarchy_ = std::make_unique<CacheHierarchy>(
+        std::vector<Tier>{{"client", &client_, 10},         // 10us local
+                          {"server", &server_, 2 * kMillisecond}},  // RTT to server
+        [this](const std::string& key) -> Result<Bytes> {
+          ++origin_fetches_;
+          clock_->advance(80 * kMillisecond);  // remote knowledge base
+          if (key == "missing") return Status(StatusCode::kNotFound, "no such key");
+          return to_bytes("origin:" + key);
+        },
+        clock_);
+  }
+
+  ClockPtr clock_;
+  Cache client_;
+  Cache server_;
+  std::unique_ptr<CacheHierarchy> hierarchy_;
+  int origin_fetches_ = 0;
+};
+
+TEST_F(HierarchyFixture, MissGoesToOriginAndPopulatesAllTiers) {
+  auto r = hierarchy_->get("gene-tp53");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->served_by, "origin");
+  EXPECT_EQ(origin_fetches_, 1);
+  EXPECT_TRUE(client_.contains("gene-tp53"));
+  EXPECT_TRUE(server_.contains("gene-tp53"));
+}
+
+TEST_F(HierarchyFixture, SecondReadServedByClientTier) {
+  ASSERT_TRUE(hierarchy_->get("gene-tp53").is_ok());
+  auto r = hierarchy_->get("gene-tp53");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->served_by, "client");
+  EXPECT_EQ(origin_fetches_, 1);
+  // Client-tier latency is orders of magnitude below the origin's 80ms.
+  EXPECT_LT(r->latency, kMillisecond);
+}
+
+TEST_F(HierarchyFixture, ServerHitPopulatesClient) {
+  ASSERT_TRUE(hierarchy_->get("a").is_ok());
+  // Push "a" out of the tiny client cache.
+  for (char k = 'b'; k <= 'f'; ++k) {
+    ASSERT_TRUE(hierarchy_->get(std::string(1, k)).is_ok());
+  }
+  EXPECT_FALSE(client_.contains("a"));
+  auto r = hierarchy_->get("a");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->served_by, "server");
+  EXPECT_TRUE(client_.contains("a"));  // repopulated upward
+}
+
+TEST_F(HierarchyFixture, OriginLatencyDominatesMiss) {
+  auto miss = hierarchy_->get("x");
+  ASSERT_TRUE(miss.is_ok());
+  EXPECT_GE(miss->latency, 80 * kMillisecond);
+}
+
+TEST_F(HierarchyFixture, OriginErrorPropagates) {
+  auto r = hierarchy_->get("missing");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(client_.contains("missing"));
+}
+
+TEST_F(HierarchyFixture, InvalidatePropagatesToAllTiers) {
+  ASSERT_TRUE(hierarchy_->get("k").is_ok());
+  hierarchy_->invalidate("k");
+  EXPECT_FALSE(client_.contains("k"));
+  EXPECT_FALSE(server_.contains("k"));
+  auto r = hierarchy_->get("k");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->served_by, "origin");
+  EXPECT_EQ(origin_fetches_, 2);
+}
+
+TEST_F(HierarchyFixture, PutThroughMakesNewVersionVisible) {
+  ASSERT_TRUE(hierarchy_->get("k").is_ok());
+  hierarchy_->put_through("k", to_bytes("fresh"), 9);
+  auto r = hierarchy_->get("k");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->served_by, "client");
+  EXPECT_EQ(to_string(r->value), "fresh");
+}
+
+TEST_F(HierarchyFixture, TtlWritesExpireAcrossTiers) {
+  ASSERT_TRUE(hierarchy_->get("k", 5 * kMillisecond).is_ok());
+  clock_->advance(6 * kMillisecond);
+  auto r = hierarchy_->get("k", 5 * kMillisecond);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->served_by, "origin");  // both tiers expired
+}
+
+}  // namespace
+}  // namespace hc::cache

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "blockchain/contracts.h"
+#include "fhir/synthetic.h"
+#include "platform/compliance.h"
+#include "platform/log_anchor.h"
+#include "platform/enhanced_client.h"
+#include "platform/instance.h"
+
+namespace hc::platform {
+namespace {
+
+class ComplianceFixture : public ::testing::Test {
+ protected:
+  ComplianceFixture() : clock_(make_clock()), network_(clock_, Rng(130)) {
+    InstanceConfig config;
+    config.name = "cloud";
+    cloud_ = std::make_unique<HealthCloudInstance>(config, clock_, network_);
+    network_.set_link("client", "cloud", net::LinkProfile::wan());
+  }
+
+  /// Puts the instance into a realistic in-use state.
+  void populate() {
+    auto tenant = cloud_->rbac().register_tenant("mercy").value();
+    (void)cloud_->rbac().add_user(tenant.id, "alice");
+
+    EnhancedClientConfig client_config;
+    client_config.name = "client";
+    EnhancedClient client(client_config, *cloud_, "clinic");
+    Rng rng(131);
+    fhir::Bundle bundle = fhir::make_synthetic_bundle(rng, "b", 1);
+    (void)cloud_->ledger().submit_and_commit(
+        "consent",
+        {{"action", "grant"},
+         {"patient", std::get<fhir::Patient>(bundle.resources[0]).id},
+         {"group", "study"}},
+        "provider");
+    (void)client.upload_bundle(bundle, "study");
+    (void)cloud_->ingestion().process_all();
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  std::unique_ptr<HealthCloudInstance> cloud_;
+};
+
+TEST_F(ComplianceFixture, PopulatedInstancePassesAllControls) {
+  populate();
+  ComplianceAuditor auditor(*cloud_);
+  ComplianceReport report = auditor.audit();
+  for (const auto& control : report.controls) {
+    EXPECT_TRUE(control.passed) << control.control << ": " << control.evidence;
+  }
+  EXPECT_TRUE(report.compliant());
+  EXPECT_EQ(report.passed_count(), report.controls.size());
+  EXPECT_TRUE(report.failures().empty());
+}
+
+TEST_F(ComplianceFixture, CoversAllFourPillars) {
+  populate();
+  ComplianceReport report = ComplianceAuditor(*cloud_).audit();
+  bool pillars[4] = {false, false, false, false};
+  for (const auto& control : report.controls) {
+    pillars[static_cast<int>(control.pillar)] = true;
+  }
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_TRUE(pillars[p]) << "missing pillar "
+                            << pillar_name(static_cast<CompliancePillar>(p));
+  }
+}
+
+TEST_F(ComplianceFixture, FreshInstanceFailsWorkforceControl) {
+  // No users registered yet: the administrative pillar must flag it.
+  ComplianceReport report = ComplianceAuditor(*cloud_).audit();
+  bool workforce_failed = false;
+  for (const auto& control : report.controls) {
+    if (control.control == "workforce-registered" && !control.passed) {
+      workforce_failed = true;
+    }
+  }
+  EXPECT_TRUE(workforce_failed);
+  EXPECT_FALSE(report.compliant());
+}
+
+TEST_F(ComplianceFixture, TamperedLedgerFailsIntegrityControl) {
+  populate();
+  cloud_->ledger().tamper_for_test(1, 0, "patient", "mallory");
+  ComplianceReport report = ComplianceAuditor(*cloud_).audit();
+  bool integrity_failed = false;
+  for (const auto& control : report.failures()) {
+    if (control.control == "provenance-ledger-integrity") integrity_failed = true;
+  }
+  EXPECT_TRUE(integrity_failed);
+}
+
+TEST_F(ComplianceFixture, AuditItselfIsAudited) {
+  populate();
+  auto before = cloud_->log()->by_event("audit_completed").size();
+  (void)ComplianceAuditor(*cloud_).audit();
+  EXPECT_EQ(cloud_->log()->by_event("audit_completed").size(), before + 1);
+}
+
+// ------------------------------------------------------------ log anchoring
+
+class LogAnchorFixture : public ComplianceFixture {
+ protected:
+  LogAnchorFixture() : anchor_(*cloud_->log(), cloud_->ledger(), "cloud") {}
+
+  LogAnchorService anchor_;
+};
+
+TEST_F(LogAnchorFixture, CheckpointAndVerify) {
+  populate();
+  auto cp = anchor_.checkpoint();
+  ASSERT_TRUE(cp.is_ok()) << cp.status().to_string();
+  EXPECT_GT(cp->end, cp->begin);
+  EXPECT_TRUE(anchor_.verify().is_ok());
+
+  // New records accumulate; a second checkpoint covers only the new span.
+  cloud_->log()->info("test", "more", "activity");
+  auto cp2 = anchor_.checkpoint();
+  ASSERT_TRUE(cp2.is_ok());
+  EXPECT_EQ(cp2->begin, cp->end);
+  EXPECT_TRUE(anchor_.verify().is_ok());
+  EXPECT_EQ(anchor_.checkpoints().size(), 2u);
+}
+
+TEST(LogAnchor, NothingNewIsFailedPrecondition) {
+  // Use a ledger with no log sink so anchoring doesn't itself append
+  // records; the "fully sealed" state is then reachable.
+  auto clock = make_clock();
+  auto log = make_log(clock);
+  blockchain::LedgerConfig config;
+  config.peers = {"p0", "p1", "p2"};
+  blockchain::PermissionedLedger ledger(config, clock);
+  ASSERT_TRUE(blockchain::register_hcls_contracts(ledger).is_ok());
+  LogAnchorService anchor(*log, ledger, "standalone");
+
+  EXPECT_EQ(anchor.checkpoint().status().code(), StatusCode::kFailedPrecondition);
+  log->info("app", "event", "one record");
+  ASSERT_TRUE(anchor.checkpoint().is_ok());
+  EXPECT_EQ(anchor.checkpoint().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(anchor.verify().is_ok());
+  EXPECT_EQ(anchor.anchored_records(), 1u);
+}
+
+TEST_F(LogAnchorFixture, RetroactiveEditDetected) {
+  populate();
+  ASSERT_TRUE(anchor_.checkpoint().is_ok());
+  ASSERT_TRUE(anchor_.verify().is_ok());
+
+  // An insider rewrites an anchored audit record.
+  cloud_->log()->tamper_for_test(2, "history, laundered");
+  auto verdict = anchor_.verify();
+  EXPECT_EQ(verdict.code(), StatusCode::kIntegrityError);
+}
+
+TEST(Compliance, PillarNames) {
+  EXPECT_EQ(pillar_name(CompliancePillar::kAdministrative), "administrative");
+  EXPECT_EQ(pillar_name(CompliancePillar::kPhysical), "physical");
+  EXPECT_EQ(pillar_name(CompliancePillar::kTechnical), "technical");
+  EXPECT_EQ(pillar_name(CompliancePillar::kPolicies), "policies-and-documentation");
+}
+
+}  // namespace
+}  // namespace hc::platform

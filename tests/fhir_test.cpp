@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "fhir/hl7.h"
+#include "fhir/json.h"
+#include "fhir/resources.h"
+#include "fhir/synthetic.h"
+
+namespace hc::fhir {
+namespace {
+
+// ------------------------------------------------------------------ json
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("3.25")->as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("-17")->as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParseNestedStructures) {
+  auto doc = parse_json(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ((*doc)["a"].as_array().size(), 3u);
+  EXPECT_EQ((*doc)["a"].as_array()[2]["b"].as_string(), "c");
+  EXPECT_TRUE((*doc)["d"]["e"].is_null());
+  EXPECT_TRUE((*doc)["missing"].is_null());
+}
+
+TEST(Json, StringEscapes) {
+  auto doc = parse_json(R"("line\nbreak \"quoted\" tab\t back\\slash A")");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->as_string(), "line\nbreak \"quoted\" tab\t back\\slash A");
+}
+
+TEST(Json, UnicodeEscapesToUtf8) {
+  EXPECT_EQ(parse_json(R"("é")")->as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(parse_json(R"("中")")->as_string(), "\xe4\xb8\xad");  // 中
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json original(JsonObject{
+      {"name", "Jane \"JD\" Doe"},
+      {"age", 37},
+      {"scores", JsonArray{1.5, 2, 3}},
+      {"active", true},
+      {"note", nullptr},
+  });
+  auto reparsed = parse_json(original.dump());
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed->dump(), original.dump());
+}
+
+TEST(Json, MalformedInputsRejected) {
+  for (const char* bad : {"{", "[1,", "\"unterminated", "{\"a\" 1}", "tru",
+                          "1 2", "{\"a\":}", "", "[1,]nope"}) {
+    EXPECT_FALSE(parse_json(bad).is_ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, GettersWithDefaults) {
+  auto doc = parse_json(R"({"s": "x", "n": 5})");
+  EXPECT_EQ(doc->string_or("s", "d"), "x");
+  EXPECT_EQ(doc->string_or("missing", "d"), "d");
+  EXPECT_EQ(doc->string_or("n", "d"), "d");  // wrong type -> default
+  EXPECT_DOUBLE_EQ(doc->number_or("n", 0), 5.0);
+  EXPECT_DOUBLE_EQ(doc->number_or("s", 7), 7.0);
+}
+
+// ------------------------------------------------------------- resources
+
+Bundle sample_bundle() {
+  Bundle b;
+  b.id = "bundle-1";
+  Patient p;
+  p.id = "patient-1";
+  p.name = "Jane Doe";
+  p.birth_date = "1981-03-15";
+  p.gender = "female";
+  p.zip = "10598";
+  p.age = 37;
+  b.resources.emplace_back(p);
+
+  Observation o;
+  o.id = "obs-1";
+  o.patient_id = "patient-1";
+  o.code = "hba1c";
+  o.value = 7.2;
+  o.unit = "%";
+  o.effective_date = "2017-06-01";
+  b.resources.emplace_back(o);
+
+  MedicationRequest m;
+  m.id = "med-1";
+  m.patient_id = "patient-1";
+  m.drug = "metformin";
+  m.start_date = "2016-01-10";
+  m.days_supply = 90;
+  b.resources.emplace_back(m);
+
+  Condition c;
+  c.id = "cond-1";
+  c.patient_id = "patient-1";
+  c.code = "type-2-diabetes";
+  c.onset_date = "2015-11-02";
+  b.resources.emplace_back(c);
+  return b;
+}
+
+TEST(Resources, SerializeParseRoundTrip) {
+  Bundle original = sample_bundle();
+  auto parsed = parse_bundle(serialize_bundle(original));
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->resources.size(), 4u);
+  EXPECT_EQ(parsed->id, "bundle-1");
+
+  const auto& p = std::get<Patient>(parsed->resources[0]);
+  EXPECT_EQ(p.name, "Jane Doe");
+  EXPECT_EQ(p.age, 37);
+  const auto& o = std::get<Observation>(parsed->resources[1]);
+  EXPECT_DOUBLE_EQ(o.value, 7.2);
+  const auto& m = std::get<MedicationRequest>(parsed->resources[2]);
+  EXPECT_EQ(m.days_supply, 90);
+  const auto& c = std::get<Condition>(parsed->resources[3]);
+  EXPECT_EQ(c.code, "type-2-diabetes");
+}
+
+TEST(Resources, TypeNames) {
+  Bundle b = sample_bundle();
+  EXPECT_EQ(resource_type_name(b.resources[0]), "Patient");
+  EXPECT_EQ(resource_type_name(b.resources[1]), "Observation");
+  EXPECT_EQ(resource_type_name(b.resources[2]), "MedicationRequest");
+  EXPECT_EQ(resource_type_name(b.resources[3]), "Condition");
+}
+
+TEST(Resources, ParseRejectsNonBundle) {
+  EXPECT_EQ(parse_bundle(to_bytes(R"({"resourceType":"Patient"})")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_bundle(to_bytes("not json")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_bundle(to_bytes(R"({"resourceType":"Bundle","id":"x"})"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // no entry array
+  EXPECT_EQ(
+      parse_bundle(to_bytes(
+                       R"({"resourceType":"Bundle","id":"x","entry":[{"resourceType":"Alien"}]})"))
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(Validation, AcceptsWellFormedBundle) {
+  EXPECT_TRUE(validate_bundle(sample_bundle()).is_ok());
+}
+
+TEST(Validation, RejectsStructuralProblems) {
+  Bundle b = sample_bundle();
+  b.id = "";
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  b.resources.clear();
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<Patient>(b.resources[0]).birth_date = "1981/03/15";
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<Patient>(b.resources[0]).gender = "robot";
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<Patient>(b.resources[0]).age = 200;
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<Observation>(b.resources[1]).patient_id = "";
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<Observation>(b.resources[1]).value = std::nan("");
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<MedicationRequest>(b.resources[2]).drug = "";
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<MedicationRequest>(b.resources[2]).days_supply = -1;
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+
+  b = sample_bundle();
+  std::get<Condition>(b.resources[3]).code = "";
+  EXPECT_FALSE(validate_bundle(b).is_ok());
+}
+
+TEST(Resources, PatientFieldsBridge) {
+  Bundle b = sample_bundle();
+  auto fields = patient_fields(std::get<Patient>(b.resources[0]));
+  EXPECT_EQ(fields.at("patient_id"), "patient-1");
+  EXPECT_EQ(fields.at("age"), "37");
+  EXPECT_EQ(fields.at("zip"), "10598");
+}
+
+// ------------------------------------------------------------------ hl7
+
+TEST(Hl7, ParsesPidAndObxSegments) {
+  std::string msg =
+      "MSH|^~\\&|sender\r"
+      "PID|1|patient-9|John Smith|1960-05-01|M|9 Elm Dr|30301|555-0199|987-65-4321|58\r"
+      "OBX|1|patient-9|hba1c|6.8|%|2017-02-03\r";
+  auto bundle = hl7v2_to_bundle(msg, "bundle-hl7");
+  ASSERT_TRUE(bundle.is_ok());
+  ASSERT_EQ(bundle->resources.size(), 2u);
+
+  const auto& p = std::get<Patient>(bundle->resources[0]);
+  EXPECT_EQ(p.id, "patient-9");
+  EXPECT_EQ(p.gender, "male");
+  EXPECT_EQ(p.age, 58);
+
+  const auto& o = std::get<Observation>(bundle->resources[1]);
+  EXPECT_EQ(o.code, "hba1c");
+  EXPECT_DOUBLE_EQ(o.value, 6.8);
+  EXPECT_EQ(o.effective_date, "2017-02-03");
+  EXPECT_TRUE(validate_bundle(*bundle).is_ok());
+}
+
+TEST(Hl7, RoundTripThroughAdapter) {
+  std::string msg =
+      "PID|1|patient-9|John Smith|1960-05-01|M|9 Elm Dr|30301|555-0199|987-65-4321|58\r"
+      "OBX|1|patient-9|hba1c|6.8|%|2017-02-03\r";
+  auto bundle = hl7v2_to_bundle(msg, "b");
+  ASSERT_TRUE(bundle.is_ok());
+  auto back = bundle_to_hl7v2(*bundle);
+  ASSERT_TRUE(back.is_ok());
+  auto again = hl7v2_to_bundle(*back, "b2");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(std::get<Patient>(again->resources[0]).name, "John Smith");
+  EXPECT_DOUBLE_EQ(std::get<Observation>(again->resources[1]).value, 6.8);
+}
+
+TEST(Hl7, RejectsMalformedSegments) {
+  EXPECT_FALSE(hl7v2_to_bundle("ZZZ|what", "b").is_ok());
+  EXPECT_FALSE(hl7v2_to_bundle("PID|1||name", "b").is_ok());  // no patient id
+  EXPECT_FALSE(hl7v2_to_bundle("OBX|1|patient||", "b").is_ok());  // no code
+}
+
+TEST(Hl7, RendererRejectsUnsupportedResources) {
+  Bundle b;
+  b.id = "x";
+  Condition c;
+  c.id = "c";
+  c.patient_id = "p";
+  c.code = "dx";
+  b.resources.emplace_back(c);
+  EXPECT_EQ(bundle_to_hl7v2(b).status().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- synthetic
+
+TEST(Synthetic, BundlesAreValidAndComplete) {
+  Rng rng(50);
+  SyntheticOptions options;
+  options.patient_count = 25;
+  auto bundles = make_synthetic_bundles(rng, options);
+  ASSERT_EQ(bundles.size(), 25u);
+  for (const auto& bundle : bundles) {
+    EXPECT_TRUE(validate_bundle(bundle).is_ok()) << bundle.id;
+    EXPECT_TRUE(std::holds_alternative<Patient>(bundle.resources[0]));
+  }
+}
+
+TEST(Synthetic, ResourceMixMatchesOptions) {
+  Rng rng(51);
+  SyntheticOptions options;
+  options.patient_count = 10;
+  options.observations_per_patient = 3;
+  options.medications_per_patient = 2;
+  options.condition_probability = 0.0;
+  auto bundles = make_synthetic_bundles(rng, options);
+  for (const auto& bundle : bundles) {
+    EXPECT_EQ(bundle.resources.size(), 1u + 3u + 2u);
+  }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  Rng a(52), b(52);
+  SyntheticOptions options;
+  options.patient_count = 5;
+  auto ba = make_synthetic_bundles(a, options);
+  auto bb = make_synthetic_bundles(b, options);
+  EXPECT_EQ(serialize_bundle(ba[3]), serialize_bundle(bb[3]));
+}
+
+TEST(Synthetic, RoundTripsThroughSerialization) {
+  Rng rng(53);
+  Bundle bundle = make_synthetic_bundle(rng, "demo");
+  auto parsed = parse_bundle(serialize_bundle(bundle));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->resources.size(), bundle.resources.size());
+  EXPECT_TRUE(validate_bundle(*parsed).is_ok());
+}
+
+TEST(Synthetic, CatalogsNonEmpty) {
+  EXPECT_GE(synthetic_drug_names().size(), 10u);
+  EXPECT_GE(synthetic_condition_codes().size(), 5u);
+}
+
+}  // namespace
+}  // namespace hc::fhir

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "crypto/graph_mac.h"
+
+namespace hc::crypto {
+namespace {
+
+/// care-plan -> {medications, labs}; medications -> {rx-1, rx-2}; labs -> {hba1c}
+RecordGraph sample_graph() {
+  RecordGraph g;
+  EXPECT_TRUE(g.add_node("care-plan", to_bytes("plan v3")).is_ok());
+  EXPECT_TRUE(g.add_node("medications", to_bytes("med list")).is_ok());
+  EXPECT_TRUE(g.add_node("labs", to_bytes("lab panel")).is_ok());
+  EXPECT_TRUE(g.add_node("rx-1", to_bytes("metformin 500mg")).is_ok());
+  EXPECT_TRUE(g.add_node("rx-2", to_bytes("lisinopril 10mg")).is_ok());
+  EXPECT_TRUE(g.add_node("hba1c", to_bytes("7.1%")).is_ok());
+  EXPECT_TRUE(g.add_edge("care-plan", "medications").is_ok());
+  EXPECT_TRUE(g.add_edge("care-plan", "labs").is_ok());
+  EXPECT_TRUE(g.add_edge("medications", "rx-1").is_ok());
+  EXPECT_TRUE(g.add_edge("medications", "rx-2").is_ok());
+  EXPECT_TRUE(g.add_edge("labs", "hba1c").is_ok());
+  return g;
+}
+
+const Bytes kKey = to_bytes("shared-hcls-integrity-key");
+
+TEST(GraphMac, WholeGraphVerifies) {
+  RecordGraph g = sample_graph();
+  auto tags = mac_graph(kKey, g);
+  ASSERT_TRUE(tags.is_ok());
+  EXPECT_EQ(tags->tags.size(), 6u);
+  EXPECT_TRUE(verify_subgraph(kKey, g, "care-plan", tags->tags.at("care-plan")));
+}
+
+TEST(GraphMac, SharedSubgraphVerifiesAlone) {
+  RecordGraph g = sample_graph();
+  auto tags = mac_graph(kKey, g);
+  ASSERT_TRUE(tags.is_ok());
+
+  // Share only the medications branch — need-to-know disclosure.
+  auto sub = extract_subgraph(g, "medications");
+  ASSERT_TRUE(sub.is_ok());
+  EXPECT_EQ(sub->payloads.size(), 3u);  // medications, rx-1, rx-2
+  EXPECT_FALSE(sub->payloads.contains("labs"));
+  EXPECT_TRUE(
+      verify_subgraph(kKey, *sub, "medications", tags->tags.at("medications")));
+}
+
+TEST(GraphMac, PayloadTamperDetectedUpstream) {
+  RecordGraph g = sample_graph();
+  auto tags = mac_graph(kKey, g);
+  ASSERT_TRUE(tags.is_ok());
+
+  g.payloads["rx-1"] = to_bytes("oxycodone 80mg");  // descendant tamper
+  EXPECT_FALSE(verify_subgraph(kKey, g, "care-plan", tags->tags.at("care-plan")));
+  EXPECT_FALSE(verify_subgraph(kKey, g, "medications", tags->tags.at("medications")));
+  // Untouched branch still verifies.
+  EXPECT_TRUE(verify_subgraph(kKey, g, "labs", tags->tags.at("labs")));
+}
+
+TEST(GraphMac, EdgeTamperDetected) {
+  RecordGraph g = sample_graph();
+  auto tags = mac_graph(kKey, g);
+  ASSERT_TRUE(tags.is_ok());
+
+  // Dropping an edge (hiding a prescription) breaks the parent tag.
+  auto& successors = g.edges["medications"];
+  successors.erase(std::find(successors.begin(), successors.end(), "rx-2"));
+  EXPECT_FALSE(verify_subgraph(kKey, g, "medications", tags->tags.at("medications")));
+
+  // Grafting an extra node breaks it too.
+  RecordGraph g2 = sample_graph();
+  ASSERT_TRUE(g2.add_node("rx-3", to_bytes("fentanyl")).is_ok());
+  ASSERT_TRUE(g2.add_edge("medications", "rx-3").is_ok());
+  EXPECT_FALSE(verify_subgraph(kKey, g2, "medications", tags->tags.at("medications")));
+}
+
+TEST(GraphMac, WrongKeyFailsVerification) {
+  RecordGraph g = sample_graph();
+  auto tags = mac_graph(kKey, g);
+  ASSERT_TRUE(tags.is_ok());
+  EXPECT_FALSE(verify_subgraph(to_bytes("other-key"), g, "care-plan",
+                               tags->tags.at("care-plan")));
+}
+
+TEST(GraphMac, CycleRejected) {
+  RecordGraph g;
+  ASSERT_TRUE(g.add_node("a", to_bytes("1")).is_ok());
+  ASSERT_TRUE(g.add_node("b", to_bytes("2")).is_ok());
+  ASSERT_TRUE(g.add_edge("a", "b").is_ok());
+  ASSERT_TRUE(g.add_edge("b", "a").is_ok());
+  EXPECT_EQ(mac_graph(kKey, g).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphMac, GraphConstructionGuards) {
+  RecordGraph g;
+  ASSERT_TRUE(g.add_node("a", {}).is_ok());
+  EXPECT_EQ(g.add_node("a", {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.add_edge("a", "ghost").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(g.add_node("b", {}).is_ok());
+  ASSERT_TRUE(g.add_edge("a", "b").is_ok());
+  EXPECT_EQ(g.add_edge("a", "b").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(extract_subgraph(g, "ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphMac, SiblingOrderIrrelevantSharedStructureBinds) {
+  // Child tag set is order-independent (sorted), so two graphs differing
+  // only in edge insertion order produce identical tags.
+  RecordGraph g1, g2;
+  for (auto* g : {&g1, &g2}) {
+    ASSERT_TRUE(g->add_node("p", to_bytes("root")).is_ok());
+    ASSERT_TRUE(g->add_node("c1", to_bytes("left")).is_ok());
+    ASSERT_TRUE(g->add_node("c2", to_bytes("right")).is_ok());
+  }
+  ASSERT_TRUE(g1.add_edge("p", "c1").is_ok());
+  ASSERT_TRUE(g1.add_edge("p", "c2").is_ok());
+  ASSERT_TRUE(g2.add_edge("p", "c2").is_ok());
+  ASSERT_TRUE(g2.add_edge("p", "c1").is_ok());
+
+  auto t1 = mac_graph(kKey, g1);
+  auto t2 = mac_graph(kKey, g2);
+  EXPECT_EQ(t1->tags.at("p"), t2->tags.at("p"));
+}
+
+TEST(GraphMac, DiamondDagSupported) {
+  // a -> b, a -> c, b -> d, c -> d (shared descendant).
+  RecordGraph g;
+  for (const char* id : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(g.add_node(id, to_bytes(id)).is_ok());
+  }
+  ASSERT_TRUE(g.add_edge("a", "b").is_ok());
+  ASSERT_TRUE(g.add_edge("a", "c").is_ok());
+  ASSERT_TRUE(g.add_edge("b", "d").is_ok());
+  ASSERT_TRUE(g.add_edge("c", "d").is_ok());
+  auto tags = mac_graph(kKey, g);
+  ASSERT_TRUE(tags.is_ok());
+  EXPECT_TRUE(verify_subgraph(kKey, g, "a", tags->tags.at("a")));
+}
+
+}  // namespace
+}  // namespace hc::crypto

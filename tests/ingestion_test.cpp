@@ -1,0 +1,411 @@
+// Integration-grade tests: the full ingestion pipeline and export service
+// wired exactly the way the platform wires them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blockchain/contracts.h"
+#include "fhir/synthetic.h"
+#include "ingestion/export.h"
+#include "ingestion/ingestion.h"
+
+namespace hc::ingestion {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  PipelineFixture()
+      : clock_(make_clock()),
+        log_(make_log(clock_)),
+        rng_(70),
+        kms_("tenant-a", Rng(71), log_),
+        lake_(kms_, "platform", Rng(72)),
+        verifier_(privacy::FieldSchema::standard_patient(), 0.99, 1) {
+    LedgerConfig();
+    blockchain::LedgerConfig config;
+    config.peers = {"peer-a", "peer-b", "peer-c"};
+    ledger_ = std::make_unique<blockchain::PermissionedLedger>(config, clock_, log_);
+    EXPECT_TRUE(blockchain::register_hcls_contracts(*ledger_).is_ok());
+
+    lake_key_ = kms_.create_symmetric_key("platform");
+
+    IngestionDeps deps;
+    deps.clock = clock_;
+    deps.log = log_;
+    deps.kms = &kms_;
+    deps.staging = &staging_;
+    deps.queue = &queue_;
+    deps.tracker = &tracker_;
+    deps.lake = &lake_;
+    deps.metadata = &metadata_;
+    deps.ledger = ledger_.get();
+    deps.verifier = &verifier_;
+    deps.reid_map = &reid_map_;
+    service_ = std::make_unique<IngestionService>(deps, lake_key_,
+                                                  to_bytes("pseudo-key"), "platform");
+  }
+
+  void LedgerConfig() {}  // silence clang-tidy style confusion in fixtures
+
+  /// Registers a client keypair the way the platform's registration
+  /// service does, authorizing the ingestion worker on it.
+  crypto::KeyId register_client(const std::string& user) {
+    auto key_id = kms_.create_keypair(user);
+    EXPECT_TRUE(kms_.authorize(key_id, user, "platform").is_ok());
+    return key_id;
+  }
+
+  void grant_consent(const std::string& patient_id, const std::string& group) {
+    ASSERT_TRUE(ledger_
+                    ->submit_and_commit("consent",
+                                        {{"action", "grant"},
+                                         {"patient", patient_id},
+                                         {"group", group}},
+                                        "healthcare-provider")
+                    .is_ok());
+  }
+
+  /// Seals a bundle to the client key and uploads it.
+  Result<UploadReceipt> upload_bundle(const fhir::Bundle& bundle,
+                                      const std::string& user,
+                                      const crypto::KeyId& key_id,
+                                      const std::string& group = "study-a") {
+    auto pub = kms_.public_key(key_id);
+    EXPECT_TRUE(pub.is_ok());
+    auto envelope = crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng_);
+    return service_->upload(envelope, user, group, key_id);
+  }
+
+  fhir::Bundle consented_bundle(const std::string& group = "study-a") {
+    fhir::Bundle bundle = fhir::make_synthetic_bundle(
+        rng_, "bundle-t" + std::to_string(patient_counter_), patient_counter_);
+    ++patient_counter_;
+    const auto& patient = std::get<fhir::Patient>(bundle.resources[0]);
+    grant_consent(patient.id, group);
+    return bundle;
+  }
+
+  std::size_t patient_counter_ = 0;
+
+  ClockPtr clock_;
+  LogPtr log_;
+  Rng rng_;
+  crypto::KeyManagementService kms_;
+  storage::StagingArea staging_;
+  storage::MessageQueue queue_;
+  storage::StatusTracker tracker_;
+  storage::DataLake lake_;
+  storage::MetadataStore metadata_;
+  privacy::AnonymizationVerificationService verifier_;
+  privacy::ReidentificationMap reid_map_;
+  std::unique_ptr<blockchain::PermissionedLedger> ledger_;
+  crypto::KeyId lake_key_;
+  std::unique_ptr<IngestionService> service_;
+};
+
+TEST_F(PipelineFixture, HappyPathStoresDeidentifiedBundle) {
+  auto key = register_client("clinic-a");
+  fhir::Bundle bundle = consented_bundle();
+  const auto original_patient = std::get<fhir::Patient>(bundle.resources[0]);
+
+  auto receipt = upload_bundle(bundle, "clinic-a", key);
+  ASSERT_TRUE(receipt.is_ok());
+  EXPECT_EQ(queue_.depth(), 1u);
+  EXPECT_EQ(tracker_.status(receipt->status_url).value().stage,
+            storage::IngestionStage::kReceived);
+
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->stored) << outcome->failure_reason;
+
+  // Status URL reports stored + reference id.
+  auto status = tracker_.status(receipt->status_url).value();
+  EXPECT_EQ(status.stage, storage::IngestionStage::kStored);
+  EXPECT_EQ(status.reference_id, outcome->reference_id);
+
+  // The stored bundle is de-identified: no name/ssn, pseudonymized refs.
+  auto stored = lake_.get(outcome->reference_id);
+  ASSERT_TRUE(stored.is_ok());
+  auto parsed = fhir::parse_bundle(*stored);
+  ASSERT_TRUE(parsed.is_ok());
+  const auto& patient = std::get<fhir::Patient>(parsed->resources[0]);
+  EXPECT_TRUE(patient.name.empty());
+  EXPECT_TRUE(patient.ssn.empty());
+  EXPECT_TRUE(patient.id.starts_with("pseu-"));
+  EXPECT_NE(patient.id, original_patient.id);
+  for (std::size_t i = 1; i < parsed->resources.size(); ++i) {
+    std::visit(
+        [&](const auto& r) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(r)>, fhir::Patient>) {
+            EXPECT_EQ(r.patient_id, patient.id);
+          }
+        },
+        parsed->resources[i]);
+  }
+
+  // Re-identification map links pseudonym back to the original patient.
+  EXPECT_EQ(reid_map_.identity(patient.id).value(), original_patient.id);
+
+  // Staging was cleaned up.
+  EXPECT_EQ(staging_.size(), 0u);
+}
+
+TEST_F(PipelineFixture, ProvenanceAndPrivacyRecordedOnLedger) {
+  auto key = register_client("clinic-a");
+  auto receipt = upload_bundle(consented_bundle(), "clinic-a", key);
+  ASSERT_TRUE(receipt.is_ok());
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok() && outcome->stored);
+
+  EXPECT_EQ(ledger_->state_value("provenance", outcome->reference_id + "/last_event")
+                .value(),
+            "anonymized");
+  EXPECT_TRUE(
+      ledger_->state_value("privacy", outcome->reference_id + "/score").is_ok());
+  EXPECT_TRUE(ledger_->validate_chain().is_ok());
+}
+
+TEST_F(PipelineFixture, MissingConsentRejected) {
+  auto key = register_client("clinic-a");
+  fhir::Bundle bundle = fhir::make_synthetic_bundle(rng_, "bundle-nc");  // no consent
+  auto receipt = upload_bundle(bundle, "clinic-a", key);
+  ASSERT_TRUE(receipt.is_ok());
+
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome->stored);
+  EXPECT_NE(outcome->failure_reason.find("consent"), std::string::npos);
+  EXPECT_EQ(tracker_.status(receipt->upload_id).value().stage,
+            storage::IngestionStage::kFailed);
+  EXPECT_EQ(lake_.object_count(), 0u);
+}
+
+TEST_F(PipelineFixture, MalwareRejectedAndReportedOnLedger) {
+  auto key = register_client("sketchy-sender");
+  fhir::Bundle bundle = consented_bundle();
+  // Embed the test signature in a clinical field so it survives into bytes.
+  std::get<fhir::Patient>(bundle.resources[0]).address =
+      to_string(test_malware_payload());
+  auto receipt = upload_bundle(bundle, "sketchy-sender", key);
+  ASSERT_TRUE(receipt.is_ok());
+
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome->stored);
+  EXPECT_NE(outcome->failure_reason.find("malware"), std::string::npos);
+  EXPECT_EQ(blockchain::MalwareContract::infected_count(*ledger_, "sketchy-sender"), 1u);
+}
+
+TEST_F(PipelineFixture, MalformedBundleRejected) {
+  auto key = register_client("clinic-a");
+  auto pub = kms_.public_key(key);
+  auto envelope = crypto::envelope_seal(*pub, to_bytes("this is not json"), rng_);
+  auto receipt = service_->upload(envelope, "clinic-a", "study-a", key);
+  ASSERT_TRUE(receipt.is_ok());
+
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome->stored);
+  EXPECT_NE(outcome->failure_reason.find("parse"), std::string::npos);
+}
+
+TEST_F(PipelineFixture, InvalidBundleRejected) {
+  auto key = register_client("clinic-a");
+  fhir::Bundle bundle = consented_bundle();
+  std::get<fhir::Patient>(bundle.resources[0]).age = 999;  // fails validation
+  auto receipt = upload_bundle(bundle, "clinic-a", key);
+  ASSERT_TRUE(receipt.is_ok());
+
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome->stored);
+  EXPECT_NE(outcome->failure_reason.find("validation"), std::string::npos);
+}
+
+TEST_F(PipelineFixture, WrongClientKeyRejected) {
+  auto key = register_client("clinic-a");
+  auto other_key = register_client("clinic-b");
+  fhir::Bundle bundle = consented_bundle();
+  // Sealed to clinic-b's key but the message claims clinic-a's key id.
+  auto pub_b = kms_.public_key(other_key);
+  auto envelope = crypto::envelope_seal(*pub_b, fhir::serialize_bundle(bundle), rng_);
+  auto receipt = service_->upload(envelope, "clinic-a", "study-a", key);
+  ASSERT_TRUE(receipt.is_ok());
+
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome->stored);
+  EXPECT_NE(outcome->failure_reason.find("decryption failed"), std::string::npos);
+}
+
+TEST_F(PipelineFixture, UploadRequiresConsentGroup) {
+  auto key = register_client("clinic-a");
+  auto pub = kms_.public_key(key);
+  auto envelope = crypto::envelope_seal(*pub, Bytes{1}, rng_);
+  EXPECT_EQ(service_->upload(envelope, "clinic-a", "", key).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineFixture, EmptyQueueIsFailedPrecondition) {
+  EXPECT_EQ(service_->process_next().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineFixture, ProcessAllDrainsMixedQueue) {
+  auto key = register_client("clinic-a");
+  // 3 good uploads + 1 without consent.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(upload_bundle(consented_bundle(), "clinic-a", key).is_ok());
+  }
+  ASSERT_TRUE(
+      upload_bundle(fhir::make_synthetic_bundle(rng_, "nc", 9999), "clinic-a", key)
+          .is_ok());
+
+  EXPECT_EQ(service_->process_all(), 3u);
+  EXPECT_TRUE(queue_.empty());
+  EXPECT_EQ(lake_.object_count(), 6u);  // de-identified + original per record
+  EXPECT_EQ(metadata_.size(), 6u);
+}
+
+TEST_F(PipelineFixture, PerPatientDataKeysReusedAndDistinct) {
+  auto key = register_client("clinic-a");
+  fhir::Bundle first_patient = consented_bundle();
+  ASSERT_TRUE(upload_bundle(first_patient, "clinic-a", key).is_ok());
+  ASSERT_TRUE(upload_bundle(first_patient, "clinic-a", key).is_ok());  // 2nd visit
+  fhir::Bundle second_patient = consented_bundle();
+  ASSERT_TRUE(upload_bundle(second_patient, "clinic-a", key).is_ok());
+  ASSERT_EQ(service_->process_all(), 3u);
+
+  std::set<std::string> pseudonyms;
+  for (const auto& md : metadata_.by_group("study-a")) pseudonyms.insert(md.pseudonym);
+  ASSERT_EQ(pseudonyms.size(), 2u);
+
+  std::set<crypto::KeyId> keys;
+  for (const auto& pseudonym : pseudonyms) {
+    auto data_key = service_->patient_key(pseudonym);
+    ASSERT_TRUE(data_key.is_ok());
+    keys.insert(*data_key);
+  }
+  // Two patients -> two distinct data keys; the repeat visit reused one.
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_EQ(service_->patient_key("pseu-unknown").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------------- export
+
+class ExportFixture : public PipelineFixture {
+ protected:
+  /// Ingest `n` consented synthetic patients into study-a.
+  void ingest_population(std::size_t n) {
+    auto key = register_client("clinic-a");
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(upload_bundle(consented_bundle(), "clinic-a", key).is_ok());
+    }
+    ASSERT_EQ(service_->process_all(), n);
+  }
+};
+
+TEST_F(ExportFixture, AnonymizedExportIsKAnonymous) {
+  ingest_population(40);
+  ExportService exporter(lake_, metadata_, reid_map_, ledger_.get());
+  auto result = exporter.export_anonymized("study-a", 5);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->record_count, 40u);
+  EXPECT_EQ(result->rows.size() + result->suppressed, 40u);
+  EXPECT_TRUE(privacy::is_k_anonymous(result->rows, {"age", "zip"}, 5));
+  // No pseudonym-free identifiers in the rows.
+  for (const auto& row : result->rows) {
+    EXPECT_FALSE(row.contains("name"));
+    EXPECT_FALSE(row.contains("ssn"));
+  }
+}
+
+TEST_F(ExportFixture, FullExportReidentifies) {
+  ingest_population(5);
+  ExportService exporter(lake_, metadata_, reid_map_, ledger_.get());
+  auto result = exporter.export_full("study-a", "cro-7");
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result->size(), 5u);
+  for (const auto& record : *result) {
+    EXPECT_TRUE(record.patient_id.starts_with("patient-"));
+    // Full export delivers the retained *original* bundle: identifiers are
+    // back (Section IV.B.1 stores both versions).
+    auto bundle = fhir::parse_bundle(record.bundle_bytes);
+    ASSERT_TRUE(bundle.is_ok());
+    const auto& patient = std::get<fhir::Patient>(bundle->resources[0]);
+    EXPECT_EQ(patient.id, record.patient_id);
+    EXPECT_FALSE(patient.name.empty());
+    EXPECT_FALSE(patient.ssn.empty());
+    // Export recorded on the provenance ledger.
+    EXPECT_EQ(
+        ledger_->state_value("provenance", record.reference_id + "/last_event").value(),
+        "exported");
+  }
+}
+
+TEST_F(ExportFixture, OriginalCopiesAreCryptoShreddedWithThePatientKey) {
+  ingest_population(1);
+  auto mds = metadata_.by_group("study-a");
+  ASSERT_EQ(mds.size(), 1u);
+  ASSERT_FALSE(mds[0].original_reference_id.empty());
+
+  // Destroy the per-patient key: BOTH stored copies become unreadable.
+  auto key = service_->patient_key(mds[0].pseudonym).value();
+  ASSERT_TRUE(kms_.destroy(key, "platform").is_ok());
+  EXPECT_EQ(lake_.get(mds[0].reference_id).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(lake_.get(mds[0].original_reference_id).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(ExportFixture, ForgottenPatientExcludedFromFullExport) {
+  ingest_population(3);
+  // Forget one patient (GDPR right-to-forget).
+  auto records = metadata_.by_group("study-a");
+  ASSERT_EQ(records.size(), 3u);
+  ASSERT_TRUE(reid_map_.forget(records[0].pseudonym));
+
+  ExportService exporter(lake_, metadata_, reid_map_, ledger_.get());
+  auto result = exporter.export_full("study-a", "cro-7");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST_F(ExportFixture, UnknownGroupNotFound) {
+  ingest_population(2);
+  ExportService exporter(lake_, metadata_, reid_map_, ledger_.get());
+  EXPECT_EQ(exporter.export_anonymized("ghost-study", 2).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(exporter.export_full("ghost-study", "cro").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- malware
+
+TEST(MalwareScanner, DetectsKnownSignatures) {
+  MalwareScanner scanner;
+  Bytes clean = to_bytes("an ordinary fhir bundle");
+  EXPECT_FALSE(scanner.scan(clean).infected);
+
+  Bytes infected = clean;
+  Bytes payload = test_malware_payload();
+  infected.insert(infected.end(), payload.begin(), payload.end());
+  auto result = scanner.scan(infected);
+  EXPECT_TRUE(result.infected);
+  EXPECT_EQ(result.signature_name, "hc-test-signature");
+}
+
+TEST(MalwareScanner, CustomSignatures) {
+  MalwareScanner scanner;
+  auto before = scanner.signature_count();
+  scanner.add_signature("custom", to_bytes("EVIL-BYTES"));
+  EXPECT_EQ(scanner.signature_count(), before + 1);
+  EXPECT_TRUE(scanner.scan(to_bytes("xxEVIL-BYTESxx")).infected);
+}
+
+TEST(MalwareScanner, EmptyDataClean) {
+  MalwareScanner scanner;
+  EXPECT_FALSE(scanner.scan({}).infected);
+}
+
+}  // namespace
+}  // namespace hc::ingestion

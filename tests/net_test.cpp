@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/secure_channel.h"
+
+namespace hc::net {
+namespace {
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture() : clock_(make_clock()), net_(clock_, Rng(1)) {
+    net_.set_link("client", "cloud", LinkProfile::wan());
+    net_.set_link("cloud", "cloud-2", LinkProfile::intercloud());
+    net_.set_link("svc-a", "svc-b", LinkProfile::lan());
+  }
+
+  ClockPtr clock_;
+  SimNetwork net_;
+};
+
+TEST_F(NetworkFixture, SendChargesClock) {
+  SimTime before = clock_->now();
+  auto cost = net_.send("client", "cloud", 1024);
+  ASSERT_TRUE(cost.is_ok());
+  EXPECT_GT(*cost, 0);
+  EXPECT_EQ(clock_->now(), before + *cost);
+}
+
+TEST_F(NetworkFixture, WanSlowerThanLan) {
+  auto wan = net_.estimate("client", "cloud", 4096);
+  auto lan = net_.estimate("svc-a", "svc-b", 4096);
+  ASSERT_TRUE(wan.is_ok());
+  ASSERT_TRUE(lan.is_ok());
+  // Paper Section I: remote access costs orders of magnitude more than local.
+  EXPECT_GT(*wan, *lan * 100);
+}
+
+TEST_F(NetworkFixture, LargerPayloadsCostMore) {
+  auto small = net_.estimate("client", "cloud", 100);
+  auto large = net_.estimate("client", "cloud", 10'000'000);
+  EXPECT_GT(*large, *small);
+}
+
+TEST_F(NetworkFixture, LinksAreSymmetric) {
+  EXPECT_TRUE(net_.send("cloud", "client", 10).is_ok());
+  EXPECT_TRUE(net_.has_link("cloud", "client"));
+  EXPECT_TRUE(net_.has_link("client", "cloud"));
+}
+
+TEST_F(NetworkFixture, MissingLinkIsFailedPrecondition) {
+  auto r = net_.send("client", "mars", 10);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(net_.estimate("client", "mars", 10).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NetworkFixture, StatsAccumulate) {
+  net_.reset_stats();
+  ASSERT_TRUE(net_.send("svc-a", "svc-b", 100).is_ok());
+  ASSERT_TRUE(net_.send("svc-a", "svc-b", 200).is_ok());
+  EXPECT_EQ(net_.stats().messages, 2u);
+  EXPECT_EQ(net_.stats().bytes, 300u);
+  EXPECT_GT(net_.stats().busy_time, 0);
+}
+
+TEST_F(NetworkFixture, EstimateDoesNotAdvanceClock) {
+  SimTime before = clock_->now();
+  (void)net_.estimate("client", "cloud", 1024);
+  EXPECT_EQ(clock_->now(), before);
+}
+
+TEST(Network, LossyLinkEventuallyDrops) {
+  auto clock = make_clock();
+  SimNetwork net(clock, Rng(7));
+  LinkProfile lossy = LinkProfile::mobile();
+  lossy.drop_probability = 0.5;
+  net.set_link("phone", "cloud", lossy);
+
+  int drops = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!net.send("phone", "cloud", 10).is_ok()) ++drops;
+  }
+  EXPECT_GT(drops, 20);
+  EXPECT_LT(drops, 80);
+  EXPECT_EQ(net.stats().drops, static_cast<std::uint64_t>(drops));
+}
+
+TEST(Network, SendWithRetrySurvivesLossyLink) {
+  auto clock = make_clock();
+  SimNetwork net(clock, Rng(8));
+  LinkProfile lossy = LinkProfile::lan();
+  lossy.drop_probability = 0.4;
+  net.set_link("phone", "cloud", lossy);
+
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (net.send_with_retry("phone", "cloud", 100, 5).is_ok()) ++delivered;
+  }
+  // P(all 5 attempts drop) = 0.4^5 ~= 1% -> nearly everything delivers.
+  EXPECT_GT(delivered, 90);
+}
+
+TEST(Network, SendWithRetryDoesNotRetryMissingLinks) {
+  auto clock = make_clock();
+  SimNetwork net(clock, Rng(9));
+  SimTime before = clock->now();
+  auto r = net.send_with_retry("a", "nowhere", 10, 5);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(clock->now(), before);  // non-retryable fails fast, no latency
+}
+
+TEST(Network, ZeroDropLinkNeverDrops) {
+  auto clock = make_clock();
+  SimNetwork net(clock, Rng(7));
+  net.set_link("a", "b", LinkProfile::lan());
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(net.send("a", "b", 10).is_ok());
+}
+
+// ------------------------------------------------------------- channel
+
+class ChannelFixture : public ::testing::Test {
+ protected:
+  ChannelFixture()
+      : clock_(make_clock()), net_(clock_, Rng(2)), rng_(3),
+        server_keys_(crypto::generate_keypair(rng_)) {
+    net_.set_link("client", "cloud", LinkProfile::wan());
+  }
+
+  ClockPtr clock_;
+  SimNetwork net_;
+  Rng rng_;
+  crypto::KeyPair server_keys_;
+};
+
+TEST_F(ChannelFixture, EstablishAndTransmit) {
+  auto ch = SecureChannel::establish(net_, "client", "cloud", server_keys_.pub,
+                                     server_keys_.priv, rng_);
+  ASSERT_TRUE(ch.is_ok());
+  EXPECT_GT(ch->handshake_cost(), 0);
+
+  Bytes payload = to_bytes("observation: hba1c=6.9");
+  auto delivered = ch->transmit(payload);
+  ASSERT_TRUE(delivered.is_ok());
+  EXPECT_EQ(*delivered, payload);
+  EXPECT_EQ(ch->messages_sent(), 1u);
+}
+
+TEST_F(ChannelFixture, ResponsesFlowBack) {
+  auto ch = SecureChannel::establish(net_, "client", "cloud", server_keys_.pub,
+                                     server_keys_.priv, rng_);
+  ASSERT_TRUE(ch.is_ok());
+  auto resp = ch->respond(to_bytes("ack: stored as ref-123"));
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(to_string(*resp), "ack: stored as ref-123");
+}
+
+TEST_F(ChannelFixture, TamperedMessageDetected) {
+  auto ch = SecureChannel::establish(net_, "client", "cloud", server_keys_.pub,
+                                     server_keys_.priv, rng_);
+  ASSERT_TRUE(ch.is_ok());
+  ch->tamper_next_message();
+  auto r = ch->transmit(to_bytes("phi"));
+  EXPECT_EQ(r.status().code(), StatusCode::kIntegrityError);
+  // Channel recovers for subsequent messages.
+  EXPECT_TRUE(ch->transmit(to_bytes("phi")).is_ok());
+}
+
+TEST_F(ChannelFixture, EstablishFailsWithoutLink) {
+  auto ch = SecureChannel::establish(net_, "client", "nowhere", server_keys_.pub,
+                                     server_keys_.priv, rng_);
+  EXPECT_FALSE(ch.is_ok());
+}
+
+TEST_F(ChannelFixture, TransmitChargesNetworkTime) {
+  auto ch = SecureChannel::establish(net_, "client", "cloud", server_keys_.pub,
+                                     server_keys_.priv, rng_);
+  ASSERT_TRUE(ch.is_ok());
+  SimTime before = clock_->now();
+  ASSERT_TRUE(ch->transmit(Bytes(100'000, 0x5a)).is_ok());
+  EXPECT_GT(clock_->now() - before, 40 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace hc::net

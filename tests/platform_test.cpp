@@ -1,0 +1,496 @@
+// Platform-level integration tests: the wired instance, API gateway,
+// change management, intercloud transfer, and the enhanced client.
+#include <gtest/gtest.h>
+
+#include "blockchain/contracts.h"
+#include "fhir/synthetic.h"
+#include "platform/change_mgmt.h"
+#include "platform/enhanced_client.h"
+#include "platform/gateway.h"
+#include "platform/instance.h"
+#include "platform/intercloud.h"
+
+namespace hc::platform {
+namespace {
+
+class PlatformFixture : public ::testing::Test {
+ protected:
+  PlatformFixture()
+      : clock_(make_clock()), network_(clock_, Rng(100)), rng_(101) {
+    InstanceConfig config;
+    config.name = "cloud-a";
+    cloud_ = std::make_unique<HealthCloudInstance>(config, clock_, network_);
+    network_.set_link("client-1", "cloud-a", net::LinkProfile::wan());
+  }
+
+  void grant_consent(const std::string& patient_id, const std::string& group) {
+    ASSERT_TRUE(cloud_->ledger()
+                    .submit_and_commit("consent",
+                                       {{"action", "grant"},
+                                        {"patient", patient_id},
+                                        {"group", group}},
+                                       "provider")
+                    .is_ok());
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  Rng rng_;
+  std::unique_ptr<HealthCloudInstance> cloud_;
+};
+
+// ---------------------------------------------------------------- instance
+
+TEST_F(PlatformFixture, BootIsMeasuredAndAttestable) {
+  EXPECT_FALSE(cloud_->boot_log().empty());
+  Bytes nonce = cloud_->attestation().challenge();
+  tpm::Quote quote = cloud_->hardware_tpm().quote(
+      {tpm::kFirmwarePcr, tpm::kKernelPcr, tpm::kLibraryPcr}, nonce);
+  auto verdict = cloud_->attestation().verify(quote, cloud_->boot_log());
+  EXPECT_TRUE(verdict.trusted) << verdict.reason;
+}
+
+TEST_F(PlatformFixture, EndToEndIngestionThroughWiredInstance) {
+  auto key = cloud_->issue_client_keypair("clinic-a");
+  fhir::Bundle bundle = fhir::make_synthetic_bundle(rng_, "b1", 1);
+  grant_consent(std::get<fhir::Patient>(bundle.resources[0]).id, "study-a");
+
+  auto pub = cloud_->kms().public_key(key);
+  auto envelope = crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng_);
+  auto receipt = cloud_->ingestion().upload(envelope, "clinic-a", "study-a", key);
+  ASSERT_TRUE(receipt.is_ok());
+  auto outcome = cloud_->ingestion().process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->stored) << outcome->failure_reason;
+  EXPECT_TRUE(cloud_->ledger().validate_chain().is_ok());
+}
+
+TEST_F(PlatformFixture, ForgetPatientErasesEverything) {
+  auto key = cloud_->issue_client_keypair("clinic-a");
+  fhir::Bundle bundle = fhir::make_synthetic_bundle(rng_, "b1", 1);
+  grant_consent(std::get<fhir::Patient>(bundle.resources[0]).id, "study-a");
+  auto pub = cloud_->kms().public_key(key);
+  auto envelope = crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng_);
+  ASSERT_TRUE(cloud_->ingestion().upload(envelope, "clinic-a", "study-a", key).is_ok());
+  auto outcome = cloud_->ingestion().process_next();
+  ASSERT_TRUE(outcome.is_ok() && outcome->stored);
+
+  auto md = cloud_->metadata().get(outcome->reference_id).value();
+  auto data_key = cloud_->ingestion().patient_key(md.pseudonym);
+  ASSERT_TRUE(data_key.is_ok());
+
+  auto forgotten = cloud_->forget_patient(md.pseudonym);
+  ASSERT_TRUE(forgotten.is_ok());
+  EXPECT_EQ(*forgotten, 2u);  // de-identified copy + retained original
+
+  // The patient's data key was crypto-shredded: any surviving ciphertext
+  // copies (backups/replicas) are unrecoverable.
+  EXPECT_TRUE(cloud_->kms().is_destroyed(*data_key));
+
+  EXPECT_FALSE(cloud_->lake().contains(outcome->reference_id));
+  EXPECT_EQ(cloud_->metadata().get(outcome->reference_id).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cloud_->reid_map().identity(md.pseudonym).status().code(),
+            StatusCode::kNotFound);
+  // Provenance closed with a 'deleted' event.
+  EXPECT_EQ(cloud_->ledger()
+                .state_value("provenance", outcome->reference_id + "/last_event")
+                .value(),
+            "deleted");
+  EXPECT_EQ(cloud_->forget_patient("pseu-unknown").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PlatformFixture, LogScrubberMasksSensitiveTokens) {
+  cloud_->log()->info("test", "event", "patient ssn=123-45-6789 reachable");
+  cloud_->log()->info("test", "event", "contact jane.doe@hospital.org now");
+  auto records = cloud_->log()->by_component("test");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].detail.find("123-45-6789"), std::string::npos);
+  EXPECT_NE(records[0].detail.find("[ssn]"), std::string::npos);
+  EXPECT_EQ(records[1].detail.find("jane.doe@hospital.org"), std::string::npos);
+  EXPECT_NE(records[1].detail.find("[email]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- gateway
+
+class GatewayFixture : public PlatformFixture {
+ protected:
+  GatewayFixture() : gateway_(*cloud_) {
+    tenant_ = cloud_->rbac().register_tenant("mercy").value();
+    alice_ = cloud_->rbac().add_user(tenant_.id, "alice").value();
+    EXPECT_TRUE(cloud_->rbac()
+                    .assign_role(alice_, tenant_.default_env, rbac::Role::kAnalyst)
+                    .is_ok());
+    EXPECT_TRUE(cloud_->rbac()
+                    .grant_permission(tenant_.id, rbac::Role::kAnalyst, "kb/",
+                                      rbac::Permission::kRead)
+                    .is_ok());
+    gateway_.route("kb/", [](const std::string&, const ApiRequest& request) {
+      return Result<ApiResponse>(ApiResponse{to_bytes("kb:" + request.resource)});
+    });
+  }
+
+  ApiRequest request_for(const std::string& resource) {
+    ApiRequest request;
+    request.user_id = alice_;
+    request.environment = tenant_.default_env;
+    request.scope = tenant_.id;
+    request.resource = resource;
+    return request;
+  }
+
+  ApiGateway gateway_;
+  rbac::TenantInfo tenant_;
+  std::string alice_;
+};
+
+TEST_F(GatewayFixture, AuthorizedRequestServed) {
+  auto response = gateway_.handle(request_for("kb/drugbank/drug-1"));
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(to_string(response->body), "kb:kb/drugbank/drug-1");
+  EXPECT_EQ(gateway_.stats().served, 1u);
+  // Metering recorded against the tenant.
+  EXPECT_EQ(cloud_->rbac().metered_calls(tenant_.id).value(), 1u);
+}
+
+TEST_F(GatewayFixture, UnauthenticatedRejected) {
+  ApiRequest request = request_for("kb/x");
+  request.user_id = "ghost-user";
+  EXPECT_EQ(gateway_.handle(request).status().code(), StatusCode::kUnauthenticated);
+  request.user_id.clear();
+  EXPECT_EQ(gateway_.handle(request).status().code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(gateway_.stats().unauthenticated, 2u);
+}
+
+TEST_F(GatewayFixture, RbacDenialEnforced) {
+  auto request = request_for("datalake/identified/rec-1");  // no grant
+  EXPECT_EQ(gateway_.handle(request).status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(gateway_.stats().denied, 1u);
+}
+
+TEST_F(GatewayFixture, FederatedTokenPath) {
+  Rng idp_rng(102);
+  rbac::IdentityProvider idp("hospital-idp", idp_rng, clock_);
+  cloud_->federated_auth().approve_idp(idp.name(), idp.public_key());
+  cloud_->federated_auth().enroll("hospital-idp", "alice@hospital.org", alice_);
+
+  ApiRequest request = request_for("kb/wikidata/q42");
+  request.user_id.clear();
+  request.token = idp.issue("alice@hospital.org", tenant_.id);
+  auto response = gateway_.handle(request);
+  ASSERT_TRUE(response.is_ok());
+
+  // Expired token fails.
+  clock_->advance(3 * kHour);
+  EXPECT_EQ(gateway_.handle(request).status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(GatewayFixture, UnroutedResourceNotFound) {
+  ASSERT_TRUE(cloud_->rbac()
+                  .grant_permission(tenant_.id, rbac::Role::kAnalyst, "unrouted/",
+                                    rbac::Permission::kRead)
+                  .is_ok());
+  EXPECT_EQ(gateway_.handle(request_for("unrouted/x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GatewayFixture, LongestPrefixRouting) {
+  gateway_.route("kb/drugbank/", [](const std::string&, const ApiRequest&) {
+    return Result<ApiResponse>(ApiResponse{to_bytes("specific")});
+  });
+  auto response = gateway_.handle(request_for("kb/drugbank/drug-9"));
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(to_string(response->body), "specific");
+}
+
+// ------------------------------------------------------------ change mgmt
+
+TEST_F(PlatformFixture, ChangeManagementDrivesAttestation) {
+  ChangeManagementService cm(cloud_->attestation(), cloud_->log());
+  Bytes new_kernel = to_bytes("cloud-a-kernel-v6");
+
+  auto id = cm.propose("kernel", new_kernel, "security patch", /*replace=*/true);
+  EXPECT_EQ(cm.open_count(), 1u);
+  // Straight to approve fails; evaluation first, two-person rule enforced.
+  EXPECT_EQ(cm.approve(id, "bob").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cm.evaluate(id, "alice").is_ok());
+  EXPECT_EQ(cm.approve(id, "alice").code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(cm.approve(id, "bob").is_ok());
+
+  // The old kernel is still golden until apply.
+  EXPECT_TRUE(cloud_->attestation().is_approved(
+      "kernel", crypto::sha256(to_bytes("cloud-a-kernel-v5"))));
+  ASSERT_TRUE(cm.apply(id).is_ok());
+  EXPECT_FALSE(cloud_->attestation().is_approved(
+      "kernel", crypto::sha256(to_bytes("cloud-a-kernel-v5"))));
+  EXPECT_TRUE(cloud_->attestation().is_approved("kernel", crypto::sha256(new_kernel)));
+  EXPECT_EQ(cm.open_count(), 0u);
+  EXPECT_EQ(cm.get(id).value().state, ChangeState::kApplied);
+}
+
+TEST_F(PlatformFixture, ChangeRejectionAndErrors) {
+  ChangeManagementService cm(cloud_->attestation());
+  auto id = cm.propose("libssl", to_bytes("v3"), "update");
+  ASSERT_TRUE(cm.reject(id, "fails review").is_ok());
+  EXPECT_EQ(cm.get(id).value().state, ChangeState::kRejected);
+  EXPECT_EQ(cm.evaluate(id, "x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cm.apply(id).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cm.get(999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cm.evaluate(999, "x").code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- intercloud
+
+class IntercloudFixture : public ::testing::Test {
+ protected:
+  IntercloudFixture() : clock_(make_clock()), network_(clock_, Rng(110)) {
+    InstanceConfig a;
+    a.name = "data-cloud";
+    a.seed = 111;
+    InstanceConfig b;
+    b.name = "analytics-cloud";
+    b.seed = 112;
+    source_ = std::make_unique<HealthCloudInstance>(a, clock_, network_);
+    destination_ = std::make_unique<HealthCloudInstance>(b, clock_, network_);
+    network_.set_link("data-cloud", "analytics-cloud", net::LinkProfile::intercloud());
+
+    // Destination trusts the source's signing key (federation agreement).
+    destination_->images().approve_key(source_->platform_signing_keys().pub);
+
+    // Source registers a signed model container.
+    Bytes container = to_bytes("jmf-model-container-layers-v3");
+    auto manifest = tpm::sign_image("jmf-model", "3.0", container,
+                                    {to_bytes("layer-base"), to_bytes("layer-model")},
+                                    source_->platform_signing_keys());
+    EXPECT_TRUE(source_->images().register_image(manifest, container).is_ok());
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  std::unique_ptr<HealthCloudInstance> source_;
+  std::unique_ptr<HealthCloudInstance> destination_;
+};
+
+TEST_F(IntercloudFixture, TrustedTransferSucceeds) {
+  IntercloudGateway gateway(*source_, *destination_);
+  auto receipt = gateway.transfer_and_launch("jmf-model", "3.0");
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  EXPECT_GT(receipt->transfer_latency, 0);
+  EXPECT_EQ(receipt->image, "jmf-model@3.0");
+  // Image now available at the destination.
+  EXPECT_TRUE(destination_->images().content("jmf-model", "3.0").is_ok());
+  // And the launch was attested.
+  EXPECT_FALSE(destination_->log()->by_event("workload_attested_and_started").empty());
+}
+
+TEST_F(IntercloudFixture, TamperedContainerRejected) {
+  IntercloudGateway gateway(*source_, *destination_);
+  gateway.tamper_next_transfer();
+  auto receipt = gateway.transfer_and_launch("jmf-model", "3.0");
+  EXPECT_EQ(receipt.status().code(), StatusCode::kIntegrityError);
+  EXPECT_FALSE(destination_->images().content("jmf-model", "3.0").is_ok());
+}
+
+TEST_F(IntercloudFixture, UntrustedSignerRejected) {
+  // A second destination that never approved the source's key.
+  InstanceConfig c;
+  c.name = "untrusting-cloud";
+  c.seed = 113;
+  HealthCloudInstance untrusting(c, clock_, network_);
+  network_.set_link("data-cloud", "untrusting-cloud", net::LinkProfile::intercloud());
+
+  IntercloudGateway gateway(*source_, untrusting);
+  auto receipt = gateway.transfer_and_launch("jmf-model", "3.0");
+  EXPECT_EQ(receipt.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(IntercloudFixture, MissingImageNotFound) {
+  IntercloudGateway gateway(*source_, *destination_);
+  EXPECT_EQ(gateway.transfer_and_launch("ghost", "1.0").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------- enhanced client
+
+class ClientFixture : public PlatformFixture {
+ protected:
+  ClientFixture() {
+    EnhancedClientConfig config;
+    config.name = "client-1";
+    config.cache_capacity = 16;
+    client_ = std::make_unique<EnhancedClient>(config, *cloud_, "clinic-a");
+  }
+
+  /// Ingests one consented bundle and returns its lake reference.
+  std::string ingest_one(std::size_t patient_index) {
+    fhir::Bundle bundle =
+        fhir::make_synthetic_bundle(rng_, "b" + std::to_string(patient_index),
+                                    patient_index);
+    grant_consent(std::get<fhir::Patient>(bundle.resources[0]).id, "study-a");
+    auto receipt = client_->upload_bundle(bundle, "study-a");
+    EXPECT_TRUE(receipt.is_ok());
+    auto outcome = cloud_->ingestion().process_next();
+    EXPECT_TRUE(outcome.is_ok() && outcome->stored) << outcome->failure_reason;
+    return outcome->reference_id;
+  }
+
+  std::unique_ptr<EnhancedClient> client_;
+};
+
+TEST_F(ClientFixture, UploadFlowsThroughIngestion) {
+  std::string ref = ingest_one(1);
+  EXPECT_TRUE(cloud_->lake().contains(ref));
+}
+
+TEST_F(ClientFixture, FetchUsesCacheSecondTime) {
+  std::string ref = ingest_one(1);
+  auto first = client_->fetch_record(ref);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_FALSE(first->from_cache);
+  EXPECT_GT(first->latency, 40 * kMillisecond);  // WAN round trip
+
+  auto second = client_->fetch_record(ref);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_LT(second->latency * 1000, first->latency);  // orders of magnitude
+  EXPECT_EQ(second->data, first->data);
+}
+
+TEST_F(ClientFixture, OfflineFetchServedFromCacheOnly) {
+  std::string ref = ingest_one(1);
+  ASSERT_TRUE(client_->fetch_record(ref).is_ok());  // warm cache
+  client_->set_connected(false);
+  auto cached = client_->fetch_record(ref);
+  ASSERT_TRUE(cached.is_ok());
+  EXPECT_TRUE(cached->from_cache);
+  EXPECT_EQ(client_->fetch_record("ref-not-cached").status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ClientFixture, OfflineUploadsQueueAndSync) {
+  fhir::Bundle bundle = fhir::make_synthetic_bundle(rng_, "off", 7);
+  grant_consent(std::get<fhir::Patient>(bundle.resources[0]).id, "study-a");
+
+  client_->set_connected(false);
+  auto receipt = client_->upload_bundle(bundle, "study-a");
+  ASSERT_TRUE(receipt.is_ok());
+  EXPECT_EQ(receipt->upload_id, "queued-offline");
+  EXPECT_EQ(client_->pending_uploads(), 1u);
+  EXPECT_EQ(client_->sync().status().code(), StatusCode::kUnavailable);
+
+  client_->set_connected(true);
+  auto flushed = client_->sync();
+  ASSERT_TRUE(flushed.is_ok());
+  EXPECT_EQ(*flushed, 1u);
+  EXPECT_EQ(client_->pending_uploads(), 0u);
+  auto outcome = cloud_->ingestion().process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->stored) << outcome->failure_reason;
+}
+
+TEST_F(ClientFixture, LocalAnonymizationStripsIdentifiers) {
+  fhir::Bundle bundle = fhir::make_synthetic_bundle(rng_, "anon", 3);
+  auto anonymized = client_->anonymize_locally(bundle);
+  ASSERT_TRUE(anonymized.is_ok());
+  const auto& patient = std::get<fhir::Patient>(anonymized->resources[0]);
+  EXPECT_TRUE(patient.name.empty());
+  EXPECT_TRUE(patient.ssn.empty());
+  EXPECT_TRUE(patient.id.starts_with("pseu-"));
+  // References rewritten to the pseudonym.
+  for (std::size_t i = 1; i < anonymized->resources.size(); ++i) {
+    std::visit(
+        [&](const auto& r) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(r)>, fhir::Patient>) {
+            EXPECT_EQ(r.patient_id, patient.id);
+          }
+        },
+        anonymized->resources[i]);
+  }
+
+  fhir::Bundle empty;
+  empty.id = "no-patient";
+  EXPECT_EQ(client_->anonymize_locally(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClientFixture, ModelPushRequiresApprovedDeployment) {
+  // No model at all -> precondition failure.
+  EXPECT_EQ(client_->pull_model("delt").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Created but not deployed -> still refused.
+  ASSERT_TRUE(cloud_->models().create("delt", to_bytes("weights-v1")).is_ok());
+  ASSERT_TRUE(cloud_->models().advance("delt", 1, analytics::ModelStage::kGeneration).is_ok());
+  ASSERT_TRUE(cloud_->models().advance("delt", 1, analytics::ModelStage::kTesting).is_ok());
+  EXPECT_EQ(client_->pull_model("delt").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Approved + deployed -> pull succeeds and installs v1.
+  ASSERT_TRUE(cloud_->models().approve("delt", 1, "compliance-officer").is_ok());
+  ASSERT_TRUE(cloud_->models().advance("delt", 1, analytics::ModelStage::kDeployed).is_ok());
+  auto version = client_->pull_model("delt");
+  ASSERT_TRUE(version.is_ok()) << version.status().to_string();
+  EXPECT_EQ(*version, 1u);
+  EXPECT_EQ(client_->installed_model_version("delt").value(), 1u);
+  EXPECT_EQ(client_->installed_model_artifact("delt").value(), to_bytes("weights-v1"));
+}
+
+TEST_F(ClientFixture, ModelPushUpdatesAndVerifies) {
+  ASSERT_TRUE(cloud_->models().create("delt", to_bytes("v1")).is_ok());
+  for (auto stage : {analytics::ModelStage::kGeneration, analytics::ModelStage::kTesting}) {
+    ASSERT_TRUE(cloud_->models().advance("delt", 1, stage).is_ok());
+  }
+  ASSERT_TRUE(cloud_->models().approve("delt", 1, "officer").is_ok());
+  ASSERT_TRUE(cloud_->models().advance("delt", 1, analytics::ModelStage::kDeployed).is_ok());
+  ASSERT_TRUE(client_->pull_model("delt").is_ok());
+
+  // Model update: v2 goes through the lifecycle; client pulls the update.
+  ASSERT_TRUE(cloud_->models().update("delt", to_bytes("v2")).is_ok());
+  ASSERT_TRUE(cloud_->models().advance("delt", 2, analytics::ModelStage::kTesting).is_ok());
+  ASSERT_TRUE(cloud_->models().approve("delt", 2, "officer").is_ok());
+  ASSERT_TRUE(cloud_->models().advance("delt", 2, analytics::ModelStage::kDeployed).is_ok());
+  EXPECT_EQ(client_->pull_model("delt").value(), 2u);
+  EXPECT_EQ(client_->installed_model_artifact("delt").value(), to_bytes("v2"));
+
+  // Tampered package rejected; installed version untouched.
+  client_->tamper_next_model_pull();
+  EXPECT_EQ(client_->pull_model("delt").status().code(), StatusCode::kIntegrityError);
+  EXPECT_EQ(client_->installed_model_version("delt").value(), 2u);
+
+  // Offline pulls refused.
+  client_->set_connected(false);
+  EXPECT_EQ(client_->pull_model("delt").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client_->installed_model_version("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ClientFixture, LocalAnalysisWorksOfflineRemoteDoesNot) {
+  Rng data_rng(120);
+  std::vector<analytics::Fingerprint> dataset;
+  for (int i = 0; i < 50; ++i) {
+    analytics::Fingerprint fp(64);
+    for (auto& bit : fp) bit = data_rng.bernoulli(0.3) ? 1 : 0;
+    dataset.push_back(std::move(fp));
+  }
+  analytics::Fingerprint query = dataset[0];
+
+  client_->set_connected(false);
+  auto local = client_->analyze(query, dataset, /*local=*/true);
+  ASSERT_TRUE(local.is_ok());
+  EXPECT_EQ(local->computed_at, "client-1");
+  EXPECT_DOUBLE_EQ(local->similarities[0], 1.0);
+  EXPECT_EQ(client_->analyze(query, dataset, /*local=*/false).status().code(),
+            StatusCode::kUnavailable);
+
+  client_->set_connected(true);
+  auto remote = client_->analyze(query, dataset, /*local=*/false);
+  ASSERT_TRUE(remote.is_ok());
+  EXPECT_EQ(remote->computed_at, "cloud-a");
+  EXPECT_EQ(remote->similarities, local->similarities);
+  // Offload trade-off: shipping data over the WAN dwarfs local compute.
+  EXPECT_GT(remote->latency, local->latency * 100);
+}
+
+}  // namespace
+}  // namespace hc::platform

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "privacy/deid.h"
+#include "privacy/kanonymity.h"
+#include "privacy/verification.h"
+
+namespace hc::privacy {
+namespace {
+
+FieldMap sample_record() {
+  return FieldMap{
+      {"patient_id", "patient-42"}, {"name", "Jane Doe"},
+      {"ssn", "123-45-6789"},       {"phone", "555-0101"},
+      {"email", "jane@example.org"},{"address", "12 Oak St"},
+      {"age", "37"},                {"zip", "10598"},
+      {"gender", "female"},         {"birth_date", "1981-03-15"},
+      {"diagnosis", "type-2-diabetes"}, {"hba1c", "7.2"},
+  };
+}
+
+// ------------------------------------------------------------ generalize
+
+TEST(Generalize, AgeBands) {
+  EXPECT_EQ(generalize_quasi_identifier("age", "37"), "35-39");
+  EXPECT_EQ(generalize_quasi_identifier("age", "0"), "0-4");
+  EXPECT_EQ(generalize_quasi_identifier("age", "89"), "85-89");
+}
+
+TEST(Generalize, OldAgesPooledPerSafeHarbor) {
+  EXPECT_EQ(generalize_quasi_identifier("age", "90"), "90+");
+  EXPECT_EQ(generalize_quasi_identifier("age", "104"), "90+");
+}
+
+TEST(Generalize, ZipTruncatedToThreeDigits) {
+  EXPECT_EQ(generalize_quasi_identifier("zip", "10598"), "105**");
+}
+
+TEST(Generalize, DatesToYear) {
+  EXPECT_EQ(generalize_quasi_identifier("birth_date", "1981-03-15"), "1981");
+}
+
+TEST(Generalize, NonMatchingValuesUntouched) {
+  EXPECT_EQ(generalize_quasi_identifier("gender", "female"), "female");
+  EXPECT_EQ(generalize_quasi_identifier("age", "unknown"), "unknown");
+  EXPECT_EQ(generalize_quasi_identifier("zip", "123"), "123");
+}
+
+TEST(Generalize, IsIdempotent) {
+  for (auto [field, value] : std::vector<std::pair<std::string, std::string>>{
+           {"age", "37"}, {"zip", "10598"}, {"birth_date", "1981-03-15"}}) {
+    std::string once = generalize_quasi_identifier(field, value);
+    EXPECT_EQ(generalize_quasi_identifier(field, once), once);
+  }
+}
+
+// ---------------------------------------------------------- pseudonymizer
+
+TEST(Pseudonymizer, StableAndKeyDependent) {
+  Pseudonymizer a(to_bytes("key-a")), a2(to_bytes("key-a")), b(to_bytes("key-b"));
+  EXPECT_EQ(a.pseudonym_for("patient-42"), a2.pseudonym_for("patient-42"));
+  EXPECT_NE(a.pseudonym_for("patient-42"), b.pseudonym_for("patient-42"));
+  EXPECT_NE(a.pseudonym_for("patient-42"), a.pseudonym_for("patient-43"));
+  EXPECT_TRUE(a.pseudonym_for("patient-42").starts_with("pseu-"));
+}
+
+TEST(ReidentificationMap, RecordLookupForget) {
+  ReidentificationMap map;
+  map.record("pseu-1", "patient-42");
+  EXPECT_EQ(map.identity("pseu-1").value(), "patient-42");
+  EXPECT_TRUE(map.forget("pseu-1"));
+  EXPECT_FALSE(map.forget("pseu-1"));
+  EXPECT_EQ(map.identity("pseu-1").status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- deid
+
+TEST(Deidentify, RemovesDirectIdentifiers) {
+  Pseudonymizer pseudo(to_bytes("k"));
+  auto result = deidentify(sample_record(), FieldSchema::standard_patient(), pseudo);
+  ASSERT_TRUE(result.is_ok());
+  const auto& fields = result->fields;
+  for (const char* gone : {"patient_id", "name", "ssn", "phone", "email", "address"}) {
+    EXPECT_FALSE(fields.contains(gone)) << gone << " survived de-identification";
+  }
+}
+
+TEST(Deidentify, GeneralizesQuasiIdentifiers) {
+  Pseudonymizer pseudo(to_bytes("k"));
+  auto result = deidentify(sample_record(), FieldSchema::standard_patient(), pseudo);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->fields.at("age"), "35-39");
+  EXPECT_EQ(result->fields.at("zip"), "105**");
+  EXPECT_EQ(result->fields.at("birth_date"), "1981");
+}
+
+TEST(Deidentify, KeepsClinicalPayload) {
+  Pseudonymizer pseudo(to_bytes("k"));
+  auto result = deidentify(sample_record(), FieldSchema::standard_patient(), pseudo);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->fields.at("diagnosis"), "type-2-diabetes");
+  EXPECT_EQ(result->fields.at("hba1c"), "7.2");
+  EXPECT_EQ(result->fields.at("pseudonym"), result->pseudonym);
+}
+
+TEST(Deidentify, SamePatientSamePseudonym) {
+  Pseudonymizer pseudo(to_bytes("k"));
+  auto schema = FieldSchema::standard_patient();
+  auto r1 = deidentify(sample_record(), schema, pseudo);
+  auto record2 = sample_record();
+  record2["hba1c"] = "8.8";  // later visit, same patient
+  auto r2 = deidentify(record2, schema, pseudo);
+  EXPECT_EQ(r1->pseudonym, r2->pseudonym);  // longitudinal linkage preserved
+}
+
+TEST(Deidentify, MissingIdFieldRejected) {
+  Pseudonymizer pseudo(to_bytes("k"));
+  FieldMap record{{"name", "Jane"}};
+  auto result = deidentify(record, FieldSchema::standard_patient(), pseudo);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------- k-anonymity
+
+std::vector<FieldMap> make_population(Rng& rng, std::size_t n) {
+  std::vector<FieldMap> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(FieldMap{
+        {"age", std::to_string(rng.uniform_int(18, 95))},
+        {"zip", std::to_string(rng.uniform_int(10000, 99999))},
+        {"diagnosis", std::string("dx-") + std::to_string(rng.uniform_int(0, 8))},
+    });
+  }
+  return records;
+}
+
+class KAnonymitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KAnonymitySweep, OutputSatisfiesK) {
+  Rng rng(40);
+  auto records = make_population(rng, 500);
+  std::vector<std::string> qi{"age", "zip"};
+  auto result = k_anonymize(records, qi, GetParam());
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->suppressed, 0u);
+  EXPECT_EQ(result->records.size(), records.size());
+  EXPECT_TRUE(is_k_anonymous(result->records, qi, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KAnonymitySweep, ::testing::Values(2, 5, 10, 25, 50));
+
+TEST(KAnonymity, SensitiveFieldsPreserved) {
+  Rng rng(41);
+  auto records = make_population(rng, 200);
+  auto result = k_anonymize(records, {"age", "zip"}, 5);
+  ASSERT_TRUE(result.is_ok());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(result->records[i].at("diagnosis"), records[i].at("diagnosis"));
+  }
+}
+
+TEST(KAnonymity, HigherKMeansCoarserClasses) {
+  Rng rng(42);
+  auto records = make_population(rng, 400);
+  auto k2 = k_anonymize(records, {"age", "zip"}, 2);
+  auto k25 = k_anonymize(records, {"age", "zip"}, 25);
+  ASSERT_TRUE(k2.is_ok());
+  ASSERT_TRUE(k25.is_ok());
+  // Utility/privacy trade-off: larger k -> larger average class size.
+  EXPECT_GT(average_class_size(k25->records, {"age", "zip"}),
+            average_class_size(k2->records, {"age", "zip"}));
+}
+
+TEST(KAnonymity, TinyInputSuppressed) {
+  Rng rng(43);
+  auto records = make_population(rng, 3);
+  auto result = k_anonymize(records, {"age"}, 5);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->suppressed, 3u);
+  EXPECT_TRUE(result->records.empty());
+}
+
+TEST(KAnonymity, RejectsBadInputs) {
+  Rng rng(44);
+  auto records = make_population(rng, 10);
+  EXPECT_EQ(k_anonymize(records, {"age"}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  records[0]["age"] = "not-a-number";
+  EXPECT_EQ(k_anonymize(records, {"age"}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  records[0].erase("age");
+  EXPECT_EQ(k_anonymize(records, {"age"}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KAnonymity, IsKAnonymousDetectsViolation) {
+  std::vector<FieldMap> records{
+      {{"age", "30-34"}}, {{"age", "30-34"}}, {{"age", "35-39"}}};
+  EXPECT_TRUE(is_k_anonymous(records, {"age"}, 1));
+  EXPECT_FALSE(is_k_anonymous(records, {"age"}, 2));  // lone 35-39 class
+  EXPECT_TRUE(is_k_anonymous({}, {"age"}, 5));        // vacuous
+}
+
+TEST(KAnonymity, LDiversityComputed) {
+  std::vector<FieldMap> records{
+      {{"age", "a"}, {"dx", "flu"}},
+      {{"age", "a"}, {"dx", "diabetes"}},
+      {{"age", "b"}, {"dx", "flu"}},
+      {{"age", "b"}, {"dx", "flu"}},
+  };
+  // Class "a" has 2 distinct dx, class "b" has 1 -> l = 1.
+  EXPECT_EQ(l_diversity(records, {"age"}, "dx"), 1u);
+  EXPECT_EQ(l_diversity({}, {"age"}, "dx"), 0u);
+}
+
+TEST(KAnonymity, SingleDimensionAllEqual) {
+  // All QI values identical: one class, no split possible, still k-anonymous.
+  std::vector<FieldMap> records(10, FieldMap{{"age", "50"}});
+  auto result = k_anonymize(records, {"age"}, 5);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(is_k_anonymous(result->records, {"age"}, 5));
+  EXPECT_EQ(result->records[0].at("age"), "50");  // degenerate range collapses
+}
+
+// ----------------------------------------------------------- verification
+
+class VerificationFixture : public ::testing::Test {
+ protected:
+  VerificationFixture()
+      : service_(FieldSchema::standard_patient(), 0.99, 2),
+        pseudo_(to_bytes("k")) {}
+
+  FieldMap deidentified(const FieldMap& raw) {
+    return deidentify(raw, FieldSchema::standard_patient(), pseudo_)->fields;
+  }
+
+  AnonymizationVerificationService service_;
+  Pseudonymizer pseudo_;
+};
+
+TEST_F(VerificationFixture, ProperlyDeidentifiedRecordAccepted) {
+  auto fields = deidentified(sample_record());
+  auto degree = service_.verify(fields, {"age", "zip", "gender"});
+  EXPECT_DOUBLE_EQ(degree.record_score, 1.0);
+  EXPECT_TRUE(degree.acceptable) << degree.reason;
+}
+
+TEST_F(VerificationFixture, RawRecordRejected) {
+  auto degree = service_.verify(sample_record(), {"age", "zip", "gender"});
+  EXPECT_LT(degree.record_score, 0.99);
+  EXPECT_FALSE(degree.acceptable);
+  EXPECT_FALSE(degree.reason.empty());
+}
+
+TEST_F(VerificationFixture, SurvivingSsnIsDisqualifying) {
+  auto fields = deidentified(sample_record());
+  fields["ssn"] = "123-45-6789";  // sloppy client left the SSN in
+  auto degree = service_.verify(fields, {"age", "zip", "gender"});
+  EXPECT_FALSE(degree.acceptable);
+}
+
+TEST_F(VerificationFixture, RawQuasiIdentifierPenalized) {
+  auto fields = deidentified(sample_record());
+  fields["age"] = "37";  // raw age instead of a band
+  auto degree = service_.verify(fields, {"age", "zip", "gender"});
+  EXPECT_LT(degree.record_score, 1.0);
+  EXPECT_FALSE(degree.acceptable);
+}
+
+TEST_F(VerificationFixture, HolisticKGrowsWithCrowd) {
+  auto fields = deidentified(sample_record());
+  auto first = service_.verify(fields, {"age", "zip", "gender"});
+  auto second = service_.verify(fields, {"age", "zip", "gender"});
+  EXPECT_EQ(first.holistic_k, 1u);
+  EXPECT_EQ(second.holistic_k, 2u);
+  EXPECT_TRUE(second.acceptable);
+  EXPECT_EQ(service_.population_size(), 1u);  // same signature, one class
+}
+
+TEST_F(VerificationFixture, LonelyEquivalenceClassRejectedOncePopulated) {
+  auto common = deidentified(sample_record());
+  (void)service_.verify(common, {"age", "zip", "gender"});
+  (void)service_.verify(common, {"age", "zip", "gender"});
+
+  auto outlier = sample_record();
+  outlier["age"] = "104";
+  outlier["zip"] = "99999";
+  auto fields = deidentified(outlier);
+  auto degree = service_.verify(fields, {"age", "zip", "gender"});
+  EXPECT_FALSE(degree.acceptable);
+  EXPECT_NE(degree.reason.find("equivalence class"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hc::privacy

@@ -1,0 +1,278 @@
+// Cross-module property and failure-injection suites: randomized workloads
+// asserting the platform's core invariants hold for *every* seed, not just
+// the happy paths the unit tests pin down.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blockchain/contracts.h"
+#include "cache/cache.h"
+#include "crypto/redactable.h"
+#include "fhir/synthetic.h"
+#include "net/secure_channel.h"
+#include "platform/enhanced_client.h"
+#include "platform/instance.h"
+
+namespace hc {
+namespace {
+
+// ------------------------------------------------------- secure channel
+
+class ChannelPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelPayloadSweep, RoundTripsAnyPayload) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(GetParam() + 1));
+  network.set_link("a", "b", net::LinkProfile::lan());
+  Rng rng(GetParam() + 2);
+  auto keys = crypto::generate_keypair(rng);
+  auto channel =
+      net::SecureChannel::establish(network, "a", "b", keys.pub, keys.priv, rng);
+  ASSERT_TRUE(channel.is_ok());
+
+  Bytes payload = rng.bytes(GetParam());
+  auto delivered = channel->transmit(payload);
+  ASSERT_TRUE(delivered.is_ok());
+  EXPECT_EQ(*delivered, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChannelPayloadSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 255, 4096, 65536));
+
+// ------------------------------------------------------------ blockchain
+
+class LedgerSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LedgerSeedSweep, ChainAlwaysValidatesUnderRandomWorkload) {
+  auto clock = make_clock();
+  blockchain::LedgerConfig config;
+  config.peers = {"p0", "p1", "p2"};
+  config.max_block_transactions = 8;
+  blockchain::PermissionedLedger ledger(config, clock);
+  ASSERT_TRUE(blockchain::register_hcls_contracts(ledger).is_ok());
+
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::size_t accepted = 0;
+  for (int i = 0; i < 300; ++i) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        accepted += ledger
+                        .submit("provenance",
+                                {{"action", "record_event"},
+                                 {"record_ref", "r" + std::to_string(rng.uniform_int(0, 20))},
+                                 {"event", rng.bernoulli(0.8) ? "received" : "deleted"},
+                                 {"data_hash", "h"}},
+                                "peer")
+                        .is_ok();
+        break;
+      case 1:
+        accepted += ledger
+                        .submit("consent",
+                                {{"action", rng.bernoulli(0.6) ? "grant" : "revoke"},
+                                 {"patient", "p" + std::to_string(rng.uniform_int(0, 10))},
+                                 {"group", "g" + std::to_string(rng.uniform_int(0, 3))}},
+                                "peer")
+                        .is_ok();
+        break;
+      case 2:
+        accepted += ledger
+                        .submit("malware",
+                                {{"action", "report"},
+                                 {"record_ref", "r" + std::to_string(i)},
+                                 {"verdict", rng.bernoulli(0.9) ? "clean" : "infected"},
+                                 {"sender", "s" + std::to_string(rng.uniform_int(0, 5))}},
+                                "peer")
+                        .is_ok();
+        break;
+      default:
+        accepted += ledger
+                        .submit("identity",
+                                {{"action", rng.bernoulli(0.7) ? "register" : "rotate"},
+                                 {"did", "did:" + std::to_string(rng.uniform_int(0, 15))},
+                                 {"key_fingerprint", "fp" + std::to_string(i)}},
+                                "peer")
+                        .is_ok();
+    }
+    if (rng.bernoulli(0.2)) (void)ledger.commit_block();
+  }
+  while (ledger.pending_count() > 0) {
+    if (!ledger.commit_block().is_ok()) break;
+  }
+
+  // Whatever mix of accepted/rejected transactions occurred, the chain is
+  // internally consistent and replaying it yields the same world state.
+  EXPECT_TRUE(ledger.validate_chain().is_ok());
+  EXPECT_GT(accepted, 0u);
+
+  std::size_t committed = 0;
+  for (const auto& block : ledger.chain()) committed += block.transactions.size();
+  EXPECT_EQ(committed, accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LedgerSeedSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------ redactable
+
+class RedactionSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedactionSeedSweep, AnyRedactionSubsetStillVerifies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  auto keys = crypto::generate_keypair(rng);
+
+  std::vector<Bytes> parts;
+  std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 24));
+  for (std::size_t i = 0; i < n; ++i) {
+    parts.push_back(rng.bytes(static_cast<std::size_t>(rng.uniform_int(0, 64))));
+  }
+  auto document = crypto::redactable_sign(keys.priv, parts, rng);
+
+  // Redact a random subset (possibly everything).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.5)) crypto::redact(document, i);
+  }
+  EXPECT_EQ(crypto::redactable_verify(keys.pub, document),
+            crypto::RedactableVerdict::kValid);
+
+  // Un-redacting (restoring content without the right salt) must fail.
+  for (auto& part : document.parts) {
+    if (!part.content) {
+      part.content = parts[0];
+      part.salt = rng.bytes(32);
+      break;
+    }
+  }
+  if (crypto::intact_count(document) > 0) {
+    EXPECT_NE(crypto::redactable_verify(keys.pub, document),
+              crypto::RedactableVerdict::kValid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedactionSeedSweep, ::testing::Range(1, 9));
+
+// --------------------------------------------------- ingestion fuzzing
+
+class IngestionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IngestionFuzz, CorruptUploadsNeverReachTheLake) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(1));
+  platform::InstanceConfig config;
+  config.name = "cloud";
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  platform::HealthCloudInstance cloud(config, clock, network);
+
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  auto key = cloud.issue_client_keypair("fuzzer");
+  auto pub = cloud.kms().public_key(key).value();
+
+  int stored = 0, rejected = 0;
+  for (int i = 0; i < 30; ++i) {
+    // Random garbage, occasionally valid-JSON-but-invalid-bundle payloads.
+    Bytes payload;
+    if (rng.bernoulli(0.3)) {
+      payload = to_bytes(R"({"resourceType":"Bundle","id":"x","entry":[)" +
+                         std::string(rng.bernoulli(0.5) ? "{}" : "") + "]}");
+    } else {
+      payload = rng.bytes(static_cast<std::size_t>(rng.uniform_int(0, 300)));
+    }
+    auto envelope = crypto::envelope_seal(pub, payload, rng);
+    auto receipt = cloud.ingestion().upload(envelope, "fuzzer", "study", key);
+    ASSERT_TRUE(receipt.is_ok());
+    auto outcome = cloud.ingestion().process_next();
+    ASSERT_TRUE(outcome.is_ok());
+    if (outcome->stored) {
+      ++stored;
+    } else {
+      ++rejected;
+      // Status reflects the failure with a reason.
+      auto status = cloud.status_tracker().status(receipt->upload_id).value();
+      EXPECT_EQ(status.stage, storage::IngestionStage::kFailed);
+      EXPECT_FALSE(status.failure_reason.empty());
+    }
+  }
+  EXPECT_EQ(stored, 0) << "garbage should never be stored";
+  EXPECT_EQ(rejected, 30);
+  EXPECT_EQ(cloud.lake().object_count(), 0u);
+  // The platform survived all of it and its ledger is intact.
+  EXPECT_TRUE(cloud.ledger().validate_chain().is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IngestionFuzz, ::testing::Values(1, 2, 3));
+
+// -------------------------------------------------- cache TTL/version fuzz
+
+TEST(CacheProperty, TtlAndVersionInteractConsistently) {
+  auto clock = make_clock();
+  cache::Cache cache(32, cache::EvictionPolicy::kLru, clock);
+  Rng rng(77);
+
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = "k" + std::to_string(rng.uniform_int(0, 40));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        cache.put(key, to_bytes("v"), rng.bernoulli(0.5) ? 2 * kMillisecond : 0,
+                  static_cast<std::uint64_t>(rng.uniform_int(1, 10)));
+        break;
+      case 1: {
+        auto min_version = rng.bernoulli(0.5)
+                               ? std::optional<std::uint64_t>(
+                                     static_cast<std::uint64_t>(rng.uniform_int(1, 10)))
+                               : std::nullopt;
+        auto entry = cache.get(key, min_version);
+        if (entry && min_version) {
+          // Invariant: a returned entry always satisfies the demanded version.
+          EXPECT_GE(entry->version, *min_version);
+        }
+        break;
+      }
+      default:
+        clock->advance(kMillisecond);
+    }
+    ASSERT_LE(cache.size(), 32u);
+  }
+}
+
+// ----------------------------------------------- client offline invariants
+
+TEST(ClientProperty, RandomConnectivityNeverLosesUploads) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(1));
+  platform::InstanceConfig config;
+  config.name = "cloud";
+  platform::HealthCloudInstance cloud(config, clock, network);
+  network.set_link("phone", "cloud", net::LinkProfile::wan());
+
+  platform::EnhancedClientConfig client_config;
+  client_config.name = "phone";
+  platform::EnhancedClient phone(client_config, cloud, "app");
+
+  Rng rng(55);
+  std::size_t submitted = 0;
+  for (int i = 0; i < 40; ++i) {
+    phone.set_connected(rng.bernoulli(0.5));
+    fhir::Bundle bundle =
+        fhir::make_synthetic_bundle(rng, "b" + std::to_string(i),
+                                    static_cast<std::size_t>(i));
+    (void)cloud.ledger().submit_and_commit(
+        "consent",
+        {{"action", "grant"},
+         {"patient", std::get<fhir::Patient>(bundle.resources[0]).id},
+         {"group", "study"}},
+        "provider");
+    ASSERT_TRUE(phone.upload_bundle(bundle, "study").is_ok());
+    ++submitted;
+    if (rng.bernoulli(0.3)) {
+      phone.set_connected(true);
+      ASSERT_TRUE(phone.sync().is_ok());
+    }
+  }
+  phone.set_connected(true);
+  ASSERT_TRUE(phone.sync().is_ok());
+  EXPECT_EQ(phone.pending_uploads(), 0u);
+
+  // Every upload either stored or terminally rejected — none lost.
+  EXPECT_EQ(cloud.ingestion().process_all(), submitted);
+}
+
+}  // namespace
+}  // namespace hc

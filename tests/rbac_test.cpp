@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "rbac/federated.h"
+#include "rbac/rbac.h"
+
+namespace hc::rbac {
+namespace {
+
+class RbacFixture : public ::testing::Test {
+ protected:
+  RbacFixture() {
+    tenant_ = rbac_.register_tenant("mercy-health").value();
+    env_ = tenant_.default_env;
+    alice_ = rbac_.add_user(tenant_.id, "alice").value();
+    study_ = rbac_.add_group(tenant_.id, "diabetes-study").value();
+  }
+
+  RbacSystem rbac_;
+  TenantInfo tenant_;
+  std::string env_;
+  std::string alice_;
+  std::string study_;
+};
+
+TEST_F(RbacFixture, RegistrationCreatesDefaults) {
+  EXPECT_FALSE(tenant_.default_org.empty());
+  EXPECT_FALSE(tenant_.default_env.empty());
+  EXPECT_TRUE(rbac_.environment_exists(tenant_.default_env));
+}
+
+TEST_F(RbacFixture, DuplicateTenantNameRejected) {
+  EXPECT_EQ(rbac_.register_tenant("mercy-health").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(RbacFixture, EntityCreationRequiresExistingParents) {
+  EXPECT_EQ(rbac_.add_organization("ghost", "x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rbac_.add_environment("ghost", "x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rbac_.add_group("ghost", "x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rbac_.add_user("ghost", "x").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RbacFixture, DefaultDeny) {
+  auto s = rbac_.check_access(alice_, env_, tenant_.id, "datalake/records/1",
+                              Permission::kRead);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(RbacFixture, RoleGrantAllowsAccess) {
+  ASSERT_TRUE(rbac_.assign_role(alice_, env_, Role::kAnalyst).is_ok());
+  ASSERT_TRUE(rbac_
+                  .grant_permission(tenant_.id, Role::kAnalyst, "datalake/deidentified/",
+                                    Permission::kRead)
+                  .is_ok());
+  EXPECT_TRUE(rbac_
+                  .check_access(alice_, env_, tenant_.id,
+                                "datalake/deidentified/rec-1", Permission::kRead)
+                  .is_ok());
+  // Write was not granted.
+  EXPECT_FALSE(rbac_
+                   .check_access(alice_, env_, tenant_.id,
+                                 "datalake/deidentified/rec-1", Permission::kWrite)
+                   .is_ok());
+  // Different resource prefix is denied.
+  EXPECT_FALSE(rbac_
+                   .check_access(alice_, env_, tenant_.id, "datalake/identified/rec-1",
+                                 Permission::kRead)
+                   .is_ok());
+}
+
+TEST_F(RbacFixture, RolesAreEnvironmentScoped) {
+  auto env2 = rbac_.add_environment(tenant_.default_org, "prod").value();
+  ASSERT_TRUE(rbac_.assign_role(alice_, env_, Role::kDeveloper).is_ok());
+  ASSERT_TRUE(rbac_
+                  .grant_permission(tenant_.id, Role::kDeveloper, "models/",
+                                    Permission::kWrite)
+                  .is_ok());
+  EXPECT_TRUE(
+      rbac_.check_access(alice_, env_, tenant_.id, "models/jmf", Permission::kWrite)
+          .is_ok());
+  // Same user, prod environment, no role there -> denied.
+  EXPECT_FALSE(
+      rbac_.check_access(alice_, env2, tenant_.id, "models/jmf", Permission::kWrite)
+          .is_ok());
+  EXPECT_TRUE(rbac_.has_role(alice_, env_, Role::kDeveloper));
+  EXPECT_FALSE(rbac_.has_role(alice_, env2, Role::kDeveloper));
+}
+
+TEST_F(RbacFixture, RevokeRoleRemovesAccess) {
+  ASSERT_TRUE(rbac_.assign_role(alice_, env_, Role::kAnalyst).is_ok());
+  ASSERT_TRUE(
+      rbac_.grant_permission(tenant_.id, Role::kAnalyst, "kb/", Permission::kRead)
+          .is_ok());
+  ASSERT_TRUE(
+      rbac_.check_access(alice_, env_, tenant_.id, "kb/drugbank", Permission::kRead)
+          .is_ok());
+  ASSERT_TRUE(rbac_.revoke_role(alice_, env_, Role::kAnalyst).is_ok());
+  EXPECT_FALSE(
+      rbac_.check_access(alice_, env_, tenant_.id, "kb/drugbank", Permission::kRead)
+          .is_ok());
+  EXPECT_EQ(rbac_.revoke_role(alice_, env_, Role::kAnalyst).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RbacFixture, GroupScopedAccessRequiresMembership) {
+  ASSERT_TRUE(rbac_.assign_role(alice_, env_, Role::kClinician).is_ok());
+  ASSERT_TRUE(rbac_
+                  .grant_permission(study_, Role::kClinician, "phi/",
+                                    Permission::kRead)
+                  .is_ok());
+  // Consent group membership missing -> denied even though role+grant exist.
+  EXPECT_FALSE(
+      rbac_.check_access(alice_, env_, study_, "phi/patient-1", Permission::kRead)
+          .is_ok());
+  ASSERT_TRUE(rbac_.add_user_to_group(alice_, study_).is_ok());
+  EXPECT_TRUE(
+      rbac_.check_access(alice_, env_, study_, "phi/patient-1", Permission::kRead)
+          .is_ok());
+  EXPECT_TRUE(rbac_.is_group_member(alice_, study_));
+}
+
+TEST_F(RbacFixture, CrossTenantGroupMembershipRejected) {
+  auto other = rbac_.register_tenant("other-hospital").value();
+  auto other_group = rbac_.add_group(other.id, "their-study").value();
+  EXPECT_EQ(rbac_.add_user_to_group(alice_, other_group).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(RbacFixture, UnknownUserIsUnauthenticated) {
+  EXPECT_EQ(rbac_.check_access("ghost", env_, tenant_.id, "x", Permission::kRead).code(),
+            StatusCode::kUnauthenticated);
+}
+
+TEST_F(RbacFixture, GrantRequiresValidScope) {
+  EXPECT_EQ(
+      rbac_.grant_permission("ghost-scope", Role::kAnalyst, "x", Permission::kRead)
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(RbacFixture, MeteringCounts) {
+  ASSERT_TRUE(rbac_.meter_call(tenant_.id).is_ok());
+  ASSERT_TRUE(rbac_.meter_call(tenant_.id).is_ok());
+  EXPECT_EQ(rbac_.metered_calls(tenant_.id).value(), 2u);
+  EXPECT_EQ(rbac_.meter_call("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST_F(RbacFixture, NamesForAllRolesAndPermissions) {
+  for (auto r : {Role::kTenantAdmin, Role::kDeveloper, Role::kAnalyst,
+                 Role::kClinician, Role::kAuditor}) {
+    EXPECT_NE(role_name(r), "unknown");
+  }
+  EXPECT_EQ(permission_name(Permission::kRead), "read");
+  EXPECT_EQ(permission_name(Permission::kWrite), "write");
+}
+
+// ------------------------------------------------------------- federated
+
+class FederatedFixture : public ::testing::Test {
+ protected:
+  FederatedFixture()
+      : clock_(make_clock()),
+        rng_(20),
+        idp_("hospital-idp", rng_, clock_),
+        auth_(clock_) {
+    auth_.approve_idp(idp_.name(), idp_.public_key());
+    auth_.enroll("hospital-idp", "jane@hospital.org", "user-jane");
+  }
+
+  ClockPtr clock_;
+  Rng rng_;
+  IdentityProvider idp_;
+  FederatedAuthenticator auth_;
+};
+
+TEST_F(FederatedFixture, ValidTokenAuthenticates) {
+  auto token = idp_.issue("jane@hospital.org", "tenant-1");
+  auto user = auth_.authenticate(token);
+  ASSERT_TRUE(user.is_ok());
+  EXPECT_EQ(*user, "user-jane");
+}
+
+TEST_F(FederatedFixture, UnapprovedIdpRejected) {
+  Rng rng2(21);
+  IdentityProvider rogue("rogue-idp", rng2, clock_);
+  auto token = rogue.issue("jane@hospital.org", "tenant-1");
+  EXPECT_EQ(auth_.authenticate(token).status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(FederatedFixture, ForgedSignatureRejected) {
+  auto token = idp_.issue("jane@hospital.org", "tenant-1");
+  token.subject = "mallory@hospital.org";  // altered after signing
+  EXPECT_EQ(auth_.authenticate(token).status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(FederatedFixture, ExpiredTokenRejected) {
+  auto token = idp_.issue("jane@hospital.org", "tenant-1");
+  clock_->advance(2 * kHour);
+  EXPECT_EQ(auth_.authenticate(token).status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(FederatedFixture, UnenrolledSubjectRejected) {
+  auto token = idp_.issue("bob@hospital.org", "tenant-1");
+  EXPECT_EQ(auth_.authenticate(token).status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(FederatedFixture, RevokedIdpStopsAuthenticating) {
+  auto token = idp_.issue("jane@hospital.org", "tenant-1");
+  ASSERT_TRUE(auth_.authenticate(token).is_ok());
+  auth_.revoke_idp(idp_.name());
+  EXPECT_FALSE(auth_.authenticate(token).is_ok());
+}
+
+}  // namespace
+}  // namespace hc::rbac

@@ -1,0 +1,125 @@
+// Standard API routes through the full gateway pipeline.
+#include <gtest/gtest.h>
+
+#include "blockchain/contracts.h"
+#include "fhir/synthetic.h"
+#include "platform/enhanced_client.h"
+#include "platform/routes.h"
+
+namespace hc::platform {
+namespace {
+
+class RoutesFixture : public ::testing::Test {
+ protected:
+  RoutesFixture()
+      : clock_(make_clock()), network_(clock_, Rng(150)), rng_(151) {
+    InstanceConfig config;
+    config.name = "cloud";
+    cloud_ = std::make_unique<HealthCloudInstance>(config, clock_, network_);
+    network_.set_link("client", "cloud", net::LinkProfile::wan());
+    gateway_ = std::make_unique<ApiGateway>(*cloud_);
+    install_standard_routes(*gateway_, *cloud_);
+
+    // An analyst with read access to everything under the standard tree.
+    tenant_ = cloud_->rbac().register_tenant("mercy").value();
+    analyst_ = cloud_->rbac().add_user(tenant_.id, "analyst").value();
+    EXPECT_TRUE(cloud_->rbac()
+                    .assign_role(analyst_, tenant_.default_env, rbac::Role::kAnalyst)
+                    .is_ok());
+    for (const char* prefix : {"ingestion/", "datalake/", "export/", "kb/", "audit/"}) {
+      EXPECT_TRUE(cloud_->rbac()
+                      .grant_permission(tenant_.id, rbac::Role::kAnalyst, prefix,
+                                        rbac::Permission::kRead)
+                      .is_ok());
+    }
+
+    // KBs + one ingested record to query.
+    services::KnowledgeBaseConfig kb;
+    kb.name = "drugbank";
+    cloud_->knowledge().add_knowledge_base(kb, {{"drug-1", "targets:abc"}});
+
+    EnhancedClientConfig client_config;
+    client_config.name = "client";
+    EnhancedClient client(client_config, *cloud_, "clinic");
+    fhir::Bundle bundle = fhir::make_synthetic_bundle(rng_, "b", 1);
+    (void)cloud_->ledger().submit_and_commit(
+        "consent",
+        {{"action", "grant"},
+         {"patient", std::get<fhir::Patient>(bundle.resources[0]).id},
+         {"group", "study"}},
+        "provider");
+    upload_ = client.upload_bundle(bundle, "study")->upload_id;
+    auto outcome = cloud_->ingestion().process_next();
+    reference_ = outcome->reference_id;
+  }
+
+  Result<ApiResponse> get(const std::string& resource) {
+    ApiRequest request;
+    request.user_id = analyst_;
+    request.environment = tenant_.default_env;
+    request.scope = tenant_.id;
+    request.resource = resource;
+    return gateway_->handle(request);
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  Rng rng_;
+  std::unique_ptr<HealthCloudInstance> cloud_;
+  std::unique_ptr<ApiGateway> gateway_;
+  rbac::TenantInfo tenant_;
+  std::string analyst_;
+  std::string upload_;
+  std::string reference_;
+};
+
+TEST_F(RoutesFixture, IngestionStatusRoute) {
+  auto response = get("ingestion/status/" + upload_);
+  ASSERT_TRUE(response.is_ok()) << response.status().to_string();
+  EXPECT_TRUE(to_string(response->body).starts_with("stored "));
+  EXPECT_EQ(get("ingestion/status/ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RoutesFixture, DatalakeRecordRoute) {
+  auto response = get("datalake/records/" + reference_);
+  ASSERT_TRUE(response.is_ok());
+  auto bundle = fhir::parse_bundle(response->body);
+  ASSERT_TRUE(bundle.is_ok());
+  EXPECT_EQ(get("datalake/records/ref-ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RoutesFixture, ExportRoute) {
+  auto response = get("export/anonymized/study?k=1");
+  ASSERT_TRUE(response.is_ok()) << response.status().to_string();
+  EXPECT_TRUE(to_string(response->body).starts_with("rows="));
+  EXPECT_EQ(get("export/anonymized/ghost-study?k=2").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RoutesFixture, KnowledgeBaseRoute) {
+  auto response = get("kb/drugbank/drug-1");
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(to_string(response->body), "targets:abc");
+  EXPECT_EQ(get("kb/ghost-base/x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(get("kb/no-key-given").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RoutesFixture, AuditLifecycleRoute) {
+  auto response = get("audit/lifecycle/" + reference_);
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(to_string(response->body), "received,anonymized");
+  EXPECT_EQ(get("audit/lifecycle/ref-ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RoutesFixture, RoutesStillGuardedByRbac) {
+  auto intruder = cloud_->rbac().add_user(tenant_.id, "intruder").value();
+  ApiRequest request;
+  request.user_id = intruder;
+  request.environment = tenant_.default_env;
+  request.scope = tenant_.id;
+  request.resource = "datalake/records/" + reference_;
+  EXPECT_EQ(gateway_->handle(request).status().code(), StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace hc::platform

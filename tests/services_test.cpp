@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "services/knowledge.h"
+#include "services/registry.h"
+
+namespace hc::services {
+namespace {
+
+class RegistryFixture : public ::testing::Test {
+ protected:
+  RegistryFixture() : clock_(make_clock()), registry_(clock_, Rng(90)) {
+    ServiceProfile fast;
+    fast.name = "provider-a/text";
+    fast.category = Category::kTextExtraction;
+    fast.mean_latency = 20 * kMillisecond;
+    fast.availability = 0.99;
+    fast.accuracy = 0.85;
+    registry_.register_service(fast);
+
+    ServiceProfile slow;
+    slow.name = "provider-b/text";
+    slow.category = Category::kTextExtraction;
+    slow.mean_latency = 200 * kMillisecond;
+    slow.availability = 0.95;
+    slow.accuracy = 0.92;
+    registry_.register_service(slow);
+
+    ServiceProfile speech;
+    speech.name = "provider-a/speech";
+    speech.category = Category::kSpeechRecognition;
+    registry_.register_service(speech);
+  }
+
+  ClockPtr clock_;
+  ServiceRegistry registry_;
+};
+
+TEST_F(RegistryFixture, ListsByCategory) {
+  EXPECT_EQ(registry_.services_in(Category::kTextExtraction).size(), 2u);
+  EXPECT_EQ(registry_.services_in(Category::kSpeechRecognition).size(), 1u);
+  EXPECT_TRUE(registry_.services_in(Category::kVisualRecognition).empty());
+}
+
+TEST_F(RegistryFixture, InvokeChargesLatencyAndEchoes) {
+  SimTime before = clock_->now();
+  auto r = registry_.invoke("provider-a/text", to_bytes("extract this"));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GE(clock_->now() - before, 20 * kMillisecond);
+  EXPECT_EQ(to_string(r->response), "echo:extract this");
+}
+
+TEST_F(RegistryFixture, UnknownServiceNotFound) {
+  EXPECT_EQ(registry_.invoke("nope", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_.stats("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_.run_accuracy_test("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RegistryFixture, StatsLearnFromInvocations) {
+  for (int i = 0; i < 50; ++i) (void)registry_.invoke("provider-a/text", {});
+  auto stats = registry_.stats("provider-a/text").value();
+  EXPECT_EQ(stats.invocations, 50u);
+  // EWMA latency near the true mean (within jitter).
+  EXPECT_NEAR(stats.observed_latency_us, 25.0 * kMillisecond, 10.0 * kMillisecond);
+  EXPECT_GT(stats.observed_availability, 0.8);
+}
+
+TEST_F(RegistryFixture, UnavailabilityTracked) {
+  auto profile = registry_.mutable_profile("provider-b/text");
+  ASSERT_TRUE(profile.is_ok());
+  (*profile)->availability = 0.0;  // total outage
+  int failures = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!registry_.invoke("provider-b/text", {}).is_ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 20);
+  auto stats = registry_.stats("provider-b/text").value();
+  EXPECT_EQ(stats.failures, 20u);
+  EXPECT_LT(stats.observed_availability, 0.1);
+}
+
+TEST_F(RegistryFixture, AccuracyTestApproximatesTruth) {
+  auto measured = registry_.run_accuracy_test("provider-b/text", 400);
+  ASSERT_TRUE(measured.is_ok());
+  EXPECT_NEAR(*measured, 0.92 * 0.95, 0.08);  // accuracy x availability
+  EXPECT_EQ(registry_.run_accuracy_test("provider-a/text", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RegistryFixture, FeedbackStoredButSeparate) {
+  EXPECT_EQ(registry_.average_feedback("provider-a/text").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(registry_.record_feedback("provider-a/text", 5).is_ok());
+  ASSERT_TRUE(registry_.record_feedback("provider-a/text", 3).is_ok());
+  EXPECT_DOUBLE_EQ(registry_.average_feedback("provider-a/text").value(), 4.0);
+  EXPECT_EQ(registry_.record_feedback("provider-a/text", 6).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry_.record_feedback("provider-a/text", 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RegistryFixture, BestServicePrefersFastWhenLatencyWeighted) {
+  // Warm both with observations.
+  for (int i = 0; i < 30; ++i) {
+    (void)registry_.invoke("provider-a/text", {});
+    (void)registry_.invoke("provider-b/text", {});
+  }
+  SelectionCriteria latency_first;
+  latency_first.latency_weight = 5.0;
+  latency_first.accuracy_weight = 0.1;
+  auto best = registry_.best_service(Category::kTextExtraction, latency_first);
+  ASSERT_TRUE(best.is_ok());
+  EXPECT_EQ(*best, "provider-a/text");
+}
+
+TEST_F(RegistryFixture, BestServicePrefersAccurateWhenAccuracyWeighted) {
+  SelectionCriteria accuracy_first;
+  accuracy_first.latency_weight = 0.0;
+  accuracy_first.availability_weight = 0.0;
+  accuracy_first.accuracy_weight = 1.0;
+  auto best = registry_.best_service(Category::kTextExtraction, accuracy_first);
+  ASSERT_TRUE(best.is_ok());
+  EXPECT_EQ(*best, "provider-b/text");
+}
+
+TEST_F(RegistryFixture, BestServiceAdaptsToDrift) {
+  // provider-a degrades badly; selection should flip to provider-b.
+  auto profile = registry_.mutable_profile("provider-a/text");
+  (*profile)->mean_latency = 900 * kMillisecond;
+  (*profile)->availability = 0.4;
+  for (int i = 0; i < 60; ++i) {
+    (void)registry_.invoke("provider-a/text", {});
+    (void)registry_.invoke("provider-b/text", {});
+  }
+  auto best = registry_.best_service(Category::kTextExtraction);
+  ASSERT_TRUE(best.is_ok());
+  EXPECT_EQ(*best, "provider-b/text");
+}
+
+TEST_F(RegistryFixture, EmptyCategoryNotFound) {
+  EXPECT_EQ(registry_.best_service(Category::kVisualRecognition).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- knowledge
+
+class KnowledgeFixture : public ::testing::Test {
+ protected:
+  KnowledgeFixture() : clock_(make_clock()), hub_(clock_) {
+    KnowledgeBaseConfig config;
+    config.name = "drugbank";
+    config.fetch_latency = 90 * kMillisecond;
+    config.cache_capacity = 8;
+    hub_.add_knowledge_base(config, {{"drug-1", "targets:abc"},
+                                     {"drug-2", "targets:def"}});
+  }
+
+  ClockPtr clock_;
+  KnowledgeHub hub_;
+};
+
+TEST_F(KnowledgeFixture, MissFetchesRemotelyThenCaches) {
+  auto first = hub_.query("drugbank", "drug-1");
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_FALSE(first->from_cache);
+  EXPECT_GE(first->latency, 90 * kMillisecond);
+
+  auto second = hub_.query("drugbank", "drug-1");
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(second->from_cache);
+  // The paper's point: cached access is orders of magnitude faster.
+  EXPECT_LT(second->latency * 100, first->latency);
+  EXPECT_EQ(second->value, "targets:abc");
+}
+
+TEST_F(KnowledgeFixture, UnknownKeysAndKbs) {
+  EXPECT_EQ(hub_.query("drugbank", "drug-404").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(hub_.query("ghost-kb", "x").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(hub_.has_knowledge_base("ghost-kb"));
+  EXPECT_TRUE(hub_.has_knowledge_base("drugbank"));
+}
+
+TEST_F(KnowledgeFixture, StaleCacheUntilRefreshOrInvalidate) {
+  ASSERT_TRUE(hub_.query("drugbank", "drug-1").is_ok());
+  ASSERT_TRUE(hub_.update_remote("drugbank", "drug-1", "targets:NEW").is_ok());
+
+  // Cached copy is stale — the documented trade-off.
+  EXPECT_EQ(hub_.query("drugbank", "drug-1")->value, "targets:abc");
+
+  // query_fresh bypasses and refreshes.
+  auto fresh = hub_.query_fresh("drugbank", "drug-1");
+  ASSERT_TRUE(fresh.is_ok());
+  EXPECT_EQ(fresh->value, "targets:NEW");
+  EXPECT_EQ(hub_.query("drugbank", "drug-1")->value, "targets:NEW");
+}
+
+TEST_F(KnowledgeFixture, InvalidateForcesRefetch) {
+  ASSERT_TRUE(hub_.query("drugbank", "drug-2").is_ok());
+  ASSERT_TRUE(hub_.update_remote("drugbank", "drug-2", "targets:v2").is_ok());
+  ASSERT_TRUE(hub_.invalidate("drugbank", "drug-2").is_ok());
+  auto lookup = hub_.query("drugbank", "drug-2");
+  ASSERT_TRUE(lookup.is_ok());
+  EXPECT_FALSE(lookup->from_cache);
+  EXPECT_EQ(lookup->value, "targets:v2");
+}
+
+TEST_F(KnowledgeFixture, CacheStatsExposed) {
+  (void)hub_.query("drugbank", "drug-1");
+  (void)hub_.query("drugbank", "drug-1");
+  auto stats = hub_.cache_stats("drugbank").value();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(KnowledgeHub, StandardKbsInstall) {
+  auto clock = make_clock();
+  KnowledgeHub hub(clock);
+  Rng rng(91);
+  install_standard_knowledge_bases(hub, rng, 100);
+  for (const char* kb : {"drugbank", "sider", "pubchem", "disgenet", "dbpedia",
+                         "wikidata", "wordnet"}) {
+    EXPECT_TRUE(hub.has_knowledge_base(kb)) << kb;
+  }
+  EXPECT_TRUE(hub.query("drugbank", "drug-0").is_ok());
+}
+
+TEST(FactExtraction, FindsCooccurrences) {
+  std::map<std::string, std::string> abstracts{
+      {"pmid-1", "We study metformin effects in type-2-diabetes cohorts."},
+      {"pmid-2", "Aspirin was not associated with asthma outcomes."},
+      {"pmid-3", "No drugs mentioned here at all."},
+  };
+  auto facts = extract_facts(abstracts, {"metformin", "aspirin"},
+                             {"type-2-diabetes", "asthma"});
+  ASSERT_EQ(facts.size(), 2u);
+  EXPECT_EQ(facts[0].drug, "metformin");
+  EXPECT_EQ(facts[0].disease, "type-2-diabetes");
+  EXPECT_EQ(facts[0].paper_id, "pmid-1");
+  EXPECT_EQ(facts[1].drug, "aspirin");
+  EXPECT_EQ(facts[1].disease, "asthma");
+}
+
+TEST(FactExtraction, EmptyInputs) {
+  EXPECT_TRUE(extract_facts({}, {"metformin"}, {"asthma"}).empty());
+  EXPECT_TRUE(extract_facts({{"p", "text"}}, {}, {}).empty());
+}
+
+}  // namespace
+}  // namespace hc::services

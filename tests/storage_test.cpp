@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "storage/data_lake.h"
+#include "storage/staging.h"
+#include "storage/status_tracker.h"
+
+namespace hc::storage {
+namespace {
+
+class DataLakeFixture : public ::testing::Test {
+ protected:
+  DataLakeFixture()
+      : kms_("tenant-a", Rng(30)),
+        lake_(kms_, "datalake-service", Rng(31)) {
+    key_ = kms_.create_symmetric_key("datalake-service");
+  }
+
+  crypto::KeyManagementService kms_;
+  DataLake lake_;
+  crypto::KeyId key_;
+};
+
+TEST_F(DataLakeFixture, PutGetRoundTrip) {
+  Bytes record = to_bytes("de-identified fhir bundle");
+  auto ref = lake_.put(record, key_);
+  ASSERT_TRUE(ref.is_ok());
+  EXPECT_TRUE(ref->starts_with("ref-"));
+  EXPECT_EQ(lake_.get(*ref).value(), record);
+  EXPECT_TRUE(lake_.contains(*ref));
+  EXPECT_EQ(lake_.object_count(), 1u);
+}
+
+TEST_F(DataLakeFixture, StoresCiphertextNotPlaintext) {
+  // Stored bytes exceed plaintext (IV + padding) and get() requires the key.
+  Bytes record(100, 0x7a);
+  auto ref = lake_.put(record, key_);
+  ASSERT_TRUE(ref.is_ok());
+  EXPECT_GT(lake_.stored_bytes(), record.size());
+}
+
+TEST_F(DataLakeFixture, UnknownReferenceNotFound) {
+  EXPECT_EQ(lake_.get("ref-nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(lake_.erase("ref-nope").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(lake_.contains("ref-nope"));
+}
+
+TEST_F(DataLakeFixture, PutWithUnauthorizedKeyFails) {
+  auto foreign_key = kms_.create_symmetric_key("someone-else");
+  EXPECT_EQ(lake_.put(to_bytes("x"), foreign_key).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(DataLakeFixture, CryptoShreddingBlocksReads) {
+  auto ref = lake_.put(to_bytes("patient-42 record"), key_);
+  ASSERT_TRUE(ref.is_ok());
+  ASSERT_TRUE(kms_.destroy(key_, "datalake-service").is_ok());
+  // Blob still present, but unrecoverable: the GDPR right-to-forget path.
+  EXPECT_TRUE(lake_.contains(*ref));
+  EXPECT_EQ(lake_.get(*ref).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(DataLakeFixture, KeyRotationDoesNotStrandOldObjects) {
+  auto before = lake_.put(to_bytes("written under v1"), key_);
+  ASSERT_TRUE(before.is_ok());
+
+  ASSERT_TRUE(kms_.rotate(key_, "datalake-service").is_ok());
+  auto after = lake_.put(to_bytes("written under v2"), key_);
+  ASSERT_TRUE(after.is_ok());
+
+  // Both generations decrypt with their own key version.
+  EXPECT_EQ(to_string(lake_.get(*before).value()), "written under v1");
+  EXPECT_EQ(to_string(lake_.get(*after).value()), "written under v2");
+
+  // Shredding wipes ALL versions -> both become unrecoverable.
+  ASSERT_TRUE(kms_.destroy(key_, "datalake-service").is_ok());
+  EXPECT_EQ(lake_.get(*before).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(lake_.get(*after).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(DataLakeFixture, EraseRemovesBlobAndAccounting) {
+  auto ref = lake_.put(Bytes(1000, 1), key_);
+  ASSERT_TRUE(ref.is_ok());
+  auto before = lake_.stored_bytes();
+  EXPECT_GT(before, 0u);
+  ASSERT_TRUE(lake_.erase(*ref).is_ok());
+  EXPECT_EQ(lake_.stored_bytes(), 0u);
+  EXPECT_FALSE(lake_.contains(*ref));
+}
+
+// ------------------------------------------------------------- metadata
+
+TEST(MetadataStore, PutGetErase) {
+  MetadataStore store;
+  RecordMetadata md;
+  md.reference_id = "ref-1";
+  md.pseudonym = "pseu-77";
+  md.consent_group = "study-a";
+  ASSERT_TRUE(store.put(md).is_ok());
+  EXPECT_EQ(store.get("ref-1").value().pseudonym, "pseu-77");
+  ASSERT_TRUE(store.erase("ref-1").is_ok());
+  EXPECT_EQ(store.get("ref-1").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.erase("ref-1").code(), StatusCode::kNotFound);
+}
+
+TEST(MetadataStore, RejectsEmptyReferenceId) {
+  MetadataStore store;
+  EXPECT_EQ(store.put(RecordMetadata{}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MetadataStore, QueriesByPseudonymAndGroup) {
+  MetadataStore store;
+  for (int i = 0; i < 5; ++i) {
+    RecordMetadata md;
+    md.reference_id = "ref-" + std::to_string(i);
+    md.pseudonym = i < 2 ? "pseu-a" : "pseu-b";
+    md.consent_group = i % 2 == 0 ? "study-x" : "study-y";
+    ASSERT_TRUE(store.put(md).is_ok());
+  }
+  EXPECT_EQ(store.by_pseudonym("pseu-a").size(), 2u);
+  EXPECT_EQ(store.by_pseudonym("pseu-b").size(), 3u);
+  EXPECT_EQ(store.by_group("study-x").size(), 3u);
+  EXPECT_EQ(store.by_group("study-z").size(), 0u);
+}
+
+// ------------------------------------------------------------- staging
+
+TEST(StagingArea, PutGetRemove) {
+  StagingArea staging;
+  ASSERT_TRUE(staging.put("up-1", to_bytes("encrypted-blob")).is_ok());
+  EXPECT_EQ(to_string(staging.get("up-1").value()), "encrypted-blob");
+  ASSERT_TRUE(staging.remove("up-1").is_ok());
+  EXPECT_EQ(staging.get("up-1").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(staging.size(), 0u);
+}
+
+TEST(StagingArea, RejectsDuplicateUploadIds) {
+  StagingArea staging;
+  ASSERT_TRUE(staging.put("up-1", {}).is_ok());
+  EXPECT_EQ(staging.put("up-1", {}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StagingArea, RemoveUnknownNotFound) {
+  StagingArea staging;
+  EXPECT_EQ(staging.remove("up-404").code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- queue
+
+TEST(MessageQueue, FifoOrder) {
+  MessageQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push({"up-1", "user-a", "study", "key-1"});
+  q.push({"up-2", "user-b", "study", "key-2"});
+  EXPECT_EQ(q.depth(), 2u);
+
+  auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->upload_id, "up-1");
+  auto second = q.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->upload_id, "up-2");
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// --------------------------------------------------------------- status
+
+TEST(StatusTracker, TracksLifecycle) {
+  StatusTracker tracker;
+  std::string url = tracker.track("up-1");
+  EXPECT_TRUE(url.find("up-1") != std::string::npos);
+
+  EXPECT_EQ(tracker.status("up-1").value().stage, IngestionStage::kReceived);
+  tracker.set_stage("up-1", IngestionStage::kValidating);
+  EXPECT_EQ(tracker.status(url).value().stage, IngestionStage::kValidating);
+
+  tracker.set_stored("up-1", "ref-9");
+  auto final_status = tracker.status(url).value();
+  EXPECT_EQ(final_status.stage, IngestionStage::kStored);
+  EXPECT_EQ(final_status.reference_id, "ref-9");
+}
+
+TEST(StatusTracker, FailureCarriesReason) {
+  StatusTracker tracker;
+  tracker.track("up-2");
+  tracker.set_failed("up-2", "malware detected");
+  auto s = tracker.status("up-2").value();
+  EXPECT_EQ(s.stage, IngestionStage::kFailed);
+  EXPECT_EQ(s.failure_reason, "malware detected");
+}
+
+TEST(StatusTracker, UnknownUploadNotFound) {
+  StatusTracker tracker;
+  EXPECT_EQ(tracker.status("up-404").status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTracker, AllStagesHaveNames) {
+  for (int s = 0; s <= static_cast<int>(IngestionStage::kFailed); ++s) {
+    EXPECT_NE(ingestion_stage_name(static_cast<IngestionStage>(s)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace hc::storage

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "tpm/attestation.h"
+#include "tpm/image.h"
+#include "tpm/tpm.h"
+#include "tpm/trust_chain.h"
+#include "tpm/vtpm.h"
+
+namespace hc::tpm {
+namespace {
+
+// ----------------------------------------------------------------- Tpm
+
+TEST(Tpm, PcrsStartZeroed) {
+  Rng rng(1);
+  Tpm tpm("hw-0", rng);
+  EXPECT_EQ(tpm.pcr(0), Bytes(crypto::kSha256DigestSize, 0));
+  EXPECT_EQ(tpm.pcr(kPcrCount - 1), Bytes(crypto::kSha256DigestSize, 0));
+}
+
+TEST(Tpm, ExtendFollowsStandardSemantics) {
+  Rng rng(1);
+  Tpm tpm("hw-0", rng);
+  Bytes m = crypto::sha256(std::string_view("kernel"));
+  tpm.extend(2, m);
+  EXPECT_EQ(tpm.pcr(2), crypto::sha256_concat(Bytes(32, 0), m));
+
+  Bytes m2 = crypto::sha256(std::string_view("driver"));
+  Bytes after_first = tpm.pcr(2);
+  tpm.extend(2, m2);
+  EXPECT_EQ(tpm.pcr(2), crypto::sha256_concat(after_first, m2));
+}
+
+TEST(Tpm, ExtendOrderMatters) {
+  Rng rng(1);
+  Tpm a("a", rng), b("b", rng);
+  Bytes m1 = crypto::sha256(std::string_view("x")), m2 = crypto::sha256(std::string_view("y"));
+  a.extend(0, m1);
+  a.extend(0, m2);
+  b.extend(0, m2);
+  b.extend(0, m1);
+  EXPECT_NE(a.pcr(0), b.pcr(0));
+}
+
+TEST(Tpm, BadPcrIndexThrows) {
+  Rng rng(1);
+  Tpm tpm("hw-0", rng);
+  EXPECT_THROW(tpm.extend(kPcrCount, Bytes(32, 0)), std::out_of_range);
+  EXPECT_THROW(tpm.pcr(kPcrCount), std::out_of_range);
+}
+
+TEST(Tpm, QuoteVerifiesAndBindsNonce) {
+  Rng rng(1);
+  Tpm tpm("hw-0", rng);
+  tpm.extend(0, crypto::sha256(std::string_view("bios")));
+
+  Bytes nonce = rng.bytes(16);
+  Quote q = tpm.quote({0, 2}, nonce);
+  EXPECT_TRUE(Tpm::verify_quote_signature(q, tpm.endorsement_key()));
+
+  Quote forged = q;
+  forged.nonce = rng.bytes(16);
+  EXPECT_FALSE(Tpm::verify_quote_signature(forged, tpm.endorsement_key()));
+
+  Quote tampered = q;
+  tampered.pcr_values[0][0] ^= 1;
+  EXPECT_FALSE(Tpm::verify_quote_signature(tampered, tpm.endorsement_key()));
+}
+
+TEST(Tpm, ResetClearsPcrsKeepsIdentity) {
+  Rng rng(1);
+  Tpm tpm("hw-0", rng);
+  auto ek = tpm.endorsement_key();
+  tpm.extend(0, crypto::sha256(std::string_view("bios")));
+  tpm.reset();
+  EXPECT_EQ(tpm.pcr(0), Bytes(32, 0));
+  EXPECT_EQ(tpm.endorsement_key(), ek);
+}
+
+// ----------------------------------------------------------------- vTPM
+
+TEST(VTpm, ManagerIssuesVerifiableCertificates) {
+  Rng rng(2);
+  Tpm hw("hw-0", rng);
+  // The manager guards the hardware private key; reconstruct it the way the
+  // platform does (same Rng stream is not replayable, so the Tpm would need
+  // to expose it — instead build the pair explicitly).
+  crypto::KeyPair hw_keys = crypto::generate_keypair(rng);
+  Tpm hw2("hw-1", rng);
+  (void)hw2;
+
+  // Use a TPM whose keys we control for the manager:
+  VTpmManager mgr(hw, hw_keys.priv, Rng(3));
+  // The certificate chains to hw_keys, so verify against hw_keys.pub.
+  VTpm& v = mgr.create("vm-1");
+  EXPECT_EQ(v.id(), "vm-1");
+  EXPECT_TRUE(VTpmManager::verify_certificate(v.certificate(), hw_keys.pub));
+  EXPECT_FALSE(VTpmManager::verify_certificate(v.certificate(), hw.endorsement_key()));
+}
+
+TEST(VTpm, CreateIsIdempotent) {
+  Rng rng(2);
+  Tpm hw("hw-0", rng);
+  crypto::KeyPair hw_keys = crypto::generate_keypair(rng);
+  VTpmManager mgr(hw, hw_keys.priv, Rng(3));
+  VTpm& a = mgr.create("vm-1");
+  VTpm& b = mgr.create("vm-1");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(mgr.vtpm_count(), 1u);
+}
+
+TEST(VTpm, FindReportsMissing) {
+  Rng rng(2);
+  Tpm hw("hw-0", rng);
+  crypto::KeyPair hw_keys = crypto::generate_keypair(rng);
+  VTpmManager mgr(hw, hw_keys.priv, Rng(3));
+  EXPECT_EQ(mgr.find("vm-404").status().code(), StatusCode::kNotFound);
+  mgr.create("vm-1");
+  EXPECT_TRUE(mgr.find("vm-1").is_ok());
+}
+
+// -------------------------------------------------------- trust chain
+
+TEST(TrustChain, MeasuredLaunchExtendsAndLogs) {
+  Rng rng(4);
+  Tpm tpm("hw-0", rng);
+  auto stack = standard_vm_stack(to_bytes("bios-v1"), to_bytes("kernel-v5"),
+                                 {to_bytes("libssl"), to_bytes("libphi")});
+  MeasurementLog log = measured_launch(tpm, stack);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].component, "crtm-bios");
+  EXPECT_EQ(log[0].pcr, kFirmwarePcr);
+
+  // Replay matches live PCRs.
+  auto replayed = replay_log(log);
+  EXPECT_EQ(replayed.at(kFirmwarePcr), tpm.pcr(kFirmwarePcr));
+  EXPECT_EQ(replayed.at(kKernelPcr), tpm.pcr(kKernelPcr));
+  EXPECT_EQ(replayed.at(kLibraryPcr), tpm.pcr(kLibraryPcr));
+}
+
+TEST(TrustChain, ReplayDetectsMissingEvent) {
+  Rng rng(4);
+  Tpm tpm("hw-0", rng);
+  auto stack = standard_vm_stack(to_bytes("bios"), to_bytes("kernel"), {to_bytes("lib")});
+  MeasurementLog log = measured_launch(tpm, stack);
+  log.pop_back();  // attacker hides the last load
+  auto replayed = replay_log(log);
+  auto it = replayed.find(kLibraryPcr);
+  Bytes expected = it != replayed.end() ? it->second : Bytes(32, 0);
+  EXPECT_NE(expected, tpm.pcr(kLibraryPcr));
+}
+
+// ----------------------------------------------------------- attestation
+
+class AttestationFixture : public ::testing::Test {
+ protected:
+  AttestationFixture()
+      : rng_(5), tpm_("hw-0", rng_), service_(Rng(6)) {
+    service_.register_tpm(tpm_.id(), tpm_.endorsement_key());
+    stack_ = standard_vm_stack(to_bytes("bios-v1"), to_bytes("kernel-v5"),
+                               {to_bytes("libssl")});
+    for (const auto& c : stack_) {
+      service_.approve_component(c.name, crypto::sha256(c.content));
+    }
+  }
+
+  AttestationVerdict attest() {
+    MeasurementLog log = measured_launch(tpm_, stack_);
+    Bytes nonce = service_.challenge();
+    Quote q = tpm_.quote({kFirmwarePcr, kKernelPcr, kLibraryPcr}, nonce);
+    return service_.verify(q, log);
+  }
+
+  Rng rng_;
+  Tpm tpm_;
+  AttestationService service_;
+  std::vector<Component> stack_;
+};
+
+TEST_F(AttestationFixture, CleanBootIsTrusted) {
+  auto verdict = attest();
+  EXPECT_TRUE(verdict.trusted) << verdict.reason;
+}
+
+TEST_F(AttestationFixture, UnknownTpmRejected) {
+  MeasurementLog log = measured_launch(tpm_, stack_);
+  Bytes nonce = service_.challenge();
+  Quote q = tpm_.quote({kFirmwarePcr}, nonce);
+  q.tpm_id = "rogue";
+  auto verdict = service_.verify(q, log);
+  EXPECT_FALSE(verdict.trusted);
+  EXPECT_NE(verdict.reason.find("unknown TPM"), std::string::npos);
+}
+
+TEST_F(AttestationFixture, TamperedKernelRejected) {
+  stack_[1].content = to_bytes("kernel-v5-rootkit");  // not approved
+  auto verdict = attest();
+  EXPECT_FALSE(verdict.trusted);
+  EXPECT_NE(verdict.reason.find("not approved"), std::string::npos);
+}
+
+TEST_F(AttestationFixture, LogPcrMismatchRejected) {
+  MeasurementLog log = measured_launch(tpm_, stack_);
+  // Extra unlogged extension — live PCRs diverge from the log.
+  tpm_.extend(kKernelPcr, crypto::sha256(std::string_view("implant")));
+  Bytes nonce = service_.challenge();
+  Quote q = tpm_.quote({kFirmwarePcr, kKernelPcr, kLibraryPcr}, nonce);
+  auto verdict = service_.verify(q, log);
+  EXPECT_FALSE(verdict.trusted);
+  EXPECT_NE(verdict.reason.find("PCR"), std::string::npos);
+}
+
+TEST_F(AttestationFixture, NonceReplayRejected) {
+  MeasurementLog log = measured_launch(tpm_, stack_);
+  Bytes nonce = service_.challenge();
+  Quote q = tpm_.quote({kFirmwarePcr, kKernelPcr, kLibraryPcr}, nonce);
+  EXPECT_TRUE(service_.verify(q, log).trusted);
+  auto replay = service_.verify(q, log);
+  EXPECT_FALSE(replay.trusted);
+  EXPECT_NE(replay.reason.find("nonce"), std::string::npos);
+}
+
+TEST_F(AttestationFixture, SelfInventedNonceRejected) {
+  MeasurementLog log = measured_launch(tpm_, stack_);
+  Quote q = tpm_.quote({kFirmwarePcr, kKernelPcr, kLibraryPcr}, rng_.bytes(16));
+  EXPECT_FALSE(service_.verify(q, log).trusted);
+}
+
+TEST_F(AttestationFixture, RevokedComponentRejected) {
+  service_.revoke_component("kernel");
+  auto verdict = attest();
+  EXPECT_FALSE(verdict.trusted);
+}
+
+TEST_F(AttestationFixture, VtpmChainOfTrust) {
+  // vTPM manager guards a keypair registered as hardware TPM "hw-anchor".
+  crypto::KeyPair anchor = crypto::generate_keypair(rng_);
+  service_.register_tpm("hw-anchor", anchor.pub);
+  Tpm anchor_tpm("hw-anchor", rng_);
+  VTpmManager mgr(anchor_tpm, anchor.priv, Rng(9));
+  VTpm& vtpm = mgr.create("analytics-vm");
+
+  ASSERT_TRUE(service_.register_vtpm(vtpm.certificate()).is_ok());
+
+  auto container_stack = std::vector<Component>{
+      {"model-container:v1", to_bytes("trained-model-image"), kWorkloadPcr}};
+  service_.approve_component("model-container:v1",
+                             crypto::sha256(to_bytes("trained-model-image")));
+  MeasurementLog log = measured_launch(vtpm, container_stack);
+  Bytes nonce = service_.challenge();
+  Quote q = vtpm.quote({kWorkloadPcr}, nonce);
+  auto verdict = service_.verify(q, log);
+  EXPECT_TRUE(verdict.trusted) << verdict.reason;
+}
+
+TEST_F(AttestationFixture, ForgedVtpmCertificateRejected) {
+  crypto::KeyPair anchor = crypto::generate_keypair(rng_);
+  service_.register_tpm("hw-anchor", anchor.pub);
+  crypto::KeyPair rogue = crypto::generate_keypair(rng_);
+
+  Tpm anchor_tpm("hw-anchor", rng_);
+  VTpmManager rogue_mgr(anchor_tpm, rogue.priv, Rng(9));  // wrong signing key
+  VTpm& vtpm = rogue_mgr.create("evil-vm");
+  EXPECT_EQ(service_.register_vtpm(vtpm.certificate()).code(),
+            StatusCode::kIntegrityError);
+}
+
+// ----------------------------------------------------------------- images
+
+class ImageFixture : public ::testing::Test {
+ protected:
+  ImageFixture() : rng_(10), builder_(crypto::generate_keypair(rng_)) {
+    service_.approve_key(builder_.pub);
+  }
+
+  Rng rng_;
+  crypto::KeyPair builder_;
+  ImageManagementService service_;
+};
+
+TEST_F(ImageFixture, SignedImageByApprovedKeyAdmitted) {
+  Bytes content = to_bytes("vm-image-bytes");
+  auto manifest = sign_image("analytics-vm", "1.0", content, {}, builder_);
+  EXPECT_TRUE(service_.register_image(manifest, content).is_ok());
+  EXPECT_EQ(service_.image_count(), 1u);
+  EXPECT_EQ(service_.content("analytics-vm", "1.0").value(), content);
+}
+
+TEST_F(ImageFixture, UnapprovedSignerRejected) {
+  crypto::KeyPair rogue = crypto::generate_keypair(rng_);
+  Bytes content = to_bytes("vm-image-bytes");
+  auto manifest = sign_image("evil-vm", "1.0", content, {}, rogue);
+  EXPECT_EQ(service_.register_image(manifest, content).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ImageFixture, TamperedContentRejected) {
+  Bytes content = to_bytes("vm-image-bytes");
+  auto manifest = sign_image("analytics-vm", "1.0", content, {}, builder_);
+  Bytes tampered = to_bytes("vm-image-bytes!");
+  EXPECT_EQ(service_.register_image(manifest, tampered).code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST_F(ImageFixture, TamperedManifestRejected) {
+  Bytes content = to_bytes("vm-image-bytes");
+  auto manifest = sign_image("analytics-vm", "1.0", content, {}, builder_);
+  manifest.version = "6.6.6";
+  EXPECT_EQ(service_.register_image(manifest, content).code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST_F(ImageFixture, RevokedKeyStopsAdmission) {
+  Bytes content = to_bytes("vm-image-bytes");
+  auto manifest = sign_image("analytics-vm", "1.0", content, {}, builder_);
+  service_.revoke_key(builder_.pub.fingerprint());
+  EXPECT_EQ(service_.register_image(manifest, content).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_FALSE(service_.is_approved(builder_.pub.fingerprint()));
+}
+
+TEST_F(ImageFixture, DuplicateRegistrationRejected) {
+  Bytes content = to_bytes("vm-image-bytes");
+  auto manifest = sign_image("analytics-vm", "1.0", content, {}, builder_);
+  ASSERT_TRUE(service_.register_image(manifest, content).is_ok());
+  EXPECT_EQ(service_.register_image(manifest, content).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ImageFixture, AggregatePackageSignatures) {
+  Bytes content = to_bytes("container-layers");
+  std::vector<Bytes> packages{to_bytes("pkg-numpy"), to_bytes("pkg-openssl")};
+  auto manifest = sign_image("model-ctr", "2.1", content, packages, builder_);
+  EXPECT_EQ(manifest.package_digests.size(), 2u);
+  EXPECT_TRUE(service_.register_image(manifest, content).is_ok());
+
+  // Altering the recorded package set breaks the aggregate signature.
+  auto fetched = service_.manifest("model-ctr", "2.1").value();
+  fetched.package_digests.pop_back();
+  EXPECT_EQ(service_.verify_image(fetched, content).code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST_F(ImageFixture, MissingImageIsNotFound) {
+  EXPECT_EQ(service_.manifest("ghost", "0").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service_.content("ghost", "0").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hc::tpm
