@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delt.dir/bench_delt.cpp.o"
+  "CMakeFiles/bench_delt.dir/bench_delt.cpp.o.d"
+  "bench_delt"
+  "bench_delt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

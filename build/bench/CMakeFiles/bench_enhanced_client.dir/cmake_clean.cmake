@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enhanced_client.dir/bench_enhanced_client.cpp.o"
+  "CMakeFiles/bench_enhanced_client.dir/bench_enhanced_client.cpp.o.d"
+  "bench_enhanced_client"
+  "bench_enhanced_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enhanced_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

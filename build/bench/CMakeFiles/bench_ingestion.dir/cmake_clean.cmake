@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ingestion.dir/bench_ingestion.cpp.o"
+  "CMakeFiles/bench_ingestion.dir/bench_ingestion.cpp.o.d"
+  "bench_ingestion"
+  "bench_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intercloud.dir/bench_intercloud.cpp.o"
+  "CMakeFiles/bench_intercloud.dir/bench_intercloud.cpp.o.d"
+  "bench_intercloud"
+  "bench_intercloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intercloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

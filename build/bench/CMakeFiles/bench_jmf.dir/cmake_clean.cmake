@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jmf.dir/bench_jmf.cpp.o"
+  "CMakeFiles/bench_jmf.dir/bench_jmf.cpp.o.d"
+  "bench_jmf"
+  "bench_jmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

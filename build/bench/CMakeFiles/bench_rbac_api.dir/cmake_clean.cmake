@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rbac_api.dir/bench_rbac_api.cpp.o"
+  "CMakeFiles/bench_rbac_api.dir/bench_rbac_api.cpp.o.d"
+  "bench_rbac_api"
+  "bench_rbac_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rbac_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

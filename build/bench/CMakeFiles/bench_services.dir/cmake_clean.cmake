@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_services.dir/bench_services.cpp.o"
+  "CMakeFiles/bench_services.dir/bench_services.cpp.o.d"
+  "bench_services"
+  "bench_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

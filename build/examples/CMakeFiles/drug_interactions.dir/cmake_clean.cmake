@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_interactions.dir/drug_interactions.cpp.o"
+  "CMakeFiles/drug_interactions.dir/drug_interactions.cpp.o.d"
+  "drug_interactions"
+  "drug_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

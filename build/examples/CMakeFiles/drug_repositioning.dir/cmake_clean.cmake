@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_repositioning.dir/drug_repositioning.cpp.o"
+  "CMakeFiles/drug_repositioning.dir/drug_repositioning.cpp.o.d"
+  "drug_repositioning"
+  "drug_repositioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_repositioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

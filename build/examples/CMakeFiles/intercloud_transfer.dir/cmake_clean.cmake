@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercloud_transfer.dir/intercloud_transfer.cpp.o"
+  "CMakeFiles/intercloud_transfer.dir/intercloud_transfer.cpp.o.d"
+  "intercloud_transfer"
+  "intercloud_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercloud_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("net")
+subdirs("tpm")
+subdirs("rbac")
+subdirs("storage")
+subdirs("cache")
+subdirs("privacy")
+subdirs("fhir")
+subdirs("blockchain")
+subdirs("ingestion")
+subdirs("analytics")
+subdirs("services")
+subdirs("platform")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/ddi.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/ddi.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/ddi.cpp.o.d"
+  "/root/repo/src/analytics/delt.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/delt.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/delt.cpp.o.d"
+  "/root/repo/src/analytics/emr.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/emr.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/emr.cpp.o.d"
+  "/root/repo/src/analytics/jmf.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/jmf.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/jmf.cpp.o.d"
+  "/root/repo/src/analytics/lifecycle.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/lifecycle.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/lifecycle.cpp.o.d"
+  "/root/repo/src/analytics/matrix.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/matrix.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/matrix.cpp.o.d"
+  "/root/repo/src/analytics/metrics.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/metrics.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/metrics.cpp.o.d"
+  "/root/repo/src/analytics/mf.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/mf.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/mf.cpp.o.d"
+  "/root/repo/src/analytics/similarity.cpp" "src/analytics/CMakeFiles/hc_analytics.dir/similarity.cpp.o" "gcc" "src/analytics/CMakeFiles/hc_analytics.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

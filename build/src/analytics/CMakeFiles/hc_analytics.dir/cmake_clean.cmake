@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_analytics.dir/ddi.cpp.o"
+  "CMakeFiles/hc_analytics.dir/ddi.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/delt.cpp.o"
+  "CMakeFiles/hc_analytics.dir/delt.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/emr.cpp.o"
+  "CMakeFiles/hc_analytics.dir/emr.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/jmf.cpp.o"
+  "CMakeFiles/hc_analytics.dir/jmf.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/lifecycle.cpp.o"
+  "CMakeFiles/hc_analytics.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/matrix.cpp.o"
+  "CMakeFiles/hc_analytics.dir/matrix.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/metrics.cpp.o"
+  "CMakeFiles/hc_analytics.dir/metrics.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/mf.cpp.o"
+  "CMakeFiles/hc_analytics.dir/mf.cpp.o.d"
+  "CMakeFiles/hc_analytics.dir/similarity.cpp.o"
+  "CMakeFiles/hc_analytics.dir/similarity.cpp.o.d"
+  "libhc_analytics.a"
+  "libhc_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

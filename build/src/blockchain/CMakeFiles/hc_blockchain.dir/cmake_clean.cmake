@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_blockchain.dir/auditor.cpp.o"
+  "CMakeFiles/hc_blockchain.dir/auditor.cpp.o.d"
+  "CMakeFiles/hc_blockchain.dir/contracts.cpp.o"
+  "CMakeFiles/hc_blockchain.dir/contracts.cpp.o.d"
+  "CMakeFiles/hc_blockchain.dir/ledger.cpp.o"
+  "CMakeFiles/hc_blockchain.dir/ledger.cpp.o.d"
+  "libhc_blockchain.a"
+  "libhc_blockchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_blockchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_cache.dir/cache.cpp.o"
+  "CMakeFiles/hc_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/hc_cache.dir/multilevel.cpp.o"
+  "CMakeFiles/hc_cache.dir/multilevel.cpp.o.d"
+  "libhc_cache.a"
+  "libhc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

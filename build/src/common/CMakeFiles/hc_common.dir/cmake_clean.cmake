@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_common.dir/bytes.cpp.o"
+  "CMakeFiles/hc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/hc_common.dir/clock.cpp.o"
+  "CMakeFiles/hc_common.dir/clock.cpp.o.d"
+  "CMakeFiles/hc_common.dir/id.cpp.o"
+  "CMakeFiles/hc_common.dir/id.cpp.o.d"
+  "CMakeFiles/hc_common.dir/log.cpp.o"
+  "CMakeFiles/hc_common.dir/log.cpp.o.d"
+  "CMakeFiles/hc_common.dir/rng.cpp.o"
+  "CMakeFiles/hc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hc_common.dir/status.cpp.o"
+  "CMakeFiles/hc_common.dir/status.cpp.o.d"
+  "libhc_common.a"
+  "libhc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/asymmetric.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/asymmetric.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/asymmetric.cpp.o.d"
+  "/root/repo/src/crypto/graph_mac.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/graph_mac.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/graph_mac.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/kms.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/kms.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/kms.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/redactable.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/redactable.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/redactable.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

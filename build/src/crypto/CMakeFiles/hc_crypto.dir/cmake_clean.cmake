@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_crypto.dir/aes.cpp.o"
+  "CMakeFiles/hc_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/asymmetric.cpp.o"
+  "CMakeFiles/hc_crypto.dir/asymmetric.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/graph_mac.cpp.o"
+  "CMakeFiles/hc_crypto.dir/graph_mac.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/hc_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/kms.cpp.o"
+  "CMakeFiles/hc_crypto.dir/kms.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/hc_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/redactable.cpp.o"
+  "CMakeFiles/hc_crypto.dir/redactable.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/hc_crypto.dir/sha256.cpp.o.d"
+  "libhc_crypto.a"
+  "libhc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fhir/hl7.cpp" "src/fhir/CMakeFiles/hc_fhir.dir/hl7.cpp.o" "gcc" "src/fhir/CMakeFiles/hc_fhir.dir/hl7.cpp.o.d"
+  "/root/repo/src/fhir/json.cpp" "src/fhir/CMakeFiles/hc_fhir.dir/json.cpp.o" "gcc" "src/fhir/CMakeFiles/hc_fhir.dir/json.cpp.o.d"
+  "/root/repo/src/fhir/resources.cpp" "src/fhir/CMakeFiles/hc_fhir.dir/resources.cpp.o" "gcc" "src/fhir/CMakeFiles/hc_fhir.dir/resources.cpp.o.d"
+  "/root/repo/src/fhir/synthetic.cpp" "src/fhir/CMakeFiles/hc_fhir.dir/synthetic.cpp.o" "gcc" "src/fhir/CMakeFiles/hc_fhir.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/hc_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_fhir.dir/hl7.cpp.o"
+  "CMakeFiles/hc_fhir.dir/hl7.cpp.o.d"
+  "CMakeFiles/hc_fhir.dir/json.cpp.o"
+  "CMakeFiles/hc_fhir.dir/json.cpp.o.d"
+  "CMakeFiles/hc_fhir.dir/resources.cpp.o"
+  "CMakeFiles/hc_fhir.dir/resources.cpp.o.d"
+  "CMakeFiles/hc_fhir.dir/synthetic.cpp.o"
+  "CMakeFiles/hc_fhir.dir/synthetic.cpp.o.d"
+  "libhc_fhir.a"
+  "libhc_fhir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_fhir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

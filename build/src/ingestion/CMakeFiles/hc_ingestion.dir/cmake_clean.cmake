@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_ingestion.dir/export.cpp.o"
+  "CMakeFiles/hc_ingestion.dir/export.cpp.o.d"
+  "CMakeFiles/hc_ingestion.dir/ingestion.cpp.o"
+  "CMakeFiles/hc_ingestion.dir/ingestion.cpp.o.d"
+  "CMakeFiles/hc_ingestion.dir/malware.cpp.o"
+  "CMakeFiles/hc_ingestion.dir/malware.cpp.o.d"
+  "libhc_ingestion.a"
+  "libhc_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

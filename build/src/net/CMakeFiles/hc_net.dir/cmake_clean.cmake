@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_net.dir/network.cpp.o"
+  "CMakeFiles/hc_net.dir/network.cpp.o.d"
+  "CMakeFiles/hc_net.dir/secure_channel.cpp.o"
+  "CMakeFiles/hc_net.dir/secure_channel.cpp.o.d"
+  "libhc_net.a"
+  "libhc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_platform.dir/change_mgmt.cpp.o"
+  "CMakeFiles/hc_platform.dir/change_mgmt.cpp.o.d"
+  "CMakeFiles/hc_platform.dir/compliance.cpp.o"
+  "CMakeFiles/hc_platform.dir/compliance.cpp.o.d"
+  "CMakeFiles/hc_platform.dir/enhanced_client.cpp.o"
+  "CMakeFiles/hc_platform.dir/enhanced_client.cpp.o.d"
+  "CMakeFiles/hc_platform.dir/gateway.cpp.o"
+  "CMakeFiles/hc_platform.dir/gateway.cpp.o.d"
+  "CMakeFiles/hc_platform.dir/instance.cpp.o"
+  "CMakeFiles/hc_platform.dir/instance.cpp.o.d"
+  "CMakeFiles/hc_platform.dir/intercloud.cpp.o"
+  "CMakeFiles/hc_platform.dir/intercloud.cpp.o.d"
+  "CMakeFiles/hc_platform.dir/log_anchor.cpp.o"
+  "CMakeFiles/hc_platform.dir/log_anchor.cpp.o.d"
+  "CMakeFiles/hc_platform.dir/routes.cpp.o"
+  "CMakeFiles/hc_platform.dir/routes.cpp.o.d"
+  "libhc_platform.a"
+  "libhc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/deid.cpp" "src/privacy/CMakeFiles/hc_privacy.dir/deid.cpp.o" "gcc" "src/privacy/CMakeFiles/hc_privacy.dir/deid.cpp.o.d"
+  "/root/repo/src/privacy/kanonymity.cpp" "src/privacy/CMakeFiles/hc_privacy.dir/kanonymity.cpp.o" "gcc" "src/privacy/CMakeFiles/hc_privacy.dir/kanonymity.cpp.o.d"
+  "/root/repo/src/privacy/verification.cpp" "src/privacy/CMakeFiles/hc_privacy.dir/verification.cpp.o" "gcc" "src/privacy/CMakeFiles/hc_privacy.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

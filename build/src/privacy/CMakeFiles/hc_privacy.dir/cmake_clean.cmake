@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_privacy.dir/deid.cpp.o"
+  "CMakeFiles/hc_privacy.dir/deid.cpp.o.d"
+  "CMakeFiles/hc_privacy.dir/kanonymity.cpp.o"
+  "CMakeFiles/hc_privacy.dir/kanonymity.cpp.o.d"
+  "CMakeFiles/hc_privacy.dir/verification.cpp.o"
+  "CMakeFiles/hc_privacy.dir/verification.cpp.o.d"
+  "libhc_privacy.a"
+  "libhc_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

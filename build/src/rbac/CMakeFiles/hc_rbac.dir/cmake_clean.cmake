@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_rbac.dir/federated.cpp.o"
+  "CMakeFiles/hc_rbac.dir/federated.cpp.o.d"
+  "CMakeFiles/hc_rbac.dir/rbac.cpp.o"
+  "CMakeFiles/hc_rbac.dir/rbac.cpp.o.d"
+  "libhc_rbac.a"
+  "libhc_rbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_rbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_services.dir/knowledge.cpp.o"
+  "CMakeFiles/hc_services.dir/knowledge.cpp.o.d"
+  "CMakeFiles/hc_services.dir/registry.cpp.o"
+  "CMakeFiles/hc_services.dir/registry.cpp.o.d"
+  "libhc_services.a"
+  "libhc_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

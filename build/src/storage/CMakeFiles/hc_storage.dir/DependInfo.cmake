@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/data_lake.cpp" "src/storage/CMakeFiles/hc_storage.dir/data_lake.cpp.o" "gcc" "src/storage/CMakeFiles/hc_storage.dir/data_lake.cpp.o.d"
+  "/root/repo/src/storage/replication.cpp" "src/storage/CMakeFiles/hc_storage.dir/replication.cpp.o" "gcc" "src/storage/CMakeFiles/hc_storage.dir/replication.cpp.o.d"
+  "/root/repo/src/storage/staging.cpp" "src/storage/CMakeFiles/hc_storage.dir/staging.cpp.o" "gcc" "src/storage/CMakeFiles/hc_storage.dir/staging.cpp.o.d"
+  "/root/repo/src/storage/status_tracker.cpp" "src/storage/CMakeFiles/hc_storage.dir/status_tracker.cpp.o" "gcc" "src/storage/CMakeFiles/hc_storage.dir/status_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_storage.dir/data_lake.cpp.o"
+  "CMakeFiles/hc_storage.dir/data_lake.cpp.o.d"
+  "CMakeFiles/hc_storage.dir/replication.cpp.o"
+  "CMakeFiles/hc_storage.dir/replication.cpp.o.d"
+  "CMakeFiles/hc_storage.dir/staging.cpp.o"
+  "CMakeFiles/hc_storage.dir/staging.cpp.o.d"
+  "CMakeFiles/hc_storage.dir/status_tracker.cpp.o"
+  "CMakeFiles/hc_storage.dir/status_tracker.cpp.o.d"
+  "libhc_storage.a"
+  "libhc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpm/attestation.cpp" "src/tpm/CMakeFiles/hc_tpm.dir/attestation.cpp.o" "gcc" "src/tpm/CMakeFiles/hc_tpm.dir/attestation.cpp.o.d"
+  "/root/repo/src/tpm/image.cpp" "src/tpm/CMakeFiles/hc_tpm.dir/image.cpp.o" "gcc" "src/tpm/CMakeFiles/hc_tpm.dir/image.cpp.o.d"
+  "/root/repo/src/tpm/tpm.cpp" "src/tpm/CMakeFiles/hc_tpm.dir/tpm.cpp.o" "gcc" "src/tpm/CMakeFiles/hc_tpm.dir/tpm.cpp.o.d"
+  "/root/repo/src/tpm/trust_chain.cpp" "src/tpm/CMakeFiles/hc_tpm.dir/trust_chain.cpp.o" "gcc" "src/tpm/CMakeFiles/hc_tpm.dir/trust_chain.cpp.o.d"
+  "/root/repo/src/tpm/vtpm.cpp" "src/tpm/CMakeFiles/hc_tpm.dir/vtpm.cpp.o" "gcc" "src/tpm/CMakeFiles/hc_tpm.dir/vtpm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_tpm.dir/attestation.cpp.o"
+  "CMakeFiles/hc_tpm.dir/attestation.cpp.o.d"
+  "CMakeFiles/hc_tpm.dir/image.cpp.o"
+  "CMakeFiles/hc_tpm.dir/image.cpp.o.d"
+  "CMakeFiles/hc_tpm.dir/tpm.cpp.o"
+  "CMakeFiles/hc_tpm.dir/tpm.cpp.o.d"
+  "CMakeFiles/hc_tpm.dir/trust_chain.cpp.o"
+  "CMakeFiles/hc_tpm.dir/trust_chain.cpp.o.d"
+  "CMakeFiles/hc_tpm.dir/vtpm.cpp.o"
+  "CMakeFiles/hc_tpm.dir/vtpm.cpp.o.d"
+  "libhc_tpm.a"
+  "libhc_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adversary_test.cpp" "tests/CMakeFiles/adversary_test.dir/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/adversary_test.dir/adversary_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/hc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/hc_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbac/CMakeFiles/hc_rbac.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingestion/CMakeFiles/hc_ingestion.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fhir/CMakeFiles/hc_fhir.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/hc_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockchain/CMakeFiles/hc_blockchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/hc_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/hc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

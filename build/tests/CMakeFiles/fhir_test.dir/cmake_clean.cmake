@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhir_test.dir/fhir_test.cpp.o"
+  "CMakeFiles/fhir_test.dir/fhir_test.cpp.o.d"
+  "fhir_test"
+  "fhir_test.pdb"
+  "fhir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_mac_test.dir/graph_mac_test.cpp.o"
+  "CMakeFiles/graph_mac_test.dir/graph_mac_test.cpp.o.d"
+  "graph_mac_test"
+  "graph_mac_test.pdb"
+  "graph_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

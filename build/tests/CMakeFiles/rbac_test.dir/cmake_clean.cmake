@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_test.dir/rbac_test.cpp.o"
+  "CMakeFiles/rbac_test.dir/rbac_test.cpp.o.d"
+  "rbac_test"
+  "rbac_test.pdb"
+  "rbac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

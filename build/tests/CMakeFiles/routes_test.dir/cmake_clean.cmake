@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routes_test.dir/routes_test.cpp.o"
+  "CMakeFiles/routes_test.dir/routes_test.cpp.o.d"
+  "routes_test"
+  "routes_test.pdb"
+  "routes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

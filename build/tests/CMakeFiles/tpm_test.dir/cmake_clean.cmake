@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_test.dir/tpm_test.cpp.o"
+  "CMakeFiles/tpm_test.dir/tpm_test.cpp.o.d"
+  "tpm_test"
+  "tpm_test.pdb"
+  "tpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

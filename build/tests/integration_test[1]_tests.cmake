@@ -1,0 +1,3 @@
+add_test([=[EndToEnd.FullPlatformScenario]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=EndToEnd.FullPlatformScenario]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[EndToEnd.FullPlatformScenario]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS EndToEnd.FullPlatformScenario)
