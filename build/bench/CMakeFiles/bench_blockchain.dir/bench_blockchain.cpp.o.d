@@ -249,4 +249,5 @@ bench/CMakeFiles/bench_blockchain.dir/bench_blockchain.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/net/network.h /root/repo/src/blockchain/contracts.h
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/blockchain/contracts.h

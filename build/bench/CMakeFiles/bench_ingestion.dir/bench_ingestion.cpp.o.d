@@ -250,10 +250,11 @@ bench/CMakeFiles/bench_ingestion.dir/bench_ingestion.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/net/network.h /root/repo/src/fhir/synthetic.h \
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/crypto/hmac.h /root/repo/src/fhir/synthetic.h \
  /root/repo/src/fhir/resources.h /usr/include/c++/12/variant \
  /root/repo/src/fhir/json.h /root/repo/src/privacy/schema.h \
- /root/repo/src/ingestion/malware.h \
+ /root/repo/src/ingestion/malware.h /root/repo/src/obs/export.h \
  /root/repo/src/platform/enhanced_client.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/analytics/similarity.h /root/repo/src/analytics/matrix.h \

@@ -251,16 +251,16 @@ bench/CMakeFiles/bench_rbac_api.dir/bench_rbac_api.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/net/network.h /root/repo/src/crypto/kms.h \
- /root/repo/src/crypto/asymmetric.h /root/repo/src/ingestion/export.h \
- /root/repo/src/privacy/deid.h /root/repo/src/privacy/schema.h \
- /root/repo/src/privacy/kanonymity.h /root/repo/src/storage/data_lake.h \
- /root/repo/src/ingestion/ingestion.h /root/repo/src/fhir/resources.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/fhir/json.h /root/repo/src/ingestion/malware.h \
- /root/repo/src/privacy/verification.h /root/repo/src/storage/staging.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/crypto/kms.h /root/repo/src/crypto/asymmetric.h \
+ /root/repo/src/ingestion/export.h /root/repo/src/privacy/deid.h \
+ /root/repo/src/privacy/schema.h /root/repo/src/privacy/kanonymity.h \
+ /root/repo/src/storage/data_lake.h /root/repo/src/ingestion/ingestion.h \
+ /root/repo/src/fhir/resources.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/fhir/json.h \
+ /root/repo/src/ingestion/malware.h /root/repo/src/privacy/verification.h \
+ /root/repo/src/storage/staging.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/storage/status_tracker.h /root/repo/src/rbac/federated.h \
  /root/repo/src/rbac/rbac.h /root/repo/src/services/knowledge.h \
  /root/repo/src/cache/cache.h /usr/include/c++/12/list \

@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/services/CMakeFiles/hc_services.dir/DependInfo.cmake"
   "/root/repo/build/src/cache/CMakeFiles/hc_cache.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hc_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
   )

@@ -245,14 +245,14 @@ examples/CMakeFiles/audit_trail.dir/audit_trail.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/net/network.h /root/repo/src/blockchain/contracts.h \
- /root/repo/src/fhir/synthetic.h /root/repo/src/fhir/resources.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/fhir/json.h /root/repo/src/privacy/schema.h \
- /root/repo/src/ingestion/malware.h /root/repo/src/platform/compliance.h \
- /root/repo/src/platform/instance.h /root/repo/src/analytics/lifecycle.h \
- /root/repo/src/crypto/kms.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/blockchain/contracts.h /root/repo/src/fhir/synthetic.h \
+ /root/repo/src/fhir/resources.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/fhir/json.h \
+ /root/repo/src/privacy/schema.h /root/repo/src/ingestion/malware.h \
+ /root/repo/src/platform/compliance.h /root/repo/src/platform/instance.h \
+ /root/repo/src/analytics/lifecycle.h /root/repo/src/crypto/kms.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/crypto/asymmetric.h /root/repo/src/ingestion/export.h \
  /root/repo/src/privacy/deid.h /root/repo/src/privacy/kanonymity.h \

@@ -242,4 +242,4 @@ examples/CMakeFiles/drug_interactions.dir/drug_interactions.cpp.o: \
  /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/bytes.h /root/repo/src/common/clock.h \
- /root/repo/src/common/status.h
+ /root/repo/src/obs/metrics.h /root/repo/src/common/status.h

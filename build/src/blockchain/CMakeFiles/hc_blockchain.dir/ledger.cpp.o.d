@@ -242,5 +242,5 @@ src/blockchain/CMakeFiles/hc_blockchain.dir/ledger.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/net/network.h /root/repo/src/crypto/merkle.h \
- /root/repo/src/crypto/sha256.h
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/crypto/merkle.h /root/repo/src/crypto/sha256.h

@@ -204,4 +204,5 @@ src/cache/CMakeFiles/hc_cache.dir/cache.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/limits

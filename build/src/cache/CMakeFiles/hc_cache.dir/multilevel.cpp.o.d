@@ -213,5 +213,6 @@ src/cache/CMakeFiles/hc_cache.dir/multilevel.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/common/bytes.h /root/repo/src/common/clock.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/limits \
  /root/repo/src/common/status.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/fhir/CMakeFiles/hc_fhir.dir/DependInfo.cmake"
   "/root/repo/build/src/privacy/CMakeFiles/hc_privacy.dir/DependInfo.cmake"
   "/root/repo/build/src/blockchain/CMakeFiles/hc_blockchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hc_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
   )
 

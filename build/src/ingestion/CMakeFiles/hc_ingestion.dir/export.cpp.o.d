@@ -245,11 +245,11 @@ src/ingestion/CMakeFiles/hc_ingestion.dir/export.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/net/network.h /root/repo/src/privacy/deid.h \
- /root/repo/src/privacy/schema.h /root/repo/src/privacy/kanonymity.h \
- /usr/include/c++/12/cstddef /root/repo/src/storage/data_lake.h \
- /root/repo/src/crypto/kms.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/privacy/deid.h /root/repo/src/privacy/schema.h \
+ /root/repo/src/privacy/kanonymity.h /usr/include/c++/12/cstddef \
+ /root/repo/src/storage/data_lake.h /root/repo/src/crypto/kms.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/crypto/asymmetric.h /root/repo/src/crypto/sha256.h \
  /root/repo/src/fhir/resources.h /usr/include/c++/12/variant \

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hc_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -233,5 +233,5 @@ src/net/CMakeFiles/hc_net.dir/secure_channel.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/crypto/aes.h \
- /root/repo/src/crypto/sha256.h
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/crypto/aes.h /root/repo/src/crypto/sha256.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_obs.dir/export.cpp.o"
+  "CMakeFiles/hc_obs.dir/export.cpp.o.d"
+  "CMakeFiles/hc_obs.dir/metrics.cpp.o"
+  "CMakeFiles/hc_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/hc_obs.dir/trace.cpp.o"
+  "CMakeFiles/hc_obs.dir/trace.cpp.o.d"
+  "libhc_obs.a"
+  "libhc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

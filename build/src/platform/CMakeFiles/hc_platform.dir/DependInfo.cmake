@@ -33,6 +33,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ingestion/CMakeFiles/hc_ingestion.dir/DependInfo.cmake"
   "/root/repo/build/src/analytics/CMakeFiles/hc_analytics.dir/DependInfo.cmake"
   "/root/repo/build/src/services/CMakeFiles/hc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hc_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -247,8 +247,9 @@ src/platform/CMakeFiles/hc_platform.dir/compliance.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/net/network.h /root/repo/src/crypto/kms.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/crypto/kms.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/crypto/asymmetric.h /root/repo/src/ingestion/export.h \
  /root/repo/src/privacy/deid.h /root/repo/src/privacy/schema.h \

@@ -239,9 +239,9 @@ src/platform/CMakeFiles/hc_platform.dir/enhanced_client.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/bytes.h /root/repo/src/common/clock.h \
- /root/repo/src/platform/instance.h /root/repo/src/analytics/lifecycle.h \
- /root/repo/src/common/log.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/platform/instance.h \
+ /root/repo/src/analytics/lifecycle.h /root/repo/src/common/log.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \

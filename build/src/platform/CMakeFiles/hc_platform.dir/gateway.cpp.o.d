@@ -245,8 +245,9 @@ src/platform/CMakeFiles/hc_platform.dir/gateway.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/net/network.h /root/repo/src/crypto/kms.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/crypto/kms.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/crypto/asymmetric.h /root/repo/src/ingestion/export.h \
  /root/repo/src/privacy/deid.h /root/repo/src/privacy/schema.h \
@@ -264,4 +265,4 @@ src/platform/CMakeFiles/hc_platform.dir/gateway.cpp.o: \
  /root/repo/src/services/registry.h /root/repo/src/tpm/attestation.h \
  /root/repo/src/tpm/tpm.h /root/repo/src/tpm/trust_chain.h \
  /root/repo/src/crypto/sha256.h /root/repo/src/tpm/vtpm.h \
- /root/repo/src/tpm/image.h
+ /root/repo/src/tpm/image.h /root/repo/src/obs/trace.h

@@ -244,5 +244,5 @@ src/platform/CMakeFiles/hc_platform.dir/log_anchor.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/net/network.h /root/repo/src/crypto/merkle.h \
- /root/repo/src/crypto/sha256.h
+ /root/repo/src/net/network.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/crypto/merkle.h /root/repo/src/crypto/sha256.h

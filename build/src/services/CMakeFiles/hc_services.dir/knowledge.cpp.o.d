@@ -206,6 +206,7 @@ src/services/CMakeFiles/hc_services.dir/knowledge.cpp.o: \
  /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/bytes.h /root/repo/src/common/clock.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/limits \
  /root/repo/src/common/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -217,8 +218,7 @@ src/services/CMakeFiles/hc_services.dir/knowledge.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -324,4 +324,4 @@ tests/CMakeFiles/blockchain_test.dir/blockchain_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /root/repo/src/net/network.h \
- /root/repo/src/blockchain/contracts.h
+ /root/repo/src/obs/metrics.h /root/repo/src/blockchain/contracts.h

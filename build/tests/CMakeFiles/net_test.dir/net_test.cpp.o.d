@@ -323,4 +323,5 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/status.h /root/repo/src/net/secure_channel.h \
- /root/repo/src/common/bytes.h /root/repo/src/crypto/asymmetric.h
+ /root/repo/src/common/bytes.h /root/repo/src/crypto/asymmetric.h \
+ /root/repo/src/obs/metrics.h

@@ -324,23 +324,24 @@ tests/CMakeFiles/platform_test.dir/platform_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /root/repo/src/net/network.h \
- /root/repo/src/fhir/synthetic.h /root/repo/src/fhir/resources.h \
- /root/repo/src/fhir/json.h /root/repo/src/privacy/schema.h \
- /root/repo/src/platform/change_mgmt.h /root/repo/src/tpm/attestation.h \
- /root/repo/src/tpm/tpm.h /root/repo/src/crypto/asymmetric.h \
- /root/repo/src/tpm/trust_chain.h /root/repo/src/crypto/sha256.h \
- /root/repo/src/tpm/vtpm.h /root/repo/src/platform/enhanced_client.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/analytics/similarity.h \
- /root/repo/src/analytics/matrix.h /root/repo/src/cache/cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/platform/instance.h \
- /root/repo/src/analytics/lifecycle.h /root/repo/src/crypto/kms.h \
- /root/repo/src/ingestion/export.h /root/repo/src/privacy/deid.h \
- /root/repo/src/privacy/kanonymity.h /root/repo/src/storage/data_lake.h \
- /root/repo/src/ingestion/ingestion.h /root/repo/src/ingestion/malware.h \
- /root/repo/src/privacy/verification.h /root/repo/src/storage/staging.h \
- /root/repo/src/storage/status_tracker.h /root/repo/src/rbac/federated.h \
- /root/repo/src/rbac/rbac.h /root/repo/src/services/knowledge.h \
- /root/repo/src/services/registry.h /root/repo/src/tpm/image.h \
- /root/repo/src/platform/gateway.h /root/repo/src/platform/intercloud.h
+ /root/repo/src/obs/metrics.h /root/repo/src/fhir/synthetic.h \
+ /root/repo/src/fhir/resources.h /root/repo/src/fhir/json.h \
+ /root/repo/src/privacy/schema.h /root/repo/src/platform/change_mgmt.h \
+ /root/repo/src/tpm/attestation.h /root/repo/src/tpm/tpm.h \
+ /root/repo/src/crypto/asymmetric.h /root/repo/src/tpm/trust_chain.h \
+ /root/repo/src/crypto/sha256.h /root/repo/src/tpm/vtpm.h \
+ /root/repo/src/platform/enhanced_client.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/analytics/similarity.h /root/repo/src/analytics/matrix.h \
+ /root/repo/src/cache/cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/platform/instance.h /root/repo/src/analytics/lifecycle.h \
+ /root/repo/src/crypto/kms.h /root/repo/src/ingestion/export.h \
+ /root/repo/src/privacy/deid.h /root/repo/src/privacy/kanonymity.h \
+ /root/repo/src/storage/data_lake.h /root/repo/src/ingestion/ingestion.h \
+ /root/repo/src/ingestion/malware.h /root/repo/src/privacy/verification.h \
+ /root/repo/src/storage/staging.h /root/repo/src/storage/status_tracker.h \
+ /root/repo/src/rbac/federated.h /root/repo/src/rbac/rbac.h \
+ /root/repo/src/services/knowledge.h /root/repo/src/services/registry.h \
+ /root/repo/src/tpm/image.h /root/repo/src/platform/gateway.h \
+ /root/repo/src/platform/intercloud.h

@@ -324,12 +324,12 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/common/log.h \
  /root/repo/src/common/status.h /root/repo/src/net/network.h \
- /root/repo/src/cache/cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/crypto/redactable.h /root/repo/src/crypto/asymmetric.h \
- /root/repo/src/fhir/synthetic.h /root/repo/src/fhir/resources.h \
- /root/repo/src/fhir/json.h /root/repo/src/privacy/schema.h \
- /root/repo/src/net/secure_channel.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/cache/cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/crypto/redactable.h \
+ /root/repo/src/crypto/asymmetric.h /root/repo/src/fhir/synthetic.h \
+ /root/repo/src/fhir/resources.h /root/repo/src/fhir/json.h \
+ /root/repo/src/privacy/schema.h /root/repo/src/net/secure_channel.h \
  /root/repo/src/platform/enhanced_client.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/analytics/similarity.h /root/repo/src/analytics/matrix.h \

@@ -296,8 +296,9 @@ tests/CMakeFiles/services_test.dir/services_test.cpp.o: \
  /root/repo/src/services/knowledge.h /root/repo/src/cache/cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/common/bytes.h \
- /root/repo/src/common/clock.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/rng.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

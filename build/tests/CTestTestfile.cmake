@@ -26,3 +26,5 @@ include("/root/repo/build/tests/graph_mac_test[1]_include.cmake")
 include("/root/repo/build/tests/adversary_test[1]_include.cmake")
 include("/root/repo/build/tests/replication_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_export_test[1]_include.cmake")

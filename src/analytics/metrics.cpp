@@ -69,14 +69,26 @@ double auc_pr(const std::vector<double>& scores, const std::vector<bool>& labels
   double area = 0.0;
   double prev_recall = 0.0;
   std::size_t tp = 0;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    if (labels[order[i]]) {
-      ++tp;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // A block of tied scores is one threshold: all its items enter the
+    // ranking together, so precision/recall only exist at the block's end.
+    // Walking item-by-item here would make the result depend on how
+    // stable_sort happened to order positives within the tie.
+    std::size_t j = i;
+    std::size_t block_tp = 0;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) {
+      if (labels[order[j]]) ++block_tp;
+      ++j;
+    }
+    if (block_tp > 0) {
+      tp += block_tp;
       double recall = static_cast<double>(tp) / static_cast<double>(positives);
-      double precision = static_cast<double>(tp) / static_cast<double>(i + 1);
+      double precision = static_cast<double>(tp) / static_cast<double>(j);
       area += (recall - prev_recall) * precision;
       prev_recall = recall;
     }
+    i = j;
   }
   return area;
 }
@@ -86,11 +98,14 @@ double precision_at_k(const std::vector<double>& scores, const std::vector<bool>
   if (scores.size() != labels.size()) {
     throw std::invalid_argument("precision_at_k: size mismatch");
   }
-  k = std::min(k, scores.size());
   if (k == 0) return 0.0;
   auto order = rank_descending(scores);
   std::size_t hits = 0;
-  for (std::size_t i = 0; i < k; ++i) hits += labels[order[i]] ? 1 : 0;
+  for (std::size_t i = 0; i < std::min(k, order.size()); ++i) {
+    hits += labels[order[i]] ? 1 : 0;
+  }
+  // Divide by the requested k, not the candidate count: asked for k
+  // results, anything short of that is a miss.
   return static_cast<double>(hits) / static_cast<double>(k);
 }
 

@@ -11,10 +11,14 @@ namespace hc::analytics {
 /// least one positive and one negative label; returns 0.5 otherwise.
 double auc_roc(const std::vector<double>& scores, const std::vector<bool>& labels);
 
-/// Area under the precision-recall curve (step interpolation).
+/// Area under the precision-recall curve (step interpolation). Tied scores
+/// are evaluated as one block, so the result does not depend on how
+/// positives and negatives happen to be ordered within a tie.
 double auc_pr(const std::vector<double>& scores, const std::vector<bool>& labels);
 
-/// Fraction of positives among the k highest-scoring items.
+/// Fraction of positives among the k highest-scoring items, out of the
+/// *requested* k: when k exceeds the candidate count, the missing slots
+/// count as misses (a retrieval system asked for k results returned fewer).
 double precision_at_k(const std::vector<double>& scores, const std::vector<bool>& labels,
                       std::size_t k);
 

@@ -57,11 +57,12 @@ constexpr std::size_t kVoteBytes = 96;
 }  // namespace
 
 PermissionedLedger::PermissionedLedger(LedgerConfig config, ClockPtr clock, LogPtr log,
-                                       net::SimNetwork* network)
+                                       net::SimNetwork* network, obs::MetricsPtr metrics)
     : config_(std::move(config)),
       clock_(std::move(clock)),
       log_(std::move(log)),
-      network_(network) {
+      network_(network),
+      metrics_(std::move(metrics)) {
   if (config_.peers.empty()) {
     throw std::invalid_argument("PermissionedLedger: at least one peer required");
   }
@@ -125,6 +126,7 @@ Result<std::string> PermissionedLedger::submit(const std::string& contract,
   std::size_t endorsements = verdict.is_ok() ? config_.peers.size() : 0;
   if (endorsements < config_.endorsement_quorum) {
     if (log_) log_->warn("blockchain", "endorsement_failed", tx.id + " " + verdict.to_string());
+    if (metrics_) metrics_->add("hc.blockchain.txs_rejected");
     return verdict.is_ok()
                ? Status(StatusCode::kFailedPrecondition, "endorsement quorum not met")
                : verdict;
@@ -132,6 +134,7 @@ Result<std::string> PermissionedLedger::submit(const std::string& contract,
 
   std::string id = tx.id;
   pending_.push_back(std::move(tx));
+  if (metrics_) metrics_->add("hc.blockchain.txs_endorsed");
   return id;
 }
 
@@ -164,6 +167,12 @@ Result<CommitReceipt> PermissionedLedger::commit_block() {
   }
   CommitReceipt receipt{block.index, block.transactions.size(), clock_->now() - start};
   chain_.push_back(std::move(block));
+  if (metrics_) {
+    metrics_->add("hc.blockchain.blocks_appended");
+    metrics_->add("hc.blockchain.txs_committed", receipt.transaction_count);
+    metrics_->observe("hc.blockchain.commit_us",
+                      static_cast<double>(receipt.commit_latency));
+  }
   if (log_) {
     log_->audit("blockchain", "block_committed",
                 "index=" + std::to_string(receipt.block_index) +
@@ -207,6 +216,7 @@ std::vector<Transaction> PermissionedLedger::find_transactions(
 }
 
 Status PermissionedLedger::validate_chain() const {
+  if (metrics_) metrics_->add("hc.blockchain.chain_verifications");
   for (std::size_t i = 0; i < chain_.size(); ++i) {
     const Block& block = chain_[i];
     if (block.index != i) {

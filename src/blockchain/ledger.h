@@ -29,6 +29,7 @@
 #include "common/log.h"
 #include "common/status.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace hc::blockchain {
 
@@ -84,8 +85,11 @@ class PermissionedLedger {
  public:
   /// `network` may be null (no latency model); when present, each peer name
   /// must be a SimNetwork endpoint and consensus messages are charged.
+  /// `metrics` (nullable) receives `hc.blockchain.*` append/verify counters
+  /// and the block commit-latency histogram.
   PermissionedLedger(LedgerConfig config, ClockPtr clock, LogPtr log = nullptr,
-                     net::SimNetwork* network = nullptr);
+                     net::SimNetwork* network = nullptr,
+                     obs::MetricsPtr metrics = nullptr);
 
   /// Registers chaincode. Names must be unique.
   Status register_contract(std::unique_ptr<SmartContract> contract);
@@ -136,6 +140,7 @@ class PermissionedLedger {
   ClockPtr clock_;
   LogPtr log_;
   net::SimNetwork* network_;
+  obs::MetricsPtr metrics_;  // may be null
   IdGenerator ids_;
   std::map<std::string, std::unique_ptr<SmartContract>> contracts_;
   std::vector<Transaction> pending_;

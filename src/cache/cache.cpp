@@ -5,6 +5,15 @@ namespace hc::cache {
 Cache::Cache(std::size_t capacity, EvictionPolicy policy, ClockPtr clock)
     : capacity_(capacity), policy_(policy), clock_(std::move(clock)) {}
 
+void Cache::bind_metrics(obs::MetricsPtr metrics, const std::string& name) {
+  metrics_ = std::move(metrics);
+  metric_prefix_ = "hc.cache." + name + ".";
+}
+
+void Cache::bump(const char* event) {
+  if (metrics_) metrics_->add(metric_prefix_ + event);
+}
+
 bool Cache::expired(const CacheEntry& entry) const {
   return entry.expires_at != 0 && clock_->now() >= entry.expires_at;
 }
@@ -44,6 +53,7 @@ void Cache::evict_one() {
     order_.pop_front();
   }
   ++stats_.evictions;
+  bump("evictions");
 }
 
 void Cache::put(const std::string& key, Bytes value, SimTime ttl,
@@ -79,6 +89,7 @@ std::optional<CacheEntry> Cache::get(const std::string& key,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    bump("misses");
     return std::nullopt;
   }
 
@@ -88,6 +99,8 @@ std::optional<CacheEntry> Cache::get(const std::string& key,
     entries_.erase(it);
     ++stats_.expirations;
     ++stats_.misses;
+    bump("expirations");
+    bump("misses");
     return std::nullopt;
   }
   if (min_version && node.entry.version < *min_version) {
@@ -96,11 +109,14 @@ std::optional<CacheEntry> Cache::get(const std::string& key,
     entries_.erase(it);
     ++stats_.invalidations;
     ++stats_.misses;
+    bump("invalidations");
+    bump("misses");
     return std::nullopt;
   }
 
   touch(key, node);
   ++stats_.hits;
+  bump("hits");
   return node.entry;
 }
 
@@ -115,6 +131,7 @@ bool Cache::invalidate(const std::string& key) {
   unlink(key, it->second);
   entries_.erase(it);
   ++stats_.invalidations;
+  bump("invalidations");
   return true;
 }
 

@@ -22,6 +22,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace hc::cache {
 
@@ -77,7 +78,13 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 
+  /// Mirrors hit/miss/eviction/invalidation/expiration counts into the
+  /// registry under `hc.cache.<name>.<event>` (nullable, like LogPtr).
+  void bind_metrics(obs::MetricsPtr metrics, const std::string& name);
+
  private:
+  void bump(const char* event);
+
   struct Node {
     CacheEntry entry;
     std::list<std::string>::iterator order_it;          // LRU/FIFO position
@@ -97,6 +104,8 @@ class Cache {
   std::list<std::string> order_;  // front = next eviction candidate (LRU/FIFO)
   std::multimap<std::uint64_t, std::string> by_frequency_;  // LFU index
   CacheStats stats_;
+  obs::MetricsPtr metrics_;     // may be null
+  std::string metric_prefix_;   // "hc.cache.<name>."
 };
 
 }  // namespace hc::cache

@@ -8,8 +8,19 @@ CacheHierarchy::CacheHierarchy(std::vector<Tier> tiers, OriginFetch fetch_origin
       fetch_origin_(std::move(fetch_origin)),
       clock_(std::move(clock)) {}
 
+void CacheHierarchy::bind_metrics(obs::MetricsPtr metrics) {
+  metrics_ = std::move(metrics);
+  for (auto& tier : tiers_) tier.cache->bind_metrics(metrics_, tier.name);
+}
+
 Result<LookupOutcome> CacheHierarchy::get(const std::string& key, SimTime ttl) {
   SimTime start = clock_->now();
+
+  auto record = [&](const std::string& served_by, SimTime latency) {
+    if (!metrics_) return;
+    metrics_->observe("hc.cache.lookup_us", static_cast<double>(latency));
+    metrics_->add("hc.cache.served." + served_by);
+  };
 
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     clock_->advance(tiers_[i].access_latency);
@@ -19,14 +30,18 @@ Result<LookupOutcome> CacheHierarchy::get(const std::string& key, SimTime ttl) {
       for (std::size_t j = 0; j < i; ++j) {
         tiers_[j].cache->put(key, entry->value, ttl, entry->version);
       }
-      return LookupOutcome{entry->value, tiers_[i].name, clock_->now() - start};
+      SimTime latency = clock_->now() - start;
+      record(tiers_[i].name, latency);
+      return LookupOutcome{entry->value, tiers_[i].name, latency};
     }
   }
 
   auto fetched = fetch_origin_(key);
   if (!fetched.is_ok()) return fetched.status();
   for (auto& tier : tiers_) tier.cache->put(key, *fetched, ttl);
-  return LookupOutcome{*fetched, "origin", clock_->now() - start};
+  SimTime latency = clock_->now() - start;
+  record("origin", latency);
+  return LookupOutcome{*fetched, "origin", latency};
 }
 
 void CacheHierarchy::put_through(const std::string& key, const Bytes& value,

@@ -16,6 +16,7 @@
 
 #include "cache/cache.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace hc::cache {
 
@@ -55,10 +56,17 @@ class CacheHierarchy {
   std::size_t tier_count() const { return tiers_.size(); }
   const Tier& tier(std::size_t i) const { return tiers_.at(i); }
 
+  /// Observability (nullable): records per-lookup latency into
+  /// `hc.cache.lookup_us`, where each lookup was served from into
+  /// `hc.cache.served.<tier|origin>`, and binds every tier's Cache to
+  /// `hc.cache.<tier-name>.*` hit/miss/eviction counters.
+  void bind_metrics(obs::MetricsPtr metrics);
+
  private:
   std::vector<Tier> tiers_;
   OriginFetch fetch_origin_;
   ClockPtr clock_;
+  obs::MetricsPtr metrics_;  // may be null
 };
 
 }  // namespace hc::cache

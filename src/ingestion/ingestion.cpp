@@ -64,6 +64,7 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
   deps_.queue->push(storage::IngestionMessage{receipt.upload_id, uploader_user,
                                               consent_group, client_key_id});
   receipt.status_url = deps_.tracker->track(receipt.upload_id);
+  if (deps_.metrics) deps_.metrics->add("hc.ingestion.uploads");
   if (deps_.log) {
     deps_.log->info("ingestion", "upload_received",
                     receipt.upload_id + " from " + uploader_user);
@@ -71,17 +72,26 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
   return receipt;
 }
 
-void IngestionService::charge(SimTime fixed, SimTime per_kb, std::size_t bytes) {
+void IngestionService::charge(const char* stage, SimTime fixed, SimTime per_kb,
+                              std::size_t bytes) {
   SimTime cost = fixed + per_kb * static_cast<SimTime>(bytes / 1024 + 1);
   deps_.clock->advance(cost);
+  if (deps_.metrics) {
+    deps_.metrics->observe(std::string("hc.ingestion.stage.") + stage + "_us",
+                           static_cast<double>(cost));
+  }
 }
 
-void IngestionService::fail(const std::string& upload_id, const std::string& reason,
-                            ProcessOutcome& outcome) {
+void IngestionService::fail(const char* category, const std::string& upload_id,
+                            const std::string& reason, ProcessOutcome& outcome) {
   deps_.tracker->set_failed(upload_id, reason);
   (void)deps_.staging->remove(upload_id);
   outcome.stored = false;
   outcome.failure_reason = reason;
+  if (deps_.metrics) {
+    deps_.metrics->add("hc.ingestion.rejects");
+    deps_.metrics->add(std::string("hc.ingestion.reject.") + category);
+  }
   if (deps_.log) deps_.log->warn("ingestion", "upload_rejected", upload_id + ": " + reason);
 }
 
@@ -109,48 +119,51 @@ Result<ProcessOutcome> IngestionService::process_next() {
 
   auto blob = deps_.staging->get(message->upload_id);
   if (!blob.is_ok()) {
-    fail(message->upload_id, "staged blob missing: " + blob.status().to_string(), outcome);
+    fail("staging", message->upload_id,
+         "staged blob missing: " + blob.status().to_string(), outcome);
     return outcome;
   }
 
   // --- decrypt ---------------------------------------------------------
   deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kDecrypting);
-  charge(0, costs_.decrypt_per_kb, blob->size());
+  charge("decrypt", 0, costs_.decrypt_per_kb, blob->size());
   auto envelope = unpack_envelope(*blob);
   if (!envelope.is_ok()) {
-    fail(message->upload_id, envelope.status().message(), outcome);
+    fail("decrypt", message->upload_id, envelope.status().message(), outcome);
     return outcome;
   }
   auto client_key = deps_.kms->private_key(message->key_id, principal_);
   if (!client_key.is_ok()) {
-    fail(message->upload_id, "client key unavailable: " + client_key.status().to_string(),
-         outcome);
+    fail("decrypt", message->upload_id,
+         "client key unavailable: " + client_key.status().to_string(), outcome);
     return outcome;
   }
   Bytes plaintext;
   try {
     plaintext = crypto::envelope_open(*client_key, *envelope);
   } catch (const std::invalid_argument& e) {
-    fail(message->upload_id, std::string("decryption failed: ") + e.what(), outcome);
+    fail("decrypt", message->upload_id, std::string("decryption failed: ") + e.what(),
+         outcome);
     return outcome;
   }
 
   // --- validate --------------------------------------------------------
   deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kValidating);
-  charge(costs_.validate_fixed);
+  charge("validate", costs_.validate_fixed);
   auto bundle = fhir::parse_bundle(plaintext);
   if (!bundle.is_ok()) {
-    fail(message->upload_id, "parse error: " + bundle.status().message(), outcome);
+    fail("parse", message->upload_id, "parse error: " + bundle.status().message(),
+         outcome);
     return outcome;
   }
   if (Status s = fhir::validate_bundle(*bundle); !s.is_ok()) {
-    fail(message->upload_id, "validation error: " + s.message(), outcome);
+    fail("validate", message->upload_id, "validation error: " + s.message(), outcome);
     return outcome;
   }
 
   // --- malware scan ------------------------------------------------------
   deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kScanning);
-  charge(0, costs_.scan_per_kb, plaintext.size());
+  charge("scan", 0, costs_.scan_per_kb, plaintext.size());
   auto scan = scanner_.scan(plaintext);
   if (scan.infected) {
     if (deps_.ledger) {
@@ -162,14 +175,15 @@ Result<ProcessOutcome> IngestionService::process_next() {
            {"sender", message->uploader_user_id}},
           "ingestion-service");
     }
-    fail(message->upload_id, "malware detected: " + scan.signature_name, outcome);
+    fail("malware", message->upload_id, "malware detected: " + scan.signature_name,
+         outcome);
     return outcome;
   }
 
   // --- consent -----------------------------------------------------------
   deps_.tracker->set_stage(message->upload_id,
                            storage::IngestionStage::kVerifyingConsent);
-  charge(costs_.consent_fixed);
+  charge("consent", costs_.consent_fixed);
   const fhir::Patient* patient = nullptr;
   for (const auto& resource : bundle->resources) {
     if (const auto* p = std::get_if<fhir::Patient>(&resource)) {
@@ -178,29 +192,30 @@ Result<ProcessOutcome> IngestionService::process_next() {
     }
   }
   if (!patient) {
-    fail(message->upload_id, "bundle carries no Patient resource", outcome);
+    fail("no_patient", message->upload_id, "bundle carries no Patient resource", outcome);
     return outcome;
   }
   if (deps_.ledger &&
       !blockchain::ConsentContract::has_consent(*deps_.ledger, patient->id,
                                                 message->consent_group)) {
-    fail(message->upload_id,
+    fail("consent", message->upload_id,
          "patient has not consented to group " + message->consent_group, outcome);
     return outcome;
   }
 
   // --- de-identify + verify anonymization --------------------------------
   deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kDeIdentifying);
-  charge(costs_.deidentify_fixed);
+  charge("deidentify", costs_.deidentify_fixed);
   auto deidentified =
       privacy::deidentify(fhir::patient_fields(*patient), schema_, pseudonymizer_);
   if (!deidentified.is_ok()) {
-    fail(message->upload_id, deidentified.status().message(), outcome);
+    fail("anonymization", message->upload_id, deidentified.status().message(), outcome);
     return outcome;
   }
   auto degree = deps_.verifier->verify(deidentified->fields, {"age", "zip", "gender"});
   if (!degree.acceptable) {
-    fail(message->upload_id, "anonymization insufficient: " + degree.reason, outcome);
+    fail("anonymization", message->upload_id,
+         "anonymization insufficient: " + degree.reason, outcome);
     return outcome;
   }
 
@@ -230,7 +245,7 @@ Result<ProcessOutcome> IngestionService::process_next() {
 
   // --- store --------------------------------------------------------------
   Bytes stored_bytes = fhir::serialize_bundle(stored_bundle);
-  charge(0, costs_.store_per_kb, stored_bytes.size());
+  charge("store", 0, costs_.store_per_kb, stored_bytes.size());
   Bytes content_hash = crypto::sha256(stored_bytes);
   // Per-patient data key: created on first record, reused afterwards, and
   // crypto-shredded when the patient exercises right-to-forget.
@@ -242,8 +257,8 @@ Result<ProcessOutcome> IngestionService::process_next() {
   }
   auto reference = deps_.lake->put(stored_bytes, key_it->second);
   if (!reference.is_ok()) {
-    fail(message->upload_id, "data lake error: " + reference.status().to_string(),
-         outcome);
+    fail("store", message->upload_id,
+         "data lake error: " + reference.status().to_string(), outcome);
     return outcome;
   }
 
@@ -289,6 +304,7 @@ Result<ProcessOutcome> IngestionService::process_next() {
 
   (void)deps_.staging->remove(message->upload_id);
   deps_.tracker->set_stored(message->upload_id, *reference);
+  if (deps_.metrics) deps_.metrics->add("hc.ingestion.stored");
   if (deps_.log) {
     deps_.log->audit("ingestion", "upload_stored",
                      message->upload_id + " -> " + *reference);

@@ -31,6 +31,7 @@
 #include "crypto/kms.h"
 #include "fhir/resources.h"
 #include "ingestion/malware.h"
+#include "obs/metrics.h"
 #include "privacy/deid.h"
 #include "privacy/verification.h"
 #include "storage/data_lake.h"
@@ -53,6 +54,7 @@ struct IngestionDeps {
   blockchain::PermissionedLedger* ledger = nullptr;  // may be null (no provenance)
   privacy::AnonymizationVerificationService* verifier = nullptr;
   privacy::ReidentificationMap* reid_map = nullptr;
+  obs::MetricsPtr metrics;  // may be null (no metrics recorded)
 };
 
 /// Simulated processing cost per pipeline stage, charged on the shared
@@ -115,9 +117,13 @@ class IngestionService {
   StageCosts& stage_costs() { return costs_; }
 
  private:
-  void charge(SimTime fixed, SimTime per_kb = 0, std::size_t bytes = 0);
-  void fail(const std::string& upload_id, const std::string& reason,
-            ProcessOutcome& outcome);
+  /// Advances the sim clock by the stage cost and records the charge in the
+  /// `hc.ingestion.stage.<stage>_us` histogram when metrics are bound.
+  void charge(const char* stage, SimTime fixed, SimTime per_kb = 0,
+              std::size_t bytes = 0);
+  /// Marks the upload failed and bumps `hc.ingestion.reject.<category>`.
+  void fail(const char* category, const std::string& upload_id,
+            const std::string& reason, ProcessOutcome& outcome);
   void record_provenance(const std::string& record_ref, const std::string& event,
                          const Bytes& data_hash);
 

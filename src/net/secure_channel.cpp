@@ -17,7 +17,7 @@ Result<SecureChannel> SecureChannel::establish(SimNetwork& network,
                                                std::string server,
                                                const crypto::PublicKey& server_pub,
                                                const crypto::PrivateKey& server_priv,
-                                               Rng& rng) {
+                                               Rng& rng, obs::MetricsPtr metrics) {
   SimTime start = network.clock()->now();
 
   // Client generates the session secret and seals it to the server's key.
@@ -40,20 +40,26 @@ Result<SecureChannel> SecureChannel::establish(SimNetwork& network,
   Bytes enc_key(enc_key_full.begin(), enc_key_full.begin() + crypto::kAesKeySize);
 
   SimTime cost = network.clock()->now() - start;
+  if (metrics) {
+    metrics->add("hc.net.handshakes");
+    metrics->observe("hc.net.handshake_us", static_cast<double>(cost));
+  }
   return SecureChannel(network, std::move(client), std::move(server),
-                       std::move(enc_key), std::move(mac_key), rng.fork(), cost);
+                       std::move(enc_key), std::move(mac_key), rng.fork(), cost,
+                       std::move(metrics));
 }
 
 SecureChannel::SecureChannel(SimNetwork& network, std::string client,
                              std::string server, Bytes enc_key, Bytes mac_key,
-                             Rng rng, SimTime handshake_cost)
+                             Rng rng, SimTime handshake_cost, obs::MetricsPtr metrics)
     : network_(&network),
       client_(std::move(client)),
       server_(std::move(server)),
       enc_key_(std::move(enc_key)),
       mac_key_(std::move(mac_key)),
       rng_(rng),
-      handshake_cost_(handshake_cost) {}
+      handshake_cost_(handshake_cost),
+      metrics_(std::move(metrics)) {}
 
 Result<Bytes> SecureChannel::protected_send(const std::string& from,
                                             const std::string& to,
@@ -68,9 +74,14 @@ Result<Bytes> SecureChannel::protected_send(const std::string& from,
   auto sent = network_->send(from, to, ct.ciphertext.size() + ct.tag.size());
   if (!sent.is_ok()) return sent.status();
   ++messages_sent_;
+  if (metrics_) {
+    metrics_->add("hc.net.messages");
+    metrics_->add("hc.net.bytes", ct.ciphertext.size() + ct.tag.size(), "bytes");
+  }
 
   auto received = crypto::aes_decrypt_authenticated(enc_key_, mac_key_, ct);
   if (!received.authentic) {
+    if (metrics_) metrics_->add("hc.net.auth_failures");
     return Status(StatusCode::kIntegrityError,
                   "message failed authentication on " + from + " -> " + to);
   }

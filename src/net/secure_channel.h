@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "crypto/asymmetric.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace hc::net {
 
@@ -24,12 +25,15 @@ class SecureChannel {
  public:
   /// Performs the handshake (2 network flights + asymmetric unwrap) and
   /// returns an established channel. Fails if the link is missing or drops
-  /// both handshake attempts.
+  /// both handshake attempts. When `metrics` is supplied, the channel
+  /// records `hc.net.handshakes` / `hc.net.handshake_us` here and
+  /// bytes/messages/auth-failure counters on every transmit.
   static Result<SecureChannel> establish(SimNetwork& network, std::string client,
                                          std::string server,
                                          const crypto::PublicKey& server_pub,
                                          const crypto::PrivateKey& server_priv,
-                                         Rng& rng);
+                                         Rng& rng,
+                                         obs::MetricsPtr metrics = nullptr);
 
   /// Sends client -> server. Returns the plaintext as decrypted and
   /// authenticated by the server side; kIntegrityError if `tamper_in_flight`
@@ -47,7 +51,8 @@ class SecureChannel {
 
  private:
   SecureChannel(SimNetwork& network, std::string client, std::string server,
-                Bytes enc_key, Bytes mac_key, Rng rng, SimTime handshake_cost);
+                Bytes enc_key, Bytes mac_key, Rng rng, SimTime handshake_cost,
+                obs::MetricsPtr metrics);
 
   Result<Bytes> protected_send(const std::string& from, const std::string& to,
                                const Bytes& plaintext);
@@ -59,6 +64,7 @@ class SecureChannel {
   Bytes mac_key_;
   Rng rng_;
   SimTime handshake_cost_;
+  obs::MetricsPtr metrics_;  // may be null
   std::uint64_t messages_sent_ = 0;
   bool tamper_next_ = false;
 };

@@ -1,0 +1,122 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace hc::obs {
+
+namespace {
+
+/// 42 -> "42", 0.5 -> "0.5", 1234567.25 -> "1.23457e+06". Integral values
+/// print without a decimal point so counters and sim-time sums stay stable
+/// in golden artifacts.
+std::string format_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string histogram_stat(const Histogram& h, double value) {
+  // Empty histograms have min=+inf/max=-inf; export zeros instead.
+  return format_number(h.count == 0 ? 0.0 : value);
+}
+
+Status write_file(const std::string& content, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "cannot open " + path + " for writing");
+  }
+  out << content;
+  out.close();
+  if (!out) return Status(StatusCode::kUnavailable, "short write to " + path);
+  return Status::ok();
+}
+
+}  // namespace
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first_metric = true;
+  for (const auto& [name, metric] : registry.metrics()) {
+    out += first_metric ? "\n" : ",\n";
+    first_metric = false;
+    out += "    {\"name\": \"" + name + "\", \"type\": \"" +
+           std::string(metric_type_name(metric.type)) + "\", \"unit\": \"" +
+           metric.unit + "\"";
+    switch (metric.type) {
+      case MetricType::kCounter:
+        out += ", \"value\": " + format_number(static_cast<double>(metric.counter_value));
+        break;
+      case MetricType::kGauge:
+        out += ", \"value\": " + format_number(metric.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = metric.histogram;
+        out += ", \"count\": " + format_number(static_cast<double>(h.count));
+        out += ", \"sum\": " + histogram_stat(h, h.sum);
+        out += ", \"min\": " + histogram_stat(h, h.min);
+        out += ", \"max\": " + histogram_stat(h, h.max);
+        out += ", \"p50\": " + format_number(h.p50());
+        out += ", \"p95\": " + format_number(h.p95());
+        out += ", \"p99\": " + format_number(h.p99());
+        out += ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+          if (b > 0) out += ", ";
+          std::string le = b < h.bounds.size()
+                               ? format_number(h.bounds[b])
+                               : std::string("\"+inf\"");
+          out += "{\"le\": " + le +
+                 ", \"count\": " + format_number(static_cast<double>(h.counts[b])) + "}";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_csv(const MetricsRegistry& registry) {
+  std::string out = "name,type,unit,value,count,sum,min,max,p50,p95,p99\n";
+  for (const auto& [name, metric] : registry.metrics()) {
+    out += name + "," + std::string(metric_type_name(metric.type)) + "," + metric.unit;
+    switch (metric.type) {
+      case MetricType::kCounter:
+        out += "," + format_number(static_cast<double>(metric.counter_value)) +
+               ",,,,,,,";
+        break;
+      case MetricType::kGauge:
+        out += "," + format_number(metric.gauge_value) + ",,,,,,,";
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = metric.histogram;
+        out += ",," + format_number(static_cast<double>(h.count)) + "," +
+               histogram_stat(h, h.sum) + "," + histogram_stat(h, h.min) + "," +
+               histogram_stat(h, h.max) + "," + format_number(h.p50()) + "," +
+               format_number(h.p95()) + "," + format_number(h.p99());
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status write_metrics_json(const MetricsRegistry& registry, const std::string& path) {
+  return write_file(to_json(registry), path);
+}
+
+Status write_metrics_csv(const MetricsRegistry& registry, const std::string& path) {
+  return write_file(to_csv(registry), path);
+}
+
+}  // namespace hc::obs

@@ -1,0 +1,38 @@
+// Metrics exporters — the `metrics.json` / `metrics.csv` emission contract.
+//
+// Contract (locked by tests/obs_export_test.cpp; exporter drift is a
+// breaking change):
+//   - metrics appear in lexicographic name order,
+//   - every metric row/object carries `name`, `type`
+//     ("counter"|"gauge"|"histogram") and `unit`,
+//   - counters and gauges carry `value`,
+//   - histograms carry `count`, `sum`, `min`, `max`, `p50`, `p95`, `p99`
+//     and (JSON only) a `buckets` array of {"le": <upper bound or "+inf">,
+//     "count": n} objects,
+//   - numbers with no fractional part print as integers; other values use
+//     shortest-round-trip %.6g.
+// Benches write these artifacts via --metrics-out (e.g. BENCH_caching.json)
+// so successive PRs accumulate a perf trajectory.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hc::obs {
+
+/// Serializes the registry as the metrics.json document.
+std::string to_json(const MetricsRegistry& registry);
+
+/// Serializes the registry as metrics.csv (header + one row per metric).
+std::string to_csv(const MetricsRegistry& registry);
+
+/// Writes to_json(registry) to `path`. kUnavailable when the file cannot
+/// be opened.
+Status write_metrics_json(const MetricsRegistry& registry, const std::string& path);
+
+/// Writes to_csv(registry) to `path`.
+Status write_metrics_csv(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace hc::obs

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hc::obs {
+
+std::string_view metric_type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds(std::move(bucket_bounds)) {
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+  counts.assign(bounds.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds.begin(), bounds.end(), value) -
+                               bounds.begin());
+  ++counts[bucket];
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+}
+
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank: the smallest sample index (1-based) covering quantile q.
+  std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (cumulative + counts[b] >= rank) {
+      double lower = b == 0 ? 0.0 : bounds[b - 1];
+      double upper = b < bounds.size() ? bounds[b] : max;
+      double position = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(counts[b]);
+      double value = lower + (upper - lower) * position;
+      return std::clamp(value, min, max);
+    }
+    cumulative += counts[b];
+  }
+  return max;  // unreachable when count > 0
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds != other.bounds) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+const std::vector<double>& default_latency_bounds_us() {
+  static const std::vector<double> kBounds = {
+      1,       2,       5,       10,      20,       50,       100,      200,
+      500,     1000,    2000,    5000,    10000,    20000,    50000,    100000,
+      200000,  500000,  1000000, 2000000, 5000000,  10000000, 30000000, 60000000};
+  return kBounds;
+}
+
+Metric& MetricsRegistry::upsert(const std::string& name, MetricType type,
+                                std::string_view unit) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric metric;
+    metric.type = type;
+    metric.unit = std::string(unit);
+    it = metrics_.emplace(name, std::move(metric)).first;
+  } else if (it->second.type != type) {
+    throw std::invalid_argument("metric '" + name + "' is a " +
+                                std::string(metric_type_name(it->second.type)) +
+                                ", not a " + std::string(metric_type_name(type)));
+  }
+  return it->second;
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta,
+                          std::string_view unit) {
+  upsert(name, MetricType::kCounter, unit).counter_value += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value,
+                                std::string_view unit) {
+  upsert(name, MetricType::kGauge, unit).gauge_value = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              std::string_view unit,
+                              const std::vector<double>* bounds) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric metric;
+    metric.type = MetricType::kHistogram;
+    metric.unit = std::string(unit);
+    metric.histogram = Histogram(bounds ? *bounds : default_latency_bounds_us());
+    it = metrics_.emplace(name, std::move(metric)).first;
+  } else if (it->second.type != MetricType::kHistogram) {
+    throw std::invalid_argument("metric '" + name + "' is a " +
+                                std::string(metric_type_name(it->second.type)) +
+                                ", not a histogram");
+  }
+  it->second.histogram.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.type == MetricType::kCounter
+             ? it->second.counter_value
+             : 0;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.type == MetricType::kGauge
+             ? it->second.gauge_value
+             : 0.0;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.type == MetricType::kHistogram
+             ? &it->second.histogram
+             : nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, theirs] : other.metrics_) {
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+      metrics_.emplace(name, theirs);
+      continue;
+    }
+    Metric& ours = it->second;
+    if (ours.type != theirs.type || ours.unit != theirs.unit) {
+      throw std::invalid_argument("MetricsRegistry::merge: metric '" + name +
+                                  "' type/unit mismatch");
+    }
+    switch (ours.type) {
+      case MetricType::kCounter:
+        ours.counter_value += theirs.counter_value;
+        break;
+      case MetricType::kGauge:
+        ours.gauge_value = theirs.gauge_value;
+        break;
+      case MetricType::kHistogram:
+        ours.histogram.merge(theirs.histogram);
+        break;
+    }
+  }
+}
+
+MetricsPtr make_metrics() { return std::make_shared<MetricsRegistry>(); }
+
+}  // namespace hc::obs

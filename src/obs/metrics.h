@@ -1,0 +1,127 @@
+// Observability substrate: the metrics registry (hc::obs).
+//
+// The paper's performance claims ("caching improves performance by orders
+// of magnitude", Section IV.C; "public-key encryption is too expensive at
+// ingest scale", Section III) are architectural — quantifying them requires
+// the platform to *measure itself*. MetricsRegistry is the platform-wide
+// sink: named counters (monotonic), gauges (last-write-wins), and
+// fixed-bucket latency histograms with quantile extraction. Subsystems
+// receive a nullable MetricsPtr through their deps structs (exactly like
+// LogPtr) so everything stays usable without observability wired in.
+//
+// Naming convention: `hc.<module>.<metric>` with `_us` suffixes for
+// sim-time latency histograms (e.g. hc.ingestion.stage.decrypt_us,
+// hc.cache.client.hits). All time-valued metrics are charged on the shared
+// SimClock, never wall time, so recorded numbers are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hc::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+std::string_view metric_type_name(MetricType type);
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper edges;
+/// one implicit overflow bucket follows the last bound, so `counts` always
+/// has bounds.size() + 1 entries. Designed for nonnegative measures
+/// (latencies, sizes): the first bucket's lower edge is 0.
+struct Histogram {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  explicit Histogram(std::vector<double> bucket_bounds = {});
+
+  void observe(double value);
+
+  /// Quantile by in-bucket linear interpolation, clamped to the observed
+  /// [min, max] (so single-sample and bucket-aligned distributions are
+  /// exact). q in [0, 1]; returns 0 for an empty histogram. The overflow
+  /// bucket interpolates between the last bound and the observed max.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Bucketwise merge. Throws std::invalid_argument on bound mismatch.
+  void merge(const Histogram& other);
+};
+
+/// Default latency buckets in microseconds: 1us .. 60s on a 1-2-5 ladder.
+/// Wide enough for a client-cache hit (~10us) and a WAN origin fetch
+/// (~100ms) to land many buckets apart — the orders-of-magnitude gap the
+/// cache experiments quantify.
+const std::vector<double>& default_latency_bounds_us();
+
+/// One named metric. Exactly one of the value fields is meaningful,
+/// selected by `type`; `unit` rides into the exporters ("1", "us",
+/// "bytes", ...).
+struct Metric {
+  MetricType type = MetricType::kCounter;
+  std::string unit = "1";
+  std::uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  Histogram histogram;
+};
+
+/// Platform-wide metrics sink. Metrics are created lazily on first use;
+/// re-using a name with a different type is a programming error and
+/// throws. Iteration order (and therefore export order) is the metric
+/// name's lexicographic order — the emission contract relies on this.
+class MetricsRegistry {
+ public:
+  /// Increments a counter (created at 0 on first touch). Counters are
+  /// monotonic by construction: deltas are unsigned.
+  void add(const std::string& name, std::uint64_t delta = 1,
+           std::string_view unit = "1");
+
+  /// Sets a gauge to an instantaneous value.
+  void set_gauge(const std::string& name, double value, std::string_view unit = "1");
+
+  /// Records one histogram sample. `bounds` applies only on first touch;
+  /// nullptr selects default_latency_bounds_us().
+  void observe(const std::string& name, double value, std::string_view unit = "us",
+               const std::vector<double>* bounds = nullptr);
+
+  // --- reads (absent names return zero values, not errors) ---------------
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  /// nullptr when the name is absent or not a histogram.
+  const Histogram* histogram(const std::string& name) const;
+
+  bool empty() const { return metrics_.empty(); }
+  std::size_t size() const { return metrics_.size(); }
+  const std::map<std::string, Metric>& metrics() const { return metrics_; }
+
+  /// Merges another registry in: counters add, gauges take the other's
+  /// value, histograms merge bucketwise. Type or unit mismatch on a shared
+  /// name throws std::invalid_argument.
+  void merge(const MetricsRegistry& other);
+
+  void clear() { metrics_.clear(); }
+
+ private:
+  Metric& upsert(const std::string& name, MetricType type, std::string_view unit);
+
+  std::map<std::string, Metric> metrics_;
+};
+
+using MetricsPtr = std::shared_ptr<MetricsRegistry>;
+
+MetricsPtr make_metrics();
+
+}  // namespace hc::obs

@@ -1,0 +1,26 @@
+#include "obs/trace.h"
+
+namespace hc::obs {
+
+TraceSpan::TraceSpan(MetricsRegistry* metrics, const SimClock* clock,
+                     std::string name)
+    : metrics_(metrics), clock_(clock), name_(std::move(name)) {
+  if (clock_) start_ = clock_->now();
+}
+
+TraceSpan::~TraceSpan() { finish(); }
+
+SimTime TraceSpan::elapsed() const { return clock_ ? clock_->now() - start_ : 0; }
+
+SimTime TraceSpan::finish() {
+  if (!finished_) {
+    finished_ = true;
+    took_ = elapsed();
+    if (metrics_ && clock_) {
+      metrics_->observe(name_, static_cast<double>(took_), "us");
+    }
+  }
+  return took_;
+}
+
+}  // namespace hc::obs

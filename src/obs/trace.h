@@ -1,0 +1,48 @@
+// TraceSpan — scoped sim-clock timer feeding a latency histogram.
+//
+// The platform charges all work on the shared SimClock (components advance
+// it as they "compute"); a TraceSpan snapshots the clock at construction
+// and records the elapsed sim time into a named histogram when finished or
+// destroyed. Both the registry and the clock are nullable so instrumented
+// code paths cost nothing when observability is not wired in.
+//
+//   obs::TraceSpan span(metrics.get(), clock.get(), "hc.gateway.request_us");
+//   ... do clock-charged work ...
+//   // span destructor records elapsed microseconds
+#pragma once
+
+#include <string>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace hc::obs {
+
+class TraceSpan {
+ public:
+  /// Either pointer may be null, making the span a no-op. The histogram is
+  /// created with default_latency_bounds_us() on first use.
+  TraceSpan(MetricsRegistry* metrics, const SimClock* clock, std::string name);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan();
+
+  /// Records the sample now and returns the elapsed sim time. Idempotent:
+  /// repeated calls return the duration frozen at the first finish().
+  SimTime finish();
+
+  /// Elapsed sim time so far without recording.
+  SimTime elapsed() const;
+
+ private:
+  MetricsRegistry* metrics_;
+  const SimClock* clock_;
+  std::string name_;
+  SimTime start_ = 0;
+  SimTime took_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hc::obs

@@ -1,5 +1,7 @@
 #include "platform/gateway.h"
 
+#include "obs/trace.h"
+
 namespace hc::platform {
 
 ApiGateway::ApiGateway(HealthCloudInstance& instance) : instance_(&instance) {}
@@ -25,10 +27,17 @@ Result<std::string> ApiGateway::authenticate(const ApiRequest& request) {
 
 Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
   ++stats_.requests;
+  obs::MetricsPtr metrics = instance_->metrics();
+  metrics->add("hc.gateway.requests");
+  // Hop latency: whatever sim time the handler chain charges while the
+  // request is in flight lands in the hc.gateway.request_us histogram.
+  obs::TraceSpan span(metrics.get(), instance_->clock().get(),
+                      "hc.gateway.request_us");
 
   auto user = authenticate(request);
   if (!user.is_ok()) {
     ++stats_.unauthenticated;
+    metrics->add("hc.gateway.unauthenticated");
     instance_->log()->warn("gateway", "unauthenticated", request.resource);
     return user.status();
   }
@@ -39,6 +48,7 @@ Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
                                                  request.permission);
   if (!access.is_ok()) {
     ++stats_.denied;
+    metrics->add("hc.gateway.denied");
     instance_->log()->warn("gateway", "denied", *user + " " + request.resource);
     return access;
   }
@@ -63,6 +73,7 @@ Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
   auto response = (*handler)(*user, request);
   if (response.is_ok()) {
     ++stats_.served;
+    metrics->add("hc.gateway.served");
     instance_->log()->info("gateway", "served", *user + " " + request.resource);
   }
   return response;

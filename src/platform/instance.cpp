@@ -43,6 +43,7 @@ HealthCloudInstance::HealthCloudInstance(InstanceConfig config, ClockPtr clock,
   Rng rng(config_.seed);
   log_ = make_log(clock_);
   log_->set_scrubber(scrub_log_detail);
+  metrics_ = obs::make_metrics();
 
   // --- trusted infrastructure: TPM-anchored measured boot ----------------
   platform_keys_ = crypto::generate_keypair(rng);
@@ -74,7 +75,8 @@ HealthCloudInstance::HealthCloudInstance(InstanceConfig config, ClockPtr clock,
   for (std::size_t i = 0; i < config_.ledger_peers; ++i) {
     ledger_config.peers.push_back(config_.name + "/peer-" + std::to_string(i));
   }
-  ledger_ = std::make_unique<blockchain::PermissionedLedger>(ledger_config, clock_, log_);
+  ledger_ = std::make_unique<blockchain::PermissionedLedger>(ledger_config, clock_, log_,
+                                                             nullptr, metrics_);
   Status contracts = blockchain::register_hcls_contracts(*ledger_);
   if (!contracts.is_ok()) {
     throw std::runtime_error("contract registration failed: " + contracts.to_string());
@@ -104,6 +106,7 @@ HealthCloudInstance::HealthCloudInstance(InstanceConfig config, ClockPtr clock,
   deps.ledger = ledger_.get();
   deps.verifier = verifier_.get();
   deps.reid_map = reid_map_.get();
+  deps.metrics = metrics_;
   ingestion_ = std::make_unique<ingestion::IngestionService>(
       deps, lake_key_, rng.bytes(32), "platform");
   export_ = std::make_unique<ingestion::ExportService>(*lake_, *metadata_, *reid_map_,

@@ -83,6 +83,14 @@ Result<TransferReceipt> IntercloudGateway::transfer_and_launch(
   receipt.transfer_latency = transfer_latency;
   receipt.attestation_latency = attestation_latency;
   receipt.vtpm_id = vtpm_id;
+  if (obs::MetricsPtr metrics = source_->metrics()) {
+    metrics->add("hc.intercloud.transfers");
+    metrics->add("hc.intercloud.bytes", shipped.size(), "bytes");
+    metrics->observe("hc.intercloud.transfer_us",
+                     static_cast<double>(transfer_latency));
+    metrics->observe("hc.intercloud.attestation_us",
+                     static_cast<double>(attestation_latency));
+  }
   return receipt;
 }
 

@@ -103,8 +103,51 @@ TEST(Metrics, PrecisionAtK) {
   EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 1), 1.0);
   EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 2), 0.5);
   EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 4), 0.5);
-  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 100), 0.5);  // clamped
   EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 0), 0.0);
+}
+
+TEST(Metrics, PrecisionAtKBeyondCandidatesCountsMissingAsMisses) {
+  std::vector<double> scores{0.9, 0.8, 0.7, 0.1};
+  std::vector<bool> labels{true, false, true, false};
+  // Asked for 100, only 4 candidates exist, 2 of them positive: the other
+  // 96 slots are misses. The old clamp-to-n behavior reported 0.5 here,
+  // making p@10 and p@1000 indistinguishable on a 4-item result set.
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 100), 0.02);
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 8), 0.25);
+  // k == n is the boundary: both conventions agree.
+  EXPECT_DOUBLE_EQ(precision_at_k(scores, labels, 4), 0.5);
+}
+
+TEST(Metrics, AuprInvariantUnderTieOrdering) {
+  // Two items share one score, one positive and one negative. The PR curve
+  // has a single threshold (the tie block), so both input orders must give
+  // precision 1/2 at recall 1 -> area 0.5. The per-item walk scored the
+  // positive-first order 1.0 and the negative-first order 0.5.
+  EXPECT_DOUBLE_EQ(auc_pr({0.5, 0.5}, {true, false}), 0.5);
+  EXPECT_DOUBLE_EQ(auc_pr({0.5, 0.5}, {false, true}), 0.5);
+  // Larger mixed block between distinct scores.
+  std::vector<double> scores{0.9, 0.5, 0.5, 0.5, 0.1};
+  std::vector<bool> fwd{true, true, false, false, false};
+  std::vector<bool> rev{true, false, false, true, false};
+  EXPECT_DOUBLE_EQ(auc_pr(scores, fwd), auc_pr(scores, rev));
+}
+
+TEST(Metrics, AucRocTieRegression) {
+  // Hand check: scores {1, .5, .5, 0}, labels {+, +, -, -}. The tied pair
+  // shares rank 2.5, so U = (4 + 2.5) - 3 = 3.5 and AUC = 3.5/4.
+  EXPECT_DOUBLE_EQ(auc_roc({1.0, 0.5, 0.5, 0.0}, {true, true, false, false}), 0.875);
+  // Tie order must not matter.
+  EXPECT_DOUBLE_EQ(auc_roc({1.0, 0.5, 0.5, 0.0}, {true, false, true, false}), 0.875);
+}
+
+TEST(Metrics, SpearmanTieRegression) {
+  // a has a tied pair sharing fractional rank 1.5; hand computation gives
+  // cov/sqrt(var_a*var_b) = 1.5/sqrt(0.5*3) ~ 0.866.
+  std::vector<double> a{1.0, 1.0, 2.0};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_NEAR(spearman(a, b), 1.5 / std::sqrt(3.0), 1e-12);
+  // All-tied input has zero rank variance: correlation defined as 0.
+  EXPECT_DOUBLE_EQ(spearman({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}), 0.0);
 }
 
 TEST(Metrics, Rmse) {

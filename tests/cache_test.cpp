@@ -3,6 +3,7 @@
 #include "cache/cache.h"
 #include "cache/multilevel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace hc::cache {
 namespace {
@@ -153,6 +154,52 @@ TEST_F(CacheFixture, HitRatioComputed) {
   EXPECT_EQ(c.stats().hit_ratio(), 0.0);
 }
 
+TEST_F(CacheFixture, MetricsMatchHandComputedAccessSequence) {
+  auto c = make(2, EvictionPolicy::kLru);
+  auto metrics = obs::make_metrics();
+  c.bind_metrics(metrics, "client");
+
+  c.put("a", to_bytes("1"));
+  c.put("b", to_bytes("2"));
+  (void)c.get("a");       // hit; a becomes most recent
+  (void)c.get("a");       // hit
+  (void)c.get("absent");  // miss
+  c.put("c", to_bytes("3"));  // evicts b (a was touched more recently)
+  (void)c.get("b");           // miss
+
+  EXPECT_EQ(metrics->counter("hc.cache.client.hits"), 2u);
+  EXPECT_EQ(metrics->counter("hc.cache.client.misses"), 2u);
+  EXPECT_EQ(metrics->counter("hc.cache.client.evictions"), 1u);
+  // Registry counts agree with the cache's own stats.
+  EXPECT_EQ(metrics->counter("hc.cache.client.hits"), c.stats().hits);
+  EXPECT_EQ(metrics->counter("hc.cache.client.misses"), c.stats().misses);
+}
+
+TEST_F(CacheFixture, MetricsCountExpirationsAndInvalidations) {
+  auto c = make(4, EvictionPolicy::kLru);
+  auto metrics = obs::make_metrics();
+  c.bind_metrics(metrics, "client");
+
+  c.put("k", to_bytes("v"), 10 * kMillisecond);
+  clock_->advance(11 * kMillisecond);
+  EXPECT_FALSE(c.get("k").has_value());  // expired -> expiration + miss
+  c.put("k", to_bytes("v"));
+  EXPECT_TRUE(c.invalidate("k"));
+
+  EXPECT_EQ(metrics->counter("hc.cache.client.expirations"), 1u);
+  EXPECT_EQ(metrics->counter("hc.cache.client.misses"), 1u);
+  EXPECT_EQ(metrics->counter("hc.cache.client.invalidations"), 1u);
+  EXPECT_EQ(metrics->counter("hc.cache.client.hits"), 0u);
+}
+
+TEST_F(CacheFixture, UnboundCacheRecordsNothing) {
+  auto c = make(4, EvictionPolicy::kLru);
+  c.put("k", to_bytes("v"));
+  (void)c.get("k");
+  (void)c.get("absent");  // no registry bound: must not crash, no metrics
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
 // Property: under any policy, hits + misses == number of get() calls, and
 // size never exceeds capacity, across a randomized workload.
 class CachePolicySweep : public ::testing::TestWithParam<EvictionPolicy> {};
@@ -269,6 +316,32 @@ TEST_F(HierarchyFixture, PutThroughMakesNewVersionVisible) {
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r->served_by, "client");
   EXPECT_EQ(to_string(r->value), "fresh");
+}
+
+TEST_F(HierarchyFixture, MetricsAttributeServesToTiersAndOrigin) {
+  auto metrics = obs::make_metrics();
+  hierarchy_->bind_metrics(metrics);
+
+  ASSERT_TRUE(hierarchy_->get("k").is_ok());  // origin fetch
+  ASSERT_TRUE(hierarchy_->get("k").is_ok());  // client hit
+  ASSERT_TRUE(hierarchy_->get("k").is_ok());  // client hit
+
+  EXPECT_EQ(metrics->counter("hc.cache.served.origin"), 1u);
+  EXPECT_EQ(metrics->counter("hc.cache.served.client"), 2u);
+  EXPECT_EQ(metrics->counter("hc.cache.served.server"), 0u);
+  // Per-tier caches record through the same registry: the first lookup
+  // missed both tiers, the next two hit the client tier.
+  EXPECT_EQ(metrics->counter("hc.cache.client.misses"), 1u);
+  EXPECT_EQ(metrics->counter("hc.cache.server.misses"), 1u);
+  EXPECT_EQ(metrics->counter("hc.cache.client.hits"), 2u);
+
+  // The lookup-latency histogram shows the cache speedup: one ~80ms origin
+  // fetch plus two ~10us client hits.
+  const obs::Histogram* lookups = metrics->histogram("hc.cache.lookup_us");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_EQ(lookups->count, 3u);
+  EXPECT_GE(lookups->max, 80.0 * kMillisecond);
+  EXPECT_LT(lookups->min, static_cast<double>(kMillisecond));
 }
 
 TEST_F(HierarchyFixture, TtlWritesExpireAcrossTiers) {

@@ -8,6 +8,7 @@
 #include "fhir/synthetic.h"
 #include "ingestion/export.h"
 #include "ingestion/ingestion.h"
+#include "obs/metrics.h"
 
 namespace hc::ingestion {
 namespace {
@@ -41,6 +42,7 @@ class PipelineFixture : public ::testing::Test {
     deps.ledger = ledger_.get();
     deps.verifier = &verifier_;
     deps.reid_map = &reid_map_;
+    deps.metrics = metrics_;
     service_ = std::make_unique<IngestionService>(deps, lake_key_,
                                                   to_bytes("pseudo-key"), "platform");
   }
@@ -98,6 +100,7 @@ class PipelineFixture : public ::testing::Test {
   storage::MetadataStore metadata_;
   privacy::AnonymizationVerificationService verifier_;
   privacy::ReidentificationMap reid_map_;
+  obs::MetricsPtr metrics_ = obs::make_metrics();
   std::unique_ptr<blockchain::PermissionedLedger> ledger_;
   crypto::KeyId lake_key_;
   std::unique_ptr<IngestionService> service_;
@@ -289,6 +292,85 @@ TEST_F(PipelineFixture, PerPatientDataKeysReusedAndDistinct) {
   EXPECT_EQ(keys.size(), 2u);
   EXPECT_EQ(service_->patient_key("pseu-unknown").status().code(),
             StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST_F(PipelineFixture, StoredUploadRecordsOneSamplePerPipelineStage) {
+  auto key = register_client("clinic-a");
+  ASSERT_TRUE(upload_bundle(consented_bundle(), "clinic-a", key).is_ok());
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok() && outcome->stored);
+
+  for (const char* stage :
+       {"decrypt", "validate", "scan", "consent", "deidentify", "store"}) {
+    const obs::Histogram* h =
+        metrics_->histogram(std::string("hc.ingestion.stage.") + stage + "_us");
+    ASSERT_NE(h, nullptr) << stage;
+    EXPECT_EQ(h->count, 1u) << stage;
+    EXPECT_GT(h->sum, 0.0) << stage;
+  }
+  EXPECT_EQ(metrics_->counter("hc.ingestion.uploads"), 1u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.stored"), 1u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.rejects"), 0u);
+}
+
+TEST_F(PipelineFixture, StageLatenciesSumToChargedSimTime) {
+  auto key = register_client("clinic-a");
+  ASSERT_TRUE(upload_bundle(consented_bundle(), "clinic-a", key).is_ok());
+  SimTime before = clock_->now();
+  ASSERT_TRUE(service_->process_next().is_ok());
+
+  // All worker sim time is attributed to exactly one stage histogram
+  // (the ledger commits in between do not advance this clock: no network).
+  double recorded = 0.0;
+  for (const auto& [name, metric] : metrics_->metrics()) {
+    if (name.starts_with("hc.ingestion.stage.")) recorded += metric.histogram.sum;
+  }
+  EXPECT_DOUBLE_EQ(recorded, static_cast<double>(clock_->now() - before));
+}
+
+TEST_F(PipelineFixture, RejectedUploadIncrementsMatchingRejectCounter) {
+  auto key = register_client("clinic-a");
+  // No consent granted for this bundle.
+  ASSERT_TRUE(
+      upload_bundle(fhir::make_synthetic_bundle(rng_, "bundle-nc"), "clinic-a", key)
+          .is_ok());
+  auto outcome = service_->process_next();
+  ASSERT_TRUE(outcome.is_ok());
+  ASSERT_FALSE(outcome->stored);
+
+  EXPECT_EQ(metrics_->counter("hc.ingestion.rejects"), 1u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.reject.consent"), 1u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.stored"), 0u);
+  // The pipeline stopped at consent: no de-identify or store samples.
+  EXPECT_EQ(metrics_->histogram("hc.ingestion.stage.deidentify_us"), nullptr);
+  EXPECT_EQ(metrics_->histogram("hc.ingestion.stage.store_us"), nullptr);
+  // ...but every stage before the verdict ran exactly once.
+  EXPECT_EQ(metrics_->histogram("hc.ingestion.stage.decrypt_us")->count, 1u);
+  EXPECT_EQ(metrics_->histogram("hc.ingestion.stage.consent_us")->count, 1u);
+}
+
+TEST_F(PipelineFixture, EachRejectCategoryCountsSeparately) {
+  auto key = register_client("clinic-a");
+  // 1) malware
+  fhir::Bundle infected = consented_bundle();
+  std::get<fhir::Patient>(infected.resources[0]).address =
+      to_string(test_malware_payload());
+  ASSERT_TRUE(upload_bundle(infected, "clinic-a", key).is_ok());
+  // 2) parse failure
+  auto pub = kms_.public_key(key);
+  auto envelope = crypto::envelope_seal(*pub, to_bytes("not json"), rng_);
+  ASSERT_TRUE(service_->upload(envelope, "clinic-a", "study-a", key).is_ok());
+  // 3) one clean upload
+  ASSERT_TRUE(upload_bundle(consented_bundle(), "clinic-a", key).is_ok());
+
+  EXPECT_EQ(service_->process_all(), 1u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.uploads"), 3u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.rejects"), 2u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.reject.malware"), 1u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.reject.parse"), 1u);
+  EXPECT_EQ(metrics_->counter("hc.ingestion.stored"), 1u);
 }
 
 // ----------------------------------------------------------------- export

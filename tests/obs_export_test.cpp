@@ -1,0 +1,114 @@
+// Golden-artifact tests locking the metrics.json / metrics.csv emission
+// contract (field names, units, number formatting, stable lexicographic
+// key ordering). If one of these fails, the exporter's output changed —
+// that is a breaking change for anything consuming bench artifacts, so
+// update the contract note in src/obs/export.h alongside the goldens.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace hc::obs {
+namespace {
+
+/// The fixed registry every golden below is rendered from: one counter
+/// per unit style, a gauge, and a histogram with hand-checkable stats.
+MetricsRegistry golden_registry() {
+  MetricsRegistry reg;
+  reg.add("hc.test.bytes", 2048, "bytes");
+  reg.add("hc.test.count", 3);
+  reg.set_gauge("hc.test.ratio", 0.5);
+  std::vector<double> bounds{10.0, 100.0};
+  reg.observe("hc.test.lat_us", 5.0, "us", &bounds);
+  reg.observe("hc.test.lat_us", 50.0);
+  reg.observe("hc.test.lat_us", 500.0);
+  return reg;
+}
+
+constexpr const char* kGoldenJson = R"({
+  "metrics": [
+    {"name": "hc.test.bytes", "type": "counter", "unit": "bytes", "value": 2048},
+    {"name": "hc.test.count", "type": "counter", "unit": "1", "value": 3},
+    {"name": "hc.test.lat_us", "type": "histogram", "unit": "us", "count": 3, "sum": 555, "min": 5, "max": 500, "p50": 100, "p95": 500, "p99": 500, "buckets": [{"le": 10, "count": 1}, {"le": 100, "count": 1}, {"le": "+inf", "count": 1}]},
+    {"name": "hc.test.ratio", "type": "gauge", "unit": "1", "value": 0.5}
+  ]
+}
+)";
+
+constexpr const char* kGoldenCsv =
+    "name,type,unit,value,count,sum,min,max,p50,p95,p99\n"
+    "hc.test.bytes,counter,bytes,2048,,,,,,,\n"
+    "hc.test.count,counter,1,3,,,,,,,\n"
+    "hc.test.lat_us,histogram,us,,3,555,5,500,100,500,500\n"
+    "hc.test.ratio,gauge,1,0.5,,,,,,,\n";
+
+TEST(MetricsExport, JsonMatchesGolden) {
+  EXPECT_EQ(to_json(golden_registry()), kGoldenJson);
+}
+
+TEST(MetricsExport, CsvMatchesGolden) {
+  EXPECT_EQ(to_csv(golden_registry()), kGoldenCsv);
+}
+
+TEST(MetricsExport, EmptyRegistryStillEmitsValidDocuments) {
+  MetricsRegistry reg;
+  EXPECT_EQ(to_json(reg), "{\n  \"metrics\": [\n  ]\n}\n");
+  EXPECT_EQ(to_csv(reg), "name,type,unit,value,count,sum,min,max,p50,p95,p99\n");
+}
+
+TEST(MetricsExport, NoInfinitiesLeakIntoArtifacts) {
+  // min/max start at +/-inf internally; the only "inf" in an artifact must
+  // be the overflow bucket's "+inf" label, never a stat value.
+  std::string json = to_json(golden_registry());
+  std::size_t pos = json.find("inf");
+  while (pos != std::string::npos) {
+    ASSERT_GE(pos, 2u);
+    EXPECT_EQ(json.substr(pos - 2, 6), "\"+inf\"");
+    pos = json.find("inf", pos + 1);
+  }
+  EXPECT_EQ(to_csv(golden_registry()).find("inf"), std::string::npos);
+}
+
+TEST(MetricsExport, NumberFormattingIsStable) {
+  MetricsRegistry reg;
+  reg.set_gauge("hc.test.fraction", 0.125);
+  reg.set_gauge("hc.test.integral", 12345.0);
+  reg.set_gauge("hc.test.large", 1234567.25);
+  std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"value\": 0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 12345"), std::string::npos);  // no ".0"
+  EXPECT_NE(json.find("\"value\": 1.23457e+06"), std::string::npos);
+}
+
+TEST(MetricsExport, WriteRoundTripsThroughDisk) {
+  std::string dir = ::testing::TempDir();
+  std::string json_path = dir + "/obs_export_test_metrics.json";
+  std::string csv_path = dir + "/obs_export_test_metrics.csv";
+  MetricsRegistry reg = golden_registry();
+
+  ASSERT_TRUE(write_metrics_json(reg, json_path).is_ok());
+  ASSERT_TRUE(write_metrics_csv(reg, csv_path).is_ok());
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_EQ(slurp(json_path), kGoldenJson);
+  EXPECT_EQ(slurp(csv_path), kGoldenCsv);
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(MetricsExport, UnwritablePathIsUnavailable) {
+  MetricsRegistry reg;
+  EXPECT_EQ(write_metrics_json(reg, "/nonexistent-dir/metrics.json").code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace hc::obs

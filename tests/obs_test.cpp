@@ -1,0 +1,261 @@
+// hc::obs core: histogram bucketing and quantiles, counter/gauge
+// semantics, registry merge, and TraceSpan sim-clock timing. Every
+// expectation here is exact — observations are hand-built distributions
+// on the deterministic SimClock, never wall time.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hc::obs {
+namespace {
+
+// ------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({10.0, 20.0});
+  ASSERT_EQ(h.counts.size(), 3u);  // two bounded buckets + overflow
+
+  h.observe(10.0);  // on the edge -> first bucket (le 10)
+  h.observe(10.5);  // just past -> second bucket (le 20)
+  h.observe(20.0);  // on the edge -> second bucket
+  h.observe(20.5);  // past the last bound -> overflow
+  h.observe(0.0);   // nonnegative floor -> first bucket
+
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 61.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 20.5);
+}
+
+TEST(Histogram, ExactPercentilesOnUniformDistribution) {
+  // Deciles 10..100; observing the integers 1..100 puts exactly ten
+  // samples in every bucket, so interpolation lands on integer ranks.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);    // clamped to observed min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);  // clamped to observed max
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h({10.0, 100.0});
+  h.observe(42.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+}
+
+TEST(Histogram, OverflowBucketInterpolatesTowardObservedMax) {
+  Histogram h({10.0});
+  h.observe(5.0);
+  h.observe(1000.0);  // overflow sample
+  // rank 2 lands in the overflow bucket, whose upper edge is the max.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+}
+
+TEST(Histogram, EmptyHistogramYieldsZeros) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MergeCombinesBucketwise) {
+  Histogram a({10.0, 20.0});
+  Histogram b({10.0, 20.0});
+  a.observe(5.0);
+  a.observe(15.0);
+  b.observe(15.0);
+  b.observe(25.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.counts[0], 1u);
+  EXPECT_EQ(a.counts[1], 2u);
+  EXPECT_EQ(a.counts[2], 1u);
+  EXPECT_DOUBLE_EQ(a.sum, 60.0);
+  EXPECT_DOUBLE_EQ(a.min, 5.0);
+  EXPECT_DOUBLE_EQ(a.max, 25.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  Histogram a({10.0});
+  Histogram b({20.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreAscending) {
+  const auto& bounds = default_latency_bounds_us();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CountersAreMonotonic) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("hc.test.count"), 0u);  // absent reads as zero
+  reg.add("hc.test.count");
+  reg.add("hc.test.count", 4);
+  EXPECT_EQ(reg.counter("hc.test.count"), 5u);
+  reg.add("hc.test.count", 0);  // no-op delta still legal
+  EXPECT_EQ(reg.counter("hc.test.count"), 5u);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  EXPECT_DOUBLE_EQ(reg.gauge("hc.test.ratio"), 0.0);
+  reg.set_gauge("hc.test.ratio", 0.25);
+  reg.set_gauge("hc.test.ratio", 0.75);
+  EXPECT_DOUBLE_EQ(reg.gauge("hc.test.ratio"), 0.75);
+}
+
+TEST(MetricsRegistry, ObserveCreatesHistogramWithRequestedBounds) {
+  MetricsRegistry reg;
+  std::vector<double> bounds{1.0, 2.0};
+  reg.observe("hc.test.lat_us", 1.5, "us", &bounds);
+  reg.observe("hc.test.lat_us", 0.5);  // bounds only apply on first touch
+
+  const Histogram* h = reg.histogram("hc.test.lat_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bounds, bounds);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(reg.histogram("hc.test.absent"), nullptr);
+}
+
+TEST(MetricsRegistry, NameReuseWithDifferentTypeThrows) {
+  MetricsRegistry reg;
+  reg.add("hc.test.metric");
+  EXPECT_THROW(reg.set_gauge("hc.test.metric", 1.0), std::invalid_argument);
+  EXPECT_THROW(reg.observe("hc.test.metric", 1.0), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersOverwritesGaugesMergesHistograms) {
+  MetricsRegistry a;
+  a.add("hc.test.count", 2);
+  a.set_gauge("hc.test.gauge", 1.0);
+  a.observe("hc.test.lat_us", 10.0);
+  a.add("hc.test.only_a");
+
+  MetricsRegistry b;
+  b.add("hc.test.count", 3);
+  b.set_gauge("hc.test.gauge", 9.0);
+  b.observe("hc.test.lat_us", 30.0);
+  b.add("hc.test.only_b", 7);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("hc.test.count"), 5u);
+  EXPECT_DOUBLE_EQ(a.gauge("hc.test.gauge"), 9.0);
+  const Histogram* h = a.histogram("hc.test.lat_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 40.0);
+  EXPECT_EQ(a.counter("hc.test.only_a"), 1u);
+  EXPECT_EQ(a.counter("hc.test.only_b"), 7u);
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(MetricsRegistry, MergeRejectsTypeAndUnitMismatch) {
+  MetricsRegistry counter_reg;
+  counter_reg.add("hc.test.metric");
+  MetricsRegistry gauge_reg;
+  gauge_reg.set_gauge("hc.test.metric", 1.0);
+  EXPECT_THROW(counter_reg.merge(gauge_reg), std::invalid_argument);
+
+  MetricsRegistry bytes_reg;
+  bytes_reg.add("hc.test.volume", 1, "bytes");
+  MetricsRegistry unitless_reg;
+  unitless_reg.add("hc.test.volume", 1, "1");
+  EXPECT_THROW(bytes_reg.merge(unitless_reg), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergeOfEmptyRegistriesIsIdentity) {
+  MetricsRegistry a;
+  MetricsRegistry empty;
+  a.merge(empty);
+  EXPECT_TRUE(a.empty());
+
+  a.add("hc.test.count", 3);
+  a.merge(empty);
+  EXPECT_EQ(a.counter("hc.test.count"), 3u);
+
+  empty.merge(a);  // merging into empty copies everything over
+  EXPECT_EQ(empty.counter("hc.test.count"), 3u);
+}
+
+TEST(MetricsRegistry, ExportOrderIsLexicographic) {
+  MetricsRegistry reg;
+  reg.add("hc.z.last");
+  reg.add("hc.a.first");
+  reg.add("hc.m.middle");
+  std::vector<std::string> names;
+  for (const auto& [name, metric] : reg.metrics()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"hc.a.first", "hc.m.middle", "hc.z.last"}));
+}
+
+// ------------------------------------------------------------- tracespan
+
+TEST(TraceSpan, RecordsElapsedSimTimeOnDestruction) {
+  MetricsRegistry reg;
+  ClockPtr clock = make_clock();
+  {
+    TraceSpan span(&reg, clock.get(), "hc.test.span_us");
+    clock->advance(250);
+  }
+  const Histogram* h = reg.histogram("hc.test.span_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->sum, 250.0);
+}
+
+TEST(TraceSpan, FinishIsIdempotent) {
+  MetricsRegistry reg;
+  ClockPtr clock = make_clock();
+  TraceSpan span(&reg, clock.get(), "hc.test.span_us");
+  clock->advance(100);
+  EXPECT_EQ(span.finish(), 100);
+  clock->advance(900);  // after finish(), further time is not attributed
+  EXPECT_EQ(span.finish(), 100);
+  EXPECT_EQ(reg.histogram("hc.test.span_us")->count, 1u);
+}
+
+TEST(TraceSpan, ElapsedReadsWithoutRecording) {
+  MetricsRegistry reg;
+  ClockPtr clock = make_clock();
+  TraceSpan span(&reg, clock.get(), "hc.test.span_us");
+  clock->advance(42);
+  EXPECT_EQ(span.elapsed(), 42);
+  EXPECT_EQ(reg.histogram("hc.test.span_us"), nullptr);
+}
+
+TEST(TraceSpan, NullRegistryOrClockIsNoop) {
+  ClockPtr clock = make_clock();
+  {
+    TraceSpan span(nullptr, clock.get(), "hc.test.span_us");
+    clock->advance(10);
+    EXPECT_EQ(span.finish(), 10);  // timing still works, nothing recorded
+  }
+  MetricsRegistry reg;
+  {
+    TraceSpan span(&reg, nullptr, "hc.test.span_us");
+  }
+  EXPECT_TRUE(reg.empty());
+}
+
+}  // namespace
+}  // namespace hc::obs
