@@ -1,0 +1,161 @@
+// Experiment R-fault (ISSUE: deterministic fault injection + resilience).
+//
+// Claim probed: the paper's trust story presumes the platform keeps
+// working when the substrate misbehaves. This bench sweeps injected
+// message-loss rates over a client -> cloud request workload (WAN link,
+// one mid-run host crash) and compares a naive caller against the
+// resilience stack (retry with backoff + circuit breaker). Reported per
+// fault rate: request success fraction, mean end-to-end latency of
+// successful requests, retries spent, and breaker fast-fails.
+//
+// Everything draws from fixed seeds on the sim clock, so every cell of
+// the sweep is exactly reproducible.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "net/network.h"
+#include "obs/export.h"
+
+using namespace hc;
+
+namespace {
+
+constexpr int kRequests = 2000;
+constexpr std::size_t kRequestBytes = 4096;
+
+struct RunResult {
+  double success_rate = 0;
+  double mean_latency_us = 0;   // successful requests only
+  std::uint64_t retries = 0;
+  std::uint64_t fast_fails = 0; // breaker rejections
+};
+
+RunResult run(double drop_rate, bool resilient, obs::MetricsRegistry* metrics) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(41));
+  network.set_link("client", "cloud", net::LinkProfile::wan());
+
+  // The fault schedule: uniform loss both ways plus a 2s cloud outage
+  // halfway through the run (requests are paced at 25ms).
+  fault::FaultPlan plan;
+  if (drop_rate > 0) {
+    plan.drop("client", "cloud", drop_rate);
+  }
+  SimTime outage_at = (kRequests / 2) * 25 * kMillisecond;
+  plan.crash("cloud", outage_at, outage_at + 2 * kSecond);
+  auto injector = fault::make_injector(plan, clock, Rng(42));
+  network.set_fault_injector(injector);
+
+  fault::RetryPolicy policy;
+  policy.max_attempts = resilient ? 5 : 1;
+  policy.initial_backoff = 10 * kMillisecond;
+  policy.jitter = 0.2;
+  Rng retry_rng(43);
+
+  fault::CircuitBreakerConfig breaker_config;
+  breaker_config.name = "bench";
+  breaker_config.failure_threshold = 5;
+  breaker_config.open_cooldown = 250 * kMillisecond;
+  breaker_config.half_open_successes = 1;
+  fault::CircuitBreaker breaker(breaker_config, clock, nullptr);
+
+  std::uint64_t ok = 0, retries = 0, fast_fails = 0;
+  SimTime ok_latency = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    if (resilient && !breaker.allow().is_ok()) {
+      ++fast_fails;  // known-dead dependency: no latency burned
+    } else {
+      SimTime start = clock->now();
+      int attempts = 0;
+      auto sent = fault::with_retry(policy, *clock, retry_rng, [&] {
+        ++attempts;
+        return network.send("client", "cloud", kRequestBytes);
+      });
+      retries += static_cast<std::uint64_t>(attempts - 1);
+      if (sent.is_ok()) {
+        ++ok;
+        ok_latency += clock->now() - start;
+        if (resilient) breaker.record_success();
+      } else if (resilient) {
+        breaker.record_failure();
+      }
+    }
+    clock->advance(25 * kMillisecond);  // request pacing
+  }
+
+  if (metrics) {
+    std::string prefix = "bench.faults.drop_" + std::to_string(
+        static_cast<int>(drop_rate * 100)) + (resilient ? ".resilient" : ".naive");
+    metrics->add(prefix + ".ok", ok);
+    metrics->add(prefix + ".retries", retries);
+    metrics->add(prefix + ".fast_fails", fast_fails);
+    metrics->observe(prefix + ".mean_latency_us",
+                     ok ? static_cast<double>(ok_latency) / static_cast<double>(ok)
+                        : 0.0);
+  }
+
+  RunResult result;
+  result.success_rate = static_cast<double>(ok) / kRequests;
+  result.mean_latency_us =
+      ok ? static_cast<double>(ok_latency) / static_cast<double>(ok) : 0.0;
+  result.retries = retries;
+  result.fast_fails = fast_fails;
+  return result;
+}
+
+std::string metrics_out_path(int argc, char** argv, const char* default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      return i + 1 < argc ? argv[i + 1] : default_path;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      return arg.substr(std::string("--metrics-out=").size());
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path = metrics_out_path(argc, argv, "BENCH_faults.json");
+  obs::MetricsRegistry metrics;
+
+  std::printf("== R-fault: resilience under injected faults ==\n");
+  std::printf("workload: %d requests over WAN; 2s host crash mid-run;\n"
+              "sweep of injected drop rates, naive vs retry+breaker\n\n",
+              kRequests);
+  std::printf("%-10s %-10s %9s %14s %9s %11s\n", "drop-rate", "caller",
+              "success", "mean-latency", "retries", "fast-fails");
+
+  for (double drop : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    for (bool resilient : {false, true}) {
+      RunResult r = run(drop, resilient, &metrics);
+      std::printf("%8.0f%% %-10s %8.1f%% %12.0fus %9llu %11llu\n", drop * 100,
+                  resilient ? "resilient" : "naive", 100 * r.success_rate,
+                  r.mean_latency_us,
+                  static_cast<unsigned long long>(r.retries),
+                  static_cast<unsigned long long>(r.fast_fails));
+    }
+  }
+  std::printf("\nsuccess rate at 10%% loss is the headline: the naive caller "
+              "loses every\ndropped request while retry+breaker recovers all "
+              "transient losses and\nfast-fails only during the crash "
+              "window.\n");
+
+  if (!metrics_path.empty()) {
+    Status written = obs::write_metrics_json(metrics, metrics_path);
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", metrics_path.c_str(),
+                   written.to_string().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "blockchain/ledger.h"
 
+#include <algorithm>
+
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 
@@ -93,12 +95,29 @@ const SmartContract* PermissionedLedger::find_contract(const std::string& name) 
   return it == contracts_.end() ? nullptr : it->second.get();
 }
 
-void PermissionedLedger::charge_broadcast(std::size_t message_bytes) {
-  if (!network_) return;
+std::size_t PermissionedLedger::charge_broadcast(std::size_t message_bytes) {
+  if (!network_) return config_.peers.size() - 1;
   const std::string& leader = config_.peers.front();
+  std::size_t acknowledged = 0;
   for (std::size_t i = 1; i < config_.peers.size(); ++i) {
-    (void)network_->send(leader, config_.peers[i], message_bytes);
+    auto sent = network_->send(leader, config_.peers[i], message_bytes);
+    // Only operational losses mark a peer unresponsive; an unconfigured
+    // link keeps the legacy "cost model only" semantics.
+    if (sent.is_ok() || sent.status().code() != StatusCode::kUnavailable) {
+      ++acknowledged;
+    } else if (metrics_) {
+      metrics_->add("hc.blockchain.unresponsive_peer_msgs");
+    }
   }
+  return acknowledged;
+}
+
+std::size_t PermissionedLedger::required_responsive_peers() const {
+  double fraction = config_.max_unresponsive_fraction;
+  if (fraction >= 1.0) return 0;
+  if (fraction < 0.0) fraction = 0.0;
+  double allowed_down = fraction * static_cast<double>(config_.peers.size());
+  return config_.peers.size() - static_cast<std::size_t>(allowed_down);
 }
 
 Result<std::string> PermissionedLedger::submit(const std::string& contract,
@@ -119,11 +138,29 @@ Result<std::string> PermissionedLedger::submit(const std::string& contract,
   // Endorsement: leader broadcasts the proposal; every peer validates
   // against the current state (replicas are identical in-process, so one
   // validation decides, but the message costs are still charged per peer).
-  charge_broadcast(kProposalBytes);
+  // A peer only endorses if both the proposal and its response made it.
+  std::size_t proposals = charge_broadcast(kProposalBytes);
   Status verdict = chaincode->validate(tx, state_);
-  charge_broadcast(kVoteBytes);  // endorsement responses
+  std::size_t votes = charge_broadcast(kVoteBytes);  // endorsement responses
 
-  std::size_t endorsements = verdict.is_ok() ? config_.peers.size() : 0;
+  std::size_t responsive = 1 + std::min(proposals, votes);  // leader + followers
+  std::size_t required = required_responsive_peers();
+  if (required > 0 && responsive < std::max(required, config_.endorsement_quorum)) {
+    if (log_) {
+      log_->warn("blockchain", "endorsement_unreachable",
+                 tx.id + " responsive=" + std::to_string(responsive) + "/" +
+                     std::to_string(config_.peers.size()));
+    }
+    if (metrics_) metrics_->add("hc.blockchain.endorsement_unavailable");
+    return Status(StatusCode::kUnavailable,
+                  "endorsement quorum unreachable: " + std::to_string(responsive) +
+                      "/" + std::to_string(config_.peers.size()) + " peers");
+  }
+
+  // With tolerance enforcement off (fraction 1.0), keep the historical
+  // fault-oblivious accounting: every peer is presumed to endorse.
+  std::size_t endorsements =
+      verdict.is_ok() ? (required > 0 ? responsive : config_.peers.size()) : 0;
   if (endorsements < config_.endorsement_quorum) {
     if (log_) log_->warn("blockchain", "endorsement_failed", tx.id + " " + verdict.to_string());
     if (metrics_) metrics_->add("hc.blockchain.txs_rejected");
@@ -157,10 +194,30 @@ Result<CommitReceipt> PermissionedLedger::commit_block() {
   block.transactions = std::move(batch);
   block.hash = block.compute_hash();
 
-  // Commit vote: propose block, collect votes, announce commit.
-  charge_broadcast(kProposalBytes + block.transactions.size() * 256);
-  charge_broadcast(kVoteBytes);
-  charge_broadcast(kVoteBytes);
+  // Commit vote: propose block, collect votes, announce commit. A peer
+  // counts as committing only if every round reached it.
+  std::size_t round1 = charge_broadcast(kProposalBytes + block.transactions.size() * 256);
+  std::size_t round2 = charge_broadcast(kVoteBytes);
+  std::size_t round3 = charge_broadcast(kVoteBytes);
+
+  std::size_t responsive = 1 + std::min({round1, round2, round3});
+  std::size_t required = required_responsive_peers();
+  if (required > 0 && responsive < required) {
+    // Put the batch back at the head of the pool: the commit is aborted,
+    // not lost, and succeeds once enough peers are reachable again.
+    pending_.insert(pending_.begin(),
+                    std::make_move_iterator(block.transactions.begin()),
+                    std::make_move_iterator(block.transactions.end()));
+    if (metrics_) metrics_->add("hc.blockchain.commit_aborts");
+    if (log_) {
+      log_->warn("blockchain", "commit_aborted",
+                 "responsive=" + std::to_string(responsive) + "/" +
+                     std::to_string(config_.peers.size()));
+    }
+    return Status(StatusCode::kUnavailable,
+                  "commit vote unreachable: " + std::to_string(responsive) + "/" +
+                      std::to_string(config_.peers.size()) + " peers");
+  }
 
   for (const auto& tx : block.transactions) {
     find_contract(tx.contract)->apply(tx, state_);

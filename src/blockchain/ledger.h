@@ -73,6 +73,13 @@ struct LedgerConfig {
   std::vector<std::string> peers;       // at least 1; first peer leads
   std::size_t endorsement_quorum = 0;   // 0 = majority
   std::size_t max_block_transactions = 64;
+  /// Fraction of peers that may be unreachable (crashed host / dropped
+  /// consensus messages) before endorsement and commit refuse to proceed.
+  /// 1.0 (default) keeps the historical fault-oblivious behaviour; chaos
+  /// configurations set e.g. 0.34 so consensus needs 2/3 of peers live.
+  /// Only kUnavailable send failures count as unresponsiveness — an
+  /// unconfigured link (kFailedPrecondition) stays a cost-model no-op.
+  double max_unresponsive_fraction = 1.0;
 };
 
 struct CommitReceipt {
@@ -103,7 +110,10 @@ class PermissionedLedger {
 
   /// Ordering/commit phase: drains (up to max_block_transactions of) the
   /// pool into a block, runs the commit vote, appends, applies to state.
-  /// kFailedPrecondition when the pool is empty.
+  /// kFailedPrecondition when the pool is empty; kUnavailable when more
+  /// than max_unresponsive_fraction of peers are unreachable — the batch
+  /// is returned to the pool so a later commit (after hosts restart) can
+  /// succeed.
   Result<CommitReceipt> commit_block();
 
   /// Submit + immediate commit — the common path for provenance events.
@@ -134,7 +144,10 @@ class PermissionedLedger {
 
  private:
   const SmartContract* find_contract(const std::string& name) const;
-  void charge_broadcast(std::size_t message_bytes);
+  /// Charges one leader->peers broadcast round; returns how many of the
+  /// peers.size()-1 followers acknowledged (all, without a network).
+  std::size_t charge_broadcast(std::size_t message_bytes);
+  std::size_t required_responsive_peers() const;
 
   LedgerConfig config_;
   ClockPtr clock_;

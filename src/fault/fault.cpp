@@ -1,0 +1,127 @@
+#include "fault/fault.h"
+
+namespace hc::fault {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add_rule(FaultRule rule) {
+  rules.push_back(std::move(rule));
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop(std::string from, std::string to, double probability,
+                           SimTime start, SimTime end) {
+  return add_rule({std::move(from), std::move(to), FaultKind::kDrop, probability,
+                   start, end, 0, std::numeric_limits<std::uint64_t>::max()});
+}
+
+FaultPlan& FaultPlan::delay(std::string from, std::string to, double probability,
+                            SimTime extra_delay, SimTime start, SimTime end) {
+  return add_rule({std::move(from), std::move(to), FaultKind::kDelay, probability,
+                   start, end, extra_delay,
+                   std::numeric_limits<std::uint64_t>::max()});
+}
+
+FaultPlan& FaultPlan::duplicate(std::string from, std::string to,
+                                double probability, SimTime start, SimTime end) {
+  return add_rule({std::move(from), std::move(to), FaultKind::kDuplicate,
+                   probability, start, end, 0,
+                   std::numeric_limits<std::uint64_t>::max()});
+}
+
+FaultPlan& FaultPlan::corrupt(std::string from, std::string to, double probability,
+                              SimTime start, SimTime end) {
+  return add_rule({std::move(from), std::move(to), FaultKind::kCorrupt,
+                   probability, start, end, 0,
+                   std::numeric_limits<std::uint64_t>::max()});
+}
+
+FaultPlan& FaultPlan::crash(std::string host, SimTime at, SimTime restart_at) {
+  crashes.push_back({std::move(host), at, restart_at});
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, ClockPtr clock, Rng rng,
+                             obs::MetricsPtr metrics)
+    : plan_(std::move(plan)),
+      clock_(std::move(clock)),
+      rng_(rng),
+      metrics_(std::move(metrics)),
+      triggers_(plan_.rules.size(), 0) {}
+
+bool FaultInjector::host_down(const std::string& host) const {
+  SimTime now = clock_->now();
+  for (const auto& crash : plan_.crashes) {
+    if (crash.host == host && now >= crash.at && now < crash.restart_at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool endpoint_matches(const std::string& pattern, const std::string& endpoint) {
+  return pattern.empty() || pattern == endpoint;
+}
+
+}  // namespace
+
+FaultDecision FaultInjector::on_message(const std::string& from,
+                                        const std::string& to) {
+  FaultDecision decision;
+  SimTime now = clock_->now();
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (now < rule.start || now >= rule.end) continue;
+    if (!endpoint_matches(rule.from, from) || !endpoint_matches(rule.to, to)) {
+      continue;
+    }
+    if (triggers_[i] >= rule.max_triggers) continue;
+    if (!rng_.bernoulli(rule.probability)) continue;
+    ++triggers_[i];
+    if (metrics_) {
+      metrics_->add("hc.fault.injected." +
+                    std::string(fault_kind_name(rule.kind)));
+    }
+    switch (rule.kind) {
+      case FaultKind::kDrop: decision.drop = true; break;
+      case FaultKind::kDelay: decision.extra_delay += rule.extra_delay; break;
+      case FaultKind::kDuplicate: decision.duplicate = true; break;
+      case FaultKind::kCorrupt: decision.corrupt = true; break;
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::corrupt_payload(Bytes& payload) {
+  if (payload.empty()) return;
+  int flips = static_cast<int>(rng_.uniform_int(1, 3));
+  for (int f = 0; f < flips; ++f) {
+    auto index = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(payload.size()) - 1));
+    auto bit = static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+    payload[index] ^= bit;
+  }
+  if (metrics_) metrics_->add("hc.fault.corrupted_payloads");
+}
+
+std::uint64_t FaultInjector::rule_triggers(std::size_t index) const {
+  return index < triggers_.size() ? triggers_[index] : 0;
+}
+
+FaultInjectorPtr make_injector(FaultPlan plan, ClockPtr clock, Rng rng,
+                               obs::MetricsPtr metrics) {
+  return std::make_shared<FaultInjector>(std::move(plan), std::move(clock), rng,
+                                         std::move(metrics));
+}
+
+}  // namespace hc::fault

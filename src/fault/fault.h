@@ -1,0 +1,129 @@
+// Deterministic fault injection (hc::fault).
+//
+// The paper claims trustworthy operation across gateways, intercloud
+// transfer, replicated storage and blockchain peers, but those claims are
+// only meaningful under failure. FaultPlan is a declarative schedule of
+// message faults (drop / delay / duplicate / corrupt) and host
+// crash/restart events; FaultInjector evaluates it against the shared
+// SimClock with an explicitly seeded Rng, so a given (seed, plan) pair
+// produces byte-identical outcomes on every run — chaos testing without
+// flakiness. The SimNetwork consults the injector on every message; higher
+// layers (registry, replication) consult host liveness directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hc::fault {
+
+enum class FaultKind { kDrop, kDelay, kDuplicate, kCorrupt };
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One probabilistic message-fault rule. Empty `from`/`to` are wildcards;
+/// the rule is live in the sim-time window [start, end) and fires at most
+/// `max_triggers` times (a budget, so plans can model transient glitches).
+struct FaultRule {
+  std::string from;
+  std::string to;
+  FaultKind kind = FaultKind::kDrop;
+  double probability = 1.0;
+  SimTime start = 0;
+  SimTime end = std::numeric_limits<SimTime>::max();
+  SimTime extra_delay = 0;  // kDelay only: latency added to the message
+  std::uint64_t max_triggers = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Scheduled outage of one simulated host: down in [at, restart_at).
+struct CrashEvent {
+  std::string host;
+  SimTime at = 0;
+  SimTime restart_at = std::numeric_limits<SimTime>::max();  // never, by default
+};
+
+/// Declarative fault schedule. The builder methods return *this so plans
+/// read as scenarios:
+///
+///   FaultPlan plan;
+///   plan.drop("client", "gateway", 0.10)
+///       .delay("", "replica-1", 1.0, 5 * kMillisecond)
+///       .crash("replica-2", 2 * kSecond, 6 * kSecond);
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  std::vector<CrashEvent> crashes;
+
+  FaultPlan& add_rule(FaultRule rule);
+  FaultPlan& drop(std::string from, std::string to, double probability,
+                  SimTime start = 0,
+                  SimTime end = std::numeric_limits<SimTime>::max());
+  FaultPlan& delay(std::string from, std::string to, double probability,
+                   SimTime extra_delay, SimTime start = 0,
+                   SimTime end = std::numeric_limits<SimTime>::max());
+  FaultPlan& duplicate(std::string from, std::string to, double probability,
+                       SimTime start = 0,
+                       SimTime end = std::numeric_limits<SimTime>::max());
+  FaultPlan& corrupt(std::string from, std::string to, double probability,
+                     SimTime start = 0,
+                     SimTime end = std::numeric_limits<SimTime>::max());
+  FaultPlan& crash(std::string host, SimTime at,
+                   SimTime restart_at = std::numeric_limits<SimTime>::max());
+};
+
+/// What the injector decided for one message. At most one drop; delay,
+/// duplication and corruption compose (a delayed duplicate is legal).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  SimTime extra_delay = 0;
+};
+
+/// Evaluates a FaultPlan deterministically. All randomness comes from the
+/// injector's own seeded Rng (never the network's), and rules only draw
+/// when their window matches, so decision sequences depend only on
+/// (seed, plan, message sequence). Counters land under `hc.fault.*`.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, ClockPtr clock, Rng rng,
+                obs::MetricsPtr metrics = nullptr);
+
+  /// True while `host` is inside a scheduled [at, restart_at) outage.
+  bool host_down(const std::string& host) const;
+
+  /// Evaluates every live matching rule against one message, consuming
+  /// trigger budgets and recording `hc.fault.injected.<kind>` counters.
+  FaultDecision on_message(const std::string& from, const std::string& to);
+
+  /// Deterministically flips 1–3 bits of `payload` (no-op when empty) —
+  /// the wire-corruption primitive the HMAC fuzzers drive.
+  void corrupt_payload(Bytes& payload);
+
+  /// Total number of times rule `index` has fired.
+  std::uint64_t rule_triggers(std::size_t index) const;
+
+  const FaultPlan& plan() const { return plan_; }
+  ClockPtr clock() const { return clock_; }
+
+ private:
+  FaultPlan plan_;
+  ClockPtr clock_;
+  mutable Rng rng_;
+  obs::MetricsPtr metrics_;  // may be null
+  std::vector<std::uint64_t> triggers_;
+};
+
+using FaultInjectorPtr = std::shared_ptr<FaultInjector>;
+
+FaultInjectorPtr make_injector(FaultPlan plan, ClockPtr clock, Rng rng,
+                               obs::MetricsPtr metrics = nullptr);
+
+}  // namespace hc::fault

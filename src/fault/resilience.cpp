@@ -1,0 +1,114 @@
+#include "fault/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hc::fault {
+
+SimTime RetryPolicy::backoff_for(int attempt) const {
+  if (attempt <= 0) return 0;
+  double backoff = static_cast<double>(initial_backoff) *
+                   std::pow(multiplier, attempt - 1);
+  double cap = static_cast<double>(max_backoff);
+  return static_cast<SimTime>(std::min(backoff, cap));
+}
+
+SimTime RetryPolicy::backoff_with_jitter(int attempt, Rng& rng) const {
+  SimTime base = backoff_for(attempt);
+  if (jitter <= 0.0 || base == 0) return base;
+  auto spread = static_cast<SimTime>(jitter * static_cast<double>(base));
+  return base + (spread > 0 ? rng.uniform_int(0, spread) : 0);
+}
+
+bool retryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIntegrityError;
+}
+
+Deadline::Deadline(const SimClock& clock, SimTime budget)
+    : clock_(&clock),
+      deadline_(budget <= 0 ? std::numeric_limits<SimTime>::max()
+                            : clock.now() + budget) {}
+
+bool Deadline::expired() const { return clock_->now() > deadline_; }
+
+Status Deadline::check(const std::string& what) const {
+  if (!expired()) return Status::ok();
+  return Status(StatusCode::kUnavailable,
+                what + " timed out at " + format_duration(clock_->now()));
+}
+
+std::string_view breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, ClockPtr clock,
+                               obs::MetricsPtr metrics)
+    : config_(std::move(config)), clock_(std::move(clock)),
+      metrics_(std::move(metrics)) {}
+
+void CircuitBreaker::transition(BreakerState next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (next == BreakerState::kOpen) opened_at_ = clock_->now();
+  if (next != BreakerState::kHalfOpen) half_open_successes_ = 0;
+  if (metrics_) {
+    std::string prefix = "hc.fault.breaker." + config_.name;
+    metrics_->add(prefix + "." + std::string(breaker_state_name(next)));
+    metrics_->set_gauge(prefix + ".state", static_cast<double>(static_cast<int>(state())));
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  if (state_ == BreakerState::kOpen &&
+      clock_->now() >= opened_at_ + config_.open_cooldown) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+void CircuitBreaker::sync() {
+  if (state_ == BreakerState::kOpen &&
+      clock_->now() >= opened_at_ + config_.open_cooldown) {
+    transition(BreakerState::kHalfOpen);
+  }
+}
+
+Status CircuitBreaker::allow() {
+  sync();
+  if (state_ == BreakerState::kOpen) {
+    return Status(StatusCode::kUnavailable,
+                  "circuit '" + config_.name + "' is open");
+  }
+  return Status::ok();
+}
+
+void CircuitBreaker::record_success() {
+  sync();
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen &&
+      ++half_open_successes_ >= config_.half_open_successes) {
+    transition(BreakerState::kClosed);
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  sync();
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately (fresh cooldown): still sick.
+    transition(BreakerState::kOpen);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    transition(BreakerState::kOpen);
+  }
+}
+
+}  // namespace hc::fault

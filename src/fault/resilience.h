@@ -1,0 +1,144 @@
+// Resilience primitives (hc::fault): retry with exponential backoff,
+// per-call timeouts, and a circuit breaker — all on the shared SimClock.
+//
+// These are the countermeasures the hot paths (gateway, intercloud
+// transfer, service selection, storage replication, blockchain commit)
+// deploy against the faults FaultInjector injects. Backoff jitter draws
+// from an explicitly seeded Rng, so a retry schedule is a pure function of
+// (policy, seed) and chaos tests can pin it exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hc::fault {
+
+/// Exponential backoff with deterministic jitter and two budgets: a count
+/// budget (max_attempts) and a sim-time budget (total_budget, covering
+/// work + backoff). backoff_for(k) = min(initial * multiplier^(k-1), cap)
+/// before the k-th retry; attempt 0 never waits.
+struct RetryPolicy {
+  int max_attempts = 3;
+  SimTime initial_backoff = 1 * kMillisecond;
+  double multiplier = 2.0;
+  SimTime max_backoff = 30 * kSecond;
+  double jitter = 0.0;  // adds uniform [0, jitter * backoff]
+  SimTime total_budget = std::numeric_limits<SimTime>::max();
+
+  /// Base (jitter-free) backoff before retry `attempt` (1-based); 0 for
+  /// attempt <= 0. Monotonically non-decreasing in `attempt`.
+  SimTime backoff_for(int attempt) const;
+
+  /// backoff_for(attempt) plus the deterministic jitter draw.
+  SimTime backoff_with_jitter(int attempt, Rng& rng) const;
+};
+
+/// Is this an operational failure worth retrying? Unavailability (drops,
+/// down hosts, timeouts) and in-flight corruption are; validation and
+/// permission failures are not.
+bool retryable(const Status& status);
+
+namespace detail {
+inline const Status& status_of(const Status& status) { return status; }
+template <typename T>
+const Status& status_of(const Result<T>& result) { return result.status(); }
+}  // namespace detail
+
+/// Runs `fn` under `policy`: re-invokes on retryable failures, charging
+/// each backoff on `clock`, until success, a non-retryable failure, or a
+/// budget is exhausted. `fn` returns Status or Result<T>; the last outcome
+/// is returned. When `metrics` is non-null, retries and exhaustions are
+/// counted under `<metric_prefix>.retries` / `<metric_prefix>.exhausted`.
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, SimClock& clock, Rng& rng, Fn&& fn,
+                obs::MetricsRegistry* metrics = nullptr,
+                const std::string& metric_prefix = "hc.fault.retry")
+    -> std::invoke_result_t<Fn> {
+  SimTime start = clock.now();
+  auto outcome = fn();
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    if (outcome.is_ok() || !retryable(detail::status_of(outcome))) return outcome;
+    SimTime backoff = policy.backoff_with_jitter(attempt, rng);
+    if (clock.now() - start + backoff > policy.total_budget) break;
+    clock.advance(backoff);
+    if (metrics) metrics->add(metric_prefix + ".retries");
+    outcome = fn();
+  }
+  if (!outcome.is_ok() && metrics) metrics->add(metric_prefix + ".exhausted");
+  return outcome;
+}
+
+/// Sim-time deadline for one call: arm it before the work, then check().
+class Deadline {
+ public:
+  /// `budget` <= 0 means no deadline.
+  Deadline(const SimClock& clock, SimTime budget);
+
+  bool expired() const;
+
+  /// kOk while within budget; kUnavailable ("<what> timed out ...") once
+  /// the clock has passed it — timeouts are retryable unavailability.
+  Status check(const std::string& what) const;
+
+ private:
+  const SimClock* clock_;
+  SimTime deadline_;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string_view breaker_state_name(BreakerState state);
+
+struct CircuitBreakerConfig {
+  std::string name = "default";   // metric key: hc.fault.breaker.<name>.*
+  int failure_threshold = 5;      // consecutive failures that open the circuit
+  SimTime open_cooldown = 10 * kSecond;  // open -> half-open probe delay
+  int half_open_successes = 2;    // probe successes that close it again
+};
+
+/// Classic closed -> open -> half-open -> closed circuit breaker, clocked
+/// on sim time. Callers ask allow() before the protected call and report
+/// record_success()/record_failure() after it; when open, allow() fails
+/// fast with kUnavailable so a dead dependency stops costing latency.
+/// Every state transition emits an `hc.fault.breaker.<name>.<transition>`
+/// counter and the current state lands in a gauge.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(CircuitBreakerConfig config, ClockPtr clock,
+                 obs::MetricsPtr metrics = nullptr);
+
+  /// kOk when a call may proceed. Flips open -> half-open once the
+  /// cooldown has elapsed (the probe that sees it transitions the state).
+  Status allow();
+
+  void record_success();
+  void record_failure();
+
+  /// Current state, cooldown-aware (an open breaker whose cooldown has
+  /// elapsed reports kHalfOpen without mutating until the next allow()).
+  BreakerState state() const;
+
+  int consecutive_failures() const { return consecutive_failures_; }
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  void transition(BreakerState next);
+  void sync();  // applies the cooldown-elapsed open -> half-open flip
+
+  CircuitBreakerConfig config_;
+  ClockPtr clock_;
+  obs::MetricsPtr metrics_;  // may be null
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  SimTime opened_at_ = 0;
+};
+
+}  // namespace hc::fault

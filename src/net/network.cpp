@@ -58,7 +58,7 @@ SimTime SimNetwork::cost_for(const LinkProfile& link, std::size_t bytes,
 }
 
 Result<SimTime> SimNetwork::send(const std::string& from, const std::string& to,
-                                 std::size_t bytes) {
+                                 std::size_t bytes, Bytes* payload) {
   const LinkProfile* link = find_link(from, to);
   if (!link) {
     return Status(StatusCode::kFailedPrecondition,
@@ -67,12 +67,38 @@ Result<SimTime> SimNetwork::send(const std::string& from, const std::string& to,
   SimTime jitter =
       link->jitter > 0 ? static_cast<SimTime>(rng_.uniform_int(0, link->jitter)) : 0;
   SimTime cost = cost_for(*link, bytes, jitter);
+
+  fault::FaultDecision decision;
+  if (injector_) decision = injector_->on_message(from, to);
+  cost += decision.extra_delay;
+
+  // A crashed endpoint times the sender out after the attempt latency.
   clock_->advance(cost);
   stats_.busy_time += cost;
-  if (rng_.bernoulli(link->drop_probability)) {
+  if (injector_ && (injector_->host_down(from) || injector_->host_down(to))) {
+    ++stats_.host_down_drops;
+    const std::string& down = injector_->host_down(to) ? to : from;
+    return Status(StatusCode::kUnavailable, "host " + down + " is down");
+  }
+  if (decision.drop || rng_.bernoulli(link->drop_probability)) {
     ++stats_.drops;
     return Status(StatusCode::kUnavailable,
                   "message dropped on link " + from + " -> " + to);
+  }
+  if (decision.duplicate) {
+    // The spurious copy consumes link capacity but the receiver dedupes.
+    ++stats_.duplicates;
+    ++stats_.messages;
+    stats_.bytes += bytes;
+  }
+  if (decision.corrupt) {
+    ++stats_.corruptions;
+    if (payload) {
+      injector_->corrupt_payload(*payload);  // the receiver's MAC decides
+    } else {
+      return Status(StatusCode::kIntegrityError,
+                    "message corrupted in flight on " + from + " -> " + to);
+    }
   }
   ++stats_.messages;
   stats_.bytes += bytes;
@@ -88,7 +114,10 @@ Result<SimTime> SimNetwork::send_with_retry(const std::string& from,
     auto sent = send(from, to, bytes);
     if (sent.is_ok()) return clock_->now() - start;
     last = sent.status();
-    if (last.code() != StatusCode::kUnavailable) return last;  // not retryable
+    if (last.code() != StatusCode::kUnavailable &&
+        last.code() != StatusCode::kIntegrityError) {
+      return last;  // not retryable
+    }
   }
   return last;
 }

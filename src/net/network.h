@@ -12,9 +12,12 @@
 #include <map>
 #include <string>
 
+#include "common/bytes.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
 
 namespace hc::net {
 
@@ -40,7 +43,10 @@ struct LinkProfile {
 struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
-  std::uint64_t drops = 0;
+  std::uint64_t drops = 0;           // link-profile and injected drops
+  std::uint64_t duplicates = 0;      // injected duplicate deliveries
+  std::uint64_t corruptions = 0;     // injected in-flight corruptions
+  std::uint64_t host_down_drops = 0; // messages lost to a crashed endpoint
   SimTime busy_time = 0;  // total latency charged
 };
 
@@ -58,21 +64,42 @@ class SimNetwork {
 
   /// Charges the clock for moving `bytes` from `from` to `to` and returns
   /// the latency charged. kUnavailable if the message was dropped (clock
-  /// still advances by the attempt latency), kFailedPrecondition if no
-  /// link is configured.
+  /// still advances by the attempt latency) or either endpoint is inside a
+  /// scheduled crash window, kFailedPrecondition if no link is configured.
+  ///
+  /// When a fault injector is bound it is consulted per message: drops and
+  /// crashed hosts fail the send, delay rules add latency, duplicates show
+  /// up in the stats, and corrupt rules flip bits of `payload` in flight
+  /// when one is supplied (the receiver's MAC check is what catches it) —
+  /// for payload-less cost models a corruption surfaces directly as
+  /// kIntegrityError.
   Result<SimTime> send(const std::string& from, const std::string& to,
-                       std::size_t bytes);
+                       std::size_t bytes, Bytes* payload = nullptr);
 
   /// send() without advancing the clock — a pure cost query used by
   /// planners (e.g. the service selector).
   Result<SimTime> estimate(const std::string& from, const std::string& to,
                            std::size_t bytes) const;
 
-  /// send() with up to `max_attempts` tries on kUnavailable drops (each
-  /// attempt charges its latency — retries are not free). The availability
-  /// countermeasure client paths use on lossy mobile links.
+  /// send() with up to `max_attempts` tries on kUnavailable drops and
+  /// kIntegrityError corruptions (each attempt charges its latency —
+  /// retries are not free). The availability countermeasure client paths
+  /// use on lossy mobile links.
   Result<SimTime> send_with_retry(const std::string& from, const std::string& to,
                                   std::size_t bytes, int max_attempts = 3);
+
+  /// Binds the chaos schedule (nullptr detaches). The injector owns all
+  /// fault randomness; the network's own rng keeps serving link jitter, so
+  /// binding a no-op plan leaves behaviour byte-identical.
+  void set_fault_injector(fault::FaultInjectorPtr injector) {
+    injector_ = std::move(injector);
+  }
+  const fault::FaultInjectorPtr& fault_injector() const { return injector_; }
+
+  /// True when `host` is currently crashed per the bound fault plan.
+  bool host_down(const std::string& host) const {
+    return injector_ && injector_->host_down(host);
+  }
 
   const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
@@ -89,6 +116,7 @@ class SimNetwork {
   ClockPtr clock_;
   mutable Rng rng_;
   std::map<LinkKey, LinkProfile> links_;
+  fault::FaultInjectorPtr injector_;  // may be null (fault-free network)
   NetworkStats stats_;
 };
 

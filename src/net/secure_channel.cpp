@@ -71,8 +71,15 @@ Result<Bytes> SecureChannel::protected_send(const std::string& from,
     ct.ciphertext[ct.ciphertext.size() / 2] ^= 0x40;
   }
 
-  auto sent = network_->send(from, to, ct.ciphertext.size() + ct.tag.size());
+  // Ship ciphertext||tag as the wire image so an injected in-flight
+  // corruption (FaultInjector bit flips) hits real authenticated bytes.
+  Bytes wire = ct.ciphertext;
+  wire.insert(wire.end(), ct.tag.begin(), ct.tag.end());
+  auto sent = network_->send(from, to, wire.size(), &wire);
   if (!sent.is_ok()) return sent.status();
+  std::size_t split = ct.ciphertext.size();
+  ct.ciphertext.assign(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(split));
+  ct.tag.assign(wire.begin() + static_cast<std::ptrdiff_t>(split), wire.end());
   ++messages_sent_;
   if (metrics_) {
     metrics_->add("hc.net.messages");

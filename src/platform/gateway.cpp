@@ -59,10 +59,12 @@ Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
 
   // Longest-prefix route.
   Handler* handler = nullptr;
+  const std::string* matched_prefix = nullptr;
   std::size_t best_len = 0;
   for (auto& [prefix, candidate] : routes_) {
     if (request.resource.starts_with(prefix) && prefix.size() >= best_len) {
       handler = &candidate;
+      matched_prefix = &prefix;
       best_len = prefix.size();
     }
   }
@@ -70,13 +72,49 @@ Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
     return Status(StatusCode::kNotFound, "no API route for " + request.resource);
   }
 
+  fault::CircuitBreaker& breaker = breaker_for(*matched_prefix);
+  if (Status gate = breaker.allow(); !gate.is_ok()) {
+    ++stats_.breaker_rejected;
+    metrics->add("hc.gateway.breaker_rejected");
+    instance_->log()->warn("gateway", "breaker_open", request.resource);
+    return gate;
+  }
+
   auto response = (*handler)(*user, request);
   if (response.is_ok()) {
+    breaker.record_success();
     ++stats_.served;
     metrics->add("hc.gateway.served");
     instance_->log()->info("gateway", "served", *user + " " + request.resource);
+  } else if (response.status().code() == StatusCode::kUnavailable ||
+             response.status().code() == StatusCode::kInternal) {
+    // Operational backend failures feed the breaker; business rejections
+    // (validation, not-found, permission) do not.
+    breaker.record_failure();
+    metrics->add("hc.gateway.handler_failures");
   }
   return response;
+}
+
+fault::CircuitBreaker& ApiGateway::breaker_for(const std::string& prefix) {
+  auto it = breakers_.find(prefix);
+  if (it == breakers_.end()) {
+    fault::CircuitBreakerConfig config = breaker_template_;
+    config.name = "gateway." + (prefix.empty() ? std::string("root") : prefix);
+    it = breakers_
+             .emplace(prefix, std::make_unique<fault::CircuitBreaker>(
+                                  std::move(config), instance_->clock(),
+                                  instance_->metrics()))
+             .first;
+  }
+  return *it->second;
+}
+
+fault::BreakerState ApiGateway::route_breaker_state(
+    const std::string& resource_prefix) const {
+  auto it = breakers_.find(resource_prefix);
+  return it == breakers_.end() ? fault::BreakerState::kClosed
+                               : it->second->state();
 }
 
 }  // namespace hc::platform

@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "fault/resilience.h"
 #include "platform/instance.h"
 
 namespace hc::platform {
@@ -41,6 +43,7 @@ struct GatewayStats {
   std::uint64_t unauthenticated = 0;
   std::uint64_t denied = 0;
   std::uint64_t served = 0;
+  std::uint64_t breaker_rejected = 0;  // fast-failed while a route was open
 };
 
 class ApiGateway {
@@ -54,16 +57,34 @@ class ApiGateway {
   /// wins at dispatch time.
   void route(const std::string& resource_prefix, Handler handler);
 
-  /// Full pipeline: authenticate -> RBAC -> meter -> dispatch.
+  /// Full pipeline: authenticate -> RBAC -> meter -> breaker -> dispatch.
+  /// Each route prefix is guarded by its own circuit breaker: handler
+  /// failures that look operational (kUnavailable / kInternal) trip it,
+  /// and while it is open the gateway fast-fails with kUnavailable instead
+  /// of burning latency on a dead backend. Auth and RBAC rejections never
+  /// count against the breaker.
   Result<ApiResponse> handle(const ApiRequest& request);
+
+  /// Breaker template applied to routes on their first dispatch (the
+  /// per-route name is filled in from the prefix). Takes effect for routes
+  /// not yet dispatched; call before traffic for deterministic tests.
+  void set_breaker_config(fault::CircuitBreakerConfig config) {
+    breaker_template_ = std::move(config);
+  }
+
+  /// Breaker state for a route prefix, or kClosed if never dispatched.
+  fault::BreakerState route_breaker_state(const std::string& resource_prefix) const;
 
   const GatewayStats& stats() const { return stats_; }
 
  private:
   Result<std::string> authenticate(const ApiRequest& request);
+  fault::CircuitBreaker& breaker_for(const std::string& prefix);
 
   HealthCloudInstance* instance_;
   std::map<std::string, Handler> routes_;  // prefix -> handler
+  fault::CircuitBreakerConfig breaker_template_;
+  std::map<std::string, std::unique_ptr<fault::CircuitBreaker>> breakers_;
   GatewayStats stats_;
 };
 

@@ -7,9 +7,41 @@ namespace hc::platform {
 
 IntercloudGateway::IntercloudGateway(HealthCloudInstance& source,
                                      HealthCloudInstance& destination)
-    : source_(&source), destination_(&destination) {}
+    : source_(&source), destination_(&destination), rng_(0x1c7e57) {
+  fault::CircuitBreakerConfig config;
+  config.name = "intercloud." + destination.name();
+  breaker_ = std::make_unique<fault::CircuitBreaker>(
+      std::move(config), source.clock(), source.metrics());
+}
+
+void IntercloudGateway::set_breaker_config(fault::CircuitBreakerConfig config) {
+  if (config.name == "default") {
+    config.name = "intercloud." + destination_->name();
+  }
+  breaker_ = std::make_unique<fault::CircuitBreaker>(
+      std::move(config), source_->clock(), source_->metrics());
+}
 
 Result<TransferReceipt> IntercloudGateway::transfer_and_launch(
+    const std::string& name, const std::string& version) {
+  if (Status gate = breaker_->allow(); !gate.is_ok()) {
+    if (obs::MetricsPtr metrics = source_->metrics()) {
+      metrics->add("hc.intercloud.breaker_rejected");
+    }
+    return gate;
+  }
+  auto receipt = transfer_attempt(name, version);
+  if (receipt.is_ok()) {
+    breaker_->record_success();
+  } else if (fault::retryable(receipt.status())) {
+    // Only operational failures count: a tampered image or unapproved
+    // signer is a *security* rejection, not a sick destination.
+    breaker_->record_failure();
+  }
+  return receipt;
+}
+
+Result<TransferReceipt> IntercloudGateway::transfer_attempt(
     const std::string& name, const std::string& version) {
   // 1. Fetch the signed image at the source.
   auto manifest = source_->images().manifest(name, version);
@@ -23,11 +55,21 @@ Result<TransferReceipt> IntercloudGateway::transfer_and_launch(
     shipped[shipped.size() / 2] ^= 0x1;
   }
 
-  // 2. Ship manifest + bytes over the intercloud link.
+  // 2. Ship manifest + bytes over the intercloud link, retrying transient
+  //    losses under the configured policy inside the per-transfer deadline.
+  fault::Deadline deadline(*source_->clock(), resilience_.timeout);
   SimTime transfer_start = source_->clock()->now();
-  auto sent = source_->network().send(source_->name(), destination_->name(),
-                                      shipped.size() + 1024);
+  obs::MetricsPtr metrics = source_->metrics();
+  auto sent = fault::with_retry(
+      resilience_.retry, *source_->clock(), rng_,
+      [&]() -> Result<SimTime> {
+        if (Status s = deadline.check("intercloud transfer"); !s.is_ok()) return s;
+        return source_->network().send(source_->name(), destination_->name(),
+                                       shipped.size() + 1024, &shipped);
+      },
+      metrics.get(), "hc.intercloud.send");
   if (!sent.is_ok()) return sent.status();
+  if (Status s = deadline.check("intercloud transfer"); !s.is_ok()) return s;
   SimTime transfer_latency = source_->clock()->now() - transfer_start;
 
   // 3. Destination verifies signature + signer approval + digest.

@@ -18,8 +18,10 @@
 // Any tamper or unapproved signer rejects the transfer.
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "fault/resilience.h"
 #include "platform/instance.h"
 
 namespace hc::platform {
@@ -31,6 +33,14 @@ struct TransferReceipt {
   std::string vtpm_id;          // sandbox identity at the destination
 };
 
+/// Resilience knobs for one gateway: the network leg retries under
+/// `retry` (intercloud links drop; crashed destinations time out), and a
+/// whole transfer must finish inside `timeout` sim-time (0 = unlimited).
+struct TransferResilience {
+  fault::RetryPolicy retry{/*max_attempts=*/1};  // off by default
+  SimTime timeout = 0;
+};
+
 class IntercloudGateway {
  public:
   /// Both instances must be endpoints on the same SimNetwork with an
@@ -40,15 +50,32 @@ class IntercloudGateway {
   /// Ships image name@version from source to destination and performs the
   /// attested launch. On success the image is registered at the
   /// destination and the receipt describes the costs.
+  ///
+  /// Operational failures (drops, destination down, timeout) feed the
+  /// gateway's circuit breaker; while it is open, transfers fast-fail
+  /// with kUnavailable until the cooldown's half-open probe succeeds.
   Result<TransferReceipt> transfer_and_launch(const std::string& name,
                                               const std::string& version);
+
+  void set_resilience(TransferResilience resilience) {
+    resilience_ = std::move(resilience);
+  }
+  void set_breaker_config(fault::CircuitBreakerConfig config);
+
+  fault::BreakerState breaker_state() const { return breaker_->state(); }
 
   /// Testing hook: corrupt the next image's bytes in flight.
   void tamper_next_transfer() { tamper_next_ = true; }
 
  private:
+  Result<TransferReceipt> transfer_attempt(const std::string& name,
+                                           const std::string& version);
+
   HealthCloudInstance* source_;
   HealthCloudInstance* destination_;
+  TransferResilience resilience_;
+  std::unique_ptr<fault::CircuitBreaker> breaker_;
+  Rng rng_;  // jitter for retry backoff — seeded, so schedules are pinned
   bool tamper_next_ = false;
 };
 

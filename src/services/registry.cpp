@@ -27,6 +27,10 @@ void ServiceRegistry::register_service(ServiceProfile profile) {
   entry.stats.observed_latency_us = static_cast<double>(profile.mean_latency);
   entry.stats.observed_availability = profile.availability;
   entry.profile = std::move(profile);
+  fault::CircuitBreakerConfig breaker_config = breaker_template_;
+  breaker_config.name = "service." + entry.profile.name;
+  entry.breaker = std::make_unique<fault::CircuitBreaker>(
+      std::move(breaker_config), clock_, metrics_);
   services_[entry.profile.name] = std::move(entry);
 }
 
@@ -50,10 +54,19 @@ Result<InvocationResult> ServiceRegistry::invoke(const std::string& service,
   if (entry.profile.latency_jitter > 0) {
     latency += rng_.uniform_int(0, entry.profile.latency_jitter);
   }
+
+  // Chaos: injected delay rules stretch the call; a crashed host means the
+  // broker waits out the full call before concluding the service is dead.
+  bool host_down = false;
+  if (injector_) {
+    fault::FaultDecision decision = injector_->on_message("broker", service);
+    latency += decision.extra_delay;
+    host_down = injector_->host_down(service) || decision.drop;
+  }
   clock_->advance(latency);
 
   ++entry.stats.invocations;
-  bool available = rng_.bernoulli(entry.profile.availability);
+  bool available = !host_down && rng_.bernoulli(entry.profile.availability);
   entry.stats.observed_availability =
       (1 - kEwmaAlpha) * entry.stats.observed_availability +
       kEwmaAlpha * (available ? 1.0 : 0.0);
@@ -62,13 +75,46 @@ Result<InvocationResult> ServiceRegistry::invoke(const std::string& service,
 
   if (!available) {
     ++entry.stats.failures;
-    return Status(StatusCode::kUnavailable, service + " failed to respond");
+    entry.breaker->record_failure();
+    if (metrics_) metrics_->add("hc.services.invoke_failures");
+    return Status(StatusCode::kUnavailable,
+                  host_down ? service + " host is down"
+                            : service + " failed to respond");
   }
 
+  entry.breaker->record_success();
   InvocationResult result;
   result.latency = latency;
   result.response = to_bytes("echo:" + to_string(request));
   return result;
+}
+
+Result<BrokeredInvocation> ServiceRegistry::invoke_best(
+    Category category, const Bytes& request, const SelectionCriteria& criteria) {
+  std::vector<std::string> ranked = ranked_services(category, criteria);
+  if (ranked.empty()) {
+    return Status(StatusCode::kNotFound,
+                  std::string("no services in category ") +
+                      std::string(category_name(category)));
+  }
+  Status last(StatusCode::kUnavailable, "all services in category unavailable");
+  int attempts = 0;
+  for (const std::string& candidate : ranked) {
+    // An open breaker is a known-dead provider: don't spend a timeout on
+    // it. (Half-open passes — that probe is how recovery is discovered.)
+    if (services_.at(candidate).breaker->state() == fault::BreakerState::kOpen) {
+      continue;
+    }
+    ++attempts;
+    auto result = invoke(candidate, request);
+    if (result.is_ok()) {
+      if (metrics_ && attempts > 1) metrics_->add("hc.services.failovers");
+      return BrokeredInvocation{candidate, *std::move(result), attempts};
+    }
+    last = result.status();
+  }
+  if (metrics_) metrics_->add("hc.services.brokered_failures");
+  return last;
 }
 
 Result<double> ServiceRegistry::run_accuracy_test(const std::string& service,
@@ -125,8 +171,8 @@ Result<ServiceStats> ServiceRegistry::stats(const std::string& service) const {
   return it->second.stats;
 }
 
-Result<std::string> ServiceRegistry::best_service(Category category,
-                                                  const SelectionCriteria& criteria) const {
+std::vector<std::string> ServiceRegistry::ranked_services(
+    Category category, const SelectionCriteria& criteria) const {
   // Normalize latency by the slowest candidate so weights are comparable.
   double max_latency = 0.0;
   for (const auto& [name, entry] : services_) {
@@ -135,8 +181,7 @@ Result<std::string> ServiceRegistry::best_service(Category category,
     }
   }
 
-  std::string best;
-  double best_score = -std::numeric_limits<double>::infinity();
+  std::vector<std::pair<double, std::string>> scored;
   for (const auto& [name, entry] : services_) {
     if (entry.profile.category != category) continue;
     double latency_term = max_latency > 0
@@ -148,17 +193,40 @@ Result<std::string> ServiceRegistry::best_service(Category category,
     double score = criteria.latency_weight * latency_term +
                    criteria.availability_weight * entry.stats.observed_availability +
                    criteria.accuracy_weight * accuracy_term;
-    if (score > best_score) {
-      best_score = score;
-      best = name;
-    }
+    scored.emplace_back(score, name);
   }
-  if (best.empty()) {
+  // Stable sort keeps name order on score ties (services_ iterates sorted
+  // by name), matching the historical pick.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> ranked;
+  ranked.reserve(scored.size());
+  for (auto& [score, name] : scored) ranked.push_back(std::move(name));
+  return ranked;
+}
+
+Result<std::string> ServiceRegistry::best_service(Category category,
+                                                  const SelectionCriteria& criteria) const {
+  std::vector<std::string> ranked = ranked_services(category, criteria);
+  if (ranked.empty()) {
     return Status(StatusCode::kNotFound,
                   std::string("no services in category ") +
                       std::string(category_name(category)));
   }
-  return best;
+  for (const std::string& candidate : ranked) {
+    if (services_.at(candidate).breaker->state() != fault::BreakerState::kOpen) {
+      return candidate;
+    }
+  }
+  // Every breaker is open: degrade to the best-scored pick rather than
+  // refusing outright (the caller's invocation becomes the probe).
+  return ranked.front();
+}
+
+fault::BreakerState ServiceRegistry::breaker_state(const std::string& service) const {
+  auto it = services_.find(service);
+  return it == services_.end() ? fault::BreakerState::kClosed
+                               : it->second.breaker->state();
 }
 
 Result<ServiceProfile*> ServiceRegistry::mutable_profile(const std::string& service) {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,9 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "obs/metrics.h"
 
 namespace hc::services {
 
@@ -60,6 +64,14 @@ struct InvocationResult {
   SimTime latency = 0;
 };
 
+/// invoke_best(): which provider ultimately answered and how many
+/// candidates were tried before one did (1 = the top pick worked).
+struct BrokeredInvocation {
+  std::string service;
+  InvocationResult result;
+  int attempts = 1;
+};
+
 /// Selection criteria for ServiceRegistry::best_service().
 struct SelectionCriteria {
   double latency_weight = 1.0;
@@ -77,7 +89,19 @@ class ServiceRegistry {
   /// Invokes a service: charges simulated latency, may fail per
   /// availability, updates learned stats. The response echoes the request
   /// (payload content is out of scope — brokering is what's modeled).
+  /// With a fault injector bound, a crashed service host times out
+  /// (kUnavailable after the latency charge) and injected delay rules
+  /// stretch the observed latency. Every outcome feeds the service's
+  /// circuit breaker.
   Result<InvocationResult> invoke(const std::string& service, const Bytes& request);
+
+  /// Failover brokering: tries services in `category` best-first, skipping
+  /// any whose circuit breaker is open, until one answers. A dead provider
+  /// therefore costs its timeout only until its breaker opens; after its
+  /// host restarts, the cooldown's half-open probe folds it back in.
+  Result<BrokeredInvocation> invoke_best(
+      Category category, const Bytes& request,
+      const SelectionCriteria& criteria = SelectionCriteria());
 
   /// Runs the standard accuracy test: n probe requests with known answers;
   /// records the measured fraction correct.
@@ -91,22 +115,47 @@ class ServiceRegistry {
   Result<ServiceStats> stats(const std::string& service) const;
 
   /// Picks the service in `category` minimizing normalized latency and
-  /// maximizing availability/accuracy per the weights. Services never
-  /// invoked rank by their defaults. kNotFound if the category is empty.
+  /// maximizing availability/accuracy per the weights, routing around any
+  /// whose circuit breaker is currently open (unless every candidate's
+  /// is). Services never invoked rank by their defaults. kNotFound if the
+  /// category is empty.
   Result<std::string> best_service(
+      Category category, const SelectionCriteria& criteria = SelectionCriteria()) const;
+
+  /// All candidates in `category`, best score first (selection order).
+  std::vector<std::string> ranked_services(
       Category category, const SelectionCriteria& criteria = SelectionCriteria()) const;
 
   /// Testing/bench hook: mutate the true profile (latency drift, outages).
   Result<ServiceProfile*> mutable_profile(const std::string& service);
 
+  // --- resilience wiring ---------------------------------------------------
+  /// Chaos hook: service names are treated as hosts, so a scheduled crash
+  /// makes invocations time out until the restart.
+  void set_fault_injector(fault::FaultInjectorPtr injector) {
+    injector_ = std::move(injector);
+  }
+  /// Breaker template for services registered *after* this call (name is
+  /// filled per service).
+  void set_breaker_config(fault::CircuitBreakerConfig config) {
+    breaker_template_ = std::move(config);
+  }
+  void bind_metrics(obs::MetricsPtr metrics) { metrics_ = std::move(metrics); }
+
+  fault::BreakerState breaker_state(const std::string& service) const;
+
  private:
   struct Entry {
     ServiceProfile profile;
     ServiceStats stats;
+    std::unique_ptr<fault::CircuitBreaker> breaker;
   };
 
   ClockPtr clock_;
   mutable Rng rng_;
+  fault::CircuitBreakerConfig breaker_template_;
+  fault::FaultInjectorPtr injector_;  // may be null
+  obs::MetricsPtr metrics_;           // may be null
   std::map<std::string, Entry> services_;
 };
 

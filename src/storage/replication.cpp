@@ -19,12 +19,40 @@ ReplicatedDataLake::ReplicatedDataLake(std::vector<DataLake*> replicas,
   }
 }
 
+bool ReplicatedDataLake::replica_available(std::size_t index) const {
+  if (!available_.at(index)) return false;
+  if (resilience_.injector && index < resilience_.replica_hosts.size() &&
+      resilience_.injector->host_down(resilience_.replica_hosts[index])) {
+    return false;
+  }
+  return true;
+}
+
+void ReplicatedDataLake::bind_resilience(ReplicationResilience resilience) {
+  if (!resilience.clock) {
+    throw std::invalid_argument("ReplicationResilience needs a clock");
+  }
+  retry_rng_ = Rng(resilience.jitter_seed);
+  resilience_ = std::move(resilience);
+}
+
 Result<std::string> ReplicatedDataLake::put(const Bytes& plaintext,
                                             const crypto::KeyId& key_id) {
+  if (!resilience_.clock) return put_once(plaintext, key_id);
+  // Quorum failures are transient when replicas crash and restart on a
+  // schedule: back off on the shared clock and try the whole write again.
+  return fault::with_retry(
+      resilience_.retry, *resilience_.clock, retry_rng_,
+      [&] { return put_once(plaintext, key_id); },
+      resilience_.metrics.get(), "hc.storage.replication.put");
+}
+
+Result<std::string> ReplicatedDataLake::put_once(const Bytes& plaintext,
+                                                 const crypto::KeyId& key_id) {
   // Encrypt on the first live replica; fan the ciphertext out to the rest.
   std::size_t primary = replicas_.size();
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (available_[i]) {
+    if (replica_available(i)) {
       primary = i;
       break;
     }
@@ -40,13 +68,13 @@ Result<std::string> ReplicatedDataLake::put(const Bytes& plaintext,
 
   std::size_t copies = 1;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (i == primary || !available_[i]) continue;
+    if (i == primary || !replica_available(i)) continue;
     if (replicas_[i]->import_object(*reference, *sealed).is_ok()) ++copies;
   }
   if (copies < write_quorum_) {
     // Roll back so a failed write leaves no partial copies behind.
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      if (available_[i]) (void)replicas_[i]->erase(*reference);
+      if (replica_available(i)) (void)replicas_[i]->erase(*reference);
     }
     return Status(StatusCode::kUnavailable,
                   "write quorum not met: " + std::to_string(copies) + "/" +
@@ -58,7 +86,7 @@ Result<std::string> ReplicatedDataLake::put(const Bytes& plaintext,
 Result<Bytes> ReplicatedDataLake::get(const std::string& reference_id) const {
   Status last(StatusCode::kNotFound, "no object " + reference_id);
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (!available_[i]) continue;
+    if (!replica_available(i)) continue;
     auto read = replicas_[i]->get(reference_id);
     if (read.is_ok()) return read;
     last = read.status();  // corrupted/missing here -> fail over
@@ -69,7 +97,7 @@ Result<Bytes> ReplicatedDataLake::get(const std::string& reference_id) const {
 Status ReplicatedDataLake::erase(const std::string& reference_id) {
   bool erased_any = false;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (!available_[i]) continue;
+    if (!replica_available(i)) continue;
     if (replicas_[i]->erase(reference_id).is_ok()) erased_any = true;
   }
   return erased_any ? Status::ok()
@@ -80,7 +108,7 @@ std::size_t ReplicatedDataLake::repair() {
   // Union of references across live replicas.
   std::set<std::string> all_refs;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (!available_[i]) continue;
+    if (!replica_available(i)) continue;
     for (auto& ref : replicas_[i]->references()) all_refs.insert(std::move(ref));
   }
 
@@ -90,13 +118,13 @@ std::size_t ReplicatedDataLake::repair() {
     Result<DataLake::SealedObject> sealed =
         Status(StatusCode::kNotFound, "no holder");
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      if (!available_[i]) continue;
+      if (!replica_available(i)) continue;
       sealed = replicas_[i]->export_object(ref);
       if (sealed.is_ok()) break;
     }
     if (!sealed.is_ok()) continue;
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      if (!available_[i] || replicas_[i]->contains(ref)) continue;
+      if (!replica_available(i) || replicas_[i]->contains(ref)) continue;
       if (replicas_[i]->import_object(ref, *sealed).is_ok()) ++installed;
     }
   }
@@ -106,7 +134,7 @@ std::size_t ReplicatedDataLake::repair() {
 std::size_t ReplicatedDataLake::copies_of(const std::string& reference_id) const {
   std::size_t copies = 0;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (available_[i] && replicas_[i]->contains(reference_id)) ++copies;
+    if (replica_available(i) && replicas_[i]->contains(reference_id)) ++copies;
   }
   return copies;
 }

@@ -18,9 +18,28 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "obs/metrics.h"
 #include "storage/data_lake.h"
 
 namespace hc::storage {
+
+/// Optional chaos/resilience wiring for a ReplicatedDataLake: maps each
+/// replica index to a simulated host (consulted against the fault plan's
+/// crash schedule) and retries quorum-failed writes under `retry` — each
+/// backoff advances the shared clock, which is what lets a crashed
+/// replica restart mid-write and the write eventually succeed.
+struct ReplicationResilience {
+  ClockPtr clock;
+  fault::FaultInjectorPtr injector;          // may be null
+  obs::MetricsPtr metrics;                   // may be null
+  fault::RetryPolicy retry{/*max_attempts=*/1};  // retries off by default
+  std::vector<std::string> replica_hosts;    // host name per replica index
+  std::uint64_t jitter_seed = 0xfa17;
+};
 
 class ReplicatedDataLake {
  public:
@@ -47,16 +66,25 @@ class ReplicatedDataLake {
   // --- failure injection ---------------------------------------------------
   void fail_replica(std::size_t index) { available_.at(index) = false; }
   void recover_replica(std::size_t index) { available_.at(index) = true; }
-  bool replica_available(std::size_t index) const { return available_.at(index); }
+  /// Manual flag AND (when resilience is bound) the fault plan's crash
+  /// schedule for the replica's host.
+  bool replica_available(std::size_t index) const;
   std::size_t replica_count() const { return replicas_.size(); }
+
+  /// Binds the chaos schedule + write retry policy. Requires a clock.
+  void bind_resilience(ReplicationResilience resilience);
 
   /// How many available replicas hold the object (for tests/monitoring).
   std::size_t copies_of(const std::string& reference_id) const;
 
  private:
+  Result<std::string> put_once(const Bytes& plaintext, const crypto::KeyId& key_id);
+
   std::vector<DataLake*> replicas_;
   std::vector<bool> available_;
   std::size_t write_quorum_;
+  ReplicationResilience resilience_;  // inert until bind_resilience()
+  Rng retry_rng_{0xfa17};
 };
 
 }  // namespace hc::storage

@@ -1,0 +1,574 @@
+// Chaos suite (ISSUE tentpole): every resilience-wired hot path — gateway,
+// intercloud transfer, service brokering, storage replication, blockchain
+// consensus — driven under a deterministic FaultPlan. The headline claims:
+//   1. identical (seed, plan) => byte-identical metrics across runs,
+//   2. each path survives 10% message loss + a one-host crash with
+//      eventual success,
+//   3. breaker / failover / abort-recovery schedules land exactly where a
+//      hand computation puts them.
+#include <gtest/gtest.h>
+
+#include "blockchain/contracts.h"
+#include "blockchain/ledger.h"
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "net/network.h"
+#include "obs/export.h"
+#include "platform/gateway.h"
+#include "platform/intercloud.h"
+#include "services/registry.h"
+#include "storage/replication.h"
+#include "tpm/trust_chain.h"
+
+namespace hc {
+namespace {
+
+// ------------------------------------------------------- determinism
+
+// A mixed scenario touching every fault kind plus retries and a breaker;
+// returns the locked metrics emission. Byte-identical output for identical
+// seeds is the suite's core determinism claim.
+std::string run_mixed_scenario(std::uint64_t seed) {
+  auto clock = make_clock();
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  net::SimNetwork network(clock, Rng(seed));
+  network.set_link("client", "cloud", net::LinkProfile::wan());
+
+  fault::FaultPlan plan;
+  plan.drop("client", "cloud", 0.10)
+      .duplicate("client", "cloud", 0.05)
+      .delay("client", "cloud", 0.20, 3 * kMillisecond)
+      .crash("cloud", 2 * kSecond, 2500 * kMillisecond);
+  network.set_fault_injector(make_injector(plan, clock, Rng(seed + 1), metrics));
+
+  fault::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = 5 * kMillisecond;
+  policy.jitter = 0.3;
+  Rng retry_rng(seed + 2);
+
+  fault::CircuitBreakerConfig breaker_config;
+  breaker_config.name = "scenario";
+  breaker_config.failure_threshold = 3;
+  breaker_config.open_cooldown = 200 * kMillisecond;
+  breaker_config.half_open_successes = 1;
+  fault::CircuitBreaker breaker(breaker_config, clock, metrics);
+
+  for (int i = 0; i < 150; ++i) {
+    if (breaker.allow().is_ok()) {
+      auto sent = fault::with_retry(
+          policy, *clock, retry_rng,
+          [&] { return network.send("client", "cloud", 256); }, metrics.get());
+      if (sent.is_ok()) {
+        breaker.record_success();
+        metrics->add("scenario.delivered");
+      } else {
+        breaker.record_failure();
+        metrics->add("scenario.lost");
+      }
+    } else {
+      metrics->add("scenario.fast_failed");
+    }
+    clock->advance(20 * kMillisecond);
+  }
+  metrics->add("scenario.final_time_us", static_cast<std::uint64_t>(clock->now()));
+  metrics->add("scenario.network_drops", network.stats().drops);
+  metrics->add("scenario.network_duplicates", network.stats().duplicates);
+  return obs::to_json(*metrics);
+}
+
+TEST(ChaosDeterminism, SameSeedSamePlanByteIdenticalMetrics) {
+  std::string first = run_mixed_scenario(1234);
+  std::string second = run_mixed_scenario(1234);
+  EXPECT_EQ(first, second);  // byte-identical, not just "equivalent"
+  EXPECT_NE(first.find("scenario.delivered"), std::string::npos);
+  EXPECT_NE(first.find("hc.fault.injected.drop"), std::string::npos);
+}
+
+TEST(ChaosDeterminism, DifferentSeedIsADifferentRun) {
+  EXPECT_NE(run_mixed_scenario(1234), run_mixed_scenario(4321));
+}
+
+// ------------------------------------------------------- gateway
+
+class GatewayChaos : public ::testing::Test {
+ protected:
+  GatewayChaos() : clock_(make_clock()), network_(clock_, Rng(150)) {
+    platform::InstanceConfig config;
+    config.name = "cloud";
+    cloud_ = std::make_unique<platform::HealthCloudInstance>(config, clock_,
+                                                             network_);
+    network_.set_link("client", "cloud", net::LinkProfile::wan());
+
+    // 10% loss on the client leg + the route's backend host crashed for
+    // the first 2 simulated seconds of the test.
+    fault::FaultPlan plan;
+    plan.drop("client", "cloud", 0.10);
+    plan.crash("backend", clock_->now(), clock_->now() + 2 * kSecond);
+    injector_ = fault::make_injector(plan, clock_, Rng(777), cloud_->metrics());
+    network_.set_fault_injector(injector_);
+
+    gateway_ = std::make_unique<platform::ApiGateway>(*cloud_);
+    fault::CircuitBreakerConfig breaker;
+    breaker.failure_threshold = 3;
+    breaker.open_cooldown = 500 * kMillisecond;
+    breaker.half_open_successes = 1;
+    gateway_->set_breaker_config(breaker);
+    gateway_->route("svc/", [this](const std::string&, const platform::ApiRequest&)
+                                -> Result<platform::ApiResponse> {
+      if (injector_->host_down("backend")) {
+        return Status(StatusCode::kUnavailable, "backend is down");
+      }
+      return platform::ApiResponse{to_bytes("pong")};
+    });
+
+    tenant_ = cloud_->rbac().register_tenant("mercy").value();
+    analyst_ = cloud_->rbac().add_user(tenant_.id, "analyst").value();
+    EXPECT_TRUE(cloud_->rbac()
+                    .assign_role(analyst_, tenant_.default_env, rbac::Role::kAnalyst)
+                    .is_ok());
+    EXPECT_TRUE(cloud_->rbac()
+                    .grant_permission(tenant_.id, rbac::Role::kAnalyst, "svc/",
+                                      rbac::Permission::kRead)
+                    .is_ok());
+  }
+
+  Result<platform::ApiResponse> call() {
+    platform::ApiRequest request;
+    request.user_id = analyst_;
+    request.environment = tenant_.default_env;
+    request.scope = tenant_.id;
+    request.resource = "svc/echo";
+    return gateway_->handle(request);
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  std::unique_ptr<platform::HealthCloudInstance> cloud_;
+  fault::FaultInjectorPtr injector_;
+  std::unique_ptr<platform::ApiGateway> gateway_;
+  rbac::TenantInfo tenant_;
+  std::string analyst_;
+};
+
+TEST_F(GatewayChaos, SurvivesLossAndBackendCrashWithEventualSuccess) {
+  SimTime backend_restart = 2 * kSecond;  // relative to fixture start
+  SimTime start = clock_->now();
+  int served_after_restart = 0;
+  bool saw_open = false;
+
+  for (int i = 0; i < 60 && served_after_restart < 3; ++i) {
+    // Client leg: 10% injected loss, availability restored by retries.
+    ASSERT_TRUE(network_.send_with_retry("client", "cloud", 512, 8).is_ok());
+    auto response = call();
+    if (gateway_->route_breaker_state("svc/") == fault::BreakerState::kOpen) {
+      saw_open = true;
+    }
+    if (response.is_ok() && clock_->now() - start >= backend_restart) {
+      ++served_after_restart;
+    }
+    clock_->advance(100 * kMillisecond);
+  }
+
+  EXPECT_EQ(served_after_restart, 3);  // recovered after the crash window
+  EXPECT_TRUE(saw_open);               // the dead backend tripped the breaker
+  EXPECT_GT(gateway_->stats().breaker_rejected, 0u);  // fast-fail, not timeout
+  EXPECT_GE(cloud_->metrics()->counter("hc.gateway.handler_failures"), 3u);
+  EXPECT_EQ(gateway_->route_breaker_state("svc/"), fault::BreakerState::kClosed);
+}
+
+TEST_F(GatewayChaos, BreakerRejectionsNeverReachTheHandler) {
+  // Drive the breaker open, then count handler invocations while open.
+  while (gateway_->route_breaker_state("svc/") != fault::BreakerState::kOpen) {
+    (void)call();
+  }
+  std::uint64_t failures_at_open =
+      cloud_->metrics()->counter("hc.gateway.handler_failures");
+  (void)call();  // inside the cooldown: must be fast-failed
+  EXPECT_EQ(cloud_->metrics()->counter("hc.gateway.handler_failures"),
+            failures_at_open);
+  EXPECT_GT(gateway_->stats().breaker_rejected, 0u);
+}
+
+// ------------------------------------------------------- intercloud
+
+class IntercloudChaos : public ::testing::Test {
+ protected:
+  IntercloudChaos() : clock_(make_clock()), network_(clock_, Rng(110)) {
+    platform::InstanceConfig a;
+    a.name = "data-cloud";
+    a.seed = 111;
+    platform::InstanceConfig b;
+    b.name = "analytics-cloud";
+    b.seed = 112;
+    source_ = std::make_unique<platform::HealthCloudInstance>(a, clock_, network_);
+    destination_ =
+        std::make_unique<platform::HealthCloudInstance>(b, clock_, network_);
+    network_.set_link("data-cloud", "analytics-cloud",
+                      net::LinkProfile::intercloud());
+    destination_->images().approve_key(source_->platform_signing_keys().pub);
+    Bytes container = to_bytes("jmf-model-container-layers-v3");
+    auto manifest =
+        tpm::sign_image("jmf-model", "3.0", container, {to_bytes("layer-base")},
+                        source_->platform_signing_keys());
+    EXPECT_TRUE(source_->images().register_image(manifest, container).is_ok());
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  std::unique_ptr<platform::HealthCloudInstance> source_;
+  std::unique_ptr<platform::HealthCloudInstance> destination_;
+};
+
+TEST_F(IntercloudChaos, SurvivesLossAndDestinationCrashWithEventualSuccess) {
+  // 10% intercloud loss + destination down for 1s from "now".
+  fault::FaultPlan plan;
+  plan.drop("data-cloud", "analytics-cloud", 0.10);
+  plan.crash("analytics-cloud", clock_->now(), clock_->now() + 1 * kSecond);
+  network_.set_fault_injector(
+      fault::make_injector(plan, clock_, Rng(888), source_->metrics()));
+
+  platform::IntercloudGateway gateway(*source_, *destination_);
+  platform::TransferResilience resilience;
+  resilience.retry.max_attempts = 4;
+  resilience.retry.initial_backoff = 50 * kMillisecond;
+  gateway.set_resilience(resilience);
+  fault::CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 2;
+  breaker.open_cooldown = 300 * kMillisecond;
+  breaker.half_open_successes = 1;
+  gateway.set_breaker_config(breaker);
+
+  int failures = 0;
+  bool saw_open = false;
+  Result<platform::TransferReceipt> receipt =
+      Status(StatusCode::kUnavailable, "not attempted");
+  for (int i = 0; i < 50; ++i) {
+    receipt = gateway.transfer_and_launch("jmf-model", "3.0");
+    if (receipt.is_ok()) break;
+    ++failures;
+    if (gateway.breaker_state() == fault::BreakerState::kOpen) saw_open = true;
+    clock_->advance(100 * kMillisecond);
+  }
+
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  EXPECT_GT(failures, 0);  // the crash window really was survived, not missed
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(destination_->images().content("jmf-model", "3.0").is_ok());
+  EXPECT_GT(source_->metrics()->counter("hc.intercloud.send.retries"), 0u);
+  EXPECT_GT(source_->metrics()->counter("hc.intercloud.breaker_rejected"), 0u);
+  EXPECT_EQ(gateway.breaker_state(), fault::BreakerState::kClosed);
+}
+
+TEST_F(IntercloudChaos, TransferTimeoutSurfacesAsRetryableUnavailability) {
+  platform::IntercloudGateway gateway(*source_, *destination_);
+  platform::TransferResilience resilience;
+  resilience.timeout = 1;  // 1us: nothing real finishes in this budget
+  resilience.retry.max_attempts = 2;
+  gateway.set_resilience(resilience);
+  auto receipt = gateway.transfer_and_launch("jmf-model", "3.0");
+  ASSERT_FALSE(receipt.is_ok());
+  EXPECT_EQ(receipt.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fault::retryable(receipt.status()));
+}
+
+// ------------------------------------------------------- replication
+
+TEST(ReplicationChaos, WriteRetriesAcrossCrashScheduleAndRepairs) {
+  auto clock = make_clock();
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  crypto::KeyManagementService kms("tenant", Rng(180));
+  auto key = kms.create_symmetric_key("storage");
+  std::vector<std::unique_ptr<storage::DataLake>> lakes;
+  for (int i = 0; i < 3; ++i) {
+    lakes.push_back(std::make_unique<storage::DataLake>(kms, "storage",
+                                                        Rng(181 + i)));
+  }
+  storage::ReplicatedDataLake replicated(
+      {lakes[0].get(), lakes[1].get(), lakes[2].get()});
+
+  // r1 down for 2s, r2 down for 1s: at t=0 only r0 is up, so the quorum-2
+  // write must fail, back off (500ms, 1s), and succeed on the third
+  // attempt at t=1.5s once r2 has restarted.
+  fault::FaultPlan plan;
+  plan.crash("r1", 0, 2 * kSecond);
+  plan.crash("r2", 0, 1 * kSecond);
+  storage::ReplicationResilience resilience;
+  resilience.clock = clock;
+  resilience.injector = fault::make_injector(plan, clock, Rng(555), metrics);
+  resilience.metrics = metrics;
+  resilience.retry.max_attempts = 5;
+  resilience.retry.initial_backoff = 500 * kMillisecond;
+  resilience.replica_hosts = {"r0", "r1", "r2"};
+  replicated.bind_resilience(resilience);
+
+  auto ref = replicated.put(to_bytes("phi record"), key);
+  ASSERT_TRUE(ref.is_ok()) << ref.status().to_string();
+  EXPECT_EQ(clock->now(), 1500 * kMillisecond);  // 500ms + 1s of backoff
+  EXPECT_EQ(metrics->counter("hc.storage.replication.put.retries"), 2u);
+  EXPECT_EQ(replicated.copies_of(*ref), 2u);  // r0 + freshly-restarted r2
+
+  // After r1 restarts, anti-entropy backfills the missed copy.
+  clock->advance_to(2 * kSecond);
+  EXPECT_EQ(replicated.repair(), 1u);
+  EXPECT_EQ(replicated.copies_of(*ref), 3u);
+  EXPECT_EQ(to_string(replicated.get(*ref).value()), "phi record");
+}
+
+TEST(ReplicationChaos, ReadsRouteAroundCrashedReplicas) {
+  auto clock = make_clock();
+  crypto::KeyManagementService kms("tenant", Rng(190));
+  auto key = kms.create_symmetric_key("storage");
+  std::vector<std::unique_ptr<storage::DataLake>> lakes;
+  for (int i = 0; i < 3; ++i) {
+    lakes.push_back(std::make_unique<storage::DataLake>(kms, "storage",
+                                                        Rng(191 + i)));
+  }
+  storage::ReplicatedDataLake replicated(
+      {lakes[0].get(), lakes[1].get(), lakes[2].get()});
+
+  fault::FaultPlan plan;
+  plan.crash("r0", 1 * kSecond, 2 * kSecond);  // primary dies after the write
+  storage::ReplicationResilience resilience;
+  resilience.clock = clock;
+  resilience.injector = fault::make_injector(plan, clock, Rng(556));
+  resilience.replica_hosts = {"r0", "r1", "r2"};
+  replicated.bind_resilience(resilience);
+
+  auto ref = replicated.put(to_bytes("survives outage"), key);
+  ASSERT_TRUE(ref.is_ok());
+  EXPECT_EQ(replicated.copies_of(*ref), 3u);
+
+  clock->advance_to(1 * kSecond);  // r0 inside its crash window
+  EXPECT_FALSE(replicated.replica_available(0));
+  EXPECT_EQ(to_string(replicated.get(*ref).value()), "survives outage");
+  clock->advance_to(2 * kSecond);  // restarted
+  EXPECT_TRUE(replicated.replica_available(0));
+}
+
+// ------------------------------------------------------- blockchain
+
+class BlockchainChaos : public ::testing::Test {
+ protected:
+  BlockchainChaos() : clock_(make_clock()), network_(clock_, Rng(220)) {
+    for (const char* peer : {"p1", "p2", "p3"}) {
+      network_.set_link("p0", peer, net::LinkProfile::lan());
+    }
+  }
+
+  std::unique_ptr<blockchain::PermissionedLedger> make_ledger(
+      double max_unresponsive_fraction) {
+    blockchain::LedgerConfig config;
+    config.peers = {"p0", "p1", "p2", "p3"};
+    config.max_unresponsive_fraction = max_unresponsive_fraction;
+    auto ledger = std::make_unique<blockchain::PermissionedLedger>(
+        config, clock_, nullptr, &network_, metrics_);
+    EXPECT_TRUE(blockchain::register_hcls_contracts(*ledger).is_ok());
+    return ledger;
+  }
+
+  Result<std::string> submit(blockchain::PermissionedLedger& ledger,
+                             const std::string& ref) {
+    return ledger.submit("provenance",
+                         {{"action", "record_event"},
+                          {"record_ref", ref},
+                          {"event", "received"},
+                          {"data_hash", "deadbeef"}},
+                         "p0");
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  obs::MetricsPtr metrics_ = std::make_shared<obs::MetricsRegistry>();
+};
+
+TEST_F(BlockchainChaos, ToleratesConfiguredMinorityOutage) {
+  // 4 peers, fraction 0.34 => floor(1.36) = 1 peer may be down, 3 required.
+  fault::FaultPlan plan;
+  plan.crash("p3", 0, 10 * kSecond);
+  network_.set_fault_injector(fault::make_injector(plan, clock_, Rng(557)));
+  auto ledger = make_ledger(0.34);
+
+  ASSERT_TRUE(submit(*ledger, "ref-1").is_ok());  // 3 of 4 responsive
+  auto receipt = ledger->commit_block();
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  EXPECT_TRUE(ledger->validate_chain().is_ok());
+  EXPECT_GT(metrics_->counter("hc.blockchain.unresponsive_peer_msgs"), 0u);
+}
+
+TEST_F(BlockchainChaos, AbortedCommitReturnsBatchAndRecoversAfterRestart) {
+  // Two peers crash *after* endorsement: the commit vote cannot reach the
+  // required 3 peers, the batch goes back to the pool, and the same commit
+  // succeeds once the hosts restart.
+  SimTime outage_start = 10 * kMillisecond;
+  SimTime outage_end = 5 * kSecond;
+  fault::FaultPlan plan;
+  plan.crash("p2", outage_start, outage_end);
+  plan.crash("p3", outage_start, outage_end);
+  network_.set_fault_injector(fault::make_injector(plan, clock_, Rng(558)));
+  auto ledger = make_ledger(0.34);
+
+  ASSERT_TRUE(submit(*ledger, "ref-1").is_ok());  // endorsed while all up
+  EXPECT_EQ(ledger->pending_count(), 1u);
+
+  clock_->advance_to(outage_start);
+  auto aborted = ledger->commit_block();
+  EXPECT_EQ(aborted.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ledger->pending_count(), 1u);  // batch returned, not lost
+  EXPECT_EQ(metrics_->counter("hc.blockchain.commit_aborts"), 1u);
+
+  clock_->advance_to(outage_end);
+  auto receipt = ledger->commit_block();
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  EXPECT_EQ(receipt->transaction_count, 1u);
+  EXPECT_EQ(ledger->pending_count(), 0u);
+  EXPECT_TRUE(ledger->validate_chain().is_ok());
+}
+
+TEST_F(BlockchainChaos, SurvivesMessageLossWithEventualCommit) {
+  // 10% loss on every consensus message plus a transient crash of one
+  // peer; submit and commit retry until the quorum holds.
+  fault::FaultPlan plan;
+  plan.drop("p0", "", 0.10);
+  plan.crash("p1", 50 * kMillisecond, 200 * kMillisecond);
+  network_.set_fault_injector(fault::make_injector(plan, clock_, Rng(559)));
+  auto ledger = make_ledger(0.34);
+
+  Result<std::string> tx = Status(StatusCode::kUnavailable, "not submitted");
+  for (int i = 0; i < 200 && !tx.is_ok(); ++i) {
+    tx = submit(*ledger, "ref-loss");
+    if (!tx.is_ok()) {
+      ASSERT_EQ(tx.status().code(), StatusCode::kUnavailable);
+      clock_->advance(10 * kMillisecond);
+    }
+  }
+  ASSERT_TRUE(tx.is_ok()) << tx.status().to_string();
+
+  Result<blockchain::CommitReceipt> receipt =
+      Status(StatusCode::kUnavailable, "not committed");
+  for (int i = 0; i < 200 && !receipt.is_ok(); ++i) {
+    receipt = ledger->commit_block();
+    if (!receipt.is_ok()) {
+      ASSERT_EQ(receipt.status().code(), StatusCode::kUnavailable);
+      clock_->advance(10 * kMillisecond);
+    }
+  }
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  EXPECT_EQ(ledger->chain().back().transactions.size(), 1u);
+  EXPECT_TRUE(ledger->validate_chain().is_ok());
+}
+
+TEST_F(BlockchainChaos, DefaultFractionKeepsLegacyFaultObliviousBehaviour) {
+  // fraction 1.0 (the default): even with every follower crashed, the
+  // ledger keeps the historical cost-model-only semantics and commits.
+  fault::FaultPlan plan;
+  plan.crash("p1", 0).crash("p2", 0).crash("p3", 0);
+  network_.set_fault_injector(fault::make_injector(plan, clock_, Rng(560)));
+  auto ledger = make_ledger(1.0);
+  ASSERT_TRUE(submit(*ledger, "ref-legacy").is_ok());
+  EXPECT_TRUE(ledger->commit_block().is_ok());
+}
+
+// ------------------------------------------------------- registry failover
+
+// Satellite: the full failover schedule, hand-computed. Two providers of
+// the same category — "a/fast" (10ms, ranked first) and "b/slow" (50ms) —
+// with a/fast's host crashed for the first 300ms. Breaker: threshold 2,
+// cooldown 200ms, 1 probe success to close. Latency jitter is 0 and both
+// availabilities are 1.0, so every timestamp below is exact:
+//
+//  call | t(start) | tried         | picked | attempts | t(end) | a/fast breaker
+//  -----+----------+---------------+--------+----------+--------+---------------
+//    1  |      0ms | a(fail), b    |   b    |    2     |   60ms | closed (1 fail)
+//    2  |     60ms | a(fail), b    |   b    |    2     |  120ms | OPEN at 70ms
+//    3  |    120ms | b (a skipped) |   b    |    1     |  170ms | open
+//    4  |    170ms | b             |   b    |    1     |  220ms | open
+//    5  |    220ms | b             |   b    |    1     |  270ms | open (270=cooldown edge)
+//    6  |    270ms | a(probe fails @280), b | b | 2    |  330ms | RE-OPEN at 280ms
+//    7  |    330ms | b             |   b    |    1     |  380ms | open
+//    8  |    380ms | b             |   b    |    1     |  430ms | open
+//    9  |    430ms | b             |   b    |    1     |  480ms | open (480=cooldown edge)
+//   10  |    480ms | a(probe succeeds @490) | a | 1    |  490ms | CLOSED
+//   11  |    490ms | a             |   a    |    1     |  500ms | closed
+TEST(RegistryChaos, FailoverFollowsHandComputedPickSequence) {
+  auto clock = make_clock();
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  services::ServiceRegistry registry(clock, Rng(330));
+  registry.bind_metrics(metrics);
+
+  fault::CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 2;
+  breaker.open_cooldown = 200 * kMillisecond;
+  breaker.half_open_successes = 1;
+  registry.set_breaker_config(breaker);  // before registration: applies to both
+
+  services::ServiceProfile fast;
+  fast.name = "a/fast";
+  fast.mean_latency = 10 * kMillisecond;
+  fast.latency_jitter = 0;
+  fast.availability = 1.0;
+  services::ServiceProfile slow;
+  slow.name = "b/slow";
+  slow.mean_latency = 50 * kMillisecond;
+  slow.latency_jitter = 0;
+  slow.availability = 1.0;
+  registry.register_service(fast);
+  registry.register_service(slow);
+
+  fault::FaultPlan plan;
+  plan.crash("a/fast", 0, 300 * kMillisecond);
+  registry.set_fault_injector(fault::make_injector(plan, clock, Rng(331)));
+
+  struct Expected {
+    const char* service;
+    int attempts;
+    SimTime end_time;
+  };
+  const Expected expected[] = {
+      {"b/slow", 2, 60 * kMillisecond},  {"b/slow", 2, 120 * kMillisecond},
+      {"b/slow", 1, 170 * kMillisecond}, {"b/slow", 1, 220 * kMillisecond},
+      {"b/slow", 1, 270 * kMillisecond}, {"b/slow", 2, 330 * kMillisecond},
+      {"b/slow", 1, 380 * kMillisecond}, {"b/slow", 1, 430 * kMillisecond},
+      {"b/slow", 1, 480 * kMillisecond}, {"a/fast", 1, 490 * kMillisecond},
+      {"a/fast", 1, 500 * kMillisecond},
+  };
+
+  Bytes request = to_bytes("extract");
+  int call = 0;
+  for (const Expected& step : expected) {
+    ++call;
+    auto brokered = registry.invoke_best(services::Category::kTextExtraction,
+                                         request);
+    ASSERT_TRUE(brokered.is_ok()) << "call " << call;
+    EXPECT_EQ(brokered->service, step.service) << "call " << call;
+    EXPECT_EQ(brokered->attempts, step.attempts) << "call " << call;
+    EXPECT_EQ(clock->now(), step.end_time) << "call " << call;
+  }
+
+  EXPECT_EQ(registry.breaker_state("a/fast"), fault::BreakerState::kClosed);
+  EXPECT_EQ(metrics->counter("hc.services.failovers"), 3u);       // calls 1, 2, 6
+  EXPECT_EQ(metrics->counter("hc.services.invoke_failures"), 3u); // a/fast x3
+  EXPECT_EQ(registry.stats("a/fast")->failures, 3u);
+}
+
+TEST(RegistryChaos, InjectedDelayStretchesObservedLatency) {
+  auto clock = make_clock();
+  services::ServiceRegistry registry(clock, Rng(332));
+  services::ServiceProfile profile;
+  profile.name = "a/steady";
+  profile.mean_latency = 10 * kMillisecond;
+  profile.latency_jitter = 0;
+  profile.availability = 1.0;
+  registry.register_service(profile);
+
+  fault::FaultPlan plan;
+  plan.delay("broker", "a/steady", 1.0, 25 * kMillisecond);
+  registry.set_fault_injector(fault::make_injector(plan, clock, Rng(333)));
+
+  auto result = registry.invoke("a/steady", to_bytes("x"));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->latency, 35 * kMillisecond);  // 10ms call + 25ms injected
+}
+
+}  // namespace
+}  // namespace hc

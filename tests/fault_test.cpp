@@ -1,0 +1,552 @@
+// hc::fault unit coverage: injector rule semantics (windows, wildcards,
+// trigger budgets, determinism), retry backoff arithmetic, deadlines, the
+// circuit breaker's pinned transition schedule, and the SimNetwork
+// integration points (drops, delays, duplicates, corruption, host crashes).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "net/network.h"
+#include "net/secure_channel.h"
+#include "obs/metrics.h"
+
+namespace hc::fault {
+namespace {
+
+obs::MetricsPtr make_metrics() { return std::make_shared<obs::MetricsRegistry>(); }
+
+// ------------------------------------------------------------- injector
+
+TEST(FaultInjector, KindNames) {
+  EXPECT_EQ(fault_kind_name(FaultKind::kDrop), "drop");
+  EXPECT_EQ(fault_kind_name(FaultKind::kDelay), "delay");
+  EXPECT_EQ(fault_kind_name(FaultKind::kDuplicate), "duplicate");
+  EXPECT_EQ(fault_kind_name(FaultKind::kCorrupt), "corrupt");
+}
+
+TEST(FaultInjector, RuleFiresOnlyInsideItsWindow) {
+  auto clock = make_clock();
+  FaultPlan plan;
+  plan.drop("a", "b", 1.0, 10 * kMillisecond, 20 * kMillisecond);
+  FaultInjector injector(plan, clock, Rng(1));
+
+  EXPECT_FALSE(injector.on_message("a", "b").drop);  // t=0, before window
+  clock->advance_to(10 * kMillisecond);
+  EXPECT_TRUE(injector.on_message("a", "b").drop);   // start is inclusive
+  clock->advance_to(20 * kMillisecond - 1);
+  EXPECT_TRUE(injector.on_message("a", "b").drop);
+  clock->advance_to(20 * kMillisecond);
+  EXPECT_FALSE(injector.on_message("a", "b").drop);  // end is exclusive
+}
+
+TEST(FaultInjector, EmptyEndpointsAreWildcards) {
+  auto clock = make_clock();
+  FaultPlan plan;
+  plan.drop("", "replica-1", 1.0);
+  FaultInjector injector(plan, clock, Rng(2));
+
+  EXPECT_TRUE(injector.on_message("anyone", "replica-1").drop);
+  EXPECT_TRUE(injector.on_message("someone-else", "replica-1").drop);
+  EXPECT_FALSE(injector.on_message("anyone", "replica-2").drop);
+}
+
+TEST(FaultInjector, TriggerBudgetLimitsFirings) {
+  auto clock = make_clock();
+  FaultRule rule;
+  rule.from = "a";
+  rule.to = "b";
+  rule.kind = FaultKind::kDrop;
+  rule.max_triggers = 2;
+  FaultPlan plan;
+  plan.add_rule(rule);
+  FaultInjector injector(plan, clock, Rng(3));
+
+  EXPECT_TRUE(injector.on_message("a", "b").drop);
+  EXPECT_TRUE(injector.on_message("a", "b").drop);
+  EXPECT_FALSE(injector.on_message("a", "b").drop);  // budget exhausted
+  EXPECT_EQ(injector.rule_triggers(0), 2u);
+}
+
+TEST(FaultInjector, DecisionSequenceIsSeedDeterministic) {
+  auto make = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.drop("a", "b", 0.5).duplicate("a", "b", 0.3).delay("a", "b", 0.4,
+                                                            2 * kMillisecond);
+    return FaultInjector(plan, make_clock(), Rng(seed));
+  };
+  FaultInjector first = make(42);
+  FaultInjector second = make(42);
+  FaultInjector other = make(43);
+
+  int diverged = 0;
+  for (int i = 0; i < 200; ++i) {
+    FaultDecision x = first.on_message("a", "b");
+    FaultDecision y = second.on_message("a", "b");
+    FaultDecision z = other.on_message("a", "b");
+    EXPECT_EQ(x.drop, y.drop);
+    EXPECT_EQ(x.duplicate, y.duplicate);
+    EXPECT_EQ(x.extra_delay, y.extra_delay);
+    if (x.drop != z.drop || x.duplicate != z.duplicate) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);  // a different seed is a different schedule
+}
+
+TEST(FaultInjector, NonMatchingRulesConsumeNoRandomness) {
+  // Adding a rule that never matches must not shift the decisions of the
+  // rules that do — decisions depend only on (seed, plan, matched traffic).
+  FaultPlan bare;
+  bare.drop("a", "b", 0.5);
+  FaultPlan padded;
+  padded.drop("x", "y", 1.0);  // never matched below
+  padded.drop("a", "b", 0.5);
+
+  FaultInjector lean(bare, make_clock(), Rng(7));
+  FaultInjector padded_injector(padded, make_clock(), Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lean.on_message("a", "b").drop,
+              padded_injector.on_message("a", "b").drop);
+  }
+}
+
+TEST(FaultInjector, HostCrashWindow) {
+  auto clock = make_clock();
+  FaultPlan plan;
+  plan.crash("h", 5 * kMillisecond, 9 * kMillisecond);
+  FaultInjector injector(plan, clock, Rng(4));
+
+  EXPECT_FALSE(injector.host_down("h"));
+  clock->advance_to(5 * kMillisecond);
+  EXPECT_TRUE(injector.host_down("h"));
+  clock->advance_to(9 * kMillisecond - 1);
+  EXPECT_TRUE(injector.host_down("h"));
+  clock->advance_to(9 * kMillisecond);
+  EXPECT_FALSE(injector.host_down("h"));  // restarted
+  EXPECT_FALSE(injector.host_down("other"));
+}
+
+TEST(FaultInjector, CorruptPayloadFlipsOneToThreeBits) {
+  FaultInjector injector(FaultPlan{}, make_clock(), Rng(5));
+  for (int i = 0; i < 50; ++i) {
+    Bytes payload(32, 0x00);
+    injector.corrupt_payload(payload);
+    int flipped = 0;
+    for (std::uint8_t b : payload) flipped += std::popcount(b);
+    EXPECT_GE(flipped, 1);
+    EXPECT_LE(flipped, 3);
+  }
+  Bytes empty;
+  injector.corrupt_payload(empty);  // must be a no-op, not a crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultInjector, MetricsCountInjectedFaults) {
+  auto metrics = make_metrics();
+  FaultPlan plan;
+  plan.drop("a", "b", 1.0);
+  FaultInjector injector(plan, make_clock(), Rng(6), metrics);
+  for (int i = 0; i < 3; ++i) (void)injector.on_message("a", "b");
+  EXPECT_EQ(metrics->counter("hc.fault.injected.drop"), 3u);
+}
+
+// ------------------------------------------------------------- retry
+
+TEST(RetryPolicy, BackoffScheduleIsHandComputable) {
+  RetryPolicy policy;
+  policy.initial_backoff = 1 * kMillisecond;
+  policy.multiplier = 2.0;
+  policy.max_backoff = 8 * kMillisecond;
+
+  EXPECT_EQ(policy.backoff_for(0), 0);  // attempt 0 never waits
+  EXPECT_EQ(policy.backoff_for(1), 1 * kMillisecond);
+  EXPECT_EQ(policy.backoff_for(2), 2 * kMillisecond);
+  EXPECT_EQ(policy.backoff_for(3), 4 * kMillisecond);
+  EXPECT_EQ(policy.backoff_for(4), 8 * kMillisecond);
+  EXPECT_EQ(policy.backoff_for(5), 8 * kMillisecond);  // capped
+  EXPECT_EQ(policy.backoff_for(20), 8 * kMillisecond);
+}
+
+TEST(RetryPolicy, JitterAddsBoundedDeterministicNoise) {
+  RetryPolicy policy;
+  policy.initial_backoff = 10 * kMillisecond;
+  policy.jitter = 0.5;
+  Rng a(11), b(11);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    SimTime base = policy.backoff_for(attempt);
+    SimTime jittered = policy.backoff_with_jitter(attempt, a);
+    EXPECT_GE(jittered, base);
+    EXPECT_LE(jittered, base + static_cast<SimTime>(0.5 * static_cast<double>(base)));
+    EXPECT_EQ(jittered, policy.backoff_with_jitter(attempt, b));  // same seed
+  }
+}
+
+TEST(Retryable, OnlyOperationalFailuresRetry) {
+  EXPECT_TRUE(retryable(Status(StatusCode::kUnavailable, "drop")));
+  EXPECT_TRUE(retryable(Status(StatusCode::kIntegrityError, "bit flip")));
+  EXPECT_FALSE(retryable(Status::ok()));
+  EXPECT_FALSE(retryable(Status(StatusCode::kPermissionDenied, "rbac")));
+  EXPECT_FALSE(retryable(Status(StatusCode::kNotFound, "missing")));
+  EXPECT_FALSE(retryable(Status(StatusCode::kFailedPrecondition, "no link")));
+}
+
+TEST(WithRetry, SucceedsAfterTransientFailuresAndChargesBackoff) {
+  auto clock = make_clock();
+  Rng rng(12);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = 1 * kMillisecond;
+  auto metrics = make_metrics();
+
+  int calls = 0;
+  Status out = with_retry(
+      policy, *clock, rng,
+      [&]() -> Status {
+        ++calls;
+        return calls < 3 ? Status(StatusCode::kUnavailable, "flaky") : Status::ok();
+      },
+      metrics.get());
+  EXPECT_TRUE(out.is_ok());
+  EXPECT_EQ(calls, 3);
+  // Two backoffs: 1ms + 2ms (jitter is 0 by default).
+  EXPECT_EQ(clock->now(), 3 * kMillisecond);
+  EXPECT_EQ(metrics->counter("hc.fault.retry.retries"), 2u);
+  EXPECT_EQ(metrics->counter("hc.fault.retry.exhausted"), 0u);
+}
+
+TEST(WithRetry, StopsImmediatelyOnNonRetryableFailure) {
+  auto clock = make_clock();
+  Rng rng(13);
+  int calls = 0;
+  Status out = with_retry(RetryPolicy{}, *clock, rng, [&]() -> Status {
+    ++calls;
+    return Status(StatusCode::kPermissionDenied, "not transient");
+  });
+  EXPECT_EQ(out.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock->now(), 0);  // no backoff burned on a hopeless call
+}
+
+TEST(WithRetry, ExhaustsAttemptBudget) {
+  auto clock = make_clock();
+  Rng rng(14);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  auto metrics = make_metrics();
+  int calls = 0;
+  Status out = with_retry(
+      policy, *clock, rng,
+      [&]() -> Status {
+        ++calls;
+        return Status(StatusCode::kUnavailable, "always down");
+      },
+      metrics.get());
+  EXPECT_EQ(out.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(metrics->counter("hc.fault.retry.retries"), 3u);
+  EXPECT_EQ(metrics->counter("hc.fault.retry.exhausted"), 1u);
+}
+
+TEST(WithRetry, RespectsTotalTimeBudget) {
+  auto clock = make_clock();
+  Rng rng(15);
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff = 1 * kMillisecond;
+  policy.total_budget = 10 * kMillisecond;
+  int calls = 0;
+  Status out = with_retry(policy, *clock, rng, [&]() -> Status {
+    ++calls;
+    return Status(StatusCode::kUnavailable, "always down");
+  });
+  EXPECT_FALSE(out.is_ok());
+  // Backoffs 1+2+4 = 7ms fit; the next (8ms) would blow the 10ms budget.
+  EXPECT_EQ(calls, 4);
+  EXPECT_LE(clock->now(), policy.total_budget);
+}
+
+TEST(WithRetry, WorksWithResultValues) {
+  auto clock = make_clock();
+  Rng rng(16);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  Result<int> out = with_retry(policy, *clock, rng, [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status(StatusCode::kUnavailable, "flaky");
+    return 99;
+  });
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(*out, 99);
+  EXPECT_EQ(calls, 2);
+}
+
+// ------------------------------------------------------------- deadline
+
+TEST(Deadline, ExpiresOnSimClock) {
+  auto clock = make_clock();
+  Deadline deadline(*clock, 5 * kMillisecond);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(deadline.check("op").is_ok());
+  clock->advance(6 * kMillisecond);
+  EXPECT_TRUE(deadline.expired());
+  Status late = deadline.check("op");
+  EXPECT_EQ(late.code(), StatusCode::kUnavailable);  // timeout is retryable
+  EXPECT_TRUE(retryable(late));
+}
+
+TEST(Deadline, NonPositiveBudgetMeansNoDeadline) {
+  auto clock = make_clock();
+  Deadline deadline(*clock, 0);
+  clock->advance(365LL * 24 * 3600 * kSecond);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(deadline.check("op").is_ok());
+}
+
+// ------------------------------------------------------------- breaker
+
+// The ISSUE's pinned schedule: threshold 3, cooldown 10s, 2 probe
+// successes. Every transition below is hand-timed.
+TEST(CircuitBreaker, PinnedOpenHalfOpenCloseSchedule) {
+  auto clock = make_clock();
+  auto metrics = make_metrics();
+  CircuitBreakerConfig config;
+  config.name = "pinned";
+  config.failure_threshold = 3;
+  config.open_cooldown = 10 * kSecond;
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config, clock, metrics);
+
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow().is_ok());
+
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // 2 < threshold
+  breaker.record_failure();                            // 3rd opens it at t=0
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.allow().code(), StatusCode::kUnavailable);
+
+  clock->advance(10 * kSecond - 1);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);  // cooldown not elapsed
+  EXPECT_FALSE(breaker.allow().is_ok());
+
+  clock->advance(1);  // t = 10s exactly: cooldown elapsed
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow().is_ok());  // the probe call
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // 1 of 2 probes
+  EXPECT_TRUE(breaker.allow().is_ok());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // recovered
+
+  EXPECT_EQ(metrics->counter("hc.fault.breaker.pinned.open"), 1u);
+  EXPECT_EQ(metrics->counter("hc.fault.breaker.pinned.half_open"), 1u);
+  EXPECT_EQ(metrics->counter("hc.fault.breaker.pinned.closed"), 1u);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithFreshCooldown) {
+  auto clock = make_clock();
+  CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_cooldown = 1 * kSecond;
+  config.half_open_successes = 1;
+  CircuitBreaker breaker(config, clock);
+
+  breaker.record_failure();
+  breaker.record_failure();  // opens at t=0
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  clock->advance(1 * kSecond);
+  EXPECT_TRUE(breaker.allow().is_ok());  // half-open probe
+  breaker.record_failure();              // probe fails -> re-open at t=1s
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  clock->advance(1 * kSecond - 1);  // t = 2s - 1: fresh cooldown not done
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock->advance(1);
+  EXPECT_TRUE(breaker.allow().is_ok());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, SuccessResetsFailureStreak) {
+  auto clock = make_clock();
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  CircuitBreaker breaker(config, clock);
+  breaker.record_failure();
+  breaker.record_failure();
+  breaker.record_success();  // streak broken
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+}
+
+// ------------------------------------------------------------- network
+
+net::LinkProfile flat_link(SimTime latency) {
+  net::LinkProfile link;
+  link.base_latency = latency;
+  link.jitter = 0;
+  link.drop_probability = 0.0;
+  return link;
+}
+
+TEST(NetworkFaults, InjectedDropFailsSendAndCharges) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(20));
+  network.set_link("a", "b", flat_link(1 * kMillisecond));
+  FaultPlan plan;
+  plan.drop("a", "b", 1.0);
+  network.set_fault_injector(make_injector(plan, clock, Rng(21)));
+
+  auto sent = network.send("a", "b", 100);
+  EXPECT_EQ(sent.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(clock->now(), 1 * kMillisecond);  // the attempt still costs
+  EXPECT_EQ(network.stats().drops, 1u);
+}
+
+TEST(NetworkFaults, InjectedDelayStretchesLatency) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(22));
+  network.set_link("a", "b", flat_link(1 * kMillisecond));
+  FaultPlan plan;
+  plan.delay("a", "b", 1.0, 5 * kMillisecond);
+  network.set_fault_injector(make_injector(plan, clock, Rng(23)));
+
+  auto sent = network.send("a", "b", 0);
+  ASSERT_TRUE(sent.is_ok());
+  EXPECT_EQ(*sent, 6 * kMillisecond);  // base 1ms + injected 5ms
+}
+
+TEST(NetworkFaults, DuplicateDeliversTwiceInStats) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(24));
+  network.set_link("a", "b", flat_link(1 * kMillisecond));
+  FaultPlan plan;
+  plan.duplicate("a", "b", 1.0);
+  network.set_fault_injector(make_injector(plan, clock, Rng(25)));
+
+  ASSERT_TRUE(network.send("a", "b", 100).is_ok());
+  EXPECT_EQ(network.stats().duplicates, 1u);
+  EXPECT_EQ(network.stats().messages, 2u);  // original + duplicate
+  EXPECT_EQ(network.stats().bytes, 200u);
+}
+
+TEST(NetworkFaults, CorruptionWithoutPayloadIsIntegrityError) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(26));
+  network.set_link("a", "b", flat_link(1 * kMillisecond));
+  FaultPlan plan;
+  plan.corrupt("a", "b", 1.0);
+  network.set_fault_injector(make_injector(plan, clock, Rng(27)));
+
+  auto sent = network.send("a", "b", 100);
+  EXPECT_EQ(sent.status().code(), StatusCode::kIntegrityError);
+  EXPECT_EQ(network.stats().corruptions, 1u);
+}
+
+TEST(NetworkFaults, CorruptionWithPayloadFlipsBitsInFlight) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(28));
+  network.set_link("a", "b", flat_link(1 * kMillisecond));
+  FaultPlan plan;
+  plan.corrupt("a", "b", 1.0);
+  network.set_fault_injector(make_injector(plan, clock, Rng(29)));
+
+  Bytes payload(64, 0xab);
+  Bytes original = payload;
+  // The send itself succeeds — corruption is for the receiver's MAC to catch.
+  ASSERT_TRUE(network.send("a", "b", payload.size(), &payload).is_ok());
+  EXPECT_NE(payload, original);
+  EXPECT_EQ(network.stats().corruptions, 1u);
+}
+
+TEST(NetworkFaults, SendWithRetryRecoversFromTransientCorruption) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(30));
+  network.set_link("a", "b", flat_link(1 * kMillisecond));
+  FaultRule rule;
+  rule.from = "a";
+  rule.to = "b";
+  rule.kind = FaultKind::kCorrupt;
+  rule.max_triggers = 1;  // one glitch, then clean
+  FaultPlan plan;
+  plan.add_rule(rule);
+  network.set_fault_injector(make_injector(plan, clock, Rng(31)));
+
+  EXPECT_TRUE(network.send_with_retry("a", "b", 100, 3).is_ok());
+  EXPECT_EQ(network.stats().corruptions, 1u);
+  EXPECT_EQ(network.stats().messages, 1u);  // only the clean attempt delivered
+}
+
+TEST(NetworkFaults, CrashedHostDropsTrafficUntilRestart) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(32));
+  network.set_link("a", "b", flat_link(1 * kMillisecond));
+  FaultPlan plan;
+  plan.crash("b", 0, 5 * kMillisecond);
+  network.set_fault_injector(make_injector(plan, clock, Rng(33)));
+
+  EXPECT_TRUE(network.host_down("b"));
+  auto sent = network.send("a", "b", 100);
+  EXPECT_EQ(sent.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(network.stats().host_down_drops, 1u);
+
+  clock->advance_to(5 * kMillisecond);
+  EXPECT_FALSE(network.host_down("b"));
+  EXPECT_TRUE(network.send("a", "b", 100).is_ok());
+}
+
+TEST(NetworkFaults, NoOpPlanLeavesBehaviourIdentical) {
+  // The injector owns its own rng, so binding an empty plan must not
+  // perturb link jitter draws: both runs see identical latencies.
+  auto run = [](bool with_injector) {
+    auto clock = make_clock();
+    net::SimNetwork network(clock, Rng(34));
+    net::LinkProfile link = flat_link(1 * kMillisecond);
+    link.jitter = 500;  // nonzero so the network's own rng is exercised
+    network.set_link("a", "b", link);
+    if (with_injector) {
+      network.set_fault_injector(make_injector(FaultPlan{}, clock, Rng(35)));
+    }
+    std::vector<SimTime> latencies;
+    for (int i = 0; i < 50; ++i) latencies.push_back(*network.send("a", "b", 10));
+    return latencies;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(NetworkFaults, SecureChannelRejectsInFlightCorruption) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(36));
+  network.set_link("client", "cloud", flat_link(1 * kMillisecond));
+  Rng rng(37);
+  auto keys = crypto::generate_keypair(rng);
+  auto metrics = make_metrics();
+  auto channel = net::SecureChannel::establish(network, "client", "cloud",
+                                               keys.pub, keys.priv, rng, metrics);
+  ASSERT_TRUE(channel.is_ok());
+
+  // Bind the chaos plan only after the handshake so the corruption lands
+  // on the data message; HMAC (encrypt-then-MAC) must catch the flip.
+  FaultRule rule;
+  rule.from = "client";
+  rule.to = "cloud";
+  rule.kind = FaultKind::kCorrupt;
+  rule.max_triggers = 1;
+  FaultPlan plan;
+  plan.add_rule(rule);
+  network.set_fault_injector(make_injector(plan, clock, Rng(38)));
+
+  auto delivered = channel->transmit(to_bytes("phi: hba1c=6.9"));
+  EXPECT_EQ(delivered.status().code(), StatusCode::kIntegrityError);
+  EXPECT_EQ(metrics->counter("hc.net.auth_failures"), 1u);
+  // The channel itself is intact once the glitch budget is spent.
+  EXPECT_TRUE(channel->transmit(to_bytes("phi: hba1c=6.9")).is_ok());
+}
+
+}  // namespace
+}  // namespace hc::fault
