@@ -82,6 +82,7 @@ PermissionedLedger::PermissionedLedger(LedgerConfig config, ClockPtr clock, LogP
 }
 
 Status PermissionedLedger::register_contract(std::unique_ptr<SmartContract> contract) {
+  std::lock_guard lock(mu_);
   std::string name(contract->name());
   if (contracts_.contains(name)) {
     return Status(StatusCode::kAlreadyExists, "contract already registered: " + name);
@@ -95,21 +96,26 @@ const SmartContract* PermissionedLedger::find_contract(const std::string& name) 
   return it == contracts_.end() ? nullptr : it->second.get();
 }
 
-std::size_t PermissionedLedger::charge_broadcast(std::size_t message_bytes) {
-  if (!network_) return config_.peers.size() - 1;
+PermissionedLedger::BroadcastResult PermissionedLedger::charge_broadcast(
+    std::size_t message_bytes) {
+  if (!network_) return {config_.peers.size() - 1, 0};
   const std::string& leader = config_.peers.front();
-  std::size_t acknowledged = 0;
+  BroadcastResult result;
   for (std::size_t i = 1; i < config_.peers.size(); ++i) {
+    // Bracket each send with clock reads: dropped sends still advance the
+    // clock by the attempt latency, and that cost belongs to this round.
+    SimTime before = clock_->now();
     auto sent = network_->send(leader, config_.peers[i], message_bytes);
+    result.charged += clock_->now() - before;
     // Only operational losses mark a peer unresponsive; an unconfigured
     // link keeps the legacy "cost model only" semantics.
     if (sent.is_ok() || sent.status().code() != StatusCode::kUnavailable) {
-      ++acknowledged;
+      ++result.acknowledged;
     } else if (metrics_) {
       metrics_->add("hc.blockchain.unresponsive_peer_msgs");
     }
   }
-  return acknowledged;
+  return result;
 }
 
 std::size_t PermissionedLedger::required_responsive_peers() const {
@@ -123,6 +129,13 @@ std::size_t PermissionedLedger::required_responsive_peers() const {
 Result<std::string> PermissionedLedger::submit(const std::string& contract,
                                                std::map<std::string, std::string> args,
                                                const std::string& submitter) {
+  std::lock_guard lock(mu_);
+  return submit_locked(contract, std::move(args), submitter);
+}
+
+Result<std::string> PermissionedLedger::submit_locked(
+    const std::string& contract, std::map<std::string, std::string> args,
+    const std::string& submitter) {
   const SmartContract* chaincode = find_contract(contract);
   if (!chaincode) {
     return Status(StatusCode::kNotFound, "no such contract: " + contract);
@@ -139,9 +152,9 @@ Result<std::string> PermissionedLedger::submit(const std::string& contract,
   // against the current state (replicas are identical in-process, so one
   // validation decides, but the message costs are still charged per peer).
   // A peer only endorses if both the proposal and its response made it.
-  std::size_t proposals = charge_broadcast(kProposalBytes);
+  std::size_t proposals = charge_broadcast(kProposalBytes).acknowledged;
   Status verdict = chaincode->validate(tx, state_);
-  std::size_t votes = charge_broadcast(kVoteBytes);  // endorsement responses
+  std::size_t votes = charge_broadcast(kVoteBytes).acknowledged;  // endorsement responses
 
   std::size_t responsive = 1 + std::min(proposals, votes);  // leader + followers
   std::size_t required = required_responsive_peers();
@@ -176,10 +189,14 @@ Result<std::string> PermissionedLedger::submit(const std::string& contract,
 }
 
 Result<CommitReceipt> PermissionedLedger::commit_block() {
+  std::lock_guard lock(mu_);
+  return commit_block_locked();
+}
+
+Result<CommitReceipt> PermissionedLedger::commit_block_locked() {
   if (pending_.empty()) {
     return Status(StatusCode::kFailedPrecondition, "no pending transactions");
   }
-  SimTime start = clock_->now();
 
   std::size_t take = std::min(pending_.size(), config_.max_block_transactions);
   std::vector<Transaction> batch(pending_.begin(),
@@ -196,11 +213,13 @@ Result<CommitReceipt> PermissionedLedger::commit_block() {
 
   // Commit vote: propose block, collect votes, announce commit. A peer
   // counts as committing only if every round reached it.
-  std::size_t round1 = charge_broadcast(kProposalBytes + block.transactions.size() * 256);
-  std::size_t round2 = charge_broadcast(kVoteBytes);
-  std::size_t round3 = charge_broadcast(kVoteBytes);
+  BroadcastResult round1 = charge_broadcast(kProposalBytes + block.transactions.size() * 256);
+  BroadcastResult round2 = charge_broadcast(kVoteBytes);
+  BroadcastResult round3 = charge_broadcast(kVoteBytes);
+  SimTime commit_latency = round1.charged + round2.charged + round3.charged;
 
-  std::size_t responsive = 1 + std::min({round1, round2, round3});
+  std::size_t responsive =
+      1 + std::min({round1.acknowledged, round2.acknowledged, round3.acknowledged});
   std::size_t required = required_responsive_peers();
   if (required > 0 && responsive < required) {
     // Put the batch back at the head of the pool: the commit is aborted,
@@ -222,7 +241,7 @@ Result<CommitReceipt> PermissionedLedger::commit_block() {
   for (const auto& tx : block.transactions) {
     find_contract(tx.contract)->apply(tx, state_);
   }
-  CommitReceipt receipt{block.index, block.transactions.size(), clock_->now() - start};
+  CommitReceipt receipt{block.index, block.transactions.size(), commit_latency};
   chain_.push_back(std::move(block));
   if (metrics_) {
     metrics_->add("hc.blockchain.blocks_appended");
@@ -241,15 +260,19 @@ Result<CommitReceipt> PermissionedLedger::commit_block() {
 Result<std::string> PermissionedLedger::submit_and_commit(
     const std::string& contract, std::map<std::string, std::string> args,
     const std::string& submitter) {
-  auto id = submit(contract, std::move(args), submitter);
+  // One critical section for the pair: a concurrent worker must never
+  // commit this worker's endorsed transaction out from under it.
+  std::lock_guard lock(mu_);
+  auto id = submit_locked(contract, std::move(args), submitter);
   if (!id.is_ok()) return id;
-  auto receipt = commit_block();
+  auto receipt = commit_block_locked();
   if (!receipt.is_ok()) return receipt.status();
   return id;
 }
 
 Result<std::string> PermissionedLedger::state_value(const std::string& contract,
                                                     const std::string& key) const {
+  std::lock_guard lock(mu_);
   auto ns = state_.find(contract);
   if (ns == state_.end()) {
     return Status(StatusCode::kNotFound, "empty contract namespace: " + contract);
@@ -263,6 +286,7 @@ Result<std::string> PermissionedLedger::state_value(const std::string& contract,
 
 std::vector<Transaction> PermissionedLedger::find_transactions(
     const std::function<bool(const Transaction&)>& predicate) const {
+  std::lock_guard lock(mu_);
   std::vector<Transaction> out;
   for (const auto& block : chain_) {
     for (const auto& tx : block.transactions) {
@@ -273,6 +297,7 @@ std::vector<Transaction> PermissionedLedger::find_transactions(
 }
 
 Status PermissionedLedger::validate_chain() const {
+  std::lock_guard lock(mu_);
   if (metrics_) metrics_->add("hc.blockchain.chain_verifications");
   for (std::size_t i = 0; i < chain_.size(); ++i) {
     const Block& block = chain_[i];
@@ -299,6 +324,7 @@ Status PermissionedLedger::validate_chain() const {
 void PermissionedLedger::tamper_for_test(std::size_t block_index, std::size_t tx_index,
                                          const std::string& key,
                                          const std::string& value) {
+  std::lock_guard lock(mu_);
   chain_.at(block_index).transactions.at(tx_index).args[key] = value;
 }
 

@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,13 @@ struct CommitReceipt {
   SimTime commit_latency = 0;
 };
 
+/// Thread-safe: one internal mutex serializes consensus (endorsement,
+/// ordering, commit) and state queries, so parallel ingestion workers can
+/// record provenance concurrently. Commit latency is accounted from the
+/// ledger's *own* charged broadcast rounds, not a global clock delta, so
+/// concurrent workers advancing the shared clock never leak into
+/// `hc.blockchain.commit_us`. The chain()/state() reference accessors are
+/// for quiesced (single-threaded) inspection only.
 class PermissionedLedger {
  public:
   /// `network` may be null (no latency model); when present, each peer name
@@ -122,9 +130,14 @@ class PermissionedLedger {
                                         const std::string& submitter);
 
   // --- queries ----------------------------------------------------------
+  // chain()/state() return references into guarded storage: use only when
+  // no other thread is mutating the ledger (tests, post-run audits).
   const std::vector<Block>& chain() const { return chain_; }
   const WorldState& state() const { return state_; }
-  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t pending_count() const {
+    std::lock_guard lock(mu_);
+    return pending_.size();
+  }
   std::size_t peer_count() const { return config_.peers.size(); }
 
   /// Value in a contract namespace, or kNotFound.
@@ -143,12 +156,25 @@ class PermissionedLedger {
                        const std::string& key, const std::string& value);
 
  private:
+  struct BroadcastResult {
+    std::size_t acknowledged = 0;  // followers every message round reached
+    SimTime charged = 0;           // sim time this round advanced the clock
+  };
+
   const SmartContract* find_contract(const std::string& name) const;
-  /// Charges one leader->peers broadcast round; returns how many of the
-  /// peers.size()-1 followers acknowledged (all, without a network).
-  std::size_t charge_broadcast(std::size_t message_bytes);
+  /// Charges one leader->peers broadcast round. `acknowledged` counts how
+  /// many of the peers.size()-1 followers the round reached (all, without
+  /// a network); `charged` is the clock time the round itself consumed.
+  BroadcastResult charge_broadcast(std::size_t message_bytes);
   std::size_t required_responsive_peers() const;
 
+  // Callers hold mu_.
+  Result<std::string> submit_locked(const std::string& contract,
+                                    std::map<std::string, std::string> args,
+                                    const std::string& submitter);
+  Result<CommitReceipt> commit_block_locked();
+
+  mutable std::mutex mu_;
   LedgerConfig config_;
   ClockPtr clock_;
   LogPtr log_;

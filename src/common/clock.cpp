@@ -6,12 +6,18 @@ namespace hc {
 
 void SimClock::advance(SimTime delta) {
   if (delta < 0) throw std::invalid_argument("SimClock::advance: negative delta");
-  now_ += delta;
+  now_.fetch_add(delta, std::memory_order_relaxed);
 }
 
 void SimClock::advance_to(SimTime t) {
-  if (t < now_) throw std::invalid_argument("SimClock::advance_to: time moved backwards");
-  now_ = t;
+  SimTime current = now_.load(std::memory_order_relaxed);
+  if (t < current) {
+    throw std::invalid_argument("SimClock::advance_to: time moved backwards");
+  }
+  // CAS-max: a concurrent advance() past `t` wins; time never rewinds.
+  while (current < t &&
+         !now_.compare_exchange_weak(current, t, std::memory_order_relaxed)) {
+  }
 }
 
 ClockPtr make_clock(SimTime start) { return std::make_shared<SimClock>(start); }

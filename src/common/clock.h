@@ -6,6 +6,7 @@
 // charge latency by advancing time explicitly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,21 +25,27 @@ constexpr SimTime kDay = 24 * kHour;
 
 /// Shared logical clock. Components hold a shared_ptr and read `now()`;
 /// only the simulation driver (network, schedulers, tests) advances it.
+///
+/// Thread-safe: `now_` is atomic, so concurrent workers (hc::exec) may
+/// advance() without a data race. Concurrent advances commute — the final
+/// time is the sum of all deltas regardless of interleaving — which is
+/// what keeps parallel pipeline runs deterministic in aggregate.
 class SimClock {
  public:
   SimClock() = default;
   explicit SimClock(SimTime start) : now_(start) {}
 
-  SimTime now() const { return now_; }
+  SimTime now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Moves time forward. Negative deltas are a programming error.
   void advance(SimTime delta);
 
-  /// Jumps to an absolute time >= now().
+  /// Jumps to an absolute time >= now(). With concurrent advancers the
+  /// clock never moves backwards: the jump is a max, not a store.
   void advance_to(SimTime t);
 
  private:
-  SimTime now_ = 0;
+  std::atomic<SimTime> now_{0};
 };
 
 using ClockPtr = std::shared_ptr<SimClock>;

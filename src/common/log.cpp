@@ -16,11 +16,19 @@ std::string_view log_level_name(LogLevel level) {
 void LogService::log(LogLevel level, std::string component, std::string event,
                      std::string detail) {
   if (scrubber_) detail = scrubber_(detail);
-  records_.push_back(LogRecord{clock_->now(), level, std::move(component),
-                               std::move(event), std::move(detail)});
+  LogRecord record{clock_->now(), level, std::move(component), std::move(event),
+                   std::move(detail)};
+  std::lock_guard lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<LogRecord> LogService::records() const {
+  std::lock_guard lock(mu_);
+  return records_;
 }
 
 std::vector<LogRecord> LogService::by_component(const std::string& component) const {
+  std::lock_guard lock(mu_);
   std::vector<LogRecord> out;
   for (const auto& r : records_) {
     if (r.component == component) out.push_back(r);
@@ -29,6 +37,7 @@ std::vector<LogRecord> LogService::by_component(const std::string& component) co
 }
 
 std::vector<LogRecord> LogService::by_event(const std::string& event) const {
+  std::lock_guard lock(mu_);
   std::vector<LogRecord> out;
   for (const auto& r : records_) {
     if (r.event == event) out.push_back(r);
@@ -37,6 +46,7 @@ std::vector<LogRecord> LogService::by_event(const std::string& event) const {
 }
 
 std::size_t LogService::count(LogLevel level) const {
+  std::lock_guard lock(mu_);
   std::size_t n = 0;
   for (const auto& r : records_) {
     if (r.level == level) ++n;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,7 +60,9 @@ class LogService {
     log(LogLevel::kAudit, std::move(component), std::move(event), std::move(detail));
   }
 
-  const std::vector<LogRecord>& records() const { return records_; }
+  /// Snapshot of all records. Returned by value: parallel ingestion
+  /// workers append concurrently, so a reference would be unstable.
+  std::vector<LogRecord> records() const;
 
   /// All records for one component (audit/forensics queries).
   std::vector<LogRecord> by_component(const std::string& component) const;
@@ -68,16 +71,21 @@ class LogService {
   std::vector<LogRecord> by_event(const std::string& event) const;
 
   std::size_t count(LogLevel level) const;
-  void clear() { records_.clear(); }
+  void clear() {
+    std::lock_guard lock(mu_);
+    records_.clear();
+  }
 
   /// Testing hook: corrupt a stored record (log-integrity tests).
   void tamper_for_test(std::size_t index, std::string detail) {
+    std::lock_guard lock(mu_);
     records_.at(index).detail = std::move(detail);
   }
 
  private:
   ClockPtr clock_;
   Scrubber scrubber_;
+  mutable std::mutex mu_;
   std::vector<LogRecord> records_;
 };
 

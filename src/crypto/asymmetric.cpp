@@ -206,13 +206,25 @@ Envelope envelope_seal(const PublicKey& pub, const Bytes& plaintext, Rng& rng) {
   return env;
 }
 
+Bytes envelope_unwrap_key(const PrivateKey& priv, const Envelope& env) {
+  return rsa_decrypt(priv, env.wrapped_key);
+}
+
+bool envelope_tag_ok(const Bytes& session_key, const Envelope& env) {
+  return hmac_verify(session_key, env.body, env.tag);
+}
+
+Bytes envelope_decrypt_body(const Bytes& session_key, const Envelope& env) {
+  return aes_cbc_decrypt(session_key, env.body);
+}
+
 Bytes envelope_open(const PrivateKey& priv, const Envelope& env) {
-  Bytes session_key = rsa_decrypt(priv, env.wrapped_key);
-  if (!hmac_verify(session_key, env.body, env.tag)) {
+  Bytes session_key = envelope_unwrap_key(priv, env);
+  if (!envelope_tag_ok(session_key, env)) {
     secure_wipe(session_key);
     throw std::invalid_argument("envelope_open: integrity tag mismatch");
   }
-  Bytes plain = aes_cbc_decrypt(session_key, env.body);
+  Bytes plain = envelope_decrypt_body(session_key, env);
   secure_wipe(session_key);
   return plain;
 }

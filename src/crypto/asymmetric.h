@@ -71,4 +71,19 @@ Envelope envelope_seal(const PublicKey& pub, const Bytes& plaintext, Rng& rng);
 /// std::invalid_argument on integrity failure or malformed input.
 Bytes envelope_open(const PrivateKey& priv, const Envelope& env);
 
+// Staged envelope opening. envelope_open() above is
+// unwrap -> tag check -> decrypt in one call; these expose the stages so a
+// batch consumer (parallel ingestion) can unwrap each envelope's session
+// key, verify all the HMAC tags together via hmac_verify_batch, and only
+// then pay for AES decryption of the survivors.
+
+/// Stage 1: recovers the AES session key (caller must secure_wipe it).
+Bytes envelope_unwrap_key(const PrivateKey& priv, const Envelope& env);
+
+/// Stage 2: constant-time integrity check under an unwrapped session key.
+bool envelope_tag_ok(const Bytes& session_key, const Envelope& env);
+
+/// Stage 3: decrypts the body. Only valid after the tag checked out.
+Bytes envelope_decrypt_body(const Bytes& session_key, const Envelope& env);
+
 }  // namespace hc::crypto

@@ -32,4 +32,14 @@ bool hmac_verify(const Bytes& key, const Bytes& data, const Bytes& tag) {
   return constant_time_equal(hmac_sha256(key, data), tag);
 }
 
+std::vector<bool> hmac_verify_batch(const std::vector<HmacVerifyItem>& items) {
+  std::vector<bool> out;
+  out.reserve(items.size());
+  for (const HmacVerifyItem& item : items) {
+    out.push_back(item.key && item.data && item.tag &&
+                  hmac_verify(*item.key, *item.data, *item.tag));
+  }
+  return out;
+}
+
 }  // namespace hc::crypto

@@ -5,6 +5,8 @@
 // quantifies that recommendation.
 #pragma once
 
+#include <vector>
+
 #include "common/bytes.h"
 
 namespace hc::crypto {
@@ -14,5 +16,18 @@ Bytes hmac_sha256(const Bytes& key, const Bytes& data);
 
 /// Constant-time verification of a previously computed tag.
 bool hmac_verify(const Bytes& key, const Bytes& data, const Bytes& tag);
+
+/// One (key, data, tag) triple awaiting verification. Pointers alias the
+/// caller's buffers — no copies — and must outlive the batch call.
+struct HmacVerifyItem {
+  const Bytes* key = nullptr;
+  const Bytes* data = nullptr;
+  const Bytes* tag = nullptr;
+};
+
+/// Verifies a batch of tags in one pass (parallel ingestion workers verify
+/// a whole message batch at once). Each verdict is independent and
+/// constant-time; out[i] corresponds to items[i].
+std::vector<bool> hmac_verify_batch(const std::vector<HmacVerifyItem>& items);
 
 }  // namespace hc::crypto

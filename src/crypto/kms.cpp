@@ -13,6 +13,7 @@ void KeyManagementService::audit(const std::string& event,
 }
 
 KeyId KeyManagementService::create_symmetric_key(const Principal& owner) {
+  std::unique_lock lock(mu_);
   KeyId id = "key-" + ids_.next_uuid();
   ManagedKey key;
   key.kind = KeyKind::kSymmetric;
@@ -25,6 +26,7 @@ KeyId KeyManagementService::create_symmetric_key(const Principal& owner) {
 }
 
 KeyId KeyManagementService::create_keypair(const Principal& owner) {
+  std::unique_lock lock(mu_);
   KeyId id = "keypair-" + ids_.next_uuid();
   ManagedKey key;
   key.kind = KeyKind::kAsymmetric;
@@ -48,6 +50,7 @@ KeyManagementService::ManagedKey* KeyManagementService::find(const KeyId& id) {
 
 Status KeyManagementService::authorize(const KeyId& id, const Principal& owner,
                                        const Principal& principal) {
+  std::unique_lock lock(mu_);
   ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->owner != owner) {
@@ -60,6 +63,7 @@ Status KeyManagementService::authorize(const KeyId& id, const Principal& owner,
 
 Result<Bytes> KeyManagementService::symmetric_key(const KeyId& id,
                                                   const Principal& principal) const {
+  std::shared_lock lock(mu_);
   const ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
@@ -76,6 +80,7 @@ Result<Bytes> KeyManagementService::symmetric_key(const KeyId& id,
 
 Result<Bytes> KeyManagementService::symmetric_key_version(
     const KeyId& id, const Principal& principal, std::uint32_t version) const {
+  std::shared_lock lock(mu_);
   const ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
@@ -92,6 +97,7 @@ Result<Bytes> KeyManagementService::symmetric_key_version(
 }
 
 Result<PublicKey> KeyManagementService::public_key(const KeyId& id) const {
+  std::shared_lock lock(mu_);
   const ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
@@ -103,6 +109,7 @@ Result<PublicKey> KeyManagementService::public_key(const KeyId& id) const {
 
 Result<PrivateKey> KeyManagementService::private_key(const KeyId& id,
                                                      const Principal& principal) const {
+  std::shared_lock lock(mu_);
   const ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
@@ -118,6 +125,7 @@ Result<PrivateKey> KeyManagementService::private_key(const KeyId& id,
 }
 
 Status KeyManagementService::rotate(const KeyId& id, const Principal& owner) {
+  std::unique_lock lock(mu_);
   ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
@@ -134,6 +142,7 @@ Status KeyManagementService::rotate(const KeyId& id, const Principal& owner) {
 }
 
 Status KeyManagementService::destroy(const KeyId& id, const Principal& owner) {
+  std::unique_lock lock(mu_);
   ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->owner != owner) {
@@ -148,6 +157,7 @@ Status KeyManagementService::destroy(const KeyId& id, const Principal& owner) {
 }
 
 Result<std::uint32_t> KeyManagementService::version(const KeyId& id) const {
+  std::shared_lock lock(mu_);
   const ManagedKey* key = find(id);
   if (!key) return Status(StatusCode::kNotFound, "no such key: " + id);
   if (key->destroyed) return Status(StatusCode::kDataLoss, "key shredded: " + id);
@@ -157,6 +167,7 @@ Result<std::uint32_t> KeyManagementService::version(const KeyId& id) const {
 }
 
 bool KeyManagementService::is_destroyed(const KeyId& id) const {
+  std::shared_lock lock(mu_);
   const ManagedKey* key = find(id);
   return key && key->destroyed;
 }

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,10 @@ using Principal = std::string;
 
 enum class KeyKind { kSymmetric, kAsymmetric };
 
+/// Thread-safe: reads (key fetches, the hot ingestion path) take a shared
+/// lock; mutations (create / authorize / rotate / destroy) take the lock
+/// exclusively. Key material is returned by value, so callers never hold
+/// references into guarded state.
 class KeyManagementService {
  public:
   /// `tenant` scopes the instance (single-tenant isolation); `log` may be
@@ -73,7 +78,10 @@ class KeyManagementService {
 
   bool is_destroyed(const KeyId& id) const;
   std::string_view tenant() const { return tenant_; }
-  std::size_t key_count() const { return keys_.size(); }
+  std::size_t key_count() const {
+    std::shared_lock lock(mu_);
+    return keys_.size();
+  }
 
  private:
   struct ManagedKey {
@@ -90,9 +98,10 @@ class KeyManagementService {
   void audit(const std::string& event, const std::string& detail) const;
 
   std::string tenant_;
-  mutable Rng rng_;
+  mutable Rng rng_;  // guarded by mu_ (exclusive): used only by mutations
   LogPtr log_;
-  IdGenerator ids_;
+  IdGenerator ids_;  // guarded by mu_ (exclusive)
+  mutable std::shared_mutex mu_;
   std::map<KeyId, ManagedKey> keys_;
 };
 

@@ -1,0 +1,155 @@
+#include "exec/executor.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace hc::exec {
+
+std::uint64_t fnv1a64(std::string_view key) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::size_t shard_by(std::string_view key, std::size_t shards) {
+  if (shards == 0) throw std::invalid_argument("shard_by: shards must be >= 1");
+  return static_cast<std::size_t>(fnv1a64(key) % shards);
+}
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (workers == 0) throw std::invalid_argument("ThreadPool: workers must be >= 1");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      not_full_.notify_one();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      --active_;
+      ++completed_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock, [this] { return stopping_ || queue_.size() < capacity_; });
+  if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");
+  queue_.push_back(std::move(task));
+  not_empty_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  std::lock_guard lock(mu_);
+  if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");
+  if (queue_.size() >= capacity_) return false;
+  queue_.push_back(std::move(task));
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::drain() {
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::unique_lock lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    if (stopping_ && workers_.empty()) return;  // already shut down
+    stopping_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::check_error() {
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(mu_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t ThreadPool::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+void parallel_for(std::size_t n, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  auto run = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;  // captured by the pool, rethrown from drain()
+      }
+    }
+  };
+  ThreadPool pool(std::min(workers, n), std::min(workers, n));
+  for (std::size_t w = 0; w < pool.worker_count(); ++w) pool.submit(run);
+  pool.drain();  // rethrows the first task exception
+  pool.shutdown();
+}
+
+std::size_t hardware_workers() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace hc::exec

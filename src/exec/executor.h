@@ -1,0 +1,110 @@
+// Execution layer: fixed-size thread pool, parallel_for, shard hashing.
+//
+// The paper's ingestion service is "asynchronous by design" (Sections II.B
+// and IV.B.1) so the platform can absorb bulk EMR uploads; this module is
+// the substrate that lets the reproduction actually run that pipeline on N
+// OS threads. Design constraints, in order:
+//
+//   1. *Bounded.* The pool's work queue has a fixed capacity and submit()
+//      blocks when it is full — backpressure, never unbounded memory.
+//   2. *Deterministic shutdown.* drain() waits until every queued and
+//      in-flight task has finished; shutdown() additionally joins the
+//      workers. Both are safe to call repeatedly.
+//   3. *Exceptions surface.* A task that throws does not kill the worker;
+//      the first exception is captured and rethrown from drain() (or
+//      check_error()), so parallel pipelines fail loudly, not silently.
+//   4. *Stable sharding.* shard_by() is FNV-1a — an explicitly specified
+//      hash, not std::hash — so shard assignment (and therefore lock
+//      distribution and any shard-keyed artifact) is identical across
+//      platforms and standard libraries.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace hc::exec {
+
+/// FNV-1a 64-bit over the bytes of `key`. Stable across platforms.
+std::uint64_t fnv1a64(std::string_view key);
+
+/// Shard index in [0, shards) for a string key. `shards` must be >= 1.
+/// The platform's sharded-lock containers (data lake, metadata store,
+/// re-identification map, metrics registry) all key their shards through
+/// this function so that one patient / reference id always lands on the
+/// same shard — unrelated uploads never contend on a lock.
+std::size_t shard_by(std::string_view key, std::size_t shards);
+
+/// Fixed-size worker pool over a bounded FIFO work queue.
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (>= 1). `queue_capacity` bounds the number
+  /// of *queued* (not yet started) tasks; submit() blocks when full.
+  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 256);
+
+  /// Drains and joins. Any captured task exception is swallowed here (use
+  /// drain() before destruction to observe it).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; blocks while the queue is at capacity (backpressure).
+  /// Throws std::logic_error after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Non-blocking submit: false when the queue is at capacity.
+  bool try_submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is in flight, then
+  /// rethrows the first exception any task raised since the last drain
+  /// (clearing it, so the pool remains usable).
+  void drain();
+
+  /// drain() + stop + join. Idempotent; does not throw for task errors
+  /// (call drain() first to observe them).
+  void shutdown();
+
+  /// Rethrows the first captured task exception, if any (clears it).
+  void check_error();
+
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+  /// Tasks queued but not yet started.
+  std::size_t pending() const;
+  /// Tasks that finished (normally or by throwing).
+  std::uint64_t completed() const;
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  // queue gained work / stopping
+  std::condition_variable not_full_;   // queue has room
+  std::condition_variable idle_;       // queue empty and nothing in flight
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;        // tasks currently executing
+  std::uint64_t completed_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;  // first task exception since last drain
+};
+
+/// Runs fn(0) ... fn(n-1) across `workers` threads (a temporary pool when
+/// workers > 1, inline when workers <= 1 or n <= 1). Indices are handed
+/// out dynamically, so uneven per-index cost still balances. Rethrows the
+/// first exception any invocation raised; remaining indices may be skipped
+/// once an error is recorded.
+void parallel_for(std::size_t n, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn);
+
+/// std::thread::hardware_concurrency() with a floor of 1.
+std::size_t hardware_workers();
+
+}  // namespace hc::exec

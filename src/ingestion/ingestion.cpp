@@ -1,6 +1,10 @@
 #include "ingestion/ingestion.h"
 
+#include <atomic>
+
+#include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "exec/executor.h"
 
 namespace hc::ingestion {
 
@@ -55,7 +59,10 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
     return Status(StatusCode::kInvalidArgument, "upload requires a consent group");
   }
   UploadReceipt receipt;
-  receipt.upload_id = "upload-" + ids_.next_uuid();
+  {
+    std::lock_guard lock(ids_mu_);
+    receipt.upload_id = "upload-" + ids_.next_uuid();
+  }
 
   if (Status s = deps_.staging->put(receipt.upload_id, pack_envelope(envelope));
       !s.is_ok()) {
@@ -73,9 +80,13 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
 }
 
 void IngestionService::charge(const char* stage, SimTime fixed, SimTime per_kb,
-                              std::size_t bytes) {
+                              std::size_t bytes, SimTime* lane) {
   SimTime cost = fixed + per_kb * static_cast<SimTime>(bytes / 1024 + 1);
-  deps_.clock->advance(cost);
+  if (lane) {
+    *lane += cost;
+  } else {
+    deps_.clock->advance(cost);
+  }
   if (deps_.metrics) {
     deps_.metrics->observe(std::string("hc.ingestion.stage.") + stage + "_us",
                            static_cast<double>(cost));
@@ -113,28 +124,32 @@ Result<ProcessOutcome> IngestionService::process_next() {
   if (!message) {
     return Status(StatusCode::kFailedPrecondition, "ingestion queue is empty");
   }
+  return process_message(*message, /*lane=*/nullptr);
+}
 
+ProcessOutcome IngestionService::process_message(
+    const storage::IngestionMessage& message, SimTime* lane) {
   ProcessOutcome outcome;
-  outcome.upload_id = message->upload_id;
+  outcome.upload_id = message.upload_id;
 
-  auto blob = deps_.staging->get(message->upload_id);
+  auto blob = deps_.staging->get(message.upload_id);
   if (!blob.is_ok()) {
-    fail("staging", message->upload_id,
+    fail("staging", message.upload_id,
          "staged blob missing: " + blob.status().to_string(), outcome);
     return outcome;
   }
 
   // --- decrypt ---------------------------------------------------------
-  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kDecrypting);
-  charge("decrypt", 0, costs_.decrypt_per_kb, blob->size());
+  deps_.tracker->set_stage(message.upload_id, storage::IngestionStage::kDecrypting);
+  charge("decrypt", 0, costs_.decrypt_per_kb, blob->size(), lane);
   auto envelope = unpack_envelope(*blob);
   if (!envelope.is_ok()) {
-    fail("decrypt", message->upload_id, envelope.status().message(), outcome);
+    fail("decrypt", message.upload_id, envelope.status().message(), outcome);
     return outcome;
   }
-  auto client_key = deps_.kms->private_key(message->key_id, principal_);
+  auto client_key = deps_.kms->private_key(message.key_id, principal_);
   if (!client_key.is_ok()) {
-    fail("decrypt", message->upload_id,
+    fail("decrypt", message.upload_id,
          "client key unavailable: " + client_key.status().to_string(), outcome);
     return outcome;
   }
@@ -142,48 +157,55 @@ Result<ProcessOutcome> IngestionService::process_next() {
   try {
     plaintext = crypto::envelope_open(*client_key, *envelope);
   } catch (const std::invalid_argument& e) {
-    fail("decrypt", message->upload_id, std::string("decryption failed: ") + e.what(),
+    fail("decrypt", message.upload_id, std::string("decryption failed: ") + e.what(),
          outcome);
     return outcome;
   }
 
+  process_decrypted(message, plaintext, outcome, lane);
+  return outcome;
+}
+
+void IngestionService::process_decrypted(const storage::IngestionMessage& message,
+                                         const Bytes& plaintext,
+                                         ProcessOutcome& outcome, SimTime* lane) {
   // --- validate --------------------------------------------------------
-  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kValidating);
-  charge("validate", costs_.validate_fixed);
+  deps_.tracker->set_stage(message.upload_id, storage::IngestionStage::kValidating);
+  charge("validate", costs_.validate_fixed, 0, 0, lane);
   auto bundle = fhir::parse_bundle(plaintext);
   if (!bundle.is_ok()) {
-    fail("parse", message->upload_id, "parse error: " + bundle.status().message(),
+    fail("parse", message.upload_id, "parse error: " + bundle.status().message(),
          outcome);
-    return outcome;
+    return;
   }
   if (Status s = fhir::validate_bundle(*bundle); !s.is_ok()) {
-    fail("validate", message->upload_id, "validation error: " + s.message(), outcome);
-    return outcome;
+    fail("validate", message.upload_id, "validation error: " + s.message(), outcome);
+    return;
   }
 
   // --- malware scan ------------------------------------------------------
-  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kScanning);
-  charge("scan", 0, costs_.scan_per_kb, plaintext.size());
+  deps_.tracker->set_stage(message.upload_id, storage::IngestionStage::kScanning);
+  charge("scan", 0, costs_.scan_per_kb, plaintext.size(), lane);
   auto scan = scanner_.scan(plaintext);
   if (scan.infected) {
     if (deps_.ledger) {
       (void)deps_.ledger->submit_and_commit(
           "malware",
           {{"action", "report"},
-           {"record_ref", message->upload_id},
+           {"record_ref", message.upload_id},
            {"verdict", "infected"},
-           {"sender", message->uploader_user_id}},
+           {"sender", message.uploader_user_id}},
           "ingestion-service");
     }
-    fail("malware", message->upload_id, "malware detected: " + scan.signature_name,
+    fail("malware", message.upload_id, "malware detected: " + scan.signature_name,
          outcome);
-    return outcome;
+    return;
   }
 
   // --- consent -----------------------------------------------------------
-  deps_.tracker->set_stage(message->upload_id,
+  deps_.tracker->set_stage(message.upload_id,
                            storage::IngestionStage::kVerifyingConsent);
-  charge("consent", costs_.consent_fixed);
+  charge("consent", costs_.consent_fixed, 0, 0, lane);
   const fhir::Patient* patient = nullptr;
   for (const auto& resource : bundle->resources) {
     if (const auto* p = std::get_if<fhir::Patient>(&resource)) {
@@ -192,31 +214,31 @@ Result<ProcessOutcome> IngestionService::process_next() {
     }
   }
   if (!patient) {
-    fail("no_patient", message->upload_id, "bundle carries no Patient resource", outcome);
-    return outcome;
+    fail("no_patient", message.upload_id, "bundle carries no Patient resource", outcome);
+    return;
   }
   if (deps_.ledger &&
       !blockchain::ConsentContract::has_consent(*deps_.ledger, patient->id,
-                                                message->consent_group)) {
-    fail("consent", message->upload_id,
-         "patient has not consented to group " + message->consent_group, outcome);
-    return outcome;
+                                                message.consent_group)) {
+    fail("consent", message.upload_id,
+         "patient has not consented to group " + message.consent_group, outcome);
+    return;
   }
 
   // --- de-identify + verify anonymization --------------------------------
-  deps_.tracker->set_stage(message->upload_id, storage::IngestionStage::kDeIdentifying);
-  charge("deidentify", costs_.deidentify_fixed);
+  deps_.tracker->set_stage(message.upload_id, storage::IngestionStage::kDeIdentifying);
+  charge("deidentify", costs_.deidentify_fixed, 0, 0, lane);
   auto deidentified =
       privacy::deidentify(fhir::patient_fields(*patient), schema_, pseudonymizer_);
   if (!deidentified.is_ok()) {
-    fail("anonymization", message->upload_id, deidentified.status().message(), outcome);
-    return outcome;
+    fail("anonymization", message.upload_id, deidentified.status().message(), outcome);
+    return;
   }
   auto degree = deps_.verifier->verify(deidentified->fields, {"age", "zip", "gender"});
   if (!degree.acceptable) {
-    fail("anonymization", message->upload_id,
+    fail("anonymization", message.upload_id,
          "anonymization insufficient: " + degree.reason, outcome);
-    return outcome;
+    return;
   }
 
   // Rewrite the bundle: de-identified patient, pseudonymized references.
@@ -245,32 +267,25 @@ Result<ProcessOutcome> IngestionService::process_next() {
 
   // --- store --------------------------------------------------------------
   Bytes stored_bytes = fhir::serialize_bundle(stored_bundle);
-  charge("store", 0, costs_.store_per_kb, stored_bytes.size());
+  charge("store", 0, costs_.store_per_kb, stored_bytes.size(), lane);
   Bytes content_hash = crypto::sha256(stored_bytes);
-  // Per-patient data key: created on first record, reused afterwards, and
-  // crypto-shredded when the patient exercises right-to-forget.
-  auto key_it = patient_keys_.find(pseudonym);
-  if (key_it == patient_keys_.end()) {
-    key_it = patient_keys_
-                 .emplace(pseudonym, deps_.kms->create_symmetric_key(principal_))
-                 .first;
-  }
-  auto reference = deps_.lake->put(stored_bytes, key_it->second);
+  crypto::KeyId patient_key_id = patient_key_for_store(pseudonym);
+  auto reference = deps_.lake->put(stored_bytes, patient_key_id);
   if (!reference.is_ok()) {
-    fail("store", message->upload_id,
+    fail("store", message.upload_id,
          "data lake error: " + reference.status().to_string(), outcome);
-    return outcome;
+    return;
   }
 
   // Section IV.B.1: the *original* (identified) bundle is also stored,
   // encrypted under the same per-patient key — full export re-identifies
   // from it, and crypto-shredding covers both copies.
-  auto original_reference = deps_.lake->put(plaintext, key_it->second);
+  auto original_reference = deps_.lake->put(plaintext, patient_key_id);
 
   storage::RecordMetadata metadata;
   metadata.reference_id = *reference;
   metadata.pseudonym = pseudonym;
-  metadata.consent_group = message->consent_group;
+  metadata.consent_group = message.consent_group;
   metadata.schema = "fhir-bundle";
   metadata.privacy_level = "de-identified";
   metadata.content_hash = content_hash;
@@ -302,19 +317,103 @@ Result<ProcessOutcome> IngestionService::process_next() {
         "ingestion-service");
   }
 
-  (void)deps_.staging->remove(message->upload_id);
-  deps_.tracker->set_stored(message->upload_id, *reference);
+  (void)deps_.staging->remove(message.upload_id);
+  deps_.tracker->set_stored(message.upload_id, *reference);
   if (deps_.metrics) deps_.metrics->add("hc.ingestion.stored");
   if (deps_.log) {
     deps_.log->audit("ingestion", "upload_stored",
-                     message->upload_id + " -> " + *reference);
+                     message.upload_id + " -> " + *reference);
   }
   outcome.stored = true;
   outcome.reference_id = *reference;
-  return outcome;
+}
+
+std::size_t IngestionService::process_batch(
+    std::vector<storage::IngestionMessage> batch, SimTime* lane) {
+  // Phase 1: per-message staging fetch, envelope unpack, session-key
+  // unwrap. Failures here are reported immediately; survivors queue up for
+  // the batched tag check.
+  struct PendingDecrypt {
+    const storage::IngestionMessage* message = nullptr;
+    crypto::Envelope envelope;
+    Bytes session_key;
+  };
+  std::vector<PendingDecrypt> pending;
+  pending.reserve(batch.size());
+  for (const auto& message : batch) {
+    ProcessOutcome outcome;
+    outcome.upload_id = message.upload_id;
+    auto blob = deps_.staging->get(message.upload_id);
+    if (!blob.is_ok()) {
+      fail("staging", message.upload_id,
+           "staged blob missing: " + blob.status().to_string(), outcome);
+      continue;
+    }
+    deps_.tracker->set_stage(message.upload_id, storage::IngestionStage::kDecrypting);
+    charge("decrypt", 0, costs_.decrypt_per_kb, blob->size(), lane);
+    auto envelope = unpack_envelope(*blob);
+    if (!envelope.is_ok()) {
+      fail("decrypt", message.upload_id, envelope.status().message(), outcome);
+      continue;
+    }
+    auto client_key = deps_.kms->private_key(message.key_id, principal_);
+    if (!client_key.is_ok()) {
+      fail("decrypt", message.upload_id,
+           "client key unavailable: " + client_key.status().to_string(), outcome);
+      continue;
+    }
+    PendingDecrypt item;
+    item.message = &message;
+    item.envelope = std::move(*envelope);
+    try {
+      item.session_key = crypto::envelope_unwrap_key(*client_key, item.envelope);
+    } catch (const std::invalid_argument& e) {
+      fail("decrypt", message.upload_id,
+           std::string("decryption failed: ") + e.what(), outcome);
+      continue;
+    }
+    pending.push_back(std::move(item));
+  }
+
+  // Phase 2: one constant-time HMAC pass over the whole batch.
+  std::vector<crypto::HmacVerifyItem> tags;
+  tags.reserve(pending.size());
+  for (const auto& item : pending) {
+    tags.push_back({&item.session_key, &item.envelope.body, &item.envelope.tag});
+  }
+  std::vector<bool> verdicts = crypto::hmac_verify_batch(tags);
+
+  // Phase 3: decrypt the survivors and run the rest of the pipeline.
+  std::size_t stored = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PendingDecrypt& item = pending[i];
+    ProcessOutcome outcome;
+    outcome.upload_id = item.message->upload_id;
+    if (!verdicts[i]) {
+      secure_wipe(item.session_key);
+      // Same client-visible reason the serial envelope_open path reports.
+      fail("decrypt", item.message->upload_id,
+           "decryption failed: envelope_open: integrity tag mismatch", outcome);
+      continue;
+    }
+    Bytes plaintext;
+    try {
+      plaintext = crypto::envelope_decrypt_body(item.session_key, item.envelope);
+    } catch (const std::invalid_argument& e) {
+      secure_wipe(item.session_key);
+      fail("decrypt", item.message->upload_id,
+           std::string("decryption failed: ") + e.what(), outcome);
+      continue;
+    }
+    secure_wipe(item.session_key);
+    process_decrypted(*item.message, plaintext, outcome, lane);
+    if (outcome.stored) ++stored;
+  }
+  return stored;
 }
 
 Result<crypto::KeyId> IngestionService::patient_key(const std::string& pseudonym) const {
+  std::lock_guard lock(keys_mu_);
   auto it = patient_keys_.find(pseudonym);
   if (it == patient_keys_.end()) {
     return Status(StatusCode::kNotFound, "no data key for pseudonym " + pseudonym);
@@ -322,14 +421,65 @@ Result<crypto::KeyId> IngestionService::patient_key(const std::string& pseudonym
   return it->second;
 }
 
-std::size_t IngestionService::process_all() {
-  std::size_t stored = 0;
-  for (;;) {
-    auto outcome = process_next();
-    if (!outcome.is_ok()) break;  // queue drained
-    if (outcome->stored) ++stored;
+crypto::KeyId IngestionService::patient_key_for_store(const std::string& pseudonym) {
+  // Per-patient data key: created on first record, reused afterwards, and
+  // crypto-shredded when the patient exercises right-to-forget. The lock
+  // spans find-and-create so concurrent workers storing records for the
+  // same patient agree on a single key.
+  std::lock_guard lock(keys_mu_);
+  auto it = patient_keys_.find(pseudonym);
+  if (it == patient_keys_.end()) {
+    it = patient_keys_
+             .emplace(pseudonym, deps_.kms->create_symmetric_key(principal_))
+             .first;
   }
-  return stored;
+  return it->second;
+}
+
+std::size_t IngestionService::process_all(std::size_t n_workers) {
+  if (n_workers <= 1) {
+    // Historical serial drain: stage costs advance the shared clock in
+    // order, reproducing the metrics-locked golden artifacts byte for byte.
+    std::size_t stored = 0;
+    for (;;) {
+      auto outcome = process_next();
+      if (!outcome.is_ok()) break;  // queue drained
+      if (outcome->stored) ++stored;
+    }
+    return stored;
+  }
+
+  // Parallel drain: workers pop batches until the queue is dry, charging
+  // stage costs to worker-local sim lanes instead of the shared clock.
+  std::vector<SimTime> lanes(n_workers, 0);
+  std::atomic<std::size_t> stored{0};
+  {
+    exec::ThreadPool pool(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      pool.submit([this, &lanes, &stored, w] {
+        SimTime& lane = lanes[w];
+        for (;;) {
+          auto batch = deps_.queue->pop_batch(kWorkerBatch);
+          if (batch.empty()) break;
+          stored.fetch_add(process_batch(std::move(batch), &lane),
+                           std::memory_order_relaxed);
+        }
+      });
+    }
+    pool.drain();
+    pool.shutdown();
+  }
+
+  // Advance the shared clock once by the ideal parallel makespan
+  // ceil(total / n_workers). The *total* stage cost is a property of the
+  // workload alone — every message's cost lands in exactly one lane — so
+  // the advance (and therefore final sim time and throughput) is identical
+  // across runs no matter how the OS scheduled the workers.
+  SimTime total = 0;
+  for (SimTime lane : lanes) total += lane;
+  SimTime workers = static_cast<SimTime>(n_workers);
+  deps_.clock->advance((total + workers - 1) / workers);
+  return stored.load(std::memory_order_relaxed);
 }
 
 }  // namespace hc::ingestion

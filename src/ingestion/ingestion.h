@@ -19,7 +19,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "blockchain/contracts.h"
 #include "blockchain/ledger.h"
@@ -105,7 +107,17 @@ class IngestionService {
   Result<ProcessOutcome> process_next();
 
   /// Drains the queue; returns how many uploads were stored.
-  std::size_t process_all();
+  ///
+  /// `n_workers <= 1` runs the historical serial loop: every stage cost is
+  /// charged on the shared clock in order, byte-identical to process_next
+  /// in a loop. `n_workers > 1` drains the queue across an exec::ThreadPool:
+  /// each worker pops message batches, verifies their envelope HMACs in one
+  /// batched pass, and charges stage costs to a worker-local sim lane. The
+  /// shared clock then advances once by the parallel makespan
+  /// ceil(total_cost / n_workers) — a deterministic quantity (total cost
+  /// depends only on the workload, not on which worker drew which batch),
+  /// so repeated runs produce identical aggregate metrics and sim time.
+  std::size_t process_all(std::size_t n_workers = 0);
 
   /// The per-patient data key (Section IV.B.1 "encryption-based record
   /// deletion"): every pseudonym's records are encrypted under their own
@@ -117,15 +129,42 @@ class IngestionService {
   StageCosts& stage_costs() { return costs_; }
 
  private:
-  /// Advances the sim clock by the stage cost and records the charge in the
+  /// Messages a parallel worker claims from the queue per pop — large
+  /// enough to amortize the batched HMAC pass, small enough to keep the
+  /// tail of the queue balanced across workers.
+  static constexpr std::size_t kWorkerBatch = 8;
+
+  /// Charges the stage cost and records it in the
   /// `hc.ingestion.stage.<stage>_us` histogram when metrics are bound.
-  void charge(const char* stage, SimTime fixed, SimTime per_kb = 0,
-              std::size_t bytes = 0);
+  /// With `lane == nullptr` the shared clock advances immediately (serial
+  /// mode); otherwise the cost accumulates in the worker's sim lane and the
+  /// clock advances once at the end of process_all.
+  void charge(const char* stage, SimTime fixed, SimTime per_kb,
+              std::size_t bytes, SimTime* lane);
   /// Marks the upload failed and bumps `hc.ingestion.reject.<category>`.
   void fail(const char* category, const std::string& upload_id,
             const std::string& reason, ProcessOutcome& outcome);
   void record_provenance(const std::string& record_ref, const std::string& event,
                          const Bytes& data_hash);
+
+  /// One upload end to end (the body of process_next).
+  ProcessOutcome process_message(const storage::IngestionMessage& message,
+                                 SimTime* lane);
+  /// Post-decryption stages: validate -> scan -> consent -> de-identify ->
+  /// store. Shared by the serial and batched paths.
+  void process_decrypted(const storage::IngestionMessage& message,
+                         const Bytes& plaintext, ProcessOutcome& outcome,
+                         SimTime* lane);
+  /// Batch path used by parallel workers: unwraps every envelope's session
+  /// key, verifies all HMAC tags in one crypto::hmac_verify_batch pass,
+  /// then runs the survivors through process_decrypted. Returns how many
+  /// of the batch were stored.
+  std::size_t process_batch(std::vector<storage::IngestionMessage> batch,
+                            SimTime* lane);
+
+  /// Find-or-create of the per-patient data key, atomic under keys_mu_ so
+  /// two workers storing for the same pseudonym agree on one key.
+  crypto::KeyId patient_key_for_store(const std::string& pseudonym);
 
   IngestionDeps deps_;
   crypto::KeyId lake_key_;  // default key for non-patient objects
@@ -133,7 +172,9 @@ class IngestionService {
   std::string principal_;
   StageCosts costs_;
   MalwareScanner scanner_;
+  mutable std::mutex keys_mu_;  // guards patient_keys_
   std::map<std::string, crypto::KeyId> patient_keys_;  // pseudonym -> key
+  std::mutex ids_mu_;  // guards ids_
   IdGenerator ids_;
   privacy::FieldSchema schema_ = privacy::FieldSchema::standard_patient();
 };

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/executor.h"
+
 namespace hc::obs {
 
 std::string_view metric_type_name(MetricType type) {
@@ -77,14 +79,39 @@ const std::vector<double>& default_latency_bounds_us() {
   return kBounds;
 }
 
-Metric& MetricsRegistry::upsert(const std::string& name, MetricType type,
-                                std::string_view unit) {
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
+MetricsRegistry::MetricsRegistry(const MetricsRegistry& other) {
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    std::lock_guard lock(other.shards_[i].mu);
+    shards_[i].metrics = other.shards_[i].metrics;
+  }
+}
+
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
+  if (this == &other) return *this;
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    std::scoped_lock lock(shards_[i].mu, other.shards_[i].mu);
+    shards_[i].metrics = other.shards_[i].metrics;
+  }
+  return *this;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(const std::string& name) {
+  return shards_[exec::shard_by(name, kShardCount)];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::shard_for(
+    const std::string& name) const {
+  return shards_[exec::shard_by(name, kShardCount)];
+}
+
+Metric& MetricsRegistry::upsert(Shard& shard, const std::string& name,
+                                MetricType type, std::string_view unit) {
+  auto it = shard.metrics.find(name);
+  if (it == shard.metrics.end()) {
     Metric metric;
     metric.type = type;
     metric.unit = std::string(unit);
-    it = metrics_.emplace(name, std::move(metric)).first;
+    it = shard.metrics.emplace(name, std::move(metric)).first;
   } else if (it->second.type != type) {
     throw std::invalid_argument("metric '" + name + "' is a " +
                                 std::string(metric_type_name(it->second.type)) +
@@ -95,24 +122,30 @@ Metric& MetricsRegistry::upsert(const std::string& name, MetricType type,
 
 void MetricsRegistry::add(const std::string& name, std::uint64_t delta,
                           std::string_view unit) {
-  upsert(name, MetricType::kCounter, unit).counter_value += delta;
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  upsert(shard, name, MetricType::kCounter, unit).counter_value += delta;
 }
 
 void MetricsRegistry::set_gauge(const std::string& name, double value,
                                 std::string_view unit) {
-  upsert(name, MetricType::kGauge, unit).gauge_value = value;
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  upsert(shard, name, MetricType::kGauge, unit).gauge_value = value;
 }
 
 void MetricsRegistry::observe(const std::string& name, double value,
                               std::string_view unit,
                               const std::vector<double>* bounds) {
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.metrics.find(name);
+  if (it == shard.metrics.end()) {
     Metric metric;
     metric.type = MetricType::kHistogram;
     metric.unit = std::string(unit);
     metric.histogram = Histogram(bounds ? *bounds : default_latency_bounds_us());
-    it = metrics_.emplace(name, std::move(metric)).first;
+    it = shard.metrics.emplace(name, std::move(metric)).first;
   } else if (it->second.type != MetricType::kHistogram) {
     throw std::invalid_argument("metric '" + name + "' is a " +
                                 std::string(metric_type_name(it->second.type)) +
@@ -122,48 +155,91 @@ void MetricsRegistry::observe(const std::string& name, double value,
 }
 
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
-  auto it = metrics_.find(name);
-  return it != metrics_.end() && it->second.type == MetricType::kCounter
+  const Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.metrics.find(name);
+  return it != shard.metrics.end() && it->second.type == MetricType::kCounter
              ? it->second.counter_value
              : 0;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
-  auto it = metrics_.find(name);
-  return it != metrics_.end() && it->second.type == MetricType::kGauge
+  const Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.metrics.find(name);
+  return it != shard.metrics.end() && it->second.type == MetricType::kGauge
              ? it->second.gauge_value
              : 0.0;
 }
 
 const Histogram* MetricsRegistry::histogram(const std::string& name) const {
-  auto it = metrics_.find(name);
-  return it != metrics_.end() && it->second.type == MetricType::kHistogram
+  const Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.metrics.find(name);
+  return it != shard.metrics.end() && it->second.type == MetricType::kHistogram
              ? &it->second.histogram
              : nullptr;
 }
 
+std::size_t MetricsRegistry::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.metrics.size();
+  }
+  return total;
+}
+
+std::map<std::string, Metric> MetricsRegistry::metrics() const {
+  std::map<std::string, Metric> merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    merged.insert(shard.metrics.begin(), shard.metrics.end());
+  }
+  return merged;
+}
+
+void MetricsRegistry::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.metrics.clear();
+  }
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
-  for (const auto& [name, theirs] : other.metrics_) {
-    auto it = metrics_.find(name);
-    if (it == metrics_.end()) {
-      metrics_.emplace(name, theirs);
-      continue;
-    }
-    Metric& ours = it->second;
-    if (ours.type != theirs.type || ours.unit != theirs.unit) {
-      throw std::invalid_argument("MetricsRegistry::merge: metric '" + name +
-                                  "' type/unit mismatch");
-    }
-    switch (ours.type) {
-      case MetricType::kCounter:
-        ours.counter_value += theirs.counter_value;
-        break;
-      case MetricType::kGauge:
-        ours.gauge_value = theirs.gauge_value;
-        break;
-      case MetricType::kHistogram:
-        ours.histogram.merge(theirs.histogram);
-        break;
+  if (this == &other) {
+    // Self-merge doubles counters/histograms; do it from a snapshot to
+    // avoid locking one shard twice.
+    MetricsRegistry copy(other);
+    merge(copy);
+    return;
+  }
+  // Names shard identically in both registries, so merging is pairwise by
+  // shard index; scoped_lock's deadlock avoidance covers crossed merges.
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    std::scoped_lock lock(shards_[i].mu, other.shards_[i].mu);
+    for (const auto& [name, theirs] : other.shards_[i].metrics) {
+      auto it = shards_[i].metrics.find(name);
+      if (it == shards_[i].metrics.end()) {
+        shards_[i].metrics.emplace(name, theirs);
+        continue;
+      }
+      Metric& ours = it->second;
+      if (ours.type != theirs.type || ours.unit != theirs.unit) {
+        throw std::invalid_argument("MetricsRegistry::merge: metric '" + name +
+                                    "' type/unit mismatch");
+      }
+      switch (ours.type) {
+        case MetricType::kCounter:
+          ours.counter_value += theirs.counter_value;
+          break;
+        case MetricType::kGauge:
+          ours.gauge_value = theirs.gauge_value;
+          break;
+        case MetricType::kHistogram:
+          ours.histogram.merge(theirs.histogram);
+          break;
+      }
     }
   }
 }

@@ -15,10 +15,12 @@
 // SimClock, never wall time, so recorded numbers are deterministic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,11 @@ struct Histogram {
   /// bucket interpolates between the last bound and the observed max.
   double quantile(double q) const;
 
+  // Thread-safety note: a bare Histogram is single-writer — observe() and
+  // merge() mutate counts/sum/min/max with no internal synchronization.
+  // Concurrent recording must go through MetricsRegistry, whose sharded
+  // locks serialize every observe/merge on the owning shard.
+
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
@@ -82,8 +89,24 @@ struct Metric {
 /// re-using a name with a different type is a programming error and
 /// throws. Iteration order (and therefore export order) is the metric
 /// name's lexicographic order — the emission contract relies on this.
+///
+/// Thread-safe via sharded locks: names are distributed over kShardCount
+/// independent (mutex, map) shards keyed by exec::shard_by, so ingestion
+/// workers recording different metrics rarely contend. Aggregate state is
+/// order-independent — counter adds commute, histogram merges are
+/// bucketwise — so a parallel run records the same registry contents as a
+/// serial one. (Gauges are last-write-wins; concurrent writers of the
+/// *same* gauge are races by construction and the platform doesn't do
+/// that.) histogram() returns a pointer into a shard; dereferencing it is
+/// safe once concurrent writers have quiesced (after drain/join).
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  /// Copies snapshot the source's shards under their locks; the copy gets
+  /// fresh, uncontended mutexes.
+  MetricsRegistry(const MetricsRegistry& other);
+  MetricsRegistry& operator=(const MetricsRegistry& other);
+
   /// Increments a counter (created at 0 on first touch). Counters are
   /// monotonic by construction: deltas are unsigned.
   void add(const std::string& name, std::uint64_t delta = 1,
@@ -103,21 +126,36 @@ class MetricsRegistry {
   /// nullptr when the name is absent or not a histogram.
   const Histogram* histogram(const std::string& name) const;
 
-  bool empty() const { return metrics_.empty(); }
-  std::size_t size() const { return metrics_.size(); }
-  const std::map<std::string, Metric>& metrics() const { return metrics_; }
+  bool empty() const { return size() == 0; }
+  std::size_t size() const;
+
+  /// Merged snapshot of every shard, lexicographically ordered — the
+  /// exporters' iteration source. Returns by value (it is a point-in-time
+  /// copy, coherent per shard).
+  std::map<std::string, Metric> metrics() const;
 
   /// Merges another registry in: counters add, gauges take the other's
   /// value, histograms merge bucketwise. Type or unit mismatch on a shared
   /// name throws std::invalid_argument.
   void merge(const MetricsRegistry& other);
 
-  void clear() { metrics_.clear(); }
+  void clear();
+
+  static constexpr std::size_t kShardCount = 16;
 
  private:
-  Metric& upsert(const std::string& name, MetricType type, std::string_view unit);
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Metric> metrics;
+  };
 
-  std::map<std::string, Metric> metrics_;
+  Shard& shard_for(const std::string& name);
+  const Shard& shard_for(const std::string& name) const;
+  /// Caller must hold the shard's lock.
+  static Metric& upsert(Shard& shard, const std::string& name, MetricType type,
+                        std::string_view unit);
+
+  std::array<Shard, kShardCount> shards_;
 };
 
 using MetricsPtr = std::shared_ptr<MetricsRegistry>;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "crypto/hmac.h"
+#include "exec/executor.h"
 
 namespace hc::privacy {
 
@@ -34,21 +35,46 @@ std::string Pseudonymizer::pseudonym_for(const std::string& patient_id) const {
   return "pseu-" + hex_encode(tag).substr(0, 16);
 }
 
+ReidentificationMap::Shard& ReidentificationMap::shard_for(
+    const std::string& pseudonym) {
+  return shards_[exec::shard_by(pseudonym, kShardCount)];
+}
+
+const ReidentificationMap::Shard& ReidentificationMap::shard_for(
+    const std::string& pseudonym) const {
+  return shards_[exec::shard_by(pseudonym, kShardCount)];
+}
+
 void ReidentificationMap::record(const std::string& pseudonym,
                                  const std::string& patient_id) {
-  map_[pseudonym] = patient_id;
+  Shard& shard = shard_for(pseudonym);
+  std::lock_guard lock(shard.mu);
+  shard.map[pseudonym] = patient_id;
 }
 
 Result<std::string> ReidentificationMap::identity(const std::string& pseudonym) const {
-  auto it = map_.find(pseudonym);
-  if (it == map_.end()) {
+  const Shard& shard = shard_for(pseudonym);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(pseudonym);
+  if (it == shard.map.end()) {
     return Status(StatusCode::kNotFound, "no identity for " + pseudonym);
   }
   return it->second;
 }
 
 bool ReidentificationMap::forget(const std::string& pseudonym) {
-  return map_.erase(pseudonym) > 0;
+  Shard& shard = shard_for(pseudonym);
+  std::lock_guard lock(shard.mu);
+  return shard.map.erase(pseudonym) > 0;
+}
+
+std::size_t ReidentificationMap::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 namespace {

@@ -10,7 +10,9 @@
 // data lake never stores identities.
 #pragma once
 
+#include <array>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -41,16 +43,29 @@ class Pseudonymizer {
 
 /// Two-way mapping guarded for the full-export path; kept separate from the
 /// data lake per the paper's separation-of-duties argument.
+///
+/// Thread-safe via sharded locks keyed by pseudonym (exec::shard_by), so
+/// parallel ingestion workers recording unrelated patients never contend.
 class ReidentificationMap {
  public:
   void record(const std::string& pseudonym, const std::string& patient_id);
   Result<std::string> identity(const std::string& pseudonym) const;
   /// GDPR right-to-forget support: drop a patient's linkage.
   bool forget(const std::string& pseudonym);
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const;
+
+  static constexpr std::size_t kShardCount = 16;
 
  private:
-  std::map<std::string, std::string> map_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::string> map;
+  };
+
+  Shard& shard_for(const std::string& pseudonym);
+  const Shard& shard_for(const std::string& pseudonym) const;
+
+  std::array<Shard, kShardCount> shards_;
 };
 
 /// Safe-Harbor-style generalization of one quasi-identifier value. Exposed

@@ -55,8 +55,13 @@ PrivacyDegree AnonymizationVerificationService::verify(
   degree.record_score = score_record(record);
 
   std::string sig = signature(record, qi_fields);
-  std::size_t crowd = ++population_[sig];
-  ++population_total_;
+  std::size_t crowd = 0;
+  std::size_t total = 0;
+  {
+    std::lock_guard lock(mu_);
+    crowd = ++population_[sig];
+    total = ++population_total_;
+  }
   degree.holistic_k = crowd;
 
   if (degree.record_score < min_record_score_) {
@@ -65,13 +70,18 @@ PrivacyDegree AnonymizationVerificationService::verify(
                     std::to_string(degree.record_score) + ")";
     return degree;
   }
-  if (population_total_ >= min_k_ && crowd < min_k_) {
+  if (total >= min_k_ && crowd < min_k_) {
     degree.acceptable = false;
     degree.reason = "equivalence class too small (k=" + std::to_string(crowd) + ")";
     return degree;
   }
   degree.acceptable = true;
   return degree;
+}
+
+std::size_t AnonymizationVerificationService::population_size() const {
+  std::lock_guard lock(mu_);
+  return population_.size();
 }
 
 }  // namespace hc::privacy

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,10 +42,13 @@ class AnonymizationVerificationService {
 
   /// Scores a record claimed to be anonymized. Also admits it into the
   /// reference population (so holistic scoring sharpens over time).
+  /// Thread-safe: the population update and crowd-size read are one
+  /// critical section, so parallel ingestion workers see a consistent
+  /// reference population.
   PrivacyDegree verify(const FieldMap& record,
                        const std::vector<std::string>& qi_fields);
 
-  std::size_t population_size() const { return population_.size(); }
+  std::size_t population_size() const;
 
  private:
   /// 1.0 minus penalties for surviving direct identifiers and raw
@@ -54,6 +58,7 @@ class AnonymizationVerificationService {
   FieldSchema schema_;
   double min_record_score_;
   std::size_t min_k_;
+  mutable std::mutex mu_;  // guards population_ + population_total_
   std::map<std::string, std::size_t> population_;  // QI signature -> count
   std::size_t population_total_ = 0;
 };

@@ -1,7 +1,10 @@
 #include "storage/data_lake.h"
 
+#include <algorithm>
+
 #include "crypto/aes.h"
 #include "crypto/sha256.h"
+#include "exec/executor.h"
 
 namespace hc::storage {
 
@@ -25,24 +28,52 @@ SubKeys derive_subkeys(const Bytes& key) {
 
 }  // namespace
 
+namespace {
+
+/// Scan results are sorted by reference id so sharding keeps the exact
+/// iteration order the single-map implementation exposed.
+void sort_by_reference(std::vector<RecordMetadata>& records) {
+  std::sort(records.begin(), records.end(),
+            [](const RecordMetadata& a, const RecordMetadata& b) {
+              return a.reference_id < b.reference_id;
+            });
+}
+
+}  // namespace
+
+MetadataStore::Shard& MetadataStore::shard_for(const std::string& reference_id) {
+  return shards_[exec::shard_by(reference_id, kShardCount)];
+}
+
+const MetadataStore::Shard& MetadataStore::shard_for(
+    const std::string& reference_id) const {
+  return shards_[exec::shard_by(reference_id, kShardCount)];
+}
+
 Status MetadataStore::put(const RecordMetadata& metadata) {
   if (metadata.reference_id.empty()) {
     return Status(StatusCode::kInvalidArgument, "metadata needs a reference id");
   }
-  records_[metadata.reference_id] = metadata;
+  Shard& shard = shard_for(metadata.reference_id);
+  std::lock_guard lock(shard.mu);
+  shard.records[metadata.reference_id] = metadata;
   return Status::ok();
 }
 
 Result<RecordMetadata> MetadataStore::get(const std::string& reference_id) const {
-  auto it = records_.find(reference_id);
-  if (it == records_.end()) {
+  const Shard& shard = shard_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.records.find(reference_id);
+  if (it == shard.records.end()) {
     return Status(StatusCode::kNotFound, "no metadata for " + reference_id);
   }
   return it->second;
 }
 
 Status MetadataStore::erase(const std::string& reference_id) {
-  if (records_.erase(reference_id) == 0) {
+  Shard& shard = shard_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  if (shard.records.erase(reference_id) == 0) {
     return Status(StatusCode::kNotFound, "no metadata for " + reference_id);
   }
   return Status::ok();
@@ -51,22 +82,47 @@ Status MetadataStore::erase(const std::string& reference_id) {
 std::vector<RecordMetadata> MetadataStore::by_pseudonym(
     const std::string& pseudonym) const {
   std::vector<RecordMetadata> out;
-  for (const auto& [id, md] : records_) {
-    if (md.pseudonym == pseudonym) out.push_back(md);
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [id, md] : shard.records) {
+      if (md.pseudonym == pseudonym) out.push_back(md);
+    }
   }
+  sort_by_reference(out);
   return out;
 }
 
 std::vector<RecordMetadata> MetadataStore::by_group(const std::string& group) const {
   std::vector<RecordMetadata> out;
-  for (const auto& [id, md] : records_) {
-    if (md.consent_group == group) out.push_back(md);
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [id, md] : shard.records) {
+      if (md.consent_group == group) out.push_back(md);
+    }
   }
+  sort_by_reference(out);
   return out;
+}
+
+std::size_t MetadataStore::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.records.size();
+  }
+  return total;
 }
 
 DataLake::DataLake(crypto::KeyManagementService& kms, std::string principal, Rng rng)
     : kms_(&kms), principal_(std::move(principal)), rng_(rng) {}
+
+DataLake::Shard& DataLake::shard_for(const std::string& reference_id) {
+  return shards_[exec::shard_by(reference_id, kShardCount)];
+}
+
+const DataLake::Shard& DataLake::shard_for(const std::string& reference_id) const {
+  return shards_[exec::shard_by(reference_id, kShardCount)];
+}
 
 Result<std::string> DataLake::put(const Bytes& plaintext, const crypto::KeyId& key_id) {
   auto key = kms_->symmetric_key(key_id, principal_);
@@ -74,34 +130,52 @@ Result<std::string> DataLake::put(const Bytes& plaintext, const crypto::KeyId& k
   auto version = kms_->version(key_id);
   if (!version.is_ok()) return version.status();
 
-  std::string ref = "ref-" + ids_.next_uuid();
+  // Draw the reference id and a private IV stream under the generator
+  // lock, then encrypt outside it so parallel writers overlap on the
+  // expensive part.
+  std::string ref;
+  Rng iv_rng(0);
+  {
+    std::lock_guard lock(gen_mu_);
+    ref = "ref-" + ids_.next_uuid();
+    iv_rng = rng_.fork();
+  }
   StoredObject obj;
   obj.key_id = key_id;
   obj.key_version = *version;
   SubKeys subkeys = derive_subkeys(*key);
   auto sealed = crypto::aes_encrypt_authenticated(subkeys.enc, subkeys.mac,
-                                                  plaintext, rng_);
+                                                  plaintext, iv_rng);
   obj.ciphertext = std::move(sealed.ciphertext);
   obj.tag = std::move(sealed.tag);
-  stored_bytes_ += obj.ciphertext.size();
-  objects_.emplace(ref, std::move(obj));
+  stored_bytes_.fetch_add(obj.ciphertext.size(), std::memory_order_relaxed);
+  Shard& shard = shard_for(ref);
+  std::lock_guard lock(shard.mu);
+  shard.objects.emplace(ref, std::move(obj));
   return ref;
 }
 
 Result<Bytes> DataLake::get(const std::string& reference_id) const {
-  auto it = objects_.find(reference_id);
-  if (it == objects_.end()) {
-    return Status(StatusCode::kNotFound, "no object " + reference_id);
+  crypto::KeyId key_id;
+  std::uint32_t key_version = 0;
+  crypto::AuthenticatedCiphertext sealed;
+  {
+    const Shard& shard = shard_for(reference_id);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.objects.find(reference_id);
+    if (it == shard.objects.end()) {
+      return Status(StatusCode::kNotFound, "no object " + reference_id);
+    }
+    key_id = it->second.key_id;
+    key_version = it->second.key_version;
+    sealed.ciphertext = it->second.ciphertext;
+    sealed.tag = it->second.tag;
   }
   // Fetch the key *version* the object was written under, so key rotation
   // never strands previously stored records.
-  auto key = kms_->symmetric_key_version(it->second.key_id, principal_,
-                                         it->second.key_version);
+  auto key = kms_->symmetric_key_version(key_id, principal_, key_version);
   if (!key.is_ok()) return key.status();
   SubKeys subkeys = derive_subkeys(*key);
-  crypto::AuthenticatedCiphertext sealed;
-  sealed.ciphertext = it->second.ciphertext;
-  sealed.tag = it->second.tag;
   auto opened = crypto::aes_decrypt_authenticated(subkeys.enc, subkeys.mac, sealed);
   if (!opened.authentic) {
     return Status(StatusCode::kIntegrityError,
@@ -111,24 +185,39 @@ Result<Bytes> DataLake::get(const std::string& reference_id) const {
 }
 
 Status DataLake::erase(const std::string& reference_id) {
-  auto it = objects_.find(reference_id);
-  if (it == objects_.end()) {
+  Shard& shard = shard_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.objects.find(reference_id);
+  if (it == shard.objects.end()) {
     return Status(StatusCode::kNotFound, "no object " + reference_id);
   }
-  stored_bytes_ -= it->second.ciphertext.size();
+  stored_bytes_.fetch_sub(it->second.ciphertext.size(), std::memory_order_relaxed);
   secure_wipe(it->second.ciphertext);
-  objects_.erase(it);
+  shard.objects.erase(it);
   return Status::ok();
 }
 
 bool DataLake::contains(const std::string& reference_id) const {
-  return objects_.contains(reference_id);
+  const Shard& shard = shard_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  return shard.objects.contains(reference_id);
+}
+
+std::size_t DataLake::object_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.objects.size();
+  }
+  return total;
 }
 
 Result<DataLake::SealedObject> DataLake::export_object(
     const std::string& reference_id) const {
-  auto it = objects_.find(reference_id);
-  if (it == objects_.end()) {
+  const Shard& shard = shard_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.objects.find(reference_id);
+  if (it == shard.objects.end()) {
     return Status(StatusCode::kNotFound, "no object " + reference_id);
   }
   SealedObject out;
@@ -140,7 +229,9 @@ Result<DataLake::SealedObject> DataLake::export_object(
 }
 
 Status DataLake::import_object(const std::string& reference_id, SealedObject object) {
-  if (objects_.contains(reference_id)) {
+  Shard& shard = shard_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  if (shard.objects.contains(reference_id)) {
     return Status(StatusCode::kAlreadyExists, "object exists: " + reference_id);
   }
   StoredObject stored;
@@ -148,21 +239,26 @@ Status DataLake::import_object(const std::string& reference_id, SealedObject obj
   stored.key_version = object.key_version;
   stored.ciphertext = std::move(object.ciphertext);
   stored.tag = std::move(object.tag);
-  stored_bytes_ += stored.ciphertext.size();
-  objects_.emplace(reference_id, std::move(stored));
+  stored_bytes_.fetch_add(stored.ciphertext.size(), std::memory_order_relaxed);
+  shard.objects.emplace(reference_id, std::move(stored));
   return Status::ok();
 }
 
 std::vector<std::string> DataLake::references() const {
   std::vector<std::string> out;
-  out.reserve(objects_.size());
-  for (const auto& [ref, obj] : objects_) out.push_back(ref);
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [ref, obj] : shard.objects) out.push_back(ref);
+  }
+  std::sort(out.begin(), out.end());  // the order the unsharded map gave
   return out;
 }
 
 Status DataLake::tamper_for_test(const std::string& reference_id) {
-  auto it = objects_.find(reference_id);
-  if (it == objects_.end()) {
+  Shard& shard = shard_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.objects.find(reference_id);
+  if (it == shard.objects.end()) {
     return Status(StatusCode::kNotFound, "no object " + reference_id);
   }
   it->second.ciphertext[it->second.ciphertext.size() / 2] ^= 0x10;

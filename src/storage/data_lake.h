@@ -8,8 +8,11 @@
 // be stored, each encrypted.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +42,10 @@ struct RecordMetadata {
   std::string original_reference_id;
 };
 
+/// Thread-safe via sharded locks keyed by reference id (exec::shard_by),
+/// so parallel ingestion workers storing unrelated records never contend.
+/// Scan queries (by_pseudonym / by_group) visit every shard and return
+/// results sorted by reference id — the same order the unsharded map gave.
 class MetadataStore {
  public:
   Status put(const RecordMetadata& metadata);
@@ -50,16 +57,31 @@ class MetadataStore {
   /// All records consented to a group (export service).
   std::vector<RecordMetadata> by_group(const std::string& group) const;
 
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const;
+
+  static constexpr std::size_t kShardCount = 16;
 
  private:
-  std::map<std::string, RecordMetadata> records_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, RecordMetadata> records;
+  };
+
+  Shard& shard_for(const std::string& reference_id);
+  const Shard& shard_for(const std::string& reference_id) const;
+
+  std::array<Shard, kShardCount> shards_;
 };
 
 /// Encrypted object store. Objects are written under a KMS key id; the lake
 /// itself never sees plaintext of records whose key it is not given — the
 /// caller provides the principal, and key fetches go through KMS access
 /// control.
+///
+/// Thread-safe via sharded locks keyed by reference id. Reference-id
+/// generation and the IV stream share one small mutex; each put() forks a
+/// private Rng under that lock, so AES encryption itself runs outside any
+/// lock and parallel writers only serialize for microseconds.
 class DataLake {
  public:
   /// `principal` is the identity the lake acts as when touching the KMS.
@@ -76,8 +98,10 @@ class DataLake {
   Status erase(const std::string& reference_id);
 
   bool contains(const std::string& reference_id) const;
-  std::size_t object_count() const { return objects_.size(); }
-  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  std::size_t object_count() const;
+  std::uint64_t stored_bytes() const {
+    return stored_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Testing hook: corrupt a stored ciphertext (insider-tamper tests).
   Status tamper_for_test(const std::string& reference_id);
@@ -101,6 +125,8 @@ class DataLake {
   /// All stored reference ids (anti-entropy enumeration).
   std::vector<std::string> references() const;
 
+  static constexpr std::size_t kShardCount = 16;
+
  private:
   struct StoredObject {
     crypto::KeyId key_id;
@@ -110,12 +136,21 @@ class DataLake {
     Bytes tag;  // encrypt-then-MAC integrity tag
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, StoredObject> objects;
+  };
+
+  Shard& shard_for(const std::string& reference_id);
+  const Shard& shard_for(const std::string& reference_id) const;
+
   crypto::KeyManagementService* kms_;
   std::string principal_;
+  mutable std::mutex gen_mu_;  // guards rng_ + ids_
   mutable Rng rng_;
   IdGenerator ids_;
-  std::map<std::string, StoredObject> objects_;
-  std::uint64_t stored_bytes_ = 0;
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<std::uint64_t> stored_bytes_{0};
 };
 
 }  // namespace hc::storage

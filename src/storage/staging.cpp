@@ -3,6 +3,7 @@
 namespace hc::storage {
 
 Status StagingArea::put(const std::string& upload_id, Bytes encrypted_blob) {
+  std::lock_guard lock(mu_);
   if (blobs_.contains(upload_id)) {
     return Status(StatusCode::kAlreadyExists, "upload id reused: " + upload_id);
   }
@@ -11,6 +12,7 @@ Status StagingArea::put(const std::string& upload_id, Bytes encrypted_blob) {
 }
 
 Result<Bytes> StagingArea::get(const std::string& upload_id) const {
+  std::lock_guard lock(mu_);
   auto it = blobs_.find(upload_id);
   if (it == blobs_.end()) {
     return Status(StatusCode::kNotFound, "no staged upload " + upload_id);
@@ -19,6 +21,7 @@ Result<Bytes> StagingArea::get(const std::string& upload_id) const {
 }
 
 Status StagingArea::remove(const std::string& upload_id) {
+  std::lock_guard lock(mu_);
   auto it = blobs_.find(upload_id);
   if (it == blobs_.end()) {
     return Status(StatusCode::kNotFound, "no staged upload " + upload_id);
@@ -28,15 +31,43 @@ Status StagingArea::remove(const std::string& upload_id) {
   return Status::ok();
 }
 
+std::size_t StagingArea::size() const {
+  std::lock_guard lock(mu_);
+  return blobs_.size();
+}
+
 void MessageQueue::push(IngestionMessage message) {
+  std::lock_guard lock(mu_);
   queue_.push_back(std::move(message));
 }
 
 std::optional<IngestionMessage> MessageQueue::pop() {
+  std::lock_guard lock(mu_);
   if (queue_.empty()) return std::nullopt;
   IngestionMessage msg = std::move(queue_.front());
   queue_.pop_front();
   return msg;
+}
+
+std::vector<IngestionMessage> MessageQueue::pop_batch(std::size_t max_messages) {
+  std::lock_guard lock(mu_);
+  std::vector<IngestionMessage> batch;
+  batch.reserve(std::min(max_messages, queue_.size()));
+  while (batch.size() < max_messages && !queue_.empty()) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+bool MessageQueue::empty() const {
+  std::lock_guard lock(mu_);
+  return queue_.empty();
+}
+
+std::size_t MessageQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
 }
 
 }  // namespace hc::storage

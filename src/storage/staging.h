@@ -11,14 +11,18 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
 
 namespace hc::storage {
 
+/// Thread-safe: parallel ingestion workers fetch/remove concurrently while
+/// clients stage new uploads.
 class StagingArea {
  public:
   /// Stores an encrypted upload; overwrites nothing (ids are unique).
@@ -29,9 +33,10 @@ class StagingArea {
   /// Removes the blob once ingested (staging is temporary by contract).
   Status remove(const std::string& upload_id);
 
-  std::size_t size() const { return blobs_.size(); }
+  std::size_t size() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Bytes> blobs_;
 };
 
@@ -43,14 +48,20 @@ struct IngestionMessage {
   std::string key_id;  // KMS id of the client keypair that sealed the blob
 };
 
+/// Thread-safe FIFO. pop_batch() lets a worker take several messages under
+/// one lock acquisition, so an N-worker drain contends on the queue mutex
+/// once per batch rather than once per upload.
 class MessageQueue {
  public:
   void push(IngestionMessage message);
   std::optional<IngestionMessage> pop();
-  bool empty() const { return queue_.empty(); }
-  std::size_t depth() const { return queue_.size(); }
+  /// Up to `max_messages` from the head (fewer when the queue runs dry).
+  std::vector<IngestionMessage> pop_batch(std::size_t max_messages);
+  bool empty() const;
+  std::size_t depth() const;
 
  private:
+  mutable std::mutex mu_;
   std::deque<IngestionMessage> queue_;
 };
 

@@ -32,22 +32,26 @@ std::string StatusTracker::id_from(const std::string& upload_id_or_url) {
 }
 
 std::string StatusTracker::track(const std::string& upload_id) {
+  std::lock_guard lock(mu_);
   statuses_.emplace(upload_id, IngestionStatus{});
   return url_for(upload_id);
 }
 
 void StatusTracker::set_stage(const std::string& upload_id, IngestionStage stage) {
+  std::lock_guard lock(mu_);
   statuses_[upload_id].stage = stage;
 }
 
 void StatusTracker::set_stored(const std::string& upload_id,
                                const std::string& reference_id) {
+  std::lock_guard lock(mu_);
   auto& status = statuses_[upload_id];
   status.stage = IngestionStage::kStored;
   status.reference_id = reference_id;
 }
 
 void StatusTracker::set_failed(const std::string& upload_id, const std::string& reason) {
+  std::lock_guard lock(mu_);
   auto& status = statuses_[upload_id];
   status.stage = IngestionStage::kFailed;
   status.failure_reason = reason;
@@ -55,6 +59,7 @@ void StatusTracker::set_failed(const std::string& upload_id, const std::string& 
 
 Result<IngestionStatus> StatusTracker::status(
     const std::string& upload_id_or_url) const {
+  std::lock_guard lock(mu_);
   auto it = statuses_.find(id_from(upload_id_or_url));
   if (it == statuses_.end()) {
     return Status(StatusCode::kNotFound, "unknown upload: " + upload_id_or_url);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -33,6 +34,8 @@ struct IngestionStatus {
   std::string failure_reason;  // set when kFailed
 };
 
+/// Thread-safe: each parallel ingestion worker updates only its own
+/// upload's entry, but map insertion still needs the lock.
 class StatusTracker {
  public:
   /// Returns the status URL for an upload (also registers it as kReceived).
@@ -49,6 +52,7 @@ class StatusTracker {
   static std::string url_for(const std::string& upload_id);
   static std::string id_from(const std::string& upload_id_or_url);
 
+  mutable std::mutex mu_;
   std::map<std::string, IngestionStatus> statuses_;
 };
 

@@ -1,0 +1,314 @@
+// Parallel ingestion tests (`ctest -L exec`): N workers draining a fixed
+// mixed queue must land on exactly the serial end-state — same lake
+// contents, reject tallies, ledger entry counts, and aggregate metrics —
+// order-insensitively; the shared clock must advance by the deterministic
+// ideal makespan ceil(total/n_workers); and repeated parallel runs of the
+// same seeded workload must be bit-identical. Also the 8-thread stress
+// tests for the sharded DataLake / metadata / re-identification stores
+// that `check-tsan` runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blockchain/contracts.h"
+#include "exec/executor.h"
+#include "fhir/synthetic.h"
+#include "ingestion/ingestion.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace hc::ingestion {
+namespace {
+
+// The whole platform stack wired exactly like tests/ingestion_test.cpp's
+// PipelineFixture (same seeds: rng 70, kms 71, lake 72; verifier min_k=1;
+// three-peer ledger without a network). A plain struct instead of a test
+// fixture so one TEST can stand up several identical stacks and process
+// them with different worker counts.
+struct Stack {
+  ClockPtr clock = make_clock();
+  LogPtr log = make_log(clock);
+  Rng rng{70};
+  crypto::KeyManagementService kms{"tenant-a", Rng(71), log};
+  storage::StagingArea staging;
+  storage::MessageQueue queue;
+  storage::StatusTracker tracker;
+  storage::DataLake lake{kms, "platform", Rng(72)};
+  storage::MetadataStore metadata;
+  privacy::AnonymizationVerificationService verifier{
+      privacy::FieldSchema::standard_patient(), 0.99, 1};
+  privacy::ReidentificationMap reid_map;
+  obs::MetricsPtr metrics = obs::make_metrics();
+  std::unique_ptr<blockchain::PermissionedLedger> ledger;
+  crypto::KeyId lake_key;
+  crypto::KeyId client_key;
+  std::unique_ptr<IngestionService> service;
+
+  Stack() {
+    blockchain::LedgerConfig config;
+    config.peers = {"peer-a", "peer-b", "peer-c"};
+    ledger = std::make_unique<blockchain::PermissionedLedger>(config, clock, log);
+    EXPECT_TRUE(blockchain::register_hcls_contracts(*ledger).is_ok());
+    lake_key = kms.create_symmetric_key("platform");
+
+    IngestionDeps deps;
+    deps.clock = clock;
+    deps.log = log;
+    deps.kms = &kms;
+    deps.staging = &staging;
+    deps.queue = &queue;
+    deps.tracker = &tracker;
+    deps.lake = &lake;
+    deps.metadata = &metadata;
+    deps.ledger = ledger.get();
+    deps.verifier = &verifier;
+    deps.reid_map = &reid_map;
+    deps.metrics = metrics;
+    service = std::make_unique<IngestionService>(deps, lake_key,
+                                                 to_bytes("pseudo-key"), "platform");
+
+    client_key = kms.create_keypair("clinic-a");
+    EXPECT_TRUE(kms.authorize(client_key, "clinic-a", "platform").is_ok());
+  }
+
+  void grant_consent(const std::string& patient_id) {
+    ASSERT_TRUE(ledger
+                    ->submit_and_commit("consent",
+                                        {{"action", "grant"},
+                                         {"patient", patient_id},
+                                         {"group", "study-a"}},
+                                        "healthcare-provider")
+                    .is_ok());
+  }
+
+  void upload(const fhir::Bundle& bundle) {
+    auto pub = kms.public_key(client_key);
+    ASSERT_TRUE(pub.is_ok());
+    auto envelope = crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng);
+    ASSERT_TRUE(
+        service->upload(envelope, "clinic-a", "study-a", client_key).is_ok());
+  }
+
+  /// The fixed 50-upload workload every test in this file reasons about:
+  /// indices 0-4 carry the malware signature (consented), 5-7 have no
+  /// consent grant, 8-49 are clean — so a full drain stores 42 and rejects
+  /// 5 as malware + 3 for missing consent, regardless of processing order.
+  void enqueue_mixed(std::size_t n = 50) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fhir::Bundle bundle = fhir::make_synthetic_bundle(
+          rng, "bundle-t" + std::to_string(i), i);
+      const std::string patient_id =
+          std::get<fhir::Patient>(bundle.resources[0]).id;
+      if (i < 5 || i >= 8) grant_consent(patient_id);
+      if (i < 5) {
+        std::get<fhir::Patient>(bundle.resources[0]).address =
+            to_string(test_malware_payload());
+      }
+      upload(bundle);
+    }
+  }
+
+  std::set<std::string> study_pseudonyms() const {
+    std::set<std::string> pseudonyms;
+    for (const auto& md : metadata.by_group("study-a")) {
+      pseudonyms.insert(md.pseudonym);
+    }
+    return pseudonyms;
+  }
+};
+
+constexpr std::size_t kUploads = 50;
+constexpr std::size_t kStoredExpected = 42;  // 50 - 5 malware - 3 no-consent
+
+void expect_mixed_end_state(const Stack& stack) {
+  EXPECT_TRUE(stack.queue.empty());
+  EXPECT_EQ(stack.staging.size(), 0u) << "staging cleaned for every verdict";
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.uploads"), kUploads);
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.stored"), kStoredExpected);
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.rejects"), 8u);
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.reject.malware"), 5u);
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.reject.consent"), 3u);
+  // De-identified + retained original per stored record.
+  EXPECT_EQ(stack.lake.object_count(), 2 * kStoredExpected);
+  EXPECT_EQ(stack.metadata.size(), 2 * kStoredExpected);
+  EXPECT_EQ(stack.reid_map.size(), kStoredExpected);  // 42 distinct patients
+  EXPECT_EQ(
+      blockchain::MalwareContract::infected_count(*stack.ledger, "clinic-a"), 5u);
+  EXPECT_TRUE(stack.ledger->validate_chain().is_ok());
+}
+
+TEST(ParallelIngestion, FourWorkersMatchSerialEndStateOrderInsensitively) {
+  Stack serial;
+  Stack parallel;
+  serial.enqueue_mixed();
+  parallel.enqueue_mixed();
+
+  SimTime serial_start = serial.clock->now();
+  EXPECT_EQ(serial.service->process_all(/*n_workers=*/0), kStoredExpected);
+  SimTime serial_elapsed = serial.clock->now() - serial_start;
+
+  SimTime parallel_start = parallel.clock->now();
+  EXPECT_EQ(parallel.service->process_all(/*n_workers=*/4), kStoredExpected);
+  SimTime parallel_elapsed = parallel.clock->now() - parallel_start;
+
+  expect_mixed_end_state(serial);
+  expect_mixed_end_state(parallel);
+
+  // Same patients stored -> same pseudonym set (pseudonyms derive from the
+  // patient id + pseudonym key, independent of processing order).
+  EXPECT_EQ(serial.study_pseudonyms(), parallel.study_pseudonyms());
+  // Same ledger entry set: every consent grant, malware report, provenance
+  // pair, and privacy degree committed exactly once in both runs.
+  EXPECT_EQ(serial.ledger->chain().size(), parallel.ledger->chain().size());
+
+  // Aggregate metrics are order-independent: counter adds and histogram
+  // merges commute, and both paths charge identical per-stage costs — so
+  // the exported documents match byte for byte.
+  EXPECT_EQ(obs::to_json(*serial.metrics), obs::to_json(*parallel.metrics));
+
+  // Deterministic speedup: total stage cost is a workload property, the
+  // parallel clock advances once by the ideal makespan ceil(total / 4).
+  EXPECT_EQ(parallel_elapsed, (serial_elapsed + 3) / 4);
+  EXPECT_GE(serial_elapsed, 2 * parallel_elapsed)
+      << "4 workers must be at least 2x serial in sim time";
+}
+
+TEST(ParallelIngestion, SerialWorkerCountsReproduceTheGoldenPathExactly) {
+  // n_workers 0, n_workers 1, and a process_next() loop are the same
+  // historical serial path: byte-identical metrics and identical sim time.
+  Stack by_next;
+  Stack zero_workers;
+  Stack one_worker;
+  by_next.enqueue_mixed();
+  zero_workers.enqueue_mixed();
+  one_worker.enqueue_mixed();
+
+  std::size_t stored = 0;
+  while (by_next.service->process_next().is_ok()) ++stored;
+  // process_next() reports rejects as ok outcomes; count via metrics.
+  EXPECT_EQ(by_next.metrics->counter("hc.ingestion.stored"), kStoredExpected);
+  EXPECT_EQ(zero_workers.service->process_all(0), kStoredExpected);
+  EXPECT_EQ(one_worker.service->process_all(1), kStoredExpected);
+
+  std::string golden = obs::to_json(*by_next.metrics);
+  EXPECT_EQ(obs::to_json(*zero_workers.metrics), golden);
+  EXPECT_EQ(obs::to_json(*one_worker.metrics), golden);
+  EXPECT_EQ(zero_workers.clock->now(), by_next.clock->now());
+  EXPECT_EQ(one_worker.clock->now(), by_next.clock->now());
+}
+
+TEST(ParallelIngestion, RepeatedParallelRunsAreDeterministic) {
+  // Five fresh stacks, same seeds, 4 workers each: identical stored counts,
+  // final sim time, and aggregate metrics documents on every run.
+  std::string first_json;
+  SimTime first_clock = 0;
+  for (int run = 0; run < 5; ++run) {
+    Stack stack;
+    stack.enqueue_mixed();
+    EXPECT_EQ(stack.service->process_all(4), kStoredExpected) << "run " << run;
+    std::string json = obs::to_json(*stack.metrics);
+    if (run == 0) {
+      first_json = json;
+      first_clock = stack.clock->now();
+    } else {
+      EXPECT_EQ(json, first_json) << "metrics diverged on run " << run;
+      EXPECT_EQ(stack.clock->now(), first_clock) << "sim time diverged on run " << run;
+    }
+  }
+}
+
+TEST(ParallelIngestion, WorkerCountChangesMakespanButNotAggregates) {
+  Stack two;
+  Stack eight;
+  two.enqueue_mixed();
+  eight.enqueue_mixed();
+  EXPECT_EQ(two.service->process_all(2), kStoredExpected);
+  EXPECT_EQ(eight.service->process_all(8), kStoredExpected);
+  // What was recorded is worker-count independent...
+  EXPECT_EQ(obs::to_json(*two.metrics), obs::to_json(*eight.metrics));
+  // ...while sim time shrinks with the worker count.
+  EXPECT_GT(two.clock->now(), eight.clock->now());
+}
+
+// --- sharded-store stress (the `check-tsan` hot spots) ---------------------
+
+TEST(DataLakeConcurrency, EightThreadPutGetEraseStress) {
+  auto clock = make_clock();
+  auto log = make_log(clock);
+  crypto::KeyManagementService kms("tenant-a", Rng(90), log);
+  storage::DataLake lake(kms, "platform", Rng(91));
+  auto key = kms.create_symmetric_key("platform");
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 40;
+  std::array<std::vector<std::string>, kThreads> refs;
+  std::array<std::vector<Bytes>, kThreads> payloads;
+
+  exec::parallel_for(kThreads, kThreads, [&](std::size_t w) {
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+      Bytes payload =
+          to_bytes("record-" + std::to_string(w) + "-" + std::to_string(i));
+      auto ref = lake.put(payload, key);
+      ASSERT_TRUE(ref.is_ok());
+      refs[w].push_back(*ref);
+      payloads[w].push_back(std::move(payload));
+      // Interleave reads and scans with other threads' writes.
+      EXPECT_TRUE(lake.contains(refs[w].front()));
+      auto back = lake.get(refs[w][i / 2]);
+      EXPECT_TRUE(back.is_ok());
+      (void)lake.object_count();
+      (void)lake.stored_bytes();
+    }
+    for (std::size_t i = 0; i < kOpsPerThread; i += 2) {
+      EXPECT_TRUE(lake.erase(refs[w][i]).is_ok());
+    }
+  });
+
+  EXPECT_EQ(lake.object_count(), kThreads * kOpsPerThread / 2);
+  EXPECT_EQ(lake.references().size(), kThreads * kOpsPerThread / 2);
+  // Every survivor decrypts back to exactly what its writer stored.
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    for (std::size_t i = 1; i < kOpsPerThread; i += 2) {
+      auto back = lake.get(refs[w][i]);
+      ASSERT_TRUE(back.is_ok());
+      EXPECT_EQ(*back, payloads[w][i]);
+    }
+  }
+}
+
+TEST(MetadataStoreConcurrency, EightThreadPutScanStress) {
+  storage::MetadataStore metadata;
+  privacy::ReidentificationMap reid_map;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRecordsPerThread = 50;
+
+  exec::parallel_for(kThreads, kThreads, [&](std::size_t w) {
+    for (std::size_t i = 0; i < kRecordsPerThread; ++i) {
+      std::string suffix = std::to_string(w) + "-" + std::to_string(i);
+      storage::RecordMetadata md;
+      md.reference_id = "ref-" + suffix;
+      md.pseudonym = "pseu-" + suffix;
+      md.consent_group = "study-a";
+      md.schema = "fhir-bundle";
+      md.privacy_level = "de-identified";
+      EXPECT_TRUE(metadata.put(md).is_ok());
+      reid_map.record(md.pseudonym, "patient-" + suffix);
+      // Scans race against other threads' puts.
+      EXPECT_EQ(metadata.by_pseudonym(md.pseudonym).size(), 1u);
+      (void)metadata.by_group("study-a");
+      (void)metadata.size();
+      (void)reid_map.size();
+    }
+  });
+
+  EXPECT_EQ(metadata.size(), kThreads * kRecordsPerThread);
+  EXPECT_EQ(metadata.by_group("study-a").size(), kThreads * kRecordsPerThread);
+  EXPECT_EQ(reid_map.size(), kThreads * kRecordsPerThread);
+  EXPECT_EQ(reid_map.identity("pseu-3-7").value(), "patient-3-7");
+}
+
+}  // namespace
+}  // namespace hc::ingestion
