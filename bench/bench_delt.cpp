@@ -9,8 +9,11 @@
 //   - scaling of recovery quality with cohort size.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "analytics/delt.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 using namespace hc;
 using namespace hc::analytics;
@@ -22,9 +25,25 @@ void print_row(const char* label, const RecoveryMetrics& m, double seconds) {
               m.effect_rmse, seconds);
 }
 
+std::string metrics_out_path(int argc, char** argv, const char* default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      return i + 1 < argc ? argv[i + 1] : default_path;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      return arg.substr(std::string("--metrics-out=").size());
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path = metrics_out_path(argc, argv, "BENCH_delt.json");
+  obs::MetricsRegistry metrics;
+
   std::printf("== F10-delt: drug effects on laboratory tests (Figs 10-11) ==\n");
 
   EmrConfig config;
@@ -41,28 +60,46 @@ int main() {
 
   std::printf("%-36s %8s %8s %8s %10s\n", "method", "AUC", "P@N", "RMSE", "fit-time");
 
-  auto timed_fit = [&](const DeltConfig& delt_config) {
+  auto timed_fit = [&](const DeltConfig& delt_config, const char* metric) {
+    obs::WallSpan span(&metrics, metric);
     auto t0 = std::chrono::steady_clock::now();
     DeltModel model = fit_delt(dataset, delt_config);
     auto t1 = std::chrono::steady_clock::now();
+    span.finish();
     return std::pair<DeltModel, double>(std::move(model),
                                         std::chrono::duration<double>(t1 - t0).count());
   };
 
-  auto [full, full_time] = timed_fit(DeltConfig{});
+  auto [full, full_time] = timed_fit(DeltConfig{}, "hc.analytics.delt.fit.w1_wall_us");
   print_row("DELT (baseline + drift)", score_recovery(full.drug_effects, dataset),
             full_time);
 
+  // --- before/after: parallel patient solves across worker counts --------
+  // On a single-core host the multi-worker rows measure dispatch overhead;
+  // the point of this table is that drug_effects stay bit-identical.
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    DeltConfig parallel_config;
+    parallel_config.workers = workers;
+    std::string metric =
+        "hc.analytics.delt.fit.w" + std::to_string(workers) + "_wall_us";
+    auto [model, seconds] = timed_fit(parallel_config, metric.c_str());
+    char label[64];
+    std::snprintf(label, sizeof(label), "DELT %zu workers (biteq: %s)", workers,
+                  model.drug_effects == full.drug_effects ? "yes" : "NO");
+    print_row(label, score_recovery(model.drug_effects, dataset), seconds);
+  }
+
   DeltConfig no_drift;
   no_drift.model_drift = false;
-  auto [nd, nd_time] = timed_fit(no_drift);
+  auto [nd, nd_time] = timed_fit(no_drift, "hc.analytics.delt.fit.no_drift_wall_us");
   print_row("DELT w/o time drift (Fig 11 abl.)",
             score_recovery(nd.drug_effects, dataset), nd_time);
 
   DeltConfig no_baseline;
   no_baseline.model_baseline = false;
   no_baseline.model_drift = false;
-  auto [nb, nb_time] = timed_fit(no_baseline);
+  auto [nb, nb_time] =
+      timed_fit(no_baseline, "hc.analytics.delt.fit.no_baseline_wall_us");
   print_row("DELT w/o baselines (Fig 10 abl.)",
             score_recovery(nb.drug_effects, dataset), nb_time);
 
@@ -88,5 +125,15 @@ int main() {
 
   std::printf("\npaper-shape check: DELT > ablations > marginal correlation on AUC;\n"
               "effect-size RMSE shrinks and AUC rises with cohort size.\n");
+
+  if (!metrics_path.empty()) {
+    Status written = obs::write_metrics_json(metrics, metrics_path);
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", metrics_path.c_str(),
+                   written.to_string().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "exec/executor.h"
+
 namespace hc::analytics {
 
 namespace {
@@ -48,15 +50,20 @@ void DdiPredictor::train(const std::vector<DrugPair>& positive_pairs,
     std::vector<double> features;
     double label;
   };
-  std::vector<Example> examples;
-  examples.reserve(positive_pairs.size() + negative_pairs.size());
-  for (const auto& pair : positive_pairs) {
-    examples.push_back(Example{pair_features(pair), 1.0});
-  }
-  for (const auto& pair : negative_pairs) {
-    examples.push_back(Example{pair_features(pair), 0.0});
-  }
+  std::size_t n_positive = positive_pairs.size();
+  std::vector<Example> examples(n_positive + negative_pairs.size());
   if (examples.empty()) throw std::invalid_argument("DdiPredictor::train: no examples");
+  // Feature extraction is the dominant cost (every example scans every
+  // known positive per source); each example fills only its own slot, so
+  // the fan-out is deterministic.
+  exec::parallel_for(
+      examples.size(), config.workers,
+      [&](std::size_t i) {
+        const DrugPair& pair =
+            i < n_positive ? positive_pairs[i] : negative_pairs[i - n_positive];
+        examples[i] = Example{pair_features(pair), i < n_positive ? 1.0 : 0.0};
+      },
+      /*grain=*/16);
 
   std::size_t n_features = similarities_.size();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {

@@ -29,6 +29,11 @@ struct DdiConfig {
   int epochs = 300;
   double learning_rate = 0.5;
   double regularization = 1e-4;
+  /// Worker threads for per-example feature extraction (the O(pairs *
+  /// known-positives * sources) cost that dominates training). Each example
+  /// writes its own preallocated slot, so features — and the serial
+  /// gradient loop consuming them — are bit-identical for any worker count.
+  std::size_t workers = 1;
 };
 
 class DdiPredictor {

@@ -5,6 +5,16 @@
 #include <stdexcept>
 
 #include "analytics/metrics.h"
+#include "exec/executor.h"
+
+namespace {
+
+/// Patients per parallel task in the (alpha, gamma) pass. Fixed so the work
+/// decomposition is worker-count invariant; sized so a task amortizes
+/// dispatch over a few thousand measurement rows.
+constexpr std::size_t kPatientGrain = 64;
+
+}  // namespace
 
 namespace hc::analytics {
 
@@ -28,7 +38,11 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
     const std::vector<std::uint32_t>* exposures;
   };
   std::vector<Row> rows;
+  // First row of each patient in the flattened table; lets the (alpha,
+  // gamma) pass address any patient without walking its predecessors.
+  std::vector<std::size_t> patient_row_start(n_patients, 0);
   for (std::size_t p = 0; p < n_patients; ++p) {
+    patient_row_start[p] = rows.size();
     for (const auto& m : dataset.patients[p].measurements) {
       rows.push_back(Row{p, m.time, m.value, &m.exposures});
     }
@@ -55,8 +69,13 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
   for (int iteration = 0; iteration < config.iterations; ++iteration) {
     // --- per-patient (alpha_i, gamma_i) given beta ----------------------
     if (config.model_baseline || config.model_drift) {
-      std::size_t row_index = 0;
-      for (std::size_t p = 0; p < n_patients; ++p) {
+      // Each patient's 2-parameter solve touches only its own row range and
+      // writes only its own (alpha, gamma) slot; the within-patient sums
+      // run serially, so the result is bit-identical for any worker count.
+      exec::parallel_for(
+          n_patients, config.workers,
+          [&](std::size_t p) {
+        std::size_t row_index = patient_row_start[p];
         const auto& measurements = dataset.patients[p].measurements;
         std::size_t count = measurements.size();
         double sy = 0, st = 0, stt = 0, sty = 0;
@@ -87,8 +106,8 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
             model.patient_drifts[p] = (sty - global_mean * st) / stt;
           }
         }
-        row_index += count;
-      }
+          },
+          kPatientGrain);
     } else {
       for (std::size_t p = 0; p < n_patients; ++p) {
         model.patient_baselines[p] = global_mean;

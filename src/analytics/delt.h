@@ -37,6 +37,12 @@ struct DeltConfig {
   double ridge = 1.0;
   bool model_baseline = true;  // ablation: per-patient alpha_i
   bool model_drift = true;     // ablation: per-patient gamma_i
+  /// Worker threads for the per-patient (alpha, gamma) solves. Each patient
+  /// is solved wholly by one worker with its sums accumulated serially, so
+  /// results are bit-identical for any worker count. The beta coordinate
+  /// descent and the SSE reduction stay serial by design — parallelizing
+  /// them would reorder summation.
+  std::size_t workers = 1;
 };
 
 struct DeltModel {

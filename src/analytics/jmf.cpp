@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analytics/kernels.h"
 #include "analytics/metrics.h"
 
 namespace hc::analytics {
@@ -65,10 +66,173 @@ std::vector<std::size_t> group_assignments(const Matrix& factor) {
 
 }  // namespace
 
+namespace {
+
+/// The seed implementation: naive Matrix kernels, fresh temporaries every
+/// epoch. Kept (a) as the wall-clock baseline bench_analytics_kernels and
+/// bench_jmf report speedups against and (b) as the reference the kernel
+/// path is asserted bit-exact against in analytics_test.
+void jmf_epoch_naive(const Matrix& associations,
+                     const std::vector<Matrix>& drug_similarities,
+                     const std::vector<Matrix>& disease_similarities,
+                     const JmfConfig& config, Matrix& u, Matrix& v,
+                     JmfResult& result) {
+  std::size_t n_drugs = associations.rows();
+  std::size_t n_diseases = associations.cols();
+
+  // --- update source weights from current fit errors -----------------
+  std::vector<double> drug_errors(drug_similarities.size());
+  for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+    drug_errors[i] = similarity_fit_error(drug_similarities[i], u);
+  }
+  result.drug_source_weights =
+      entropy_weights(drug_errors, config.weight_temperature * 0.01);
+
+  std::vector<double> disease_errors(disease_similarities.size());
+  for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+    disease_errors[j] = similarity_fit_error(disease_similarities[j], v);
+  }
+  result.disease_source_weights =
+      entropy_weights(disease_errors, config.weight_temperature * 0.01);
+
+  // --- objective ------------------------------------------------------
+  Matrix residual = associations;  // R - UV'
+  residual.add_scaled(u.multiply_transposed(v), -1.0);
+  double objective = std::pow(residual.frobenius_norm(), 2);
+  for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+    objective += config.similarity_weight * result.drug_source_weights[i] *
+                 drug_errors[i] * static_cast<double>(n_drugs) *
+                 static_cast<double>(n_drugs);
+  }
+  for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+    objective += config.similarity_weight * result.disease_source_weights[j] *
+                 disease_errors[j] * static_cast<double>(n_diseases) *
+                 static_cast<double>(n_diseases);
+  }
+  objective += config.regularization *
+               (std::pow(u.frobenius_norm(), 2) + std::pow(v.frobenius_norm(), 2));
+  result.objective_history.push_back(objective);
+
+  // --- gradient step on U ---------------------------------------------
+  Matrix grad_u = residual.multiply(v);  // 2x folded into learning rate
+  for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+    grad_u.add_scaled(
+        similarity_gradient(drug_similarities[i], u,
+                            config.similarity_weight * result.drug_source_weights[i]),
+        1.0);
+  }
+  grad_u.add_scaled(u, -config.regularization);
+  u.add_scaled(grad_u, config.learning_rate);
+  project_nonnegative(u);
+
+  // --- gradient step on V ---------------------------------------------
+  Matrix residual2 = associations;
+  residual2.add_scaled(u.multiply_transposed(v), -1.0);
+  Matrix grad_v = residual2.transpose().multiply(u);
+  for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+    grad_v.add_scaled(
+        similarity_gradient(disease_similarities[j], v,
+                            config.similarity_weight *
+                                result.disease_source_weights[j]),
+        1.0);
+  }
+  grad_v.add_scaled(v, -config.regularization);
+  v.add_scaled(grad_v, config.learning_rate);
+  project_nonnegative(v);
+}
+
+/// The kernel-layer epoch: blocked allocation-free kernels over the warm
+/// workspace, row-partitioned across `config.workers`. Performs the same
+/// floating-point operations in the same per-cell order as
+/// jmf_epoch_naive, with two pure-reuse savings: F F^T is computed once
+/// per side per epoch via syrk (the naive path recomputes it per source,
+/// twice), and every temporary lives in the workspace. Output is bitwise
+/// identical to the naive epoch for any worker count.
+void jmf_epoch_fast(const Matrix& associations,
+                    const std::vector<Matrix>& drug_similarities,
+                    const std::vector<Matrix>& disease_similarities,
+                    const JmfConfig& config, Matrix& u, Matrix& v,
+                    JmfResult& result, JmfWorkspace& ws) {
+  std::size_t n_drugs = associations.rows();
+  std::size_t n_diseases = associations.cols();
+  std::size_t w = config.workers;
+
+  // --- update source weights from current fit errors -----------------
+  // One syrk per side replaces one multiply_transposed per source per use
+  // site; the fit-error reduction itself stays serial (bit-exact order).
+  kernels::syrk_into(u, ws.uuT, w);
+  std::vector<double> drug_errors(drug_similarities.size());
+  for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+    double d = drug_similarities[i].frobenius_distance(ws.uuT);
+    double n = static_cast<double>(n_drugs);
+    drug_errors[i] = (d * d) / (n * n);
+  }
+  result.drug_source_weights =
+      entropy_weights(drug_errors, config.weight_temperature * 0.01);
+
+  kernels::syrk_into(v, ws.vvT, w);
+  std::vector<double> disease_errors(disease_similarities.size());
+  for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+    double d = disease_similarities[j].frobenius_distance(ws.vvT);
+    double n = static_cast<double>(n_diseases);
+    disease_errors[j] = (d * d) / (n * n);
+  }
+  result.disease_source_weights =
+      entropy_weights(disease_errors, config.weight_temperature * 0.01);
+
+  // --- objective ------------------------------------------------------
+  kernels::residual_into(associations, u, v, ws.residual, w);
+  double objective = std::pow(ws.residual.frobenius_norm(), 2);
+  for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+    objective += config.similarity_weight * result.drug_source_weights[i] *
+                 drug_errors[i] * static_cast<double>(n_drugs) *
+                 static_cast<double>(n_drugs);
+  }
+  for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+    objective += config.similarity_weight * result.disease_source_weights[j] *
+                 disease_errors[j] * static_cast<double>(n_diseases) *
+                 static_cast<double>(n_diseases);
+  }
+  objective += config.regularization *
+               (std::pow(u.frobenius_norm(), 2) + std::pow(v.frobenius_norm(), 2));
+  result.objective_history.push_back(objective);
+
+  // --- gradient step on U ---------------------------------------------
+  kernels::multiply_into(ws.residual, v, ws.grad_u, w);
+  ws.factors.resize(drug_similarities.size());
+  for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
+    ws.factors[i] =
+        4.0 * config.similarity_weight * result.drug_source_weights[i];
+  }
+  kernels::fused_sub_multiply_add_into(ws.grad_u, drug_similarities, ws.uuT, u,
+                                       ws.factors, ws.grad_src, w);
+  kernels::add_scaled_into(ws.grad_u, u, -config.regularization, w);
+  kernels::add_scaled_into(u, ws.grad_u, config.learning_rate, w);
+  kernels::clamp_nonnegative(u, w);
+
+  // --- gradient step on V ---------------------------------------------
+  // Fused (R - U V^T)^T U: the post-update residual exists only inside the
+  // kernel; nothing n_drugs x n_diseases is written this half-epoch.
+  kernels::residual_transpose_multiply_into(associations, u, v, u, ws.grad_v, w);
+  ws.factors.resize(disease_similarities.size());
+  for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
+    ws.factors[j] =
+        4.0 * config.similarity_weight * result.disease_source_weights[j];
+  }
+  kernels::fused_sub_multiply_add_into(ws.grad_v, disease_similarities, ws.vvT, v,
+                                       ws.factors, ws.grad_src, w);
+  kernels::add_scaled_into(ws.grad_v, v, -config.regularization, w);
+  kernels::add_scaled_into(v, ws.grad_v, config.learning_rate, w);
+  kernels::clamp_nonnegative(v, w);
+}
+
+}  // namespace
+
 JmfResult joint_matrix_factorization(const Matrix& associations,
                                      const std::vector<Matrix>& drug_similarities,
                                      const std::vector<Matrix>& disease_similarities,
-                                     const JmfConfig& config, Rng& rng) {
+                                     const JmfConfig& config, Rng& rng,
+                                     JmfWorkspace* workspace) {
   if (drug_similarities.empty() || disease_similarities.empty()) {
     throw std::invalid_argument("JMF needs at least one similarity source per side");
   }
@@ -94,69 +258,23 @@ JmfResult joint_matrix_factorization(const Matrix& associations,
   result.disease_source_weights.assign(
       disease_similarities.size(), 1.0 / static_cast<double>(disease_similarities.size()));
 
+  JmfWorkspace local_workspace;
+  JmfWorkspace& ws = workspace ? *workspace : local_workspace;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    // --- update source weights from current fit errors -----------------
-    std::vector<double> drug_errors(drug_similarities.size());
-    for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
-      drug_errors[i] = similarity_fit_error(drug_similarities[i], u);
+    if (config.use_fast_kernels) {
+      jmf_epoch_fast(associations, drug_similarities, disease_similarities, config,
+                     u, v, result, ws);
+    } else {
+      jmf_epoch_naive(associations, drug_similarities, disease_similarities, config,
+                      u, v, result);
     }
-    result.drug_source_weights =
-        entropy_weights(drug_errors, config.weight_temperature * 0.01);
-
-    std::vector<double> disease_errors(disease_similarities.size());
-    for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
-      disease_errors[j] = similarity_fit_error(disease_similarities[j], v);
-    }
-    result.disease_source_weights =
-        entropy_weights(disease_errors, config.weight_temperature * 0.01);
-
-    // --- objective ------------------------------------------------------
-    Matrix residual = associations;  // R - UV'
-    residual.add_scaled(u.multiply_transposed(v), -1.0);
-    double objective = std::pow(residual.frobenius_norm(), 2);
-    for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
-      objective += config.similarity_weight * result.drug_source_weights[i] *
-                   drug_errors[i] * static_cast<double>(n_drugs) *
-                   static_cast<double>(n_drugs);
-    }
-    for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
-      objective += config.similarity_weight * result.disease_source_weights[j] *
-                   disease_errors[j] * static_cast<double>(n_diseases) *
-                   static_cast<double>(n_diseases);
-    }
-    objective += config.regularization *
-                 (std::pow(u.frobenius_norm(), 2) + std::pow(v.frobenius_norm(), 2));
-    result.objective_history.push_back(objective);
-
-    // --- gradient step on U ---------------------------------------------
-    Matrix grad_u = residual.multiply(v);  // 2x folded into learning rate
-    for (std::size_t i = 0; i < drug_similarities.size(); ++i) {
-      grad_u.add_scaled(
-          similarity_gradient(drug_similarities[i], u,
-                              config.similarity_weight * result.drug_source_weights[i]),
-          1.0);
-    }
-    grad_u.add_scaled(u, -config.regularization);
-    u.add_scaled(grad_u, config.learning_rate);
-    project_nonnegative(u);
-
-    // --- gradient step on V ---------------------------------------------
-    Matrix residual2 = associations;
-    residual2.add_scaled(u.multiply_transposed(v), -1.0);
-    Matrix grad_v = residual2.transpose().multiply(u);
-    for (std::size_t j = 0; j < disease_similarities.size(); ++j) {
-      grad_v.add_scaled(
-          similarity_gradient(disease_similarities[j], v,
-                              config.similarity_weight *
-                                  result.disease_source_weights[j]),
-          1.0);
-    }
-    grad_v.add_scaled(v, -config.regularization);
-    v.add_scaled(grad_v, config.learning_rate);
-    project_nonnegative(v);
   }
 
-  result.scores = u.multiply_transposed(v);
+  if (config.use_fast_kernels) {
+    kernels::multiply_transposed_into(u, v, result.scores, config.workers);
+  } else {
+    result.scores = u.multiply_transposed(v);
+  }
   result.drug_groups = group_assignments(u);
   result.disease_groups = group_assignments(v);
   return result;

@@ -40,6 +40,26 @@ struct JmfConfig {
   double similarity_weight = 0.25;  // mu
   double weight_temperature = 1.0;  // gamma in the alpha/beta update
   int epochs = 150;
+  /// Row-partition width for the epoch kernels. Results are bit-identical
+  /// for any value (see kernels.h); more workers only changes wall time.
+  std::size_t workers = 1;
+  /// false selects the seed triple-loop implementation — kept as the
+  /// benchmark baseline and the reference the kernel path is tested
+  /// bit-exact against. Ignores `workers`.
+  bool use_fast_kernels = true;
+};
+
+/// Epoch-loop scratch. Matrices are resized on first use and reused every
+/// epoch after — a warm workspace makes the solver allocation-free. Reuse
+/// one workspace across solves of the same problem shape to skip even the
+/// warm-up allocations.
+struct JmfWorkspace {
+  Matrix uuT, vvT;        // shared F F^T per side (syrk, computed once/epoch)
+  Matrix residual;        // R - U V^T
+  Matrix diff;            // per-source S_i - F F^T
+  Matrix grad_u, grad_v;  // accumulated gradients
+  Matrix grad_src;        // fused per-source gradient accumulators
+  std::vector<double> factors;  // per-source weights for the fused kernel
 };
 
 struct JmfResult {
@@ -53,10 +73,13 @@ struct JmfResult {
 
 /// Runs JMF. `drug_similarities` and `disease_similarities` must be square
 /// matrices matching R's rows/cols respectively; at least one of each.
+/// `workspace` (optional) lets callers keep the epoch scratch warm across
+/// solves; pass nullptr for a solver-local one.
 JmfResult joint_matrix_factorization(const Matrix& associations,
                                      const std::vector<Matrix>& drug_similarities,
                                      const std::vector<Matrix>& disease_similarities,
-                                     const JmfConfig& config, Rng& rng);
+                                     const JmfConfig& config, Rng& rng,
+                                     JmfWorkspace* workspace = nullptr);
 
 /// Synthetic drug-disease benchmark data with known ground truth.
 struct DrugDiseaseWorkload {

@@ -1,0 +1,617 @@
+#include "analytics/kernels.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exec/executor.h"
+
+namespace hc::analytics::kernels {
+
+namespace {
+
+/// Runs fn(row_begin, row_end) over fixed kRowBlock-sized row blocks. The
+/// decomposition depends only on `rows`, never on `workers`, so the write
+/// pattern (and the arithmetic inside each block) is worker-count
+/// invariant; parallel_for only changes which thread executes a block.
+void for_row_blocks(std::size_t rows, std::size_t workers,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+  std::size_t blocks = (rows + kRowBlock - 1) / kRowBlock;
+  exec::parallel_for(blocks, workers, [&](std::size_t block) {
+    std::size_t begin = block * kRowBlock;
+    fn(begin, std::min(rows, begin + kRowBlock));
+  });
+}
+
+/// One ascending-k dot product — the exact reduction Matrix methods use.
+inline double dot1(const double* a, const double* b, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) sum += a[k] * b[k];
+  return sum;
+}
+
+/// Four independent ascending-k dot products sharing one pass over `a`.
+/// Each sum is still a single accumulator reduced in ascending k order, so
+/// every cell is bit-identical to dot1; interleaving four cells only breaks
+/// the FP-add latency chain that serializes a lone short dot (the factor
+/// ranks here are ~10, so a solo dot is latency-bound, not flop-bound).
+inline void dot4(const double* a, const double* b0, const double* b1,
+                 const double* b2, const double* b3, std::size_t n, double& s0,
+                 double& s1, double& s2, double& s3) {
+  double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double av = a[k];
+    t0 += av * b0[k];
+    t1 += av * b1[k];
+    t2 += av * b2[k];
+    t3 += av * b3[k];
+  }
+  s0 = t0;
+  s1 = t1;
+  s2 = t2;
+  s3 = t3;
+}
+
+}  // namespace
+
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out,
+                   std::size_t workers) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("kernels::multiply_into: shape mismatch");
+  }
+  out.resize(a.rows(), b.cols());
+  std::size_t inner = a.cols();
+  std::size_t width = b.cols();
+  // Per output cell both branches accumulate the identical sequence
+  // (ascending k, skipping zero a(i, k)) into a single accumulator, so
+  // they produce the same bits as Matrix::multiply's axpy loop; the
+  // narrow-B branch just keeps the accumulators in registers (B's rows
+  // are L1-resident for the factor widths the solvers use) instead of
+  // read-modify-writing the output row per k.
+  if (width <= 32) {
+    for_row_blocks(a.rows(), workers, [&](std::size_t begin, std::size_t end) {
+      // Raw pointers/strides in locals: loads through the std::function
+      // capture cannot be hoisted out of the k-loops (the compiler cannot
+      // prove the output stores don't alias the Matrix structs), locals
+      // provably don't alias anything.
+      const double* adata = a.row(0);
+      const double* bdata = b.row(0);
+      double* odata = out.row(0);
+      for (std::size_t i = begin; i < end; ++i) {
+        const double* arow = adata + i * inner;
+        double* orow = odata + i * width;
+        std::size_t j = 0;
+        for (; j + 4 <= width; j += 4) {
+          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+          for (std::size_t k = 0; k < inner; ++k) {
+            double v = arow[k];
+            if (v == 0.0) continue;
+            const double* brow = bdata + k * width + j;
+            a0 += v * brow[0];
+            a1 += v * brow[1];
+            a2 += v * brow[2];
+            a3 += v * brow[3];
+          }
+          orow[j] = a0;
+          orow[j + 1] = a1;
+          orow[j + 2] = a2;
+          orow[j + 3] = a3;
+        }
+        for (; j < width; ++j) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < inner; ++k) {
+            double v = arow[k];
+            if (v != 0.0) acc += v * bdata[k * width + j];
+          }
+          orow[j] = acc;
+        }
+      }
+    });
+    return;
+  }
+  for_row_blocks(a.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const double* adata = a.row(0);
+    const double* bdata = b.row(0);
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* arow = adata + i * inner;
+      double* orow = odata + i * width;
+      for (std::size_t j = 0; j < width; ++j) orow[j] = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        double v = arow[k];
+        if (v == 0.0) continue;
+        const double* brow = bdata + k * width;
+        for (std::size_t j = 0; j < width; ++j) orow[j] += v * brow[j];
+      }
+    }
+  });
+}
+
+void multiply_transposed_into(const Matrix& a, const Matrix& b, Matrix& out,
+                              std::size_t workers) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("kernels::multiply_transposed_into: shape mismatch");
+  }
+  out.resize(a.rows(), b.rows());
+  std::size_t inner = a.cols();
+  std::size_t width = b.rows();
+  for_row_blocks(a.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    // j-tiling keeps a kColBlock slice of B's rows hot across the whole
+    // row block; cells are computed four dots at a time (see dot4).
+    const double* adata = a.row(0);
+    const double* bdata = b.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j0 = 0; j0 < width; j0 += kColBlock) {
+      std::size_t j1 = std::min(width, j0 + kColBlock);
+      for (std::size_t i = begin; i < end; ++i) {
+        const double* arow = adata + i * inner;
+        double* orow = odata + i * width;
+        std::size_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          const double* brow = bdata + j * inner;
+          dot4(arow, brow, brow + inner, brow + 2 * inner, brow + 3 * inner,
+               inner, orow[j], orow[j + 1], orow[j + 2], orow[j + 3]);
+        }
+        for (; j < j1; ++j) orow[j] = dot1(arow, bdata + j * inner, inner);
+      }
+    }
+  });
+}
+
+void transpose_multiply_into(const Matrix& a, const Matrix& b, Matrix& out,
+                             std::size_t workers) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("kernels::transpose_multiply_into: shape mismatch");
+  }
+  out.resize(a.cols(), b.cols());
+  std::size_t depth = a.rows();
+  std::size_t width = b.cols();
+  std::size_t across = a.cols();
+  for_row_blocks(across, workers, [&](std::size_t begin, std::size_t end) {
+    const double* adata = a.row(0);
+    const double* bdata = b.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j = begin; j < end; ++j) {
+      double* orow = odata + j * width;
+      for (std::size_t c = 0; c < width; ++c) orow[c] = 0.0;
+    }
+    // One streaming pass over A and B; out(j, :) accumulates with k
+    // ascending and the same zero-skip a.transpose().multiply(b) applies.
+    for (std::size_t k = 0; k < depth; ++k) {
+      const double* arow = adata + k * across;
+      const double* brow = bdata + k * width;
+      for (std::size_t j = begin; j < end; ++j) {
+        double v = arow[j];
+        if (v == 0.0) continue;
+        double* orow = odata + j * width;
+        for (std::size_t c = 0; c < width; ++c) orow[c] += v * brow[c];
+      }
+    }
+  });
+}
+
+void transpose_into(const Matrix& a, Matrix& out) {
+  out.resize(a.cols(), a.rows());
+  constexpr std::size_t kTile = 32;
+  for (std::size_t r0 = 0; r0 < a.rows(); r0 += kTile) {
+    std::size_t r1 = std::min(a.rows(), r0 + kTile);
+    for (std::size_t c0 = 0; c0 < a.cols(); c0 += kTile) {
+      std::size_t c1 = std::min(a.cols(), c0 + kTile);
+      for (std::size_t r = r0; r < r1; ++r) {
+        for (std::size_t c = c0; c < c1; ++c) out(c, r) = a(r, c);
+      }
+    }
+  }
+}
+
+void syrk_into(const Matrix& f, Matrix& out, std::size_t workers) {
+  std::size_t n = f.rows();
+  std::size_t inner = f.cols();
+  out.resize(n, n);
+  // Pass 1: upper triangle (j >= i), four dots at a time per cell row.
+  for_row_blocks(n, workers, [&](std::size_t begin, std::size_t end) {
+    const double* fdata = f.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      std::size_t j1 = std::min(n, j0 + kColBlock);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (j1 <= i) continue;
+        const double* arow = fdata + i * inner;
+        double* orow = odata + i * n;
+        std::size_t j = std::max(i, j0);
+        for (; j + 4 <= j1; j += 4) {
+          const double* brow = fdata + j * inner;
+          dot4(arow, brow, brow + inner, brow + 2 * inner, brow + 3 * inner,
+               inner, orow[j], orow[j + 1], orow[j + 2], orow[j + 3]);
+        }
+        for (; j < j1; ++j) orow[j] = dot1(arow, fdata + j * inner, inner);
+      }
+    }
+  });
+  // Pass 2 (after the implicit barrier): mirror the strict lower triangle.
+  // A bit copy, so out stays bitwise equal to the full computation.
+  for_row_blocks(n, workers, [&](std::size_t begin, std::size_t end) {
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      double* orow = odata + i * n;
+      for (std::size_t j = 0; j < i; ++j) orow[j] = odata[j * n + i];
+    }
+  });
+}
+
+void sub_into(const Matrix& s, const Matrix& m, Matrix& out, std::size_t workers) {
+  if (!s.same_shape(m)) {
+    throw std::invalid_argument("kernels::sub_into: shape mismatch");
+  }
+  out.resize(s.rows(), s.cols());
+  std::size_t width = s.cols();
+  for_row_blocks(s.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* srow = s.row(i);
+      const double* mrow = m.row(i);
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < width; ++j) orow[j] = srow[j] - mrow[j];
+    }
+  });
+}
+
+void residual_into(const Matrix& r, const Matrix& u, const Matrix& v, Matrix& out,
+                   std::size_t workers) {
+  if (u.cols() != v.cols() || r.rows() != u.rows() || r.cols() != v.rows()) {
+    throw std::invalid_argument("kernels::residual_into: shape mismatch");
+  }
+  out.resize(r.rows(), r.cols());
+  std::size_t inner = u.cols();
+  std::size_t width = v.rows();
+  for_row_blocks(r.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const double* udata = u.row(0);
+    const double* vdata = v.row(0);
+    const double* rdata = r.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j0 = 0; j0 < width; j0 += kColBlock) {
+      std::size_t j1 = std::min(width, j0 + kColBlock);
+      for (std::size_t i = begin; i < end; ++i) {
+        const double* urow = udata + i * inner;
+        const double* rrow = rdata + i * width;
+        double* orow = odata + i * width;
+        std::size_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          const double* vrow = vdata + j * inner;
+          double s0, s1, s2, s3;
+          dot4(urow, vrow, vrow + inner, vrow + 2 * inner, vrow + 3 * inner,
+               inner, s0, s1, s2, s3);
+          orow[j] = rrow[j] - s0;
+          orow[j + 1] = rrow[j + 1] - s1;
+          orow[j + 2] = rrow[j + 2] - s2;
+          orow[j + 3] = rrow[j + 3] - s3;
+        }
+        for (; j < j1; ++j) {
+          orow[j] = rrow[j] - dot1(urow, vdata + j * inner, inner);
+        }
+      }
+    }
+  });
+}
+
+void masked_residual_into(const Matrix& observed, const Matrix& mask, const Matrix& u,
+                          const Matrix& v, Matrix& out, std::size_t workers) {
+  if (!observed.same_shape(mask) || u.cols() != v.cols() ||
+      observed.rows() != u.rows() || observed.cols() != v.rows()) {
+    throw std::invalid_argument("kernels::masked_residual_into: shape mismatch");
+  }
+  out.resize(observed.rows(), observed.cols());
+  std::size_t inner = u.cols();
+  std::size_t width = observed.cols();
+  for_row_blocks(observed.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const double* obs_data = observed.row(0);
+    const double* mdata = mask.row(0);
+    const double* udata = u.row(0);
+    const double* vdata = v.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j0 = 0; j0 < width; j0 += kColBlock) {
+      std::size_t j1 = std::min(width, j0 + kColBlock);
+      for (std::size_t i = begin; i < end; ++i) {
+        const double* orow = obs_data + i * width;
+        const double* mrow = mdata + i * width;
+        const double* urow = udata + i * inner;
+        double* rrow = odata + i * width;
+        std::size_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          if (mrow[j] == 0.0 || mrow[j + 1] == 0.0 || mrow[j + 2] == 0.0 ||
+              mrow[j + 3] == 0.0) {
+            for (std::size_t jj = j; jj < j + 4; ++jj) {
+              rrow[jj] = mrow[jj] == 0.0
+                             ? 0.0
+                             : orow[jj] - dot1(urow, vdata + jj * inner, inner);
+            }
+            continue;
+          }
+          const double* vrow = vdata + j * inner;
+          double s0, s1, s2, s3;
+          dot4(urow, vrow, vrow + inner, vrow + 2 * inner, vrow + 3 * inner,
+               inner, s0, s1, s2, s3);
+          rrow[j] = orow[j] - s0;
+          rrow[j + 1] = orow[j + 1] - s1;
+          rrow[j + 2] = orow[j + 2] - s2;
+          rrow[j + 3] = orow[j + 3] - s3;
+        }
+        for (; j < j1; ++j) {
+          rrow[j] = mrow[j] == 0.0
+                        ? 0.0
+                        : orow[j] - dot1(urow, vdata + j * inner, inner);
+        }
+      }
+    }
+  });
+}
+
+void syrk_residual_into(const Matrix& s, const Matrix& f, Matrix& out,
+                        std::size_t workers) {
+  if (s.rows() != s.cols() || s.rows() != f.rows()) {
+    throw std::invalid_argument("kernels::syrk_residual_into: shape mismatch");
+  }
+  std::size_t n = s.rows();
+  std::size_t inner = f.cols();
+  out.resize(n, n);
+  for_row_blocks(n, workers, [&](std::size_t begin, std::size_t end) {
+    const double* fdata = f.row(0);
+    const double* sdata = s.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      std::size_t j1 = std::min(n, j0 + kColBlock);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (j1 <= i) continue;
+        const double* arow = fdata + i * inner;
+        const double* srow = sdata + i * n;
+        double* orow = odata + i * n;
+        std::size_t j = std::max(i, j0);
+        for (; j + 4 <= j1; j += 4) {
+          const double* brow = fdata + j * inner;
+          double s0, s1, s2, s3;
+          dot4(arow, brow, brow + inner, brow + 2 * inner, brow + 3 * inner,
+               inner, s0, s1, s2, s3);
+          orow[j] = srow[j] - s0;
+          orow[j + 1] = srow[j + 1] - s1;
+          orow[j + 2] = srow[j + 2] - s2;
+          orow[j + 3] = srow[j + 3] - s3;
+        }
+        for (; j < j1; ++j) {
+          orow[j] = srow[j] - dot1(arow, fdata + j * inner, inner);
+        }
+      }
+    }
+  });
+  for_row_blocks(n, workers, [&](std::size_t begin, std::size_t end) {
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      double* orow = odata + i * n;
+      for (std::size_t j = 0; j < i; ++j) orow[j] = odata[j * n + i];
+    }
+  });
+}
+
+void sub_multiply_add_into(Matrix& grad, const Matrix& s, const Matrix& m,
+                           const Matrix& f, double factor, Matrix& scratch,
+                           std::size_t workers) {
+  if (!s.same_shape(m) || s.cols() != f.rows() || grad.rows() != s.rows() ||
+      grad.cols() != f.cols()) {
+    throw std::invalid_argument("kernels::sub_multiply_add_into: shape mismatch");
+  }
+  scratch.resize(grad.rows(), grad.cols());
+  std::size_t inner = s.cols();
+  std::size_t width = f.cols();
+  for_row_blocks(grad.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* srow = s.row(i);
+      const double* mrow = m.row(i);
+      double* acc = scratch.row(i);  // row product, L1-resident
+      for (std::size_t j = 0; j < width; ++j) acc[j] = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        double v = srow[k] - mrow[k];
+        if (v == 0.0) continue;
+        const double* frow = f.row(k);
+        for (std::size_t j = 0; j < width; ++j) acc[j] += v * frow[j];
+      }
+      double* grow = grad.row(i);
+      for (std::size_t j = 0; j < width; ++j) grow[j] += factor * acc[j];
+    }
+  });
+}
+
+void fused_sub_multiply_add_into(Matrix& grad, const std::vector<Matrix>& sources,
+                                 const Matrix& m, const Matrix& f,
+                                 const std::vector<double>& factors,
+                                 Matrix& scratch, std::size_t workers) {
+  if (factors.size() != sources.size()) {
+    throw std::invalid_argument(
+        "kernels::fused_sub_multiply_add_into: factors/sources size mismatch");
+  }
+  for (const Matrix& s : sources) {
+    if (!s.same_shape(m)) {
+      throw std::invalid_argument(
+          "kernels::fused_sub_multiply_add_into: shape mismatch");
+    }
+  }
+  if (m.cols() != f.rows() || grad.rows() != m.rows() || grad.cols() != f.cols()) {
+    throw std::invalid_argument(
+        "kernels::fused_sub_multiply_add_into: shape mismatch");
+  }
+  // Per row: materialize each source's diff row (s - m) once into the
+  // scratch row — the subtractions are the same values the sequential
+  // kernels compute — then form each gradient cell as a register-resident
+  // ascending-k dot over the diff row, with the same skip of zero diffs
+  // that the axpy formulation applies. Per grad cell, sources still apply
+  // in ascending s order, so bits match the sequential-call composition.
+  std::size_t count = sources.size();
+  std::size_t inner = m.cols();
+  std::size_t width = f.cols();
+  scratch.resize(grad.rows(), count * inner);
+  for_row_blocks(grad.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    // Locals for every pointer the inner loops touch — see multiply_into.
+    const double* fdata = f.row(0);
+    const double* mdata = m.row(0);
+    const Matrix* srcs = sources.data();
+    const double* fac = factors.data();
+    double* gdata = grad.row(0);
+    double* sdata = scratch.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* mrow = mdata + i * inner;
+      double* diff = sdata + i * count * inner;
+      for (std::size_t s = 0; s < count; ++s) {
+        const double* srow = srcs[s].row(i);
+        double* drow = diff + s * inner;
+        for (std::size_t k = 0; k < inner; ++k) drow[k] = srow[k] - mrow[k];
+      }
+      double* grow = gdata + i * width;
+      for (std::size_t s = 0; s < count; ++s) {
+        const double* drow = diff + s * inner;
+        double factor = fac[s];
+        // Adaptive 8/4/2/1-cell interleave: eight accumulator chains are
+        // what it takes to saturate the FP add ports against the long
+        // (inner ~ n) reduction; narrower groups mop up the remainder.
+        std::size_t j = 0;
+        for (; j + 8 <= width; j += 8) {
+          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+          double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+          for (std::size_t k = 0; k < inner; ++k) {
+            double v = drow[k];
+            if (v == 0.0) continue;
+            const double* frow = fdata + k * width + j;
+            a0 += v * frow[0];
+            a1 += v * frow[1];
+            a2 += v * frow[2];
+            a3 += v * frow[3];
+            a4 += v * frow[4];
+            a5 += v * frow[5];
+            a6 += v * frow[6];
+            a7 += v * frow[7];
+          }
+          grow[j] += factor * a0;
+          grow[j + 1] += factor * a1;
+          grow[j + 2] += factor * a2;
+          grow[j + 3] += factor * a3;
+          grow[j + 4] += factor * a4;
+          grow[j + 5] += factor * a5;
+          grow[j + 6] += factor * a6;
+          grow[j + 7] += factor * a7;
+        }
+        if (j + 4 <= width) {
+          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+          for (std::size_t k = 0; k < inner; ++k) {
+            double v = drow[k];
+            if (v == 0.0) continue;
+            const double* frow = fdata + k * width + j;
+            a0 += v * frow[0];
+            a1 += v * frow[1];
+            a2 += v * frow[2];
+            a3 += v * frow[3];
+          }
+          grow[j] += factor * a0;
+          grow[j + 1] += factor * a1;
+          grow[j + 2] += factor * a2;
+          grow[j + 3] += factor * a3;
+          j += 4;
+        }
+        if (j + 2 <= width) {
+          double a0 = 0.0, a1 = 0.0;
+          for (std::size_t k = 0; k < inner; ++k) {
+            double v = drow[k];
+            if (v == 0.0) continue;
+            const double* frow = fdata + k * width + j;
+            a0 += v * frow[0];
+            a1 += v * frow[1];
+          }
+          grow[j] += factor * a0;
+          grow[j + 1] += factor * a1;
+          j += 2;
+        }
+        if (j < width) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < inner; ++k) {
+            double v = drow[k];
+            if (v != 0.0) acc += v * fdata[k * width + j];
+          }
+          grow[j] += factor * acc;
+        }
+      }
+    }
+  });
+}
+
+void residual_transpose_multiply_into(const Matrix& r, const Matrix& u,
+                                      const Matrix& v, const Matrix& f, Matrix& out,
+                                      std::size_t workers) {
+  if (u.cols() != v.cols() || r.rows() != u.rows() || r.cols() != v.rows() ||
+      f.rows() != r.rows()) {
+    throw std::invalid_argument(
+        "kernels::residual_transpose_multiply_into: shape mismatch");
+  }
+  out.resize(r.cols(), f.cols());
+  std::size_t depth = r.rows();
+  std::size_t rank = u.cols();
+  std::size_t width = f.cols();
+  std::size_t cols = r.cols();
+  for_row_blocks(cols, workers, [&](std::size_t begin, std::size_t end) {
+    const double* udata = u.row(0);
+    const double* rdata = r.row(0);
+    const double* fdata = f.row(0);
+    const double* vdata = v.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j = begin; j < end; ++j) {
+      double* orow = odata + j * width;
+      for (std::size_t c = 0; c < width; ++c) orow[c] = 0.0;
+    }
+    for (std::size_t k = 0; k < depth; ++k) {
+      const double* urow = udata + k * rank;
+      const double* rrow = rdata + k * cols;
+      const double* frow = fdata + k * width;
+      // Residual dots four output rows at a time; the axpys that consume
+      // them land on distinct out rows, so their relative order is free.
+      auto axpy = [&](std::size_t j, double val) {
+        if (val == 0.0) return;
+        double* orow = odata + j * width;
+        for (std::size_t c = 0; c < width; ++c) orow[c] += val * frow[c];
+      };
+      std::size_t j = begin;
+      for (; j + 4 <= end; j += 4) {
+        const double* vrow = vdata + j * rank;
+        double d0, d1, d2, d3;
+        dot4(urow, vrow, vrow + rank, vrow + 2 * rank, vrow + 3 * rank, rank,
+             d0, d1, d2, d3);
+        axpy(j, rrow[j] - d0);
+        axpy(j + 1, rrow[j + 1] - d1);
+        axpy(j + 2, rrow[j + 2] - d2);
+        axpy(j + 3, rrow[j + 3] - d3);
+      }
+      for (; j < end; ++j) {
+        axpy(j, rrow[j] - dot1(urow, vdata + j * rank, rank));
+      }
+    }
+  });
+}
+
+void add_scaled_into(Matrix& dst, const Matrix& src, double factor,
+                     std::size_t workers) {
+  if (!dst.same_shape(src)) {
+    throw std::invalid_argument("kernels::add_scaled_into: shape mismatch");
+  }
+  std::size_t width = dst.cols();
+  for_row_blocks(dst.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      double* drow = dst.row(i);
+      const double* srow = src.row(i);
+      for (std::size_t j = 0; j < width; ++j) drow[j] += factor * srow[j];
+    }
+  });
+}
+
+void clamp_nonnegative(Matrix& m, std::size_t workers) {
+  std::size_t width = m.cols();
+  for_row_blocks(m.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      double* row = m.row(i);
+      for (std::size_t j = 0; j < width; ++j) row[j] = std::max(0.0, row[j]);
+    }
+  });
+}
+
+}  // namespace hc::analytics::kernels

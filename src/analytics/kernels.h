@@ -1,0 +1,132 @@
+// Optimized numeric kernels for the analytics compute plane.
+//
+// The bioinformatics applications (JMF, DELT, MF, DDI) are the repo's only
+// real wall-clock CPU work; this layer replaces the naive triple-loop
+// Matrix methods on their hot paths with cache-blocked, row-partitioned,
+// allocation-free variants. Three design rules, in order:
+//
+//   1. *Bit-identical.* Every kernel performs the same floating-point
+//      operations in the same order as the naive Matrix method it
+//      replaces: per output cell, the k-reduction runs ascending into a
+//      single accumulator (or accumulates row-axpy style with k
+//      ascending, matching Matrix::multiply's zero-skip). Blocking only
+//      reorders *independent* cells, never one cell's reduction, so
+//      results are bitwise equal to the seed implementation.
+//   2. *Deterministic parallelism.* Work is partitioned over contiguous
+//      blocks of output rows; each cell is computed wholly by one worker
+//      in rule-1 order, and no two workers write the same cell. Results
+//      are therefore bit-identical across 1/2/4/8 workers.
+//   3. *Allocation-free.* Every kernel writes into a caller-owned
+//      destination (resized in place; a no-op once warm). Solvers keep the
+//      destinations in a per-solver Workspace so epoch loops allocate
+//      zero matrices after the first epoch.
+//
+// Reductions that feed back into solver state (Frobenius norms/distances,
+// fit errors) intentionally stay serial: a parallel reduction would change
+// summation order and break rule 1 for a part that is O(n^2) against the
+// kernels' O(n^2 k).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analytics/matrix.h"
+
+namespace hc::analytics::kernels {
+
+/// Rows per parallel task. Fixed (not derived from the worker count) so
+/// the work decomposition — and with it every write pattern — is the same
+/// no matter how many workers execute it.
+inline constexpr std::size_t kRowBlock = 16;
+/// Column tile for the dot-product kernels (multiply_transposed, syrk):
+/// keeps the active slice of B's rows resident across an output-row block.
+inline constexpr std::size_t kColBlock = 64;
+
+/// out = a * b. Same axpy formulation as Matrix::multiply, including the
+/// skip of zero a(i,k) entries (mask-heavy residuals are common).
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out,
+                   std::size_t workers = 1);
+
+/// out = a * b^T (dot products of rows; both operands walk contiguously).
+void multiply_transposed_into(const Matrix& a, const Matrix& b, Matrix& out,
+                              std::size_t workers = 1);
+
+/// out = a^T * b without materializing a^T. Matches
+/// a.transpose().multiply(b) bitwise (k ascending, zero-skip on a(k,j)).
+void transpose_multiply_into(const Matrix& a, const Matrix& b, Matrix& out,
+                             std::size_t workers = 1);
+
+/// out = a^T, block-tiled.
+void transpose_into(const Matrix& a, Matrix& out);
+
+/// Symmetric rank-k: out = f * f^T. Computes only the upper triangle
+/// (halving the flops of multiply_transposed_into(f, f, ...)) and mirrors
+/// it in a second parallel pass; mirroring copies bits, so the result is
+/// bitwise equal to the full computation.
+void syrk_into(const Matrix& f, Matrix& out, std::size_t workers = 1);
+
+/// out = s - m, elementwise.
+void sub_into(const Matrix& s, const Matrix& m, Matrix& out,
+              std::size_t workers = 1);
+
+/// Fused residual: out = r - u * v^T in one pass, no u*v^T temporary.
+/// Bitwise equal to {tmp = u.multiply_transposed(v); out = r;
+/// out.add_scaled(tmp, -1.0)} — IEEE a + (-1.0)*d == a - d.
+void residual_into(const Matrix& r, const Matrix& u, const Matrix& v, Matrix& out,
+                   std::size_t workers = 1);
+
+/// Fused masked residual for plain MF: out(i,j) = observed(i,j) - dot(u.row(i),
+/// v.row(j)) where mask(i,j) != 0, else 0. Bitwise equal to the seed loop
+/// {Matrix residual(rows, cols); if (mask) residual = observed - predict}.
+void masked_residual_into(const Matrix& observed, const Matrix& mask, const Matrix& u,
+                          const Matrix& v, Matrix& out, std::size_t workers = 1);
+
+/// Fused symmetric residual: out = s - f * f^T, upper triangle + mirror.
+/// Precondition: s is bitwise symmetric (true of every similarity matrix) —
+/// the mirror pass copies out(j, i) into out(i, j), which equals
+/// s(i, j) - dot(i, j) only when s(i, j) == s(j, i).
+void syrk_residual_into(const Matrix& s, const Matrix& f, Matrix& out,
+                        std::size_t workers = 1);
+
+/// Fused similarity-gradient contribution: grad += factor * ((s - m) * f)
+/// with no materialized s-m or product matrix. Each output row's product
+/// accumulates into scratch.row(i) (rows of scratch are owned by the same
+/// worker as rows of grad, so writes stay disjoint). Bitwise equal to
+/// {sub_into; multiply_into; add_scaled_into} composed.
+void sub_multiply_add_into(Matrix& grad, const Matrix& s, const Matrix& m,
+                           const Matrix& f, double factor, Matrix& scratch,
+                           std::size_t workers = 1);
+
+/// Multi-source form of sub_multiply_add_into: for each source s (in
+/// ascending order), grad += factors[s] * ((sources[s] - m) * f), fused
+/// into one sweep so m's rows and f's rows are loaded once per (i, k)
+/// instead of once per source. Per grad cell the per-source additions
+/// land in ascending s order and each source's row product accumulates
+/// ascending-k with the same zero-skip, so the result is bitwise equal to
+/// calling sub_multiply_add_into once per source in order. Requires
+/// factors.size() == sources.size(); scratch holds one accumulator row
+/// per (output row, fused source).
+void fused_sub_multiply_add_into(Matrix& grad, const std::vector<Matrix>& sources,
+                                 const Matrix& m, const Matrix& f,
+                                 const std::vector<double>& factors,
+                                 Matrix& scratch, std::size_t workers = 1);
+
+/// Fused out = (r - u * v^T)^T * f with no materialized residual or
+/// transpose. Bitwise equal to {residual_into(r, u, v, tmp);
+/// transpose_multiply_into(tmp, f, out)} — each residual cell is the same
+/// ascending-k dot subtracted from r, consumed in the same ascending-row
+/// axpy order with the same zero-skip.
+void residual_transpose_multiply_into(const Matrix& r, const Matrix& u,
+                                      const Matrix& v, const Matrix& f, Matrix& out,
+                                      std::size_t workers = 1);
+
+/// dst += factor * src over a row partition (the elementwise epilogue of
+/// the gradient updates). Bitwise equal to Matrix::add_scaled.
+void add_scaled_into(Matrix& dst, const Matrix& src, double factor,
+                     std::size_t workers = 1);
+
+/// max(0, x) projection over a row partition (bitwise equal to the
+/// serial loop — each cell is independent).
+void clamp_nonnegative(Matrix& m, std::size_t workers = 1);
+
+}  // namespace hc::analytics::kernels

@@ -21,6 +21,17 @@ Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng, double lo,
   return m;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+Matrix& Matrix::fill(double value) {
+  for (auto& v : data_) v = value;
+  return *this;
+}
+
 Matrix Matrix::transpose() const {
   Matrix out(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -29,6 +29,20 @@ class Matrix {
   double* row(std::size_t r) { return data_.data() + r * cols_; }
   const double* row(std::size_t r) const { return data_.data() + r * cols_; }
 
+  /// Whole backing store (row-major, rows()*cols() doubles). For kernels
+  /// and bitwise comparisons in tests.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  /// Reshapes in place without shrinking capacity — the workspace
+  /// primitive: after the first epoch every resize() is a no-op and the
+  /// solver allocates nothing. Contents are unspecified after a shape
+  /// change; kernels writing `into` a matrix overwrite every cell.
+  void resize(std::size_t rows, std::size_t cols);
+
+  Matrix& fill(double value);
+
   Matrix transpose() const;
   Matrix multiply(const Matrix& other) const;        // this * other
   Matrix multiply_transposed(const Matrix& other) const;  // this * other^T

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analytics/kernels.h"
+
 namespace hc::analytics {
 
 double MfModel::predict(std::size_t row, std::size_t col) const {
@@ -14,7 +16,7 @@ double MfModel::predict(std::size_t row, std::size_t col) const {
 }
 
 MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& config,
-                  Rng& rng) {
+                  Rng& rng, MfWorkspace* workspace) {
   if (!observed.same_shape(mask)) {
     throw std::invalid_argument("factorize: observed/mask shape mismatch");
   }
@@ -25,32 +27,28 @@ MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& co
   model.u = Matrix::random(rows, config.rank, rng, 0.0, 0.1);
   model.v = Matrix::random(cols, config.rank, rng, 0.0, 0.1);
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    // Residual on observed cells.
-    Matrix residual(rows, cols);
-    for (std::size_t i = 0; i < rows; ++i) {
-      for (std::size_t j = 0; j < cols; ++j) {
-        if (mask(i, j) != 0.0) residual(i, j) = observed(i, j) - model.predict(i, j);
-      }
-    }
-    // Gradient step: U += lr*(E V - reg U); V += lr*(E^T U - reg V).
-    Matrix grad_u = residual.multiply(model.v);
-    grad_u.add_scaled(model.u, -config.regularization);
-    Matrix grad_v = residual.transpose().multiply(model.u);
-    grad_v.add_scaled(model.v, -config.regularization);
+  MfWorkspace local_workspace;
+  MfWorkspace& ws = workspace ? *workspace : local_workspace;
+  std::size_t w = config.workers;
 
-    model.u.add_scaled(grad_u, config.learning_rate);
-    model.v.add_scaled(grad_v, config.learning_rate);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Residual on observed cells: the per-cell operator()/predict() walk of
+    // the seed is fused into one row-pointer kernel pass.
+    kernels::masked_residual_into(observed, mask, model.u, model.v, ws.residual, w);
+    // Gradient step: U += lr*(E V - reg U); V += lr*(E^T U - reg V). Both
+    // gradients read the pre-update factors, so compute them before either
+    // factor moves.
+    kernels::multiply_into(ws.residual, model.v, ws.grad_u, w);
+    kernels::add_scaled_into(ws.grad_u, model.u, -config.regularization, w);
+    kernels::transpose_multiply_into(ws.residual, model.u, ws.grad_v, w);
+    kernels::add_scaled_into(ws.grad_v, model.v, -config.regularization, w);
+
+    kernels::add_scaled_into(model.u, ws.grad_u, config.learning_rate, w);
+    kernels::add_scaled_into(model.v, ws.grad_v, config.learning_rate, w);
 
     // Non-negativity projection keeps factors interpretable.
-    for (std::size_t i = 0; i < rows; ++i) {
-      double* row = model.u.row(i);
-      for (std::size_t k = 0; k < config.rank; ++k) row[k] = std::max(0.0, row[k]);
-    }
-    for (std::size_t j = 0; j < cols; ++j) {
-      double* row = model.v.row(j);
-      for (std::size_t k = 0; k < config.rank; ++k) row[k] = std::max(0.0, row[k]);
-    }
+    kernels::clamp_nonnegative(model.u, w);
+    kernels::clamp_nonnegative(model.v, w);
   }
   return model;
 }

@@ -19,6 +19,9 @@ struct MfConfig {
   double learning_rate = 0.05;
   double regularization = 0.02;
   int epochs = 200;
+  /// Worker threads for the epoch-loop kernels. Results are bit-identical
+  /// for any worker count (see kernels.h rule 2).
+  std::size_t workers = 1;
 };
 
 struct MfModel {
@@ -30,11 +33,19 @@ struct MfModel {
   Matrix scores() const { return u.multiply_transposed(v); }
 };
 
+/// Reusable buffers for factorize(); pass the same instance across calls to
+/// keep epoch loops allocation-free after warm-up.
+struct MfWorkspace {
+  Matrix residual;
+  Matrix grad_u;
+  Matrix grad_v;
+};
+
 /// Factorizes `observed` over cells where mask(r,c) != 0 using full-batch
 /// gradient descent with non-negativity projection. Throws on shape
 /// mismatch.
 MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& config,
-                  Rng& rng);
+                  Rng& rng, MfWorkspace* workspace = nullptr);
 
 /// Guilt by Association [33]: score(i, j) = sum_k sim(i, k) * R(k, j)
 /// normalized by total similarity — a drug inherits the diseases of the

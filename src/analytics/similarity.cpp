@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/executor.h"
+
 namespace hc::analytics {
 
 double tanimoto(const Fingerprint& a, const Fingerprint& b) {
@@ -29,31 +31,39 @@ double cosine(const std::vector<double>& a, const std::vector<double>& b) {
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 
-Matrix similarity_matrix(const std::vector<Fingerprint>& fingerprints) {
+Matrix similarity_matrix(const std::vector<Fingerprint>& fingerprints,
+                         std::size_t workers) {
   std::size_t n = fingerprints.size();
   Matrix sim(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    sim(i, i) = 1.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      double s = tanimoto(fingerprints[i], fingerprints[j]);
-      sim(i, j) = s;
-      sim(j, i) = s;
-    }
-  }
+  exec::parallel_for(
+      n, workers,
+      [&](std::size_t i) {
+        sim(i, i) = 1.0;
+        for (std::size_t j = i + 1; j < n; ++j) {
+          double s = tanimoto(fingerprints[i], fingerprints[j]);
+          sim(i, j) = s;
+          sim(j, i) = s;
+        }
+      },
+      /*grain=*/8);
   return sim;
 }
 
-Matrix cosine_similarity_matrix(const std::vector<std::vector<double>>& profiles) {
+Matrix cosine_similarity_matrix(const std::vector<std::vector<double>>& profiles,
+                                std::size_t workers) {
   std::size_t n = profiles.size();
   Matrix sim(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    sim(i, i) = 1.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      double s = cosine(profiles[i], profiles[j]);
-      sim(i, j) = s;
-      sim(j, i) = s;
-    }
-  }
+  exec::parallel_for(
+      n, workers,
+      [&](std::size_t i) {
+        sim(i, i) = 1.0;
+        for (std::size_t j = i + 1; j < n; ++j) {
+          double s = cosine(profiles[i], profiles[j]);
+          sim(i, j) = s;
+          sim(j, i) = s;
+        }
+      },
+      /*grain=*/8);
   return sim;
 }
 

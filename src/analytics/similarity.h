@@ -25,9 +25,15 @@ double tanimoto(const Fingerprint& a, const Fingerprint& b);
 double cosine(const std::vector<double>& a, const std::vector<double>& b);
 
 /// Pairwise Tanimoto similarity matrix (symmetric, unit diagonal).
-Matrix similarity_matrix(const std::vector<Fingerprint>& fingerprints);
+/// Parallel over rows: the owner of row i writes sim(i, j) and its mirror
+/// sim(j, i) for all j > i, so every cell has exactly one writer and the
+/// result is bit-identical for any worker count.
+Matrix similarity_matrix(const std::vector<Fingerprint>& fingerprints,
+                         std::size_t workers = 1);
 
-/// Pairwise cosine similarity matrix for real profiles.
-Matrix cosine_similarity_matrix(const std::vector<std::vector<double>>& profiles);
+/// Pairwise cosine similarity matrix for real profiles (same row-ownership
+/// parallelization as similarity_matrix).
+Matrix cosine_similarity_matrix(const std::vector<std::vector<double>>& profiles,
+                                std::size_t workers = 1);
 
 }  // namespace hc::analytics

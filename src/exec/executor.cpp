@@ -121,9 +121,11 @@ std::uint64_t ThreadPool::completed() const {
 }
 
 void parallel_for(std::size_t n, std::size_t workers,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
   if (n == 0) return;
-  if (workers <= 1 || n == 1) {
+  if (grain == 0) grain = 1;
+  std::size_t chunks = (n + grain - 1) / grain;
+  if (workers <= 1 || chunks == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -131,17 +133,20 @@ void parallel_for(std::size_t n, std::size_t workers,
   std::atomic<bool> failed{false};
   auto run = [&] {
     for (;;) {
-      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks || failed.load(std::memory_order_relaxed)) return;
+      std::size_t begin = chunk * grain;
+      std::size_t end = std::min(n, begin + grain);
       try {
-        fn(i);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         throw;  // captured by the pool, rethrown from drain()
       }
     }
   };
-  ThreadPool pool(std::min(workers, n), std::min(workers, n));
+  std::size_t pool_size = std::min(workers, chunks);
+  ThreadPool pool(pool_size, pool_size);
   for (std::size_t w = 0; w < pool.worker_count(); ++w) pool.submit(run);
   pool.drain();  // rethrows the first task exception
   pool.shutdown();

@@ -101,8 +101,15 @@ class ThreadPool {
 /// out dynamically, so uneven per-index cost still balances. Rethrows the
 /// first exception any invocation raised; remaining indices may be skipped
 /// once an error is recorded.
+///
+/// `grain` is the minimum chunk size: indices are handed out in contiguous
+/// runs of `grain` (the last run may be shorter), so per-index bodies that
+/// are cheap relative to an atomic fetch don't pay dispatch overhead once
+/// per index. grain <= 1 keeps the historical index-at-a-time behaviour.
+/// A worker runs its chunk's indices in ascending order, so loops whose
+/// writes are disjoint per index stay deterministic for any grain.
 void parallel_for(std::size_t n, std::size_t workers,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn, std::size_t grain = 1);
 
 /// std::thread::hardware_concurrency() with a floor of 1.
 std::size_t hardware_workers();

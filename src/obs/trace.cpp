@@ -23,4 +23,25 @@ SimTime TraceSpan::finish() {
   return took_;
 }
 
+WallSpan::WallSpan(MetricsRegistry* metrics, std::string name)
+    : metrics_(metrics), name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+WallSpan::~WallSpan() { finish(); }
+
+double WallSpan::elapsed_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   start_)
+      .count();
+}
+
+double WallSpan::finish() {
+  if (!finished_) {
+    finished_ = true;
+    took_us_ = elapsed_us();
+    if (metrics_) metrics_->observe(name_, took_us_, "us");
+  }
+  return took_us_;
+}
+
 }  // namespace hc::obs

@@ -11,6 +11,7 @@
 //   // span destructor records elapsed microseconds
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "common/clock.h"
@@ -42,6 +43,43 @@ class TraceSpan {
   std::string name_;
   SimTime start_ = 0;
   SimTime took_ = 0;
+  bool finished_ = false;
+};
+
+/// WallSpan — scoped *wall-clock* timer feeding a latency histogram.
+///
+/// The compute-plane kernels do real CPU work that the SimClock never sees,
+/// so benches time them against std::chrono::steady_clock instead. Same
+/// contract as TraceSpan (nullable registry = no-op, record on finish() or
+/// destruction, idempotent); by convention names end in `_wall_us` so
+/// sim-time and wall-time series stay distinguishable in one export.
+///
+///   obs::WallSpan span(metrics.get(), "hc.analytics.jmf.epoch_wall_us");
+///   ... do real work ...
+///   // span destructor records elapsed wall microseconds
+class WallSpan {
+ public:
+  /// `metrics` may be null, making the span a no-op.
+  WallSpan(MetricsRegistry* metrics, std::string name);
+
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+  ~WallSpan();
+
+  /// Records the sample now and returns the elapsed wall microseconds.
+  /// Idempotent: repeated calls return the duration frozen at the first
+  /// finish().
+  double finish();
+
+  /// Elapsed wall microseconds so far without recording.
+  double elapsed_us() const;
+
+ private:
+  MetricsRegistry* metrics_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  double took_us_ = 0.0;
   bool finished_ = false;
 };
 

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "analytics/ddi.h"
 #include "analytics/delt.h"
 #include "analytics/emr.h"
 #include "analytics/jmf.h"
+#include "analytics/kernels.h"
 #include "analytics/lifecycle.h"
 #include "analytics/matrix.h"
 #include "analytics/metrics.h"
@@ -14,6 +17,28 @@
 
 namespace hc::analytics {
 namespace {
+
+/// Exact bitwise equality — the compute-plane contract is bit-identity with
+/// the naive kernels, not tolerance-level agreement.
+bool bit_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Random matrix with ~30% exact zeros so the kernels' zero-skip branches
+/// (inherited from Matrix::multiply) are exercised, not just dense paths.
+Matrix random_sparse(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m = Matrix::random(rows, cols, rng, -1.0, 1.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* row = m.row(i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.uniform_int(0, 9) < 3) row[j] = 0.0;
+    }
+  }
+  return m;
+}
+
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
 
 // ---------------------------------------------------------------- matrix
 
@@ -67,6 +92,242 @@ TEST(Matrix, NormAndScale) {
   EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
   m.scale(2.0);
   EXPECT_DOUBLE_EQ(m.frobenius_norm(), 10.0);
+}
+
+TEST(Matrix, ResizeIsInPlaceAndFillSetsEveryCell) {
+  Matrix m(3, 4, 2.0);
+  const double* before = m.data();
+  m.resize(3, 4);  // same shape: must be a no-op that keeps contents
+  EXPECT_EQ(m.data(), before);
+  EXPECT_DOUBLE_EQ(m(2, 3), 2.0);
+
+  m.resize(6, 2);
+  EXPECT_EQ(m.rows(), 6u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.size(), 12u);
+  m.fill(1.5);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(m.data()[i], 1.5);
+}
+
+// ---------------------------------------------------------------- kernels
+//
+// Randomized property tests: every blocked/parallel kernel must be
+// *bitwise* equal to the naive Matrix-method composition it replaces, for
+// sizes that straddle block boundaries and for 1/2/4/8 workers.
+
+TEST(Kernels, MultiplyMatchesNaiveBitwise) {
+  Rng rng(93);
+  const std::size_t shapes[][3] = {{5, 1, 3}, {17, 9, 23}, {48, 16, 70}, {33, 40, 65}};
+  for (const auto& s : shapes) {
+    Matrix a = random_sparse(s[0], s[1], rng);
+    Matrix b = random_sparse(s[1], s[2], rng);
+    Matrix expected = a.multiply(b);
+    for (std::size_t workers : kWorkerCounts) {
+      Matrix out;
+      kernels::multiply_into(a, b, out, workers);
+      EXPECT_TRUE(bit_equal(expected, out))
+          << s[0] << "x" << s[1] << "x" << s[2] << " workers=" << workers;
+    }
+  }
+}
+
+TEST(Kernels, MultiplyTransposedMatchesNaiveBitwise) {
+  Rng rng(94);
+  const std::size_t shapes[][3] = {{7, 5, 11}, {30, 12, 67}, {65, 9, 65}};
+  for (const auto& s : shapes) {
+    Matrix a = random_sparse(s[0], s[1], rng);
+    Matrix b = random_sparse(s[2], s[1], rng);
+    Matrix expected = a.multiply_transposed(b);
+    for (std::size_t workers : kWorkerCounts) {
+      Matrix out;
+      kernels::multiply_transposed_into(a, b, out, workers);
+      EXPECT_TRUE(bit_equal(expected, out)) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Kernels, TransposeMultiplyMatchesNaiveBitwise) {
+  Rng rng(95);
+  const std::size_t shapes[][3] = {{9, 7, 5}, {41, 33, 18}, {70, 65, 10}};
+  for (const auto& s : shapes) {
+    Matrix a = random_sparse(s[0], s[1], rng);
+    Matrix b = random_sparse(s[0], s[2], rng);
+    Matrix expected = a.transpose().multiply(b);
+    for (std::size_t workers : kWorkerCounts) {
+      Matrix out;
+      kernels::transpose_multiply_into(a, b, out, workers);
+      EXPECT_TRUE(bit_equal(expected, out)) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Kernels, TransposeMatchesNaiveBitwise) {
+  Rng rng(96);
+  Matrix a = random_sparse(37, 53, rng);
+  Matrix expected = a.transpose();
+  Matrix out;
+  kernels::transpose_into(a, out);
+  EXPECT_TRUE(bit_equal(expected, out));
+}
+
+TEST(Kernels, SyrkMatchesFullProductBitwise) {
+  Rng rng(97);
+  for (std::size_t n : {3u, 16u, 41u, 77u}) {
+    Matrix f = random_sparse(n, 9, rng);
+    Matrix expected = f.multiply_transposed(f);
+    for (std::size_t workers : kWorkerCounts) {
+      Matrix out;
+      kernels::syrk_into(f, out, workers);
+      EXPECT_TRUE(bit_equal(expected, out)) << "n=" << n << " workers=" << workers;
+    }
+  }
+}
+
+TEST(Kernels, ResidualMatchesComposedNaiveBitwise) {
+  Rng rng(98);
+  Matrix u = random_sparse(35, 6, rng);
+  Matrix v = random_sparse(27, 6, rng);
+  Matrix r = random_sparse(35, 27, rng);
+  // Seed formulation: residual = R + (-1.0) * (U V^T).
+  Matrix expected = r;
+  expected.add_scaled(u.multiply_transposed(v), -1.0);
+  for (std::size_t workers : kWorkerCounts) {
+    Matrix out;
+    kernels::residual_into(r, u, v, out, workers);
+    EXPECT_TRUE(bit_equal(expected, out)) << "workers=" << workers;
+  }
+}
+
+TEST(Kernels, SyrkResidualMatchesComposedNaiveBitwise) {
+  Rng rng(99);
+  Matrix f = random_sparse(44, 7, rng);
+  // s must be bitwise symmetric (the kernel's documented precondition —
+  // it mirrors the upper triangle, as similarity matrices allow).
+  Matrix s = random_sparse(44, 44, rng);
+  for (std::size_t i = 0; i < 44; ++i) {
+    for (std::size_t j = i + 1; j < 44; ++j) s(j, i) = s(i, j);
+  }
+  Matrix expected = s;
+  expected.add_scaled(f.multiply_transposed(f), -1.0);
+  for (std::size_t workers : kWorkerCounts) {
+    Matrix out;
+    kernels::syrk_residual_into(s, f, out, workers);
+    EXPECT_TRUE(bit_equal(expected, out)) << "workers=" << workers;
+  }
+}
+
+TEST(Kernels, SubMultiplyAddMatchesComposedNaiveBitwise) {
+  Rng rng(100);
+  Matrix s = random_sparse(38, 38, rng);
+  Matrix m = random_sparse(38, 38, rng);
+  Matrix f = random_sparse(38, 8, rng);
+  Matrix base = random_sparse(38, 8, rng);
+  // Seed formulation: grad += factor * ((S - M) * F) via explicit temporaries.
+  Matrix diff = s;
+  diff.add_scaled(m, -1.0);
+  Matrix expected = base;
+  expected.add_scaled(diff.multiply(f), 0.37);
+  for (std::size_t workers : kWorkerCounts) {
+    Matrix grad = base;
+    Matrix scratch;
+    kernels::sub_multiply_add_into(grad, s, m, f, 0.37, scratch, workers);
+    EXPECT_TRUE(bit_equal(expected, grad)) << "workers=" << workers;
+  }
+}
+
+TEST(Kernels, FusedSubMultiplyAddMatchesSequentialBitwise) {
+  Rng rng(103);
+  std::vector<Matrix> sources;
+  for (int i = 0; i < 3; ++i) sources.push_back(random_sparse(33, 33, rng));
+  Matrix m = random_sparse(33, 33, rng);
+  Matrix f = random_sparse(33, 7, rng);
+  Matrix base = random_sparse(33, 7, rng);
+  std::vector<double> factors = {0.37, -0.12, 0.81};
+  // Reference: sequential per-source sub_multiply_add_into calls. The fused
+  // kernel promises the exact same ascending-source per-cell add order.
+  Matrix expected = base;
+  Matrix scratch;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    kernels::sub_multiply_add_into(expected, sources[i], m, f, factors[i],
+                                   scratch, 1);
+  }
+  for (std::size_t workers : kWorkerCounts) {
+    Matrix grad = base;
+    Matrix fused_scratch;
+    kernels::fused_sub_multiply_add_into(grad, sources, m, f, factors,
+                                         fused_scratch, workers);
+    EXPECT_TRUE(bit_equal(expected, grad)) << "workers=" << workers;
+  }
+}
+
+TEST(Kernels, ResidualTransposeMultiplyMatchesComposedNaiveBitwise) {
+  Rng rng(101);
+  Matrix u = random_sparse(31, 5, rng);
+  Matrix v = random_sparse(24, 5, rng);
+  Matrix r = random_sparse(31, 24, rng);
+  Matrix f = random_sparse(31, 9, rng);
+  Matrix residual = r;
+  residual.add_scaled(u.multiply_transposed(v), -1.0);
+  Matrix expected = residual.transpose().multiply(f);
+  for (std::size_t workers : kWorkerCounts) {
+    Matrix out;
+    kernels::residual_transpose_multiply_into(r, u, v, f, out, workers);
+    EXPECT_TRUE(bit_equal(expected, out)) << "workers=" << workers;
+  }
+}
+
+TEST(Kernels, MaskedResidualMatchesPerCellLoopBitwise) {
+  Rng rng(102);
+  Matrix u = random_sparse(29, 6, rng);
+  Matrix v = random_sparse(22, 6, rng);
+  Matrix observed = random_sparse(29, 22, rng);
+  Matrix mask(29, 22);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng.uniform_int(0, 3) == 0 ? 0.0 : 1.0;
+  }
+  // Seed formulation: zero-initialized residual, per-cell predict().
+  Matrix expected(29, 22);
+  for (std::size_t i = 0; i < 29; ++i) {
+    for (std::size_t j = 0; j < 22; ++j) {
+      if (mask(i, j) == 0.0) continue;
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) dot += u(i, k) * v(j, k);
+      expected(i, j) = observed(i, j) - dot;
+    }
+  }
+  for (std::size_t workers : kWorkerCounts) {
+    Matrix out;
+    kernels::masked_residual_into(observed, mask, u, v, out, workers);
+    EXPECT_TRUE(bit_equal(expected, out)) << "workers=" << workers;
+  }
+}
+
+TEST(Kernels, AddScaledAndClampMatchNaiveBitwise) {
+  Rng rng(103);
+  Matrix base = random_sparse(45, 19, rng);
+  Matrix src = random_sparse(45, 19, rng);
+  Matrix expected = base;
+  expected.add_scaled(src, -0.81);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected.data()[i] = std::max(0.0, expected.data()[i]);
+  }
+  for (std::size_t workers : kWorkerCounts) {
+    Matrix dst = base;
+    kernels::add_scaled_into(dst, src, -0.81, workers);
+    kernels::clamp_nonnegative(dst, workers);
+    EXPECT_TRUE(bit_equal(expected, dst)) << "workers=" << workers;
+  }
+}
+
+TEST(Kernels, ShapeMismatchesThrow) {
+  Matrix a(3, 4), b(5, 6), out;
+  EXPECT_THROW(kernels::multiply_into(a, b, out), std::invalid_argument);
+  EXPECT_THROW(kernels::multiply_transposed_into(a, b, out), std::invalid_argument);
+  EXPECT_THROW(kernels::transpose_multiply_into(a, b, out), std::invalid_argument);
+  EXPECT_THROW(kernels::sub_into(a, b, out), std::invalid_argument);
+  EXPECT_THROW(kernels::residual_into(a, a, b, out), std::invalid_argument);
+  EXPECT_THROW(kernels::syrk_residual_into(a, b, out), std::invalid_argument);
+  EXPECT_THROW(kernels::add_scaled_into(a, b, 1.0), std::invalid_argument);
 }
 
 // --------------------------------------------------------------- metrics
@@ -189,6 +450,28 @@ TEST(Similarity, MatrixSymmetricUnitDiagonal) {
   }
 }
 
+TEST(Similarity, MatricesBitIdenticalAcrossWorkerCounts) {
+  Rng rng(92);
+  std::vector<Fingerprint> fingerprints(37);
+  for (auto& fp : fingerprints) {
+    fp.resize(64);
+    for (auto& bit : fp) bit = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+  }
+  std::vector<std::vector<double>> profiles(37);
+  for (auto& profile : profiles) {
+    profile.resize(16);
+    for (auto& x : profile) x = rng.normal();
+  }
+  Matrix base_tanimoto = similarity_matrix(fingerprints, 1);
+  Matrix base_cosine = cosine_similarity_matrix(profiles, 1);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    EXPECT_TRUE(bit_equal(base_tanimoto, similarity_matrix(fingerprints, workers)))
+        << "workers=" << workers;
+    EXPECT_TRUE(bit_equal(base_cosine, cosine_similarity_matrix(profiles, workers)))
+        << "workers=" << workers;
+  }
+}
+
 // ------------------------------------------------------------------- MF
 
 TEST(Mf, ReconstructsLowRankMatrix) {
@@ -214,6 +497,68 @@ TEST(Mf, MaskLimitsFitting) {
   config.epochs = 50;
   MfModel model = factorize(observed, mask, config, rng);
   EXPECT_LT(model.scores().frobenius_norm(), 1.0);
+}
+
+/// Verbatim copy of the pre-kernel factorize() — per-cell operator() and
+/// predict() walks, fresh temporaries every epoch. Kept as the equivalence
+/// oracle for the row-pointer kernel rewrite.
+MfModel factorize_reference(const Matrix& observed, const Matrix& mask,
+                            const MfConfig& config, Rng& rng) {
+  std::size_t rows = observed.rows();
+  std::size_t cols = observed.cols();
+  MfModel model;
+  model.u = Matrix::random(rows, config.rank, rng, 0.0, 0.1);
+  model.v = Matrix::random(cols, config.rank, rng, 0.0, 0.1);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Matrix residual(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (mask(i, j) != 0.0) residual(i, j) = observed(i, j) - model.predict(i, j);
+      }
+    }
+    Matrix grad_u = residual.multiply(model.v);
+    grad_u.add_scaled(model.u, -config.regularization);
+    Matrix grad_v = residual.transpose().multiply(model.u);
+    grad_v.add_scaled(model.v, -config.regularization);
+    model.u.add_scaled(grad_u, config.learning_rate);
+    model.v.add_scaled(grad_v, config.learning_rate);
+    for (std::size_t i = 0; i < rows; ++i) {
+      double* row = model.u.row(i);
+      for (std::size_t k = 0; k < config.rank; ++k) row[k] = std::max(0.0, row[k]);
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+      double* row = model.v.row(j);
+      for (std::size_t k = 0; k < config.rank; ++k) row[k] = std::max(0.0, row[k]);
+    }
+  }
+  return model;
+}
+
+TEST(Mf, KernelRewriteBitIdenticalToPerCellReference) {
+  Rng setup_rng(90);
+  Matrix u_true = Matrix::random(33, 4, setup_rng, 0.0, 1.0);
+  Matrix v_true = Matrix::random(21, 4, setup_rng, 0.0, 1.0);
+  Matrix observed = u_true.multiply_transposed(v_true);
+  Matrix mask(33, 21);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = setup_rng.uniform_int(0, 3) == 0 ? 0.0 : 1.0;
+  }
+
+  MfConfig config;
+  config.rank = 4;
+  config.epochs = 60;
+  Rng ref_rng(7);
+  MfModel reference = factorize_reference(observed, mask, config, ref_rng);
+
+  for (std::size_t workers : kWorkerCounts) {
+    Rng rng(7);
+    MfConfig c = config;
+    c.workers = workers;
+    MfWorkspace workspace;
+    MfModel model = factorize(observed, mask, c, rng, &workspace);
+    EXPECT_TRUE(bit_equal(reference.u, model.u)) << "workers=" << workers;
+    EXPECT_TRUE(bit_equal(reference.v, model.v)) << "workers=" << workers;
+  }
 }
 
 TEST(Mf, GuiltByAssociationPropagates) {
@@ -334,6 +679,78 @@ TEST_F(JmfFixture, RejectsBadInputs) {
                std::invalid_argument);
 }
 
+TEST_F(JmfFixture, FastKernelsBitIdenticalToNaiveAcrossWorkers) {
+  auto run = [&](bool fast, std::size_t workers) {
+    Rng rng(12345);
+    JmfConfig config = jmf_config();
+    config.use_fast_kernels = fast;
+    config.workers = workers;
+    return joint_matrix_factorization(workload_.observed, workload_.drug_similarities,
+                                      workload_.disease_similarities, config, rng);
+  };
+  auto naive = run(false, 1);
+  for (std::size_t workers : kWorkerCounts) {
+    auto fast = run(true, workers);
+    EXPECT_TRUE(bit_equal(naive.scores, fast.scores)) << "workers=" << workers;
+    EXPECT_EQ(naive.objective_history, fast.objective_history)
+        << "workers=" << workers;
+    EXPECT_EQ(naive.drug_source_weights, fast.drug_source_weights)
+        << "workers=" << workers;
+    EXPECT_EQ(naive.disease_source_weights, fast.disease_source_weights)
+        << "workers=" << workers;
+  }
+}
+
+TEST_F(JmfFixture, GoldenOutputUnchangedFromSeed) {
+  // Values captured from the pre-kernel seed implementation on this exact
+  // fixture (Rng 84, 60x40, rank 8, 80 epochs). The compute-plane rewrite
+  // promises bit-identical results, so these must hold to the last digit;
+  // a tolerance here would let a silent numerics change through.
+  auto result = joint_matrix_factorization(workload_.observed,
+                                           workload_.drug_similarities,
+                                           workload_.disease_similarities,
+                                           jmf_config(), rng_);
+  EXPECT_DOUBLE_EQ(result.objective_history.front(), 397.43594523175761);
+  EXPECT_DOUBLE_EQ(result.objective_history.back(), 81.040102680138972);
+  ASSERT_EQ(result.drug_source_weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.drug_source_weights[0], 0.83701674982573671);
+  EXPECT_DOUBLE_EQ(result.drug_source_weights[1], 0.16273478878216327);
+  EXPECT_DOUBLE_EQ(result.drug_source_weights[2], 0.00024846139209992361);
+  // The seed's top-ranked score cells, in rank order — pins the ranking the
+  // repositioning pipeline would emit.
+  EXPECT_DOUBLE_EQ(result.scores(42, 37), 1.1807680540438326);
+  EXPECT_DOUBLE_EQ(result.scores(55, 35), 1.0936356367121403);
+  EXPECT_DOUBLE_EQ(result.scores(30, 35), 1.0463586709694173);
+  EXPECT_DOUBLE_EQ(result.scores(42, 7), 1.0320486189451596);
+  EXPECT_DOUBLE_EQ(result.scores(47, 37), 0.99336446673578083);
+  EXPECT_DOUBLE_EQ(result.scores(10, 35), 0.98331323534434811);
+  EXPECT_DOUBLE_EQ(result.scores(55, 0), 0.98100249764699166);
+  EXPECT_DOUBLE_EQ(result.scores(55, 25), 0.97620495313297906);
+  EXPECT_DOUBLE_EQ(result.scores(59, 29), 0.97608681820482435);
+  EXPECT_DOUBLE_EQ(result.scores(55, 20), 0.95269942450022504);
+  // Two arbitrary non-top cells guard the rest of the matrix.
+  EXPECT_DOUBLE_EQ(result.scores(0, 0), 0.77012274226351274);
+  EXPECT_DOUBLE_EQ(result.scores(30, 20), 0.90725986529573632);
+}
+
+TEST_F(JmfFixture, WorkspaceReuseAcrossCallsIsBitIdentical) {
+  JmfConfig config = jmf_config();
+  config.workers = 2;
+  JmfWorkspace workspace;
+  Rng r1(5), r2(5);
+  auto cold = joint_matrix_factorization(workload_.observed,
+                                         workload_.drug_similarities,
+                                         workload_.disease_similarities, config, r1,
+                                         &workspace);
+  // Second call reuses the warm workspace; stale contents must not leak in.
+  auto warm = joint_matrix_factorization(workload_.observed,
+                                         workload_.drug_similarities,
+                                         workload_.disease_similarities, config, r2,
+                                         &workspace);
+  EXPECT_TRUE(bit_equal(cold.scores, warm.scores));
+  EXPECT_EQ(cold.objective_history, warm.objective_history);
+}
+
 // ----------------------------------------------------------------- DELT
 
 class DeltFixture : public ::testing::Test {
@@ -416,6 +833,39 @@ TEST_F(DeltFixture, EstimatesBaselinesNearTruth) {
   EXPECT_LT(total_error / static_cast<double>(dataset_.patients.size()), 0.5);
 }
 
+TEST_F(DeltFixture, GoldenEffectsUnchangedFromSeed) {
+  // Captured from the pre-parallel seed on this exact fixture (Rng 85, 800
+  // patients, 60 drugs, default DeltConfig). The per-patient solves are
+  // bit-identical under the parallel rewrite, so exact equality is required.
+  DeltModel model = fit_delt(dataset_, DeltConfig{});
+  EXPECT_DOUBLE_EQ(model.objective_history.front(), 329.99078366764337);
+  EXPECT_DOUBLE_EQ(model.objective_history.back(), 299.70086750655889);
+  // The six most negative betas, in rank order — the repositioning ranking.
+  EXPECT_DOUBLE_EQ(model.drug_effects[52], -0.56310748048539294);
+  EXPECT_DOUBLE_EQ(model.drug_effects[16], -0.49289802796316312);
+  EXPECT_DOUBLE_EQ(model.drug_effects[0], -0.36125195895391771);
+  EXPECT_DOUBLE_EQ(model.drug_effects[40], -0.30439780409436468);
+  EXPECT_DOUBLE_EQ(model.drug_effects[56], -0.30034072514954147);
+  EXPECT_DOUBLE_EQ(model.drug_effects[53], -0.21182358517683467);
+  EXPECT_DOUBLE_EQ(model.patient_baselines[0], 6.0657824151638042);
+  EXPECT_DOUBLE_EQ(model.patient_drifts[0], 0.079737947449063498);
+}
+
+TEST_F(DeltFixture, BitIdenticalAcrossWorkerCounts) {
+  DeltModel base = fit_delt(dataset_, DeltConfig{});
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    DeltConfig config;
+    config.workers = workers;
+    DeltModel model = fit_delt(dataset_, config);
+    EXPECT_EQ(base.drug_effects, model.drug_effects) << "workers=" << workers;
+    EXPECT_EQ(base.patient_baselines, model.patient_baselines)
+        << "workers=" << workers;
+    EXPECT_EQ(base.patient_drifts, model.patient_drifts) << "workers=" << workers;
+    EXPECT_EQ(base.objective_history, model.objective_history)
+        << "workers=" << workers;
+  }
+}
+
 TEST(Delt, RejectsEmptyDataset) {
   EXPECT_THROW(fit_delt(EmrDataset{}, DeltConfig{}), std::invalid_argument);
 }
@@ -456,6 +906,22 @@ TEST(Ddi, FeaturesBoundedAndKeyedToKnownPairs) {
       EXPECT_GE(f, 0.0);
       EXPECT_LE(f, 1.0);
     }
+  }
+}
+
+TEST(Ddi, TrainingBitIdenticalAcrossWorkerCounts) {
+  Rng rng(91);
+  auto workload = make_ddi_workload(40, 5, rng);
+  auto train = [&](std::size_t workers) {
+    DdiPredictor predictor(workload.similarities);
+    DdiConfig config;
+    config.workers = workers;
+    predictor.train(workload.train_positives, workload.train_negatives, config);
+    return predictor.weights();
+  };
+  auto base = train(1);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    EXPECT_EQ(base, train(workers)) << "workers=" << workers;
   }
 }
 

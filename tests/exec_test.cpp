@@ -173,6 +173,74 @@ TEST(ParallelFor, ZeroIterationsIsANoop) {
   parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
 }
 
+// --- parallel_for grain ----------------------------------------------------
+
+TEST(ParallelForGrain, CoversEveryIndexExactlyOnce) {
+  // Including n not divisible by grain: the tail chunk must still cover its
+  // partial range and nothing past n.
+  for (std::size_t grain : {1u, 7u, 16u, 1000u, 5000u}) {
+    constexpr std::size_t kN = 1003;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(
+        kN, 4,
+        [&hits](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+        grain);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ParallelForGrain, ChunksRunContiguouslyAscendingWithinChunk) {
+  // Each chunk's indices must arrive contiguously in ascending order —
+  // callers like the DELT patient solver rely on chunk-local locality.
+  constexpr std::size_t kN = 256;
+  constexpr std::size_t kGrain = 32;
+  std::mutex mu;
+  std::vector<std::vector<std::size_t>> chunk_orders((kN + kGrain - 1) / kGrain);
+  parallel_for(
+      kN, 4,
+      [&](std::size_t i) {
+        std::lock_guard lock(mu);
+        chunk_orders[i / kGrain].push_back(i);
+      },
+      kGrain);
+  for (std::size_t c = 0; c < chunk_orders.size(); ++c) {
+    const auto& order = chunk_orders[c];
+    ASSERT_EQ(order.size(), kGrain);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      EXPECT_EQ(order[k], c * kGrain + k) << "chunk " << c << " ran out of order";
+    }
+  }
+}
+
+TEST(ParallelForGrain, SingleChunkRunsInlineWithoutAtomics) {
+  std::size_t sum = 0;  // grain >= n collapses to one chunk: inline, no pool
+  parallel_for(10, 8, [&sum](std::size_t i) { sum += i; }, /*grain=*/10);
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(ParallelForGrain, PropagatesExceptionFromInsideChunk) {
+  EXPECT_THROW(
+      parallel_for(
+          100, 4,
+          [](std::size_t i) {
+            if (i == 63) throw std::runtime_error("index 63");
+          },
+          /*grain=*/8),
+      std::runtime_error);
+}
+
+TEST(ParallelForGrain, DefaultGrainMatchesHistoricalPerIndexDispatch) {
+  // Omitting grain must behave exactly like the pre-grain API: n tasks, all
+  // indices covered. (Guards the default argument.)
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(64, 3, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 64; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
 // --- shared-clock concurrency ---------------------------------------------
 
 TEST(SimClockConcurrency, ConcurrentAdvancesSumExactly) {

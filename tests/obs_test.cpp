@@ -257,5 +257,41 @@ TEST(TraceSpan, NullRegistryOrClockIsNoop) {
   EXPECT_TRUE(reg.empty());
 }
 
+// -------------------------------------------------------------- wallspan
+
+TEST(WallSpan, RecordsElapsedWallTimeOnDestruction) {
+  MetricsRegistry reg;
+  {
+    WallSpan span(&reg, "hc.test.kernel_wall_us");
+  }
+  const Histogram* h = reg.histogram("hc.test.kernel_wall_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_GE(h->sum, 0.0);  // wall time; only non-negativity is deterministic
+}
+
+TEST(WallSpan, FinishIsIdempotent) {
+  MetricsRegistry reg;
+  WallSpan span(&reg, "hc.test.kernel_wall_us");
+  double first = span.finish();
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(span.finish(), first);  // frozen at first finish()
+  EXPECT_EQ(reg.histogram("hc.test.kernel_wall_us")->count, 1u);
+}
+
+TEST(WallSpan, ElapsedReadsWithoutRecording) {
+  MetricsRegistry reg;
+  WallSpan span(&reg, "hc.test.kernel_wall_us");
+  EXPECT_GE(span.elapsed_us(), 0.0);
+  EXPECT_EQ(reg.histogram("hc.test.kernel_wall_us"), nullptr);
+}
+
+TEST(WallSpan, NullRegistryIsNoop) {
+  {
+    WallSpan span(nullptr, "hc.test.kernel_wall_us");
+    EXPECT_GE(span.finish(), 0.0);  // timing still works, nothing recorded
+  }
+}
+
 }  // namespace
 }  // namespace hc::obs
