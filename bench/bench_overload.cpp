@@ -1,0 +1,323 @@
+// Experiment F9-overload (ISSUE: multi-tenant QoS & scheduling).
+//
+// Claim probed: with hc::sched in front of a shared server, one greedy
+// tenant cannot starve the others — each normal tenant keeps its
+// fair-share goodput with a bounded tail, while the overload turns into
+// early retryable sheds of the greedy tenant's excess. Without it (FIFO,
+// admit-everything), the same arrivals collapse every tenant's goodput
+// together.
+//
+// Setup: a single simulated server with 1e6 us-of-work/sec capacity
+// (~1000 req/s at the 600-1400us request costs used here), three normal
+// tenants each offering 150 req/s, and one greedy tenant offering the
+// remainder of an open-loop sweep at 0.5x / 1x / 2x / 4x total capacity.
+// Every request carries an arrival + 50ms deadline. Two schedulers over
+// identical arrivals:
+//
+//   fifo  — unbounded FIFO queue, no admission: everything queues and is
+//           served in order, deadline or not.
+//   sched — per-tenant token buckets (each tenant entitled to a 1/4
+//           capacity quota) + shared burst pool, deadline-aware admission
+//           with an AIMD headroom controller fed by observed latency, and
+//           deficit-round-robin service order.
+//
+// Goodput = requests completed before their deadline. All arrivals,
+// costs, and schedules derive from fixed seeds on the sim clock, so the
+// emitted BENCH_overload.json is byte-reproducible.
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "sched/sched.h"
+
+using namespace hc;
+
+namespace {
+
+constexpr SimTime kHorizon = 5 * kSecond;
+constexpr SimTime kDeadlineBudget = 50 * kMillisecond;
+constexpr double kCapacityPerSec = 1'000'000.0;  // us-of-work per second
+constexpr int kNormalRate = 150;                 // req/s per normal tenant
+constexpr int kTenants = 4;                      // [0] = greedy, [1..3] normal
+
+const char* kTenantNames[kTenants] = {"greedy", "normal-1", "normal-2",
+                                      "normal-3"};
+
+struct Request {
+  SimTime arrival = 0;
+  SimTime cost = 0;  // us of server work
+  SimTime deadline = 0;
+  int tenant = 0;
+};
+
+struct TenantTally {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;   // completed before the deadline
+  std::uint64_t late = 0;     // completed after the deadline (wasted work)
+  std::uint64_t shed = 0;     // rate-limited, admission-shed, or shed at dispatch
+  std::vector<double> latency_us;  // completion - arrival, served only
+
+  double goodput(double horizon_sec) const {
+    return static_cast<double>(served) / horizon_sec;
+  }
+  double percentile(double p) const {
+    if (latency_us.empty()) return 0.0;
+    std::vector<double> sorted = latency_us;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+};
+
+struct RunResult {
+  TenantTally tenants[kTenants];
+  double final_headroom = 1.0;
+};
+
+/// The open-loop arrival schedule for one sweep cell: evenly spaced per
+/// tenant (tenant-specific phase breaks ties), costs from per-tenant
+/// seeded Rngs — identical for both schedulers in the cell.
+std::vector<Request> make_arrivals(double load_multiplier) {
+  int total_rate = static_cast<int>(load_multiplier * 1000.0);
+  int greedy_rate = std::max(0, total_rate - 3 * kNormalRate);
+
+  std::vector<Request> arrivals;
+  for (int tenant = 0; tenant < kTenants; ++tenant) {
+    int rate = tenant == 0 ? greedy_rate : kNormalRate;
+    if (rate == 0) continue;
+    Rng cost_rng(700 + tenant);
+    SimTime spacing = kSecond / rate;
+    for (SimTime t = tenant * 17; t < kHorizon; t += spacing) {
+      Request request;
+      request.arrival = t;
+      request.cost = cost_rng.uniform_int(600, 1400);
+      request.deadline = t + kDeadlineBudget;
+      request.tenant = tenant;
+      arrivals.push_back(request);
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return arrivals;
+}
+
+void record_completion(TenantTally& tally, const Request& request,
+                       SimTime completion) {
+  if (completion <= request.deadline) {
+    ++tally.served;
+    tally.latency_us.push_back(static_cast<double>(completion - request.arrival));
+  } else {
+    ++tally.late;
+  }
+}
+
+RunResult run_fifo(const std::vector<Request>& arrivals) {
+  RunResult result;
+  std::deque<Request> queue;
+  SimTime server_free = 0;
+
+  auto serve_until = [&](SimTime limit) {
+    while (!queue.empty() && server_free < limit) {
+      Request request = queue.front();
+      queue.pop_front();
+      SimTime start = std::max(server_free, request.arrival);
+      server_free = start + request.cost;
+      record_completion(result.tenants[request.tenant], request, server_free);
+    }
+  };
+
+  for (const Request& request : arrivals) {
+    serve_until(request.arrival);
+    ++result.tenants[request.tenant].offered;
+    queue.push_back(request);
+  }
+  serve_until(kHorizon + kMinute);  // drain the backlog
+  return result;
+}
+
+RunResult run_sched(const std::vector<Request>& arrivals) {
+  RunResult result;
+  ClockPtr clock = make_clock();
+  obs::MetricsPtr signals = obs::make_metrics();
+
+  // Every tenant — greedy included — is entitled to a 1/4-capacity quota;
+  // short spikes beyond it ride the shared pool.
+  sched::BurstPool burst({/*rate_per_sec=*/50.0, /*capacity=*/100.0}, clock);
+  std::vector<sched::TokenBucket> buckets;
+  for (int tenant = 0; tenant < kTenants; ++tenant) {
+    buckets.emplace_back(
+        sched::TokenBucketConfig{/*rate_per_sec=*/250.0, /*capacity=*/50.0},
+        clock, &burst);
+  }
+
+  sched::AdmissionConfig admission_config;
+  admission_config.capacity_per_sec = kCapacityPerSec;
+  admission_config.latency_metric = "bench.overload.observed_us";
+  admission_config.target_p95_us = static_cast<double>(kDeadlineBudget);
+  sched::AdmissionController admission(admission_config, clock, signals);
+
+  sched::WeightedFairQueue<Request> queue(/*quantum=*/2000);  // ~2 requests/visit
+  for (int tenant = 0; tenant < kTenants; ++tenant) {
+    queue.set_weight(kTenantNames[tenant], 1);
+  }
+
+  SimTime server_free = 0;
+  std::uint64_t since_adapt = 0;
+
+  auto serve_until = [&](SimTime limit) {
+    while (server_free < limit) {
+      auto popped = queue.pop();
+      if (!popped) break;
+      Request request = *popped;
+      SimTime start = std::max(server_free, request.arrival);
+      if (start > request.deadline) {
+        // Expired while queued: shed at dispatch, costing no server time.
+        ++result.tenants[request.tenant].shed;
+        continue;
+      }
+      server_free = start + request.cost;
+      record_completion(result.tenants[request.tenant], request, server_free);
+      signals->observe("bench.overload.observed_us",
+                       static_cast<double>(server_free - request.arrival));
+      if (++since_adapt >= 200) {  // periodic AIMD step on observed latency
+        admission.adapt();
+        since_adapt = 0;
+      }
+    }
+  };
+
+  for (const Request& request : arrivals) {
+    serve_until(request.arrival);
+    clock->advance_to(request.arrival);
+    TenantTally& tally = result.tenants[request.tenant];
+    ++tally.offered;
+
+    if (buckets[static_cast<std::size_t>(request.tenant)].acquire() ==
+        sched::Grant::kDenied) {
+      ++tally.shed;  // over quota and the shared pool is dry
+      continue;
+    }
+    double backlog = static_cast<double>(queue.backlog_cost()) +
+                     static_cast<double>(std::max<SimTime>(0, server_free -
+                                                                  clock->now()));
+    if (!admission
+             .admit(kTenantNames[request.tenant],
+                    static_cast<double>(request.cost), request.deadline, backlog)
+             .is_ok()) {
+      ++tally.shed;  // cannot meet its deadline at the current backlog
+      continue;
+    }
+    queue.push(kTenantNames[request.tenant], request,
+               static_cast<std::uint64_t>(request.cost));
+  }
+  serve_until(kHorizon + kMinute);
+  result.final_headroom = admission.headroom();
+  return result;
+}
+
+std::string metrics_out_path(int argc, char** argv, const char* default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      return i + 1 < argc ? argv[i + 1] : default_path;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      return arg.substr(std::string("--metrics-out=").size());
+    }
+  }
+  return "";
+}
+
+void report(double multiplier, const char* mode, const RunResult& result,
+            obs::MetricsRegistry* metrics) {
+  char cell[32];
+  std::snprintf(cell, sizeof(cell), "x%.1f", multiplier);
+  for (int tenant = 0; tenant < kTenants; ++tenant) {
+    const TenantTally& tally = result.tenants[tenant];
+    if (tally.offered == 0) continue;
+    double p95_ms = tally.percentile(0.95) / 1000.0;
+    double p99_ms = tally.percentile(0.99) / 1000.0;
+    double served_frac =
+        static_cast<double>(tally.served) / static_cast<double>(tally.offered);
+    std::printf("%-6s %-6s %-9s %8llu %8llu %7llu %6llu %8.1f%% %8.2f %8.2f\n",
+                cell, mode, kTenantNames[tenant],
+                static_cast<unsigned long long>(tally.offered),
+                static_cast<unsigned long long>(tally.served),
+                static_cast<unsigned long long>(tally.shed),
+                static_cast<unsigned long long>(tally.late),
+                100.0 * served_frac, p95_ms, p99_ms);
+
+    std::string prefix = std::string("bench.overload.") + cell + "." + mode +
+                         "." + kTenantNames[tenant] + ".";
+    metrics->add(prefix + "offered", tally.offered);
+    metrics->add(prefix + "served", tally.served);
+    metrics->add(prefix + "shed", tally.shed);
+    metrics->add(prefix + "late", tally.late);
+    metrics->set_gauge(prefix + "goodput_rps", tally.goodput(5.0), "1/s");
+    metrics->set_gauge(prefix + "p95_ms", p95_ms, "ms");
+    metrics->set_gauge(prefix + "p99_ms", p99_ms, "ms");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path = metrics_out_path(argc, argv, "BENCH_overload.json");
+  obs::MetricsRegistry metrics;
+
+  std::printf("== F9-overload: fair goodput under a greedy tenant ==\n");
+  std::printf("server 1000 req/s; 3 normal tenants at 150 req/s each, greedy\n"
+              "takes the sweep remainder; deadline 50ms; fifo vs hc::sched\n\n");
+  std::printf("%-6s %-6s %-9s %8s %8s %7s %6s %9s %8s %8s\n", "load", "mode",
+              "tenant", "offered", "served", "shed", "late", "goodput",
+              "p95-ms", "p99-ms");
+
+  bool fair = true;
+  for (double multiplier : {0.5, 1.0, 2.0, 4.0}) {
+    std::vector<Request> arrivals = make_arrivals(multiplier);
+    RunResult fifo = run_fifo(arrivals);
+    RunResult qos = run_sched(arrivals);
+    report(multiplier, "fifo", fifo, &metrics);
+    report(multiplier, "sched", qos, &metrics);
+    std::printf("\n");
+
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "x%.1f", multiplier);
+    metrics.set_gauge(std::string("bench.overload.") + cell + ".sched.headroom",
+                      qos.final_headroom);
+
+    // The acceptance gate: under overload every normal tenant keeps at
+    // least 90% of its offered load as goodput with hc::sched.
+    if (multiplier >= 2.0) {
+      for (int tenant = 1; tenant < kTenants; ++tenant) {
+        const TenantTally& tally = qos.tenants[tenant];
+        double kept = static_cast<double>(tally.served) /
+                      static_cast<double>(tally.offered);
+        if (kept < 0.90) {
+          std::printf("FAIL: %s kept only %.1f%% goodput at %.1fx with sched\n",
+                      kTenantNames[tenant], 100.0 * kept, multiplier);
+          fair = false;
+        }
+      }
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    Status written = obs::write_metrics_json(metrics, metrics_path);
+    if (!written.is_ok()) {
+      std::printf("metrics write failed: %s\n", written.message().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  std::printf("fairness gate: %s\n", fair ? "PASS" : "FAIL");
+  return fair ? 0 : 1;
+}

@@ -55,8 +55,28 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
                                                const std::string& uploader_user,
                                                const std::string& consent_group,
                                                const crypto::KeyId& client_key_id) {
+  return upload(envelope, uploader_user, consent_group, client_key_id, UploadQos{});
+}
+
+Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
+                                               const std::string& uploader_user,
+                                               const std::string& consent_group,
+                                               const crypto::KeyId& client_key_id,
+                                               const UploadQos& qos) {
   if (consent_group.empty()) {
     return Status(StatusCode::kInvalidArgument, "upload requires a consent group");
+  }
+  if (deps_.admission) {
+    Status admitted = deps_.admission->admit(
+        qos.tenant.empty() ? "default" : qos.tenant,
+        static_cast<double>(qos.cost == 0 ? 1 : qos.cost), qos.deadline,
+        static_cast<double>(deps_.queue->backlog_cost()));
+    if (!admitted.is_ok()) {
+      if (deps_.log) {
+        deps_.log->warn("ingestion", "upload_shed", admitted.message());
+      }
+      return admitted;
+    }
   }
   UploadReceipt receipt;
   {
@@ -68,8 +88,20 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
       !s.is_ok()) {
     return s;
   }
-  deps_.queue->push(storage::IngestionMessage{receipt.upload_id, uploader_user,
-                                              consent_group, client_key_id});
+  if (Status s = deps_.queue->push(
+          storage::IngestionMessage{receipt.upload_id, uploader_user,
+                                    consent_group, client_key_id, qos.tenant,
+                                    qos.cost, qos.deadline});
+      !s.is_ok()) {
+    // Backpressure: undo the staged blob so a rejected upload leaves no
+    // residue, and surface the retryable status to the client.
+    (void)deps_.staging->remove(receipt.upload_id);
+    if (deps_.metrics) deps_.metrics->add("hc.ingestion.backpressure");
+    if (deps_.log) {
+      deps_.log->warn("ingestion", "upload_backpressure", s.message());
+    }
+    return s;
+  }
   receipt.status_url = deps_.tracker->track(receipt.upload_id);
   if (deps_.metrics) deps_.metrics->add("hc.ingestion.uploads");
   if (deps_.log) {
@@ -437,7 +469,8 @@ crypto::KeyId IngestionService::patient_key_for_store(const std::string& pseudon
 }
 
 std::size_t IngestionService::process_all(std::size_t n_workers) {
-  if (n_workers <= 1) {
+  const bool batched = deps_.batcher != nullptr && n_workers >= 1;
+  if (n_workers <= 1 && !batched) {
     // Historical serial drain: stage costs advance the shared clock in
     // order, reproducing the metrics-locked golden artifacts byte for byte.
     std::size_t stored = 0;
@@ -449,18 +482,35 @@ std::size_t IngestionService::process_all(std::size_t n_workers) {
     return stored;
   }
 
-  // Parallel drain: workers pop batches until the queue is dry, charging
-  // stage costs to worker-local sim lanes instead of the shared clock.
+  // Scheduler-decided claim sizes: the plan partitions the queue depth at
+  // drain start, purely from (depth, batcher config). The plan's slot
+  // sizes sum exactly to the depth, so every claim pops its full size no
+  // matter which worker gets there first — the batch_size histogram (and
+  // every other aggregate) is identical across worker counts and reruns.
+  std::vector<std::size_t> plan;
+  if (batched) plan = deps_.batcher->plan(deps_.queue->depth());
+  std::atomic<std::size_t> next_slot{0};
+
+  // Parallel drain: workers pop batches until the queue (or plan) is dry,
+  // charging stage costs to worker-local sim lanes instead of the shared
+  // clock.
   std::vector<SimTime> lanes(n_workers, 0);
   std::atomic<std::size_t> stored{0};
   {
     exec::ThreadPool pool(n_workers);
     for (std::size_t w = 0; w < n_workers; ++w) {
-      pool.submit([this, &lanes, &stored, w] {
+      pool.submit([this, &lanes, &stored, &plan, &next_slot, batched, w] {
         SimTime& lane = lanes[w];
         for (;;) {
-          auto batch = deps_.queue->pop_batch(kWorkerBatch);
+          std::size_t take = kWorkerBatch;
+          if (batched) {
+            std::size_t slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+            if (slot >= plan.size()) break;
+            take = plan[slot];
+          }
+          auto batch = deps_.queue->pop_batch(take);
           if (batch.empty()) break;
+          if (batched) deps_.batcher->record(batch.size());
           stored.fetch_add(process_batch(std::move(batch), &lane),
                            std::memory_order_relaxed);
         }

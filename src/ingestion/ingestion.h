@@ -36,6 +36,7 @@
 #include "obs/metrics.h"
 #include "privacy/deid.h"
 #include "privacy/verification.h"
+#include "sched/sched.h"
 #include "storage/data_lake.h"
 #include "storage/staging.h"
 #include "storage/status_tracker.h"
@@ -57,6 +58,19 @@ struct IngestionDeps {
   privacy::AnonymizationVerificationService* verifier = nullptr;
   privacy::ReidentificationMap* reid_map = nullptr;
   obs::MetricsPtr metrics;  // may be null (no metrics recorded)
+  /// QoS layer (hc::sched), both optional. `admission` sheds uploads whose
+  /// deadline cannot be met at the current queue backlog, *before* they
+  /// cost staging or queue space. `batcher` turns the parallel worker's
+  /// per-claim batch size into a scheduler decision (see process_all).
+  sched::AdmissionController* admission = nullptr;
+  sched::AdaptiveBatcher* batcher = nullptr;
+};
+
+/// Per-upload scheduling hints carried into the message queue.
+struct UploadQos {
+  std::string tenant;      // fair-queue lane; empty = shared default lane
+  std::uint64_t cost = 1;  // cost units (≈ KB of pipeline work)
+  SimTime deadline = 0;    // absolute sim-time deadline; 0 = none
 };
 
 /// Simulated processing cost per pipeline stage, charged on the shared
@@ -100,6 +114,16 @@ class IngestionService {
                                const std::string& consent_group,
                                const crypto::KeyId& client_key_id);
 
+  /// QoS-aware entry: same pipeline, but the upload is admission-checked
+  /// against its deadline and queued on its tenant's fair-queue lane. A
+  /// shed upload (admission) or a full queue (backpressure) returns a
+  /// retryable kUnavailable and leaves no staged state behind.
+  Result<UploadReceipt> upload(const crypto::Envelope& envelope,
+                               const std::string& uploader_user,
+                               const std::string& consent_group,
+                               const crypto::KeyId& client_key_id,
+                               const UploadQos& qos);
+
   /// Background worker: processes one queued upload end to end.
   /// kFailedPrecondition when the queue is empty. A *rejected* upload is a
   /// successful ProcessOutcome with stored=false — pipeline errors are data
@@ -117,6 +141,15 @@ class IngestionService {
   /// ceil(total_cost / n_workers) — a deterministic quantity (total cost
   /// depends only on the workload, not on which worker drew which batch),
   /// so repeated runs produce identical aggregate metrics and sim time.
+  ///
+  /// With deps.batcher bound and `n_workers >= 1`, the pooled path is used
+  /// for every worker count and batch sizes come from the scheduler: the
+  /// queue depth at drain start is partitioned by AdaptiveBatcher::plan()
+  /// into claim sizes, workers claim plan slots off an atomic cursor, and
+  /// each claim's size lands in the hc.sched.batch_size histogram. The
+  /// plan depends only on the depth — never on the worker count or OS
+  /// interleaving — so aggregate metrics stay byte-identical across
+  /// 1/2/4/8 workers and across reruns.
   std::size_t process_all(std::size_t n_workers = 0);
 
   /// The per-patient data key (Section IV.B.1 "encryption-based record

@@ -14,13 +14,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "fault/resilience.h"
 #include "platform/instance.h"
+#include "sched/sched.h"
 
 namespace hc::platform {
 
@@ -32,6 +35,9 @@ struct ApiRequest {
   std::string resource;                        // e.g. "datalake/records/ref-1"
   rbac::Permission permission = rbac::Permission::kRead;
   Bytes payload;
+  // --- QoS hints (ignored until enable_qos) ------------------------------
+  SimTime deadline = 0;    // absolute sim-time deadline; 0 = none
+  std::uint64_t cost = 1;  // scheduler cost units (≈ µs of handler work)
 };
 
 struct ApiResponse {
@@ -44,6 +50,21 @@ struct GatewayStats {
   std::uint64_t denied = 0;
   std::uint64_t served = 0;
   std::uint64_t breaker_rejected = 0;  // fast-failed while a route was open
+  std::uint64_t rate_limited = 0;      // shed by the tenant's token bucket
+  std::uint64_t shed = 0;              // shed by deadline/overload admission
+  std::uint64_t queued = 0;            // accepted onto the scheduled queue
+};
+
+/// QoS policy for the gateway (see enable_qos). Per-tenant token-bucket
+/// quotas come from RBAC tenant config (TenantInfo::qos_*); tenants
+/// without explicit config use `default_quota`. Requests over quota draw
+/// from the shared `burst_pool` before being shed.
+struct GatewayQosConfig {
+  sched::AdmissionConfig admission;                 // deadline shedding + AIMD
+  sched::TokenBucketConfig default_quota{100.0, 25.0};
+  sched::TokenBucketConfig burst_pool{50.0, 50.0};
+  std::uint64_t wfq_quantum = 16;    // DRR quantum for the scheduled queue
+  std::size_t queue_capacity = 1024; // scheduled-queue bound (backpressure)
 };
 
 class ApiGateway {
@@ -57,13 +78,52 @@ class ApiGateway {
   /// wins at dispatch time.
   void route(const std::string& resource_prefix, Handler handler);
 
-  /// Full pipeline: authenticate -> RBAC -> meter -> breaker -> dispatch.
-  /// Each route prefix is guarded by its own circuit breaker: handler
-  /// failures that look operational (kUnavailable / kInternal) trip it,
-  /// and while it is open the gateway fast-fails with kUnavailable instead
-  /// of burning latency on a dead backend. Auth and RBAC rejections never
-  /// count against the breaker.
+  /// Full pipeline: authenticate -> [QoS gate] -> RBAC -> meter -> breaker
+  /// -> dispatch. Each route prefix is guarded by its own circuit breaker:
+  /// handler failures that look operational (kUnavailable / kInternal)
+  /// trip it, and while it is open the gateway fast-fails with
+  /// kUnavailable instead of burning latency on a dead backend. Auth and
+  /// RBAC rejections never count against the breaker.
+  ///
+  /// With QoS enabled the gate runs right after authentication: the
+  /// tenant's token bucket (falling back to the shared burst pool) and the
+  /// deadline-aware admission controller both must pass; a shed request
+  /// returns a retryable kUnavailable before any downstream work.
   Result<ApiResponse> handle(const ApiRequest& request);
+
+  // --- QoS & scheduled dispatch (hc::sched) ------------------------------
+
+  /// Turns on the QoS layer: per-tenant rate limiting, deadline-aware
+  /// admission, and the weighted-fair scheduled queue. Call before
+  /// traffic; idempotent reconfiguration resets buckets and the queue.
+  void enable_qos(GatewayQosConfig config);
+  bool qos_enabled() const { return qos_.has_value(); }
+
+  /// Scheduled path: authenticates and admission-checks the request, then
+  /// parks it on its tenant's fair-queue lane (weight from RBAC tenant
+  /// config) instead of dispatching inline. kUnavailable (retryable) when
+  /// rate-limited, shed, or the scheduled queue is at capacity. Requires
+  /// enable_qos.
+  Status submit(ApiRequest request);
+
+  /// One drained request from the scheduled queue.
+  struct ScheduledOutcome {
+    std::string tenant;
+    std::string resource;
+    Result<ApiResponse> response;
+    SimTime enqueued_at = 0;
+    SimTime completed_at = 0;
+  };
+
+  /// Drains up to `max_requests` from the scheduled queue in deficit
+  /// round-robin order, dispatching each through the post-auth pipeline.
+  /// Queue wait lands in hc.sched.wait_us; a request whose deadline
+  /// expired while queued is shed (counted, never dispatched). Finishes
+  /// with one AIMD adapt() step so shedding tracks observed p95 latency.
+  std::vector<ScheduledOutcome> pump(
+      std::size_t max_requests = std::numeric_limits<std::size_t>::max());
+
+  std::size_t scheduled_depth() const;
 
   /// Breaker template applied to routes on their first dispatch (the
   /// per-route name is filled in from the prefix). Takes effect for routes
@@ -78,14 +138,36 @@ class ApiGateway {
   const GatewayStats& stats() const { return stats_; }
 
  private:
+  struct Scheduled {
+    ApiRequest request;
+    std::string user;
+    std::string tenant;
+    SimTime enqueued_at = 0;
+  };
+
   Result<std::string> authenticate(const ApiRequest& request);
   fault::CircuitBreaker& breaker_for(const std::string& prefix);
+  /// RBAC -> meter -> route -> breaker -> dispatch (everything after
+  /// authentication) — shared by handle() and pump().
+  Result<ApiResponse> dispatch_authorized(const std::string& user,
+                                          const ApiRequest& request);
+  std::string tenant_of(const std::string& user) const;
+  /// Token bucket + admission. `backlog` is the scheduled queue's cost.
+  Status qos_gate(const std::string& tenant, const ApiRequest& request);
+  sched::TokenBucket& bucket_for(const std::string& tenant);
+  void record_lane_depth(const std::string& tenant);
 
   HealthCloudInstance* instance_;
   std::map<std::string, Handler> routes_;  // prefix -> handler
   fault::CircuitBreakerConfig breaker_template_;
   std::map<std::string, std::unique_ptr<fault::CircuitBreaker>> breakers_;
   GatewayStats stats_;
+
+  std::optional<GatewayQosConfig> qos_;
+  std::unique_ptr<sched::BurstPool> burst_;
+  std::map<std::string, std::unique_ptr<sched::TokenBucket>> buckets_;
+  std::unique_ptr<sched::AdmissionController> admission_;
+  std::unique_ptr<sched::WeightedFairQueue<Scheduled>> scheduled_;
 };
 
 }  // namespace hc::platform

@@ -193,6 +193,29 @@ Status RbacSystem::check_access(const std::string& user_id, const std::string& e
                 "no grant covers " + resource + " for user " + user_id);
 }
 
+Status RbacSystem::set_tenant_qos(const std::string& tenant_id,
+                                  std::uint64_t weight, double rate_per_sec,
+                                  double burst) {
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return Status(StatusCode::kNotFound, "no tenant " + tenant_id);
+  if (weight == 0) {
+    return Status(StatusCode::kInvalidArgument, "qos weight must be >= 1");
+  }
+  if (rate_per_sec < 0 || burst < 0) {
+    return Status(StatusCode::kInvalidArgument, "qos rate/burst must be >= 0");
+  }
+  it->second.qos_weight = weight;
+  it->second.qos_rate = rate_per_sec;
+  it->second.qos_burst = burst;
+  if (log_) {
+    log_->info("rbac", "tenant_qos_set",
+               tenant_id + " weight=" + std::to_string(weight) +
+                   " rate=" + std::to_string(rate_per_sec) +
+                   " burst=" + std::to_string(burst));
+  }
+  return Status::ok();
+}
+
 Status RbacSystem::meter_call(const std::string& tenant_id) {
   auto it = tenants_.find(tenant_id);
   if (it == tenants_.end()) return Status(StatusCode::kNotFound, "no tenant " + tenant_id);

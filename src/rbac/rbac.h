@@ -46,6 +46,10 @@ struct TenantInfo {
   std::string default_org;
   std::string default_env;
   std::uint64_t metered_calls = 0;  // registration service: metering/billing
+  // --- QoS contract (consumed by hc::sched via the gateway/ingestion) ----
+  std::uint64_t qos_weight = 1;  // fair-queue share relative to other tenants
+  double qos_rate = 0.0;   // admission tokens/second; 0 = platform default
+  double qos_burst = 0.0;  // token-bucket depth; 0 = platform default
 };
 
 class RbacSystem {
@@ -84,6 +88,14 @@ class RbacSystem {
   Status check_access(const std::string& user_id, const std::string& env_id,
                       const std::string& scope_id, const std::string& resource,
                       Permission permission) const;
+
+  // --- QoS (scheduling contract, Section II.B multi-tenancy) ------------
+  /// Sets the tenant's scheduling contract: fair-queue weight (>= 1) and
+  /// token-bucket rate/burst (0 keeps the platform default for that knob).
+  /// The gateway and ingestion admission layers read these through
+  /// tenant(); changing them takes effect on the next request.
+  Status set_tenant_qos(const std::string& tenant_id, std::uint64_t weight,
+                        double rate_per_sec, double burst);
 
   // --- metering (registration service) ---------------------------------
   Status meter_call(const std::string& tenant_id);

@@ -1,0 +1,187 @@
+#include "sched/sched.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hc::sched {
+
+namespace {
+
+/// Lazy refill shared by TokenBucket and BurstPool: tokens accrued over
+/// elapsed sim time, capped at the bucket depth.
+double refilled(double tokens, double rate_per_sec, double capacity,
+                SimTime last, SimTime now) {
+  if (now <= last) return tokens;
+  double accrued = rate_per_sec * static_cast<double>(now - last) /
+                   static_cast<double>(kSecond);
+  return std::min(capacity, tokens + accrued);
+}
+
+}  // namespace
+
+std::string_view grant_name(Grant grant) {
+  switch (grant) {
+    case Grant::kDenied: return "denied";
+    case Grant::kGranted: return "granted";
+    case Grant::kGrantedFromBurst: return "granted-from-burst";
+  }
+  return "unknown";
+}
+
+// --- BurstPool -------------------------------------------------------------
+
+BurstPool::BurstPool(TokenBucketConfig config, ClockPtr clock)
+    : config_(config),
+      clock_(std::move(clock)),
+      tokens_(config.capacity),
+      last_refill_(clock_->now()) {}
+
+void BurstPool::refill() {
+  SimTime now = clock_->now();
+  tokens_ = refilled(tokens_, config_.rate_per_sec, config_.capacity,
+                     last_refill_, now);
+  last_refill_ = now;
+}
+
+bool BurstPool::try_draw(double tokens) {
+  refill();
+  if (tokens > tokens_) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double BurstPool::available() {
+  refill();
+  return tokens_;
+}
+
+// --- TokenBucket -----------------------------------------------------------
+
+TokenBucket::TokenBucket(TokenBucketConfig config, ClockPtr clock, BurstPool* burst)
+    : config_(config),
+      clock_(std::move(clock)),
+      burst_(burst),
+      tokens_(config.capacity),
+      last_refill_(clock_->now()) {}
+
+void TokenBucket::refill() {
+  SimTime now = clock_->now();
+  tokens_ = refilled(tokens_, config_.rate_per_sec, config_.capacity,
+                     last_refill_, now);
+  last_refill_ = now;
+}
+
+Grant TokenBucket::acquire(double tokens) {
+  refill();
+  if (tokens <= tokens_) {
+    tokens_ -= tokens;
+    return Grant::kGranted;
+  }
+  if (burst_ && burst_->try_draw(tokens)) return Grant::kGrantedFromBurst;
+  return Grant::kDenied;
+}
+
+double TokenBucket::available() {
+  refill();
+  return tokens_;
+}
+
+// --- AdmissionController ---------------------------------------------------
+
+AdmissionController::AdmissionController(AdmissionConfig config, ClockPtr clock,
+                                         obs::MetricsPtr metrics)
+    : config_(config),
+      clock_(std::move(clock)),
+      metrics_(std::move(metrics)),
+      headroom_(std::clamp(config.headroom, config.min_headroom,
+                           config.max_headroom)) {}
+
+SimTime AdmissionController::predicted_wait(double backlog_cost) const {
+  double effective = config_.capacity_per_sec * headroom_;
+  if (effective <= 0 || backlog_cost <= 0) return 0;
+  return static_cast<SimTime>(
+      std::ceil(backlog_cost / effective * static_cast<double>(kSecond)));
+}
+
+Status AdmissionController::shed(const char* reason, const std::string& tenant,
+                                 SimTime deadline) {
+  if (metrics_) {
+    metrics_->add("hc.sched.shed");
+    metrics_->add(std::string("hc.sched.shed.") + reason);
+  }
+  std::string what = deadline > 0
+                         ? "cannot meet deadline at current load"
+                         : "predicted wait exceeds the shedding threshold";
+  return Status(StatusCode::kUnavailable,
+                "request from " + tenant + " shed (" + reason + "): " + what +
+                    " — retry with backoff");
+}
+
+Status AdmissionController::admit(const std::string& tenant, double cost,
+                                  SimTime deadline, double backlog_cost) {
+  SimTime wait = predicted_wait(backlog_cost);
+  if (config_.max_predicted_wait > 0 && wait > config_.max_predicted_wait) {
+    return shed("overload", tenant, /*deadline=*/0);
+  }
+  if (deadline > 0) {
+    // Own service time rides on top of the queue wait.
+    SimTime finish = clock_->now() + wait + predicted_wait(cost);
+    if (finish > deadline) return shed("deadline", tenant, deadline);
+  }
+  if (metrics_) metrics_->add("hc.sched.admitted");
+  return Status::ok();
+}
+
+void AdmissionController::adapt() {
+  if (!metrics_ || config_.latency_metric.empty() || config_.target_p95_us <= 0) {
+    return;
+  }
+  const obs::Histogram* latency = metrics_->histogram(config_.latency_metric);
+  if (!latency || latency->count == adapted_sample_count_) return;
+  adapted_sample_count_ = latency->count;
+  if (latency->p95() > config_.target_p95_us) {
+    headroom_ = std::max(config_.min_headroom, headroom_ * config_.decrease);
+  } else {
+    headroom_ = std::min(config_.max_headroom, headroom_ + config_.increase);
+  }
+  metrics_->set_gauge("hc.sched.headroom", headroom_);
+}
+
+// --- AdaptiveBatcher -------------------------------------------------------
+
+const std::vector<double>& batch_size_bounds() {
+  static const std::vector<double> bounds{1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  return bounds;
+}
+
+AdaptiveBatcher::AdaptiveBatcher(BatcherConfig config, obs::MetricsPtr metrics)
+    : config_(config), metrics_(std::move(metrics)) {
+  if (config_.min_batch == 0) config_.min_batch = 1;
+  if (config_.max_batch < config_.min_batch) config_.max_batch = config_.min_batch;
+  if (config_.target_dispatches == 0) config_.target_dispatches = 1;
+}
+
+std::size_t AdaptiveBatcher::batch_size(std::size_t queue_depth) const {
+  if (queue_depth == 0) return config_.min_batch;
+  std::size_t ideal =
+      (queue_depth + config_.target_dispatches - 1) / config_.target_dispatches;
+  return std::clamp(ideal, config_.min_batch, config_.max_batch);
+}
+
+std::vector<std::size_t> AdaptiveBatcher::plan(std::size_t depth) const {
+  std::vector<std::size_t> sizes;
+  while (depth > 0) {
+    std::size_t take = std::min(batch_size(depth), depth);
+    sizes.push_back(take);
+    depth -= take;
+  }
+  return sizes;
+}
+
+void AdaptiveBatcher::record(std::size_t batch) const {
+  if (!metrics_) return;
+  metrics_->observe("hc.sched.batch_size", static_cast<double>(batch), "1",
+                    &batch_size_bounds());
+}
+
+}  // namespace hc::sched

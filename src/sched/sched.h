@@ -1,0 +1,347 @@
+// Multi-tenant QoS & scheduling layer (hc::sched).
+//
+// The platform multiplexes many hospital tenants through one API gateway
+// and one asynchronous ingestion pipeline (Sections II.B, Figs 2-3), but
+// admission, ordering, and batching were implicit: every request was
+// admitted, queues drained FIFO, and a single noisy tenant could starve
+// the rest. This module makes goodput-under-overload an architectural
+// property, in four pieces:
+//
+//   * TokenBucket / BurstPool — per-tenant rate quotas with a shared
+//     spare-capacity pool. A tenant inside its quota is granted directly;
+//     one over quota may borrow from the shared pool ("deferred" grant);
+//     otherwise the request is shed with a *retryable* status so
+//     fault::RetryPolicy backoff cooperates.
+//   * WeightedFairQueue — deficit round-robin over per-tenant sub-queues.
+//     Replaces FIFO draining wherever tenants share a queue (ingestion
+//     message queue, gateway request queue). Drain order is a pure
+//     function of queue content, weights, and quantum — byte-reproducible
+//     regardless of who pops.
+//   * AdmissionController — deadline-aware early shedding: a request that
+//     cannot meet its deadline at the current backlog is rejected *before*
+//     it costs anything downstream. The admission headroom adapts via an
+//     AIMD controller on observed p95 latency from hc::obs.
+//   * AdaptiveBatcher — batch size as a scheduler decision: dispatch up to
+//     B queued items per worker claim, with B a deterministic function of
+//     queue depth (deeper queue -> bigger batches, up to a cap) and a
+//     max-linger bound for latency-sensitive coalescing.
+//
+// Everything is clocked on the shared SimClock and, where stochastic, on
+// an explicitly seeded Rng — a schedule is a pure function of (workload,
+// config, seed), so tests pin drain orders exactly and benches reproduce
+// byte-identical artifacts.
+//
+// Metric family (all under hc.sched.*): `admitted`, `deferred`, `shed`,
+// `shed.<reason>` counters; `queue_depth.<component>.<tenant>` gauges;
+// `batch_size` histogram; `wait_us` queue-wait histogram; `headroom`
+// gauge for the AIMD controller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hc::sched {
+
+// ---------------------------------------------------------------------------
+// Token buckets
+// ---------------------------------------------------------------------------
+
+struct TokenBucketConfig {
+  double rate_per_sec = 100.0;  // steady-state refill rate (tokens/second)
+  double capacity = 20.0;       // bucket depth (burst allowance)
+};
+
+/// Shared spare-capacity pool: tenants that exhaust their own bucket may
+/// draw from it, so short bursts ride on idle platform capacity without
+/// raising every tenant's steady-state quota.
+class BurstPool {
+ public:
+  BurstPool(TokenBucketConfig config, ClockPtr clock);
+
+  /// Takes `tokens` if available after refill; false otherwise.
+  bool try_draw(double tokens);
+
+  /// Tokens currently available (refills first).
+  double available();
+
+ private:
+  void refill();
+
+  TokenBucketConfig config_;
+  ClockPtr clock_;
+  double tokens_;
+  SimTime last_refill_;
+};
+
+enum class Grant {
+  kDenied,           // over quota and the shared pool is dry
+  kGranted,          // inside the tenant's own quota
+  kGrantedFromBurst  // over quota, borrowed from the shared pool
+};
+
+std::string_view grant_name(Grant grant);
+
+/// Per-tenant token bucket on the sim clock. Refills lazily from elapsed
+/// sim time, so conformance is exact: over any interval [t0, t1] a bucket
+/// grants at most capacity + rate * (t1 - t0) tokens.
+class TokenBucket {
+ public:
+  /// `burst` (optional, unowned) is the shared fallback pool.
+  TokenBucket(TokenBucketConfig config, ClockPtr clock, BurstPool* burst = nullptr);
+
+  Grant acquire(double tokens = 1.0);
+  bool try_acquire(double tokens = 1.0) { return acquire(tokens) != Grant::kDenied; }
+
+  /// Tokens currently available in this bucket (refills first).
+  double available();
+
+  const TokenBucketConfig& config() const { return config_; }
+
+ private:
+  void refill();
+
+  TokenBucketConfig config_;
+  ClockPtr clock_;
+  BurstPool* burst_;  // may be null
+  double tokens_;
+  SimTime last_refill_;
+};
+
+// ---------------------------------------------------------------------------
+// Weighted fair queue (deficit round-robin)
+// ---------------------------------------------------------------------------
+
+/// Deficit round-robin scheduler over per-tenant sub-queues.
+///
+/// Algorithm (the spec the hand-computed tests pin): active tenants sit in
+/// a rotation in first-activation order. The tenant at the front is
+/// charged quantum * weight once per visit; while its deficit covers the
+/// head item's cost, items pop and the deficit shrinks. When the deficit
+/// cannot cover the head, the remainder is *banked* and the tenant rotates
+/// to the back; when a sub-queue empties, its deficit resets to zero and
+/// it leaves the rotation. Costs larger than quantum * weight therefore
+/// accumulate deficit across rounds rather than starving or overserving.
+///
+/// Not internally synchronized — wrap it under the owning queue's mutex
+/// (storage::MessageQueue does). Drain order depends only on (content,
+/// weights, quantum), never on time or caller identity.
+template <typename Item>
+class WeightedFairQueue {
+ public:
+  explicit WeightedFairQueue(std::uint64_t quantum = 64)
+      : quantum_(quantum == 0 ? 1 : quantum) {}
+
+  /// Weight >= 1; a tenant's long-run share is weight / sum(weights).
+  /// Unseen tenants default to weight 1 on first push.
+  void set_weight(const std::string& tenant, std::uint64_t weight) {
+    queues_[tenant].weight = weight == 0 ? 1 : weight;
+  }
+
+  void push(const std::string& tenant, Item item, std::uint64_t cost) {
+    if (cost == 0) cost = 1;
+    SubQueue& q = queues_[tenant];
+    q.items.push_back(Entry{std::move(item), cost});
+    backlog_cost_ += cost;
+    ++depth_;
+    if (!q.active) {
+      q.active = true;
+      q.charged = false;
+      rotation_.push_back(tenant);
+    }
+  }
+
+  std::optional<Item> pop() {
+    while (!rotation_.empty()) {
+      SubQueue& q = queues_.find(rotation_.front())->second;
+      if (!q.charged) {
+        q.deficit += quantum_ * q.weight;
+        q.charged = true;
+      }
+      if (q.items.front().cost <= q.deficit) {
+        Entry entry = std::move(q.items.front());
+        q.items.pop_front();
+        q.deficit -= entry.cost;
+        backlog_cost_ -= entry.cost;
+        --depth_;
+        if (q.items.empty()) {
+          q.active = false;
+          q.charged = false;
+          q.deficit = 0;
+          rotation_.pop_front();
+        }
+        return std::move(entry.item);
+      }
+      // Deficit can't cover the head: bank it and rotate to the next tenant.
+      q.charged = false;
+      std::string tenant = std::move(rotation_.front());
+      rotation_.pop_front();
+      rotation_.push_back(std::move(tenant));
+    }
+    return std::nullopt;
+  }
+
+  std::vector<Item> pop_batch(std::size_t max_items) {
+    std::vector<Item> batch;
+    batch.reserve(std::min(max_items, depth_));
+    while (batch.size() < max_items) {
+      auto item = pop();
+      if (!item) break;
+      batch.push_back(std::move(*item));
+    }
+    return batch;
+  }
+
+  bool empty() const { return depth_ == 0; }
+  std::size_t depth() const { return depth_; }
+  std::size_t tenant_depth(const std::string& tenant) const {
+    auto it = queues_.find(tenant);
+    return it == queues_.end() ? 0 : it->second.items.size();
+  }
+  /// Sum of queued item costs — the admission controller's backlog signal.
+  std::uint64_t backlog_cost() const { return backlog_cost_; }
+  std::uint64_t quantum() const { return quantum_; }
+
+ private:
+  struct Entry {
+    Item item;
+    std::uint64_t cost;
+  };
+  struct SubQueue {
+    std::deque<Entry> items;
+    std::uint64_t weight = 1;
+    std::uint64_t deficit = 0;
+    bool active = false;   // present in the rotation
+    bool charged = false;  // quantum granted for the current visit
+  };
+
+  std::uint64_t quantum_;
+  std::map<std::string, SubQueue> queues_;
+  std::deque<std::string> rotation_;  // active tenants, service order
+  std::size_t depth_ = 0;
+  std::uint64_t backlog_cost_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Deadline-aware admission control
+// ---------------------------------------------------------------------------
+
+struct AdmissionConfig {
+  /// Cost units the downstream stage serves per second of sim time (the
+  /// unit is whatever callers put in request costs — e.g. microseconds of
+  /// work, or KB to ingest). Must be > 0.
+  double capacity_per_sec = 1'000'000.0;
+  /// Shed outright when the predicted queue wait exceeds this, deadline or
+  /// not (0 disables the cap).
+  SimTime max_predicted_wait = 0;
+  /// AIMD feedback: the latency histogram consulted by adapt() and the p95
+  /// target. Empty metric or target <= 0 keeps the headroom static.
+  std::string latency_metric;
+  double target_p95_us = 0.0;
+  double headroom = 1.0;      // initial fraction of capacity admitted against
+  double min_headroom = 0.1;
+  double max_headroom = 1.0;
+  double decrease = 0.5;      // multiplicative, on p95 over target
+  double increase = 0.05;     // additive, on p95 at/under target
+};
+
+/// Predicts each request's completion time from the current backlog and
+/// admits only requests that can meet their deadline — overload turns into
+/// early, retryable rejections instead of queue growth. The effective
+/// capacity is capacity_per_sec * headroom, and the headroom walks an AIMD
+/// schedule against observed p95 latency (gradient sign only, the classic
+/// additive-increase / multiplicative-decrease step).
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionConfig config, ClockPtr clock,
+                      obs::MetricsPtr metrics = nullptr);
+
+  /// kOk and counts `hc.sched.admitted` when the request fits; otherwise a
+  /// retryable kUnavailable and `hc.sched.shed` + `hc.sched.shed.<reason>`
+  /// (`deadline` when the predicted finish misses the request's deadline,
+  /// `overload` when the predicted wait exceeds max_predicted_wait).
+  /// `deadline` is absolute sim time (0 = none); `backlog_cost` is the
+  /// queued cost ahead of this request.
+  Status admit(const std::string& tenant, double cost, SimTime deadline,
+               double backlog_cost);
+
+  /// Predicted sim-time wait for a request behind `backlog_cost` units.
+  SimTime predicted_wait(double backlog_cost) const;
+
+  /// One AIMD step against the configured latency histogram's p95. No-op
+  /// until the histogram has new samples since the last step, so repeated
+  /// calls in a quiet period don't creep the headroom. Publishes the
+  /// result in the `hc.sched.headroom` gauge.
+  void adapt();
+
+  double headroom() const { return headroom_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  Status shed(const char* reason, const std::string& tenant, SimTime deadline);
+
+  AdmissionConfig config_;
+  ClockPtr clock_;
+  obs::MetricsPtr metrics_;  // may be null
+  double headroom_;
+  std::uint64_t adapted_sample_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Adaptive batching
+// ---------------------------------------------------------------------------
+
+struct BatcherConfig {
+  std::size_t min_batch = 1;
+  std::size_t max_batch = 32;
+  /// Sizing aims to split the backlog into about this many dispatches, so
+  /// batches grow with queue depth (amortizing per-dispatch overhead, e.g.
+  /// the batched-HMAC pass) and shrink as the queue drains (bounding how
+  /// long any one claim monopolizes a worker).
+  std::size_t target_dispatches = 4;
+  /// Latency bound for linger-based coalescers: flush a partial batch once
+  /// the oldest member has waited this long.
+  SimTime max_linger = 2 * kMillisecond;
+};
+
+/// Pure, deterministic batch sizing — no internal state, so every worker
+/// count and every rerun computes the same plan for the same queue depth.
+class AdaptiveBatcher {
+ public:
+  explicit AdaptiveBatcher(BatcherConfig config, obs::MetricsPtr metrics = nullptr);
+
+  /// Size of the next dispatch given the current depth:
+  /// clamp(ceil(depth / target_dispatches), min_batch, max_batch).
+  std::size_t batch_size(std::size_t queue_depth) const;
+
+  /// Partition of `depth` items into consecutive dispatch sizes, applying
+  /// batch_size() to the remaining depth each step — batches decay as the
+  /// backlog shrinks. Sums exactly to `depth`.
+  std::vector<std::size_t> plan(std::size_t depth) const;
+
+  /// Records a dispatched batch size in the `hc.sched.batch_size`
+  /// histogram (power-of-two buckets).
+  void record(std::size_t batch) const;
+
+  const BatcherConfig& config() const { return config_; }
+  SimTime max_linger() const { return config_.max_linger; }
+
+ private:
+  BatcherConfig config_;
+  obs::MetricsPtr metrics_;  // may be null
+};
+
+/// Bucket bounds for the hc.sched.batch_size histogram (1..512, powers of
+/// two) — exposed so tests and exporter goldens share them.
+const std::vector<double>& batch_size_bounds();
+
+}  // namespace hc::sched

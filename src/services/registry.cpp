@@ -89,6 +89,70 @@ Result<InvocationResult> ServiceRegistry::invoke(const std::string& service,
   return result;
 }
 
+Result<BatchInvocationResult> ServiceRegistry::invoke_batch(
+    const std::string& service, const std::vector<Bytes>& requests) {
+  if (requests.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty batch for " + service);
+  }
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Status(StatusCode::kNotFound, "no such service: " + service);
+  }
+  Entry& entry = it->second;
+  const std::size_t n = requests.size();
+
+  // One full-latency draw for the round trip, marginal cost per extra item.
+  SimTime latency = entry.profile.mean_latency;
+  if (entry.profile.latency_jitter > 0) {
+    latency += rng_.uniform_int(0, entry.profile.latency_jitter);
+  }
+  latency += static_cast<SimTime>(
+      static_cast<double>(n - 1) * entry.profile.batch_marginal *
+      static_cast<double>(entry.profile.mean_latency));
+
+  // One transport: the injector and the availability draw apply to the
+  // whole batch, not per item.
+  bool host_down = false;
+  if (injector_) {
+    fault::FaultDecision decision = injector_->on_message("broker", service);
+    latency += decision.extra_delay;
+    host_down = injector_->host_down(service) || decision.drop;
+  }
+  clock_->advance(latency);
+
+  entry.stats.invocations += n;
+  bool available = !host_down && rng_.bernoulli(entry.profile.availability);
+  double per_item = static_cast<double>(latency) / static_cast<double>(n);
+  entry.stats.observed_availability =
+      (1 - kEwmaAlpha) * entry.stats.observed_availability +
+      kEwmaAlpha * (available ? 1.0 : 0.0);
+  entry.stats.observed_latency_us =
+      (1 - kEwmaAlpha) * entry.stats.observed_latency_us + kEwmaAlpha * per_item;
+
+  if (metrics_) {
+    metrics_->add("hc.services.batch.calls");
+    metrics_->add("hc.services.batch.items", n);
+  }
+
+  if (!available) {
+    entry.stats.failures += n;
+    entry.breaker->record_failure();
+    if (metrics_) metrics_->add("hc.services.invoke_failures");
+    return Status(StatusCode::kUnavailable,
+                  host_down ? service + " host is down"
+                            : service + " failed to respond");
+  }
+
+  entry.breaker->record_success();
+  BatchInvocationResult result;
+  result.latency = latency;
+  result.responses.reserve(n);
+  for (const Bytes& request : requests) {
+    result.responses.push_back(to_bytes("echo:" + to_string(request)));
+  }
+  return result;
+}
+
 Result<BrokeredInvocation> ServiceRegistry::invoke_best(
     Category category, const Bytes& request, const SelectionCriteria& criteria) {
   std::vector<std::string> ranked = ranked_services(category, criteria);

@@ -47,6 +47,10 @@ struct ServiceProfile {
   SimTime latency_jitter = 10 * kMillisecond;
   double availability = 0.99;  // probability an invocation succeeds
   double accuracy = 0.9;       // probability of a correct answer
+  /// Marginal cost of each additional request in a batched invocation,
+  /// as a fraction of mean_latency (connection setup, auth, and transit
+  /// amortize across the batch; only payload work scales).
+  double batch_marginal = 0.25;
 };
 
 /// What the registry has learned about a service.
@@ -62,6 +66,12 @@ struct ServiceStats {
 struct InvocationResult {
   Bytes response;
   SimTime latency = 0;
+};
+
+/// One coalesced call carrying several requests (see invoke_batch).
+struct BatchInvocationResult {
+  std::vector<Bytes> responses;  // one per request, in order
+  SimTime latency = 0;           // total charged for the whole batch
 };
 
 /// invoke_best(): which provider ultimately answered and how many
@@ -94,6 +104,16 @@ class ServiceRegistry {
   /// stretch the observed latency. Every outcome feeds the service's
   /// circuit breaker.
   Result<InvocationResult> invoke(const std::string& service, const Bytes& request);
+
+  /// Coalesced invocation (hc::sched adaptive batching): n requests ride
+  /// one round trip. The batch is charged one full-latency draw plus
+  /// batch_marginal * mean_latency for each additional request — strictly
+  /// cheaper than n separate calls — and makes a single availability draw
+  /// (the transport either delivers the batch or it doesn't). Stats count
+  /// n invocations; the learned latency EWMA observes the per-item cost so
+  /// batched and unbatched callers remain comparable in best_service().
+  Result<BatchInvocationResult> invoke_batch(const std::string& service,
+                                             const std::vector<Bytes>& requests);
 
   /// Failover brokering: tries services in `category` best-first, skipping
   /// any whose circuit breaker is open, until one answers. A dead provider

@@ -36,38 +36,119 @@ std::size_t StagingArea::size() const {
   return blobs_.size();
 }
 
-void MessageQueue::push(IngestionMessage message) {
+const std::string& MessageQueue::lane_of(const IngestionMessage& message) {
+  static const std::string kDefaultLane = "default";
+  return message.tenant.empty() ? kDefaultLane : message.tenant;
+}
+
+void MessageQueue::record_depth(const std::string& lane) {
+  if (!metrics_) return;
+  std::size_t depth = fair_ ? fair_->tenant_depth(lane) : queue_.size();
+  metrics_->set_gauge("hc.sched.queue_depth.ingest." + lane,
+                      static_cast<double>(depth));
+}
+
+Status MessageQueue::push(IngestionMessage message) {
   std::lock_guard lock(mu_);
-  queue_.push_back(std::move(message));
+  std::size_t current = queue_.size() + (fair_ ? fair_->depth() : 0);
+  if (capacity_ > 0 && current >= capacity_) {
+    // Retryable by fault::retryable(): the caller's RetryPolicy backoff is
+    // the intended reaction to ingestion backpressure.
+    return Status(StatusCode::kUnavailable,
+                  "ingestion queue at capacity (" + std::to_string(capacity_) +
+                      ") — retry with backoff");
+  }
+  const std::string lane = lane_of(message);
+  std::uint64_t cost = message.cost == 0 ? 1 : message.cost;
+  if (fair_) {
+    fair_->push(lane, std::move(message), cost);
+  } else {
+    fifo_cost_ += cost;
+    queue_.push_back(std::move(message));
+  }
+  record_depth(lane);
+  return Status::ok();
+}
+
+std::optional<IngestionMessage> MessageQueue::pop_locked() {
+  if (!queue_.empty()) {
+    IngestionMessage msg = std::move(queue_.front());
+    queue_.pop_front();
+    fifo_cost_ -= msg.cost == 0 ? 1 : msg.cost;
+    record_depth(lane_of(msg));
+    return msg;
+  }
+  if (fair_) {
+    auto msg = fair_->pop();
+    if (msg) record_depth(lane_of(*msg));
+    return msg;
+  }
+  return std::nullopt;
 }
 
 std::optional<IngestionMessage> MessageQueue::pop() {
   std::lock_guard lock(mu_);
-  if (queue_.empty()) return std::nullopt;
-  IngestionMessage msg = std::move(queue_.front());
-  queue_.pop_front();
-  return msg;
+  return pop_locked();
 }
 
 std::vector<IngestionMessage> MessageQueue::pop_batch(std::size_t max_messages) {
   std::lock_guard lock(mu_);
   std::vector<IngestionMessage> batch;
-  batch.reserve(std::min(max_messages, queue_.size()));
-  while (batch.size() < max_messages && !queue_.empty()) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+  batch.reserve(std::min(max_messages, queue_.size() + (fair_ ? fair_->depth() : 0)));
+  while (batch.size() < max_messages) {
+    auto msg = pop_locked();
+    if (!msg) break;
+    batch.push_back(std::move(*msg));
   }
   return batch;
 }
 
 bool MessageQueue::empty() const {
   std::lock_guard lock(mu_);
-  return queue_.empty();
+  return queue_.empty() && (!fair_ || fair_->empty());
 }
 
 std::size_t MessageQueue::depth() const {
   std::lock_guard lock(mu_);
-  return queue_.size();
+  return queue_.size() + (fair_ ? fair_->depth() : 0);
+}
+
+std::uint64_t MessageQueue::backlog_cost() const {
+  std::lock_guard lock(mu_);
+  return fifo_cost_ + (fair_ ? fair_->backlog_cost() : 0);
+}
+
+void MessageQueue::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mu_);
+  capacity_ = capacity;
+}
+
+std::size_t MessageQueue::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+void MessageQueue::enable_fair_mode(std::uint64_t quantum) {
+  std::lock_guard lock(mu_);
+  if (!fair_) {
+    fair_ = std::make_unique<sched::WeightedFairQueue<IngestionMessage>>(quantum);
+  }
+}
+
+bool MessageQueue::fair_mode() const {
+  std::lock_guard lock(mu_);
+  return fair_ != nullptr;
+}
+
+void MessageQueue::set_tenant_weight(const std::string& tenant,
+                                     std::uint64_t weight) {
+  std::lock_guard lock(mu_);
+  if (fair_) fair_->set_weight(tenant, weight);
+}
+
+void MessageQueue::bind_metrics(obs::MetricsPtr metrics) {
+  std::lock_guard lock(mu_);
+  metrics_ = std::move(metrics);
 }
 
 }  // namespace hc::storage

@@ -17,7 +17,10 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "sched/sched.h"
 
 namespace hc::storage {
 
@@ -40,29 +43,70 @@ class StagingArea {
   std::map<std::string, Bytes> blobs_;
 };
 
-/// Message dropped on the queue for each upload.
+/// Message dropped on the queue for each upload. The trailing QoS fields
+/// default to "no scheduling hint" so pre-QoS call sites keep working.
 struct IngestionMessage {
   std::string upload_id;
   std::string uploader_user_id;
   std::string consent_group;
   std::string key_id;  // KMS id of the client keypair that sealed the blob
+  std::string tenant;  // fair-queue lane; empty = shared "default" lane
+  std::uint64_t cost = 1;  // scheduler cost units (≈ KB of pipeline work)
+  SimTime deadline = 0;    // absolute sim-time deadline; 0 = none
 };
 
-/// Thread-safe FIFO. pop_batch() lets a worker take several messages under
-/// one lock acquisition, so an N-worker drain contends on the queue mutex
-/// once per batch rather than once per upload.
+/// Thread-safe ingestion queue. pop_batch() lets a worker take several
+/// messages under one lock acquisition, so an N-worker drain contends on
+/// the queue mutex once per batch rather than once per upload.
+///
+/// Two policy knobs, both off by default (historical FIFO, unbounded):
+///   * set_capacity(n) bounds the queue: push() at capacity fails with a
+///     *retryable* kUnavailable instead of growing memory, so upstream
+///     backpressure composes with fault::RetryPolicy.
+///   * enable_fair_mode(quantum) replaces FIFO draining with deficit
+///     round-robin over per-tenant lanes (sched::WeightedFairQueue), with
+///     weights from set_tenant_weight — one flooding tenant can no longer
+///     starve the others' drain order.
+/// With metrics bound, per-lane depths land in the
+/// `hc.sched.queue_depth.ingest.<lane>` gauges.
 class MessageQueue {
  public:
-  void push(IngestionMessage message);
+  Status push(IngestionMessage message);
   std::optional<IngestionMessage> pop();
-  /// Up to `max_messages` from the head (fewer when the queue runs dry).
+  /// Up to `max_messages` in drain order (fewer when the queue runs dry).
   std::vector<IngestionMessage> pop_batch(std::size_t max_messages);
   bool empty() const;
   std::size_t depth() const;
+  /// Sum of queued message costs (admission control's backlog signal).
+  std::uint64_t backlog_cost() const;
+
+  /// 0 restores the unbounded default. Shrinking below the current depth
+  /// only affects future pushes; nothing is dropped.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Switch to weighted-fair draining. Call before traffic: messages
+  /// already queued stay in the FIFO and drain first.
+  void enable_fair_mode(std::uint64_t quantum = 64);
+  bool fair_mode() const;
+  /// Weight for a tenant lane (>= 1). Effective in fair mode only.
+  void set_tenant_weight(const std::string& tenant, std::uint64_t weight);
+
+  void bind_metrics(obs::MetricsPtr metrics);
 
  private:
+  static const std::string& lane_of(const IngestionMessage& message);
+  /// Caller holds mu_. Publishes the lane's depth gauge.
+  void record_depth(const std::string& lane);
+  /// Caller holds mu_. Pops from the FIFO remainder first, then the WFQ.
+  std::optional<IngestionMessage> pop_locked();
+
   mutable std::mutex mu_;
-  std::deque<IngestionMessage> queue_;
+  std::deque<IngestionMessage> queue_;  // FIFO mode (and pre-fair remainder)
+  std::unique_ptr<sched::WeightedFairQueue<IngestionMessage>> fair_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t fifo_cost_ = 0;
+  obs::MetricsPtr metrics_;  // may be null
 };
 
 }  // namespace hc::storage

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "obs/export.h"
+#include "sched/sched.h"
 
 namespace hc::obs {
 namespace {
@@ -51,6 +52,64 @@ TEST(MetricsExport, JsonMatchesGolden) {
 
 TEST(MetricsExport, CsvMatchesGolden) {
   EXPECT_EQ(to_csv(golden_registry()), kGoldenCsv);
+}
+
+/// The hc.sched.* metric family the QoS layer emits (admission counters,
+/// per-lane depth gauges, the batch-size and queue-wait histograms, and
+/// the AIMD headroom gauge), rendered exactly as bench artifacts consume
+/// it. The batch_size histogram uses the same power-of-two bounds the
+/// scheduler records with (sched::batch_size_bounds), so a bounds change
+/// there breaks this golden on purpose.
+MetricsRegistry sched_registry() {
+  MetricsRegistry reg;
+  reg.add("hc.sched.admitted", 6);
+  reg.add("hc.sched.deferred", 1);
+  reg.add("hc.sched.shed", 2);
+  reg.add("hc.sched.shed.deadline", 1);
+  reg.add("hc.sched.shed.rate", 1);
+  reg.set_gauge("hc.sched.headroom", 0.55);
+  reg.set_gauge("hc.sched.queue_depth.gateway.mercy", 3.0);
+  reg.observe("hc.sched.batch_size", 8.0, "1", &sched::batch_size_bounds());
+  reg.observe("hc.sched.batch_size", 2.0, "1", &sched::batch_size_bounds());
+  std::vector<double> wait_bounds{100.0, 1000.0, 10000.0};
+  reg.observe("hc.sched.wait_us", 250.0, "us", &wait_bounds);
+  reg.observe("hc.sched.wait_us", 1500.0, "us", &wait_bounds);
+  return reg;
+}
+
+constexpr const char* kSchedGoldenJson = R"({
+  "metrics": [
+    {"name": "hc.sched.admitted", "type": "counter", "unit": "1", "value": 6},
+    {"name": "hc.sched.batch_size", "type": "histogram", "unit": "1", "count": 2, "sum": 10, "min": 2, "max": 8, "p50": 2, "p95": 8, "p99": 8, "buckets": [{"le": 1, "count": 0}, {"le": 2, "count": 1}, {"le": 4, "count": 0}, {"le": 8, "count": 1}, {"le": 16, "count": 0}, {"le": 32, "count": 0}, {"le": 64, "count": 0}, {"le": 128, "count": 0}, {"le": 256, "count": 0}, {"le": 512, "count": 0}, {"le": "+inf", "count": 0}]},
+    {"name": "hc.sched.deferred", "type": "counter", "unit": "1", "value": 1},
+    {"name": "hc.sched.headroom", "type": "gauge", "unit": "1", "value": 0.55},
+    {"name": "hc.sched.queue_depth.gateway.mercy", "type": "gauge", "unit": "1", "value": 3},
+    {"name": "hc.sched.shed", "type": "counter", "unit": "1", "value": 2},
+    {"name": "hc.sched.shed.deadline", "type": "counter", "unit": "1", "value": 1},
+    {"name": "hc.sched.shed.rate", "type": "counter", "unit": "1", "value": 1},
+    {"name": "hc.sched.wait_us", "type": "histogram", "unit": "us", "count": 2, "sum": 1750, "min": 250, "max": 1500, "p50": 1000, "p95": 1500, "p99": 1500, "buckets": [{"le": 100, "count": 0}, {"le": 1000, "count": 1}, {"le": 10000, "count": 1}, {"le": "+inf", "count": 0}]}
+  ]
+}
+)";
+
+constexpr const char* kSchedGoldenCsv =
+    "name,type,unit,value,count,sum,min,max,p50,p95,p99\n"
+    "hc.sched.admitted,counter,1,6,,,,,,,\n"
+    "hc.sched.batch_size,histogram,1,,2,10,2,8,2,8,8\n"
+    "hc.sched.deferred,counter,1,1,,,,,,,\n"
+    "hc.sched.headroom,gauge,1,0.55,,,,,,,\n"
+    "hc.sched.queue_depth.gateway.mercy,gauge,1,3,,,,,,,\n"
+    "hc.sched.shed,counter,1,2,,,,,,,\n"
+    "hc.sched.shed.deadline,counter,1,1,,,,,,,\n"
+    "hc.sched.shed.rate,counter,1,1,,,,,,,\n"
+    "hc.sched.wait_us,histogram,us,,2,1750,250,1500,1000,1500,1500\n";
+
+TEST(MetricsExport, SchedFamilyJsonMatchesGolden) {
+  EXPECT_EQ(to_json(sched_registry()), kSchedGoldenJson);
+}
+
+TEST(MetricsExport, SchedFamilyCsvMatchesGolden) {
+  EXPECT_EQ(to_csv(sched_registry()), kSchedGoldenCsv);
 }
 
 TEST(MetricsExport, EmptyRegistryStillEmitsValidDocuments) {

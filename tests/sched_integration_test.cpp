@@ -1,0 +1,495 @@
+// Integration suite for the QoS layer (`ctest -L sched`): the scheduler
+// wired through the real platform — fair-queue draining of the ingestion
+// message queue, bounded-queue backpressure, deadline admission on
+// upload, the deterministic batched parallel drain (byte-identical
+// aggregates across 1/2/4/8 workers), the gateway's rate-limit /
+// admission / scheduled-dispatch path, and coalesced external-service
+// calls.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "blockchain/contracts.h"
+#include "fhir/synthetic.h"
+#include "ingestion/ingestion.h"
+#include "obs/export.h"
+#include "platform/gateway.h"
+#include "platform/instance.h"
+#include "services/registry.h"
+
+namespace hc::platform {
+namespace {
+
+// ------------------------------------------------------------- ingestion
+
+// The ingestion stack from tests/parallel_ingestion_test.cpp (same seeds),
+// plus the QoS pieces under test: an admission controller, an adaptive
+// batcher, and fair-mode queue knobs exercised per test.
+struct QosStack {
+  ClockPtr clock = make_clock();
+  LogPtr log = make_log(clock);
+  Rng rng{70};
+  crypto::KeyManagementService kms{"tenant-a", Rng(71), log};
+  storage::StagingArea staging;
+  storage::MessageQueue queue;
+  storage::StatusTracker tracker;
+  storage::DataLake lake{kms, "platform", Rng(72)};
+  storage::MetadataStore metadata;
+  privacy::AnonymizationVerificationService verifier{
+      privacy::FieldSchema::standard_patient(), 0.99, 1};
+  privacy::ReidentificationMap reid_map;
+  obs::MetricsPtr metrics = obs::make_metrics();
+  std::unique_ptr<blockchain::PermissionedLedger> ledger;
+  std::unique_ptr<sched::AdmissionController> admission;
+  std::unique_ptr<sched::AdaptiveBatcher> batcher;
+  crypto::KeyId lake_key;
+  crypto::KeyId client_key;
+  std::unique_ptr<ingestion::IngestionService> service;
+
+  explicit QosStack(sched::AdmissionConfig admission_config = {},
+                    sched::BatcherConfig batcher_config = {},
+                    bool bind_qos = true) {
+    blockchain::LedgerConfig config;
+    config.peers = {"peer-a", "peer-b", "peer-c"};
+    ledger = std::make_unique<blockchain::PermissionedLedger>(config, clock, log);
+    EXPECT_TRUE(blockchain::register_hcls_contracts(*ledger).is_ok());
+    lake_key = kms.create_symmetric_key("platform");
+    queue.bind_metrics(metrics);
+
+    admission = std::make_unique<sched::AdmissionController>(admission_config,
+                                                             clock, metrics);
+    batcher = std::make_unique<sched::AdaptiveBatcher>(batcher_config, metrics);
+
+    ingestion::IngestionDeps deps;
+    deps.clock = clock;
+    deps.log = log;
+    deps.kms = &kms;
+    deps.staging = &staging;
+    deps.queue = &queue;
+    deps.tracker = &tracker;
+    deps.lake = &lake;
+    deps.metadata = &metadata;
+    deps.ledger = ledger.get();
+    deps.verifier = &verifier;
+    deps.reid_map = &reid_map;
+    deps.metrics = metrics;
+    if (bind_qos) {
+      deps.admission = admission.get();
+      deps.batcher = batcher.get();
+    }
+    service = std::make_unique<ingestion::IngestionService>(
+        deps, lake_key, to_bytes("pseudo-key"), "platform");
+
+    client_key = kms.create_keypair("clinic-a");
+    EXPECT_TRUE(kms.authorize(client_key, "clinic-a", "platform").is_ok());
+  }
+
+  void grant_consent(const std::string& patient_id) {
+    ASSERT_TRUE(ledger
+                    ->submit_and_commit("consent",
+                                        {{"action", "grant"},
+                                         {"patient", patient_id},
+                                         {"group", "study-a"}},
+                                        "healthcare-provider")
+                    .is_ok());
+  }
+
+  Result<ingestion::UploadReceipt> upload(std::size_t index,
+                                          const ingestion::UploadQos& qos) {
+    fhir::Bundle bundle = fhir::make_synthetic_bundle(
+        rng, "bundle-t" + std::to_string(index), index);
+    grant_consent(std::get<fhir::Patient>(bundle.resources[0]).id);
+    auto pub = kms.public_key(client_key);
+    EXPECT_TRUE(pub.is_ok());
+    auto envelope =
+        crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng);
+    return service->upload(envelope, "clinic-a", "study-a", client_key, qos);
+  }
+};
+
+TEST(IngestionQos, UploadCarriesTenantLaneIntoFairDrainOrder) {
+  QosStack stack;
+  stack.queue.enable_fair_mode(/*quantum=*/1);  // one unit-cost item per visit
+
+  // A noisy tenant floods six uploads before a quiet tenant's two arrive.
+  // FIFO would drain all six first; DRR alternates until quiet runs dry.
+  std::size_t index = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(stack.upload(index++, {"noisy", 1, 0}).is_ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(stack.upload(index++, {"quiet", 1, 0}).is_ok());
+  }
+  EXPECT_EQ(stack.queue.depth(), 8u);
+  EXPECT_EQ(stack.queue.backlog_cost(), 8u);
+
+  std::vector<std::string> lanes;
+  while (auto msg = stack.queue.pop()) lanes.push_back(msg->tenant);
+  EXPECT_EQ(lanes, (std::vector<std::string>{"noisy", "quiet", "noisy", "quiet",
+                                             "noisy", "noisy", "noisy", "noisy"}));
+}
+
+TEST(IngestionQos, BoundedQueueBackpressureIsRetryableAndLeavesNoState) {
+  QosStack stack;
+  stack.queue.set_capacity(2);
+
+  ASSERT_TRUE(stack.upload(0, {}).is_ok());
+  ASSERT_TRUE(stack.upload(1, {}).is_ok());
+  auto rejected = stack.upload(2, {});
+  ASSERT_FALSE(rejected.is_ok());
+  // Retryable (kUnavailable): upstream RetryPolicy backoff is the intended
+  // reaction, not a hard failure.
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status().message().find("retry with backoff"),
+            std::string::npos);
+  // No half-ingested residue: the rejected upload's staged blob was undone.
+  EXPECT_EQ(stack.staging.size(), 2u);
+  EXPECT_EQ(stack.queue.depth(), 2u);
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.backpressure"), 1u);
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.uploads"), 2u);
+
+  // The accepted two still process normally.
+  EXPECT_EQ(stack.service->process_all(/*n_workers=*/0), 2u);
+  EXPECT_EQ(stack.staging.size(), 0u);
+}
+
+TEST(IngestionQos, AdmissionShedsDoomedUploadBeforeItCostsAnything) {
+  sched::AdmissionConfig admission;
+  admission.capacity_per_sec = 1000.0;  // 1 cost unit per millisecond
+  QosStack stack(admission);
+
+  // Own predicted service time (1000 units -> 1s) already misses a 1ms
+  // deadline: shed before staging, before the queue, before the tracker.
+  auto shed = stack.upload(0, {"clinic", /*cost=*/1000,
+                               /*deadline=*/stack.clock->now() + kMillisecond});
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stack.staging.size(), 0u);
+  EXPECT_TRUE(stack.queue.empty());
+  EXPECT_EQ(stack.metrics->counter("hc.sched.shed"), 1u);
+  EXPECT_EQ(stack.metrics->counter("hc.sched.shed.deadline"), 1u);
+  EXPECT_EQ(stack.metrics->counter("hc.ingestion.uploads"), 0u);
+
+  // A feasible deadline admits.
+  ASSERT_TRUE(
+      stack.upload(1, {"clinic", 1, stack.clock->now() + kMinute}).is_ok());
+  EXPECT_EQ(stack.metrics->counter("hc.sched.admitted"), 1u);
+}
+
+TEST(IngestionQos, BatchedDrainIsByteIdenticalAcrossWorkerCounts) {
+  // Weighted tenants + adaptive batching + 1/2/4/8 workers: the batch plan
+  // is a pure function of the drain-start depth, so the batch_size
+  // histogram — and every other aggregate metric — must match byte for
+  // byte across worker counts and reruns.
+  auto run = [](std::size_t n_workers) {
+    QosStack stack;
+    stack.queue.enable_fair_mode(/*quantum=*/4);
+    stack.queue.set_tenant_weight("hospital-a", 2);
+    stack.queue.set_tenant_weight("hospital-b", 1);
+    for (std::size_t i = 0; i < 30; ++i) {
+      EXPECT_TRUE(
+          stack.upload(i, {i % 3 ? "hospital-a" : "hospital-b", 1, 0}).is_ok());
+    }
+    EXPECT_EQ(stack.service->process_all(n_workers), 30u);
+    EXPECT_TRUE(stack.queue.empty());
+    return obs::to_json(*stack.metrics);
+  };
+
+  const std::string golden = run(1);
+  EXPECT_EQ(run(2), golden);
+  EXPECT_EQ(run(4), golden);
+  EXPECT_EQ(run(8), golden);
+  EXPECT_EQ(run(4), golden) << "rerun with the same seeds must be identical";
+
+  // The scheduler actually decided batch sizes: the histogram is populated
+  // and its dispatch count matches the plan for depth 30 (target 4,
+  // max 32): 8, 6, 4, 3, 3, 2, 1, 1, 1, 1.
+  QosStack probe;
+  std::vector<std::size_t> plan = probe.batcher->plan(30);
+  EXPECT_EQ(plan, (std::vector<std::size_t>{8, 6, 4, 3, 3, 2, 1, 1, 1, 1}));
+  EXPECT_NE(golden.find("hc.sched.batch_size"), std::string::npos);
+}
+
+// --------------------------------------------------------------- gateway
+
+class SchedGatewayFixture : public ::testing::Test {
+ protected:
+  SchedGatewayFixture()
+      : clock_(make_clock()), network_(clock_, Rng(100)) {
+    InstanceConfig config;
+    config.name = "cloud-a";
+    cloud_ = std::make_unique<HealthCloudInstance>(config, clock_, network_);
+    gateway_ = std::make_unique<ApiGateway>(*cloud_);
+
+    mercy_ = cloud_->rbac().register_tenant("mercy").value();
+    alice_ = add_analyst(mercy_, "alice");
+    stpaul_ = cloud_->rbac().register_tenant("stpaul").value();
+    bob_ = add_analyst(stpaul_, "bob");
+
+    gateway_->route("kb/", [](const std::string&, const ApiRequest& request) {
+      return Result<ApiResponse>(ApiResponse{to_bytes("kb:" + request.resource)});
+    });
+  }
+
+  std::string add_analyst(const rbac::TenantInfo& tenant,
+                          const std::string& name) {
+    std::string user = cloud_->rbac().add_user(tenant.id, name).value();
+    EXPECT_TRUE(cloud_->rbac()
+                    .assign_role(user, tenant.default_env, rbac::Role::kAnalyst)
+                    .is_ok());
+    EXPECT_TRUE(cloud_->rbac()
+                    .grant_permission(tenant.id, rbac::Role::kAnalyst, "kb/",
+                                      rbac::Permission::kRead)
+                    .is_ok());
+    return user;
+  }
+
+  ApiRequest request_for(const rbac::TenantInfo& tenant, const std::string& user,
+                         const std::string& resource) {
+    ApiRequest request;
+    request.user_id = user;
+    request.environment = tenant.default_env;
+    request.scope = tenant.id;
+    request.resource = resource;
+    return request;
+  }
+
+  ClockPtr clock_;
+  net::SimNetwork network_;
+  std::unique_ptr<HealthCloudInstance> cloud_;
+  std::unique_ptr<ApiGateway> gateway_;
+  rbac::TenantInfo mercy_;
+  rbac::TenantInfo stpaul_;
+  std::string alice_;
+  std::string bob_;
+};
+
+TEST_F(SchedGatewayFixture, QosOffIsTheHistoricalInlinePath) {
+  EXPECT_FALSE(gateway_->qos_enabled());
+  auto response = gateway_->handle(request_for(mercy_, alice_, "kb/x"));
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(gateway_->submit(request_for(mercy_, alice_, "kb/x")).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cloud_->metrics()->counter("hc.sched.shed"), 0u);
+}
+
+TEST_F(SchedGatewayFixture, RateLimiterShedsOverQuotaThenBurstPoolAbsorbs) {
+  GatewayQosConfig qos;
+  qos.default_quota = {/*rate_per_sec=*/0.0, /*capacity=*/2.0};
+  qos.burst_pool = {/*rate_per_sec=*/0.0, /*capacity=*/1.0};
+  gateway_->enable_qos(qos);
+
+  ApiRequest request = request_for(mercy_, alice_, "kb/x");
+  EXPECT_TRUE(gateway_->handle(request).is_ok());  // quota 1
+  EXPECT_TRUE(gateway_->handle(request).is_ok());  // quota 2
+  EXPECT_TRUE(gateway_->handle(request).is_ok());  // borrowed from burst pool
+  auto limited = gateway_->handle(request);        // everything dry
+  ASSERT_FALSE(limited.is_ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(limited.status().message().find("retry with backoff"),
+            std::string::npos);
+  EXPECT_EQ(gateway_->stats().rate_limited, 1u);
+  EXPECT_EQ(gateway_->stats().served, 3u);
+  EXPECT_EQ(cloud_->metrics()->counter("hc.sched.deferred"), 1u);
+  EXPECT_EQ(cloud_->metrics()->counter("hc.sched.shed.rate"), 1u);
+}
+
+TEST_F(SchedGatewayFixture, PerTenantQuotaComesFromRbacConfig) {
+  ASSERT_TRUE(cloud_->rbac()
+                  .set_tenant_qos(mercy_.id, /*weight=*/1, /*rate_per_sec=*/0.0,
+                                  /*burst=*/5.0)
+                  .is_ok());
+  GatewayQosConfig qos;
+  qos.default_quota = {0.0, 1.0};  // non-configured tenants get 1 token
+  qos.burst_pool = {0.0, 0.0};     // no shared pool: quotas bind exactly
+  gateway_->enable_qos(qos);
+
+  // mercy's RBAC quota (5) overrides the platform default (1)...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(gateway_->handle(request_for(mercy_, alice_, "kb/x")).is_ok());
+  }
+  EXPECT_FALSE(gateway_->handle(request_for(mercy_, alice_, "kb/x")).is_ok());
+  // ...while stpaul rides the default.
+  EXPECT_TRUE(gateway_->handle(request_for(stpaul_, bob_, "kb/y")).is_ok());
+  EXPECT_FALSE(gateway_->handle(request_for(stpaul_, bob_, "kb/y")).is_ok());
+  EXPECT_EQ(gateway_->stats().rate_limited, 2u);
+}
+
+TEST_F(SchedGatewayFixture, SubmitPumpDrainsInWeightedFairOrder) {
+  ASSERT_TRUE(cloud_->rbac().set_tenant_qos(mercy_.id, /*weight=*/3, 0, 0).is_ok());
+  ASSERT_TRUE(cloud_->rbac().set_tenant_qos(stpaul_.id, /*weight=*/1, 0, 0).is_ok());
+  GatewayQosConfig qos;
+  qos.wfq_quantum = 1;  // weight = items per DRR visit at unit cost
+  gateway_->enable_qos(qos);
+
+  // mercy floods six requests before stpaul's two. Weight 3:1 serves three
+  // mercy requests per stpaul request instead of all-mercy-first.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(gateway_
+                    ->submit(request_for(mercy_, alice_,
+                                         "kb/m" + std::to_string(i)))
+                    .is_ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(gateway_
+                    ->submit(request_for(stpaul_, bob_,
+                                         "kb/s" + std::to_string(i)))
+                    .is_ok());
+  }
+  EXPECT_EQ(gateway_->stats().queued, 8u);
+  EXPECT_EQ(gateway_->scheduled_depth(), 8u);
+
+  std::vector<ApiGateway::ScheduledOutcome> outcomes = gateway_->pump();
+  ASSERT_EQ(outcomes.size(), 8u);
+  std::vector<std::string> tenants;
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.response.is_ok()) << outcome.resource;
+    tenants.push_back(outcome.tenant);
+  }
+  EXPECT_EQ(tenants, (std::vector<std::string>{
+                         mercy_.id, mercy_.id, mercy_.id, stpaul_.id, mercy_.id,
+                         mercy_.id, mercy_.id, stpaul_.id}));
+  EXPECT_EQ(gateway_->scheduled_depth(), 0u);
+  EXPECT_EQ(gateway_->stats().served, 8u);
+
+  const obs::Histogram* wait = cloud_->metrics()->histogram("hc.sched.wait_us");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, 8u);
+}
+
+TEST_F(SchedGatewayFixture, PumpShedsRequestsWhoseDeadlineExpiredInQueue) {
+  gateway_->enable_qos(GatewayQosConfig{});
+
+  ApiRequest doomed = request_for(mercy_, alice_, "kb/doomed");
+  doomed.deadline = clock_->now() + 10;  // 10us from now
+  ASSERT_TRUE(gateway_->submit(doomed).is_ok());
+  ApiRequest fine = request_for(mercy_, alice_, "kb/fine");
+  ASSERT_TRUE(gateway_->submit(fine).is_ok());
+
+  clock_->advance(kMillisecond);  // the doomed deadline passes while queued
+  auto outcomes = gateway_->pump();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].response.is_ok());
+  EXPECT_EQ(outcomes[0].response.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(outcomes[1].response.is_ok());
+  EXPECT_EQ(gateway_->stats().shed, 1u);
+  EXPECT_EQ(cloud_->metrics()->counter("hc.sched.shed.deadline"), 1u);
+  // The shed request never reached a handler (served counts only the one).
+  EXPECT_EQ(gateway_->stats().served, 1u);
+}
+
+TEST_F(SchedGatewayFixture, SubmitBackpressuresAtScheduledQueueCapacity) {
+  GatewayQosConfig qos;
+  qos.queue_capacity = 1;
+  gateway_->enable_qos(qos);
+
+  ASSERT_TRUE(gateway_->submit(request_for(mercy_, alice_, "kb/a")).is_ok());
+  Status full = gateway_->submit(request_for(mercy_, alice_, "kb/b"));
+  ASSERT_FALSE(full.is_ok());
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  EXPECT_NE(full.message().find("retry with backoff"), std::string::npos);
+  EXPECT_EQ(cloud_->metrics()->counter("hc.sched.shed.capacity"), 1u);
+  // Draining reopens the queue.
+  EXPECT_EQ(gateway_->pump().size(), 1u);
+  EXPECT_TRUE(gateway_->submit(request_for(mercy_, alice_, "kb/b")).is_ok());
+}
+
+TEST_F(SchedGatewayFixture, PumpRunsOneAimdStepAgainstObservedLatency) {
+  GatewayQosConfig qos;
+  qos.admission.latency_metric = "hc.gateway.request_us";
+  qos.admission.target_p95_us = 1e9;  // everything is under target
+  qos.admission.headroom = 0.5;
+  gateway_->enable_qos(qos);
+
+  ASSERT_TRUE(gateway_->submit(request_for(mercy_, alice_, "kb/x")).is_ok());
+  ASSERT_EQ(gateway_->pump().size(), 1u);
+  // p95 under target + new samples -> one additive-increase step.
+  EXPECT_DOUBLE_EQ(cloud_->metrics()->gauge("hc.sched.headroom"), 0.55);
+}
+
+// --------------------------------------------------------------- services
+
+TEST(ServicesBatching, CoalescedCallIsCheaperThanSeparateCalls) {
+  auto run_batched = [](std::vector<Bytes> requests) {
+    auto clock = make_clock();
+    services::ServiceRegistry registry(clock, Rng(7));
+    services::ServiceProfile profile;
+    profile.name = "provider-a/nlu";
+    profile.mean_latency = 40 * kMillisecond;
+    profile.latency_jitter = 0;
+    profile.availability = 1.0;
+    registry.register_service(profile);
+    auto result = registry.invoke_batch("provider-a/nlu", requests);
+    EXPECT_TRUE(result.is_ok());
+    return std::pair(clock->now(), *std::move(result));
+  };
+
+  std::vector<Bytes> requests{to_bytes("r0"), to_bytes("r1"), to_bytes("r2"),
+                              to_bytes("r3")};
+  auto [elapsed, batch] = run_batched(requests);
+
+  // One full round trip + 3 marginal items at the default 0.25 fraction:
+  // 40ms * (1 + 3*0.25) = 70ms, vs 160ms for four separate invokes.
+  EXPECT_EQ(elapsed, 70 * kMillisecond);
+  EXPECT_EQ(batch.latency, 70 * kMillisecond);
+  ASSERT_EQ(batch.responses.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(to_string(batch.responses[i]),
+              "echo:" + to_string(requests[i]));
+  }
+}
+
+TEST(ServicesBatching, StatsAndMetricsCountEveryBatchedItem) {
+  auto clock = make_clock();
+  obs::MetricsPtr metrics = obs::make_metrics();
+  services::ServiceRegistry registry(clock, Rng(7));
+  registry.bind_metrics(metrics);
+  services::ServiceProfile profile;
+  profile.name = "provider-a/nlu";
+  profile.latency_jitter = 0;
+  profile.availability = 1.0;
+  registry.register_service(profile);
+
+  ASSERT_TRUE(registry
+                  .invoke_batch("provider-a/nlu",
+                                {to_bytes("a"), to_bytes("b"), to_bytes("c")})
+                  .is_ok());
+  auto stats = registry.stats("provider-a/nlu").value();
+  EXPECT_EQ(stats.invocations, 3u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(metrics->counter("hc.services.batch.calls"), 1u);
+  EXPECT_EQ(metrics->counter("hc.services.batch.items"), 3u);
+}
+
+TEST(ServicesBatching, WholeBatchSharesOneAvailabilityDraw) {
+  auto clock = make_clock();
+  services::ServiceRegistry registry(clock, Rng(7));
+  services::ServiceProfile profile;
+  profile.name = "provider-b/ocr";
+  profile.availability = 0.0;  // transport always fails
+  registry.register_service(profile);
+
+  auto result =
+      registry.invoke_batch("provider-b/ocr", {to_bytes("a"), to_bytes("b")});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  auto stats = registry.stats("provider-b/ocr").value();
+  EXPECT_EQ(stats.invocations, 2u);
+  EXPECT_EQ(stats.failures, 2u);
+}
+
+TEST(ServicesBatching, RejectsEmptyBatchAndUnknownService) {
+  auto clock = make_clock();
+  services::ServiceRegistry registry(clock, Rng(7));
+  EXPECT_EQ(registry.invoke_batch("nope", {to_bytes("x")}).status().code(),
+            StatusCode::kNotFound);
+  services::ServiceProfile profile;
+  profile.name = "provider-a/nlu";
+  registry.register_service(profile);
+  EXPECT_EQ(registry.invoke_batch("provider-a/nlu", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hc::platform

@@ -1,0 +1,359 @@
+// Unit suite for the QoS & scheduling layer (hc::sched): token-bucket
+// conformance, the hand-computed deficit-round-robin drain order the
+// WeightedFairQueue contract pins, deadline/overload shedding, the AIMD
+// headroom walk, and the deterministic batch plan. Run with `ctest -L
+// sched` or the check-sched target.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "sched/sched.h"
+
+namespace hc::sched {
+namespace {
+
+// --- Token buckets ---------------------------------------------------------
+
+TEST(TokenBucket, GrantsUpToCapacityThenDenies) {
+  ClockPtr clock = make_clock();
+  TokenBucket bucket({/*rate_per_sec=*/10.0, /*capacity=*/3.0}, clock);
+  EXPECT_EQ(bucket.acquire(), Grant::kGranted);
+  EXPECT_EQ(bucket.acquire(), Grant::kGranted);
+  EXPECT_EQ(bucket.acquire(), Grant::kGranted);
+  EXPECT_EQ(bucket.acquire(), Grant::kDenied);
+}
+
+TEST(TokenBucket, RefillsFromElapsedSimTimeAndCapsAtCapacity) {
+  ClockPtr clock = make_clock();
+  TokenBucket bucket({/*rate_per_sec=*/10.0, /*capacity=*/5.0}, clock);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(bucket.acquire(), Grant::kGranted);
+  EXPECT_EQ(bucket.acquire(), Grant::kDenied);
+
+  clock->advance(100 * kMillisecond);  // 1 token at 10/s
+  EXPECT_EQ(bucket.acquire(), Grant::kGranted);
+  EXPECT_EQ(bucket.acquire(), Grant::kDenied);
+
+  clock->advance(kMinute);  // far more than capacity accrues...
+  EXPECT_DOUBLE_EQ(bucket.available(), 5.0);  // ...but caps at the depth
+}
+
+TEST(TokenBucket, ConformanceOverAnyIntervalIsCapacityPlusRateTimesElapsed) {
+  // The bucket's contract: over [t0, t1] it grants at most
+  // capacity + rate * (t1 - t0) tokens. Walk a random schedule of advances
+  // and acquire attempts (seeded: reruns identical) and check the bound.
+  ClockPtr clock = make_clock();
+  const double rate = 50.0, capacity = 12.0;
+  TokenBucket bucket({rate, capacity}, clock);
+  Rng rng(4242);
+
+  double granted = 0.0;
+  const SimTime t0 = clock->now();
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.bernoulli(0.3)) clock->advance(rng.uniform_int(0, 5 * kMillisecond));
+    double want = static_cast<double>(rng.uniform_int(1, 3));
+    if (bucket.acquire(want) != Grant::kDenied) granted += want;
+    double elapsed_sec = static_cast<double>(clock->now() - t0) /
+                         static_cast<double>(kSecond);
+    EXPECT_LE(granted, capacity + rate * elapsed_sec + 1e-9)
+        << "conformance violated at step " << step;
+  }
+  EXPECT_GT(granted, 0.0);  // the walk actually exercised the bucket
+}
+
+TEST(BurstPool, OverQuotaTenantBorrowsFromSharedPoolThenIsDenied) {
+  ClockPtr clock = make_clock();
+  BurstPool pool({/*rate_per_sec=*/0.0, /*capacity=*/2.0}, clock);
+  TokenBucket bucket({/*rate_per_sec=*/0.0, /*capacity=*/1.0}, clock, &pool);
+
+  EXPECT_EQ(bucket.acquire(), Grant::kGranted);           // own quota
+  EXPECT_EQ(bucket.acquire(), Grant::kGrantedFromBurst);  // pool token 1
+  EXPECT_EQ(bucket.acquire(), Grant::kGrantedFromBurst);  // pool token 2
+  EXPECT_EQ(bucket.acquire(), Grant::kDenied);            // both dry
+  EXPECT_DOUBLE_EQ(pool.available(), 0.0);
+}
+
+TEST(BurstPool, SharedAcrossBuckets) {
+  ClockPtr clock = make_clock();
+  BurstPool pool({0.0, 1.0}, clock);
+  TokenBucket a({0.0, 0.0}, clock, &pool);
+  TokenBucket b({0.0, 0.0}, clock, &pool);
+  EXPECT_EQ(a.acquire(), Grant::kGrantedFromBurst);
+  EXPECT_EQ(b.acquire(), Grant::kDenied);  // a spent the shared token
+}
+
+// --- Weighted fair queue (deficit round-robin) -----------------------------
+
+TEST(WeightedFairQueue, HandComputedDrrScheduleIsByteExact) {
+  // quantum 100; weights a:3 (300/visit), b:2 (200), c:1 (100).
+  // Costs: a1..a4 = 200 each, b1..b3 = 150 each, c1..c2 = 100 each.
+  //
+  //  visit a: deficit 300 -> a1 (bank 100)
+  //  visit b: deficit 200 -> b1 (bank 50)
+  //  visit c: deficit 100 -> c1 (bank 0)
+  //  visit a: deficit 400 -> a2, a3 (bank 0)
+  //  visit b: deficit 250 -> b2 (bank 100)
+  //  visit c: deficit 100 -> c2 (empty, leaves)
+  //  visit a: deficit 300 -> a4 (empty, leaves)
+  //  visit b: deficit 300 -> b3 (empty, leaves)
+  WeightedFairQueue<std::string> q(/*quantum=*/100);
+  q.set_weight("a", 3);
+  q.set_weight("b", 2);
+  q.set_weight("c", 1);
+  q.push("a", "a1", 200);
+  q.push("b", "b1", 150);
+  q.push("c", "c1", 100);
+  q.push("a", "a2", 200);
+  q.push("a", "a3", 200);
+  q.push("a", "a4", 200);
+  q.push("b", "b2", 150);
+  q.push("b", "b3", 150);
+  q.push("c", "c2", 100);
+
+  std::vector<std::string> order;
+  while (auto item = q.pop()) order.push_back(*item);
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "c1", "a2", "a3",
+                                             "b2", "c2", "a4", "b3"}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.backlog_cost(), 0u);
+}
+
+TEST(WeightedFairQueue, EqualWeightsInterleaveRoundRobin) {
+  WeightedFairQueue<int> q(/*quantum=*/1);  // one unit-cost item per visit
+  for (int i = 0; i < 3; ++i) {
+    q.push("x", 10 + i, 1);
+    q.push("y", 20 + i, 1);
+  }
+  std::vector<int> order;
+  while (auto item = q.pop()) order.push_back(*item);
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 21, 12, 22}));
+}
+
+TEST(WeightedFairQueue, PopBatchMatchesRepeatedPop) {
+  auto build = [] {
+    WeightedFairQueue<int> q(/*quantum=*/10);
+    q.set_weight("a", 2);
+    for (int i = 0; i < 8; ++i) q.push(i % 2 ? "a" : "b", i, 7);
+    return q;
+  };
+  WeightedFairQueue<int> singles = build();
+  WeightedFairQueue<int> batched = build();
+
+  std::vector<int> one_by_one;
+  while (auto item = singles.pop()) one_by_one.push_back(*item);
+
+  std::vector<int> via_batches;
+  for (;;) {
+    auto batch = batched.pop_batch(3);
+    if (batch.empty()) break;
+    via_batches.insert(via_batches.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(one_by_one, via_batches);
+}
+
+TEST(WeightedFairQueue, DepthAndBacklogBookkeeping) {
+  WeightedFairQueue<int> q;
+  q.push("a", 1, 5);
+  q.push("a", 2, 5);
+  q.push("b", 3, 90);
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.tenant_depth("a"), 2u);
+  EXPECT_EQ(q.tenant_depth("b"), 1u);
+  EXPECT_EQ(q.tenant_depth("nobody"), 0u);
+  EXPECT_EQ(q.backlog_cost(), 100u);
+  (void)q.pop();
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.backlog_cost(), 95u);
+}
+
+TEST(WeightedFairQueue, EmptyPopsReturnNullopt) {
+  WeightedFairQueue<int> q;
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.pop_batch(4).empty());
+}
+
+TEST(WeightedFairQueue, LargeCostAccumulatesDeficitAcrossRounds) {
+  // A cost far above quantum*weight must eventually be served (banked
+  // deficit), not starve behind cheaper tenants forever.
+  WeightedFairQueue<std::string> q(/*quantum=*/10);
+  q.push("big", "elephant", 35);  // needs 4 visits at deficit 10/visit
+  q.push("small", "s1", 5);
+  q.push("small", "s2", 5);
+  std::vector<std::string> order;
+  while (auto item = q.pop()) order.push_back(*item);
+  EXPECT_EQ(order, (std::vector<std::string>{"s1", "s2", "elephant"}));
+}
+
+// --- Admission control -----------------------------------------------------
+
+TEST(AdmissionController, AdmitsWhenDeadlineFitsPredictedFinish) {
+  ClockPtr clock = make_clock();
+  AdmissionConfig config;
+  config.capacity_per_sec = 1000.0;  // 1 cost unit per millisecond
+  AdmissionController admission(config, clock, obs::make_metrics());
+
+  // Backlog 100 -> 100ms wait; own cost 10 -> 10ms; finish = t+110ms.
+  EXPECT_TRUE(admission
+                  .admit("t", /*cost=*/10, clock->now() + 200 * kMillisecond,
+                         /*backlog_cost=*/100)
+                  .is_ok());
+}
+
+TEST(AdmissionController, ShedsDeadlineMissWithRetryableStatus) {
+  ClockPtr clock = make_clock();
+  obs::MetricsPtr metrics = obs::make_metrics();
+  AdmissionConfig config;
+  config.capacity_per_sec = 1000.0;
+  AdmissionController admission(config, clock, metrics);
+
+  Status shed = admission.admit("t", 10, clock->now() + 50 * kMillisecond,
+                                /*backlog_cost=*/100);  // finish at +110ms
+  ASSERT_FALSE(shed.is_ok());
+  // Retryable by fault::RetryPolicy's contract: kUnavailable.
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.message().find("retry with backoff"), std::string::npos);
+  EXPECT_EQ(metrics->counter("hc.sched.shed"), 1u);
+  EXPECT_EQ(metrics->counter("hc.sched.shed.deadline"), 1u);
+  EXPECT_EQ(metrics->counter("hc.sched.admitted"), 0u);
+}
+
+TEST(AdmissionController, ShedsOnPredictedWaitCapRegardlessOfDeadline) {
+  ClockPtr clock = make_clock();
+  obs::MetricsPtr metrics = obs::make_metrics();
+  AdmissionConfig config;
+  config.capacity_per_sec = 1000.0;
+  config.max_predicted_wait = 50 * kMillisecond;
+  AdmissionController admission(config, clock, metrics);
+
+  EXPECT_TRUE(admission.admit("t", 1, /*deadline=*/0, /*backlog_cost=*/49).is_ok());
+  Status shed = admission.admit("t", 1, /*deadline=*/0, /*backlog_cost=*/100);
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(metrics->counter("hc.sched.shed.overload"), 1u);
+}
+
+TEST(AdmissionController, NoDeadlineNoCapAlwaysAdmits) {
+  ClockPtr clock = make_clock();
+  AdmissionController admission(AdmissionConfig{}, clock, obs::make_metrics());
+  EXPECT_TRUE(admission.admit("t", 1e9, 0, 1e12).is_ok());
+}
+
+TEST(AdmissionController, AimdWalksHeadroomAgainstObservedP95) {
+  ClockPtr clock = make_clock();
+  obs::MetricsPtr metrics = obs::make_metrics();
+  AdmissionConfig config;
+  config.latency_metric = "hc.test.lat_us";
+  config.target_p95_us = 100.0;
+  AdmissionController admission(config, clock, metrics);
+  EXPECT_DOUBLE_EQ(admission.headroom(), 1.0);
+
+  // p95 over target: multiplicative decrease.
+  metrics->observe("hc.test.lat_us", 1000.0);
+  admission.adapt();
+  EXPECT_DOUBLE_EQ(admission.headroom(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics->gauge("hc.sched.headroom"), 0.5);
+
+  // No new samples: adapt() is a no-op, headroom must not creep.
+  admission.adapt();
+  admission.adapt();
+  EXPECT_DOUBLE_EQ(admission.headroom(), 0.5);
+
+  // Many fast samples pull p95 under target: additive increase.
+  for (int i = 0; i < 100; ++i) metrics->observe("hc.test.lat_us", 5.0);
+  admission.adapt();
+  EXPECT_DOUBLE_EQ(admission.headroom(), 0.55);
+}
+
+TEST(AdmissionController, AimdClampsAtConfiguredFloor) {
+  ClockPtr clock = make_clock();
+  obs::MetricsPtr metrics = obs::make_metrics();
+  AdmissionConfig config;
+  config.latency_metric = "hc.test.lat_us";
+  config.target_p95_us = 1.0;
+  config.min_headroom = 0.25;
+  AdmissionController admission(config, clock, metrics);
+
+  for (int i = 0; i < 10; ++i) {
+    metrics->observe("hc.test.lat_us", 1e6);  // always over target
+    admission.adapt();
+  }
+  EXPECT_DOUBLE_EQ(admission.headroom(), 0.25);
+}
+
+TEST(AdmissionController, LowerHeadroomShedsSooner) {
+  ClockPtr clock = make_clock();
+  obs::MetricsPtr metrics = obs::make_metrics();
+  AdmissionConfig config;
+  config.capacity_per_sec = 1000.0;
+  config.latency_metric = "hc.test.lat_us";
+  config.target_p95_us = 1.0;
+  AdmissionController admission(config, clock, metrics);
+
+  SimTime deadline = clock->now() + 150 * kMillisecond;
+  EXPECT_TRUE(admission.admit("t", 10, deadline, 100).is_ok());
+
+  metrics->observe("hc.test.lat_us", 1e6);
+  admission.adapt();  // headroom 0.5 -> effective capacity halves
+  EXPECT_FALSE(admission.admit("t", 10, deadline, 100).is_ok());
+}
+
+// --- Adaptive batching -----------------------------------------------------
+
+TEST(AdaptiveBatcher, BatchSizeTracksDepthWithinBounds) {
+  AdaptiveBatcher batcher({/*min=*/2, /*max=*/16, /*target_dispatches=*/4},
+                          nullptr);
+  EXPECT_EQ(batcher.batch_size(0), 2u);    // floor at min_batch
+  EXPECT_EQ(batcher.batch_size(4), 2u);    // ceil(4/4) = 1, clamped to 2
+  EXPECT_EQ(batcher.batch_size(20), 5u);   // ceil(20/4)
+  EXPECT_EQ(batcher.batch_size(1000), 16u);  // clamped to max_batch
+}
+
+TEST(AdaptiveBatcher, PlanPartitionsDepthExactlyAndDeterministically) {
+  AdaptiveBatcher batcher({1, 32, 4, 2 * kMillisecond}, nullptr);
+  for (std::size_t depth : {0u, 1u, 7u, 50u, 100u, 1000u}) {
+    std::vector<std::size_t> plan = batcher.plan(depth);
+    std::size_t total = std::accumulate(plan.begin(), plan.end(), std::size_t{0});
+    EXPECT_EQ(total, depth) << "plan must sum exactly to the depth";
+    for (std::size_t take : plan) {
+      EXPECT_GE(take, 1u);
+      EXPECT_LE(take, 32u);
+    }
+    EXPECT_EQ(plan, batcher.plan(depth)) << "plan must be pure";
+  }
+}
+
+TEST(AdaptiveBatcher, PlanDecaysAsBacklogShrinks) {
+  AdaptiveBatcher batcher({1, 32, 4, 2 * kMillisecond}, nullptr);
+  std::vector<std::size_t> plan = batcher.plan(100);
+  ASSERT_GE(plan.size(), 2u);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i], plan[i - 1]) << "batches must not grow as depth drains";
+  }
+  EXPECT_EQ(plan.front(), 25u);  // ceil(100/4)
+  EXPECT_EQ(plan.back(), 1u);
+}
+
+TEST(AdaptiveBatcher, RecordLandsInBatchSizeHistogram) {
+  obs::MetricsPtr metrics = obs::make_metrics();
+  AdaptiveBatcher batcher(BatcherConfig{}, metrics);
+  batcher.record(8);
+  batcher.record(3);
+  const obs::Histogram* hist = metrics->histogram("hc.sched.batch_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_DOUBLE_EQ(hist->sum, 11.0);
+}
+
+TEST(AdaptiveBatcher, DegenerateConfigIsSanitized) {
+  AdaptiveBatcher batcher({/*min=*/0, /*max=*/0, /*target_dispatches=*/0},
+                          nullptr);
+  EXPECT_EQ(batcher.batch_size(100), 1u);  // min forced to 1, max to min
+  EXPECT_EQ(batcher.plan(3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace hc::sched

@@ -162,6 +162,66 @@ TEST(MessageQueue, FifoOrder) {
   EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(MessageQueue, EnqueueAtCapacityReturnsRetryableBackpressure) {
+  MessageQueue q;
+  q.set_capacity(2);
+  ASSERT_TRUE(q.push({"up-1", "user-a", "study", "key-1"}).is_ok());
+  ASSERT_TRUE(q.push({"up-2", "user-a", "study", "key-2"}).is_ok());
+
+  Status full = q.push({"up-3", "user-a", "study", "key-3"});
+  ASSERT_FALSE(full.is_ok());
+  // The backpressure contract: retryable (kUnavailable), so upstream
+  // RetryPolicy backoff handles it; nothing already queued is dropped.
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  EXPECT_NE(full.message().find("retry with backoff"), std::string::npos);
+  EXPECT_EQ(q.depth(), 2u);
+
+  // Draining one frees a slot; capacity 0 restores unbounded.
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.push({"up-3", "user-a", "study", "key-3"}).is_ok());
+  q.set_capacity(0);
+  EXPECT_TRUE(q.push({"up-4", "user-a", "study", "key-4"}).is_ok());
+  EXPECT_TRUE(q.push({"up-5", "user-a", "study", "key-5"}).is_ok());
+}
+
+TEST(MessageQueue, FairModeDrainsTenantLanesByDeficitRoundRobin) {
+  MessageQueue q;
+  q.enable_fair_mode(/*quantum=*/1);
+  EXPECT_TRUE(q.fair_mode());
+  q.set_tenant_weight("loud", 1);
+  q.set_tenant_weight("soft", 1);
+
+  // Four "loud" messages arrive before two "soft" ones (all unit cost):
+  // FIFO would starve "soft" behind the flood; DRR alternates lanes.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        q.push({"l" + std::to_string(i), "user-a", "study", "k", "loud"}).is_ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        q.push({"s" + std::to_string(i), "user-b", "study", "k", "soft"}).is_ok());
+  }
+  EXPECT_EQ(q.backlog_cost(), 6u);
+
+  std::vector<std::string> order;
+  while (auto msg = q.pop()) order.push_back(msg->upload_id);
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"l0", "s0", "l1", "s1", "l2", "l3"}));
+}
+
+TEST(MessageQueue, FifoRemainderDrainsBeforeFairLanes) {
+  // Messages queued before enable_fair_mode keep their FIFO position and
+  // drain ahead of anything scheduled by the fair queue.
+  MessageQueue q;
+  ASSERT_TRUE(q.push({"old-1", "user-a", "study", "k"}).is_ok());
+  q.enable_fair_mode();
+  ASSERT_TRUE(q.push({"new-1", "user-a", "study", "k", "tenant-x"}).is_ok());
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop()->upload_id, "old-1");
+  EXPECT_EQ(q.pop()->upload_id, "new-1");
+  EXPECT_TRUE(q.empty());
+}
+
 // --------------------------------------------------------------- status
 
 TEST(StatusTracker, TracksLifecycle) {
