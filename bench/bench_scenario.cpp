@@ -1,0 +1,117 @@
+// Experiment F10 (ISSUE: scenario engine): run a declarative scenario
+// file end to end and emit its artifact bundle.
+//
+//   bench_scenario <file.scn> [--out <dir>] [--workers <n>]
+//
+// Prints the per-(cell, mode, tenant) outcome table in bench_overload's
+// format plus every verdict line; --out writes the triage bundle
+// (metrics.json / timeline.txt / verdicts.txt), which is byte-identical
+// across reruns and across --workers values. Exit code 0 iff every
+// verdict passes — the F10 harness runs the same file twice and diffs
+// the bundles to prove replayability.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/runner.h"
+#include "scenario/validator.h"
+
+using namespace hc;
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string out_dir;
+  scenario::RunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.ingest_workers =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_scenario <file.scn> [--out <dir>] "
+                 "[--workers <n>]\n");
+    return 2;
+  }
+
+  Result<scenario::Scenario> loaded = scenario::load_file(path);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 loaded.status().message().c_str());
+    return 2;
+  }
+  const scenario::Scenario& spec = *loaded;
+
+  Result<scenario::RunReport> ran = scenario::run(spec, options);
+  if (!ran.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", ran.status().message().c_str());
+    return 2;
+  }
+  const scenario::RunReport& report = *ran;
+
+  std::printf("== scenario %s (seed %llu, horizon %s) ==\n",
+              report.scenario_name.c_str(),
+              static_cast<unsigned long long>(report.seed),
+              format_duration(report.horizon).c_str());
+  std::printf("%-6s %-6s %-12s %8s %8s %7s %6s %6s %9s %8s %8s\n", "load",
+              "mode", "tenant", "offered", "served", "shed", "late", "lost",
+              "goodput", "p95-ms", "p99-ms");
+  for (const scenario::CellModeResult& cell : report.cells) {
+    for (std::size_t i = 0; i < cell.tenants.size(); ++i) {
+      const scenario::TenantTally& tally = cell.tenants[i];
+      if (tally.offered == 0) continue;
+      char label[32];
+      std::snprintf(label, sizeof(label), "x%.1f", cell.load);
+      std::printf(
+          "%-6s %-6s %-12s %8llu %8llu %7llu %6llu %6llu %8.1f%% %8.2f "
+          "%8.2f\n",
+          label, std::string(scenario::scheduler_mode_name(cell.mode)).c_str(),
+          spec.tenants[i].name.c_str(),
+          static_cast<unsigned long long>(tally.offered),
+          static_cast<unsigned long long>(tally.served),
+          static_cast<unsigned long long>(tally.shed),
+          static_cast<unsigned long long>(tally.late),
+          static_cast<unsigned long long>(tally.lost),
+          100.0 * static_cast<double>(tally.served) /
+              static_cast<double>(tally.offered),
+          tally.percentile(0.95) / 1000.0, tally.percentile(0.99) / 1000.0);
+    }
+  }
+
+  if (!report.ingest.empty()) {
+    std::printf("\ningestion replay (first sweep cell):\n");
+    for (std::size_t i = 0; i < report.ingest.size(); ++i) {
+      const scenario::IngestTally& tally = report.ingest[i];
+      if (tally.attempted == 0) continue;
+      std::printf("  %-12s attempted %4llu stored %4llu malware %3llu "
+                  "consent %3llu\n",
+                  spec.tenants[i].name.c_str(),
+                  static_cast<unsigned long long>(tally.attempted),
+                  static_cast<unsigned long long>(tally.stored),
+                  static_cast<unsigned long long>(tally.rejected_malware),
+                  static_cast<unsigned long long>(tally.rejected_consent));
+    }
+  }
+
+  std::printf("\n%s", scenario::verdicts_text(report).c_str());
+
+  if (!out_dir.empty()) {
+    Status written = scenario::write_bundle(report, out_dir);
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "bundle write failed: %s\n",
+                   written.message().c_str());
+      return 2;
+    }
+    std::printf("bundle written to %s\n", out_dir.c_str());
+  }
+  return report.all_pass() ? 0 : 1;
+}

@@ -1,0 +1,262 @@
+#include "scenario/compiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault.h"
+
+namespace hc::scenario {
+namespace {
+
+/// Hard cap on expanded arrivals per cell, so a (valid) 600s x 1e6 req/s
+/// scenario refuses loudly instead of eating the machine.
+constexpr std::size_t kMaxArrivals = 5'000'000;
+
+bool phase_applies(const PhaseSpec& phase, const std::string& tenant) {
+  if (phase.tenants.empty()) return true;
+  for (const std::string& name : phase.tenants) {
+    if (name == tenant) return true;
+  }
+  return false;
+}
+
+/// The phase covering (tenant, t), or null. Phases for one tenant never
+/// overlap (validated), so the first hit is the only hit.
+const PhaseSpec* phase_at(const Scenario& scenario, int tenant_index, SimTime t) {
+  const std::string& name =
+      scenario.tenants[static_cast<std::size_t>(tenant_index)].name;
+  for (const PhaseSpec& phase : scenario.phases) {
+    if (t >= phase.from && t < phase.until && phase_applies(phase, name)) {
+      return &phase;
+    }
+  }
+  return nullptr;
+}
+
+/// Per-tenant generation state; streams are created lazily so degenerate
+/// mixes (consent 1.0, no network, fixed payload) draw nothing at all.
+struct TenantStreams {
+  Rng cost;
+  Rng payload;
+  Rng consent;
+  Rng network;
+  Rng arrival;
+  Rng malware;
+};
+
+}  // namespace
+
+SimTime transfer_time(const net::LinkProfile& link, std::uint64_t payload,
+                      Rng& net_rng) {
+  SimTime t = link.base_latency;
+  if (link.jitter > 0) t += net_rng.uniform_int(0, link.jitter);
+  if (link.bandwidth_bytes_per_us > 0.0) {
+    t += static_cast<SimTime>(
+        std::llround(static_cast<double>(payload) / link.bandwidth_bytes_per_us));
+  }
+  return t;
+}
+
+double phase_scale_at(const Scenario& scenario, int tenant_index, SimTime t) {
+  const PhaseSpec* phase = phase_at(scenario, tenant_index, t);
+  return phase == nullptr ? 1.0 : phase->rate_scale;
+}
+
+double consent_probability_at(const Scenario& scenario, int tenant_index,
+                              SimTime t) {
+  const PhaseSpec* phase = phase_at(scenario, tenant_index, t);
+  if (phase != nullptr && phase->consent_probability.has_value()) {
+    return *phase->consent_probability;
+  }
+  return scenario.tenants[static_cast<std::size_t>(tenant_index)]
+      .consent_probability;
+}
+
+Rng cost_rng_for(const Scenario& scenario, std::size_t tenant_index) {
+  const TenantSpec& tenant = scenario.tenants[tenant_index];
+  std::uint64_t seed = tenant.cost_seed >= 0
+                           ? static_cast<std::uint64_t>(tenant.cost_seed)
+                           : scenario.seed + tenant_index;
+  return Rng(seed);
+}
+
+Rng payload_rng_for(const Scenario& scenario, std::size_t tenant_index) {
+  return Rng(scenario.seed + 3000 + tenant_index);
+}
+
+Rng consent_rng_for(const Scenario& scenario, std::size_t tenant_index) {
+  return Rng(scenario.seed + 5000 + tenant_index);
+}
+
+Rng network_rng_for(const Scenario& scenario, std::size_t tenant_index) {
+  return Rng(scenario.seed + 7000 + tenant_index);
+}
+
+Rng arrival_rng_for(const Scenario& scenario, std::size_t tenant_index) {
+  return Rng(scenario.seed + 9000 + tenant_index);
+}
+
+Rng malware_rng_for(const Scenario& scenario, std::size_t tenant_index) {
+  return Rng(scenario.seed + 11000 + tenant_index);
+}
+
+Result<CompiledCell> compile(const Scenario& scenario, double load) {
+  CompiledCell cell;
+  cell.load = load;
+
+  // Resolve the fill tenant's rate: the sweep remainder over the fixed
+  // open-loop rates (bench_overload's `total_rate - 3 * kNormalRate`).
+  double fixed = 0.0;
+  for (const TenantSpec& tenant : scenario.tenants) {
+    if (tenant.arrival != ArrivalKind::kClosedLoop && !tenant.rate_fill) {
+      fixed += tenant.rate_per_sec;
+    }
+  }
+  double fill_rate =
+      std::max(0.0, std::floor(load * scenario.nominal_rate) - fixed);
+
+  cell.rates.resize(scenario.tenants.size(), 0.0);
+  for (std::size_t i = 0; i < scenario.tenants.size(); ++i) {
+    const TenantSpec& tenant = scenario.tenants[i];
+    if (tenant.arrival == ArrivalKind::kClosedLoop) continue;
+    cell.rates[i] = tenant.rate_fill ? fill_rate : tenant.rate_per_sec;
+  }
+
+  for (std::size_t i = 0; i < scenario.tenants.size(); ++i) {
+    const TenantSpec& tenant = scenario.tenants[i];
+    if (tenant.arrival == ArrivalKind::kClosedLoop) continue;
+    double rate = cell.rates[i];
+    if (rate <= 0.0) continue;  // no stream, no draws (bench parity)
+
+    TenantStreams streams{cost_rng_for(scenario, i),
+                          payload_rng_for(scenario, i),
+                          consent_rng_for(scenario, i),
+                          network_rng_for(scenario, i),
+                          arrival_rng_for(scenario, i),
+                          malware_rng_for(scenario, i)};
+    const NetworkSpec* network = scenario.network_for(tenant);
+    int tenant_index = static_cast<int>(i);
+    SimTime offset = tenant.phase_offset >= 0
+                         ? tenant.phase_offset
+                         : static_cast<SimTime>(i) * 17;
+
+    auto emit = [&](SimTime t) -> Status {
+      Arrival arrival;
+      arrival.tenant = tenant_index;
+      arrival.cost = static_cast<std::uint64_t>(streams.cost.uniform_int(
+          static_cast<std::int64_t>(tenant.cost_lo),
+          static_cast<std::int64_t>(tenant.cost_hi)));
+      arrival.payload =
+          tenant.payload_lo == tenant.payload_hi
+              ? tenant.payload_lo
+              : static_cast<std::uint64_t>(streams.payload.uniform_int(
+                    static_cast<std::int64_t>(tenant.payload_lo),
+                    static_cast<std::int64_t>(tenant.payload_hi)));
+      double consent = consent_probability_at(scenario, tenant_index, t);
+      arrival.consented =
+          consent >= 1.0 ||
+          (consent > 0.0 && streams.consent.bernoulli(consent));
+      arrival.malware = tenant.malware_probability > 0.0 &&
+                        streams.malware.bernoulli(tenant.malware_probability);
+      arrival.at = t;
+      if (network != nullptr) {
+        arrival.at += transfer_time(network->link, arrival.payload, streams.network);
+        if (network->link.drop_probability > 0.0 &&
+            streams.network.bernoulli(network->link.drop_probability)) {
+          arrival.dropped = true;
+        }
+      }
+      arrival.deadline = arrival.at + scenario.server.deadline_budget;
+      cell.arrivals.push_back(arrival);
+      if (cell.arrivals.size() > kMaxArrivals) {
+        return Status(StatusCode::kInvalidArgument,
+                      "scenario \"" + scenario.name +
+                          "\" generates too many arrivals (cap " +
+                          std::to_string(kMaxArrivals) + ")");
+      }
+      return Status::ok();
+    };
+
+    if (tenant.arrival == ArrivalKind::kUniform) {
+      // Evenly spaced at the phase-scaled rate. With no phases this is
+      // exactly bench_overload's `for (t = offset; t < horizon; t += kSecond
+      // / rate)` loop, truncation included.
+      SimTime t = offset;
+      while (t < scenario.horizon) {
+        const PhaseSpec* phase = phase_at(scenario, tenant_index, t);
+        double scale = phase == nullptr ? 1.0 : phase->rate_scale;
+        if (scale <= 0.0) {
+          t = phase->until;  // silenced for the whole phase
+          continue;
+        }
+        Status status = emit(t);
+        if (!status.is_ok()) return status;
+        SimTime spacing = static_cast<SimTime>(kSecond / (rate * scale));
+        t += std::max<SimTime>(1, spacing);
+      }
+    } else {  // kPoisson
+      SimTime t = offset;
+      while (true) {
+        const PhaseSpec* phase = phase_at(scenario, tenant_index, t);
+        double scale = phase == nullptr ? 1.0 : phase->rate_scale;
+        if (scale <= 0.0) {
+          t = phase->until;
+          continue;
+        }
+        double mean = kSecond / (rate * scale);
+        SimTime gap = static_cast<SimTime>(
+            std::llround(streams.arrival.exponential(mean)));
+        t += std::max<SimTime>(1, gap);
+        if (t >= scenario.horizon) break;
+        Status status = emit(t);
+        if (!status.is_ok()) return status;
+      }
+    }
+  }
+
+  // Merge the per-tenant streams into one schedule; stable sort keeps
+  // declaration order as the tie-break, like bench_overload.
+  std::stable_sort(cell.arrivals.begin(), cell.arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
+
+  // Message-fault pass, in arrival order against a real injector on its
+  // own clock. Crash windows are service-side and handled by the runner.
+  if (!scenario.faults.rules.empty()) {
+    ClockPtr clock = make_clock();
+    fault::FaultInjector injector(scenario.faults, clock,
+                                  Rng(scenario.seed + 13));
+    std::vector<Arrival> duplicated;
+    for (Arrival& arrival : cell.arrivals) {
+      clock->advance_to(arrival.at);
+      const std::string& from =
+          scenario.tenants[static_cast<std::size_t>(arrival.tenant)].name;
+      fault::FaultDecision decision =
+          injector.on_message(from, scenario.server.host);
+      if (decision.drop) {
+        arrival.dropped = true;
+        continue;
+      }
+      if (decision.corrupt) arrival.corrupted = true;
+      if (decision.extra_delay > 0) {
+        arrival.at += decision.extra_delay;
+        arrival.deadline += decision.extra_delay;
+      }
+      if (decision.duplicate) duplicated.push_back(arrival);
+    }
+    if (cell.arrivals.size() + duplicated.size() > kMaxArrivals) {
+      return Status(StatusCode::kInvalidArgument,
+                    "scenario \"" + scenario.name +
+                        "\" generates too many arrivals (cap " +
+                        std::to_string(kMaxArrivals) + ")");
+    }
+    cell.arrivals.insert(cell.arrivals.end(), duplicated.begin(),
+                         duplicated.end());
+    std::stable_sort(
+        cell.arrivals.begin(), cell.arrivals.end(),
+        [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
+  }
+
+  return cell;
+}
+
+}  // namespace hc::scenario

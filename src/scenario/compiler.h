@@ -1,0 +1,91 @@
+// Scenario -> deterministic event schedule.
+//
+// compile() expands one sweep cell of a validated Scenario into the
+// concrete arrival list both schedulers replay: per-tenant open-loop
+// streams (uniform or Poisson, phase-scaled), costs/payloads/consent/
+// malware flags drawn from per-tenant per-purpose seeded Rngs, network
+// transfer time added per the tenant's LinkProfile, and message-fault
+// rules (drop/delay/duplicate/corrupt) applied in arrival order through a
+// real FaultInjector. The output depends only on (scenario, load) — same
+// file + same seed is the same byte sequence forever, which is what the
+// replay-determinism suite pins.
+//
+// Seed derivation (all offsets from Scenario.seed, per tenant index i):
+//   cost     seed + i        (matches bench_overload's Rng(700 + tenant)
+//                             when the scenario seed is 700; overridable
+//                             per tenant via cost_seed)
+//   payload  seed + 3000 + i
+//   consent  seed + 5000 + i
+//   network  seed + 7000 + i
+//   arrival  seed + 9000 + i (Poisson inter-arrival draws)
+//   malware  seed + 11000 + i
+//   faults   seed + 13      (the injector's stream)
+// Streams are only instantiated when a tenant can draw from them, so a
+// scenario with no network/faults/mix makes exactly the draws
+// bench_overload made — the F9 equivalence golden depends on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "scenario/model.h"
+
+namespace hc::scenario {
+
+/// One concrete request the server will see. `at` already includes
+/// network transfer and fault delay; dropped/corrupted arrivals never
+/// reach the scheduler and are tallied as lost.
+struct Arrival {
+  SimTime at = 0;
+  SimTime deadline = 0;
+  std::uint64_t cost = 0;     // us of server work
+  std::uint64_t payload = 0;  // bytes (ingestion replay + network transfer)
+  int tenant = 0;             // index into Scenario.tenants
+  bool consented = true;
+  bool malware = false;
+  bool dropped = false;    // lost on the wire (fault drop or link loss)
+  bool corrupted = false;  // integrity-rejected at the gateway
+};
+
+/// One sweep cell, fully expanded.
+struct CompiledCell {
+  double load = 1.0;
+  /// Resolved open-loop rate per tenant (fill tenant's remainder applied;
+  /// 0 for closed-loop tenants).
+  std::vector<double> rates;
+  /// Open-loop arrivals sorted by (at, declaration order). Closed-loop
+  /// tenants spawn at run time instead.
+  std::vector<Arrival> arrivals;
+};
+
+/// Expands one sweep cell. The only failure is the arrival-count guard
+/// (kInvalidArgument) — a validated scenario otherwise always compiles.
+Result<CompiledCell> compile(const Scenario& scenario, double load);
+
+/// Effective phase rate-scale for `tenant_index` at sim time `t`
+/// (1.0 outside every phase). Exposed for the runner's closed-loop spawner.
+double phase_scale_at(const Scenario& scenario, int tenant_index, SimTime t);
+
+/// Effective consent probability at `t` (phase override or the tenant's).
+double consent_probability_at(const Scenario& scenario, int tenant_index,
+                              SimTime t);
+
+/// The per-purpose seeded streams for one tenant (see the seed table in
+/// the file comment). The runner uses the same derivation for closed-loop
+/// tenants, which the compiler never draws from.
+Rng cost_rng_for(const Scenario& scenario, std::size_t tenant_index);
+Rng payload_rng_for(const Scenario& scenario, std::size_t tenant_index);
+Rng consent_rng_for(const Scenario& scenario, std::size_t tenant_index);
+Rng network_rng_for(const Scenario& scenario, std::size_t tenant_index);
+Rng arrival_rng_for(const Scenario& scenario, std::size_t tenant_index);
+Rng malware_rng_for(const Scenario& scenario, std::size_t tenant_index);
+
+/// Transfer time for `payload` bytes across `link`: propagation + uniform
+/// jitter (drawn from `net_rng` only when the profile has jitter) +
+/// serialization. Shared by the compiler and the runner's closed-loop
+/// spawner so both price the wire identically.
+SimTime transfer_time(const net::LinkProfile& link, std::uint64_t payload,
+                      Rng& net_rng);
+
+}  // namespace hc::scenario

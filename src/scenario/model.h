@@ -1,0 +1,225 @@
+// Scenario engine: the declarative workload model (hc::scenario).
+//
+// ROADMAP item 3: every bench used to hard-code its own arrival process,
+// fault plan, and QoS quotas, so each new claim cost a new bench binary
+// and none of them were cross-checked. A *scenario* is instead data: a
+// plain-text file under scenarios/ describing tenants (with RBAC roles
+// and QoS quotas), arrival processes (open-loop uniform/Poisson,
+// closed-loop clients, diurnal/spike phases), payload mixes, fault plans,
+// and network profiles, plus machine-checkable verdicts. The pipeline is
+//
+//   parse (parser.h)      text -> RawDoc, syntax diagnostics with line
+//                         numbers, no interpretation;
+//   validate (validator.h) RawDoc -> Scenario, every field range-checked,
+//                         unknown keys rejected, cross-references
+//                         (tenant -> quota, phase/verdict -> tenant,
+//                         tenant -> network, fault -> endpoint) resolved
+//                         or refused — a Scenario that validates is fully
+//                         runnable, never partially applied;
+//   compile (compiler.h)  Scenario -> deterministic event schedule on the
+//                         shared SimClock with per-tenant seeded Rngs;
+//   run (runner.h)        schedule -> the gateway/sched service model and
+//                         (optionally) the real ingestion pipeline,
+//                         emitting a triage-style artifact bundle
+//                         (metrics.json + timeline + verdicts) that is
+//                         byte-identical across reruns and worker counts.
+//
+// Everything here is plain data; the structs carry the *validated* form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "fault/fault.h"
+#include "net/network.h"
+#include "rbac/rbac.h"
+#include "sched/sched.h"
+
+namespace hc::scenario {
+
+// ---------------------------------------------------------------------------
+// Enums
+// ---------------------------------------------------------------------------
+
+/// Which scheduler fronts the simulated server. kBoth runs fifo and sched
+/// over identical arrivals so a scenario can assert the contrast.
+enum class SchedulerMode { kFifo, kSched, kBoth };
+
+std::string_view scheduler_mode_name(SchedulerMode mode);
+
+enum class ArrivalKind {
+  kUniform,     // open-loop, evenly spaced at the effective rate
+  kPoisson,     // open-loop, exponential inter-arrivals
+  kClosedLoop,  // N clients, next request after completion + think time
+};
+
+std::string_view arrival_kind_name(ArrivalKind kind);
+
+/// What a verdict measures. Fractions are served/offered (or
+/// stored/attempted for the ingestion kinds).
+enum class VerdictKind {
+  kMinServedFraction,
+  kMaxServedFraction,
+  kMaxP95Ms,
+  kMinStoredFraction,
+  kMaxStoredFraction,
+};
+
+std::string_view verdict_kind_name(VerdictKind kind);
+
+// ---------------------------------------------------------------------------
+// Specs (the validated model)
+// ---------------------------------------------------------------------------
+
+/// Named QoS quota referenced by tenants (tenant -> quota is a checked
+/// cross-reference). rate/burst feed the tenant's token bucket; weight is
+/// the tenant's deficit-round-robin share.
+struct QuotaSpec {
+  std::string name;
+  double rate_per_sec = 100.0;
+  double burst = 20.0;
+  std::uint64_t weight = 1;
+};
+
+/// Named network profile; tenants reference one by name. Either a preset
+/// (loopback/lan/wan/mobile/intercloud from net::LinkProfile) or declared
+/// in the file as a `network` block.
+struct NetworkSpec {
+  std::string name;
+  net::LinkProfile link;
+};
+
+/// One tenant: identity (RBAC role), QoS quota reference, arrival
+/// process, and payload mix.
+struct TenantSpec {
+  std::string name;
+  rbac::Role role = rbac::Role::kClinician;
+  std::string quota;  // -> QuotaSpec.name (validated)
+
+  ArrivalKind arrival = ArrivalKind::kUniform;
+  double rate_per_sec = 0.0;  // open-loop kinds; ignored when rate_fill
+  /// Open-loop only: this tenant's rate is the sweep remainder,
+  /// max(0, floor(load * nominal_rate) - sum(fixed rates)). At most one
+  /// tenant per scenario may fill.
+  bool rate_fill = false;
+  std::uint64_t clients = 0;  // closed-loop only
+  SimTime think = 0;          // closed-loop think time between requests
+
+  /// First-arrival offset. Negative = default (tenant_index * 17us, the
+  /// tie-break phase bench_overload used).
+  SimTime phase_offset = -1;
+
+  /// Server work per request, uniform in [cost_lo, cost_hi] microseconds,
+  /// drawn from this tenant's dedicated cost Rng.
+  std::uint64_t cost_lo = 600;
+  std::uint64_t cost_hi = 1400;
+  /// Cost Rng seed. Negative = default (scenario.seed + tenant_index —
+  /// with seed 700 this reproduces bench_overload's Rng(700 + tenant)).
+  std::int64_t cost_seed = -1;
+
+  /// Payload bytes per request, uniform in [payload_lo, payload_hi].
+  std::uint64_t payload_lo = 1024;
+  std::uint64_t payload_hi = 1024;
+
+  /// Ingestion outcome mix: probability an upload's patient has consent
+  /// on the ledger / carries the malware signature.
+  double consent_probability = 1.0;
+  double malware_probability = 0.0;
+
+  std::string network;  // -> NetworkSpec.name; empty = no network model
+};
+
+/// Diurnal/spike phase: inside [from, until) the targeted tenants' open-
+/// loop rate is scaled by rate_scale and (optionally) their consent
+/// probability overridden — the consent-revocation-storm primitive.
+/// Phases targeting the same tenant must not overlap.
+struct PhaseSpec {
+  std::string name;
+  SimTime from = 0;
+  SimTime until = 0;
+  double rate_scale = 1.0;
+  std::optional<double> consent_probability;
+  /// Tenant names the phase applies to; empty = all tenants.
+  std::vector<std::string> tenants;
+};
+
+/// The simulated server behind the gateway: capacity, scheduler mode, and
+/// the sched-path knobs (mirrors bench_overload's fixed setup so the F9
+/// scenario is byte-equivalent).
+struct ServerSpec {
+  std::string host = "server";  // endpoint name fault plans may crash
+  double capacity_per_sec = 1'000'000.0;  // us-of-work per second
+  SchedulerMode mode = SchedulerMode::kSched;
+  /// Per-request deadline budget (arrival + deadline_budget); also the
+  /// admission controller's p95 target.
+  SimTime deadline_budget = 50 * kMillisecond;
+  std::uint64_t wfq_quantum = 2000;
+  std::uint64_t adapt_every = 200;  // AIMD step per N completions
+  SimTime drain_grace = kMinute;    // serve past horizon for this long
+};
+
+/// Shared spare-capacity pool for over-quota bursts.
+struct BurstPoolSpec {
+  double rate_per_sec = 50.0;
+  double capacity = 100.0;
+};
+
+/// Optional replay of admitted arrivals through the *real* ingestion
+/// pipeline (synthetic FHIR bundles, consent grants on the ledger,
+/// malware mix) — drained by process_all(workers), whose aggregates are
+/// byte-identical across worker counts.
+struct IngestionSpec {
+  bool enabled = false;
+  std::uint64_t max_uploads = 200;  // replay cap, arrival order
+};
+
+/// Machine-checkable pass/fail rule evaluated over the run.
+struct VerdictSpec {
+  std::string name;
+  VerdictKind kind = VerdictKind::kMinServedFraction;
+  double bound = 0.0;
+  /// Tenant name or "*" for every tenant (all must satisfy the bound).
+  std::string tenant = "*";
+  /// Scheduler modes the verdict applies to; kBoth = both.
+  SchedulerMode mode = SchedulerMode::kBoth;
+  /// Load multipliers the verdict applies to; empty = every sweep cell.
+  std::vector<double> loads;
+};
+
+/// A fully validated scenario. Construct only through the validator.
+struct Scenario {
+  std::string name;
+  std::uint64_t seed = 1;
+  SimTime horizon = kSecond;
+  /// Load multipliers swept; each cell reruns the arrival schedule at
+  /// floor(load * nominal_rate) total open-loop rate.
+  std::vector<double> sweep = {1.0};
+  double nominal_rate = 1000.0;  // req/s at load 1.0
+  /// Per-second timeline buckets when > 0; 0 = end-of-cell summaries only.
+  SimTime timeline_resolution = kSecond;
+
+  ServerSpec server;
+  BurstPoolSpec burst_pool;
+  std::vector<QuotaSpec> quotas;
+  std::vector<NetworkSpec> networks;  // user-declared profiles
+  std::vector<TenantSpec> tenants;    // declaration order is significant
+  std::vector<PhaseSpec> phases;
+  fault::FaultPlan faults;
+  IngestionSpec ingestion;
+  std::vector<VerdictSpec> verdicts;
+
+  /// Index into tenants, or -1. Validated references always resolve.
+  int tenant_index(const std::string& name) const;
+  const QuotaSpec& quota_for(const TenantSpec& tenant) const;
+  /// Resolves a network name against declared profiles then presets.
+  const NetworkSpec* network_for(const TenantSpec& tenant) const;
+};
+
+/// Built-in network presets by name (loopback, lan, wan, mobile,
+/// intercloud), backed by net::LinkProfile's canonical numbers.
+const std::vector<NetworkSpec>& network_presets();
+
+}  // namespace hc::scenario

@@ -1,0 +1,153 @@
+#include "scenario/parser.h"
+
+#include <cctype>
+
+namespace hc::scenario {
+namespace {
+
+Status syntax_error(int line, const std::string& problem) {
+  return Status(StatusCode::kInvalidArgument,
+                "parse error: line " + std::to_string(line) + ": " + problem);
+}
+
+/// Splits one physical line (comment already stripped) into tokens.
+/// Quoted tokens keep a leading '"' marker so the block-header logic can
+/// tell a name from a bare word; the marker never escapes this file.
+Status tokenize(const std::string& line, int line_no,
+                std::vector<std::string>& tokens) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') {
+      std::size_t close = line.find('"', i + 1);
+      if (close == std::string::npos) {
+        return syntax_error(line_no, "unterminated quoted string");
+      }
+      std::string token(1, '"');
+      token.append(line, i + 1, close - i - 1);
+      tokens.push_back(std::move(token));
+      i = close + 1;
+      if (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) {
+        return syntax_error(line_no, "missing whitespace after quoted string");
+      }
+      continue;
+    }
+    std::size_t end = i;
+    while (end < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[end])) &&
+           line[end] != '"') {
+      ++end;
+    }
+    if (end < line.size() && line[end] == '"') {
+      return syntax_error(line_no, "quote in the middle of a token");
+    }
+    tokens.push_back(line.substr(i, end - i));
+    i = end;
+  }
+  return Status::ok();
+}
+
+bool is_quoted(const std::string& token) {
+  return !token.empty() && token[0] == '"';
+}
+
+std::string unquote(const std::string& token) {
+  return is_quoted(token) ? token.substr(1) : token;
+}
+
+}  // namespace
+
+Result<RawDoc> parse(const std::string& text) {
+  RawDoc doc;
+  RawBlock* open = nullptr;  // block currently being filled, or null
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    // Strip comments — but not inside a quoted string.
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') quoted = !quoted;
+      if (line[i] == '#' && !quoted) {
+        line.resize(i);
+        break;
+      }
+    }
+
+    std::vector<std::string> tokens;
+    Status split = tokenize(line, line_no, tokens);
+    if (!split.is_ok()) return split;
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "}") {
+      if (tokens.size() != 1) {
+        return syntax_error(line_no, "unexpected tokens after '}'");
+      }
+      if (open == nullptr) {
+        return syntax_error(line_no, "'}' without an open block");
+      }
+      open = nullptr;
+      continue;
+    }
+
+    if (open == nullptr) {
+      // Block header: kind ["name"] {
+      if (tokens.back() != "{") {
+        return syntax_error(line_no, "expected '{' at end of block header");
+      }
+      if (is_quoted(tokens[0])) {
+        return syntax_error(line_no, "block kind must not be quoted");
+      }
+      RawBlock block;
+      block.kind = tokens[0];
+      block.line = line_no;
+      if (tokens.size() == 3) {
+        if (!is_quoted(tokens[1])) {
+          return syntax_error(line_no, "block name must be quoted");
+        }
+        block.name = unquote(tokens[1]);
+      } else if (tokens.size() != 2) {
+        return syntax_error(line_no,
+                            "block header must be: kind [\"name\"] {");
+      }
+      doc.blocks.push_back(std::move(block));
+      open = &doc.blocks.back();
+      continue;
+    }
+
+    // Entry inside a block: key value...
+    if (is_quoted(tokens[0])) {
+      return syntax_error(line_no, "entry key must not be quoted");
+    }
+    if (tokens.size() < 2) {
+      return syntax_error(line_no,
+                          "entry needs at least one value: " + tokens[0]);
+    }
+    RawEntry entry;
+    entry.key = tokens[0];
+    entry.line = line_no;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i] == "{" || tokens[i] == "}") {
+        return syntax_error(line_no, "braces are not allowed in entry values");
+      }
+      entry.values.push_back(unquote(tokens[i]));
+    }
+    open->entries.push_back(std::move(entry));
+  }
+
+  if (open != nullptr) {
+    return syntax_error(line_no, "unterminated block \"" + open->kind + "\"");
+  }
+  return doc;
+}
+
+}  // namespace hc::scenario

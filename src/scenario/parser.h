@@ -1,0 +1,50 @@
+// Scenario text -> RawDoc: the uninterpreted block/key/value form.
+//
+// The format is deliberately small and line-oriented so diagnostics stay
+// exact (every entry carries its line number) and the fuzzer can reach
+// every code path:
+//
+//   # comment to end of line
+//   tenant "normal-1" {        <- block header: kind, optional quoted name
+//     rate 150                 <- entry: key + one or more values
+//     cost 600 1400
+//   }                          <- closing brace on its own line
+//
+// Tokens are whitespace-separated; quoted strings ("...") may contain
+// spaces and '#' but not newlines. The parser knows nothing about which
+// kinds/keys exist — that is the validator's job — so syntax errors and
+// semantic errors never mask each other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hc::scenario {
+
+/// One `key value...` line inside a block.
+struct RawEntry {
+  std::string key;
+  std::vector<std::string> values;
+  int line = 0;
+};
+
+/// One `kind "name" { ... }` block.
+struct RawBlock {
+  std::string kind;
+  std::string name;  // empty when the header had no quoted name
+  std::vector<RawEntry> entries;
+  int line = 0;
+};
+
+struct RawDoc {
+  std::vector<RawBlock> blocks;
+};
+
+/// Parses scenario text. Errors are kInvalidArgument with messages of the
+/// form `parse error: line N: <problem>`; the parser never throws and
+/// never returns a partially consumed document.
+Result<RawDoc> parse(const std::string& text);
+
+}  // namespace hc::scenario

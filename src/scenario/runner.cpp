@@ -1,0 +1,852 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <queue>
+#include <tuple>
+
+#include "blockchain/contracts.h"
+#include "fhir/synthetic.h"
+#include "ingestion/ingestion.h"
+#include "obs/export.h"
+#include "sched/sched.h"
+
+namespace hc::scenario {
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+std::string cell_label(double load) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "x%.1f", load);
+  return buf;
+}
+
+/// One request in flight. client >= 0 marks a closed-loop request whose
+/// completion (or shed) schedules that client's next one.
+struct Request {
+  SimTime arrival = 0;
+  SimTime cost = 0;
+  SimTime deadline = 0;
+  int tenant = 0;
+  std::int64_t client = -1;
+};
+
+/// Heap event: either a ready request (arrival) or a closed-loop client
+/// due to spawn its next request. Ordered by (at, seq) so runs are
+/// deterministic and compiled arrivals win ties over spawned ones.
+struct Event {
+  SimTime at = 0;
+  std::uint64_t seq = 0;
+  bool is_spawn = false;
+  Request request;       // arrival events
+  int tenant = 0;        // spawn events
+  std::int64_t client = 0;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tie(a.at, a.seq) > std::tie(b.at, b.seq);
+  }
+};
+
+struct Outage {
+  SimTime at = 0;
+  SimTime restart = 0;
+};
+
+/// Per-second (timeline_resolution) counts for one (bucket, tenant).
+struct BucketCounts {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t late = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t lost = 0;
+};
+
+/// Per-tenant streams for closed-loop spawning (open-loop tenants drew
+/// from the same derivations inside the compiler instead).
+struct ClosedStreams {
+  Rng cost;
+  Rng payload;
+  Rng network;
+};
+
+/// One (sweep cell, scheduler mode) execution: bench_overload's service
+/// loop, extended with closed-loop clients, crash windows, and wire loss.
+class CellRunner {
+ public:
+  CellRunner(const Scenario& scenario, const CompiledCell& cell,
+             SchedulerMode mode)
+      : scenario_(scenario), cell_(cell), mode_(mode) {
+    result_.load = cell.load;
+    result_.mode = mode;
+    result_.tenants.resize(scenario.tenants.size());
+    for (const fault::CrashEvent& crash : scenario.faults.crashes) {
+      if (crash.host == scenario.server.host) {
+        outages_.push_back({crash.at, crash.restart_at});
+      }
+    }
+    std::sort(outages_.begin(), outages_.end(),
+              [](const Outage& a, const Outage& b) { return a.at < b.at; });
+  }
+
+  CellModeResult run() {
+    if (mode_ == SchedulerMode::kFifo) {
+      run_fifo();
+    } else {
+      run_sched();
+    }
+    return std::move(result_);
+  }
+
+  /// Timeline lines for this run, bucket-major then tenant order.
+  std::vector<std::string> timeline_lines() const {
+    std::vector<std::string> lines;
+    std::string prefix = cell_label(cell_.load) + " " +
+                         std::string(scheduler_mode_name(mode_));
+    for (const auto& [key, counts] : buckets_) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s t=%s %s offered=%llu served=%llu late=%llu shed=%llu "
+                    "lost=%llu",
+                    prefix.c_str(),
+                    format_duration(static_cast<SimTime>(key.first) *
+                                    scenario_.timeline_resolution)
+                        .c_str(),
+                    scenario_.tenants[static_cast<std::size_t>(key.second)]
+                        .name.c_str(),
+                    static_cast<unsigned long long>(counts.offered),
+                    static_cast<unsigned long long>(counts.served),
+                    static_cast<unsigned long long>(counts.late),
+                    static_cast<unsigned long long>(counts.shed),
+                    static_cast<unsigned long long>(counts.lost));
+      lines.push_back(buf);
+    }
+    return lines;
+  }
+
+ private:
+  /// Service start pushed past any scheduled server outage.
+  SimTime adjust_for_outage(SimTime start) const {
+    for (const Outage& outage : outages_) {
+      if (start >= outage.at && start < outage.restart) start = outage.restart;
+    }
+    return start;
+  }
+
+  BucketCounts* bucket_for(const Request& request) {
+    if (scenario_.timeline_resolution <= 0) return nullptr;
+    SimTime at = std::min(request.arrival, scenario_.horizon - 1);
+    auto key = std::make_pair(at / scenario_.timeline_resolution,
+                              request.tenant);
+    return &buckets_[key];
+  }
+
+  void record_completion(const Request& request, SimTime completion) {
+    TenantTally& tally = result_.tenants[static_cast<std::size_t>(request.tenant)];
+    BucketCounts* bucket = bucket_for(request);
+    if (completion <= request.deadline) {
+      ++tally.served;
+      if (bucket != nullptr) ++bucket->served;
+      tally.latency_us.push_back(static_cast<double>(completion - request.arrival));
+    } else {
+      ++tally.late;
+      if (bucket != nullptr) ++bucket->late;
+    }
+    respawn(request, completion);
+  }
+
+  void record_shed(const Request& request, SimTime when) {
+    TenantTally& tally = result_.tenants[static_cast<std::size_t>(request.tenant)];
+    ++tally.shed;
+    BucketCounts* bucket = bucket_for(request);
+    if (bucket != nullptr) ++bucket->shed;
+    respawn(request, when);
+  }
+
+  void record_lost(const Request& request) {
+    TenantTally& tally = result_.tenants[static_cast<std::size_t>(request.tenant)];
+    ++tally.offered;
+    ++tally.lost;
+    BucketCounts* bucket = bucket_for(request);
+    if (bucket != nullptr) {
+      ++bucket->offered;
+      ++bucket->lost;
+    }
+    // The client only learns about a lost request at its deadline.
+    respawn(request, request.deadline);
+  }
+
+  /// Closed-loop clients think, then go again — until the horizon.
+  void respawn(const Request& request, SimTime finished) {
+    if (request.client < 0) return;
+    SimTime think =
+        scenario_.tenants[static_cast<std::size_t>(request.tenant)].think;
+    SimTime next = finished + think;
+    if (next >= scenario_.horizon) return;
+    Event event;
+    event.at = next;
+    event.seq = next_seq_++;
+    event.is_spawn = true;
+    event.tenant = request.tenant;
+    event.client = request.client;
+    events_.push(event);
+  }
+
+  /// Seeds each closed-loop client's first request (1us stagger per
+  /// client, like the per-tenant 17us arrival stagger).
+  void seed_clients() {
+    next_seq_ = cell_.arrivals.size();
+    closed_.clear();
+    for (std::size_t i = 0; i < scenario_.tenants.size(); ++i) {
+      const TenantSpec& tenant = scenario_.tenants[i];
+      if (tenant.arrival != ArrivalKind::kClosedLoop) {
+        closed_.push_back({Rng(0), Rng(0), Rng(0)});  // unused slot
+        continue;
+      }
+      closed_.push_back({cost_rng_for(scenario_, i),
+                         payload_rng_for(scenario_, i),
+                         network_rng_for(scenario_, i)});
+      SimTime offset = tenant.phase_offset >= 0
+                           ? tenant.phase_offset
+                           : static_cast<SimTime>(i) * 17;
+      for (std::uint64_t client = 0; client < tenant.clients; ++client) {
+        Event event;
+        event.at = offset + static_cast<SimTime>(client);
+        event.seq = next_seq_++;
+        event.is_spawn = true;
+        event.tenant = static_cast<int>(i);
+        event.client = static_cast<std::int64_t>(client);
+        events_.push(event);
+      }
+    }
+  }
+
+  /// Draws one closed-loop request at spawn time `at`. Returns false when
+  /// the request is lost on the wire (already tallied).
+  bool materialize_spawn(const Event& event, Request& request) {
+    const TenantSpec& tenant =
+        scenario_.tenants[static_cast<std::size_t>(event.tenant)];
+    ClosedStreams& streams = closed_[static_cast<std::size_t>(event.tenant)];
+    request.tenant = event.tenant;
+    request.client = event.client;
+    request.cost = static_cast<SimTime>(streams.cost.uniform_int(
+        static_cast<std::int64_t>(tenant.cost_lo),
+        static_cast<std::int64_t>(tenant.cost_hi)));
+    request.arrival = event.at;
+    const NetworkSpec* network = scenario_.network_for(tenant);
+    if (network != nullptr) {
+      std::uint64_t payload =
+          tenant.payload_lo == tenant.payload_hi
+              ? tenant.payload_lo
+              : static_cast<std::uint64_t>(streams.payload.uniform_int(
+                    static_cast<std::int64_t>(tenant.payload_lo),
+                    static_cast<std::int64_t>(tenant.payload_hi)));
+      request.arrival += transfer_time(network->link, payload, streams.network);
+      request.deadline = request.arrival + scenario_.server.deadline_budget;
+      if (network->link.drop_probability > 0.0 &&
+          streams.network.bernoulli(network->link.drop_probability)) {
+        record_lost(request);
+        return false;
+      }
+    }
+    request.deadline = request.arrival + scenario_.server.deadline_budget;
+    return true;
+  }
+
+  /// Pulls the next ready request in (at, seq) order, converting spawn
+  /// events as they surface. Returns false when both sources are dry.
+  /// Lost arrivals are tallied here and skipped.
+  bool next_request(Request& request, bool& lost) {
+    while (true) {
+      SimTime compiled_at =
+          arrival_cursor_ < cell_.arrivals.size()
+              ? cell_.arrivals[arrival_cursor_].at
+              : kNever;
+      std::uint64_t compiled_seq = arrival_cursor_;
+      bool take_compiled;
+      if (compiled_at == kNever && events_.empty()) return false;
+      if (events_.empty()) {
+        take_compiled = true;
+      } else if (compiled_at == kNever) {
+        take_compiled = false;
+      } else {
+        const Event& top = events_.top();
+        take_compiled =
+            std::tie(compiled_at, compiled_seq) <= std::tie(top.at, top.seq);
+      }
+
+      if (take_compiled) {
+        const Arrival& arrival = cell_.arrivals[arrival_cursor_++];
+        request = Request{arrival.at, static_cast<SimTime>(arrival.cost),
+                          arrival.deadline, arrival.tenant, -1};
+        lost = arrival.dropped || arrival.corrupted;
+        return true;
+      }
+
+      Event event = events_.top();
+      events_.pop();
+      if (event.is_spawn) {
+        Request spawned;
+        if (!materialize_spawn(event, spawned)) continue;  // lost on the wire
+        Event ready;
+        ready.at = spawned.arrival;
+        ready.seq = next_seq_++;
+        ready.is_spawn = false;
+        ready.request = spawned;
+        events_.push(ready);
+        continue;
+      }
+      request = event.request;
+      lost = false;
+      return true;
+    }
+  }
+
+  void count_offered(const Request& request) {
+    ++result_.tenants[static_cast<std::size_t>(request.tenant)].offered;
+    BucketCounts* bucket = bucket_for(request);
+    if (bucket != nullptr) ++bucket->offered;
+  }
+
+  // ---- fifo: unbounded queue, no admission, everything completes ------
+  void run_fifo() {
+    seed_clients();
+    std::deque<Request> queue;
+    SimTime server_free = 0;
+
+    auto serve_until = [&](SimTime limit) {
+      while (!queue.empty() && server_free < limit) {
+        Request request = queue.front();
+        queue.pop_front();
+        SimTime start =
+            adjust_for_outage(std::max(server_free, request.arrival));
+        server_free = start + request.cost;
+        record_completion(request, server_free);
+      }
+    };
+
+    Request request;
+    bool lost = false;
+    while (next_request(request, lost)) {
+      serve_until(request.arrival);
+      if (lost) {
+        record_lost(request);
+        continue;
+      }
+      count_offered(request);
+      queue.push_back(request);
+    }
+    serve_until(scenario_.horizon + scenario_.server.drain_grace);
+  }
+
+  // ---- sched: buckets + burst pool + admission + DRR ------------------
+  void run_sched() {
+    seed_clients();
+    ClockPtr clock = make_clock();
+    obs::MetricsPtr signals = obs::make_metrics();
+
+    sched::BurstPool burst(
+        {scenario_.burst_pool.rate_per_sec, scenario_.burst_pool.capacity},
+        clock);
+    std::vector<sched::TokenBucket> buckets;
+    buckets.reserve(scenario_.tenants.size());
+    for (const TenantSpec& tenant : scenario_.tenants) {
+      const QuotaSpec& quota = scenario_.quota_for(tenant);
+      buckets.emplace_back(
+          sched::TokenBucketConfig{quota.rate_per_sec, quota.burst}, clock,
+          &burst);
+    }
+
+    sched::AdmissionConfig admission_config;
+    admission_config.capacity_per_sec = scenario_.server.capacity_per_sec;
+    admission_config.latency_metric = "hc.scenario.observed_us";
+    admission_config.target_p95_us =
+        static_cast<double>(scenario_.server.deadline_budget);
+    sched::AdmissionController admission(admission_config, clock, signals);
+
+    sched::WeightedFairQueue<Request> queue(scenario_.server.wfq_quantum);
+    for (const TenantSpec& tenant : scenario_.tenants) {
+      queue.set_weight(tenant.name, scenario_.quota_for(tenant).weight);
+    }
+
+    SimTime server_free = 0;
+    std::uint64_t since_adapt = 0;
+
+    auto serve_until = [&](SimTime limit) {
+      while (server_free < limit) {
+        auto popped = queue.pop();
+        if (!popped) break;
+        Request request = *popped;
+        SimTime start =
+            adjust_for_outage(std::max(server_free, request.arrival));
+        if (start > request.deadline) {
+          record_shed(request, start);  // expired in queue: no server time
+          continue;
+        }
+        server_free = start + request.cost;
+        record_completion(request, server_free);
+        signals->observe("hc.scenario.observed_us",
+                         static_cast<double>(server_free - request.arrival));
+        if (++since_adapt >= scenario_.server.adapt_every) {
+          admission.adapt();
+          since_adapt = 0;
+        }
+      }
+    };
+
+    Request request;
+    bool lost = false;
+    while (next_request(request, lost)) {
+      serve_until(request.arrival);
+      clock->advance_to(request.arrival);
+      if (lost) {
+        record_lost(request);
+        continue;
+      }
+      count_offered(request);
+
+      const std::string& tenant_name =
+          scenario_.tenants[static_cast<std::size_t>(request.tenant)].name;
+      if (buckets[static_cast<std::size_t>(request.tenant)].acquire() ==
+          sched::Grant::kDenied) {
+        record_shed(request, request.arrival);
+        continue;
+      }
+      double backlog =
+          static_cast<double>(queue.backlog_cost()) +
+          static_cast<double>(
+              std::max<SimTime>(0, server_free - clock->now()));
+      if (!admission
+               .admit(tenant_name, static_cast<double>(request.cost),
+                      request.deadline, backlog)
+               .is_ok()) {
+        record_shed(request, request.arrival);
+        continue;
+      }
+      queue.push(tenant_name, request,
+                 static_cast<std::uint64_t>(request.cost));
+    }
+    serve_until(scenario_.horizon + scenario_.server.drain_grace);
+    result_.final_headroom = admission.headroom();
+  }
+
+  const Scenario& scenario_;
+  const CompiledCell& cell_;
+  SchedulerMode mode_;
+  CellModeResult result_;
+  std::vector<Outage> outages_;
+  std::map<std::pair<SimTime, int>, BucketCounts> buckets_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<ClosedStreams> closed_;
+  std::size_t arrival_cursor_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+// ----------------------------------------------------------- ingestion replay
+
+/// The QoS ingestion stack from tests/sched_integration_test.cpp (same
+/// seeds), assembled without gtest. Uploads the first sweep cell's
+/// surviving arrivals through the real pipeline and tallies outcomes.
+Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
+                        std::size_t workers, std::vector<IngestTally>& out) {
+  ClockPtr clock = make_clock();
+  LogPtr log = make_log(clock);
+  Rng rng{70};
+  crypto::KeyManagementService kms{"tenant-a", Rng(71), log};
+  storage::StagingArea staging;
+  storage::MessageQueue queue;
+  storage::StatusTracker tracker;
+  storage::DataLake lake{kms, "platform", Rng(72)};
+  storage::MetadataStore metadata;
+  privacy::AnonymizationVerificationService verifier{
+      privacy::FieldSchema::standard_patient(), 0.99, 1};
+  privacy::ReidentificationMap reid_map;
+  obs::MetricsPtr metrics = obs::make_metrics();
+
+  blockchain::LedgerConfig ledger_config;
+  ledger_config.peers = {"peer-a", "peer-b", "peer-c"};
+  blockchain::PermissionedLedger ledger(ledger_config, clock, log);
+  Status contracts = blockchain::register_hcls_contracts(ledger);
+  if (!contracts.is_ok()) return contracts;
+
+  crypto::KeyId lake_key = kms.create_symmetric_key("platform");
+  queue.bind_metrics(metrics);
+  queue.enable_fair_mode(/*quantum=*/4);
+  for (const TenantSpec& tenant : scenario.tenants) {
+    queue.set_tenant_weight(tenant.name, scenario.quota_for(tenant).weight);
+  }
+
+  sched::AdaptiveBatcher batcher({}, metrics);
+  ingestion::IngestionDeps deps;
+  deps.clock = clock;
+  deps.log = log;
+  deps.kms = &kms;
+  deps.staging = &staging;
+  deps.queue = &queue;
+  deps.tracker = &tracker;
+  deps.lake = &lake;
+  deps.metadata = &metadata;
+  deps.ledger = &ledger;
+  deps.verifier = &verifier;
+  deps.reid_map = &reid_map;
+  deps.metrics = metrics;
+  deps.batcher = &batcher;
+  ingestion::IngestionService service(deps, lake_key, to_bytes("pseudo-key"),
+                                      "platform");
+
+  crypto::KeyId client_key = kms.create_keypair("clinic-a");
+  Status authorized = kms.authorize(client_key, "clinic-a", "platform");
+  if (!authorized.is_ok()) return authorized;
+  auto pub = kms.public_key(client_key);
+  if (!pub.is_ok()) return pub.status();
+
+  out.assign(scenario.tenants.size(), IngestTally{});
+  std::uint64_t attempted = 0;
+  std::uint64_t expected_stored = 0;
+  for (const Arrival& arrival : cell.arrivals) {
+    if (attempted >= scenario.ingestion.max_uploads) break;
+    if (arrival.dropped || arrival.corrupted) continue;
+    IngestTally& tally = out[static_cast<std::size_t>(arrival.tenant)];
+    const TenantSpec& tenant =
+        scenario.tenants[static_cast<std::size_t>(arrival.tenant)];
+
+    fhir::Bundle bundle = fhir::make_synthetic_bundle(
+        rng, "bundle-t" + std::to_string(attempted), attempted);
+    auto& patient = std::get<fhir::Patient>(bundle.resources[0]);
+    if (arrival.malware) {
+      patient.address = to_string(ingestion::test_malware_payload());
+    }
+    if (arrival.consented) {
+      Status granted = ledger
+                           .submit_and_commit("consent",
+                                              {{"action", "grant"},
+                                               {"patient", patient.id},
+                                               {"group", "study-a"}},
+                                              "healthcare-provider")
+                           .status();
+      if (!granted.is_ok()) return granted;
+    }
+    auto envelope =
+        crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng);
+    auto receipt = service.upload(
+        envelope, "clinic-a", "study-a", client_key,
+        {tenant.name, /*cost=*/1, /*deadline=*/0});
+    if (!receipt.is_ok()) return receipt.status();
+
+    ++attempted;
+    ++tally.attempted;
+    // The pipeline's own ordering: malware is scanned before consent.
+    if (arrival.malware) {
+      ++tally.rejected_malware;
+    } else if (!arrival.consented) {
+      ++tally.rejected_consent;
+    } else {
+      ++tally.stored;
+      ++expected_stored;
+    }
+  }
+
+  std::size_t stored = service.process_all(workers);
+  if (stored != expected_stored) {
+    return Status(StatusCode::kInternal,
+                  "ingestion replay diverged: stored " +
+                      std::to_string(stored) + ", expected " +
+                      std::to_string(expected_stored));
+  }
+  return Status::ok();
+}
+
+// ------------------------------------------------------------------ verdicts
+
+bool matches_mode(const VerdictSpec& verdict, SchedulerMode cell_mode) {
+  return verdict.mode == SchedulerMode::kBoth || verdict.mode == cell_mode;
+}
+
+bool matches_load(const VerdictSpec& verdict, double load) {
+  if (verdict.loads.empty()) return true;
+  for (double candidate : verdict.loads) {
+    if (candidate == load) return true;
+  }
+  return false;
+}
+
+void evaluate_verdicts(const Scenario& scenario, RunReport& report) {
+  for (const VerdictSpec& verdict : scenario.verdicts) {
+    VerdictOutcome outcome;
+    outcome.name = verdict.name;
+
+    auto check = [&](const std::string& where, const std::string& quantity,
+                     double value, bool minimum) {
+      bool pass = minimum ? value >= verdict.bound : value <= verdict.bound;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "%s %s %s %s=%.4f %s %.4f",
+                    pass ? "PASS" : "FAIL", verdict.name.c_str(), where.c_str(),
+                    quantity.c_str(), value, minimum ? ">=" : "<=",
+                    verdict.bound);
+      outcome.lines.push_back(buf);
+      outcome.pass = outcome.pass && pass;
+    };
+
+    bool stored_kind = verdict.kind == VerdictKind::kMinStoredFraction ||
+                       verdict.kind == VerdictKind::kMaxStoredFraction;
+    if (stored_kind) {
+      for (std::size_t i = 0; i < report.ingest.size(); ++i) {
+        const IngestTally& tally = report.ingest[i];
+        if (tally.attempted == 0) continue;
+        const std::string& name = scenario.tenants[i].name;
+        if (verdict.tenant != "*" && verdict.tenant != name) continue;
+        check("ingest " + name, "stored_fraction",
+              static_cast<double>(tally.stored) /
+                  static_cast<double>(tally.attempted),
+              verdict.kind == VerdictKind::kMinStoredFraction);
+      }
+    } else {
+      for (const CellModeResult& cell : report.cells) {
+        if (!matches_mode(verdict, cell.mode) ||
+            !matches_load(verdict, cell.load)) {
+          continue;
+        }
+        std::string where_prefix = cell_label(cell.load) + " " +
+                                   std::string(scheduler_mode_name(cell.mode));
+        for (std::size_t i = 0; i < cell.tenants.size(); ++i) {
+          const TenantTally& tally = cell.tenants[i];
+          if (tally.offered == 0) continue;
+          const std::string& name = scenario.tenants[i].name;
+          if (verdict.tenant != "*" && verdict.tenant != name) continue;
+          std::string where = where_prefix + " " + name;
+          switch (verdict.kind) {
+            case VerdictKind::kMinServedFraction:
+            case VerdictKind::kMaxServedFraction:
+              check(where, "served_fraction",
+                    static_cast<double>(tally.served) /
+                        static_cast<double>(tally.offered),
+                    verdict.kind == VerdictKind::kMinServedFraction);
+              break;
+            case VerdictKind::kMaxP95Ms:
+              check(where, "p95_ms", tally.percentile(0.95) / 1000.0,
+                    /*minimum=*/false);
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+
+    if (outcome.lines.empty()) {
+      outcome.lines.push_back("PASS " + verdict.name + " (nothing to check)");
+    }
+    report.metrics->set_gauge("hc.scenario.verdict." + verdict.name,
+                              outcome.pass ? 1.0 : 0.0);
+    report.verdicts.push_back(std::move(outcome));
+  }
+}
+
+// ------------------------------------------------------------------- metrics
+
+void record_cell_metrics(const Scenario& scenario, const CellModeResult& cell,
+                         obs::MetricsRegistry& metrics) {
+  double horizon_sec =
+      static_cast<double>(scenario.horizon) / static_cast<double>(kSecond);
+  std::string cell_prefix = "hc.scenario." + cell_label(cell.load) + "." +
+                            std::string(scheduler_mode_name(cell.mode)) + ".";
+  for (std::size_t i = 0; i < cell.tenants.size(); ++i) {
+    const TenantTally& tally = cell.tenants[i];
+    if (tally.offered == 0) continue;
+    std::string prefix = cell_prefix + scenario.tenants[i].name + ".";
+    metrics.add(prefix + "offered", tally.offered);
+    metrics.add(prefix + "served", tally.served);
+    metrics.add(prefix + "shed", tally.shed);
+    metrics.add(prefix + "late", tally.late);
+    metrics.add(prefix + "lost", tally.lost);
+    metrics.set_gauge(prefix + "goodput_rps",
+                      static_cast<double>(tally.served) / horizon_sec, "1/s");
+    metrics.set_gauge(prefix + "p95_ms", tally.percentile(0.95) / 1000.0, "ms");
+    metrics.set_gauge(prefix + "p99_ms", tally.percentile(0.99) / 1000.0, "ms");
+  }
+  if (cell.mode == SchedulerMode::kSched) {
+    metrics.set_gauge("hc.scenario." + cell_label(cell.load) +
+                          ".sched.headroom",
+                      cell.final_headroom);
+  }
+}
+
+void record_ingest_metrics(const Scenario& scenario,
+                           const std::vector<IngestTally>& ingest,
+                           obs::MetricsRegistry& metrics) {
+  IngestTally total;
+  for (std::size_t i = 0; i < ingest.size(); ++i) {
+    const IngestTally& tally = ingest[i];
+    if (tally.attempted == 0) continue;
+    std::string prefix = "hc.scenario.ingest." + scenario.tenants[i].name + ".";
+    metrics.add(prefix + "attempted", tally.attempted);
+    metrics.add(prefix + "stored", tally.stored);
+    metrics.add(prefix + "rejected_malware", tally.rejected_malware);
+    metrics.add(prefix + "rejected_consent", tally.rejected_consent);
+    total.attempted += tally.attempted;
+    total.stored += tally.stored;
+    total.rejected_malware += tally.rejected_malware;
+    total.rejected_consent += tally.rejected_consent;
+  }
+  metrics.add("hc.scenario.ingest.total.attempted", total.attempted);
+  metrics.add("hc.scenario.ingest.total.stored", total.stored);
+  metrics.add("hc.scenario.ingest.total.rejected_malware",
+              total.rejected_malware);
+  metrics.add("hc.scenario.ingest.total.rejected_consent",
+              total.rejected_consent);
+}
+
+}  // namespace
+
+double TenantTally::percentile(double p) const {
+  if (latency_us.empty()) return 0.0;
+  std::vector<double> sorted = latency_us;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+bool RunReport::all_pass() const {
+  for (const VerdictOutcome& verdict : verdicts) {
+    if (!verdict.pass) return false;
+  }
+  return true;
+}
+
+Result<RunReport> run(const Scenario& scenario, const RunOptions& options) {
+  RunReport report;
+  report.scenario_name = scenario.name;
+  report.seed = scenario.seed;
+  report.horizon = scenario.horizon;
+  report.metrics = obs::make_metrics();
+
+  // Timeline header: static facts every rerun shares.
+  report.timeline.push_back("scenario " + scenario.name + " seed " +
+                            std::to_string(scenario.seed) + " horizon " +
+                            format_duration(scenario.horizon));
+  for (const fault::CrashEvent& crash : scenario.faults.crashes) {
+    report.timeline.push_back("crash " + crash.host + " " +
+                              format_duration(crash.at) + ".." +
+                              format_duration(crash.restart_at));
+  }
+  for (const PhaseSpec& phase : scenario.phases) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "phase \"%s\" %s..%s scale %g",
+                  phase.name.c_str(), format_duration(phase.from).c_str(),
+                  format_duration(phase.until).c_str(), phase.rate_scale);
+    std::string line = buf;
+    if (phase.consent_probability.has_value()) {
+      std::snprintf(buf, sizeof(buf), " consent %g", *phase.consent_probability);
+      line += buf;
+    }
+    line += " tenants";
+    if (phase.tenants.empty()) {
+      line += " *";
+    } else {
+      for (const std::string& tenant : phase.tenants) line += " " + tenant;
+    }
+    report.timeline.push_back(line);
+  }
+
+  std::vector<SchedulerMode> modes;
+  if (scenario.server.mode == SchedulerMode::kBoth) {
+    modes = {SchedulerMode::kFifo, SchedulerMode::kSched};
+  } else {
+    modes = {scenario.server.mode};
+  }
+
+  bool replayed_ingestion = false;
+  for (double load : scenario.sweep) {
+    Result<CompiledCell> compiled = compile(scenario, load);
+    if (!compiled.is_ok()) return compiled.status();
+    for (SchedulerMode mode : modes) {
+      CellRunner runner(scenario, *compiled, mode);
+      CellModeResult result = runner.run();
+      record_cell_metrics(scenario, result, *report.metrics);
+      for (std::string& line : runner.timeline_lines()) {
+        report.timeline.push_back(std::move(line));
+      }
+      report.cells.push_back(std::move(result));
+    }
+    if (scenario.ingestion.enabled && !replayed_ingestion) {
+      // The replay covers the first sweep cell only: arrivals are
+      // identical across modes, so once is enough — and the bundle must
+      // not depend on the worker count.
+      Status replayed = replay_ingestion(scenario, *compiled,
+                                         std::max<std::size_t>(1, options.ingest_workers),
+                                         report.ingest);
+      if (!replayed.is_ok()) return replayed;
+      record_ingest_metrics(scenario, report.ingest, *report.metrics);
+      replayed_ingestion = true;
+    }
+  }
+
+  evaluate_verdicts(scenario, report);
+  return report;
+}
+
+std::string metrics_text(const RunReport& report) {
+  return obs::to_json(*report.metrics);
+}
+
+std::string timeline_text(const RunReport& report) {
+  std::string text;
+  for (const std::string& line : report.timeline) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+std::string verdicts_text(const RunReport& report) {
+  std::string text;
+  for (const VerdictOutcome& verdict : report.verdicts) {
+    for (const std::string& line : verdict.lines) {
+      text += line;
+      text += '\n';
+    }
+  }
+  text += std::string("verdicts: ") + (report.all_pass() ? "PASS" : "FAIL") +
+          "\n";
+  return text;
+}
+
+std::string bundle_text(const RunReport& report) {
+  return "== metrics.json ==\n" + metrics_text(report) +
+         "== timeline.txt ==\n" + timeline_text(report) +
+         "== verdicts.txt ==\n" + verdicts_text(report);
+}
+
+Status write_bundle(const RunReport& report, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot create bundle dir " + dir + ": " + ec.message());
+  }
+  Status metrics_written =
+      obs::write_metrics_json(*report.metrics, dir + "/metrics.json");
+  if (!metrics_written.is_ok()) return metrics_written;
+  for (const auto& [name, text] :
+       {std::pair<std::string, std::string>{"timeline.txt",
+                                            timeline_text(report)},
+        std::pair<std::string, std::string>{"verdicts.txt",
+                                            verdicts_text(report)}}) {
+    std::ofstream out(dir + "/" + name, std::ios::binary);
+    if (!out) {
+      return Status(StatusCode::kUnavailable,
+                    "cannot write " + dir + "/" + name);
+    }
+    out << text;
+  }
+  return Status::ok();
+}
+
+}  // namespace hc::scenario

@@ -1,0 +1,106 @@
+// Scenario execution + the triage-style artifact bundle.
+//
+// run() executes every (sweep cell x scheduler mode) of a validated
+// Scenario through the same service model bench_overload locked down —
+// per-tenant token buckets over a shared BurstPool, deadline-aware AIMD
+// admission, deficit-round-robin dispatch, shed-at-dispatch for expired
+// deadlines — plus what benches never had: closed-loop client populations,
+// server crash windows from the fault plan, network loss/transfer on every
+// request, and an optional replay of the first cell's arrivals through the
+// *real* ingestion pipeline (KMS, staging, consent ledger, malware scan,
+// de-identification, data lake).
+//
+// The RunReport is the artifact bundle: a curated metrics registry, a
+// per-second timeline, and machine-checked verdict lines. Every value in
+// it is a pure function of (scenario file bytes, seed) — byte-identical
+// across reruns and across ingestion worker counts (the shared-clock
+// makespan, which IS worker-dependent, is deliberately excluded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "scenario/compiler.h"
+#include "scenario/model.h"
+
+namespace hc::scenario {
+
+/// Per-tenant outcome counters for one (cell, mode), bench_overload's
+/// TenantTally plus `lost` (dropped on the wire or integrity-rejected).
+struct TenantTally {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;  // completed before the deadline
+  std::uint64_t late = 0;    // completed after the deadline
+  std::uint64_t shed = 0;    // rate-limited, admission-shed, or dispatch-shed
+  std::uint64_t lost = 0;    // never reached the scheduler
+  std::vector<double> latency_us;  // served completions only
+
+  /// bench_overload's percentile convention: sorted[min(p*n, n-1)].
+  double percentile(double p) const;
+};
+
+/// One scheduler mode's run over one sweep cell's arrivals.
+struct CellModeResult {
+  double load = 1.0;
+  SchedulerMode mode = SchedulerMode::kSched;  // kFifo or kSched, never kBoth
+  std::vector<TenantTally> tenants;            // index == Scenario.tenants
+  double final_headroom = 1.0;                 // sched mode only
+};
+
+/// Ingestion replay outcome for one tenant. Rejections are attributed the
+/// way the pipeline orders its checks (malware before consent).
+struct IngestTally {
+  std::uint64_t attempted = 0;
+  std::uint64_t stored = 0;
+  std::uint64_t rejected_malware = 0;
+  std::uint64_t rejected_consent = 0;
+};
+
+struct VerdictOutcome {
+  std::string name;
+  bool pass = true;
+  /// One line per evaluated (cell, mode, tenant) check.
+  std::vector<std::string> lines;
+};
+
+struct RunOptions {
+  /// Worker count for the ingestion replay drain; the bundle must not
+  /// depend on it (the replay-determinism suite sweeps 1/2/4/8).
+  std::size_t ingest_workers = 1;
+};
+
+/// The artifact bundle.
+struct RunReport {
+  std::string scenario_name;
+  std::uint64_t seed = 0;
+  SimTime horizon = 0;
+  std::vector<CellModeResult> cells;  // sweep-major, fifo before sched
+  std::vector<IngestTally> ingest;    // per tenant; empty unless enabled
+  std::vector<VerdictOutcome> verdicts;
+  obs::MetricsPtr metrics;  // curated `hc.scenario.*` registry
+  std::vector<std::string> timeline;
+
+  bool all_pass() const;
+};
+
+/// Executes a validated scenario. Fails only on the compiler's arrival
+/// cap or an ingestion-replay wiring error (kInternal) — a validated
+/// scenario otherwise always runs.
+Result<RunReport> run(const Scenario& scenario, const RunOptions& options = {});
+
+/// The three bundle artifacts as strings (trailing newline included).
+std::string metrics_text(const RunReport& report);
+std::string timeline_text(const RunReport& report);
+std::string verdicts_text(const RunReport& report);
+
+/// All three concatenated with `== <name> ==` separators — what the
+/// determinism tests compare byte for byte.
+std::string bundle_text(const RunReport& report);
+
+/// Writes metrics.json / timeline.txt / verdicts.txt under `dir`
+/// (created if missing).
+Status write_bundle(const RunReport& report, const std::string& dir);
+
+}  // namespace hc::scenario

@@ -1,0 +1,941 @@
+#include "scenario/validator.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+
+namespace hc::scenario {
+namespace {
+
+Status invalid(const std::string& message) {
+  return Status(StatusCode::kInvalidArgument, message);
+}
+
+std::string at_line(int line) { return " (line " + std::to_string(line) + ")"; }
+
+/// Bounds print as plain integers when integral ("1000000", not "1e+06")
+/// so the diagnostics the rejection table pins stay readable.
+std::string fmt_number(double v) {
+  if (std::floor(v) == v && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::optional<double> parse_number(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_integer(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// "250ms", "5s", "17us", "2m" -> SimTime. Fractions allowed ("1.5s").
+std::optional<SimTime> parse_duration(const std::string& token) {
+  std::size_t unit_at = token.size();
+  while (unit_at > 0 && !std::isdigit(static_cast<unsigned char>(token[unit_at - 1])) &&
+         token[unit_at - 1] != '.') {
+    --unit_at;
+  }
+  std::string number = token.substr(0, unit_at);
+  std::string unit = token.substr(unit_at);
+  std::optional<double> value = parse_number(number);
+  if (!value || *value < 0) return std::nullopt;
+  double scale = 0.0;
+  if (unit == "us") scale = kMicrosecond;
+  else if (unit == "ms") scale = kMillisecond;
+  else if (unit == "s") scale = kSecond;
+  else if (unit == "m") scale = kMinute;
+  else return std::nullopt;
+  double us = *value * scale;
+  if (us > 9e18) return std::nullopt;
+  return static_cast<SimTime>(std::llround(us));
+}
+
+/// Key/value decoder for one block: typed getters mark entries consumed,
+/// so finish() can reject every unknown key; the first defect wins and
+/// later getters become no-ops.
+class BlockReader {
+ public:
+  BlockReader(const RawBlock& block, std::string ctx)
+      : block_(block), ctx_(std::move(ctx)), used_(block.entries.size(), false) {}
+
+  const std::string& ctx() const { return ctx_; }
+  bool failed() const { return !err_.is_ok(); }
+  Status error() const { return err_; }
+  void fail(const std::string& message) {
+    if (err_.is_ok()) err_ = invalid(message);
+  }
+
+  /// Finds `key`, enforcing arity and single use. Null when absent or a
+  /// defect was already recorded.
+  const RawEntry* find(const std::string& key, std::size_t min_values,
+                       std::size_t max_values) {
+    if (failed()) return nullptr;
+    const RawEntry* found = nullptr;
+    for (std::size_t i = 0; i < block_.entries.size(); ++i) {
+      if (block_.entries[i].key != key) continue;
+      if (found != nullptr) {
+        fail(ctx_ + ": duplicate key \"" + key + "\"" + at_line(block_.entries[i].line));
+        return nullptr;
+      }
+      found = &block_.entries[i];
+      used_[i] = true;
+    }
+    if (found == nullptr) return nullptr;
+    std::size_t n = found->values.size();
+    if (n < min_values || n > max_values) {
+      std::string want = min_values == max_values
+                             ? std::to_string(min_values)
+                             : std::to_string(min_values) + " to " + std::to_string(max_values);
+      fail(ctx_ + ": key \"" + key + "\" expects " + want + " value" +
+           (max_values == 1 ? "" : "s") + " (got " + std::to_string(n) + ")" +
+           at_line(found->line));
+      return nullptr;
+    }
+    return found;
+  }
+
+  void str(const std::string& key, std::string& out) {
+    const RawEntry* entry = find(key, 1, 1);
+    if (entry == nullptr) return;
+    if (entry->values[0].empty()) {
+      fail(ctx_ + ": " + key + " must not be empty" + at_line(entry->line));
+      return;
+    }
+    out = entry->values[0];
+  }
+
+  void num(const std::string& key, double& out, double lo, double hi,
+           bool lo_exclusive = false) {
+    const RawEntry* entry = find(key, 1, 1);
+    if (entry == nullptr) return;
+    out = decode_num(key, entry->values[0], entry->line, lo, hi, lo_exclusive, out);
+  }
+
+  void integer(const std::string& key, std::uint64_t& out, std::int64_t lo,
+               std::int64_t hi) {
+    const RawEntry* entry = find(key, 1, 1);
+    if (entry == nullptr) return;
+    std::optional<std::int64_t> value = parse_integer(entry->values[0]);
+    if (!value) {
+      fail(ctx_ + ": " + key + ": invalid integer \"" + entry->values[0] + "\"" +
+           at_line(entry->line));
+      return;
+    }
+    if (*value < lo || *value > hi) {
+      fail(ctx_ + ": " + key + " must be in [" + fmt_number(static_cast<double>(lo)) +
+           ", " + fmt_number(static_cast<double>(hi)) + "] (got " + entry->values[0] +
+           ")" + at_line(entry->line));
+      return;
+    }
+    out = static_cast<std::uint64_t>(*value);
+  }
+
+  /// positive=true renders the lower bound as "must be > 0".
+  void dur(const std::string& key, SimTime& out, SimTime hi, bool positive) {
+    const RawEntry* entry = find(key, 1, 1);
+    if (entry == nullptr) return;
+    out = decode_dur(key, entry->values[0], entry->line, hi, positive, out);
+  }
+
+  void prob(const std::string& key, double& out) { num(key, out, 0.0, 1.0); }
+
+  /// `key lo hi` pair of integers with lo <= hi (cost / payload ranges).
+  void int_pair(const std::string& key, std::uint64_t& lo_out, std::uint64_t& hi_out,
+                std::int64_t lo, std::int64_t hi) {
+    const RawEntry* entry = find(key, 2, 2);
+    if (entry == nullptr) return;
+    std::uint64_t a = lo_out;
+    std::uint64_t b = hi_out;
+    decode_int_at(key, *entry, 0, lo, hi, a);
+    decode_int_at(key, *entry, 1, lo, hi, b);
+    if (failed()) return;
+    if (a > b) {
+      fail(ctx_ + ": " + key + " range must satisfy lo <= hi (got " +
+           entry->values[0] + " " + entry->values[1] + ")" + at_line(entry->line));
+      return;
+    }
+    lo_out = a;
+    hi_out = b;
+  }
+
+  void num_list(const std::string& key, std::vector<double>& out,
+                std::size_t min_values, std::size_t max_values, double lo, double hi,
+                bool lo_exclusive) {
+    const RawEntry* entry = find(key, min_values, max_values);
+    if (entry == nullptr) return;
+    std::vector<double> values;
+    for (const std::string& token : entry->values) {
+      values.push_back(decode_num(key, token, entry->line, lo, hi, lo_exclusive, 0.0));
+      if (failed()) return;
+    }
+    out = std::move(values);
+  }
+
+  void str_list(const std::string& key, std::vector<std::string>& out) {
+    const RawEntry* entry = find(key, 1, 16);
+    if (entry == nullptr) return;
+    out = entry->values;
+  }
+
+  /// Enum keyword from a fixed choice set; the message lists the choices.
+  template <typename E>
+  void keyword(const std::string& key, E& out,
+               const std::vector<std::pair<std::string_view, E>>& choices) {
+    const RawEntry* entry = find(key, 1, 1);
+    if (entry == nullptr) return;
+    for (const auto& [word, value] : choices) {
+      if (entry->values[0] == word) {
+        out = value;
+        return;
+      }
+    }
+    std::string listed;
+    for (const auto& [word, value] : choices) {
+      if (!listed.empty()) listed += "|";
+      listed += word;
+    }
+    fail(ctx_ + ": " + key + " must be one of " + listed + " (got \"" +
+         entry->values[0] + "\")" + at_line(entry->line));
+  }
+
+  /// Every entry not consumed by a getter is an unknown key.
+  Status finish() {
+    if (failed()) return err_;
+    for (std::size_t i = 0; i < block_.entries.size(); ++i) {
+      if (!used_[i]) {
+        return invalid(ctx_ + ": unknown key \"" + block_.entries[i].key + "\"" +
+                       at_line(block_.entries[i].line));
+      }
+    }
+    return Status::ok();
+  }
+
+ private:
+  double decode_num(const std::string& key, const std::string& token, int line,
+                    double lo, double hi, bool lo_exclusive, double fallback) {
+    std::optional<double> value = parse_number(token);
+    if (!value) {
+      fail(ctx_ + ": " + key + ": invalid number \"" + token + "\"" + at_line(line));
+      return fallback;
+    }
+    bool below = lo_exclusive ? *value <= lo : *value < lo;
+    if (below || *value > hi) {
+      fail(ctx_ + ": " + key + " must be in " + (lo_exclusive ? "(" : "[") +
+           fmt_number(lo) + ", " + fmt_number(hi) + "] (got " + token + ")" +
+           at_line(line));
+      return fallback;
+    }
+    return *value;
+  }
+
+  SimTime decode_dur(const std::string& key, const std::string& token, int line,
+                     SimTime hi, bool positive, SimTime fallback) {
+    std::optional<SimTime> value = parse_duration(token);
+    if (!value) {
+      fail(ctx_ + ": " + key + ": invalid duration \"" + token +
+           "\" (expected e.g. 250ms, 5s)" + at_line(line));
+      return fallback;
+    }
+    if (positive && *value <= 0) {
+      fail(ctx_ + ": " + key + " must be > 0 (got " + token + ")" + at_line(line));
+      return fallback;
+    }
+    if (*value > hi) {
+      fail(ctx_ + ": " + key + " must be <= " + format_duration(hi) + " (got " +
+           token + ")" + at_line(line));
+      return fallback;
+    }
+    return *value;
+  }
+
+  void decode_int_at(const std::string& key, const RawEntry& entry, std::size_t index,
+                     std::int64_t lo, std::int64_t hi, std::uint64_t& out) {
+    if (failed()) return;
+    std::optional<std::int64_t> value = parse_integer(entry.values[index]);
+    if (!value) {
+      fail(ctx_ + ": " + key + ": invalid integer \"" + entry.values[index] + "\"" +
+           at_line(entry.line));
+      return;
+    }
+    if (*value < lo || *value > hi) {
+      fail(ctx_ + ": " + key + " values must be in [" +
+           fmt_number(static_cast<double>(lo)) + ", " +
+           fmt_number(static_cast<double>(hi)) + "] (got " + entry.values[index] +
+           ")" + at_line(entry.line));
+      return;
+    }
+    out = static_cast<std::uint64_t>(*value);
+  }
+
+  const RawBlock& block_;
+  std::string ctx_;
+  std::vector<bool> used_;
+  Status err_;
+};
+
+const std::vector<std::pair<std::string_view, SchedulerMode>>& mode_choices() {
+  static const std::vector<std::pair<std::string_view, SchedulerMode>> choices = {
+      {"fifo", SchedulerMode::kFifo},
+      {"sched", SchedulerMode::kSched},
+      {"both", SchedulerMode::kBoth},
+  };
+  return choices;
+}
+
+const std::vector<std::pair<std::string_view, rbac::Role>>& role_choices() {
+  static const std::vector<std::pair<std::string_view, rbac::Role>> choices = {
+      {"tenant-admin", rbac::Role::kTenantAdmin},
+      {"developer", rbac::Role::kDeveloper},
+      {"analyst", rbac::Role::kAnalyst},
+      {"clinician", rbac::Role::kClinician},
+      {"auditor", rbac::Role::kAuditor},
+  };
+  return choices;
+}
+
+const std::vector<std::pair<std::string_view, ArrivalKind>>& arrival_choices() {
+  static const std::vector<std::pair<std::string_view, ArrivalKind>> choices = {
+      {"uniform", ArrivalKind::kUniform},
+      {"poisson", ArrivalKind::kPoisson},
+      {"closed", ArrivalKind::kClosedLoop},
+  };
+  return choices;
+}
+
+const std::vector<std::pair<std::string_view, VerdictKind>>& verdict_choices() {
+  static const std::vector<std::pair<std::string_view, VerdictKind>> choices = {
+      {"min_served_fraction", VerdictKind::kMinServedFraction},
+      {"max_served_fraction", VerdictKind::kMaxServedFraction},
+      {"max_p95_ms", VerdictKind::kMaxP95Ms},
+      {"min_stored_fraction", VerdictKind::kMinStoredFraction},
+      {"max_stored_fraction", VerdictKind::kMaxStoredFraction},
+  };
+  return choices;
+}
+
+/// "endpoint" as fault rules use it: "*" is the wildcard (empty in the
+/// FaultPlan), anything else must resolve against tenants or the server.
+std::string decode_endpoint(const std::string& token) {
+  return token == "*" ? "" : token;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- block decoders
+
+namespace {
+
+Status decode_scenario(const RawBlock& block, Scenario& out) {
+  BlockReader reader(block, "scenario \"" + block.name + "\"");
+  out.name = block.name;
+  reader.integer("seed", out.seed, 0, std::numeric_limits<std::int64_t>::max());
+  reader.dur("horizon", out.horizon, 10 * kMinute, /*positive=*/true);
+  reader.num_list("sweep", out.sweep, 1, 8, 0.0, 100.0, /*lo_exclusive=*/true);
+  reader.num("nominal_rate", out.nominal_rate, 1.0, 1e6);
+  reader.dur("timeline_resolution", out.timeline_resolution, 10 * kMinute,
+             /*positive=*/false);
+  return reader.finish();
+}
+
+Status decode_server(const RawBlock& block, ServerSpec& out) {
+  BlockReader reader(block, "server");
+  reader.str("host", out.host);
+  reader.num("capacity_per_sec", out.capacity_per_sec, 0.0, 1e12,
+             /*lo_exclusive=*/true);
+  reader.keyword("scheduler", out.mode, mode_choices());
+  reader.dur("deadline", out.deadline_budget, kMinute, /*positive=*/true);
+  reader.integer("wfq_quantum", out.wfq_quantum, 1, 1'000'000'000);
+  reader.integer("adapt_every", out.adapt_every, 1, 1'000'000'000);
+  reader.dur("drain_grace", out.drain_grace, 10 * kMinute, /*positive=*/false);
+  return reader.finish();
+}
+
+Status decode_burst_pool(const RawBlock& block, BurstPoolSpec& out) {
+  BlockReader reader(block, "burst_pool");
+  reader.num("rate", out.rate_per_sec, 0.0, 1e9, /*lo_exclusive=*/true);
+  reader.num("capacity", out.capacity, 0.0, 1e9, /*lo_exclusive=*/true);
+  return reader.finish();
+}
+
+Status decode_quota(const RawBlock& block, QuotaSpec& out) {
+  BlockReader reader(block, "quota \"" + block.name + "\"");
+  out.name = block.name;
+  reader.num("rate", out.rate_per_sec, 0.0, 1e9, /*lo_exclusive=*/true);
+  reader.num("burst", out.burst, 0.0, 1e9, /*lo_exclusive=*/true);
+  reader.integer("weight", out.weight, 1, 1000);
+  return reader.finish();
+}
+
+Status decode_network(const RawBlock& block, NetworkSpec& out) {
+  BlockReader reader(block, "network \"" + block.name + "\"");
+  out.name = block.name;
+  SimTime latency = 0;
+  SimTime jitter = 0;
+  double bandwidth_kbps = 1e9;
+  double loss = 0.0;
+  reader.dur("latency", latency, kMinute, /*positive=*/false);
+  reader.dur("jitter", jitter, kMinute, /*positive=*/false);
+  reader.num("bandwidth_kbps", bandwidth_kbps, 0.0, 1e9, /*lo_exclusive=*/true);
+  reader.prob("loss", loss);
+  Status status = reader.finish();
+  if (!status.is_ok()) return status;
+  out.link.base_latency = latency;
+  out.link.jitter = jitter;
+  // kbit/s -> bytes per microsecond: kbps * 1000 bits/s / 8 / 1e6 us.
+  out.link.bandwidth_bytes_per_us = bandwidth_kbps / 8000.0;
+  out.link.drop_probability = loss;
+  return Status::ok();
+}
+
+Status decode_tenant(const RawBlock& block, TenantSpec& out) {
+  BlockReader reader(block, "tenant \"" + block.name + "\"");
+  out.name = block.name;
+  reader.keyword("role", out.role, role_choices());
+  reader.str("quota", out.quota);
+  reader.keyword("arrival", out.arrival, arrival_choices());
+
+  // rate is either a number or the keyword `fill`.
+  if (const RawEntry* entry = reader.find("rate", 1, 1)) {
+    if (entry->values[0] == "fill") {
+      out.rate_fill = true;
+    } else {
+      std::optional<double> rate = parse_number(entry->values[0]);
+      if (!rate) {
+        reader.fail(reader.ctx() + ": rate: invalid number \"" + entry->values[0] +
+                    "\"" + at_line(entry->line));
+      } else if (*rate < 0.0 || *rate > 1e6) {
+        reader.fail(reader.ctx() + ": rate must be in [0, 1000000] (got " +
+                    entry->values[0] + ")" + at_line(entry->line));
+      } else {
+        out.rate_per_sec = *rate;
+      }
+    }
+  }
+
+  reader.integer("clients", out.clients, 1, 100000);
+  reader.dur("think", out.think, 10 * kMinute, /*positive=*/false);
+  if (reader.find("phase_offset", 1, 1) != nullptr) {
+    // Re-find through the duration decoder (find() is idempotent on the
+    // consumed flag, the duplicate check already ran).
+    SimTime offset = 0;
+    reader.dur("phase_offset", offset, 10 * kMinute, /*positive=*/false);
+    out.phase_offset = offset;
+  }
+  reader.int_pair("cost", out.cost_lo, out.cost_hi, 1, 1'000'000'000);
+  std::uint64_t cost_seed = 0;
+  if (reader.find("cost_seed", 1, 1) != nullptr) {
+    reader.integer("cost_seed", cost_seed, 0,
+                   std::numeric_limits<std::int64_t>::max());
+    out.cost_seed = static_cast<std::int64_t>(cost_seed);
+  }
+  reader.int_pair("payload", out.payload_lo, out.payload_hi, 1, 1 << 20);
+  reader.prob("consent_probability", out.consent_probability);
+  reader.prob("malware_probability", out.malware_probability);
+  reader.str("network", out.network);
+  Status status = reader.finish();
+  if (!status.is_ok()) return status;
+
+  // Arrival-kind consistency.
+  const std::string ctx = "tenant \"" + out.name + "\"";
+  if (out.arrival == ArrivalKind::kClosedLoop) {
+    if (out.clients == 0) {
+      return invalid(ctx + ": closed-loop arrival requires clients");
+    }
+    if (out.rate_fill || out.rate_per_sec != 0.0) {
+      return invalid(ctx + ": closed-loop arrival does not take rate");
+    }
+  } else {
+    if (out.clients != 0) {
+      return invalid(ctx + ": clients is only valid with closed-loop arrival");
+    }
+    if (!out.rate_fill && out.rate_per_sec <= 0.0) {
+      return invalid(ctx + ": open-loop arrival requires rate > 0 or rate fill");
+    }
+  }
+  return Status::ok();
+}
+
+Status decode_phase(const RawBlock& block, SimTime horizon, PhaseSpec& out) {
+  BlockReader reader(block, "phase \"" + block.name + "\"");
+  out.name = block.name;
+  reader.dur("from", out.from, 10 * kMinute, /*positive=*/false);
+  reader.dur("until", out.until, 10 * kMinute, /*positive=*/true);
+  reader.num("rate_scale", out.rate_scale, 0.0, 1000.0);
+  double consent = 1.0;
+  if (reader.find("consent_probability", 1, 1) != nullptr) {
+    reader.prob("consent_probability", consent);
+    out.consent_probability = consent;
+  }
+  reader.str_list("tenants", out.tenants);
+  Status status = reader.finish();
+  if (!status.is_ok()) return status;
+
+  const std::string ctx = "phase \"" + out.name + "\"";
+  if (out.until <= out.from) {
+    return invalid(ctx + ": until (" + format_duration(out.until) +
+                   ") must be after from (" + format_duration(out.from) + ")");
+  }
+  if (out.until > horizon) {
+    return invalid(ctx + ": until (" + format_duration(out.until) +
+                   ") must be <= horizon (" + format_duration(horizon) + ")");
+  }
+  return Status::ok();
+}
+
+Status decode_ingestion(const RawBlock& block, IngestionSpec& out) {
+  BlockReader reader(block, "ingestion");
+  out.enabled = true;
+  reader.integer("max_uploads", out.max_uploads, 1, 100000);
+  return reader.finish();
+}
+
+Status decode_verdict(const RawBlock& block, VerdictSpec& out) {
+  BlockReader reader(block, "verdict \"" + block.name + "\"");
+  out.name = block.name;
+  reader.keyword("require", out.kind, verdict_choices());
+  reader.str("tenant", out.tenant);
+  reader.keyword("mode", out.mode, mode_choices());
+  reader.num_list("loads", out.loads, 1, 8, 0.0, 100.0, /*lo_exclusive=*/true);
+  // Bound range depends on the kind, so decode the kind first.
+  switch (out.kind) {
+    case VerdictKind::kMaxP95Ms:
+      reader.num("bound", out.bound, 0.0, 1e6, /*lo_exclusive=*/true);
+      break;
+    default:
+      reader.prob("bound", out.bound);
+      break;
+  }
+  Status status = reader.finish();
+  if (!status.is_ok()) return status;
+  if (reader.find("require", 1, 1) == nullptr) {
+    return invalid("verdict \"" + out.name + "\": missing required key \"require\"");
+  }
+  return Status::ok();
+}
+
+/// Fault entries are rules, not key/value settings, so they bypass
+/// BlockReader: every entry is one rule line.
+Status decode_fault(const RawBlock& block, const std::set<std::string>& endpoints,
+                    fault::FaultPlan& out) {
+  auto bad = [&](const RawEntry& entry, const std::string& problem) {
+    return invalid("fault: " + entry.key + " " + problem + at_line(entry.line));
+  };
+  auto prob_at = [&](const RawEntry& entry, std::size_t index, double& value) {
+    std::optional<double> parsed = parse_number(entry.values[index]);
+    if (!parsed || *parsed < 0.0 || *parsed > 1.0) {
+      return bad(entry, "probability must be in [0, 1] (got " +
+                            entry.values[index] + ")");
+    }
+    value = *parsed;
+    return Status::ok();
+  };
+  auto dur_at = [&](const RawEntry& entry, std::size_t index, SimTime& value) {
+    std::optional<SimTime> parsed = parse_duration(entry.values[index]);
+    if (!parsed) {
+      return bad(entry, "invalid duration \"" + entry.values[index] + "\"");
+    }
+    value = *parsed;
+    return Status::ok();
+  };
+  auto endpoint_at = [&](const RawEntry& entry, std::size_t index,
+                         std::string& value) {
+    value = decode_endpoint(entry.values[index]);
+    if (!value.empty() && endpoints.find(value) == endpoints.end()) {
+      return bad(entry, "endpoint \"" + value +
+                            "\" is not a tenant or the server host");
+    }
+    return Status::ok();
+  };
+
+  for (const RawEntry& entry : block.entries) {
+    if (entry.key == "crash") {
+      if (entry.values.size() != 3) {
+        return bad(entry, "expects: crash <host> <at> <restart>");
+      }
+      fault::CrashEvent crash;
+      Status status = endpoint_at(entry, 0, crash.host);
+      if (!status.is_ok()) return status;
+      if (crash.host.empty()) return bad(entry, "host must not be a wildcard");
+      if (!(status = dur_at(entry, 1, crash.at)).is_ok()) return status;
+      if (!(status = dur_at(entry, 2, crash.restart_at)).is_ok()) return status;
+      if (crash.restart_at <= crash.at) {
+        return bad(entry, "restart (" + format_duration(crash.restart_at) +
+                              ") must be after at (" + format_duration(crash.at) +
+                              ")");
+      }
+      out.crashes.push_back(crash);
+      continue;
+    }
+
+    fault::FaultRule rule;
+    bool has_delay = false;
+    if (entry.key == "drop") rule.kind = fault::FaultKind::kDrop;
+    else if (entry.key == "delay") { rule.kind = fault::FaultKind::kDelay; has_delay = true; }
+    else if (entry.key == "duplicate") rule.kind = fault::FaultKind::kDuplicate;
+    else if (entry.key == "corrupt") rule.kind = fault::FaultKind::kCorrupt;
+    else {
+      return invalid("fault: unknown rule \"" + entry.key + "\"" +
+                     at_line(entry.line));
+    }
+
+    // drop/duplicate/corrupt: <from> <to> <prob> [<start> <end>]
+    // delay:                  <from> <to> <prob> <extra> [<start> <end>]
+    std::size_t fixed = has_delay ? 4u : 3u;
+    if (entry.values.size() != fixed && entry.values.size() != fixed + 2) {
+      return bad(entry, has_delay
+                            ? "expects: delay <from> <to> <prob> <extra> [<start> <end>]"
+                            : std::string("expects: ") + entry.key +
+                                  " <from> <to> <prob> [<start> <end>]");
+    }
+    Status status = endpoint_at(entry, 0, rule.from);
+    if (!status.is_ok()) return status;
+    if (!(status = endpoint_at(entry, 1, rule.to)).is_ok()) return status;
+    if (!(status = prob_at(entry, 2, rule.probability)).is_ok()) return status;
+    if (has_delay && !(status = dur_at(entry, 3, rule.extra_delay)).is_ok()) {
+      return status;
+    }
+    if (entry.values.size() == fixed + 2) {
+      if (!(status = dur_at(entry, fixed, rule.start)).is_ok()) return status;
+      if (!(status = dur_at(entry, fixed + 1, rule.end)).is_ok()) return status;
+      if (rule.end <= rule.start) {
+        return bad(entry, "window end (" + format_duration(rule.end) +
+                              ") must be after start (" +
+                              format_duration(rule.start) + ")");
+      }
+    }
+    out.rules.push_back(rule);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- validate
+
+int Scenario::tenant_index(const std::string& tenant_name) const {
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (tenants[i].name == tenant_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const QuotaSpec& Scenario::quota_for(const TenantSpec& tenant) const {
+  static const QuotaSpec kDefault{"(default)", 100.0, 20.0, 1};
+  if (tenant.quota.empty()) return kDefault;
+  for (const QuotaSpec& quota : quotas) {
+    if (quota.name == tenant.quota) return quota;
+  }
+  return kDefault;  // unreachable post-validation
+}
+
+const NetworkSpec* Scenario::network_for(const TenantSpec& tenant) const {
+  if (tenant.network.empty()) return nullptr;
+  for (const NetworkSpec& network : networks) {
+    if (network.name == tenant.network) return &network;
+  }
+  for (const NetworkSpec& network : network_presets()) {
+    if (network.name == tenant.network) return &network;
+  }
+  return nullptr;  // unreachable post-validation
+}
+
+const std::vector<NetworkSpec>& network_presets() {
+  static const std::vector<NetworkSpec> presets = {
+      {"loopback", net::LinkProfile::loopback()},
+      {"lan", net::LinkProfile::lan()},
+      {"wan", net::LinkProfile::wan()},
+      {"mobile", net::LinkProfile::mobile()},
+      {"intercloud", net::LinkProfile::intercloud()},
+  };
+  return presets;
+}
+
+std::string_view scheduler_mode_name(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kFifo: return "fifo";
+    case SchedulerMode::kSched: return "sched";
+    case SchedulerMode::kBoth: return "both";
+  }
+  return "unknown";
+}
+
+std::string_view arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kUniform: return "uniform";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kClosedLoop: return "closed";
+  }
+  return "unknown";
+}
+
+std::string_view verdict_kind_name(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::kMinServedFraction: return "min_served_fraction";
+    case VerdictKind::kMaxServedFraction: return "max_served_fraction";
+    case VerdictKind::kMaxP95Ms: return "max_p95_ms";
+    case VerdictKind::kMinStoredFraction: return "min_stored_fraction";
+    case VerdictKind::kMaxStoredFraction: return "max_stored_fraction";
+  }
+  return "unknown";
+}
+
+Result<Scenario> validate(const RawDoc& doc) {
+  Scenario scenario;
+  bool saw_scenario = false;
+  bool saw_server = false;
+  bool saw_burst = false;
+  bool saw_fault = false;
+  bool saw_ingestion = false;
+  const RawBlock* fault_block = nullptr;
+
+  auto require_name = [](const RawBlock& block) -> Status {
+    if (block.name.empty()) {
+      return invalid(block.kind + " block requires a name" + at_line(block.line));
+    }
+    return Status::ok();
+  };
+  auto refuse_name = [](const RawBlock& block) -> Status {
+    if (!block.name.empty()) {
+      return invalid(block.kind + " block does not take a name" + at_line(block.line));
+    }
+    return Status::ok();
+  };
+
+  for (const RawBlock& block : doc.blocks) {
+    Status status;
+    if (block.kind == "scenario") {
+      if (saw_scenario) return invalid("duplicate scenario block" + at_line(block.line));
+      saw_scenario = true;
+      if (!(status = require_name(block)).is_ok()) return status;
+      if (!(status = decode_scenario(block, scenario)).is_ok()) return status;
+    } else if (block.kind == "server") {
+      if (saw_server) return invalid("duplicate server block" + at_line(block.line));
+      saw_server = true;
+      if (!(status = refuse_name(block)).is_ok()) return status;
+      if (!(status = decode_server(block, scenario.server)).is_ok()) return status;
+    } else if (block.kind == "burst_pool") {
+      if (saw_burst) return invalid("duplicate burst_pool block" + at_line(block.line));
+      saw_burst = true;
+      if (!(status = refuse_name(block)).is_ok()) return status;
+      if (!(status = decode_burst_pool(block, scenario.burst_pool)).is_ok()) return status;
+    } else if (block.kind == "quota") {
+      if (!(status = require_name(block)).is_ok()) return status;
+      for (const QuotaSpec& existing : scenario.quotas) {
+        if (existing.name == block.name) {
+          return invalid("duplicate quota \"" + block.name + "\"" + at_line(block.line));
+        }
+      }
+      QuotaSpec quota;
+      if (!(status = decode_quota(block, quota)).is_ok()) return status;
+      scenario.quotas.push_back(std::move(quota));
+    } else if (block.kind == "network") {
+      if (!(status = require_name(block)).is_ok()) return status;
+      for (const NetworkSpec& existing : scenario.networks) {
+        if (existing.name == block.name) {
+          return invalid("duplicate network \"" + block.name + "\"" + at_line(block.line));
+        }
+      }
+      for (const NetworkSpec& preset : network_presets()) {
+        if (preset.name == block.name) {
+          return invalid("network \"" + block.name +
+                         "\" collides with a built-in preset" + at_line(block.line));
+        }
+      }
+      NetworkSpec network;
+      if (!(status = decode_network(block, network)).is_ok()) return status;
+      scenario.networks.push_back(std::move(network));
+    } else if (block.kind == "tenant") {
+      if (!(status = require_name(block)).is_ok()) return status;
+      for (const TenantSpec& existing : scenario.tenants) {
+        if (existing.name == block.name) {
+          return invalid("duplicate tenant \"" + block.name + "\"" + at_line(block.line));
+        }
+      }
+      TenantSpec tenant;
+      if (!(status = decode_tenant(block, tenant)).is_ok()) return status;
+      scenario.tenants.push_back(std::move(tenant));
+    } else if (block.kind == "phase") {
+      if (!(status = require_name(block)).is_ok()) return status;
+      for (const PhaseSpec& existing : scenario.phases) {
+        if (existing.name == block.name) {
+          return invalid("duplicate phase \"" + block.name + "\"" + at_line(block.line));
+        }
+      }
+      // Horizon may come from a later scenario block in pathological
+      // orderings; phases are re-checked against it after the loop.
+      PhaseSpec phase;
+      if (!(status = decode_phase(block, std::numeric_limits<SimTime>::max(), phase))
+               .is_ok()) {
+        return status;
+      }
+      scenario.phases.push_back(std::move(phase));
+    } else if (block.kind == "fault") {
+      if (saw_fault) return invalid("duplicate fault block" + at_line(block.line));
+      saw_fault = true;
+      if (!(status = refuse_name(block)).is_ok()) return status;
+      fault_block = &block;  // decoded after tenants are known
+    } else if (block.kind == "ingestion") {
+      if (saw_ingestion) return invalid("duplicate ingestion block" + at_line(block.line));
+      saw_ingestion = true;
+      if (!(status = refuse_name(block)).is_ok()) return status;
+      if (!(status = decode_ingestion(block, scenario.ingestion)).is_ok()) return status;
+    } else if (block.kind == "verdict") {
+      if (!(status = require_name(block)).is_ok()) return status;
+      for (const VerdictSpec& existing : scenario.verdicts) {
+        if (existing.name == block.name) {
+          return invalid("duplicate verdict \"" + block.name + "\"" + at_line(block.line));
+        }
+      }
+      VerdictSpec verdict;
+      if (!(status = decode_verdict(block, verdict)).is_ok()) return status;
+      scenario.verdicts.push_back(std::move(verdict));
+    } else {
+      return invalid("unknown block \"" + block.kind + "\"" + at_line(block.line));
+    }
+  }
+
+  if (!saw_scenario) return invalid("missing scenario block");
+  if (scenario.tenants.empty()) {
+    return invalid("scenario must declare at least one tenant");
+  }
+
+  // ---- cross references -------------------------------------------------
+  std::set<std::string> endpoints;
+  endpoints.insert(scenario.server.host);
+  for (const TenantSpec& tenant : scenario.tenants) endpoints.insert(tenant.name);
+
+  int fill_index = -1;
+  for (std::size_t i = 0; i < scenario.tenants.size(); ++i) {
+    const TenantSpec& tenant = scenario.tenants[i];
+    const std::string ctx = "tenant \"" + tenant.name + "\"";
+    if (!tenant.quota.empty()) {
+      bool found = false;
+      for (const QuotaSpec& quota : scenario.quotas) {
+        found = found || quota.name == tenant.quota;
+      }
+      if (!found) return invalid(ctx + ": unknown quota \"" + tenant.quota + "\"");
+    }
+    if (!tenant.network.empty() && scenario.network_for(tenant) == nullptr) {
+      return invalid(ctx + ": unknown network \"" + tenant.network + "\"");
+    }
+    if (tenant.rate_fill) {
+      if (fill_index >= 0) {
+        return invalid(ctx + ": only one tenant may use rate fill (tenant \"" +
+                       scenario.tenants[static_cast<std::size_t>(fill_index)].name +
+                       "\" already does)");
+      }
+      fill_index = static_cast<int>(i);
+    }
+  }
+
+  for (const PhaseSpec& phase : scenario.phases) {
+    const std::string ctx = "phase \"" + phase.name + "\"";
+    if (phase.until > scenario.horizon) {
+      return invalid(ctx + ": until (" + format_duration(phase.until) +
+                     ") must be <= horizon (" + format_duration(scenario.horizon) +
+                     ")");
+    }
+    for (const std::string& tenant : phase.tenants) {
+      if (scenario.tenant_index(tenant) < 0) {
+        return invalid(ctx + ": unknown tenant \"" + tenant + "\"");
+      }
+    }
+  }
+  // Overlap: two phases that can both apply to some tenant must not share
+  // sim time, otherwise the effective rate would be ambiguous.
+  for (std::size_t i = 0; i < scenario.phases.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const PhaseSpec& a = scenario.phases[i];
+      const PhaseSpec& b = scenario.phases[j];
+      bool share_tenant = a.tenants.empty() || b.tenants.empty();
+      for (const std::string& tenant : a.tenants) {
+        for (const std::string& other : b.tenants) {
+          share_tenant = share_tenant || tenant == other;
+        }
+      }
+      if (!share_tenant) continue;
+      if (a.from < b.until && b.from < a.until) {
+        return invalid("phase \"" + a.name + "\" overlaps phase \"" + b.name +
+                       "\" ([" + format_duration(a.from) + ", " +
+                       format_duration(a.until) + ") vs [" + format_duration(b.from) +
+                       ", " + format_duration(b.until) + "))");
+      }
+    }
+  }
+
+  if (fault_block != nullptr) {
+    Status status = decode_fault(*fault_block, endpoints, scenario.faults);
+    if (!status.is_ok()) return status;
+  }
+
+  for (const VerdictSpec& verdict : scenario.verdicts) {
+    const std::string ctx = "verdict \"" + verdict.name + "\"";
+    if (verdict.tenant != "*" && scenario.tenant_index(verdict.tenant) < 0) {
+      return invalid(ctx + ": unknown tenant \"" + verdict.tenant + "\"");
+    }
+    bool stored_kind = verdict.kind == VerdictKind::kMinStoredFraction ||
+                       verdict.kind == VerdictKind::kMaxStoredFraction;
+    if (stored_kind && !scenario.ingestion.enabled) {
+      return invalid(ctx + ": " + std::string(verdict_kind_name(verdict.kind)) +
+                     " requires an ingestion block");
+    }
+    if (!stored_kind && verdict.mode != SchedulerMode::kBoth &&
+        scenario.server.mode != SchedulerMode::kBoth &&
+        verdict.mode != scenario.server.mode) {
+      return invalid(ctx + ": mode " + std::string(scheduler_mode_name(verdict.mode)) +
+                     " but server scheduler is " +
+                     std::string(scheduler_mode_name(scenario.server.mode)));
+    }
+    for (double load : verdict.loads) {
+      bool in_sweep = false;
+      for (double cell : scenario.sweep) in_sweep = in_sweep || cell == load;
+      if (!in_sweep) {
+        return invalid(ctx + ": load " + fmt_number(load) + " is not in the sweep");
+      }
+    }
+  }
+
+  return scenario;
+}
+
+Result<Scenario> load_string(const std::string& text) {
+  Result<RawDoc> doc = parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return validate(*doc);
+}
+
+Result<Scenario> load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "cannot read scenario file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_string(buffer.str());
+}
+
+}  // namespace hc::scenario

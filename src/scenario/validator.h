@@ -1,0 +1,30 @@
+// RawDoc -> Scenario: the strict decoder.
+//
+// Validation is all-or-nothing: either every block, key, value, range,
+// and cross-reference checks out and a fully runnable Scenario comes
+// back, or the first defect is reported as kInvalidArgument with an
+// exact, stable diagnostic (the rejection-table test in
+// tests/scenario_validator_test.cpp pins these strings — change a
+// message and that test changes with it, on purpose). Nothing is ever
+// silently defaulted past: unknown blocks and keys are errors, not
+// warnings, and a reference to an undeclared quota/tenant/network/
+// endpoint refuses the whole file.
+#pragma once
+
+#include "common/status.h"
+#include "scenario/model.h"
+#include "scenario/parser.h"
+
+namespace hc::scenario {
+
+/// Decodes and checks a parsed document. See file comment for the
+/// error contract.
+Result<Scenario> validate(const RawDoc& doc);
+
+/// parse() + validate() in one step.
+Result<Scenario> load_string(const std::string& text);
+
+/// Reads `path` and load_string()s it. kNotFound when unreadable.
+Result<Scenario> load_file(const std::string& path);
+
+}  // namespace hc::scenario

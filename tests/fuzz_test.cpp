@@ -13,6 +13,8 @@
 #include "fhir/synthetic.h"
 #include "net/network.h"
 #include "net/secure_channel.h"
+#include "scenario/compiler.h"
+#include "scenario/validator.h"
 
 namespace hc::fhir {
 namespace {
@@ -224,3 +226,165 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(1, 2, 3, 4));
 
 }  // namespace
 }  // namespace hc::net
+
+namespace hc::scenario {
+namespace {
+
+// Scenario-file fuzzer (ISSUE satellite): operators hand-edit these files,
+// so the parser+validator face arbitrarily mangled text. Every mutation
+// must produce either a clean kInvalidArgument diagnostic or a fully
+// validated Scenario — never a crash, a hang, or a half-initialized config
+// that violates the invariants validate() promises.
+class ScenarioFuzz : public ::testing::TestWithParam<int> {};
+
+// A valid file touching every block kind, so single-byte edits land in
+// interesting places: quoted names, durations, probabilities, fault rules.
+const char* valid_scenario_text() {
+  return "scenario \"fuzz target\" {\n"
+         "  seed 7\n"
+         "  horizon 2s\n"
+         "  sweep 0.5 1.0\n"
+         "  nominal_rate 200\n"
+         "  timeline_resolution 500ms\n"
+         "}\n"
+         "server {\n"
+         "  scheduler both\n"
+         "  deadline 50ms\n"
+         "}\n"
+         "quota \"gold\" {\n"
+         "  rate 120\n"
+         "  burst 24\n"
+         "  weight 2\n"
+         "}\n"
+         "network \"edge\" {\n"
+         "  latency 5ms\n"
+         "  jitter 1ms\n"
+         "  loss 0.01\n"
+         "}\n"
+         "tenant \"ward\" {\n"
+         "  quota \"gold\"\n"
+         "  rate 80\n"
+         "  cost 600 1400\n"
+         "  network \"edge\"\n"
+         "  consent_probability 0.9\n"
+         "}\n"
+         "tenant \"lab\" {\n"
+         "  arrival poisson\n"
+         "  rate 40\n"
+         "}\n"
+         "phase \"burst\" {\n"
+         "  from 1s\n"
+         "  until 2s\n"
+         "  rate_scale 2\n"
+         "  tenants \"lab\"\n"
+         "}\n"
+         "fault {\n"
+         "  drop \"ward\" \"server\" 0.05\n"
+         "}\n"
+         "verdict \"sane\" {\n"
+         "  require min_served_fraction\n"
+         "  bound 0.1\n"
+         "}\n";
+}
+
+// If a mutant is accepted, its config must be internally consistent —
+// the all-or-nothing contract — and must compile without crashing. The
+// compile is skipped for mutants whose (valid!) numbers would expand to
+// millions of arrivals; the point here is memory safety, not throughput.
+void check_accepted(const Scenario& scenario) {
+  ASSERT_FALSE(scenario.tenants.empty());
+  ASSERT_GT(scenario.horizon, 0);
+  ASSERT_FALSE(scenario.sweep.empty());
+  bool small = scenario.horizon <= 5 * kSecond;
+  for (const TenantSpec& tenant : scenario.tenants) {
+    if (!tenant.network.empty()) {
+      EXPECT_NE(scenario.network_for(tenant), nullptr);
+    }
+    small = small && tenant.rate_per_sec <= 5000.0 && tenant.clients <= 1000;
+  }
+  for (const PhaseSpec& phase : scenario.phases) {
+    small = small && phase.rate_scale <= 100.0;
+  }
+  if (!small) return;
+  Result<CompiledCell> cell = compile(scenario, scenario.sweep[0]);
+  if (cell.is_ok()) {
+    for (std::size_t i = 1; i < cell->arrivals.size(); ++i) {
+      ASSERT_GE(cell->arrivals[i].at, cell->arrivals[i - 1].at);
+    }
+  }
+}
+
+TEST_P(ScenarioFuzz, MutatedScenarioFilesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+  const std::string valid = valid_scenario_text();
+  for (int i = 0; i < 250; ++i) {
+    std::string mutated = valid;
+    int edits = static_cast<int>(rng.uniform_int(1, 4));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.uniform_int(1, 255));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.uniform_int(1, 255)));
+      }
+    }
+    Result<Scenario> result = load_string(mutated);  // must not crash/hang
+    if (result.is_ok()) {
+      check_accepted(*result);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(ScenarioFuzz, RandomBytesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 8000);
+  for (int i = 0; i < 300; ++i) {
+    auto bytes = rng.bytes(static_cast<std::size_t>(rng.uniform_int(0, 300)));
+    Result<Scenario> result = load_string(to_string(bytes));
+    if (result.is_ok()) check_accepted(*result);
+  }
+}
+
+// Line-shuffle mutants: whole statements moved across blocks exercise the
+// cross-reference and structure checks rather than the tokenizer.
+TEST_P(ScenarioFuzz, ShuffledLinesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 9000);
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    for (char c : std::string(valid_scenario_text())) {
+      if (c == '\n') {
+        lines.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::string> shuffled = lines;
+    for (int swaps = 0; swaps < 6; ++swaps) {
+      auto a = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(shuffled.size()) - 1));
+      auto b = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(shuffled.size()) - 1));
+      std::swap(shuffled[a], shuffled[b]);
+    }
+    std::string text;
+    for (const std::string& line : shuffled) text += line + "\n";
+    Result<Scenario> result = load_string(text);
+    if (result.is_ok()) check_accepted(*result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hc::scenario

@@ -1,0 +1,503 @@
+// Scenario engine conformance (ISSUE tentpole): the compiler's event
+// schedules are deterministic, the runner's artifact bundle is
+// byte-identical across reruns and ingestion worker counts, the F9
+// scenario file reproduces bench_overload's locked fairness numbers, the
+// committed golden bundle still matches, and every shipped scenarios/*.scn
+// file validates and passes its own verdicts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fhir/json.h"
+#include "scenario/compiler.h"
+#include "scenario/runner.h"
+#include "scenario/validator.h"
+
+namespace hc::scenario {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Scenario load_or_die(const std::string& text) {
+  Result<Scenario> loaded = load_string(text);
+  EXPECT_TRUE(loaded.is_ok()) << loaded.status().message();
+  return *loaded;
+}
+
+Scenario load_shipped(const std::string& name) {
+  Result<Scenario> loaded = load_file(std::string(HC_SCENARIO_DIR) + "/" + name);
+  EXPECT_TRUE(loaded.is_ok()) << name << ": " << loaded.status().message();
+  return *loaded;
+}
+
+const CellModeResult& find_cell(const RunReport& report, double load,
+                                SchedulerMode mode) {
+  for (const CellModeResult& cell : report.cells) {
+    if (cell.load == load && cell.mode == mode) return cell;
+  }
+  ADD_FAILURE() << "no cell for load " << load;
+  static CellModeResult empty;
+  return empty;
+}
+
+// ------------------------------------------------------------- compiler
+
+TEST(ScenarioCompiler, SameInputCompilesToIdenticalSchedule) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  seed 9\n  horizon 1s\n}\n"
+      "tenant \"p\" {\n  arrival poisson\n  rate 200\n}\n"
+      "tenant \"u\" {\n  rate 100\n}\n");
+  Result<CompiledCell> a = compile(scenario, 1.0);
+  Result<CompiledCell> b = compile(scenario, 1.0);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a->arrivals.size(), b->arrivals.size());
+  EXPECT_GT(a->arrivals.size(), 0u);
+  for (std::size_t i = 0; i < a->arrivals.size(); ++i) {
+    EXPECT_EQ(a->arrivals[i].at, b->arrivals[i].at);
+    EXPECT_EQ(a->arrivals[i].cost, b->arrivals[i].cost);
+    EXPECT_EQ(a->arrivals[i].tenant, b->arrivals[i].tenant);
+    EXPECT_EQ(a->arrivals[i].deadline, b->arrivals[i].deadline);
+  }
+}
+
+TEST(ScenarioCompiler, DifferentSeedMovesPoissonArrivals) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  seed 9\n  horizon 1s\n}\n"
+      "tenant \"p\" {\n  arrival poisson\n  rate 200\n}\n");
+  Scenario reseeded = scenario;
+  reseeded.seed = 10;
+  Result<CompiledCell> a = compile(scenario, 1.0);
+  Result<CompiledCell> b = compile(reseeded, 1.0);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  bool any_difference = a->arrivals.size() != b->arrivals.size();
+  for (std::size_t i = 0; !any_difference && i < a->arrivals.size(); ++i) {
+    any_difference = a->arrivals[i].at != b->arrivals[i].at;
+  }
+  EXPECT_TRUE(any_difference) << "reseeding did not move any arrival";
+}
+
+TEST(ScenarioCompiler, ArrivalsSortedAndDeadlinesCarryBudget) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  horizon 1s\n}\n"
+      "server {\n  deadline 30ms\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 1.0);
+  ASSERT_TRUE(cell.is_ok());
+  ASSERT_EQ(cell->arrivals.size(), 100u);
+  for (std::size_t i = 0; i < cell->arrivals.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(cell->arrivals[i].at, cell->arrivals[i - 1].at);
+    }
+    EXPECT_EQ(cell->arrivals[i].deadline,
+              cell->arrivals[i].at + 30 * kMillisecond);
+  }
+}
+
+TEST(ScenarioCompiler, PhaseScaleZeroSilencesTheWindow) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  horizon 2s\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n"
+      "phase \"quiet\" {\n  from 500ms\n  until 1s\n  rate_scale 0\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 1.0);
+  ASSERT_TRUE(cell.is_ok());
+  std::size_t in_window = 0;
+  for (const Arrival& arrival : cell->arrivals) {
+    if (arrival.at >= 500 * kMillisecond && arrival.at < kSecond) ++in_window;
+  }
+  EXPECT_EQ(in_window, 0u);
+  EXPECT_GT(cell->arrivals.size(), 100u);  // the other 1.5s still flow
+}
+
+TEST(ScenarioCompiler, PhaseScaleMultipliesTheWindowRate) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  horizon 2s\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n"
+      "phase \"spike\" {\n  from 1s\n  until 2s\n  rate_scale 3\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 1.0);
+  ASSERT_TRUE(cell.is_ok());
+  std::size_t before = 0;
+  std::size_t during = 0;
+  for (const Arrival& arrival : cell->arrivals) {
+    (arrival.at < kSecond ? before : during) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(during),
+              3.0 * static_cast<double>(before), 5.0);
+}
+
+TEST(ScenarioCompiler, FillTenantAbsorbsTheLoadRemainder) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  nominal_rate 1000\n}\n"
+      "tenant \"fill\" {\n  rate fill\n}\n"
+      "tenant \"fixed\" {\n  rate 150\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 2.0);
+  ASSERT_TRUE(cell.is_ok());
+  ASSERT_EQ(cell->rates.size(), 2u);
+  EXPECT_EQ(cell->rates[0], 2000.0 - 150.0);
+  EXPECT_EQ(cell->rates[1], 150.0);
+}
+
+TEST(ScenarioCompiler, FaultDropMarksArrivalsLostDeterministically) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  horizon 1s\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n"
+      "fault {\n  drop \"a\" \"server\" 1.0\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 1.0);
+  ASSERT_TRUE(cell.is_ok());
+  ASSERT_EQ(cell->arrivals.size(), 100u);
+  for (const Arrival& arrival : cell->arrivals) {
+    EXPECT_TRUE(arrival.dropped);
+  }
+}
+
+TEST(ScenarioCompiler, FaultDuplicateGrowsTheSchedule) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  horizon 1s\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n"
+      "fault {\n  duplicate \"a\" \"server\" 1.0\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 1.0);
+  ASSERT_TRUE(cell.is_ok());
+  EXPECT_EQ(cell->arrivals.size(), 200u);
+}
+
+TEST(ScenarioCompiler, NetworkLatencyShiftsArrivals) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  horizon 1s\n}\n"
+      "tenant \"a\" {\n  rate 50\n  network \"wan\"\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 1.0);
+  ASSERT_TRUE(cell.is_ok());
+  ASSERT_FALSE(cell->arrivals.empty());
+  // wan base latency is 40ms: nothing can land before the wire delivers it.
+  EXPECT_GE(cell->arrivals.front().at, 40 * kMillisecond);
+}
+
+TEST(ScenarioCompiler, ClosedLoopTenantsCompileToNoOpenLoopArrivals) {
+  Scenario scenario = load_or_die(
+      "scenario \"c\" {\n  horizon 1s\n}\n"
+      "tenant \"closed\" {\n  arrival closed\n  clients 5\n  think 10ms\n}\n"
+      "tenant \"open\" {\n  rate 50\n}\n");
+  Result<CompiledCell> cell = compile(scenario, 1.0);
+  ASSERT_TRUE(cell.is_ok());
+  for (const Arrival& arrival : cell->arrivals) {
+    EXPECT_EQ(arrival.tenant, 1) << "closed-loop tenant leaked an arrival";
+  }
+  EXPECT_EQ(cell->rates[0], 0.0);
+}
+
+// --------------------------------------------------------------- runner
+
+TEST(ScenarioRunner, ReportShapeMatchesSweepAndModes) {
+  Scenario scenario = load_or_die(
+      "scenario \"r\" {\n  horizon 500ms\n  sweep 0.5 1.0\n"
+      "  nominal_rate 100\n}\n"
+      "server {\n  scheduler both\n}\n"
+      "tenant \"a\" {\n  rate fill\n}\n");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  // 2 sweep cells x (fifo, sched), sweep-major with fifo first.
+  ASSERT_EQ(report->cells.size(), 4u);
+  EXPECT_EQ(report->cells[0].load, 0.5);
+  EXPECT_EQ(report->cells[0].mode, SchedulerMode::kFifo);
+  EXPECT_EQ(report->cells[1].load, 0.5);
+  EXPECT_EQ(report->cells[1].mode, SchedulerMode::kSched);
+  EXPECT_EQ(report->cells[2].load, 1.0);
+  EXPECT_EQ(report->cells[3].load, 1.0);
+  EXPECT_TRUE(report->ingest.empty());
+}
+
+TEST(ScenarioRunner, UnderloadServesEverythingInBothModes) {
+  Scenario scenario = load_or_die(
+      "scenario \"r\" {\n  horizon 500ms\n}\n"
+      "server {\n  scheduler both\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->cells.size(), 2u);  // fifo and sched
+  for (const CellModeResult& cell : report->cells) {
+    ASSERT_EQ(cell.tenants.size(), 1u);
+    EXPECT_EQ(cell.tenants[0].offered, 50u);
+    EXPECT_EQ(cell.tenants[0].served, 50u);
+    EXPECT_EQ(cell.tenants[0].shed, 0u);
+    EXPECT_EQ(cell.tenants[0].late, 0u);
+  }
+}
+
+TEST(ScenarioRunner, MetricsMirrorTallies) {
+  Scenario scenario = load_or_die(
+      "scenario \"r\" {\n  horizon 500ms\n}\n"
+      "server {\n  scheduler sched\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  const TenantTally& tally = report->cells[0].tenants[0];
+  EXPECT_EQ(report->metrics->counter("hc.scenario.x1.0.sched.a.offered"),
+            tally.offered);
+  EXPECT_EQ(report->metrics->counter("hc.scenario.x1.0.sched.a.served"),
+            tally.served);
+  EXPECT_GT(report->metrics->gauge("hc.scenario.x1.0.sched.a.goodput_rps"),
+            0.0);
+}
+
+TEST(ScenarioRunner, FailingVerdictFailsTheRun) {
+  Scenario scenario = load_or_die(
+      "scenario \"r\" {\n  horizon 500ms\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n"
+      "verdict \"impossible\" {\n  require max_served_fraction\n"
+      "  bound 0\n}\n");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report->all_pass());
+  ASSERT_EQ(report->verdicts.size(), 1u);
+  EXPECT_FALSE(report->verdicts[0].pass);
+  EXPECT_NE(verdicts_text(*report).find("FAIL impossible"), std::string::npos);
+  EXPECT_NE(verdicts_text(*report).find("verdicts: FAIL"), std::string::npos);
+  EXPECT_EQ(report->metrics->gauge("hc.scenario.verdict.impossible"), 0.0);
+}
+
+TEST(ScenarioRunner, ServerCrashWindowCostsThroughput) {
+  const std::string base =
+      "scenario \"r\" {\n  horizon 2s\n}\n"
+      "server {\n  scheduler sched\n}\n"
+      "tenant \"a\" {\n  rate 100\n}\n";
+  Scenario healthy = load_or_die(base);
+  Scenario crashed = load_or_die(base + "fault {\n  crash \"server\" 500ms 1s\n}\n");
+  Result<RunReport> a = run(healthy);
+  Result<RunReport> b = run(crashed);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a->cells[0].tenants[0].served, a->cells[0].tenants[0].offered);
+  EXPECT_LT(b->cells[0].tenants[0].served, a->cells[0].tenants[0].served);
+  // The crash is announced in the timeline header.
+  EXPECT_NE(timeline_text(*b).find("crash server"), std::string::npos);
+}
+
+TEST(ScenarioRunner, ClosedLoopClientsRespawnAfterCompletion) {
+  Scenario scenario = load_or_die(
+      "scenario \"r\" {\n  horizon 1s\n}\n"
+      "server {\n  scheduler sched\n}\n"
+      "tenant \"closed\" {\n  arrival closed\n  clients 4\n  think 10ms\n"
+      "  cost 1000 1000\n}\n");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  // 4 clients cycling ~11ms per round for 1s: far more than 4 requests.
+  EXPECT_GT(report->cells[0].tenants[0].offered, 100u);
+}
+
+// --------------------------------------------- replay determinism (ISSUE)
+
+TEST(ScenarioReplay, BundleIsByteIdenticalAcrossFiveReruns) {
+  Scenario scenario = load_shipped("smoke.scn");
+  Result<RunReport> first = run(scenario);
+  ASSERT_TRUE(first.is_ok());
+  const std::string golden = bundle_text(*first);
+  for (int i = 0; i < 4; ++i) {
+    Result<RunReport> again = run(scenario);
+    ASSERT_TRUE(again.is_ok());
+    ASSERT_EQ(bundle_text(*again), golden) << "rerun " << i << " diverged";
+  }
+}
+
+TEST(ScenarioReplay, BundleIsByteIdenticalAcrossWorkerCounts) {
+  // consent_revocation_storm replays arrivals through the real ingestion
+  // pipeline; the drain's worker count must not leak into the bundle.
+  Scenario scenario = load_shipped("consent_revocation_storm.scn");
+  RunOptions options;
+  options.ingest_workers = 1;
+  Result<RunReport> baseline = run(scenario, options);
+  ASSERT_TRUE(baseline.is_ok()) << baseline.status().message();
+  const std::string golden = bundle_text(*baseline);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    options.ingest_workers = workers;
+    Result<RunReport> report = run(scenario, options);
+    ASSERT_TRUE(report.is_ok()) << report.status().message();
+    ASSERT_EQ(bundle_text(*report), golden)
+        << workers << " workers diverged from 1";
+  }
+}
+
+TEST(ScenarioReplay, DifferentSeedDifferentTimelineSameVerdicts) {
+  const std::string text =
+      "scenario \"seeded\" {\n  seed 5\n  horizon 1s\n"
+      "  timeline_resolution 100ms\n}\n"
+      "tenant \"p\" {\n  arrival poisson\n  rate 200\n}\n"
+      "verdict \"mostly-served\" {\n  require min_served_fraction\n"
+      "  bound 0.9\n}\n";
+  Scenario scenario = load_or_die(text);
+  Scenario reseeded = scenario;
+  reseeded.seed = 6;
+  Result<RunReport> a = run(scenario);
+  Result<RunReport> b = run(reseeded);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_NE(timeline_text(*a), timeline_text(*b));
+  EXPECT_TRUE(a->all_pass());
+  EXPECT_TRUE(b->all_pass());
+}
+
+TEST(ScenarioReplay, CommittedGoldenBundleStillMatches) {
+  Scenario scenario = load_shipped("smoke.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  const std::string dir = std::string(HC_GOLDEN_DIR) + "/scenario_smoke";
+  EXPECT_EQ(metrics_text(*report), read_file(dir + "/metrics.json"));
+  EXPECT_EQ(timeline_text(*report), read_file(dir + "/timeline.txt"));
+  EXPECT_EQ(verdicts_text(*report), read_file(dir + "/verdicts.txt"));
+}
+
+TEST(ScenarioReplay, WriteBundleMatchesTheTextFunctions) {
+  Scenario scenario = load_shipped("smoke.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  const std::string dir =
+      ::testing::TempDir() + "/scenario_bundle_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ASSERT_TRUE(write_bundle(*report, dir).is_ok());
+  EXPECT_EQ(read_file(dir + "/metrics.json"), metrics_text(*report));
+  EXPECT_EQ(read_file(dir + "/timeline.txt"), timeline_text(*report));
+  EXPECT_EQ(read_file(dir + "/verdicts.txt"), verdicts_text(*report));
+  std::remove((dir + "/metrics.json").c_str());
+  std::remove((dir + "/timeline.txt").c_str());
+  std::remove((dir + "/verdicts.txt").c_str());
+}
+
+TEST(ScenarioReplay, MetricsArtifactIsWellFormedJson) {
+  Scenario scenario = load_shipped("smoke.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  Result<fhir::Json> parsed = fhir::parse_json(metrics_text(*report));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+}
+
+// --------------------------------------------- F9 equivalence (ISSUE)
+
+// The scenario file is the bench: f9_overload.scn must reproduce
+// bench_overload's locked overload-fairness numbers draw for draw. The
+// constants below are the bench's own output (see EXPERIMENTS.md F9).
+TEST(ScenarioF9, ReproducesBenchOverloadAtTwoTimesLoad) {
+  Scenario scenario = load_shipped("f9_overload.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+
+  const CellModeResult& fifo = find_cell(*report, 2.0, SchedulerMode::kFifo);
+  ASSERT_EQ(fifo.tenants.size(), 4u);
+  EXPECT_EQ(fifo.tenants[0].offered, 7752u);  // greedy
+  EXPECT_EQ(fifo.tenants[0].served, 77u);
+  EXPECT_EQ(fifo.tenants[0].late, 7675u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(fifo.tenants[i].offered, 751u);
+    EXPECT_EQ(fifo.tenants[i].served, 8u);
+    EXPECT_EQ(fifo.tenants[i].late, 743u);
+  }
+
+  const CellModeResult& sched = find_cell(*report, 2.0, SchedulerMode::kSched);
+  EXPECT_EQ(sched.tenants[0].offered, 7752u);
+  EXPECT_EQ(sched.tenants[0].served, 1553u);
+  EXPECT_EQ(sched.tenants[0].shed, 6166u);
+  EXPECT_EQ(sched.tenants[0].late, 33u);
+  EXPECT_EQ(sched.tenants[1].served, 745u);
+  EXPECT_EQ(sched.tenants[1].shed, 6u);
+  EXPECT_EQ(sched.tenants[2].served, 742u);
+  EXPECT_EQ(sched.tenants[2].shed, 9u);
+  EXPECT_EQ(sched.tenants[3].served, 740u);
+  EXPECT_EQ(sched.tenants[3].shed, 11u);
+}
+
+TEST(ScenarioF9, ReproducesBenchOverloadAtFourTimesLoad) {
+  Scenario scenario = load_shipped("f9_overload.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+
+  const CellModeResult& fifo = find_cell(*report, 4.0, SchedulerMode::kFifo);
+  EXPECT_EQ(fifo.tenants[0].offered, 17794u);
+  EXPECT_EQ(fifo.tenants[0].served, 57u);
+  EXPECT_EQ(fifo.tenants[0].late, 17737u);
+
+  const CellModeResult& sched = find_cell(*report, 4.0, SchedulerMode::kSched);
+  EXPECT_EQ(sched.tenants[0].served, 1536u);
+  EXPECT_EQ(sched.tenants[0].shed, 16241u);
+  EXPECT_EQ(sched.tenants[0].late, 17u);
+  EXPECT_EQ(sched.tenants[1].served, 747u);
+  EXPECT_EQ(sched.tenants[2].served, 748u);
+  EXPECT_EQ(sched.tenants[3].served, 746u);
+}
+
+TEST(ScenarioF9, FairnessVerdictsHold) {
+  // The locked claim, as machine-checked verdicts: every normal tenant
+  // keeps >= 98.5% goodput under sched at 2x and 4x, and FIFO collapses
+  // below 2% for everyone.
+  Scenario scenario = load_shipped("f9_overload.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->all_pass());
+  const CellModeResult& underload =
+      find_cell(*report, 0.5, SchedulerMode::kSched);
+  for (const TenantTally& tally : underload.tenants) {
+    EXPECT_EQ(tally.served, tally.offered);  // no collateral damage at 0.5x
+  }
+}
+
+// ------------------------------------------ shipped scenario files
+
+class ShippedScenario : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShippedScenario, ValidatesRunsAndPassesItsVerdicts) {
+  Scenario scenario = load_shipped(GetParam());
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  for (const VerdictOutcome& verdict : report->verdicts) {
+    EXPECT_TRUE(verdict.pass) << verdict.name << " failed:\n"
+                              << verdicts_text(*report);
+  }
+  EXPECT_FALSE(report->verdicts.empty());
+  EXPECT_FALSE(report->timeline.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, ShippedScenario,
+    ::testing::Values("smoke.scn", "f9_overload.scn", "region_outage.scn",
+                      "consent_revocation_storm.scn", "flash_crowd.scn",
+                      "slow_loris.scn"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      name = name.substr(0, name.find('.'));
+      for (char& c : name) {
+        if (c == '_') c = ' ';
+      }
+      std::string out;
+      for (char c : name) {
+        if (c != ' ') out += c;
+      }
+      return out;
+    });
+
+// The storm scenario's ingestion replay rejects for the right reasons:
+// malware is caught before consent, revoked uploads never reach the lake.
+TEST(ScenarioIngestion, StormRejectionsAreAttributed) {
+  Scenario scenario = load_shipped("consent_revocation_storm.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->ingest.size(), 2u);
+  const IngestTally& registry = report->ingest[0];
+  const IngestTally& research = report->ingest[1];
+  EXPECT_EQ(registry.attempted,
+            registry.stored);  // full consent, no malware
+  EXPECT_GT(research.rejected_consent, 0u);
+  EXPECT_GT(research.rejected_malware, 0u);
+  EXPECT_EQ(research.attempted, research.stored + research.rejected_malware +
+                                    research.rejected_consent);
+  EXPECT_GT(report->metrics->counter(
+                "hc.scenario.ingest.research.rejected_consent"),
+            0u);
+}
+
+}  // namespace
+}  // namespace hc::scenario

@@ -1,0 +1,315 @@
+// Scenario validator conformance (ISSUE satellite): every malformed input
+// class is rejected with an exact, actionable diagnostic — out-of-range
+// values, unknown keys, dangling cross-references, overlapping phases,
+// zero-duration runs, broken syntax. The table pins the message text:
+// diagnostics are part of the contract (operators grep for them), so a
+// reworded error is a breaking change and must show up in review.
+#include <gtest/gtest.h>
+
+#include "scenario/validator.h"
+
+namespace hc::scenario {
+namespace {
+
+struct RejectCase {
+  const char* name;     // gtest-visible case name (alphanumeric)
+  const char* text;     // scenario source fed to load_string
+  const char* message;  // exact Status message expected back
+};
+
+// A minimal valid skeleton for reference — cases below are mutations of it:
+//   scenario "t" {\n  horizon 1s\n}\ntenant "a" {\n  rate 10\n}\n
+constexpr RejectCase kCases[] = {
+    // --- parser syntax --------------------------------------------------
+    {"UnterminatedQuote",
+     "scenario \"t {\n",
+     "parse error: line 1: unterminated quoted string"},
+    {"HeaderWithoutBrace",
+     "scenario \"t\"\n",
+     "parse error: line 1: expected '{' at end of block header"},
+    {"CloseWithoutOpen",
+     "}\n",
+     "parse error: line 1: '}' without an open block"},
+    {"UnterminatedBlock",
+     "scenario \"t\" {\n  horizon 1s\n",
+     "parse error: line 3: unterminated block \"scenario\""},
+    {"BraceInEntryValue",
+     "scenario \"t\" {\n  seed {\n}\n",
+     "parse error: line 2: braces are not allowed in entry values"},
+    {"TrailingTokensAfterClose",
+     "scenario \"t\" {\n} junk\n",
+     "parse error: line 2: unexpected tokens after '}'"},
+    {"QuotedEntryKey",
+     "scenario \"t\" {\n  \"seed\" 1\n}\n",
+     "parse error: line 2: entry key must not be quoted"},
+    {"EntryWithoutValue",
+     "scenario \"t\" {\n  seed\n}\n",
+     "parse error: line 2: entry needs at least one value: seed"},
+
+    // --- structure ------------------------------------------------------
+    {"MissingScenarioBlock",
+     "tenant \"a\" {\n  rate 10\n}\n",
+     "missing scenario block"},
+    {"NoTenants",
+     "scenario \"t\" {\n  horizon 1s\n}\n",
+     "scenario must declare at least one tenant"},
+    {"UnknownBlockKind",
+     "scenario \"t\" {\n}\nwidget \"w\" {\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "unknown block \"widget\" (line 3)"},
+    {"QuotaNeedsName",
+     "scenario \"t\" {\n}\nquota {\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "quota block requires a name (line 3)"},
+    {"ServerTakesNoName",
+     "scenario \"t\" {\n}\nserver \"s\" {\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "server block does not take a name (line 3)"},
+    {"DuplicateScenarioBlock",
+     "scenario \"t\" {\n}\nscenario \"u\" {\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "duplicate scenario block (line 3)"},
+    {"DuplicateTenant",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\ntenant \"a\" {\n"
+     "  rate 10\n}\n",
+     "duplicate tenant \"a\" (line 6)"},
+    {"NetworkShadowsPreset",
+     "scenario \"t\" {\n}\nnetwork \"lan\" {\n  latency 1ms\n}\n"
+     "tenant \"a\" {\n  rate 10\n}\n",
+     "network \"lan\" collides with a built-in preset (line 3)"},
+
+    // --- range and type checks ------------------------------------------
+    {"ZeroDurationRun",
+     "scenario \"t\" {\n  horizon 0s\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "scenario \"t\": horizon must be > 0 (got 0s) (line 2)"},
+    {"HorizonTooLong",
+     "scenario \"t\" {\n  horizon 11m\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "scenario \"t\": horizon must be <= 600.000s (got 11m) (line 2)"},
+    {"BadDurationToken",
+     "scenario \"t\" {\n  horizon 5parsecs\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "scenario \"t\": horizon: invalid duration \"5parsecs\" "
+     "(expected e.g. 250ms, 5s) (line 2)"},
+    {"TenantRateOutOfRange",
+     "scenario \"t\" {\n  horizon 1s\n}\ntenant \"a\" {\n  rate 2000000\n}\n",
+     "tenant \"a\": rate must be in [0, 1000000] (got 2000000) (line 5)"},
+    {"TenantRateNotANumber",
+     "scenario \"t\" {\n  horizon 1s\n}\ntenant \"a\" {\n  rate many\n}\n",
+     "tenant \"a\": rate: invalid number \"many\" (line 5)"},
+    {"NegativeWeight",
+     "scenario \"t\" {\n}\nquota \"q\" {\n  weight -3\n}\n"
+     "tenant \"a\" {\n  rate 10\n  quota \"q\"\n}\n",
+     "quota \"q\": weight must be in [1, 1000] (got -3) (line 4)"},
+    {"ZeroQuotaRate",
+     "scenario \"t\" {\n}\nquota \"q\" {\n  rate 0\n}\n"
+     "tenant \"a\" {\n  rate 10\n  quota \"q\"\n}\n",
+     "quota \"q\": rate must be in (0, 1000000000] (got 0) (line 4)"},
+    {"ConsentProbabilityOutOfRange",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n"
+     "  consent_probability 1.5\n}\n",
+     "tenant \"a\": consent_probability must be in [0, 1] (got 1.5) (line 5)"},
+    {"CostRangeInverted",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n  cost 500 100\n}\n",
+     "tenant \"a\": cost range must satisfy lo <= hi (got 500 100) (line 5)"},
+    {"BadSchedulerKeyword",
+     "scenario \"t\" {\n}\nserver {\n  scheduler magic\n}\n"
+     "tenant \"a\" {\n  rate 10\n}\n",
+     "server: scheduler must be one of fifo|sched|both (got \"magic\") "
+     "(line 4)"},
+    {"SweepTooManyValues",
+     "scenario \"t\" {\n  sweep 1 2 3 4 5 6 7 8 9\n}\n"
+     "tenant \"a\" {\n  rate 10\n}\n",
+     "scenario \"t\": key \"sweep\" expects 1 to 8 values (got 9) (line 2)"},
+
+    // --- duplicate and unknown keys -------------------------------------
+    {"DuplicateKey",
+     "scenario \"t\" {\n  seed 1\n  seed 2\n}\ntenant \"a\" {\n  rate 10\n}\n",
+     "scenario \"t\": duplicate key \"seed\" (line 3)"},
+    {"UnknownKey",
+     "scenario \"t\" {\n  horizon 1s\n  colour blue\n}\n"
+     "tenant \"a\" {\n  rate 10\n}\n",
+     "scenario \"t\": unknown key \"colour\" (line 3)"},
+    {"UnknownTenantKey",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n  priority 9\n}\n",
+     "tenant \"a\": unknown key \"priority\" (line 5)"},
+
+    // --- arrival consistency --------------------------------------------
+    {"ClosedLoopWithoutClients",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  arrival closed\n}\n",
+     "tenant \"a\": closed-loop arrival requires clients"},
+    {"ClosedLoopWithRate",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  arrival closed\n  clients 4\n"
+     "  rate 10\n}\n",
+     "tenant \"a\": closed-loop arrival does not take rate"},
+    {"ClientsWithoutClosedLoop",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n  clients 4\n}\n",
+     "tenant \"a\": clients is only valid with closed-loop arrival"},
+    {"OpenLoopWithoutRate",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  role clinician\n}\n",
+     "tenant \"a\": open-loop arrival requires rate > 0 or rate fill"},
+    {"TwoFillTenants",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate fill\n}\n"
+     "tenant \"b\" {\n  rate fill\n}\n",
+     "tenant \"b\": only one tenant may use rate fill "
+     "(tenant \"a\" already does)"},
+
+    // --- dangling cross-references --------------------------------------
+    {"DanglingQuotaRef",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n  quota \"gold\"\n}\n",
+     "tenant \"a\": unknown quota \"gold\""},
+    {"DanglingNetworkRef",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n  network \"mars\"\n}\n",
+     "tenant \"a\": unknown network \"mars\""},
+    {"VerdictDanglingTenant",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "verdict \"v\" {\n  require min_served_fraction\n  bound 0.5\n"
+     "  tenant \"ghost\"\n}\n",
+     "verdict \"v\": unknown tenant \"ghost\""},
+    {"PhaseDanglingTenant",
+     "scenario \"t\" {\n  horizon 2s\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "phase \"p\" {\n  from 0s\n  until 1s\n  tenants \"ghost\"\n}\n",
+     "phase \"p\": unknown tenant \"ghost\""},
+    {"FaultDanglingEndpoint",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "fault {\n  drop \"x\" \"server\" 0.5\n}\n",
+     "fault: drop endpoint \"x\" is not a tenant or the server host (line 7)"},
+
+    // --- phases ----------------------------------------------------------
+    {"PhaseZeroLength",
+     "scenario \"t\" {\n  horizon 2s\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "phase \"p\" {\n  from 1s\n  until 1s\n}\n",
+     "phase \"p\": until (1.000s) must be after from (1.000s)"},
+    {"PhaseBeyondHorizon",
+     "scenario \"t\" {\n  horizon 2s\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "phase \"p\" {\n  from 1s\n  until 3s\n}\n",
+     "phase \"p\": until (3.000s) must be <= horizon (2.000s)"},
+    {"OverlappingPhases",
+     "scenario \"t\" {\n  horizon 2s\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "phase \"p1\" {\n  from 0s\n  until 1s\n}\n"
+     "phase \"p2\" {\n  from 500ms\n  until 1500ms\n}\n",
+     "phase \"p2\" overlaps phase \"p1\" ([500.000ms, 1.500s) vs "
+     "[0us, 1.000s))"},
+
+    // --- verdicts ---------------------------------------------------------
+    {"VerdictMissingRequire",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "verdict \"v\" {\n  bound 0.5\n}\n",
+     "verdict \"v\": missing required key \"require\""},
+    {"VerdictStoredWithoutIngestion",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "verdict \"v\" {\n  require min_stored_fraction\n  bound 0.5\n}\n",
+     "verdict \"v\": min_stored_fraction requires an ingestion block"},
+    {"VerdictModeNotRun",
+     "scenario \"t\" {\n}\nserver {\n  scheduler sched\n}\n"
+     "tenant \"a\" {\n  rate 10\n}\n"
+     "verdict \"v\" {\n  require min_served_fraction\n  bound 0.5\n"
+     "  mode fifo\n}\n",
+     "verdict \"v\": mode fifo but server scheduler is sched"},
+    {"VerdictLoadNotInSweep",
+     "scenario \"t\" {\n  sweep 1.0 2.0\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "verdict \"v\" {\n  require min_served_fraction\n  bound 0.5\n"
+     "  loads 3\n}\n",
+     "verdict \"v\": load 3 is not in the sweep"},
+
+    // --- fault rules ------------------------------------------------------
+    {"FaultProbabilityOutOfRange",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "fault {\n  drop \"a\" \"server\" 1.5\n}\n",
+     "fault: drop probability must be in [0, 1] (got 1.5) (line 7)"},
+    {"FaultUnknownRule",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "fault {\n  mangle \"a\" \"server\" 0.5\n}\n",
+     "fault: unknown rule \"mangle\" (line 7)"},
+    {"CrashWrongArity",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "fault {\n  crash \"server\" 1s\n}\n",
+     "fault: crash expects: crash <host> <at> <restart> (line 7)"},
+    {"CrashRestartBeforeAt",
+     "scenario \"t\" {\n  horizon 4s\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "fault {\n  crash \"server\" 2s 1s\n}\n",
+     "fault: crash restart (1.000s) must be after at (2.000s) (line 8)"},
+    {"CrashWildcardHost",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "fault {\n  crash \"*\" 1s 2s\n}\n",
+     "fault: crash host must not be a wildcard (line 7)"},
+    {"FaultWindowInverted",
+     "scenario \"t\" {\n  horizon 4s\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "fault {\n  drop \"a\" \"server\" 0.5 2s 1s\n}\n",
+     "fault: drop window end (1.000s) must be after start (2.000s) (line 8)"},
+};
+
+class Reject : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(Reject, ExactDiagnostic) {
+  Result<Scenario> result = load_string(GetParam().text);
+  ASSERT_FALSE(result.is_ok()) << "malformed scenario was accepted";
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), GetParam().message);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, Reject, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<RejectCase>& info) {
+      return info.param.name;
+    });
+
+// load_file on a missing path is kNotFound, not kInvalidArgument: callers
+// distinguish "no such scenario" from "scenario is broken".
+TEST(ScenarioValidator, MissingFileIsNotFound) {
+  Result<Scenario> result = load_file("/nonexistent/path.scn");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(),
+            "cannot read scenario file: /nonexistent/path.scn");
+}
+
+// The all-or-nothing contract: a minimal file loads with every documented
+// default in place, so the rejection table above really is the only gate.
+TEST(ScenarioValidator, MinimalScenarioLoadsWithDefaults) {
+  Result<Scenario> result = load_string(
+      "scenario \"tiny\" {\n}\ntenant \"a\" {\n  rate 10\n}\n");
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  const Scenario& scenario = *result;
+  EXPECT_EQ(scenario.name, "tiny");
+  EXPECT_EQ(scenario.seed, 1u);
+  EXPECT_EQ(scenario.horizon, kSecond);
+  ASSERT_EQ(scenario.sweep.size(), 1u);
+  EXPECT_EQ(scenario.sweep[0], 1.0);
+  EXPECT_EQ(scenario.server.mode, SchedulerMode::kSched);
+  EXPECT_EQ(scenario.server.deadline_budget, 50 * kMillisecond);
+  ASSERT_EQ(scenario.tenants.size(), 1u);
+  EXPECT_EQ(scenario.tenants[0].name, "a");
+  EXPECT_EQ(scenario.tenants[0].rate_per_sec, 10.0);
+  EXPECT_EQ(scenario.tenants[0].cost_lo, 600);
+  EXPECT_EQ(scenario.tenants[0].cost_hi, 1400);
+  EXPECT_FALSE(scenario.ingestion.enabled);
+}
+
+// Comments and blank lines are ignored everywhere; quoted names may hold
+// spaces and '#' without starting a comment.
+TEST(ScenarioValidator, CommentsAndQuotedNames) {
+  Result<Scenario> result = load_string(
+      "# leading comment\n"
+      "scenario \"ward #3\" {  # trailing comment\n"
+      "\n"
+      "  seed 7   # per-entry comment\n"
+      "}\n"
+      "tenant \"icu east\" {\n"
+      "  rate 10\n"
+      "}\n");
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  EXPECT_EQ(result->name, "ward #3");
+  EXPECT_EQ(result->tenants[0].name, "icu east");
+  EXPECT_EQ(result->seed, 7u);
+}
+
+// Every built-in network preset resolves without a network block.
+TEST(ScenarioValidator, BuiltInNetworkPresetsResolve) {
+  for (const char* preset :
+       {"loopback", "lan", "wan", "mobile", "intercloud"}) {
+    Result<Scenario> result = load_string(
+        std::string("scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n"
+                    "  network \"") +
+        preset + "\"\n}\n");
+    ASSERT_TRUE(result.is_ok()) << preset << ": " << result.status().message();
+    EXPECT_NE(result->network_for(result->tenants[0]), nullptr) << preset;
+  }
+}
+
+}  // namespace
+}  // namespace hc::scenario
