@@ -1,0 +1,375 @@
+// Experiment F11-provenance (ROADMAP item 4, DESIGN.md "Hybrid-storage
+// provenance").
+//
+// The claim: anchoring Merkle roots over AdaptiveBatcher-planned event
+// batches keeps the provenance ledger at ingest line rate as load grows,
+// where the seed's one-consensus-round-per-event design collapses. Per
+// load multiplier L in {1, 2, 4}:
+//
+//   1. a fresh platform instance (hybrid_provenance on) ingests
+//      kBaseBundles * L uploads and drains them; the ingest makespan is
+//      the worker-invariant total stage time divided by the notional
+//      line-worker count kLineWorkers * L (line rate scales with load —
+//      the chain must keep up with an ever-faster pipeline);
+//   2. every membership proof the run can emit (one per anchored event)
+//      is served by the auditor and verified — path and on-chain root —
+//      and the tamper sweep over lake + metadata must come back clean;
+//   3. the captured canonical event stream is replayed through two fresh
+//      ledgers under the deterministic ConsensusCostModel: the hybrid
+//      anchorer (batched endorsement, pipelined commits) and the retained
+//      full-record baseline (every event through consensus, seed shape).
+//
+// keep-up = min(1, anchor throughput / ingest throughput). The gate is
+// hybrid keep-up >= 0.9 at 2x load. The --workers flag only picks how
+// many workers drain the capture instance; every measured quantity is
+// canonical (content-hash-sorted batches, stage-time totals), so
+// BENCH_provenance.json is byte-identical across reruns and across
+// --workers 1/2/4/8.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "blockchain/ledger.h"
+#include "fhir/synthetic.h"
+#include "obs/export.h"
+#include "platform/enhanced_client.h"
+#include "platform/instance.h"
+#include "provenance/provenance.h"
+
+using namespace hc;
+
+namespace {
+
+constexpr std::size_t kBaseBundles = 500;
+constexpr std::size_t kLineWorkers = 2;
+const std::vector<std::size_t> kLoads = {1, 2, 4};
+const char* const kStages[] = {"decrypt",    "validate", "scan",
+                               "consent",    "deidentify", "store"};
+
+std::string metrics_out_path(int argc, char** argv, const char* default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      return i + 1 < argc ? argv[i + 1] : default_path;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      return arg.substr(std::string("--metrics-out=").size());
+    }
+  }
+  return "";
+}
+
+std::size_t workers_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--workers") {
+      return static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 4;
+}
+
+struct LoadResult {
+  std::size_t load = 1;
+  std::uint64_t events = 0;
+  std::uint64_t batches = 0;
+  SimTime ingest_us = 0;         // notional line makespan at this load
+  SimTime hybrid_us = 0;         // pipelined consensus makespan
+  SimTime hybrid_serial_us = 0;  // same rounds, no pipelining
+  SimTime full_us = 0;           // per-event full-record baseline
+  std::uint64_t bytes_onchain_hybrid = 0;
+  std::uint64_t bytes_onchain_full = 0;
+  std::uint64_t bytes_offchain = 0;
+  std::uint64_t proofs_verified = 0;
+  bool ok = true;
+};
+
+double events_per_s(std::uint64_t events, SimTime us) {
+  if (us == 0) return 0.0;
+  return static_cast<double>(events) * 1e6 / static_cast<double>(us);
+}
+
+double keepup(double anchor_tp, double ingest_tp) {
+  if (ingest_tp <= 0.0) return 0.0;
+  double ratio = anchor_tp / ingest_tp;
+  return ratio > 1.0 ? 1.0 : ratio;
+}
+
+/// Ingests kBaseBundles * load uploads on a fresh hybrid-provenance
+/// instance, verifies every emitted proof, and returns the canonical
+/// event stream plus the worker-invariant measurements.
+std::vector<provenance::ProvenanceEvent> capture(std::size_t load,
+                                                 std::size_t workers,
+                                                 LoadResult& out) {
+  auto clock = make_clock();
+  net::SimNetwork network(clock, Rng(30));
+  platform::InstanceConfig config;
+  config.name = "cloud";
+  config.hybrid_provenance = true;
+  platform::HealthCloudInstance cloud(config, clock, network);
+  network.set_link("client", "cloud", net::LinkProfile::wan());
+
+  platform::EnhancedClientConfig client_config;
+  client_config.name = "client";
+  platform::EnhancedClient client(client_config, cloud, "clinic-bench");
+
+  const std::size_t uploads = kBaseBundles * load;
+  Rng rng(31);
+  for (std::size_t i = 0; i < uploads; ++i) {
+    fhir::Bundle bundle =
+        fhir::make_synthetic_bundle(rng, "b" + std::to_string(i), i);
+    const auto& patient = std::get<fhir::Patient>(bundle.resources[0]);
+    (void)cloud.ledger().submit_and_commit(
+        "consent",
+        {{"action", "grant"}, {"patient", patient.id}, {"group", "study"}},
+        "provider");
+    auto receipt = client.upload_bundle(bundle, "study");
+    if (!receipt.is_ok()) {
+      std::printf("!! upload failed: %s\n", receipt.status().to_string().c_str());
+      out.ok = false;
+    }
+  }
+
+  std::size_t stored = cloud.ingestion().process_all(workers);
+  if (stored != uploads) {
+    std::printf("!! stored %zu of %zu uploads\n", stored, uploads);
+    out.ok = false;
+  }
+
+  // The ingest makespan is stated in canonical quantities only: total
+  // stage time is the same work no matter how many workers drained it.
+  double total_stage_us = 0.0;
+  for (const char* stage : kStages) {
+    const obs::Histogram* h = cloud.metrics()->histogram(
+        std::string("hc.ingestion.stage.") + stage + "_us");
+    if (h) total_stage_us += h->sum;
+  }
+  out.ingest_us = static_cast<SimTime>(
+      total_stage_us / static_cast<double>(kLineWorkers * load));
+
+  provenance::BatchAnchorer* anchorer = cloud.anchorer();
+  provenance::ProvenanceAuditor* auditor = cloud.auditor();
+  std::vector<provenance::ProvenanceEvent> events;
+  if (!anchorer || !auditor) {
+    std::printf("!! hybrid instance exposed no anchorer/auditor\n");
+    out.ok = false;
+    return events;
+  }
+  if (anchorer->sealed_batches() != anchorer->anchored_batches()) {
+    std::printf("!! %llu sealed batches left unanchored\n",
+                static_cast<unsigned long long>(anchorer->sealed_batches() -
+                                                anchorer->anchored_batches()));
+    out.ok = false;
+  }
+
+  // Every proof the bench emits is verified end to end: Merkle path and
+  // committed on-chain root. One proof per anchored event.
+  for (const provenance::BatchAnchorer::SealedBatch& batch :
+       anchorer->batches()) {
+    for (const provenance::ProvenanceEvent& event : batch.events) {
+      events.push_back(event);
+      Result<provenance::MembershipProof> proof =
+          auditor->prove(event.record_ref, event.event);
+      if (!proof.is_ok() || !provenance::ProvenanceAuditor::verify(*proof) ||
+          !auditor->verify_onchain(*proof).is_ok()) {
+        std::printf("!! proof failed for %s/%s\n", event.record_ref.c_str(),
+                    event.event.c_str());
+        out.ok = false;
+        continue;
+      }
+      ++out.proofs_verified;
+    }
+  }
+  std::vector<std::string> flagged =
+      auditor->audit(cloud.metadata(), cloud.lake());
+  if (!flagged.empty()) {
+    std::printf("!! audit sweep flagged %zu untampered records\n",
+                flagged.size());
+    out.ok = false;
+  }
+  if (!cloud.ledger().validate_chain().is_ok()) {
+    std::printf("!! chain validation failed after anchoring\n");
+    out.ok = false;
+  }
+  out.events = events.size();
+  return events;
+}
+
+/// A fresh ledger + clock pair replaying the captured canonical event
+/// stream under the deterministic cost model.
+struct Replay {
+  ClockPtr clock;
+  std::unique_ptr<blockchain::PermissionedLedger> ledger;
+  std::unique_ptr<provenance::BatchAnchorer> anchorer;
+};
+
+Replay anchor_replay(const std::vector<provenance::ProvenanceEvent>& events,
+                     provenance::AnchorerConfig::Mode mode, LoadResult& out) {
+  Replay replay;
+  replay.clock = make_clock();
+  replay.ledger = std::make_unique<blockchain::PermissionedLedger>(
+      blockchain::LedgerConfig{{"p0", "p1", "p2"}}, replay.clock);
+  if (!provenance::BatchAnchorer::register_contract(*replay.ledger).is_ok()) {
+    out.ok = false;
+  }
+  provenance::AnchorerConfig config;
+  config.mode = mode;
+  config.costs = provenance::ConsensusCostModel{};
+  replay.anchorer = std::make_unique<provenance::BatchAnchorer>(
+      *replay.ledger, replay.clock, config);
+  for (const provenance::ProvenanceEvent& event : events) {
+    replay.anchorer->append(event);
+  }
+  if (!replay.anchorer->flush().is_ok()) {
+    std::printf("!! replay flush failed\n");
+    out.ok = false;
+  }
+  if (replay.clock->now() != replay.anchorer->anchor_us_total()) {
+    std::printf("!! clock advanced %llu but model charged %llu\n",
+                static_cast<unsigned long long>(replay.clock->now()),
+                static_cast<unsigned long long>(
+                    replay.anchorer->anchor_us_total()));
+    out.ok = false;
+  }
+  return replay;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      metrics_out_path(argc, argv, "BENCH_provenance.json");
+  const std::size_t workers = workers_arg(argc, argv);
+
+  std::printf("== F11-provenance: Merkle-anchored ledger vs ingest line rate ==\n");
+  std::printf("workload: %zu uploads per load unit, line workers %zu x load, "
+              "capture drain workers %zu\n\n",
+              kBaseBundles, kLineWorkers, workers);
+
+  std::vector<LoadResult> results;
+  bool ok = true;
+  auto wall0 = std::chrono::steady_clock::now();
+  for (std::size_t load : kLoads) {
+    LoadResult r;
+    r.load = load;
+    std::vector<provenance::ProvenanceEvent> events =
+        capture(load, workers, r);
+
+    Replay hybrid = anchor_replay(
+        events, provenance::AnchorerConfig::Mode::kHybrid, r);
+    r.hybrid_us = hybrid.anchorer->anchor_us_total();
+    r.hybrid_serial_us = hybrid.anchorer->anchor_serial_us_total();
+    r.batches = hybrid.anchorer->sealed_batches();
+    r.bytes_onchain_hybrid = hybrid.anchorer->bytes_onchain();
+    r.bytes_offchain = hybrid.anchorer->bytes_offchain();
+
+    Replay full = anchor_replay(
+        events, provenance::AnchorerConfig::Mode::kFullRecord, r);
+    r.full_us = full.anchorer->anchor_us_total();
+    r.bytes_onchain_full = full.anchorer->bytes_onchain();
+
+    if (r.proofs_verified != r.events) {
+      std::printf("!! only %llu of %llu proofs verified at x%zu\n",
+                  static_cast<unsigned long long>(r.proofs_verified),
+                  static_cast<unsigned long long>(r.events), load);
+      r.ok = false;
+    }
+    ok = ok && r.ok;
+    results.push_back(r);
+  }
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count();
+
+  std::printf("%-5s %-7s %-8s %-11s %-11s %-11s %-9s %-9s %-8s %-8s\n", "load",
+              "events", "batches", "ingest", "hybrid", "full-rec", "hyb-tp/s",
+              "ing-tp/s", "keep-hyb", "keep-ful");
+  double keepup_hybrid_at_2x = 0.0;
+  for (const LoadResult& r : results) {
+    double ingest_tp = events_per_s(r.events, r.ingest_us);
+    double hybrid_tp = events_per_s(r.events, r.hybrid_us);
+    double full_tp = events_per_s(r.events, r.full_us);
+    double keep_h = keepup(hybrid_tp, ingest_tp);
+    double keep_f = keepup(full_tp, ingest_tp);
+    if (r.load == 2) keepup_hybrid_at_2x = keep_h;
+    std::printf("x%-4zu %-7llu %-8llu %-11s %-11s %-11s %-9.0f %-9.0f %-8.3f "
+                "%-8.3f\n",
+                r.load, static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.batches),
+                format_duration(r.ingest_us).c_str(),
+                format_duration(r.hybrid_us).c_str(),
+                format_duration(r.full_us).c_str(), hybrid_tp, ingest_tp,
+                keep_h, keep_f);
+  }
+  std::printf("\npipelining: ");
+  for (const LoadResult& r : results) {
+    std::printf("x%zu %.2fx  ", r.load,
+                r.hybrid_us > 0 ? static_cast<double>(r.hybrid_serial_us) /
+                                      static_cast<double>(r.hybrid_us)
+                                : 0.0);
+  }
+  std::printf("(serial consensus / pipelined)\n");
+  std::printf("on-chain bytes at x4: hybrid %llu vs full-record %llu "
+              "(off-chain payload %llu)\n",
+              static_cast<unsigned long long>(results.back().bytes_onchain_hybrid),
+              static_cast<unsigned long long>(results.back().bytes_onchain_full),
+              static_cast<unsigned long long>(results.back().bytes_offchain));
+
+  if (keepup_hybrid_at_2x < 0.9) {
+    std::printf("!! hybrid keep-up %.3f at 2x load, need >= 0.9\n",
+                keepup_hybrid_at_2x);
+    ok = false;
+  }
+
+  if (!metrics_path.empty()) {
+    // Curated fresh registry: only canonical sim quantities, so the
+    // artifact is byte-identical across reruns and --workers values.
+    obs::MetricsPtr registry = obs::make_metrics();
+    for (const LoadResult& r : results) {
+      std::string prefix = "hc.bench.prov.x" + std::to_string(r.load);
+      double ingest_tp = events_per_s(r.events, r.ingest_us);
+      double hybrid_tp = events_per_s(r.events, r.hybrid_us);
+      double full_tp = events_per_s(r.events, r.full_us);
+      registry->set_gauge(prefix + ".events", static_cast<double>(r.events));
+      registry->set_gauge(prefix + ".batches", static_cast<double>(r.batches));
+      registry->set_gauge(prefix + ".ingest_us",
+                          static_cast<double>(r.ingest_us), "us");
+      registry->set_gauge(prefix + ".anchor_hybrid_us",
+                          static_cast<double>(r.hybrid_us), "us");
+      registry->set_gauge(prefix + ".anchor_hybrid_serial_us",
+                          static_cast<double>(r.hybrid_serial_us), "us");
+      registry->set_gauge(prefix + ".anchor_full_record_us",
+                          static_cast<double>(r.full_us), "us");
+      registry->set_gauge(prefix + ".ingest_tp_per_s", ingest_tp);
+      registry->set_gauge(prefix + ".hybrid_tp_per_s", hybrid_tp);
+      registry->set_gauge(prefix + ".full_record_tp_per_s", full_tp);
+      registry->set_gauge(prefix + ".keepup_hybrid", keepup(hybrid_tp, ingest_tp));
+      registry->set_gauge(prefix + ".keepup_full_record",
+                          keepup(full_tp, ingest_tp));
+      registry->set_gauge(prefix + ".bytes_onchain",
+                          static_cast<double>(r.bytes_onchain_hybrid), "B");
+      registry->set_gauge(prefix + ".bytes_onchain_full_record",
+                          static_cast<double>(r.bytes_onchain_full), "B");
+      registry->set_gauge(prefix + ".bytes_offchain",
+                          static_cast<double>(r.bytes_offchain), "B");
+      registry->set_gauge(prefix + ".proofs_verified",
+                          static_cast<double>(r.proofs_verified));
+    }
+    registry->set_gauge("hc.bench.prov.base_uploads",
+                        static_cast<double>(kBaseBundles));
+    registry->set_gauge("hc.bench.prov.line_workers",
+                        static_cast<double>(kLineWorkers));
+    Status written = obs::write_metrics_json(*registry, metrics_path);
+    if (!written.is_ok()) {
+      std::printf("!! %s\n", written.to_string().c_str());
+      return 1;
+    }
+    std::printf("metrics artifact written to %s\n", metrics_path.c_str());
+  }
+
+  std::printf("\npaper-shape check: anchored throughput tracks line rate at "
+              "every load;\nfull-record consensus is the one that collapses. "
+              "(wall %.2fs)\n", wall_s);
+  return ok ? 0 : 1;
+}

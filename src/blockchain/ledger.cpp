@@ -270,6 +270,65 @@ Result<std::string> PermissionedLedger::submit_and_commit(
   return id;
 }
 
+Result<std::vector<std::string>> PermissionedLedger::submit_batch(
+    const std::string& contract,
+    std::vector<std::map<std::string, std::string>> args_list,
+    const std::string& submitter) {
+  std::lock_guard lock(mu_);
+  if (args_list.empty()) {
+    return Status(StatusCode::kInvalidArgument, "submit_batch: empty batch");
+  }
+  const SmartContract* chaincode = find_contract(contract);
+  if (!chaincode) {
+    return Status(StatusCode::kNotFound, "no such contract: " + contract);
+  }
+
+  // Build and validate the whole group before anything is charged or
+  // pooled: a batch endorses atomically or not at all.
+  std::vector<Transaction> txs;
+  txs.reserve(args_list.size());
+  for (auto& args : args_list) {
+    Transaction tx;
+    tx.id = "tx-" + ids_.next_uuid();
+    tx.contract = contract;
+    tx.args = std::move(args);
+    tx.submitter = submitter;
+    tx.timestamp = clock_->now();
+    if (Status verdict = chaincode->validate(tx, state_); !verdict.is_ok()) {
+      if (metrics_) metrics_->add("hc.blockchain.txs_rejected");
+      return verdict;
+    }
+    txs.push_back(std::move(tx));
+  }
+
+  // One endorsement round trip for the group: the proposal carries every
+  // transaction (kProposalBytes header + 256 bytes each), the vote round
+  // acknowledges them all at once.
+  std::size_t proposals =
+      charge_broadcast(kProposalBytes + txs.size() * 256).acknowledged;
+  std::size_t votes = charge_broadcast(kVoteBytes).acknowledged;
+  std::size_t responsive = 1 + std::min(proposals, votes);
+  std::size_t required = required_responsive_peers();
+  if (required > 0 && responsive < std::max(required, config_.endorsement_quorum)) {
+    if (metrics_) metrics_->add("hc.blockchain.endorsement_unavailable");
+    return Status(StatusCode::kUnavailable,
+                  "endorsement quorum unreachable: " + std::to_string(responsive) +
+                      "/" + std::to_string(config_.peers.size()) + " peers");
+  }
+
+  std::vector<std::string> ids;
+  ids.reserve(txs.size());
+  for (Transaction& tx : txs) {
+    ids.push_back(tx.id);
+    pending_.push_back(std::move(tx));
+  }
+  if (metrics_) {
+    metrics_->add("hc.blockchain.txs_endorsed", ids.size());
+    metrics_->add("hc.blockchain.batch_endorsements");
+  }
+  return ids;
+}
+
 Result<std::string> PermissionedLedger::state_value(const std::string& contract,
                                                     const std::string& key) const {
   std::lock_guard lock(mu_);

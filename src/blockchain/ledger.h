@@ -129,6 +129,17 @@ class PermissionedLedger {
                                         std::map<std::string, std::string> args,
                                         const std::string& submitter);
 
+  /// Batched endorsement (hybrid-storage provenance anchoring): every
+  /// transaction is validated against the replicas, but the whole group
+  /// shares ONE proposal broadcast (sized by the combined payload) and
+  /// ONE vote round instead of per-transaction rounds. All-or-nothing:
+  /// the first validation failure rejects the entire batch and nothing
+  /// enters the pool. Returns the assigned ids in input order.
+  Result<std::vector<std::string>> submit_batch(
+      const std::string& contract,
+      std::vector<std::map<std::string, std::string>> args_list,
+      const std::string& submitter);
+
   // --- queries ----------------------------------------------------------
   // chain()/state() return references into guarded storage: use only when
   // no other thread is mutating the ledger (tests, post-run audits).

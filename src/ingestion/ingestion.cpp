@@ -140,7 +140,15 @@ void IngestionService::fail(const char* category, const std::string& upload_id,
 
 void IngestionService::record_provenance(const std::string& record_ref,
                                          const std::string& event,
-                                         const Bytes& data_hash) {
+                                         const Bytes& data_hash, std::uint32_t seq,
+                                         std::size_t payload_bytes) {
+  if (deps_.anchorer) {
+    // Hybrid-storage path: buffer at line rate; the Merkle root goes
+    // through consensus once per batch when process_all() flushes.
+    deps_.anchorer->append({record_ref, data_hash, event, seq,
+                            static_cast<std::uint64_t>(payload_bytes)});
+    return;
+  }
   if (!deps_.ledger) return;
   (void)deps_.ledger->submit_and_commit(
       "provenance",
@@ -335,8 +343,8 @@ void IngestionService::process_decrypted(const storage::IngestionMessage& messag
   (void)deps_.metadata->put(metadata);
   deps_.reid_map->record(pseudonym, patient->id);
 
-  record_provenance(*reference, "received", content_hash);
-  record_provenance(*reference, "anonymized", content_hash);
+  record_provenance(*reference, "received", content_hash, 0, stored_bytes.size());
+  record_provenance(*reference, "anonymized", content_hash, 1, stored_bytes.size());
   if (deps_.ledger) {
     char score[32];
     std::snprintf(score, sizeof(score), "%.3f", degree.record_score);
@@ -479,6 +487,7 @@ std::size_t IngestionService::process_all(std::size_t n_workers) {
       if (!outcome.is_ok()) break;  // queue drained
       if (outcome->stored) ++stored;
     }
+    if (deps_.anchorer) (void)deps_.anchorer->flush();
     return stored;
   }
 
@@ -529,6 +538,9 @@ std::size_t IngestionService::process_all(std::size_t n_workers) {
   for (SimTime lane : lanes) total += lane;
   SimTime workers = static_cast<SimTime>(n_workers);
   deps_.clock->advance((total + workers - 1) / workers);
+  // Anchor the provenance buffered during the drain: one canonical sort +
+  // Merkle seal + batched consensus flush, identical for every worker count.
+  if (deps_.anchorer) (void)deps_.anchorer->flush();
   return stored.load(std::memory_order_relaxed);
 }
 

@@ -36,6 +36,7 @@
 #include "obs/metrics.h"
 #include "privacy/deid.h"
 #include "privacy/verification.h"
+#include "provenance/provenance.h"
 #include "sched/sched.h"
 #include "storage/data_lake.h"
 #include "storage/staging.h"
@@ -64,6 +65,12 @@ struct IngestionDeps {
   /// per-claim batch size into a scheduler decision (see process_all).
   sched::AdmissionController* admission = nullptr;
   sched::AdaptiveBatcher* batcher = nullptr;
+  /// Hybrid-storage provenance (optional). When bound, per-record
+  /// provenance events are appended to the anchorer at line rate instead
+  /// of costing a consensus round trip each; process_all() flushes the
+  /// buffer into Merkle-anchored batches after the drain. When null, the
+  /// historical per-record submit_and_commit path runs unchanged.
+  provenance::BatchAnchorer* anchorer = nullptr;
 };
 
 /// Per-upload scheduling hints carried into the message queue.
@@ -178,7 +185,8 @@ class IngestionService {
   void fail(const char* category, const std::string& upload_id,
             const std::string& reason, ProcessOutcome& outcome);
   void record_provenance(const std::string& record_ref, const std::string& event,
-                         const Bytes& data_hash);
+                         const Bytes& data_hash, std::uint32_t seq,
+                         std::size_t payload_bytes);
 
   /// One upload end to end (the body of process_next).
   ProcessOutcome process_message(const storage::IngestionMessage& message,

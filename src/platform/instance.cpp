@@ -81,6 +81,15 @@ HealthCloudInstance::HealthCloudInstance(InstanceConfig config, ClockPtr clock,
   if (!contracts.is_ok()) {
     throw std::runtime_error("contract registration failed: " + contracts.to_string());
   }
+  if (config_.hybrid_provenance) {
+    Status anchor = provenance::BatchAnchorer::register_contract(*ledger_);
+    if (!anchor.is_ok()) {
+      throw std::runtime_error("anchor contract registration failed: " +
+                               anchor.to_string());
+    }
+    anchorer_ = std::make_unique<provenance::BatchAnchorer>(
+        *ledger_, clock_, provenance::AnchorerConfig{}, metrics_, log_);
+  }
 
   // --- storage + ingestion -------------------------------------------------
   staging_ = std::make_unique<storage::StagingArea>();
@@ -107,8 +116,13 @@ HealthCloudInstance::HealthCloudInstance(InstanceConfig config, ClockPtr clock,
   deps.verifier = verifier_.get();
   deps.reid_map = reid_map_.get();
   deps.metrics = metrics_;
+  deps.anchorer = anchorer_.get();
   ingestion_ = std::make_unique<ingestion::IngestionService>(
       deps, lake_key_, rng.bytes(32), "platform");
+  if (anchorer_) {
+    prov_auditor_ = std::make_unique<provenance::ProvenanceAuditor>(
+        *anchorer_, *ledger_, clock_, metrics_);
+  }
   export_ = std::make_unique<ingestion::ExportService>(*lake_, *metadata_, *reid_map_,
                                                        ledger_.get());
 

@@ -1,0 +1,562 @@
+#include "provenance/provenance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/sha256.h"
+
+namespace hc::provenance {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'C', 'P', '1'};
+constexpr std::size_t kRootBytes = 32;
+
+/// Deterministic proof-serving cost: a state lookup plus one hash per
+/// path node. Small, but nonzero — proof latency is a served quantity.
+constexpr SimTime kProofBaseUs = 5;
+constexpr SimTime kProofPerNodeUs = 1;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_uint(const Bytes& in, std::size_t at, std::size_t n) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+Status invalid(const std::string& why) {
+  return Status(StatusCode::kInvalidArgument, "proof blob: " + why);
+}
+
+/// Canonical order: content hash, then event ordinal, then event name.
+/// A pure function of the event set — append interleaving across workers
+/// never changes it (ties are exact duplicates, whose leaves are equal).
+bool canonical_less(const ProvenanceEvent& a, const ProvenanceEvent& b) {
+  if (a.content_hash != b.content_hash) return a.content_hash < b.content_hash;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.event < b.event;
+}
+
+std::optional<std::uint64_t> parse_u64_arg(const std::string& text) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+bool is_hex_digest(const std::string& text) {
+  if (text.size() != 2 * kRootBytes) return false;
+  for (char c : text) {
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes leaf_bytes(const ProvenanceEvent& event) {
+  std::string text = "hc-prov-leaf-v1|";
+  text += hex_encode(event.content_hash);
+  text += '|';
+  text += std::to_string(event.seq);
+  text += '|';
+  text += event.event;
+  return to_bytes(text);
+}
+
+Bytes serialize_proof(const MembershipProof& proof) {
+  Bytes out;
+  out.reserve(4 + 8 + 4 + 4 + proof.leaf.size() + kRootBytes +
+              proof.path.size() * (1 + kRootBytes));
+  for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u64(out, proof.batch_id);
+  put_u32(out, static_cast<std::uint32_t>(proof.leaf.size()));
+  put_u32(out, static_cast<std::uint32_t>(proof.path.size()));
+  out.insert(out.end(), proof.leaf.begin(), proof.leaf.end());
+  out.insert(out.end(), proof.root.begin(), proof.root.end());
+  for (const crypto::ProofNode& node : proof.path) {
+    out.push_back(node.sibling_on_left ? 0x01 : 0x00);
+    out.insert(out.end(), node.hash.begin(), node.hash.end());
+  }
+  return out;
+}
+
+Result<MembershipProof> parse_proof(const Bytes& blob) {
+  constexpr std::size_t kHeader = 4 + 8 + 4 + 4;
+  if (blob.size() < kHeader) return invalid("truncated header");
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (blob[i] != static_cast<std::uint8_t>(kMagic[i])) return invalid("bad magic");
+  }
+  const std::uint64_t batch_id = get_uint(blob, 4, 8);
+  const std::uint64_t leaf_len = get_uint(blob, 12, 4);
+  const std::uint64_t path_len = get_uint(blob, 16, 4);
+  // Cap the claimed lengths before doing any size arithmetic with them:
+  // a length-field lie must die here, not in an allocation.
+  if (leaf_len == 0 || leaf_len > kMaxProofLeafBytes) {
+    return invalid("leaf length out of range");
+  }
+  if (path_len > kMaxProofPathNodes) return invalid("path length out of range");
+  const std::size_t expected =
+      kHeader + static_cast<std::size_t>(leaf_len) + kRootBytes +
+      static_cast<std::size_t>(path_len) * (1 + kRootBytes);
+  if (blob.size() != expected) {
+    return invalid(blob.size() < expected ? "truncated body" : "trailing bytes");
+  }
+
+  MembershipProof proof;
+  proof.batch_id = batch_id;
+  std::size_t at = kHeader;
+  proof.leaf.assign(blob.begin() + static_cast<std::ptrdiff_t>(at),
+                    blob.begin() + static_cast<std::ptrdiff_t>(at + leaf_len));
+  at += leaf_len;
+  proof.root.assign(blob.begin() + static_cast<std::ptrdiff_t>(at),
+                    blob.begin() + static_cast<std::ptrdiff_t>(at + kRootBytes));
+  at += kRootBytes;
+  proof.path.reserve(path_len);
+  for (std::uint64_t i = 0; i < path_len; ++i) {
+    const std::uint8_t side = blob[at];
+    if (side > 0x01) return invalid("malformed path side byte");
+    crypto::ProofNode node;
+    node.sibling_on_left = side == 0x01;
+    node.hash.assign(blob.begin() + static_cast<std::ptrdiff_t>(at + 1),
+                     blob.begin() + static_cast<std::ptrdiff_t>(at + 1 + kRootBytes));
+    proof.path.push_back(std::move(node));
+    at += 1 + kRootBytes;
+  }
+  return proof;
+}
+
+// ------------------------------------------------------------ AnchorContract
+
+Status AnchorContract::validate(const blockchain::Transaction& tx,
+                                const blockchain::WorldState& state) const {
+  auto arg = [&](const char* key) -> const std::string* {
+    auto it = tx.args.find(key);
+    return it == tx.args.end() ? nullptr : &it->second;
+  };
+  const std::string* action = arg("action");
+  if (!action || *action != "anchor_batch") {
+    return Status(StatusCode::kInvalidArgument, "prov-anchor: unknown action");
+  }
+  const std::string* batch_id = arg("batch_id");
+  if (!batch_id || !parse_u64_arg(*batch_id)) {
+    return Status(StatusCode::kInvalidArgument, "prov-anchor: bad batch_id");
+  }
+  const std::string* root = arg("root");
+  if (!root || !is_hex_digest(*root)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "prov-anchor: root must be 64 lowercase hex chars");
+  }
+  const std::string* leaf_count = arg("leaf_count");
+  auto leaves = leaf_count ? parse_u64_arg(*leaf_count) : std::nullopt;
+  if (!leaves || *leaves == 0) {
+    return Status(StatusCode::kInvalidArgument, "prov-anchor: bad leaf_count");
+  }
+  auto ns = state.find(std::string(kName));
+  if (ns != state.end() && ns->second.contains("batch/" + *batch_id + "/root")) {
+    return Status(StatusCode::kAlreadyExists,
+                  "prov-anchor: batch " + *batch_id + " already anchored");
+  }
+  return Status::ok();
+}
+
+void AnchorContract::apply(const blockchain::Transaction& tx,
+                           blockchain::WorldState& state) const {
+  auto& ns = state[std::string(kName)];
+  const std::string& batch_id = tx.args.at("batch_id");
+  const std::string& leaf_count = tx.args.at("leaf_count");
+  ns["batch/" + batch_id + "/root"] = tx.args.at("root");
+  ns["batch/" + batch_id + "/leaves"] = leaf_count;
+  auto bump = [&ns](const std::string& key, std::uint64_t delta) {
+    auto it = ns.find(key);
+    std::uint64_t current =
+        it == ns.end() ? 0 : parse_u64_arg(it->second).value_or(0);
+    ns[key] = std::to_string(current + delta);
+  };
+  bump("batches", 1);
+  bump("anchored_leaves", parse_u64_arg(leaf_count).value_or(0));
+}
+
+// -------------------------------------------------------- ConsensusCostModel
+
+SimTime ConsensusCostModel::round(std::uint64_t message_bytes) const {
+  const std::size_t followers = peers > 1 ? peers - 1 : 0;
+  const SimTime per_follower =
+      per_message_us +
+      static_cast<SimTime>(std::llround(static_cast<double>(message_bytes) / bytes_per_us));
+  return static_cast<SimTime>(followers) * per_follower;
+}
+
+SimTime ConsensusCostModel::endorse(std::uint64_t payload_bytes) const {
+  return round(512 + payload_bytes) + round(96);
+}
+
+SimTime ConsensusCostModel::commit(std::uint64_t payload_bytes) const {
+  return round(512 + payload_bytes + 256) + 2 * round(96);
+}
+
+SimTime ConsensusCostModel::full_record(std::uint64_t payload_bytes) const {
+  return endorse(payload_bytes) + commit(payload_bytes);
+}
+
+// ------------------------------------------------------------- BatchAnchorer
+
+BatchAnchorer::BatchAnchorer(blockchain::PermissionedLedger& ledger, ClockPtr clock,
+                             AnchorerConfig config, obs::MetricsPtr metrics,
+                             LogPtr log)
+    : ledger_(ledger),
+      clock_(std::move(clock)),
+      config_(std::move(config)),
+      batcher_(config_.mode == AnchorerConfig::Mode::kFullRecord
+                   ? sched::BatcherConfig{1, 1, 1, config_.batcher.max_linger}
+                   : config_.batcher),
+      metrics_(std::move(metrics)),
+      log_(std::move(log)) {}
+
+Status BatchAnchorer::register_contract(blockchain::PermissionedLedger& ledger) {
+  return ledger.register_contract(std::make_unique<AnchorContract>());
+}
+
+void BatchAnchorer::append(ProvenanceEvent event) {
+  {
+    std::lock_guard lock(buffer_mu_);
+    buffer_.push_back(std::move(event));
+  }
+  if (metrics_) metrics_->add("hc.prov.events");
+}
+
+std::size_t BatchAnchorer::buffered() const {
+  std::lock_guard lock(buffer_mu_);
+  return buffer_.size();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> BatchAnchorer::locate(
+    const std::string& record_ref) const {
+  auto it = index_.find(record_ref);
+  return it == index_.end() ? std::vector<std::pair<std::size_t, std::size_t>>{}
+                            : it->second;
+}
+
+std::uint64_t BatchAnchorer::anchored_batches() const {
+  std::uint64_t n = 0;
+  for (const SealedBatch& batch : batches_) n += batch.anchored ? 1 : 0;
+  return n;
+}
+
+std::uint64_t BatchAnchorer::anchored_events() const {
+  std::uint64_t n = 0;
+  for (const SealedBatch& batch : batches_) {
+    if (batch.anchored) n += batch.events.size();
+  }
+  return n;
+}
+
+void BatchAnchorer::seal_buffered() {
+  std::vector<ProvenanceEvent> events;
+  {
+    std::lock_guard lock(buffer_mu_);
+    events.swap(buffer_);
+  }
+  if (events.empty()) return;
+
+  // Canonical order first: batch composition must be a pure function of
+  // the event *set*, not of which worker appended first.
+  std::stable_sort(events.begin(), events.end(), canonical_less);
+
+  std::size_t at = 0;
+  for (std::size_t take : batcher_.plan(events.size())) {
+    SealedBatch batch{next_batch_id_++,
+                      crypto::MerkleTree(std::vector<Bytes>{}),
+                      {},
+                      {},
+                      false,
+                      ""};
+    batch.events.assign(events.begin() + static_cast<std::ptrdiff_t>(at),
+                        events.begin() + static_cast<std::ptrdiff_t>(at + take));
+    at += take;
+    batch.leaves.reserve(batch.events.size());
+    for (const ProvenanceEvent& event : batch.events) {
+      batch.leaves.push_back(leaf_bytes(event));
+    }
+    batch.tree = crypto::MerkleTree(batch.leaves);
+    for (std::size_t i = 0; i < batch.events.size(); ++i) {
+      index_[batch.events[i].record_ref].emplace_back(batches_.size(), i);
+    }
+    if (metrics_) {
+      metrics_->observe("hc.prov.batch_size",
+                        static_cast<double>(batch.events.size()), "1",
+                        &sched::batch_size_bounds());
+      metrics_->add("hc.prov.batches_sealed");
+    }
+    batches_.push_back(std::move(batch));
+  }
+}
+
+std::map<std::string, std::string> BatchAnchorer::manifest_args(
+    const SealedBatch& batch) const {
+  std::uint64_t payload = 0;
+  for (const ProvenanceEvent& event : batch.events) payload += event.payload_bytes;
+  return {{"action", "anchor_batch"},
+          {"batch_id", std::to_string(batch.batch_id)},
+          {"root", hex_encode(batch.tree.root())},
+          {"leaf_count", std::to_string(batch.events.size())},
+          {"manifest", "events=" + std::to_string(batch.events.size()) +
+                           " payload_bytes=" + std::to_string(payload)}};
+}
+
+bool BatchAnchorer::root_on_chain(const SealedBatch& batch) const {
+  auto value = ledger_.state_value(std::string(AnchorContract::kName),
+                                   "batch/" + std::to_string(batch.batch_id) + "/root");
+  return value.is_ok() && *value == hex_encode(batch.tree.root());
+}
+
+void BatchAnchorer::charge_consensus(const std::vector<const SealedBatch*>& anchored) {
+  if (!config_.costs || anchored.empty()) return;
+  const ConsensusCostModel& costs = *config_.costs;
+  const bool full = config_.mode == AnchorerConfig::Mode::kFullRecord;
+
+  // Per-batch consensus stages. Hybrid anchors carry only root+manifest;
+  // the full-record baseline hauls the payload through both phases.
+  std::vector<std::uint64_t> onchain_bytes;
+  onchain_bytes.reserve(anchored.size());
+  for (const SealedBatch* batch : anchored) {
+    std::uint64_t onchain = config_.manifest_bytes;
+    if (full) {
+      onchain = 0;
+      for (const ProvenanceEvent& event : batch->events) {
+        onchain += event.payload_bytes;
+      }
+    }
+    onchain_bytes.push_back(onchain);
+  }
+  // Batched endorsement: one proposal + one vote round covers the whole
+  // flush, sized by the largest manifest, instead of per-anchor rounds.
+  SimTime endorse_serial = 0;
+  SimTime endorse_batched = 0;
+  for (std::uint64_t bytes : onchain_bytes) {
+    endorse_serial += costs.endorse(bytes);
+    endorse_batched = std::max(endorse_batched, costs.endorse(bytes));
+  }
+
+  SimTime serial = endorse_serial;
+  for (std::uint64_t bytes : onchain_bytes) serial += costs.commit(bytes);
+
+  SimTime makespan;
+  if (config_.pipeline && !full) {
+    // Two-machine flow shop: block i+1's proposal broadcast overlaps
+    // block i's vote rounds. Stage A = the block proposal round, stage
+    // B = the two vote rounds.
+    SimTime a_done = endorse_batched;
+    SimTime b_done = endorse_batched;
+    for (std::uint64_t bytes : onchain_bytes) {
+      const SimTime proposal = costs.round(512 + bytes + 256);
+      const SimTime votes = 2 * costs.round(96);
+      a_done += proposal;
+      b_done = std::max(b_done, a_done) + votes;
+    }
+    makespan = b_done;
+  } else if (full) {
+    makespan = serial;  // the seed path: nothing batched, nothing overlapped
+  } else {
+    makespan = endorse_batched + (serial - endorse_serial);
+  }
+
+  clock_->advance(makespan);
+  anchor_us_total_ += makespan;
+  anchor_serial_us_total_ += serial;
+  if (metrics_) {
+    metrics_->observe("hc.prov.anchor_us", static_cast<double>(makespan));
+    metrics_->add("hc.prov.anchor_us_total", static_cast<std::uint64_t>(makespan), "us");
+    metrics_->add("hc.prov.anchor_serial_us_total",
+                  static_cast<std::uint64_t>(serial), "us");
+  }
+}
+
+Status BatchAnchorer::anchor_pending() {
+  // Pass 1: a previous flush may have left endorsed anchors in the pool
+  // (commit vote unreachable). Drain them before submitting new work so a
+  // batch is never endorsed twice.
+  while (ledger_.pending_count() > 0) {
+    auto receipt = ledger_.commit_block();
+    if (!receipt.is_ok()) return receipt.status();
+  }
+
+  std::vector<SealedBatch*> todo;
+  for (SealedBatch& batch : batches_) {
+    if (batch.anchored) continue;
+    if (root_on_chain(batch)) {
+      batch.anchored = true;  // a drained leftover just committed it
+      if (metrics_) {
+        metrics_->add("hc.prov.batches_anchored");
+        metrics_->add("hc.prov.events_anchored", batch.events.size());
+      }
+      continue;
+    }
+    todo.push_back(&batch);
+  }
+  if (todo.empty()) return Status::ok();
+
+  // Batched endorsement: every anchor in the flush is endorsed in one
+  // proposal + one vote round.
+  std::vector<std::map<std::string, std::string>> args_list;
+  args_list.reserve(todo.size());
+  for (SealedBatch* batch : todo) args_list.push_back(manifest_args(*batch));
+  auto ids = ledger_.submit_batch(std::string(AnchorContract::kName),
+                                  std::move(args_list), config_.submitter);
+  if (!ids.is_ok()) return ids.status();
+  for (std::size_t i = 0; i < todo.size(); ++i) todo[i]->tx_id = (*ids)[i];
+
+  // Commit until the pool drains; each block carries up to
+  // max_block_transactions anchors, each anchor covering a whole batch.
+  while (ledger_.pending_count() > 0) {
+    auto receipt = ledger_.commit_block();
+    if (!receipt.is_ok()) {
+      // Aborted commits return the block to the pool: nothing partial is
+      // on-chain, and the next flush()'s pass 1 retries the identical txs.
+      return receipt.status();
+    }
+  }
+
+  std::vector<const SealedBatch*> anchored_now;
+  for (SealedBatch* batch : todo) {
+    if (!root_on_chain(*batch)) continue;
+    batch->anchored = true;
+    anchored_now.push_back(batch);
+    std::uint64_t payload = 0;
+    for (const ProvenanceEvent& event : batch->events) payload += event.payload_bytes;
+    const bool full = config_.mode == AnchorerConfig::Mode::kFullRecord;
+    bytes_onchain_ += full ? payload : config_.manifest_bytes;
+    bytes_offchain_ += payload;
+    if (metrics_) {
+      metrics_->add("hc.prov.batches_anchored");
+      metrics_->add("hc.prov.events_anchored", batch->events.size());
+    }
+  }
+  if (metrics_) {
+    metrics_->set_gauge("hc.prov.bytes_onchain_total",
+                        static_cast<double>(bytes_onchain_), "By");
+    metrics_->set_gauge("hc.prov.bytes_offchain_total",
+                        static_cast<double>(bytes_offchain_), "By");
+  }
+  charge_consensus(anchored_now);
+  return Status::ok();
+}
+
+Status BatchAnchorer::flush() {
+  seal_buffered();
+  Status status = anchor_pending();
+  if (!status.is_ok() && log_) {
+    log_->warn("provenance", "anchor_deferred", status.to_string());
+  }
+  return status;
+}
+
+// --------------------------------------------------------- ProvenanceAuditor
+
+ProvenanceAuditor::ProvenanceAuditor(const BatchAnchorer& anchorer,
+                                     const blockchain::PermissionedLedger& ledger,
+                                     ClockPtr clock, obs::MetricsPtr metrics)
+    : anchorer_(anchorer),
+      ledger_(ledger),
+      clock_(std::move(clock)),
+      metrics_(std::move(metrics)) {}
+
+Result<MembershipProof> ProvenanceAuditor::prove(const std::string& record_ref,
+                                                 const std::string& event) const {
+  bool sealed_unanchored = false;
+  for (const auto& [batch_index, leaf_index] : anchorer_.locate(record_ref)) {
+    const BatchAnchorer::SealedBatch& batch = anchorer_.batches()[batch_index];
+    if (batch.events[leaf_index].event != event) continue;
+    if (!batch.anchored) {
+      sealed_unanchored = true;
+      continue;
+    }
+    MembershipProof proof;
+    proof.batch_id = batch.batch_id;
+    proof.leaf = batch.leaves[leaf_index];
+    proof.path = batch.tree.prove(leaf_index);
+    proof.root = batch.tree.root();
+    const SimTime cost =
+        kProofBaseUs + kProofPerNodeUs * static_cast<SimTime>(proof.path.size());
+    if (clock_) clock_->advance(cost);
+    if (metrics_) {
+      metrics_->add("hc.prov.proofs_served");
+      metrics_->observe("hc.prov.proof_us", static_cast<double>(cost));
+    }
+    return proof;
+  }
+  if (sealed_unanchored) {
+    return Status(StatusCode::kFailedPrecondition,
+                  record_ref + "/" + event + " is sealed but not yet anchored");
+  }
+  return Status(StatusCode::kNotFound,
+                "no anchored provenance for " + record_ref + "/" + event);
+}
+
+bool ProvenanceAuditor::verify(const MembershipProof& proof) {
+  return crypto::MerkleTree::verify(proof.leaf, proof.path, proof.root);
+}
+
+Status ProvenanceAuditor::verify_onchain(const MembershipProof& proof) const {
+  if (!verify(proof)) {
+    return Status(StatusCode::kIntegrityError, "membership path does not verify");
+  }
+  auto root = ledger_.state_value(
+      std::string(AnchorContract::kName),
+      "batch/" + std::to_string(proof.batch_id) + "/root");
+  if (!root.is_ok()) {
+    return Status(StatusCode::kNotFound,
+                  "batch " + std::to_string(proof.batch_id) + " is not anchored");
+  }
+  if (*root != hex_encode(proof.root)) {
+    return Status(StatusCode::kIntegrityError,
+                  "proof root disagrees with the anchored root for batch " +
+                      std::to_string(proof.batch_id));
+  }
+  if (metrics_) metrics_->add("hc.prov.proofs_verified");
+  return Status::ok();
+}
+
+std::vector<std::string> ProvenanceAuditor::audit(
+    const storage::MetadataStore& metadata, const storage::DataLake& lake) const {
+  std::vector<std::string> flagged;
+  std::map<std::string, const ProvenanceEvent*> seen;  // ref -> anchored event
+  for (const BatchAnchorer::SealedBatch& batch : anchorer_.batches()) {
+    if (!batch.anchored) continue;
+    for (const ProvenanceEvent& event : batch.events) {
+      seen.emplace(event.record_ref, &event);  // first anchored event wins
+    }
+  }
+  for (const auto& [ref, event] : seen) {
+    auto md = metadata.get(ref);
+    if (!md.is_ok() || !constant_time_equal(md->content_hash, event->content_hash)) {
+      flagged.push_back(ref);
+      continue;
+    }
+    auto payload = lake.get(ref);
+    if (!payload.is_ok() ||
+        !constant_time_equal(crypto::sha256(*payload), event->content_hash)) {
+      flagged.push_back(ref);
+    }
+  }
+  if (metrics_ && !flagged.empty()) {
+    metrics_->add("hc.prov.tamper_flagged", flagged.size());
+  }
+  if (metrics_) metrics_->add("hc.prov.audit_sweeps");
+  return flagged;  // map iteration order: already sorted and unique
+}
+
+}  // namespace hc::provenance

@@ -1,0 +1,273 @@
+// Hybrid-storage provenance (ROADMAP item 4).
+//
+// The seed ledger records one consensus round trip per provenance event,
+// so at ingest line rate the chain is the throughput ceiling: every stored
+// record costs two endorsement rounds and two block commits of
+// PBFT-style voting. Following the hybrid-storage blockchain literature
+// (PAPERS.md: "Fast Authenticated and Interoperable Multimedia Healthcare
+// Data over Hybrid-Storage Blockchains", "SciChain"), bulk payloads stay
+// off-chain in the DataLake and the chain anchors compact commitments:
+//
+//   * ingestion workers append ProvenanceEvents at line rate (a mutex-
+//     guarded buffer push — no consensus on the hot path);
+//   * flush() seals the buffer into Merkle-tree batches in a canonical
+//     order (sorted by content hash, so batch composition and roots are a
+//     pure function of the workload — independent of worker interleaving);
+//   * batch sizes come from hc::sched's AdaptiveBatcher plan machinery,
+//     the same partitioner the parallel ingestion drain uses;
+//   * one anchor transaction per batch (32-byte root + manifest) goes
+//     through consensus: endorsement is batched (one proposal + one vote
+//     round covers every anchor in the flush, via
+//     PermissionedLedger::submit_batch) and commit rounds are pipelined
+//     across consecutive blocks (two-machine flow-shop makespan: block
+//     i+1's proposal broadcast overlaps block i's vote rounds);
+//   * the auditor serves membership proofs — prove(record_ref) -> path,
+//     verify(root, path, leaf) — and sweeps the off-chain stores for
+//     payloads that no longer match their anchored commitment.
+//
+// Crash consistency rides on the ledger's abort semantics: an unreachable
+// commit vote returns the whole block to the pending pool, so a batch
+// root is either fully on-chain or not at all — never partially. flush()
+// after recovery re-anchors the same sealed batches byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blockchain/ledger.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "crypto/merkle.h"
+#include "obs/metrics.h"
+#include "sched/sched.h"
+#include "storage/data_lake.h"
+
+namespace hc::provenance {
+
+/// One ingestion-pipeline event awaiting anchoring. The canonical identity
+/// of an event is (content_hash, seq, event) — the DataLake reference is
+/// an index key only and is never hashed, because reference ids are
+/// assigned in worker-arrival order and would make roots depend on thread
+/// interleaving.
+struct ProvenanceEvent {
+  std::string record_ref;        // DataLake handle (proof-serving index key)
+  Bytes content_hash;            // sha256 of the stored plaintext
+  std::string event;             // received | anonymized | exported | deleted
+  std::uint32_t seq = 0;         // per-record event ordinal
+  std::uint64_t payload_bytes = 0;  // off-chain body size (cost accounting)
+};
+
+/// Canonical leaf serialization: domain tag | hex(content_hash) | seq | event.
+Bytes leaf_bytes(const ProvenanceEvent& event);
+
+/// A serveable membership proof: leaf + Merkle path + the anchored root.
+/// verify() checks the path alone; ProvenanceAuditor::verify_onchain also
+/// checks the root against the committed chain state for batch_id.
+struct MembershipProof {
+  std::uint64_t batch_id = 0;
+  Bytes leaf;
+  crypto::MerkleProof path;
+  Bytes root;
+};
+
+/// Wire format (see parse_proof for the strict grammar):
+///   "HCP1" | u64 batch_id | u32 leaf_len | u32 path_len |
+///   leaf bytes | 32-byte root | path_len x (side byte + 32-byte hash)
+/// All integers little-endian. Every bit is load-bearing: any single-bit
+/// flip either fails parsing or changes the parsed proof semantically.
+Bytes serialize_proof(const MembershipProof& proof);
+
+/// Strict parser for untrusted proof blobs. Rejects (kInvalidArgument)
+/// bad magic, truncation, trailing bytes, length-field lies (lengths are
+/// capped *before* any allocation), and malformed side bytes. Never
+/// throws, never crashes.
+Result<MembershipProof> parse_proof(const Bytes& blob);
+
+/// Parser caps: a leaf is a short canonical string, a path is at most
+/// log2(2^32) nodes deep. Anything larger is a lie.
+inline constexpr std::size_t kMaxProofLeafBytes = 4096;
+inline constexpr std::size_t kMaxProofPathNodes = 64;
+
+/// On-chain side of the hybrid scheme. One transaction anchors one batch:
+///   action=anchor_batch, batch_id, root (64 hex chars), leaf_count,
+///   manifest (free-form summary, e.g. "events=256 bytes=262144")
+/// State: "batch/<id>/root", "batch/<id>/leaves",
+///        "batches" / "anchored_leaves" (running counters).
+class AnchorContract : public blockchain::SmartContract {
+ public:
+  static constexpr std::string_view kName = "prov-anchor";
+  std::string_view name() const override { return kName; }
+  Status validate(const blockchain::Transaction& tx,
+                  const blockchain::WorldState& state) const override;
+  void apply(const blockchain::Transaction& tx,
+             blockchain::WorldState& state) const override;
+};
+
+/// Deterministic consensus-latency model, used when the ledger runs
+/// without a SimNetwork (the bench configuration). Mirrors the ledger's
+/// five broadcast rounds: endorsement = proposal + vote round; commit =
+/// block proposal + two vote rounds. Each round is (peers-1) sequential
+/// follower messages of per_message_us + bytes/bytes_per_us.
+struct ConsensusCostModel {
+  std::size_t peers = 4;
+  SimTime per_message_us = 120;  // LAN-ish per-follower hop
+  double bytes_per_us = 1.25;    // ~10 Mbit/s consensus links
+
+  SimTime round(std::uint64_t message_bytes) const;
+  /// Endorsement cost for a proposal carrying `payload_bytes`.
+  SimTime endorse(std::uint64_t payload_bytes) const;
+  /// Commit cost: block proposal round (proposal + per-tx bytes) + 2 votes.
+  SimTime commit(std::uint64_t payload_bytes) const;
+  /// The seed path's cost for one full-record provenance event: one
+  /// endorsement + one single-tx block commit, payload on both.
+  SimTime full_record(std::uint64_t payload_bytes) const;
+};
+
+struct AnchorerConfig {
+  /// kHybrid anchors Merkle roots over AdaptiveBatcher-planned batches;
+  /// kFullRecord is the retained baseline: every event is its own batch
+  /// and the whole payload rides through consensus (the seed behaviour,
+  /// kept measurable for bench_provenance's comparison column).
+  enum class Mode { kHybrid, kFullRecord };
+  Mode mode = Mode::kHybrid;
+  std::string submitter = "provenance-anchorer";
+  /// Batch partitioner (hybrid mode). Larger ceilings than the ingestion
+  /// drain's: an anchor batch amortizes five broadcast rounds.
+  sched::BatcherConfig batcher{/*min_batch=*/1, /*max_batch=*/256,
+                               /*target_dispatches=*/8,
+                               /*max_linger=*/2 * kMillisecond};
+  /// Overlap block i+1's proposal broadcast with block i's vote rounds.
+  bool pipeline = true;
+  /// On-chain bytes per anchor transaction: root + manifest.
+  std::uint64_t manifest_bytes = 160;
+  /// Engaged when the ledger has no SimNetwork: flush() advances the
+  /// shared clock by the modelled (pipelined) consensus makespan. Leave
+  /// empty when the ledger itself charges real broadcast rounds.
+  std::optional<ConsensusCostModel> costs;
+};
+
+/// Line-rate event intake + deterministic batch anchoring. append() is
+/// thread-safe (parallel ingestion workers); flush() and the inspection
+/// accessors are for the quiesced single-threaded phase after a drain.
+class BatchAnchorer {
+ public:
+  BatchAnchorer(blockchain::PermissionedLedger& ledger, ClockPtr clock,
+                AnchorerConfig config = {}, obs::MetricsPtr metrics = nullptr,
+                LogPtr log = nullptr);
+
+  /// Registers the AnchorContract on a ledger (idempotent-unfriendly like
+  /// every contract registration: once per ledger).
+  static Status register_contract(blockchain::PermissionedLedger& ledger);
+
+  /// Buffers one event. O(1) under a mutex — no hashing, no consensus.
+  void append(ProvenanceEvent event);
+  std::size_t buffered() const;
+
+  /// Seals the buffer into batches (canonical sort -> AdaptiveBatcher
+  /// plan -> one Merkle tree per batch), then anchors every sealed batch
+  /// that is not yet on-chain — including batches a previous flush sealed
+  /// but could not anchor (crashed peers). kUnavailable when the commit
+  /// quorum is unreachable; sealed batches are retained and the next
+  /// flush re-anchors the identical roots.
+  Status flush();
+
+  struct SealedBatch {
+    std::uint64_t batch_id = 0;
+    crypto::MerkleTree tree;                // leaves in canonical order
+    std::vector<ProvenanceEvent> events;    // events[i] <-> tree leaf i
+    std::vector<Bytes> leaves;              // leaf_bytes(events[i])
+    bool anchored = false;
+    std::string tx_id;                      // set once endorsed
+  };
+  const std::vector<SealedBatch>& batches() const { return batches_; }
+
+  /// Index lookup: (batch index, leaf index) pairs for a record reference,
+  /// in seal order. Empty when the record was never sealed.
+  std::vector<std::pair<std::size_t, std::size_t>> locate(
+      const std::string& record_ref) const;
+
+  std::uint64_t sealed_batches() const { return batches_.size(); }
+  std::uint64_t anchored_batches() const;
+  std::uint64_t anchored_events() const;
+  std::uint64_t bytes_onchain() const { return bytes_onchain_; }
+  std::uint64_t bytes_offchain() const { return bytes_offchain_; }
+  /// Total modelled consensus time, pipelined and serial-equivalent. Zero
+  /// when no cost model is configured (network-bound ledger).
+  SimTime anchor_us_total() const { return anchor_us_total_; }
+  SimTime anchor_serial_us_total() const { return anchor_serial_us_total_; }
+
+  const AnchorerConfig& config() const { return config_; }
+
+ private:
+  void seal_buffered();
+  Status anchor_pending();
+  bool root_on_chain(const SealedBatch& batch) const;
+  std::map<std::string, std::string> manifest_args(const SealedBatch& batch) const;
+  /// Flow-shop makespan of the flush's consensus rounds; also accumulates
+  /// the serial-equivalent total for the pipelining-win metric.
+  void charge_consensus(const std::vector<const SealedBatch*>& anchored);
+
+  blockchain::PermissionedLedger& ledger_;
+  ClockPtr clock_;
+  AnchorerConfig config_;
+  sched::AdaptiveBatcher batcher_;
+  obs::MetricsPtr metrics_;  // may be null
+  LogPtr log_;               // may be null
+
+  mutable std::mutex buffer_mu_;
+  std::vector<ProvenanceEvent> buffer_;
+
+  std::vector<SealedBatch> batches_;
+  std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>> index_;
+  std::uint64_t next_batch_id_ = 0;
+  std::uint64_t bytes_onchain_ = 0;
+  std::uint64_t bytes_offchain_ = 0;
+  SimTime anchor_us_total_ = 0;
+  SimTime anchor_serial_us_total_ = 0;
+};
+
+/// Read-only provenance lens for the audit service: serves membership
+/// proofs against anchored batches and sweeps the off-chain stores for
+/// tampering. Use quiesced, like the ledger's chain()/state() accessors.
+class ProvenanceAuditor {
+ public:
+  /// `clock` (nullable) charges a deterministic proof-serving cost and
+  /// feeds the hc.prov.proof_us latency histogram when metrics are bound.
+  ProvenanceAuditor(const BatchAnchorer& anchorer,
+                    const blockchain::PermissionedLedger& ledger,
+                    ClockPtr clock = nullptr, obs::MetricsPtr metrics = nullptr);
+
+  /// Membership proof for one recorded event of `record_ref`.
+  /// kNotFound when the record has no sealed event of that name;
+  /// kFailedPrecondition when it is sealed but not yet anchored.
+  Result<MembershipProof> prove(const std::string& record_ref,
+                                const std::string& event = "received") const;
+
+  /// Pure path check — verifiers need no platform, only the proof.
+  static bool verify(const MembershipProof& proof);
+
+  /// Path check plus the chain: the proof's root must equal the root the
+  /// committed world state records for its batch id.
+  Status verify_onchain(const MembershipProof& proof) const;
+
+  /// Integrity sweep over every anchored record: the payload must decrypt
+  /// cleanly from the lake, its sha256 must match the anchored leaf, and
+  /// the metadata's content_hash must agree. Returns the references that
+  /// fail any check, sorted and de-duplicated.
+  std::vector<std::string> audit(const storage::MetadataStore& metadata,
+                                 const storage::DataLake& lake) const;
+
+ private:
+  const BatchAnchorer& anchorer_;
+  const blockchain::PermissionedLedger& ledger_;
+  ClockPtr clock_;           // may be null
+  obs::MetricsPtr metrics_;  // may be null
+};
+
+}  // namespace hc::provenance

@@ -171,9 +171,19 @@ struct BurstPoolSpec {
 /// pipeline (synthetic FHIR bundles, consent grants on the ledger,
 /// malware mix) — drained by process_all(workers), whose aggregates are
 /// byte-identical across worker counts.
+/// How ingestion provenance reaches the ledger during replay.
+enum class ProvenanceMode {
+  kPerRecord,  // historical: one consensus round trip per event
+  kAnchored,   // hybrid-storage: Merkle-batched, root-only on-chain
+};
+
 struct IngestionSpec {
   bool enabled = false;
   std::uint64_t max_uploads = 200;  // replay cap, arrival order
+  ProvenanceMode provenance = ProvenanceMode::kPerRecord;
+  /// Anchored mode only: membership proofs served + verified after the
+  /// drain (audit read traffic riding the surge).
+  std::uint64_t audit_reads = 0;
 };
 
 /// Machine-checkable pass/fail rule evaluated over the run.

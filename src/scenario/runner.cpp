@@ -13,6 +13,7 @@
 #include "fhir/synthetic.h"
 #include "ingestion/ingestion.h"
 #include "obs/export.h"
+#include "provenance/provenance.h"
 #include "sched/sched.h"
 
 namespace hc::scenario {
@@ -454,7 +455,8 @@ class CellRunner {
 /// seeds), assembled without gtest. Uploads the first sweep cell's
 /// surviving arrivals through the real pipeline and tallies outcomes.
 Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
-                        std::size_t workers, std::vector<IngestTally>& out) {
+                        std::size_t workers, std::vector<IngestTally>& out,
+                        ProvenanceTally& prov) {
   ClockPtr clock = make_clock();
   LogPtr log = make_log(clock);
   Rng rng{70};
@@ -474,6 +476,21 @@ Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
   blockchain::PermissionedLedger ledger(ledger_config, clock, log);
   Status contracts = blockchain::register_hcls_contracts(ledger);
   if (!contracts.is_ok()) return contracts;
+
+  // Hybrid-storage provenance: Merkle-batch the ingest events and anchor
+  // only the roots, with the consensus cost model engaged so the surge's
+  // sim-time accounting reflects the batched/pipelined rounds.
+  const bool anchored =
+      scenario.ingestion.provenance == ProvenanceMode::kAnchored;
+  std::unique_ptr<provenance::BatchAnchorer> anchorer;
+  if (anchored) {
+    Status registered = provenance::BatchAnchorer::register_contract(ledger);
+    if (!registered.is_ok()) return registered;
+    provenance::AnchorerConfig anchor_config;
+    anchor_config.costs = provenance::ConsensusCostModel{};
+    anchorer = std::make_unique<provenance::BatchAnchorer>(
+        ledger, clock, anchor_config, metrics, log);
+  }
 
   crypto::KeyId lake_key = kms.create_symmetric_key("platform");
   queue.bind_metrics(metrics);
@@ -497,6 +514,7 @@ Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
   deps.reid_map = &reid_map;
   deps.metrics = metrics;
   deps.batcher = &batcher;
+  deps.anchorer = anchorer.get();
   ingestion::IngestionService service(deps, lake_key, to_bytes("pseudo-key"),
                                       "platform");
 
@@ -558,6 +576,53 @@ Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
                   "ingestion replay diverged: stored " +
                       std::to_string(stored) + ", expected " +
                       std::to_string(expected_stored));
+  }
+
+  if (anchored) {
+    prov.events = anchorer->anchored_events();
+    prov.batches = anchorer->anchored_batches();
+    prov.bytes_onchain = anchorer->bytes_onchain();
+    prov.bytes_offchain = anchorer->bytes_offchain();
+    if (anchorer->sealed_batches() != anchorer->anchored_batches()) {
+      return Status(StatusCode::kInternal, "provenance batches left unanchored");
+    }
+
+    // Audit read traffic riding the surge: serve membership proofs in
+    // canonical batch/leaf order (a pure function of the event set, never
+    // of the worker interleaving) and verify every one against the chain.
+    provenance::ProvenanceAuditor auditor(*anchorer, ledger, clock, metrics);
+    const auto& batches = anchorer->batches();
+    std::size_t leaves_total = 0;
+    for (const auto& batch : batches) leaves_total += batch.events.size();
+    std::uint64_t to_serve =
+        leaves_total == 0 ? 0 : scenario.ingestion.audit_reads;
+    std::size_t cursor = 0;
+    for (std::uint64_t i = 0; i < to_serve; ++i, ++cursor) {
+      std::size_t flat = cursor % leaves_total;
+      std::size_t batch_idx = 0;
+      while (flat >= batches[batch_idx].events.size()) {
+        flat -= batches[batch_idx].events.size();
+        ++batch_idx;
+      }
+      const provenance::ProvenanceEvent& event =
+          batches[batch_idx].events[flat];
+      auto proof = auditor.prove(event.record_ref, event.event);
+      if (!proof.is_ok()) return proof.status();
+      if (!provenance::ProvenanceAuditor::verify(*proof)) {
+        return Status(StatusCode::kInternal, "membership proof failed to verify");
+      }
+      Status onchain = auditor.verify_onchain(*proof);
+      if (!onchain.is_ok()) return onchain;
+      ++prov.audit_reads;
+    }
+
+    // A tamper sweep over everything just stored must come back clean.
+    std::vector<std::string> flagged = auditor.audit(metadata, lake);
+    if (!flagged.empty()) {
+      return Status(StatusCode::kInternal,
+                    "tamper sweep flagged " + std::to_string(flagged.size()) +
+                        " records on a clean run");
+    }
   }
   return Status::ok();
 }
@@ -702,6 +767,17 @@ void record_ingest_metrics(const Scenario& scenario,
               total.rejected_consent);
 }
 
+void record_prov_metrics(const ProvenanceTally& prov,
+                         obs::MetricsRegistry& metrics) {
+  metrics.add("hc.scenario.prov.events", prov.events);
+  metrics.add("hc.scenario.prov.batches", prov.batches);
+  metrics.add("hc.scenario.prov.audit_reads", prov.audit_reads);
+  metrics.set_gauge("hc.scenario.prov.bytes_onchain",
+                    static_cast<double>(prov.bytes_onchain), "B");
+  metrics.set_gauge("hc.scenario.prov.bytes_offchain",
+                    static_cast<double>(prov.bytes_offchain), "B");
+}
+
 }  // namespace
 
 double TenantTally::percentile(double p) const {
@@ -781,9 +857,12 @@ Result<RunReport> run(const Scenario& scenario, const RunOptions& options) {
       // not depend on the worker count.
       Status replayed = replay_ingestion(scenario, *compiled,
                                          std::max<std::size_t>(1, options.ingest_workers),
-                                         report.ingest);
+                                         report.ingest, report.provenance);
       if (!replayed.is_ok()) return replayed;
       record_ingest_metrics(scenario, report.ingest, *report.metrics);
+      if (scenario.ingestion.provenance == ProvenanceMode::kAnchored) {
+        record_prov_metrics(report.provenance, *report.metrics);
+      }
       replayed_ingestion = true;
     }
   }

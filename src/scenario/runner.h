@@ -58,6 +58,18 @@ struct IngestTally {
   std::uint64_t rejected_consent = 0;
 };
 
+/// Hybrid-provenance replay outcome (ingestion provenance anchored).
+/// Every count is a pure function of (scenario bytes, seed): proofs are
+/// served in canonical batch/leaf order and each one is verified against
+/// the on-chain root before it counts.
+struct ProvenanceTally {
+  std::uint64_t events = 0;         // provenance events anchored
+  std::uint64_t batches = 0;        // Merkle batches anchored
+  std::uint64_t audit_reads = 0;    // proofs served + verified
+  std::uint64_t bytes_onchain = 0;  // manifests through consensus
+  std::uint64_t bytes_offchain = 0; // payload bytes kept in the lake
+};
+
 struct VerdictOutcome {
   std::string name;
   bool pass = true;
@@ -78,6 +90,7 @@ struct RunReport {
   SimTime horizon = 0;
   std::vector<CellModeResult> cells;  // sweep-major, fifo before sched
   std::vector<IngestTally> ingest;    // per tenant; empty unless enabled
+  ProvenanceTally provenance;         // zeros unless `provenance anchored`
   std::vector<VerdictOutcome> verdicts;
   obs::MetricsPtr metrics;  // curated `hc.scenario.*` registry
   std::vector<std::string> timeline;

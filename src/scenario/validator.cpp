@@ -506,11 +506,26 @@ Status decode_phase(const RawBlock& block, SimTime horizon, PhaseSpec& out) {
   return Status::ok();
 }
 
+const std::vector<std::pair<std::string_view, ProvenanceMode>>& provenance_choices() {
+  static const std::vector<std::pair<std::string_view, ProvenanceMode>> choices = {
+      {"per-record", ProvenanceMode::kPerRecord},
+      {"anchored", ProvenanceMode::kAnchored},
+  };
+  return choices;
+}
+
 Status decode_ingestion(const RawBlock& block, IngestionSpec& out) {
   BlockReader reader(block, "ingestion");
   out.enabled = true;
   reader.integer("max_uploads", out.max_uploads, 1, 100000);
-  return reader.finish();
+  reader.keyword("provenance", out.provenance, provenance_choices());
+  reader.integer("audit_reads", out.audit_reads, 0, 100000);
+  Status status = reader.finish();
+  if (!status.is_ok()) return status;
+  if (out.audit_reads > 0 && out.provenance != ProvenanceMode::kAnchored) {
+    return invalid("ingestion: audit_reads requires provenance anchored");
+  }
+  return Status::ok();
 }
 
 Status decode_verdict(const RawBlock& block, VerdictSpec& out) {

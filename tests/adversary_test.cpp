@@ -4,6 +4,8 @@
 // attack is contained with the failure visible to audit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "blockchain/contracts.h"
 #include "fhir/synthetic.h"
 #include "platform/enhanced_client.h"
@@ -141,6 +143,99 @@ TEST_F(AdversaryFixture, InsiderLedgerRewriteDetected) {
   ASSERT_TRUE(cloud_->ledger().validate_chain().is_ok());
   cloud_->ledger().tamper_for_test(1, 0, "patient", "someone-else");
   EXPECT_EQ(cloud_->ledger().validate_chain().code(), StatusCode::kIntegrityError);
+}
+
+// --- insider vs hybrid-storage provenance ------------------------------------
+
+class HybridTamperFixture : public AdversaryFixture {
+ protected:
+  HybridTamperFixture() {
+    platform::InstanceConfig config;
+    config.name = "cloud";
+    config.hybrid_provenance = true;
+    cloud_ = std::make_unique<platform::HealthCloudInstance>(config, clock_,
+                                                             network_);
+    client_ = std::make_unique<platform::EnhancedClient>(client_config_, *cloud_,
+                                                         "honest-clinic");
+  }
+
+  /// Uploads `n` consented records, drains the pipeline (which flushes the
+  /// anchorer), and returns the stored references.
+  std::vector<std::string> ingest_anchored(std::size_t n) {
+    std::vector<std::string> patients;
+    for (std::size_t i = 0; i < n; ++i) {
+      fhir::Bundle bundle = fhir::make_synthetic_bundle(rng_, "hb", counter_++);
+      std::string patient_id = std::get<fhir::Patient>(bundle.resources[0]).id;
+      (void)cloud_->ledger().submit_and_commit(
+          "consent",
+          {{"action", "grant"}, {"patient", patient_id}, {"group", "study"}},
+          "provider");
+      (void)client_->upload_bundle(bundle, "study");
+      patients.push_back(patient_id);
+    }
+    EXPECT_EQ(cloud_->ingestion().process_all(), n);
+    std::vector<std::string> references;
+    for (const auto& batch : cloud_->anchorer()->batches()) {
+      for (const auto& event : batch.events) {
+        if (event.event == "received") references.push_back(event.record_ref);
+      }
+    }
+    std::sort(references.begin(), references.end());
+    EXPECT_EQ(references.size(), n);
+    return references;
+  }
+};
+
+TEST_F(HybridTamperFixture, AuditFlagsExactlyTheTamperedRecords) {
+  std::vector<std::string> references = ingest_anchored(8);
+  ASSERT_EQ(cloud_->anchorer()->anchored_batches(),
+            cloud_->anchorer()->sealed_batches());
+
+  // A clean sweep flags nothing.
+  EXPECT_TRUE(cloud_->auditor()->audit(cloud_->metadata(), cloud_->lake()).empty());
+
+  // The insider mutates three off-chain payloads *after* anchoring — two
+  // ciphertext corruptions in the lake, one metadata content-hash rewrite.
+  std::vector<std::string> expected = {references[1], references[4],
+                                       references[6]};
+  std::sort(expected.begin(), expected.end());
+  ASSERT_TRUE(cloud_->lake().tamper_for_test(expected[0]).is_ok());
+  ASSERT_TRUE(cloud_->lake().tamper_for_test(expected[1]).is_ok());
+  auto md = cloud_->metadata().get(expected[2]).value();
+  md.content_hash[0] ^= 0x01;
+  ASSERT_TRUE(cloud_->metadata().put(md).is_ok());
+
+  // The auditor flags exactly the hand-tampered set — nothing more.
+  std::vector<std::string> flagged =
+      cloud_->auditor()->audit(cloud_->metadata(), cloud_->lake());
+  EXPECT_EQ(flagged, expected);
+
+  // Untampered records still prove and verify against the chain.
+  for (const std::string& reference : references) {
+    if (std::find(expected.begin(), expected.end(), reference) !=
+        expected.end()) {
+      continue;
+    }
+    auto proof = cloud_->auditor()->prove(reference);
+    ASSERT_TRUE(proof.is_ok()) << reference;
+    EXPECT_TRUE(cloud_->auditor()->verify_onchain(*proof).is_ok());
+  }
+}
+
+TEST_F(HybridTamperFixture, ForgedAnchorCannotShadowTheCommittedRoot) {
+  ingest_anchored(4);
+  const auto& batch = cloud_->anchorer()->batches()[0];
+  // The insider tries to re-anchor batch 0 under a forged root: the
+  // contract's duplicate check makes the committed root immutable.
+  auto forged = cloud_->ledger().submit(
+      std::string(provenance::AnchorContract::kName),
+      {{"action", "anchor_batch"},
+       {"batch_id", std::to_string(batch.batch_id)},
+       {"root", std::string(64, 'a')},
+       {"leaf_count", std::to_string(batch.events.size())},
+       {"manifest", "forged"}},
+      "insider");
+  EXPECT_EQ(forged.status().code(), StatusCode::kAlreadyExists);
 }
 
 // --- API-surface attacks -----------------------------------------------------

@@ -353,6 +353,39 @@ TEST(ScenarioReplay, CommittedGoldenBundleStillMatches) {
   EXPECT_EQ(verdicts_text(*report), read_file(dir + "/verdicts.txt"));
 }
 
+TEST(ScenarioReplay, CommittedProvenanceSurgeBundleStillMatches) {
+  Scenario scenario = load_shipped("provenance_surge.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  const std::string dir = std::string(HC_GOLDEN_DIR) + "/provenance_surge";
+  EXPECT_EQ(metrics_text(*report), read_file(dir + "/metrics.json"));
+  EXPECT_EQ(timeline_text(*report), read_file(dir + "/timeline.txt"));
+  EXPECT_EQ(verdicts_text(*report), read_file(dir + "/verdicts.txt"));
+}
+
+TEST(ScenarioReplay, ProvenanceSurgeIsWorkerCountInvariant) {
+  // The anchored-ledger replay serves audit proofs and tallies batch
+  // counts; none of that may depend on how many workers drained the
+  // ingest queue (DataLake refs are assigned in arrival order, so the
+  // tally must be keyed on canonical leaf order, never on refs).
+  Scenario scenario = load_shipped("provenance_surge.scn");
+  RunOptions options;
+  options.ingest_workers = 1;
+  Result<RunReport> baseline = run(scenario, options);
+  ASSERT_TRUE(baseline.is_ok()) << baseline.status().message();
+  EXPECT_GT(baseline->provenance.events, 0u);
+  EXPECT_GT(baseline->provenance.batches, 0u);
+  EXPECT_GT(baseline->provenance.audit_reads, 0u);
+  const std::string golden = bundle_text(*baseline);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    options.ingest_workers = workers;
+    Result<RunReport> report = run(scenario, options);
+    ASSERT_TRUE(report.is_ok()) << report.status().message();
+    ASSERT_EQ(bundle_text(*report), golden)
+        << workers << " workers diverged from 1";
+  }
+}
+
 TEST(ScenarioReplay, WriteBundleMatchesTheTextFunctions) {
   Scenario scenario = load_shipped("smoke.scn");
   Result<RunReport> report = run(scenario);
@@ -465,7 +498,7 @@ INSTANTIATE_TEST_SUITE_P(
     Files, ShippedScenario,
     ::testing::Values("smoke.scn", "f9_overload.scn", "region_outage.scn",
                       "consent_revocation_storm.scn", "flash_crowd.scn",
-                      "slow_loris.scn"),
+                      "slow_loris.scn", "provenance_surge.scn"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       name = name.substr(0, name.find('.'));

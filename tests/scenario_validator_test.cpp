@@ -206,6 +206,21 @@ constexpr RejectCase kCases[] = {
      "  loads 3\n}\n",
      "verdict \"v\": load 3 is not in the sweep"},
 
+    // --- ingestion provenance --------------------------------------------
+    {"BadProvenanceKeyword",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  provenance maybe\n}\n",
+     "ingestion: provenance must be one of per-record|anchored "
+     "(got \"maybe\") (line 7)"},
+    {"AuditReadsWithoutAnchored",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  audit_reads 8\n}\n",
+     "ingestion: audit_reads requires provenance anchored"},
+    {"AuditReadsOutOfRange",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  provenance anchored\n  audit_reads 200000\n}\n",
+     "ingestion: audit_reads must be in [0, 100000] (got 200000) (line 8)"},
+
     // --- fault rules ------------------------------------------------------
     {"FaultProbabilityOutOfRange",
      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
@@ -278,6 +293,26 @@ TEST(ScenarioValidator, MinimalScenarioLoadsWithDefaults) {
   EXPECT_EQ(scenario.tenants[0].cost_lo, 600);
   EXPECT_EQ(scenario.tenants[0].cost_hi, 1400);
   EXPECT_FALSE(scenario.ingestion.enabled);
+}
+
+// The ingestion block accepts the hybrid-provenance keys, and defaults
+// keep the historical per-record behaviour.
+TEST(ScenarioValidator, IngestionProvenanceKeys) {
+  Result<Scenario> plain = load_string(
+      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+      "ingestion {\n  max_uploads 50\n}\n");
+  ASSERT_TRUE(plain.is_ok()) << plain.status().message();
+  EXPECT_EQ(plain->ingestion.provenance, ProvenanceMode::kPerRecord);
+  EXPECT_EQ(plain->ingestion.audit_reads, 0u);
+
+  Result<Scenario> anchored = load_string(
+      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+      "ingestion {\n  max_uploads 50\n  provenance anchored\n"
+      "  audit_reads 16\n}\n");
+  ASSERT_TRUE(anchored.is_ok()) << anchored.status().message();
+  EXPECT_TRUE(anchored->ingestion.enabled);
+  EXPECT_EQ(anchored->ingestion.provenance, ProvenanceMode::kAnchored);
+  EXPECT_EQ(anchored->ingestion.audit_reads, 16u);
 }
 
 // Comments and blank lines are ignored everywhere; quoted names may hold
