@@ -1,0 +1,280 @@
+// Experiment F12-scaleout (ROADMAP item 1, Section II.B).
+//
+// Million-patient macro-bench over the consistent-hash cluster: one
+// million synthetic patient records are placed on 1/2/4/8 shard-hosts
+// through the real hc::cluster ring, every record's ingest cost is
+// charged to its owner host's sim lane through the real byte-pure
+// cluster link, and the makespan is the slowest host lane. Placement is
+// the only thing a host count changes, so:
+//
+//   - sim speedup at h hosts is makespan(1)/makespan(h), gated at
+//     >= 0.9x ideal (the ring's 128-vnode balance keeps the max/mean
+//     host load within a few percent at this key count);
+//   - the aggregate statistics (record count, byte total, fixed-point
+//     value sum, an order-invariant placement fingerprint) reduce over
+//     per-host partials in sorted host order and must come out
+//     byte-identical across host counts, aggregation worker counts
+//     (exec::parallel_for chunk sweep), and whole reruns.
+//
+// The second full rerun regenerates every number from scratch; the
+// artifact (BENCH_scaleout.json) is written only if both passes agree.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "exec/executor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+using namespace hc;
+
+namespace {
+
+constexpr std::size_t kPatients = 1'000'000;
+const std::vector<std::size_t> kHostSweep = {1, 2, 4, 8};
+const std::vector<std::size_t> kWorkerSweep = {1, 2, 4, 8};
+
+std::string metrics_out_path(int argc, char** argv, const char* default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      return i + 1 < argc ? argv[i + 1] : default_path;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      return arg.substr(std::string("--metrics-out=").size());
+    }
+  }
+  return "";
+}
+
+/// splitmix64: each record's bytes/value derive from its index alone, so
+/// any chunk of the id space can be generated independently (the worker
+/// sweep partitions records without an Rng sequence dependence).
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+struct Record {
+  std::size_t bytes;             // staged envelope size
+  std::int64_t value_micro;      // synthetic measurement, fixed-point
+  std::uint64_t fingerprint;     // per-record hash, XOR-combined
+};
+
+Record make_record(std::size_t i) {
+  const std::uint64_t h = mix64(0x5ca1e0u + i);
+  Record r;
+  r.bytes = 200 + static_cast<std::size_t>(h % 1800);  // 200..1999 B
+  r.value_micro = static_cast<std::int64_t>(h % 20'000'000) - 10'000'000;
+  r.fingerprint = mix64(h);
+  return r;
+}
+
+/// Per-host aggregation partial. merge() is associative and commutative
+/// (sums and XOR), so the reduction over sorted host order is a pure
+/// function of placement — never of charge or chunk interleaving.
+struct Partial {
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t value_micro = 0;
+  std::uint64_t fingerprint = 0;
+
+  void absorb(const Record& r) {
+    ++records;
+    bytes += r.bytes;
+    value_micro += r.value_micro;
+    fingerprint ^= r.fingerprint;
+  }
+  void merge(const Partial& o) {
+    records += o.records;
+    bytes += o.bytes;
+    value_micro += o.value_micro;
+    fingerprint ^= o.fingerprint;
+  }
+  bool operator==(const Partial& o) const {
+    return records == o.records && bytes == o.bytes &&
+           value_micro == o.value_micro && fingerprint == o.fingerprint;
+  }
+};
+
+struct SweepResult {
+  SimTime makespan = 0;                  // slowest host lane
+  Partial total;                         // reduced in sorted host order
+  std::uint64_t transfers = 0;
+  std::uint64_t transfer_bytes = 0;
+  bool workers_agree = true;
+};
+
+/// Owner-host index for record `i` without allocating the key string.
+std::size_t owner_index(const cluster::Cluster& c,
+                        const std::map<std::string, std::size_t>& index,
+                        std::size_t i, char* buf) {
+  int len = std::snprintf(buf, 32, "patient-%zu", i);
+  const std::string* host = c.owner(std::string_view(buf, static_cast<std::size_t>(len)));
+  return index.at(*host);
+}
+
+SweepResult run_hosts(std::size_t hosts) {
+  cluster::ClusterConfig config;
+  config.hosts = hosts;
+  config.replication = 1;  // placement bench: the macro model charges the
+                           // primary ingest path; replication is the
+                           // differential wall's subject
+  cluster::Cluster cluster(config, make_clock());
+
+  std::map<std::string, std::size_t> host_index;
+  std::vector<std::string> host_names = cluster.hosts();
+  for (std::size_t h = 0; h < host_names.size(); ++h) {
+    host_index.emplace(host_names[h], h);
+  }
+
+  // Serial placement pass: charge every record to its owner's sim lane
+  // through the real cluster link (cost = base_latency + bytes/bandwidth,
+  // a pure function of the record bytes).
+  std::vector<SimTime> lanes(hosts, 0);
+  std::vector<Partial> partials(hosts);
+  char buf[32];
+  for (std::size_t i = 0; i < kPatients; ++i) {
+    const Record r = make_record(i);
+    const std::size_t h = owner_index(cluster, host_index, i, buf);
+    cluster.charge_transfer(cluster.origin(), host_names[h], r.bytes, &lanes[h]);
+    partials[h].absorb(r);
+  }
+
+  SweepResult result;
+  result.makespan = *std::max_element(lanes.begin(), lanes.end());
+  for (const Partial& p : partials) result.total.merge(p);  // sorted host order
+  result.transfers = cluster.total_transfers();
+  result.transfer_bytes = cluster.total_bytes();
+
+  // Aggregation worker sweep: the same per-host partials computed by
+  // parallel_for over fixed record chunks must reduce to the identical
+  // totals at every worker count (chunk partials merge in index order).
+  constexpr std::size_t kChunks = 256;
+  for (std::size_t workers : kWorkerSweep) {
+    std::vector<std::vector<Partial>> chunk_partials(
+        kChunks, std::vector<Partial>(hosts));
+    exec::parallel_for(kChunks, workers, [&](std::size_t c) {
+      char local[32];
+      const std::size_t begin = c * kPatients / kChunks;
+      const std::size_t end = (c + 1) * kPatients / kChunks;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t h = owner_index(cluster, host_index, i, local);
+        chunk_partials[c][h].absorb(make_record(i));
+      }
+    });
+    std::vector<Partial> merged(hosts);
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      for (std::size_t h = 0; h < hosts; ++h) merged[h].merge(chunk_partials[c][h]);
+    }
+    Partial total;
+    for (const Partial& p : merged) total.merge(p);
+    if (!(total == result.total) || !std::equal(merged.begin(), merged.end(),
+                                                partials.begin())) {
+      std::printf("!! %zu-host aggregate diverged at %zu workers\n", hosts,
+                  workers);
+      result.workers_agree = false;
+    }
+  }
+  return result;
+}
+
+void record_artifact(obs::MetricsRegistry& registry, std::size_t hosts,
+                     const SweepResult& r, const SweepResult& baseline) {
+  const std::string prefix =
+      "hc.bench.scaleout.hosts_" + std::to_string(hosts);
+  registry.set_gauge(prefix + ".makespan_us",
+                     static_cast<double>(r.makespan), "us");
+  registry.set_gauge(prefix + ".speedup_vs_1",
+                     static_cast<double>(baseline.makespan) /
+                         static_cast<double>(r.makespan));
+  registry.set_gauge(prefix + ".ideal_fraction",
+                     static_cast<double>(baseline.makespan) /
+                         static_cast<double>(r.makespan) /
+                         static_cast<double>(hosts));
+  registry.add(prefix + ".transfers", r.transfers);
+  registry.set_gauge(prefix + ".transfer_bytes",
+                     static_cast<double>(r.transfer_bytes), "B");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path = metrics_out_path(argc, argv, "BENCH_scaleout.json");
+  std::printf("== F12-scaleout: million-patient shard-host sweep ==\n");
+  std::printf("workload: %zu records, byte-pure cluster link, 128 vnodes/host\n\n",
+              kPatients);
+
+  bool ok = true;
+  std::string rerun_json;
+  obs::MetricsPtr registry;
+  for (int pass = 0; pass < 2; ++pass) {
+    registry = obs::make_metrics();
+    std::vector<SweepResult> results;
+    results.reserve(kHostSweep.size());
+    for (std::size_t hosts : kHostSweep) results.push_back(run_hosts(hosts));
+    const SweepResult& baseline = results.front();
+
+    if (pass == 0) {
+      std::printf("%-8s %-14s %-10s %-8s %-12s\n", "hosts", "sim makespan",
+                  "speedup", "ideal", "aggregates");
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const SweepResult& r = results[i];
+      const double speedup = static_cast<double>(baseline.makespan) /
+                             static_cast<double>(r.makespan);
+      const double ideal = speedup / static_cast<double>(kHostSweep[i]);
+      const bool aggregates_match = r.total == baseline.total;
+      if (pass == 0) {
+        std::printf("%-8zu %-14s %-10.2f %-8.3f %-12s\n", kHostSweep[i],
+                    format_duration(r.makespan).c_str(), speedup, ideal,
+                    aggregates_match && r.workers_agree ? "identical" : "DIVERGED");
+      }
+      ok = ok && aggregates_match && r.workers_agree;
+      if (kHostSweep[i] > 1 && ideal < 0.9) {
+        std::printf("!! %zu hosts: %.3fx of ideal speedup (gate: 0.9)\n",
+                    kHostSweep[i], ideal);
+        ok = false;
+      }
+      record_artifact(*registry, kHostSweep[i], r, baseline);
+    }
+    registry->add("hc.bench.scaleout.records", kPatients);
+    registry->add("hc.bench.scaleout.fingerprint_low48",
+                  baseline.total.fingerprint & 0xffffffffffffULL);
+    registry->set_gauge("hc.bench.scaleout.value_sum_micro",
+                        static_cast<double>(baseline.total.value_micro));
+    registry->set_gauge("hc.bench.scaleout.byte_total",
+                        static_cast<double>(baseline.total.bytes), "B");
+
+    const std::string json = obs::to_json(*registry);
+    if (pass == 0) {
+      rerun_json = json;
+    } else if (json != rerun_json) {
+      std::printf("!! rerun diverged: the artifact is not reproducible\n");
+      ok = false;
+    }
+  }
+  std::printf("\nrerun reproducible: %s\n", ok ? "yes" : "NO");
+
+  if (ok && !metrics_path.empty() && registry) {
+    Status written = obs::write_metrics_json(*registry, metrics_path);
+    if (!written.is_ok()) {
+      std::printf("!! %s\n", written.to_string().c_str());
+      return 1;
+    }
+    std::printf("metrics artifact written to %s\n", metrics_path.c_str());
+  }
+
+  std::printf("\npaper-shape check: host count divides the ingest makespan at\n"
+              ">= 0.9x ideal without changing any aggregate statistic.\n");
+  return ok ? 0 : 1;
+}

@@ -94,4 +94,45 @@ EmrDataset make_emr_dataset(const EmrConfig& config, Rng& rng) {
   return dataset;
 }
 
+void CohortStats::merge(const CohortStats& other) {
+  patients += other.patients;
+  comorbid += other.comorbid;
+  measurements += other.measurements;
+  value_sum_micro += other.value_sum_micro;
+  baseline_sum_micro += other.baseline_sum_micro;
+  exposure_events += other.exposure_events;
+}
+
+double CohortStats::mean_value() const {
+  if (measurements == 0) return 0.0;
+  return static_cast<double>(value_sum_micro) / 1e6 /
+         static_cast<double>(measurements);
+}
+
+std::int64_t to_micro(double value) {
+  const double scaled = value * 1e6;
+  return static_cast<std::int64_t>(scaled < 0.0 ? scaled - 0.5 : scaled + 0.5);
+}
+
+CohortStats patient_stats(const EmrPatient& patient) {
+  CohortStats stats;
+  stats.patients = 1;
+  stats.comorbid = patient.comorbid ? 1 : 0;
+  stats.baseline_sum_micro = to_micro(patient.true_baseline);
+  for (const EmrMeasurement& m : patient.measurements) {
+    ++stats.measurements;
+    stats.value_sum_micro += to_micro(m.value);
+    stats.exposure_events += static_cast<std::int64_t>(m.exposures.size());
+  }
+  return stats;
+}
+
+CohortStats cohort_stats(const std::vector<const EmrPatient*>& patients) {
+  CohortStats stats;
+  for (const EmrPatient* patient : patients) {
+    if (patient != nullptr) stats.merge(patient_stats(*patient));
+  }
+  return stats;
+}
+
 }  // namespace hc::analytics

@@ -68,4 +68,37 @@ struct EmrDataset {
 
 EmrDataset make_emr_dataset(const EmrConfig& config, Rng& rng);
 
+/// Cohort aggregate over EMR patients in *fixed-point micro-units*
+/// (1e-6 of an HbA1c %). Integer accumulators make the reduction
+/// associative and commutative, so a cross-shard scatter-gather reduces
+/// to the bitwise-identical result in any grouping — the property that
+/// keeps analytics aggregates placement-invariant across 1/2/4/8
+/// shard-hosts (doubles would drift with summation order).
+struct CohortStats {
+  std::int64_t patients = 0;
+  std::int64_t comorbid = 0;
+  std::int64_t measurements = 0;
+  std::int64_t value_sum_micro = 0;     // sum of HbA1c values, micro-units
+  std::int64_t baseline_sum_micro = 0;  // sum of true baselines, micro-units
+  std::int64_t exposure_events = 0;     // drug-active-at-visit count
+
+  /// Merge another shard's partial (the scatter-gather reduce_fn).
+  void merge(const CohortStats& other);
+
+  /// Mean HbA1c across measurements, back in doubles for reporting.
+  double mean_value() const;
+
+  friend bool operator==(const CohortStats&, const CohortStats&) = default;
+};
+
+/// Rounds a double to fixed-point micro-units (ties away from zero).
+std::int64_t to_micro(double value);
+
+/// CohortStats over one patient (the per-record map step).
+CohortStats patient_stats(const EmrPatient& patient);
+
+/// CohortStats over a set of patients — what one shard-host computes for
+/// its slice in the scatter-gather path.
+CohortStats cohort_stats(const std::vector<const EmrPatient*>& patients);
+
 }  // namespace hc::analytics

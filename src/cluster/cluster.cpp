@@ -1,0 +1,401 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "exec/executor.h"
+
+namespace hc::cluster {
+
+namespace {
+
+/// Simulated size of the metadata-shard manifest a stored record sends to
+/// its metadata owner (routing info, content hash, policy tags).
+constexpr std::size_t kMetadataManifestBytes = 256;
+
+}  // namespace
+
+// ---------------------------------------------------------------- Cluster
+
+Cluster::Cluster(ClusterConfig config, ClockPtr clock, net::SimNetwork* network,
+                 obs::MetricsPtr metrics)
+    : config_(std::move(config)),
+      replication_(std::max<std::size_t>(1, config_.replication)),
+      clock_(std::move(clock)),
+      network_(network),
+      metrics_(std::move(metrics)),
+      ring_(config_.vnodes) {
+  const std::size_t hosts = std::max<std::size_t>(1, config_.hosts);
+  replication_ = std::min(replication_, hosts);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    (void)add_host();
+  }
+}
+
+void Cluster::install_links(const std::string& host) {
+  if (network_ == nullptr) return;
+  network_->set_link(config_.origin, host, config_.link);
+  for (const auto& [other, stats] : stats_) {
+    if (other != host) network_->set_link(host, other, config_.link);
+  }
+}
+
+Result<std::string> Cluster::add_host() {
+  std::string host = config_.host_prefix + std::to_string(next_host_index_++);
+  if (Status s = ring_.add_host(host); !s.is_ok()) return s;
+  if (stats_.find(host) == stats_.end()) {
+    stats_.emplace(host, std::make_unique<HostStats>());
+  }
+  install_links(host);
+  if (metrics_) metrics_->set_gauge("hc.cluster.hosts",
+                                    static_cast<double>(ring_.host_count()));
+  return host;
+}
+
+Status Cluster::crash_host(const std::string& host) {
+  if (!ring_.has_host(host)) {
+    return Status(StatusCode::kNotFound, "host not in the cluster: " + host);
+  }
+  if (ring_.host_count() == 1) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "cannot crash the last shard-host: " + host);
+  }
+  if (Status s = ring_.remove_host(host); !s.is_ok()) return s;
+  if (metrics_) {
+    metrics_->add("hc.cluster.host_crashes");
+    metrics_->set_gauge("hc.cluster.hosts", static_cast<double>(ring_.host_count()));
+  }
+  return Status::ok();
+}
+
+bool Cluster::host_up(const std::string& host) const {
+  if (!ring_.has_host(host)) return false;
+  if (network_ != nullptr && network_->host_down(host)) return false;
+  return true;
+}
+
+SimTime Cluster::charge_transfer(const std::string& from, const std::string& to,
+                                 std::size_t bytes, SimTime* lane) {
+  if (from == to) return 0;  // loopback: same-host access is free
+  // Deterministic by construction: base latency + serialization delay,
+  // no jitter draw and no loss — so the charging order (which parallel
+  // workers do not control) cannot change the total.
+  SimTime cost = config_.link.base_latency +
+                 static_cast<SimTime>(static_cast<double>(bytes) /
+                                      config_.link.bandwidth_bytes_per_us);
+  if (lane != nullptr) {
+    *lane += cost;
+  } else {
+    clock_->advance(cost);
+  }
+  auto credit = [&](const std::string& host, bool inbound) {
+    auto it = stats_.find(host);
+    if (it == stats_.end()) return;  // origin has no host entry
+    HostStats& stats = *it->second;
+    (inbound ? stats.transfers_in : stats.transfers_out).fetch_add(1);
+    (inbound ? stats.bytes_in : stats.bytes_out).fetch_add(bytes);
+  };
+  credit(from, /*inbound=*/false);
+  credit(to, /*inbound=*/true);
+  total_transfers_.fetch_add(1);
+  total_bytes_.fetch_add(bytes);
+  total_transfer_us_.fetch_add(cost);
+  if (metrics_) {
+    metrics_->observe("hc.cluster.transfer_us", static_cast<double>(cost));
+  }
+  return cost;
+}
+
+const HostStats& Cluster::host_stats(const std::string& host) const {
+  static const HostStats kEmpty;
+  auto it = stats_.find(host);
+  return it == stats_.end() ? kEmpty : *it->second;
+}
+
+void Cluster::count_primary(const std::string& host) {
+  auto it = stats_.find(host);
+  if (it != stats_.end()) it->second->primaries.fetch_add(1);
+}
+
+std::map<std::string, std::vector<std::string>> Cluster::partition(
+    const std::vector<std::string>& keys) const {
+  std::map<std::string, std::vector<std::string>> shards;
+  for (const std::string& host : ring_.hosts()) shards[host];
+  for (const std::string& key : keys) {
+    if (const std::string* host = ring_.owner(key)) shards[*host].push_back(key);
+  }
+  return shards;
+}
+
+// ------------------------------------------------------------- ShardedLake
+
+ShardedLake::ShardedLake(Cluster& cluster, crypto::KeyManagementService& kms,
+                         std::string principal, Rng rng)
+    : cluster_(&cluster),
+      kms_(&kms),
+      principal_(std::move(principal)),
+      salt_(rng.engine()()) {
+  for (const std::string& host : cluster_->hosts()) {
+    (void)partition_or_create(host);
+  }
+}
+
+storage::DataLake& ShardedLake::partition_or_create(const std::string& host) {
+  {
+    std::shared_lock read(partitions_mu_);
+    auto it = partitions_.find(host);
+    if (it != partitions_.end()) return *it->second;
+  }
+  std::unique_lock write(partitions_mu_);
+  auto it = partitions_.find(host);
+  if (it == partitions_.end()) {
+    // Both streams are pure functions of (salt, host). The distinct id
+    // seed per host is load-bearing: DataLake's default seed is fixed, so
+    // two partitions sharing it would mint identical "ref-<uuid>"
+    // sequences and replication between them would collide on ref ids.
+    const std::uint64_t host_hash = exec::fnv1a64(host);
+    const std::uint64_t iv_seed = salt_ ^ (host_hash * 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t id_seed = salt_ + (host_hash ^ 0xc2b2ae3d27d4eb4fULL);
+    it = partitions_
+             .emplace(host, std::make_unique<storage::DataLake>(
+                                *kms_, principal_, Rng(iv_seed), id_seed))
+             .first;
+  }
+  return *it->second;
+}
+
+const storage::DataLake* ShardedLake::find_partition(const std::string& host) const {
+  std::shared_lock read(partitions_mu_);
+  auto it = partitions_.find(host);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+ShardedLake::PlacementShard& ShardedLake::placement_for(const std::string& ref) {
+  return placement_[exec::shard_by(ref, kPlacementShards)];
+}
+
+const ShardedLake::PlacementShard& ShardedLake::placement_for(
+    const std::string& ref) const {
+  return placement_[exec::shard_by(ref, kPlacementShards)];
+}
+
+Result<std::string> ShardedLake::put(const Bytes& plaintext,
+                                     const crypto::KeyId& key_id,
+                                     std::string_view routing_key, SimTime* lane) {
+  std::vector<std::string> chain = cluster_->owners(routing_key);
+  if (chain.empty()) {
+    return Status(StatusCode::kFailedPrecondition, "cluster has no live hosts");
+  }
+  const std::string& owner = chain[0];
+  // Upload hop: origin -> owner carries the record; the metadata-shard
+  // manifest rides to its own owner (separate hash namespace).
+  cluster_->charge_transfer(cluster_->origin(), owner, plaintext.size(), lane);
+  const std::string meta_key(routing_key);
+  if (const std::string* meta_host = cluster_->metadata_owner(meta_key)) {
+    cluster_->charge_transfer(cluster_->origin(), *meta_host, kMetadataManifestBytes,
+                              lane);
+  }
+
+  storage::DataLake& primary = partition_or_create(owner);
+  auto reference = primary.put(plaintext, key_id);
+  if (!reference.is_ok()) return reference;
+
+  // Replicate sealed ciphertext to the ring successors — the storage tier
+  // never decrypts to replicate (ReplicatedDataLake's discipline).
+  if (chain.size() > 1) {
+    auto sealed = primary.export_object(*reference);
+    if (!sealed.is_ok()) return sealed.status();
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      cluster_->charge_transfer(owner, chain[i], sealed->ciphertext.size(), lane);
+      Status imported =
+          partition_or_create(chain[i]).import_object(*reference, *sealed);
+      if (!imported.is_ok()) return imported;
+    }
+  }
+
+  {
+    PlacementShard& shard = placement_for(*reference);
+    std::lock_guard lock(shard.mu);
+    shard.routing_keys.emplace(*reference, std::string(routing_key));
+  }
+  cluster_->count_primary(owner);
+  return reference;
+}
+
+Result<Bytes> ShardedLake::get(const std::string& reference_id, SimTime* lane) const {
+  std::string routing_key;
+  {
+    const PlacementShard& shard = placement_for(reference_id);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.routing_keys.find(reference_id);
+    if (it == shard.routing_keys.end()) {
+      return Status(StatusCode::kNotFound, "unknown reference: " + reference_id);
+    }
+    routing_key = it->second;
+  }
+  // Owner-first chain walk, then (multi-crash edge) every live partition
+  // in sorted host order.
+  std::vector<std::string> candidates = cluster_->owners(routing_key);
+  for (const std::string& host : cluster_->hosts()) {
+    if (std::find(candidates.begin(), candidates.end(), host) == candidates.end()) {
+      candidates.push_back(host);
+    }
+  }
+  for (const std::string& host : candidates) {
+    if (!cluster_->host_up(host)) continue;
+    const storage::DataLake* lake = find_partition(host);
+    if (lake == nullptr || !lake->contains(reference_id)) continue;
+    auto plaintext = lake->get(reference_id);
+    if (!plaintext.is_ok()) return plaintext;
+    cluster_->charge_transfer(host, cluster_->origin(), plaintext->size(), lane);
+    return plaintext;
+  }
+  return Status(StatusCode::kDataLoss,
+                "every replica of " + reference_id + " is unreachable");
+}
+
+Result<std::string> ShardedLake::locate(const std::string& reference_id) const {
+  std::string routing_key;
+  {
+    const PlacementShard& shard = placement_for(reference_id);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.routing_keys.find(reference_id);
+    if (it == shard.routing_keys.end()) {
+      return Status(StatusCode::kNotFound, "unknown reference: " + reference_id);
+    }
+    routing_key = it->second;
+  }
+  for (const std::string& host : cluster_->owners(routing_key)) {
+    if (!cluster_->host_up(host)) continue;
+    const storage::DataLake* lake = find_partition(host);
+    if (lake != nullptr && lake->contains(reference_id)) return host;
+  }
+  for (const std::string& host : cluster_->hosts()) {
+    if (!cluster_->host_up(host)) continue;
+    const storage::DataLake* lake = find_partition(host);
+    if (lake != nullptr && lake->contains(reference_id)) return host;
+  }
+  return Status(StatusCode::kDataLoss,
+                "every replica of " + reference_id + " is unreachable");
+}
+
+bool ShardedLake::contains(const std::string& reference_id) const {
+  const PlacementShard& shard = placement_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  return shard.routing_keys.count(reference_id) != 0;
+}
+
+std::size_t ShardedLake::object_count() const {
+  std::size_t total = 0;
+  for (const PlacementShard& shard : placement_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.routing_keys.size();
+  }
+  return total;
+}
+
+std::size_t ShardedLake::copy_count() const {
+  std::size_t total = 0;
+  std::shared_lock read(partitions_mu_);
+  for (const auto& [host, lake] : partitions_) {
+    if (cluster_->host_up(host)) total += lake->object_count();
+  }
+  return total;
+}
+
+std::vector<std::string> ShardedLake::references() const {
+  std::vector<std::string> refs;
+  for (const PlacementShard& shard : placement_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [ref, key] : shard.routing_keys) refs.push_back(ref);
+  }
+  std::sort(refs.begin(), refs.end());
+  return refs;
+}
+
+std::vector<std::pair<std::string, std::string>> ShardedLake::placement_snapshot()
+    const {
+  std::vector<std::pair<std::string, std::string>> snapshot;
+  for (const PlacementShard& shard : placement_) {
+    std::lock_guard lock(shard.mu);
+    snapshot.insert(snapshot.end(), shard.routing_keys.begin(),
+                    shard.routing_keys.end());
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+ShardedLake::RebalanceReport ShardedLake::rebalance(SimTime* lane) {
+  RebalanceReport report;
+  for (const auto& [ref, routing_key] : placement_snapshot()) {
+    std::vector<std::string> want = cluster_->owners(routing_key);
+    // Surviving holders, sorted: the lexicographically-first is the move
+    // source (deterministic regardless of which copy was the primary).
+    std::vector<std::string> have;
+    for (const std::string& host : cluster_->hosts()) {
+      if (!cluster_->host_up(host)) continue;
+      const storage::DataLake* lake = find_partition(host);
+      if (lake != nullptr && lake->contains(ref)) have.push_back(host);
+    }
+    if (have.empty()) {
+      ++report.lost_objects;
+      continue;
+    }
+    const std::string& source = have[0];
+    // Crash recovery (as opposed to a join's ownership shuffle): the
+    // object is under-replicated — a holder died — and this pass restores
+    // full replication from the surviving copies.
+    if (have.size() < want.size()) ++report.recovered_primaries;
+    auto held = [&](const std::string& host) {
+      return std::find(have.begin(), have.end(), host) != have.end();
+    };
+    for (const std::string& target : want) {
+      if (held(target)) continue;
+      auto sealed = partition_or_create(source).export_object(ref);
+      if (!sealed.is_ok()) continue;  // source vanished mid-pass (impossible quiesced)
+      cluster_->charge_transfer(source, target, sealed->ciphertext.size(), lane);
+      report.moved_bytes += sealed->ciphertext.size();
+      Status imported = partition_or_create(target).import_object(ref, *sealed);
+      if (imported.is_ok()) ++report.moved_copies;
+    }
+    for (const std::string& holder : have) {
+      if (std::find(want.begin(), want.end(), holder) == want.end()) {
+        if (partition_or_create(holder).erase(ref).is_ok()) ++report.dropped_copies;
+      }
+    }
+  }
+  return report;
+}
+
+Result<Bytes> ShardedLake::get_unmetered(const std::string& reference_id) const {
+  std::shared_lock read(partitions_mu_);
+  for (const auto& [host, lake] : partitions_) {
+    if (!cluster_->host_up(host)) continue;
+    if (!lake->contains(reference_id)) continue;
+    return lake->get(reference_id);
+  }
+  return Status(StatusCode::kDataLoss,
+                "every replica of " + reference_id + " is unreachable");
+}
+
+Result<Bytes> ShardedLake::content_digest() const {
+  std::vector<Bytes> hashes;
+  for (const auto& [ref, routing_key] : placement_snapshot()) {
+    auto plaintext = get_unmetered(ref);
+    if (!plaintext.is_ok()) return plaintext.status();
+    hashes.push_back(crypto::sha256(*plaintext));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  Bytes all;
+  all.reserve(hashes.size() * 32);
+  for (const Bytes& hash : hashes) all.insert(all.end(), hash.begin(), hash.end());
+  return crypto::sha256(all);
+}
+
+storage::DataLake* ShardedLake::partition(const std::string& host) {
+  std::shared_lock read(partitions_mu_);
+  auto it = partitions_.find(host);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace hc::cluster

@@ -1,0 +1,317 @@
+// Cluster scale-out (hc::cluster): consistent-hash placement of storage
+// shards across N simulated hosts.
+//
+// ROADMAP item 1: the platform used to be one logical node whose "shards"
+// were in-process lock stripes. This module makes sharding architectural:
+//
+//   * Cluster        — N named shard-hosts modeled on hc::net's link
+//                      profiles; every cross-host byte is charged to the
+//                      sim clock through a *deterministic* (zero-jitter)
+//                      cluster link, so placement decisions show up in sim
+//                      time but never perturb byte-reproducible artifacts.
+//   * HashRing       — consistent-hash placement (ring.h): record,
+//                      metadata, and staging keys map to owner hosts;
+//                      join/crash moves only the provably-owed fraction.
+//   * ShardedLake    — the DataLake promoted to a cluster citizen: per-host
+//                      DataLake partitions, put/get routed by the ring,
+//                      sealed-object replication to the next `replication-1`
+//                      distinct ring successors, and rebalance() that
+//                      re-establishes placement after topology changes by
+//                      moving ciphertext only (never plaintext — the same
+//                      discipline storage::ReplicatedDataLake set).
+//   * scatter_gather — cross-shard analytics: partition keys by owner,
+//                      map per host (optionally on that host's exec
+//                      affinity lane), charge each host's result transfer,
+//                      reduce in lexicographic host order. Deterministic
+//                      for any worker interleaving.
+//
+// Determinism contract (the scaleout test wall pins all of these):
+//   - placement is a pure function of (key, ring state) — FNV-1a, never
+//     std::hash, never insertion order;
+//   - transfer costs are a pure function of (bytes, link profile) — the
+//     cluster link has zero jitter and zero loss, so charging order
+//     (which parallel ingestion does not control) cannot change totals;
+//   - aggregates over all hosts (counts, digests, Merkle roots) are
+//     invariant to the host count: 1, 2, 4, and 8 shard-hosts store the
+//     same logical contents, only faster.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/kms.h"
+#include "exec/executor.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "storage/data_lake.h"
+
+namespace hc::cluster {
+
+struct ClusterConfig {
+  std::size_t hosts = 1;          // initial shard-host count (>= 1)
+  std::size_t vnodes = 128;       // ring points per host
+  std::size_t replication = 2;    // copies per object (capped at host count)
+  std::string host_prefix = "shard-";  // hosts are "<prefix>0".."<prefix>N-1"
+  std::string origin = "gateway";      // where requests enter the cluster
+  /// Intra-cluster link. Defaults to net::LinkProfile::cluster(): a
+  /// zero-jitter, zero-loss LAN so transfer costs are a pure function of
+  /// the byte count (see the determinism contract above).
+  net::LinkProfile link = net::LinkProfile::cluster();
+};
+
+/// Cross-host traffic accounting, totals and per host.
+struct HostStats {
+  std::atomic<std::uint64_t> transfers_in{0};
+  std::atomic<std::uint64_t> transfers_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> primaries{0};  // objects this host owns
+};
+
+/// N simulated shard-hosts behind one consistent-hash ring.
+///
+/// Topology changes (add_host / crash_host) must happen quiesced — between
+/// drains, never concurrently with put/get traffic. Lookups and transfers
+/// are thread-safe (parallel ingestion workers route concurrently).
+class Cluster {
+ public:
+  /// `network` (nullable) gets a full mesh of cluster links installed —
+  /// origin<->host and host<->host — so other subsystems can message the
+  /// shard-hosts too. When a network with a bound fault injector is given,
+  /// host_up() honors its crash windows (hc::fault composition).
+  Cluster(ClusterConfig config, ClockPtr clock, net::SimNetwork* network = nullptr,
+          obs::MetricsPtr metrics = nullptr);
+
+  const std::string& origin() const { return config_.origin; }
+  const HashRing& ring() const { return ring_; }
+  std::size_t host_count() const { return ring_.host_count(); }
+  std::size_t replication() const { return replication_; }
+  std::vector<std::string> hosts() const { return ring_.hosts(); }
+  ClockPtr clock() const { return clock_; }
+
+  /// Owner shard-host of a key; null only if every host has crashed.
+  const std::string* owner(std::string_view key) const { return ring_.owner(key); }
+  /// The key's replica set: owner first, then distinct ring successors.
+  std::vector<std::string> owners(std::string_view key) const {
+    return ring_.owners(key, replication_);
+  }
+  /// Placement of the metadata / staging shard for a key. Separate hash
+  /// namespaces so a record and its metadata spread independently.
+  const std::string* metadata_owner(const std::string& key) const {
+    return ring_.owner("meta|" + key);
+  }
+  const std::string* staging_owner(const std::string& key) const {
+    return ring_.owner("stage|" + key);
+  }
+
+  /// Joins the next host ("<prefix><next-index>") to the ring and the
+  /// network mesh. Call ShardedLake::rebalance() afterwards to move the
+  /// owed keys. Returns the new host's name.
+  Result<std::string> add_host();
+
+  /// Crash: the host leaves the ring and its (simulated) local data is
+  /// unreachable. kFailedPrecondition when it is the last host. Call
+  /// ShardedLake::rebalance() to re-replicate from surviving copies.
+  Status crash_host(const std::string& host);
+
+  /// On the ring and not inside a fault-plan crash window.
+  bool host_up(const std::string& host) const;
+
+  /// Charges a deterministic cluster-link transfer: cost is
+  /// base_latency + bytes/bandwidth (no jitter, no loss). With `lane` the
+  /// cost accumulates in the caller's worker-local sim lane (parallel
+  /// drain discipline); otherwise the shared clock advances. Loopback
+  /// (from == to) charges nothing.
+  SimTime charge_transfer(const std::string& from, const std::string& to,
+                          std::size_t bytes, SimTime* lane = nullptr);
+
+  const HostStats& host_stats(const std::string& host) const;
+  /// Credits one owned object to `host` (ShardedLake's put path).
+  void count_primary(const std::string& host);
+  std::uint64_t total_transfers() const { return total_transfers_.load(); }
+  std::uint64_t total_bytes() const { return total_bytes_.load(); }
+  SimTime total_transfer_time() const { return total_transfer_us_.load(); }
+
+  /// Partitions keys by owner host (lexicographic host order; input order
+  /// preserved within each host's slice).
+  std::map<std::string, std::vector<std::string>> partition(
+      const std::vector<std::string>& keys) const;
+
+  /// Cross-shard scatter-gather aggregation. `map_fn(host, shard_keys)`
+  /// computes one host's partial (on that host's affinity lane when
+  /// `affinity` is given, inline otherwise); each partial's transfer back
+  /// to the origin is charged at `result_bytes_per_host`; partials reduce
+  /// into the first host's partial in lexicographic host order — so the
+  /// result is deterministic for any worker interleaving, and placement-
+  /// invariant whenever the reduction is associative and commutative.
+  template <typename Partial>
+  Result<Partial> scatter_gather(
+      const std::vector<std::string>& keys, std::size_t result_bytes_per_host,
+      const std::function<Partial(const std::string&, const std::vector<std::string>&)>&
+          map_fn,
+      const std::function<void(Partial&, const Partial&)>& reduce_fn,
+      exec::AffinityExecutor* affinity = nullptr, SimTime* lane = nullptr) {
+    if (ring_.host_count() == 0) {
+      return Status(StatusCode::kFailedPrecondition, "cluster has no live hosts");
+    }
+    auto shards = partition(keys);
+    std::vector<std::string> order;
+    order.reserve(shards.size());
+    for (const auto& [host, shard_keys] : shards) order.push_back(host);
+    if (order.empty()) return Partial{};
+    std::vector<Partial> partials(order.size());
+    if (affinity != nullptr) {
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        affinity->submit_keyed(order[i], [&, i] {
+          partials[i] = map_fn(order[i], shards.at(order[i]));
+        });
+      }
+      affinity->drain();
+    } else {
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        partials[i] = map_fn(order[i], shards.at(order[i]));
+      }
+    }
+    for (const std::string& host : order) {
+      charge_transfer(host, config_.origin, result_bytes_per_host, lane);
+    }
+    Partial result = std::move(partials[0]);
+    for (std::size_t i = 1; i < partials.size(); ++i) {
+      reduce_fn(result, partials[i]);
+    }
+    return result;
+  }
+
+ private:
+  void install_links(const std::string& host);
+
+  ClusterConfig config_;
+  std::size_t replication_;
+  ClockPtr clock_;
+  net::SimNetwork* network_;  // may be null
+  obs::MetricsPtr metrics_;   // may be null
+  HashRing ring_;
+  std::size_t next_host_index_ = 0;
+  std::map<std::string, std::unique_ptr<HostStats>> stats_;  // every host ever
+  std::atomic<std::uint64_t> total_transfers_{0};
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<SimTime> total_transfer_us_{0};
+};
+
+/// The DataLake as a cluster citizen: one storage::DataLake partition per
+/// shard-host, placement by the ring over a caller-supplied routing key
+/// (ingestion uses the record's content hash, so placement — like the
+/// provenance Merkle roots — is a pure function of the workload, never of
+/// worker interleaving), sealed-object replication, and rebalance().
+///
+/// put/get are thread-safe; rebalance() and topology changes are quiesced
+/// operations (between drains), like the ring they react to.
+class ShardedLake {
+ public:
+  /// One DataLake partition is created per current cluster host, each with
+  /// its own id/IV stream forked off `rng`. `principal` is the identity
+  /// the partitions act as toward the KMS (same contract as DataLake).
+  ShardedLake(Cluster& cluster, crypto::KeyManagementService& kms,
+              std::string principal, Rng rng);
+
+  /// Routes by `routing_key`: encrypt-and-store on the owner host's
+  /// partition, then replicate the sealed ciphertext to the ring
+  /// successors. Transfer costs (origin->owner upload, owner->replica
+  /// copies, metadata-shard manifest) are charged to `lane` or the clock.
+  Result<std::string> put(const Bytes& plaintext, const crypto::KeyId& key_id,
+                          std::string_view routing_key, SimTime* lane = nullptr);
+
+  /// Reads from the first live replica-chain host holding the object
+  /// (owner first), charging the host->origin transfer. After a crash and
+  /// before rebalance() the chain walk is what keeps every object
+  /// readable; kDataLoss only when every copy is gone.
+  Result<Bytes> get(const std::string& reference_id, SimTime* lane = nullptr) const;
+
+  bool contains(const std::string& reference_id) const;
+  /// Logical objects (each counted once, wherever its copies live).
+  std::size_t object_count() const;
+  /// Physical copies across every live partition (>= object_count).
+  std::size_t copy_count() const;
+  /// All logical reference ids, sorted (canonical iteration order).
+  std::vector<std::string> references() const;
+  /// The live host currently serving reads for a reference (the first
+  /// live chain host holding a copy) — what the fuzz wall cross-checks
+  /// against ring recomputation.
+  Result<std::string> locate(const std::string& reference_id) const;
+
+  /// Outcome of one rebalance pass (see rebalance()).
+  struct RebalanceReport {
+    std::uint64_t moved_copies = 0;       // sealed copies installed
+    std::uint64_t moved_bytes = 0;        // ciphertext bytes transferred
+    std::uint64_t recovered_primaries = 0;  // under-replicated objects
+                                            // restored to full replication
+    std::uint64_t dropped_copies = 0;     // copies no longer owed, erased
+    std::uint64_t lost_objects = 0;       // no surviving copy (replication
+                                          // exhausted) — never with one
+                                          // crash at replication >= 2
+  };
+
+  /// Re-establishes ring placement after add_host()/crash_host(): every
+  /// object's copies end up exactly on its current replica set, moved as
+  /// sealed ciphertext from the lexicographically-first surviving holder,
+  /// iterated in sorted reference order — byte-deterministic. New hosts'
+  /// partitions are created on demand.
+  RebalanceReport rebalance(SimTime* lane = nullptr);
+
+  /// Canonical digest of the logical contents: sha256 over the sorted
+  /// plaintext content hashes of every object. Placement-invariant by
+  /// construction — equal digests across 1/2/4/8 hosts, across worker
+  /// counts, and across a crash-and-rebalance cycle is the differential
+  /// wall's core assertion.
+  Result<Bytes> content_digest() const;
+
+  /// Direct access to one host's partition (tests, audits).
+  storage::DataLake* partition(const std::string& host);
+
+  const Cluster& cluster() const { return *cluster_; }
+
+ private:
+  static constexpr std::size_t kPlacementShards = 16;
+
+  struct PlacementShard {
+    mutable std::mutex mu;
+    std::map<std::string, std::string> routing_keys;  // ref -> routing key
+  };
+
+  storage::DataLake& partition_or_create(const std::string& host);
+  const storage::DataLake* find_partition(const std::string& host) const;
+  PlacementShard& placement_for(const std::string& ref);
+  const PlacementShard& placement_for(const std::string& ref) const;
+  /// Sorted (ref, routing_key) snapshot across every placement stripe.
+  std::vector<std::pair<std::string, std::string>> placement_snapshot() const;
+  /// get() without the host->origin transfer charge — content_digest()
+  /// must not perturb the sim clock or traffic stats.
+  Result<Bytes> get_unmetered(const std::string& reference_id) const;
+
+  Cluster* cluster_;
+  crypto::KeyManagementService* kms_;
+  std::string principal_;
+  mutable std::shared_mutex partitions_mu_;  // map structure
+  /// Salt drawn once from the caller's Rng; every partition's IV stream
+  /// and reference-id stream is then a pure function of (salt, host), so
+  /// lazy partition creation order can never perturb determinism.
+  std::uint64_t salt_;
+  std::map<std::string, std::unique_ptr<storage::DataLake>> partitions_;
+  std::array<PlacementShard, kPlacementShards> placement_;
+};
+
+}  // namespace hc::cluster

@@ -1,0 +1,79 @@
+// Consistent-hash ring with virtual nodes (hc::cluster).
+//
+// ROADMAP item 1 promotes sharding from an in-process trick (sharded lock
+// stripes keyed by exec::shard_by) to an architectural concept: record,
+// tenant, and staging keys are placed on N *simulated hosts*, and the
+// placement must survive hosts joining and crashing with minimal movement.
+// A consistent-hash ring is the classical answer: every host projects
+// `vnodes` points onto a 64-bit circle, a key is owned by the first host
+// point at or clockwise of its hash, and adding/removing one host remaps
+// only the arcs that host's points cover — every other key keeps its
+// owner (the "minimal disruption" property the property tests pin).
+//
+// Hashing discipline matches the rest of the platform: FNV-1a
+// (exec::fnv1a64) with a splitmix64 avalanche finalizer — an explicitly
+// specified hash, so placement is identical across platforms, standard
+// libraries, and processes; a shard-keyed artifact (BENCH_scaleout.json,
+// scenario bundles, golden tests) never depends on where it was produced.
+// (The finalizer matters: raw FNV-1a of near-identical vnode labels
+// clusters on the circle and skews arc lengths >3x.) Ring points order by
+// (hash, host), so the vanishingly-rare 64-bit point collision still
+// resolves the same way regardless of host insertion order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hc::cluster {
+
+/// Consistent-hash ring. Not thread-safe for mutation: topology changes
+/// (add_host / remove_host) happen quiesced, between drains — concurrent
+/// readers of a stable ring are fine (all lookups are const).
+class HashRing {
+ public:
+  /// `vnodes` points per host. More points -> tighter load balance at
+  /// O(vnodes * hosts) memory; 128 keeps the max/mean host load within a
+  /// few percent at hospital-scale key counts (see cluster_test bounds).
+  explicit HashRing(std::size_t vnodes = 128);
+
+  /// kAlreadyExists when the host is present, kInvalidArgument when empty.
+  Status add_host(const std::string& host);
+  /// kNotFound when absent.
+  Status remove_host(const std::string& host);
+
+  bool has_host(const std::string& host) const;
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t vnodes() const { return vnodes_; }
+  /// Hosts in lexicographic order (the canonical iteration order every
+  /// deterministic artifact uses).
+  std::vector<std::string> hosts() const;
+
+  /// Owner host of `key`: the first ring point at or clockwise of the
+  /// key's circle position. Null when the ring is empty.
+  const std::string* owner(std::string_view key) const;
+
+  /// The first `n` *distinct* hosts clockwise from the key's point, owner
+  /// first — the object's replica set. Fewer than `n` entries when the
+  /// ring has fewer hosts.
+  std::vector<std::string> owners(std::string_view key, std::size_t n) const;
+
+  /// Keys per host for `keys`, in lexicographic host order — the load-
+  /// balance property tests pin max/mean bounds over this.
+  std::map<std::string, std::size_t> load_of(const std::vector<std::string>& keys) const;
+
+ private:
+  using Point = std::pair<std::uint64_t, std::string>;  // (position, host)
+
+  const std::size_t vnodes_;
+  std::set<Point> points_;
+  std::set<std::string> hosts_;
+};
+
+}  // namespace hc::cluster

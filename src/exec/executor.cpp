@@ -157,4 +157,91 @@ std::size_t hardware_workers() {
   return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
+AffinityExecutor::AffinityExecutor(std::size_t lanes, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  for (auto& lane : lanes_) {
+    lane->thread = std::thread([this, l = lane.get()] { lane_loop(*l); });
+  }
+}
+
+AffinityExecutor::~AffinityExecutor() { shutdown(); }
+
+void AffinityExecutor::record_error() {
+  std::lock_guard lock(error_mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void AffinityExecutor::lane_loop(Lane& lane) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(lane.mu);
+      lane.not_empty_.wait(lock, [&] { return lane.stopping || !lane.queue.empty(); });
+      if (lane.queue.empty()) return;  // stopping and drained
+      task = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      lane.active = true;
+      lane.not_full_.notify_one();
+    }
+    try {
+      task();
+    } catch (...) {
+      record_error();
+    }
+    {
+      std::lock_guard lock(lane.mu);
+      lane.active = false;
+      if (lane.queue.empty()) lane.idle_.notify_all();
+    }
+  }
+}
+
+void AffinityExecutor::submit(std::size_t lane_index, std::function<void()> task) {
+  Lane& lane = *lanes_[lane_index % lanes_.size()];
+  std::unique_lock lock(lane.mu);
+  if (lane.stopping) throw std::logic_error("AffinityExecutor::submit after shutdown");
+  lane.not_full_.wait(lock, [&] { return lane.queue.size() < capacity_; });
+  lane.queue.push_back(std::move(task));
+  lane.not_empty_.notify_one();
+}
+
+void AffinityExecutor::submit_keyed(std::string_view key, std::function<void()> task) {
+  submit(shard_by(key, lanes_.size()), std::move(task));
+}
+
+void AffinityExecutor::drain() {
+  for (auto& lane : lanes_) {
+    std::unique_lock lock(lane->mu);
+    lane->idle_.wait(lock, [&] { return lane->queue.empty() && !lane->active; });
+  }
+  check_error();
+}
+
+void AffinityExecutor::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& lane : lanes_) {
+    std::lock_guard lock(lane->mu);
+    lane->stopping = true;
+    lane->not_empty_.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+void AffinityExecutor::check_error() {
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(error_mu_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace hc::exec

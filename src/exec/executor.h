@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string_view>
 #include <thread>
@@ -94,6 +95,68 @@ class ThreadPool {
   std::uint64_t completed_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;  // first task exception since last drain
+};
+
+/// Lane-affine executor: `lanes` single-thread FIFO queues. A task
+/// submitted to lane L always runs on lane L's thread, and two tasks on
+/// the same lane never run concurrently or out of order — the shard/worker
+/// affinity hc::cluster uses so one shard-host's drain stays on one lane
+/// (the NUMA-pinning discipline of large-scale training runners, scaled
+/// down to the simulation). Cross-lane tasks run concurrently.
+///
+/// Error discipline matches ThreadPool: the first exception any task
+/// throws is captured and rethrown from drain() / check_error().
+class AffinityExecutor {
+ public:
+  /// Starts `lanes` single-thread queues (>= 1). `queue_capacity` bounds
+  /// each lane's queued tasks; submit() blocks when that lane is full.
+  explicit AffinityExecutor(std::size_t lanes, std::size_t queue_capacity = 256);
+
+  /// drain() + join (task errors swallowed — drain() first to observe).
+  ~AffinityExecutor();
+
+  AffinityExecutor(const AffinityExecutor&) = delete;
+  AffinityExecutor& operator=(const AffinityExecutor&) = delete;
+
+  /// Enqueues on lane `lane % lanes()`. FIFO within the lane.
+  void submit(std::size_t lane, std::function<void()> task);
+
+  /// Enqueues on the lane shard_by(key, lanes()) selects — the same key
+  /// always lands on the same lane.
+  void submit_keyed(std::string_view key, std::function<void()> task);
+
+  /// Blocks until every lane is empty and idle, then rethrows the first
+  /// captured task exception (clearing it).
+  void drain();
+
+  /// drain() + stop + join. Idempotent; task errors are not thrown here.
+  void shutdown();
+
+  /// Rethrows the first captured task exception, if any (clears it).
+  void check_error();
+
+  std::size_t lanes() const { return lanes_.size(); }
+
+ private:
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue;
+    std::thread thread;
+    bool active = false;     // a task is executing
+    bool stopping = false;
+  };
+
+  void lane_loop(Lane& lane);
+  void record_error();
+
+  const std::size_t capacity_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+  bool stopped_ = false;
 };
 
 /// Runs fn(0) ... fn(n-1) across `workers` threads (a temporary pool when

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "cluster/cluster.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "exec/executor.h"
@@ -84,7 +85,9 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
     receipt.upload_id = "upload-" + ids_.next_uuid();
   }
 
-  if (Status s = deps_.staging->put(receipt.upload_id, pack_envelope(envelope));
+  Bytes staged_blob = pack_envelope(envelope);
+  const std::size_t staged_bytes = staged_blob.size();
+  if (Status s = deps_.staging->put(receipt.upload_id, std::move(staged_blob));
       !s.is_ok()) {
     return s;
   }
@@ -103,6 +106,14 @@ Result<UploadReceipt> IngestionService::upload(const crypto::Envelope& envelope,
     return s;
   }
   receipt.status_url = deps_.tracker->track(receipt.upload_id);
+  if (deps_.cluster) {
+    // The staged blob lands on its staging shard-host. Cost is a pure
+    // function of the byte count (zero-jitter cluster link), so upload
+    // accounting is invariant to the host count.
+    if (const std::string* host = deps_.cluster->staging_owner(receipt.upload_id)) {
+      deps_.cluster->charge_transfer(deps_.cluster->origin(), *host, staged_bytes);
+    }
+  }
   if (deps_.metrics) deps_.metrics->add("hc.ingestion.uploads");
   if (deps_.log) {
     deps_.log->info("ingestion", "upload_received",
@@ -309,8 +320,16 @@ void IngestionService::process_decrypted(const storage::IngestionMessage& messag
   Bytes stored_bytes = fhir::serialize_bundle(stored_bundle);
   charge("store", 0, costs_.store_per_kb, stored_bytes.size(), lane);
   Bytes content_hash = crypto::sha256(stored_bytes);
+  Bytes original_hash = crypto::sha256(plaintext);
   crypto::KeyId patient_key_id = patient_key_for_store(pseudonym);
-  auto reference = deps_.lake->put(stored_bytes, patient_key_id);
+  // Cluster mode routes each record to its owner shard-host by content
+  // hash — placement is a pure function of the workload, never of worker
+  // interleaving or host count (the scaleout differential wall pins this).
+  auto reference =
+      deps_.cluster_lake != nullptr
+          ? deps_.cluster_lake->put(stored_bytes, patient_key_id,
+                                    hex_encode(content_hash), lane)
+          : deps_.lake->put(stored_bytes, patient_key_id);
   if (!reference.is_ok()) {
     fail("store", message.upload_id,
          "data lake error: " + reference.status().to_string(), outcome);
@@ -320,7 +339,11 @@ void IngestionService::process_decrypted(const storage::IngestionMessage& messag
   // Section IV.B.1: the *original* (identified) bundle is also stored,
   // encrypted under the same per-patient key — full export re-identifies
   // from it, and crypto-shredding covers both copies.
-  auto original_reference = deps_.lake->put(plaintext, patient_key_id);
+  auto original_reference =
+      deps_.cluster_lake != nullptr
+          ? deps_.cluster_lake->put(plaintext, patient_key_id,
+                                    hex_encode(original_hash), lane)
+          : deps_.lake->put(plaintext, patient_key_id);
 
   storage::RecordMetadata metadata;
   metadata.reference_id = *reference;
@@ -337,7 +360,7 @@ void IngestionService::process_decrypted(const storage::IngestionMessage& messag
     original_md.consent_group = "";  // originals are not query-exposed by group
     original_md.schema = "fhir-bundle";
     original_md.privacy_level = "identified";
-    original_md.content_hash = crypto::sha256(plaintext);
+    original_md.content_hash = original_hash;
     (void)deps_.metadata->put(original_md);
   }
   (void)deps_.metadata->put(metadata);

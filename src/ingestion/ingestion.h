@@ -42,6 +42,11 @@
 #include "storage/staging.h"
 #include "storage/status_tracker.h"
 
+namespace hc::cluster {
+class Cluster;
+class ShardedLake;
+}  // namespace hc::cluster
+
 namespace hc::ingestion {
 
 /// Everything the service needs, owned elsewhere (typically by the
@@ -71,6 +76,14 @@ struct IngestionDeps {
   /// buffer into Merkle-anchored batches after the drain. When null, the
   /// historical per-record submit_and_commit path runs unchanged.
   provenance::BatchAnchorer* anchorer = nullptr;
+  /// Cluster scale-out (optional, both-or-neither). When bound, the store
+  /// stage routes records to their owner shard-host through the sharded
+  /// lake (placement by content hash — a pure function of the workload),
+  /// upload() charges the staging-shard transfer, and `lake` is bypassed
+  /// for record bodies. When null, the historical single-lake path runs
+  /// byte-identically.
+  cluster::Cluster* cluster = nullptr;
+  cluster::ShardedLake* cluster_lake = nullptr;
 };
 
 /// Per-upload scheduling hints carried into the message queue.

@@ -28,6 +28,12 @@ LinkProfile LinkProfile::intercloud() {
   return LinkProfile{15 * kMillisecond, 2 * kMillisecond, 125.0, 0.0};
 }
 
+LinkProfile LinkProfile::cluster() {
+  // 50us latency, 25 Gb/s ~= 3125 bytes/us; deterministic (no jitter, no
+  // loss) so cluster transfer totals are independent of charging order.
+  return LinkProfile{50, 0, 3125.0, 0.0};
+}
+
 SimNetwork::SimNetwork(ClockPtr clock, Rng rng)
     : clock_(std::move(clock)), rng_(rng) {}
 

@@ -38,6 +38,11 @@ struct LinkProfile {
   static LinkProfile mobile();
   /// Cloud-to-cloud dedicated interconnect: ~15ms, 1 Gb/s.
   static LinkProfile intercloud();
+  /// Intra-cluster shard fabric: ~50us, 25 Gb/s, zero jitter and zero
+  /// loss — transfer cost is a pure function of the byte count, which is
+  /// what keeps hc::cluster's scale-out artifacts byte-reproducible for
+  /// any charging order (see src/cluster/cluster.h).
+  static LinkProfile cluster();
 };
 
 struct NetworkStats {

@@ -1,5 +1,6 @@
 #include "platform/gateway.h"
 
+#include "cluster/cluster.h"
 #include "obs/trace.h"
 
 namespace hc::platform {
@@ -42,6 +43,12 @@ Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
     return user.status();
   }
 
+  // Shard-aware routing resolves the owner host *before* admission: a
+  // request whose shard is down is refused before it spends QoS budget.
+  if (Status routed = route_to_shard(request); !routed.is_ok()) {
+    return routed;
+  }
+
   if (qos_) {
     if (Status gate = qos_gate(tenant_of(*user), request); !gate.is_ok()) {
       return gate;
@@ -49,6 +56,24 @@ Result<ApiResponse> ApiGateway::handle(const ApiRequest& request) {
   }
 
   return dispatch_authorized(*user, request);
+}
+
+Status ApiGateway::route_to_shard(const ApiRequest& request) {
+  if (cluster_ == nullptr) return Status::ok();
+  obs::MetricsPtr metrics = instance_->metrics();
+  const std::string* owner = cluster_->owner(request.resource);
+  if (owner == nullptr || !cluster_->host_up(*owner)) {
+    ++stats_.shard_unavailable;
+    metrics->add("hc.gateway.shard_unavailable");
+    instance_->log()->warn("gateway", "shard_unavailable", request.resource);
+    return Status(StatusCode::kUnavailable,
+                  "owner shard-host unavailable for " + request.resource);
+  }
+  ++stats_.routed;
+  metrics->add("hc.gateway.routed");
+  cluster_->charge_transfer(cluster_->origin(), *owner,
+                            request.resource.size() + request.payload.size());
+  return Status::ok();
 }
 
 Result<ApiResponse> ApiGateway::dispatch_authorized(const std::string& user_id,
@@ -213,6 +238,10 @@ Status ApiGateway::submit(ApiRequest request) {
     metrics->add("hc.gateway.unauthenticated");
     instance_->log()->warn("gateway", "unauthenticated", request.resource);
     return user.status();
+  }
+
+  if (Status routed = route_to_shard(request); !routed.is_ok()) {
+    return routed;
   }
 
   std::string tenant = tenant_of(*user);

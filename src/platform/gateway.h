@@ -25,6 +25,10 @@
 #include "platform/instance.h"
 #include "sched/sched.h"
 
+namespace hc::cluster {
+class Cluster;
+}  // namespace hc::cluster
+
 namespace hc::platform {
 
 struct ApiRequest {
@@ -53,6 +57,8 @@ struct GatewayStats {
   std::uint64_t rate_limited = 0;      // shed by the tenant's token bucket
   std::uint64_t shed = 0;              // shed by deadline/overload admission
   std::uint64_t queued = 0;            // accepted onto the scheduled queue
+  std::uint64_t routed = 0;            // resolved to an owner shard-host
+  std::uint64_t shard_unavailable = 0; // owner shard-host crashed / ring empty
 };
 
 /// QoS policy for the gateway (see enable_qos). Per-tenant token-bucket
@@ -135,6 +141,15 @@ class ApiGateway {
   /// Breaker state for a route prefix, or kClosed if never dispatched.
   fault::BreakerState route_breaker_state(const std::string& resource_prefix) const;
 
+  /// Binds the shard cluster (nullptr detaches). With a cluster bound the
+  /// gateway becomes shard-aware: right after authentication — before the
+  /// QoS gate spends any budget — it resolves the request's owner
+  /// shard-host on the consistent-hash ring (keyed by the resource path),
+  /// fast-fails kUnavailable when that host is crashed, and charges the
+  /// routing hop on the deterministic cluster link.
+  void set_cluster(cluster::Cluster* cluster) { cluster_ = cluster; }
+  cluster::Cluster* cluster() const { return cluster_; }
+
   const GatewayStats& stats() const { return stats_; }
 
  private:
@@ -157,7 +172,12 @@ class ApiGateway {
   sched::TokenBucket& bucket_for(const std::string& tenant);
   void record_lane_depth(const std::string& tenant);
 
+  /// Shard routing (see set_cluster). Returns the denial when the owner
+  /// host is unreachable; charges the routing hop otherwise.
+  Status route_to_shard(const ApiRequest& request);
+
   HealthCloudInstance* instance_;
+  cluster::Cluster* cluster_ = nullptr;  // may be null (single-node mode)
   std::map<std::string, Handler> routes_;  // prefix -> handler
   fault::CircuitBreakerConfig breaker_template_;
   std::map<std::string, std::unique_ptr<fault::CircuitBreaker>> breakers_;

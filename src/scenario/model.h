@@ -184,6 +184,16 @@ struct IngestionSpec {
   /// Anchored mode only: membership proofs served + verified after the
   /// drain (audit read traffic riding the surge).
   std::uint64_t audit_reads = 0;
+  /// Cluster scale-out replay (ROADMAP item 1): > 0 stands up that many
+  /// simulated shard-hosts behind a consistent-hash ring and routes every
+  /// stored record through hc::cluster::ShardedLake. 0 = the historical
+  /// single-lake path (byte-identical to pre-cluster bundles).
+  std::uint64_t shard_hosts = 0;        // 0..64
+  std::uint64_t shard_vnodes = 128;     // ring points per host
+  std::uint64_t shard_replication = 2;  // sealed copies per object
+  /// Crash this host after the drain, then rebalance — the scale-out
+  /// recovery drill (scenarios/scaleout_rebalance.scn). Empty = no crash.
+  std::string crash_shard_host;
 };
 
 /// Machine-checkable pass/fail rule evaluated over the run.

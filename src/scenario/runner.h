@@ -70,6 +70,22 @@ struct ProvenanceTally {
   std::uint64_t bytes_offchain = 0; // payload bytes kept in the lake
 };
 
+/// Cluster scale-out replay outcome (ingestion shard_hosts > 0). Every
+/// count is a pure function of the scenario bytes: placement hashes the
+/// content, transfer charges are byte-pure, and the recovery drill's
+/// rebalance iterates in sorted reference order — so the bundle stays
+/// byte-identical across reruns and ingestion worker counts.
+struct ClusterTally {
+  std::uint64_t hosts = 0;            // shard-hosts stood up
+  std::uint64_t objects = 0;          // objects in the sharded lake
+  std::uint64_t copies = 0;           // sealed copies incl. replicas
+  std::uint64_t transfers = 0;        // cluster-link transfers charged
+  std::uint64_t bytes_moved = 0;      // bytes across those transfers
+  std::uint64_t rebalance_moved = 0;  // copies moved by the recovery drill
+  std::uint64_t rebalance_recovered = 0;  // primaries re-homed after crash
+  std::uint64_t lost_objects = 0;     // stays 0 or the run fails
+};
+
 struct VerdictOutcome {
   std::string name;
   bool pass = true;
@@ -91,6 +107,7 @@ struct RunReport {
   std::vector<CellModeResult> cells;  // sweep-major, fifo before sched
   std::vector<IngestTally> ingest;    // per tenant; empty unless enabled
   ProvenanceTally provenance;         // zeros unless `provenance anchored`
+  ClusterTally cluster;               // zeros unless `shard_hosts > 0`
   std::vector<VerdictOutcome> verdicts;
   obs::MetricsPtr metrics;  // curated `hc.scenario.*` registry
   std::vector<std::string> timeline;

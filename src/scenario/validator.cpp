@@ -520,10 +520,60 @@ Status decode_ingestion(const RawBlock& block, IngestionSpec& out) {
   reader.integer("max_uploads", out.max_uploads, 1, 100000);
   reader.keyword("provenance", out.provenance, provenance_choices());
   reader.integer("audit_reads", out.audit_reads, 0, 100000);
+  // Presence probes before the decoders (find() is idempotent on the
+  // consumed flag) — the shard_* satellites are only meaningful once
+  // shard_hosts turns the cluster path on.
+  const bool saw_vnodes = reader.find("shard_vnodes", 1, 1) != nullptr;
+  const bool saw_replication = reader.find("shard_replication", 1, 1) != nullptr;
+  reader.integer("shard_hosts", out.shard_hosts, 0, 64);
+  reader.integer("shard_vnodes", out.shard_vnodes, 1, 4096);
+  reader.integer("shard_replication", out.shard_replication, 1, 8);
+  reader.str("crash_shard_host", out.crash_shard_host);
   Status status = reader.finish();
   if (!status.is_ok()) return status;
   if (out.audit_reads > 0 && out.provenance != ProvenanceMode::kAnchored) {
     return invalid("ingestion: audit_reads requires provenance anchored");
+  }
+  if (out.shard_hosts == 0) {
+    if (saw_vnodes) {
+      return invalid("ingestion: shard_vnodes requires shard_hosts > 0");
+    }
+    if (saw_replication) {
+      return invalid("ingestion: shard_replication requires shard_hosts > 0");
+    }
+    if (!out.crash_shard_host.empty()) {
+      return invalid("ingestion: crash_shard_host requires shard_hosts > 0");
+    }
+    return Status::ok();
+  }
+  if (out.shard_replication > out.shard_hosts) {
+    return invalid("ingestion: shard_replication (" +
+                   std::to_string(out.shard_replication) +
+                   ") must be <= shard_hosts (" +
+                   std::to_string(out.shard_hosts) + ")");
+  }
+  if (!out.crash_shard_host.empty()) {
+    // Hosts are named "shard-0" .. "shard-<hosts-1>" by the cluster.
+    bool known = false;
+    for (std::uint64_t i = 0; i < out.shard_hosts; ++i) {
+      if (out.crash_shard_host == "shard-" + std::to_string(i)) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return invalid("ingestion: crash_shard_host \"" + out.crash_shard_host +
+                     "\" is not one of shard-0..shard-" +
+                     std::to_string(out.shard_hosts - 1));
+    }
+    if (out.shard_hosts < 2) {
+      return invalid("ingestion: crash_shard_host requires shard_hosts >= 2");
+    }
+    if (out.shard_replication < 2) {
+      return invalid(
+          "ingestion: crash_shard_host requires shard_replication >= 2 "
+          "(a lone copy dies with its host)");
+    }
   }
   return Status::ok();
 }

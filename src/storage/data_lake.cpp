@@ -113,8 +113,9 @@ std::size_t MetadataStore::size() const {
   return total;
 }
 
-DataLake::DataLake(crypto::KeyManagementService& kms, std::string principal, Rng rng)
-    : kms_(&kms), principal_(std::move(principal)), rng_(rng) {}
+DataLake::DataLake(crypto::KeyManagementService& kms, std::string principal, Rng rng,
+                   std::uint64_t id_seed)
+    : kms_(&kms), principal_(std::move(principal)), rng_(rng), ids_(id_seed) {}
 
 DataLake::Shard& DataLake::shard_for(const std::string& reference_id) {
   return shards_[exec::shard_by(reference_id, kShardCount)];

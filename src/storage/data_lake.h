@@ -85,7 +85,12 @@ class MetadataStore {
 class DataLake {
  public:
   /// `principal` is the identity the lake acts as when touching the KMS.
-  DataLake(crypto::KeyManagementService& kms, std::string principal, Rng rng);
+  /// `id_seed` selects the reference-id uuid stream; the default keeps the
+  /// historical sequence. Sharded deployments (hc::cluster) must give each
+  /// partition a distinct seed — two lakes on the same seed mint identical
+  /// "ref-<uuid>" sequences, and replication between them collides.
+  DataLake(crypto::KeyManagementService& kms, std::string principal, Rng rng,
+           std::uint64_t id_seed = 0x1d5eed);
 
   /// Encrypts and stores; returns the reference id.
   Result<std::string> put(const Bytes& plaintext, const crypto::KeyId& key_id);

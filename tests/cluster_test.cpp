@@ -1,0 +1,571 @@
+// Cluster scale-out test wall (`ctest -L scaleout`).
+//
+// Three layers of evidence that sharding changes nothing but speed:
+//   1. Hash-ring property tests (randomized): load balance within a
+//      pinned bound across 1..64 hosts x 1e5 keys, and minimal
+//      disruption — a host join moves keys only *to* the joiner and only
+//      the owed fraction; a leave remaps exactly the leaver's keys.
+//   2. ShardedLake semantics: sealed replication, crash survival through
+//      the replica chain, rebalance convergence, placement-invariant
+//      content digests.
+//   3. The differential wall: the same 50-upload mixed ingestion queue
+//      (tests/parallel_ingestion_test.cpp's workload) run on 1/2/4/8
+//      shard-hosts — and against the historical single-lake path —
+//      produces byte-identical aggregate metrics, the same canonical
+//      lake digest, the same pseudonym set, and identical anchored
+//      provenance Merkle roots.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analytics/emr.h"
+#include "blockchain/contracts.h"
+#include "cluster/cluster.h"
+#include "crypto/sha256.h"
+#include "exec/executor.h"
+#include "fhir/synthetic.h"
+#include "ingestion/ingestion.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "provenance/provenance.h"
+
+namespace hc::cluster {
+namespace {
+
+std::vector<std::string> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("key-" + std::to_string(rng.uniform_int(0, 1'000'000'000)) +
+                   "-" + std::to_string(i));
+  }
+  return keys;
+}
+
+HashRing make_ring(std::size_t hosts, std::size_t vnodes = 128) {
+  HashRing ring(vnodes);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    EXPECT_TRUE(ring.add_host("shard-" + std::to_string(i)).is_ok());
+  }
+  return ring;
+}
+
+// --- ring properties -------------------------------------------------------
+
+TEST(HashRingProperty, LoadBalanceWithinPinnedBoundAcrossHostCounts) {
+  // 1e5 random keys; host counts spanning 1..64. With 128 vnodes per host
+  // the max/mean per-host load stays within the pinned envelope — the
+  // bound bench_scaleout's near-linear speedup claim rests on.
+  const std::vector<std::string> keys = random_keys(100'000, 0xbeef);
+  for (std::size_t hosts : {1u, 2u, 3u, 4u, 8u, 16u, 32u, 64u}) {
+    HashRing ring = make_ring(hosts);
+    auto load = ring.load_of(keys);
+    ASSERT_EQ(load.size(), hosts);
+    std::size_t total = 0, max_load = 0;
+    std::size_t min_load = keys.size();
+    for (const auto& [host, count] : load) {
+      total += count;
+      max_load = std::max(max_load, count);
+      min_load = std::min(min_load, count);
+    }
+    EXPECT_EQ(total, keys.size()) << "every key has exactly one owner";
+    const double mean =
+        static_cast<double>(keys.size()) / static_cast<double>(hosts);
+    EXPECT_LE(static_cast<double>(max_load), 1.35 * mean)
+        << hosts << " hosts: max load " << max_load << " vs mean " << mean;
+    EXPECT_GE(static_cast<double>(min_load), 0.65 * mean)
+        << hosts << " hosts: min load " << min_load << " vs mean " << mean;
+  }
+}
+
+TEST(HashRingProperty, JoinMovesKeysOnlyToTheJoinerAndOnlyTheOwedShare) {
+  const std::vector<std::string> keys = random_keys(100'000, 0xcafe);
+  for (std::size_t hosts : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    HashRing ring = make_ring(hosts);
+    std::map<std::string, std::string> before;
+    for (const auto& key : keys) before[key] = *ring.owner(key);
+
+    const std::string joiner = "shard-" + std::to_string(hosts);
+    ASSERT_TRUE(ring.add_host(joiner).is_ok());
+
+    std::size_t moved = 0;
+    for (const auto& key : keys) {
+      const std::string& now = *ring.owner(key);
+      if (now != before[key]) {
+        ++moved;
+        EXPECT_EQ(now, joiner)
+            << "a key may only move to the joining host, never between "
+               "incumbents";
+      }
+    }
+    // Fair share is 1/(hosts+1); vnode variance is bounded by the load-
+    // balance envelope above, so 1.5x fair share is a safe pin.
+    const double fair =
+        static_cast<double>(keys.size()) / static_cast<double>(hosts + 1);
+    EXPECT_LE(static_cast<double>(moved), 1.5 * fair)
+        << hosts << "->" << hosts + 1 << " hosts moved " << moved;
+    EXPECT_GT(moved, 0u) << "the joiner must take over a nonempty arc";
+  }
+}
+
+TEST(HashRingProperty, LeaveRemapsExactlyTheLeaversKeys) {
+  const std::vector<std::string> keys = random_keys(100'000, 0xd00d);
+  for (std::size_t hosts : {2u, 4u, 8u, 16u}) {
+    HashRing ring = make_ring(hosts);
+    std::map<std::string, std::string> before;
+    for (const auto& key : keys) before[key] = *ring.owner(key);
+
+    const std::string leaver = "shard-1";
+    ASSERT_TRUE(ring.remove_host(leaver).is_ok());
+
+    for (const auto& key : keys) {
+      const std::string& now = *ring.owner(key);
+      if (before[key] == leaver) {
+        EXPECT_NE(now, leaver) << "orphaned keys must be adopted";
+      } else {
+        EXPECT_EQ(now, before[key])
+            << "keys not owned by the leaver must keep their owner exactly";
+      }
+    }
+  }
+}
+
+TEST(HashRingProperty, PlacementIsInsertionOrderIndependent) {
+  // Same host set added in different orders -> identical owners for every
+  // key (points order by (hash, host), nothing remembers arrival order).
+  const std::vector<std::string> keys = random_keys(10'000, 0xfeed);
+  HashRing forward(64);
+  HashRing reverse(64);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(forward.add_host("shard-" + std::to_string(i)).is_ok());
+  }
+  for (int i = 7; i >= 0; --i) {
+    ASSERT_TRUE(reverse.add_host("shard-" + std::to_string(i)).is_ok());
+  }
+  for (const auto& key : keys) {
+    EXPECT_EQ(*forward.owner(key), *reverse.owner(key));
+  }
+}
+
+TEST(HashRingProperty, ReplicaSetsAreDistinctOwnerFirstAndCapped) {
+  HashRing ring = make_ring(4);
+  const std::vector<std::string> keys = random_keys(2'000, 0xace);
+  for (const auto& key : keys) {
+    auto replicas = ring.owners(key, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas[0], *ring.owner(key));
+    std::set<std::string> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size());
+  }
+  // n capped at the host count; empty ring -> no owner.
+  EXPECT_EQ(ring.owners("k", 16).size(), 4u);
+  HashRing empty(8);
+  EXPECT_EQ(empty.owner("k"), nullptr);
+  EXPECT_TRUE(empty.owners("k", 2).empty());
+}
+
+// --- cluster + sharded lake ------------------------------------------------
+
+struct LakeFixture {
+  ClockPtr clock = make_clock();
+  LogPtr log = make_log(clock);
+  crypto::KeyManagementService kms{"tenant-a", Rng(71), log};
+  crypto::KeyId key = kms.create_symmetric_key("platform");
+
+  ClusterConfig config(std::size_t hosts, std::size_t replication = 2) {
+    ClusterConfig c;
+    c.hosts = hosts;
+    c.replication = replication;
+    return c;
+  }
+};
+
+TEST(Cluster, TransferCostIsAPureFunctionOfBytes) {
+  LakeFixture fx;
+  Cluster cluster(fx.config(4), fx.clock);
+  SimTime a = cluster.charge_transfer("gateway", "shard-0", 4096);
+  SimTime b = cluster.charge_transfer("gateway", "shard-3", 4096);
+  EXPECT_EQ(a, b) << "same bytes, same cost — independent of the endpoint";
+  EXPECT_EQ(cluster.charge_transfer("shard-1", "shard-1", 1 << 20), 0)
+      << "loopback is free";
+  EXPECT_EQ(cluster.total_transfers(), 2u);
+  EXPECT_EQ(cluster.total_bytes(), 8192u);
+  EXPECT_EQ(fx.clock->now(), a + b);
+  // Lane accounting defers the clock.
+  SimTime lane = 0;
+  cluster.charge_transfer("gateway", "shard-2", 4096, &lane);
+  EXPECT_EQ(lane, a);
+}
+
+TEST(Cluster, CrashRefusesLastHostAndTracksLiveness) {
+  LakeFixture fx;
+  Cluster cluster(fx.config(2), fx.clock);
+  EXPECT_TRUE(cluster.host_up("shard-0"));
+  EXPECT_TRUE(cluster.crash_host("shard-0").is_ok());
+  EXPECT_FALSE(cluster.host_up("shard-0"));
+  EXPECT_EQ(cluster.crash_host("shard-1").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.crash_host("shard-9").code(), StatusCode::kNotFound);
+  // add_host never reuses a crashed host's name.
+  auto joined = cluster.add_host();
+  ASSERT_TRUE(joined.is_ok());
+  EXPECT_EQ(*joined, "shard-2");
+}
+
+TEST(ShardedLake, PutReplicatesSealedCopiesAndGetSurvivesACrash) {
+  LakeFixture fx;
+  Cluster cluster(fx.config(4, 2), fx.clock);
+  ShardedLake lake(cluster, fx.kms, "platform", Rng(72));
+
+  std::vector<std::string> refs;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 40; ++i) {
+    Bytes payload = to_bytes("record-" + std::to_string(i));
+    std::string routing = hex_encode(crypto::sha256(payload));
+    auto ref = lake.put(payload, fx.key, routing);
+    ASSERT_TRUE(ref.is_ok()) << ref.status().to_string();
+    refs.push_back(*ref);
+    payloads.push_back(std::move(payload));
+  }
+  EXPECT_EQ(lake.object_count(), 40u);
+  EXPECT_EQ(lake.copy_count(), 80u) << "replication=2 -> two copies each";
+
+  auto digest_before = lake.content_digest();
+  ASSERT_TRUE(digest_before.is_ok());
+
+  // Crash one host: every object stays readable through its replica chain.
+  ASSERT_TRUE(cluster.crash_host("shard-1").is_ok());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    auto back = lake.get(refs[i]);
+    ASSERT_TRUE(back.is_ok()) << refs[i] << " lost after a single crash";
+    EXPECT_EQ(*back, payloads[i]);
+  }
+
+  // Rebalance restores full replication on the survivors, byte-identically.
+  auto report = lake.rebalance();
+  EXPECT_EQ(report.lost_objects, 0u);
+  EXPECT_GT(report.moved_copies, 0u);
+  EXPECT_EQ(lake.copy_count(), 80u);
+  auto digest_after = lake.content_digest();
+  ASSERT_TRUE(digest_after.is_ok());
+  EXPECT_EQ(*digest_after, *digest_before)
+      << "crash + rebalance must not change logical contents";
+
+  // Every object's copies now sit exactly on its current replica set.
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    auto where = lake.locate(refs[i]);
+    ASSERT_TRUE(where.is_ok());
+    auto want = cluster.owners(hex_encode(crypto::sha256(payloads[i])));
+    EXPECT_EQ(*where, want[0]) << "primary re-seated on the ring owner";
+  }
+}
+
+TEST(ShardedLake, JoinThenRebalanceMovesOnlyTheOwedShare) {
+  LakeFixture fx;
+  Cluster cluster(fx.config(4, 2), fx.clock);
+  ShardedLake lake(cluster, fx.kms, "platform", Rng(72));
+  for (int i = 0; i < 64; ++i) {
+    Bytes payload = to_bytes("join-record-" + std::to_string(i));
+    ASSERT_TRUE(
+        lake.put(payload, fx.key, hex_encode(crypto::sha256(payload))).is_ok());
+  }
+  auto digest_before = lake.content_digest();
+  ASSERT_TRUE(digest_before.is_ok());
+
+  ASSERT_TRUE(cluster.add_host().is_ok());
+  auto report = lake.rebalance();
+  EXPECT_EQ(report.lost_objects, 0u);
+  // 64 objects x 2 copies = 128; the joiner's fair share is 1/5 of them.
+  // Everything beyond the owed arcs must stay put.
+  EXPECT_LE(report.moved_copies, 2 * 128 / 5)
+      << "join rebalance moved more than ~the owed fraction";
+  EXPECT_EQ(report.moved_copies, report.dropped_copies)
+      << "every copy installed on the joiner retires one stale copy";
+  EXPECT_EQ(lake.copy_count(), 128u);
+  auto digest_after = lake.content_digest();
+  ASSERT_TRUE(digest_after.is_ok());
+  EXPECT_EQ(*digest_after, *digest_before);
+}
+
+// --- scatter-gather --------------------------------------------------------
+
+TEST(ScatterGather, CohortStatsAreBitIdenticalAcrossHostCountsAndLanes) {
+  // One EMR cohort; aggregate it on 1, 2, 4, and 8 shard-hosts, with and
+  // without the affinity executor. Fixed-point accumulators make the
+  // reduction associative, so every grouping lands on the same bits.
+  analytics::EmrConfig config;
+  config.patients = 400;
+  Rng rng(7);
+  analytics::EmrDataset dataset = analytics::make_emr_dataset(config, rng);
+
+  std::map<std::string, const analytics::EmrPatient*> by_pseudonym;
+  std::vector<std::string> keys;
+  for (const auto& patient : dataset.patients) {
+    by_pseudonym[patient.pseudonym] = &patient;
+    keys.push_back(patient.pseudonym);
+  }
+
+  // Ground truth: a flat serial pass.
+  std::vector<const analytics::EmrPatient*> all;
+  for (const auto& patient : dataset.patients) all.push_back(&patient);
+  const analytics::CohortStats expected = analytics::cohort_stats(all);
+  ASSERT_GT(expected.measurements, 0);
+
+  auto map_fn = [&](const std::string&, const std::vector<std::string>& shard_keys) {
+    std::vector<const analytics::EmrPatient*> shard;
+    for (const auto& key : shard_keys) shard.push_back(by_pseudonym.at(key));
+    return analytics::cohort_stats(shard);
+  };
+  auto reduce_fn = [](analytics::CohortStats& into,
+                      const analytics::CohortStats& from) { into.merge(from); };
+
+  for (std::size_t hosts : {1u, 2u, 4u, 8u}) {
+    LakeFixture fx;
+    Cluster cluster(fx.config(hosts), fx.clock);
+    auto inline_stats = cluster.scatter_gather<analytics::CohortStats>(
+        keys, /*result_bytes_per_host=*/64, map_fn, reduce_fn);
+    ASSERT_TRUE(inline_stats.is_ok());
+    EXPECT_EQ(*inline_stats, expected) << hosts << " hosts, inline";
+
+    exec::AffinityExecutor affinity(hosts);
+    auto affine_stats = cluster.scatter_gather<analytics::CohortStats>(
+        keys, 64, map_fn, reduce_fn, &affinity);
+    affinity.shutdown();
+    ASSERT_TRUE(affine_stats.is_ok());
+    EXPECT_EQ(*affine_stats, expected) << hosts << " hosts, affinity lanes";
+  }
+}
+
+// --- the ingestion differential wall ---------------------------------------
+
+// The parallel_ingestion_test stack, cluster edition: same seeds (rng 70,
+// kms 71, lake rng 72), same three-peer ledger, plus a Cluster and
+// ShardedLake the store stage routes through, and a BatchAnchorer so the
+// provenance Merkle roots can be compared across host counts.
+struct ClusterStack {
+  ClockPtr clock = make_clock();
+  LogPtr log = make_log(clock);
+  Rng rng{70};
+  crypto::KeyManagementService kms{"tenant-a", Rng(71), log};
+  storage::StagingArea staging;
+  storage::MessageQueue queue;
+  storage::StatusTracker tracker;
+  storage::DataLake lake{kms, "platform", Rng(73)};  // unused in cluster mode
+  storage::MetadataStore metadata;
+  privacy::AnonymizationVerificationService verifier{
+      privacy::FieldSchema::standard_patient(), 0.99, 1};
+  privacy::ReidentificationMap reid_map;
+  obs::MetricsPtr metrics = obs::make_metrics();
+  std::unique_ptr<blockchain::PermissionedLedger> ledger;
+  std::unique_ptr<Cluster> cluster;            // null in single-lake mode
+  std::unique_ptr<ShardedLake> cluster_lake;   // null in single-lake mode
+  std::unique_ptr<provenance::BatchAnchorer> anchorer;
+  crypto::KeyId lake_key;
+  crypto::KeyId client_key;
+  std::unique_ptr<ingestion::IngestionService> service;
+
+  /// hosts == 0 stands up the historical single-lake path (no cluster).
+  explicit ClusterStack(std::size_t hosts) {
+    blockchain::LedgerConfig config;
+    config.peers = {"peer-a", "peer-b", "peer-c"};
+    ledger = std::make_unique<blockchain::PermissionedLedger>(config, clock, log);
+    EXPECT_TRUE(blockchain::register_hcls_contracts(*ledger).is_ok());
+    EXPECT_TRUE(provenance::BatchAnchorer::register_contract(*ledger).is_ok());
+    provenance::AnchorerConfig anchor_config;
+    anchor_config.costs = provenance::ConsensusCostModel{};
+    anchorer = std::make_unique<provenance::BatchAnchorer>(*ledger, clock,
+                                                           anchor_config);
+    lake_key = kms.create_symmetric_key("platform");
+
+    ingestion::IngestionDeps deps;
+    deps.clock = clock;
+    deps.log = log;
+    deps.kms = &kms;
+    deps.staging = &staging;
+    deps.queue = &queue;
+    deps.tracker = &tracker;
+    deps.lake = &lake;
+    deps.metadata = &metadata;
+    deps.ledger = ledger.get();
+    deps.verifier = &verifier;
+    deps.reid_map = &reid_map;
+    deps.metrics = metrics;
+    deps.anchorer = anchorer.get();
+    if (hosts > 0) {
+      ClusterConfig cluster_config;
+      cluster_config.hosts = hosts;
+      cluster_config.replication = 2;
+      // No metrics bound to the cluster: the registry then holds exactly
+      // the ingestion-plane metrics, which must be host-count-invariant.
+      cluster = std::make_unique<Cluster>(cluster_config, clock);
+      cluster_lake =
+          std::make_unique<ShardedLake>(*cluster, kms, "platform", Rng(72));
+      deps.cluster = cluster.get();
+      deps.cluster_lake = cluster_lake.get();
+    }
+    service = std::make_unique<ingestion::IngestionService>(
+        deps, lake_key, to_bytes("pseudo-key"), "platform");
+
+    client_key = kms.create_keypair("clinic-a");
+    EXPECT_TRUE(kms.authorize(client_key, "clinic-a", "platform").is_ok());
+  }
+
+  void grant_consent(const std::string& patient_id) {
+    ASSERT_TRUE(ledger
+                    ->submit_and_commit("consent",
+                                        {{"action", "grant"},
+                                         {"patient", patient_id},
+                                         {"group", "study-a"}},
+                                        "healthcare-provider")
+                    .is_ok());
+  }
+
+  void upload(const fhir::Bundle& bundle) {
+    auto pub = kms.public_key(client_key);
+    ASSERT_TRUE(pub.is_ok());
+    auto envelope = crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng);
+    ASSERT_TRUE(
+        service->upload(envelope, "clinic-a", "study-a", client_key).is_ok());
+  }
+
+  /// parallel_ingestion_test's fixed mixed workload: indices 0-4 malware
+  /// (consented), 5-7 unconsented, 8-49 clean -> 42 stored, 8 rejected.
+  void enqueue_mixed(std::size_t n = 50) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fhir::Bundle bundle =
+          fhir::make_synthetic_bundle(rng, "bundle-t" + std::to_string(i), i);
+      const std::string patient_id =
+          std::get<fhir::Patient>(bundle.resources[0]).id;
+      if (i < 5 || i >= 8) grant_consent(patient_id);
+      if (i < 5) {
+        std::get<fhir::Patient>(bundle.resources[0]).address =
+            to_string(ingestion::test_malware_payload());
+      }
+      upload(bundle);
+    }
+  }
+
+  std::set<std::string> study_pseudonyms() const {
+    std::set<std::string> pseudonyms;
+    for (const auto& md : metadata.by_group("study-a")) {
+      pseudonyms.insert(md.pseudonym);
+    }
+    return pseudonyms;
+  }
+
+  /// Anchored Merkle roots in batch order (flush() first).
+  std::vector<Bytes> anchored_roots() {
+    EXPECT_TRUE(anchorer->flush().is_ok());
+    std::vector<Bytes> roots;
+    for (const auto& batch : anchorer->batches()) {
+      roots.push_back(batch.tree.root());
+    }
+    return roots;
+  }
+};
+
+constexpr std::size_t kStoredExpected = 42;
+
+TEST(ScaleoutDifferential, HostCountsChangeNothingButSpeed) {
+  // The identical mixed queue at 1, 2, 4, and 8 shard-hosts, plus the
+  // historical single-lake path as the golden. Every aggregate — metrics
+  // document, pseudonym set, reject tallies, canonical content digest,
+  // anchored Merkle roots — must be byte-identical across all five runs.
+  ClusterStack golden(0);
+  golden.enqueue_mixed();
+  EXPECT_EQ(golden.service->process_all(4), kStoredExpected);
+  const std::string golden_json = obs::to_json(*golden.metrics);
+  const std::set<std::string> golden_pseudonyms = golden.study_pseudonyms();
+  const std::vector<Bytes> golden_roots = golden.anchored_roots();
+  ASSERT_FALSE(golden_roots.empty());
+
+  Result<Bytes> first_digest = Status(StatusCode::kNotFound, "unset");
+  for (std::size_t hosts : {1u, 2u, 4u, 8u}) {
+    ClusterStack stack(hosts);
+    stack.enqueue_mixed();
+    EXPECT_EQ(stack.service->process_all(4), kStoredExpected) << hosts;
+
+    // End state: verdict tallies and store counts, exactly the historical
+    // single-lake numbers.
+    EXPECT_TRUE(stack.queue.empty());
+    EXPECT_EQ(stack.staging.size(), 0u);
+    EXPECT_EQ(stack.metrics->counter("hc.ingestion.reject.malware"), 5u);
+    EXPECT_EQ(stack.metrics->counter("hc.ingestion.reject.consent"), 3u);
+    EXPECT_EQ(stack.cluster_lake->object_count(), 2 * kStoredExpected);
+    EXPECT_EQ(stack.cluster_lake->copy_count(),
+              std::min<std::size_t>(2, hosts) * 2 * kStoredExpected);
+    EXPECT_EQ(stack.metadata.size(), 2 * kStoredExpected);
+    EXPECT_EQ(stack.reid_map.size(), kStoredExpected);
+    EXPECT_EQ(stack.lake.object_count(), 0u)
+        << "cluster mode must not touch the single-node lake";
+
+    // The differential core: aggregates are placement-invariant.
+    EXPECT_EQ(obs::to_json(*stack.metrics), golden_json)
+        << hosts << " hosts: metrics diverged from the single-lake golden";
+    EXPECT_EQ(stack.study_pseudonyms(), golden_pseudonyms) << hosts;
+    EXPECT_EQ(stack.anchored_roots(), golden_roots)
+        << hosts << " hosts: anchored Merkle roots moved with placement";
+
+    auto digest = stack.cluster_lake->content_digest();
+    ASSERT_TRUE(digest.is_ok()) << hosts;
+    if (!first_digest.is_ok()) {
+      first_digest = *digest;
+    } else {
+      EXPECT_EQ(*digest, *first_digest)
+          << hosts << " hosts: canonical lake digest diverged";
+    }
+  }
+}
+
+TEST(ScaleoutDifferential, WorkerCountsAndRerunsAreByteIdenticalAtFourHosts) {
+  std::string first_json;
+  Bytes first_digest;
+  for (std::size_t workers : {1u, 2u, 4u, 8u, 4u}) {  // trailing 4 = rerun
+    ClusterStack stack(4);
+    stack.enqueue_mixed();
+    EXPECT_EQ(stack.service->process_all(workers), kStoredExpected);
+    std::string json = obs::to_json(*stack.metrics);
+    auto digest = stack.cluster_lake->content_digest();
+    ASSERT_TRUE(digest.is_ok());
+    if (first_json.empty()) {
+      first_json = json;
+      first_digest = *digest;
+    } else {
+      EXPECT_EQ(json, first_json) << workers << " workers";
+      EXPECT_EQ(*digest, first_digest) << workers << " workers";
+    }
+  }
+}
+
+TEST(ScaleoutDifferential, CrashAndRebalanceConvergesToTheUninterruptedState) {
+  // Drain the mixed queue on 4 hosts, then crash one and rebalance: the
+  // canonical digest, pseudonym set, and anchored roots must match an
+  // uninterrupted 4-host run bit for bit.
+  ClusterStack uninterrupted(4);
+  uninterrupted.enqueue_mixed();
+  EXPECT_EQ(uninterrupted.service->process_all(4), kStoredExpected);
+  auto undisturbed_digest = uninterrupted.cluster_lake->content_digest();
+  ASSERT_TRUE(undisturbed_digest.is_ok());
+
+  ClusterStack crashed(4);
+  crashed.enqueue_mixed();
+  EXPECT_EQ(crashed.service->process_all(4), kStoredExpected);
+  ASSERT_TRUE(crashed.cluster->crash_host("shard-2").is_ok());
+  auto report = crashed.cluster_lake->rebalance();
+  EXPECT_EQ(report.lost_objects, 0u);
+  EXPECT_GT(report.moved_copies, 0u);
+  EXPECT_EQ(crashed.cluster_lake->copy_count(), 2 * 2 * kStoredExpected)
+      << "replication restored on the three survivors";
+
+  auto crashed_digest = crashed.cluster_lake->content_digest();
+  ASSERT_TRUE(crashed_digest.is_ok());
+  EXPECT_EQ(*crashed_digest, *undisturbed_digest);
+  EXPECT_EQ(crashed.study_pseudonyms(), uninterrupted.study_pseudonyms());
+  EXPECT_EQ(crashed.anchored_roots(), uninterrupted.anchored_roots());
+}
+
+}  // namespace
+}  // namespace hc::cluster

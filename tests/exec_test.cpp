@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <set>
@@ -310,6 +312,121 @@ TEST(MetricsRegistryConcurrency, SnapshotWhileWritersRun) {
   pool.drain();
   pool.shutdown();
   EXPECT_GT(metrics->counter("hc.stress.snapshot"), 0u);
+}
+
+// --- AffinityExecutor ------------------------------------------------------
+// Per-lane single-thread FIFO queues (cluster scale-out's shard affinity:
+// one lane per shard-host, so per-shard work is ordered and race-free).
+
+TEST(AffinityExecutor, KeyedSubmitPinsEachKeyToOneLane) {
+  AffinityExecutor exec(4);
+  std::array<std::set<std::string>, 4> seen_by_lane;
+  std::array<std::mutex, 4> mu;
+  for (int round = 0; round < 8; ++round) {
+    for (int k = 0; k < 32; ++k) {
+      std::string key = "shard-" + std::to_string(k);
+      std::size_t lane = shard_by(key, exec.lanes());
+      exec.submit_keyed(key, [&, key, lane] {
+        std::lock_guard hold(mu[lane]);
+        seen_by_lane[lane].insert(key);
+      });
+    }
+  }
+  exec.drain();
+  // Every key appears on exactly one lane, and it is the shard_by lane.
+  std::size_t total = 0;
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    for (const std::string& key : seen_by_lane[lane]) {
+      EXPECT_EQ(shard_by(key, 4), lane);
+    }
+    total += seen_by_lane[lane].size();
+  }
+  EXPECT_EQ(total, 32u) << "keys leaked across lanes or went missing";
+}
+
+TEST(AffinityExecutor, TasksOnOneLaneRunInFifoOrder) {
+  AffinityExecutor exec(3);
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) {
+    exec.submit(1, [&order, i] { order.push_back(i); });  // one lane: no lock needed
+  }
+  exec.drain();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(AffinityExecutor, LaneIndexWrapsModuloLaneCount) {
+  AffinityExecutor exec(2);
+  std::mutex mu;
+  std::vector<int> lane_hits(2, 0);
+  for (std::size_t lane = 0; lane < 6; ++lane) {
+    exec.submit(lane, [&, lane] {
+      std::lock_guard hold(mu);
+      ++lane_hits[lane % 2];
+    });
+  }
+  exec.drain();
+  EXPECT_EQ(lane_hits[0], 3);
+  EXPECT_EQ(lane_hits[1], 3);
+}
+
+TEST(AffinityExecutor, DrainRethrowsFirstErrorAndStaysUsable) {
+  AffinityExecutor exec(2);
+  exec.submit(0, [] { throw std::runtime_error("lane task exploded"); });
+  EXPECT_THROW(exec.drain(), std::runtime_error);
+
+  std::atomic<bool> ran{false};
+  exec.submit(1, [&ran] { ran = true; });
+  EXPECT_NO_THROW(exec.drain());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(AffinityExecutor, ThrowingTaskDoesNotKillItsLane) {
+  AffinityExecutor exec(1);
+  std::atomic<int> survived{0};
+  exec.submit(0, [] { throw std::logic_error("boom"); });
+  exec.submit(0, [&survived] { ++survived; });
+  exec.submit(0, [&survived] { ++survived; });
+  EXPECT_THROW(exec.drain(), std::logic_error);
+  EXPECT_EQ(survived.load(), 2) << "tasks after the throwing one must still run";
+}
+
+TEST(AffinityExecutor, ShutdownIsIdempotentAndSubmitAfterThrows) {
+  AffinityExecutor exec(2);
+  std::atomic<int> count{0};
+  for (std::size_t i = 0; i < 10; ++i) exec.submit(i, [&count] { ++count; });
+  exec.shutdown();
+  exec.shutdown();  // second call is a no-op
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_THROW(exec.submit(0, [] {}), std::logic_error);
+}
+
+TEST(AffinityExecutor, BoundedLaneQueueAppliesBackpressure) {
+  AffinityExecutor exec(1, /*queue_capacity=*/2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  exec.submit(0, [&] {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  exec.submit(0, [] {});
+  exec.submit(0, [] {});  // queue now at capacity behind the blocked task
+  std::atomic<bool> fourth_queued{false};
+  std::thread submitter([&] {
+    exec.submit(0, [] {});  // must block until the lane frees a slot
+    fourth_queued = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(fourth_queued.load()) << "submit did not block on a full lane";
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  submitter.join();
+  EXPECT_TRUE(fourth_queued.load());
+  exec.drain();
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
 // Parser robustness: the ingestion path feeds attacker-controlled bytes to
 // the JSON/FHIR/HL7 parsers, so none of them may crash, hang, or accept
 // garbage — across randomized inputs and structure-aware mutations. The
-// wire fuzzer at the bottom does the same for the transport: random
-// in-flight bit flips must always be rejected by the HMAC, never crash.
+// wire fuzzer does the same for the transport: random in-flight bit flips
+// must always be rejected by the HMAC, never crash. The router fuzzer at
+// the bottom hammers the shard router (hc::cluster) with hostile ids and
+// mid-rebalance ring churn: it must never crash, never misroute, and
+// never drop a key.
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.h"
 #include "common/rng.h"
 #include "fault/fault.h"
 #include "fhir/hl7.h"
@@ -482,3 +486,201 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ProofFuzz, ::testing::Values(1, 2, 3, 4));
 
 }  // namespace
 }  // namespace hc::provenance
+
+namespace hc::cluster {
+namespace {
+
+// Shard-router fuzzer (ISSUE satellite): the gateway routes every record,
+// tenant, and staging key through the consistent-hash ring, and those ids
+// arrive straight from untrusted uploads. Hostile ids — empty, huge,
+// NUL-laden, colliding with host names, vnode labels, or the "meta|" /
+// "stage|" namespace prefixes — must never crash the router; routing must
+// stay total (no dropped key), deterministic on recomputation, and
+// duplicate-blind, even on ring states captured mid-rebalance (hosts
+// joined or crashed, copies not yet moved).
+class RouterFuzz : public ::testing::TestWithParam<int> {};
+
+std::string fuzz_id(Rng& rng) {
+  switch (rng.uniform_int(0, 7)) {
+    case 0:
+      return "";  // boundary: empty id
+    case 1:  // single arbitrary byte, NUL included
+      return std::string(1, static_cast<char>(rng.uniform_int(0, 255)));
+    case 2: {  // collides with a host name or a vnode label
+      std::string host = "shard-" + std::to_string(rng.uniform_int(0, 9));
+      if (rng.bernoulli(0.5)) return host;
+      return host + "#" + std::to_string(rng.uniform_int(0, 127));
+    }
+    case 3:  // collides with the metadata/staging hash namespaces
+      return (rng.bernoulli(0.5) ? "meta|" : "stage|") +
+             std::to_string(rng.uniform_int(0, 99));
+    case 4: {  // 4 KiB id
+      std::string id = "patient-";
+      while (id.size() < 4096) id += std::to_string(rng.uniform_int(0, 9));
+      return id;
+    }
+    case 5: {  // raw bytes: embedded NULs, high bit set
+      auto raw = rng.bytes(static_cast<std::size_t>(rng.uniform_int(1, 32)));
+      return std::string(raw.begin(), raw.end());
+    }
+    default:
+      return "rec-" + std::to_string(rng.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST_P(RouterFuzz, HostileIdsRouteTotallyAndDeterministically) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 20000);
+  HashRing ring(64);
+  for (int h = 0; h < 5; ++h) {
+    ASSERT_TRUE(ring.add_host("shard-" + std::to_string(h)).is_ok());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    std::string id = fuzz_id(rng);
+    const std::string* first = ring.owner(id);
+    ASSERT_NE(first, nullptr) << "router dropped a key";
+    EXPECT_TRUE(ring.has_host(*first));
+    const std::string owner = *first;
+    EXPECT_EQ(*ring.owner(id), owner) << "owner recomputation disagrees";
+    auto replicas = ring.owners(id, 3);
+    ASSERT_EQ(replicas.size(), std::min<std::size_t>(3, ring.host_count()));
+    EXPECT_EQ(replicas.front(), owner) << "replica chain is not owner-first";
+    std::set<std::string> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size()) << "duplicate replica host";
+  }
+}
+
+TEST_P(RouterFuzz, ChurningRingNeverDropsOrMisroutesKeys) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 21000);
+  ClusterConfig cfg;
+  cfg.hosts = 3;
+  Cluster cluster(cfg, make_clock());
+
+  // Fixed population including literal duplicates: duplicate record ids
+  // must always land on the same host as their twin.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back(fuzz_id(rng));
+    if (i % 5 == 0) keys.push_back(keys.back());
+  }
+
+  auto snapshot = [&] {
+    std::map<std::string, std::string> owner_of;
+    for (const std::string& k : keys) {
+      const std::string* host = cluster.owner(k);
+      if (host != nullptr) owner_of[k] = *host;
+    }
+    return owner_of;
+  };
+
+  for (int step = 0; step < 24; ++step) {
+    auto before = snapshot();
+    std::string changed;
+    bool joined = false;
+    auto live = cluster.hosts();
+    if (rng.bernoulli(0.5) || live.size() <= 1) {
+      auto added = cluster.add_host();
+      ASSERT_TRUE(added.is_ok());
+      changed = *added;
+      joined = true;
+    } else {
+      changed = live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+      ASSERT_TRUE(cluster.crash_host(changed).is_ok());
+    }
+
+    // Minimal disruption holds under churn: a join moves keys only *to*
+    // the joiner; a crash moves only the crashed host's keys.
+    auto after = snapshot();
+    ASSERT_EQ(after.size(), keys.size() == 0 ? 0 : before.size());
+    for (const auto& [k, owner_before] : before) {
+      const std::string& owner_after = after.at(k);
+      if (owner_after == owner_before) continue;
+      if (joined) {
+        EXPECT_EQ(owner_after, changed) << "join moved a key to a non-joiner";
+      } else {
+        EXPECT_EQ(owner_before, changed) << "crash moved an unaffected key";
+      }
+    }
+
+    // Partition must cover every key exactly once (no dropped key), on
+    // live hosts only, and agree with the per-key owner.
+    auto parts = cluster.partition(keys);
+    std::size_t covered = 0;
+    for (const auto& [host, slice] : parts) {
+      EXPECT_TRUE(cluster.host_up(host));
+      for (const std::string& k : slice) EXPECT_EQ(after.at(k), host);
+      covered += slice.size();
+    }
+    EXPECT_EQ(covered, keys.size()) << "partition dropped or duplicated keys";
+
+    // The metadata/staging namespaces stay total too.
+    for (std::size_t i = 0; i < keys.size(); i += 37) {
+      EXPECT_NE(cluster.metadata_owner(keys[i]), nullptr);
+      EXPECT_NE(cluster.staging_owner(keys[i]), nullptr);
+    }
+  }
+}
+
+TEST_P(RouterFuzz, LakeSurvivesChurnWithHostileRoutingKeys) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 22000);
+  ClockPtr clock = make_clock();
+  LogPtr log = make_log(clock);
+  crypto::KeyManagementService kms{"tenant-a", Rng(71), log};
+  crypto::KeyId key = kms.create_symmetric_key("platform");
+  ClusterConfig cfg;
+  cfg.hosts = 3;
+  cfg.replication = 2;
+  Cluster cluster(cfg, clock);
+  ShardedLake lake(cluster, kms, "platform", Rng(9));
+
+  std::map<std::string, Bytes> objects;  // ref -> plaintext
+  auto put_some = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      Bytes plain = rng.bytes(static_cast<std::size_t>(rng.uniform_int(1, 200)));
+      auto ref = lake.put(plain, key, fuzz_id(rng));
+      ASSERT_TRUE(ref.is_ok()) << ref.status().to_string();
+      // Distinct partitions must never mint colliding reference ids (the
+      // latent bug this wall originally surfaced).
+      EXPECT_EQ(objects.count(*ref), 0u) << "duplicate reference id " << *ref;
+      objects[*ref] = std::move(plain);
+    }
+  };
+  put_some(40);
+
+  for (int step = 0; step < 8; ++step) {
+    auto live = cluster.hosts();
+    if (rng.bernoulli(0.5) || live.size() <= 2) {
+      ASSERT_TRUE(cluster.add_host().is_ok());
+    } else {
+      // One crash per step with replication 2 and a rebalance every step
+      // keeps at least one live copy of everything.
+      std::string victim = live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+      ASSERT_TRUE(cluster.crash_host(victim).is_ok());
+    }
+
+    // Mid-rebalance state: the ring changed but no copy has moved yet.
+    // Every object must still be retrievable (replica-chain walk plus
+    // live-partition fallback), byte-for-byte.
+    for (const auto& [ref, plain] : objects) {
+      auto got = lake.get(ref);
+      ASSERT_TRUE(got.is_ok()) << "mid-rebalance get lost " << ref;
+      EXPECT_EQ(*got, plain);
+    }
+
+    auto report = lake.rebalance();
+    EXPECT_EQ(report.lost_objects, 0u);
+    put_some(5);  // keep writing against the reshaped ring
+  }
+
+  for (const auto& [ref, plain] : objects) {
+    auto got = lake.get(ref);
+    ASSERT_TRUE(got.is_ok()) << "post-churn get lost " << ref;
+    EXPECT_EQ(*got, plain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hc::cluster

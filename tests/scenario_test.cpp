@@ -386,6 +386,42 @@ TEST(ScenarioReplay, ProvenanceSurgeIsWorkerCountInvariant) {
   }
 }
 
+TEST(ScenarioReplay, CommittedScaleoutRebalanceBundleStillMatches) {
+  Scenario scenario = load_shipped("scaleout_rebalance.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  const std::string dir = std::string(HC_GOLDEN_DIR) + "/scaleout_rebalance";
+  EXPECT_EQ(metrics_text(*report), read_file(dir + "/metrics.json"));
+  EXPECT_EQ(timeline_text(*report), read_file(dir + "/timeline.txt"));
+  EXPECT_EQ(verdicts_text(*report), read_file(dir + "/verdicts.txt"));
+}
+
+TEST(ScenarioReplay, ScaleoutRebalanceIsWorkerCountInvariant) {
+  // The crash-and-rebalance drill replays onto the 4-host cluster, crashes
+  // shard-1, and rebalances. Placement hashes content, transfer charges
+  // are byte-pure, and the rebalance iterates sorted references — so the
+  // bundle (cluster tallies included) must not depend on how many workers
+  // drained the ingest queue, nor on the rerun.
+  Scenario scenario = load_shipped("scaleout_rebalance.scn");
+  RunOptions options;
+  options.ingest_workers = 1;
+  Result<RunReport> baseline = run(scenario, options);
+  ASSERT_TRUE(baseline.is_ok()) << baseline.status().message();
+  EXPECT_EQ(baseline->cluster.hosts, 4u);
+  EXPECT_GT(baseline->cluster.objects, 0u);
+  EXPECT_EQ(baseline->cluster.copies, 2 * baseline->cluster.objects);
+  EXPECT_GT(baseline->cluster.rebalance_moved, 0u);
+  EXPECT_EQ(baseline->cluster.lost_objects, 0u);
+  const std::string golden = bundle_text(*baseline);
+  for (std::size_t workers : {2u, 4u, 8u, 1u}) {
+    options.ingest_workers = workers;
+    Result<RunReport> report = run(scenario, options);
+    ASSERT_TRUE(report.is_ok()) << report.status().message();
+    ASSERT_EQ(bundle_text(*report), golden)
+        << workers << " workers diverged from 1";
+  }
+}
+
 TEST(ScenarioReplay, WriteBundleMatchesTheTextFunctions) {
   Scenario scenario = load_shipped("smoke.scn");
   Result<RunReport> report = run(scenario);
@@ -498,7 +534,8 @@ INSTANTIATE_TEST_SUITE_P(
     Files, ShippedScenario,
     ::testing::Values("smoke.scn", "f9_overload.scn", "region_outage.scn",
                       "consent_revocation_storm.scn", "flash_crowd.scn",
-                      "slow_loris.scn", "provenance_surge.scn"),
+                      "slow_loris.scn", "provenance_surge.scn",
+                      "scaleout_rebalance.scn"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       name = name.substr(0, name.find('.'));

@@ -221,6 +221,39 @@ constexpr RejectCase kCases[] = {
      "ingestion {\n  provenance anchored\n  audit_reads 200000\n}\n",
      "ingestion: audit_reads must be in [0, 100000] (got 200000) (line 8)"},
 
+    // --- ingestion cluster scale-out -------------------------------------
+    {"ShardHostsOutOfRange",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  shard_hosts 65\n}\n",
+     "ingestion: shard_hosts must be in [0, 64] (got 65) (line 7)"},
+    {"ShardVnodesWithoutHosts",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  shard_vnodes 64\n}\n",
+     "ingestion: shard_vnodes requires shard_hosts > 0"},
+    {"ShardReplicationWithoutHosts",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  shard_replication 2\n}\n",
+     "ingestion: shard_replication requires shard_hosts > 0"},
+    {"CrashShardWithoutHosts",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  crash_shard_host \"shard-0\"\n}\n",
+     "ingestion: crash_shard_host requires shard_hosts > 0"},
+    {"ShardReplicationAboveHosts",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  shard_hosts 2\n  shard_replication 3\n}\n",
+     "ingestion: shard_replication (3) must be <= shard_hosts (2)"},
+    {"CrashShardUnknownHost",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  shard_hosts 4\n  crash_shard_host \"shard-9\"\n}\n",
+     "ingestion: crash_shard_host \"shard-9\" is not one of "
+     "shard-0..shard-3"},
+    {"CrashShardWithoutReplication",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  shard_hosts 4\n  shard_replication 1\n"
+     "  crash_shard_host \"shard-1\"\n}\n",
+     "ingestion: crash_shard_host requires shard_replication >= 2 "
+     "(a lone copy dies with its host)"},
+
     // --- fault rules ------------------------------------------------------
     {"FaultProbabilityOutOfRange",
      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
@@ -313,6 +346,35 @@ TEST(ScenarioValidator, IngestionProvenanceKeys) {
   EXPECT_TRUE(anchored->ingestion.enabled);
   EXPECT_EQ(anchored->ingestion.provenance, ProvenanceMode::kAnchored);
   EXPECT_EQ(anchored->ingestion.audit_reads, 16u);
+}
+
+// The cluster scale-out keys decode with documented defaults, and the
+// historical single-lake path stays the default (shard_hosts 0).
+TEST(ScenarioValidator, IngestionShardKeys) {
+  Result<Scenario> plain = load_string(
+      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+      "ingestion {\n  max_uploads 50\n}\n");
+  ASSERT_TRUE(plain.is_ok()) << plain.status().message();
+  EXPECT_EQ(plain->ingestion.shard_hosts, 0u);
+  EXPECT_TRUE(plain->ingestion.crash_shard_host.empty());
+
+  Result<Scenario> sharded = load_string(
+      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+      "ingestion {\n  max_uploads 50\n  shard_hosts 4\n  shard_vnodes 64\n"
+      "  shard_replication 3\n  crash_shard_host \"shard-2\"\n}\n");
+  ASSERT_TRUE(sharded.is_ok()) << sharded.status().message();
+  EXPECT_EQ(sharded->ingestion.shard_hosts, 4u);
+  EXPECT_EQ(sharded->ingestion.shard_vnodes, 64u);
+  EXPECT_EQ(sharded->ingestion.shard_replication, 3u);
+  EXPECT_EQ(sharded->ingestion.crash_shard_host, "shard-2");
+
+  // Defaults when only shard_hosts is given: 128 vnodes, 2 copies.
+  Result<Scenario> defaults = load_string(
+      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+      "ingestion {\n  shard_hosts 2\n}\n");
+  ASSERT_TRUE(defaults.is_ok()) << defaults.status().message();
+  EXPECT_EQ(defaults->ingestion.shard_vnodes, 128u);
+  EXPECT_EQ(defaults->ingestion.shard_replication, 2u);
 }
 
 // Comments and blank lines are ignored everywhere; quoted names may hold
