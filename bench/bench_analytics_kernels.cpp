@@ -16,14 +16,24 @@
 // Caveat for interpreting worker scaling: on a single-core host the 2/4/8
 // worker rows measure dispatch overhead, not parallel speedup; the
 // bit-identity columns are the part that is hardware-independent.
+//
+// F13-sparse (sparse analytics plane + Newton-CG) rides in the same
+// binary: a sparse-vs-dense catalog sweep whose deterministic outcomes
+// (objectives, epoch counts, peak workspace bytes, nnz, bit-identity
+// flags — never wall times) are locked into BENCH_sparse_analytics.json.
+// The sweep runs twice plus once per worker count in {1,2,4,8}; the
+// artifact is written only when every serialized registry agrees byte
+// for byte and every claim gate holds.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 
+#include "analytics/delt.h"
 #include "analytics/jmf.h"
 #include "analytics/kernels.h"
+#include "analytics/sparse.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 
@@ -185,6 +195,246 @@ void bench_jmf_epochs(obs::MetricsRegistry* metrics) {
   }
 }
 
+// --- F13-sparse: sparse plane + Newton-CG catalog sweep -----------------
+
+std::size_t workers_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      return static_cast<std::size_t>(std::stoul(argv[i + 1]));
+    }
+    if (arg.rfind("--workers=", 0) == 0) {
+      return static_cast<std::size_t>(
+          std::stoul(arg.substr(std::string("--workers=").size())));
+    }
+  }
+  return 1;
+}
+
+Matrix random_with_density(std::size_t rows, std::size_t cols, double density,
+                           Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.uniform(0.0, 1.0) < density ? rng.uniform(0.5, 2.0) : 0.0;
+  }
+  return m;
+}
+
+/// One full deterministic sweep at the given worker count. Every value
+/// put into `locked` is workers- and wall-clock-independent; timings go
+/// to stdout only (and only when `verbose`). Returns false if a claim
+/// gate fails.
+bool sparse_catalog_sweep(obs::MetricsRegistry* locked, std::size_t workers,
+                          bool verbose) {
+  bool ok = true;
+  auto gauge = [&](const std::string& name, double value) {
+    locked->set_gauge(name, value);
+  };
+
+  // --- JMF epochs-to-quality: dense first-order vs Newton-CG ----------
+  WorkloadConfig wc;
+  wc.drugs = 200;
+  wc.diseases = 150;
+  wc.latent_rank = 8;
+  Rng workload_rng(50);
+  DrugDiseaseWorkload workload = make_drug_disease_workload(wc, workload_rng);
+
+  JmfConfig dense_cfg;
+  dense_cfg.rank = 10;
+  dense_cfg.epochs = 120;
+  dense_cfg.use_fast_kernels = true;
+  dense_cfg.workers = workers;
+  Rng dense_rng(7);
+  auto t0 = std::chrono::steady_clock::now();
+  JmfResult dense = joint_matrix_factorization(workload.observed,
+                                               workload.drug_similarities,
+                                               workload.disease_similarities,
+                                               dense_cfg, dense_rng);
+  double dense_s = seconds_since(t0);
+
+  JmfConfig newton_cfg = dense_cfg;
+  newton_cfg.epochs = 12;  // the 10x claim, with a little slack in the gate
+  newton_cfg.use_newton_cg = true;
+  newton_cfg.materialize_scores = false;
+  Rng newton_rng(7);
+  t0 = std::chrono::steady_clock::now();
+  JmfResult newton = joint_matrix_factorization(workload.observed,
+                                                workload.drug_similarities,
+                                                workload.disease_similarities,
+                                                newton_cfg, newton_rng);
+  double newton_s = seconds_since(t0);
+
+  double dense_final = dense.objective_history.back();
+  std::size_t epochs_to = newton.objective_history.size();
+  for (std::size_t i = 0; i < newton.objective_history.size(); ++i) {
+    if (newton.objective_history[i] <= dense_final) {
+      epochs_to = i;
+      break;
+    }
+  }
+  gauge("hc.sparse.jmf.dense.epochs", static_cast<double>(dense_cfg.epochs));
+  gauge("hc.sparse.jmf.dense.final_objective", dense_final);
+  gauge("hc.sparse.jmf.dense.peak_ws_bytes",
+        static_cast<double>(dense.peak_workspace_bytes));
+  gauge("hc.sparse.jmf.newton.epochs", static_cast<double>(newton_cfg.epochs));
+  gauge("hc.sparse.jmf.newton.final_objective", newton.objective_history.back());
+  gauge("hc.sparse.jmf.newton.epochs_to_dense_quality",
+        static_cast<double>(epochs_to));
+  gauge("hc.sparse.jmf.newton.peak_ws_bytes",
+        static_cast<double>(newton.peak_workspace_bytes));
+  bool jmf_gate = epochs_to <= 12;
+  ok = ok && jmf_gate;
+  if (verbose) {
+    std::printf("\n-- F13-sparse: JMF 200x150 rank 10, dense 120 epochs vs "
+                "Newton-CG --\n");
+    std::printf("dense  final objective %.6f  (%.2fs, peak-ws %.1fKB)\n",
+                dense_final, dense_s,
+                static_cast<double>(dense.peak_workspace_bytes) / 1024.0);
+    std::printf("newton final objective %.6f  (%.2fs, peak-ws %.1fKB)\n",
+                newton.objective_history.back(), newton_s,
+                static_cast<double>(newton.peak_workspace_bytes) / 1024.0);
+    std::printf("newton reaches dense-120 quality after %zu epochs "
+                "(gate: <= 12): %s\n", epochs_to, jmf_gate ? "pass" : "FAIL");
+  }
+
+  // --- catalog scale-out at the dense workspace budget ----------------
+  WorkloadConfig big;
+  big.drugs = 1000;
+  big.diseases = 750;
+  big.latent_rank = 8;
+  Rng big_rng(51);
+  DrugDiseaseWorkload big_workload = make_drug_disease_workload(big, big_rng);
+
+  JmfConfig scaled_cfg;
+  scaled_cfg.rank = 10;
+  scaled_cfg.epochs = 6;  // memory gate, not a quality gate
+  scaled_cfg.use_newton_cg = true;
+  scaled_cfg.materialize_scores = false;
+  scaled_cfg.workers = workers;
+  Rng scaled_rng(7);
+  t0 = std::chrono::steady_clock::now();
+  JmfResult scaled = joint_matrix_factorization(big_workload.observed,
+                                                big_workload.drug_similarities,
+                                                big_workload.disease_similarities,
+                                                scaled_cfg, scaled_rng);
+  double scaled_s = seconds_since(t0);
+
+  double base_cells = static_cast<double>(wc.drugs * wc.diseases);
+  double scaled_cells = static_cast<double>(big.drugs * big.diseases);
+  bool memory_gate = scaled_cells >= 10.0 * base_cells &&
+                     scaled.peak_workspace_bytes <= dense.peak_workspace_bytes;
+  ok = ok && memory_gate;
+  gauge("hc.sparse.jmf.scaled.cells", scaled_cells);
+  gauge("hc.sparse.jmf.scaled.cells_ratio", scaled_cells / base_cells);
+  gauge("hc.sparse.jmf.scaled.peak_ws_bytes",
+        static_cast<double>(scaled.peak_workspace_bytes));
+  gauge("hc.sparse.jmf.scaled.fits_in_dense_budget", memory_gate ? 1.0 : 0.0);
+  if (verbose) {
+    std::printf("\n-- F13-sparse: catalog scale-out, %zux%zu (%.1fx cells) --\n",
+                big.drugs, big.diseases, scaled_cells / base_cells);
+    std::printf("scaled Newton-CG peak-ws %.1fKB vs dense 200x150 peak-ws "
+                "%.1fKB (%.2fs)\n",
+                static_cast<double>(scaled.peak_workspace_bytes) / 1024.0,
+                static_cast<double>(dense.peak_workspace_bytes) / 1024.0,
+                scaled_s);
+    std::printf("fits a >= 10x catalog inside the dense workspace budget: %s\n",
+                memory_gate ? "pass" : "FAIL");
+  }
+
+  // --- DELT: 25 coordinate-descent epochs vs one joint CG solve -------
+  EmrConfig emr;
+  emr.patients = 1500;
+  emr.drugs = 120;
+  emr.planted_drugs = 10;
+  emr.confounded_drugs = 8;
+  Rng emr_rng(62);
+  EmrDataset dataset = make_emr_dataset(emr, emr_rng);
+
+  DeltConfig cd_cfg;
+  cd_cfg.workers = workers;
+  cd_cfg.use_sparse = true;
+  t0 = std::chrono::steady_clock::now();
+  DeltModel cd = fit_delt(dataset, cd_cfg);
+  double cd_s = seconds_since(t0);
+
+  DeltConfig newton_delt_cfg = cd_cfg;
+  newton_delt_cfg.use_sparse = false;
+  newton_delt_cfg.use_newton_cg = true;
+  t0 = std::chrono::steady_clock::now();
+  DeltModel delt_newton = fit_delt(dataset, newton_delt_cfg);
+  double delt_newton_s = seconds_since(t0);
+
+  double cd_sse = cd.objective_history.back();
+  double newton_sse = delt_newton.objective_history.back();
+  RecoveryMetrics cd_rec = score_recovery(cd.drug_effects, dataset);
+  RecoveryMetrics newton_rec = score_recovery(delt_newton.drug_effects, dataset);
+  bool delt_gate = newton_sse <= cd_sse * (1.0 + 1e-6) &&
+                   cd.objective_history.size() >= 10 &&
+                   delt_newton.objective_history.size() == 1;
+  ok = ok && delt_gate;
+  gauge("hc.sparse.delt.cd.iterations",
+        static_cast<double>(cd.objective_history.size()));
+  gauge("hc.sparse.delt.cd.final_sse", cd_sse);
+  gauge("hc.sparse.delt.cd.auc", cd_rec.auc);
+  gauge("hc.sparse.delt.cd.peak_ws_bytes",
+        static_cast<double>(cd.peak_workspace_bytes));
+  gauge("hc.sparse.delt.newton.solves",
+        static_cast<double>(delt_newton.objective_history.size()));
+  gauge("hc.sparse.delt.newton.sse", newton_sse);
+  gauge("hc.sparse.delt.newton.auc", newton_rec.auc);
+  gauge("hc.sparse.delt.newton.peak_ws_bytes",
+        static_cast<double>(delt_newton.peak_workspace_bytes));
+  gauge("hc.sparse.delt.newton.sse_matches_cd", delt_gate ? 1.0 : 0.0);
+  if (verbose) {
+    std::printf("\n-- F13-sparse: DELT 1500x120, %zu CD epochs vs 1 CG solve --\n",
+                cd.objective_history.size());
+    std::printf("CD     SSE %.6f  AUC %.3f  (%.2fs)\n", cd_sse, cd_rec.auc, cd_s);
+    std::printf("newton SSE %.6f  AUC %.3f  (%.2fs)\n", newton_sse,
+                newton_rec.auc, delt_newton_s);
+    std::printf("one joint solve matches %zu CD epochs' SSE: %s\n",
+                cd.objective_history.size(), delt_gate ? "pass" : "FAIL");
+  }
+
+  // --- sparse-vs-dense kernel bit-identity across densities -----------
+  if (verbose) {
+    std::printf("\n-- F13-sparse: SpMM vs dense multiply, 400x300 rank 12 --\n");
+    std::printf("%-9s %10s %10s %10s %6s\n", "density", "nnz", "dense-ms",
+                "sparse-ms", "biteq");
+  }
+  for (double density : {0.01, 0.05, 0.20}) {
+    Rng krng(static_cast<std::uint64_t>(density * 1000.0) + 5);
+    Matrix a = random_with_density(400, 300, density, krng);
+    Matrix b = Matrix::random(300, 12, krng, 0.0, 1.0);
+    sparse::CsrMatrix csr = sparse::CsrMatrix::from_dense(a);
+
+    Matrix dense_out, sparse_out;
+    int reps = 20;
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      kernels::multiply_into(a, b, dense_out, workers);
+    }
+    double dense_ms = seconds_since(t0) * 1e3 / reps;
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      sparse::multiply_into(csr, b, sparse_out, workers);
+    }
+    double sparse_ms = seconds_since(t0) * 1e3 / reps;
+    bool same = bit_equal(dense_out, sparse_out);
+    ok = ok && same;
+
+    char key[64];
+    std::snprintf(key, sizeof(key), "hc.sparse.kernels.multiply.d%03d",
+                  static_cast<int>(density * 1000.0));
+    gauge(std::string(key) + ".nnz", static_cast<double>(csr.nnz()));
+    gauge(std::string(key) + ".biteq", same ? 1.0 : 0.0);
+    if (verbose) {
+      std::printf("%-9.3f %10zu %10.3f %10.3f %6s\n", density, csr.nnz(),
+                  dense_ms, sparse_ms, same ? "yes" : "NO");
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,6 +453,42 @@ int main(int argc, char** argv) {
   std::printf("\nclaim check: kernel path >= 2x on the JMF fit at 1 worker, and\n"
               "every row is bit-identical to the seed implementation.\n");
 
+  // --- F13-sparse locked artifact --------------------------------------
+  // Two passes at the requested worker count prove rerun determinism; one
+  // pass per other worker count proves the locked values are
+  // worker-invariant. The artifact only contains outcomes (objectives,
+  // epoch counts, peak bytes, nnz, bit-identity flags), never wall times,
+  // and is written only when every serialization agrees byte for byte.
+  std::size_t workers = workers_flag(argc, argv);
+  obs::MetricsRegistry locked;
+  bool gates_ok = sparse_catalog_sweep(&locked, workers, /*verbose=*/true);
+  std::string reference = obs::to_json(locked);
+  bool deterministic = true;
+  for (std::size_t pass_workers : {workers, std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    obs::MetricsRegistry repeat;
+    gates_ok &= sparse_catalog_sweep(&repeat, pass_workers, /*verbose=*/false);
+    if (obs::to_json(repeat) != reference) {
+      std::fprintf(stderr,
+                   "F13-sparse: pass at %zu worker(s) diverged byte-for-byte\n",
+                   pass_workers);
+      deterministic = false;
+    }
+  }
+  std::printf("\nF13-sparse: reruns + workers 1/2/4/8 byte-identical: %s; "
+              "claim gates: %s\n", deterministic ? "yes" : "NO",
+              gates_ok ? "pass" : "FAIL");
+  if (deterministic && gates_ok) {
+    Status locked_written =
+        obs::write_metrics_json(locked, "BENCH_sparse_analytics.json");
+    if (!locked_written.is_ok()) {
+      std::fprintf(stderr, "failed to write BENCH_sparse_analytics.json: %s\n",
+                   locked_written.to_string().c_str());
+      return 1;
+    }
+    std::printf("locked sparse artifact written to BENCH_sparse_analytics.json\n");
+  }
+
   if (!metrics_path.empty()) {
     Status written = obs::write_metrics_json(metrics, metrics_path);
     if (!written.is_ok()) {
@@ -212,5 +498,5 @@ int main(int argc, char** argv) {
     }
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
-  return 0;
+  return deterministic && gates_ok ? 0 : 1;
 }

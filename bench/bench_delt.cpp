@@ -20,9 +20,14 @@ using namespace hc::analytics;
 
 namespace {
 
-void print_row(const char* label, const RecoveryMetrics& m, double seconds) {
-  std::printf("%-36s %8.3f %8.3f %8.3f %9.2fs\n", label, m.auc, m.precision_at_n,
+void print_row(const char* label, const RecoveryMetrics& m, double seconds,
+               std::size_t peak_ws_bytes = 0) {
+  std::printf("%-36s %8.3f %8.3f %8.3f %9.2fs", label, m.auc, m.precision_at_n,
               m.effect_rmse, seconds);
+  if (peak_ws_bytes > 0) {
+    std::printf(" %10.1fKB", static_cast<double>(peak_ws_bytes) / 1024.0);
+  }
+  std::printf("\n");
 }
 
 std::string metrics_out_path(int argc, char** argv, const char* default_path) {
@@ -58,7 +63,8 @@ int main(int argc, char** argv) {
               config.patients, config.measurements_per_patient, config.drugs,
               config.planted_drugs, config.confounded_drugs);
 
-  std::printf("%-36s %8s %8s %8s %10s\n", "method", "AUC", "P@N", "RMSE", "fit-time");
+  std::printf("%-36s %8s %8s %8s %10s %12s\n", "method", "AUC", "P@N", "RMSE",
+              "fit-time", "peak-ws");
 
   auto timed_fit = [&](const DeltConfig& delt_config, const char* metric) {
     obs::WallSpan span(&metrics, metric);
@@ -72,7 +78,9 @@ int main(int argc, char** argv) {
 
   auto [full, full_time] = timed_fit(DeltConfig{}, "hc.analytics.delt.fit.w1_wall_us");
   print_row("DELT (baseline + drift)", score_recovery(full.drug_effects, dataset),
-            full_time);
+            full_time, full.peak_workspace_bytes);
+  metrics.set_gauge("hc.analytics.delt.fit.w1_peak_ws_bytes",
+                    static_cast<double>(full.peak_workspace_bytes));
 
   // --- before/after: parallel patient solves across worker counts --------
   // On a single-core host the multi-worker rows measure dispatch overhead;
@@ -86,14 +94,16 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "DELT %zu workers (biteq: %s)", workers,
                   model.drug_effects == full.drug_effects ? "yes" : "NO");
-    print_row(label, score_recovery(model.drug_effects, dataset), seconds);
+    print_row(label, score_recovery(model.drug_effects, dataset), seconds,
+              model.peak_workspace_bytes);
   }
 
   DeltConfig no_drift;
   no_drift.model_drift = false;
   auto [nd, nd_time] = timed_fit(no_drift, "hc.analytics.delt.fit.no_drift_wall_us");
   print_row("DELT w/o time drift (Fig 11 abl.)",
-            score_recovery(nd.drug_effects, dataset), nd_time);
+            score_recovery(nd.drug_effects, dataset), nd_time,
+            nd.peak_workspace_bytes);
 
   DeltConfig no_baseline;
   no_baseline.model_baseline = false;
@@ -101,7 +111,8 @@ int main(int argc, char** argv) {
   auto [nb, nb_time] =
       timed_fit(no_baseline, "hc.analytics.delt.fit.no_baseline_wall_us");
   print_row("DELT w/o baselines (Fig 10 abl.)",
-            score_recovery(nb.drug_effects, dataset), nb_time);
+            score_recovery(nb.drug_effects, dataset), nb_time,
+            nb.peak_workspace_bytes);
 
   auto t0 = std::chrono::steady_clock::now();
   auto marginal = marginal_correlation_effects(dataset);

@@ -103,7 +103,8 @@ int main(int argc, char** argv) {
               workload_config.drugs, workload_config.diseases,
               workload.held_out.size());
 
-  std::printf("%-34s %8s %8s %8s %10s\n", "method", "AUC", "AUPR", "P@50", "fit-time");
+  std::printf("%-34s %8s %8s %8s %10s %12s\n", "method", "AUC", "AUPR", "P@50",
+              "fit-time", "peak-ws");
 
   auto timed = [&](auto&& fn) {
     auto t0 = std::chrono::steady_clock::now();
@@ -127,8 +128,12 @@ int main(int argc, char** argv) {
     return jmf_result.scores;
   });
   Scores jmf_eval = evaluate(jmf_scores, workload, rng);
-  std::printf("%-34s %8.3f %8.3f %8.3f %9.2fs\n", "JMF (3 drug + 3 disease sources)",
-              jmf_eval.auc, jmf_eval.aupr, jmf_eval.p50, jmf_time);
+  std::printf("%-34s %8.3f %8.3f %8.3f %9.2fs %10.1fKB\n",
+              "JMF (3 drug + 3 disease sources)", jmf_eval.auc, jmf_eval.aupr,
+              jmf_eval.p50, jmf_time,
+              static_cast<double>(jmf_result.peak_workspace_bytes) / 1024.0);
+  metrics.set_gauge("hc.analytics.jmf.fit.fast_peak_ws_bytes",
+                    static_cast<double>(jmf_result.peak_workspace_bytes));
 
   // --- before/after: seed kernels vs compute plane ----------------------
   {
@@ -137,18 +142,23 @@ int main(int argc, char** argv) {
         make_drug_disease_workload(workload_config, before_rng);
     JmfConfig seed_config = jmf_config;
     seed_config.use_fast_kernels = false;
+    JmfResult seed_result;
     auto [seed_scores, seed_time] = timed([&] {
       obs::WallSpan span(&metrics, "hc.analytics.jmf.fit.naive_wall_us");
-      return joint_matrix_factorization(before_workload.observed,
-                                        before_workload.drug_similarities,
-                                        before_workload.disease_similarities,
-                                        seed_config, before_rng)
-          .scores;
+      seed_result = joint_matrix_factorization(before_workload.observed,
+                                               before_workload.drug_similarities,
+                                               before_workload.disease_similarities,
+                                               seed_config, before_rng);
+      return seed_result.scores;
     });
     Scores eval = evaluate(seed_scores, before_workload, before_rng);
-    std::printf("%-34s %8.3f %8.3f %8.3f %9.2fs  (%.2fx vs compute plane)\n",
+    std::printf("%-34s %8.3f %8.3f %8.3f %9.2fs %10.1fKB  (%.2fx vs compute plane)\n",
                 "JMF seed kernels (before)", eval.auc, eval.aupr, eval.p50,
-                seed_time, seed_time / jmf_time);
+                seed_time,
+                static_cast<double>(seed_result.peak_workspace_bytes) / 1024.0,
+                seed_time / jmf_time);
+    metrics.set_gauge("hc.analytics.jmf.fit.naive_peak_ws_bytes",
+                      static_cast<double>(seed_result.peak_workspace_bytes));
   }
 
   // --- single-source JMF (ablation) ------------------------------------
@@ -203,6 +213,10 @@ int main(int argc, char** argv) {
 
   std::printf("\ndrug group purity (by-product clustering): %.3f\n",
               group_purity(jmf_result.drug_groups, workload_config.latent_rank));
+
+  std::printf("\npeak-ws counts the tracked resident workspace + factors; the seed\n"
+              "path's small number means it churns untracked per-epoch temporaries\n"
+              "instead of reusing a workspace (see DESIGN.md on rule 3).\n");
 
   std::printf("\npaper-shape check: JMF variants dominate GBA; integrating all\n"
               "sources matches the best single source without knowing in advance\n"

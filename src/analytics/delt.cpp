@@ -3,8 +3,11 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "analytics/metrics.h"
+#include "analytics/solver/cg.h"
+#include "analytics/sparse.h"
 #include "exec/executor.h"
 
 namespace {
@@ -66,6 +69,178 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
     model.patient_baselines[p] = global_mean;
   }
 
+  // Bytes resident in the shared fit state: flattened table, exposure
+  // index, model vectors. Capacity-based, matching Matrix::allocated_bytes,
+  // and nothing here shrinks mid-fit — end == peak.
+  auto shared_bytes = [&]() {
+    std::size_t b = rows.capacity() * sizeof(Row) +
+                    patient_row_start.capacity() * sizeof(std::size_t) +
+                    drug_sum.capacity() * sizeof(double) +
+                    rows_of_drug.capacity() * sizeof(std::vector<std::size_t>);
+    for (const auto& idx : rows_of_drug) b += idx.capacity() * sizeof(std::size_t);
+    b += model.drug_effects.capacity() * sizeof(double) +
+         model.patient_baselines.capacity() * sizeof(double) +
+         model.patient_drifts.capacity() * sizeof(double);
+    return b;
+  };
+
+  if (config.use_newton_cg) {
+    // The model is linear in theta = [alpha | gamma | beta], so the
+    // alternating fit's fixed point is the solution of one ridge
+    // least-squares system:
+    //   (X^T X + Lambda) theta = X^T y,   Lambda = ridge on the beta block.
+    // A single Jacobi-preconditioned truncated-CG solve replaces all
+    // config.iterations alternating sweeps; objective_history gets the one
+    // converged SSE.
+    bool has_a = config.model_baseline;
+    bool has_g = config.model_drift;
+    std::size_t a_off = 0, g_off = 0, dim = 0;
+    if (has_a) { a_off = dim; dim += n_patients; }
+    if (has_g) { g_off = dim; dim += n_patients; }
+    std::size_t b_off = dim;
+    dim += n_drugs;
+    // Baseline off pins alpha at the global mean: fold it into y.
+    double y_shift = has_a ? 0.0 : global_mean;
+
+    // X p for the current CG direction, then the X^T (X p) reduction. Both
+    // passes partition disjoint output slots with serial inner sums, so the
+    // operator is worker-count invariant (the CG determinism contract).
+    std::vector<double> xp(rows.size(), 0.0);
+    auto apply = [&](const Matrix& p, Matrix& out, std::size_t wk) {
+      out.resize(dim, 1);
+      const double* pd = p.data();
+      double* od = out.data();
+      exec::parallel_for(
+          n_patients, wk,
+          [&](std::size_t pat) {
+            std::size_t start = patient_row_start[pat];
+            std::size_t count = dataset.patients[pat].measurements.size();
+            for (std::size_t j = 0; j < count; ++j) {
+              const Row& row = rows[start + j];
+              double s = 0.0;
+              if (has_a) s += pd[a_off + pat];
+              if (has_g) s += pd[g_off + pat] * row.time;
+              for (std::uint32_t d : *row.exposures) s += pd[b_off + d];
+              xp[start + j] = s;
+            }
+          },
+          kPatientGrain);
+      if (has_a || has_g) {
+        exec::parallel_for(
+            n_patients, wk,
+            [&](std::size_t pat) {
+              std::size_t start = patient_row_start[pat];
+              std::size_t count = dataset.patients[pat].measurements.size();
+              double sa = 0.0, sg = 0.0;
+              for (std::size_t j = 0; j < count; ++j) {
+                sa += xp[start + j];
+                sg += rows[start + j].time * xp[start + j];
+              }
+              if (has_a) od[a_off + pat] = sa;
+              if (has_g) od[g_off + pat] = sg;
+            },
+            kPatientGrain);
+      }
+      exec::parallel_for(
+          n_drugs, wk,
+          [&](std::size_t d) {
+            double s = 0.0;
+            for (std::size_t r : rows_of_drug[d]) s += xp[r];
+            od[b_off + d] = s + config.ridge * pd[b_off + d];
+          },
+          kPatientGrain);
+    };
+
+    Matrix b(dim, 1);
+    Matrix jacobi(dim, 1);
+    double* bd = b.data();
+    double* jd = jacobi.data();
+    for (std::size_t pat = 0; pat < n_patients; ++pat) {
+      std::size_t start = patient_row_start[pat];
+      std::size_t count = dataset.patients[pat].measurements.size();
+      double sy = 0.0, sty = 0.0, stt = 0.0;
+      for (std::size_t j = 0; j < count; ++j) {
+        const Row& row = rows[start + j];
+        double y = row.value - y_shift;
+        sy += y;
+        sty += row.time * y;
+        stt += row.time * row.time;
+      }
+      if (has_a) {
+        bd[a_off + pat] = sy;
+        jd[a_off + pat] = count > 0 ? static_cast<double>(count) : 1.0;
+      }
+      if (has_g) {
+        bd[g_off + pat] = sty;
+        jd[g_off + pat] = stt > 0.0 ? stt : 1.0;
+      }
+    }
+    for (std::size_t d = 0; d < n_drugs; ++d) {
+      double sy = 0.0;
+      for (std::size_t r : rows_of_drug[d]) sy += rows[r].value - y_shift;
+      bd[b_off + d] = sy;
+      jd[b_off + d] = static_cast<double>(rows_of_drug[d].size()) + config.ridge;
+      if (jd[b_off + d] <= 0.0) jd[b_off + d] = 1.0;
+    }
+
+    Matrix theta;
+    solver::CgConfig cg_cfg;
+    cg_cfg.max_iterations = config.cg_iterations;
+    cg_cfg.tolerance = config.cg_tolerance;
+    solver::CgWorkspace cg_ws;
+    solver::conjugate_gradient(apply, b, theta, cg_cfg, cg_ws, config.workers,
+                               &jacobi);
+
+    const double* td = theta.data();
+    for (std::size_t pat = 0; pat < n_patients; ++pat) {
+      model.patient_baselines[pat] = has_a ? td[a_off + pat] : global_mean;
+      model.patient_drifts[pat] = has_g ? td[g_off + pat] : 0.0;
+    }
+    for (std::size_t d = 0; d < n_drugs; ++d) {
+      model.drug_effects[d] = td[b_off + d];
+    }
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      double s = 0.0;
+      for (std::uint32_t d : *rows[r].exposures) s += model.drug_effects[d];
+      drug_sum[r] = s;
+    }
+    double sse = 0.0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const Row& row = rows[r];
+      double predicted = model.patient_baselines[row.patient] +
+                         model.patient_drifts[row.patient] * row.time + drug_sum[r];
+      double e = row.value - predicted;
+      sse += e * e;
+    }
+    model.objective_history.push_back(sse);
+    model.peak_workspace_bytes =
+        shared_bytes() + xp.capacity() * sizeof(double) + b.allocated_bytes() +
+        jacobi.allocated_bytes() + theta.allocated_bytes() +
+        cg_ws.r.allocated_bytes() + cg_ws.z.allocated_bytes() +
+        cg_ws.p.allocated_bytes() + cg_ws.hp.allocated_bytes();
+    return model;
+  }
+
+  // Compressed exposure matrix for the sparse beta sweep. The CSC column
+  // for drug d lists the same measurement rows as rows_of_drug[d] in the
+  // same ascending order, so the fit below is bitwise identical either way.
+  sparse::CsrMatrix exposure_csr;
+  sparse::CscMatrix exposure_csc;
+  if (config.use_sparse) {
+    std::vector<sparse::Triplet> triplets;
+    std::size_t total = 0;
+    for (const Row& row : rows) total += row.exposures->size();
+    triplets.reserve(total);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::uint32_t d : *rows[r].exposures) {
+        triplets.push_back(
+            sparse::Triplet{static_cast<std::uint32_t>(r), d, 1.0});
+      }
+    }
+    exposure_csr = sparse::CsrMatrix::from_triplets(rows.size(), n_drugs, triplets);
+    exposure_csc = sparse::CscMatrix::from_csr(exposure_csr);
+  }
+
   for (int iteration = 0; iteration < config.iterations; ++iteration) {
     // --- per-patient (alpha_i, gamma_i) given beta ----------------------
     if (config.model_baseline || config.model_drift) {
@@ -116,24 +291,42 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
     }
 
     // --- coordinate descent on beta given (alpha, gamma) ----------------
-    for (std::size_t d = 0; d < n_drugs; ++d) {
-      const auto& drug_rows = rows_of_drug[d];
-      if (drug_rows.empty()) continue;
-      double numerator = 0.0;
-      for (std::size_t r : drug_rows) {
-        const Row& row = rows[r];
-        double other = drug_sum[r] - model.drug_effects[d];
-        double residual = row.value - model.patient_baselines[row.patient] -
-                          model.patient_drifts[row.patient] * row.time - other;
-        numerator += residual;
+    // Generic over the row-list source: the default path reads the per-drug
+    // index vectors, the sparse path reads exposure CSC columns.
+    auto beta_sweep = [&](auto&& row_list) {
+      for (std::size_t d = 0; d < n_drugs; ++d) {
+        auto [drug_rows, count] = row_list(d);
+        if (count == 0) continue;
+        double numerator = 0.0;
+        for (std::size_t s = 0; s < count; ++s) {
+          std::size_t r = static_cast<std::size_t>(drug_rows[s]);
+          const Row& row = rows[r];
+          double other = drug_sum[r] - model.drug_effects[d];
+          double residual = row.value - model.patient_baselines[row.patient] -
+                            model.patient_drifts[row.patient] * row.time - other;
+          numerator += residual;
+        }
+        double new_beta =
+            numerator / (static_cast<double>(count) + config.ridge);
+        double delta = new_beta - model.drug_effects[d];
+        if (delta != 0.0) {
+          for (std::size_t s = 0; s < count; ++s) {
+            drug_sum[static_cast<std::size_t>(drug_rows[s])] += delta;
+          }
+          model.drug_effects[d] = new_beta;
+        }
       }
-      double new_beta =
-          numerator / (static_cast<double>(drug_rows.size()) + config.ridge);
-      double delta = new_beta - model.drug_effects[d];
-      if (delta != 0.0) {
-        for (std::size_t r : drug_rows) drug_sum[r] += delta;
-        model.drug_effects[d] = new_beta;
-      }
+    };
+    if (config.use_sparse) {
+      beta_sweep([&](std::size_t d) {
+        const std::uint32_t* cp = exposure_csc.col_ptr();
+        return std::make_pair(exposure_csc.row_idx() + cp[d],
+                              static_cast<std::size_t>(cp[d + 1] - cp[d]));
+      });
+    } else {
+      beta_sweep([&](std::size_t d) {
+        return std::make_pair(rows_of_drug[d].data(), rows_of_drug[d].size());
+      });
     }
 
     // --- objective -------------------------------------------------------
@@ -147,6 +340,8 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
     }
     model.objective_history.push_back(sse);
   }
+  model.peak_workspace_bytes =
+      shared_bytes() + exposure_csr.bytes() + exposure_csc.bytes();
   return model;
 }
 

@@ -43,6 +43,23 @@ struct DeltConfig {
   /// descent and the SSE reduction stay serial by design — parallelizing
   /// them would reorder summation.
   std::size_t workers = 1;
+  /// Drives the beta coordinate descent off a compressed exposure matrix
+  /// (rows x drugs CSC built through sparse::CsrMatrix::from_triplets)
+  /// instead of per-drug index vectors. The CSC column walk visits the
+  /// same rows in the same ascending order, so the fit is bitwise
+  /// identical to the default path.
+  bool use_sparse = false;
+  /// Second-order path: the alternating fit is replaced by ONE truncated-CG
+  /// solve of the joint ridge least-squares system over
+  /// theta = [alpha | gamma | beta] (blocks gated by model_baseline /
+  /// model_drift, ridge on beta only) with a Jacobi preconditioner. The
+  /// model is linear, so a single Newton step is exact up to the CG
+  /// tolerance: objective_history gets a single entry whose SSE matches the
+  /// coordinate-descent path's converged value. Byte-reproducible across
+  /// worker counts and reruns.
+  bool use_newton_cg = false;
+  std::size_t cg_iterations = 200;
+  double cg_tolerance = 1e-10;
 };
 
 struct DeltModel {
@@ -50,6 +67,10 @@ struct DeltModel {
   std::vector<double> patient_baselines;   // alpha per patient
   std::vector<double> patient_drifts;      // gamma per patient
   std::vector<double> objective_history;   // SSE per iteration
+  /// Resident bytes of the fit's working state (flattened row table,
+  /// exposure index, scratch vectors) at exit — end == peak, nothing
+  /// shrinks mid-fit.
+  std::size_t peak_workspace_bytes = 0;
 };
 
 DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config);

@@ -51,6 +51,35 @@ Matrix similarity_gradient(const Matrix& similarity, const Matrix& factor,
   return grad;
 }
 
+/// Serial flat ascending <A, B>_F — for symmetric k x k Grams this is
+/// tr(A B), the building block of the Gram-identity objectives.
+double frob_inner(const Matrix& a, const Matrix& b) {
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += ad[i] * bd[i];
+  return sum;
+}
+
+std::size_t newton_ws_bytes(const solver::NewtonWorkspace& ws) {
+  return ws.cg.r.allocated_bytes() + ws.cg.z.allocated_bytes() +
+         ws.cg.p.allocated_bytes() + ws.cg.hp.allocated_bytes() +
+         ws.neg_grad.allocated_bytes() + ws.direction.allocated_bytes() +
+         ws.trial.allocated_bytes();
+}
+
+std::size_t jmf_workspace_bytes(const JmfWorkspace& ws) {
+  return ws.uuT.allocated_bytes() + ws.vvT.allocated_bytes() +
+         ws.residual.allocated_bytes() + ws.diff.allocated_bytes() +
+         ws.grad_u.allocated_bytes() + ws.grad_v.allocated_bytes() +
+         ws.grad_src.allocated_bytes() + ws.factors.capacity() * sizeof(double) +
+         ws.utu.allocated_bytes() + ws.vtv.allocated_bytes() +
+         ws.obj_gram.allocated_bytes() + ws.rv.allocated_bytes() +
+         ws.sim_mul.allocated_bytes() + ws.grad_n.allocated_bytes() +
+         ws.h_tmp.allocated_bytes() + ws.h_ptu.allocated_bytes() +
+         newton_ws_bytes(ws.newton_u) + newton_ws_bytes(ws.newton_v);
+}
+
 std::vector<std::size_t> group_assignments(const Matrix& factor) {
   std::vector<std::size_t> groups(factor.rows());
   for (std::size_t i = 0; i < factor.rows(); ++i) {
@@ -226,7 +255,371 @@ void jmf_epoch_fast(const Matrix& associations,
   kernels::clamp_nonnegative(v, w);
 }
 
+/// First-order epoch on the sparse plane. Cell for cell this performs the
+/// same floating-point sequence as jmf_epoch_fast (every sparse kernel is
+/// bitwise equal to the dense kernel it shadows — see sparse.h), so the
+/// whole trajectory is bitwise identical to the dense fast path.
+void jmf_epoch_sparse(const JmfSparseInputs& inputs, const JmfConfig& config,
+                      Matrix& u, Matrix& v, JmfResult& result,
+                      JmfWorkspace& ws) {
+  std::size_t n_drugs = inputs.associations.rows();
+  std::size_t n_diseases = inputs.associations.cols();
+  std::size_t w = config.workers;
+
+  kernels::syrk_into(u, ws.uuT, w);
+  std::vector<double> drug_errors(inputs.drug_similarities.size());
+  for (std::size_t i = 0; i < inputs.drug_similarities.size(); ++i) {
+    double d = sparse::frobenius_distance(inputs.drug_similarities[i], ws.uuT);
+    double n = static_cast<double>(n_drugs);
+    drug_errors[i] = (d * d) / (n * n);
+  }
+  result.drug_source_weights =
+      entropy_weights(drug_errors, config.weight_temperature * 0.01);
+
+  kernels::syrk_into(v, ws.vvT, w);
+  std::vector<double> disease_errors(inputs.disease_similarities.size());
+  for (std::size_t j = 0; j < inputs.disease_similarities.size(); ++j) {
+    double d = sparse::frobenius_distance(inputs.disease_similarities[j], ws.vvT);
+    double n = static_cast<double>(n_diseases);
+    disease_errors[j] = (d * d) / (n * n);
+  }
+  result.disease_source_weights =
+      entropy_weights(disease_errors, config.weight_temperature * 0.01);
+
+  sparse::residual_into(inputs.associations, u, v, ws.residual, w);
+  double objective = std::pow(ws.residual.frobenius_norm(), 2);
+  for (std::size_t i = 0; i < inputs.drug_similarities.size(); ++i) {
+    objective += config.similarity_weight * result.drug_source_weights[i] *
+                 drug_errors[i] * static_cast<double>(n_drugs) *
+                 static_cast<double>(n_drugs);
+  }
+  for (std::size_t j = 0; j < inputs.disease_similarities.size(); ++j) {
+    objective += config.similarity_weight * result.disease_source_weights[j] *
+                 disease_errors[j] * static_cast<double>(n_diseases) *
+                 static_cast<double>(n_diseases);
+  }
+  objective += config.regularization *
+               (std::pow(u.frobenius_norm(), 2) + std::pow(v.frobenius_norm(), 2));
+  result.objective_history.push_back(objective);
+
+  kernels::multiply_into(ws.residual, v, ws.grad_u, w);
+  ws.factors.resize(inputs.drug_similarities.size());
+  for (std::size_t i = 0; i < inputs.drug_similarities.size(); ++i) {
+    ws.factors[i] =
+        4.0 * config.similarity_weight * result.drug_source_weights[i];
+  }
+  sparse::fused_sub_multiply_add_into(ws.grad_u, inputs.drug_similarities,
+                                      ws.uuT, u, ws.factors, ws.grad_src, w);
+  kernels::add_scaled_into(ws.grad_u, u, -config.regularization, w);
+  kernels::add_scaled_into(u, ws.grad_u, config.learning_rate, w);
+  kernels::clamp_nonnegative(u, w);
+
+  // The dense fast path fuses this as residual_transpose_multiply_into,
+  // which is documented bitwise equal to this two-kernel composition.
+  sparse::residual_into(inputs.associations, u, v, ws.residual, w);
+  kernels::transpose_multiply_into(ws.residual, u, ws.grad_v, w);
+  ws.factors.resize(inputs.disease_similarities.size());
+  for (std::size_t j = 0; j < inputs.disease_similarities.size(); ++j) {
+    ws.factors[j] =
+        4.0 * config.similarity_weight * result.disease_source_weights[j];
+  }
+  sparse::fused_sub_multiply_add_into(ws.grad_v, inputs.disease_similarities,
+                                      ws.vvT, v, ws.factors, ws.grad_src, w);
+  kernels::add_scaled_into(ws.grad_v, v, -config.regularization, w);
+  kernels::add_scaled_into(v, ws.grad_v, config.learning_rate, w);
+  kernels::clamp_nonnegative(v, w);
+}
+
+/// Precomputed squared Frobenius norms of the sparse inputs — the constant
+/// terms of the Gram-identity objective.
+struct JmfGramNorms {
+  double r = 0.0;
+  std::vector<double> drug;
+  std::vector<double> disease;
+};
+
+/// Second-order epoch: one damped Gauss-Newton step per block.
+///
+/// Everything runs through Gram identities — with utu = U^T U, vtv = V^T V
+/// (both k x k):
+///   ||R - U V^T||^2   = ||R||^2 - 2 <R, U V^T> + tr(utu vtv)
+///   ||D - U U^T||^2   = ||D||^2 - 2 <D, U U^T> + tr(utu^2)
+/// so an epoch costs O(nnz k + (drugs + diseases) k^2) and the dense
+/// drugs x drugs / drugs x diseases products of the first-order path are
+/// never formed — the equal-memory catalog headroom in EXPERIMENTS.md F13.
+///
+/// Block derivatives (weights fixed for the epoch; sum_i alpha_i == 1):
+///   g_U  = 2 (U vtv - R V) + 4 mu (U utu) - sum_i 4 mu alpha_i D_i U + 2 lambda U
+///   H_U p = 2 p vtv + 4 mu (p utu + U (p^T U)) + 2 lambda p   (Gauss-Newton)
+/// and symmetrically for V with R^T U off the CSC mirror.
+void jmf_epoch_newton(const JmfSparseInputs& inputs, const JmfGramNorms& norms,
+                      const JmfConfig& config, Matrix& u, Matrix& v,
+                      JmfResult& result, JmfWorkspace& ws) {
+  std::size_t w = config.workers;
+  double mu = config.similarity_weight;
+  double lambda = config.regularization;
+  double nd = static_cast<double>(inputs.associations.rows());
+  double nz = static_cast<double>(inputs.associations.cols());
+
+  kernels::transpose_multiply_into(u, u, ws.utu, w);
+  kernels::transpose_multiply_into(v, v, ws.vtv, w);
+
+  // --- source weights from Gram-identity fit errors -------------------
+  std::vector<double> drug_errors(inputs.drug_similarities.size());
+  double tr_uu2 = frob_inner(ws.utu, ws.utu);
+  for (std::size_t i = 0; i < inputs.drug_similarities.size(); ++i) {
+    double fit = norms.drug[i] -
+                 2.0 * sparse::inner_product_uv(inputs.drug_similarities[i], u, u) +
+                 tr_uu2;
+    drug_errors[i] = fit / (nd * nd);
+  }
+  result.drug_source_weights =
+      entropy_weights(drug_errors, config.weight_temperature * 0.01);
+
+  std::vector<double> disease_errors(inputs.disease_similarities.size());
+  double tr_vv2 = frob_inner(ws.vtv, ws.vtv);
+  for (std::size_t j = 0; j < inputs.disease_similarities.size(); ++j) {
+    double fit =
+        norms.disease[j] -
+        2.0 * sparse::inner_product_uv(inputs.disease_similarities[j], v, v) +
+        tr_vv2;
+    disease_errors[j] = fit / (nz * nz);
+  }
+  result.disease_source_weights =
+      entropy_weights(disease_errors, config.weight_temperature * 0.01);
+
+  const std::vector<double>& alpha = result.drug_source_weights;
+  const std::vector<double>& beta = result.disease_source_weights;
+
+  // --- objective at (U, V) --------------------------------------------
+  double objective = norms.r -
+                     2.0 * sparse::inner_product_uv(inputs.associations, u, v) +
+                     frob_inner(ws.utu, ws.vtv);
+  for (std::size_t i = 0; i < drug_errors.size(); ++i) {
+    objective += mu * alpha[i] * drug_errors[i] * nd * nd;
+  }
+  for (std::size_t j = 0; j < disease_errors.size(); ++j) {
+    objective += mu * beta[j] * disease_errors[j] * nz * nz;
+  }
+  objective += lambda * (std::pow(u.frobenius_norm(), 2) +
+                         std::pow(v.frobenius_norm(), 2));
+  result.objective_history.push_back(objective);
+
+  solver::NewtonConfig ncfg;
+  ncfg.cg.max_iterations = config.cg_iterations;
+  ncfg.cg.tolerance = config.cg_tolerance;
+  ncfg.project_nonnegative = true;
+
+  // --- U block ---------------------------------------------------------
+  // A short run of damped Newton steps with V frozen. R V is hoisted —
+  // only U moves inside the block — while U^T U is refreshed per step.
+  sparse::multiply_into(inputs.associations, v, ws.rv, w);  // R V
+  auto apply_u = [&](const Matrix& p, Matrix& out, std::size_t wk) {
+    kernels::multiply_into(p, ws.vtv, out, wk);
+    out.scale(2.0);
+    kernels::multiply_into(p, ws.utu, ws.h_tmp, wk);
+    kernels::add_scaled_into(out, ws.h_tmp, 4.0 * mu, wk);
+    kernels::transpose_multiply_into(p, u, ws.h_ptu, wk);
+    kernels::multiply_into(u, ws.h_ptu, ws.h_tmp, wk);
+    kernels::add_scaled_into(out, ws.h_tmp, 4.0 * mu, wk);
+    kernels::add_scaled_into(out, p, 2.0 * lambda, wk);
+  };
+  // Full objective as a function of U (V and the weights fixed; the
+  // disease-side fit terms are epoch-start constants).
+  double disease_const = 0.0;
+  for (std::size_t j = 0; j < disease_errors.size(); ++j) {
+    disease_const += mu * beta[j] * disease_errors[j] * nz * nz;
+  }
+  double v_reg = lambda * std::pow(v.frobenius_norm(), 2);
+  auto objective_u = [&](const Matrix& trial) {
+    kernels::transpose_multiply_into(trial, trial, ws.obj_gram, w);
+    double o = norms.r -
+               2.0 * sparse::inner_product_uv(inputs.associations, trial, v) +
+               frob_inner(ws.obj_gram, ws.vtv);
+    double tr2 = frob_inner(ws.obj_gram, ws.obj_gram);
+    for (std::size_t i = 0; i < drug_errors.size(); ++i) {
+      o += mu * alpha[i] *
+           (norms.drug[i] -
+            2.0 * sparse::inner_product_uv(inputs.drug_similarities[i], trial,
+                                           trial) +
+            tr2);
+    }
+    o += disease_const + v_reg +
+         lambda * std::pow(trial.frobenius_norm(), 2);
+    return o;
+  };
+  double fx = objective;
+  for (std::size_t it = 0; it < config.newton_inner_steps; ++it) {
+    if (it > 0) kernels::transpose_multiply_into(u, u, ws.utu, w);
+    kernels::multiply_into(u, ws.vtv, ws.grad_n, w);
+    ws.grad_n.scale(2.0);
+    kernels::add_scaled_into(ws.grad_n, ws.rv, -2.0, w);
+    kernels::multiply_into(u, ws.utu, ws.h_tmp, w);
+    kernels::add_scaled_into(ws.grad_n, ws.h_tmp, 4.0 * mu, w);
+    for (std::size_t i = 0; i < inputs.drug_similarities.size(); ++i) {
+      sparse::multiply_into(inputs.drug_similarities[i], u, ws.sim_mul, w);
+      kernels::add_scaled_into(ws.grad_n, ws.sim_mul, -4.0 * mu * alpha[i], w);
+    }
+    kernels::add_scaled_into(ws.grad_n, u, 2.0 * lambda, w);
+    auto step = solver::newton_step(apply_u, ws.grad_n, u, objective_u, fx,
+                                    ncfg, ws.newton_u, w);
+    fx = step.objective;
+    if (step.step == 0.0) break;
+  }
+
+  // --- V block ---------------------------------------------------------
+  kernels::transpose_multiply_into(u, u, ws.utu, w);  // U moved: refresh
+  double tr_uu2_new = frob_inner(ws.utu, ws.utu);
+  double drug_const = 0.0;
+  for (std::size_t i = 0; i < drug_errors.size(); ++i) {
+    drug_const +=
+        mu * alpha[i] *
+        (norms.drug[i] -
+         2.0 * sparse::inner_product_uv(inputs.drug_similarities[i], u, u) +
+         tr_uu2_new);
+  }
+  double u_reg = lambda * std::pow(u.frobenius_norm(), 2);
+
+  sparse::transpose_multiply_into(inputs.associations_csc, u, ws.rv, w);  // R^T U
+  auto apply_v = [&](const Matrix& p, Matrix& out, std::size_t wk) {
+    kernels::multiply_into(p, ws.utu, out, wk);
+    out.scale(2.0);
+    kernels::multiply_into(p, ws.vtv, ws.h_tmp, wk);
+    kernels::add_scaled_into(out, ws.h_tmp, 4.0 * mu, wk);
+    kernels::transpose_multiply_into(p, v, ws.h_ptu, wk);
+    kernels::multiply_into(v, ws.h_ptu, ws.h_tmp, wk);
+    kernels::add_scaled_into(out, ws.h_tmp, 4.0 * mu, wk);
+    kernels::add_scaled_into(out, p, 2.0 * lambda, wk);
+  };
+  auto objective_v = [&](const Matrix& trial) {
+    kernels::transpose_multiply_into(trial, trial, ws.obj_gram, w);
+    double o = norms.r -
+               2.0 * sparse::inner_product_uv(inputs.associations, u, trial) +
+               frob_inner(ws.utu, ws.obj_gram);
+    double tr2 = frob_inner(ws.obj_gram, ws.obj_gram);
+    for (std::size_t j = 0; j < disease_errors.size(); ++j) {
+      o += mu * beta[j] *
+           (norms.disease[j] -
+            2.0 * sparse::inner_product_uv(inputs.disease_similarities[j],
+                                           trial, trial) +
+            tr2);
+    }
+    o += drug_const + u_reg + lambda * std::pow(trial.frobenius_norm(), 2);
+    return o;
+  };
+  // fx carried over from the U block is the full objective at (U_new, V)
+  // — phi(0) for the first V step.
+  for (std::size_t it = 0; it < config.newton_inner_steps; ++it) {
+    if (it > 0) kernels::transpose_multiply_into(v, v, ws.vtv, w);
+    kernels::multiply_into(v, ws.utu, ws.grad_n, w);
+    ws.grad_n.scale(2.0);
+    kernels::add_scaled_into(ws.grad_n, ws.rv, -2.0, w);
+    kernels::multiply_into(v, ws.vtv, ws.h_tmp, w);
+    kernels::add_scaled_into(ws.grad_n, ws.h_tmp, 4.0 * mu, w);
+    for (std::size_t j = 0; j < inputs.disease_similarities.size(); ++j) {
+      sparse::multiply_into(inputs.disease_similarities[j], v, ws.sim_mul, w);
+      kernels::add_scaled_into(ws.grad_n, ws.sim_mul, -4.0 * mu * beta[j], w);
+    }
+    kernels::add_scaled_into(ws.grad_n, v, 2.0 * lambda, w);
+    auto step = solver::newton_step(apply_v, ws.grad_n, v, objective_v, fx,
+                                    ncfg, ws.newton_v, w);
+    fx = step.objective;
+    if (step.step == 0.0) break;
+  }
+}
+
 }  // namespace
+
+std::size_t JmfSparseInputs::bytes() const {
+  std::size_t total = associations.bytes() + associations_csc.bytes();
+  for (const auto& d : drug_similarities) total += d.bytes();
+  for (const auto& s : disease_similarities) total += s.bytes();
+  return total;
+}
+
+JmfSparseInputs make_jmf_sparse_inputs(
+    const Matrix& associations, const std::vector<Matrix>& drug_similarities,
+    const std::vector<Matrix>& disease_similarities) {
+  JmfSparseInputs inputs;
+  inputs.associations = sparse::CsrMatrix::from_dense(associations);
+  inputs.associations_csc = sparse::CscMatrix::from_csr(inputs.associations);
+  inputs.drug_similarities.reserve(drug_similarities.size());
+  for (const auto& d : drug_similarities) {
+    inputs.drug_similarities.push_back(sparse::CsrMatrix::from_dense(d));
+  }
+  inputs.disease_similarities.reserve(disease_similarities.size());
+  for (const auto& s : disease_similarities) {
+    inputs.disease_similarities.push_back(sparse::CsrMatrix::from_dense(s));
+  }
+  return inputs;
+}
+
+JmfResult joint_matrix_factorization(const JmfSparseInputs& inputs,
+                                     const JmfConfig& config, Rng& rng,
+                                     JmfWorkspace* workspace) {
+  if (inputs.drug_similarities.empty() || inputs.disease_similarities.empty()) {
+    throw std::invalid_argument("JMF needs at least one similarity source per side");
+  }
+  std::size_t n_drugs = inputs.associations.rows();
+  std::size_t n_diseases = inputs.associations.cols();
+  for (const auto& d : inputs.drug_similarities) {
+    if (d.rows() != n_drugs || d.cols() != n_drugs) {
+      throw std::invalid_argument("drug similarity matrix shape mismatch");
+    }
+  }
+  for (const auto& s : inputs.disease_similarities) {
+    if (s.rows() != n_diseases || s.cols() != n_diseases) {
+      throw std::invalid_argument("disease similarity matrix shape mismatch");
+    }
+  }
+
+  // Same rng consumption order as the dense entry — identical seeds give
+  // identical initial factors, the anchor of the sparse-vs-dense bitwise
+  // tests.
+  Matrix u = Matrix::random(n_drugs, config.rank, rng, 0.0, 0.1);
+  Matrix v = Matrix::random(n_diseases, config.rank, rng, 0.0, 0.1);
+
+  JmfResult result;
+  result.drug_source_weights.assign(
+      inputs.drug_similarities.size(),
+      1.0 / static_cast<double>(inputs.drug_similarities.size()));
+  result.disease_source_weights.assign(
+      inputs.disease_similarities.size(),
+      1.0 / static_cast<double>(inputs.disease_similarities.size()));
+
+  JmfWorkspace local_workspace;
+  JmfWorkspace& ws = workspace ? *workspace : local_workspace;
+  if (config.use_newton_cg) {
+    JmfGramNorms norms;
+    norms.r = inputs.associations.norm_squared();
+    norms.drug.reserve(inputs.drug_similarities.size());
+    for (const auto& d : inputs.drug_similarities) {
+      norms.drug.push_back(d.norm_squared());
+    }
+    norms.disease.reserve(inputs.disease_similarities.size());
+    for (const auto& s : inputs.disease_similarities) {
+      norms.disease.push_back(s.norm_squared());
+    }
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      jmf_epoch_newton(inputs, norms, config, u, v, result, ws);
+    }
+  } else {
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      jmf_epoch_sparse(inputs, config, u, v, result, ws);
+    }
+  }
+
+  if (config.materialize_scores) {
+    kernels::multiply_transposed_into(u, v, result.scores, config.workers);
+  }
+  result.drug_groups = group_assignments(u);
+  result.disease_groups = group_assignments(v);
+  result.peak_workspace_bytes =
+      jmf_workspace_bytes(ws) + u.allocated_bytes() + v.allocated_bytes();
+  result.factor_u = std::move(u);
+  result.factor_v = std::move(v);
+  return result;
+}
 
 JmfResult joint_matrix_factorization(const Matrix& associations,
                                      const std::vector<Matrix>& drug_similarities,
@@ -235,6 +628,11 @@ JmfResult joint_matrix_factorization(const Matrix& associations,
                                      JmfWorkspace* workspace) {
   if (drug_similarities.empty() || disease_similarities.empty()) {
     throw std::invalid_argument("JMF needs at least one similarity source per side");
+  }
+  if (config.use_sparse || config.use_newton_cg) {
+    JmfSparseInputs inputs = make_jmf_sparse_inputs(
+        associations, drug_similarities, disease_similarities);
+    return joint_matrix_factorization(inputs, config, rng, workspace);
   }
   std::size_t n_drugs = associations.rows();
   std::size_t n_diseases = associations.cols();
@@ -270,13 +668,19 @@ JmfResult joint_matrix_factorization(const Matrix& associations,
     }
   }
 
-  if (config.use_fast_kernels) {
-    kernels::multiply_transposed_into(u, v, result.scores, config.workers);
-  } else {
-    result.scores = u.multiply_transposed(v);
+  if (config.materialize_scores) {
+    if (config.use_fast_kernels) {
+      kernels::multiply_transposed_into(u, v, result.scores, config.workers);
+    } else {
+      result.scores = u.multiply_transposed(v);
+    }
   }
   result.drug_groups = group_assignments(u);
   result.disease_groups = group_assignments(v);
+  result.peak_workspace_bytes =
+      jmf_workspace_bytes(ws) + u.allocated_bytes() + v.allocated_bytes();
+  result.factor_u = std::move(u);
+  result.factor_v = std::move(v);
   return result;
 }
 

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "analytics/matrix.h"
+#include "analytics/solver/newton.h"
+#include "analytics/sparse.h"
 #include "common/rng.h"
 
 namespace hc::analytics {
@@ -47,7 +49,53 @@ struct JmfConfig {
   /// benchmark baseline and the reference the kernel path is tested
   /// bit-exact against. Ignores `workers`.
   bool use_fast_kernels = true;
+  /// Selects the sparse compute plane: R and the similarity sources are
+  /// consumed as CSR and the epoch kernels walk stored nonzeros. The
+  /// first-order sparse epoch is bitwise identical to the dense fast path
+  /// (sparse kernels shadow the dense ones cell for cell — see sparse.h).
+  bool use_sparse = false;
+  /// Second-order path: per epoch, a short run of damped Gauss-Newton
+  /// steps per factor block with truncated-CG inner solves, objectives
+  /// and gradients formed
+  /// through Gram identities (U^T U, V^T V) so nothing drugs x drugs or
+  /// drugs x diseases is ever materialized. Implies the sparse plane. A
+  /// different algorithm than gradient descent — not bitwise against it —
+  /// but byte-reproducible across worker counts and reruns, and reaches the
+  /// first-order path's final objective in >= 10x fewer epochs (see
+  /// EXPERIMENTS.md F13). `epochs` then counts Newton epochs.
+  bool use_newton_cg = false;
+  /// Inner-solve schedule for use_newton_cg (fixed — part of the
+  /// deterministic trajectory, never adapted from wall clock).
+  std::size_t cg_iterations = 25;
+  double cg_tolerance = 1e-2;
+  /// Damped Newton iterations per factor block per epoch (the alternating
+  /// outer loop converges much faster when each block is polished a few
+  /// steps before the other side moves). A block's run stops early when a
+  /// line search rejects every trial.
+  std::size_t newton_inner_steps = 3;
+  /// When false, result.scores is left empty (use result.factor_u /
+  /// factor_v). The completed-association matrix is the one unavoidable
+  /// drugs x diseases dense object — catalog-scale runs skip it.
+  bool materialize_scores = true;
 };
+
+/// The solver-side view of a JMF problem on the sparse plane: built once
+/// (make_jmf_sparse_inputs) and reused across solves. The CSC mirror of R
+/// feeds R^T U without materializing a transpose.
+struct JmfSparseInputs {
+  sparse::CsrMatrix associations;
+  sparse::CscMatrix associations_csc;
+  std::vector<sparse::CsrMatrix> drug_similarities;
+  std::vector<sparse::CsrMatrix> disease_similarities;
+
+  /// Resident bytes across all compressed structures (for the bench's
+  /// equal-memory catalog comparisons).
+  std::size_t bytes() const;
+};
+
+JmfSparseInputs make_jmf_sparse_inputs(
+    const Matrix& associations, const std::vector<Matrix>& drug_similarities,
+    const std::vector<Matrix>& disease_similarities);
 
 /// Epoch-loop scratch. Matrices are resized on first use and reused every
 /// epoch after — a warm workspace makes the solver allocation-free. Reuse
@@ -60,15 +108,31 @@ struct JmfWorkspace {
   Matrix grad_u, grad_v;  // accumulated gradients
   Matrix grad_src;        // fused per-source gradient accumulators
   std::vector<double> factors;  // per-source weights for the fused kernel
+
+  // Second-order (Newton-CG) scratch. Everything here is
+  // O((drugs + diseases) * rank + rank^2) — the memory headroom the sparse
+  // path's catalog scaling rides on.
+  Matrix utu, vtv;           // Gram matrices U^T U, V^T V
+  Matrix obj_gram;           // trial-point Gram inside objective closures
+  Matrix rv;                 // R V (or R^T U) for the gradient
+  Matrix sim_mul;            // D_i U (or S_j V) per source
+  Matrix grad_n;             // gradient of the active block
+  Matrix h_tmp, h_ptu;       // Hessian-apply scratch
+  solver::NewtonWorkspace newton_u, newton_v;
 };
 
 struct JmfResult {
   Matrix scores;                            // completed associations U V^T
+  Matrix factor_u, factor_v;                // final factors (always set)
   std::vector<double> drug_source_weights;  // alpha, sums to 1
   std::vector<double> disease_source_weights;  // beta, sums to 1
   std::vector<std::size_t> drug_groups;     // argmax factor per drug
   std::vector<std::size_t> disease_groups;
   std::vector<double> objective_history;    // per-epoch objective value
+  /// Resident bytes of the epoch workspace plus both factor blocks at the
+  /// end of the solve (workspaces never shrink, so end == peak). Inputs are
+  /// caller-owned and counted by the caller.
+  std::size_t peak_workspace_bytes = 0;
 };
 
 /// Runs JMF. `drug_similarities` and `disease_similarities` must be square
@@ -78,6 +142,13 @@ struct JmfResult {
 JmfResult joint_matrix_factorization(const Matrix& associations,
                                      const std::vector<Matrix>& drug_similarities,
                                      const std::vector<Matrix>& disease_similarities,
+                                     const JmfConfig& config, Rng& rng,
+                                     JmfWorkspace* workspace = nullptr);
+
+/// Sparse-plane entry point: same solver, inputs already compressed (the
+/// dense entry converts and delegates here when config.use_sparse or
+/// config.use_newton_cg is set). config.use_fast_kernels is ignored.
+JmfResult joint_matrix_factorization(const JmfSparseInputs& inputs,
                                      const JmfConfig& config, Rng& rng,
                                      JmfWorkspace* workspace = nullptr);
 

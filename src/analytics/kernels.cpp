@@ -463,78 +463,83 @@ void fused_sub_multiply_add_into(Matrix& grad, const std::vector<Matrix>& source
       }
       double* grow = gdata + i * width;
       for (std::size_t s = 0; s < count; ++s) {
-        const double* drow = diff + s * inner;
-        double factor = fac[s];
-        // Adaptive 8/4/2/1-cell interleave: eight accumulator chains are
-        // what it takes to saturate the FP add ports against the long
-        // (inner ~ n) reduction; narrower groups mop up the remainder.
-        std::size_t j = 0;
-        for (; j + 8 <= width; j += 8) {
-          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-          double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
-          for (std::size_t k = 0; k < inner; ++k) {
-            double v = drow[k];
-            if (v == 0.0) continue;
-            const double* frow = fdata + k * width + j;
-            a0 += v * frow[0];
-            a1 += v * frow[1];
-            a2 += v * frow[2];
-            a3 += v * frow[3];
-            a4 += v * frow[4];
-            a5 += v * frow[5];
-            a6 += v * frow[6];
-            a7 += v * frow[7];
-          }
-          grow[j] += factor * a0;
-          grow[j + 1] += factor * a1;
-          grow[j + 2] += factor * a2;
-          grow[j + 3] += factor * a3;
-          grow[j + 4] += factor * a4;
-          grow[j + 5] += factor * a5;
-          grow[j + 6] += factor * a6;
-          grow[j + 7] += factor * a7;
-        }
-        if (j + 4 <= width) {
-          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-          for (std::size_t k = 0; k < inner; ++k) {
-            double v = drow[k];
-            if (v == 0.0) continue;
-            const double* frow = fdata + k * width + j;
-            a0 += v * frow[0];
-            a1 += v * frow[1];
-            a2 += v * frow[2];
-            a3 += v * frow[3];
-          }
-          grow[j] += factor * a0;
-          grow[j + 1] += factor * a1;
-          grow[j + 2] += factor * a2;
-          grow[j + 3] += factor * a3;
-          j += 4;
-        }
-        if (j + 2 <= width) {
-          double a0 = 0.0, a1 = 0.0;
-          for (std::size_t k = 0; k < inner; ++k) {
-            double v = drow[k];
-            if (v == 0.0) continue;
-            const double* frow = fdata + k * width + j;
-            a0 += v * frow[0];
-            a1 += v * frow[1];
-          }
-          grow[j] += factor * a0;
-          grow[j + 1] += factor * a1;
-          j += 2;
-        }
-        if (j < width) {
-          double acc = 0.0;
-          for (std::size_t k = 0; k < inner; ++k) {
-            double v = drow[k];
-            if (v != 0.0) acc += v * fdata[k * width + j];
-          }
-          grow[j] += factor * acc;
-        }
+        accumulate_scaled_products(grow, diff + s * inner, fdata, fac[s], inner,
+                                   width);
       }
     }
   });
+}
+
+void accumulate_scaled_products(double* grow, const double* drow,
+                                const double* fdata, double factor,
+                                std::size_t inner, std::size_t width) {
+  // Adaptive 8/4/2/1-cell interleave: eight accumulator chains are what it
+  // takes to saturate the FP add ports against the long (inner ~ n)
+  // reduction; narrower groups mop up the remainder.
+  std::size_t j = 0;
+  for (; j + 8 <= width; j += 8) {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+    for (std::size_t k = 0; k < inner; ++k) {
+      double v = drow[k];
+      if (v == 0.0) continue;
+      const double* frow = fdata + k * width + j;
+      a0 += v * frow[0];
+      a1 += v * frow[1];
+      a2 += v * frow[2];
+      a3 += v * frow[3];
+      a4 += v * frow[4];
+      a5 += v * frow[5];
+      a6 += v * frow[6];
+      a7 += v * frow[7];
+    }
+    grow[j] += factor * a0;
+    grow[j + 1] += factor * a1;
+    grow[j + 2] += factor * a2;
+    grow[j + 3] += factor * a3;
+    grow[j + 4] += factor * a4;
+    grow[j + 5] += factor * a5;
+    grow[j + 6] += factor * a6;
+    grow[j + 7] += factor * a7;
+  }
+  if (j + 4 <= width) {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t k = 0; k < inner; ++k) {
+      double v = drow[k];
+      if (v == 0.0) continue;
+      const double* frow = fdata + k * width + j;
+      a0 += v * frow[0];
+      a1 += v * frow[1];
+      a2 += v * frow[2];
+      a3 += v * frow[3];
+    }
+    grow[j] += factor * a0;
+    grow[j + 1] += factor * a1;
+    grow[j + 2] += factor * a2;
+    grow[j + 3] += factor * a3;
+    j += 4;
+  }
+  if (j + 2 <= width) {
+    double a0 = 0.0, a1 = 0.0;
+    for (std::size_t k = 0; k < inner; ++k) {
+      double v = drow[k];
+      if (v == 0.0) continue;
+      const double* frow = fdata + k * width + j;
+      a0 += v * frow[0];
+      a1 += v * frow[1];
+    }
+    grow[j] += factor * a0;
+    grow[j + 1] += factor * a1;
+    j += 2;
+  }
+  if (j < width) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < inner; ++k) {
+      double v = drow[k];
+      if (v != 0.0) acc += v * fdata[k * width + j];
+    }
+    grow[j] += factor * acc;
+  }
 }
 
 void residual_transpose_multiply_into(const Matrix& r, const Matrix& u,

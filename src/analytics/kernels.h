@@ -120,6 +120,17 @@ void residual_transpose_multiply_into(const Matrix& r, const Matrix& u,
                                       const Matrix& v, const Matrix& f, Matrix& out,
                                       std::size_t workers = 1);
 
+/// Building block shared by the dense and sparse fused gradient kernels:
+/// grow[j] += factor * (ascending-k dot of drow against column j of f),
+/// for j in [0, width), with the zero-skip on drow[k] and the adaptive
+/// 8/4/2/1-cell accumulator interleave. Per output cell the reduction is a
+/// single ascending-k accumulator, so any caller that feeds the same diff
+/// row gets the same bits regardless of how the row was produced (dense
+/// subtraction or CSR-gap walk).
+void accumulate_scaled_products(double* grow, const double* drow,
+                                const double* fdata, double factor,
+                                std::size_t inner, std::size_t width);
+
 /// dst += factor * src over a row partition (the elementwise epilogue of
 /// the gradient updates). Bitwise equal to Matrix::add_scaled.
 void add_scaled_into(Matrix& dst, const Matrix& src, double factor,

@@ -89,6 +89,17 @@ double Matrix::frobenius_norm() const {
   return std::sqrt(sum);
 }
 
+std::size_t Matrix::nnz() const {
+  std::size_t count = 0;
+  for (double v : data_) count += v != 0.0 ? 1 : 0;
+  return count;
+}
+
+double Matrix::density() const {
+  if (data_.empty()) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(data_.size());
+}
+
 double Matrix::frobenius_distance(const Matrix& other) const {
   if (!same_shape(other)) {
     throw std::invalid_argument("Matrix::frobenius_distance: shape mismatch");

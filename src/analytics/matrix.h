@@ -54,6 +54,17 @@ class Matrix {
   /// ||this - other||_F; dimensions must match.
   double frobenius_distance(const Matrix& other) const;
 
+  /// Number of cells whose value is exactly nonzero. The bioinformatics
+  /// inputs (fingerprints, target sets, associations) are >95% sparse;
+  /// this is what the sparse plane's storage decisions key on.
+  std::size_t nnz() const;
+  /// nnz() / size(); 0.0 for an empty matrix.
+  double density() const;
+  /// Bytes held by the backing store (capacity, not size — what the
+  /// process actually keeps resident). The bench's equal-memory catalog
+  /// comparisons sum this over inputs + workspaces.
+  std::size_t allocated_bytes() const { return data_.capacity() * sizeof(double); }
+
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }

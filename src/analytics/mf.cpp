@@ -1,11 +1,30 @@
 #include "analytics/mf.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "analytics/kernels.h"
 
 namespace hc::analytics {
+
+namespace {
+
+std::size_t newton_ws_bytes(const solver::NewtonWorkspace& ws) {
+  return ws.cg.r.allocated_bytes() + ws.cg.z.allocated_bytes() +
+         ws.cg.p.allocated_bytes() + ws.cg.hp.allocated_bytes() +
+         ws.neg_grad.allocated_bytes() + ws.direction.allocated_bytes() +
+         ws.trial.allocated_bytes();
+}
+
+std::size_t mf_workspace_bytes(const MfWorkspace& ws) {
+  return ws.residual.allocated_bytes() + ws.grad_u.allocated_bytes() +
+         ws.grad_v.allocated_bytes() + ws.residual_sparse.bytes() +
+         ws.residual_csc.bytes() + newton_ws_bytes(ws.newton_u) +
+         newton_ws_bytes(ws.newton_v);
+}
+
+}  // namespace
 
 double MfModel::predict(std::size_t row, std::size_t col) const {
   const double* ur = u.row(row);
@@ -19,6 +38,10 @@ MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& co
                   Rng& rng, MfWorkspace* workspace) {
   if (!observed.same_shape(mask)) {
     throw std::invalid_argument("factorize: observed/mask shape mismatch");
+  }
+  if (config.use_sparse || config.use_newton_cg) {
+    return factorize(sparse::CsrMatrix::from_dense_masked(observed, mask),
+                     config, rng, workspace);
   }
   std::size_t rows = observed.rows();
   std::size_t cols = observed.cols();
@@ -50,6 +73,123 @@ MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& co
     kernels::clamp_nonnegative(model.u, w);
     kernels::clamp_nonnegative(model.v, w);
   }
+  model.peak_workspace_bytes = mf_workspace_bytes(ws) +
+                               model.u.allocated_bytes() +
+                               model.v.allocated_bytes();
+  return model;
+}
+
+MfModel factorize(const sparse::CsrMatrix& observed, const MfConfig& config,
+                  Rng& rng, MfWorkspace* workspace) {
+  std::size_t rows = observed.rows();
+  std::size_t cols = observed.cols();
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("factorize: empty observed matrix");
+  }
+
+  MfModel model;
+  model.u = Matrix::random(rows, config.rank, rng, 0.0, 0.1);
+  model.v = Matrix::random(cols, config.rank, rng, 0.0, 0.1);
+
+  MfWorkspace local_workspace;
+  MfWorkspace& ws = workspace ? *workspace : local_workspace;
+  std::size_t w = config.workers;
+  double reg = config.regularization;
+
+  // Residual structure over the observed pattern, built once per solve;
+  // every epoch after only overwrites values (refill via the remembered
+  // slot permutation — no allocation, rule 3).
+  auto refresh_residual = [&](bool rebuild_csc) {
+    sparse::masked_residual_values(observed, model.u, model.v,
+                                   ws.residual_sparse, w);
+    if (rebuild_csc) {
+      ws.residual_csc = sparse::CscMatrix::from_csr(ws.residual_sparse);
+    } else {
+      ws.residual_csc.refill_from_csr(ws.residual_sparse);
+    }
+  };
+
+  if (!config.use_newton_cg) {
+    // First-order epochs, sparse plane. Bitwise identical to the dense
+    // path: the dense masked residual is zero at unobserved cells and the
+    // dense multiply kernels skip zeros in the same ascending order the
+    // CSR/CSC walks visit stored cells.
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      refresh_residual(epoch == 0);
+      sparse::multiply_into(ws.residual_sparse, model.v, ws.grad_u, w);
+      kernels::add_scaled_into(ws.grad_u, model.u, -reg, w);
+      sparse::transpose_multiply_into(ws.residual_csc, model.u, ws.grad_v, w);
+      kernels::add_scaled_into(ws.grad_v, model.v, -reg, w);
+
+      kernels::add_scaled_into(model.u, ws.grad_u, config.learning_rate, w);
+      kernels::add_scaled_into(model.v, ws.grad_v, config.learning_rate, w);
+      kernels::clamp_nonnegative(model.u, w);
+      kernels::clamp_nonnegative(model.v, w);
+    }
+  } else {
+    // Projected Gauss-Newton: per epoch one newton_step per factor.
+    //   f(U, V)  = sum_{(i,j) observed} (R_ij - u_i . v_j)^2
+    //            + reg (||U||^2 + ||V||^2)
+    //   g_U      = -2 E V + 2 reg U          (E = masked residual)
+    //   H_U p |i = 2 sum_{j in Omega_i} (p_i . v_j) v_j + 2 reg p_i
+    // (the masked Gram operator; V-side symmetric off the CSC pattern).
+    solver::NewtonConfig ncfg;
+    ncfg.cg.max_iterations = config.cg_iterations;
+    ncfg.cg.tolerance = config.cg_tolerance;
+    ncfg.project_nonnegative = true;
+
+    auto objective_at = [&](const Matrix& u_eval, const Matrix& v_eval) {
+      sparse::masked_residual_values(observed, u_eval, v_eval,
+                                     ws.residual_sparse, w);
+      return ws.residual_sparse.norm_squared() +
+             reg * (std::pow(u_eval.frobenius_norm(), 2) +
+                    std::pow(v_eval.frobenius_norm(), 2));
+    };
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      refresh_residual(epoch == 0);
+      double fx = ws.residual_sparse.norm_squared() +
+                  reg * (std::pow(model.u.frobenius_norm(), 2) +
+                         std::pow(model.v.frobenius_norm(), 2));
+      model.objective_history.push_back(fx);
+
+      // --- U step ---
+      sparse::multiply_into(ws.residual_sparse, model.v, ws.grad_u, w);
+      ws.grad_u.scale(-2.0);
+      kernels::add_scaled_into(ws.grad_u, model.u, 2.0 * reg, w);
+      auto apply_u = [&](const Matrix& p, Matrix& out, std::size_t wk) {
+        sparse::masked_gram_apply(observed, model.v, p, out, wk);
+        out.scale(2.0);
+        kernels::add_scaled_into(out, p, 2.0 * reg, wk);
+      };
+      auto objective_u = [&](const Matrix& trial) {
+        return objective_at(trial, model.v);
+      };
+      auto step_u = solver::newton_step(apply_u, ws.grad_u, model.u,
+                                        objective_u, fx, ncfg, ws.newton_u, w);
+
+      // --- V step (residual refreshed at the moved U) ---
+      refresh_residual(false);
+      sparse::transpose_multiply_into(ws.residual_csc, model.u, ws.grad_v, w);
+      ws.grad_v.scale(-2.0);
+      kernels::add_scaled_into(ws.grad_v, model.v, 2.0 * reg, w);
+      auto apply_v = [&](const Matrix& p, Matrix& out, std::size_t wk) {
+        // ws.residual_csc shares the observed pattern — only the pattern
+        // is read here.
+        sparse::masked_gram_apply(ws.residual_csc, model.u, p, out, wk);
+        out.scale(2.0);
+        kernels::add_scaled_into(out, p, 2.0 * reg, wk);
+      };
+      auto objective_v = [&](const Matrix& trial) {
+        return objective_at(model.u, trial);
+      };
+      solver::newton_step(apply_v, ws.grad_v, model.v, objective_v,
+                          step_u.objective, ncfg, ws.newton_v, w);
+    }
+  }
+  model.peak_workspace_bytes = mf_workspace_bytes(ws) +
+                               model.u.allocated_bytes() +
+                               model.v.allocated_bytes();
   return model;
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "analytics/matrix.h"
+#include "analytics/solver/newton.h"
+#include "analytics/sparse.h"
 #include "common/rng.h"
 
 namespace hc::analytics {
@@ -22,11 +24,31 @@ struct MfConfig {
   /// Worker threads for the epoch-loop kernels. Results are bit-identical
   /// for any worker count (see kernels.h rule 2).
   std::size_t workers = 1;
+  /// Sparse compute plane: the observed/mask pair is consumed as one CSR
+  /// (pattern = mask, values = observed) and the epoch loop touches only
+  /// stored cells — O(nnz rank) per epoch and nothing rows x cols in the
+  /// workspace. Bitwise identical to the dense path: the dense kernels
+  /// skip unobserved (zero-residual) cells anyway.
+  bool use_sparse = false;
+  /// Second-order path: per epoch one projected Gauss-Newton step per
+  /// factor with a truncated-CG inner solve over the masked Gram operator.
+  /// Implies the sparse plane; byte-reproducible across worker counts, not
+  /// bitwise against gradient descent (different algorithm). Fills
+  /// MfModel::objective_history.
+  bool use_newton_cg = false;
+  std::size_t cg_iterations = 25;
+  double cg_tolerance = 1e-2;
 };
 
 struct MfModel {
   Matrix u;  // rows x rank
   Matrix v;  // cols x rank
+  /// Masked SSE + regularization per epoch — filled by the use_newton_cg
+  /// path (the first-order paths never evaluate the objective).
+  std::vector<double> objective_history;
+  /// Resident bytes of workspace + factors at the end of the solve
+  /// (workspaces never shrink, so end == peak).
+  std::size_t peak_workspace_bytes = 0;
 
   double predict(std::size_t row, std::size_t col) const;
   /// Full completed matrix U V^T.
@@ -39,12 +61,24 @@ struct MfWorkspace {
   Matrix residual;
   Matrix grad_u;
   Matrix grad_v;
+  // Sparse-plane scratch: the residual over the observed pattern and its
+  // CSC mirror (structure built once per solve, values refilled per epoch).
+  sparse::CsrMatrix residual_sparse;
+  sparse::CscMatrix residual_csc;
+  solver::NewtonWorkspace newton_u, newton_v;
 };
 
 /// Factorizes `observed` over cells where mask(r,c) != 0 using full-batch
 /// gradient descent with non-negativity projection. Throws on shape
 /// mismatch.
 MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& config,
+                  Rng& rng, MfWorkspace* workspace = nullptr);
+
+/// Sparse-plane entry: `observed` is the masked pairing built by
+/// sparse::CsrMatrix::from_dense_masked (pattern = observed cells, stored
+/// values may be 0.0). The dense entry converts and delegates here when
+/// config.use_sparse or config.use_newton_cg is set.
+MfModel factorize(const sparse::CsrMatrix& observed, const MfConfig& config,
                   Rng& rng, MfWorkspace* workspace = nullptr);
 
 /// Guilt by Association [33]: score(i, j) = sum_k sim(i, k) * R(k, j)

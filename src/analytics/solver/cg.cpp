@@ -1,0 +1,92 @@
+#include "analytics/solver/cg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytics/kernels.h"
+
+namespace hc::analytics::solver {
+
+namespace {
+
+/// Serial flat ascending dot — the deterministic reduction (see header).
+double flat_dot(const Matrix& a, const Matrix& b) {
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += ad[i] * bd[i];
+  return sum;
+}
+
+/// z = r / jacobi elementwise, or a bit copy for the identity.
+void apply_precond(const Matrix& r, const Matrix* jacobi, Matrix& z) {
+  z.resize(r.rows(), r.cols());
+  const double* rd = r.data();
+  double* zd = z.data();
+  if (jacobi == nullptr) {
+    for (std::size_t i = 0; i < r.size(); ++i) zd[i] = rd[i];
+    return;
+  }
+  const double* jd = jacobi->data();
+  for (std::size_t i = 0; i < r.size(); ++i) zd[i] = rd[i] / jd[i];
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const ApplyFn& apply_h, const Matrix& b, Matrix& x,
+                            const CgConfig& config, CgWorkspace& ws,
+                            std::size_t workers, const Matrix* jacobi) {
+  if (jacobi != nullptr && !jacobi->same_shape(b)) {
+    throw std::invalid_argument("solver::conjugate_gradient: jacobi shape mismatch");
+  }
+  CgResult result;
+  x.resize(b.rows(), b.cols());
+  x.fill(0.0);
+  double bnorm = std::sqrt(flat_dot(b, b));
+  if (bnorm == 0.0) return result;
+
+  // x = 0, so r starts as b (bit copy) and the first z is M^{-1} b.
+  ws.r.resize(b.rows(), b.cols());
+  const double* bd = b.data();
+  double* rd = ws.r.data();
+  for (std::size_t i = 0; i < b.size(); ++i) rd[i] = bd[i];
+  apply_precond(ws.r, jacobi, ws.z);
+  ws.p.resize(b.rows(), b.cols());
+  const double* zd = ws.z.data();
+  double* pd = ws.p.data();
+  for (std::size_t i = 0; i < b.size(); ++i) pd[i] = zd[i];
+  double rz = flat_dot(ws.r, ws.z);
+  result.residual_norm = bnorm;
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    apply_h(ws.p, ws.hp, workers);
+    double php = flat_dot(ws.p, ws.hp);
+    if (php <= 0.0) {
+      result.negative_curvature = true;
+      if (iter == 0) {
+        // No progress yet: return the preconditioned steepest-descent
+        // direction so the outer line search still has a descent step.
+        double* xd = x.data();
+        const double* pdc = ws.p.data();
+        for (std::size_t i = 0; i < x.size(); ++i) xd[i] = pdc[i];
+      }
+      return result;
+    }
+    double alpha = rz / php;
+    kernels::add_scaled_into(x, ws.p, alpha, workers);
+    kernels::add_scaled_into(ws.r, ws.hp, -alpha, workers);
+    result.iterations = iter + 1;
+    result.residual_norm = std::sqrt(flat_dot(ws.r, ws.r));
+    if (result.residual_norm <= config.tolerance * bnorm) break;
+    apply_precond(ws.r, jacobi, ws.z);
+    double rz_next = flat_dot(ws.r, ws.z);
+    double beta = rz_next / rz;
+    rz = rz_next;
+    const double* zd2 = ws.z.data();
+    double* pd2 = ws.p.data();
+    for (std::size_t i = 0; i < b.size(); ++i) pd2[i] = zd2[i] + beta * pd2[i];
+  }
+  return result;
+}
+
+}  // namespace hc::analytics::solver

@@ -1,0 +1,64 @@
+// Truncated (preconditioned) conjugate gradient on a caller-supplied
+// linear operator — the inner solve of the Newton-CG second-order path.
+//
+// The unknown is a Matrix treated as a flat vector (the factor blocks the
+// solvers update are matrices). Determinism contract, matching the kernel
+// rules: every inner product is a serial flat ascending reduction, every
+// axpy is either serial or a rule-2 row-partitioned kernel, and the
+// operator callback is required to be worker-count invariant (all sparse/
+// dense kernels in this repo are). A CG solve is therefore byte-identical
+// across 1/2/4/8 workers and across reruns.
+//
+// The schedule is fixed, not adaptive-by-wall-clock: max_iterations and
+// the relative tolerance fully determine the iteration count from the
+// arithmetic alone, so histories are reproducible artifacts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "analytics/matrix.h"
+
+namespace hc::analytics::solver {
+
+/// Applies the system operator: out = H * p. Must be worker-count
+/// invariant (use the kernels:: / sparse:: building blocks).
+using ApplyFn =
+    std::function<void(const Matrix& p, Matrix& out, std::size_t workers)>;
+
+struct CgConfig {
+  /// Truncation cap — Newton-CG needs few inner iterations; the outer
+  /// loop corrects what the inexact solve leaves behind.
+  std::size_t max_iterations = 25;
+  /// Stop when ||r|| <= tolerance * ||b|| (Eisenstat-Walker style loose
+  /// forcing term; the default suits an inexact Newton outer loop).
+  double tolerance = 1e-2;
+};
+
+struct CgResult {
+  std::size_t iterations = 0;
+  /// The operator exposed non-positive curvature along a search direction.
+  /// On the first iteration the solve falls back to x = M^{-1} b (the
+  /// preconditioned steepest-descent direction); later iterations return
+  /// the progress made so far — both standard truncated-Newton behavior.
+  bool negative_curvature = false;
+  /// ||b - H x|| at exit.
+  double residual_norm = 0.0;
+};
+
+/// Caller-owned scratch; resized in place on first use (rule 3).
+struct CgWorkspace {
+  Matrix r;   // residual b - H x
+  Matrix z;   // preconditioned residual
+  Matrix p;   // search direction
+  Matrix hp;  // H * p
+};
+
+/// Solves H x = b from x = 0. `jacobi`, if non-null, is an elementwise
+/// diagonal preconditioner (same shape as b, strictly positive entries):
+/// z = r / jacobi. Pass nullptr for the identity.
+CgResult conjugate_gradient(const ApplyFn& apply_h, const Matrix& b, Matrix& x,
+                            const CgConfig& config, CgWorkspace& ws,
+                            std::size_t workers, const Matrix* jacobi = nullptr);
+
+}  // namespace hc::analytics::solver

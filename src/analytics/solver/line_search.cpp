@@ -1,0 +1,24 @@
+#include "analytics/solver/line_search.h"
+
+namespace hc::analytics::solver {
+
+LineSearchResult backtracking_armijo(const std::function<double(double)>& phi,
+                                     double phi0, double slope,
+                                     const LineSearchConfig& config) {
+  LineSearchResult result;
+  if (!(slope < 0.0)) return result;  // not a descent direction (or NaN)
+  double t = config.initial_step;
+  for (std::size_t k = 0; k <= config.max_backtracks; ++k) {
+    double value = phi(t);
+    ++result.evaluations;
+    if (value <= phi0 + config.c1 * t * slope) {
+      result.step = t;
+      result.accepted = true;
+      return result;
+    }
+    t *= config.shrink;
+  }
+  return result;
+}
+
+}  // namespace hc::analytics::solver

@@ -1,0 +1,39 @@
+// Backtracking Armijo line search — the globalization step of Newton-CG.
+//
+// Deterministic by construction: the trial steps are the fixed geometric
+// sequence initial_step * shrink^k, the acceptance test is pure FP
+// arithmetic on the caller's objective, and nothing depends on wall clock
+// or thread interleaving.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hc::analytics::solver {
+
+struct LineSearchConfig {
+  double initial_step = 1.0;  // Newton steps want t = 1 first
+  double shrink = 0.5;        // geometric backtracking factor
+  double c1 = 1e-4;           // Armijo sufficient-decrease constant
+  std::size_t max_backtracks = 30;
+};
+
+struct LineSearchResult {
+  /// Accepted step, or 0.0 when no trial satisfied the Armijo condition
+  /// (caller keeps the current iterate).
+  double step = 0.0;
+  std::size_t evaluations = 0;
+  bool accepted = false;
+};
+
+/// Finds the first t in {initial_step * shrink^k} with
+///   phi(t) <= phi0 + c1 * t * slope.
+/// `phi` evaluates the objective at step t along the caller's direction;
+/// `phi0` is phi(0); `slope` is the directional derivative at 0 and must
+/// be negative (a non-descent slope returns not-accepted immediately —
+/// the caller falls back to the gradient direction before calling).
+LineSearchResult backtracking_armijo(const std::function<double(double)>& phi,
+                                     double phi0, double slope,
+                                     const LineSearchConfig& config);
+
+}  // namespace hc::analytics::solver

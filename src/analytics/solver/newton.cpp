@@ -1,0 +1,108 @@
+#include "analytics/solver/newton.h"
+
+#include "analytics/kernels.h"
+
+namespace hc::analytics::solver {
+
+namespace {
+
+double flat_dot(const Matrix& a, const Matrix& b) {
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += ad[i] * bd[i];
+  return sum;
+}
+
+}  // namespace
+
+NewtonStepResult newton_step(const ApplyFn& apply_h, const Matrix& grad,
+                             Matrix& x,
+                             const std::function<double(const Matrix&)>& objective,
+                             double fx, const NewtonConfig& config,
+                             NewtonWorkspace& ws, std::size_t workers,
+                             const Matrix* jacobi) {
+  NewtonStepResult result;
+  result.objective = fx;
+
+  ws.neg_grad.resize(grad.rows(), grad.cols());
+  const double* gd = grad.data();
+  double* nd = ws.neg_grad.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) nd[i] = -gd[i];
+
+  // Two-metric projection (Bertsekas): with the nonnegativity projection
+  // on, coordinates sitting on the bound whose gradient points outward
+  // would be clamped straight back — solving the Newton system over them
+  // only corrupts the free coordinates' step and can stall the whole
+  // block at the boundary. Freeze them: zero their right-hand side and
+  // make the operator the identity there. b is zero on the active set and
+  // the wrapped operator preserves that, so every CG iterate stays
+  // exactly zero on it and the returned direction lives on the free
+  // subspace.
+  const ApplyFn* apply = &apply_h;
+  ApplyFn masked_apply;
+  if (config.project_nonnegative) {
+    ws.active.resize(grad.rows(), grad.cols());
+    const double* xd0 = x.data();
+    double* md = ws.active.data();
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      bool frozen = xd0[i] == 0.0 && gd[i] > 0.0;
+      md[i] = frozen ? 0.0 : 1.0;
+      if (frozen) nd[i] = 0.0;
+    }
+    masked_apply = [&](const Matrix& p, Matrix& out, std::size_t wk) {
+      apply_h(p, out, wk);
+      const double* mask = ws.active.data();
+      const double* pd = p.data();
+      double* od = out.data();
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        od[i] = mask[i] != 0.0 ? od[i] : pd[i];
+      }
+    };
+    apply = &masked_apply;
+  }
+
+  CgResult cg = conjugate_gradient(*apply, ws.neg_grad, ws.direction,
+                                   config.cg, ws.cg, workers, jacobi);
+  result.cg_iterations = cg.iterations;
+
+  // CG on an SPD Gauss-Newton system returns a descent direction; the
+  // slope check still guards the truncated/negative-curvature exits.
+  double slope = flat_dot(grad, ws.direction);
+  if (!(slope < 0.0)) {
+    result.gradient_fallback = true;
+    double* dd = ws.direction.data();
+    const double* ngd = ws.neg_grad.data();
+    for (std::size_t i = 0; i < ws.direction.size(); ++i) dd[i] = ngd[i];
+    // neg_grad is already restricted to the free set when projecting, so
+    // this is the (projected-)gradient slope, not -||g||^2 over all
+    // coordinates.
+    slope = flat_dot(grad, ws.direction);
+    if (!(slope < 0.0)) return result;  // zero (free) gradient: converged
+  }
+
+  double last_value = fx;
+  auto phi = [&](double t) {
+    ws.trial.resize(x.rows(), x.cols());
+    const double* xd = x.data();
+    const double* dd = ws.direction.data();
+    double* td = ws.trial.data();
+    for (std::size_t i = 0; i < x.size(); ++i) td[i] = xd[i] + t * dd[i];
+    if (config.project_nonnegative) kernels::clamp_nonnegative(ws.trial, workers);
+    last_value = objective(ws.trial);
+    return last_value;
+  };
+  LineSearchResult ls = backtracking_armijo(phi, fx, slope, config.line_search);
+  if (!ls.accepted) return result;
+
+  // The search stops on the evaluation it accepts, so ws.trial holds
+  // Proj(x + t d) and last_value its objective — adopt both verbatim.
+  result.step = ls.step;
+  result.objective = last_value;
+  double* xd = x.data();
+  const double* td = ws.trial.data();
+  for (std::size_t i = 0; i < x.size(); ++i) xd[i] = td[i];
+  return result;
+}
+
+}  // namespace hc::analytics::solver

@@ -1,0 +1,72 @@
+// One damped (Gauss-)Newton step on a factor block — the outer loop of
+// the second-order solvers.
+//
+// The alternating solvers (JMF, MF) call newton_step once per block per
+// epoch: CG approximately solves H d = -g, backtracking Armijo picks the
+// damping, and the block is (optionally) projected onto the nonnegative
+// orthant. DELT's joint least-squares fit uses conjugate_gradient
+// directly (its system is linear — no line search needed).
+//
+// Determinism: inherits CG's contract (serial dots, rule-2 kernels,
+// worker-invariant operator) plus a fixed backtracking schedule, so a
+// whole Newton trajectory is byte-reproducible across worker counts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "analytics/matrix.h"
+#include "analytics/solver/cg.h"
+#include "analytics/solver/line_search.h"
+
+namespace hc::analytics::solver {
+
+struct NewtonConfig {
+  CgConfig cg;
+  LineSearchConfig line_search;
+  /// Project trial points (and the accepted iterate) onto x >= 0 — the
+  /// factor solvers keep their blocks nonnegative. Also switches the step
+  /// to two-metric projection: coordinates pinned at the bound whose
+  /// gradient pushes them outward (x_i == 0, g_i > 0) are frozen out of
+  /// the CG system, so the Newton direction lives on the free subspace
+  /// and clamping cannot destroy its descent property.
+  bool project_nonnegative = false;
+};
+
+struct NewtonStepResult {
+  /// Accepted damping, 0.0 if the line search rejected every trial (the
+  /// block is left unchanged).
+  double step = 0.0;
+  /// Objective at the accepted iterate (== the input `fx` when step == 0);
+  /// callers push this into their history without re-evaluating.
+  double objective = 0.0;
+  std::size_t cg_iterations = 0;
+  /// CG returned a non-descent direction and the step fell back to -g.
+  bool gradient_fallback = false;
+};
+
+/// Caller-owned scratch for one block (rule 3: resized in place, zero
+/// allocations once warm).
+struct NewtonWorkspace {
+  CgWorkspace cg;
+  Matrix neg_grad;   // CG right-hand side
+  Matrix direction;  // CG solution d
+  Matrix trial;      // x + t d (projected), the line-search evaluation point
+  Matrix active;     // free-set mask (1 free / 0 active) when projecting
+};
+
+/// Performs x <- Proj(x + t d), d ~= -H^{-1} grad, t from Armijo.
+///  - apply_h: the (Gauss-)Newton Hessian operator for this block at the
+///    current point; must be worker-count invariant.
+///  - objective: full objective as a function of this block (other blocks
+///    fixed); evaluated at projected trial points.
+///  - fx: objective at the current x (phi(0) — callers have it already).
+///  - jacobi: optional elementwise diagonal preconditioner for CG.
+NewtonStepResult newton_step(const ApplyFn& apply_h, const Matrix& grad,
+                             Matrix& x,
+                             const std::function<double(const Matrix&)>& objective,
+                             double fx, const NewtonConfig& config,
+                             NewtonWorkspace& ws, std::size_t workers,
+                             const Matrix* jacobi = nullptr);
+
+}  // namespace hc::analytics::solver

@@ -1,0 +1,691 @@
+#include "analytics/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "analytics/kernels.h"
+#include "exec/executor.h"
+
+namespace hc::analytics::sparse {
+
+namespace {
+
+/// Same fixed-block decomposition as kernels.cpp: blocks depend only on
+/// `rows`, so the write pattern is worker-count invariant.
+void for_row_blocks(std::size_t rows, std::size_t workers,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+  std::size_t blocks = (rows + kernels::kRowBlock - 1) / kernels::kRowBlock;
+  exec::parallel_for(blocks, workers, [&](std::size_t block) {
+    std::size_t begin = block * kernels::kRowBlock;
+    fn(begin, std::min(rows, begin + kernels::kRowBlock));
+  });
+}
+
+/// One ascending-k dot — the reduction every dense residual cell uses.
+inline double dot1(const double* a, const double* b, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) sum += a[k] * b[k];
+  return sum;
+}
+
+/// Four independent ascending-k dots sharing one pass over `a` (each sum a
+/// single accumulator — bit-identical to dot1, see kernels.cpp).
+inline void dot4(const double* a, const double* b0, const double* b1,
+                 const double* b2, const double* b3, std::size_t n, double& s0,
+                 double& s1, double& s2, double& s3) {
+  double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double av = a[k];
+    t0 += av * b0[k];
+    t1 += av * b1[k];
+    t2 += av * b2[k];
+    t3 += av * b3[k];
+  }
+  s0 = t0;
+  s1 = t1;
+  s2 = t2;
+  s3 = t3;
+}
+
+/// Gap walk: drow[k] = (stored value at column k) - mrow[k], i.e. the row
+/// of (S - M) with S sparse. Unstored cells compute 0.0 - mrow[k] — the
+/// same subtraction the dense kernel performs against S's zero cell, so
+/// the bits match even where the result is a signed zero.
+inline void diff_row(const std::uint32_t* cols, const double* vals,
+                     std::size_t count, const double* mrow, double* drow,
+                     std::size_t n) {
+  std::size_t s = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double sv = 0.0;
+    if (s < count && cols[s] == k) sv = vals[s++];
+    drow[k] = sv - mrow[k];
+  }
+}
+
+void check_u32_range(std::size_t rows, std::size_t cols, std::size_t nnz) {
+  constexpr std::size_t kMax = std::numeric_limits<std::uint32_t>::max();
+  if (rows > kMax || cols > kMax || nnz > kMax) {
+    throw std::invalid_argument("sparse: dimension exceeds uint32 index range");
+  }
+}
+
+}  // namespace
+
+// --- CsrMatrix ---------------------------------------------------------
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense) {
+  check_u32_range(dense.rows(), dense.cols(), dense.nnz());
+  CsrMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.row_ptr_.reserve(out.rows_ + 1);
+  out.col_idx_.reserve(dense.nnz());
+  out.values_.reserve(dense.nnz());
+  out.row_ptr_.push_back(0);
+  for (std::size_t r = 0; r < out.rows_; ++r) {
+    const double* row = dense.row(r);
+    for (std::size_t c = 0; c < out.cols_; ++c) {
+      if (row[c] != 0.0) {
+        out.col_idx_.push_back(static_cast<std::uint32_t>(c));
+        out.values_.push_back(row[c]);
+      }
+    }
+    out.row_ptr_.push_back(static_cast<std::uint32_t>(out.col_idx_.size()));
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::from_dense_masked(const Matrix& values, const Matrix& mask) {
+  if (!values.same_shape(mask)) {
+    throw std::invalid_argument("CsrMatrix::from_dense_masked: shape mismatch");
+  }
+  check_u32_range(values.rows(), values.cols(), mask.nnz());
+  CsrMatrix out;
+  out.rows_ = values.rows();
+  out.cols_ = values.cols();
+  out.row_ptr_.reserve(out.rows_ + 1);
+  out.row_ptr_.push_back(0);
+  for (std::size_t r = 0; r < out.rows_; ++r) {
+    const double* vrow = values.row(r);
+    const double* mrow = mask.row(r);
+    for (std::size_t c = 0; c < out.cols_; ++c) {
+      if (mrow[c] != 0.0) {
+        out.col_idx_.push_back(static_cast<std::uint32_t>(c));
+        out.values_.push_back(vrow[c]);
+      }
+    }
+    out.row_ptr_.push_back(static_cast<std::uint32_t>(out.col_idx_.size()));
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   const std::vector<Triplet>& triplets) {
+  check_u32_range(rows, cols, triplets.size());
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::invalid_argument("CsrMatrix::from_triplets: coordinate out of range");
+    }
+  }
+  // Stable sort by (row, col): ties keep input order, so coalescing a
+  // duplicate run sums its values in the order the caller supplied them —
+  // the canonical representation is a pure function of the triplet list.
+  std::vector<std::uint32_t> order(triplets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const Triplet& ta = triplets[a];
+    const Triplet& tb = triplets[b];
+    if (ta.row != tb.row) return ta.row < tb.row;
+    return ta.col < tb.col;
+  });
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_.assign(rows + 1, 0);
+  out.col_idx_.reserve(triplets.size());
+  out.values_.reserve(triplets.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (i < order.size() && triplets[order[i]].row == r) {
+      std::uint32_t c = triplets[order[i]].col;
+      double sum = triplets[order[i]].value;
+      ++i;
+      while (i < order.size() && triplets[order[i]].row == r &&
+             triplets[order[i]].col == c) {
+        sum += triplets[order[i]].value;
+        ++i;
+      }
+      // Coalesced entries that sum to 0.0 stay stored: kernels skip stored
+      // zeros, so keeping them is numerically free, and dropping them would
+      // make the pattern depend on the values.
+      out.col_idx_.push_back(c);
+      out.values_.push_back(sum);
+    }
+    out.row_ptr_[r + 1] = static_cast<std::uint32_t>(out.col_idx_.size());
+  }
+  return out;
+}
+
+double CsrMatrix::density() const {
+  std::size_t cells = rows_ * cols_;
+  if (cells == 0) return 0.0;
+  return static_cast<double>(values_.size()) / static_cast<double>(cells);
+}
+
+std::size_t CsrMatrix::bytes() const {
+  return row_ptr_.capacity() * sizeof(std::uint32_t) +
+         col_idx_.capacity() * sizeof(std::uint32_t) +
+         values_.capacity() * sizeof(double);
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* orow = out.row(r);
+    for (std::uint32_t s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s) {
+      orow[col_idx_[s]] = values_[s];
+    }
+  }
+  return out;
+}
+
+double CsrMatrix::norm_squared() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return sum;
+}
+
+void CsrMatrix::copy_pattern_from(const CsrMatrix& other) {
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = other.row_ptr_;
+  col_idx_ = other.col_idx_;
+  values_.resize(other.values_.size());
+}
+
+// --- CscMatrix ---------------------------------------------------------
+
+CscMatrix CscMatrix::from_dense(const Matrix& dense) {
+  check_u32_range(dense.rows(), dense.cols(), dense.nnz());
+  CscMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.col_ptr_.reserve(out.cols_ + 1);
+  out.col_ptr_.push_back(0);
+  for (std::size_t c = 0; c < out.cols_; ++c) {
+    for (std::size_t r = 0; r < out.rows_; ++r) {
+      double v = dense(r, c);
+      if (v != 0.0) {
+        out.row_idx_.push_back(static_cast<std::uint32_t>(r));
+        out.values_.push_back(v);
+      }
+    }
+    out.col_ptr_.push_back(static_cast<std::uint32_t>(out.row_idx_.size()));
+  }
+  return out;
+}
+
+CscMatrix CscMatrix::from_csr(const CsrMatrix& csr) {
+  CscMatrix out;
+  out.rows_ = csr.rows_;
+  out.cols_ = csr.cols_;
+  std::size_t nnz = csr.values_.size();
+  out.col_ptr_.assign(out.cols_ + 1, 0);
+  out.row_idx_.resize(nnz);
+  out.values_.resize(nnz);
+  out.csr_perm_.resize(nnz);
+  // Counting sort by column. The row-major CSR walk emits each column's
+  // entries in ascending row order, so the CSC comes out canonical.
+  for (std::uint32_t c : csr.col_idx_) ++out.col_ptr_[c + 1];
+  for (std::size_t c = 0; c < out.cols_; ++c) out.col_ptr_[c + 1] += out.col_ptr_[c];
+  std::vector<std::uint32_t> next(out.col_ptr_.begin(), out.col_ptr_.end() - 1);
+  for (std::size_t r = 0; r < csr.rows_; ++r) {
+    for (std::uint32_t s = csr.row_ptr_[r]; s < csr.row_ptr_[r + 1]; ++s) {
+      std::uint32_t slot = next[csr.col_idx_[s]]++;
+      out.row_idx_[slot] = static_cast<std::uint32_t>(r);
+      out.values_[slot] = csr.values_[s];
+      out.csr_perm_[slot] = s;
+    }
+  }
+  return out;
+}
+
+void CscMatrix::refill_from_csr(const CsrMatrix& csr) {
+  if (csr.rows() != rows_ || csr.cols() != cols_ ||
+      csr.nnz() != values_.size() || csr_perm_.size() != values_.size()) {
+    throw std::invalid_argument(
+        "CscMatrix::refill_from_csr: not built from a CSR with this pattern");
+  }
+  const double* src = csr.values();
+  for (std::size_t s = 0; s < values_.size(); ++s) values_[s] = src[csr_perm_[s]];
+}
+
+double CscMatrix::density() const {
+  std::size_t cells = rows_ * cols_;
+  if (cells == 0) return 0.0;
+  return static_cast<double>(values_.size()) / static_cast<double>(cells);
+}
+
+std::size_t CscMatrix::bytes() const {
+  return col_ptr_.capacity() * sizeof(std::uint32_t) +
+         row_idx_.capacity() * sizeof(std::uint32_t) +
+         values_.capacity() * sizeof(double) +
+         csr_perm_.capacity() * sizeof(std::uint32_t);
+}
+
+Matrix CscMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::uint32_t s = col_ptr_[c]; s < col_ptr_[c + 1]; ++s) {
+      out(row_idx_[s], c) = values_[s];
+    }
+  }
+  return out;
+}
+
+void build_transpose(const CsrMatrix& a, CsrMatrix& out,
+                     std::vector<std::uint32_t>& perm) {
+  out.rows_ = a.cols_;
+  out.cols_ = a.rows_;
+  std::size_t nnz = a.values_.size();
+  out.row_ptr_.assign(out.rows_ + 1, 0);
+  out.col_idx_.resize(nnz);
+  out.values_.resize(nnz);
+  perm.resize(nnz);
+  for (std::uint32_t c : a.col_idx_) ++out.row_ptr_[c + 1];
+  for (std::size_t r = 0; r < out.rows_; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  std::vector<std::uint32_t> next(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    for (std::uint32_t s = a.row_ptr_[r]; s < a.row_ptr_[r + 1]; ++s) {
+      std::uint32_t slot = next[a.col_idx_[s]]++;
+      out.col_idx_[slot] = static_cast<std::uint32_t>(r);
+      out.values_[slot] = a.values_[s];
+      perm[slot] = s;
+    }
+  }
+}
+
+void refill_transpose(const CsrMatrix& a, CsrMatrix& out,
+                      const std::vector<std::uint32_t>& perm) {
+  if (perm.size() != a.nnz() || perm.size() != out.nnz() ||
+      a.rows() != out.cols() || a.cols() != out.rows()) {
+    throw std::invalid_argument("sparse::refill_transpose: stale transpose pattern");
+  }
+  const double* src = a.values();
+  double* dst = out.mutable_values();
+  for (std::size_t s = 0; s < perm.size(); ++s) dst[s] = src[perm[s]];
+}
+
+// --- kernels -----------------------------------------------------------
+
+void multiply_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                   std::size_t workers) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("sparse::multiply_into: shape mismatch");
+  }
+  out.resize(a.rows(), b.cols());
+  std::size_t width = b.cols();
+  for_row_blocks(a.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* rp = a.row_ptr();
+    const std::uint32_t* ci = a.col_idx();
+    const double* vals = a.values();
+    const double* bdata = b.row(0);
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      double* orow = odata + i * width;
+      for (std::size_t j = 0; j < width; ++j) orow[j] = 0.0;
+      // Stored columns ascend, so per output cell the axpy additions land
+      // in the same ascending-k order (with the same zero-skip) as the
+      // dense kernel — bitwise equal to multiply_into(a.to_dense(), b).
+      for (std::uint32_t s = rp[i]; s < rp[i + 1]; ++s) {
+        double v = vals[s];
+        if (v == 0.0) continue;
+        const double* brow = bdata + static_cast<std::size_t>(ci[s]) * width;
+        for (std::size_t j = 0; j < width; ++j) orow[j] += v * brow[j];
+      }
+    }
+  });
+}
+
+void transpose_multiply_into(const CscMatrix& a, const Matrix& b, Matrix& out,
+                             std::size_t workers) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("sparse::transpose_multiply_into: shape mismatch");
+  }
+  out.resize(a.cols(), b.cols());
+  std::size_t width = b.cols();
+  // Output row j is column j of `a`: the row partition is a column
+  // partition of the CSC, each output row owned by one worker — the dense
+  // kernel's scatter-free structure without materializing a^T.
+  for_row_blocks(a.cols(), workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* cp = a.col_ptr();
+    const std::uint32_t* ri = a.row_idx();
+    const double* vals = a.values();
+    const double* bdata = b.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j = begin; j < end; ++j) {
+      double* orow = odata + j * width;
+      for (std::size_t c = 0; c < width; ++c) orow[c] = 0.0;
+      for (std::uint32_t s = cp[j]; s < cp[j + 1]; ++s) {
+        double v = vals[s];
+        if (v == 0.0) continue;
+        const double* brow = bdata + static_cast<std::size_t>(ri[s]) * width;
+        for (std::size_t c = 0; c < width; ++c) orow[c] += v * brow[c];
+      }
+    }
+  });
+}
+
+void residual_into(const CsrMatrix& r, const Matrix& u, const Matrix& v,
+                   Matrix& out, std::size_t workers) {
+  if (u.cols() != v.cols() || r.rows() != u.rows() || r.cols() != v.rows()) {
+    throw std::invalid_argument("sparse::residual_into: shape mismatch");
+  }
+  out.resize(r.rows(), r.cols());
+  std::size_t inner = u.cols();
+  std::size_t width = v.rows();
+  for_row_blocks(r.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* rp = r.row_ptr();
+    const std::uint32_t* ci = r.col_idx();
+    const double* vals = r.values();
+    const double* udata = u.row(0);
+    const double* vdata = v.row(0);
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* urow = udata + i * inner;
+      double* orow = odata + i * width;
+      std::uint32_t s = rp[i];
+      std::uint32_t send = rp[i + 1];
+      // Gap walk supplies r(i, j): stored value or 0.0. Every cell still
+      // computes rv - dot, so unstored cells produce the same 0.0 - dot
+      // bits (sign of zero included) as the dense kernel.
+      auto next_rv = [&](std::size_t j) {
+        if (s < send && ci[s] == j) return vals[s++];
+        return 0.0;
+      };
+      std::size_t j = 0;
+      for (; j + 4 <= width; j += 4) {
+        const double* vrow = vdata + j * inner;
+        double s0, s1, s2, s3;
+        dot4(urow, vrow, vrow + inner, vrow + 2 * inner, vrow + 3 * inner,
+             inner, s0, s1, s2, s3);
+        orow[j] = next_rv(j) - s0;
+        orow[j + 1] = next_rv(j + 1) - s1;
+        orow[j + 2] = next_rv(j + 2) - s2;
+        orow[j + 3] = next_rv(j + 3) - s3;
+      }
+      for (; j < width; ++j) {
+        orow[j] = next_rv(j) - dot1(urow, vdata + j * inner, inner);
+      }
+    }
+  });
+}
+
+void masked_residual_into(const CsrMatrix& observed, const Matrix& u,
+                          const Matrix& v, Matrix& out, std::size_t workers) {
+  if (u.cols() != v.cols() || observed.rows() != u.rows() ||
+      observed.cols() != v.rows()) {
+    throw std::invalid_argument("sparse::masked_residual_into: shape mismatch");
+  }
+  out.resize(observed.rows(), observed.cols());
+  std::size_t inner = u.cols();
+  std::size_t width = observed.cols();
+  for_row_blocks(observed.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* rp = observed.row_ptr();
+    const std::uint32_t* ci = observed.col_idx();
+    const double* vals = observed.values();
+    const double* udata = u.row(0);
+    const double* vdata = v.row(0);
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* urow = udata + i * inner;
+      double* orow = odata + i * width;
+      for (std::size_t j = 0; j < width; ++j) orow[j] = 0.0;
+      // Only stored cells pay a dot — O(nnz * rank) instead of
+      // O(rows * cols * rank). Per cell the dot is the same ascending-k
+      // reduction the dense masked kernel uses, so stored cells match
+      // bitwise and unstored cells are the same literal 0.0.
+      for (std::uint32_t s = rp[i]; s < rp[i + 1]; ++s) {
+        std::size_t j = ci[s];
+        orow[j] = vals[s] - dot1(urow, vdata + j * inner, inner);
+      }
+    }
+  });
+}
+
+void masked_residual_values(const CsrMatrix& observed, const Matrix& u,
+                            const Matrix& v, CsrMatrix& out,
+                            std::size_t workers) {
+  if (u.cols() != v.cols() || observed.rows() != u.rows() ||
+      observed.cols() != v.rows()) {
+    throw std::invalid_argument("sparse::masked_residual_values: shape mismatch");
+  }
+  if (out.rows() != observed.rows() || out.cols() != observed.cols() ||
+      out.nnz() != observed.nnz()) {
+    out.copy_pattern_from(observed);
+  }
+  std::size_t inner = u.cols();
+  for_row_blocks(observed.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* rp = observed.row_ptr();
+    const std::uint32_t* ci = observed.col_idx();
+    const double* vals = observed.values();
+    const double* udata = u.row(0);
+    const double* vdata = v.row(0);
+    double* ovals = out.mutable_values();
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* urow = udata + i * inner;
+      for (std::uint32_t s = rp[i]; s < rp[i + 1]; ++s) {
+        ovals[s] = vals[s] -
+                   dot1(urow, vdata + static_cast<std::size_t>(ci[s]) * inner, inner);
+      }
+    }
+  });
+}
+
+void syrk_residual_into(const CsrMatrix& s, const Matrix& f, Matrix& out,
+                        std::size_t workers) {
+  if (s.rows() != s.cols() || s.rows() != f.rows()) {
+    throw std::invalid_argument("sparse::syrk_residual_into: shape mismatch");
+  }
+  std::size_t n = s.rows();
+  std::size_t inner = f.cols();
+  out.resize(n, n);
+  for_row_blocks(n, workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* rp = s.row_ptr();
+    const std::uint32_t* ci = s.col_idx();
+    const double* vals = s.values();
+    const double* fdata = f.row(0);
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* arow = fdata + i * inner;
+      double* orow = odata + i * n;
+      // Upper triangle only (mirrored below, a bit copy). Advance the gap
+      // walk past the strict lower triangle first.
+      std::uint32_t sp = rp[i];
+      std::uint32_t send = rp[i + 1];
+      while (sp < send && ci[sp] < i) ++sp;
+      auto next_sv = [&](std::size_t j) {
+        if (sp < send && ci[sp] == j) return vals[sp++];
+        return 0.0;
+      };
+      std::size_t j = i;
+      for (; j + 4 <= n; j += 4) {
+        const double* brow = fdata + j * inner;
+        double s0, s1, s2, s3;
+        dot4(arow, brow, brow + inner, brow + 2 * inner, brow + 3 * inner,
+             inner, s0, s1, s2, s3);
+        orow[j] = next_sv(j) - s0;
+        orow[j + 1] = next_sv(j + 1) - s1;
+        orow[j + 2] = next_sv(j + 2) - s2;
+        orow[j + 3] = next_sv(j + 3) - s3;
+      }
+      for (; j < n; ++j) {
+        orow[j] = next_sv(j) - dot1(arow, fdata + j * inner, inner);
+      }
+    }
+  });
+  for_row_blocks(n, workers, [&](std::size_t begin, std::size_t end) {
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      double* orow = odata + i * n;
+      for (std::size_t j = 0; j < i; ++j) orow[j] = odata[j * n + i];
+    }
+  });
+}
+
+void fused_sub_multiply_add_into(Matrix& grad,
+                                 const std::vector<CsrMatrix>& sources,
+                                 const Matrix& m, const Matrix& f,
+                                 const std::vector<double>& factors,
+                                 Matrix& scratch, std::size_t workers) {
+  if (factors.size() != sources.size()) {
+    throw std::invalid_argument(
+        "sparse::fused_sub_multiply_add_into: factors/sources size mismatch");
+  }
+  for (const CsrMatrix& s : sources) {
+    if (s.rows() != m.rows() || s.cols() != m.cols()) {
+      throw std::invalid_argument(
+          "sparse::fused_sub_multiply_add_into: shape mismatch");
+    }
+  }
+  if (m.cols() != f.rows() || grad.rows() != m.rows() || grad.cols() != f.cols()) {
+    throw std::invalid_argument(
+        "sparse::fused_sub_multiply_add_into: shape mismatch");
+  }
+  std::size_t count = sources.size();
+  std::size_t inner = m.cols();
+  std::size_t width = f.cols();
+  scratch.resize(grad.rows(), count * inner);
+  for_row_blocks(grad.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const double* fdata = f.row(0);
+    const double* mdata = m.row(0);
+    const CsrMatrix* srcs = sources.data();
+    const double* fac = factors.data();
+    double* gdata = grad.row(0);
+    double* sdata = scratch.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* mrow = mdata + i * inner;
+      double* diff = sdata + i * count * inner;
+      for (std::size_t s = 0; s < count; ++s) {
+        const CsrMatrix& src = srcs[s];
+        std::uint32_t b = src.row_ptr()[i];
+        diff_row(src.col_idx() + b, src.values() + b, src.row_ptr()[i + 1] - b,
+                 mrow, diff + s * inner, inner);
+      }
+      // Same shared interleave as the dense kernel — identical bits once
+      // the diff rows match (and they do: see diff_row).
+      double* grow = gdata + i * width;
+      for (std::size_t s = 0; s < count; ++s) {
+        kernels::accumulate_scaled_products(grow, diff + s * inner, fdata,
+                                            fac[s], inner, width);
+      }
+    }
+  });
+}
+
+double inner_product_uv(const CsrMatrix& a, const Matrix& u, const Matrix& v) {
+  if (u.cols() != v.cols() || a.rows() != u.rows() || a.cols() != v.rows()) {
+    throw std::invalid_argument("sparse::inner_product_uv: shape mismatch");
+  }
+  std::size_t inner = u.cols();
+  const std::uint32_t* rp = a.row_ptr();
+  const std::uint32_t* ci = a.col_idx();
+  const double* vals = a.values();
+  const double* udata = u.row(0);
+  const double* vdata = v.row(0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* urow = udata + i * inner;
+    for (std::uint32_t s = rp[i]; s < rp[i + 1]; ++s) {
+      sum += vals[s] *
+             dot1(urow, vdata + static_cast<std::size_t>(ci[s]) * inner, inner);
+    }
+  }
+  return sum;
+}
+
+double frobenius_distance(const CsrMatrix& s, const Matrix& m) {
+  if (s.rows() != m.rows() || s.cols() != m.cols()) {
+    throw std::invalid_argument("sparse::frobenius_distance: shape mismatch");
+  }
+  // Flat ascending walk, one accumulator — the same reduction as
+  // Matrix::frobenius_distance on to_dense(); unstored cells contribute
+  // (0.0 - m)^2.
+  const std::uint32_t* rp = s.row_ptr();
+  const std::uint32_t* ci = s.col_idx();
+  const double* vals = s.values();
+  double sum = 0.0;
+  std::size_t width = s.cols();
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    const double* mrow = m.row(i);
+    std::uint32_t sp = rp[i];
+    std::uint32_t send = rp[i + 1];
+    for (std::size_t j = 0; j < width; ++j) {
+      double sv = 0.0;
+      if (sp < send && ci[sp] == j) sv = vals[sp++];
+      double d = sv - mrow[j];
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+void masked_gram_apply(const CsrMatrix& pattern, const Matrix& g,
+                       const Matrix& p, Matrix& out, std::size_t workers) {
+  if (g.cols() != p.cols() || pattern.rows() != p.rows() ||
+      pattern.cols() != g.rows()) {
+    throw std::invalid_argument("sparse::masked_gram_apply: shape mismatch");
+  }
+  out.resize(p.rows(), p.cols());
+  std::size_t rank = p.cols();
+  for_row_blocks(pattern.rows(), workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* rp = pattern.row_ptr();
+    const std::uint32_t* ci = pattern.col_idx();
+    const double* gdata = g.row(0);
+    const double* pdata = p.row(0);
+    double* odata = out.row(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* prow = pdata + i * rank;
+      double* orow = odata + i * rank;
+      for (std::size_t c = 0; c < rank; ++c) orow[c] = 0.0;
+      // out.row(i) = sum_j (p_i . g_j) g_j over stored j ascending; each
+      // dot and axpy ascends, so the result is worker-count invariant.
+      for (std::uint32_t s = rp[i]; s < rp[i + 1]; ++s) {
+        const double* grow = gdata + static_cast<std::size_t>(ci[s]) * rank;
+        double coeff = dot1(prow, grow, rank);
+        for (std::size_t c = 0; c < rank; ++c) orow[c] += coeff * grow[c];
+      }
+    }
+  });
+}
+
+void masked_gram_apply(const CscMatrix& pattern, const Matrix& g,
+                       const Matrix& p, Matrix& out, std::size_t workers) {
+  if (g.cols() != p.cols() || pattern.cols() != p.rows() ||
+      pattern.rows() != g.rows()) {
+    throw std::invalid_argument("sparse::masked_gram_apply: shape mismatch");
+  }
+  out.resize(p.rows(), p.cols());
+  std::size_t rank = p.cols();
+  for_row_blocks(pattern.cols(), workers, [&](std::size_t begin, std::size_t end) {
+    const std::uint32_t* cp = pattern.col_ptr();
+    const std::uint32_t* ri = pattern.row_idx();
+    const double* gdata = g.row(0);
+    const double* pdata = p.row(0);
+    double* odata = out.row(0);
+    for (std::size_t j = begin; j < end; ++j) {
+      const double* prow = pdata + j * rank;
+      double* orow = odata + j * rank;
+      for (std::size_t c = 0; c < rank; ++c) orow[c] = 0.0;
+      for (std::uint32_t s = cp[j]; s < cp[j + 1]; ++s) {
+        const double* grow = gdata + static_cast<std::size_t>(ri[s]) * rank;
+        double coeff = dot1(prow, grow, rank);
+        for (std::size_t c = 0; c < rank; ++c) orow[c] += coeff * grow[c];
+      }
+    }
+  });
+}
+
+}  // namespace hc::analytics::sparse

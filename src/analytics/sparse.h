@@ -1,0 +1,232 @@
+// Sparse compute plane for the analytics layer.
+//
+// The bioinformatics inputs (drug fingerprints, target-protein sets,
+// patient-condition and association matrices) are naturally >95% sparse;
+// this module adds compressed-row/compressed-column storage and the sparse
+// counterparts of the dense kernels in kernels.h so JMF/DELT/MF can hold
+// 10-100x larger catalogs at equal memory. The sparse kernels obey the same
+// three rules as the dense layer, with rule 1's reference being the dense
+// kernel they shadow:
+//
+//   1. *Bit-identical vs a defined reference path.* Every dense kernel in
+//      kernels.h already skips exactly-zero operand cells in its k
+//      reductions. A CSR/CSC walk visits the same surviving (index, value)
+//      pairs in the same ascending order, so per output cell the sparse
+//      kernel performs the identical FP-operation sequence: results are
+//      bitwise equal to the dense kernel applied to to_dense() of the
+//      operand. (Stored explicit zeros — possible via from_triplets — are
+//      skipped by the axpy-style kernels for the same reason.)
+//   2. *Deterministic parallelism.* Work is partitioned over contiguous
+//      kernels::kRowBlock blocks of *output* rows; no two workers write
+//      the same cell, so results are bit-identical across 1/2/4/8 workers.
+//      Kernels that would need scatter writes under a row partition (A^T·B
+//      from a CSR) instead take the CSC form, whose columns are the output
+//      rows — the transpose is never materialized.
+//   3. *Allocation-free.* Dense destinations are resized in place (a no-op
+//      once warm); sparse destinations reuse a caller-owned pattern and
+//      overwrite only the value array.
+//
+// Canonical ordering: both formats store, per compressed axis, strictly
+// ascending minor indices with no duplicates. from_triplets canonicalizes
+// arbitrary input into that form (stable sort + duplicate coalescing in
+// input order) and rejects out-of-range coordinates; every constructor
+// yields the same representation for the same logical matrix, so byte
+// comparisons of (ptr, idx, values) are meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analytics/matrix.h"
+
+namespace hc::analytics::sparse {
+
+/// One (row, col, value) coordinate for from_triplets.
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+class CscMatrix;
+
+/// Compressed sparse row: per row, ascending column indices.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Stores exactly the nonzero cells of `dense` (row-major walk order).
+  static CsrMatrix from_dense(const Matrix& dense);
+  /// Pattern = cells where mask(r,c) != 0; stored value = values(r,c)
+  /// (which may be 0.0). This is the MF observed/mask pairing: the kernel
+  /// that consumes it is bitwise equal to the dense masked kernel.
+  static CsrMatrix from_dense_masked(const Matrix& values, const Matrix& mask);
+  /// Canonicalizes arbitrary triplets: stable-sorts by (row, col), sums
+  /// duplicate coordinates in input order, and keeps the summed entry even
+  /// if it is 0.0 (kernels skip stored zeros, so the result is numerically
+  /// indistinguishable). Throws std::invalid_argument on any out-of-range
+  /// coordinate — reject cleanly, never truncate.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 const std::vector<Triplet>& triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  double density() const;
+  /// Bytes resident in the three arrays (capacity, matching
+  /// Matrix::allocated_bytes so equal-memory comparisons are apples to
+  /// apples).
+  std::size_t bytes() const;
+
+  const std::uint32_t* row_ptr() const { return row_ptr_.data(); }
+  const std::uint32_t* col_idx() const { return col_idx_.data(); }
+  const double* values() const { return values_.data(); }
+  double* mutable_values() { return values_.data(); }
+
+  Matrix to_dense() const;
+  /// Sum of squared stored values (serial ascending — deterministic).
+  double norm_squared() const;
+
+  /// Adopts `other`'s shape and pattern; values are resized to match and
+  /// left unspecified. The sparse-destination kernels call this lazily so
+  /// steady-state epochs only overwrite the value array (rule 3).
+  void copy_pattern_from(const CsrMatrix& other);
+
+  friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
+
+ private:
+  friend class CscMatrix;
+  friend void build_transpose(const CsrMatrix& a, CsrMatrix& out,
+                              std::vector<std::uint32_t>& perm);
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> row_ptr_;  // rows + 1 entries
+  std::vector<std::uint32_t> col_idx_;  // nnz entries, ascending per row
+  std::vector<double> values_;          // nnz entries
+};
+
+/// Compressed sparse column: per column, ascending row indices. Built from
+/// a CsrMatrix it remembers the slot permutation, so a solver that updates
+/// the CSR's values each epoch can refill the CSC in O(nnz) without
+/// rebuilding structure.
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  static CscMatrix from_dense(const Matrix& dense);
+  /// Transposes structure + values; remembers the csr->csc slot map.
+  static CscMatrix from_csr(const CsrMatrix& csr);
+
+  /// Overwrites values from a CSR with the identical pattern this CSC was
+  /// built from (O(nnz), no allocation). Throws if this CSC was not built
+  /// by from_csr or the nnz count changed.
+  void refill_from_csr(const CsrMatrix& csr);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  double density() const;
+  std::size_t bytes() const;
+
+  const std::uint32_t* col_ptr() const { return col_ptr_.data(); }
+  const std::uint32_t* row_idx() const { return row_idx_.data(); }
+  const double* values() const { return values_.data(); }
+
+  Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> col_ptr_;  // cols + 1 entries
+  std::vector<std::uint32_t> row_idx_;  // nnz entries, ascending per column
+  std::vector<double> values_;
+  std::vector<std::uint32_t> csr_perm_;  // csc slot -> csr slot (from_csr)
+};
+
+/// Builds `out` = a^T as a CsrMatrix and fills `perm` so that
+/// out.values[s] == a.values[perm[s]]. refill_transpose re-applies the map
+/// after a's values change (pattern must be unchanged).
+void build_transpose(const CsrMatrix& a, CsrMatrix& out,
+                     std::vector<std::uint32_t>& perm);
+void refill_transpose(const CsrMatrix& a, CsrMatrix& out,
+                      const std::vector<std::uint32_t>& perm);
+
+// --- kernels -----------------------------------------------------------
+// Every `workers` parameter follows kernels.h rule 2 (fixed kRowBlock
+// partition of output rows; results bit-identical for any worker count).
+
+/// out = a * b (SpMM into dense). Reference: kernels::multiply_into on
+/// a.to_dense() — same ascending-k axpy with the same zero skip.
+void multiply_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                   std::size_t workers = 1);
+
+/// out = a^T * b without materializing the transpose: a arrives in CSC
+/// form, whose columns are the output rows. Reference:
+/// kernels::transpose_multiply_into on a.to_dense().
+void transpose_multiply_into(const CscMatrix& a, const Matrix& b, Matrix& out,
+                             std::size_t workers = 1);
+
+/// Fused dense residual out = r - u * v^T with r sparse. Reference:
+/// kernels::residual_into on r.to_dense(): unstored cells compute
+/// 0.0 - dot (not -dot — the bits differ for a +/-0 result).
+void residual_into(const CsrMatrix& r, const Matrix& u, const Matrix& v,
+                   Matrix& out, std::size_t workers = 1);
+
+/// Masked residual, dense destination: out(i,j) = value - dot(u_i, v_j) at
+/// stored cells, 0 elsewhere. Only stored cells pay a dot — O(nnz * rank).
+/// Reference: kernels::masked_residual_into with mask == the pattern
+/// (i.e. a CsrMatrix built by from_dense_masked).
+void masked_residual_into(const CsrMatrix& observed, const Matrix& u,
+                          const Matrix& v, Matrix& out, std::size_t workers = 1);
+
+/// Masked residual, sparse destination: same arithmetic, but the residual
+/// values land in `out`'s value array over `observed`'s pattern (copied on
+/// first use, reused after). Nothing rows x cols is ever written — the
+/// epoch-loop form for catalogs whose dense residual would not fit.
+void masked_residual_values(const CsrMatrix& observed, const Matrix& u,
+                            const Matrix& v, CsrMatrix& out,
+                            std::size_t workers = 1);
+
+/// Fused symmetric residual out = s - f * f^T, upper triangle + bit-copy
+/// mirror. Precondition: s bitwise symmetric. Reference:
+/// kernels::syrk_residual_into on s.to_dense().
+void syrk_residual_into(const CsrMatrix& s, const Matrix& f, Matrix& out,
+                        std::size_t workers = 1);
+
+/// Sparse-source form of kernels::fused_sub_multiply_add_into: for each
+/// source s ascending, grad += factors[s] * ((sources[s] - m) * f). Diff
+/// rows are materialized into scratch by a CSR gap walk (0.0 - m for
+/// unstored cells — identical bits to the dense subtraction), then fed to
+/// the shared accumulate_scaled_products interleave. Bitwise equal to the
+/// dense kernel on to_dense() sources.
+void fused_sub_multiply_add_into(Matrix& grad,
+                                 const std::vector<CsrMatrix>& sources,
+                                 const Matrix& m, const Matrix& f,
+                                 const std::vector<double>& factors,
+                                 Matrix& scratch, std::size_t workers = 1);
+
+/// sum over stored cells of a(i,j) * dot(u.row(i), v.row(j)) — the
+/// <A, U V^T> inner product the Gram-identity objectives use. Serial,
+/// ascending (row, col, k): deterministic, O(nnz * rank).
+double inner_product_uv(const CsrMatrix& a, const Matrix& u, const Matrix& v);
+
+/// ||s - m||_F over the full dense shape, with s sparse. Reference:
+/// Matrix::frobenius_distance(s.to_dense(), m) — same flat ascending
+/// reduction, unstored cells contributing (0.0 - m[i])^2.
+double frobenius_distance(const CsrMatrix& s, const Matrix& m);
+
+/// Gauss-Newton Hessian application for masked factorization (MF):
+/// out.row(i) = sum over stored j in row i of (p.row(i) . g.row(j)) *
+/// g.row(j). Row-partitioned over out rows; per row the j walk ascends in
+/// stored order and each axpy ascends in c — deterministic. O(nnz * rank).
+void masked_gram_apply(const CsrMatrix& pattern, const Matrix& g,
+                       const Matrix& p, Matrix& out, std::size_t workers = 1);
+
+/// Same operator for the transposed side: out.row(j) accumulates over
+/// stored i in column j of `pattern` (CSC), i.e. the V-side Hessian.
+void masked_gram_apply(const CscMatrix& pattern, const Matrix& g,
+                       const Matrix& p, Matrix& out, std::size_t workers = 1);
+
+}  // namespace hc::analytics::sparse

@@ -5,9 +5,13 @@
 // must always be rejected by the HMAC, never crash. The router fuzzer at
 // the bottom hammers the shard router (hc::cluster) with hostile ids and
 // mid-rebalance ring churn: it must never crash, never misroute, and
-// never drop a key.
+// never drop a key. The sparse-constructor fuzzer at the very bottom feeds
+// hostile triplet streams (duplicates, unsorted, out-of-range) to the
+// analytics CSR builder: it must canonicalize or reject cleanly, never
+// crash or emit a non-canonical matrix.
 #include <gtest/gtest.h>
 
+#include "analytics/sparse.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "fault/fault.h"
@@ -684,3 +688,77 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz, ::testing::Values(1, 2, 3, 4));
 
 }  // namespace
 }  // namespace hc::cluster
+
+namespace hc::analytics {
+namespace {
+
+class SparseTripletFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseTripletFuzz, HostileTripletsCanonicalizeOrRejectCleanly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 31000);
+  for (int round = 0; round < 200; ++round) {
+    std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    std::size_t cols = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    std::size_t count = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    // ~1 in 4 rounds injects out-of-range coordinates; the rest push
+    // unsorted, heavily duplicated in-range streams.
+    bool inject_bad = rng.uniform_int(0, 3) == 0;
+    bool any_bad = false;
+    std::vector<sparse::Triplet> triplets;
+    triplets.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      sparse::Triplet t;
+      if (inject_bad && rng.bernoulli(0.05)) {
+        t.row = static_cast<std::uint32_t>(
+            rng.uniform_int(static_cast<std::int64_t>(rows), 1 << 20));
+        t.col = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+        any_bad = any_bad || t.row >= rows || t.col >= cols;
+      } else {
+        // Small coordinate range on purpose: lots of duplicates.
+        t.row = static_cast<std::uint32_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(rows) - 1));
+        t.col = static_cast<std::uint32_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(cols) - 1));
+      }
+      t.value = rng.uniform(-2.0, 2.0);
+      triplets.push_back(t);
+    }
+
+    if (any_bad) {
+      EXPECT_THROW(sparse::CsrMatrix::from_triplets(rows, cols, triplets),
+                   std::invalid_argument);
+      continue;
+    }
+    sparse::CsrMatrix m = sparse::CsrMatrix::from_triplets(rows, cols, triplets);
+
+    // Canonical form: monotone row_ptr bracketing nnz, strictly ascending
+    // column indices inside each row, nothing out of range.
+    EXPECT_EQ(m.rows(), rows);
+    EXPECT_EQ(m.cols(), cols);
+    EXPECT_LE(m.nnz(), triplets.size());
+    EXPECT_EQ(m.row_ptr()[0], 0u);
+    EXPECT_EQ(m.row_ptr()[rows], static_cast<std::uint32_t>(m.nnz()));
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_LE(m.row_ptr()[r], m.row_ptr()[r + 1]);
+      for (std::uint32_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k) {
+        EXPECT_LT(m.col_idx()[k], cols);
+        if (k > m.row_ptr()[r]) {
+          EXPECT_LT(m.col_idx()[k - 1], m.col_idx()[k]);
+        }
+      }
+    }
+
+    // Semantics: the dense projection equals a hand-accumulated sum.
+    Matrix expected(rows, cols);
+    for (const auto& t : triplets) expected(t.row, t.col) += t.value;
+    Matrix dense = m.to_dense();
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(dense.data()[i], expected.data()[i], 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseTripletFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hc::analytics

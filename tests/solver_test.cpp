@@ -1,0 +1,324 @@
+// Conformance tests for the second-order solver building blocks
+// (src/analytics/solver/): truncated CG on hand-computed SPD systems,
+// backtracking-Armijo schedules pinned step by step, and newton_step on
+// exact quadratics where the answer is known in closed form. Determinism
+// is part of the contract: identical inputs must give byte-identical
+// trajectories for any worker count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "analytics/kernels.h"
+#include "analytics/matrix.h"
+#include "analytics/solver/cg.h"
+#include "analytics/solver/line_search.h"
+#include "analytics/solver/newton.h"
+#include "common/rng.h"
+
+namespace hc::analytics::solver {
+namespace {
+
+bool bit_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// -------------------------------------------------------------------- CG
+
+TEST(Cg, SolvesHandComputedSpdSystem) {
+  // H = [[4, 1], [1, 3]], b = [1, 2] — textbook 2x2; x* = [1/11, 7/11].
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) {
+    out.resize(2, 1);
+    out.data()[0] = 4.0 * p.data()[0] + 1.0 * p.data()[1];
+    out.data()[1] = 1.0 * p.data()[0] + 3.0 * p.data()[1];
+  };
+  Matrix b(2, 1);
+  b.data()[0] = 1.0;
+  b.data()[1] = 2.0;
+  Matrix x;
+  CgConfig config;
+  config.max_iterations = 10;
+  config.tolerance = 1e-12;
+  CgWorkspace ws;
+  CgResult result = conjugate_gradient(apply, b, x, config, ws, 1);
+  // Exact termination in at most dim steps.
+  EXPECT_LE(result.iterations, 2u);
+  EXPECT_FALSE(result.negative_curvature);
+  EXPECT_NEAR(x.data()[0], 1.0 / 11.0, 1e-10);
+  EXPECT_NEAR(x.data()[1], 7.0 / 11.0, 1e-10);
+  EXPECT_LE(result.residual_norm, 1e-10);
+}
+
+TEST(Cg, JacobiPreconditionerSolvesDiagonalSystemInOneIteration) {
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) {
+    out.resize(3, 1);
+    out.data()[0] = 2.0 * p.data()[0];
+    out.data()[1] = 5.0 * p.data()[1];
+    out.data()[2] = 0.5 * p.data()[2];
+  };
+  Matrix b(3, 1);
+  b.data()[0] = 4.0;
+  b.data()[1] = -10.0;
+  b.data()[2] = 1.0;
+  Matrix jacobi(3, 1);
+  jacobi.data()[0] = 2.0;
+  jacobi.data()[1] = 5.0;
+  jacobi.data()[2] = 0.5;
+  Matrix x;
+  CgConfig config;
+  config.tolerance = 1e-12;
+  CgWorkspace ws;
+  CgResult result = conjugate_gradient(apply, b, x, config, ws, 1, &jacobi);
+  // M^{-1} H = I: one CG iteration lands exactly on the solution.
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_NEAR(x.data()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x.data()[1], -2.0, 1e-12);
+  EXPECT_NEAR(x.data()[2], 2.0, 1e-12);
+}
+
+TEST(Cg, ZeroRhsReturnsZeroWithoutIterating) {
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) {
+    out = p;  // identity
+  };
+  Matrix b(4, 1);  // all zeros
+  Matrix x;
+  CgWorkspace ws;
+  CgResult result = conjugate_gradient(apply, b, x, CgConfig{}, ws, 1);
+  EXPECT_EQ(result.iterations, 0u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(x.data()[i], 0.0);
+}
+
+TEST(Cg, NegativeCurvatureFallsBackToPreconditionedGradient) {
+  // H = -I is negative definite: p^T H p < 0 on the first iteration, so the
+  // solve must flag it and return x = M^{-1} b (here b itself).
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) {
+    out = p;
+    out.scale(-1.0);
+  };
+  Matrix b(2, 1);
+  b.data()[0] = 3.0;
+  b.data()[1] = -1.0;
+  Matrix x;
+  CgWorkspace ws;
+  CgResult result = conjugate_gradient(apply, b, x, CgConfig{}, ws, 1);
+  EXPECT_TRUE(result.negative_curvature);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(x.data()[0], 3.0);
+  EXPECT_EQ(x.data()[1], -1.0);
+}
+
+TEST(Cg, RejectsJacobiShapeMismatch) {
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) { out = p; };
+  Matrix b(3, 1, 1.0);
+  Matrix jacobi(2, 1, 1.0);
+  Matrix x;
+  CgWorkspace ws;
+  EXPECT_THROW(conjugate_gradient(apply, b, x, CgConfig{}, ws, 1, &jacobi),
+               std::invalid_argument);
+}
+
+TEST(Cg, ByteIdenticalAcrossWorkerCountsOnKernelOperator) {
+  // Operator built from the rule-2 kernels (H = A^T A + I via two SpMM-like
+  // passes): the whole solve must be byte-identical for any worker count.
+  Rng rng(55);
+  Matrix a = Matrix::random(40, 24, rng, -1.0, 1.0);
+  Matrix b = Matrix::random(24, 1, rng, -1.0, 1.0);
+  auto solve = [&](std::size_t workers) {
+    Matrix tmp, x;
+    auto apply = [&](const Matrix& p, Matrix& out, std::size_t w) {
+      kernels::multiply_into(a, p, tmp, w);
+      kernels::transpose_multiply_into(a, tmp, out, w);
+      kernels::add_scaled_into(out, p, 1.0, w);
+    };
+    CgConfig config;
+    config.max_iterations = 50;
+    config.tolerance = 1e-10;
+    CgWorkspace ws;
+    conjugate_gradient(apply, b, x, config, ws, workers);
+    return x;
+  };
+  Matrix base = solve(1);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    EXPECT_TRUE(bit_equal(base, solve(workers))) << "workers=" << workers;
+  }
+}
+
+// ----------------------------------------------------------- line search
+
+TEST(LineSearch, AcceptsFullStepOnPerfectQuadratic) {
+  // phi(t) = (1 - t)^2: phi0 = 1, slope = -2; t = 1 satisfies Armijo
+  // immediately (0 <= 1 - 2e-4).
+  auto phi = [](double t) { return (1.0 - t) * (1.0 - t); };
+  LineSearchResult result = backtracking_armijo(phi, 1.0, -2.0, LineSearchConfig{});
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.step, 1.0);
+  EXPECT_EQ(result.evaluations, 1u);
+}
+
+TEST(LineSearch, ShrinksOnFixedGeometricScheduleToHandComputedStep) {
+  // phi(t) = 100 t^2 - t with phi0 = 0, slope = -1. Armijo requires
+  // 100 t^2 - t <= -1e-4 t, i.e. t <= (1 - 1e-4) / 100. On the fixed
+  // halving schedule the first such step is 2^-7 = 0.0078125.
+  auto phi = [](double t) { return 100.0 * t * t - t; };
+  LineSearchResult result = backtracking_armijo(phi, 0.0, -1.0, LineSearchConfig{});
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.step, 0.0078125);
+  EXPECT_EQ(result.evaluations, 8u);
+}
+
+TEST(LineSearch, RejectsNonDescentSlopeWithoutEvaluating) {
+  int calls = 0;
+  auto phi = [&](double) {
+    ++calls;
+    return 0.0;
+  };
+  LineSearchResult up = backtracking_armijo(phi, 1.0, 0.5, LineSearchConfig{});
+  EXPECT_FALSE(up.accepted);
+  LineSearchResult flat = backtracking_armijo(phi, 1.0, 0.0, LineSearchConfig{});
+  EXPECT_FALSE(flat.accepted);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(up.evaluations, 0u);
+}
+
+TEST(LineSearch, GivesUpAfterMaxBacktracks) {
+  // phi never decreases: every trial fails, bounded by max_backtracks.
+  auto phi = [](double) { return 10.0; };
+  LineSearchConfig config;
+  config.max_backtracks = 5;
+  LineSearchResult result = backtracking_armijo(phi, 0.0, -1.0, config);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.evaluations, 6u);  // initial step + 5 shrinks
+}
+
+// ------------------------------------------------------------ newton_step
+
+TEST(NewtonStep, LandsOnQuadraticMinimumInOneStep) {
+  // f(x) = (x0 - 3)^2 + (x1 + 1)^2: grad = 2 (x - a), H = 2 I. From x = 0
+  // the Newton direction is exactly a, the unit step passes Armijo with
+  // f = 0, and x must land on the minimizer.
+  Matrix x(2, 1);  // starts at 0
+  Matrix grad(2, 1);
+  grad.data()[0] = 2.0 * (x.data()[0] - 3.0);
+  grad.data()[1] = 2.0 * (x.data()[1] + 1.0);
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) {
+    out = p;
+    out.scale(2.0);
+  };
+  auto objective = [](const Matrix& trial) {
+    double d0 = trial.data()[0] - 3.0;
+    double d1 = trial.data()[1] + 1.0;
+    return d0 * d0 + d1 * d1;
+  };
+  NewtonConfig config;
+  config.cg.tolerance = 1e-12;
+  NewtonWorkspace ws;
+  NewtonStepResult result =
+      newton_step(apply, grad, x, objective, 10.0, config, ws, 1);
+  EXPECT_EQ(result.step, 1.0);
+  EXPECT_FALSE(result.gradient_fallback);
+  EXPECT_NEAR(result.objective, 0.0, 1e-18);
+  EXPECT_NEAR(x.data()[0], 3.0, 1e-10);
+  EXPECT_NEAR(x.data()[1], -1.0, 1e-10);
+}
+
+TEST(NewtonStep, ProjectionClampsTrialNonnegative) {
+  // Minimum at (-2, 5): with projection on, the accepted trial is clamped,
+  // so x0 lands at 0 instead of going negative.
+  Matrix x(2, 1);
+  x.data()[0] = 1.0;
+  x.data()[1] = 1.0;
+  Matrix grad(2, 1);
+  grad.data()[0] = 2.0 * (x.data()[0] + 2.0);
+  grad.data()[1] = 2.0 * (x.data()[1] - 5.0);
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) {
+    out = p;
+    out.scale(2.0);
+  };
+  auto objective = [](const Matrix& trial) {
+    double d0 = trial.data()[0] + 2.0;
+    double d1 = trial.data()[1] - 5.0;
+    return d0 * d0 + d1 * d1;
+  };
+  NewtonConfig config;
+  config.cg.tolerance = 1e-12;
+  config.project_nonnegative = true;
+  NewtonWorkspace ws;
+  double fx = objective(x);
+  NewtonStepResult result = newton_step(apply, grad, x, objective, fx, config, ws, 1);
+  EXPECT_LT(result.objective, fx);
+  EXPECT_EQ(x.data()[0], 0.0);  // clamped, not -2
+  EXPECT_NEAR(x.data()[1], 5.0, 1e-9);
+}
+
+TEST(NewtonStep, ZeroGradientLeavesIterateUntouched) {
+  // At a stationary point CG gets a zero right-hand side, the slope check
+  // routes through the -g fallback, finds that too is flat, and the step
+  // must return fx with x unchanged (step 0) instead of evaluating trials.
+  Matrix x(2, 1);
+  x.data()[0] = 1.5;
+  x.data()[1] = -0.5;
+  Matrix before = x;
+  Matrix grad(2, 1);  // zero gradient
+  auto apply = [](const Matrix& p, Matrix& out, std::size_t) {
+    out = p;
+    out.scale(2.0);
+  };
+  int objective_calls = 0;
+  auto objective = [&](const Matrix&) {
+    ++objective_calls;
+    return 0.0;
+  };
+  NewtonConfig config;
+  NewtonWorkspace ws;
+  NewtonStepResult result = newton_step(apply, grad, x, objective, 7.5, config, ws, 1);
+  EXPECT_TRUE(result.gradient_fallback);
+  EXPECT_EQ(result.step, 0.0);
+  EXPECT_EQ(result.objective, 7.5);
+  EXPECT_EQ(objective_calls, 0);
+  EXPECT_TRUE(bit_equal(before, x));
+}
+
+TEST(NewtonStep, RepeatedRunsAreByteIdentical) {
+  Rng rng(66);
+  Matrix a = Matrix::random(30, 12, rng, -1.0, 1.0);
+  Matrix target = Matrix::random(12, 1, rng, -1.0, 1.0);
+  auto run = [&](std::size_t workers) {
+    Matrix x(12, 1);  // least-squares min ||A x - A target||^2 from x = 0
+    Matrix tmp, resid, grad;
+    auto apply = [&](const Matrix& p, Matrix& out, std::size_t w) {
+      kernels::multiply_into(a, p, tmp, w);
+      kernels::transpose_multiply_into(a, tmp, out, w);
+      out.scale(2.0);
+    };
+    auto objective = [&](const Matrix& trial) {
+      kernels::multiply_into(a, trial, resid, 1);
+      Matrix at;
+      kernels::multiply_into(a, target, at, 1);
+      resid.add_scaled(at, -1.0);
+      double s = 0.0;
+      for (std::size_t i = 0; i < resid.size(); ++i)
+        s += resid.data()[i] * resid.data()[i];
+      return s;
+    };
+    // grad at x=0: 2 A^T A (x - target) = -2 A^T A target.
+    Matrix tmp2;
+    kernels::multiply_into(a, target, tmp2, 1);
+    kernels::transpose_multiply_into(a, tmp2, grad, 1);
+    grad.scale(-2.0);
+    NewtonConfig config;
+    config.cg.max_iterations = 30;
+    config.cg.tolerance = 1e-10;
+    NewtonWorkspace ws;
+    newton_step(apply, grad, x, objective, objective(x), config, ws, workers);
+    return x;
+  };
+  Matrix base = run(1);
+  EXPECT_TRUE(bit_equal(base, run(1)));  // rerun
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    EXPECT_TRUE(bit_equal(base, run(workers))) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace hc::analytics::solver
