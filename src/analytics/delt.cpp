@@ -69,6 +69,34 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
     model.patient_baselines[p] = global_mean;
   }
 
+  // Resume from a checkpointed iteration boundary: restore every vector the
+  // loop carries across iterations — including drug_sum verbatim, whose
+  // incrementally-accumulated bits a recomputation would not reproduce.
+  int first_iteration = 0;
+  if (config.resume != nullptr) {
+    const DeltResume& res = *config.resume;
+    if (res.drug_effects.size() != n_drugs ||
+        res.patient_baselines.size() != n_patients ||
+        res.patient_drifts.size() != n_patients ||
+        res.drug_sum.size() != rows.size()) {
+      throw std::invalid_argument("fit_delt: resume state shape mismatch");
+    }
+    model.drug_effects = res.drug_effects;
+    model.patient_baselines = res.patient_baselines;
+    model.patient_drifts = res.patient_drifts;
+    model.objective_history = res.objective_history;
+    drug_sum = res.drug_sum;
+    first_iteration = res.next_iteration;
+  }
+
+  auto notify_iteration = [&](int iteration) {
+    if (!config.epoch_hook) return;
+    config.epoch_hook(DeltEpochView{iteration, model.drug_effects,
+                                    model.patient_baselines,
+                                    model.patient_drifts, drug_sum,
+                                    model.objective_history});
+  };
+
   // Bytes resident in the shared fit state: flattened table, exposure
   // index, model vectors. Capacity-based, matching Matrix::allocated_bytes,
   // and nothing here shrinks mid-fit — end == peak.
@@ -85,6 +113,12 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
   };
 
   if (config.use_newton_cg) {
+    if (first_iteration > 0) {
+      // The single Newton solve had already completed when the checkpoint
+      // was taken — the restored state is the final model.
+      model.peak_workspace_bytes = shared_bytes();
+      return model;
+    }
     // The model is linear in theta = [alpha | gamma | beta], so the
     // alternating fit's fixed point is the solution of one ridge
     // least-squares system:
@@ -213,6 +247,7 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
       sse += e * e;
     }
     model.objective_history.push_back(sse);
+    notify_iteration(0);
     model.peak_workspace_bytes =
         shared_bytes() + xp.capacity() * sizeof(double) + b.allocated_bytes() +
         jacobi.allocated_bytes() + theta.allocated_bytes() +
@@ -241,7 +276,7 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
     exposure_csc = sparse::CscMatrix::from_csr(exposure_csr);
   }
 
-  for (int iteration = 0; iteration < config.iterations; ++iteration) {
+  for (int iteration = first_iteration; iteration < config.iterations; ++iteration) {
     // --- per-patient (alpha_i, gamma_i) given beta ----------------------
     if (config.model_baseline || config.model_drift) {
       // Each patient's 2-parameter solve touches only its own row range and
@@ -339,6 +374,7 @@ DeltModel fit_delt(const EmrDataset& dataset, const DeltConfig& config) {
       sse += e * e;
     }
     model.objective_history.push_back(sse);
+    notify_iteration(iteration);
   }
   model.peak_workspace_bytes =
       shared_bytes() + exposure_csr.bytes() + exposure_csc.bytes();

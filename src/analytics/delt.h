@@ -26,11 +26,42 @@
 // confounders defeat.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "analytics/emr.h"
 
 namespace hc::analytics {
+
+/// Fit state at an iteration boundary, as seen by DeltConfig::epoch_hook.
+/// `drug_sum` is the incrementally-maintained per-row sum_d beta_d x_rd —
+/// checkpointing must carry it verbatim (recomputing it from beta gives
+/// different floating-point bits, breaking byte-identical resume).
+/// References are valid only during the call.
+struct DeltEpochView {
+  int iteration = 0;  // 0-based iteration that just completed
+  const std::vector<double>& drug_effects;
+  const std::vector<double>& patient_baselines;
+  const std::vector<double>& patient_drifts;
+  const std::vector<double>& drug_sum;
+  const std::vector<double>& objective_history;
+};
+
+/// May throw to abort the fit exactly at an iteration boundary.
+using DeltEpochHook = std::function<void(const DeltEpochView&)>;
+
+/// Checkpointed fit state; resuming replays the remaining iterations to the
+/// byte-identical final model. On the use_newton_cg path (a single solve),
+/// next_iteration > 0 means the solve already completed and the restored
+/// state IS the final model.
+struct DeltResume {
+  int next_iteration = 0;
+  std::vector<double> drug_effects;
+  std::vector<double> patient_baselines;
+  std::vector<double> patient_drifts;
+  std::vector<double> drug_sum;
+  std::vector<double> objective_history;
+};
 
 struct DeltConfig {
   int iterations = 25;
@@ -60,6 +91,10 @@ struct DeltConfig {
   bool use_newton_cg = false;
   std::size_t cg_iterations = 200;
   double cg_tolerance = 1e-10;
+  /// Iteration-boundary callback (checkpointing, crash injection).
+  DeltEpochHook epoch_hook;
+  /// Resume from a checkpointed state (see DeltResume). Must outlive the call.
+  const DeltResume* resume = nullptr;
 };
 
 struct DeltModel {

@@ -554,6 +554,49 @@ JmfSparseInputs make_jmf_sparse_inputs(
   return inputs;
 }
 
+namespace {
+
+void jmf_notify_epoch(const JmfConfig& config, int epoch, const Matrix& u,
+                      const Matrix& v, const JmfResult& result) {
+  if (!config.epoch_hook) return;
+  config.epoch_hook(JmfEpochView{epoch, u, v, result.drug_source_weights,
+                                 result.disease_source_weights,
+                                 result.objective_history});
+}
+
+/// Shared init for both entries: fresh runs draw the factors from `rng`
+/// (the historical consumption order); resumed runs restore the
+/// checkpointed state verbatim and draw nothing, so the replayed epochs
+/// land bit-identical to an uninterrupted run.
+void jmf_init_state(const JmfConfig& config, std::size_t n_drugs,
+                    std::size_t n_diseases, std::size_t n_drug_sources,
+                    std::size_t n_disease_sources, Rng& rng, Matrix& u,
+                    Matrix& v, JmfResult& result) {
+  if (config.resume == nullptr) {
+    u = Matrix::random(n_drugs, config.rank, rng, 0.0, 0.1);
+    v = Matrix::random(n_diseases, config.rank, rng, 0.0, 0.1);
+    result.drug_source_weights.assign(n_drug_sources,
+                                      1.0 / static_cast<double>(n_drug_sources));
+    result.disease_source_weights.assign(
+        n_disease_sources, 1.0 / static_cast<double>(n_disease_sources));
+    return;
+  }
+  const JmfResume& r = *config.resume;
+  if (r.u.rows() != n_drugs || r.u.cols() != config.rank ||
+      r.v.rows() != n_diseases || r.v.cols() != config.rank ||
+      r.drug_source_weights.size() != n_drug_sources ||
+      r.disease_source_weights.size() != n_disease_sources) {
+    throw std::invalid_argument("JMF resume state shape mismatch");
+  }
+  u = r.u;
+  v = r.v;
+  result.drug_source_weights = r.drug_source_weights;
+  result.disease_source_weights = r.disease_source_weights;
+  result.objective_history = r.objective_history;
+}
+
+}  // namespace
+
 JmfResult joint_matrix_factorization(const JmfSparseInputs& inputs,
                                      const JmfConfig& config, Rng& rng,
                                      JmfWorkspace* workspace) {
@@ -576,16 +619,11 @@ JmfResult joint_matrix_factorization(const JmfSparseInputs& inputs,
   // Same rng consumption order as the dense entry — identical seeds give
   // identical initial factors, the anchor of the sparse-vs-dense bitwise
   // tests.
-  Matrix u = Matrix::random(n_drugs, config.rank, rng, 0.0, 0.1);
-  Matrix v = Matrix::random(n_diseases, config.rank, rng, 0.0, 0.1);
-
+  Matrix u, v;
   JmfResult result;
-  result.drug_source_weights.assign(
-      inputs.drug_similarities.size(),
-      1.0 / static_cast<double>(inputs.drug_similarities.size()));
-  result.disease_source_weights.assign(
-      inputs.disease_similarities.size(),
-      1.0 / static_cast<double>(inputs.disease_similarities.size()));
+  jmf_init_state(config, n_drugs, n_diseases, inputs.drug_similarities.size(),
+                 inputs.disease_similarities.size(), rng, u, v, result);
+  const int first_epoch = config.resume ? config.resume->next_epoch : 0;
 
   JmfWorkspace local_workspace;
   JmfWorkspace& ws = workspace ? *workspace : local_workspace;
@@ -600,12 +638,14 @@ JmfResult joint_matrix_factorization(const JmfSparseInputs& inputs,
     for (const auto& s : inputs.disease_similarities) {
       norms.disease.push_back(s.norm_squared());
     }
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int epoch = first_epoch; epoch < config.epochs; ++epoch) {
       jmf_epoch_newton(inputs, norms, config, u, v, result, ws);
+      jmf_notify_epoch(config, epoch, u, v, result);
     }
   } else {
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int epoch = first_epoch; epoch < config.epochs; ++epoch) {
       jmf_epoch_sparse(inputs, config, u, v, result, ws);
+      jmf_notify_epoch(config, epoch, u, v, result);
     }
   }
 
@@ -647,18 +687,15 @@ JmfResult joint_matrix_factorization(const Matrix& associations,
     }
   }
 
-  Matrix u = Matrix::random(n_drugs, config.rank, rng, 0.0, 0.1);
-  Matrix v = Matrix::random(n_diseases, config.rank, rng, 0.0, 0.1);
-
+  Matrix u, v;
   JmfResult result;
-  result.drug_source_weights.assign(drug_similarities.size(),
-                                    1.0 / static_cast<double>(drug_similarities.size()));
-  result.disease_source_weights.assign(
-      disease_similarities.size(), 1.0 / static_cast<double>(disease_similarities.size()));
+  jmf_init_state(config, n_drugs, n_diseases, drug_similarities.size(),
+                 disease_similarities.size(), rng, u, v, result);
+  const int first_epoch = config.resume ? config.resume->next_epoch : 0;
 
   JmfWorkspace local_workspace;
   JmfWorkspace& ws = workspace ? *workspace : local_workspace;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = first_epoch; epoch < config.epochs; ++epoch) {
     if (config.use_fast_kernels) {
       jmf_epoch_fast(associations, drug_similarities, disease_similarities, config,
                      u, v, result, ws);
@@ -666,6 +703,7 @@ JmfResult joint_matrix_factorization(const Matrix& associations,
       jmf_epoch_naive(associations, drug_similarities, disease_similarities, config,
                       u, v, result);
     }
+    jmf_notify_epoch(config, epoch, u, v, result);
   }
 
   if (config.materialize_scores) {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,37 @@
 #include "common/rng.h"
 
 namespace hc::analytics {
+
+/// Solver state at an epoch boundary, as seen by an epoch hook. References
+/// point into live solver state and are valid only during the call — a hook
+/// that checkpoints copies what it keeps (hc::ckpt does exactly that).
+struct JmfEpochView {
+  int epoch = 0;  // 0-based index of the epoch that just completed
+  const Matrix& u;
+  const Matrix& v;
+  const std::vector<double>& drug_source_weights;
+  const std::vector<double>& disease_source_weights;
+  const std::vector<double>& objective_history;
+};
+
+/// Called after every completed epoch, on every solver path. May throw to
+/// abort the fit at an exact epoch boundary (the crash harness's
+/// SimulatedCrash) — nothing after the boundary has run, so a resumed fit
+/// replays the remaining epochs bit-identically.
+using JmfEpochHook = std::function<void(const JmfEpochView&)>;
+
+/// Checkpointed solver state: everything the epoch loop carries across
+/// epochs. Resuming from epoch k replays epochs k..epochs-1 and lands on
+/// the byte-identical final state of an uninterrupted run — the epoch
+/// kernels are deterministic and `rng` is only consumed by the (skipped)
+/// factor initialization.
+struct JmfResume {
+  int next_epoch = 0;  // first epoch still to run
+  Matrix u, v;
+  std::vector<double> drug_source_weights;
+  std::vector<double> disease_source_weights;
+  std::vector<double> objective_history;
+};
 
 struct JmfConfig {
   std::size_t rank = 15;
@@ -77,6 +109,12 @@ struct JmfConfig {
   /// factor_v). The completed-association matrix is the one unavoidable
   /// drugs x diseases dense object — catalog-scale runs skip it.
   bool materialize_scores = true;
+  /// Epoch-boundary callback (checkpointing, crash injection). Null = off.
+  JmfEpochHook epoch_hook;
+  /// Resume from a checkpointed state: the factor-init draws on `rng` are
+  /// skipped, weights/history are restored, and the loop starts at
+  /// resume->next_epoch. The pointee must outlive the solve.
+  const JmfResume* resume = nullptr;
 };
 
 /// The solver-side view of a JMF problem on the sparse plane: built once

@@ -24,6 +24,30 @@ std::size_t mf_workspace_bytes(const MfWorkspace& ws) {
          newton_ws_bytes(ws.newton_v);
 }
 
+void mf_notify_epoch(const MfConfig& config, int epoch, const MfModel& model) {
+  if (!config.epoch_hook) return;
+  config.epoch_hook(MfEpochView{epoch, model.u, model.v, model.objective_history});
+}
+
+/// Fresh runs draw factors from `rng` (historical consumption order);
+/// resumed runs restore the checkpoint verbatim and draw nothing.
+void mf_init_state(const MfConfig& config, std::size_t rows, std::size_t cols,
+                   Rng& rng, MfModel& model) {
+  if (config.resume == nullptr) {
+    model.u = Matrix::random(rows, config.rank, rng, 0.0, 0.1);
+    model.v = Matrix::random(cols, config.rank, rng, 0.0, 0.1);
+    return;
+  }
+  const MfResume& r = *config.resume;
+  if (r.u.rows() != rows || r.u.cols() != config.rank || r.v.rows() != cols ||
+      r.v.cols() != config.rank) {
+    throw std::invalid_argument("factorize: resume state shape mismatch");
+  }
+  model.u = r.u;
+  model.v = r.v;
+  model.objective_history = r.objective_history;
+}
+
 }  // namespace
 
 double MfModel::predict(std::size_t row, std::size_t col) const {
@@ -47,14 +71,14 @@ MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& co
   std::size_t cols = observed.cols();
 
   MfModel model;
-  model.u = Matrix::random(rows, config.rank, rng, 0.0, 0.1);
-  model.v = Matrix::random(cols, config.rank, rng, 0.0, 0.1);
+  mf_init_state(config, rows, cols, rng, model);
+  const int first_epoch = config.resume ? config.resume->next_epoch : 0;
 
   MfWorkspace local_workspace;
   MfWorkspace& ws = workspace ? *workspace : local_workspace;
   std::size_t w = config.workers;
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = first_epoch; epoch < config.epochs; ++epoch) {
     // Residual on observed cells: the per-cell operator()/predict() walk of
     // the seed is fused into one row-pointer kernel pass.
     kernels::masked_residual_into(observed, mask, model.u, model.v, ws.residual, w);
@@ -72,6 +96,7 @@ MfModel factorize(const Matrix& observed, const Matrix& mask, const MfConfig& co
     // Non-negativity projection keeps factors interpretable.
     kernels::clamp_nonnegative(model.u, w);
     kernels::clamp_nonnegative(model.v, w);
+    mf_notify_epoch(config, epoch, model);
   }
   model.peak_workspace_bytes = mf_workspace_bytes(ws) +
                                model.u.allocated_bytes() +
@@ -88,8 +113,8 @@ MfModel factorize(const sparse::CsrMatrix& observed, const MfConfig& config,
   }
 
   MfModel model;
-  model.u = Matrix::random(rows, config.rank, rng, 0.0, 0.1);
-  model.v = Matrix::random(cols, config.rank, rng, 0.0, 0.1);
+  mf_init_state(config, rows, cols, rng, model);
+  const int first_epoch = config.resume ? config.resume->next_epoch : 0;
 
   MfWorkspace local_workspace;
   MfWorkspace& ws = workspace ? *workspace : local_workspace;
@@ -114,8 +139,8 @@ MfModel factorize(const sparse::CsrMatrix& observed, const MfConfig& config,
     // path: the dense masked residual is zero at unobserved cells and the
     // dense multiply kernels skip zeros in the same ascending order the
     // CSR/CSC walks visit stored cells.
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
-      refresh_residual(epoch == 0);
+    for (int epoch = first_epoch; epoch < config.epochs; ++epoch) {
+      refresh_residual(epoch == first_epoch);
       sparse::multiply_into(ws.residual_sparse, model.v, ws.grad_u, w);
       kernels::add_scaled_into(ws.grad_u, model.u, -reg, w);
       sparse::transpose_multiply_into(ws.residual_csc, model.u, ws.grad_v, w);
@@ -125,6 +150,7 @@ MfModel factorize(const sparse::CsrMatrix& observed, const MfConfig& config,
       kernels::add_scaled_into(model.v, ws.grad_v, config.learning_rate, w);
       kernels::clamp_nonnegative(model.u, w);
       kernels::clamp_nonnegative(model.v, w);
+      mf_notify_epoch(config, epoch, model);
     }
   } else {
     // Projected Gauss-Newton: per epoch one newton_step per factor.
@@ -146,8 +172,8 @@ MfModel factorize(const sparse::CsrMatrix& observed, const MfConfig& config,
                     std::pow(v_eval.frobenius_norm(), 2));
     };
 
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
-      refresh_residual(epoch == 0);
+    for (int epoch = first_epoch; epoch < config.epochs; ++epoch) {
+      refresh_residual(epoch == first_epoch);
       double fx = ws.residual_sparse.norm_squared() +
                   reg * (std::pow(model.u.frobenius_norm(), 2) +
                          std::pow(model.v.frobenius_norm(), 2));
@@ -185,6 +211,7 @@ MfModel factorize(const sparse::CsrMatrix& observed, const MfConfig& config,
       };
       solver::newton_step(apply_v, ws.grad_v, model.v, objective_v,
                           step_u.objective, ncfg, ws.newton_v, w);
+      mf_notify_epoch(config, epoch, model);
     }
   }
   model.peak_workspace_bytes = mf_workspace_bytes(ws) +

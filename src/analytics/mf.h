@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analytics/matrix.h"
@@ -15,6 +16,26 @@
 #include "common/rng.h"
 
 namespace hc::analytics {
+
+/// Epoch-boundary snapshot handed to MfConfig::epoch_hook. References are
+/// valid only during the call (copy to checkpoint).
+struct MfEpochView {
+  int epoch = 0;  // 0-based index of the epoch that just completed
+  const Matrix& u;
+  const Matrix& v;
+  const std::vector<double>& objective_history;
+};
+
+/// May throw to abort the fit exactly at an epoch boundary (crash harness).
+using MfEpochHook = std::function<void(const MfEpochView&)>;
+
+/// Checkpointed solver state; resuming replays the remaining epochs to the
+/// byte-identical final model (the factor-init rng draws are skipped).
+struct MfResume {
+  int next_epoch = 0;
+  Matrix u, v;
+  std::vector<double> objective_history;
+};
 
 struct MfConfig {
   std::size_t rank = 10;
@@ -38,6 +59,10 @@ struct MfConfig {
   bool use_newton_cg = false;
   std::size_t cg_iterations = 25;
   double cg_tolerance = 1e-2;
+  /// Epoch-boundary callback (checkpointing, crash injection). Null = off.
+  MfEpochHook epoch_hook;
+  /// Resume from a checkpointed state (see MfResume). Must outlive the call.
+  const MfResume* resume = nullptr;
 };
 
 struct MfModel {

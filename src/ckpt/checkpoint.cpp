@@ -1,0 +1,362 @@
+#include "ckpt/checkpoint.h"
+
+#include <utility>
+
+namespace hc::ckpt {
+
+namespace {
+
+constexpr FourCc kMeta = {'M', 'E', 'T', 'A'};
+constexpr FourCc kMatU = {'M', 'A', 'T', 'U'};
+constexpr FourCc kMatV = {'M', 'A', 'T', 'V'};
+constexpr FourCc kWgtD = {'W', 'G', 'T', 'D'};
+constexpr FourCc kWgtS = {'W', 'G', 'T', 'S'};
+constexpr FourCc kHist = {'H', 'I', 'S', 'T'};
+constexpr FourCc kBeta = {'V', 'B', 'E', 'T'};
+constexpr FourCc kAlpha = {'V', 'A', 'L', 'P'};
+constexpr FourCc kGamma = {'V', 'G', 'A', 'M'};
+constexpr FourCc kSum = {'V', 'S', 'U', 'M'};
+constexpr FourCc kObj = {'O', 'B', 'J', ' '};
+constexpr FourCc kMrec = {'M', 'R', 'E', 'C'};
+
+Bytes encode_matrix(const analytics::Matrix& m) {
+  Bytes out;
+  out.reserve(8 + m.size() * 8);
+  put_u32(out, static_cast<std::uint32_t>(m.rows()));
+  put_u32(out, static_cast<std::uint32_t>(m.cols()));
+  for (std::size_t i = 0; i < m.size(); ++i) put_f64(out, m.data()[i]);
+  return out;
+}
+
+analytics::Matrix read_matrix(PayloadReader& p) {
+  std::uint64_t rows = p.u32();
+  std::uint64_t cols = p.u32();
+  // Bound the cell count by the bytes actually present before allocating —
+  // a length-lying header must throw PayloadError, never bad_alloc.
+  if (cols != 0 && rows > p.remaining() / 8 / cols) throw PayloadError{};
+  analytics::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = p.f64();
+  return m;
+}
+
+/// find + decode + exact-consumption check, converting PayloadError to the
+/// pinned "malformed payload" diagnostic.
+template <typename Fn>
+Status read_chunk(const ChunkReader& reader, FourCc type, Fn&& fn) {
+  auto chunk = reader.find(type);
+  if (!chunk.is_ok()) return chunk.status();
+  try {
+    PayloadReader p = chunk->reader();
+    fn(p);
+    p.expect_done();
+  } catch (const PayloadError&) {
+    return malformed_payload(type);
+  }
+  return Status::ok();
+}
+
+Bytes f64_vec_payload(const std::vector<double>& v) {
+  Bytes out;
+  out.reserve(8 + v.size() * 8);
+  put_f64_vec(out, v);
+  return out;
+}
+
+}  // namespace
+
+// --- JMF ------------------------------------------------------------------
+
+Bytes encode_jmf(const analytics::JmfResume& state, const Bytes& data_key) {
+  ChunkWriter w(kKindJmf, data_key);
+  Bytes meta;
+  put_u32(meta, static_cast<std::uint32_t>(state.next_epoch));
+  w.add(kMeta, std::move(meta));
+  w.add(kMatU, encode_matrix(state.u));
+  w.add(kMatV, encode_matrix(state.v));
+  w.add(kWgtD, f64_vec_payload(state.drug_source_weights));
+  w.add(kWgtS, f64_vec_payload(state.disease_source_weights));
+  w.add(kHist, f64_vec_payload(state.objective_history));
+  return w.finish();
+}
+
+Result<analytics::JmfResume> decode_jmf(const Bytes& file, const Bytes& data_key) {
+  auto reader = ChunkReader::open(file, kKindJmf, data_key);
+  if (!reader.is_ok()) return reader.status();
+  analytics::JmfResume state;
+  Status s = read_chunk(*reader, kMeta, [&](PayloadReader& p) {
+    state.next_epoch = static_cast<int>(p.u32());
+  });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kMatU,
+                 [&](PayloadReader& p) { state.u = read_matrix(p); });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kMatV,
+                 [&](PayloadReader& p) { state.v = read_matrix(p); });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kWgtD, [&](PayloadReader& p) {
+    state.drug_source_weights = p.f64_vec();
+  });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kWgtS, [&](PayloadReader& p) {
+    state.disease_source_weights = p.f64_vec();
+  });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kHist, [&](PayloadReader& p) {
+    state.objective_history = p.f64_vec();
+  });
+  if (!s.is_ok()) return s;
+  return state;
+}
+
+// --- MF -------------------------------------------------------------------
+
+Bytes encode_mf(const analytics::MfResume& state, const Bytes& data_key) {
+  ChunkWriter w(kKindMf, data_key);
+  Bytes meta;
+  put_u32(meta, static_cast<std::uint32_t>(state.next_epoch));
+  w.add(kMeta, std::move(meta));
+  w.add(kMatU, encode_matrix(state.u));
+  w.add(kMatV, encode_matrix(state.v));
+  w.add(kHist, f64_vec_payload(state.objective_history));
+  return w.finish();
+}
+
+Result<analytics::MfResume> decode_mf(const Bytes& file, const Bytes& data_key) {
+  auto reader = ChunkReader::open(file, kKindMf, data_key);
+  if (!reader.is_ok()) return reader.status();
+  analytics::MfResume state;
+  Status s = read_chunk(*reader, kMeta, [&](PayloadReader& p) {
+    state.next_epoch = static_cast<int>(p.u32());
+  });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kMatU,
+                 [&](PayloadReader& p) { state.u = read_matrix(p); });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kMatV,
+                 [&](PayloadReader& p) { state.v = read_matrix(p); });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kHist, [&](PayloadReader& p) {
+    state.objective_history = p.f64_vec();
+  });
+  if (!s.is_ok()) return s;
+  return state;
+}
+
+// --- DELT -----------------------------------------------------------------
+
+Bytes encode_delt(const analytics::DeltResume& state, const Bytes& data_key) {
+  ChunkWriter w(kKindDelt, data_key);
+  Bytes meta;
+  put_u32(meta, static_cast<std::uint32_t>(state.next_iteration));
+  w.add(kMeta, std::move(meta));
+  w.add(kBeta, f64_vec_payload(state.drug_effects));
+  w.add(kAlpha, f64_vec_payload(state.patient_baselines));
+  w.add(kGamma, f64_vec_payload(state.patient_drifts));
+  w.add(kSum, f64_vec_payload(state.drug_sum));
+  w.add(kHist, f64_vec_payload(state.objective_history));
+  return w.finish();
+}
+
+Result<analytics::DeltResume> decode_delt(const Bytes& file, const Bytes& data_key) {
+  auto reader = ChunkReader::open(file, kKindDelt, data_key);
+  if (!reader.is_ok()) return reader.status();
+  analytics::DeltResume state;
+  Status s = read_chunk(*reader, kMeta, [&](PayloadReader& p) {
+    state.next_iteration = static_cast<int>(p.u32());
+  });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kBeta,
+                 [&](PayloadReader& p) { state.drug_effects = p.f64_vec(); });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kAlpha, [&](PayloadReader& p) {
+    state.patient_baselines = p.f64_vec();
+  });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kGamma,
+                 [&](PayloadReader& p) { state.patient_drifts = p.f64_vec(); });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kSum,
+                 [&](PayloadReader& p) { state.drug_sum = p.f64_vec(); });
+  if (!s.is_ok()) return s;
+  s = read_chunk(*reader, kHist, [&](PayloadReader& p) {
+    state.objective_history = p.f64_vec();
+  });
+  if (!s.is_ok()) return s;
+  return state;
+}
+
+// --- DataLake -------------------------------------------------------------
+
+namespace {
+
+Bytes sealed_object_payload(const std::string& reference,
+                            const std::string& routing_key, bool with_routing,
+                            const storage::DataLake::SealedObject& sealed) {
+  Bytes out;
+  put_str(out, reference);
+  if (with_routing) put_str(out, routing_key);
+  put_str(out, sealed.key_id);
+  put_u32(out, sealed.key_version);
+  put_blob(out, sealed.ciphertext);
+  put_blob(out, sealed.tag);
+  return out;
+}
+
+void read_sealed_fields(PayloadReader& p, storage::DataLake::SealedObject& sealed) {
+  sealed.key_id = p.str();
+  sealed.key_version = p.u32();
+  sealed.ciphertext = p.blob();
+  sealed.tag = p.blob();
+}
+
+}  // namespace
+
+LakeSnapshot capture_lake(const storage::DataLake& lake,
+                          const storage::MetadataStore* meta) {
+  LakeSnapshot snapshot;
+  for (const std::string& ref : lake.references()) {
+    auto sealed = lake.export_object(ref);
+    if (!sealed.is_ok()) continue;  // raced erase; capture runs quiesced
+    snapshot.objects.push_back(LakeSnapshot::Object{ref, std::move(*sealed)});
+  }
+  if (meta != nullptr) snapshot.metadata = meta->all();
+  return snapshot;
+}
+
+Bytes encode_lake(const LakeSnapshot& snapshot, const Bytes& data_key) {
+  ChunkWriter w(kKindLake, data_key);
+  for (const auto& object : snapshot.objects) {
+    w.add(kObj, sealed_object_payload(object.reference_id, "", false,
+                                      object.sealed));
+  }
+  for (const auto& md : snapshot.metadata) {
+    Bytes out;
+    put_str(out, md.reference_id);
+    put_str(out, md.pseudonym);
+    put_str(out, md.consent_group);
+    put_str(out, md.schema);
+    put_str(out, md.privacy_level);
+    put_blob(out, md.content_hash);
+    put_u32(out, md.key_version);
+    put_str(out, md.original_reference_id);
+    w.add(kMrec, std::move(out));
+  }
+  return w.finish();
+}
+
+Result<LakeSnapshot> decode_lake(const Bytes& file, const Bytes& data_key) {
+  auto reader = ChunkReader::open(file, kKindLake, data_key);
+  if (!reader.is_ok()) return reader.status();
+  LakeSnapshot snapshot;
+  for (const ChunkView& chunk : reader->find_all(kObj)) {
+    LakeSnapshot::Object object;
+    try {
+      PayloadReader p = chunk.reader();
+      object.reference_id = p.str();
+      read_sealed_fields(p, object.sealed);
+      p.expect_done();
+    } catch (const PayloadError&) {
+      return malformed_payload(kObj);
+    }
+    snapshot.objects.push_back(std::move(object));
+  }
+  for (const ChunkView& chunk : reader->find_all(kMrec)) {
+    storage::RecordMetadata md;
+    try {
+      PayloadReader p = chunk.reader();
+      md.reference_id = p.str();
+      md.pseudonym = p.str();
+      md.consent_group = p.str();
+      md.schema = p.str();
+      md.privacy_level = p.str();
+      md.content_hash = p.blob();
+      md.key_version = p.u32();
+      md.original_reference_id = p.str();
+      p.expect_done();
+    } catch (const PayloadError&) {
+      return malformed_payload(kMrec);
+    }
+    snapshot.metadata.push_back(std::move(md));
+  }
+  return snapshot;
+}
+
+Status restore_lake(const LakeSnapshot& snapshot, storage::DataLake& lake,
+                    storage::MetadataStore* meta) {
+  for (const auto& object : snapshot.objects) {
+    Status imported = lake.import_object(object.reference_id, object.sealed);
+    if (!imported.is_ok() && imported.code() != StatusCode::kAlreadyExists) {
+      return imported;
+    }
+  }
+  if (meta != nullptr) {
+    for (const auto& md : snapshot.metadata) {
+      Status put = meta->put(md);
+      if (!put.is_ok()) return put;
+    }
+  }
+  return Status::ok();
+}
+
+// --- ShardedLake ----------------------------------------------------------
+
+Result<ShardedSnapshot> capture_sharded(const cluster::ShardedLake& lake) {
+  ShardedSnapshot snapshot;
+  for (const auto& [ref, routing_key] : lake.placement_export()) {
+    auto sealed = lake.export_copy(ref);
+    if (!sealed.is_ok()) return sealed.status();
+    snapshot.objects.push_back(
+        ShardedSnapshot::Object{ref, routing_key, std::move(*sealed)});
+  }
+  return snapshot;
+}
+
+Bytes encode_sharded(const ShardedSnapshot& snapshot, const Bytes& data_key) {
+  ChunkWriter w(kKindSharded, data_key);
+  for (const auto& object : snapshot.objects) {
+    w.add(kObj, sealed_object_payload(object.reference_id, object.routing_key,
+                                      true, object.sealed));
+  }
+  return w.finish();
+}
+
+Result<ShardedSnapshot> decode_sharded(const Bytes& file, const Bytes& data_key) {
+  auto reader = ChunkReader::open(file, kKindSharded, data_key);
+  if (!reader.is_ok()) return reader.status();
+  ShardedSnapshot snapshot;
+  for (const ChunkView& chunk : reader->find_all(kObj)) {
+    ShardedSnapshot::Object object;
+    try {
+      PayloadReader p = chunk.reader();
+      object.reference_id = p.str();
+      object.routing_key = p.str();
+      read_sealed_fields(p, object.sealed);
+      p.expect_done();
+    } catch (const PayloadError&) {
+      return malformed_payload(kObj);
+    }
+    snapshot.objects.push_back(std::move(object));
+  }
+  return snapshot;
+}
+
+Status restore_sharded(const ShardedSnapshot& snapshot,
+                       cluster::ShardedLake& lake) {
+  for (const auto& object : snapshot.objects) {
+    // Placement is re-derived from the *target* ring — restore works onto a
+    // different host count than the checkpoint was taken on.
+    std::vector<std::string> chain =
+        lake.cluster().owners(object.routing_key);
+    if (chain.empty()) {
+      return Status(StatusCode::kFailedPrecondition, "cluster has no live hosts");
+    }
+    for (const std::string& host : chain) {
+      Status imported = lake.import_copy(host, object.reference_id,
+                                         object.routing_key, object.sealed);
+      if (!imported.is_ok()) return imported;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace hc::ckpt

@@ -1,0 +1,94 @@
+// Checkpoint codecs: model state and lake partitions to/from the chunked
+// binary format (format.h).
+//
+// Section kinds and chunk layouts (all payload fields via the format.h
+// primitives; matrices travel as u32 rows + u32 cols + row-major f64 bits):
+//
+//   "JMF " — META (u32 next_epoch), MATU, MATV (matrices),
+//            WGTD, WGTS (f64 vectors: drug/disease source weights),
+//            HIST (f64 vector: objective history)
+//   "MF  " — META (u32 next_epoch), MATU, MATV, HIST
+//   "DELT" — META (u32 next_iteration), VBET (beta), VALP (alpha),
+//            VGAM (gamma), VSUM (drug_sum — the incrementally-maintained
+//            per-row exposure sum, carried verbatim for bit-exact resume),
+//            HIST
+//   "LAKE" — one "OBJ " chunk per sealed object (str reference, str key_id,
+//            u32 key_version, blob ciphertext, blob tag) + one "MREC" chunk
+//            per metadata record; objects and records sorted by reference
+//   "SLAK" — one "OBJ " chunk per logical object (str reference,
+//            str routing_key, then the sealed fields), sorted by reference
+//
+// Lake snapshots hold ciphertext only — a checkpoint is as safe to store as
+// the lake itself, and restoring never requires the data keys (the KMS does
+// at read time, exactly as before the crash).
+#pragma once
+
+#include "analytics/delt.h"
+#include "analytics/jmf.h"
+#include "analytics/mf.h"
+#include "ckpt/format.h"
+#include "cluster/cluster.h"
+#include "storage/data_lake.h"
+
+namespace hc::ckpt {
+
+inline constexpr FourCc kKindJmf = {'J', 'M', 'F', ' '};
+inline constexpr FourCc kKindMf = {'M', 'F', ' ', ' '};
+inline constexpr FourCc kKindDelt = {'D', 'E', 'L', 'T'};
+inline constexpr FourCc kKindLake = {'L', 'A', 'K', 'E'};
+inline constexpr FourCc kKindSharded = {'S', 'L', 'A', 'K'};
+
+// --- model state ----------------------------------------------------------
+
+Bytes encode_jmf(const analytics::JmfResume& state, const Bytes& data_key);
+Result<analytics::JmfResume> decode_jmf(const Bytes& file, const Bytes& data_key);
+
+Bytes encode_mf(const analytics::MfResume& state, const Bytes& data_key);
+Result<analytics::MfResume> decode_mf(const Bytes& file, const Bytes& data_key);
+
+Bytes encode_delt(const analytics::DeltResume& state, const Bytes& data_key);
+Result<analytics::DeltResume> decode_delt(const Bytes& file, const Bytes& data_key);
+
+// --- lake partitions ------------------------------------------------------
+
+/// A DataLake (plus optional metadata store) captured as sealed objects.
+struct LakeSnapshot {
+  struct Object {
+    std::string reference_id;
+    storage::DataLake::SealedObject sealed;
+  };
+  std::vector<Object> objects;                    // sorted by reference
+  std::vector<storage::RecordMetadata> metadata;  // sorted by reference
+};
+
+/// Captures every object (ciphertext only) and, when `meta` is non-null,
+/// every metadata record.
+LakeSnapshot capture_lake(const storage::DataLake& lake,
+                          const storage::MetadataStore* meta);
+Bytes encode_lake(const LakeSnapshot& snapshot, const Bytes& data_key);
+Result<LakeSnapshot> decode_lake(const Bytes& file, const Bytes& data_key);
+/// Installs every object and metadata record. Idempotent per object
+/// (re-import of a present reference is skipped).
+Status restore_lake(const LakeSnapshot& snapshot, storage::DataLake& lake,
+                    storage::MetadataStore* meta);
+
+/// A ShardedLake captured as (reference, routing key, sealed object)
+/// triples — placement is *not* stored: restore re-derives each object's
+/// replica set from the target cluster's ring, so a checkpoint taken on 8
+/// hosts restores correctly onto 2 (and vice versa).
+struct ShardedSnapshot {
+  struct Object {
+    std::string reference_id;
+    std::string routing_key;
+    storage::DataLake::SealedObject sealed;
+  };
+  std::vector<Object> objects;  // sorted by reference
+};
+
+Result<ShardedSnapshot> capture_sharded(const cluster::ShardedLake& lake);
+Bytes encode_sharded(const ShardedSnapshot& snapshot, const Bytes& data_key);
+Result<ShardedSnapshot> decode_sharded(const Bytes& file, const Bytes& data_key);
+Status restore_sharded(const ShardedSnapshot& snapshot,
+                       cluster::ShardedLake& lake);
+
+}  // namespace hc::ckpt

@@ -1,0 +1,130 @@
+#include "ckpt/fit.h"
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/io.h"
+
+namespace hc::ckpt {
+
+FitSession::FitSession(FitSessionConfig config,
+                       crypto::KeyManagementService& kms, crypto::KeyId key_id,
+                       crypto::Principal principal, ClockPtr clock,
+                       fault::FaultInjectorPtr faults)
+    : config_(std::move(config)),
+      kms_(&kms),
+      key_id_(std::move(key_id)),
+      principal_(std::move(principal)),
+      clock_(std::move(clock)),
+      faults_(std::move(faults)) {
+  if (config_.checkpoint_every_n_epochs < 1) {
+    throw std::invalid_argument("FitSession: checkpoint_every_n_epochs >= 1");
+  }
+  if (clock_ == nullptr) {
+    throw std::invalid_argument("FitSession: clock is required");
+  }
+}
+
+std::string FitSession::path() const {
+  return config_.dir + "/" + config_.name + ".ckpt";
+}
+
+const Bytes& FitSession::data_key() {
+  if (data_key_cache_.empty()) {
+    auto key = kms_->symmetric_key(key_id_, principal_);
+    if (!key.is_ok()) {
+      throw std::runtime_error("FitSession: data key unavailable: " +
+                               std::string(key.status().message()));
+    }
+    data_key_cache_ = std::move(*key);
+  }
+  return data_key_cache_;
+}
+
+Bytes FitSession::data_key_for_load() const {
+  auto key = kms_->symmetric_key(key_id_, principal_);
+  if (!key.is_ok()) {
+    throw std::runtime_error("FitSession: data key unavailable: " +
+                             std::string(key.status().message()));
+  }
+  return std::move(*key);
+}
+
+void FitSession::tick(int epoch) {
+  clock_->advance(config_.epoch_cost);
+  if (faults_ != nullptr && faults_->host_down(config_.host)) {
+    // The process dies at the boundary: the checkpoint for this boundary
+    // (if one were due) is never sealed, exactly like a real kill.
+    throw SimulatedCrash(config_.host, epoch);
+  }
+}
+
+void FitSession::publish(const Bytes& file) {
+  Status s = atomic_write_file(path(), file);
+  if (!s.is_ok()) {
+    throw std::runtime_error("FitSession: publish failed: " +
+                             std::string(s.message()));
+  }
+  ++checkpoints_written_;
+}
+
+analytics::JmfEpochHook FitSession::jmf_hook() {
+  return [this](const analytics::JmfEpochView& view) {
+    tick(view.epoch);
+    if (!due(view.epoch)) return;
+    analytics::JmfResume state;
+    state.next_epoch = view.epoch + 1;
+    state.u = view.u;
+    state.v = view.v;
+    state.drug_source_weights = view.drug_source_weights;
+    state.disease_source_weights = view.disease_source_weights;
+    state.objective_history = view.objective_history;
+    publish(encode_jmf(state, data_key()));
+  };
+}
+
+analytics::MfEpochHook FitSession::mf_hook() {
+  return [this](const analytics::MfEpochView& view) {
+    tick(view.epoch);
+    if (!due(view.epoch)) return;
+    analytics::MfResume state;
+    state.next_epoch = view.epoch + 1;
+    state.u = view.u;
+    state.v = view.v;
+    state.objective_history = view.objective_history;
+    publish(encode_mf(state, data_key()));
+  };
+}
+
+analytics::DeltEpochHook FitSession::delt_hook() {
+  return [this](const analytics::DeltEpochView& view) {
+    tick(view.iteration);
+    if (!due(view.iteration)) return;
+    analytics::DeltResume state;
+    state.next_iteration = view.iteration + 1;
+    state.drug_effects = view.drug_effects;
+    state.patient_baselines = view.patient_baselines;
+    state.patient_drifts = view.patient_drifts;
+    state.drug_sum = view.drug_sum;
+    state.objective_history = view.objective_history;
+    publish(encode_delt(state, data_key()));
+  };
+}
+
+Result<analytics::JmfResume> FitSession::load_jmf() const {
+  auto file = read_file(path());
+  if (!file.is_ok()) return file.status();
+  return decode_jmf(*file, data_key_for_load());
+}
+
+Result<analytics::MfResume> FitSession::load_mf() const {
+  auto file = read_file(path());
+  if (!file.is_ok()) return file.status();
+  return decode_mf(*file, data_key_for_load());
+}
+
+Result<analytics::DeltResume> FitSession::load_delt() const {
+  auto file = read_file(path());
+  if (!file.is_ok()) return file.status();
+  return decode_delt(*file, data_key_for_load());
+}
+
+}  // namespace hc::ckpt

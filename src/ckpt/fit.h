@@ -1,0 +1,102 @@
+// FitSession — checkpoint_every_n_epochs wiring for the analytics fit
+// loops, composing with hc::fault crash windows.
+//
+// A session binds a checkpoint file (dir/name.ckpt), a KMS data key, the
+// shared sim clock and an optional FaultInjector. Its *_hook() factories
+// return epoch hooks that, per epoch boundary:
+//
+//   1. charge `epoch_cost` to the sim clock (epochs take time — that is
+//      what moves the clock into a FaultPlan crash window);
+//   2. throw SimulatedCrash if the injector reports the analytics host
+//      down — the fit aborts at an exact epoch boundary, like a killed
+//      process (nothing past the boundary has run);
+//   3. when the boundary index hits the checkpoint_every_n_epochs schedule,
+//      seal the solver state and publish it crash-consistently
+//      (atomic_write_file: temp -> fsync -> rename -> dir fsync).
+//
+// Kill-and-resume is then: catch SimulatedCrash, load_*() the last
+// published checkpoint, re-run the fit with config.resume pointing at it.
+// The resumed fit's final state is byte-identical to an uninterrupted run
+// for any worker count — the ckpt test wall crashes at *every* epoch
+// boundary across 1/2/4/8 workers and asserts exactly that.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "analytics/delt.h"
+#include "analytics/jmf.h"
+#include "analytics/mf.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "crypto/kms.h"
+#include "fault/fault.h"
+
+namespace hc::ckpt {
+
+/// Thrown by a FitSession hook when the fault injector reports the
+/// analytics host inside a crash window: aborts the fit at the boundary of
+/// the epoch named by `epoch` (which completed; nothing after it ran).
+struct SimulatedCrash : std::runtime_error {
+  SimulatedCrash(const std::string& host, int epoch_index)
+      : std::runtime_error("simulated crash on " + host +
+                           " at epoch boundary " + std::to_string(epoch_index)),
+        epoch(epoch_index) {}
+  int epoch;
+};
+
+struct FitSessionConfig {
+  std::string dir = ".";
+  std::string name = "fit";
+  /// Publish a checkpoint after epochs n-1, 2n-1, ... (1 = every epoch).
+  int checkpoint_every_n_epochs = 1;
+  /// Sim time charged per epoch — what carries the clock into crash windows.
+  SimTime epoch_cost = kMillisecond;
+  /// The simulated host the fit runs on (FaultPlan::crash target).
+  std::string host = "analytics";
+};
+
+class FitSession {
+ public:
+  /// `faults` may be null (checkpointing without crash injection). The data
+  /// key behind `key_id` must be fetchable by `principal`.
+  FitSession(FitSessionConfig config, crypto::KeyManagementService& kms,
+             crypto::KeyId key_id, crypto::Principal principal, ClockPtr clock,
+             fault::FaultInjectorPtr faults = nullptr);
+
+  /// The checkpoint file this session writes and loads.
+  std::string path() const;
+
+  analytics::JmfEpochHook jmf_hook();
+  analytics::MfEpochHook mf_hook();
+  analytics::DeltEpochHook delt_hook();
+
+  /// Load the last published checkpoint. kNotFound when none was published
+  /// (resume from scratch); any format-layer rejection passes through.
+  Result<analytics::JmfResume> load_jmf() const;
+  Result<analytics::MfResume> load_mf() const;
+  Result<analytics::DeltResume> load_delt() const;
+
+  int checkpoints_written() const { return checkpoints_written_; }
+
+ private:
+  /// Epoch-boundary preamble: charge the clock, maybe crash.
+  void tick(int epoch);
+  bool due(int epoch) const {
+    return (epoch + 1) % config_.checkpoint_every_n_epochs == 0;
+  }
+  const Bytes& data_key();
+  Bytes data_key_for_load() const;
+  void publish(const Bytes& file);
+
+  FitSessionConfig config_;
+  crypto::KeyManagementService* kms_;
+  crypto::KeyId key_id_;
+  crypto::Principal principal_;
+  ClockPtr clock_;
+  fault::FaultInjectorPtr faults_;  // may be null
+  Bytes data_key_cache_;
+  int checkpoints_written_ = 0;
+};
+
+}  // namespace hc::ckpt

@@ -1,0 +1,269 @@
+#include "ckpt/format.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace hc::ckpt {
+
+namespace {
+
+std::string fourcc_str(FourCc t) { return std::string(t.data(), t.size()); }
+
+Status data_loss(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+Bytes derive_mac_key(const Bytes& data_key, FourCc kind) {
+  Bytes label = to_bytes("hc.ckpt.v1.");
+  label.insert(label.end(), kind.begin(), kind.end());
+  return crypto::hmac_sha256(data_key, label);
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(Bytes& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_blob(Bytes& out, const Bytes& b) {
+  put_u64(out, b.size());
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+void put_str(Bytes& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_f64_vec(Bytes& out, const std::vector<double>& v) {
+  put_u64(out, v.size());
+  for (double d : v) put_f64(out, d);
+}
+
+void PayloadReader::need(std::size_t n) const {
+  if (n > len_ - pos_) throw PayloadError{};
+}
+
+std::uint32_t PayloadReader::u32() {
+  need(4);
+  std::uint32_t v = read_u32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  need(8);
+  std::uint64_t v = read_u64(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double PayloadReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Bytes PayloadReader::blob() {
+  std::uint64_t n = u64();
+  need(n);
+  Bytes b(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
+std::string PayloadReader::str() {
+  std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> PayloadReader::f64_vec() {
+  std::uint64_t n = u64();
+  // Guard the count before multiplying — a hostile n*8 would wrap.
+  if (n > (len_ - pos_) / 8) throw PayloadError{};
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+void PayloadReader::expect_done() const {
+  if (!done()) throw PayloadError{};
+}
+
+Status malformed_payload(FourCc type) {
+  return data_loss("ckpt: chunk " + fourcc_str(type) + " malformed payload");
+}
+
+ChunkWriter::ChunkWriter(FourCc kind, const Bytes& mac_key)
+    : kind_(kind), file_key_(derive_mac_key(mac_key, kind)) {}
+
+void ChunkWriter::add(FourCc type, Bytes payload) {
+  chunks_.emplace_back(type, std::move(payload));
+}
+
+Bytes ChunkWriter::finish() {
+  Bytes out;
+  std::size_t total = kHeaderSize + 4 + kTagSize;
+  for (const auto& [type, payload] : chunks_) {
+    total += 4 + 4 + 8 + payload.size() + kTagSize;
+  }
+  out.reserve(total);
+
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, kVersion);
+  out.insert(out.end(), kind_.begin(), kind_.end());
+  put_u32(out, static_cast<std::uint32_t>(chunks_.size()));
+
+  // Footer material: the chunk tags in table order.
+  Bytes tag_table;
+  tag_table.reserve(chunks_.size() * kTagSize);
+
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const auto& [type, payload] = chunks_[i];
+    std::size_t record_start = out.size();
+    out.insert(out.end(), type.begin(), type.end());
+    put_u32(out, static_cast<std::uint32_t>(i));
+    put_u64(out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+    // Tag over the contiguous [type .. payload end] span — the same span
+    // the reader MACs in place.
+    Bytes record(out.begin() + static_cast<std::ptrdiff_t>(record_start), out.end());
+    Bytes tag = crypto::hmac_sha256(file_key_, record);
+    tag_table.insert(tag_table.end(), tag.begin(), tag.end());
+    out.insert(out.end(), tag.begin(), tag.end());
+  }
+
+  static constexpr FourCc kFoot = {'F', 'O', 'O', 'T'};
+  out.insert(out.end(), kFoot.begin(), kFoot.end());
+  Bytes footer = crypto::hmac_sha256(file_key_, tag_table);
+  out.insert(out.end(), footer.begin(), footer.end());
+
+  chunks_.clear();
+  return out;
+}
+
+Result<ChunkReader> ChunkReader::open(const Bytes& file, FourCc expected_kind,
+                                      const Bytes& mac_key) {
+  if (file.size() < kHeaderSize) return data_loss("ckpt: truncated header");
+  if (!std::equal(kMagic.begin(), kMagic.end(), file.begin())) {
+    return Status(StatusCode::kInvalidArgument, "ckpt: bad magic");
+  }
+  std::uint32_t version = read_u32(file.data() + 8);
+  if (version != kVersion) {
+    return Status(StatusCode::kInvalidArgument,
+                  "ckpt: unsupported version " + std::to_string(version));
+  }
+  FourCc kind;
+  std::memcpy(kind.data(), file.data() + 12, 4);
+  if (kind != expected_kind) {
+    return Status(StatusCode::kInvalidArgument,
+                  "ckpt: wrong section kind " + fourcc_str(kind) + " (want " +
+                      fourcc_str(expected_kind) + ")");
+  }
+  std::uint32_t chunk_count = read_u32(file.data() + 16);
+
+  Bytes file_key = derive_mac_key(mac_key, expected_kind);
+
+  ChunkReader reader;
+  reader.chunks_.reserve(chunk_count);
+  std::vector<crypto::HmacVerifyView> tag_checks;
+  tag_checks.reserve(chunk_count);
+  Bytes tag_table;
+  tag_table.reserve(static_cast<std::size_t>(chunk_count) * kTagSize);
+
+  std::size_t pos = kHeaderSize;
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    std::string where = " (chunk " + std::to_string(i) + ")";
+    if (file.size() - pos < 4 + 4 + 8) {
+      return data_loss("ckpt: truncated chunk header" + where);
+    }
+    const std::uint8_t* record = file.data() + pos;
+    FourCc type;
+    std::memcpy(type.data(), record, 4);
+    std::uint32_t index = read_u32(record + 4);
+    std::uint64_t length = read_u64(record + 8);
+    if (index != i) return data_loss("ckpt: chunk index mismatch" + where);
+    if (length > file.size() - pos - 16 ||
+        file.size() - pos - 16 - length < kTagSize) {
+      return data_loss("ckpt: chunk length overruns file" + where);
+    }
+    const std::uint8_t* payload = record + 16;
+    const std::uint8_t* tag = payload + length;
+    tag_checks.push_back(crypto::HmacVerifyView{&file_key, record, 16 + length,
+                                                tag, kTagSize});
+    tag_table.insert(tag_table.end(), tag, tag + kTagSize);
+    reader.chunks_.push_back(ChunkView{type, payload, length});
+    pos += 16 + length + kTagSize;
+  }
+
+  if (file.size() - pos < 4 + kTagSize) return data_loss("ckpt: truncated footer");
+  static constexpr FourCc kFoot = {'F', 'O', 'O', 'T'};
+  if (std::memcmp(file.data() + pos, kFoot.data(), 4) != 0) {
+    return data_loss("ckpt: truncated footer");
+  }
+  if (file.size() - pos != 4 + kTagSize) {
+    return data_loss("ckpt: trailing garbage after footer");
+  }
+
+  // All chunk tags at once on the 4-lane lock-step core — the checkpoint
+  // reader and the ingest batch verifier share one fast crypto path.
+  std::vector<bool> verdicts = crypto::hmac_verify_batch(tag_checks);
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    if (!verdicts[i]) {
+      return data_loss("ckpt: chunk integrity tag mismatch (chunk " +
+                       std::to_string(i) + ")");
+    }
+  }
+  if (!crypto::hmac_verify(file_key, tag_table,
+                           Bytes(file.data() + pos + 4,
+                                 file.data() + pos + 4 + kTagSize))) {
+    return data_loss("ckpt: footer tag mismatch");
+  }
+  return reader;
+}
+
+Result<ChunkView> ChunkReader::find(FourCc type) const {
+  for (const ChunkView& c : chunks_) {
+    if (c.type == type) return c;
+  }
+  return data_loss("ckpt: missing chunk " + fourcc_str(type));
+}
+
+std::vector<ChunkView> ChunkReader::find_all(FourCc type) const {
+  std::vector<ChunkView> out;
+  for (const ChunkView& c : chunks_) {
+    if (c.type == type) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace hc::ckpt

@@ -1,0 +1,164 @@
+// hc::ckpt — versioned, chunked binary checkpoint format.
+//
+// A checkpoint file is a magic + header followed by typed chunks, each
+// independently length-prefixed and HMAC-SHA256-tagged, closed by a footer
+// tag over the whole chunk table:
+//
+//   offset 0   magic          8 bytes  "HCCKPT01"
+//          8   version        u32 LE   (currently 1)
+//         12   kind           4 bytes  section kind ("JMF ", "DELT", ...)
+//         16   chunk_count    u32 LE
+//         20   chunks         chunk_count records, each:
+//                type         4 bytes
+//                index        u32 LE   position in the table (0-based)
+//                length       u64 LE   payload byte count
+//                payload      `length` bytes
+//                tag          32 bytes HMAC over [type .. payload end]
+//        end   "FOOT"         4 bytes
+//              footer tag     32 bytes HMAC over every chunk tag, in order
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// pattern in a u64 (bit-exact round trip — the checkpoint contract is
+// byte-identical resume, so no text formatting anywhere near a float).
+//
+// Integrity keying: chunk and footer tags are keyed by a *file MAC key*
+// derived from the caller's KMS data key and the section kind
+// (HMAC(key, "hc.ckpt.v1." + kind)), so a chunk can never be spliced
+// between checkpoint kinds even under one data key, and a file from a
+// different tenant/key fails every tag. The footer binds the exact chunk
+// set and order, so mixing chunks of two same-kind files fails too.
+//
+// Rejection discipline: ChunkReader::open validates everything up front —
+// magic, version, kind, every chunk header, every chunk tag (verified four
+// lanes at a time on the lock-step SHA-256 core), the footer, and that no
+// trailing bytes follow. Torn, truncated, bit-flipped, length-lying and
+// spliced files are all rejected with the exact diagnostics pinned by the
+// ckpt rejection-table test; nothing is ever partially accepted. Structural
+// damage and integrity failures are kDataLoss; a file that simply isn't a
+// checkpoint (bad magic / version / kind) is kInvalidArgument.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hc::ckpt {
+
+/// 4-character chunk/section type tag.
+using FourCc = std::array<char, 4>;
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'H', 'C', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 4;
+constexpr std::size_t kTagSize = 32;
+
+/// Derives the file MAC key for one section kind from a KMS data key.
+Bytes derive_mac_key(const Bytes& data_key, FourCc kind);
+
+// --- serialization primitives (chunk payloads) ---------------------------
+
+void put_u32(Bytes& out, std::uint32_t v);
+void put_u64(Bytes& out, std::uint64_t v);
+/// IEEE-754 bit pattern as u64 LE — the byte-identical float contract.
+void put_f64(Bytes& out, double v);
+/// u64 length prefix + raw bytes.
+void put_blob(Bytes& out, const Bytes& b);
+void put_str(Bytes& out, const std::string& s);
+/// u64 count + packed f64s.
+void put_f64_vec(Bytes& out, const std::vector<double>& v);
+
+/// Thrown by PayloadReader on any out-of-bounds read; ChunkReader users
+/// convert it to the pinned "malformed payload" kDataLoss diagnostic via
+/// malformed_payload() below.
+struct PayloadError {};
+
+/// Bounds-checked cursor over one chunk payload. decode_* functions must
+/// consume the payload exactly (check done()) so trailing garbage inside a
+/// correctly-tagged chunk is still rejected.
+class PayloadReader {
+ public:
+  PayloadReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  Bytes blob();
+  std::string str();
+  std::vector<double> f64_vec();
+
+  bool done() const { return pos_ == len_; }
+  /// Unread bytes — decoders use this to bound element counts *before*
+  /// allocating (a length-lying header must throw, never bad_alloc).
+  std::size_t remaining() const { return len_ - pos_; }
+  /// Throws PayloadError unless the payload was consumed exactly.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// The pinned diagnostic for a chunk whose tag verified but whose payload
+/// does not decode (wrong field sizes, trailing bytes, absurd counts).
+Status malformed_payload(FourCc type);
+
+// --- writer ---------------------------------------------------------------
+
+/// Accumulates typed chunks and serializes the full file. Chunks land in
+/// the order added; the writer assigns indexes and computes all tags.
+class ChunkWriter {
+ public:
+  /// `mac_key` is the *data* key (KMS material); the kind-scoped file MAC
+  /// key is derived internally.
+  ChunkWriter(FourCc kind, const Bytes& mac_key);
+
+  void add(FourCc type, Bytes payload);
+
+  /// Serializes header + chunks + footer. The writer is spent afterwards.
+  Bytes finish();
+
+ private:
+  FourCc kind_;
+  Bytes file_key_;
+  std::vector<std::pair<FourCc, Bytes>> chunks_;
+};
+
+// --- reader ---------------------------------------------------------------
+
+/// One validated chunk, viewing the file buffer (which must outlive the
+/// reader).
+struct ChunkView {
+  FourCc type;
+  const std::uint8_t* payload = nullptr;
+  std::size_t length = 0;
+
+  PayloadReader reader() const { return PayloadReader(payload, length); }
+};
+
+class ChunkReader {
+ public:
+  /// Full up-front validation (see file comment). On success every chunk's
+  /// tag has verified and the footer binds the table.
+  static Result<ChunkReader> open(const Bytes& file, FourCc expected_kind,
+                                  const Bytes& mac_key);
+
+  const std::vector<ChunkView>& chunks() const { return chunks_; }
+
+  /// First chunk of `type`, or kDataLoss "ckpt: missing chunk <type>".
+  Result<ChunkView> find(FourCc type) const;
+  /// All chunks of `type`, in table order.
+  std::vector<ChunkView> find_all(FourCc type) const;
+
+ private:
+  std::vector<ChunkView> chunks_;
+};
+
+}  // namespace hc::ckpt

@@ -1,0 +1,103 @@
+#include "ckpt/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+namespace hc::ckpt {
+
+namespace {
+
+Status io_error(const std::string& what, const std::string& path) {
+  return Status(StatusCode::kInternal,
+                "ckpt io: " + what + " failed for " + path + ": " +
+                    std::strerror(errno));
+}
+
+std::string parent_dir(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status atomic_write_file(const std::string& path, const Bytes& data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error("open", tmp);
+
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return io_error("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return io_error("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return io_error("close", tmp);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return io_error("rename", path);
+  }
+
+  // Persist the rename itself: fsync the containing directory.
+  const std::string dir = parent_dir(path);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return io_error("open", dir);
+  int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return io_error("fsync", dir);
+  return Status::ok();
+}
+
+Result<Bytes> read_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status(StatusCode::kNotFound, "ckpt io: no such file: " + path);
+    }
+    return io_error("open", path);
+  }
+  Bytes out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return io_error("read", path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void remove_file(const std::string& path) { ::unlink(path.c_str()); }
+
+}  // namespace hc::ckpt

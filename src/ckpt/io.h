@@ -1,0 +1,35 @@
+// Crash-consistent checkpoint file I/O.
+//
+// Checkpoint publication follows the classic write-temp -> fsync -> atomic
+// rename -> fsync-directory sequence, so a reader never observes a partially
+// written checkpoint under any crash point:
+//
+//   - crash before rename: the temp file may be torn, but the previous
+//     checkpoint (if any) is untouched at the final path;
+//   - crash after rename but before the directory fsync: either the old or
+//     the new complete file is visible, never a mix;
+//   - torn writes that somehow survive (e.g. storage lying about fsync) are
+//     caught by the format layer's per-chunk and footer HMAC tags.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hc::ckpt {
+
+/// Atomically publishes `data` at `path`: writes `path` + ".tmp", fsyncs the
+/// file descriptor, renames over `path`, then fsyncs the parent directory.
+Status atomic_write_file(const std::string& path, const Bytes& data);
+
+/// Reads a whole file. kNotFound if it does not exist.
+Result<Bytes> read_file(const std::string& path);
+
+/// True if the file exists.
+bool file_exists(const std::string& path);
+
+/// Removes the file if present (used by tests and the crash harness).
+void remove_file(const std::string& path);
+
+}  // namespace hc::ckpt

@@ -398,4 +398,52 @@ storage::DataLake* ShardedLake::partition(const std::string& host) {
   return it == partitions_.end() ? nullptr : it->second.get();
 }
 
+std::vector<std::pair<std::string, std::string>> ShardedLake::placement_export()
+    const {
+  return placement_snapshot();
+}
+
+Result<storage::DataLake::SealedObject> ShardedLake::export_copy(
+    const std::string& reference_id) const {
+  std::string routing_key;
+  {
+    const PlacementShard& shard = placement_for(reference_id);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.routing_keys.find(reference_id);
+    if (it == shard.routing_keys.end()) {
+      return Status(StatusCode::kNotFound, "unknown reference: " + reference_id);
+    }
+    routing_key = it->second;
+  }
+  std::vector<std::string> candidates = cluster_->owners(routing_key);
+  for (const std::string& host : cluster_->hosts()) {
+    if (std::find(candidates.begin(), candidates.end(), host) == candidates.end()) {
+      candidates.push_back(host);
+    }
+  }
+  for (const std::string& host : candidates) {
+    if (!cluster_->host_up(host)) continue;
+    const storage::DataLake* lake = find_partition(host);
+    if (lake == nullptr || !lake->contains(reference_id)) continue;
+    return lake->export_object(reference_id);
+  }
+  return Status(StatusCode::kDataLoss,
+                "every replica of " + reference_id + " is unreachable");
+}
+
+Status ShardedLake::import_copy(const std::string& host,
+                                const std::string& reference_id,
+                                const std::string& routing_key,
+                                storage::DataLake::SealedObject object) {
+  Status imported =
+      partition_or_create(host).import_object(reference_id, std::move(object));
+  if (!imported.is_ok() && imported.code() != StatusCode::kAlreadyExists) {
+    return imported;
+  }
+  PlacementShard& shard = placement_for(reference_id);
+  std::lock_guard lock(shard.mu);
+  shard.routing_keys.emplace(reference_id, routing_key);
+  return Status::ok();
+}
+
 }  // namespace hc::cluster

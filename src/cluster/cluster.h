@@ -282,6 +282,22 @@ class ShardedLake {
   /// Direct access to one host's partition (tests, audits).
   storage::DataLake* partition(const std::string& host);
 
+  // --- checkpoint support (hc::ckpt) -------------------------------------
+  /// Sorted (reference, routing key) pairs — capture iterates the same
+  /// canonical order content_digest() does.
+  std::vector<std::pair<std::string, std::string>> placement_export() const;
+  /// Sealed ciphertext copy from the first live holder, owner-chain first
+  /// (capture never decrypts — the same discipline replication holds to).
+  Result<storage::DataLake::SealedObject> export_copy(
+      const std::string& reference_id) const;
+  /// Installs a sealed copy on `host`'s partition (created on demand) and
+  /// records the routing-key placement. Idempotent (re-import of a present
+  /// reference is a no-op) and unmetered: restore runs on the restarted
+  /// host's local disk, not over cluster links.
+  Status import_copy(const std::string& host, const std::string& reference_id,
+                     const std::string& routing_key,
+                     storage::DataLake::SealedObject object);
+
   const Cluster& cluster() const { return *cluster_; }
 
  private:

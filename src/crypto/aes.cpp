@@ -165,6 +165,53 @@ void Aes128::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) cons
   std::memcpy(out, s, 16);
 }
 
+void Aes128::decrypt_blocks4(const std::uint8_t in[64], std::uint8_t out[64]) const {
+  // Four independent inverse-cipher states walked through the rounds in
+  // lock-step. Every lane performs exactly the decrypt_block sequence; the
+  // interleave gives the core four disjoint dependency chains per round.
+  std::uint8_t s[4][16];
+  for (int l = 0; l < 4; ++l) {
+    for (int i = 0; i < 16; ++i) s[l][i] = in[l * 16 + i] ^ round_keys_[160 + i];
+  }
+
+  for (int round = 9; round >= 0; --round) {
+    // InvShiftRows
+    std::uint8_t t[4][16];
+    for (int l = 0; l < 4; ++l) {
+      for (int c = 0; c < 4; ++c) {
+        for (int r = 0; r < 4; ++r) {
+          t[l][r + 4 * ((c + r) % 4)] = s[l][r + 4 * c];
+        }
+      }
+    }
+    std::memcpy(s, t, sizeof(s));
+    // InvSubBytes + AddRoundKey
+    for (int l = 0; l < 4; ++l) {
+      for (int i = 0; i < 16; ++i) {
+        s[l][i] = kInvSbox[s[l][i]] ^ round_keys_[round * 16 + i];
+      }
+    }
+    // InvMixColumns (skipped for round 0)
+    if (round != 0) {
+      for (int l = 0; l < 4; ++l) {
+        for (int c = 0; c < 4; ++c) {
+          std::uint8_t* col = s[l] + 4 * c;
+          std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+          col[0] = static_cast<std::uint8_t>(gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^
+                                             gmul(a2, 0x0d) ^ gmul(a3, 0x09));
+          col[1] = static_cast<std::uint8_t>(gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^
+                                             gmul(a2, 0x0b) ^ gmul(a3, 0x0d));
+          col[2] = static_cast<std::uint8_t>(gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^
+                                             gmul(a2, 0x0e) ^ gmul(a3, 0x0b));
+          col[3] = static_cast<std::uint8_t>(gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^
+                                             gmul(a2, 0x09) ^ gmul(a3, 0x0e));
+        }
+      }
+    }
+  }
+  std::memcpy(out, s, 64);
+}
+
 Bytes aes_cbc_encrypt(const Bytes& key, const Bytes& plaintext, const Bytes& iv) {
   if (iv.size() != kAesBlockSize) {
     throw std::invalid_argument("aes_cbc_encrypt: iv must be 16 bytes");
@@ -195,25 +242,34 @@ Bytes aes_cbc_encrypt(const Bytes& key, const Bytes& plaintext, Rng& rng) {
   return aes_cbc_encrypt(key, plaintext, rng.bytes(kAesBlockSize));
 }
 
-Bytes aes_cbc_decrypt(const Bytes& key, const Bytes& iv_and_ciphertext) {
-  if (iv_and_ciphertext.size() < 2 * kAesBlockSize ||
-      iv_and_ciphertext.size() % kAesBlockSize != 0) {
+Bytes aes_cbc_decrypt(const Bytes& key, const std::uint8_t* iv_and_ciphertext,
+                      std::size_t len) {
+  if (len < 2 * kAesBlockSize || len % kAesBlockSize != 0) {
     throw std::invalid_argument("aes_cbc_decrypt: malformed ciphertext length");
   }
   Aes128 aes(key);
 
-  std::uint8_t chain[16];
-  std::memcpy(chain, iv_and_ciphertext.data(), 16);
+  // CBC decryption is block-parallel: plain_i = D(c_i) XOR c_{i-1} with the
+  // XOR operand read straight from the ciphertext, so four blocks at a time
+  // go through the interleaved inverse cipher and the chain is applied
+  // afterwards. Bitwise identical to the serial walk.
+  std::size_t ct_len = len - kAesBlockSize;
+  std::size_t n_blocks = ct_len / kAesBlockSize;
+  const std::uint8_t* ct = iv_and_ciphertext + kAesBlockSize;
+  Bytes plain(ct_len);
 
-  Bytes plain;
-  plain.reserve(iv_and_ciphertext.size() - kAesBlockSize);
-  for (std::size_t off = kAesBlockSize; off < iv_and_ciphertext.size();
-       off += kAesBlockSize) {
-    std::uint8_t block[16];
-    aes.decrypt_block(iv_and_ciphertext.data() + off, block);
-    for (int i = 0; i < 16; ++i) block[i] ^= chain[i];
-    std::memcpy(chain, iv_and_ciphertext.data() + off, 16);
-    plain.insert(plain.end(), block, block + 16);
+  std::size_t b = 0;
+  for (; b + 4 <= n_blocks; b += 4) {
+    aes.decrypt_blocks4(ct + b * kAesBlockSize, plain.data() + b * kAesBlockSize);
+  }
+  for (; b < n_blocks; ++b) {
+    aes.decrypt_block(ct + b * kAesBlockSize, plain.data() + b * kAesBlockSize);
+  }
+  for (std::size_t blk = n_blocks; blk-- > 0;) {
+    const std::uint8_t* prev =
+        blk == 0 ? iv_and_ciphertext : ct + (blk - 1) * kAesBlockSize;
+    std::uint8_t* out = plain.data() + blk * kAesBlockSize;
+    for (int i = 0; i < 16; ++i) out[i] ^= prev[i];
   }
 
   if (plain.empty()) throw std::invalid_argument("aes_cbc_decrypt: empty plaintext");
@@ -226,6 +282,10 @@ Bytes aes_cbc_decrypt(const Bytes& key, const Bytes& iv_and_ciphertext) {
   }
   plain.resize(plain.size() - pad);
   return plain;
+}
+
+Bytes aes_cbc_decrypt(const Bytes& key, const Bytes& iv_and_ciphertext) {
+  return aes_cbc_decrypt(key, iv_and_ciphertext.data(), iv_and_ciphertext.size());
 }
 
 AuthenticatedCiphertext aes_encrypt_authenticated(const Bytes& enc_key,

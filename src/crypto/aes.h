@@ -25,6 +25,13 @@ class Aes128 {
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
+  /// Decrypts four contiguous blocks (64 bytes) with the inverse rounds of
+  /// all four states interleaved — multi-accumulator ILP, same treatment as
+  /// sha256_compress4. CBC *decryption* is block-parallel (each plaintext
+  /// block is D(c_i) XOR c_{i-1}, no chain through the cipher), which is
+  /// what aes_cbc_decrypt rides. Bitwise equal to four decrypt_block calls.
+  void decrypt_blocks4(const std::uint8_t in[64], std::uint8_t out[64]) const;
+
  private:
   std::uint8_t round_keys_[176];
 };
@@ -39,6 +46,12 @@ Bytes aes_cbc_encrypt(const Bytes& key, const Bytes& plaintext, Rng& rng);
 /// Inverse of aes_cbc_encrypt. Throws std::invalid_argument on malformed
 /// input (bad length / bad padding).
 Bytes aes_cbc_decrypt(const Bytes& key, const Bytes& iv_and_ciphertext);
+
+/// Zero-copy overload: decrypts `len` bytes of iv||ciphertext in place in a
+/// larger buffer (the staged-envelope path points straight into the staging
+/// blob). Identical semantics and diagnostics.
+Bytes aes_cbc_decrypt(const Bytes& key, const std::uint8_t* iv_and_ciphertext,
+                      std::size_t len);
 
 /// Encrypt-then-MAC envelope: AES-128-CBC under enc_key, HMAC-SHA256 of the
 /// ciphertext under mac_key. This is the paper's "AES CBC mode (encryption

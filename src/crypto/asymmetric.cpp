@@ -206,8 +206,29 @@ Envelope envelope_seal(const PublicKey& pub, const Bytes& plaintext, Rng& rng) {
   return env;
 }
 
+Envelope envelope_seal_with_key(const PublicKey& pub, const Bytes& session_key,
+                                const Bytes& plaintext, Rng& rng) {
+  if (session_key.size() != kAesKeySize) {
+    throw std::invalid_argument("envelope_seal_with_key: session key must be 16 bytes");
+  }
+  Envelope env;
+  env.wrapped_key = rsa_encrypt(pub, session_key);
+  env.body = aes_cbc_encrypt(session_key, plaintext, rng);
+  env.tag = hmac_sha256(session_key, env.body);
+  return env;
+}
+
 Bytes envelope_unwrap_key(const PrivateKey& priv, const Envelope& env) {
   return rsa_decrypt(priv, env.wrapped_key);
+}
+
+Bytes envelope_unwrap_key(const PrivateKey& priv, const EnvelopeView& env) {
+  Bytes wrapped(env.wrapped_key, env.wrapped_key + env.wrapped_key_len);
+  return rsa_decrypt(priv, wrapped);
+}
+
+Bytes envelope_decrypt_body(const Bytes& session_key, const EnvelopeView& env) {
+  return aes_cbc_decrypt(session_key, env.body, env.body_len);
 }
 
 bool envelope_tag_ok(const Bytes& session_key, const Envelope& env) {

@@ -67,6 +67,16 @@ struct Envelope {
 
 Envelope envelope_seal(const PublicKey& pub, const Bytes& plaintext, Rng& rng);
 
+/// Session-mode seal: wraps a caller-held session key instead of drawing a
+/// fresh one, spending `rng` only on the CBC IV. A client that keeps one
+/// session key across uploads produces byte-identical wrapped_key fields
+/// (the toy RSA has no padding randomness), which is what makes the
+/// server-side SessionKeyCache effective — each distinct session costs one
+/// RSA unwrap total instead of one per upload. Opt-in: the default
+/// envelope_seal's per-upload fresh keys (and rng draws) are unchanged.
+Envelope envelope_seal_with_key(const PublicKey& pub, const Bytes& session_key,
+                                const Bytes& plaintext, Rng& rng);
+
 /// Unwraps, verifies the HMAC tag (constant time), then decrypts. Throws
 /// std::invalid_argument on integrity failure or malformed input.
 Bytes envelope_open(const PrivateKey& priv, const Envelope& env);
@@ -85,5 +95,27 @@ bool envelope_tag_ok(const Bytes& session_key, const Envelope& env);
 
 /// Stage 3: decrypts the body. Only valid after the tag checked out.
 Bytes envelope_decrypt_body(const Bytes& session_key, const Envelope& env);
+
+/// Zero-copy envelope view: spans into a serialized staging blob (see
+/// ingestion's pack_envelope framing). The staged path used to copy wrapped
+/// key, tag and body into an Envelope before touching any of them; a view
+/// lets the batch pipeline unwrap, tag-check (hmac_verify_batch's view
+/// overload) and decrypt (aes_cbc_decrypt's span overload) straight out of
+/// the blob. The blob must outlive the view.
+struct EnvelopeView {
+  const std::uint8_t* wrapped_key = nullptr;
+  std::size_t wrapped_key_len = 0;
+  const std::uint8_t* tag = nullptr;  // 32 bytes
+  std::size_t tag_len = 0;
+  const std::uint8_t* body = nullptr;
+  std::size_t body_len = 0;
+};
+
+/// Stage-1 unwrap for a view (copies only the wrapped-key field, which the
+/// chunked RSA needs as a buffer; the body stays in place).
+Bytes envelope_unwrap_key(const PrivateKey& priv, const EnvelopeView& env);
+
+/// Stage-3 decrypt for a view.
+Bytes envelope_decrypt_body(const Bytes& session_key, const EnvelopeView& env);
 
 }  // namespace hc::crypto

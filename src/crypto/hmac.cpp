@@ -1,6 +1,7 @@
 #include "crypto/hmac.h"
 
 #include "crypto/sha256.h"
+#include "crypto/sha256_multi.h"
 
 namespace hc::crypto {
 
@@ -32,12 +33,61 @@ bool hmac_verify(const Bytes& key, const Bytes& data, const Bytes& tag) {
   return constant_time_equal(hmac_sha256(key, data), tag);
 }
 
+namespace {
+
+/// Constant-time span comparison (the Bytes overload lives in bytes.cpp;
+/// the view path avoids materializing Bytes for tags inside larger blobs).
+bool ct_equal(const std::uint8_t* a, std::size_t a_len, const std::uint8_t* b,
+              std::size_t b_len) {
+  if (a_len != b_len) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a_len; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace
+
 std::vector<bool> hmac_verify_batch(const std::vector<HmacVerifyItem>& items) {
+  // Recompute all expected tags on the 4-lane lock-step core; malformed
+  // (null-pointer) items get a dummy lane so indexes stay aligned and are
+  // forced to false afterwards.
+  static const Bytes kEmptyKey;
+  std::vector<HmacInput> inputs;
+  inputs.reserve(items.size());
+  for (const HmacVerifyItem& item : items) {
+    bool ok = item.key && item.data && item.tag;
+    inputs.push_back(HmacInput{ok ? item.key : &kEmptyKey,
+                               ok ? item.data->data() : nullptr,
+                               ok ? item.data->size() : 0});
+  }
+  std::vector<Bytes> expected = hmac_sha256_multi(inputs);
   std::vector<bool> out;
   out.reserve(items.size());
-  for (const HmacVerifyItem& item : items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const HmacVerifyItem& item = items[i];
     out.push_back(item.key && item.data && item.tag &&
-                  hmac_verify(*item.key, *item.data, *item.tag));
+                  constant_time_equal(expected[i], *item.tag));
+  }
+  return out;
+}
+
+std::vector<bool> hmac_verify_batch(const std::vector<HmacVerifyView>& items) {
+  static const Bytes kEmptyKey;
+  std::vector<HmacInput> inputs;
+  inputs.reserve(items.size());
+  for (const HmacVerifyView& item : items) {
+    bool ok = item.key && (item.data || item.data_len == 0) && item.tag;
+    inputs.push_back(HmacInput{ok ? item.key : &kEmptyKey,
+                               ok ? item.data : nullptr, ok ? item.data_len : 0});
+  }
+  std::vector<Bytes> expected = hmac_sha256_multi(inputs);
+  std::vector<bool> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const HmacVerifyView& item = items[i];
+    out.push_back(item.key && (item.data || item.data_len == 0) && item.tag &&
+                  ct_equal(expected[i].data(), expected[i].size(), item.tag,
+                           item.tag_len));
   }
   return out;
 }

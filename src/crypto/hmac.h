@@ -25,9 +25,23 @@ struct HmacVerifyItem {
   const Bytes* tag = nullptr;
 };
 
+/// View-flavored verification item for callers whose message and tag live
+/// inside a larger buffer (the zero-copy staged-envelope path, checkpoint
+/// chunk tables): no Bytes objects need to exist for the spans.
+struct HmacVerifyView {
+  const Bytes* key = nullptr;
+  const std::uint8_t* data = nullptr;
+  std::size_t data_len = 0;
+  const std::uint8_t* tag = nullptr;  // 32 bytes
+  std::size_t tag_len = 0;
+};
+
 /// Verifies a batch of tags in one pass (parallel ingestion workers verify
-/// a whole message batch at once). Each verdict is independent and
-/// constant-time; out[i] corresponds to items[i].
+/// a whole message batch at once). Tags are recomputed four lanes at a time
+/// on the lock-step SHA-256 core (sha256_multi.h); each verdict is
+/// independent, constant-time, and bitwise identical to hmac_verify.
+/// out[i] corresponds to items[i].
 std::vector<bool> hmac_verify_batch(const std::vector<HmacVerifyItem>& items);
+std::vector<bool> hmac_verify_batch(const std::vector<HmacVerifyView>& items);
 
 }  // namespace hc::crypto

@@ -1,0 +1,59 @@
+#include "crypto/session_cache.h"
+
+#include "crypto/asymmetric.h"
+
+namespace hc::crypto {
+
+SessionKeyCache::SessionKeyCache(KeyManagementService& kms, Principal principal)
+    : kms_(&kms), principal_(std::move(principal)) {}
+
+Result<Bytes> SessionKeyCache::unwrap(const KeyId& client_key_id,
+                                      const Bytes& wrapped_key) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = sessions_.find({client_key_id, wrapped_key});
+    if (it != sessions_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // The RSA unwrap runs outside any lock — it is the expensive part this
+  // cache exists to amortize, and stalling readers behind it would serialize
+  // the very hot path being sped up.
+  auto priv = kms_->private_key(client_key_id, principal_);
+  if (!priv.is_ok()) return priv.status();
+  Bytes session_key = rsa_decrypt(*priv, wrapped_key);
+
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = sessions_.emplace(
+      std::make_pair(client_key_id, wrapped_key), std::move(session_key));
+  (void)inserted;  // a racing miss inserted the identical key — fine
+  return it->second;
+}
+
+void SessionKeyCache::invalidate(const KeyId& client_key_id) {
+  std::unique_lock lock(mu_);
+  auto it = sessions_.lower_bound({client_key_id, Bytes{}});
+  while (it != sessions_.end() && it->first.first == client_key_id) {
+    it = sessions_.erase(it);
+  }
+}
+
+void SessionKeyCache::clear() {
+  std::unique_lock lock(mu_);
+  sessions_.clear();
+}
+
+SessionKeyCache::Stats SessionKeyCache::stats() const {
+  return Stats{hits_.load(std::memory_order_relaxed),
+               misses_.load(std::memory_order_relaxed)};
+}
+
+std::size_t SessionKeyCache::size() const {
+  std::shared_lock lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace hc::crypto

@@ -1,0 +1,74 @@
+// Per-tenant session-key cache (the KMS side of the ingest crypto hot path).
+//
+// Every upload envelope carries an RSA-wrapped AES session key. The seed
+// pipeline paid one private-key fetch plus one calibrated RSA unwrap *per
+// upload* — the exact "public key encryption is too expensive" cost the
+// paper warns about (Section IV.B.1). Clients that keep a session open
+// re-wrap the same session key under the same platform keypair, and the
+// toy RSA here is deterministic (no padding randomness), so identical
+// sessions produce identical wrapped bytes: the server can key a cache on
+// the wrapped-key ciphertext itself and unwrap each distinct session once.
+//
+// Determinism: a cached entry is a pure function of (client key id, wrapped
+// bytes) — RSA decryption has one answer — so the cache's *contents* are
+// derivation-order independent. Two workers racing on the same miss both
+// compute the same key and the second insert is a no-op; only wall time
+// varies, never a session key.
+//
+// The cache is scoped like the KMS it fronts: one instance per tenant
+// (single-tenant isolation), holding key material for exactly one
+// principal's unwrap authority.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/kms.h"
+
+namespace hc::crypto {
+
+class SessionKeyCache {
+ public:
+  /// `principal` is the identity used for KMS private-key fetches (the
+  /// ingestion worker's identity; must be authorized on client keys).
+  SessionKeyCache(KeyManagementService& kms, Principal principal);
+
+  /// Returns the AES session key wrapped in `wrapped_key` under the client
+  /// keypair `client_key_id`. First sighting of the wrapped bytes pays the
+  /// KMS fetch + RSA unwrap; repeats are a shared-lock map hit. Key-fetch
+  /// failures (unauthorized, shredded) pass through as the KMS status.
+  /// Throws std::invalid_argument on malformed wrapped bytes, exactly like
+  /// the uncached rsa_decrypt path; failures are never cached.
+  Result<Bytes> unwrap(const KeyId& client_key_id, const Bytes& wrapped_key);
+
+  /// Drops every session under one client key — call after rotate() or
+  /// destroy() of the keypair, which changes what the wrapped bytes mean.
+  void invalidate(const KeyId& client_key_id);
+  void clear();
+
+  /// Monotonic counters. Totals are exact; the hit/miss split is exact in
+  /// serial use but two workers racing one miss may both count it — don't
+  /// put the split into byte-locked artifacts from parallel runs.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+  std::size_t size() const;
+
+ private:
+  KeyManagementService* kms_;
+  Principal principal_;
+  mutable std::shared_mutex mu_;
+  std::map<std::pair<KeyId, Bytes>, Bytes> sessions_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace hc::crypto

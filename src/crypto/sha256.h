@@ -12,6 +12,19 @@ namespace hc::crypto {
 
 constexpr std::size_t kSha256DigestSize = 32;
 
+namespace detail {
+
+/// The FIPS 180-4 round constants, shared with the multi-lane hasher
+/// (sha256_multi.cpp) so both compression loops read one table.
+extern const std::uint32_t kSha256K[64];
+
+/// One compression of a 64-byte block into `state` (the H0..H7 words).
+/// This is the single hot function both the incremental hasher and the
+/// 4-lane lock-step hasher bottom out in.
+void sha256_compress(std::uint32_t state[8], const std::uint8_t* block);
+
+}  // namespace detail
+
 /// Incremental SHA-256 hasher.
 class Sha256 {
  public:

@@ -1,0 +1,265 @@
+#include "crypto/sha256_multi.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace hc::crypto {
+
+namespace detail {
+
+namespace {
+
+inline std::uint32_t rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+void sha256_compress4(std::uint32_t* states[4], const std::uint8_t* blocks[4]) {
+  // Message schedules for all four lanes. The expansion recurrences of
+  // different lanes are independent, so the lane loop inside each step is
+  // free ILP for the out-of-order core.
+  std::uint32_t w[4][64];
+  for (int l = 0; l < 4; ++l) {
+    const std::uint8_t* block = blocks[l];
+    for (int i = 0; i < 16; ++i) {
+      w[l][i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+                (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+                (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+                static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+  }
+  for (int i = 16; i < 64; ++i) {
+    for (int l = 0; l < 4; ++l) {
+      std::uint32_t s0 =
+          rotr(w[l][i - 15], 7) ^ rotr(w[l][i - 15], 18) ^ (w[l][i - 15] >> 3);
+      std::uint32_t s1 =
+          rotr(w[l][i - 2], 17) ^ rotr(w[l][i - 2], 19) ^ (w[l][i - 2] >> 10);
+      w[l][i] = w[l][i - 16] + s0 + w[l][i - 7] + s1;
+    }
+  }
+
+  std::uint32_t a[4], b[4], c[4], d[4], e[4], f[4], g[4], h[4];
+  for (int l = 0; l < 4; ++l) {
+    a[l] = states[l][0];
+    b[l] = states[l][1];
+    c[l] = states[l][2];
+    d[l] = states[l][3];
+    e[l] = states[l][4];
+    f[l] = states[l][5];
+    g[l] = states[l][6];
+    h[l] = states[l][7];
+  }
+
+  // Each lane performs the exact scalar round sequence; the interleaving
+  // keeps four independent a..h dependency chains in flight per round.
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t k = kSha256K[i];
+    for (int l = 0; l < 4; ++l) {
+      std::uint32_t s1 = rotr(e[l], 6) ^ rotr(e[l], 11) ^ rotr(e[l], 25);
+      std::uint32_t ch = (e[l] & f[l]) ^ (~e[l] & g[l]);
+      std::uint32_t temp1 = h[l] + s1 + ch + k + w[l][i];
+      std::uint32_t s0 = rotr(a[l], 2) ^ rotr(a[l], 13) ^ rotr(a[l], 22);
+      std::uint32_t maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+      std::uint32_t temp2 = s0 + maj;
+      h[l] = g[l];
+      g[l] = f[l];
+      f[l] = e[l];
+      e[l] = d[l] + temp1;
+      d[l] = c[l];
+      c[l] = b[l];
+      b[l] = a[l];
+      a[l] = temp1 + temp2;
+    }
+  }
+
+  for (int l = 0; l < 4; ++l) {
+    states[l][0] += a[l];
+    states[l][1] += b[l];
+    states[l][2] += c[l];
+    states[l][3] += d[l];
+    states[l][4] += e[l];
+    states[l][5] += f[l];
+    states[l][6] += g[l];
+    states[l][7] += h[l];
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+
+/// One SHA-256 message decomposed into a block sequence without copying the
+/// bulk data: an optional 64-byte prefix block (the HMAC ipad/opad), the
+/// full 64-byte blocks of `data` in place, then one or two tail blocks on
+/// the stack holding the final partial bytes plus FIPS 180-4 padding.
+struct Lane {
+  const std::uint8_t* prefix = nullptr;  // exactly 64 bytes when non-null
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+
+  std::uint8_t tail[2 * kBlock];
+  std::size_t full_data_blocks = 0;
+  std::size_t total_blocks = 0;
+  std::uint32_t state[8];
+
+  void init(const std::uint8_t* prefix_block, const std::uint8_t* d, std::size_t n) {
+    prefix = prefix_block;
+    data = d;
+    len = n;
+    state[0] = 0x6a09e667;
+    state[1] = 0xbb67ae85;
+    state[2] = 0x3c6ef372;
+    state[3] = 0xa54ff53a;
+    state[4] = 0x510e527f;
+    state[5] = 0x9b05688c;
+    state[6] = 0x1f83d9ab;
+    state[7] = 0x5be0cd19;
+
+    full_data_blocks = len / kBlock;
+    std::size_t tail_data = len % kBlock;
+    std::memset(tail, 0, sizeof(tail));
+    if (tail_data > 0) std::memcpy(tail, data + full_data_blocks * kBlock, tail_data);
+    tail[tail_data] = 0x80;
+    std::size_t tail_blocks = tail_data < kBlock - 8 ? 1 : 2;
+    std::uint64_t total_len = (prefix ? kBlock : 0) + len;
+    std::uint64_t bit_len = total_len * 8;
+    std::uint8_t* len_slot = tail + tail_blocks * kBlock - 8;
+    for (int i = 0; i < 8; ++i) {
+      len_slot[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+    total_blocks = (prefix ? 1 : 0) + full_data_blocks + tail_blocks;
+  }
+
+  const std::uint8_t* block(std::size_t i) const {
+    if (prefix) {
+      if (i == 0) return prefix;
+      --i;
+    }
+    if (i < full_data_blocks) return data + i * kBlock;
+    return tail + (i - full_data_blocks) * kBlock;
+  }
+
+  void digest(std::uint8_t out[32]) const {
+    for (int i = 0; i < 8; ++i) {
+      out[i * 4] = static_cast<std::uint8_t>(state[i] >> 24);
+      out[i * 4 + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+      out[i * 4 + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+      out[i * 4 + 3] = static_cast<std::uint8_t>(state[i]);
+    }
+  }
+};
+
+/// Runs four prepared lanes to completion: lock-step while every lane still
+/// has blocks, scalar for the stragglers. Lane lengths are independent, so
+/// this is where mixed-size batches stay correct.
+void run_lanes4(Lane lanes[4]) {
+  std::size_t common = lanes[0].total_blocks;
+  std::size_t max_blocks = lanes[0].total_blocks;
+  for (int l = 1; l < 4; ++l) {
+    common = std::min(common, lanes[l].total_blocks);
+    max_blocks = std::max(max_blocks, lanes[l].total_blocks);
+  }
+  std::size_t i = 0;
+  for (; i < common; ++i) {
+    std::uint32_t* states[4] = {lanes[0].state, lanes[1].state, lanes[2].state,
+                                lanes[3].state};
+    const std::uint8_t* blocks[4] = {lanes[0].block(i), lanes[1].block(i),
+                                     lanes[2].block(i), lanes[3].block(i)};
+    detail::sha256_compress4(states, blocks);
+  }
+  for (; i < max_blocks; ++i) {
+    for (int l = 0; l < 4; ++l) {
+      if (i < lanes[l].total_blocks) {
+        detail::sha256_compress(lanes[l].state, lanes[l].block(i));
+      }
+    }
+  }
+}
+
+/// Scalar fallback over the same Lane machinery (remainder of a batch).
+void run_lane1(Lane& lane) {
+  for (std::size_t i = 0; i < lane.total_blocks; ++i) {
+    detail::sha256_compress(lane.state, lane.block(i));
+  }
+}
+
+/// RFC 2104 key preparation: hash keys longer than one block, zero-pad to
+/// 64 bytes, XOR into the ipad/opad constants.
+void prepare_hmac_pads(const Bytes& key, std::uint8_t ipad[64], std::uint8_t opad[64]) {
+  std::uint8_t k[kBlock] = {0};
+  if (key.size() > kBlock) {
+    Bytes hashed = sha256(key);
+    std::memcpy(k, hashed.data(), hashed.size());
+  } else if (!key.empty()) {
+    std::memcpy(k, key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+}
+
+}  // namespace
+
+void sha256_x4(const std::uint8_t* const data[4], const std::size_t len[4],
+               std::uint8_t out[4][32]) {
+  Lane lanes[4];
+  for (int l = 0; l < 4; ++l) lanes[l].init(nullptr, data[l], len[l]);
+  run_lanes4(lanes);
+  for (int l = 0; l < 4; ++l) lanes[l].digest(out[l]);
+}
+
+std::vector<Bytes> hmac_sha256_multi(const std::vector<HmacInput>& items) {
+  std::vector<Bytes> tags(items.size());
+
+  std::size_t groups = items.size() / kSha256Lanes;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const HmacInput* group = items.data() + g * kSha256Lanes;
+    std::uint8_t ipads[4][kBlock], opads[4][kBlock];
+    Lane inner[4];
+    for (int l = 0; l < 4; ++l) {
+      prepare_hmac_pads(*group[l].key, ipads[l], opads[l]);
+      inner[l].init(ipads[l], group[l].data, group[l].len);
+    }
+    run_lanes4(inner);
+
+    std::uint8_t inner_digests[4][32];
+    Lane outer[4];
+    for (int l = 0; l < 4; ++l) {
+      inner[l].digest(inner_digests[l]);
+      // opad block + 32-byte digest: every outer lane is exactly two
+      // blocks, so the outer pass is pure lock-step.
+      outer[l].init(opads[l], inner_digests[l], 32);
+    }
+    run_lanes4(outer);
+    for (int l = 0; l < 4; ++l) {
+      Bytes tag(kSha256DigestSize);
+      outer[l].digest(tag.data());
+      tags[g * kSha256Lanes + l] = std::move(tag);
+    }
+  }
+
+  for (std::size_t i = groups * kSha256Lanes; i < items.size(); ++i) {
+    std::uint8_t ipad[kBlock], opad[kBlock];
+    prepare_hmac_pads(*items[i].key, ipad, opad);
+    Lane inner;
+    inner.init(ipad, items[i].data, items[i].len);
+    run_lane1(inner);
+    std::uint8_t inner_digest[32];
+    inner.digest(inner_digest);
+    Lane outer;
+    outer.init(opad, inner_digest, 32);
+    run_lane1(outer);
+    Bytes tag(kSha256DigestSize);
+    outer.digest(tag.data());
+    tags[i] = std::move(tag);
+  }
+  return tags;
+}
+
+}  // namespace hc::crypto

@@ -1,0 +1,63 @@
+// Multi-lane SHA-256 / HMAC-SHA256 (the ingest + checkpoint crypto core).
+//
+// The scalar compression loop in sha256.cpp is a long serial dependency
+// chain: every round needs the previous round's working variables, so the
+// CPU's parallel ALU ports sit idle. Hashing four *independent* messages in
+// lock-step — the same multi-accumulator ILP treatment the analytics
+// kernels got (kernels.h) — gives the scheduler four disjoint dependency
+// chains to interleave per cycle.
+//
+// Everything here is bitwise identical to the scalar reference: the 4-lane
+// compression performs each lane's FIPS 180-4 round sequence exactly
+// (same adds, same rotates, same constants), just textually interleaved.
+// crypto_test pins this with a property test over random lengths and
+// alignments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace hc::crypto {
+
+/// Lanes hashed per lock-step group. Fixed by the interleaved compression
+/// kernel; callers batch in groups of 4 and fall back to scalar for the
+/// remainder.
+constexpr std::size_t kSha256Lanes = 4;
+
+namespace detail {
+
+/// Compresses one 64-byte block per lane into four independent states,
+/// interleaving the round computations of all lanes. Bitwise equal to four
+/// sha256_compress calls.
+void sha256_compress4(std::uint32_t* states[4], const std::uint8_t* blocks[4]);
+
+}  // namespace detail
+
+/// Four independent SHA-256 digests computed in lock-step. `out[i]` =
+/// sha256 of `data[i][0..len[i])`. Lanes may have any lengths/alignments;
+/// when lanes run out of blocks at different times, the stragglers finish
+/// on the scalar compression. Null data pointers are only valid for
+/// zero-length lanes.
+void sha256_x4(const std::uint8_t* const data[4], const std::size_t len[4],
+               std::uint8_t out[4][32]);
+
+/// One message awaiting a batched HMAC-SHA256. `key` must outlive the call;
+/// `data`/`len` view the caller's buffer (zero-copy — the staged-envelope
+/// path points straight into the staging blob).
+struct HmacInput {
+  const Bytes* key = nullptr;
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Computes hmac_sha256(items[i].key, items[i].data) for every item, four
+/// lanes at a time: the inner hashes (ipad block + message) run lock-step,
+/// then the outer hashes (opad block + 32-byte inner digest — exactly two
+/// blocks each) run lock-step. Tags are bitwise identical to the scalar
+/// hmac_sha256 loop.
+std::vector<Bytes> hmac_sha256_multi(const std::vector<HmacInput>& items);
+
+}  // namespace hc::crypto

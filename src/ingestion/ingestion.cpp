@@ -43,6 +43,27 @@ Result<crypto::Envelope> unpack_envelope(const Bytes& blob) {
   return env;
 }
 
+/// Zero-copy flavor of unpack_envelope: the view spans the blob in place
+/// (the blob must outlive it). Same framing, same rejection messages.
+Result<crypto::EnvelopeView> view_envelope(const Bytes& blob) {
+  if (blob.size() < 8) {
+    return Status(StatusCode::kInvalidArgument, "staged blob too short");
+  }
+  std::uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) n = (n << 8) | blob[static_cast<std::size_t>(i)];
+  if (n + kTagSize > blob.size() - 8) {
+    return Status(StatusCode::kInvalidArgument, "staged blob corrupt");
+  }
+  crypto::EnvelopeView view;
+  view.wrapped_key = blob.data() + 8;
+  view.wrapped_key_len = static_cast<std::size_t>(n);
+  view.tag = view.wrapped_key + view.wrapped_key_len;
+  view.tag_len = kTagSize;
+  view.body = view.tag + kTagSize;
+  view.body_len = blob.size() - 8 - view.wrapped_key_len - kTagSize;
+  return view;
+}
+
 }  // namespace
 
 IngestionService::IngestionService(IngestionDeps deps, crypto::KeyId lake_key,
@@ -393,12 +414,15 @@ void IngestionService::process_decrypted(const storage::IngestionMessage& messag
 
 std::size_t IngestionService::process_batch(
     std::vector<storage::IngestionMessage> batch, SimTime* lane) {
-  // Phase 1: per-message staging fetch, envelope unpack, session-key
+  // Phase 1: per-message staging fetch, zero-copy envelope view, session-key
   // unwrap. Failures here are reported immediately; survivors queue up for
-  // the batched tag check.
+  // the batched tag check. The staged blob stays alive inside the pending
+  // item and the view spans it in place — the batched tag pass and the AES
+  // decrypt read straight out of the staging bytes, no Envelope copies.
   struct PendingDecrypt {
     const storage::IngestionMessage* message = nullptr;
-    crypto::Envelope envelope;
+    Bytes blob;  // owns the staged bytes `view` spans
+    crypto::EnvelopeView view;
     Bytes session_key;
   };
   std::vector<PendingDecrypt> pending;
@@ -414,35 +438,61 @@ std::size_t IngestionService::process_batch(
     }
     deps_.tracker->set_stage(message.upload_id, storage::IngestionStage::kDecrypting);
     charge("decrypt", 0, costs_.decrypt_per_kb, blob->size(), lane);
-    auto envelope = unpack_envelope(*blob);
-    if (!envelope.is_ok()) {
-      fail("decrypt", message.upload_id, envelope.status().message(), outcome);
-      continue;
-    }
-    auto client_key = deps_.kms->private_key(message.key_id, principal_);
-    if (!client_key.is_ok()) {
-      fail("decrypt", message.upload_id,
-           "client key unavailable: " + client_key.status().to_string(), outcome);
-      continue;
-    }
     PendingDecrypt item;
     item.message = &message;
-    item.envelope = std::move(*envelope);
-    try {
-      item.session_key = crypto::envelope_unwrap_key(*client_key, item.envelope);
-    } catch (const std::invalid_argument& e) {
-      fail("decrypt", message.upload_id,
-           std::string("decryption failed: ") + e.what(), outcome);
+    item.blob = std::move(*blob);
+    auto view = view_envelope(item.blob);
+    if (!view.is_ok()) {
+      fail("decrypt", message.upload_id, view.status().message(), outcome);
       continue;
+    }
+    item.view = *view;
+    if (deps_.session_cache != nullptr) {
+      // Cached unwrap: one KMS fetch + RSA trapdoor per distinct session,
+      // keyed on the wrapped bytes themselves (the toy RSA is
+      // deterministic, so equal wrapped bytes mean equal session keys).
+      Bytes wrapped(item.view.wrapped_key,
+                    item.view.wrapped_key + item.view.wrapped_key_len);
+      try {
+        auto session_key = deps_.session_cache->unwrap(message.key_id, wrapped);
+        if (!session_key.is_ok()) {
+          fail("decrypt", message.upload_id,
+               "client key unavailable: " + session_key.status().to_string(),
+               outcome);
+          continue;
+        }
+        item.session_key = std::move(*session_key);
+      } catch (const std::invalid_argument& e) {
+        fail("decrypt", message.upload_id,
+             std::string("decryption failed: ") + e.what(), outcome);
+        continue;
+      }
+    } else {
+      auto client_key = deps_.kms->private_key(message.key_id, principal_);
+      if (!client_key.is_ok()) {
+        fail("decrypt", message.upload_id,
+             "client key unavailable: " + client_key.status().to_string(),
+             outcome);
+        continue;
+      }
+      try {
+        item.session_key = crypto::envelope_unwrap_key(*client_key, item.view);
+      } catch (const std::invalid_argument& e) {
+        fail("decrypt", message.upload_id,
+             std::string("decryption failed: ") + e.what(), outcome);
+        continue;
+      }
     }
     pending.push_back(std::move(item));
   }
 
-  // Phase 2: one constant-time HMAC pass over the whole batch.
-  std::vector<crypto::HmacVerifyItem> tags;
+  // Phase 2: one constant-time HMAC pass over the whole batch, four lanes
+  // at a time, reading the message bytes in place via the view overload.
+  std::vector<crypto::HmacVerifyView> tags;
   tags.reserve(pending.size());
   for (const auto& item : pending) {
-    tags.push_back({&item.session_key, &item.envelope.body, &item.envelope.tag});
+    tags.push_back({&item.session_key, item.view.body, item.view.body_len,
+                    item.view.tag, item.view.tag_len});
   }
   std::vector<bool> verdicts = crypto::hmac_verify_batch(tags);
 
@@ -461,7 +511,7 @@ std::size_t IngestionService::process_batch(
     }
     Bytes plaintext;
     try {
-      plaintext = crypto::envelope_decrypt_body(item.session_key, item.envelope);
+      plaintext = crypto::envelope_decrypt_body(item.session_key, item.view);
     } catch (const std::invalid_argument& e) {
       secure_wipe(item.session_key);
       fail("decrypt", item.message->upload_id,

@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "crypto/asymmetric.h"
 #include "crypto/kms.h"
+#include "crypto/session_cache.h"
 #include "fhir/resources.h"
 #include "ingestion/malware.h"
 #include "obs/metrics.h"
@@ -84,6 +85,12 @@ struct IngestionDeps {
   /// byte-identically.
   cluster::Cluster* cluster = nullptr;
   cluster::ShardedLake* cluster_lake = nullptr;
+  /// Per-tenant session-key cache (optional). When bound, the batched
+  /// worker path resolves each envelope's RSA-wrapped session key through
+  /// the cache — one private-key fetch + RSA unwrap per *distinct* session
+  /// instead of per upload. When null, every envelope pays the full unwrap,
+  /// byte-identical to the historical path.
+  crypto::SessionKeyCache* session_cache = nullptr;
 };
 
 /// Per-upload scheduling hints carried into the message queue.

@@ -194,6 +194,16 @@ struct IngestionSpec {
   /// Crash this host after the drain, then rebalance — the scale-out
   /// recovery drill (scenarios/scaleout_rebalance.scn). Empty = no crash.
   std::string crash_shard_host;
+  /// Crash-and-resume drill (hc::ckpt, ROADMAP item 5). checkpoint_after
+  /// > 0 seals a LAKE checkpoint (crash-consistent atomic publish) once
+  /// that many uploads have drained. crash_and_resume > 0 then kills the
+  /// ingestion world after that many uploads — lake, metadata, staging,
+  /// queue and tracker die; the ledger, the KMS and the checkpoint file
+  /// survive — restores a fresh lake from the checkpoint and finishes the
+  /// drain there (scenarios/crash_resume.scn). Single-lake, per-record
+  /// provenance only.
+  std::uint64_t checkpoint_after = 0;
+  std::uint64_t crash_and_resume = 0;
 };
 
 /// Machine-checkable pass/fail rule evaluated over the run.

@@ -9,7 +9,11 @@
 #include <queue>
 #include <tuple>
 
+#include <unistd.h>
+
 #include "blockchain/contracts.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/io.h"
 #include "cluster/cluster.h"
 #include "crypto/sha256.h"
 #include "fhir/synthetic.h"
@@ -458,7 +462,8 @@ class CellRunner {
 /// surviving arrivals through the real pipeline and tallies outcomes.
 Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
                         std::size_t workers, std::vector<IngestTally>& out,
-                        ProvenanceTally& prov, ClusterTally& shard) {
+                        ProvenanceTally& prov, ClusterTally& shard,
+                        CkptTally& ckpt) {
   ClockPtr clock = make_clock();
   LogPtr log = make_log(clock);
   Rng rng{70};
@@ -549,9 +554,8 @@ Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
   out.assign(scenario.tenants.size(), IngestTally{});
   std::uint64_t attempted = 0;
   std::uint64_t expected_stored = 0;
-  for (const Arrival& arrival : cell.arrivals) {
-    if (attempted >= scenario.ingestion.max_uploads) break;
-    if (arrival.dropped || arrival.corrupted) continue;
+  auto upload_arrival = [&](ingestion::IngestionService& target,
+                            const Arrival& arrival) -> Status {
     IngestTally& tally = out[static_cast<std::size_t>(arrival.tenant)];
     const TenantSpec& tenant =
         scenario.tenants[static_cast<std::size_t>(arrival.tenant)];
@@ -574,7 +578,7 @@ Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
     }
     auto envelope =
         crypto::envelope_seal(*pub, fhir::serialize_bundle(bundle), rng);
-    auto receipt = service.upload(
+    auto receipt = target.upload(
         envelope, "clinic-a", "study-a", client_key,
         {tenant.name, /*cost=*/1, /*deadline=*/0});
     if (!receipt.is_ok()) return receipt.status();
@@ -590,9 +594,154 @@ Status replay_ingestion(const Scenario& scenario, const CompiledCell& cell,
       ++tally.stored;
       ++expected_stored;
     }
+    return Status::ok();
+  };
+
+  // The arrivals the replay will actually upload, in arrival order.
+  std::vector<const Arrival*> replayed;
+  for (const Arrival& arrival : cell.arrivals) {
+    if (replayed.size() >= scenario.ingestion.max_uploads) break;
+    if (arrival.dropped || arrival.corrupted) continue;
+    replayed.push_back(&arrival);
   }
 
-  std::size_t stored = service.process_all(workers);
+  std::size_t stored = 0;
+  const std::uint64_t seal_after =
+      std::min<std::uint64_t>(scenario.ingestion.checkpoint_after,
+                              replayed.size());
+  if (scenario.ingestion.checkpoint_after == 0) {
+    for (const Arrival* arrival : replayed) {
+      if (Status s = upload_arrival(service, *arrival); !s.is_ok()) return s;
+    }
+    stored = service.process_all(workers);
+  } else {
+    // Crash-and-resume drill. Segment 1: drain up to the checkpoint
+    // boundary, then seal the lake + metadata into a LAKE section and
+    // publish it crash-consistently (temp -> fsync -> rename).
+    crypto::KeyId ckpt_key_id = kms.create_symmetric_key("platform");
+    auto ckpt_key = kms.symmetric_key(ckpt_key_id, "platform");
+    if (!ckpt_key.is_ok()) return ckpt_key.status();
+
+    std::size_t next = 0;
+    for (; next < seal_after; ++next) {
+      if (Status s = upload_arrival(service, *replayed[next]); !s.is_ok()) {
+        return s;
+      }
+    }
+    stored += service.process_all(workers);
+
+    ckpt::LakeSnapshot snapshot = ckpt::capture_lake(lake, &metadata);
+    Bytes checkpoint = ckpt::encode_lake(snapshot, *ckpt_key);
+    ckpt.saved_objects = snapshot.objects.size();
+    ckpt.checkpoint_bytes = checkpoint.size();
+    const std::string checkpoint_path =
+        (std::filesystem::temp_directory_path() /
+         ("hc-scn-" + scenario.name + "-" + std::to_string(::getpid()) +
+          ".ckpt"))
+            .string();
+    if (Status s = ckpt::atomic_write_file(checkpoint_path, checkpoint);
+        !s.is_ok()) {
+      return s;
+    }
+
+    if (scenario.ingestion.crash_and_resume == 0) {
+      // Checkpoint-only drill: keep draining the live world.
+      for (; next < replayed.size(); ++next) {
+        if (Status s = upload_arrival(service, *replayed[next]); !s.is_ok()) {
+          return s;
+        }
+      }
+      stored += service.process_all(workers);
+      ckpt.restored_objects = ckpt.saved_objects;
+      ckpt.final_objects = lake.object_count();
+      (void)ckpt::remove_file(checkpoint_path);
+    } else {
+      // Segment 2: uploads the crash will eat. They drain normally — the
+      // records *were* stored — and then the live ingestion world dies
+      // with the process: lake, metadata, staging, queue, tracker, all of
+      // it. The ledger (replicated consensus), the KMS and the published
+      // checkpoint file survive.
+      const std::uint64_t crash_after = std::min<std::uint64_t>(
+          scenario.ingestion.crash_and_resume, replayed.size());
+      for (; next < crash_after; ++next) {
+        if (Status s = upload_arrival(service, *replayed[next]); !s.is_ok()) {
+          return s;
+        }
+      }
+      stored += service.process_all(workers);
+      ckpt.lost_objects = lake.object_count() - ckpt.saved_objects;
+
+      // Resume: read the checkpoint back through the integrity-checked
+      // decoder and restore into a *fresh* lake on a distinct id seed —
+      // a restored lake minting the historical "ref-" stream would
+      // collide with the very references it just restored.
+      auto reread = ckpt::read_file(checkpoint_path);
+      if (!reread.is_ok()) return reread.status();
+      auto reloaded = ckpt::decode_lake(*reread, *ckpt_key);
+      if (!reloaded.is_ok()) return reloaded.status();
+      (void)ckpt::remove_file(checkpoint_path);
+
+      storage::DataLake restored_lake{kms, "platform", Rng(75), 0x2d5eed};
+      storage::MetadataStore restored_metadata;
+      if (Status s = ckpt::restore_lake(*reloaded, restored_lake,
+                                        &restored_metadata);
+          !s.is_ok()) {
+        return s;
+      }
+      ckpt.restored_objects = restored_lake.object_count();
+      if (ckpt.restored_objects != ckpt.saved_objects) {
+        return Status(StatusCode::kDataLoss,
+                      "checkpoint restore installed " +
+                          std::to_string(ckpt.restored_objects) +
+                          " objects, sealed " +
+                          std::to_string(ckpt.saved_objects));
+      }
+      // Integrity sweep: every restored record must still decrypt (keys
+      // live in the KMS, not the checkpoint) to its recorded content hash.
+      for (const storage::RecordMetadata& record : restored_metadata.all()) {
+        auto payload = restored_lake.get(record.reference_id);
+        if (!payload.is_ok() ||
+            crypto::sha256(*payload) != record.content_hash) {
+          return Status(StatusCode::kDataLoss,
+                        "restored record " + record.reference_id +
+                            " failed its integrity sweep");
+        }
+      }
+
+      // Segment 3: a second ingestion service over the restored world
+      // finishes the drain. Same KMS (client keys still unwrap), same
+      // ledger (consent state survived the crash on-chain).
+      storage::StagingArea restored_staging;
+      storage::MessageQueue restored_queue;
+      storage::StatusTracker restored_tracker;
+      privacy::ReidentificationMap restored_reid;
+      restored_queue.bind_metrics(metrics);
+      restored_queue.enable_fair_mode(/*quantum=*/4);
+      for (const TenantSpec& tenant : scenario.tenants) {
+        restored_queue.set_tenant_weight(tenant.name,
+                                         scenario.quota_for(tenant).weight);
+      }
+      sched::AdaptiveBatcher restored_batcher({}, metrics);
+      ingestion::IngestionDeps restored_deps = deps;
+      restored_deps.staging = &restored_staging;
+      restored_deps.queue = &restored_queue;
+      restored_deps.tracker = &restored_tracker;
+      restored_deps.lake = &restored_lake;
+      restored_deps.metadata = &restored_metadata;
+      restored_deps.reid_map = &restored_reid;
+      restored_deps.batcher = &restored_batcher;
+      ingestion::IngestionService restored_service(
+          restored_deps, lake_key, to_bytes("pseudo-key"), "platform");
+      for (; next < replayed.size(); ++next) {
+        if (Status s = upload_arrival(restored_service, *replayed[next]);
+            !s.is_ok()) {
+          return s;
+        }
+      }
+      stored += restored_service.process_all(workers);
+      ckpt.final_objects = restored_lake.object_count();
+    }
+  }
   if (stored != expected_stored) {
     return Status(StatusCode::kInternal,
                   "ingestion replay diverged: stored " +
@@ -861,6 +1010,15 @@ void record_cluster_metrics(const ClusterTally& shard,
   metrics.add("hc.scenario.cluster.lost_objects", shard.lost_objects);
 }
 
+void record_ckpt_metrics(const CkptTally& ckpt, obs::MetricsRegistry& metrics) {
+  metrics.add("hc.scenario.ckpt.saved_objects", ckpt.saved_objects);
+  metrics.add("hc.scenario.ckpt.lost_objects", ckpt.lost_objects);
+  metrics.add("hc.scenario.ckpt.restored_objects", ckpt.restored_objects);
+  metrics.add("hc.scenario.ckpt.final_objects", ckpt.final_objects);
+  metrics.set_gauge("hc.scenario.ckpt.checkpoint_bytes",
+                    static_cast<double>(ckpt.checkpoint_bytes), "B");
+}
+
 void record_prov_metrics(const ProvenanceTally& prov,
                          obs::MetricsRegistry& metrics) {
   metrics.add("hc.scenario.prov.events", prov.events);
@@ -952,7 +1110,7 @@ Result<RunReport> run(const Scenario& scenario, const RunOptions& options) {
       Status replayed = replay_ingestion(scenario, *compiled,
                                          std::max<std::size_t>(1, options.ingest_workers),
                                          report.ingest, report.provenance,
-                                         report.cluster);
+                                         report.cluster, report.ckpt);
       if (!replayed.is_ok()) return replayed;
       record_ingest_metrics(scenario, report.ingest, *report.metrics);
       if (scenario.ingestion.provenance == ProvenanceMode::kAnchored) {
@@ -960,6 +1118,9 @@ Result<RunReport> run(const Scenario& scenario, const RunOptions& options) {
       }
       if (scenario.ingestion.shard_hosts > 0) {
         record_cluster_metrics(report.cluster, *report.metrics);
+      }
+      if (scenario.ingestion.checkpoint_after > 0) {
+        record_ckpt_metrics(report.ckpt, *report.metrics);
       }
       replayed_ingestion = true;
     }

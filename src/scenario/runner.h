@@ -86,6 +86,20 @@ struct ClusterTally {
   std::uint64_t lost_objects = 0;     // stays 0 or the run fails
 };
 
+/// Crash-and-resume replay outcome (ingestion checkpoint_after > 0). The
+/// drill seals a LAKE checkpoint mid-drain, kills the live ingestion world
+/// after crash_and_resume uploads, restores a fresh lake from the
+/// checkpoint file and finishes the drain there. Counts are lake objects
+/// (each stored record contributes its de-identified and original copy),
+/// pure functions of the scenario bytes — worker-count invariant.
+struct CkptTally {
+  std::uint64_t saved_objects = 0;     // sealed into the checkpoint
+  std::uint64_t lost_objects = 0;      // stored after the seal, died in the crash
+  std::uint64_t restored_objects = 0;  // installed from the checkpoint
+  std::uint64_t final_objects = 0;     // in the restored lake after the drain
+  std::uint64_t checkpoint_bytes = 0;  // encoded checkpoint file size
+};
+
 struct VerdictOutcome {
   std::string name;
   bool pass = true;
@@ -108,6 +122,7 @@ struct RunReport {
   std::vector<IngestTally> ingest;    // per tenant; empty unless enabled
   ProvenanceTally provenance;         // zeros unless `provenance anchored`
   ClusterTally cluster;               // zeros unless `shard_hosts > 0`
+  CkptTally ckpt;                     // zeros unless `checkpoint_after > 0`
   std::vector<VerdictOutcome> verdicts;
   obs::MetricsPtr metrics;  // curated `hc.scenario.*` registry
   std::vector<std::string> timeline;

@@ -529,10 +529,44 @@ Status decode_ingestion(const RawBlock& block, IngestionSpec& out) {
   reader.integer("shard_vnodes", out.shard_vnodes, 1, 4096);
   reader.integer("shard_replication", out.shard_replication, 1, 8);
   reader.str("crash_shard_host", out.crash_shard_host);
+  const bool saw_crash_resume = reader.find("crash_and_resume", 1, 1) != nullptr;
+  reader.integer("checkpoint_after", out.checkpoint_after, 0, 100000);
+  reader.integer("crash_and_resume", out.crash_and_resume, 0, 100000);
   Status status = reader.finish();
   if (!status.is_ok()) return status;
   if (out.audit_reads > 0 && out.provenance != ProvenanceMode::kAnchored) {
     return invalid("ingestion: audit_reads requires provenance anchored");
+  }
+  if (saw_crash_resume && out.checkpoint_after == 0) {
+    return invalid("ingestion: crash_and_resume requires checkpoint_after > 0");
+  }
+  if (out.checkpoint_after > 0) {
+    if (out.shard_hosts > 0) {
+      return invalid("ingestion: checkpoint_after requires shard_hosts == 0");
+    }
+    if (out.provenance != ProvenanceMode::kPerRecord) {
+      return invalid("ingestion: checkpoint_after requires provenance per-record");
+    }
+    if (out.checkpoint_after > out.max_uploads) {
+      return invalid("ingestion: checkpoint_after (" +
+                     std::to_string(out.checkpoint_after) +
+                     ") must be <= max_uploads (" +
+                     std::to_string(out.max_uploads) + ")");
+    }
+    if (out.crash_and_resume > 0) {
+      if (out.crash_and_resume < out.checkpoint_after) {
+        return invalid("ingestion: crash_and_resume (" +
+                       std::to_string(out.crash_and_resume) +
+                       ") must be >= checkpoint_after (" +
+                       std::to_string(out.checkpoint_after) + ")");
+      }
+      if (out.crash_and_resume > out.max_uploads) {
+        return invalid("ingestion: crash_and_resume (" +
+                       std::to_string(out.crash_and_resume) +
+                       ") must be <= max_uploads (" +
+                       std::to_string(out.max_uploads) + ")");
+      }
+    }
   }
   if (out.shard_hosts == 0) {
     if (saw_vnodes) {

@@ -104,6 +104,16 @@ std::vector<RecordMetadata> MetadataStore::by_group(const std::string& group) co
   return out;
 }
 
+std::vector<RecordMetadata> MetadataStore::all() const {
+  std::vector<RecordMetadata> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [id, md] : shard.records) out.push_back(md);
+  }
+  sort_by_reference(out);
+  return out;
+}
+
 std::size_t MetadataStore::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {

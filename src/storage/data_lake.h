@@ -56,6 +56,8 @@ class MetadataStore {
   std::vector<RecordMetadata> by_pseudonym(const std::string& pseudonym) const;
   /// All records consented to a group (export service).
   std::vector<RecordMetadata> by_group(const std::string& group) const;
+  /// Every record, sorted by reference id (checkpoint capture).
+  std::vector<RecordMetadata> all() const;
 
   std::size_t size() const;
 

@@ -1,0 +1,956 @@
+// hc::ckpt conformance wall (`ctest -L ckpt`, target check-ckpt):
+//
+//   * format layer — byte-exact round trips for every section kind, the
+//     rejection table (torn / truncated / bit-flipped / length-lying /
+//     spliced files fail with the exact pinned diagnostics), and the
+//     allocation guards (a length-lying header throws cleanly, never
+//     bad_alloc);
+//   * io layer — crash-consistent publish (temp -> fsync -> rename) and
+//     kNotFound discipline;
+//   * lake checkpoints — capture/encode/decode/restore round trips for
+//     DataLake (+ metadata) and ShardedLake, including restore onto a
+//     different ring size;
+//   * kill-and-resume — JMF / MF / DELT fits crashed at *every* epoch
+//     boundary through hc::fault crash windows, resumed from the last
+//     published checkpoint, asserted byte-identical to an uninterrupted
+//     run across solver paths and 1/2/4/8 workers.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/delt.h"
+#include "analytics/emr.h"
+#include "analytics/jmf.h"
+#include "analytics/matrix.h"
+#include "analytics/mf.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/fit.h"
+#include "ckpt/format.h"
+#include "ckpt/io.h"
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/kms.h"
+#include "fault/fault.h"
+#include "storage/data_lake.h"
+
+namespace hc {
+namespace {
+
+std::string test_dir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "hc_ckpt_" + name;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Bytes test_key(std::uint8_t seed) {
+  Bytes key(16);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(seed + 3 * i);
+  }
+  return key;
+}
+
+analytics::Matrix filled_matrix(std::size_t rows, std::size_t cols, double base) {
+  analytics::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = base + 0.25 * static_cast<double>(r * cols + c);
+    }
+  }
+  return m;
+}
+
+analytics::JmfResume sample_jmf() {
+  analytics::JmfResume s;
+  s.next_epoch = 3;
+  s.u = filled_matrix(2, 3, 0.5);
+  s.v = filled_matrix(4, 3, -1.5);
+  s.drug_source_weights = {0.25, 0.75};
+  s.disease_source_weights = {0.6, 0.4};
+  s.objective_history = {10.5, 9.25, 8.0};
+  return s;
+}
+
+// --- format layer ---------------------------------------------------------
+
+TEST(CkptFormatTest, DeriveMacKeyIsKindAndKeyScoped) {
+  const Bytes key = test_key(1);
+  EXPECT_NE(ckpt::derive_mac_key(key, ckpt::kKindJmf),
+            ckpt::derive_mac_key(key, ckpt::kKindMf));
+  EXPECT_NE(ckpt::derive_mac_key(key, ckpt::kKindJmf),
+            ckpt::derive_mac_key(test_key(2), ckpt::kKindJmf));
+}
+
+TEST(CkptFormatTest, WriterReaderRoundTrip) {
+  const Bytes key = test_key(1);
+  ckpt::ChunkWriter w(ckpt::kKindLake, key);
+  w.add({'A', 'A', 'A', 'A'}, Bytes{1, 2, 3});
+  w.add({'B', 'B', 'B', 'B'}, Bytes{});
+  w.add({'A', 'A', 'A', 'A'}, Bytes{9});
+  const Bytes file = w.finish();
+
+  auto reader = ckpt::ChunkReader::open(file, ckpt::kKindLake, key);
+  ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+  ASSERT_EQ(reader->chunks().size(), 3u);
+
+  auto first = reader->find({'A', 'A', 'A', 'A'});
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_EQ(first->length, 3u);
+  EXPECT_EQ(first->payload[0], 1u);
+
+  auto empty = reader->find({'B', 'B', 'B', 'B'});
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_EQ(empty->length, 0u);
+
+  EXPECT_EQ(reader->find_all({'A', 'A', 'A', 'A'}).size(), 2u);
+
+  auto missing = reader->find({'Z', 'Z', 'Z', 'Z'});
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(missing.status().message(), "ckpt: missing chunk ZZZZ");
+}
+
+TEST(CkptFormatTest, JmfRoundTripIsByteExact) {
+  const Bytes key = test_key(7);
+  const analytics::JmfResume state = sample_jmf();
+  const Bytes file = ckpt::encode_jmf(state, key);
+
+  auto decoded = ckpt::decode_jmf(file, key);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->next_epoch, 3);
+  EXPECT_EQ(decoded->u.rows(), 2u);
+  EXPECT_EQ(decoded->u.cols(), 3u);
+  EXPECT_EQ(decoded->v.rows(), 4u);
+  EXPECT_EQ(decoded->drug_source_weights, state.drug_source_weights);
+  EXPECT_EQ(decoded->disease_source_weights, state.disease_source_weights);
+  EXPECT_EQ(decoded->objective_history, state.objective_history);
+  // Re-encoding the decoded state reproduces the file bit for bit — the
+  // byte-identical resume contract at the codec level.
+  EXPECT_EQ(ckpt::encode_jmf(*decoded, key), file);
+}
+
+TEST(CkptFormatTest, MfRoundTripIsByteExact) {
+  const Bytes key = test_key(8);
+  analytics::MfResume state;
+  state.next_epoch = 12;
+  state.u = filled_matrix(3, 2, 0.125);
+  state.v = filled_matrix(5, 2, 2.0);
+  state.objective_history = {4.5};
+  const Bytes file = ckpt::encode_mf(state, key);
+
+  auto decoded = ckpt::decode_mf(file, key);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->next_epoch, 12);
+  EXPECT_EQ(decoded->objective_history, state.objective_history);
+  EXPECT_EQ(ckpt::encode_mf(*decoded, key), file);
+}
+
+TEST(CkptFormatTest, DeltRoundTripIsByteExact) {
+  const Bytes key = test_key(9);
+  analytics::DeltResume state;
+  state.next_iteration = 4;
+  state.drug_effects = {-0.5, 0.0, 0.25};
+  state.patient_baselines = {6.0, 7.5};
+  state.patient_drifts = {0.05, -0.125};
+  state.drug_sum = {1.5, 2.25, 0.0};
+  state.objective_history = {100.0, 50.0, 25.0, 12.5};
+  const Bytes file = ckpt::encode_delt(state, key);
+
+  auto decoded = ckpt::decode_delt(file, key);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->next_iteration, 4);
+  EXPECT_EQ(decoded->drug_effects, state.drug_effects);
+  EXPECT_EQ(decoded->drug_sum, state.drug_sum);
+  EXPECT_EQ(ckpt::encode_delt(*decoded, key), file);
+}
+
+// The rejection table: every class of file damage fails with the exact
+// pinned diagnostic and the right status code — nothing is ever partially
+// accepted.
+TEST(CkptFormatTest, RejectionTable) {
+  const Bytes key = test_key(11);
+  const Bytes file = ckpt::encode_jmf(sample_jmf(), key);
+  // Chunk 0 record starts at kHeaderSize: type @+0, index @+4, length @+8,
+  // payload @+16.
+  struct Case {
+    const char* name;
+    void (*mutate)(Bytes&);
+    StatusCode code;
+    const char* message;
+  };
+  const Case cases[] = {
+      {"truncated header", [](Bytes& f) { f.resize(10); },
+       StatusCode::kDataLoss, "ckpt: truncated header"},
+      {"bad magic", [](Bytes& f) { f[0] ^= 0xff; },
+       StatusCode::kInvalidArgument, "ckpt: bad magic"},
+      {"unsupported version", [](Bytes& f) { f[8] = 2; },
+       StatusCode::kInvalidArgument, "ckpt: unsupported version 2"},
+      {"truncated chunk header",
+       [](Bytes& f) { f.resize(ckpt::kHeaderSize + 6); },
+       StatusCode::kDataLoss, "ckpt: truncated chunk header (chunk 0)"},
+      {"chunk index mismatch", [](Bytes& f) { f[ckpt::kHeaderSize + 4] ^= 1; },
+       StatusCode::kDataLoss, "ckpt: chunk index mismatch (chunk 0)"},
+      {"chunk length lie", [](Bytes& f) { f[ckpt::kHeaderSize + 15] = 0xff; },
+       StatusCode::kDataLoss, "ckpt: chunk length overruns file (chunk 0)"},
+      {"payload bit flip", [](Bytes& f) { f[ckpt::kHeaderSize + 16] ^= 1; },
+       StatusCode::kDataLoss, "ckpt: chunk integrity tag mismatch (chunk 0)"},
+      {"truncated footer", [](Bytes& f) { f.pop_back(); },
+       StatusCode::kDataLoss, "ckpt: truncated footer"},
+      {"trailing garbage", [](Bytes& f) { f.push_back(0); },
+       StatusCode::kDataLoss, "ckpt: trailing garbage after footer"},
+      {"footer tag flip", [](Bytes& f) { f.back() ^= 1; },
+       StatusCode::kDataLoss, "ckpt: footer tag mismatch"},
+  };
+  for (const Case& c : cases) {
+    Bytes mutated = file;
+    c.mutate(mutated);
+    auto result = ckpt::decode_jmf(mutated, key);
+    ASSERT_FALSE(result.is_ok()) << c.name;
+    EXPECT_EQ(result.status().code(), c.code) << c.name;
+    EXPECT_EQ(result.status().message(), c.message) << c.name;
+  }
+}
+
+TEST(CkptFormatTest, WrongSectionKindIsRejected) {
+  const Bytes key = test_key(11);
+  const Bytes file = ckpt::encode_jmf(sample_jmf(), key);
+  auto result = ckpt::decode_mf(file, key);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(),
+            "ckpt: wrong section kind JMF  (want MF  )");
+}
+
+TEST(CkptFormatTest, WrongKeyFailsTheFirstChunkTag) {
+  const Bytes file = ckpt::encode_jmf(sample_jmf(), test_key(11));
+  auto result = ckpt::decode_jmf(file, test_key(12));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(result.status().message(),
+            "ckpt: chunk integrity tag mismatch (chunk 0)");
+}
+
+// Rewriting the header's kind field cannot splice a file between kinds:
+// the MAC key is derived from (data key, kind), so every chunk tag fails
+// under the retargeted kind even though the same data key signs both.
+TEST(CkptFormatTest, RetaggedKindDefeatedByKindScopedMacKeys) {
+  const Bytes key = test_key(11);
+  Bytes file = ckpt::encode_jmf(sample_jmf(), key);
+  file[12] = 'M';
+  file[13] = 'F';
+  file[14] = ' ';
+  file[15] = ' ';
+  auto result = ckpt::decode_mf(file, key);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(result.status().message(),
+            "ckpt: chunk integrity tag mismatch (chunk 0)");
+}
+
+TEST(CkptFormatTest, MissingChunkIsRejected) {
+  const Bytes key = test_key(13);
+  ckpt::ChunkWriter w(ckpt::kKindJmf, key);
+  Bytes meta;
+  ckpt::put_u32(meta, 1);
+  w.add({'M', 'E', 'T', 'A'}, std::move(meta));
+  auto result = ckpt::decode_jmf(w.finish(), key);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(result.status().message(), "ckpt: missing chunk MATU");
+}
+
+// A correctly-tagged chunk whose matrix header lies about its size must be
+// rejected through the pre-allocation bound — cleanly, never via bad_alloc.
+TEST(CkptFormatTest, LengthLyingMatrixHeaderIsMalformedNotBadAlloc) {
+  const Bytes key = test_key(13);
+  ckpt::ChunkWriter w(ckpt::kKindJmf, key);
+  Bytes meta;
+  ckpt::put_u32(meta, 1);
+  w.add({'M', 'E', 'T', 'A'}, std::move(meta));
+  Bytes matu;
+  ckpt::put_u32(matu, 0xffffffffu);
+  ckpt::put_u32(matu, 0xffffffffu);
+  w.add({'M', 'A', 'T', 'U'}, std::move(matu));
+  auto result = ckpt::decode_jmf(w.finish(), key);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(result.status().message(), "ckpt: chunk MATU malformed payload");
+}
+
+TEST(CkptFormatTest, LengthLyingVectorCountIsMalformedNotBadAlloc) {
+  const Bytes key = test_key(13);
+  Bytes matrix_payload;
+  ckpt::put_u32(matrix_payload, 1);
+  ckpt::put_u32(matrix_payload, 1);
+  ckpt::put_f64(matrix_payload, 0.5);
+  ckpt::ChunkWriter w(ckpt::kKindJmf, key);
+  Bytes meta;
+  ckpt::put_u32(meta, 1);
+  w.add({'M', 'E', 'T', 'A'}, std::move(meta));
+  w.add({'M', 'A', 'T', 'U'}, matrix_payload);
+  w.add({'M', 'A', 'T', 'V'}, matrix_payload);
+  Bytes wgtd;
+  ckpt::put_u64(wgtd, std::uint64_t{1} << 60);  // claims 2^60 doubles
+  w.add({'W', 'G', 'T', 'D'}, std::move(wgtd));
+  auto result = ckpt::decode_jmf(w.finish(), key);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(result.status().message(), "ckpt: chunk WGTD malformed payload");
+}
+
+TEST(CkptFormatTest, TrailingBytesInsideTaggedChunkAreRejected) {
+  const Bytes key = test_key(13);
+  ckpt::ChunkWriter w(ckpt::kKindJmf, key);
+  Bytes meta;
+  ckpt::put_u32(meta, 1);
+  meta.push_back(0);  // one stray byte, correctly tagged
+  w.add({'M', 'E', 'T', 'A'}, std::move(meta));
+  auto result = ckpt::decode_jmf(w.finish(), key);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(result.status().message(), "ckpt: chunk META malformed payload");
+}
+
+// --- io layer -------------------------------------------------------------
+
+TEST(CkptIoTest, AtomicWriteReadRoundTrip) {
+  const std::string dir = test_dir("io");
+  const std::string path = dir + "/file.ckpt";
+  ckpt::remove_file(path);
+
+  EXPECT_FALSE(ckpt::file_exists(path));
+  auto missing = ckpt::read_file(path);
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  const Bytes data{1, 2, 3, 4, 5};
+  ASSERT_TRUE(ckpt::atomic_write_file(path, data).is_ok());
+  EXPECT_TRUE(ckpt::file_exists(path));
+  // Publication is atomic: no temp file survives a successful publish.
+  EXPECT_FALSE(ckpt::file_exists(path + ".tmp"));
+  auto read = ckpt::read_file(path);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(*read, data);
+
+  const Bytes next{9, 8, 7};
+  ASSERT_TRUE(ckpt::atomic_write_file(path, next).is_ok());
+  auto reread = ckpt::read_file(path);
+  ASSERT_TRUE(reread.is_ok());
+  EXPECT_EQ(*reread, next);
+
+  ckpt::remove_file(path);
+  EXPECT_FALSE(ckpt::file_exists(path));
+}
+
+// --- lake checkpoints -----------------------------------------------------
+
+TEST(CkptLakeTest, CaptureEncodeDecodeRestoreRoundTrip) {
+  crypto::KeyManagementService kms("tenant", Rng(7));
+  const crypto::KeyId key_id = kms.create_symmetric_key("lake");
+  storage::DataLake lake(kms, "lake", Rng(11));
+  storage::MetadataStore meta;
+
+  Rng body_rng(31);
+  std::vector<std::string> refs;
+  for (int i = 0; i < 8; ++i) {
+    auto ref = lake.put(body_rng.bytes(48 + i), key_id);
+    ASSERT_TRUE(ref.is_ok());
+    refs.push_back(*ref);
+    storage::RecordMetadata rm;
+    rm.reference_id = *ref;
+    rm.pseudonym = "pseudo-" + std::to_string(i);
+    rm.consent_group = "study-a";
+    rm.schema = "fhir-bundle";
+    rm.privacy_level = "de-identified";
+    rm.content_hash = body_rng.bytes(32);
+    ASSERT_TRUE(meta.put(rm).is_ok());
+  }
+
+  ckpt::LakeSnapshot snapshot = ckpt::capture_lake(lake, &meta);
+  EXPECT_EQ(snapshot.objects.size(), 8u);
+  EXPECT_EQ(snapshot.metadata.size(), 8u);
+
+  const Bytes data_key = test_key(21);
+  const Bytes file = ckpt::encode_lake(snapshot, data_key);
+  auto decoded = ckpt::decode_lake(file, data_key);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(ckpt::encode_lake(*decoded, data_key), file);
+
+  // Restore into a fresh lake on a different id seed (so its own id stream
+  // cannot collide with the restored references).
+  storage::DataLake restored(kms, "lake", Rng(12), 0x2d5eed);
+  storage::MetadataStore restored_meta;
+  ASSERT_TRUE(ckpt::restore_lake(*decoded, restored, &restored_meta).is_ok());
+  EXPECT_EQ(restored.object_count(), 8u);
+  EXPECT_EQ(restored_meta.size(), 8u);
+  for (const std::string& ref : refs) {
+    auto before = lake.get(ref);
+    auto after = restored.get(ref);
+    ASSERT_TRUE(before.is_ok());
+    ASSERT_TRUE(after.is_ok());
+    EXPECT_EQ(*after, *before) << ref;
+    auto rm = restored_meta.get(ref);
+    ASSERT_TRUE(rm.is_ok());
+    EXPECT_EQ(rm->consent_group, "study-a");
+  }
+
+  // Re-restoring the same snapshot is a no-op (idempotent import).
+  ASSERT_TRUE(ckpt::restore_lake(*decoded, restored, &restored_meta).is_ok());
+  EXPECT_EQ(restored.object_count(), 8u);
+}
+
+// A sharded checkpoint stores (reference, routing key, sealed object) with
+// no placement — so a capture on 4 hosts restores onto 2, placement
+// re-derived from the target ring, and a recapture re-encodes the same file.
+TEST(CkptShardedTest, RestoreAcrossDifferentRingSizes) {
+  ClockPtr clock = make_clock();
+  crypto::KeyManagementService kms("tenant", Rng(7));
+  const crypto::KeyId key_id = kms.create_symmetric_key("lake");
+
+  cluster::ClusterConfig four_config;
+  four_config.hosts = 4;
+  four_config.replication = 2;
+  cluster::Cluster four(four_config, clock);
+  cluster::ShardedLake source(four, kms, "lake", Rng(21));
+
+  Rng body_rng(41);
+  std::vector<std::string> refs;
+  for (int i = 0; i < 10; ++i) {
+    auto ref = source.put(body_rng.bytes(64), key_id,
+                          "route-" + std::to_string(i));
+    ASSERT_TRUE(ref.is_ok());
+    refs.push_back(*ref);
+  }
+
+  auto snapshot = ckpt::capture_sharded(source);
+  ASSERT_TRUE(snapshot.is_ok()) << snapshot.status().to_string();
+  const Bytes data_key = test_key(22);
+  const Bytes file = ckpt::encode_sharded(*snapshot, data_key);
+  auto decoded = ckpt::decode_sharded(file, data_key);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+
+  cluster::ClusterConfig two_config;
+  two_config.hosts = 2;
+  two_config.replication = 2;
+  cluster::Cluster two(two_config, clock);
+  cluster::ShardedLake target(two, kms, "lake", Rng(22));
+  ASSERT_TRUE(ckpt::restore_sharded(*decoded, target).is_ok());
+
+  EXPECT_EQ(target.object_count(), source.object_count());
+  for (const std::string& ref : refs) {
+    auto before = source.get(ref);
+    auto after = target.get(ref);
+    ASSERT_TRUE(before.is_ok());
+    ASSERT_TRUE(after.is_ok()) << after.status().to_string();
+    EXPECT_EQ(*after, *before) << ref;
+  }
+  auto source_digest = source.content_digest();
+  auto target_digest = target.content_digest();
+  ASSERT_TRUE(source_digest.is_ok());
+  ASSERT_TRUE(target_digest.is_ok());
+  EXPECT_EQ(*target_digest, *source_digest);
+
+  // The sealed bytes moved verbatim: recapturing from the 2-host ring
+  // serializes the byte-identical checkpoint file.
+  auto recaptured = ckpt::capture_sharded(target);
+  ASSERT_TRUE(recaptured.is_ok());
+  EXPECT_EQ(ckpt::encode_sharded(*recaptured, data_key), file);
+}
+
+// --- FitSession units -----------------------------------------------------
+
+struct FitRig {
+  crypto::KeyManagementService kms{"analytics-tenant", Rng(5)};
+  crypto::KeyId key_id = kms.create_symmetric_key("analytics");
+  Bytes data_key = *kms.symmetric_key(key_id, "analytics");
+  std::string dir;
+
+  explicit FitRig(const std::string& name) : dir(test_dir(name)) {}
+};
+
+TEST(CkptFitTest, RejectsBadConfig) {
+  FitRig rig("bad_config");
+  ckpt::FitSessionConfig config;
+  config.dir = rig.dir;
+  config.checkpoint_every_n_epochs = 0;
+  EXPECT_THROW(ckpt::FitSession(config, rig.kms, rig.key_id, "analytics",
+                                make_clock()),
+               std::invalid_argument);
+  config.checkpoint_every_n_epochs = 1;
+  EXPECT_THROW(
+      ckpt::FitSession(config, rig.kms, rig.key_id, "analytics", nullptr),
+      std::invalid_argument);
+}
+
+TEST(CkptFitTest, LoadBeforeFirstCheckpointIsNotFound) {
+  FitRig rig("load_notfound");
+  ckpt::FitSessionConfig config;
+  config.dir = rig.dir;
+  config.name = "never-published";
+  ckpt::FitSession session(config, rig.kms, rig.key_id, "analytics",
+                           make_clock());
+  ckpt::remove_file(session.path());
+  auto loaded = session.load_mf();
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CkptFitTest, CheckpointEveryNSchedule) {
+  FitRig rig("schedule");
+  ckpt::FitSessionConfig config;
+  config.dir = rig.dir;
+  config.name = "mf-every-2";
+  config.checkpoint_every_n_epochs = 2;
+  ckpt::FitSession session(config, rig.kms, rig.key_id, "analytics",
+                           make_clock());
+  ckpt::remove_file(session.path());
+
+  analytics::Matrix observed = filled_matrix(8, 6, 0.1);
+  analytics::Matrix mask(8, 6, 1.0);
+  analytics::MfConfig mf;
+  mf.rank = 3;
+  mf.epochs = 6;
+  mf.epoch_hook = session.mf_hook();
+  Rng rng(17);
+  (void)analytics::factorize(observed, mask, mf, rng);
+
+  // Boundaries 1, 3, 5 are due under every-2: three checkpoints, and the
+  // last one resumes at epoch 6 (i.e. the fit was complete).
+  EXPECT_EQ(session.checkpoints_written(), 3);
+  auto loaded = session.load_mf();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->next_epoch, 6);
+  ckpt::remove_file(session.path());
+}
+
+TEST(CkptFitTest, TornCheckpointFileIsRejectedOnLoad) {
+  FitRig rig("torn");
+  ckpt::FitSessionConfig config;
+  config.dir = rig.dir;
+  config.name = "torn";
+  ckpt::FitSession session(config, rig.kms, rig.key_id, "analytics",
+                           make_clock());
+  const Bytes file = ckpt::encode_mf(analytics::MfResume{}, rig.data_key);
+  Bytes torn(file.begin(), file.begin() + static_cast<std::ptrdiff_t>(file.size() / 2));
+  ASSERT_TRUE(ckpt::atomic_write_file(session.path(), torn).is_ok());
+  auto loaded = session.load_mf();
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ckpt::remove_file(session.path());
+}
+
+// --- kill-and-resume wall -------------------------------------------------
+//
+// Shape shared by all three solvers: run the fit with a FitSession hook
+// under a FaultPlan that crashes the analytics host at one exact epoch
+// boundary; catch SimulatedCrash; load the last published checkpoint
+// (kNotFound when the crash hit boundary 0 — resume from scratch); re-run
+// with config.resume; assert the final state is byte-identical to an
+// uninterrupted run. Every boundary is swept, and worker counts 1/2/4/8.
+
+analytics::DrugDiseaseWorkload small_jmf_workload() {
+  analytics::WorkloadConfig config;
+  config.drugs = 24;
+  config.diseases = 18;
+  config.latent_rank = 3;
+  config.drug_source_noise = {0.05, 0.3};
+  config.disease_source_noise = {0.05, 0.3};
+  Rng rng(77);
+  return analytics::make_drug_disease_workload(config, rng);
+}
+
+Bytes jmf_final_bytes(const analytics::JmfResult& result, int epochs,
+                      const Bytes& data_key) {
+  analytics::JmfResume fin;
+  fin.next_epoch = epochs;
+  fin.u = result.factor_u;
+  fin.v = result.factor_v;
+  fin.drug_source_weights = result.drug_source_weights;
+  fin.disease_source_weights = result.disease_source_weights;
+  fin.objective_history = result.objective_history;
+  return ckpt::encode_jmf(fin, data_key);
+}
+
+Bytes run_jmf_crash_resume(const analytics::DrugDiseaseWorkload& workload,
+                           analytics::JmfConfig config, int crash_epoch,
+                           FitRig& rig, const std::string& name) {
+  ckpt::FitSessionConfig fit_config;
+  fit_config.dir = rig.dir;
+  fit_config.name = name;
+  {
+    ClockPtr clock = make_clock();
+    fault::FaultPlan plan;
+    plan.crash("analytics", (crash_epoch + 1) * kMillisecond,
+               (crash_epoch + 1) * kMillisecond + 1);
+    auto faults = fault::make_injector(plan, clock, Rng(99));
+    ckpt::FitSession session(fit_config, rig.kms, rig.key_id, "analytics",
+                             clock, faults);
+    ckpt::remove_file(session.path());
+    analytics::JmfConfig crashed = config;
+    crashed.epoch_hook = session.jmf_hook();
+    Rng rng(123);
+    bool threw = false;
+    try {
+      (void)analytics::joint_matrix_factorization(
+          workload.observed, workload.drug_similarities,
+          workload.disease_similarities, crashed, rng);
+    } catch (const ckpt::SimulatedCrash& crash) {
+      threw = true;
+      EXPECT_EQ(crash.epoch, crash_epoch);
+    }
+    EXPECT_TRUE(threw) << "crash window missed at boundary " << crash_epoch;
+  }
+  ckpt::FitSession session(fit_config, rig.kms, rig.key_id, "analytics",
+                           make_clock());
+  analytics::JmfConfig resumed = config;
+  resumed.epoch_hook = session.jmf_hook();
+  analytics::JmfResume checkpoint;
+  auto loaded = session.load_jmf();
+  if (crash_epoch == 0) {
+    // Crash fires before the boundary-0 seal: no checkpoint — from scratch.
+    EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  } else {
+    EXPECT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    if (loaded.is_ok()) {
+      checkpoint = std::move(*loaded);
+      EXPECT_EQ(checkpoint.next_epoch, crash_epoch);
+      resumed.resume = &checkpoint;
+    }
+  }
+  Rng rng(123);
+  auto result = analytics::joint_matrix_factorization(
+      workload.observed, workload.drug_similarities,
+      workload.disease_similarities, resumed, rng);
+  ckpt::remove_file(session.path());
+  return jmf_final_bytes(result, config.epochs, rig.data_key);
+}
+
+TEST(CkptWallTest, JmfKillAndResumeAtEveryBoundary) {
+  const analytics::DrugDiseaseWorkload workload = small_jmf_workload();
+  analytics::JmfConfig config;
+  config.rank = 4;
+  config.epochs = 5;
+  config.materialize_scores = false;
+  FitRig rig("jmf_wall");
+
+  Rng golden_rng(123);
+  const Bytes golden = jmf_final_bytes(
+      analytics::joint_matrix_factorization(
+          workload.observed, workload.drug_similarities,
+          workload.disease_similarities, config, golden_rng),
+      config.epochs, rig.data_key);
+
+  for (int e = 0; e < config.epochs; ++e) {
+    EXPECT_EQ(run_jmf_crash_resume(workload, config, e, rig, "jmf"), golden)
+        << "resume after crash at boundary " << e;
+  }
+}
+
+TEST(CkptWallTest, JmfResumeByteIdenticalAcrossSolverPathsAndWorkers) {
+  const analytics::DrugDiseaseWorkload workload = small_jmf_workload();
+  FitRig rig("jmf_paths");
+
+  struct Path {
+    const char* name;
+    bool use_sparse;
+    bool use_newton;
+    int epochs;
+  };
+  const Path paths[] = {
+      {"dense-fast", false, false, 5},
+      {"sparse", true, false, 5},
+      {"newton-cg", false, true, 3},
+  };
+  for (const Path& path : paths) {
+    analytics::JmfConfig config;
+    config.rank = 4;
+    config.epochs = path.epochs;
+    config.use_sparse = path.use_sparse;
+    config.use_newton_cg = path.use_newton;
+    config.materialize_scores = false;
+
+    Rng golden_rng(123);
+    const Bytes golden = jmf_final_bytes(
+        analytics::joint_matrix_factorization(
+            workload.observed, workload.drug_similarities,
+            workload.disease_similarities, config, golden_rng),
+        config.epochs, rig.data_key);
+
+    const int crash_epoch = path.epochs / 2;
+    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+      analytics::JmfConfig swept = config;
+      swept.workers = workers;
+      EXPECT_EQ(run_jmf_crash_resume(workload, swept, crash_epoch, rig,
+                                     std::string("jmf-") + path.name),
+                golden)
+          << path.name << " with " << workers << " workers";
+    }
+  }
+}
+
+Bytes mf_final_bytes(const analytics::MfModel& model, int epochs,
+                     const Bytes& data_key) {
+  analytics::MfResume fin;
+  fin.next_epoch = epochs;
+  fin.u = model.u;
+  fin.v = model.v;
+  fin.objective_history = model.objective_history;
+  return ckpt::encode_mf(fin, data_key);
+}
+
+Bytes run_mf_crash_resume(const analytics::Matrix& observed,
+                          const analytics::Matrix& mask,
+                          analytics::MfConfig config, int crash_epoch,
+                          FitRig& rig, const std::string& name) {
+  ckpt::FitSessionConfig fit_config;
+  fit_config.dir = rig.dir;
+  fit_config.name = name;
+  {
+    ClockPtr clock = make_clock();
+    fault::FaultPlan plan;
+    plan.crash("analytics", (crash_epoch + 1) * kMillisecond,
+               (crash_epoch + 1) * kMillisecond + 1);
+    auto faults = fault::make_injector(plan, clock, Rng(99));
+    ckpt::FitSession session(fit_config, rig.kms, rig.key_id, "analytics",
+                             clock, faults);
+    ckpt::remove_file(session.path());
+    analytics::MfConfig crashed = config;
+    crashed.epoch_hook = session.mf_hook();
+    Rng rng(123);
+    bool threw = false;
+    try {
+      (void)analytics::factorize(observed, mask, crashed, rng);
+    } catch (const ckpt::SimulatedCrash& crash) {
+      threw = true;
+      EXPECT_EQ(crash.epoch, crash_epoch);
+    }
+    EXPECT_TRUE(threw) << "crash window missed at boundary " << crash_epoch;
+  }
+  ckpt::FitSession session(fit_config, rig.kms, rig.key_id, "analytics",
+                           make_clock());
+  analytics::MfConfig resumed = config;
+  resumed.epoch_hook = session.mf_hook();
+  analytics::MfResume checkpoint;
+  auto loaded = session.load_mf();
+  if (crash_epoch == 0) {
+    EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  } else {
+    EXPECT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    if (loaded.is_ok()) {
+      checkpoint = std::move(*loaded);
+      EXPECT_EQ(checkpoint.next_epoch, crash_epoch);
+      resumed.resume = &checkpoint;
+    }
+  }
+  Rng rng(123);
+  auto model = analytics::factorize(observed, mask, resumed, rng);
+  ckpt::remove_file(session.path());
+  return mf_final_bytes(model, config.epochs, rig.data_key);
+}
+
+TEST(CkptWallTest, MfKillAndResumeAtEveryBoundary) {
+  const analytics::Matrix observed = filled_matrix(10, 8, 0.2);
+  const analytics::Matrix mask(10, 8, 1.0);
+  analytics::MfConfig config;
+  config.rank = 3;
+  config.epochs = 6;
+  FitRig rig("mf_wall");
+
+  Rng golden_rng(123);
+  const Bytes golden =
+      mf_final_bytes(analytics::factorize(observed, mask, config, golden_rng),
+                     config.epochs, rig.data_key);
+
+  for (int e = 0; e < config.epochs; ++e) {
+    EXPECT_EQ(run_mf_crash_resume(observed, mask, config, e, rig, "mf"),
+              golden)
+        << "resume after crash at boundary " << e;
+  }
+}
+
+TEST(CkptWallTest, MfResumeByteIdenticalAcrossSolverPathsAndWorkers) {
+  const analytics::Matrix observed = filled_matrix(10, 8, 0.2);
+  const analytics::Matrix mask(10, 8, 1.0);
+  FitRig rig("mf_paths");
+
+  struct Path {
+    const char* name;
+    bool use_sparse;
+    bool use_newton;
+  };
+  const Path paths[] = {
+      {"sparse", true, false},
+      {"newton-cg", false, true},
+  };
+  for (const Path& path : paths) {
+    analytics::MfConfig config;
+    config.rank = 3;
+    config.epochs = 6;
+    config.use_sparse = path.use_sparse;
+    config.use_newton_cg = path.use_newton;
+
+    Rng golden_rng(123);
+    const Bytes golden = mf_final_bytes(
+        analytics::factorize(observed, mask, config, golden_rng),
+        config.epochs, rig.data_key);
+
+    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+      analytics::MfConfig swept = config;
+      swept.workers = workers;
+      EXPECT_EQ(run_mf_crash_resume(observed, mask, swept, 3, rig,
+                                    std::string("mf-") + path.name),
+                golden)
+          << path.name << " with " << workers << " workers";
+    }
+  }
+}
+
+analytics::EmrDataset small_emr_dataset() {
+  analytics::EmrConfig config;
+  config.patients = 60;
+  config.drugs = 12;
+  config.planted_drugs = 3;
+  config.measurements_per_patient = 5;
+  config.medications_per_patient = 3;
+  config.confounded_drugs = 2;
+  Rng rng(55);
+  return analytics::make_emr_dataset(config, rng);
+}
+
+void expect_delt_equal(const analytics::DeltModel& resumed,
+                       const analytics::DeltModel& golden,
+                       const std::string& label) {
+  EXPECT_EQ(resumed.drug_effects, golden.drug_effects) << label;
+  EXPECT_EQ(resumed.patient_baselines, golden.patient_baselines) << label;
+  EXPECT_EQ(resumed.patient_drifts, golden.patient_drifts) << label;
+  EXPECT_EQ(resumed.objective_history, golden.objective_history) << label;
+}
+
+analytics::DeltModel run_delt_crash_resume(const analytics::EmrDataset& dataset,
+                                           analytics::DeltConfig config,
+                                           int crash_iteration, FitRig& rig,
+                                           const std::string& name) {
+  ckpt::FitSessionConfig fit_config;
+  fit_config.dir = rig.dir;
+  fit_config.name = name;
+  {
+    ClockPtr clock = make_clock();
+    fault::FaultPlan plan;
+    plan.crash("analytics", (crash_iteration + 1) * kMillisecond,
+               (crash_iteration + 1) * kMillisecond + 1);
+    auto faults = fault::make_injector(plan, clock, Rng(99));
+    ckpt::FitSession session(fit_config, rig.kms, rig.key_id, "analytics",
+                             clock, faults);
+    ckpt::remove_file(session.path());
+    analytics::DeltConfig crashed = config;
+    crashed.epoch_hook = session.delt_hook();
+    bool threw = false;
+    try {
+      (void)analytics::fit_delt(dataset, crashed);
+    } catch (const ckpt::SimulatedCrash& crash) {
+      threw = true;
+      EXPECT_EQ(crash.epoch, crash_iteration);
+    }
+    EXPECT_TRUE(threw) << "crash window missed at boundary " << crash_iteration;
+  }
+  ckpt::FitSession session(fit_config, rig.kms, rig.key_id, "analytics",
+                           make_clock());
+  analytics::DeltConfig resumed = config;
+  resumed.epoch_hook = session.delt_hook();
+  analytics::DeltResume checkpoint;
+  auto loaded = session.load_delt();
+  if (crash_iteration == 0) {
+    EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  } else {
+    EXPECT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    if (loaded.is_ok()) {
+      checkpoint = std::move(*loaded);
+      EXPECT_EQ(checkpoint.next_iteration, crash_iteration);
+      resumed.resume = &checkpoint;
+    }
+  }
+  analytics::DeltModel model = analytics::fit_delt(dataset, resumed);
+  ckpt::remove_file(session.path());
+  return model;
+}
+
+TEST(CkptWallTest, DeltKillAndResumeAtEveryIteration) {
+  const analytics::EmrDataset dataset = small_emr_dataset();
+  analytics::DeltConfig config;
+  config.iterations = 5;
+  FitRig rig("delt_wall");
+
+  const analytics::DeltModel golden = analytics::fit_delt(dataset, config);
+  for (int e = 0; e < config.iterations; ++e) {
+    expect_delt_equal(run_delt_crash_resume(dataset, config, e, rig, "delt"),
+                      golden, "crash at iteration " + std::to_string(e));
+  }
+}
+
+TEST(CkptWallTest, DeltResumeAcrossSparseAndWorkers) {
+  const analytics::EmrDataset dataset = small_emr_dataset();
+  FitRig rig("delt_paths");
+  for (bool use_sparse : {false, true}) {
+    analytics::DeltConfig config;
+    config.iterations = 5;
+    config.use_sparse = use_sparse;
+    const analytics::DeltModel golden = analytics::fit_delt(dataset, config);
+    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+      analytics::DeltConfig swept = config;
+      swept.workers = workers;
+      expect_delt_equal(
+          run_delt_crash_resume(dataset, swept, 2, rig, "delt-sweep"), golden,
+          (use_sparse ? std::string("sparse ") : std::string("dense ")) +
+              std::to_string(workers) + " workers");
+    }
+  }
+}
+
+// The Newton-CG DELT path is a single joint solve: its one checkpoint (at
+// iteration boundary 0) *is* the final state, and a resume returns it
+// without re-solving. A crash at boundary 0 finds no checkpoint and
+// re-solves from scratch — both land on the golden model.
+TEST(CkptWallTest, DeltNewtonCheckpointRoundTrip) {
+  const analytics::EmrDataset dataset = small_emr_dataset();
+  analytics::DeltConfig config;
+  config.iterations = 1;
+  config.use_newton_cg = true;
+  FitRig rig("delt_newton");
+
+  const analytics::DeltModel golden = analytics::fit_delt(dataset, config);
+
+  // Crash at boundary 0: nothing sealed; resume re-solves from scratch.
+  expect_delt_equal(run_delt_crash_resume(dataset, config, 0, rig,
+                                          "delt-newton"),
+                    golden, "newton crash at boundary 0");
+
+  // Uninterrupted run with a hook seals exactly one checkpoint whose resume
+  // short-circuits to the restored (final) state.
+  ckpt::FitSessionConfig fit_config;
+  fit_config.dir = rig.dir;
+  fit_config.name = "delt-newton-full";
+  ckpt::FitSession session(fit_config, rig.kms, rig.key_id, "analytics",
+                           make_clock());
+  ckpt::remove_file(session.path());
+  analytics::DeltConfig hooked = config;
+  hooked.epoch_hook = session.delt_hook();
+  (void)analytics::fit_delt(dataset, hooked);
+  EXPECT_EQ(session.checkpoints_written(), 1);
+  auto loaded = session.load_delt();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->next_iteration, 1);
+  analytics::DeltConfig restored = config;
+  restored.resume = &*loaded;
+  expect_delt_equal(analytics::fit_delt(dataset, restored), golden,
+                    "newton resume from sealed final state");
+  ckpt::remove_file(session.path());
+}
+
+}  // namespace
+}  // namespace hc

@@ -7,7 +7,9 @@
 #include "crypto/kms.h"
 #include "crypto/merkle.h"
 #include "crypto/redactable.h"
+#include "crypto/session_cache.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_multi.h"
 
 namespace hc::crypto {
 namespace {
@@ -515,6 +517,207 @@ TEST_F(KmsFixture, SymmetricAccessorRejectsKeypairId) {
   auto id = kms_.create_keypair("alice");
   EXPECT_EQ(kms_.symmetric_key(id, "alice").status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------- multi-lane crypto hot path
+// The batched kernels (4-lane lock-step SHA-256, batched HMAC verify, the
+// 4-block interleaved AES decrypt) must be *bitwise* equal to their scalar
+// references for every length, alignment, and batch size — the property
+// that lets checkpoint sealing and ingest verification share one fast core.
+
+TEST(Sha256Multi, FourLanesBitwiseEqualScalarOverRandomLengthsAndAlignments) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    // Lane buffers carved at random offsets out of one arena, so lane
+    // pointers hit every alignment class.
+    Bytes arena = rng.bytes(4096);
+    const std::uint8_t* data[4];
+    std::size_t len[4];
+    Bytes expected[4];
+    for (int lane = 0; lane < 4; ++lane) {
+      // Lengths straddle the padding boundaries (0, <64, ==64, multi-block).
+      len[lane] = static_cast<std::size_t>(rng.uniform_int(0, 300));
+      std::size_t offset = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(arena.size() - 301)));
+      data[lane] = len[lane] == 0 ? nullptr : arena.data() + offset;
+      expected[lane] =
+          sha256(Bytes(arena.data() + offset, arena.data() + offset + len[lane]));
+    }
+    std::uint8_t out[4][32];
+    sha256_x4(data, len, out);
+    for (int lane = 0; lane < 4; ++lane) {
+      EXPECT_EQ(Bytes(out[lane], out[lane] + 32), expected[lane])
+          << "round " << round << " lane " << lane << " len " << len[lane];
+    }
+  }
+}
+
+TEST(HmacMulti, BatchedTagsBitwiseEqualScalarForAnyKeySizeAndBatchShape) {
+  Rng rng(77);
+  // Batch sizes deliberately not multiples of the lane width.
+  for (std::size_t batch : {1u, 3u, 4u, 7u, 13u}) {
+    std::vector<Bytes> keys(batch), messages(batch);
+    std::vector<HmacInput> items(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Key sizes cross the block-size boundary (>64 keys are pre-hashed).
+      keys[i] = rng.bytes(static_cast<std::size_t>(rng.uniform_int(0, 100)));
+      messages[i] = rng.bytes(static_cast<std::size_t>(rng.uniform_int(0, 400)));
+      items[i] = HmacInput{&keys[i], messages[i].data(), messages[i].size()};
+    }
+    std::vector<Bytes> tags = hmac_sha256_multi(items);
+    ASSERT_EQ(tags.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(tags[i], hmac_sha256(keys[i], messages[i]))
+          << "batch " << batch << " item " << i;
+    }
+  }
+}
+
+TEST(HmacMulti, VerifyBatchMatchesScalarVerdictsBothOverloads) {
+  Rng rng(78);
+  const std::size_t batch = 9;
+  std::vector<Bytes> keys(batch), messages(batch), tags(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    keys[i] = rng.bytes(16);
+    messages[i] = rng.bytes(30 * i + 1);
+    tags[i] = hmac_sha256(keys[i], messages[i]);
+  }
+  // Damage tags 2 and 6 (flip one bit) and message 4 (payload mutation).
+  tags[2][0] ^= 0x01;
+  tags[6][31] ^= 0x80;
+  messages[4][0] ^= 0xff;
+
+  std::vector<HmacVerifyItem> items(batch);
+  std::vector<HmacVerifyView> views(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    items[i] = HmacVerifyItem{&keys[i], &messages[i], &tags[i]};
+    views[i] = HmacVerifyView{&keys[i], messages[i].data(), messages[i].size(),
+                              tags[i].data(), tags[i].size()};
+  }
+  const std::vector<bool> item_verdicts = hmac_verify_batch(items);
+  const std::vector<bool> view_verdicts = hmac_verify_batch(views);
+  ASSERT_EQ(item_verdicts.size(), batch);
+  ASSERT_EQ(view_verdicts.size(), batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const bool expected = hmac_verify(keys[i], messages[i], tags[i]);
+    EXPECT_EQ(item_verdicts[i], expected) << i;
+    EXPECT_EQ(view_verdicts[i], expected) << i;
+    EXPECT_EQ(expected, i != 2 && i != 4 && i != 6) << i;
+  }
+}
+
+TEST(Aes, DecryptBlocks4BitwiseEqualFourScalarBlocks) {
+  Rng rng(79);
+  for (int round = 0; round < 25; ++round) {
+    Aes128 aes(rng.bytes(16));
+    const Bytes in = rng.bytes(64);
+    std::uint8_t batched[64];
+    aes.decrypt_blocks4(in.data(), batched);
+    std::uint8_t scalar[64];
+    for (int b = 0; b < 4; ++b) {
+      aes.decrypt_block(in.data() + 16 * b, scalar + 16 * b);
+    }
+    EXPECT_EQ(Bytes(batched, batched + 64), Bytes(scalar, scalar + 64))
+        << "round " << round;
+  }
+}
+
+TEST(Aes, SpanDecryptOverloadEqualsBytesOverloadAtAnyOffset) {
+  Rng rng(80);
+  for (std::size_t size : {1u, 15u, 16u, 17u, 64u, 257u}) {
+    const Bytes key = rng.bytes(16);
+    const Bytes plaintext = rng.bytes(size);
+    const Bytes sealed = aes_cbc_encrypt(key, plaintext, rng);
+    // Embed the ciphertext at an odd offset inside a larger blob — the
+    // zero-copy staged-envelope shape.
+    Bytes blob = rng.bytes(7);
+    blob.insert(blob.end(), sealed.begin(), sealed.end());
+    EXPECT_EQ(aes_cbc_decrypt(key, blob.data() + 7, sealed.size()), plaintext);
+    EXPECT_EQ(aes_cbc_decrypt(key, sealed), plaintext);
+  }
+}
+
+// ------------------------------------------------- per-tenant session cache
+
+class SessionCacheFixture : public ::testing::Test {
+ protected:
+  SessionCacheFixture()
+      : kms_("tenant-a", Rng(501)),
+        client_key_(kms_.create_keypair("client")) {
+    EXPECT_TRUE(kms_.authorize(client_key_, "client", "ingest").is_ok());
+  }
+
+  KeyManagementService kms_;
+  KeyId client_key_;
+};
+
+TEST_F(SessionCacheFixture, UnwrapMatchesUncachedPathAndCachesRepeats) {
+  Rng rng(502);
+  auto pub = kms_.public_key(client_key_);
+  ASSERT_TRUE(pub.is_ok());
+  const Bytes session_key = rng.bytes(16);
+  Envelope env = envelope_seal_with_key(*pub, session_key, rng.bytes(40), rng);
+
+  SessionKeyCache cache(kms_, "ingest");
+  auto first = cache.unwrap(client_key_, env.wrapped_key);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_EQ(*first, session_key);
+
+  auto second = cache.unwrap(client_key_, env.wrapped_key);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(*second, session_key);
+
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(SessionCacheFixture, DistinctSessionsAreDistinctEntries) {
+  Rng rng(503);
+  auto pub = kms_.public_key(client_key_);
+  ASSERT_TRUE(pub.is_ok());
+  SessionKeyCache cache(kms_, "ingest");
+  for (int i = 0; i < 3; ++i) {
+    Envelope env = envelope_seal(*pub, rng.bytes(24), rng);
+    ASSERT_TRUE(cache.unwrap(client_key_, env.wrapped_key).is_ok());
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(SessionCacheFixture, InvalidateDropsSessionsAfterRotation) {
+  Rng rng(504);
+  auto pub = kms_.public_key(client_key_);
+  ASSERT_TRUE(pub.is_ok());
+  Envelope env = envelope_seal(*pub, rng.bytes(24), rng);
+  SessionKeyCache cache(kms_, "ingest");
+  ASSERT_TRUE(cache.unwrap(client_key_, env.wrapped_key).is_ok());
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.invalidate(client_key_);
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_TRUE(cache.unwrap(client_key_, env.wrapped_key).is_ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(SessionCacheFixture, KmsDenialsPassThroughAndAreNeverCached) {
+  Rng rng(505);
+  auto pub = kms_.public_key(client_key_);
+  ASSERT_TRUE(pub.is_ok());
+  Envelope env = envelope_seal(*pub, rng.bytes(24), rng);
+  SessionKeyCache cache(kms_, "stranger");
+  auto denied = cache.unwrap(client_key_, env.wrapped_key);
+  ASSERT_FALSE(denied.is_ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(SessionCacheFixture, MalformedWrappedBytesThrowLikeUncachedPath) {
+  SessionKeyCache cache(kms_, "ingest");
+  EXPECT_THROW((void)cache.unwrap(client_key_, Bytes{1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 }  // namespace

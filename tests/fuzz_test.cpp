@@ -5,13 +5,19 @@
 // must always be rejected by the HMAC, never crash. The router fuzzer at
 // the bottom hammers the shard router (hc::cluster) with hostile ids and
 // mid-rebalance ring churn: it must never crash, never misroute, and
-// never drop a key. The sparse-constructor fuzzer at the very bottom feeds
-// hostile triplet streams (duplicates, unsorted, out-of-range) to the
-// analytics CSR builder: it must canonicalize or reject cleanly, never
-// crash or emit a non-canonical matrix.
+// never drop a key. The sparse-constructor fuzzer feeds hostile triplet
+// streams (duplicates, unsorted, out-of-range) to the analytics CSR
+// builder: it must canonicalize or reject cleanly, never crash or emit a
+// non-canonical matrix. The checkpoint-blob fuzzer at the very bottom
+// attacks the chunked checkpoint decoder (hc::ckpt) with random blobs,
+// every single-bit flip of valid files, truncations, extensions, and
+// lying length fields: every mutant must be rejected with a clean
+// kDataLoss/kInvalidArgument status — never a crash, a bad_alloc from an
+// attacker-chosen length, or a silent accept.
 #include <gtest/gtest.h>
 
 #include "analytics/sparse.h"
+#include "ckpt/checkpoint.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "fault/fault.h"
@@ -762,3 +768,163 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SparseTripletFuzz, ::testing::Values(1, 2, 3, 4)
 
 }  // namespace
 }  // namespace hc::analytics
+
+namespace hc::ckpt {
+namespace {
+
+// Checkpoint-blob fuzzer (ISSUE satellite): checkpoint files sit on shared
+// storage between crash and resume, so the decoder faces torn writes, disk
+// corruption, and outright hostile blobs. Every mutant must come back as a
+// clean kDataLoss / kInvalidArgument status: no crash, no throw, no
+// attacker-sized allocation, and — because every chunk is HMAC-tagged under
+// a kind-scoped key — no corrupted file may ever decode successfully.
+class CkptFuzz : public ::testing::TestWithParam<int> {};
+
+Bytes fuzz_data_key() {
+  Bytes key(16);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(0xc0 + i);
+  }
+  return key;
+}
+
+Bytes small_jmf_file(const Bytes& key) {
+  analytics::JmfResume state;
+  state.next_epoch = 2;
+  state.u = analytics::Matrix(2, 3);
+  state.v = analytics::Matrix(3, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) state.u(r, c) = 0.5 + 0.25 * (r * 3 + c);
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) state.v(r, c) = -1.0 + 0.125 * (r * 3 + c);
+  }
+  state.drug_source_weights = {0.5, 0.5};
+  state.disease_source_weights = {0.7, 0.3};
+  state.objective_history = {4.5, 3.25};
+  return encode_jmf(state, key);
+}
+
+Bytes small_lake_file(const Bytes& key, std::uint64_t seed) {
+  Rng rng(seed);
+  LakeSnapshot snapshot;
+  for (int i = 0; i < 3; ++i) {
+    LakeSnapshot::Object object;
+    object.reference_id = "ref-" + std::to_string(i);
+    object.sealed.key_id = "key-1";
+    object.sealed.key_version = 1;
+    object.sealed.ciphertext = rng.bytes(48);
+    object.sealed.tag = rng.bytes(32);
+    snapshot.objects.push_back(std::move(object));
+  }
+  return encode_lake(snapshot, key);
+}
+
+// A decode outcome is acceptable only if it is a clean rejection with one
+// of the two contract status codes.
+void expect_clean_rejection(const Status& status, const char* what) {
+  ASSERT_FALSE(status.is_ok()) << what << " accepted a corrupted blob";
+  EXPECT_TRUE(status.code() == StatusCode::kDataLoss ||
+              status.code() == StatusCode::kInvalidArgument)
+      << what << " returned " << status.to_string();
+  EXPECT_FALSE(status.message().empty());
+}
+
+TEST_P(CkptFuzz, RandomBlobsNeverCrashAndNeverDecode) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 40000);
+  const Bytes key = fuzz_data_key();
+  for (int i = 0; i < 400; ++i) {
+    auto blob = rng.bytes(static_cast<std::size_t>(rng.uniform_int(0, 400)));
+    expect_clean_rejection(decode_jmf(blob, key).status(), "decode_jmf");
+    expect_clean_rejection(decode_lake(blob, key).status(), "decode_lake");
+  }
+}
+
+TEST_P(CkptFuzz, EverySingleBitFlipOfAValidFileIsRejected) {
+  const Bytes key = fuzz_data_key();
+  const Bytes jmf = small_jmf_file(key);
+  ASSERT_TRUE(decode_jmf(jmf, key).is_ok());
+  for (std::size_t byte = 0; byte < jmf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = jmf;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      expect_clean_rejection(decode_jmf(mutated, key).status(), "decode_jmf");
+      if (HasFatalFailure()) return;
+    }
+  }
+
+  const Bytes lake =
+      small_lake_file(key, static_cast<std::uint64_t>(GetParam()) + 41000);
+  ASSERT_TRUE(decode_lake(lake, key).is_ok());
+  for (std::size_t byte = 0; byte < lake.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = lake;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      expect_clean_rejection(decode_lake(mutated, key).status(), "decode_lake");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_P(CkptFuzz, TruncationsAndExtensionsNeverCrashAndAlwaysReject) {
+  const Bytes key = fuzz_data_key();
+  const Bytes file = small_jmf_file(key);
+  for (std::size_t len = 0; len < file.size(); ++len) {
+    Bytes prefix(file.begin(), file.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_clean_rejection(decode_jmf(prefix, key).status(), "decode_jmf");
+    if (HasFatalFailure()) return;
+  }
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 42000);
+  for (int i = 0; i < 50; ++i) {
+    Bytes extended = file;
+    auto tail = rng.bytes(static_cast<std::size_t>(rng.uniform_int(1, 64)));
+    extended.insert(extended.end(), tail.begin(), tail.end());
+    expect_clean_rejection(decode_jmf(extended, key).status(), "decode_jmf");
+  }
+}
+
+TEST_P(CkptFuzz, HostileLengthFieldsNeverAllocate) {
+  // Overwrite chunk 0's 8-byte length field (offset kHeaderSize + 8) with
+  // hostile values — huge, near-SIZE_MAX, off-by-one overruns. The decoder
+  // must bound every length against the bytes actually present *before*
+  // allocating or hashing, so each lie dies as a clean status, not a
+  // bad_alloc or an out-of-bounds read.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 43000);
+  const Bytes key = fuzz_data_key();
+  const Bytes file = small_jmf_file(key);
+  auto with_length = [&](std::uint64_t lie) {
+    Bytes mutated = file;
+    for (int b = 0; b < 8; ++b) {
+      mutated[kHeaderSize + 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(lie >> (8 * b));
+    }
+    return mutated;
+  };
+  std::uint64_t actual = 0;
+  for (int b = 0; b < 8; ++b) {
+    actual |= static_cast<std::uint64_t>(file[kHeaderSize + 8 +
+                                              static_cast<std::size_t>(b)])
+              << (8 * b);
+  }
+  const std::uint64_t fixed_lies[] = {
+      file.size(),      file.size() * 2,  std::uint64_t{1} << 32,
+      std::uint64_t{1} << 62, ~std::uint64_t{0}, ~std::uint64_t{0} - 15};
+  for (std::uint64_t lie : fixed_lies) {
+    expect_clean_rejection(decode_jmf(with_length(lie), key).status(),
+                           "decode_jmf");
+    if (HasFatalFailure()) return;
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t lie =
+        static_cast<std::uint64_t>(rng.uniform_int(0, std::int64_t{1} << 62));
+    if (lie == actual) continue;  // the one honest value
+    expect_clean_rejection(decode_jmf(with_length(lie), key).status(),
+                           "decode_jmf");
+    if (HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CkptFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hc::ckpt

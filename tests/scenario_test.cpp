@@ -422,6 +422,43 @@ TEST(ScenarioReplay, ScaleoutRebalanceIsWorkerCountInvariant) {
   }
 }
 
+TEST(ScenarioReplay, CommittedCrashResumeBundleStillMatches) {
+  Scenario scenario = load_shipped("crash_resume.scn");
+  Result<RunReport> report = run(scenario);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  const std::string dir = std::string(HC_GOLDEN_DIR) + "/crash_resume";
+  EXPECT_EQ(metrics_text(*report), read_file(dir + "/metrics.json"));
+  EXPECT_EQ(timeline_text(*report), read_file(dir + "/timeline.txt"));
+  EXPECT_EQ(verdicts_text(*report), read_file(dir + "/verdicts.txt"));
+}
+
+TEST(ScenarioReplay, CrashResumeIsWorkerCountInvariant) {
+  // The drill seals a LAKE checkpoint after 40 drained uploads, kills the
+  // ingestion world at upload 70, restores from the file, and finishes the
+  // drain. Saved/lost/restored/final counts and the checkpoint byte size
+  // are pure functions of the scenario bytes: the checkpoint iterates the
+  // lake in sorted reference order and the encoder is canonical, so the
+  // bundle must not depend on how many workers drained the queue.
+  Scenario scenario = load_shipped("crash_resume.scn");
+  RunOptions options;
+  options.ingest_workers = 1;
+  Result<RunReport> baseline = run(scenario, options);
+  ASSERT_TRUE(baseline.is_ok()) << baseline.status().message();
+  EXPECT_GT(baseline->ckpt.saved_objects, 0u);
+  EXPECT_GT(baseline->ckpt.lost_objects, 0u);
+  EXPECT_EQ(baseline->ckpt.restored_objects, baseline->ckpt.saved_objects);
+  EXPECT_GT(baseline->ckpt.final_objects, baseline->ckpt.restored_objects);
+  EXPECT_GT(baseline->ckpt.checkpoint_bytes, 0u);
+  const std::string golden = bundle_text(*baseline);
+  for (std::size_t workers : {2u, 4u, 8u, 1u}) {
+    options.ingest_workers = workers;
+    Result<RunReport> report = run(scenario, options);
+    ASSERT_TRUE(report.is_ok()) << report.status().message();
+    ASSERT_EQ(bundle_text(*report), golden)
+        << workers << " workers diverged from 1";
+  }
+}
+
 TEST(ScenarioReplay, WriteBundleMatchesTheTextFunctions) {
   Scenario scenario = load_shipped("smoke.scn");
   Result<RunReport> report = run(scenario);
@@ -535,7 +572,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("smoke.scn", "f9_overload.scn", "region_outage.scn",
                       "consent_revocation_storm.scn", "flash_crowd.scn",
                       "slow_loris.scn", "provenance_surge.scn",
-                      "scaleout_rebalance.scn"),
+                      "scaleout_rebalance.scn", "crash_resume.scn"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       name = name.substr(0, name.find('.'));

@@ -254,6 +254,34 @@ constexpr RejectCase kCases[] = {
      "ingestion: crash_shard_host requires shard_replication >= 2 "
      "(a lone copy dies with its host)"},
 
+    // --- ingestion checkpoint / crash-and-resume --------------------------
+    {"CrashResumeWithoutCheckpoint",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  crash_and_resume 10\n}\n",
+     "ingestion: crash_and_resume requires checkpoint_after > 0"},
+    {"CheckpointWithShardHosts",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  shard_hosts 2\n  checkpoint_after 10\n}\n",
+     "ingestion: checkpoint_after requires shard_hosts == 0"},
+    {"CheckpointWithAnchoredProvenance",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  provenance anchored\n  checkpoint_after 10\n}\n",
+     "ingestion: checkpoint_after requires provenance per-record"},
+    {"CheckpointAboveMaxUploads",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  max_uploads 50\n  checkpoint_after 60\n}\n",
+     "ingestion: checkpoint_after (60) must be <= max_uploads (50)"},
+    {"CrashResumeBeforeCheckpoint",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  max_uploads 50\n  checkpoint_after 40\n"
+     "  crash_and_resume 30\n}\n",
+     "ingestion: crash_and_resume (30) must be >= checkpoint_after (40)"},
+    {"CrashResumeAboveMaxUploads",
+     "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
+     "ingestion {\n  max_uploads 50\n  checkpoint_after 40\n"
+     "  crash_and_resume 60\n}\n",
+     "ingestion: crash_and_resume (60) must be <= max_uploads (50)"},
+
     // --- fault rules ------------------------------------------------------
     {"FaultProbabilityOutOfRange",
      "scenario \"t\" {\n}\ntenant \"a\" {\n  rate 10\n}\n"
